@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Shared plumbing for the figure-reproduction benches: trial-count
+ * scaling (SOFTCHECK_TRIALS env var; the paper uses 1000 per benchmark,
+ * the default here is smaller so the whole suite runs in minutes),
+ * campaign helpers, and table formatting.
+ */
+
+#ifndef SOFTCHECK_BENCH_BENCH_UTIL_HH
+#define SOFTCHECK_BENCH_BENCH_UTIL_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "fault/campaign.hh"
+#include "support/stats.hh"
+#include "support/text.hh"
+#include "workloads/workload.hh"
+
+namespace softcheck::benchutil
+{
+
+/** Injection trials per benchmark (paper: 1000). Override with
+ * SOFTCHECK_TRIALS. */
+inline unsigned
+trialsPerBenchmark(unsigned dflt = 250)
+{
+    if (const char *env = std::getenv("SOFTCHECK_TRIALS")) {
+        const long v = std::strtol(env, nullptr, 10);
+        if (v > 0)
+            return static_cast<unsigned>(v);
+    }
+    return dflt;
+}
+
+inline CampaignConfig
+makeConfig(const std::string &workload, HardeningMode mode,
+           unsigned trials)
+{
+    CampaignConfig cfg;
+    cfg.workload = workload;
+    cfg.mode = mode;
+    cfg.trials = trials;
+    cfg.seed = 0xC0FFEE;
+    return cfg;
+}
+
+/** All benchmark names in Table I order. */
+inline std::vector<std::string>
+benchmarkNames()
+{
+    std::vector<std::string> names;
+    for (const Workload *w : allWorkloads())
+        names.push_back(w->name);
+    return names;
+}
+
+inline void
+printHeader(const std::string &title, const std::string &subtitle = {})
+{
+    std::printf("\n=== %s ===\n", title.c_str());
+    if (!subtitle.empty())
+        std::printf("%s\n", subtitle.c_str());
+}
+
+inline void
+printRule(unsigned width = 100)
+{
+    for (unsigned i = 0; i < width; ++i)
+        std::putchar('-');
+    std::putchar('\n');
+}
+
+} // namespace softcheck::benchutil
+
+#endif // SOFTCHECK_BENCH_BENCH_UTIL_HH

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Reproduces the paper's Figure 2: for UNMODIFIED applications, silent
+ * data corruptions split into acceptable SDCs (ASDC) and unacceptable
+ * SDCs (USDC), the latter attributed to large vs small instruction
+ * output value changes. The paper reports that, on average, 77% of
+ * SDCs are ASDCs and most USDCs stem from large value changes.
+ */
+
+#include "bench_util.hh"
+
+using namespace softcheck;
+using namespace softcheck::benchutil;
+
+int
+main()
+{
+    const unsigned trials = trialsPerBenchmark();
+    printHeader("Figure 2: SDC breakdown on unmodified applications",
+                strformat("%u injection trials per benchmark "
+                          "(SOFTCHECK_TRIALS to change; paper used "
+                          "1000)",
+                          trials));
+
+    std::printf("%-10s %8s %8s %8s %14s %14s %10s\n", "benchmark",
+                "SDC%", "ASDC%", "USDC%", "USDC-large%", "USDC-small%",
+                "ASDC/SDC%");
+    printRule();
+
+    std::vector<double> sdc, asdc_share, usdc_large_share;
+    for (const std::string &name : benchmarkNames()) {
+        auto r = runCampaign(
+            makeConfig(name, HardeningMode::Original, trials));
+        const double total = static_cast<double>(trials);
+        const double asdc = r.pct(Outcome::ASDC);
+        const double usdc = r.pct(Outcome::USDC);
+        const double large =
+            100.0 * static_cast<double>(r.usdcLargeChange) / total;
+        const double small =
+            100.0 * static_cast<double>(r.usdcSmallChange) / total;
+        const double sdc_pct = asdc + usdc;
+        std::printf("%-10s %8.2f %8.2f %8.2f %14.2f %14.2f %10.1f\n",
+                    name.c_str(), sdc_pct, asdc, usdc, large, small,
+                    sdc_pct > 0 ? 100.0 * asdc / sdc_pct : 100.0);
+        sdc.push_back(sdc_pct);
+        if (sdc_pct > 0)
+            asdc_share.push_back(100.0 * asdc / sdc_pct);
+        if (usdc > 0)
+            usdc_large_share.push_back(100.0 * large / usdc);
+    }
+    printRule();
+    std::printf("mean SDC = %.2f%%; mean ASDC share of SDCs = %.1f%% "
+                "(paper: 77%%)\n",
+                mean(sdc), mean(asdc_share));
+    if (!usdc_large_share.empty())
+        std::printf("mean large-value-change share of USDCs = %.1f%% "
+                    "(paper: most USDCs, ~14%% of SDCs)\n",
+                    mean(usdc_large_share));
+    std::printf("margin of error (95%%): +-%.1f points\n",
+                100.0 * marginOfError(trials));
+    return 0;
+}

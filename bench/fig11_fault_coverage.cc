@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Reproduces the paper's Figure 11: classification of injected faults
+ * (Masked / SWDetect / HWDetect / Failure / USDC) for the Original,
+ * Dup-only and Dup+val-chks configurations, plus the full-duplication
+ * comparison from the text (USDC 1.4% at 57% overhead).
+ *
+ * Per the paper, acceptable-quality outputs (ASDCs) are counted inside
+ * Masked here; Figure 13's bench reports them separately.
+ */
+
+#include "bench_util.hh"
+
+using namespace softcheck;
+using namespace softcheck::benchutil;
+
+namespace
+{
+
+void
+printRow(const std::string &label, const CampaignResult &r)
+{
+    std::printf("  %-16s %8.1f %9.1f %9.1f %8.1f %6.1f %9.1f\n",
+                label.c_str(),
+                r.pct(Outcome::Masked) + r.pct(Outcome::ASDC),
+                r.pct(Outcome::SWDetect), r.pct(Outcome::HWDetect),
+                r.pct(Outcome::Failure), r.pct(Outcome::USDC),
+                r.coveragePct());
+}
+
+} // namespace
+
+int
+main()
+{
+    const unsigned trials = trialsPerBenchmark();
+    const std::vector<HardeningMode> modes = {
+        HardeningMode::Original, HardeningMode::DupOnly,
+        HardeningMode::DupValChks, HardeningMode::FullDup};
+
+    printHeader("Figure 11: fault coverage by configuration",
+                strformat("%u injection trials per benchmark per "
+                          "configuration (paper used 1000; margin of "
+                          "error +-%.1f points)",
+                          trials, 100.0 * marginOfError(trials)));
+    std::printf("  %-16s %8s %9s %9s %8s %6s %9s\n", "config",
+                "Masked%", "SWDet%", "HWDet%", "Fail%", "USDC%",
+                "coverage%");
+
+    std::vector<std::vector<double>> usdc(modes.size()),
+        coverage(modes.size()), masked(modes.size()),
+        swdet(modes.size()), hwdet(modes.size()), fail(modes.size());
+
+    for (const std::string &name : benchmarkNames()) {
+        std::printf("%s\n", name.c_str());
+        for (std::size_t mi = 0; mi < modes.size(); ++mi) {
+            auto r =
+                runCampaign(makeConfig(name, modes[mi], trials));
+            printRow(hardeningModeName(modes[mi]), r);
+            usdc[mi].push_back(r.pct(Outcome::USDC));
+            coverage[mi].push_back(r.coveragePct());
+            masked[mi].push_back(r.pct(Outcome::Masked) +
+                                 r.pct(Outcome::ASDC));
+            swdet[mi].push_back(r.pct(Outcome::SWDetect));
+            hwdet[mi].push_back(r.pct(Outcome::HWDetect));
+            fail[mi].push_back(r.pct(Outcome::Failure));
+        }
+    }
+
+    printRule();
+    std::printf("MEANS (paper: USDC 3.4%% -> 1.8%% -> 1.2%%; full dup "
+                "1.4%%)\n");
+    std::printf("  %-16s %8s %9s %9s %8s %6s %9s\n", "config",
+                "Masked%", "SWDet%", "HWDet%", "Fail%", "USDC%",
+                "coverage%");
+    for (std::size_t mi = 0; mi < modes.size(); ++mi) {
+        std::printf("  %-16s %8.1f %9.1f %9.1f %8.1f %6.1f %9.1f\n",
+                    hardeningModeName(modes[mi]), mean(masked[mi]),
+                    mean(swdet[mi]), mean(hwdet[mi]), mean(fail[mi]),
+                    mean(usdc[mi]), mean(coverage[mi]));
+    }
+
+    // The headline ordering must hold.
+    const bool usdc_improves =
+        mean(usdc[1]) <= mean(usdc[0]) && mean(usdc[2]) <= mean(usdc[1]);
+    std::printf("\nresult shape: USDC(Original) >= USDC(Dup only) >= "
+                "USDC(Dup+val chks): %s\n",
+                usdc_improves ? "HOLDS" : "VIOLATED");
+    return 0;
+}

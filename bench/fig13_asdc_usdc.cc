@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Reproduces the paper's Figure 13: SDCs split into acceptable (ASDC)
+ * and unacceptable (USDC) for Original / Dup only / Dup + val chks.
+ * Paper means: SDC 15% -> 9.5% -> 7.3%; USDC 3.4% -> 1.8% -> 1.2%.
+ */
+
+#include "bench_util.hh"
+
+using namespace softcheck;
+using namespace softcheck::benchutil;
+
+int
+main()
+{
+    const unsigned trials = trialsPerBenchmark();
+    const std::vector<HardeningMode> modes = {
+        HardeningMode::Original, HardeningMode::DupOnly,
+        HardeningMode::DupValChks};
+
+    printHeader("Figure 13: acceptable vs unacceptable SDCs",
+                strformat("%u injection trials per benchmark per "
+                          "configuration",
+                          trials));
+    std::printf("%-10s | %21s | %21s | %21s\n", "",
+                "Original", "Dup only", "Dup + val chks");
+    std::printf("%-10s | %6s %6s %6s | %6s %6s %6s | %6s %6s %6s\n",
+                "benchmark", "SDC%", "ASDC%", "USDC%", "SDC%", "ASDC%",
+                "USDC%", "SDC%", "ASDC%", "USDC%");
+    printRule(90);
+
+    std::vector<std::vector<double>> sdc(3), asdc(3), usdc(3);
+    for (const std::string &name : benchmarkNames()) {
+        std::printf("%-10s |", name.c_str());
+        for (std::size_t mi = 0; mi < modes.size(); ++mi) {
+            auto r = runCampaign(makeConfig(name, modes[mi], trials));
+            const double a = r.pct(Outcome::ASDC);
+            const double u = r.pct(Outcome::USDC);
+            std::printf(" %6.2f %6.2f %6.2f %s", a + u, a, u,
+                        mi + 1 < modes.size() ? "|" : "");
+            sdc[mi].push_back(a + u);
+            asdc[mi].push_back(a);
+            usdc[mi].push_back(u);
+        }
+        std::printf("\n");
+    }
+    printRule(90);
+    std::printf("%-10s |", "MEAN");
+    for (std::size_t mi = 0; mi < modes.size(); ++mi) {
+        std::printf(" %6.2f %6.2f %6.2f %s", mean(sdc[mi]),
+                    mean(asdc[mi]), mean(usdc[mi]),
+                    mi + 1 < modes.size() ? "|" : "");
+    }
+    std::printf("\n(paper means: SDC 15 / 9.5 / 7.3; "
+                "USDC 3.4 / 1.8 / 1.2)\n");
+
+    const bool shape = mean(usdc[1]) <= mean(usdc[0]) &&
+                       mean(usdc[2]) <= mean(usdc[1]) &&
+                       mean(sdc[1]) <= mean(sdc[0]);
+    std::printf("\nresult shape: SDC and USDC shrink with hardening: "
+                "%s\n",
+                shape ? "HOLDS" : "VIOLATED");
+    return 0;
+}

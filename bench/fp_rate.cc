@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Reproduces the paper's false-positive analysis (Sec. V): expected
+ * value checks can fire without any fault when the test input leaves
+ * the profiled range. The paper reports one check failure per ~235K
+ * instructions on average; the recover-once-then-ignore rule turns
+ * these into at most one spurious recovery per check.
+ */
+
+#include <cmath>
+
+#include "bench_util.hh"
+
+using namespace softcheck;
+using namespace softcheck::benchutil;
+
+int
+main()
+{
+    printHeader("False positives: fault-free value-check failures "
+                "(Dup + val chks, test input)");
+    std::printf("%-10s %10s %10s %12s %14s %18s\n", "benchmark",
+                "checks", "disabled", "fp fires", "instructions",
+                "instrs per FP");
+    printRule();
+
+    uint64_t total_fp = 0, total_instrs = 0, total_recoveries = 0;
+    for (const std::string &name : benchmarkNames()) {
+        auto r = characterizeOnly(
+            makeConfig(name, HardeningMode::DupValChks, 0));
+        const double per_fp = r.instrsPerFalsePositive();
+        std::printf("%-10s %10u %10u %12llu %14llu %18s\n",
+                    name.c_str(), r.totalCheckCount,
+                    r.disabledCheckCount,
+                    static_cast<unsigned long long>(
+                        r.calibrationCheckFails),
+                    static_cast<unsigned long long>(r.goldenDynInstrs),
+                    std::isinf(per_fp)
+                        ? "none"
+                        : strformat("%.0f", per_fp).c_str());
+        total_fp += r.calibrationCheckFails;
+        total_instrs += r.goldenDynInstrs;
+        total_recoveries += r.disabledCheckCount;
+    }
+    printRule();
+    if (total_fp > 0) {
+        std::printf("aggregate raw check failures: 1 per %.0f "
+                    "instructions (paper: 1 per 235K)\n",
+                    static_cast<double>(total_instrs) /
+                        static_cast<double>(total_fp));
+        std::printf("aggregate recovery initiations (recover-once "
+                    "rule: each check recovers at most once, then is "
+                    "ignored): 1 per %.0f instructions\n",
+                    static_cast<double>(total_instrs) /
+                        static_cast<double>(total_recoveries));
+    } else {
+        std::printf("aggregate: no false positives observed\n");
+    }
+    std::printf("(dominant source: single-value checks on "
+                "input-size-derived values such as loop bounds; the "
+                "paper notes multi-input profiling as the remedy)\n");
+    return 0;
+}

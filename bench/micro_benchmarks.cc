@@ -1,0 +1,173 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks for the substrate itself: histogram
+ * maintenance (Algorithm 1), range extraction (Algorithm 2),
+ * interpreter dispatch throughput, memory-system access, compilation,
+ * and the hardening passes.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/pipeline.hh"
+#include "fault/campaign.hh"
+#include "frontend/compile.hh"
+#include "profile/value_profiler.hh"
+#include "workloads/workload.hh"
+
+namespace
+{
+
+using namespace softcheck;
+
+void
+BM_HistogramInsert(benchmark::State &state)
+{
+    Rng rng(1);
+    std::vector<double> values(4096);
+    for (double &v : values)
+        v = static_cast<double>(rng.nextRange(0, 100000));
+    OnlineHistogram h(5);
+    std::size_t i = 0;
+    for (auto _ : state) {
+        h.insert(values[i++ & 4095]);
+        benchmark::DoNotOptimize(h.totalCount());
+    }
+}
+BENCHMARK(BM_HistogramInsert);
+
+void
+BM_FrequentRangeExtract(benchmark::State &state)
+{
+    Rng rng(2);
+    OnlineHistogram h(5);
+    for (int i = 0; i < 10000; ++i)
+        h.insert(static_cast<double>(rng.nextRange(0, 5000)));
+    for (auto _ : state) {
+        auto fr = extractFrequentRange(h, 1000.0);
+        benchmark::DoNotOptimize(fr.mass);
+    }
+}
+BENCHMARK(BM_FrequentRangeExtract);
+
+void
+BM_MemoryAccess(benchmark::State &state)
+{
+    Memory mem;
+    const uint64_t base = mem.alloc(1 << 16);
+    uint64_t addr = base;
+    uint64_t v = 0;
+    for (auto _ : state) {
+        mem.write(addr, 8, v);
+        mem.read(addr, 8, v);
+        addr = base + ((addr + 64) & 0xFFF8);
+        benchmark::DoNotOptimize(v);
+    }
+}
+BENCHMARK(BM_MemoryAccess);
+
+/** Interpreter throughput on an arithmetic loop (instructions/sec). */
+void
+BM_InterpreterDispatch(benchmark::State &state)
+{
+    auto mod = compileMiniLang(R"(
+        fn main(n: i32) -> i32 {
+            var s: i32 = 0;
+            for (var i: i32 = 0; i < n; i = i + 1) {
+                s = (s + i * 3) ^ (i >> 2);
+            }
+            return s;
+        })", "bench");
+    ExecModule em(*mod);
+    uint64_t instrs = 0;
+    for (auto _ : state) {
+        Memory mem;
+        Interpreter interp(em, mem);
+        auto r = interp.run(em.functionIndex("main"), {10000}, {});
+        instrs += r.dynInstrs;
+        benchmark::DoNotOptimize(r.retValue);
+    }
+    state.counters["instrs/s"] = benchmark::Counter(
+        static_cast<double>(instrs), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_InterpreterDispatch);
+
+void
+BM_CompileMiniLang(benchmark::State &state)
+{
+    const Workload &w = getWorkload("jpegdec");
+    for (auto _ : state) {
+        auto mod = compileMiniLang(w.source, w.name);
+        benchmark::DoNotOptimize(mod->totalInstructions());
+    }
+}
+BENCHMARK(BM_CompileMiniLang);
+
+void
+BM_HardenDupValChks(benchmark::State &state)
+{
+    const Workload &w = getWorkload("jpegdec");
+    // Profile once outside the loop.
+    auto pmod = compileMiniLang(w.source, w.name);
+    const unsigned sites = assignProfileSites(*pmod);
+    ExecModule em(*pmod);
+    auto spec = w.makeInput(true);
+    auto run = prepareRun(spec);
+    ValueProfiler prof(em.numProfileSites());
+    ExecOptions opts;
+    opts.profiler = &prof;
+    Interpreter interp(em, *run.mem);
+    interp.run(em.functionIndex(w.entry), run.args, opts);
+    ProfileData pd(prof, floatSiteFlags(*pmod, sites));
+
+    for (auto _ : state) {
+        auto mod = compileMiniLang(w.source, w.name);
+        assignProfileSites(*mod);
+        HardeningOptions hopts;
+        hopts.mode = HardeningMode::DupValChks;
+        auto report = hardenModule(*mod, hopts, &pd);
+        benchmark::DoNotOptimize(report.valueChecks);
+    }
+}
+BENCHMARK(BM_HardenDupValChks);
+
+void
+BM_WorkloadGoldenRun(benchmark::State &state)
+{
+    const Workload &w = getWorkload("tiff2bw");
+    auto mod = compileMiniLang(w.source, w.name);
+    ExecModule em(*mod);
+    auto spec = w.makeInput(false);
+    for (auto _ : state) {
+        auto run = prepareRun(spec);
+        Interpreter interp(em, *run.mem);
+        auto r = interp.run(em.functionIndex(w.entry), run.args, {});
+        benchmark::DoNotOptimize(r.cycles);
+    }
+}
+BENCHMARK(BM_WorkloadGoldenRun);
+
+void
+BM_SingleFaultTrial(benchmark::State &state)
+{
+    const Workload &w = getWorkload("svm");
+    auto mod = compileMiniLang(w.source, w.name);
+    ExecModule em(*mod);
+    auto spec = w.makeInput(false);
+    uint64_t seed = 0;
+    for (auto _ : state) {
+        auto run = prepareRun(spec);
+        Rng rng(++seed);
+        ExecOptions opts;
+        opts.faultAtDynInstr = 1000 + (seed % 100000);
+        opts.faultRng = &rng;
+        opts.maxDynInstrs = 10'000'000;
+        Interpreter interp(em, *run.mem);
+        auto r = interp.run(em.functionIndex(w.entry), run.args, opts);
+        benchmark::DoNotOptimize(r.term);
+    }
+}
+BENCHMARK(BM_SingleFaultTrial);
+
+} // namespace
+
+BENCHMARK_MAIN();

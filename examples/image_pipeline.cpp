@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Figure 1 reproduction: decode an image under fault injection and
+ * write three PGM files —
+ *   fig1_a_golden.pgm        fault-free decode,
+ *   fig1_b_acceptable.pgm    a fault whose corruption is numerically
+ *                            wrong but above the 30 dB PSNR threshold,
+ *   fig1_c_unacceptable.pgm  a fault producing a USDC.
+ *
+ * Build & run:  ./build/examples/image_pipeline [out_dir]
+ */
+
+#include <cstdio>
+#include <fstream>
+
+#include "fidelity/fidelity.hh"
+#include "frontend/compile.hh"
+#include "workloads/workload.hh"
+
+using namespace softcheck;
+
+namespace
+{
+
+void
+writePgm(const std::string &path, const std::vector<double> &pixels,
+         unsigned w, unsigned h)
+{
+    std::ofstream os(path, std::ios::binary);
+    os << "P5\n" << w << " " << h << "\n255\n";
+    for (double p : pixels) {
+        const int v = std::max(0, std::min(255, static_cast<int>(p)));
+        os.put(static_cast<char>(v));
+    }
+    std::printf("wrote %s\n", path.c_str());
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const std::string dir = argc > 1 ? argv[1] : ".";
+    const Workload &w = getWorkload("jpegdec");
+    auto mod = compileMiniLang(w.source, w.name);
+    ExecModule em(*mod);
+    auto spec = w.makeInput(false);
+    const unsigned iw = static_cast<unsigned>(spec.args[2].scalar);
+    const unsigned ih = static_cast<unsigned>(spec.args[3].scalar);
+
+    // Golden decode.
+    std::vector<double> golden;
+    uint64_t golden_dyn = 0;
+    {
+        auto run = prepareRun(spec);
+        Interpreter interp(em, *run.mem);
+        auto r = interp.run(em.functionIndex(w.entry), run.args, {});
+        golden = extractSignal(w, spec, run);
+        golden_dyn = r.dynInstrs;
+    }
+    writePgm(dir + "/fig1_a_golden.pgm", golden, iw, ih);
+
+    // Hunt for one acceptable and one unacceptable corruption.
+    bool have_asdc = false, have_usdc = false;
+    Rng rng(4242);
+    for (int t = 0; t < 40000 && (!have_asdc || !have_usdc); ++t) {
+        auto run = prepareRun(spec);
+        Rng trial = rng.split();
+        ExecOptions opts;
+        opts.faultAtDynInstr = rng.nextBelow(golden_dyn);
+        opts.faultRng = &trial;
+        opts.maxDynInstrs = golden_dyn * 20;
+        Interpreter interp(em, *run.mem);
+        auto r = interp.run(em.functionIndex(w.entry), run.args, opts);
+        if (r.term != Termination::Ok)
+            continue;
+        auto signal = extractSignal(w, spec, run);
+        if (signal == golden)
+            continue;
+        const double score = psnr(golden, signal);
+        if (!have_asdc && score >= w.threshold && score < 55.0) {
+            writePgm(dir + "/fig1_b_acceptable.pgm", signal, iw, ih);
+            std::printf("  acceptable corruption: PSNR %.1f dB "
+                        "(>= %.0f dB threshold) after flipping bit %u "
+                        "of a register at instr %llu\n",
+                        score, w.threshold, r.fault.bit,
+                        static_cast<unsigned long long>(
+                            r.fault.atDynInstr));
+            have_asdc = true;
+        } else if (!have_usdc && score < w.threshold) {
+            writePgm(dir + "/fig1_c_unacceptable.pgm", signal, iw, ih);
+            std::printf("  UNACCEPTABLE corruption: PSNR %.1f dB "
+                        "(< %.0f dB) after flipping bit %u of a "
+                        "register at instr %llu\n",
+                        score, w.threshold, r.fault.bit,
+                        static_cast<unsigned long long>(
+                            r.fault.atDynInstr));
+            have_usdc = true;
+        }
+    }
+    if (!have_asdc)
+        std::printf("note: no acceptable-corruption sample found\n");
+    if (!have_usdc)
+        std::printf("note: no USDC sample found\n");
+    return 0;
+}

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Soft-error robustness study of the two machine-learning benchmarks
+ * (kmeans, svm): runs full fault-injection campaigns in each hardening
+ * configuration and prints a compact comparison — the library's
+ * top-level API (fault/campaign.hh) in its intended use.
+ *
+ * Build & run:  ./build/examples/ml_robustness [trials]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "fault/campaign.hh"
+
+using namespace softcheck;
+
+int
+main(int argc, char **argv)
+{
+    const unsigned trials =
+        argc > 1 ? static_cast<unsigned>(std::atoi(argv[1])) : 300;
+
+    for (const char *name : {"kmeans", "svm"}) {
+        std::printf("\n%s: %u injection trials per configuration\n",
+                    name, trials);
+        std::printf("%-16s %9s %6s %6s %7s %9s\n", "config",
+                    "overhead", "USDC%", "SDC%", "cov%", "checks");
+        for (auto mode :
+             {HardeningMode::Original, HardeningMode::DupOnly,
+              HardeningMode::DupValChks, HardeningMode::FullDup}) {
+            CampaignConfig cfg;
+            cfg.workload = name;
+            cfg.mode = mode;
+            cfg.trials = trials;
+            cfg.seed = 99;
+            auto r = runCampaign(cfg);
+            std::printf("%-16s %8.1f%% %6.2f %6.2f %7.1f %9u\n",
+                        hardeningModeName(mode), 100.0 * r.overhead(),
+                        r.pct(Outcome::USDC), r.sdcPct(),
+                        r.coveragePct(), r.totalCheckCount);
+        }
+    }
+    std::printf("\nThe selective scheme (Dup + val chks) should reach "
+                "full-duplication-level USDC\nprotection at a fraction "
+                "of its overhead (paper: 1.2%% vs 1.4%% USDC at 19.5%% "
+                "vs 57%% overhead).\n");
+    return 0;
+}

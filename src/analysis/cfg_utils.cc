@@ -1,0 +1,118 @@
+#include "analysis/cfg_utils.hh"
+
+#include <set>
+#include <vector>
+
+#include "support/error.hh"
+
+namespace softcheck
+{
+
+unsigned
+removeUnreachableBlocks(Function &fn)
+{
+    if (!fn.entry())
+        return 0;
+
+    std::set<BasicBlock *> reachable;
+    std::vector<BasicBlock *> work{fn.entry()};
+    while (!work.empty()) {
+        BasicBlock *bb = work.back();
+        work.pop_back();
+        if (!reachable.insert(bb).second)
+            continue;
+        for (BasicBlock *succ : bb->successors())
+            work.push_back(succ);
+    }
+
+    std::vector<BasicBlock *> dead;
+    for (auto &bb : fn) {
+        if (!reachable.count(bb.get()))
+            dead.push_back(bb.get());
+    }
+    if (dead.empty())
+        return 0;
+
+    // Prune phi incomings that refer to dead predecessors.
+    std::set<BasicBlock *> dead_set(dead.begin(), dead.end());
+    for (auto &bb : fn) {
+        if (dead_set.count(bb.get()))
+            continue;
+        for (Instruction *phi : bb->phis()) {
+            for (std::size_t i = phi->numBlockOperands(); i-- > 0;) {
+                if (dead_set.count(phi->blockOperand(i)))
+                    phi->removeIncoming(i);
+            }
+        }
+    }
+
+    // Break operand webs inside dead blocks, then delete the blocks.
+    for (BasicBlock *bb : dead) {
+        for (auto &inst : *bb)
+            inst->dropAllOperands();
+    }
+    for (BasicBlock *bb : dead)
+        fn.removeBlock(bb);
+    return static_cast<unsigned>(dead.size());
+}
+
+bool
+hasSideEffects(const Instruction &inst)
+{
+    switch (inst.opcode()) {
+      case Opcode::Store:
+      case Opcode::Call:
+      case Opcode::Ret:
+      case Opcode::Br:
+      case Opcode::CondBr:
+      case Opcode::CheckEq:
+      case Opcode::CheckOne:
+      case Opcode::CheckTwo:
+      case Opcode::CheckRange:
+        return true;
+      default:
+        return false;
+    }
+}
+
+unsigned
+eliminateDeadCode(Function &fn)
+{
+    // Mark-and-sweep liveness so that dead phi cycles (which keep each
+    // other as users) are also collected.
+    std::set<Instruction *> live;
+    std::vector<Instruction *> work;
+    for (auto &bb : fn) {
+        for (auto &inst : *bb) {
+            if (hasSideEffects(*inst)) {
+                live.insert(inst.get());
+                work.push_back(inst.get());
+            }
+        }
+    }
+    while (!work.empty()) {
+        Instruction *inst = work.back();
+        work.pop_back();
+        for (Value *op : inst->operands()) {
+            if (auto *def = dynamic_cast<Instruction *>(op)) {
+                if (live.insert(def).second)
+                    work.push_back(def);
+            }
+        }
+    }
+
+    std::vector<Instruction *> dead;
+    for (auto &bb : fn) {
+        for (auto &inst : *bb) {
+            if (!live.count(inst.get()))
+                dead.push_back(inst.get());
+        }
+    }
+    for (Instruction *inst : dead)
+        inst->dropAllOperands();
+    for (Instruction *inst : dead)
+        inst->parent()->erase(inst);
+    return static_cast<unsigned>(dead.size());
+}
+
+} // namespace softcheck

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * CFG cleanup utilities: unreachable-block elimination and trivially
+ * dead code elimination. Both are required before SSA promotion and
+ * after the front end, which can leave dead join blocks behind.
+ */
+
+#ifndef SOFTCHECK_ANALYSIS_CFG_UTILS_HH
+#define SOFTCHECK_ANALYSIS_CFG_UTILS_HH
+
+#include "ir/function.hh"
+
+namespace softcheck
+{
+
+/**
+ * Delete blocks not reachable from the entry. Also prunes phi incoming
+ * entries that referenced removed predecessors.
+ *
+ * @return number of blocks removed
+ */
+unsigned removeUnreachableBlocks(Function &fn);
+
+/**
+ * Iteratively delete instructions with no users and no side effects
+ * (stores, calls, terminators, and checks are side-effecting).
+ *
+ * @return number of instructions removed
+ */
+unsigned eliminateDeadCode(Function &fn);
+
+/** True if removing @p inst (when unused) changes program behaviour. */
+bool hasSideEffects(const Instruction &inst);
+
+} // namespace softcheck
+
+#endif // SOFTCHECK_ANALYSIS_CFG_UTILS_HH

@@ -1,0 +1,264 @@
+#include "analysis/const_fold.hh"
+
+#include <bit>
+#include <cmath>
+#include <limits>
+#include <optional>
+#include <vector>
+
+#include "analysis/cfg_utils.hh"
+#include "ir/module.hh"
+#include "support/bits.hh"
+#include "support/error.hh"
+
+namespace softcheck
+{
+
+namespace
+{
+
+std::optional<int64_t>
+intConst(const Value *v)
+{
+    if (auto *c = dynamic_cast<const ConstantInt *>(v))
+        return c->signedValue();
+    return std::nullopt;
+}
+
+std::optional<double>
+floatConst(const Value *v)
+{
+    if (auto *c = dynamic_cast<const ConstantFloat *>(v))
+        return c->value();
+    return std::nullopt;
+}
+
+/** Fold an instruction to a constant, or simplify to an operand.
+ * Returns the replacement value, or null if nothing applies. */
+Value *
+simplify(Module &m, Instruction &inst)
+{
+    const Opcode op = inst.opcode();
+    const Type ty = inst.type();
+
+    if (isIntBinary(op)) {
+        const auto a = intConst(inst.operand(0));
+        const auto b = intConst(inst.operand(1));
+        const unsigned w = ty.bitWidth();
+
+        // Identities first (work even with one non-constant side).
+        if (b) {
+            switch (op) {
+              case Opcode::Add:
+              case Opcode::Sub:
+              case Opcode::Or:
+              case Opcode::Xor:
+              case Opcode::Shl:
+              case Opcode::LShr:
+              case Opcode::AShr:
+                if (*b == 0)
+                    return inst.operand(0);
+                break;
+              case Opcode::Mul:
+                if (*b == 1)
+                    return inst.operand(0);
+                if (*b == 0)
+                    return m.getConstInt(ty, uint64_t{0});
+                break;
+              case Opcode::SDiv:
+                if (*b == 1)
+                    return inst.operand(0);
+                break;
+              case Opcode::And:
+                if (*b == 0)
+                    return m.getConstInt(ty, uint64_t{0});
+                if (truncBits(static_cast<uint64_t>(*b), w) ==
+                    lowBitMask(w))
+                    return inst.operand(0);
+                break;
+              default:
+                break;
+            }
+        }
+        if (!a || !b)
+            return nullptr;
+
+        const uint64_t ua = truncBits(static_cast<uint64_t>(*a), w);
+        const uint64_t ub = truncBits(static_cast<uint64_t>(*b), w);
+        const int64_t sa = signExtend(ua, w);
+        const int64_t sb = signExtend(ub, w);
+        uint64_t res;
+        switch (op) {
+          case Opcode::Add: res = ua + ub; break;
+          case Opcode::Sub: res = ua - ub; break;
+          case Opcode::Mul: res = ua * ub; break;
+          case Opcode::SDiv:
+            if (sb == 0)
+                return nullptr; // preserve the trap
+            if (sa == std::numeric_limits<int64_t>::min() && sb == -1)
+                res = static_cast<uint64_t>(sa);
+            else
+                res = static_cast<uint64_t>(sa / sb);
+            break;
+          case Opcode::SRem:
+            if (sb == 0)
+                return nullptr;
+            if (sa == std::numeric_limits<int64_t>::min() && sb == -1)
+                res = 0;
+            else
+                res = static_cast<uint64_t>(sa % sb);
+            break;
+          case Opcode::UDiv:
+            if (ub == 0)
+                return nullptr;
+            res = ua / ub;
+            break;
+          case Opcode::URem:
+            if (ub == 0)
+                return nullptr;
+            res = ua % ub;
+            break;
+          case Opcode::And: res = ua & ub; break;
+          case Opcode::Or: res = ua | ub; break;
+          case Opcode::Xor: res = ua ^ ub; break;
+          case Opcode::Shl:
+            res = ua << (static_cast<unsigned>(ub) & (w - 1));
+            break;
+          case Opcode::LShr:
+            res = ua >> (static_cast<unsigned>(ub) & (w - 1));
+            break;
+          case Opcode::AShr:
+            res = static_cast<uint64_t>(
+                sa >> (static_cast<unsigned>(ub) & (w - 1)));
+            break;
+          default:
+            return nullptr;
+        }
+        return m.getConstInt(ty, truncBits(res, w));
+    }
+
+    if (isFloatBinary(op)) {
+        const auto a = floatConst(inst.operand(0));
+        const auto b = floatConst(inst.operand(1));
+        if (!a || !b)
+            return nullptr;
+        double res;
+        switch (op) {
+          case Opcode::FAdd: res = *a + *b; break;
+          case Opcode::FSub: res = *a - *b; break;
+          case Opcode::FMul: res = *a * *b; break;
+          case Opcode::FDiv: res = *a / *b; break;
+          default: return nullptr;
+        }
+        return m.getConstFloat(ty, res);
+    }
+
+    switch (op) {
+      case Opcode::ICmp: {
+        const auto a = intConst(inst.operand(0));
+        const auto b = intConst(inst.operand(1));
+        if (!a || !b)
+            return nullptr;
+        const unsigned w = inst.operand(0)->type().bitWidth();
+        const uint64_t ua = truncBits(static_cast<uint64_t>(*a), w);
+        const uint64_t ub = truncBits(static_cast<uint64_t>(*b), w);
+        const int64_t sa = signExtend(ua, w);
+        const int64_t sb = signExtend(ub, w);
+        bool r;
+        switch (inst.predicate()) {
+          case Predicate::Eq: r = ua == ub; break;
+          case Predicate::Ne: r = ua != ub; break;
+          case Predicate::Slt: r = sa < sb; break;
+          case Predicate::Sle: r = sa <= sb; break;
+          case Predicate::Sgt: r = sa > sb; break;
+          case Predicate::Sge: r = sa >= sb; break;
+          case Predicate::Ult: r = ua < ub; break;
+          case Predicate::Ule: r = ua <= ub; break;
+          case Predicate::Ugt: r = ua > ub; break;
+          case Predicate::Uge: r = ua >= ub; break;
+          default: return nullptr;
+        }
+        return m.getConstInt(Type::i1(), uint64_t{r});
+      }
+      case Opcode::Select: {
+        const auto c = intConst(inst.operand(0));
+        if (!c)
+            return nullptr;
+        return (*c & 1) ? inst.operand(1) : inst.operand(2);
+      }
+      case Opcode::Trunc:
+      case Opcode::SExt:
+      case Opcode::ZExt: {
+        const auto a = intConst(inst.operand(0));
+        if (!a)
+            return nullptr;
+        // signExtend of the operand already happened in intConst;
+        // trunc/zext semantics fall out of canonicalization.
+        if (op == Opcode::ZExt) {
+            const unsigned sw = inst.operand(0)->type().bitWidth();
+            return m.getConstInt(
+                ty, truncBits(static_cast<uint64_t>(*a), sw));
+        }
+        return m.getConstInt(ty, static_cast<uint64_t>(*a));
+      }
+      case Opcode::SIToFP: {
+        const auto a = intConst(inst.operand(0));
+        if (!a)
+            return nullptr;
+        return m.getConstFloat(ty, static_cast<double>(*a));
+      }
+      case Opcode::FPExt:
+      case Opcode::FPTrunc: {
+        const auto a = floatConst(inst.operand(0));
+        if (!a)
+            return nullptr;
+        return m.getConstFloat(ty, *a);
+      }
+      case Opcode::Sqrt:
+      case Opcode::FAbs: {
+        const auto a = floatConst(inst.operand(0));
+        if (!a)
+            return nullptr;
+        return m.getConstFloat(
+            ty, op == Opcode::Sqrt ? std::sqrt(*a) : std::fabs(*a));
+      }
+      default:
+        return nullptr;
+    }
+}
+
+} // namespace
+
+unsigned
+foldConstants(Function &fn)
+{
+    Module &m = *fn.parent();
+    unsigned folded = 0;
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (auto &bb : fn) {
+            std::vector<Instruction *> dead;
+            for (auto &inst : *bb) {
+                if (!inst->hasResult() || inst->users().empty())
+                    continue;
+                Value *repl = simplify(m, *inst);
+                if (repl && repl != inst.get()) {
+                    inst->replaceAllUsesWith(repl);
+                    dead.push_back(inst.get());
+                    ++folded;
+                    changed = true;
+                }
+            }
+            for (Instruction *inst : dead) {
+                inst->dropAllOperands();
+                bb->erase(inst);
+            }
+        }
+    }
+    if (folded)
+        eliminateDeadCode(fn);
+    return folded;
+}
+
+} // namespace softcheck

@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Constant folding and algebraic simplification. Runs to a fixed point:
+ *
+ *  - binary/cast/compare/select/math instructions with constant
+ *    operands are replaced by their constant result (using the same
+ *    semantics as the interpreter: wraparound, shift masking,
+ *    truncation toward zero);
+ *  - identities: x+0, x-0, x*1, x*0, x&0, x|0, x^0, x<<0, x/1,
+ *    select(true/false, ...);
+ *  - instructions whose divisor constant is zero are left alone (the
+ *    trap is program behaviour).
+ *
+ * Hardening runs *after* folding in compileMiniLang's pipeline, so
+ * cheaper kernels also mean fewer duplicated instructions.
+ */
+
+#ifndef SOFTCHECK_ANALYSIS_CONST_FOLD_HH
+#define SOFTCHECK_ANALYSIS_CONST_FOLD_HH
+
+#include "ir/function.hh"
+
+namespace softcheck
+{
+
+/** Fold constants in @p fn; returns the number of instructions
+ * replaced or simplified. */
+unsigned foldConstants(Function &fn);
+
+} // namespace softcheck
+
+#endif // SOFTCHECK_ANALYSIS_CONST_FOLD_HH

@@ -1,0 +1,46 @@
+#include "analysis/dominance_verify.hh"
+
+#include "analysis/dominators.hh"
+#include "ir/printer.hh"
+
+namespace softcheck
+{
+
+std::vector<std::string>
+verifyDominance(Function &fn)
+{
+    std::vector<std::string> problems;
+    if (!fn.entry())
+        return problems;
+
+    fn.renumber();
+    DominatorTree dt(fn);
+
+    for (auto &bb : fn) {
+        if (!dt.reachable(bb.get()))
+            continue;
+        for (auto &inst : *bb) {
+            for (std::size_t i = 0; i < inst->numOperands(); ++i) {
+                auto *def = dynamic_cast<Instruction *>(inst->operand(i));
+                if (!def)
+                    continue;
+                bool ok;
+                if (inst->opcode() == Opcode::Phi) {
+                    BasicBlock *incoming = inst->incomingBlock(i);
+                    ok = dt.dominates(def->parent(), incoming);
+                } else {
+                    ok = dt.dominates(def, inst.get());
+                }
+                if (!ok) {
+                    problems.push_back(
+                        "[" + fn.name() + "] def does not dominate use: " +
+                        instructionToString(*inst) + " (operand " +
+                        std::to_string(i) + ")");
+                }
+            }
+        }
+    }
+    return problems;
+}
+
+} // namespace softcheck

@@ -1,0 +1,27 @@
+/**
+ * @file
+ * SSA dominance verification: every use must be dominated by its
+ * definition (with the usual phi exception, where the incoming value
+ * must dominate the end of the incoming block).
+ */
+
+#ifndef SOFTCHECK_ANALYSIS_DOMINANCE_VERIFY_HH
+#define SOFTCHECK_ANALYSIS_DOMINANCE_VERIFY_HH
+
+#include <string>
+#include <vector>
+
+#include "ir/function.hh"
+
+namespace softcheck
+{
+
+/**
+ * Check SSA dominance for @p fn. Calls Function::renumber() to refresh
+ * instruction ids. Returns a list of violations (empty = valid).
+ */
+std::vector<std::string> verifyDominance(Function &fn);
+
+} // namespace softcheck
+
+#endif // SOFTCHECK_ANALYSIS_DOMINANCE_VERIFY_HH

@@ -1,0 +1,122 @@
+#include "analysis/dominators.hh"
+
+#include "support/error.hh"
+
+namespace softcheck
+{
+
+DominatorTree::DominatorTree(const Function &fn)
+{
+    order = fn.reversePostOrder();
+    for (std::size_t i = 0; i < order.size(); ++i)
+        rpoIndex[order[i]] = i;
+
+    if (order.empty())
+        return;
+
+    auto pred_map = fn.predecessors();
+
+    // intersect() from Cooper-Harvey-Kennedy, walking up by RPO index.
+    auto intersect = [&](BasicBlock *a, BasicBlock *b) {
+        while (a != b) {
+            while (rpoIndex.at(a) > rpoIndex.at(b))
+                a = idoms.at(a);
+            while (rpoIndex.at(b) > rpoIndex.at(a))
+                b = idoms.at(b);
+        }
+        return a;
+    };
+
+    BasicBlock *entry = order.front();
+    idoms[entry] = entry;
+
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (std::size_t i = 1; i < order.size(); ++i) {
+            BasicBlock *bb = order[i];
+            BasicBlock *new_idom = nullptr;
+            for (BasicBlock *p : pred_map.at(bb)) {
+                if (!reachable(p) || !idoms.count(p))
+                    continue;
+                new_idom = new_idom ? intersect(p, new_idom) : p;
+            }
+            scAssert(new_idom, "reachable block without processed pred");
+            auto it = idoms.find(bb);
+            if (it == idoms.end() || it->second != new_idom) {
+                idoms[bb] = new_idom;
+                changed = true;
+            }
+        }
+    }
+
+    // Dominator-tree children.
+    for (std::size_t i = 1; i < order.size(); ++i)
+        kids[idoms.at(order[i])].push_back(order[i]);
+
+    // Dominance frontiers.
+    for (BasicBlock *bb : order) {
+        const auto &preds = pred_map.at(bb);
+        if (preds.size() < 2)
+            continue;
+        for (BasicBlock *p : preds) {
+            if (!reachable(p))
+                continue;
+            BasicBlock *runner = p;
+            while (runner != idoms.at(bb)) {
+                frontiers[runner].insert(bb);
+                runner = idoms.at(runner);
+            }
+        }
+    }
+}
+
+BasicBlock *
+DominatorTree::idom(const BasicBlock *bb) const
+{
+    auto it = idoms.find(bb);
+    if (it == idoms.end() || it->second == bb)
+        return nullptr;
+    return it->second;
+}
+
+bool
+DominatorTree::dominates(const BasicBlock *a, const BasicBlock *b) const
+{
+    if (!reachable(a) || !reachable(b))
+        return false;
+    const BasicBlock *runner = b;
+    for (;;) {
+        if (runner == a)
+            return true;
+        auto it = idoms.find(runner);
+        if (it == idoms.end() || it->second == runner)
+            return false;
+        runner = it->second;
+    }
+}
+
+bool
+DominatorTree::dominates(const Instruction *def,
+                         const Instruction *use) const
+{
+    if (def->parent() == use->parent())
+        return def->id() < use->id();
+    return dominates(def->parent(), use->parent());
+}
+
+const std::set<BasicBlock *> &
+DominatorTree::frontier(const BasicBlock *bb) const
+{
+    auto it = frontiers.find(bb);
+    return it == frontiers.end() ? emptySet : it->second;
+}
+
+const std::vector<BasicBlock *> &
+DominatorTree::children(const BasicBlock *bb) const
+{
+    auto it = kids.find(bb);
+    return it == kids.end() ? emptyVec : it->second;
+}
+
+} // namespace softcheck

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Dominator tree and dominance frontiers, built with the iterative
+ * algorithm of Cooper, Harvey and Kennedy ("A Simple, Fast Dominance
+ * Algorithm"). Unreachable blocks are excluded; reachable() reports
+ * membership.
+ */
+
+#ifndef SOFTCHECK_ANALYSIS_DOMINATORS_HH
+#define SOFTCHECK_ANALYSIS_DOMINATORS_HH
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "ir/function.hh"
+
+namespace softcheck
+{
+
+class DominatorTree
+{
+  public:
+    /** Build for @p fn; snapshots the current CFG. */
+    explicit DominatorTree(const Function &fn);
+
+    /** True if @p bb is reachable from the entry. */
+    bool reachable(const BasicBlock *bb) const
+    {
+        return rpoIndex.count(bb) != 0;
+    }
+
+    /** Immediate dominator; null for the entry and unreachable blocks. */
+    BasicBlock *idom(const BasicBlock *bb) const;
+
+    /** True if @p a dominates @p b (reflexive). */
+    bool dominates(const BasicBlock *a, const BasicBlock *b) const;
+
+    /**
+     * True if the definition point of @p def dominates instruction
+     * @p use. Within one block, instruction order decides; the ids
+     * assigned by Function::renumber() must be current.
+     */
+    bool dominates(const Instruction *def, const Instruction *use) const;
+
+    /** Dominance frontier of @p bb. */
+    const std::set<BasicBlock *> &frontier(const BasicBlock *bb) const;
+
+    /** Children of @p bb in the dominator tree. */
+    const std::vector<BasicBlock *> &children(const BasicBlock *bb) const;
+
+    /** Blocks in reverse post-order (reachable only). */
+    const std::vector<BasicBlock *> &rpo() const { return order; }
+
+  private:
+    std::vector<BasicBlock *> order;
+    std::map<const BasicBlock *, std::size_t> rpoIndex;
+    std::map<const BasicBlock *, BasicBlock *> idoms;
+    std::map<const BasicBlock *, std::set<BasicBlock *>> frontiers;
+    std::map<const BasicBlock *, std::vector<BasicBlock *>> kids;
+    std::set<BasicBlock *> emptySet;
+    std::vector<BasicBlock *> emptyVec;
+};
+
+} // namespace softcheck
+
+#endif // SOFTCHECK_ANALYSIS_DOMINATORS_HH

@@ -1,0 +1,92 @@
+#include "analysis/loop_info.hh"
+
+#include <algorithm>
+
+#include "support/error.hh"
+
+namespace softcheck
+{
+
+LoopInfo::LoopInfo(const Function &fn, const DominatorTree &dt)
+{
+    auto pred_map = fn.predecessors();
+
+    // Gather back edges grouped by header.
+    std::map<BasicBlock *, std::vector<BasicBlock *>> back_edges;
+    for (const auto &bb : fn) {
+        if (!dt.reachable(bb.get()))
+            continue;
+        for (BasicBlock *succ : bb->successors()) {
+            if (dt.dominates(succ, bb.get()))
+                back_edges[succ].push_back(bb.get());
+        }
+    }
+
+    // Natural loop of each header: header plus everything that reaches a
+    // latch without passing through the header (reverse flood fill).
+    for (auto &[header, latches] : back_edges) {
+        auto loop = std::make_unique<Loop>();
+        loop->header = header;
+        loop->latches = latches;
+        loop->blocks.insert(header);
+
+        std::vector<BasicBlock *> work(latches.begin(), latches.end());
+        while (!work.empty()) {
+            BasicBlock *bb = work.back();
+            work.pop_back();
+            if (!loop->blocks.insert(bb).second)
+                continue;
+            for (BasicBlock *p : pred_map.at(bb)) {
+                if (dt.reachable(p))
+                    work.push_back(p);
+            }
+        }
+        lps.push_back(std::move(loop));
+    }
+
+    // Nesting: parent = the smallest strictly-larger loop containing the
+    // header. Sorting by size makes the innermost-first assignment easy.
+    std::sort(lps.begin(), lps.end(),
+              [](const auto &a, const auto &b) {
+                  return a->blocks.size() < b->blocks.size();
+              });
+    for (std::size_t i = 0; i < lps.size(); ++i) {
+        for (std::size_t j = i + 1; j < lps.size(); ++j) {
+            if (lps[j]->blocks.size() > lps[i]->blocks.size() &&
+                lps[j]->contains(lps[i]->header)) {
+                lps[i]->parent = lps[j].get();
+                break;
+            }
+        }
+    }
+    for (auto &loop : lps) {
+        unsigned d = 1;
+        for (Loop *p = loop->parent; p; p = p->parent)
+            ++d;
+        loop->depth = d;
+    }
+
+    // Innermost-loop map (smallest loop wins; lps is size-sorted).
+    for (auto &loop : lps) {
+        for (BasicBlock *bb : loop->blocks) {
+            if (!innermost.count(bb))
+                innermost[bb] = loop.get();
+        }
+    }
+}
+
+Loop *
+LoopInfo::loopFor(const BasicBlock *bb) const
+{
+    auto it = innermost.find(bb);
+    return it == innermost.end() ? nullptr : it->second;
+}
+
+bool
+LoopInfo::isHeader(const BasicBlock *bb) const
+{
+    Loop *loop = loopFor(bb);
+    return loop && loop->header == bb;
+}
+
+} // namespace softcheck

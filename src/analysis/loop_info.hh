@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Natural-loop detection from back edges (edges n -> h where h
+ * dominates n). Loops with a shared header are merged. Provides the
+ * queries the hardening passes need: loop membership, headers, latches,
+ * and nesting depth.
+ */
+
+#ifndef SOFTCHECK_ANALYSIS_LOOP_INFO_HH
+#define SOFTCHECK_ANALYSIS_LOOP_INFO_HH
+
+#include <map>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "analysis/dominators.hh"
+
+namespace softcheck
+{
+
+/** One natural loop. */
+struct Loop
+{
+    BasicBlock *header = nullptr;
+    /** Blocks with a back edge to the header. */
+    std::vector<BasicBlock *> latches;
+    /** All blocks in the loop (header included). */
+    std::set<BasicBlock *> blocks;
+    /** Enclosing loop; null for top-level loops. */
+    Loop *parent = nullptr;
+    /** 1 for top-level loops, +1 per nesting level. */
+    unsigned depth = 1;
+
+    bool contains(const BasicBlock *bb) const
+    {
+        return blocks.count(const_cast<BasicBlock *>(bb)) != 0;
+    }
+};
+
+class LoopInfo
+{
+  public:
+    LoopInfo(const Function &fn, const DominatorTree &dt);
+
+    const std::vector<std::unique_ptr<Loop>> &loops() const { return lps; }
+
+    /** Innermost loop containing @p bb; null if none. */
+    Loop *loopFor(const BasicBlock *bb) const;
+
+    /** True if @p bb is the header of some loop. */
+    bool isHeader(const BasicBlock *bb) const;
+
+  private:
+    std::vector<std::unique_ptr<Loop>> lps;
+    std::map<const BasicBlock *, Loop *> innermost;
+};
+
+} // namespace softcheck
+
+#endif // SOFTCHECK_ANALYSIS_LOOP_INFO_HH

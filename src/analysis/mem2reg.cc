@@ -1,0 +1,203 @@
+#include "analysis/mem2reg.hh"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "analysis/cfg_utils.hh"
+#include "analysis/dominators.hh"
+#include "ir/module.hh"
+#include "support/error.hh"
+
+namespace softcheck
+{
+
+namespace
+{
+
+bool
+isPromotable(const Instruction &alloca_inst)
+{
+    if (alloca_inst.opcode() != Opcode::Alloca)
+        return false;
+    const auto *count =
+        dynamic_cast<const ConstantInt *>(alloca_inst.operand(0));
+    if (!count || count->rawValue() != 1)
+        return false;
+    for (const Instruction *user : alloca_inst.users()) {
+        if (user->opcode() == Opcode::Load)
+            continue;
+        if (user->opcode() == Opcode::Store &&
+            user->operand(1) == &alloca_inst &&
+            user->operand(0) != &alloca_inst)
+            continue;
+        return false;
+    }
+    return true;
+}
+
+/** Zero constant used for loads that precede any store. */
+Value *
+zeroFor(Module &m, Type t)
+{
+    if (t.isFloat())
+        return m.getConstFloat(t, 0.0);
+    return m.getConstInt(t, uint64_t{0});
+}
+
+class Promoter
+{
+  public:
+    Promoter(Function &fn, const std::vector<Instruction *> &allocas)
+        : func(fn), mod(*fn.parent()), dt(fn), targets(allocas)
+    {
+        for (std::size_t i = 0; i < targets.size(); ++i)
+            allocaIndex[targets[i]] = i;
+    }
+
+    void
+    run()
+    {
+        placePhis();
+        std::vector<Value *> current(targets.size(), nullptr);
+        rename(func.entry(), current);
+        cleanup();
+    }
+
+  private:
+    void
+    placePhis()
+    {
+        for (std::size_t a = 0; a < targets.size(); ++a) {
+            const Type elem = targets[a]->elementType();
+            std::set<BasicBlock *> def_blocks;
+            for (Instruction *user : targets[a]->users()) {
+                if (user->opcode() == Opcode::Store)
+                    def_blocks.insert(user->parent());
+            }
+            // Iterated dominance frontier.
+            std::vector<BasicBlock *> work(def_blocks.begin(),
+                                           def_blocks.end());
+            std::set<BasicBlock *> has_phi;
+            while (!work.empty()) {
+                BasicBlock *bb = work.back();
+                work.pop_back();
+                for (BasicBlock *df : dt.frontier(bb)) {
+                    if (!has_phi.insert(df).second)
+                        continue;
+                    auto phi = std::make_unique<Instruction>(
+                        Opcode::Phi, elem,
+                        targets[a]->name().empty()
+                            ? std::string{}
+                            : targets[a]->name() + ".ph");
+                    Instruction *raw =
+                        df->insert(df->begin(), std::move(phi));
+                    phiAlloca[raw] = a;
+                    if (!def_blocks.count(df))
+                        work.push_back(df);
+                }
+            }
+        }
+    }
+
+    void
+    rename(BasicBlock *bb, std::vector<Value *> current)
+    {
+        // Inserted phis at the top of the block define new values.
+        for (Instruction *phi : bb->phis()) {
+            auto it = phiAlloca.find(phi);
+            if (it != phiAlloca.end())
+                current[it->second] = phi;
+        }
+
+        for (auto &inst_ptr : *bb) {
+            Instruction *inst = inst_ptr.get();
+            if (inst->opcode() == Opcode::Load) {
+                auto it = allocaIndex.find(inst->operand(0));
+                if (it == allocaIndex.end())
+                    continue;
+                Value *v = current[it->second];
+                if (!v)
+                    v = zeroFor(mod, inst->type());
+                inst->replaceAllUsesWith(v);
+                toDelete.push_back(inst);
+            } else if (inst->opcode() == Opcode::Store) {
+                auto it = allocaIndex.find(inst->operand(1));
+                if (it == allocaIndex.end())
+                    continue;
+                current[it->second] = inst->operand(0);
+                toDelete.push_back(inst);
+            }
+        }
+
+        // Feed successors' inserted phis.
+        std::set<BasicBlock *> seen;
+        for (BasicBlock *succ : bb->successors()) {
+            if (!seen.insert(succ).second)
+                continue;
+            for (Instruction *phi : succ->phis()) {
+                auto it = phiAlloca.find(phi);
+                if (it == phiAlloca.end())
+                    continue;
+                Value *v = current[it->second];
+                if (!v)
+                    v = zeroFor(mod, phi->type());
+                phi->addIncoming(v, bb);
+            }
+        }
+
+        for (BasicBlock *child : dt.children(bb))
+            rename(child, current);
+    }
+
+    void
+    cleanup()
+    {
+        for (Instruction *inst : toDelete) {
+            inst->dropAllOperands();
+            inst->parent()->erase(inst);
+        }
+        for (Instruction *alloca_inst : targets) {
+            scAssert(alloca_inst->users().empty(),
+                     "promoted alloca still has users");
+            alloca_inst->dropAllOperands();
+            alloca_inst->parent()->erase(alloca_inst);
+        }
+    }
+
+    Function &func;
+    Module &mod;
+    DominatorTree dt;
+    std::vector<Instruction *> targets;
+    std::map<const Value *, std::size_t> allocaIndex;
+    std::map<const Instruction *, std::size_t> phiAlloca;
+    std::vector<Instruction *> toDelete;
+};
+
+} // namespace
+
+unsigned
+promoteAllocas(Function &fn)
+{
+    if (!fn.entry())
+        return 0;
+
+    removeUnreachableBlocks(fn);
+
+    std::vector<Instruction *> allocas;
+    for (auto &bb : fn) {
+        for (auto &inst : *bb) {
+            if (isPromotable(*inst))
+                allocas.push_back(inst.get());
+        }
+    }
+    if (allocas.empty())
+        return 0;
+
+    Promoter(fn, allocas).run();
+    eliminateDeadCode(fn);
+    return static_cast<unsigned>(allocas.size());
+}
+
+} // namespace softcheck

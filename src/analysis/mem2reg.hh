@@ -1,0 +1,37 @@
+/**
+ * @file
+ * SSA promotion of scalar stack slots (allocas), in the style of LLVM's
+ * mem2reg. The front end emits every local variable as an alloca plus
+ * loads/stores; this pass rewrites the promotable ones into SSA values
+ * with phi nodes placed on the iterated dominance frontier.
+ *
+ * Promotion of loop-carried locals is what creates the phi nodes in
+ * loop headers that the paper's state-variable identification keys on
+ * (Sec. IV-A of Khudia & Mahlke).
+ */
+
+#ifndef SOFTCHECK_ANALYSIS_MEM2REG_HH
+#define SOFTCHECK_ANALYSIS_MEM2REG_HH
+
+#include "ir/function.hh"
+
+namespace softcheck
+{
+
+/**
+ * Promote all promotable allocas in @p fn.
+ *
+ * An alloca is promotable when its element count is the constant 1 and
+ * every use is either a load from it or a store *to* it (its address
+ * never escapes). Loads that execute before any store yield a zero
+ * constant of the element type.
+ *
+ * Runs removeUnreachableBlocks() first and a dead-code sweep after.
+ *
+ * @return number of allocas promoted
+ */
+unsigned promoteAllocas(Function &fn);
+
+} // namespace softcheck
+
+#endif // SOFTCHECK_ANALYSIS_MEM2REG_HH

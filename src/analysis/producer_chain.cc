@@ -1,0 +1,69 @@
+#include "analysis/producer_chain.hh"
+
+#include <algorithm>
+
+namespace softcheck
+{
+
+ChainDisposition
+chainDisposition(const Instruction &inst)
+{
+    const Opcode op = inst.opcode();
+    if (isIntBinary(op) || isFloatBinary(op) || isCast(op) ||
+        isMathIntrinsic(op) || op == Opcode::ICmp || op == Opcode::FCmp ||
+        op == Opcode::Select || op == Opcode::Gep)
+        return ChainDisposition::Include;
+    // Loads terminate the chain per the paper (memory traffic); phis
+    // merge control flow and are handled separately (shadow phis);
+    // calls, allocas and side-effecting ops are never duplicated here.
+    return ChainDisposition::Terminate;
+}
+
+namespace
+{
+
+struct ChainWalk
+{
+    const ProducerChainOptions &opts;
+    std::set<const Instruction *> visited;
+    std::vector<Instruction *> chain;      // post-order = topological
+    std::vector<Instruction *> stops;
+
+    void
+    visit(Instruction *inst)
+    {
+        if (!visited.insert(inst).second)
+            return;
+        if (opts.stopAt && opts.stopAt(*inst)) {
+            stops.push_back(inst);
+            return;
+        }
+        if (chainDisposition(*inst) == ChainDisposition::Terminate)
+            return;
+        for (Value *op : inst->operands()) {
+            if (auto *def = dynamic_cast<Instruction *>(op))
+                visit(def);
+        }
+        chain.push_back(inst);
+    }
+};
+
+} // namespace
+
+std::vector<Instruction *>
+producerChain(Instruction *root, const ProducerChainOptions &opts)
+{
+    ChainWalk walk{opts, {}, {}, {}};
+    walk.visit(root);
+    return std::move(walk.chain);
+}
+
+std::vector<Instruction *>
+chainStopPoints(Instruction *root, const ProducerChainOptions &opts)
+{
+    ChainWalk walk{opts, {}, {}, {}};
+    walk.visit(root);
+    return std::move(walk.stops);
+}
+
+} // namespace softcheck

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Producer-chain computation (paper Sec. III-B): the recursive use-def
+ * traversal that gathers the instructions feeding a value, terminating
+ * at loads (to save memory traffic), at phi nodes, at calls, and at any
+ * instruction the caller's predicate stops at (Optimization 2 hooks in
+ * through the predicate).
+ */
+
+#ifndef SOFTCHECK_ANALYSIS_PRODUCER_CHAIN_HH
+#define SOFTCHECK_ANALYSIS_PRODUCER_CHAIN_HH
+
+#include <functional>
+#include <set>
+#include <vector>
+
+#include "ir/instruction.hh"
+
+namespace softcheck
+{
+
+/** How a producer-chain traversal treats a given instruction. */
+enum class ChainDisposition
+{
+    /** Include in the chain and recurse into its operands. */
+    Include,
+    /** Do not include; the original value is used as-is (chain edge). */
+    Terminate,
+};
+
+struct ProducerChainOptions
+{
+    /**
+     * Optional extra terminator: return true to cut the chain at this
+     * instruction (used by Optimization 2 to stop at check-amenable
+     * values).
+     */
+    std::function<bool(const Instruction &)> stopAt;
+};
+
+/**
+ * Classify whether @p inst can be part of a duplicated producer chain.
+ * Pure value-producing operations qualify; loads, calls, phis, allocas
+ * and side-effecting instructions terminate the chain.
+ */
+ChainDisposition chainDisposition(const Instruction &inst);
+
+/**
+ * Compute the producer chain of @p root.
+ *
+ * The result is in def-before-use (topological) order and includes
+ * @p root itself when @p root is chainable. Values at which traversal
+ * stopped are *not* in the result.
+ */
+std::vector<Instruction *>
+producerChain(Instruction *root, const ProducerChainOptions &opts = {});
+
+/** Instructions where the traversal of @p root's chain was cut by the
+ * stopAt predicate (Optimization 2 check sites). */
+std::vector<Instruction *>
+chainStopPoints(Instruction *root, const ProducerChainOptions &opts);
+
+} // namespace softcheck
+
+#endif // SOFTCHECK_ANALYSIS_PRODUCER_CHAIN_HH

@@ -1,0 +1,63 @@
+#include "analysis/static_stats.hh"
+
+#include "support/text.hh"
+
+namespace softcheck
+{
+
+double
+StaticStats::dupFraction() const
+{
+    return totalInstructions
+               ? static_cast<double>(duplicatedInstructions) /
+                     totalInstructions
+               : 0.0;
+}
+
+double
+StaticStats::valueCheckFraction() const
+{
+    return totalInstructions
+               ? static_cast<double>(valueChecks()) / totalInstructions
+               : 0.0;
+}
+
+std::string
+StaticStats::str() const
+{
+    return strformat(
+        "instrs=%u phis=%u dup=%u (%.1f%%) vchks=%u (%.1f%%) "
+        "[one=%u two=%u range=%u] eqchks=%u loads=%u stores=%u",
+        totalInstructions, phiNodes, duplicatedInstructions,
+        100.0 * dupFraction(), valueChecks(),
+        100.0 * valueCheckFraction(), checkOne, checkTwo, checkRange,
+        checkEq, loads, stores);
+}
+
+StaticStats
+collectStaticStats(const Module &m)
+{
+    StaticStats st;
+    for (const Function *fn : m.functions()) {
+        for (const auto &bb : *fn) {
+            for (const auto &inst : *bb) {
+                ++st.totalInstructions;
+                if (inst->isDuplicate())
+                    ++st.duplicatedInstructions;
+                switch (inst->opcode()) {
+                  case Opcode::Phi: ++st.phiNodes; break;
+                  case Opcode::CheckEq: ++st.checkEq; break;
+                  case Opcode::CheckOne: ++st.checkOne; break;
+                  case Opcode::CheckTwo: ++st.checkTwo; break;
+                  case Opcode::CheckRange: ++st.checkRange; break;
+                  case Opcode::Load: ++st.loads; break;
+                  case Opcode::Store: ++st.stores; break;
+                  default: break;
+                }
+            }
+        }
+    }
+    return st;
+}
+
+} // namespace softcheck

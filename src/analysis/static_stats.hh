@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Static instruction statistics used to reproduce the paper's Figure 10
+ * (state variables, duplicated instructions, and value checks as a
+ * fraction of total static IR instructions).
+ */
+
+#ifndef SOFTCHECK_ANALYSIS_STATIC_STATS_HH
+#define SOFTCHECK_ANALYSIS_STATIC_STATS_HH
+
+#include <string>
+
+#include "ir/module.hh"
+
+namespace softcheck
+{
+
+struct StaticStats
+{
+    unsigned totalInstructions = 0;
+    unsigned phiNodes = 0;
+    unsigned duplicatedInstructions = 0; //!< marked via setDuplicate()
+    unsigned checkEq = 0;
+    unsigned checkOne = 0;
+    unsigned checkTwo = 0;
+    unsigned checkRange = 0;
+    unsigned loads = 0;
+    unsigned stores = 0;
+
+    unsigned valueChecks() const { return checkOne + checkTwo + checkRange; }
+    unsigned allChecks() const { return valueChecks() + checkEq; }
+
+    /** Fractions relative to total static instructions. */
+    double dupFraction() const;
+    double valueCheckFraction() const;
+
+    std::string str() const;
+};
+
+/** Gather statistics over every function of @p m. */
+StaticStats collectStaticStats(const Module &m);
+
+} // namespace softcheck
+
+#endif // SOFTCHECK_ANALYSIS_STATIC_STATS_HH

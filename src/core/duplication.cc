@@ -1,0 +1,151 @@
+#include "core/duplication.hh"
+
+#include <map>
+
+#include "analysis/producer_chain.hh"
+#include "ir/irbuilder.hh"
+#include "support/error.hh"
+
+namespace softcheck
+{
+
+namespace
+{
+
+class Duplicator
+{
+  public:
+    Duplicator(Function &fn, const DuplicationOptions &opts,
+               int &next_check_id)
+        : func(fn), opts(opts), nextCheckId(next_check_id),
+          builder(*fn.parent())
+    {}
+
+    DuplicationResult
+    run()
+    {
+        DominatorTree dt(func);
+        LoopInfo li(func, dt);
+        auto state_vars = findStateVariables(func, li);
+        result.stateVars = static_cast<unsigned>(state_vars.size());
+
+        // Phase 1: create all shadow phis first, so chains of one state
+        // variable that read another state variable use its shadow.
+        for (const StateVar &sv : state_vars) {
+            auto shadow = cloneForDuplication(*sv.phi);
+            shadow->dropAllOperands(); // incomings are filled in phase 2
+            Instruction *raw =
+                sv.phi->parent()->insertAfter(sv.phi, std::move(shadow));
+            valueMap[sv.phi] = raw;
+            ++result.shadowPhis;
+        }
+
+        // Phase 2: duplicate update-edge chains and wire the shadows.
+        for (const StateVar &sv : state_vars) {
+            auto *shadow = static_cast<Instruction *>(valueMap.at(sv.phi));
+            std::set<std::size_t> update_set(sv.updateEdges.begin(),
+                                             sv.updateEdges.end());
+            for (std::size_t i = 0; i < sv.phi->numOperands(); ++i) {
+                Value *incoming = sv.phi->incomingValue(i);
+                BasicBlock *from = sv.phi->incomingBlock(i);
+                if (!update_set.count(i)) {
+                    // Init edge: reuse the original init value.
+                    shadow->addIncoming(incoming, from);
+                    continue;
+                }
+                Value *dup = duplicate(incoming, /*is_root=*/true);
+                shadow->addIncoming(dup, from);
+                if (dup != incoming)
+                    insertEqCheck(incoming, dup, from);
+            }
+        }
+        return std::move(result);
+    }
+
+  private:
+    /**
+     * Recursively duplicate the producer chain of @p v.
+     *
+     * @param is_root true for the state variable's direct update value;
+     *        Optimization 2 never cuts at the root (Fig. 9 cuts inside
+     *        long chains), otherwise the shadow phi would merely mirror
+     *        the original value and the CheckEq could never fire.
+     */
+    Value *
+    duplicate(Value *v, bool is_root = false)
+    {
+        auto it = valueMap.find(v);
+        if (it != valueMap.end())
+            return it->second;
+
+        auto *inst = dynamic_cast<Instruction *>(v);
+        if (!inst) {
+            // Arguments and constants are their own duplicates.
+            return v;
+        }
+
+        // Optimization 2 (Fig. 9): cut the chain at a check-amenable
+        // instruction; the value-check pass will cover it.
+        if (!is_root && opts.profile && opts.enableOpt2 &&
+            inst->profileId() >= 0 &&
+            opts.profile->amenable(
+                static_cast<unsigned>(inst->profileId()))) {
+            result.opt2CheckSites.insert(inst);
+            valueMap[v] = v;
+            return v;
+        }
+
+        if (chainDisposition(*inst) == ChainDisposition::Terminate) {
+            // Loads, calls, allocas, foreign phis: chain boundary.
+            valueMap[v] = v;
+            return v;
+        }
+
+        auto clone = cloneForDuplication(*inst);
+        for (std::size_t i = 0; i < clone->numOperands(); ++i) {
+            Value *dup_op = duplicate(clone->operand(i));
+            if (dup_op != clone->operand(i))
+                clone->setOperand(i, dup_op);
+        }
+        Instruction *raw =
+            inst->parent()->insertAfter(inst, std::move(clone));
+        valueMap[v] = raw;
+        ++result.duplicatedInstrs;
+        return raw;
+    }
+
+    /** CheckEq(orig, dup) before @p latch's terminator (deduplicated
+     * per (value, block) pair). */
+    void
+    insertEqCheck(Value *orig, Value *dup, BasicBlock *latch)
+    {
+        if (!checkedPairs.insert({orig, latch}).second)
+            return;
+        Instruction *term = latch->terminator();
+        scAssert(term, "latch without terminator");
+        builder.setInsertBefore(term);
+        builder.createCheckEq(orig, dup, nextCheckId++);
+        ++result.eqChecks;
+    }
+
+    Function &func;
+    const DuplicationOptions &opts;
+    int &nextCheckId;
+    IRBuilder builder;
+    std::map<Value *, Value *> valueMap;
+    std::set<std::pair<Value *, BasicBlock *>> checkedPairs;
+    DuplicationResult result;
+};
+
+} // namespace
+
+DuplicationResult
+duplicateStateVariables(Function &fn, const DuplicationOptions &opts,
+                        int &next_check_id)
+{
+    if (!fn.entry())
+        return {};
+    return Duplicator(fn, opts, next_check_id).run();
+}
+
+} // namespace softcheck

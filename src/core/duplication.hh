@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Producer-chain duplication for state variables — the paper's core
+ * transformation (Sec. III-B, Figs. 4 and 7).
+ *
+ * For every state variable phi P a shadow phi P' is created. Each
+ * in-loop incoming value V of P has its producer chain duplicated (the
+ * duplicated chain reads P' where the original reads P, giving the
+ * shadow computation its own state); the duplicate feeds P' and a
+ * CheckEq(V, V') is inserted before the latch's terminator.
+ *
+ * Chains terminate at loads (memory-traffic rule), calls, allocas, and
+ * foreign phis. With Optimization 2 enabled (Fig. 9), chains also
+ * terminate at check-amenable instructions; those are reported back so
+ * the value-check pass can insert the replacement check.
+ */
+
+#ifndef SOFTCHECK_CORE_DUPLICATION_HH
+#define SOFTCHECK_CORE_DUPLICATION_HH
+
+#include <set>
+
+#include "core/state_vars.hh"
+#include "profile/profile_data.hh"
+
+namespace softcheck
+{
+
+struct DuplicationOptions
+{
+    /** Profile for Optimization 2; null disables Opt 2. */
+    const ProfileData *profile = nullptr;
+    /** Master switch for Optimization 2 (requires profile). */
+    bool enableOpt2 = true;
+};
+
+struct DuplicationResult
+{
+    unsigned stateVars = 0;
+    unsigned shadowPhis = 0;
+    unsigned duplicatedInstrs = 0;
+    unsigned eqChecks = 0;
+    /** Instructions where Opt 2 cut a chain; the value-check pass must
+     * insert a check on each. */
+    std::set<Instruction *> opt2CheckSites;
+};
+
+/**
+ * Run the duplication transformation on @p fn.
+ *
+ * @param next_check_id module-wide check-id counter (in/out)
+ */
+DuplicationResult duplicateStateVariables(Function &fn,
+                                          const DuplicationOptions &opts,
+                                          int &next_check_id);
+
+} // namespace softcheck
+
+#endif // SOFTCHECK_CORE_DUPLICATION_HH

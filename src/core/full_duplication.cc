@@ -1,0 +1,111 @@
+#include "core/full_duplication.hh"
+
+#include <map>
+#include <vector>
+
+#include "analysis/producer_chain.hh"
+#include "ir/irbuilder.hh"
+#include "support/error.hh"
+
+namespace softcheck
+{
+
+FullDuplicationResult
+fullyDuplicate(Function &fn, int &next_check_id)
+{
+    FullDuplicationResult result;
+    if (!fn.entry())
+        return result;
+
+    IRBuilder builder(*fn.parent());
+    std::map<Value *, Value *> value_map;
+
+    const auto rpo = fn.reversePostOrder();
+
+    // Phase 1: shadow phi for every phi (empty; wired in phase 3).
+    for (BasicBlock *bb : rpo) {
+        for (Instruction *phi : bb->phis()) {
+            auto shadow = cloneForDuplication(*phi);
+            shadow->dropAllOperands();
+            Instruction *raw = bb->insertAfter(phi, std::move(shadow));
+            value_map[phi] = raw;
+            ++result.shadowPhis;
+        }
+    }
+
+    auto mapped = [&](Value *v) {
+        auto it = value_map.find(v);
+        return it == value_map.end() ? v : it->second;
+    };
+
+    // Phase 2: duplicate every pure value-producing instruction. RPO
+    // order guarantees operand duplicates exist before their users
+    // (back edges only feed phis, which were pre-created).
+    for (BasicBlock *bb : rpo) {
+        // Snapshot: we insert while walking.
+        std::vector<Instruction *> originals;
+        for (auto &inst : *bb) {
+            if (!inst->isDuplicate() &&
+                chainDisposition(*inst) == ChainDisposition::Include)
+                originals.push_back(inst.get());
+        }
+        for (Instruction *inst : originals) {
+            auto clone = cloneForDuplication(*inst);
+            for (std::size_t i = 0; i < clone->numOperands(); ++i) {
+                Value *dup_op = mapped(clone->operand(i));
+                if (dup_op != clone->operand(i))
+                    clone->setOperand(i, dup_op);
+            }
+            Instruction *raw = bb->insertAfter(inst, std::move(clone));
+            value_map[inst] = raw;
+            ++result.duplicatedInstrs;
+        }
+    }
+
+    // Phase 3: wire shadow phi incomings with mapped values.
+    for (BasicBlock *bb : rpo) {
+        for (Instruction *phi : bb->phis()) {
+            if (phi->isDuplicate())
+                continue;
+            auto *shadow = static_cast<Instruction *>(value_map.at(phi));
+            for (std::size_t i = 0; i < phi->numOperands(); ++i)
+                shadow->addIncoming(mapped(phi->operand(i)),
+                                    phi->incomingBlock(i));
+        }
+    }
+
+    // Phase 4: comparison checks at synchronization points.
+    auto check_operand = [&](Instruction *before, Value *v) {
+        Value *dup = mapped(v);
+        if (dup == v)
+            return;
+        builder.setInsertBefore(before);
+        builder.createCheckEq(v, dup, next_check_id++);
+        ++result.eqChecks;
+    };
+
+    for (BasicBlock *bb : rpo) {
+        std::vector<Instruction *> sync_points;
+        for (auto &inst : *bb) {
+            switch (inst->opcode()) {
+              case Opcode::Store:
+              case Opcode::CondBr:
+              case Opcode::Ret:
+              case Opcode::Call:
+                if (!inst->isDuplicate())
+                    sync_points.push_back(inst.get());
+                break;
+              default:
+                break;
+            }
+        }
+        for (Instruction *sp : sync_points) {
+            for (std::size_t i = 0; i < sp->numOperands(); ++i)
+                check_operand(sp, sp->operand(i));
+        }
+    }
+
+    return result;
+}
+
+} // namespace softcheck

@@ -1,0 +1,115 @@
+#include "core/pipeline.hh"
+
+#include "analysis/dominance_verify.hh"
+#include "core/full_duplication.hh"
+#include "ir/verifier.hh"
+#include "support/error.hh"
+#include "support/text.hh"
+
+namespace softcheck
+{
+
+const char *
+hardeningModeName(HardeningMode m)
+{
+    switch (m) {
+      case HardeningMode::Original: return "Original";
+      case HardeningMode::DupOnly: return "Dup only";
+      case HardeningMode::DupValChks: return "Dup + val chks";
+      case HardeningMode::FullDup: return "Full duplication";
+    }
+    return "?";
+}
+
+std::string
+HardeningReport::str() const
+{
+    return strformat(
+        "%s: state_vars=%u shadow_phis=%u dup=%u eq_chks=%u "
+        "val_chks=%u [one=%u two=%u range=%u] opt1_suppressed=%u "
+        "opt2_stops=%u | %s",
+        hardeningModeName(mode), stateVars, shadowPhis,
+        duplicatedInstrs, eqChecks, valueChecks, checkOne, checkTwo,
+        checkRange, suppressedByOpt1, opt2Stops, stats.str().c_str());
+}
+
+HardeningReport
+hardenModule(Module &m, const HardeningOptions &opts,
+             const ProfileData *profile)
+{
+    HardeningReport report;
+    report.mode = opts.mode;
+    int next_check_id = 0;
+
+    switch (opts.mode) {
+      case HardeningMode::Original:
+        break;
+
+      case HardeningMode::DupOnly: {
+        DuplicationOptions dopts;
+        dopts.profile = nullptr; // no Opt 2 without value checks
+        for (Function *fn : m.functions()) {
+            auto r = duplicateStateVariables(*fn, dopts, next_check_id);
+            report.stateVars += r.stateVars;
+            report.shadowPhis += r.shadowPhis;
+            report.duplicatedInstrs += r.duplicatedInstrs;
+            report.eqChecks += r.eqChecks;
+        }
+        break;
+      }
+
+      case HardeningMode::DupValChks: {
+        if (!profile)
+            scFatal("DupValChks requires profile data");
+        DuplicationOptions dopts;
+        dopts.profile = opts.enableOpt2 ? profile : nullptr;
+        dopts.enableOpt2 = opts.enableOpt2;
+        for (Function *fn : m.functions()) {
+            auto dr = duplicateStateVariables(*fn, dopts, next_check_id);
+            report.stateVars += dr.stateVars;
+            report.shadowPhis += dr.shadowPhis;
+            report.duplicatedInstrs += dr.duplicatedInstrs;
+            report.eqChecks += dr.eqChecks;
+            report.opt2Stops +=
+                static_cast<unsigned>(dr.opt2CheckSites.size());
+
+            ValueCheckOptions vopts;
+            vopts.enableOpt1 = opts.enableOpt1;
+            vopts.forced = std::move(dr.opt2CheckSites);
+            auto vr = insertValueChecks(*fn, *profile, vopts,
+                                        next_check_id);
+            report.valueChecks += vr.checksInserted;
+            report.checkOne += vr.checkOne;
+            report.checkTwo += vr.checkTwo;
+            report.checkRange += vr.checkRange;
+            report.suppressedByOpt1 += vr.suppressedByOpt1;
+        }
+        break;
+      }
+
+      case HardeningMode::FullDup: {
+        for (Function *fn : m.functions()) {
+            auto r = fullyDuplicate(*fn, next_check_id);
+            report.shadowPhis += r.shadowPhis;
+            report.duplicatedInstrs += r.duplicatedInstrs;
+            report.eqChecks += r.eqChecks;
+        }
+        break;
+      }
+    }
+
+    report.numCheckIds = static_cast<unsigned>(next_check_id);
+
+    verifyModuleOrDie(m);
+    for (Function *fn : m.functions()) {
+        auto probs = verifyDominance(*fn);
+        if (!probs.empty())
+            scFatal("dominance verification failed after hardening: ",
+                    probs.front());
+    }
+    m.renumberAll();
+    report.stats = collectStaticStats(m);
+    return report;
+}
+
+} // namespace softcheck

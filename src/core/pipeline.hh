@@ -1,0 +1,77 @@
+/**
+ * @file
+ * HardeningPipeline — the library's top-level entry point. Applies one
+ * of the paper's configurations to a module:
+ *
+ *  - Original:    no transformation (baseline)
+ *  - DupOnly:     state-variable producer-chain duplication (Fig. 12's
+ *                 "Dup only")
+ *  - DupValChks:  duplication + expected-value checks with both
+ *                 optimizations ("Dup + val chks")
+ *  - FullDup:     SWIFT-style full duplication (comparison baseline)
+ *
+ * The pipeline verifies the transformed IR (structure + SSA dominance)
+ * and renumbers it, leaving the module ready for ExecModule.
+ */
+
+#ifndef SOFTCHECK_CORE_PIPELINE_HH
+#define SOFTCHECK_CORE_PIPELINE_HH
+
+#include <string>
+
+#include "analysis/static_stats.hh"
+#include "core/duplication.hh"
+#include "core/value_checks.hh"
+#include "profile/profile_data.hh"
+
+namespace softcheck
+{
+
+enum class HardeningMode : uint8_t
+{
+    Original,
+    DupOnly,
+    DupValChks,
+    FullDup,
+};
+
+const char *hardeningModeName(HardeningMode m);
+
+struct HardeningOptions
+{
+    HardeningMode mode = HardeningMode::DupValChks;
+    bool enableOpt1 = true; //!< deepest-point value checks (Fig. 8)
+    bool enableOpt2 = true; //!< cut duplication at amenable values (Fig. 9)
+};
+
+struct HardeningReport
+{
+    HardeningMode mode = HardeningMode::Original;
+    unsigned stateVars = 0;
+    unsigned shadowPhis = 0;
+    unsigned duplicatedInstrs = 0;
+    unsigned eqChecks = 0;
+    unsigned valueChecks = 0;
+    unsigned checkOne = 0;
+    unsigned checkTwo = 0;
+    unsigned checkRange = 0;
+    unsigned suppressedByOpt1 = 0;
+    unsigned opt2Stops = 0;
+    unsigned numCheckIds = 0; //!< total check ids allocated
+    StaticStats stats;        //!< post-transform static statistics
+
+    std::string str() const;
+};
+
+/**
+ * Transform @p m in place.
+ *
+ * @param profile required for DupValChks (value checks and Opt 2);
+ *                ignored by the other modes (may be null)
+ */
+HardeningReport hardenModule(Module &m, const HardeningOptions &opts,
+                             const ProfileData *profile = nullptr);
+
+} // namespace softcheck
+
+#endif // SOFTCHECK_CORE_PIPELINE_HH

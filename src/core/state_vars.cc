@@ -1,0 +1,27 @@
+#include "core/state_vars.hh"
+
+namespace softcheck
+{
+
+std::vector<StateVar>
+findStateVariables(const Function &fn, const LoopInfo &li)
+{
+    std::vector<StateVar> out;
+    (void)fn;
+    for (const auto &loop : li.loops()) {
+        for (Instruction *phi : loop->header->phis()) {
+            StateVar sv;
+            sv.phi = phi;
+            sv.loop = loop.get();
+            for (std::size_t i = 0; i < phi->numBlockOperands(); ++i) {
+                if (loop->contains(phi->incomingBlock(i)))
+                    sv.updateEdges.push_back(i);
+            }
+            if (!sv.updateEdges.empty())
+                out.push_back(std::move(sv));
+        }
+    }
+    return out;
+}
+
+} // namespace softcheck

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * State-variable identification (paper Sec. III / IV-A): a state
+ * variable is a variable that depends on its own value from a previous
+ * loop iteration. In SSA form these are exactly the phi nodes in loop
+ * headers with an incoming value defined inside the loop — loop
+ * induction variables, accumulators like Fig. 3's `crc`, etc.
+ */
+
+#ifndef SOFTCHECK_CORE_STATE_VARS_HH
+#define SOFTCHECK_CORE_STATE_VARS_HH
+
+#include <vector>
+
+#include "analysis/loop_info.hh"
+
+namespace softcheck
+{
+
+struct StateVar
+{
+    Instruction *phi = nullptr; //!< the header phi node
+    Loop *loop = nullptr;       //!< its loop
+    /** Indices of the phi's incoming entries whose source block lies
+     * inside the loop (the update edges). */
+    std::vector<std::size_t> updateEdges;
+};
+
+/**
+ * Find all state variables of @p fn.
+ *
+ * @param li loop info for @p fn (built by the caller so passes can
+ *           share it)
+ */
+std::vector<StateVar> findStateVariables(const Function &fn,
+                                         const LoopInfo &li);
+
+} // namespace softcheck
+
+#endif // SOFTCHECK_CORE_STATE_VARS_HH

@@ -1,0 +1,162 @@
+#include "core/value_checks.hh"
+
+#include <cmath>
+#include <map>
+#include <vector>
+
+#include "analysis/producer_chain.hh"
+#include "ir/irbuilder.hh"
+#include "support/error.hh"
+
+namespace softcheck
+{
+
+namespace
+{
+
+/** Constant for a check bound, in the instruction's own type. */
+Value *
+boundConstant(Module &m, Type t, double v)
+{
+    if (t.isFloat())
+        return m.getConstFloat(t, v);
+    return m.getConstInt(t, static_cast<uint64_t>(std::llround(v)));
+}
+
+class CheckInserter
+{
+  public:
+    CheckInserter(Function &fn, const ProfileData &profile,
+                  const ValueCheckOptions &opts, int &next_check_id)
+        : func(fn), prof(profile), opts(opts),
+          nextCheckId(next_check_id), builder(*fn.parent())
+    {}
+
+    ValueCheckResult
+    run()
+    {
+        collectAmenable();
+        for (Instruction *inst : amenable) {
+            const bool forced = opts.forced.count(inst) != 0;
+            if (opts.enableOpt1 && !forced && feedsAmenable(inst)) {
+                ++result.suppressedByOpt1;
+                continue;
+            }
+            insertCheck(inst);
+        }
+        // Forced sites that are not amenable by profile cannot be
+        // checked meaningfully; the duplication pass only reports
+        // amenable ones, so nothing to do here.
+        return result;
+    }
+
+  private:
+    void
+    collectAmenable()
+    {
+        for (auto &bb : func) {
+            for (auto &inst : *bb) {
+                if (inst->isDuplicate())
+                    continue;
+                const int id = inst->profileId();
+                if (id >= 0 &&
+                    prof.amenable(static_cast<unsigned>(id)))
+                    amenable.push_back(inst.get());
+            }
+        }
+        amenableSet.insert(amenable.begin(), amenable.end());
+    }
+
+    /**
+     * Optimization 1 reachability: does a def-use path of pure
+     * (chainable) instructions lead from @p inst to another amenable
+     * instruction? Memoized DFS; cycles (through selects in loops
+     * cannot occur since phis terminate chains) are guarded anyway.
+     */
+    bool
+    feedsAmenable(Instruction *inst)
+    {
+        auto it = feedsMemo.find(inst);
+        if (it != feedsMemo.end())
+            return it->second;
+        feedsMemo[inst] = false; // cycle guard
+        bool feeds = false;
+        for (Instruction *user : inst->users()) {
+            if (user->isDuplicate() || isCheck(user->opcode()))
+                continue;
+            if (amenableSet.count(user)) {
+                feeds = true;
+                break;
+            }
+            if (chainDisposition(*user) == ChainDisposition::Include &&
+                feedsAmenable(user)) {
+                feeds = true;
+                break;
+            }
+        }
+        feedsMemo[inst] = feeds;
+        return feeds;
+    }
+
+    void
+    insertCheck(Instruction *inst)
+    {
+        const SiteSummary &s =
+            prof.site(static_cast<unsigned>(inst->profileId()));
+        Module &m = *func.parent();
+        const Type t = inst->type();
+        // A range spanning the whole type domain can never fire; skip.
+        if (s.shape == CheckShape::Range && t.isInteger() &&
+            s.v1 - s.v0 >= std::ldexp(1.0, static_cast<int>(
+                                               t.bitWidth())) - 1.0) {
+            ++result.suppressedUseless;
+            return;
+        }
+        builder.setInsertAfter(inst);
+        switch (s.shape) {
+          case CheckShape::One:
+            builder.createCheckOne(inst, boundConstant(m, t, s.v0),
+                                   nextCheckId++);
+            ++result.checkOne;
+            break;
+          case CheckShape::Two:
+            builder.createCheckTwo(inst, boundConstant(m, t, s.v0),
+                                   boundConstant(m, t, s.v1),
+                                   nextCheckId++);
+            ++result.checkTwo;
+            break;
+          case CheckShape::Range:
+            builder.createCheckRange(inst, boundConstant(m, t, s.v0),
+                                     boundConstant(m, t, s.v1),
+                                     nextCheckId++);
+            ++result.checkRange;
+            break;
+          case CheckShape::None:
+            scPanic("insertCheck on non-amenable site");
+        }
+        ++result.checksInserted;
+    }
+
+    Function &func;
+    const ProfileData &prof;
+    const ValueCheckOptions &opts;
+    int &nextCheckId;
+    IRBuilder builder;
+    std::vector<Instruction *> amenable;
+    std::set<Instruction *> amenableSet;
+    std::map<Instruction *, bool> feedsMemo;
+    ValueCheckResult result;
+};
+
+} // namespace
+
+ValueCheckResult
+insertValueChecks(Function &fn, const ProfileData &profile,
+                  const ValueCheckOptions &opts, int &next_check_id)
+{
+    if (!fn.entry())
+        return {};
+    return CheckInserter(fn, profile, opts, next_check_id).run();
+}
+
+} // namespace softcheck

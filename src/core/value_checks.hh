@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Expected-value check insertion (paper Sec. III-C, Fig. 6), including
+ * Optimization 1 (Fig. 8): when several check-amenable instructions are
+ * connected in a producer chain, only the deepest one — the one whose
+ * value no other amenable instruction consumes through pure
+ * operations — receives a check.
+ *
+ * Optimization 2 termination points reported by the duplication pass
+ * are forced: they always receive a check, because the duplicated
+ * chain's integrity depends on them.
+ */
+
+#ifndef SOFTCHECK_CORE_VALUE_CHECKS_HH
+#define SOFTCHECK_CORE_VALUE_CHECKS_HH
+
+#include <set>
+
+#include "ir/function.hh"
+#include "profile/profile_data.hh"
+
+namespace softcheck
+{
+
+struct ValueCheckOptions
+{
+    /** Apply Optimization 1 (deepest-point checks). */
+    bool enableOpt1 = true;
+    /** Sites forced by Optimization 2 (may be empty). */
+    std::set<Instruction *> forced;
+};
+
+struct ValueCheckResult
+{
+    unsigned checksInserted = 0;
+    unsigned checkOne = 0;
+    unsigned checkTwo = 0;
+    unsigned checkRange = 0;
+    unsigned suppressedByOpt1 = 0;
+    /** Range checks skipped because they span the whole type domain. */
+    unsigned suppressedUseless = 0;
+};
+
+/**
+ * Insert expected-value checks into @p fn according to @p profile.
+ *
+ * @param next_check_id module-wide check-id counter (in/out)
+ */
+ValueCheckResult insertValueChecks(Function &fn,
+                                   const ProfileData &profile,
+                                   const ValueCheckOptions &opts,
+                                   int &next_check_id);
+
+} // namespace softcheck
+
+#endif // SOFTCHECK_CORE_VALUE_CHECKS_HH

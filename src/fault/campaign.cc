@@ -1,0 +1,350 @@
+#include "fault/campaign.hh"
+
+#include <atomic>
+#include <cmath>
+#include <limits>
+#include <thread>
+
+#include "frontend/compile.hh"
+#include "support/error.hh"
+#include "support/stats.hh"
+#include "support/text.hh"
+
+namespace softcheck
+{
+
+const char *
+outcomeName(Outcome o)
+{
+    switch (o) {
+      case Outcome::Masked: return "Masked";
+      case Outcome::ASDC: return "ASDC";
+      case Outcome::USDC: return "USDC";
+      case Outcome::SWDetect: return "SWDetect";
+      case Outcome::HWDetect: return "HWDetect";
+      case Outcome::Failure: return "Failure";
+    }
+    return "?";
+}
+
+double
+CampaignResult::overhead() const
+{
+    if (baselineCycles == 0)
+        return 0.0;
+    return static_cast<double>(goldenCycles) /
+               static_cast<double>(baselineCycles) -
+           1.0;
+}
+
+double
+CampaignResult::instrsPerFalsePositive() const
+{
+    if (calibrationCheckFails == 0)
+        return std::numeric_limits<double>::infinity();
+    return static_cast<double>(goldenDynInstrs) /
+           static_cast<double>(calibrationCheckFails);
+}
+
+double
+CampaignResult::pct(Outcome o) const
+{
+    uint64_t total = 0;
+    for (uint64_t c : counts)
+        total += c;
+    if (total == 0)
+        return 0.0;
+    return 100.0 * static_cast<double>(
+                       counts[static_cast<unsigned>(o)]) /
+           static_cast<double>(total);
+}
+
+double
+CampaignResult::coveragePct() const
+{
+    return pct(Outcome::Masked) + pct(Outcome::ASDC) +
+           pct(Outcome::SWDetect) + pct(Outcome::HWDetect);
+}
+
+double
+CampaignResult::marginOfError95() const
+{
+    uint64_t total = 0;
+    for (uint64_t c : counts)
+        total += c;
+    if (total == 0)
+        return 0.0;
+    return 100.0 * marginOfError(total, 0.5, 0.95);
+}
+
+std::string
+CampaignResult::str() const
+{
+    std::string s = strformat(
+        "%-10s %-16s trials=%llu overhead=%5.1f%% | ",
+        config.workload.c_str(), hardeningModeName(config.mode),
+        static_cast<unsigned long long>(
+            counts[0] + counts[1] + counts[2] + counts[3] + counts[4] +
+            counts[5]),
+        100.0 * overhead());
+    for (unsigned o = 0; o < kNumOutcomes; ++o) {
+        s += strformat("%s=%4.1f%% ",
+                       outcomeName(static_cast<Outcome>(o)),
+                       pct(static_cast<Outcome>(o)));
+    }
+    s += strformat("| cov=%5.1f%% moe=%.1f%%", coveragePct(),
+                   marginOfError95());
+    return s;
+}
+
+bool
+isLargeValueChange(const FaultOutcome &f)
+{
+    double before, after;
+    if (f.slotType == TypeKind::F64) {
+        before = std::fabs(std::bit_cast<double>(f.before));
+        after = std::fabs(std::bit_cast<double>(f.after));
+        if (!std::isfinite(after))
+            return true;
+    } else if (f.slotType == TypeKind::F32) {
+        before = std::fabs(static_cast<double>(std::bit_cast<float>(
+            static_cast<uint32_t>(f.before))));
+        after = std::fabs(static_cast<double>(std::bit_cast<float>(
+            static_cast<uint32_t>(f.after))));
+        if (!std::isfinite(after))
+            return true;
+    } else {
+        const unsigned width = typeBits(f.slotType);
+        before = std::fabs(static_cast<double>(
+            signExtend(f.before, width)));
+        after = std::fabs(static_cast<double>(
+            signExtend(f.after, width)));
+    }
+    const double ref = std::max(before, 1.0);
+    return after > 8.0 * ref || after * 8.0 < before;
+}
+
+namespace
+{
+
+struct PreparedModule
+{
+    std::unique_ptr<Module> mod;
+    std::unique_ptr<ExecModule> em;
+    std::size_t entryIdx = 0;
+};
+
+PreparedModule
+buildModule(const Workload &w, HardeningMode mode,
+            const CampaignConfig &cfg, const ProfileData *profile,
+            HardeningReport *report_out)
+{
+    PreparedModule pm;
+    pm.mod = compileMiniLang(w.source, w.name);
+    // Re-assign profile ids so they line up with the profile collected
+    // on the profiling module (same deterministic order).
+    assignProfileSites(*pm.mod);
+    HardeningOptions hopts;
+    hopts.mode = mode;
+    hopts.enableOpt1 = cfg.enableOpt1;
+    hopts.enableOpt2 = cfg.enableOpt2;
+    HardeningReport report = hardenModule(*pm.mod, hopts, profile);
+    if (report_out)
+        *report_out = report;
+    pm.em = std::make_unique<ExecModule>(*pm.mod);
+    pm.entryIdx = pm.em->functionIndex(w.entry);
+    return pm;
+}
+
+} // namespace
+
+CampaignResult
+runCampaign(const CampaignConfig &config)
+{
+    const Workload &w = getWorkload(config.workload);
+    CampaignResult result;
+    result.config = config;
+
+    const bool train_role = !config.swapTrainTest;
+
+    // ---- 1+2. compile + value-profile on the train input ------------
+    ProfileData profile;
+    if (config.mode == HardeningMode::DupValChks) {
+        auto mod = compileMiniLang(w.source, w.name);
+        const unsigned sites = assignProfileSites(*mod);
+        ExecModule em(*mod);
+        auto spec = w.makeInput(train_role);
+        auto run = prepareRun(spec);
+        ValueProfiler profiler(em.numProfileSites(),
+                               config.policy.histogramBins);
+        ExecOptions opts;
+        opts.cost = config.cost;
+        opts.profiler = &profiler;
+        Interpreter interp(em, *run.mem);
+        auto r = interp.run(em.functionIndex(w.entry), run.args, opts);
+        scAssert(r.ok(), "profiling run failed for ", w.name);
+        profile = ProfileData(profiler, floatSiteFlags(*mod, sites),
+                              config.policy);
+    }
+
+    // ---- 3. harden ----------------------------------------------------
+    PreparedModule hardened =
+        buildModule(w, config.mode, config,
+                    config.mode == HardeningMode::DupValChks ? &profile
+                                                             : nullptr,
+                    &result.report);
+
+    // ---- baseline cycles (unhardened) on the test input ----------------
+    PreparedModule baseline =
+        buildModule(w, HardeningMode::Original, config, nullptr,
+                    nullptr);
+    const auto test_spec = w.makeInput(!train_role);
+    {
+        auto run = prepareRun(test_spec);
+        ExecOptions opts;
+        opts.cost = config.cost;
+        Interpreter interp(*baseline.em, *run.mem);
+        auto r = interp.run(baseline.entryIdx, run.args, opts);
+        scAssert(r.ok(), "baseline run failed for ", w.name);
+        result.baselineCycles = r.cycles;
+    }
+
+    // ---- 4. fault-free golden run + false-positive calibration ---------
+    const unsigned num_checks = hardened.em->numCheckIds();
+    result.totalCheckCount = num_checks;
+    std::vector<uint8_t> disabled(num_checks, 0);
+    std::vector<double> golden_signal;
+    uint64_t golden_ret = 0;
+    {
+        auto run = prepareRun(test_spec);
+        std::vector<uint64_t> fail_counts(num_checks, 0);
+        ExecOptions opts;
+        opts.cost = config.cost;
+        opts.checkMode = CheckMode::Record;
+        opts.checkFailCounts = &fail_counts;
+        Interpreter interp(*hardened.em, *run.mem);
+        auto r = interp.run(hardened.entryIdx, run.args, opts);
+        scAssert(r.ok(), "golden run failed for ", w.name);
+        result.goldenDynInstrs = r.dynInstrs;
+        result.goldenCycles = r.cycles;
+        golden_ret = r.retValue;
+        golden_signal = extractSignal(w, test_spec, run);
+        for (unsigned c = 0; c < num_checks; ++c) {
+            result.calibrationCheckFails += fail_counts[c];
+            if (fail_counts[c] > 0) {
+                disabled[c] = 1;
+                ++result.disabledCheckCount;
+            }
+        }
+    }
+
+    if (config.trials == 0)
+        return result;
+
+    // ---- 5. injection trials --------------------------------------------
+    const uint64_t max_dyn = static_cast<uint64_t>(
+        config.timeoutFactor * static_cast<double>(
+                                   result.goldenDynInstrs));
+
+    unsigned num_threads = config.threads;
+    if (num_threads == 0)
+        num_threads = std::max(1u, std::thread::hardware_concurrency());
+    num_threads = std::min(num_threads, config.trials);
+
+    std::array<std::atomic<uint64_t>, kNumOutcomes> counts{};
+    std::atomic<uint64_t> usdc_large{0}, usdc_small{0};
+    std::atomic<unsigned> next_trial{0};
+
+    auto worker = [&]() {
+        for (;;) {
+            const unsigned t = next_trial.fetch_add(1);
+            if (t >= config.trials)
+                return;
+            // Trial-indexed RNG: deterministic regardless of thread
+            // scheduling.
+            Rng rng(config.seed * 0x9e3779b97f4a7c15ULL + t * 2654435761ULL + 1);
+            const uint64_t fault_at =
+                rng.nextBelow(result.goldenDynInstrs);
+
+            auto run = prepareRun(test_spec);
+            ExecOptions opts;
+            opts.cost = config.cost;
+            opts.checkMode = CheckMode::Halt;
+            opts.disabledChecks = &disabled;
+            opts.maxDynInstrs = max_dyn;
+            opts.faultAtDynInstr = fault_at;
+            opts.faultRng = &rng;
+            Interpreter interp(*hardened.em, *run.mem);
+            auto r = interp.run(hardened.entryIdx, run.args, opts);
+
+            Outcome outcome;
+            bool large = false;
+            switch (r.term) {
+              case Termination::CheckFailed:
+                outcome = Outcome::SWDetect;
+                break;
+              case Termination::Trap:
+                outcome = (r.endCycle - r.fault.atCycle <=
+                           config.hwDetectWindowCycles)
+                              ? Outcome::HWDetect
+                              : Outcome::Failure;
+                break;
+              case Termination::Timeout:
+                outcome = Outcome::Failure;
+                break;
+              case Termination::Ok: {
+                auto signal = extractSignal(w, test_spec, run);
+                const bool exact =
+                    signal == golden_signal && r.retValue == golden_ret;
+                if (exact) {
+                    outcome = Outcome::Masked;
+                } else {
+                    const double score = fidelityScore(
+                        w.fidelity, golden_signal, signal);
+                    if (fidelityAcceptable(w.fidelity, score,
+                                           w.threshold)) {
+                        outcome = Outcome::ASDC;
+                    } else {
+                        outcome = Outcome::USDC;
+                        large = r.fault.injected &&
+                                isLargeValueChange(r.fault);
+                    }
+                }
+                break;
+              }
+              default:
+                scPanic("unhandled termination");
+            }
+            counts[static_cast<unsigned>(outcome)].fetch_add(1);
+            if (outcome == Outcome::USDC) {
+                if (large)
+                    usdc_large.fetch_add(1);
+                else
+                    usdc_small.fetch_add(1);
+            }
+        }
+    };
+
+    std::vector<std::thread> pool;
+    pool.reserve(num_threads);
+    for (unsigned i = 0; i < num_threads; ++i)
+        pool.emplace_back(worker);
+    for (auto &th : pool)
+        th.join();
+
+    for (unsigned o = 0; o < kNumOutcomes; ++o)
+        result.counts[o] = counts[o].load();
+    result.usdcLargeChange = usdc_large.load();
+    result.usdcSmallChange = usdc_small.load();
+    return result;
+}
+
+CampaignResult
+characterizeOnly(const CampaignConfig &config)
+{
+    CampaignConfig cfg = config;
+    cfg.trials = 0;
+    return runCampaign(cfg);
+}
+
+} // namespace softcheck

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Statistical fault-injection (SFI) campaigns — the experimental
+ * engine behind the paper's Figures 2, 11, 12 and 13.
+ *
+ * One campaign = one (benchmark, hardening configuration) pair:
+ *   1. compile the MiniLang kernel to SSA IR,
+ *   2. value-profile it on the *train* input (paper Sec. III-C1),
+ *   3. apply the selected hardening mode,
+ *   4. run fault-free on the *test* input: golden output, golden
+ *      dynamic-instruction/cycle counts, and false-positive
+ *      calibration (checks that fire without faults are disabled —
+ *      the paper's recover-once-then-ignore rule),
+ *   5. inject one random single-bit register flip per trial at a
+ *      uniformly random dynamic instruction, and classify the outcome.
+ *
+ * Outcome taxonomy (paper Sec. IV-C): Masked (bit-exact output),
+ * ASDC (numerically wrong but fidelity-acceptable; the paper counts
+ * these inside Masked for coverage), USDC, SWDetect (a check fired),
+ * HWDetect (trap within the detection window after injection),
+ * Failure (late trap or instruction-budget "infinite loop").
+ */
+
+#ifndef SOFTCHECK_FAULT_CAMPAIGN_HH
+#define SOFTCHECK_FAULT_CAMPAIGN_HH
+
+#include <array>
+#include <string>
+
+#include "core/pipeline.hh"
+#include "workloads/workload.hh"
+
+namespace softcheck
+{
+
+enum class Outcome : uint8_t
+{
+    Masked,   //!< bit-exact output
+    ASDC,     //!< acceptable silent data corruption
+    USDC,     //!< unacceptable silent data corruption
+    SWDetect, //!< inserted check fired
+    HWDetect, //!< symptom within the detection window
+    Failure,  //!< late symptom or infinite loop
+};
+constexpr unsigned kNumOutcomes = 6;
+
+const char *outcomeName(Outcome o);
+
+struct CampaignConfig
+{
+    std::string workload;        //!< benchmark name
+    HardeningMode mode = HardeningMode::Original;
+    unsigned trials = 1000;
+    uint64_t seed = 0x5eed;
+    unsigned threads = 0;        //!< 0 = hardware concurrency
+    bool swapTrainTest = false;  //!< 2-fold cross-validation
+    bool enableOpt1 = true;
+    bool enableOpt2 = true;
+    CheckPolicy policy;          //!< profile summarization knobs
+    CostConfig cost;             //!< Table II parameters
+    double timeoutFactor = 20.0; //!< infinite-loop budget multiplier
+    uint64_t hwDetectWindowCycles = 1000; //!< paper Sec. IV-C
+};
+
+struct CampaignResult
+{
+    CampaignConfig config;
+    HardeningReport report;
+
+    /** Trial outcome counts, indexed by Outcome. */
+    std::array<uint64_t, kNumOutcomes> counts{};
+    /** USDC attribution for Fig. 2. */
+    uint64_t usdcLargeChange = 0;
+    uint64_t usdcSmallChange = 0;
+
+    // Fault-free characterization.
+    uint64_t goldenDynInstrs = 0;
+    uint64_t goldenCycles = 0;
+    uint64_t baselineCycles = 0; //!< unhardened program, same input
+    double overhead() const;     //!< goldenCycles/baselineCycles - 1
+
+    // False-positive calibration (paper Sec. V).
+    uint64_t calibrationCheckFails = 0; //!< check failures, no fault
+    unsigned disabledCheckCount = 0;
+    unsigned totalCheckCount = 0;
+    /** Fault-free instructions per false positive (inf if none). */
+    double instrsPerFalsePositive() const;
+
+    // Derived percentages (of all trials).
+    double pct(Outcome o) const;
+    double sdcPct() const { return pct(Outcome::ASDC) + pct(Outcome::USDC); }
+    /** Coverage per the paper: Masked+ASDC+SWDetect+HWDetect. */
+    double coveragePct() const;
+    /** 95% margin of error for an outcome proportion. */
+    double marginOfError95() const;
+
+    std::string str() const;
+};
+
+/**
+ * Fig. 2 attribution: true when the injected flip moved the corrupted
+ * register outside [1/8x, 8x] of its original magnitude (a
+ * high-order-bit upset), the class of USDCs the paper's expected-value
+ * checks target.
+ */
+bool isLargeValueChange(const FaultOutcome &fault);
+
+/** Run one campaign. Deterministic for a fixed config. */
+CampaignResult runCampaign(const CampaignConfig &config);
+
+/**
+ * Fault-free run only (no injections): profile + harden + measure.
+ * Used by the overhead (Fig. 12) and static-stats (Fig. 10) benches;
+ * equivalent to runCampaign with trials = 0 but cheaper to read.
+ */
+CampaignResult characterizeOnly(const CampaignConfig &config);
+
+} // namespace softcheck
+
+#endif // SOFTCHECK_FAULT_CAMPAIGN_HH

@@ -1,0 +1,118 @@
+#include "fidelity/fidelity.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace softcheck
+{
+
+const char *
+fidelityKindName(FidelityKind k)
+{
+    switch (k) {
+      case FidelityKind::Psnr: return "PSNR";
+      case FidelityKind::SegmentalSnr: return "segSNR";
+      case FidelityKind::Mismatch: return "mismatch";
+      case FidelityKind::ClassErrorDelta: return "class-error";
+    }
+    return "?";
+}
+
+double
+psnr(const std::vector<double> &golden, const std::vector<double> &test,
+     double peak)
+{
+    if (golden.size() != test.size() || golden.empty())
+        return -std::numeric_limits<double>::infinity();
+    double mse = 0.0;
+    for (std::size_t i = 0; i < golden.size(); ++i) {
+        const double d = golden[i] - test[i];
+        mse += d * d;
+    }
+    mse /= static_cast<double>(golden.size());
+    if (mse == 0.0)
+        return std::numeric_limits<double>::infinity();
+    if (!std::isfinite(mse))
+        return -std::numeric_limits<double>::infinity();
+    return 10.0 * std::log10(peak * peak / mse);
+}
+
+double
+segmentalSnr(const std::vector<double> &golden,
+             const std::vector<double> &test, std::size_t frame_len)
+{
+    if (golden.size() != test.size() || golden.empty() || frame_len == 0)
+        return -std::numeric_limits<double>::infinity();
+    double total = 0.0;
+    std::size_t frames = 0;
+    for (std::size_t start = 0; start < golden.size();
+         start += frame_len) {
+        const std::size_t end =
+            std::min(golden.size(), start + frame_len);
+        double sig = 0.0, noise = 0.0;
+        for (std::size_t i = start; i < end; ++i) {
+            sig += golden[i] * golden[i];
+            const double d = golden[i] - test[i];
+            noise += d * d;
+        }
+        double snr_db;
+        if (noise == 0.0)
+            snr_db = 120.0;
+        else if (sig == 0.0 || !std::isfinite(noise))
+            snr_db = 0.0;
+        else
+            snr_db = std::clamp(10.0 * std::log10(sig / noise), 0.0,
+                                120.0);
+        total += snr_db;
+        ++frames;
+    }
+    return total / static_cast<double>(frames);
+}
+
+double
+mismatchFraction(const std::vector<double> &golden,
+                 const std::vector<double> &test)
+{
+    if (golden.size() != test.size() || golden.empty())
+        return 1.0;
+    std::size_t diff = 0;
+    for (std::size_t i = 0; i < golden.size(); ++i) {
+        if (golden[i] != test[i])
+            ++diff;
+    }
+    return static_cast<double>(diff) /
+           static_cast<double>(golden.size());
+}
+
+double
+fidelityScore(FidelityKind kind, const std::vector<double> &golden,
+              const std::vector<double> &test)
+{
+    switch (kind) {
+      case FidelityKind::Psnr:
+        return psnr(golden, test);
+      case FidelityKind::SegmentalSnr:
+        return segmentalSnr(golden, test);
+      case FidelityKind::Mismatch:
+      case FidelityKind::ClassErrorDelta:
+        return mismatchFraction(golden, test);
+    }
+    return 0.0;
+}
+
+bool
+fidelityAcceptable(FidelityKind kind, double score, double threshold)
+{
+    switch (kind) {
+      case FidelityKind::Psnr:
+      case FidelityKind::SegmentalSnr:
+        return score >= threshold;
+      case FidelityKind::Mismatch:
+      case FidelityKind::ClassErrorDelta:
+        return score <= threshold;
+    }
+    return false;
+}
+
+} // namespace softcheck

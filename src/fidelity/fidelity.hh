@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Application-dependent output-quality (fidelity) metrics from the
+ * paper's Table I: PSNR for image/video/mp3 audio, segmental SNR for
+ * G.721 audio, output-matrix mismatch for vision kernels, and
+ * classification-error deviation for the ML kernels.
+ *
+ * A metric compares the output of a (possibly faulty) run against the
+ * fault-free golden output of the same program; acceptable() applies
+ * the paper's thresholds (30 dB PSNR, 80 dB segmental SNR, 10 %
+ * mismatch/deviation).
+ */
+
+#ifndef SOFTCHECK_FIDELITY_FIDELITY_HH
+#define SOFTCHECK_FIDELITY_FIDELITY_HH
+
+#include <string>
+#include <vector>
+
+namespace softcheck
+{
+
+enum class FidelityKind : uint8_t
+{
+    Psnr,           //!< peak signal-to-noise ratio (dB), higher better
+    SegmentalSnr,   //!< frame-averaged SNR (dB), higher better
+    Mismatch,       //!< fraction of differing elements, lower better
+    ClassErrorDelta //!< fraction of differing labels, lower better
+};
+
+const char *fidelityKindName(FidelityKind k);
+
+/** PSNR in dB between two signals. Identical signals => +infinity. */
+double psnr(const std::vector<double> &golden,
+            const std::vector<double> &test, double peak = 255.0);
+
+/**
+ * Segmental SNR: SNR computed per frame of @p frame_len samples and
+ * averaged (each frame's SNR clamped into [0, 120] dB, standard
+ * practice so silent frames do not dominate).
+ */
+double segmentalSnr(const std::vector<double> &golden,
+                    const std::vector<double> &test,
+                    std::size_t frame_len = 256);
+
+/** Fraction of positions where the two outputs differ (exact). */
+double mismatchFraction(const std::vector<double> &golden,
+                        const std::vector<double> &test);
+
+/** Evaluate a metric. Length mismatch yields the worst score. */
+double fidelityScore(FidelityKind kind,
+                     const std::vector<double> &golden,
+                     const std::vector<double> &test);
+
+/** Apply the paper's per-metric threshold direction. */
+bool fidelityAcceptable(FidelityKind kind, double score,
+                        double threshold);
+
+} // namespace softcheck
+
+#endif // SOFTCHECK_FIDELITY_FIDELITY_HH

@@ -1,0 +1,162 @@
+/**
+ * @file
+ * MiniLang abstract syntax tree. Plain data; ownership via unique_ptr.
+ */
+
+#ifndef SOFTCHECK_FRONTEND_AST_HH
+#define SOFTCHECK_FRONTEND_AST_HH
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "frontend/lexer.hh"
+#include "ir/type.hh"
+
+namespace softcheck::ast
+{
+
+/** Source-level type: a scalar or ptr<scalar>. */
+struct TypeRef
+{
+    Type scalar;          //!< element/scalar IR type (bool = i1)
+    bool isPointer = false;
+
+    std::string
+    str() const
+    {
+        if (isPointer)
+            return "ptr<" + scalar.str() + ">";
+        return scalar.kind() == TypeKind::I1 ? "bool" : scalar.str();
+    }
+};
+
+// --------------------------------------------------------------------
+// Expressions
+// --------------------------------------------------------------------
+
+enum class ExprKind : uint8_t
+{
+    IntLit,
+    FloatLit,
+    BoolLit,
+    VarRef,
+    Index,   //!< base[index]
+    Unary,
+    Binary,
+    Call,    //!< also builtins (sqrt, fabs, ...)
+    Cast,    //!< T(expr)
+};
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+struct Expr
+{
+    ExprKind kind;
+    int line = 0;
+
+    // Literals
+    int64_t intValue = 0;
+    double floatValue = 0;
+    bool boolValue = false;
+
+    // VarRef / Index / Call: the name
+    std::string name;
+
+    // Unary/Binary operator (token kind), Cast target
+    TokKind op = TokKind::End;
+    TypeRef castType;
+
+    // Children: Unary(1), Binary(2), Index(1: the index), Call(args)
+    std::vector<ExprPtr> children;
+};
+
+// --------------------------------------------------------------------
+// Statements
+// --------------------------------------------------------------------
+
+enum class StmtKind : uint8_t
+{
+    VarDecl,
+    Assign,
+    ExprStmt,
+    If,
+    While,
+    For,
+    Return,
+    Break,
+    Continue,
+    Block,
+};
+
+struct Stmt;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+struct Stmt
+{
+    StmtKind kind;
+    int line = 0;
+
+    // VarDecl
+    std::string name;
+    TypeRef declType;
+    uint64_t arraySize = 0; //!< 0 = scalar
+    ExprPtr init;           //!< optional
+
+    // Assign: name [index] = value
+    ExprPtr index; //!< null for scalar assignment
+    ExprPtr value;
+
+    // ExprStmt / Return / If / While / For conditions
+    ExprPtr expr;
+
+    // If: thenBody/elseBody; While/For: body; Block: body
+    std::vector<StmtPtr> body;
+    std::vector<StmtPtr> elseBody;
+
+    // For
+    StmtPtr forInit; //!< VarDecl or Assign
+    StmtPtr forStep; //!< Assign
+};
+
+// --------------------------------------------------------------------
+// Top level
+// --------------------------------------------------------------------
+
+struct Param
+{
+    std::string name;
+    TypeRef type;
+};
+
+struct FnDecl
+{
+    std::string name;
+    std::vector<Param> params;
+    TypeRef returnType;   //!< scalar or void (scalar=void means void)
+    bool returnsVoid = true;
+    std::vector<StmtPtr> body;
+    int line = 0;
+};
+
+struct ConstDecl
+{
+    std::string name;
+    TypeRef elemType;
+    bool isArray = false;
+    uint64_t arraySize = 0;
+    std::vector<ExprPtr> values; //!< literal initializers
+    int line = 0;
+};
+
+struct Program
+{
+    std::vector<ConstDecl> consts;
+    std::vector<FnDecl> functions;
+};
+
+} // namespace softcheck::ast
+
+#endif // SOFTCHECK_FRONTEND_AST_HH

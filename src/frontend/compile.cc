@@ -1,0 +1,38 @@
+#include "frontend/compile.hh"
+
+#include "analysis/cfg_utils.hh"
+#include "analysis/const_fold.hh"
+#include "analysis/dominance_verify.hh"
+#include "analysis/mem2reg.hh"
+#include "frontend/irgen.hh"
+#include "frontend/parser.hh"
+#include "ir/verifier.hh"
+#include "support/error.hh"
+
+namespace softcheck
+{
+
+std::unique_ptr<Module>
+compileMiniLang(const std::string &source, const std::string &module_name)
+{
+    ast::Program prog = parseProgram(source);
+    std::unique_ptr<Module> mod = generateIR(prog, module_name);
+
+    for (Function *fn : mod->functions()) {
+        removeUnreachableBlocks(*fn);
+        promoteAllocas(*fn);
+        foldConstants(*fn);
+        eliminateDeadCode(*fn);
+    }
+
+    verifyModuleOrDie(*mod);
+    for (Function *fn : mod->functions()) {
+        auto probs = verifyDominance(*fn);
+        if (!probs.empty())
+            scFatal("frontend produced invalid SSA: ", probs.front());
+    }
+    mod->renumberAll();
+    return mod;
+}
+
+} // namespace softcheck

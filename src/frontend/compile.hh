@@ -1,0 +1,27 @@
+/**
+ * @file
+ * One-call MiniLang -> verified SSA module compilation: parse, lower,
+ * clean the CFG, promote locals to SSA (mem2reg), and verify.
+ */
+
+#ifndef SOFTCHECK_FRONTEND_COMPILE_HH
+#define SOFTCHECK_FRONTEND_COMPILE_HH
+
+#include <memory>
+#include <string>
+
+#include "ir/module.hh"
+
+namespace softcheck
+{
+
+/**
+ * Compile MiniLang source into a verified, renumbered SSA module.
+ * Throws FatalError with a line-located message on any error.
+ */
+std::unique_ptr<Module> compileMiniLang(const std::string &source,
+                                        const std::string &module_name);
+
+} // namespace softcheck
+
+#endif // SOFTCHECK_FRONTEND_COMPILE_HH

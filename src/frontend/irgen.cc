@@ -1,0 +1,1023 @@
+#include "frontend/irgen.hh"
+
+#include <bit>
+#include <cmath>
+#include <limits>
+#include <map>
+#include <vector>
+
+#include "ir/irbuilder.hh"
+#include "support/error.hh"
+
+namespace softcheck
+{
+
+using namespace ast;
+
+namespace
+{
+
+/** Compile-time constant: integer or float. */
+struct ConstVal
+{
+    bool isFloat = false;
+    int64_t i = 0;
+    double f = 0;
+
+    double asDouble() const { return isFloat ? f : double(i); }
+};
+
+class IRGen
+{
+  public:
+    IRGen(const Program &prog, const std::string &module_name)
+        : program(prog),
+          mod(std::make_unique<Module>(module_name)),
+          builder(*mod)
+    {}
+
+    std::unique_ptr<Module>
+    run()
+    {
+        declareConsts();
+        declareFunctions();
+        for (const FnDecl &fn : program.functions)
+            generateFunction(fn);
+        return std::move(mod);
+    }
+
+  private:
+    // ---- symbols ------------------------------------------------------
+
+    struct Sym
+    {
+        enum class Kind
+        {
+            ScalarLocal, //!< alloca of a scalar
+            ArrayLocal,  //!< alloca of an array
+            PtrParam,    //!< ptr<T> argument
+            GlobalConst, //!< module const array
+            ScalarConst, //!< compile-time scalar constant
+        };
+        Kind kind;
+        Value *ptr = nullptr;  //!< alloca or Argument
+        Type valType;          //!< scalar type / element type
+        uint64_t count = 0;    //!< array element count (0 = unknown)
+        const GlobalVariable *global = nullptr;
+        ConstVal constant;
+    };
+
+    [[noreturn]] void
+    err(int line, const std::string &msg) const
+    {
+        scFatal("semantic error at line ", line, ": ", msg);
+    }
+
+    Sym *
+    lookup(const std::string &name)
+    {
+        for (auto it = scopes.rbegin(); it != scopes.rend(); ++it) {
+            auto f = it->find(name);
+            if (f != it->end())
+                return &f->second;
+        }
+        auto g = moduleScope.find(name);
+        return g == moduleScope.end() ? nullptr : &g->second;
+    }
+
+    void
+    define(int line, const std::string &name, Sym sym)
+    {
+        if (!scopes.back().emplace(name, std::move(sym)).second)
+            err(line, "redefinition of '" + name + "'");
+    }
+
+    // ---- compile-time evaluation ---------------------------------------
+
+    ConstVal
+    evalConst(const Expr &e)
+    {
+        switch (e.kind) {
+          case ExprKind::IntLit:
+            return {false, e.intValue, 0};
+          case ExprKind::FloatLit:
+            return {true, 0, e.floatValue};
+          case ExprKind::BoolLit:
+            return {false, e.boolValue ? 1 : 0, 0};
+          case ExprKind::VarRef: {
+            auto it = moduleScope.find(e.name);
+            if (it == moduleScope.end() ||
+                it->second.kind != Sym::Kind::ScalarConst)
+                err(e.line, "'" + e.name +
+                                "' is not a scalar constant");
+            return it->second.constant;
+          }
+          case ExprKind::Unary: {
+            ConstVal v = evalConst(*e.children[0]);
+            if (e.op == TokKind::Minus) {
+                if (v.isFloat)
+                    v.f = -v.f;
+                else
+                    v.i = -v.i;
+                return v;
+            }
+            if (e.op == TokKind::Tilde && !v.isFloat) {
+                v.i = ~v.i;
+                return v;
+            }
+            err(e.line, "unsupported constant unary operator");
+          }
+          case ExprKind::Binary: {
+            const ConstVal a = evalConst(*e.children[0]);
+            const ConstVal b = evalConst(*e.children[1]);
+            if (a.isFloat || b.isFloat) {
+                const double x = a.asDouble(), y = b.asDouble();
+                switch (e.op) {
+                  case TokKind::Plus: return {true, 0, x + y};
+                  case TokKind::Minus: return {true, 0, x - y};
+                  case TokKind::Star: return {true, 0, x * y};
+                  case TokKind::Slash: return {true, 0, x / y};
+                  default:
+                    err(e.line, "unsupported constant float operator");
+                }
+            }
+            switch (e.op) {
+              case TokKind::Plus: return {false, a.i + b.i, 0};
+              case TokKind::Minus: return {false, a.i - b.i, 0};
+              case TokKind::Star: return {false, a.i * b.i, 0};
+              case TokKind::Slash:
+                if (b.i == 0)
+                    err(e.line, "constant division by zero");
+                return {false, a.i / b.i, 0};
+              case TokKind::Percent:
+                if (b.i == 0)
+                    err(e.line, "constant modulo by zero");
+                return {false, a.i % b.i, 0};
+              case TokKind::Shl: return {false, a.i << (b.i & 63), 0};
+              case TokKind::Shr: return {false, a.i >> (b.i & 63), 0};
+              case TokKind::Amp: return {false, a.i & b.i, 0};
+              case TokKind::Pipe: return {false, a.i | b.i, 0};
+              case TokKind::Caret: return {false, a.i ^ b.i, 0};
+              default:
+                err(e.line, "unsupported constant operator");
+            }
+          }
+          case ExprKind::Cast: {
+            ConstVal v = evalConst(*e.children[0]);
+            if (e.castType.scalar.isFloat())
+                return {true, 0, v.asDouble()};
+            return {false,
+                    v.isFloat ? static_cast<int64_t>(v.f) : v.i, 0};
+          }
+          default:
+            err(e.line, "expression is not a compile-time constant");
+        }
+    }
+
+    /** Canonical storage bits for a constant of type @p t. */
+    uint64_t
+    canonicalBits(const ConstVal &v, Type t, int line)
+    {
+        if (t.isFloat()) {
+            const double d = v.asDouble();
+            if (t.kind() == TypeKind::F32)
+                return std::bit_cast<uint32_t>(static_cast<float>(d));
+            return std::bit_cast<uint64_t>(d);
+        }
+        if (v.isFloat)
+            err(line, "float initializer for integer constant");
+        return truncBits(static_cast<uint64_t>(v.i), t.bitWidth());
+    }
+
+    void
+    declareConsts()
+    {
+        for (const ConstDecl &cd : program.consts) {
+            if (moduleScope.count(cd.name))
+                err(cd.line, "redefinition of '" + cd.name + "'");
+            if (cd.isArray) {
+                if (cd.values.size() != cd.arraySize)
+                    err(cd.line,
+                        "initializer count does not match array size");
+                std::vector<uint64_t> init;
+                init.reserve(cd.values.size());
+                for (const ExprPtr &e : cd.values)
+                    init.push_back(canonicalBits(evalConst(*e),
+                                                 cd.elemType.scalar,
+                                                 cd.line));
+                Sym sym;
+                sym.kind = Sym::Kind::GlobalConst;
+                sym.valType = cd.elemType.scalar;
+                sym.count = cd.arraySize;
+                sym.global = mod->createGlobal(cd.name,
+                                               cd.elemType.scalar,
+                                               std::move(init));
+                moduleScope.emplace(cd.name, std::move(sym));
+            } else {
+                Sym sym;
+                sym.kind = Sym::Kind::ScalarConst;
+                sym.valType = cd.elemType.scalar;
+                sym.constant = evalConst(*cd.values[0]);
+                moduleScope.emplace(cd.name, std::move(sym));
+            }
+        }
+    }
+
+    void
+    declareFunctions()
+    {
+        for (const FnDecl &fn : program.functions) {
+            const Type ret = fn.returnsVoid ? Type::voidTy()
+                                            : fn.returnType.scalar;
+            Function *f = mod->createFunction(fn.name, ret);
+            for (const Param &p : fn.params)
+                f->addArg(p.type.isPointer ? Type::ptr()
+                                           : p.type.scalar,
+                          p.name);
+        }
+    }
+
+    // ---- conversions ----------------------------------------------------
+
+    /** Implicit conversion (widening + constant folding). */
+    Value *
+    convert(Value *v, Type to, int line)
+    {
+        const Type from = v->type();
+        if (from == to)
+            return v;
+
+        if (auto *ci = dynamic_cast<ConstantInt *>(v);
+            ci && to.isInteger()) {
+            const int64_t sv = ci->signedValue();
+            const int64_t lo = -(int64_t(1) << (to.bitWidth() - 1));
+            const int64_t hi =
+                to.bitWidth() >= 64
+                    ? std::numeric_limits<int64_t>::max()
+                    : (int64_t(1) << to.bitWidth()) - 1;
+            if (sv >= lo && sv <= hi)
+                return mod->getConstInt(to, static_cast<uint64_t>(sv));
+            err(line, "constant does not fit in " + to.str());
+        }
+        if (auto *cf = dynamic_cast<ConstantFloat *>(v);
+            cf && to.isFloat())
+            return mod->getConstFloat(to, cf->value());
+
+        if (from.isInteger() && to.isInteger()) {
+            if (from.bitWidth() < to.bitWidth() &&
+                from.kind() != TypeKind::I1)
+                return builder.createCast(Opcode::SExt, v, to);
+            err(line, "implicit narrowing from " + from.str() + " to " +
+                          to.str() + " (use an explicit cast)");
+        }
+        if (from.kind() == TypeKind::F32 && to.kind() == TypeKind::F64)
+            return builder.createCast(Opcode::FPExt, v, to);
+        err(line, "cannot implicitly convert " + from.str() + " to " +
+                      to.str());
+    }
+
+    /** Explicit cast T(expr). */
+    Value *
+    castTo(Value *v, Type to, int line)
+    {
+        const Type from = v->type();
+        if (from == to)
+            return v;
+        if (from.isInteger() && to.isInteger()) {
+            if (from.kind() == TypeKind::I1)
+                return builder.createCast(Opcode::ZExt, v, to);
+            if (auto *ci = dynamic_cast<ConstantInt *>(v))
+                return mod->getConstInt(
+                    to, static_cast<uint64_t>(ci->signedValue()));
+            if (from.bitWidth() < to.bitWidth())
+                return builder.createCast(Opcode::SExt, v, to);
+            return builder.createCast(Opcode::Trunc, v, to);
+        }
+        if (from.isInteger() && to.isFloat()) {
+            if (from.kind() == TypeKind::I1)
+                v = builder.createCast(Opcode::ZExt, v, Type::i32());
+            if (auto *ci = dynamic_cast<ConstantInt *>(v))
+                return mod->getConstFloat(
+                    to, static_cast<double>(ci->signedValue()));
+            return builder.createCast(Opcode::SIToFP, v, to);
+        }
+        if (from.isFloat() && to.isInteger()) {
+            if (to.kind() == TypeKind::I1)
+                err(line, "cannot cast float to bool");
+            return builder.createCast(Opcode::FPToSI, v, to);
+        }
+        if (from.isFloat() && to.isFloat()) {
+            if (auto *cf = dynamic_cast<ConstantFloat *>(v))
+                return mod->getConstFloat(to, cf->value());
+            return builder.createCast(from.kind() == TypeKind::F32
+                                          ? Opcode::FPExt
+                                          : Opcode::FPTrunc,
+                                      v, to);
+        }
+        err(line, "invalid cast from " + from.str() + " to " + to.str());
+    }
+
+    /** Common type for a binary operation. */
+    Type
+    unify(Value *&a, Value *&b, int line)
+    {
+        const Type ta = a->type(), tb = b->type();
+        if (ta == tb)
+            return ta;
+        if (ta.isInteger() && tb.isInteger()) {
+            const Type wide =
+                ta.bitWidth() >= tb.bitWidth() ? ta : tb;
+            a = convert(a, wide, line);
+            b = convert(b, wide, line);
+            return wide;
+        }
+        if (ta.isFloat() && tb.isFloat()) {
+            a = convert(a, Type::f64(), line);
+            b = convert(b, Type::f64(), line);
+            return Type::f64();
+        }
+        // Integer constants mix freely with floats (e.g. x * 2).
+        if (auto *ci = dynamic_cast<ConstantInt *>(a);
+            ci && tb.isFloat()) {
+            a = mod->getConstFloat(
+                tb, static_cast<double>(ci->signedValue()));
+            return tb;
+        }
+        if (auto *ci = dynamic_cast<ConstantInt *>(b);
+            ci && ta.isFloat()) {
+            b = mod->getConstFloat(
+                ta, static_cast<double>(ci->signedValue()));
+            return ta;
+        }
+        err(line, "operand type mismatch: " + ta.str() + " vs " +
+                      tb.str() + " (use an explicit cast)");
+    }
+
+    // ---- expression generation -----------------------------------------
+
+    Value *
+    genExpr(const Expr &e)
+    {
+        switch (e.kind) {
+          case ExprKind::IntLit: {
+            // i32 when it fits, i64 otherwise.
+            if (e.intValue >= std::numeric_limits<int32_t>::min() &&
+                e.intValue <= std::numeric_limits<int32_t>::max())
+                return mod->getConstInt(Type::i32(), e.intValue);
+            return mod->getConstInt(Type::i64(), e.intValue);
+          }
+          case ExprKind::FloatLit:
+            return mod->getConstFloat(Type::f64(), e.floatValue);
+          case ExprKind::BoolLit:
+            return mod->getConstInt(Type::i1(),
+                                    uint64_t{e.boolValue});
+          case ExprKind::VarRef:
+            return genVarRef(e);
+          case ExprKind::Index:
+            return genIndexRead(e);
+          case ExprKind::Unary:
+            return genUnary(e);
+          case ExprKind::Binary:
+            return genBinary(e);
+          case ExprKind::Call:
+            return genCall(e);
+          case ExprKind::Cast:
+            return castTo(genExpr(*e.children[0]), e.castType.scalar,
+                          e.line);
+        }
+        scPanic("unhandled expression kind");
+    }
+
+    Value *
+    genVarRef(const Expr &e)
+    {
+        Sym *sym = lookup(e.name);
+        if (!sym)
+            err(e.line, "use of undeclared variable '" + e.name + "'");
+        switch (sym->kind) {
+          case Sym::Kind::ScalarLocal:
+            return builder.createLoad(sym->valType, sym->ptr, e.name);
+          case Sym::Kind::ScalarConst:
+            if (sym->valType.isFloat())
+                return mod->getConstFloat(sym->valType,
+                                          sym->constant.asDouble());
+            return mod->getConstInt(
+                sym->valType,
+                static_cast<uint64_t>(sym->constant.i));
+          case Sym::Kind::PtrParam:
+            return sym->ptr;
+          case Sym::Kind::ArrayLocal:
+          case Sym::Kind::GlobalConst:
+            err(e.line, "array '" + e.name +
+                            "' must be indexed or passed to a function");
+        }
+        scPanic("unhandled symbol kind");
+    }
+
+    /** Pointer to element i of an indexable symbol. */
+    Value *
+    genElementPtr(const std::string &name, const Expr &index_expr,
+                  int line, Type &elem_out)
+    {
+        Sym *sym = lookup(name);
+        if (!sym)
+            err(line, "use of undeclared variable '" + name + "'");
+        Value *base = nullptr;
+        switch (sym->kind) {
+          case Sym::Kind::ArrayLocal:
+          case Sym::Kind::PtrParam:
+            base = sym->ptr;
+            break;
+          case Sym::Kind::GlobalConst:
+            base = builder.createGlobalAddr(sym->global, name);
+            break;
+          default:
+            err(line, "'" + name + "' is not indexable");
+        }
+        elem_out = sym->valType;
+        Value *idx = genExpr(index_expr);
+        if (!idx->type().isInteger() ||
+            idx->type().kind() == TypeKind::I1)
+            err(line, "array index must be an integer");
+        idx = convert(idx, Type::i64(), line);
+        return builder.createGep(base, idx, elem_out);
+    }
+
+    Value *
+    genIndexRead(const Expr &e)
+    {
+        Type elem;
+        Value *ptr = genElementPtr(e.name, *e.children[0], e.line, elem);
+        return builder.createLoad(elem, ptr, e.name + ".v");
+    }
+
+    Value *
+    genUnary(const Expr &e)
+    {
+        Value *v = genExpr(*e.children[0]);
+        switch (e.op) {
+          case TokKind::Minus:
+            if (v->type().isFloat())
+                return builder.createFSub(
+                    mod->getConstFloat(v->type(), 0.0), v);
+            if (v->type().isInteger() &&
+                v->type().kind() != TypeKind::I1)
+                return builder.createSub(
+                    mod->getConstInt(v->type(), uint64_t{0}), v);
+            err(e.line, "cannot negate " + v->type().str());
+          case TokKind::Bang:
+            if (v->type() != Type::i1())
+                err(e.line, "'!' requires a bool operand");
+            return builder.createXor(v, mod->getTrue());
+          case TokKind::Tilde:
+            if (!v->type().isInteger() ||
+                v->type().kind() == TypeKind::I1)
+                err(e.line, "'~' requires an integer operand");
+            return builder.createXor(
+                v, mod->getConstInt(v->type(), int64_t{-1}));
+          default:
+            scPanic("unhandled unary operator");
+        }
+    }
+
+    Value *
+    genBinary(const Expr &e)
+    {
+        if (e.op == TokKind::AmpAmp || e.op == TokKind::PipePipe)
+            return genShortCircuit(e);
+
+        Value *a = genExpr(*e.children[0]);
+
+        // Shifts keep the left operand's type.
+        if (e.op == TokKind::Shl || e.op == TokKind::Shr) {
+            Value *b = genExpr(*e.children[1]);
+            if (!a->type().isInteger() ||
+                a->type().kind() == TypeKind::I1)
+                err(e.line, "shift requires integer operands");
+            if (auto *ci = dynamic_cast<ConstantInt *>(b))
+                b = mod->getConstInt(
+                    a->type(), static_cast<uint64_t>(ci->signedValue()));
+            else if (b->type() != a->type())
+                b = convert(b, a->type(), e.line);
+            return builder.createBinary(
+                e.op == TokKind::Shl ? Opcode::Shl : Opcode::AShr, a, b);
+        }
+
+        Value *b = genExpr(*e.children[1]);
+
+        // Equality on bools.
+        if (a->type() == Type::i1() && b->type() == Type::i1() &&
+            (e.op == TokKind::EqEq || e.op == TokKind::NotEq)) {
+            return builder.createICmp(e.op == TokKind::EqEq
+                                          ? Predicate::Eq
+                                          : Predicate::Ne,
+                                      a, b);
+        }
+        if (a->type() == Type::i1() || b->type() == Type::i1())
+            err(e.line, "bool operands require '&&', '||' or '=='");
+
+        const Type t = unify(a, b, e.line);
+        const bool flt = t.isFloat();
+
+        switch (e.op) {
+          case TokKind::Plus:
+            return builder.createBinary(flt ? Opcode::FAdd : Opcode::Add,
+                                        a, b);
+          case TokKind::Minus:
+            return builder.createBinary(flt ? Opcode::FSub : Opcode::Sub,
+                                        a, b);
+          case TokKind::Star:
+            return builder.createBinary(flt ? Opcode::FMul : Opcode::Mul,
+                                        a, b);
+          case TokKind::Slash:
+            return builder.createBinary(
+                flt ? Opcode::FDiv : Opcode::SDiv, a, b);
+          case TokKind::Percent:
+            if (flt)
+                err(e.line, "'%' requires integer operands");
+            return builder.createSRem(a, b);
+          case TokKind::Amp:
+          case TokKind::Pipe:
+          case TokKind::Caret: {
+            if (flt)
+                err(e.line, "bitwise operators require integers");
+            const Opcode op = e.op == TokKind::Amp
+                                  ? Opcode::And
+                                  : e.op == TokKind::Pipe ? Opcode::Or
+                                                          : Opcode::Xor;
+            return builder.createBinary(op, a, b);
+          }
+          case TokKind::EqEq:
+          case TokKind::NotEq:
+          case TokKind::Lt:
+          case TokKind::Le:
+          case TokKind::Gt:
+          case TokKind::Ge: {
+            if (flt) {
+                static const std::map<TokKind, Predicate> fp = {
+                    {TokKind::EqEq, Predicate::OEq},
+                    {TokKind::NotEq, Predicate::ONe},
+                    {TokKind::Lt, Predicate::OLt},
+                    {TokKind::Le, Predicate::OLe},
+                    {TokKind::Gt, Predicate::OGt},
+                    {TokKind::Ge, Predicate::OGe},
+                };
+                return builder.createFCmp(fp.at(e.op), a, b);
+            }
+            static const std::map<TokKind, Predicate> ip = {
+                {TokKind::EqEq, Predicate::Eq},
+                {TokKind::NotEq, Predicate::Ne},
+                {TokKind::Lt, Predicate::Slt},
+                {TokKind::Le, Predicate::Sle},
+                {TokKind::Gt, Predicate::Sgt},
+                {TokKind::Ge, Predicate::Sge},
+            };
+            return builder.createICmp(ip.at(e.op), a, b);
+          }
+          default:
+            scPanic("unhandled binary operator");
+        }
+    }
+
+    Value *
+    genShortCircuit(const Expr &e)
+    {
+        const bool is_and = e.op == TokKind::AmpAmp;
+        Value *lhs = genExpr(*e.children[0]);
+        if (lhs->type() != Type::i1())
+            err(e.line, "'&&'/'||' require bool operands");
+
+        BasicBlock *lhs_end = builder.insertBlock();
+        BasicBlock *rhs_bb = curFn->addBlockAfter(
+            lhs_end, blockName(is_and ? "and.rhs" : "or.rhs"));
+        BasicBlock *join_bb =
+            curFn->addBlockAfter(rhs_bb,
+                                 blockName(is_and ? "and.end" : "or.end"));
+
+        if (is_and)
+            builder.createCondBr(lhs, rhs_bb, join_bb);
+        else
+            builder.createCondBr(lhs, join_bb, rhs_bb);
+
+        builder.setInsertPoint(rhs_bb);
+        Value *rhs = genExpr(*e.children[1]);
+        if (rhs->type() != Type::i1())
+            err(e.line, "'&&'/'||' require bool operands");
+        BasicBlock *rhs_end = builder.insertBlock();
+        builder.createBr(join_bb);
+
+        builder.setInsertPoint(join_bb);
+        Instruction *phi = builder.createPhi(Type::i1());
+        phi->addIncoming(is_and ? static_cast<Value *>(mod->getFalse())
+                                : static_cast<Value *>(mod->getTrue()),
+                         lhs_end);
+        phi->addIncoming(rhs, rhs_end);
+        // Phi must precede any instruction already in join_bb; it is the
+        // first instruction because join_bb was empty until now.
+        return phi;
+    }
+
+    Value *
+    genCall(const Expr &e)
+    {
+        // Builtins
+        static const std::map<std::string, Opcode> unary_math = {
+            {"sqrt", Opcode::Sqrt}, {"fabs", Opcode::FAbs},
+            {"exp", Opcode::Exp},   {"log", Opcode::Log},
+            {"sin", Opcode::Sin},   {"cos", Opcode::Cos},
+        };
+        if (auto it = unary_math.find(e.name); it != unary_math.end()) {
+            if (e.children.size() != 1)
+                err(e.line, e.name + " takes one argument");
+            Value *v = genExpr(*e.children[0]);
+            if (!v->type().isFloat())
+                err(e.line, e.name + " requires a float argument");
+            v = convert(v, Type::f64(), e.line);
+            return builder.createUnaryMath(it->second, v);
+        }
+        if (e.name == "fmin" || e.name == "fmax") {
+            if (e.children.size() != 2)
+                err(e.line, e.name + " takes two arguments");
+            Value *a = convert(genExpr(*e.children[0]), Type::f64(),
+                               e.line);
+            Value *b = convert(genExpr(*e.children[1]), Type::f64(),
+                               e.line);
+            return builder.createBinaryMath(
+                e.name == "fmin" ? Opcode::FMin : Opcode::FMax, a, b);
+        }
+
+        Function *callee = mod->getFunction(e.name);
+        if (!callee)
+            err(e.line, "call to undeclared function '" + e.name + "'");
+        if (e.children.size() != callee->numArgs())
+            err(e.line, "argument count mismatch calling '" + e.name +
+                            "'");
+        std::vector<Value *> args;
+        for (std::size_t i = 0; i < e.children.size(); ++i) {
+            const Expr &arg = *e.children[i];
+            const Type want = callee->arg(i)->type();
+            if (want.isPtr()) {
+                // Pass an array/pointer by name.
+                if (arg.kind != ExprKind::VarRef)
+                    err(arg.line, "pointer argument must be an array or "
+                                  "pointer variable");
+                Sym *sym = lookup(arg.name);
+                if (!sym)
+                    err(arg.line, "use of undeclared variable '" +
+                                      arg.name + "'");
+                switch (sym->kind) {
+                  case Sym::Kind::ArrayLocal:
+                  case Sym::Kind::PtrParam:
+                    args.push_back(sym->ptr);
+                    break;
+                  case Sym::Kind::GlobalConst:
+                    args.push_back(
+                        builder.createGlobalAddr(sym->global, arg.name));
+                    break;
+                  default:
+                    err(arg.line, "'" + arg.name + "' is not a pointer");
+                }
+            } else {
+                args.push_back(convert(genExpr(arg), want, arg.line));
+            }
+        }
+        return builder.createCall(callee, args,
+                                  callee->returnType().isVoid()
+                                      ? std::string{}
+                                      : e.name + ".r");
+    }
+
+    // ---- statement generation --------------------------------------------
+
+    std::string
+    blockName(const char *stem)
+    {
+        return std::string(stem) + "." + std::to_string(nextBlockId++);
+    }
+
+    /** Create an alloca in the entry block (hoisted for mem2reg). */
+    Instruction *
+    entryAlloca(Type elem, uint64_t count, const std::string &nm)
+    {
+        IRBuilder eb(*mod);
+        eb.setInsertPoint(entryBlock, entryBlock->firstNonPhi());
+        return eb.createAlloca(
+            elem, mod->getConstInt(Type::i64(), count), nm);
+    }
+
+    void
+    genStmtList(const std::vector<StmtPtr> &stmts)
+    {
+        for (const StmtPtr &s : stmts) {
+            if (terminated) {
+                // Dead code after break/continue/return: park it in an
+                // unreachable block (cleaned by removeUnreachableBlocks).
+                BasicBlock *dead = curFn->addBlock(blockName("dead"));
+                builder.setInsertPoint(dead);
+                terminated = false;
+            }
+            genStmt(*s);
+        }
+    }
+
+    void
+    genStmt(const Stmt &s)
+    {
+        switch (s.kind) {
+          case StmtKind::VarDecl: {
+            if (s.declType.isPointer)
+                err(s.line, "local pointer variables are not supported");
+            const Type t = s.declType.scalar;
+            if (s.arraySize) {
+                Sym sym;
+                sym.kind = Sym::Kind::ArrayLocal;
+                sym.valType = t;
+                sym.count = s.arraySize;
+                sym.ptr = entryAlloca(t, s.arraySize, s.name);
+                define(s.line, s.name, std::move(sym));
+            } else {
+                Sym sym;
+                sym.kind = Sym::Kind::ScalarLocal;
+                sym.valType = t;
+                sym.ptr = entryAlloca(t, 1, s.name);
+                Value *init =
+                    s.init ? convert(genExpr(*s.init), t, s.line)
+                           : (t.isFloat()
+                                  ? static_cast<Value *>(
+                                        mod->getConstFloat(t, 0.0))
+                                  : static_cast<Value *>(
+                                        mod->getConstInt(t,
+                                                         uint64_t{0})));
+                builder.createStore(init, sym.ptr);
+                define(s.line, s.name, std::move(sym));
+            }
+            break;
+          }
+          case StmtKind::Assign: {
+            if (s.index) {
+                Type elem;
+                Value *ptr =
+                    genElementPtr(s.name, *s.index, s.line, elem);
+                Sym *sym = lookup(s.name);
+                if (sym->kind == Sym::Kind::GlobalConst)
+                    err(s.line, "cannot assign to constant array '" +
+                                    s.name + "'");
+                Value *v = convert(genExpr(*s.value), elem, s.line);
+                builder.createStore(v, ptr);
+            } else {
+                Sym *sym = lookup(s.name);
+                if (!sym)
+                    err(s.line, "use of undeclared variable '" +
+                                    s.name + "'");
+                if (sym->kind != Sym::Kind::ScalarLocal)
+                    err(s.line, "cannot assign to '" + s.name + "'");
+                Value *v =
+                    convert(genExpr(*s.value), sym->valType, s.line);
+                builder.createStore(v, sym->ptr);
+            }
+            break;
+          }
+          case StmtKind::ExprStmt:
+            genExpr(*s.expr);
+            break;
+          case StmtKind::Block:
+            scopes.emplace_back();
+            genStmtList(s.body);
+            scopes.pop_back();
+            break;
+          case StmtKind::If:
+            genIf(s);
+            break;
+          case StmtKind::While:
+            genWhile(s);
+            break;
+          case StmtKind::For:
+            genFor(s);
+            break;
+          case StmtKind::Return: {
+            if (curFn->returnType().isVoid()) {
+                if (s.expr)
+                    err(s.line, "void function cannot return a value");
+                builder.createRet();
+            } else {
+                if (!s.expr)
+                    err(s.line, "non-void function must return a value");
+                Value *v = convert(genExpr(*s.expr),
+                                   curFn->returnType(), s.line);
+                builder.createRet(v);
+            }
+            terminated = true;
+            break;
+          }
+          case StmtKind::Break:
+            if (loopStack.empty())
+                err(s.line, "'break' outside a loop");
+            builder.createBr(loopStack.back().breakTarget);
+            terminated = true;
+            break;
+          case StmtKind::Continue:
+            if (loopStack.empty())
+                err(s.line, "'continue' outside a loop");
+            builder.createBr(loopStack.back().continueTarget);
+            terminated = true;
+            break;
+        }
+    }
+
+    Value *
+    genCondition(const Expr &e)
+    {
+        Value *v = genExpr(e);
+        if (v->type() != Type::i1())
+            err(e.line, "condition must be a bool expression");
+        return v;
+    }
+
+    void
+    genIf(const Stmt &s)
+    {
+        Value *cond = genCondition(*s.expr);
+        BasicBlock *cur = builder.insertBlock();
+        BasicBlock *then_bb = curFn->addBlockAfter(cur,
+                                                   blockName("if.then"));
+        BasicBlock *else_bb =
+            s.elseBody.empty()
+                ? nullptr
+                : curFn->addBlockAfter(then_bb, blockName("if.else"));
+        BasicBlock *join_bb = curFn->addBlockAfter(
+            else_bb ? else_bb : then_bb, blockName("if.end"));
+
+        builder.createCondBr(cond, then_bb,
+                             else_bb ? else_bb : join_bb);
+
+        builder.setInsertPoint(then_bb);
+        terminated = false;
+        scopes.emplace_back();
+        genStmtList(s.body);
+        scopes.pop_back();
+        if (!terminated)
+            builder.createBr(join_bb);
+
+        if (else_bb) {
+            builder.setInsertPoint(else_bb);
+            terminated = false;
+            scopes.emplace_back();
+            genStmtList(s.elseBody);
+            scopes.pop_back();
+            if (!terminated)
+                builder.createBr(join_bb);
+        }
+
+        builder.setInsertPoint(join_bb);
+        terminated = false;
+    }
+
+    void
+    genWhile(const Stmt &s)
+    {
+        BasicBlock *cur = builder.insertBlock();
+        BasicBlock *cond_bb =
+            curFn->addBlockAfter(cur, blockName("while.cond"));
+        BasicBlock *body_bb =
+            curFn->addBlockAfter(cond_bb, blockName("while.body"));
+        BasicBlock *exit_bb =
+            curFn->addBlockAfter(body_bb, blockName("while.end"));
+
+        builder.createBr(cond_bb);
+        builder.setInsertPoint(cond_bb);
+        Value *cond = genCondition(*s.expr);
+        builder.createCondBr(cond, body_bb, exit_bb);
+
+        builder.setInsertPoint(body_bb);
+        terminated = false;
+        loopStack.push_back({cond_bb, exit_bb});
+        scopes.emplace_back();
+        genStmtList(s.body);
+        scopes.pop_back();
+        loopStack.pop_back();
+        if (!terminated)
+            builder.createBr(cond_bb);
+
+        builder.setInsertPoint(exit_bb);
+        terminated = false;
+    }
+
+    void
+    genFor(const Stmt &s)
+    {
+        scopes.emplace_back(); // for-init scope
+        if (s.forInit)
+            genStmt(*s.forInit);
+
+        BasicBlock *cur = builder.insertBlock();
+        BasicBlock *cond_bb =
+            curFn->addBlockAfter(cur, blockName("for.cond"));
+        BasicBlock *body_bb =
+            curFn->addBlockAfter(cond_bb, blockName("for.body"));
+        BasicBlock *step_bb =
+            curFn->addBlockAfter(body_bb, blockName("for.step"));
+        BasicBlock *exit_bb =
+            curFn->addBlockAfter(step_bb, blockName("for.end"));
+
+        builder.createBr(cond_bb);
+        builder.setInsertPoint(cond_bb);
+        if (s.expr) {
+            Value *cond = genCondition(*s.expr);
+            builder.createCondBr(cond, body_bb, exit_bb);
+        } else {
+            builder.createBr(body_bb);
+        }
+
+        builder.setInsertPoint(body_bb);
+        terminated = false;
+        loopStack.push_back({step_bb, exit_bb});
+        scopes.emplace_back();
+        genStmtList(s.body);
+        scopes.pop_back();
+        loopStack.pop_back();
+        if (!terminated)
+            builder.createBr(step_bb);
+
+        builder.setInsertPoint(step_bb);
+        terminated = false;
+        if (s.forStep)
+            genStmt(*s.forStep);
+        builder.createBr(cond_bb);
+
+        builder.setInsertPoint(exit_bb);
+        terminated = false;
+        scopes.pop_back();
+    }
+
+    void
+    generateFunction(const FnDecl &decl)
+    {
+        curFn = mod->getFunction(decl.name);
+        nextBlockId = 0;
+        entryBlock = curFn->addBlock("entry");
+        builder.setInsertPoint(entryBlock);
+        terminated = false;
+        scopes.clear();
+        scopes.emplace_back();
+
+        // Scalar parameters become mutable locals (so loop conditions
+        // like Fig. 3's `len -= 32` work); pointer parameters stay SSA.
+        for (std::size_t i = 0; i < decl.params.size(); ++i) {
+            Argument *arg = curFn->arg(i);
+            const Param &p = decl.params[i];
+            Sym sym;
+            if (p.type.isPointer) {
+                sym.kind = Sym::Kind::PtrParam;
+                sym.ptr = arg;
+                sym.valType = p.type.scalar;
+            } else {
+                sym.kind = Sym::Kind::ScalarLocal;
+                sym.valType = p.type.scalar;
+                sym.ptr = entryAlloca(p.type.scalar, 1, p.name + ".a");
+                builder.createStore(arg, sym.ptr);
+            }
+            define(decl.line, p.name, std::move(sym));
+        }
+
+        genStmtList(decl.body);
+
+        if (!terminated) {
+            if (curFn->returnType().isVoid()) {
+                builder.createRet();
+            } else if (curFn->returnType().isFloat()) {
+                builder.createRet(
+                    mod->getConstFloat(curFn->returnType(), 0.0));
+            } else {
+                builder.createRet(
+                    mod->getConstInt(curFn->returnType(), uint64_t{0}));
+            }
+        }
+    }
+
+    struct LoopTargets
+    {
+        BasicBlock *continueTarget;
+        BasicBlock *breakTarget;
+    };
+
+    const Program &program;
+    std::unique_ptr<Module> mod;
+    IRBuilder builder;
+    Function *curFn = nullptr;
+    BasicBlock *entryBlock = nullptr;
+    bool terminated = false;
+    unsigned nextBlockId = 0;
+    std::vector<std::map<std::string, Sym>> scopes;
+    std::map<std::string, Sym> moduleScope;
+    std::vector<LoopTargets> loopStack;
+};
+
+} // namespace
+
+std::unique_ptr<Module>
+generateIR(const ast::Program &prog, const std::string &module_name)
+{
+    return IRGen(prog, module_name).run();
+}
+
+} // namespace softcheck

@@ -1,0 +1,28 @@
+/**
+ * @file
+ * MiniLang AST -> SoftCheck IR lowering with semantic checking.
+ *
+ * Locals are lowered as allocas with loads/stores (LLVM clang style);
+ * the caller runs mem2reg afterwards to obtain the SSA phi nodes the
+ * hardening passes analyze. Module-level const arrays become
+ * GlobalVariables; scalar consts are folded at compile time.
+ */
+
+#ifndef SOFTCHECK_FRONTEND_IRGEN_HH
+#define SOFTCHECK_FRONTEND_IRGEN_HH
+
+#include <memory>
+
+#include "frontend/ast.hh"
+#include "ir/module.hh"
+
+namespace softcheck
+{
+
+/** Lower @p prog into a fresh module named @p module_name. */
+std::unique_ptr<Module> generateIR(const ast::Program &prog,
+                                   const std::string &module_name);
+
+} // namespace softcheck
+
+#endif // SOFTCHECK_FRONTEND_IRGEN_HH

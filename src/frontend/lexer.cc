@@ -1,0 +1,256 @@
+#include "frontend/lexer.hh"
+
+#include <cctype>
+#include <map>
+
+#include "support/error.hh"
+
+namespace softcheck
+{
+
+const char *
+tokKindName(TokKind k)
+{
+    switch (k) {
+      case TokKind::End: return "<eof>";
+      case TokKind::Ident: return "identifier";
+      case TokKind::IntLit: return "integer literal";
+      case TokKind::FloatLit: return "float literal";
+      case TokKind::KwFn: return "fn";
+      case TokKind::KwVar: return "var";
+      case TokKind::KwConst: return "const";
+      case TokKind::KwIf: return "if";
+      case TokKind::KwElse: return "else";
+      case TokKind::KwWhile: return "while";
+      case TokKind::KwFor: return "for";
+      case TokKind::KwReturn: return "return";
+      case TokKind::KwBreak: return "break";
+      case TokKind::KwContinue: return "continue";
+      case TokKind::KwTrue: return "true";
+      case TokKind::KwFalse: return "false";
+      case TokKind::LParen: return "(";
+      case TokKind::RParen: return ")";
+      case TokKind::LBrace: return "{";
+      case TokKind::RBrace: return "}";
+      case TokKind::LBracket: return "[";
+      case TokKind::RBracket: return "]";
+      case TokKind::Comma: return ",";
+      case TokKind::Semicolon: return ";";
+      case TokKind::Colon: return ":";
+      case TokKind::Arrow: return "->";
+      case TokKind::Assign: return "=";
+      case TokKind::EqEq: return "==";
+      case TokKind::NotEq: return "!=";
+      case TokKind::Lt: return "<";
+      case TokKind::Le: return "<=";
+      case TokKind::Gt: return ">";
+      case TokKind::Ge: return ">=";
+      case TokKind::Plus: return "+";
+      case TokKind::Minus: return "-";
+      case TokKind::Star: return "*";
+      case TokKind::Slash: return "/";
+      case TokKind::Percent: return "%";
+      case TokKind::Shl: return "<<";
+      case TokKind::Shr: return ">>";
+      case TokKind::Amp: return "&";
+      case TokKind::Pipe: return "|";
+      case TokKind::Caret: return "^";
+      case TokKind::AmpAmp: return "&&";
+      case TokKind::PipePipe: return "||";
+      case TokKind::Bang: return "!";
+      case TokKind::Tilde: return "~";
+    }
+    return "?";
+}
+
+std::vector<Token>
+tokenize(const std::string &src)
+{
+    static const std::map<std::string, TokKind> keywords = {
+        {"fn", TokKind::KwFn},         {"var", TokKind::KwVar},
+        {"const", TokKind::KwConst},   {"if", TokKind::KwIf},
+        {"else", TokKind::KwElse},     {"while", TokKind::KwWhile},
+        {"for", TokKind::KwFor},       {"return", TokKind::KwReturn},
+        {"break", TokKind::KwBreak},   {"continue", TokKind::KwContinue},
+        {"true", TokKind::KwTrue},     {"false", TokKind::KwFalse},
+    };
+
+    std::vector<Token> toks;
+    std::size_t i = 0;
+    int line = 1;
+    const std::size_t n = src.size();
+
+    auto peek = [&](std::size_t off = 0) {
+        return i + off < n ? src[i + off] : '\0';
+    };
+    auto emit = [&](TokKind k, std::string text) {
+        toks.push_back({k, std::move(text), 0, 0, line});
+    };
+
+    while (i < n) {
+        const char c = src[i];
+        if (c == '\n') {
+            ++line;
+            ++i;
+            continue;
+        }
+        if (std::isspace(static_cast<unsigned char>(c))) {
+            ++i;
+            continue;
+        }
+        // Comments
+        if (c == '/' && peek(1) == '/') {
+            while (i < n && src[i] != '\n')
+                ++i;
+            continue;
+        }
+        if (c == '/' && peek(1) == '*') {
+            i += 2;
+            while (i < n && !(src[i] == '*' && peek(1) == '/')) {
+                if (src[i] == '\n')
+                    ++line;
+                ++i;
+            }
+            if (i >= n)
+                scFatal("unterminated block comment at line ", line);
+            i += 2;
+            continue;
+        }
+        // Identifiers / keywords
+        if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+            std::size_t start = i;
+            while (i < n && (std::isalnum(
+                                 static_cast<unsigned char>(src[i])) ||
+                             src[i] == '_'))
+                ++i;
+            std::string word = src.substr(start, i - start);
+            auto it = keywords.find(word);
+            emit(it != keywords.end() ? it->second : TokKind::Ident,
+                 std::move(word));
+            continue;
+        }
+        // Numbers
+        if (std::isdigit(static_cast<unsigned char>(c))) {
+            std::size_t start = i;
+            bool is_float = false;
+            if (c == '0' && (peek(1) == 'x' || peek(1) == 'X')) {
+                i += 2;
+                while (i < n && std::isxdigit(
+                                    static_cast<unsigned char>(src[i])))
+                    ++i;
+                Token t;
+                t.kind = TokKind::IntLit;
+                t.text = src.substr(start, i - start);
+                t.intValue = static_cast<int64_t>(
+                    std::stoull(t.text.substr(2), nullptr, 16));
+                t.line = line;
+                toks.push_back(std::move(t));
+                continue;
+            }
+            while (i < n &&
+                   std::isdigit(static_cast<unsigned char>(src[i])))
+                ++i;
+            if (i < n && src[i] == '.' &&
+                std::isdigit(static_cast<unsigned char>(peek(1)))) {
+                is_float = true;
+                ++i;
+                while (i < n &&
+                       std::isdigit(static_cast<unsigned char>(src[i])))
+                    ++i;
+            }
+            if (i < n && (src[i] == 'e' || src[i] == 'E')) {
+                std::size_t save = i;
+                ++i;
+                if (i < n && (src[i] == '+' || src[i] == '-'))
+                    ++i;
+                if (i < n &&
+                    std::isdigit(static_cast<unsigned char>(src[i]))) {
+                    is_float = true;
+                    while (i < n && std::isdigit(static_cast<unsigned char>(
+                                        src[i])))
+                        ++i;
+                } else {
+                    i = save;
+                }
+            }
+            Token t;
+            t.text = src.substr(start, i - start);
+            t.line = line;
+            if (is_float) {
+                t.kind = TokKind::FloatLit;
+                t.floatValue = std::stod(t.text);
+            } else {
+                t.kind = TokKind::IntLit;
+                t.intValue = static_cast<int64_t>(
+                    std::stoull(t.text, nullptr, 10));
+            }
+            toks.push_back(std::move(t));
+            continue;
+        }
+        // Operators / punctuation
+        auto two = [&](char c2, TokKind k2, TokKind k1) {
+            if (peek(1) == c2) {
+                emit(k2, std::string{c, c2});
+                i += 2;
+            } else {
+                emit(k1, std::string{c});
+                ++i;
+            }
+        };
+        switch (c) {
+          case '(': emit(TokKind::LParen, "("); ++i; break;
+          case ')': emit(TokKind::RParen, ")"); ++i; break;
+          case '{': emit(TokKind::LBrace, "{"); ++i; break;
+          case '}': emit(TokKind::RBrace, "}"); ++i; break;
+          case '[': emit(TokKind::LBracket, "["); ++i; break;
+          case ']': emit(TokKind::RBracket, "]"); ++i; break;
+          case ',': emit(TokKind::Comma, ","); ++i; break;
+          case ';': emit(TokKind::Semicolon, ";"); ++i; break;
+          case ':': emit(TokKind::Colon, ":"); ++i; break;
+          case '+': emit(TokKind::Plus, "+"); ++i; break;
+          case '*': emit(TokKind::Star, "*"); ++i; break;
+          case '/': emit(TokKind::Slash, "/"); ++i; break;
+          case '%': emit(TokKind::Percent, "%"); ++i; break;
+          case '^': emit(TokKind::Caret, "^"); ++i; break;
+          case '~': emit(TokKind::Tilde, "~"); ++i; break;
+          case '-':
+            two('>', TokKind::Arrow, TokKind::Minus);
+            break;
+          case '=':
+            two('=', TokKind::EqEq, TokKind::Assign);
+            break;
+          case '!':
+            two('=', TokKind::NotEq, TokKind::Bang);
+            break;
+          case '<':
+            if (peek(1) == '<') {
+                emit(TokKind::Shl, "<<");
+                i += 2;
+            } else {
+                two('=', TokKind::Le, TokKind::Lt);
+            }
+            break;
+          case '>':
+            if (peek(1) == '>') {
+                emit(TokKind::Shr, ">>");
+                i += 2;
+            } else {
+                two('=', TokKind::Ge, TokKind::Gt);
+            }
+            break;
+          case '&':
+            two('&', TokKind::AmpAmp, TokKind::Amp);
+            break;
+          case '|':
+            two('|', TokKind::PipePipe, TokKind::Pipe);
+            break;
+          default:
+            scFatal("unexpected character '", std::string{c},
+                    "' at line ", line);
+        }
+    }
+    toks.push_back({TokKind::End, "", 0, 0, line});
+    return toks;
+}
+
+} // namespace softcheck

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * MiniLang lexer. MiniLang is the small C-like language the workloads
+ * are written in; it plays the role of the benchmark C sources that the
+ * paper compiles with LLVM.
+ */
+
+#ifndef SOFTCHECK_FRONTEND_LEXER_HH
+#define SOFTCHECK_FRONTEND_LEXER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace softcheck
+{
+
+enum class TokKind : uint8_t
+{
+    End,
+    Ident,
+    IntLit,
+    FloatLit,
+    // Keywords
+    KwFn,
+    KwVar,
+    KwConst,
+    KwIf,
+    KwElse,
+    KwWhile,
+    KwFor,
+    KwReturn,
+    KwBreak,
+    KwContinue,
+    KwTrue,
+    KwFalse,
+    // Punctuation / operators
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    LBracket,
+    RBracket,
+    Comma,
+    Semicolon,
+    Colon,
+    Arrow,     // ->
+    Assign,    // =
+    EqEq,
+    NotEq,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Percent,
+    Shl,
+    Shr,
+    Amp,
+    Pipe,
+    Caret,
+    AmpAmp,
+    PipePipe,
+    Bang,
+    Tilde,
+};
+
+struct Token
+{
+    TokKind kind = TokKind::End;
+    std::string text;
+    int64_t intValue = 0;
+    double floatValue = 0;
+    int line = 0;
+};
+
+/** Tokenize @p source; throws FatalError on bad input. */
+std::vector<Token> tokenize(const std::string &source);
+
+const char *tokKindName(TokKind k);
+
+} // namespace softcheck
+
+#endif // SOFTCHECK_FRONTEND_LEXER_HH

@@ -1,0 +1,502 @@
+#include "frontend/parser.hh"
+
+#include <algorithm>
+#include <map>
+
+#include "support/error.hh"
+
+namespace softcheck
+{
+
+using namespace ast;
+
+namespace
+{
+
+/** True when @p name spells a scalar type. */
+bool
+scalarTypeFor(const std::string &name, Type &out)
+{
+    if (name == "i8") { out = Type::i8(); return true; }
+    if (name == "i16") { out = Type::i16(); return true; }
+    if (name == "i32") { out = Type::i32(); return true; }
+    if (name == "i64") { out = Type::i64(); return true; }
+    if (name == "f32") { out = Type::f32(); return true; }
+    if (name == "f64") { out = Type::f64(); return true; }
+    if (name == "bool") { out = Type::i1(); return true; }
+    return false;
+}
+
+class Parser
+{
+  public:
+    explicit Parser(const std::string &source)
+        : toks(tokenize(source))
+    {}
+
+    Program
+    run()
+    {
+        Program prog;
+        while (cur().kind != TokKind::End) {
+            if (cur().kind == TokKind::KwConst)
+                prog.consts.push_back(parseConst());
+            else if (cur().kind == TokKind::KwFn)
+                prog.functions.push_back(parseFunction());
+            else
+                err("expected 'fn' or 'const'");
+        }
+        return prog;
+    }
+
+  private:
+    const Token &cur() const { return toks[pos]; }
+    const Token &peek(std::size_t off = 1) const
+    {
+        return toks[std::min(pos + off, toks.size() - 1)];
+    }
+
+    [[noreturn]] void
+    err(const std::string &msg) const
+    {
+        scFatal("parse error at line ", cur().line, " near '",
+                cur().text.empty() ? tokKindName(cur().kind) : cur().text,
+                "': ", msg);
+    }
+
+    Token
+    expect(TokKind k, const char *what)
+    {
+        if (cur().kind != k)
+            err(std::string("expected ") + what);
+        return toks[pos++];
+    }
+
+    bool
+    accept(TokKind k)
+    {
+        if (cur().kind == k) {
+            ++pos;
+            return true;
+        }
+        return false;
+    }
+
+    TypeRef
+    parseTypeRef()
+    {
+        TypeRef tr;
+        const Token id = expect(TokKind::Ident, "type name");
+        if (id.text == "ptr") {
+            expect(TokKind::Lt, "'<' after ptr");
+            const Token elem = expect(TokKind::Ident, "element type");
+            if (!scalarTypeFor(elem.text, tr.scalar))
+                err("unknown element type '" + elem.text + "'");
+            expect(TokKind::Gt, "'>' after ptr element type");
+            tr.isPointer = true;
+            return tr;
+        }
+        if (!scalarTypeFor(id.text, tr.scalar))
+            err("unknown type '" + id.text + "'");
+        return tr;
+    }
+
+    ConstDecl
+    parseConst()
+    {
+        ConstDecl cd;
+        cd.line = cur().line;
+        expect(TokKind::KwConst, "'const'");
+        cd.name = expect(TokKind::Ident, "constant name").text;
+        expect(TokKind::Colon, "':' after constant name");
+        cd.elemType = parseTypeRef();
+        if (cd.elemType.isPointer)
+            err("constants cannot be pointers");
+        if (accept(TokKind::LBracket)) {
+            const Token n = expect(TokKind::IntLit, "array size");
+            cd.isArray = true;
+            cd.arraySize = static_cast<uint64_t>(n.intValue);
+            expect(TokKind::RBracket, "']'");
+        }
+        expect(TokKind::Assign, "'='");
+        if (cd.isArray) {
+            expect(TokKind::LBracket, "'[' to open initializer");
+            while (cur().kind != TokKind::RBracket) {
+                cd.values.push_back(parseExpr());
+                if (!accept(TokKind::Comma))
+                    break;
+            }
+            expect(TokKind::RBracket, "']' to close initializer");
+        } else {
+            cd.values.push_back(parseExpr());
+        }
+        expect(TokKind::Semicolon, "';'");
+        return cd;
+    }
+
+    FnDecl
+    parseFunction()
+    {
+        FnDecl fn;
+        fn.line = cur().line;
+        expect(TokKind::KwFn, "'fn'");
+        fn.name = expect(TokKind::Ident, "function name").text;
+        expect(TokKind::LParen, "'('");
+        while (cur().kind != TokKind::RParen) {
+            Param p;
+            p.name = expect(TokKind::Ident, "parameter name").text;
+            expect(TokKind::Colon, "':'");
+            p.type = parseTypeRef();
+            fn.params.push_back(std::move(p));
+            if (!accept(TokKind::Comma))
+                break;
+        }
+        expect(TokKind::RParen, "')'");
+        if (accept(TokKind::Arrow)) {
+            const Token id = cur();
+            if (id.kind == TokKind::Ident && id.text == "void") {
+                ++pos;
+                fn.returnsVoid = true;
+            } else {
+                fn.returnType = parseTypeRef();
+                if (fn.returnType.isPointer)
+                    err("functions cannot return pointers");
+                fn.returnsVoid = false;
+            }
+        }
+        fn.body = parseBlock();
+        return fn;
+    }
+
+    std::vector<StmtPtr>
+    parseBlock()
+    {
+        expect(TokKind::LBrace, "'{'");
+        std::vector<StmtPtr> stmts;
+        while (cur().kind != TokKind::RBrace)
+            stmts.push_back(parseStmt());
+        expect(TokKind::RBrace, "'}'");
+        return stmts;
+    }
+
+    StmtPtr
+    makeStmt(StmtKind k)
+    {
+        auto s = std::make_unique<Stmt>();
+        s->kind = k;
+        s->line = cur().line;
+        return s;
+    }
+
+    StmtPtr
+    parseVarDecl()
+    {
+        auto s = makeStmt(StmtKind::VarDecl);
+        expect(TokKind::KwVar, "'var'");
+        s->name = expect(TokKind::Ident, "variable name").text;
+        expect(TokKind::Colon, "':'");
+        s->declType = parseTypeRef();
+        if (accept(TokKind::LBracket)) {
+            if (s->declType.isPointer)
+                err("arrays of pointers are not supported");
+            const Token n = expect(TokKind::IntLit, "array size");
+            if (n.intValue <= 0)
+                err("array size must be positive");
+            s->arraySize = static_cast<uint64_t>(n.intValue);
+            expect(TokKind::RBracket, "']'");
+        }
+        if (accept(TokKind::Assign)) {
+            if (s->arraySize)
+                err("array variables cannot have initializers");
+            s->init = parseExpr();
+        }
+        return s;
+    }
+
+    /** Assignment starting at an identifier: x = e; or a[i] = e; */
+    StmtPtr
+    parseAssignTail()
+    {
+        auto s = makeStmt(StmtKind::Assign);
+        s->name = expect(TokKind::Ident, "variable name").text;
+        if (accept(TokKind::LBracket)) {
+            s->index = parseExpr();
+            expect(TokKind::RBracket, "']'");
+        }
+        expect(TokKind::Assign, "'='");
+        s->value = parseExpr();
+        return s;
+    }
+
+    StmtPtr
+    parseSimpleStmt()
+    {
+        // var decl, assignment, or expression statement (no ';').
+        if (cur().kind == TokKind::KwVar)
+            return parseVarDecl();
+        if (cur().kind == TokKind::Ident) {
+            // Lookahead: Ident '=' or Ident '[' ... ']' '='.
+            if (peek().kind == TokKind::Assign)
+                return parseAssignTail();
+            if (peek().kind == TokKind::LBracket) {
+                // Scan to matching ']' and check for '='.
+                std::size_t j = pos + 2;
+                int depth = 1;
+                while (j < toks.size() && depth > 0) {
+                    if (toks[j].kind == TokKind::LBracket)
+                        ++depth;
+                    else if (toks[j].kind == TokKind::RBracket)
+                        --depth;
+                    ++j;
+                }
+                if (j < toks.size() && toks[j].kind == TokKind::Assign)
+                    return parseAssignTail();
+            }
+        }
+        auto s = makeStmt(StmtKind::ExprStmt);
+        s->expr = parseExpr();
+        return s;
+    }
+
+    StmtPtr
+    parseStmt()
+    {
+        switch (cur().kind) {
+          case TokKind::LBrace: {
+            auto s = makeStmt(StmtKind::Block);
+            s->body = parseBlock();
+            return s;
+          }
+          case TokKind::KwIf: {
+            auto s = makeStmt(StmtKind::If);
+            ++pos;
+            expect(TokKind::LParen, "'('");
+            s->expr = parseExpr();
+            expect(TokKind::RParen, "')'");
+            s->body = parseBlock();
+            if (accept(TokKind::KwElse)) {
+                if (cur().kind == TokKind::KwIf) {
+                    s->elseBody.push_back(parseStmt());
+                } else {
+                    s->elseBody = parseBlock();
+                }
+            }
+            return s;
+          }
+          case TokKind::KwWhile: {
+            auto s = makeStmt(StmtKind::While);
+            ++pos;
+            expect(TokKind::LParen, "'('");
+            s->expr = parseExpr();
+            expect(TokKind::RParen, "')'");
+            s->body = parseBlock();
+            return s;
+          }
+          case TokKind::KwFor: {
+            auto s = makeStmt(StmtKind::For);
+            ++pos;
+            expect(TokKind::LParen, "'('");
+            if (cur().kind != TokKind::Semicolon)
+                s->forInit = parseSimpleStmt();
+            expect(TokKind::Semicolon, "';'");
+            if (cur().kind != TokKind::Semicolon)
+                s->expr = parseExpr();
+            expect(TokKind::Semicolon, "';'");
+            if (cur().kind != TokKind::RParen)
+                s->forStep = parseSimpleStmt();
+            expect(TokKind::RParen, "')'");
+            s->body = parseBlock();
+            return s;
+          }
+          case TokKind::KwReturn: {
+            auto s = makeStmt(StmtKind::Return);
+            ++pos;
+            if (cur().kind != TokKind::Semicolon)
+                s->expr = parseExpr();
+            expect(TokKind::Semicolon, "';'");
+            return s;
+          }
+          case TokKind::KwBreak: {
+            auto s = makeStmt(StmtKind::Break);
+            ++pos;
+            expect(TokKind::Semicolon, "';'");
+            return s;
+          }
+          case TokKind::KwContinue: {
+            auto s = makeStmt(StmtKind::Continue);
+            ++pos;
+            expect(TokKind::Semicolon, "';'");
+            return s;
+          }
+          default: {
+            auto s = parseSimpleStmt();
+            expect(TokKind::Semicolon, "';'");
+            return s;
+          }
+        }
+    }
+
+    // ---- expressions -------------------------------------------------
+
+    static int
+    precedence(TokKind k)
+    {
+        switch (k) {
+          case TokKind::PipePipe: return 1;
+          case TokKind::AmpAmp: return 2;
+          case TokKind::Pipe: return 3;
+          case TokKind::Caret: return 4;
+          case TokKind::Amp: return 5;
+          case TokKind::EqEq:
+          case TokKind::NotEq: return 6;
+          case TokKind::Lt:
+          case TokKind::Le:
+          case TokKind::Gt:
+          case TokKind::Ge: return 7;
+          case TokKind::Shl:
+          case TokKind::Shr: return 8;
+          case TokKind::Plus:
+          case TokKind::Minus: return 9;
+          case TokKind::Star:
+          case TokKind::Slash:
+          case TokKind::Percent: return 10;
+          default: return 0;
+        }
+    }
+
+    ExprPtr
+    makeExpr(ExprKind k)
+    {
+        auto e = std::make_unique<Expr>();
+        e->kind = k;
+        e->line = cur().line;
+        return e;
+    }
+
+    ExprPtr
+    parseExpr()
+    {
+        return parseBinary(1);
+    }
+
+    ExprPtr
+    parseBinary(int min_prec)
+    {
+        ExprPtr lhs = parseUnary();
+        for (;;) {
+            const TokKind op = cur().kind;
+            const int prec = precedence(op);
+            if (prec < min_prec || prec == 0)
+                return lhs;
+            ++pos;
+            ExprPtr rhs = parseBinary(prec + 1);
+            auto e = std::make_unique<Expr>();
+            e->kind = ExprKind::Binary;
+            e->line = lhs->line;
+            e->op = op;
+            e->children.push_back(std::move(lhs));
+            e->children.push_back(std::move(rhs));
+            lhs = std::move(e);
+        }
+    }
+
+    ExprPtr
+    parseUnary()
+    {
+        const TokKind k = cur().kind;
+        if (k == TokKind::Minus || k == TokKind::Bang ||
+            k == TokKind::Tilde) {
+            auto e = makeExpr(ExprKind::Unary);
+            e->op = k;
+            ++pos;
+            e->children.push_back(parseUnary());
+            return e;
+        }
+        return parsePrimary();
+    }
+
+    ExprPtr
+    parsePrimary()
+    {
+        switch (cur().kind) {
+          case TokKind::IntLit: {
+            auto e = makeExpr(ExprKind::IntLit);
+            e->intValue = cur().intValue;
+            ++pos;
+            return e;
+          }
+          case TokKind::FloatLit: {
+            auto e = makeExpr(ExprKind::FloatLit);
+            e->floatValue = cur().floatValue;
+            ++pos;
+            return e;
+          }
+          case TokKind::KwTrue:
+          case TokKind::KwFalse: {
+            auto e = makeExpr(ExprKind::BoolLit);
+            e->boolValue = cur().kind == TokKind::KwTrue;
+            ++pos;
+            return e;
+          }
+          case TokKind::LParen: {
+            ++pos;
+            ExprPtr e = parseExpr();
+            expect(TokKind::RParen, "')'");
+            return e;
+          }
+          case TokKind::Ident: {
+            const std::string name = cur().text;
+            // Cast: typeName '(' expr ')'
+            Type scalar;
+            if (scalarTypeFor(name, scalar) &&
+                peek().kind == TokKind::LParen) {
+                auto e = makeExpr(ExprKind::Cast);
+                e->castType.scalar = scalar;
+                pos += 2;
+                e->children.push_back(parseExpr());
+                expect(TokKind::RParen, "')'");
+                return e;
+            }
+            if (peek().kind == TokKind::LParen) {
+                auto e = makeExpr(ExprKind::Call);
+                e->name = name;
+                pos += 2;
+                while (cur().kind != TokKind::RParen) {
+                    e->children.push_back(parseExpr());
+                    if (!accept(TokKind::Comma))
+                        break;
+                }
+                expect(TokKind::RParen, "')'");
+                return e;
+            }
+            if (peek().kind == TokKind::LBracket) {
+                auto e = makeExpr(ExprKind::Index);
+                e->name = name;
+                pos += 2;
+                e->children.push_back(parseExpr());
+                expect(TokKind::RBracket, "']'");
+                return e;
+            }
+            auto e = makeExpr(ExprKind::VarRef);
+            e->name = name;
+            ++pos;
+            return e;
+          }
+          default:
+            err("expected expression");
+        }
+    }
+
+    std::vector<Token> toks;
+    std::size_t pos = 0;
+};
+
+} // namespace
+
+ast::Program
+parseProgram(const std::string &source)
+{
+    return Parser(source).run();
+}
+
+} // namespace softcheck

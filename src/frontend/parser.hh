@@ -1,0 +1,19 @@
+/**
+ * @file
+ * MiniLang recursive-descent parser with precedence climbing.
+ */
+
+#ifndef SOFTCHECK_FRONTEND_PARSER_HH
+#define SOFTCHECK_FRONTEND_PARSER_HH
+
+#include "frontend/ast.hh"
+
+namespace softcheck
+{
+
+/** Parse MiniLang source into an AST; throws FatalError on errors. */
+ast::Program parseProgram(const std::string &source);
+
+} // namespace softcheck
+
+#endif // SOFTCHECK_FRONTEND_PARSER_HH

@@ -1,0 +1,32 @@
+#include "interp/cost_model.hh"
+
+#include "support/error.hh"
+#include "support/text.hh"
+
+namespace softcheck
+{
+
+std::string
+CostConfig::str() const
+{
+    return strformat(
+        "out-of-order core, issue width %u; L1-D %uKB %u-way %uB lines "
+        "(%u-cycle miss); bimodal predictor %u entries "
+        "(%u-cycle mispredict); div +%u, math +%u",
+        issueWidth, l1dSizeKB, l1dAssoc, lineBytes, l1dMissPenalty,
+        predictorEntries, branchMispredictPenalty, divExtraCycles,
+        mathExtraCycles);
+}
+
+CostModel::CostModel(const CostConfig &cfg) : conf(cfg)
+{
+    scAssert(conf.issueWidth > 0, "issue width must be positive");
+    numSets = conf.l1dSizeKB * 1024 / (conf.lineBytes * conf.l1dAssoc);
+    scAssert((numSets & (numSets - 1)) == 0, "sets must be a power of 2");
+    scAssert((conf.predictorEntries & (conf.predictorEntries - 1)) == 0,
+             "predictor entries must be a power of 2");
+    tags.assign(static_cast<std::size_t>(numSets) * conf.l1dAssoc, 0);
+    counters.assign(conf.predictorEntries, 1); // weakly not-taken
+}
+
+} // namespace softcheck

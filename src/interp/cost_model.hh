@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Deterministic timing model standing in for the paper's gem5 ARMv7-a
+ * out-of-order configuration (Table II). The model charges
+ * 1/issueWidth cycles of base cost per dynamic instruction and adds
+ * stall cycles for events an out-of-order core cannot hide: data-cache
+ * misses, branch mispredictions, and long unpipelined operations
+ * (divides, transcendental math).
+ *
+ * Absolute cycle counts are not meant to match silicon; the paper's
+ * overhead results are ratios, which a consistent model preserves.
+ */
+
+#ifndef SOFTCHECK_INTERP_COST_MODEL_HH
+#define SOFTCHECK_INTERP_COST_MODEL_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ir/instruction.hh"
+
+namespace softcheck
+{
+
+/** Parameters mirroring the paper's Table II where applicable. */
+struct CostConfig
+{
+    unsigned issueWidth = 2;           //!< Table II: issue width 2
+    unsigned l1dSizeKB = 32;           //!< Table II: 32KB L1-D
+    unsigned l1dAssoc = 2;             //!< Table II: 2-way
+    unsigned lineBytes = 64;
+    unsigned l1dMissPenalty = 20;      //!< cycles, L2+memory combined
+    unsigned branchMispredictPenalty = 10;
+    unsigned divExtraCycles = 11;      //!< unpipelined divide
+    unsigned mathExtraCycles = 18;     //!< sqrt/exp/log/sin/cos
+    unsigned predictorEntries = 4096;  //!< bimodal 2-bit counters
+
+    std::string str() const;
+};
+
+class CostModel
+{
+  public:
+    explicit CostModel(const CostConfig &cfg = {});
+
+    /** Charge the base cost (and div/math stalls) for one instruction. */
+    void
+    onInstr(Opcode op)
+    {
+        ++instrs;
+        switch (op) {
+          case Opcode::SDiv:
+          case Opcode::UDiv:
+          case Opcode::SRem:
+          case Opcode::URem:
+          case Opcode::FDiv:
+            stalls += conf.divExtraCycles;
+            break;
+          case Opcode::Sqrt:
+          case Opcode::Exp:
+          case Opcode::Log:
+          case Opcode::Sin:
+          case Opcode::Cos:
+            stalls += conf.mathExtraCycles;
+            break;
+          default:
+            break;
+        }
+    }
+
+    /** Simulate an L1-D access (loads and stores). */
+    void
+    onMemAccess(uint64_t addr)
+    {
+        const uint64_t line = addr / conf.lineBytes;
+        const uint64_t set = line & (numSets - 1);
+        uint64_t *ways = &tags[set * conf.l1dAssoc];
+        for (unsigned w = 0; w < conf.l1dAssoc; ++w) {
+            if (ways[w] == line + 1) {
+                // Move to MRU position (way 0).
+                for (unsigned v = w; v > 0; --v)
+                    ways[v] = ways[v - 1];
+                ways[0] = line + 1;
+                return;
+            }
+        }
+        ++misses;
+        stalls += conf.l1dMissPenalty;
+        for (unsigned v = conf.l1dAssoc - 1; v > 0; --v)
+            ways[v] = ways[v - 1];
+        ways[0] = line + 1;
+    }
+
+    /** Predict + update the bimodal predictor for a conditional branch
+     * identified by @p site (a stable static id). */
+    void
+    onBranch(uint64_t site, bool taken)
+    {
+        uint8_t &ctr = counters[site & (conf.predictorEntries - 1)];
+        const bool predict_taken = ctr >= 2;
+        if (predict_taken != taken) {
+            ++mispredicts;
+            stalls += conf.branchMispredictPenalty;
+        }
+        if (taken) {
+            if (ctr < 3)
+                ++ctr;
+        } else {
+            if (ctr > 0)
+                --ctr;
+        }
+    }
+
+    uint64_t instructions() const { return instrs; }
+    uint64_t stallCycles() const { return stalls; }
+    uint64_t cacheMisses() const { return misses; }
+    uint64_t branchMispredicts() const { return mispredicts; }
+
+    /** Total simulated cycles so far. */
+    uint64_t
+    cycles() const
+    {
+        return instrs / conf.issueWidth + stalls;
+    }
+
+    const CostConfig &config() const { return conf; }
+
+  private:
+    CostConfig conf;
+    uint64_t instrs = 0;
+    uint64_t stalls = 0;
+    uint64_t misses = 0;
+    uint64_t mispredicts = 0;
+    unsigned numSets;
+    std::vector<uint64_t> tags;     //!< 0 = invalid, else line+1
+    std::vector<uint8_t> counters;  //!< 2-bit saturating
+};
+
+} // namespace softcheck
+
+#endif // SOFTCHECK_INTERP_COST_MODEL_HH

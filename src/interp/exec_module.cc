@@ -1,0 +1,202 @@
+#include "interp/exec_module.hh"
+
+#include <bit>
+
+#include "support/error.hh"
+
+namespace softcheck
+{
+
+namespace
+{
+
+OpRef
+makeOpRef(const Value *v)
+{
+    switch (v->kind()) {
+      case Value::Kind::ConstantInt: {
+        const auto *c = static_cast<const ConstantInt *>(v);
+        return {-1, c->rawValue()};
+      }
+      case Value::Kind::ConstantFloat: {
+        const auto *c = static_cast<const ConstantFloat *>(v);
+        if (c->type().kind() == TypeKind::F32) {
+            const float f = static_cast<float>(c->value());
+            return {-1, std::bit_cast<uint32_t>(f)};
+        }
+        return {-1, std::bit_cast<uint64_t>(c->value())};
+      }
+      default:
+        scAssert(v->slot() >= 0, "operand without register slot");
+        return {v->slot(), 0};
+    }
+}
+
+} // namespace
+
+ExecModule::ExecModule(Module &m)
+{
+    m.renumberAll();
+    for (const GlobalVariable *g : m.globals())
+        globalList.push_back(g);
+    fns.resize(m.functions().size());
+    for (std::size_t i = 0; i < m.functions().size(); ++i)
+        indexByName[m.functions()[i]->name()] = i;
+    for (std::size_t i = 0; i < m.functions().size(); ++i)
+        buildFunction(m, *m.functions()[i], fns[i]);
+}
+
+std::size_t
+ExecModule::functionIndex(const std::string &nm) const
+{
+    auto it = indexByName.find(nm);
+    if (it == indexByName.end())
+        scFatal("no function named '", nm, "'");
+    return it->second;
+}
+
+void
+ExecModule::buildFunction(Module &m, const Function &fn, ExecFunction &out)
+{
+    out.src = &fn;
+    out.numSlots = fn.numSlots();
+    out.numArgs = static_cast<uint32_t>(fn.numArgs());
+    out.retTy = fn.returnType().kind();
+
+    out.slotTypes.assign(out.numSlots, TypeKind::Void);
+    for (std::size_t i = 0; i < fn.numArgs(); ++i)
+        out.slotTypes[static_cast<std::size_t>(fn.arg(i)->slot())] =
+            fn.arg(i)->type().kind();
+
+    // Block numbering in layout order.
+    std::map<const BasicBlock *, uint32_t> blockIdx;
+    uint32_t bi = 0;
+    for (const auto &bb : fn)
+        blockIdx[bb.get()] = bi++;
+    out.blocks.resize(bi);
+
+    // First pass: emit non-phi instructions and record slot types.
+    bi = 0;
+    for (const auto &bb : fn) {
+        ExecBlock &eb = out.blocks[bi];
+        bool in_phi_prefix = true;
+        eb.first = static_cast<uint32_t>(out.code.size());
+        for (const auto &inst_ptr : *bb) {
+            const Instruction *inst = inst_ptr.get();
+            if (inst->slot() >= 0)
+                out.slotTypes[static_cast<std::size_t>(inst->slot())] =
+                    inst->type().kind();
+            if (inst->opcode() == Opcode::Phi) {
+                scAssert(in_phi_prefix, "phi after non-phi");
+                continue;
+            }
+            in_phi_prefix = false;
+
+            ExecInst ei;
+            ei.op = inst->opcode();
+            ei.pred = inst->predicate();
+            ei.dst = inst->slot();
+            ei.checkId = inst->checkId();
+            ei.profileId = inst->profileId();
+            ei.srcInst = inst;
+
+            if (ei.checkId >= 0)
+                checkIdCount = std::max(checkIdCount,
+                                        unsigned(ei.checkId) + 1);
+            if (ei.profileId >= 0)
+                profileSiteCount = std::max(profileSiteCount,
+                                            unsigned(ei.profileId) + 1);
+
+            // Operative type: operand type for compares / stores /
+            // checks / ret; result type otherwise. Casts carry their
+            // source kind in elemSize (the field is unused for them).
+            if (inst->numOperands() > 0 &&
+                (ei.op == Opcode::ICmp || ei.op == Opcode::FCmp ||
+                 ei.op == Opcode::Store || isCheck(ei.op) ||
+                 ei.op == Opcode::Ret)) {
+                ei.ty = inst->operand(0)->type().kind();
+            } else {
+                ei.ty = inst->type().kind();
+            }
+            if (isCast(ei.op)) {
+                ei.elemSize =
+                    static_cast<uint32_t>(inst->operand(0)->type().kind());
+            }
+
+            if (ei.op == Opcode::Load || ei.op == Opcode::Store ||
+                ei.op == Opcode::Gep || ei.op == Opcode::Alloca) {
+                ei.elemSize = inst->elementType().storeSize();
+                if (ei.op == Opcode::Load)
+                    ei.ty = inst->elementType().kind();
+                if (ei.op == Opcode::Store)
+                    ei.ty = inst->operand(0)->type().kind();
+            }
+
+            if (ei.op == Opcode::GlobalAddr) {
+                scAssert(inst->globalRef(), "globaladdr without global");
+                ei.a = {-1, inst->globalRef()->index()};
+            }
+
+            const std::size_t n_ops = inst->numOperands();
+            if (ei.op == Opcode::Call) {
+                ei.calleeIdx = static_cast<int32_t>(
+                    functionIndexOf(m, inst->callee()));
+                ei.callArgs.reserve(n_ops);
+                for (std::size_t i = 0; i < n_ops; ++i)
+                    ei.callArgs.push_back(makeOpRef(inst->operand(i)));
+            } else {
+                if (n_ops > 0)
+                    ei.a = makeOpRef(inst->operand(0));
+                if (n_ops > 1)
+                    ei.b = makeOpRef(inst->operand(1));
+                if (n_ops > 2)
+                    ei.c = makeOpRef(inst->operand(2));
+                scAssert(n_ops <= 3, "instruction with >3 operands");
+            }
+
+            if (ei.op == Opcode::Br) {
+                ei.t0 = blockIdx.at(inst->blockOperand(0));
+            } else if (ei.op == Opcode::CondBr) {
+                ei.t0 = blockIdx.at(inst->blockOperand(0));
+                ei.t1 = blockIdx.at(inst->blockOperand(1));
+                ei.branchSite = nextBranchSite++;
+            }
+
+            out.code.push_back(std::move(ei));
+        }
+        ++bi;
+    }
+
+    // Second pass: phi move batches per incoming edge.
+    bi = 0;
+    for (const auto &bb : fn) {
+        ExecBlock &eb = out.blocks[bi];
+        auto phis = bb->phis();
+        if (!phis.empty()) {
+            std::map<uint32_t, std::vector<PhiMove>> by_pred;
+            for (const Instruction *phi : phis) {
+                for (std::size_t i = 0; i < phi->numOperands(); ++i) {
+                    const uint32_t pred_idx =
+                        blockIdx.at(phi->incomingBlock(i));
+                    by_pred[pred_idx].push_back(
+                        {phi->slot(), makeOpRef(phi->operand(i))});
+                }
+            }
+            for (auto &[pred_idx, moves] : by_pred)
+                eb.phiIn.emplace_back(pred_idx, std::move(moves));
+        }
+        ++bi;
+    }
+}
+
+std::size_t
+ExecModule::functionIndexOf(const Module &m, const Function *fn) const
+{
+    for (std::size_t i = 0; i < m.functions().size(); ++i) {
+        if (m.functions()[i] == fn)
+            return i;
+    }
+    scPanic("callee not in module");
+}
+
+} // namespace softcheck

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * "Compiled" executable form of a Module. The interpreter does not walk
+ * IR lists at runtime; ExecModule flattens each function into a dense
+ * instruction array with pre-resolved operand references (register slot
+ * or immediate), pre-resolved branch targets, and per-edge phi move
+ * batches. Building an ExecModule renumbers the module; the module must
+ * not be mutated while an ExecModule built from it is in use.
+ */
+
+#ifndef SOFTCHECK_INTERP_EXEC_MODULE_HH
+#define SOFTCHECK_INTERP_EXEC_MODULE_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "ir/module.hh"
+
+namespace softcheck
+{
+
+/** Operand reference: register slot (>= 0) or immediate (slot < 0). */
+struct OpRef
+{
+    int32_t slot = -1;
+    uint64_t imm = 0;
+};
+
+/** One phi-induced register move applied when an edge is taken. */
+struct PhiMove
+{
+    int32_t dst;
+    OpRef src;
+};
+
+/** Pre-resolved executable instruction. */
+struct ExecInst
+{
+    Opcode op;
+    Predicate pred = Predicate::None;
+    TypeKind ty = TypeKind::Void;     //!< operative type (see build())
+    uint32_t elemSize = 0;            //!< bytes for load/store/gep/alloca
+    int32_t dst = -1;                 //!< result slot; -1 if void
+    OpRef a, b, c;
+    uint32_t t0 = 0, t1 = 0;          //!< successor block indices
+    uint32_t branchSite = 0;          //!< global static id for predictor
+    int32_t checkId = -1;
+    int32_t profileId = -1;
+    int32_t calleeIdx = -1;           //!< ExecModule function index
+    std::vector<OpRef> callArgs;
+    const Instruction *srcInst = nullptr;
+};
+
+/** Executable block: an index range in ExecFunction::code plus the phi
+ * moves to apply per incoming edge. */
+struct ExecBlock
+{
+    uint32_t first = 0;   //!< index of first non-phi instruction
+    /** (pred block index, moves) pairs; applied atomically. */
+    std::vector<std::pair<uint32_t, std::vector<PhiMove>>> phiIn;
+};
+
+struct ExecFunction
+{
+    const Function *src = nullptr;
+    std::vector<ExecInst> code;
+    std::vector<ExecBlock> blocks;    //!< block 0 = entry
+    uint32_t numSlots = 0;
+    std::vector<TypeKind> slotTypes;  //!< per-slot value type
+    uint32_t numArgs = 0;             //!< args occupy slots [0, numArgs)
+    TypeKind retTy = TypeKind::Void;
+};
+
+class ExecModule
+{
+  public:
+    /** Build from @p m; renumbers all functions. */
+    explicit ExecModule(Module &m);
+
+    const ExecFunction &function(std::size_t idx) const
+    {
+        return fns[idx];
+    }
+    std::size_t numFunctions() const { return fns.size(); }
+
+    /** Function index by name; scFatal if absent. */
+    std::size_t functionIndex(const std::string &nm) const;
+
+    /** Module globals in index order (for per-run allocation). */
+    const std::vector<const GlobalVariable *> &globals() const
+    {
+        return globalList;
+    }
+
+    /** Total number of distinct check ids in the module (max id + 1). */
+    unsigned numCheckIds() const { return checkIdCount; }
+
+    /** Total number of profiling sites (max profile id + 1). */
+    unsigned numProfileSites() const { return profileSiteCount; }
+
+  private:
+    void buildFunction(Module &m, const Function &fn, ExecFunction &out);
+    std::size_t functionIndexOf(const Module &m,
+                                const Function *fn) const;
+
+    std::vector<ExecFunction> fns;
+    std::vector<const GlobalVariable *> globalList;
+    std::map<std::string, std::size_t> indexByName;
+    unsigned checkIdCount = 0;
+    unsigned profileSiteCount = 0;
+    uint32_t nextBranchSite = 0;
+};
+
+/** Bit width of a runtime value of kind @p k. */
+constexpr unsigned
+typeBits(TypeKind k)
+{
+    return Type(k).bitWidth();
+}
+
+} // namespace softcheck
+
+#endif // SOFTCHECK_INTERP_EXEC_MODULE_HH

@@ -1,0 +1,616 @@
+#include "interp/interpreter.hh"
+
+#include <bit>
+#include <cmath>
+#include <limits>
+
+#include "support/bits.hh"
+#include "support/error.hh"
+
+namespace softcheck
+{
+
+namespace
+{
+
+double
+asF64(uint64_t bits)
+{
+    return std::bit_cast<double>(bits);
+}
+
+uint64_t
+fromF64(double v)
+{
+    return std::bit_cast<uint64_t>(v);
+}
+
+float
+asF32(uint64_t bits)
+{
+    return std::bit_cast<float>(static_cast<uint32_t>(bits));
+}
+
+uint64_t
+fromF32(float v)
+{
+    return std::bit_cast<uint32_t>(v);
+}
+
+/** Saturating float -> signed int conversion (deterministic; NaN -> 0),
+ * matching llvm.fptosi.sat semantics. */
+int64_t
+fpToSiSat(double v, unsigned width)
+{
+    if (std::isnan(v))
+        return 0;
+    const double lo = -std::ldexp(1.0, static_cast<int>(width) - 1);
+    const double hi = std::ldexp(1.0, static_cast<int>(width) - 1) - 1.0;
+    if (v <= lo)
+        return static_cast<int64_t>(
+            std::numeric_limits<int64_t>::min() >> (64 - width));
+    if (v >= hi) {
+        const uint64_t max =
+            (width >= 64) ? std::numeric_limits<int64_t>::max()
+                          : ((1ULL << (width - 1)) - 1);
+        return static_cast<int64_t>(max);
+    }
+    return static_cast<int64_t>(v);
+}
+
+/** Convert a canonical register value to double for profiling. */
+double
+profileValue(TypeKind k, uint64_t raw)
+{
+    switch (k) {
+      case TypeKind::F64:
+        return asF64(raw);
+      case TypeKind::F32:
+        return static_cast<double>(asF32(raw));
+      default:
+        return static_cast<double>(signExtend(raw, typeBits(k)));
+    }
+}
+
+} // namespace
+
+Interpreter::Interpreter(const ExecModule &exec_module, Memory &memory)
+    : em(exec_module), mem(memory)
+{}
+
+RunResult
+Interpreter::run(std::size_t fn_index, const std::vector<uint64_t> &args,
+                 const ExecOptions &opts)
+{
+    CostModel cost(opts.cost);
+
+    std::vector<Frame> stack;
+    stack.reserve(16);
+
+    auto push_frame = [&](const ExecFunction &fn, int32_t ret_dst) {
+        Frame fr;
+        fr.fn = &fn;
+        fr.regs.assign(fn.numSlots, 0);
+        fr.retDst = ret_dst;
+        fr.curBlock = 0;
+        fr.ip = fn.blocks.empty() ? 0 : fn.blocks[0].first;
+        stack.push_back(std::move(fr));
+    };
+
+    {
+        const ExecFunction &entry = em.function(fn_index);
+        scAssert(args.size() == entry.numArgs,
+                 "argument count mismatch for entry function");
+        push_frame(entry, -1);
+        Frame &fr = stack.back();
+        for (std::size_t i = 0; i < args.size(); ++i) {
+            fr.regs[i] = args[i];
+            fr.noteWrite(static_cast<int32_t>(i));
+        }
+    }
+
+    // Materialize module globals (constant tables) for this run.
+    std::vector<uint64_t> global_bases;
+    global_bases.reserve(em.globals().size());
+    for (const GlobalVariable *g : em.globals()) {
+        const unsigned esz = g->elementType().storeSize();
+        const uint64_t base = mem.alloc(g->count() * esz, g->name());
+        for (uint64_t i = 0; i < g->count(); ++i) {
+            const bool ok = mem.write(base + i * esz, esz, g->init()[i]);
+            scAssert(ok, "global init write failed");
+        }
+        global_bases.push_back(base);
+    }
+
+    uint64_t dyn_count = 0;
+    uint64_t fault_at =
+        opts.faultAtDynInstr ? *opts.faultAtDynInstr : ~0ULL;
+    FaultOutcome fault;
+
+    auto finish = [&](Termination t, TrapKind trap, int check_id,
+                      uint64_t ret) {
+        RunResult r;
+        r.term = t;
+        r.trap = trap;
+        r.failedCheckId = check_id;
+        r.retValue = ret;
+        r.dynInstrs = dyn_count;
+        r.cycles = cost.cycles();
+        r.endCycle = cost.cycles();
+        r.cacheMisses = cost.cacheMisses();
+        r.branchMispredicts = cost.branchMispredicts();
+        r.fault = fault;
+        return r;
+    };
+
+    std::vector<uint64_t> phi_tmp;
+
+    for (;;) {
+        Frame &fr = stack.back();
+        const ExecInst &inst = fr.fn->code[fr.ip];
+
+        if (dyn_count >= fault_at) {
+            // Inject a single bit flip into a random live register of
+            // the active frame (the paper's register-file fault model).
+            fault_at = ~0ULL;
+            if (fr.recentCount > 0 && opts.faultRng) {
+                Rng &rng = *opts.faultRng;
+                const int32_t slot = fr.recent[static_cast<size_t>(
+                    rng.nextBelow(fr.recentCount))];
+                const TypeKind ty =
+                    fr.fn->slotTypes[static_cast<size_t>(slot)];
+                const unsigned width = typeBits(ty) ? typeBits(ty) : 64;
+                const unsigned bit =
+                    static_cast<unsigned>(rng.nextBelow(width));
+                fault.injected = true;
+                fault.slot = slot;
+                fault.slotType = ty;
+                fault.bit = bit;
+                fault.before = fr.regs[static_cast<size_t>(slot)];
+                fault.after =
+                    flipBit(fault.before, bit) & lowBitMask(width);
+                fault.atDynInstr = dyn_count;
+                fault.atCycle = cost.cycles();
+                fr.regs[static_cast<size_t>(slot)] = fault.after;
+            }
+        }
+
+        if (dyn_count >= opts.maxDynInstrs)
+            return finish(Termination::Timeout, TrapKind::None, -1, 0);
+        ++dyn_count;
+        cost.onInstr(inst.op);
+
+        auto read_op = [&fr](const OpRef &r) {
+            return r.slot >= 0 ? fr.regs[static_cast<size_t>(r.slot)]
+                               : r.imm;
+        };
+
+        auto write_dst = [&](uint64_t v) {
+            const auto d = static_cast<size_t>(inst.dst);
+            fr.regs[d] = v;
+            fr.noteWrite(inst.dst);
+            if (inst.profileId >= 0 && opts.profiler)
+                opts.profiler->record(inst.profileId,
+                                      profileValue(inst.ty, v));
+            ++fr.ip;
+        };
+
+        auto take_edge = [&](uint32_t target) {
+            const ExecBlock &tb = fr.fn->blocks[target];
+            for (const auto &[pred, moves] : tb.phiIn) {
+                if (pred != fr.curBlock)
+                    continue;
+                phi_tmp.clear();
+                for (const PhiMove &mv : moves)
+                    phi_tmp.push_back(read_op(mv.src));
+                for (std::size_t i = 0; i < moves.size(); ++i) {
+                    fr.regs[static_cast<size_t>(moves[i].dst)] =
+                        phi_tmp[i];
+                    fr.noteWrite(moves[i].dst);
+                }
+                break;
+            }
+            fr.curBlock = target;
+            fr.ip = tb.first;
+        };
+
+        /** Shared check-failure policy; returns true to keep running. */
+        auto check_passed = [&](bool ok) {
+            if (ok)
+                return true;
+            if (opts.disabledChecks && inst.checkId >= 0 &&
+                static_cast<size_t>(inst.checkId) <
+                    opts.disabledChecks->size() &&
+                (*opts.disabledChecks)[static_cast<size_t>(inst.checkId)])
+                return true;
+            if (opts.checkMode == CheckMode::Record) {
+                if (opts.checkFailCounts)
+                    (*opts.checkFailCounts)[static_cast<size_t>(
+                        inst.checkId)]++;
+                return true;
+            }
+            return false;
+        };
+
+        const unsigned width = typeBits(inst.ty);
+
+        switch (inst.op) {
+          // ---- integer arithmetic ------------------------------------
+          case Opcode::Add:
+            write_dst(truncBits(read_op(inst.a) + read_op(inst.b), width));
+            break;
+          case Opcode::Sub:
+            write_dst(truncBits(read_op(inst.a) - read_op(inst.b), width));
+            break;
+          case Opcode::Mul:
+            write_dst(truncBits(read_op(inst.a) * read_op(inst.b), width));
+            break;
+          case Opcode::SDiv:
+          case Opcode::SRem: {
+            const int64_t a = signExtend(read_op(inst.a), width);
+            const int64_t b = signExtend(read_op(inst.b), width);
+            if (b == 0)
+                return finish(Termination::Trap, TrapKind::DivByZero, -1,
+                              0);
+            int64_t res;
+            if (a == std::numeric_limits<int64_t>::min() && b == -1) {
+                res = (inst.op == Opcode::SDiv) ? a : 0;
+            } else {
+                res = (inst.op == Opcode::SDiv) ? a / b : a % b;
+            }
+            write_dst(truncBits(static_cast<uint64_t>(res), width));
+            break;
+          }
+          case Opcode::UDiv:
+          case Opcode::URem: {
+            const uint64_t a = read_op(inst.a);
+            const uint64_t b = read_op(inst.b);
+            if (b == 0)
+                return finish(Termination::Trap, TrapKind::DivByZero, -1,
+                              0);
+            write_dst(truncBits(
+                inst.op == Opcode::UDiv ? a / b : a % b, width));
+            break;
+          }
+          case Opcode::And:
+            write_dst(read_op(inst.a) & read_op(inst.b));
+            break;
+          case Opcode::Or:
+            write_dst(read_op(inst.a) | read_op(inst.b));
+            break;
+          case Opcode::Xor:
+            write_dst(read_op(inst.a) ^ read_op(inst.b));
+            break;
+          case Opcode::Shl: {
+            const unsigned sh =
+                static_cast<unsigned>(read_op(inst.b)) & (width - 1);
+            write_dst(truncBits(read_op(inst.a) << sh, width));
+            break;
+          }
+          case Opcode::LShr: {
+            const unsigned sh =
+                static_cast<unsigned>(read_op(inst.b)) & (width - 1);
+            write_dst(read_op(inst.a) >> sh);
+            break;
+          }
+          case Opcode::AShr: {
+            const unsigned sh =
+                static_cast<unsigned>(read_op(inst.b)) & (width - 1);
+            const int64_t a = signExtend(read_op(inst.a), width);
+            write_dst(truncBits(static_cast<uint64_t>(a >> sh), width));
+            break;
+          }
+
+          // ---- floating-point arithmetic ------------------------------
+          case Opcode::FAdd:
+          case Opcode::FSub:
+          case Opcode::FMul:
+          case Opcode::FDiv: {
+            if (inst.ty == TypeKind::F64) {
+                const double a = asF64(read_op(inst.a));
+                const double b = asF64(read_op(inst.b));
+                double r = 0;
+                switch (inst.op) {
+                  case Opcode::FAdd: r = a + b; break;
+                  case Opcode::FSub: r = a - b; break;
+                  case Opcode::FMul: r = a * b; break;
+                  default: r = a / b; break;
+                }
+                write_dst(fromF64(r));
+            } else {
+                const float a = asF32(read_op(inst.a));
+                const float b = asF32(read_op(inst.b));
+                float r = 0;
+                switch (inst.op) {
+                  case Opcode::FAdd: r = a + b; break;
+                  case Opcode::FSub: r = a - b; break;
+                  case Opcode::FMul: r = a * b; break;
+                  default: r = a / b; break;
+                }
+                write_dst(fromF32(r));
+            }
+            break;
+          }
+
+          // ---- comparisons ---------------------------------------------
+          case Opcode::ICmp: {
+            const uint64_t ua = read_op(inst.a);
+            const uint64_t ub = read_op(inst.b);
+            const int64_t sa = signExtend(ua, width);
+            const int64_t sb = signExtend(ub, width);
+            bool r = false;
+            switch (inst.pred) {
+              case Predicate::Eq: r = ua == ub; break;
+              case Predicate::Ne: r = ua != ub; break;
+              case Predicate::Slt: r = sa < sb; break;
+              case Predicate::Sle: r = sa <= sb; break;
+              case Predicate::Sgt: r = sa > sb; break;
+              case Predicate::Sge: r = sa >= sb; break;
+              case Predicate::Ult: r = ua < ub; break;
+              case Predicate::Ule: r = ua <= ub; break;
+              case Predicate::Ugt: r = ua > ub; break;
+              case Predicate::Uge: r = ua >= ub; break;
+              default: scPanic("bad icmp predicate");
+            }
+            write_dst(r ? 1 : 0);
+            break;
+          }
+          case Opcode::FCmp: {
+            double a, b;
+            if (inst.ty == TypeKind::F64) {
+                a = asF64(read_op(inst.a));
+                b = asF64(read_op(inst.b));
+            } else {
+                a = asF32(read_op(inst.a));
+                b = asF32(read_op(inst.b));
+            }
+            bool r = false;
+            switch (inst.pred) {
+              case Predicate::OEq: r = a == b; break;
+              case Predicate::ONe:
+                // Ordered: false when either operand is NaN (plain
+                // C++ != is the *unordered* inequality).
+                r = a == a && b == b && a != b;
+                break;
+              case Predicate::OLt: r = a < b; break;
+              case Predicate::OLe: r = a <= b; break;
+              case Predicate::OGt: r = a > b; break;
+              case Predicate::OGe: r = a >= b; break;
+              default: scPanic("bad fcmp predicate");
+            }
+            write_dst(r ? 1 : 0);
+            break;
+          }
+
+          // ---- casts ---------------------------------------------------
+          case Opcode::Trunc:
+            write_dst(truncBits(read_op(inst.a), width));
+            break;
+          case Opcode::ZExt:
+          case Opcode::IntToPtr:
+            write_dst(read_op(inst.a));
+            break;
+          case Opcode::PtrToInt:
+            write_dst(truncBits(read_op(inst.a), width));
+            break;
+          case Opcode::SExt: {
+            const auto src_kind = static_cast<TypeKind>(inst.elemSize);
+            const int64_t v =
+                signExtend(read_op(inst.a), typeBits(src_kind));
+            write_dst(truncBits(static_cast<uint64_t>(v), width));
+            break;
+          }
+          case Opcode::FPToSI: {
+            const auto src_kind = static_cast<TypeKind>(inst.elemSize);
+            const double v = (src_kind == TypeKind::F64)
+                                 ? asF64(read_op(inst.a))
+                                 : asF32(read_op(inst.a));
+            write_dst(truncBits(
+                static_cast<uint64_t>(fpToSiSat(v, width)), width));
+            break;
+          }
+          case Opcode::SIToFP: {
+            const auto src_kind = static_cast<TypeKind>(inst.elemSize);
+            const int64_t v =
+                signExtend(read_op(inst.a), typeBits(src_kind));
+            if (inst.ty == TypeKind::F64)
+                write_dst(fromF64(static_cast<double>(v)));
+            else
+                write_dst(fromF32(static_cast<float>(v)));
+            break;
+          }
+          case Opcode::FPTrunc:
+            write_dst(fromF32(static_cast<float>(asF64(read_op(inst.a)))));
+            break;
+          case Opcode::FPExt:
+            write_dst(fromF64(static_cast<double>(asF32(read_op(inst.a)))));
+            break;
+
+          // ---- memory ---------------------------------------------------
+          case Opcode::Load: {
+            const uint64_t addr = read_op(inst.a);
+            cost.onMemAccess(addr);
+            uint64_t v = 0;
+            if (!mem.read(addr, inst.elemSize, v))
+                return finish(Termination::Trap, TrapKind::OutOfBounds,
+                              -1, 0);
+            write_dst(v);
+            break;
+          }
+          case Opcode::Store: {
+            const uint64_t v = read_op(inst.a);
+            const uint64_t addr = read_op(inst.b);
+            cost.onMemAccess(addr);
+            if (!mem.write(addr, inst.elemSize, v))
+                return finish(Termination::Trap, TrapKind::OutOfBounds,
+                              -1, 0);
+            ++fr.ip;
+            break;
+          }
+          case Opcode::Gep: {
+            const uint64_t base = read_op(inst.a);
+            const int64_t idx =
+                static_cast<int64_t>(read_op(inst.b));
+            write_dst(base + static_cast<uint64_t>(idx) * inst.elemSize);
+            break;
+          }
+          case Opcode::Alloca: {
+            const uint64_t count = read_op(inst.a);
+            const uint64_t bytes = count * inst.elemSize;
+            if (bytes == 0 || bytes > (1ULL << 30))
+                return finish(Termination::Trap, TrapKind::OutOfBounds,
+                              -1, 0);
+            const uint64_t base = mem.alloc(bytes);
+            fr.allocaBases.push_back(base);
+            write_dst(base);
+            break;
+          }
+
+          // ---- control ---------------------------------------------------
+          case Opcode::GlobalAddr:
+            write_dst(global_bases[static_cast<size_t>(inst.a.imm)]);
+            break;
+          case Opcode::Br:
+            take_edge(inst.t0);
+            break;
+          case Opcode::CondBr: {
+            const bool taken = (read_op(inst.a) & 1) != 0;
+            cost.onBranch(inst.branchSite, taken);
+            take_edge(taken ? inst.t0 : inst.t1);
+            break;
+          }
+          case Opcode::Select:
+            write_dst((read_op(inst.a) & 1) ? read_op(inst.b)
+                                            : read_op(inst.c));
+            break;
+          case Opcode::Call: {
+            if (stack.size() >= opts.maxCallDepth)
+                return finish(Termination::Trap,
+                              TrapKind::StackOverflow, -1, 0);
+            const ExecFunction &callee =
+                em.function(static_cast<size_t>(inst.calleeIdx));
+            // Evaluate args before the push invalidates 'fr'.
+            phi_tmp.clear();
+            for (const OpRef &arg : inst.callArgs)
+                phi_tmp.push_back(read_op(arg));
+            ++fr.ip; // return continuation
+            push_frame(callee, inst.dst);
+            Frame &nf = stack.back();
+            for (std::size_t i = 0; i < phi_tmp.size(); ++i) {
+                nf.regs[i] = phi_tmp[i];
+                nf.noteWrite(static_cast<int32_t>(i));
+            }
+            break;
+          }
+          case Opcode::Ret: {
+            const bool has_val = fr.fn->retTy != TypeKind::Void;
+            const uint64_t v = has_val ? read_op(inst.a) : 0;
+            for (uint64_t base : fr.allocaBases)
+                mem.free(base);
+            const int32_t ret_dst = fr.retDst;
+            stack.pop_back();
+            if (stack.empty())
+                return finish(Termination::Ok, TrapKind::None, -1, v);
+            if (ret_dst >= 0) {
+                Frame &caller = stack.back();
+                caller.regs[static_cast<size_t>(ret_dst)] = v;
+                caller.noteWrite(ret_dst);
+            }
+            break;
+          }
+
+          // ---- math intrinsics -------------------------------------------
+          case Opcode::Sqrt:
+          case Opcode::FAbs:
+          case Opcode::Exp:
+          case Opcode::Log:
+          case Opcode::Sin:
+          case Opcode::Cos: {
+            auto apply = [&](double v) {
+                switch (inst.op) {
+                  case Opcode::Sqrt: return std::sqrt(v);
+                  case Opcode::FAbs: return std::fabs(v);
+                  case Opcode::Exp: return std::exp(v);
+                  case Opcode::Log: return std::log(v);
+                  case Opcode::Sin: return std::sin(v);
+                  default: return std::cos(v);
+                }
+            };
+            if (inst.ty == TypeKind::F64)
+                write_dst(fromF64(apply(asF64(read_op(inst.a)))));
+            else
+                write_dst(fromF32(static_cast<float>(
+                    apply(asF32(read_op(inst.a))))));
+            break;
+          }
+          case Opcode::FMin:
+          case Opcode::FMax: {
+            if (inst.ty == TypeKind::F64) {
+                const double a = asF64(read_op(inst.a));
+                const double b = asF64(read_op(inst.b));
+                write_dst(fromF64(inst.op == Opcode::FMin
+                                      ? std::fmin(a, b)
+                                      : std::fmax(a, b)));
+            } else {
+                const float a = asF32(read_op(inst.a));
+                const float b = asF32(read_op(inst.b));
+                write_dst(fromF32(inst.op == Opcode::FMin
+                                      ? std::fminf(a, b)
+                                      : std::fmaxf(a, b)));
+            }
+            break;
+          }
+
+          // ---- hardening checks ------------------------------------------
+          case Opcode::CheckEq: {
+            if (!check_passed(read_op(inst.a) == read_op(inst.b)))
+                return finish(Termination::CheckFailed, TrapKind::None,
+                              inst.checkId, 0);
+            ++fr.ip;
+            break;
+          }
+          case Opcode::CheckOne: {
+            if (!check_passed(read_op(inst.a) == read_op(inst.b)))
+                return finish(Termination::CheckFailed, TrapKind::None,
+                              inst.checkId, 0);
+            ++fr.ip;
+            break;
+          }
+          case Opcode::CheckTwo: {
+            const uint64_t v = read_op(inst.a);
+            if (!check_passed(v == read_op(inst.b) ||
+                              v == read_op(inst.c)))
+                return finish(Termination::CheckFailed, TrapKind::None,
+                              inst.checkId, 0);
+            ++fr.ip;
+            break;
+          }
+          case Opcode::CheckRange: {
+            bool ok;
+            if (inst.ty == TypeKind::F64) {
+                const double v = asF64(read_op(inst.a));
+                ok = v >= asF64(read_op(inst.b)) &&
+                     v <= asF64(read_op(inst.c));
+            } else if (inst.ty == TypeKind::F32) {
+                const float v = asF32(read_op(inst.a));
+                ok = v >= asF32(read_op(inst.b)) &&
+                     v <= asF32(read_op(inst.c));
+            } else {
+                const int64_t v = signExtend(read_op(inst.a), width);
+                ok = v >= signExtend(read_op(inst.b), width) &&
+                     v <= signExtend(read_op(inst.c), width);
+            }
+            if (!check_passed(ok))
+                return finish(Termination::CheckFailed, TrapKind::None,
+                              inst.checkId, 0);
+            ++fr.ip;
+            break;
+          }
+
+          case Opcode::Phi:
+            scPanic("phi reached execution (must be edge-applied)");
+        }
+    }
+}
+
+} // namespace softcheck

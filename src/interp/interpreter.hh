@@ -1,0 +1,175 @@
+/**
+ * @file
+ * The IR interpreter: SoftCheck's stand-in for the paper's gem5
+ * simulation substrate. Executes an ExecModule against a Memory with
+ * - a deterministic cost model (CostModel, Table II parameters),
+ * - value-profiling hooks (ProfileSink),
+ * - single-bit-flip fault injection into live virtual registers, and
+ * - runtime-check semantics for the hardening passes' check intrinsics.
+ */
+
+#ifndef SOFTCHECK_INTERP_INTERPRETER_HH
+#define SOFTCHECK_INTERP_INTERPRETER_HH
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "interp/cost_model.hh"
+#include "interp/exec_module.hh"
+#include "interp/memory.hh"
+#include "support/rng.hh"
+
+namespace softcheck
+{
+
+/** Receiver of value-profiling samples (implemented in src/profile). */
+class ProfileSink
+{
+  public:
+    virtual ~ProfileSink() = default;
+    /** @param site profiling site id, @param value sample (ints are
+     * sign-extended to double; floats pass through). */
+    virtual void record(int site, double value) = 0;
+};
+
+/** Why a run stopped. */
+enum class Termination : uint8_t
+{
+    Ok,          //!< returned from the entry function
+    Trap,        //!< hardware-visible symptom (see TrapKind)
+    CheckFailed, //!< a software check fired (CheckMode::Halt)
+    Timeout,     //!< dynamic-instruction budget exhausted
+};
+
+enum class TrapKind : uint8_t
+{
+    None,
+    OutOfBounds, //!< load/store outside any live region
+    DivByZero,
+    StackOverflow,
+};
+
+/** What to do when a check intrinsic fails. */
+enum class CheckMode : uint8_t
+{
+    Halt,   //!< stop the run (fault-detection semantics)
+    Record, //!< count per-check failures and continue (calibration)
+};
+
+/** Description of a single injected bit flip. */
+struct FaultOutcome
+{
+    bool injected = false;
+    int32_t slot = -1;
+    TypeKind slotType = TypeKind::Void;
+    unsigned bit = 0;
+    uint64_t before = 0;
+    uint64_t after = 0;
+    uint64_t atDynInstr = 0;
+    uint64_t atCycle = 0;
+};
+
+struct RunResult
+{
+    Termination term = Termination::Ok;
+    TrapKind trap = TrapKind::None;
+    int failedCheckId = -1;
+    uint64_t retValue = 0;
+    uint64_t dynInstrs = 0;
+    uint64_t cycles = 0;
+    uint64_t endCycle = 0;      //!< cycle count at termination
+    uint64_t cacheMisses = 0;
+    uint64_t branchMispredicts = 0;
+    FaultOutcome fault;
+
+    bool ok() const { return term == Termination::Ok; }
+};
+
+/** Per-run execution options. */
+struct ExecOptions
+{
+    /** Stop after this many dynamic instructions (Failure/infinite-loop
+     * model). */
+    uint64_t maxDynInstrs = 400'000'000;
+
+    /** Cost-model parameters (Table II). */
+    CostConfig cost;
+
+    /** Check semantics. */
+    CheckMode checkMode = CheckMode::Halt;
+
+    /** Checks to ignore (indexed by check id); may be null. The paper's
+     * recover-once-then-ignore rule for persistent false positives. */
+    const std::vector<uint8_t> *disabledChecks = nullptr;
+
+    /** When in CheckMode::Record, failure counts per check id are
+     * accumulated here (must be pre-sized); may be null. */
+    std::vector<uint64_t> *checkFailCounts = nullptr;
+
+    /** Value-profiling sink; may be null. */
+    ProfileSink *profiler = nullptr;
+
+    /** Inject a bit flip just before this dynamic instruction index
+     * (disabled when nullopt). */
+    std::optional<uint64_t> faultAtDynInstr;
+
+    /** RNG for the register/bit choice; required when injecting. */
+    Rng *faultRng = nullptr;
+
+    /** Maximum call depth before StackOverflow. */
+    unsigned maxCallDepth = 256;
+};
+
+class Interpreter
+{
+  public:
+    Interpreter(const ExecModule &em, Memory &mem);
+
+    /**
+     * Run @p fn_index with the given raw argument values (one per
+     * formal; floats as bit patterns).
+     */
+    RunResult run(std::size_t fn_index,
+                  const std::vector<uint64_t> &args,
+                  const ExecOptions &opts);
+
+  private:
+    struct Frame
+    {
+        const ExecFunction *fn;
+        std::vector<uint64_t> regs;
+        /**
+         * Ring of recently written register slots (with repetition).
+         * Fault injection draws its target from here: a random recent
+         * destination approximates picking a live physical register,
+         * and repetition weights hot registers the way an in-flight
+         * window does.
+         */
+        static constexpr unsigned kRecentRing = 64;
+        std::array<int32_t, kRecentRing> recent;
+        uint32_t recentCount = 0;
+        uint32_t recentPos = 0;
+        std::vector<uint64_t> allocaBases;
+        uint32_t ip = 0;
+        uint32_t curBlock = 0;
+        int32_t retDst = -1;
+
+        void
+        noteWrite(int32_t slot)
+        {
+            recent[recentPos] = slot;
+            recentPos = (recentPos + 1) % kRecentRing;
+            if (recentCount < kRecentRing)
+                ++recentCount;
+        }
+    };
+
+    const ExecModule &em;
+    Memory &mem;
+};
+
+} // namespace softcheck
+
+#endif // SOFTCHECK_INTERP_INTERPRETER_HH

@@ -1,0 +1,120 @@
+#include "interp/memory.hh"
+
+#include <algorithm>
+#include <cstring>
+
+#include "support/error.hh"
+
+namespace softcheck
+{
+
+namespace
+{
+constexpr uint64_t kAlign = 64;
+constexpr uint64_t kGuardGap = 64;
+} // namespace
+
+uint64_t
+Memory::alloc(uint64_t size, std::string nm)
+{
+    scAssert(size > 0, "zero-sized allocation");
+    const uint64_t base = nextBase;
+    nextBase = (base + size + kGuardGap + kAlign - 1) & ~(kAlign - 1);
+    regions.push_back(
+        {base, size, std::move(nm), std::vector<uint8_t>(size, 0)});
+    lastHit = static_cast<int>(regions.size()) - 1;
+    return base;
+}
+
+void
+Memory::free(uint64_t base)
+{
+    for (std::size_t i = 0; i < regions.size(); ++i) {
+        if (regions[i].base == base) {
+            regions.erase(regions.begin() +
+                          static_cast<std::ptrdiff_t>(i));
+            lastHit = -1;
+            return;
+        }
+    }
+    scPanic("free of unknown region base");
+}
+
+int
+Memory::findRegion(uint64_t addr, uint64_t size) const
+{
+    auto fits = [&](const Region &r) {
+        return addr >= r.base && addr + size <= r.base + r.size &&
+               addr + size >= addr;
+    };
+    if (lastHit >= 0 &&
+        static_cast<std::size_t>(lastHit) < regions.size() &&
+        fits(regions[static_cast<std::size_t>(lastHit)]))
+        return lastHit;
+    // Regions are appended with increasing bases; free() keeps order.
+    auto it = std::upper_bound(
+        regions.begin(), regions.end(), addr,
+        [](uint64_t a, const Region &r) { return a < r.base; });
+    if (it == regions.begin())
+        return -1;
+    --it;
+    if (!fits(*it))
+        return -1;
+    lastHit = static_cast<int>(it - regions.begin());
+    return lastHit;
+}
+
+bool
+Memory::read(uint64_t addr, unsigned size, uint64_t &out) const
+{
+    const int idx = findRegion(addr, size);
+    if (idx < 0)
+        return false;
+    const Region &r = regions[static_cast<std::size_t>(idx)];
+    uint64_t v = 0;
+    std::memcpy(&v, r.data.data() + (addr - r.base), size);
+    out = v;
+    return true;
+}
+
+bool
+Memory::write(uint64_t addr, unsigned size, uint64_t value)
+{
+    const int idx = findRegion(addr, size);
+    if (idx < 0)
+        return false;
+    Region &r = regions[static_cast<std::size_t>(idx)];
+    std::memcpy(r.data.data() + (addr - r.base), &value, size);
+    return true;
+}
+
+uint8_t *
+Memory::hostPtr(uint64_t addr, uint64_t size)
+{
+    const int idx = findRegion(addr, size);
+    if (idx < 0)
+        return nullptr;
+    Region &r = regions[static_cast<std::size_t>(idx)];
+    return r.data.data() + (addr - r.base);
+}
+
+const uint8_t *
+Memory::hostPtr(uint64_t addr, uint64_t size) const
+{
+    const int idx = findRegion(addr, size);
+    if (idx < 0)
+        return nullptr;
+    const Region &r = regions[static_cast<std::size_t>(idx)];
+    return r.data.data() + (addr - r.base);
+}
+
+uint64_t
+Memory::bytesAllocated() const
+{
+    uint64_t total = 0;
+    for (const Region &r : regions)
+        total += r.size;
+    return total;
+}
+
+} // namespace softcheck

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Bounds-checked flat memory for the IR interpreter.
+ *
+ * Every allocation receives its own region with guard gaps between
+ * regions, so any out-of-bounds access — the symptom class the paper's
+ * HWDetect category relies on (page faults / out-of-bound accesses) —
+ * is detected exactly.
+ */
+
+#ifndef SOFTCHECK_INTERP_MEMORY_HH
+#define SOFTCHECK_INTERP_MEMORY_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace softcheck
+{
+
+class Memory
+{
+  public:
+    Memory() = default;
+
+    /**
+     * Allocate @p size bytes (zero-initialized); returns the base
+     * address. Regions are 64-byte aligned with a guard gap after each.
+     */
+    uint64_t alloc(uint64_t size, std::string nm = {});
+
+    /** Release a region previously returned by alloc(). */
+    void free(uint64_t base);
+
+    /**
+     * Read @p size bytes (1/2/4/8) at @p addr into @p out
+     * (zero-extended).
+     * @return false when any touched byte is outside a live region
+     */
+    bool read(uint64_t addr, unsigned size, uint64_t &out) const;
+
+    /** Write the low @p size bytes of @p value at @p addr. */
+    bool write(uint64_t addr, unsigned size, uint64_t value);
+
+    /**
+     * Host pointer to @p size bytes at @p addr for bulk harness I/O;
+     * null when out of bounds or straddling regions.
+     */
+    uint8_t *hostPtr(uint64_t addr, uint64_t size);
+    const uint8_t *hostPtr(uint64_t addr, uint64_t size) const;
+
+    std::size_t numRegions() const { return regions.size(); }
+    uint64_t bytesAllocated() const;
+
+  private:
+    struct Region
+    {
+        uint64_t base;
+        uint64_t size;
+        std::string name;
+        std::vector<uint8_t> data;
+    };
+
+    /** Index of the region containing [addr, addr+size); -1 if none. */
+    int findRegion(uint64_t addr, uint64_t size) const;
+
+    std::vector<Region> regions;   //!< sorted by base
+    uint64_t nextBase = 0x10000;
+    mutable int lastHit = -1;      //!< lookup cache (high locality)
+};
+
+} // namespace softcheck
+
+#endif // SOFTCHECK_INTERP_MEMORY_HH

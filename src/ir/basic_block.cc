@@ -1,0 +1,80 @@
+#include "ir/basic_block.hh"
+
+#include "support/error.hh"
+
+namespace softcheck
+{
+
+Instruction *
+BasicBlock::append(std::unique_ptr<Instruction> inst)
+{
+    inst->setParent(this);
+    insts.push_back(std::move(inst));
+    return insts.back().get();
+}
+
+Instruction *
+BasicBlock::insert(iterator pos, std::unique_ptr<Instruction> inst)
+{
+    inst->setParent(this);
+    auto it = insts.insert(pos, std::move(inst));
+    return it->get();
+}
+
+Instruction *
+BasicBlock::insertBefore(Instruction *before,
+                         std::unique_ptr<Instruction> inst)
+{
+    return insert(iteratorTo(before), std::move(inst));
+}
+
+Instruction *
+BasicBlock::insertAfter(Instruction *after,
+                        std::unique_ptr<Instruction> inst)
+{
+    auto it = iteratorTo(after);
+    ++it;
+    return insert(it, std::move(inst));
+}
+
+void
+BasicBlock::erase(Instruction *inst)
+{
+    scAssert(inst->users().empty(),
+             "erasing instruction that still has users: ",
+             opcodeName(inst->opcode()));
+    insts.erase(iteratorTo(inst));
+}
+
+BasicBlock::iterator
+BasicBlock::iteratorTo(Instruction *inst)
+{
+    for (auto it = insts.begin(); it != insts.end(); ++it) {
+        if (it->get() == inst)
+            return it;
+    }
+    scPanic("instruction not in block ", nam);
+}
+
+BasicBlock::iterator
+BasicBlock::firstNonPhi()
+{
+    auto it = insts.begin();
+    while (it != insts.end() && (*it)->opcode() == Opcode::Phi)
+        ++it;
+    return it;
+}
+
+std::vector<Instruction *>
+BasicBlock::phis() const
+{
+    std::vector<Instruction *> out;
+    for (const auto &inst : insts) {
+        if (inst->opcode() != Opcode::Phi)
+            break;
+        out.push_back(inst.get());
+    }
+    return out;
+}
+
+} // namespace softcheck

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * A basic block: an ordered list of instructions ending in exactly one
+ * terminator. Blocks own their instructions.
+ */
+
+#ifndef SOFTCHECK_IR_BASIC_BLOCK_HH
+#define SOFTCHECK_IR_BASIC_BLOCK_HH
+
+#include <list>
+#include <memory>
+#include <string>
+
+#include "ir/instruction.hh"
+
+namespace softcheck
+{
+
+class Function;
+
+class BasicBlock
+{
+  public:
+    using InstList = std::list<std::unique_ptr<Instruction>>;
+    using iterator = InstList::iterator;
+    using const_iterator = InstList::const_iterator;
+
+    BasicBlock(Function *parent, std::string nm)
+        : par(parent), nam(std::move(nm))
+    {}
+
+    BasicBlock(const BasicBlock &) = delete;
+    BasicBlock &operator=(const BasicBlock &) = delete;
+
+    Function *parent() const { return par; }
+    const std::string &name() const { return nam; }
+    void setName(std::string nm) { nam = std::move(nm); }
+
+    bool empty() const { return insts.empty(); }
+    std::size_t size() const { return insts.size(); }
+
+    iterator begin() { return insts.begin(); }
+    iterator end() { return insts.end(); }
+    const_iterator begin() const { return insts.begin(); }
+    const_iterator end() const { return insts.end(); }
+
+    Instruction *front() const { return insts.front().get(); }
+    Instruction *back() const { return insts.back().get(); }
+
+    /** Terminator instruction, or null if the block is unterminated. */
+    Instruction *
+    terminator() const
+    {
+        if (insts.empty() || !insts.back()->isTerminator())
+            return nullptr;
+        return insts.back().get();
+    }
+
+    /** Append an instruction; takes ownership. Returns raw pointer. */
+    Instruction *append(std::unique_ptr<Instruction> inst);
+
+    /** Insert before @p pos; takes ownership. Returns raw pointer. */
+    Instruction *insert(iterator pos, std::unique_ptr<Instruction> inst);
+
+    /** Insert immediately before @p before (which must be in here). */
+    Instruction *insertBefore(Instruction *before,
+                              std::unique_ptr<Instruction> inst);
+
+    /** Insert immediately after @p after (which must be in here). */
+    Instruction *insertAfter(Instruction *after,
+                             std::unique_ptr<Instruction> inst);
+
+    /** Remove and destroy @p inst. @pre inst has no remaining users. */
+    void erase(Instruction *inst);
+
+    /** Iterator pointing at @p inst. */
+    iterator iteratorTo(Instruction *inst);
+
+    /** Successor blocks (empty if unterminated). */
+    std::vector<BasicBlock *>
+    successors() const
+    {
+        Instruction *term = terminator();
+        return term ? term->successors() : std::vector<BasicBlock *>{};
+    }
+
+    /** First non-phi instruction position. */
+    iterator firstNonPhi();
+
+    /** All phi instructions at the top of the block. */
+    std::vector<Instruction *> phis() const;
+
+  private:
+    Function *par;
+    std::string nam;
+    InstList insts;
+};
+
+} // namespace softcheck
+
+#endif // SOFTCHECK_IR_BASIC_BLOCK_HH

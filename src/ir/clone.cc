@@ -1,0 +1,92 @@
+#include "ir/clone.hh"
+
+#include <map>
+
+#include "support/error.hh"
+
+namespace softcheck
+{
+
+std::unique_ptr<Module>
+cloneModule(const Module &m)
+{
+    auto out = std::make_unique<Module>(m.name());
+
+    // Globals.
+    std::map<const GlobalVariable *, GlobalVariable *> global_map;
+    for (const GlobalVariable *g : m.globals())
+        global_map[g] = out->createGlobal(g->name(), g->elementType(),
+                                          g->init());
+
+    // Function shells first so calls can be remapped in any order.
+    std::map<const Function *, Function *> fn_map;
+    std::map<const Value *, Value *> value_map;
+    for (const Function *fn : m.functions()) {
+        Function *nf = out->createFunction(fn->name(),
+                                           fn->returnType());
+        fn_map[fn] = nf;
+        for (std::size_t i = 0; i < fn->numArgs(); ++i) {
+            Argument *na =
+                nf->addArg(fn->arg(i)->type(), fn->arg(i)->name());
+            value_map[fn->arg(i)] = na;
+        }
+    }
+
+    auto map_constant = [&](const Value *v) -> Value * {
+        if (auto *ci = dynamic_cast<const ConstantInt *>(v))
+            return out->getConstInt(ci->type(), ci->rawValue());
+        if (auto *cf = dynamic_cast<const ConstantFloat *>(v))
+            return out->getConstFloat(cf->type(), cf->value());
+        return nullptr;
+    };
+
+    for (const Function *fn : m.functions()) {
+        Function *nf = fn_map.at(fn);
+        std::map<const BasicBlock *, BasicBlock *> block_map;
+        for (const auto &bb : *fn)
+            block_map[bb.get()] = nf->addBlock(bb->name());
+
+        // Create all instructions first (operands remapped after, so
+        // phi back edges resolve).
+        for (const auto &bb : *fn) {
+            BasicBlock *nb = block_map.at(bb.get());
+            for (const auto &inst : *bb) {
+                auto ni = std::make_unique<Instruction>(
+                    inst->opcode(), inst->type(), inst->name());
+                ni->setPredicate(inst->predicate());
+                ni->setElementType(inst->elementType());
+                if (inst->callee())
+                    ni->setCallee(fn_map.at(inst->callee()));
+                if (inst->globalRef())
+                    ni->setGlobalRef(global_map.at(inst->globalRef()));
+                ni->setCheckId(inst->checkId());
+                ni->setProfileId(inst->profileId());
+                ni->setDuplicate(inst->isDuplicate());
+                value_map[inst.get()] = nb->append(std::move(ni));
+            }
+        }
+
+        // Wire operands and block operands.
+        for (const auto &bb : *fn) {
+            for (const auto &inst : *bb) {
+                auto *ni = static_cast<Instruction *>(
+                    value_map.at(inst.get()));
+                for (Value *op : inst->operands()) {
+                    Value *mapped = map_constant(op);
+                    if (!mapped)
+                        mapped = value_map.at(op);
+                    ni->addOperand(mapped);
+                }
+                for (std::size_t i = 0; i < inst->numBlockOperands();
+                     ++i)
+                    ni->addBlockOperand(
+                        block_map.at(inst->blockOperand(i)));
+            }
+        }
+    }
+
+    out->renumberAll();
+    return out;
+}
+
+} // namespace softcheck

@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Deep module cloning. Lets a caller keep a pristine compiled module
+ * and derive independently-hardened copies from it without re-running
+ * the front end — e.g. to compare Original / DupOnly / DupValChks side
+ * by side in one process.
+ */
+
+#ifndef SOFTCHECK_IR_CLONE_HH
+#define SOFTCHECK_IR_CLONE_HH
+
+#include <memory>
+
+#include "ir/module.hh"
+
+namespace softcheck
+{
+
+/**
+ * Structurally identical deep copy of @p m (functions, blocks,
+ * instructions, globals, names, and all hardening metadata:
+ * check ids, profile ids, duplicate flags). Constants are re-uniqued
+ * in the new module. The clone is renumbered and ready to execute.
+ */
+std::unique_ptr<Module> cloneModule(const Module &m);
+
+} // namespace softcheck
+
+#endif // SOFTCHECK_IR_CLONE_HH

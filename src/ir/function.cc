@@ -1,0 +1,128 @@
+#include "ir/function.hh"
+
+#include <algorithm>
+#include <set>
+
+#include "support/error.hh"
+
+namespace softcheck
+{
+
+Function::~Function()
+{
+    for (auto &bb : blocks) {
+        for (auto &inst : *bb)
+            inst->dropAllOperands();
+    }
+}
+
+Argument *
+Function::addArg(Type t, std::string nm)
+{
+    args.push_back(std::make_unique<Argument>(
+        t, std::move(nm), static_cast<unsigned>(args.size())));
+    return args.back().get();
+}
+
+BasicBlock *
+Function::addBlock(std::string nm)
+{
+    blocks.push_back(std::make_unique<BasicBlock>(this, std::move(nm)));
+    return blocks.back().get();
+}
+
+BasicBlock *
+Function::addBlockAfter(BasicBlock *after, std::string nm)
+{
+    for (auto it = blocks.begin(); it != blocks.end(); ++it) {
+        if (it->get() == after) {
+            ++it;
+            auto inserted = blocks.insert(
+                it, std::make_unique<BasicBlock>(this, std::move(nm)));
+            return inserted->get();
+        }
+    }
+    scPanic("addBlockAfter: block not in function ", nam);
+}
+
+void
+Function::removeBlock(BasicBlock *bb)
+{
+    for (auto it = blocks.begin(); it != blocks.end(); ++it) {
+        if (it->get() == bb) {
+            blocks.erase(it);
+            return;
+        }
+    }
+    scPanic("removeBlock: block not in function ", nam);
+}
+
+void
+Function::renumber()
+{
+    int slot = 0;
+    for (auto &a : args)
+        a->setSlot(slot++);
+
+    uint32_t id = 0;
+    for (auto &bb : blocks) {
+        for (auto &inst : *bb) {
+            inst->setId(id++);
+            inst->setSlot(inst->hasResult() ? slot++ : -1);
+        }
+    }
+    slots = static_cast<unsigned>(slot);
+    instCount = id;
+}
+
+std::map<const BasicBlock *, std::vector<BasicBlock *>>
+Function::predecessors() const
+{
+    std::map<const BasicBlock *, std::vector<BasicBlock *>> preds;
+    for (const auto &bb : blocks)
+        preds[bb.get()]; // ensure every block has an entry
+    for (const auto &bb : blocks) {
+        for (BasicBlock *succ : bb->successors()) {
+            auto &list = preds[succ];
+            // Deduplicate (a condbr may target the same block twice).
+            if (std::find(list.begin(), list.end(), bb.get()) == list.end())
+                list.push_back(bb.get());
+        }
+    }
+    return preds;
+}
+
+std::vector<BasicBlock *>
+Function::reversePostOrder() const
+{
+    std::vector<BasicBlock *> post;
+    std::set<const BasicBlock *> visited;
+
+    // Iterative post-order DFS from the entry block.
+    struct Item
+    {
+        BasicBlock *bb;
+        std::vector<BasicBlock *> succs;
+        std::size_t next = 0;
+    };
+    std::vector<Item> stack;
+    if (entry()) {
+        visited.insert(entry());
+        stack.push_back({entry(), entry()->successors()});
+    }
+    while (!stack.empty()) {
+        Item &top = stack.back();
+        if (top.next < top.succs.size()) {
+            BasicBlock *succ = top.succs[top.next++];
+            if (visited.insert(succ).second)
+                stack.push_back({succ, succ->successors()});
+        } else {
+            post.push_back(top.bb);
+            stack.pop_back();
+        }
+    }
+    std::reverse(post.begin(), post.end());
+    return post;
+}
+
+} // namespace softcheck

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * A function: arguments plus an ordered list of basic blocks, the first
+ * of which is the entry block. Functions own their blocks and
+ * arguments.
+ */
+
+#ifndef SOFTCHECK_IR_FUNCTION_HH
+#define SOFTCHECK_IR_FUNCTION_HH
+
+#include <list>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ir/basic_block.hh"
+
+namespace softcheck
+{
+
+class Module;
+
+class Function
+{
+  public:
+    using BlockList = std::list<std::unique_ptr<BasicBlock>>;
+
+    Function(Module *parent, std::string nm, Type return_type)
+        : par(parent), nam(std::move(nm)), retTy(return_type)
+    {}
+
+    Function(const Function &) = delete;
+    Function &operator=(const Function &) = delete;
+
+    /** Breaks every operand web before members are destroyed, so the
+     * per-instruction destructor never touches a dead operand. */
+    ~Function();
+
+    Module *parent() const { return par; }
+    const std::string &name() const { return nam; }
+    Type returnType() const { return retTy; }
+
+    // Arguments -------------------------------------------------------
+    Argument *addArg(Type t, std::string nm);
+    std::size_t numArgs() const { return args.size(); }
+    Argument *arg(std::size_t i) const { return args[i].get(); }
+
+    // Blocks ----------------------------------------------------------
+    BasicBlock *addBlock(std::string nm);
+    /** Insert a new block right after @p after (for edge splitting). */
+    BasicBlock *addBlockAfter(BasicBlock *after, std::string nm);
+
+    /**
+     * Remove and destroy a block. The caller must have already detached
+     * every cross-block reference (phi incomings, branch targets, value
+     * uses) to the block's contents.
+     */
+    void removeBlock(BasicBlock *bb);
+
+    BasicBlock *entry() const
+    {
+        return blocks.empty() ? nullptr : blocks.front().get();
+    }
+
+    BlockList::iterator begin() { return blocks.begin(); }
+    BlockList::iterator end() { return blocks.end(); }
+    BlockList::const_iterator begin() const { return blocks.begin(); }
+    BlockList::const_iterator end() const { return blocks.end(); }
+    std::size_t numBlocks() const { return blocks.size(); }
+
+    /**
+     * Assign dense instruction ids and register slots.
+     *
+     * Arguments get slots [0, numArgs); every result-producing
+     * instruction gets the next slot. All instructions (including void
+     * ones) receive sequential ids. Must be re-run after any pass that
+     * adds or removes instructions before interpreting the function.
+     */
+    void renumber();
+
+    /** Number of register slots after the last renumber(). */
+    unsigned numSlots() const { return slots; }
+
+    /** Total static instruction count after the last renumber(). */
+    unsigned numInstructions() const { return instCount; }
+
+    /** Predecessor map, recomputed from terminators on each call. */
+    std::map<const BasicBlock *, std::vector<BasicBlock *>>
+    predecessors() const;
+
+    /** Blocks in reverse post-order from the entry. */
+    std::vector<BasicBlock *> reversePostOrder() const;
+
+  private:
+    Module *par;
+    std::string nam;
+    Type retTy;
+    std::vector<std::unique_ptr<Argument>> args;
+    BlockList blocks;
+    unsigned slots = 0;
+    unsigned instCount = 0;
+};
+
+} // namespace softcheck
+
+#endif // SOFTCHECK_IR_FUNCTION_HH

@@ -1,0 +1,260 @@
+#include "ir/instruction.hh"
+
+#include <algorithm>
+
+#include "ir/basic_block.hh"
+#include "support/error.hh"
+
+namespace softcheck
+{
+
+const char *
+opcodeName(Opcode op)
+{
+    switch (op) {
+      case Opcode::Ret: return "ret";
+      case Opcode::Br: return "br";
+      case Opcode::CondBr: return "condbr";
+      case Opcode::Add: return "add";
+      case Opcode::Sub: return "sub";
+      case Opcode::Mul: return "mul";
+      case Opcode::SDiv: return "sdiv";
+      case Opcode::UDiv: return "udiv";
+      case Opcode::SRem: return "srem";
+      case Opcode::URem: return "urem";
+      case Opcode::And: return "and";
+      case Opcode::Or: return "or";
+      case Opcode::Xor: return "xor";
+      case Opcode::Shl: return "shl";
+      case Opcode::LShr: return "lshr";
+      case Opcode::AShr: return "ashr";
+      case Opcode::FAdd: return "fadd";
+      case Opcode::FSub: return "fsub";
+      case Opcode::FMul: return "fmul";
+      case Opcode::FDiv: return "fdiv";
+      case Opcode::ICmp: return "icmp";
+      case Opcode::FCmp: return "fcmp";
+      case Opcode::Trunc: return "trunc";
+      case Opcode::ZExt: return "zext";
+      case Opcode::SExt: return "sext";
+      case Opcode::FPToSI: return "fptosi";
+      case Opcode::SIToFP: return "sitofp";
+      case Opcode::FPTrunc: return "fptrunc";
+      case Opcode::FPExt: return "fpext";
+      case Opcode::PtrToInt: return "ptrtoint";
+      case Opcode::IntToPtr: return "inttoptr";
+      case Opcode::Load: return "load";
+      case Opcode::Store: return "store";
+      case Opcode::Gep: return "gep";
+      case Opcode::Alloca: return "alloca";
+      case Opcode::Phi: return "phi";
+      case Opcode::Select: return "select";
+      case Opcode::Call: return "call";
+      case Opcode::GlobalAddr: return "globaladdr";
+      case Opcode::Sqrt: return "sqrt";
+      case Opcode::FAbs: return "fabs";
+      case Opcode::Exp: return "exp";
+      case Opcode::Log: return "log";
+      case Opcode::Sin: return "sin";
+      case Opcode::Cos: return "cos";
+      case Opcode::FMin: return "fmin";
+      case Opcode::FMax: return "fmax";
+      case Opcode::CheckEq: return "check.eq";
+      case Opcode::CheckOne: return "check.one";
+      case Opcode::CheckTwo: return "check.two";
+      case Opcode::CheckRange: return "check.range";
+    }
+    return "?";
+}
+
+const char *
+predicateName(Predicate p)
+{
+    switch (p) {
+      case Predicate::None: return "none";
+      case Predicate::Eq: return "eq";
+      case Predicate::Ne: return "ne";
+      case Predicate::Slt: return "slt";
+      case Predicate::Sle: return "sle";
+      case Predicate::Sgt: return "sgt";
+      case Predicate::Sge: return "sge";
+      case Predicate::Ult: return "ult";
+      case Predicate::Ule: return "ule";
+      case Predicate::Ugt: return "ugt";
+      case Predicate::Uge: return "uge";
+      case Predicate::OEq: return "oeq";
+      case Predicate::ONe: return "one";
+      case Predicate::OLt: return "olt";
+      case Predicate::OLe: return "ole";
+      case Predicate::OGt: return "ogt";
+      case Predicate::OGe: return "oge";
+    }
+    return "?";
+}
+
+bool
+isTerminator(Opcode op)
+{
+    return op == Opcode::Ret || op == Opcode::Br || op == Opcode::CondBr;
+}
+
+bool
+isIntBinary(Opcode op)
+{
+    return op >= Opcode::Add && op <= Opcode::AShr;
+}
+
+bool
+isFloatBinary(Opcode op)
+{
+    return op >= Opcode::FAdd && op <= Opcode::FDiv;
+}
+
+bool
+isCast(Opcode op)
+{
+    return op >= Opcode::Trunc && op <= Opcode::IntToPtr;
+}
+
+bool
+isMathIntrinsic(Opcode op)
+{
+    return op >= Opcode::Sqrt && op <= Opcode::FMax;
+}
+
+bool
+isCheck(Opcode op)
+{
+    return op >= Opcode::CheckEq && op <= Opcode::CheckRange;
+}
+
+bool
+isCommutative(Opcode op)
+{
+    switch (op) {
+      case Opcode::Add:
+      case Opcode::Mul:
+      case Opcode::And:
+      case Opcode::Or:
+      case Opcode::Xor:
+      case Opcode::FAdd:
+      case Opcode::FMul:
+      case Opcode::FMin:
+      case Opcode::FMax:
+        return true;
+      default:
+        return false;
+    }
+}
+
+std::unique_ptr<Instruction>
+cloneForDuplication(const Instruction &inst)
+{
+    auto dup = std::make_unique<Instruction>(
+        inst.opcode(), inst.type(),
+        inst.name().empty() ? std::string{} : inst.name() + ".d");
+    dup->setPredicate(inst.predicate());
+    dup->setElementType(inst.elementType());
+    dup->setCallee(inst.callee());
+    dup->setGlobalRef(inst.globalRef());
+    for (Value *op : inst.operands())
+        dup->addOperand(op);
+    dup->setDuplicate(true);
+    return dup;
+}
+
+Instruction::Instruction(Opcode opc, Type result_type, std::string nm)
+    : Value(Kind::Instruction, result_type, std::move(nm)), op(opc)
+{}
+
+Instruction::~Instruction()
+{
+    dropAllOperands();
+}
+
+void
+Instruction::addOperand(Value *v)
+{
+    scAssert(v, "null operand");
+    ops.push_back(v);
+    v->addUser(this);
+}
+
+void
+Instruction::setOperand(std::size_t i, Value *v)
+{
+    scAssert(i < ops.size(), "operand index out of range");
+    scAssert(v, "null operand");
+    ops[i]->removeUser(this);
+    ops[i] = v;
+    v->addUser(this);
+}
+
+void
+Instruction::dropAllOperands()
+{
+    for (Value *v : ops)
+        v->removeUser(this);
+    ops.clear();
+}
+
+std::vector<BasicBlock *>
+Instruction::successors() const
+{
+    scAssert(isTerminator(), "successors() on non-terminator");
+    return blockOps;
+}
+
+void
+Instruction::addIncoming(Value *v, BasicBlock *from)
+{
+    scAssert(op == Opcode::Phi, "addIncoming on non-phi");
+    addOperand(v);
+    addBlockOperand(from);
+}
+
+void
+Instruction::removeIncoming(std::size_t i)
+{
+    scAssert(op == Opcode::Phi, "removeIncoming on non-phi");
+    scAssert(i < ops.size() && i < blockOps.size(),
+             "removeIncoming index out of range");
+    ops[i]->removeUser(this);
+    ops.erase(ops.begin() + static_cast<std::ptrdiff_t>(i));
+    blockOps.erase(blockOps.begin() + static_cast<std::ptrdiff_t>(i));
+}
+
+Value *
+Instruction::incomingValueFor(const BasicBlock *from) const
+{
+    scAssert(op == Opcode::Phi, "incomingValueFor on non-phi");
+    for (std::size_t i = 0; i < blockOps.size(); ++i) {
+        if (blockOps[i] == from)
+            return ops[i];
+    }
+    return nullptr;
+}
+
+void
+Value::replaceAllUsesWith(Value *replacement)
+{
+    scAssert(replacement != this, "RAUW with self");
+    // Copy: setOperand mutates the user list.
+    std::vector<Instruction *> users_copy = usrs;
+    for (Instruction *user : users_copy) {
+        for (std::size_t i = 0; i < user->numOperands(); ++i) {
+            if (user->operand(i) == this)
+                user->setOperand(i, replacement);
+        }
+    }
+}
+
+void
+Value::removeUser(Instruction *user)
+{
+    auto it = std::find(usrs.begin(), usrs.end(), user);
+    scAssert(it != usrs.end(), "removeUser: not a user");
+    usrs.erase(it);
+}
+
+} // namespace softcheck

@@ -1,0 +1,234 @@
+/**
+ * @file
+ * Instruction class and the full opcode set of the SoftCheck IR,
+ * including the four runtime-check intrinsics that the hardening passes
+ * insert (CheckEq for duplication comparisons; CheckOne / CheckTwo /
+ * CheckRange for the paper's three expected-value check shapes, Fig. 6).
+ */
+
+#ifndef SOFTCHECK_IR_INSTRUCTION_HH
+#define SOFTCHECK_IR_INSTRUCTION_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ir/value.hh"
+
+namespace softcheck
+{
+
+class BasicBlock;
+class Function;
+
+/** Every operation the IR supports. */
+enum class Opcode : uint8_t
+{
+    // Terminators
+    Ret,
+    Br,
+    CondBr,
+    // Integer arithmetic / bitwise
+    Add,
+    Sub,
+    Mul,
+    SDiv,
+    UDiv,
+    SRem,
+    URem,
+    And,
+    Or,
+    Xor,
+    Shl,
+    LShr,
+    AShr,
+    // Floating-point arithmetic
+    FAdd,
+    FSub,
+    FMul,
+    FDiv,
+    // Comparisons (predicate in Instruction::predicate())
+    ICmp,
+    FCmp,
+    // Casts
+    Trunc,
+    ZExt,
+    SExt,
+    FPToSI,
+    SIToFP,
+    FPTrunc,
+    FPExt,
+    PtrToInt,
+    IntToPtr,
+    // Memory
+    Load,
+    Store,
+    Gep,
+    Alloca,
+    // Control / data merge
+    Phi,
+    Select,
+    Call,
+    GlobalAddr,
+    // Math intrinsics (pure, value-producing; eligible for duplication)
+    Sqrt,
+    FAbs,
+    Exp,
+    Log,
+    Sin,
+    Cos,
+    FMin,
+    FMax,
+    // Runtime checks inserted by the hardening passes (void result)
+    CheckEq,
+    CheckOne,
+    CheckTwo,
+    CheckRange,
+};
+
+/** Comparison predicate used by ICmp / FCmp. */
+enum class Predicate : uint8_t
+{
+    None,
+    // ICmp
+    Eq,
+    Ne,
+    Slt,
+    Sle,
+    Sgt,
+    Sge,
+    Ult,
+    Ule,
+    Ugt,
+    Uge,
+    // FCmp (ordered)
+    OEq,
+    ONe,
+    OLt,
+    OLe,
+    OGt,
+    OGe,
+};
+
+class Instruction;
+
+/**
+ * Shallow clone for duplication passes: copies opcode, type, predicate,
+ * element type, callee and operands (initially the same values; the
+ * caller remaps them), marks the clone as a duplicate, and does NOT
+ * copy check/profile ids or block operands.
+ */
+std::unique_ptr<Instruction> cloneForDuplication(const Instruction &inst);
+
+const char *opcodeName(Opcode op);
+const char *predicateName(Predicate p);
+
+bool isTerminator(Opcode op);
+bool isIntBinary(Opcode op);
+bool isFloatBinary(Opcode op);
+bool isCast(Opcode op);
+bool isMathIntrinsic(Opcode op);
+bool isCheck(Opcode op);
+bool isCommutative(Opcode op);
+
+/**
+ * A single IR instruction. Owns no operands (operands are owned by
+ * their defining function/module); maintains use lists on its operands.
+ */
+class Instruction : public Value
+{
+  public:
+    Instruction(Opcode op, Type result_type, std::string nm = {});
+    ~Instruction() override;
+
+    Opcode opcode() const { return op; }
+
+    BasicBlock *parent() const { return par; }
+    void setParent(BasicBlock *bb) { par = bb; }
+
+    /** Per-function dense numbering assigned by Function::renumber(). */
+    uint32_t id() const { return idNum; }
+    void setId(uint32_t id) { idNum = id; }
+
+    // Operand access -------------------------------------------------
+    std::size_t numOperands() const { return ops.size(); }
+    Value *operand(std::size_t i) const { return ops[i]; }
+    const std::vector<Value *> &operands() const { return ops; }
+
+    void addOperand(Value *v);
+    void setOperand(std::size_t i, Value *v);
+    void dropAllOperands();
+
+    // Block operands (CondBr/Br successors, Phi incoming blocks) ------
+    std::size_t numBlockOperands() const { return blockOps.size(); }
+    BasicBlock *blockOperand(std::size_t i) const { return blockOps[i]; }
+    void addBlockOperand(BasicBlock *bb) { blockOps.push_back(bb); }
+    void setBlockOperand(std::size_t i, BasicBlock *bb) { blockOps[i] = bb; }
+
+    /** Successor blocks of a terminator. */
+    std::vector<BasicBlock *> successors() const;
+
+    // Phi helpers ----------------------------------------------------
+    void addIncoming(Value *v, BasicBlock *from);
+    Value *incomingValue(std::size_t i) const { return operand(i); }
+    BasicBlock *incomingBlock(std::size_t i) const
+    {
+        return blockOperand(i);
+    }
+    /** Incoming value for @p from; null if absent. */
+    Value *incomingValueFor(const BasicBlock *from) const;
+
+    /** Remove the i-th (value, block) incoming pair of a phi. */
+    void removeIncoming(std::size_t i);
+
+    // Extra payloads -------------------------------------------------
+    Predicate predicate() const { return pred; }
+    void setPredicate(Predicate p) { pred = p; }
+
+    /** Element type scaled by Gep / loaded by Load / allocated by
+     * Alloca / stored by Store. */
+    Type elementType() const { return elemTy; }
+    void setElementType(Type t) { elemTy = t; }
+
+    Function *callee() const { return calleeFn; }
+    void setCallee(Function *f) { calleeFn = f; }
+
+    /** Referenced module global (GlobalAddr only). */
+    const class GlobalVariable *globalRef() const { return glb; }
+    void setGlobalRef(const class GlobalVariable *g) { glb = g; }
+
+    // Hardening metadata ----------------------------------------------
+    /** Unique id of a runtime check (CheckEq/One/Two/Range); -1 o/w. */
+    int checkId() const { return chkId; }
+    void setCheckId(int id) { chkId = id; }
+
+    /** Value-profiling site id; -1 if this instruction is unprofiled. */
+    int profileId() const { return profId; }
+    void setProfileId(int id) { profId = id; }
+
+    /** True if this instruction was created by a duplication pass. */
+    bool isDuplicate() const { return dup; }
+    void setDuplicate(bool d) { dup = d; }
+
+    bool isTerminator() const { return softcheck::isTerminator(op); }
+    bool hasResult() const { return !type().isVoid(); }
+
+  private:
+    Opcode op;
+    Predicate pred = Predicate::None;
+    Type elemTy = Type::voidTy();
+    BasicBlock *par = nullptr;
+    Function *calleeFn = nullptr;
+    const class GlobalVariable *glb = nullptr;
+    std::vector<Value *> ops;
+    std::vector<BasicBlock *> blockOps;
+    uint32_t idNum = 0;
+    int chkId = -1;
+    int profId = -1;
+    bool dup = false;
+};
+
+} // namespace softcheck
+
+#endif // SOFTCHECK_IR_INSTRUCTION_HH

@@ -1,0 +1,334 @@
+#include "ir/irbuilder.hh"
+
+#include "support/error.hh"
+
+namespace softcheck
+{
+
+Instruction *
+IRBuilder::insert(std::unique_ptr<Instruction> inst)
+{
+    scAssert(blk, "IRBuilder has no insertion point");
+    return blk->insert(pos, std::move(inst));
+}
+
+Instruction *
+IRBuilder::createBinary(Opcode op, Value *a, Value *b, std::string nm)
+{
+    scAssert(a->type() == b->type(), "binary operand type mismatch: ",
+             a->type().str(), " vs ", b->type().str());
+    if (isIntBinary(op))
+        scAssert(a->type().isInteger(), opcodeName(op), " needs int");
+    else if (isFloatBinary(op))
+        scAssert(a->type().isFloat(), opcodeName(op), " needs float");
+    else
+        scPanic("createBinary with non-binary opcode ", opcodeName(op));
+
+    auto inst = std::make_unique<Instruction>(op, a->type(), std::move(nm));
+    inst->addOperand(a);
+    inst->addOperand(b);
+    return insert(std::move(inst));
+}
+
+Instruction *
+IRBuilder::createICmp(Predicate p, Value *a, Value *b, std::string nm)
+{
+    scAssert(p >= Predicate::Eq && p <= Predicate::Uge,
+             "bad icmp predicate");
+    scAssert(a->type() == b->type(), "icmp type mismatch");
+    scAssert(a->type().isInteger() || a->type().isPtr(),
+             "icmp needs integer or pointer operands");
+    auto inst = std::make_unique<Instruction>(Opcode::ICmp, Type::i1(),
+                                              std::move(nm));
+    inst->setPredicate(p);
+    inst->addOperand(a);
+    inst->addOperand(b);
+    return insert(std::move(inst));
+}
+
+Instruction *
+IRBuilder::createFCmp(Predicate p, Value *a, Value *b, std::string nm)
+{
+    scAssert(p >= Predicate::OEq && p <= Predicate::OGe,
+             "bad fcmp predicate");
+    scAssert(a->type() == b->type() && a->type().isFloat(),
+             "fcmp needs matching float operands");
+    auto inst = std::make_unique<Instruction>(Opcode::FCmp, Type::i1(),
+                                              std::move(nm));
+    inst->setPredicate(p);
+    inst->addOperand(a);
+    inst->addOperand(b);
+    return insert(std::move(inst));
+}
+
+Instruction *
+IRBuilder::createCast(Opcode op, Value *v, Type to, std::string nm)
+{
+    scAssert(isCast(op), "createCast with non-cast opcode");
+    const Type from = v->type();
+    switch (op) {
+      case Opcode::Trunc:
+        scAssert(from.isInteger() && to.isInteger() &&
+                 from.bitWidth() > to.bitWidth(), "bad trunc");
+        break;
+      case Opcode::ZExt:
+      case Opcode::SExt:
+        scAssert(from.isInteger() && to.isInteger() &&
+                 from.bitWidth() < to.bitWidth(), "bad ext");
+        break;
+      case Opcode::FPToSI:
+        scAssert(from.isFloat() && to.isInteger(), "bad fptosi");
+        break;
+      case Opcode::SIToFP:
+        scAssert(from.isInteger() && to.isFloat(), "bad sitofp");
+        break;
+      case Opcode::FPTrunc:
+        scAssert(from.kind() == TypeKind::F64 &&
+                 to.kind() == TypeKind::F32, "bad fptrunc");
+        break;
+      case Opcode::FPExt:
+        scAssert(from.kind() == TypeKind::F32 &&
+                 to.kind() == TypeKind::F64, "bad fpext");
+        break;
+      case Opcode::PtrToInt:
+        scAssert(from.isPtr() && to.isInteger(), "bad ptrtoint");
+        break;
+      case Opcode::IntToPtr:
+        scAssert(from.isInteger() && to.isPtr(), "bad inttoptr");
+        break;
+      default:
+        scPanic("unhandled cast");
+    }
+    auto inst = std::make_unique<Instruction>(op, to, std::move(nm));
+    inst->addOperand(v);
+    return insert(std::move(inst));
+}
+
+Value *
+IRBuilder::createIntResize(Value *v, Type to, bool is_signed)
+{
+    const Type from = v->type();
+    scAssert(from.isInteger() && to.isInteger(), "int resize on non-int");
+    if (from == to)
+        return v;
+    if (from.bitWidth() > to.bitWidth())
+        return createCast(Opcode::Trunc, v, to);
+    return createCast(is_signed ? Opcode::SExt : Opcode::ZExt, v, to);
+}
+
+Instruction *
+IRBuilder::createAlloca(Type elem, Value *count, std::string nm)
+{
+    scAssert(!elem.isVoid(), "alloca of void");
+    scAssert(count->type().isInteger(), "alloca count must be integer");
+    auto inst = std::make_unique<Instruction>(Opcode::Alloca, Type::ptr(),
+                                              std::move(nm));
+    inst->setElementType(elem);
+    inst->addOperand(count);
+    return insert(std::move(inst));
+}
+
+Instruction *
+IRBuilder::createLoad(Type elem, Value *ptr, std::string nm)
+{
+    scAssert(ptr->type().isPtr(), "load from non-pointer");
+    scAssert(!elem.isVoid(), "load of void");
+    auto inst = std::make_unique<Instruction>(Opcode::Load, elem,
+                                              std::move(nm));
+    inst->setElementType(elem);
+    inst->addOperand(ptr);
+    return insert(std::move(inst));
+}
+
+Instruction *
+IRBuilder::createStore(Value *val, Value *ptr)
+{
+    scAssert(ptr->type().isPtr(), "store to non-pointer");
+    auto inst = std::make_unique<Instruction>(Opcode::Store,
+                                              Type::voidTy());
+    inst->setElementType(val->type());
+    inst->addOperand(val);
+    inst->addOperand(ptr);
+    return insert(std::move(inst));
+}
+
+Instruction *
+IRBuilder::createGep(Value *ptr, Value *index, Type elem, std::string nm)
+{
+    scAssert(ptr->type().isPtr(), "gep on non-pointer");
+    // Indices are always i64 so the interpreter can treat the canonical
+    // register value as a signed 64-bit offset without width metadata.
+    scAssert(index->type() == Type::i64(), "gep index must be i64");
+    scAssert(!elem.isVoid(), "gep with void element type");
+    auto inst = std::make_unique<Instruction>(Opcode::Gep, Type::ptr(),
+                                              std::move(nm));
+    inst->setElementType(elem);
+    inst->addOperand(ptr);
+    inst->addOperand(index);
+    return insert(std::move(inst));
+}
+
+Instruction *
+IRBuilder::createGlobalAddr(const GlobalVariable *g, std::string nm)
+{
+    scAssert(g, "null global");
+    auto inst = std::make_unique<Instruction>(Opcode::GlobalAddr,
+                                              Type::ptr(),
+                                              std::move(nm));
+    inst->setGlobalRef(g);
+    inst->setElementType(g->elementType());
+    return insert(std::move(inst));
+}
+
+Instruction *
+IRBuilder::createPhi(Type t, std::string nm)
+{
+    scAssert(!t.isVoid(), "phi of void");
+    auto inst = std::make_unique<Instruction>(Opcode::Phi, t,
+                                              std::move(nm));
+    return insert(std::move(inst));
+}
+
+Instruction *
+IRBuilder::createSelect(Value *cond, Value *tv, Value *fv, std::string nm)
+{
+    scAssert(cond->type() == Type::i1(), "select condition must be i1");
+    scAssert(tv->type() == fv->type(), "select arm type mismatch");
+    auto inst = std::make_unique<Instruction>(Opcode::Select, tv->type(),
+                                              std::move(nm));
+    inst->addOperand(cond);
+    inst->addOperand(tv);
+    inst->addOperand(fv);
+    return insert(std::move(inst));
+}
+
+Instruction *
+IRBuilder::createCall(Function *callee,
+                      const std::vector<Value *> &call_args,
+                      std::string nm)
+{
+    scAssert(callee, "call with null callee");
+    scAssert(call_args.size() == callee->numArgs(),
+             "call argument count mismatch for ", callee->name());
+    for (std::size_t i = 0; i < call_args.size(); ++i) {
+        scAssert(call_args[i]->type() == callee->arg(i)->type(),
+                 "call argument ", i, " type mismatch for ",
+                 callee->name());
+    }
+    auto inst = std::make_unique<Instruction>(
+        Opcode::Call, callee->returnType(), std::move(nm));
+    inst->setCallee(callee);
+    for (Value *a : call_args)
+        inst->addOperand(a);
+    return insert(std::move(inst));
+}
+
+Instruction *
+IRBuilder::createRet(Value *v)
+{
+    auto inst = std::make_unique<Instruction>(Opcode::Ret, Type::voidTy());
+    if (v)
+        inst->addOperand(v);
+    return insert(std::move(inst));
+}
+
+Instruction *
+IRBuilder::createBr(BasicBlock *dest)
+{
+    auto inst = std::make_unique<Instruction>(Opcode::Br, Type::voidTy());
+    inst->addBlockOperand(dest);
+    return insert(std::move(inst));
+}
+
+Instruction *
+IRBuilder::createCondBr(Value *cond, BasicBlock *true_bb,
+                        BasicBlock *false_bb)
+{
+    scAssert(cond->type() == Type::i1(), "condbr condition must be i1");
+    auto inst = std::make_unique<Instruction>(Opcode::CondBr,
+                                              Type::voidTy());
+    inst->addOperand(cond);
+    inst->addBlockOperand(true_bb);
+    inst->addBlockOperand(false_bb);
+    return insert(std::move(inst));
+}
+
+Instruction *
+IRBuilder::createUnaryMath(Opcode op, Value *v, std::string nm)
+{
+    scAssert(op >= Opcode::Sqrt && op <= Opcode::Cos,
+             "not a unary math intrinsic");
+    scAssert(v->type().isFloat(), opcodeName(op), " needs float");
+    auto inst = std::make_unique<Instruction>(op, v->type(),
+                                              std::move(nm));
+    inst->addOperand(v);
+    return insert(std::move(inst));
+}
+
+Instruction *
+IRBuilder::createBinaryMath(Opcode op, Value *a, Value *b, std::string nm)
+{
+    scAssert(op == Opcode::FMin || op == Opcode::FMax,
+             "not a binary math intrinsic");
+    scAssert(a->type() == b->type() && a->type().isFloat(),
+             opcodeName(op), " needs matching floats");
+    auto inst = std::make_unique<Instruction>(op, a->type(),
+                                              std::move(nm));
+    inst->addOperand(a);
+    inst->addOperand(b);
+    return insert(std::move(inst));
+}
+
+Instruction *
+IRBuilder::createCheckEq(Value *orig, Value *dup, int check_id)
+{
+    scAssert(orig->type() == dup->type(), "check.eq type mismatch");
+    auto inst = std::make_unique<Instruction>(Opcode::CheckEq,
+                                              Type::voidTy());
+    inst->addOperand(orig);
+    inst->addOperand(dup);
+    inst->setCheckId(check_id);
+    return insert(std::move(inst));
+}
+
+Instruction *
+IRBuilder::createCheckOne(Value *v, Value *expected, int check_id)
+{
+    scAssert(v->type() == expected->type(), "check.one type mismatch");
+    auto inst = std::make_unique<Instruction>(Opcode::CheckOne,
+                                              Type::voidTy());
+    inst->addOperand(v);
+    inst->addOperand(expected);
+    inst->setCheckId(check_id);
+    return insert(std::move(inst));
+}
+
+Instruction *
+IRBuilder::createCheckTwo(Value *v, Value *e0, Value *e1, int check_id)
+{
+    scAssert(v->type() == e0->type() && v->type() == e1->type(),
+             "check.two type mismatch");
+    auto inst = std::make_unique<Instruction>(Opcode::CheckTwo,
+                                              Type::voidTy());
+    inst->addOperand(v);
+    inst->addOperand(e0);
+    inst->addOperand(e1);
+    inst->setCheckId(check_id);
+    return insert(std::move(inst));
+}
+
+Instruction *
+IRBuilder::createCheckRange(Value *v, Value *lo, Value *hi, int check_id)
+{
+    scAssert(v->type() == lo->type() && v->type() == hi->type(),
+             "check.range type mismatch");
+    auto inst = std::make_unique<Instruction>(Opcode::CheckRange,
+                                              Type::voidTy());
+    inst->addOperand(v);
+    inst->addOperand(lo);
+    inst->addOperand(hi);
+    inst->setCheckId(check_id);
+    return insert(std::move(inst));
+}
+
+} // namespace softcheck

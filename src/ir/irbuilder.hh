@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Convenience factory for IR construction with an insertion point,
+ * mirroring llvm::IRBuilder. All create* methods type-check their
+ * operands via scAssert and insert at the current point.
+ */
+
+#ifndef SOFTCHECK_IR_IRBUILDER_HH
+#define SOFTCHECK_IR_IRBUILDER_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ir/module.hh"
+
+namespace softcheck
+{
+
+class IRBuilder
+{
+  public:
+    explicit IRBuilder(Module &m) : mod(m) {}
+
+    Module &module() const { return mod; }
+
+    // Insertion point --------------------------------------------------
+    void
+    setInsertPoint(BasicBlock *bb)
+    {
+        blk = bb;
+        pos = bb->end();
+    }
+
+    void
+    setInsertPoint(BasicBlock *bb, BasicBlock::iterator it)
+    {
+        blk = bb;
+        pos = it;
+    }
+
+    /** Insert new instructions immediately before @p inst. */
+    void
+    setInsertBefore(Instruction *inst)
+    {
+        blk = inst->parent();
+        pos = blk->iteratorTo(inst);
+    }
+
+    /** Insert new instructions immediately after @p inst. */
+    void
+    setInsertAfter(Instruction *inst)
+    {
+        blk = inst->parent();
+        pos = std::next(blk->iteratorTo(inst));
+    }
+
+    BasicBlock *insertBlock() const { return blk; }
+
+    // Constants ---------------------------------------------------------
+    ConstantInt *constI32(int64_t v) { return mod.getConstInt(Type::i32(), v); }
+    ConstantInt *constI64(int64_t v) { return mod.getConstInt(Type::i64(), v); }
+    ConstantInt *constBool(bool v)
+    {
+        return mod.getConstInt(Type::i1(), uint64_t{v});
+    }
+    ConstantFloat *constF64(double v)
+    {
+        return mod.getConstFloat(Type::f64(), v);
+    }
+
+    // Arithmetic ---------------------------------------------------------
+    Instruction *createBinary(Opcode op, Value *a, Value *b,
+                              std::string nm = {});
+
+    Instruction *createAdd(Value *a, Value *b, std::string nm = {})
+    { return createBinary(Opcode::Add, a, b, std::move(nm)); }
+    Instruction *createSub(Value *a, Value *b, std::string nm = {})
+    { return createBinary(Opcode::Sub, a, b, std::move(nm)); }
+    Instruction *createMul(Value *a, Value *b, std::string nm = {})
+    { return createBinary(Opcode::Mul, a, b, std::move(nm)); }
+    Instruction *createSDiv(Value *a, Value *b, std::string nm = {})
+    { return createBinary(Opcode::SDiv, a, b, std::move(nm)); }
+    Instruction *createUDiv(Value *a, Value *b, std::string nm = {})
+    { return createBinary(Opcode::UDiv, a, b, std::move(nm)); }
+    Instruction *createSRem(Value *a, Value *b, std::string nm = {})
+    { return createBinary(Opcode::SRem, a, b, std::move(nm)); }
+    Instruction *createURem(Value *a, Value *b, std::string nm = {})
+    { return createBinary(Opcode::URem, a, b, std::move(nm)); }
+    Instruction *createAnd(Value *a, Value *b, std::string nm = {})
+    { return createBinary(Opcode::And, a, b, std::move(nm)); }
+    Instruction *createOr(Value *a, Value *b, std::string nm = {})
+    { return createBinary(Opcode::Or, a, b, std::move(nm)); }
+    Instruction *createXor(Value *a, Value *b, std::string nm = {})
+    { return createBinary(Opcode::Xor, a, b, std::move(nm)); }
+    Instruction *createShl(Value *a, Value *b, std::string nm = {})
+    { return createBinary(Opcode::Shl, a, b, std::move(nm)); }
+    Instruction *createLShr(Value *a, Value *b, std::string nm = {})
+    { return createBinary(Opcode::LShr, a, b, std::move(nm)); }
+    Instruction *createAShr(Value *a, Value *b, std::string nm = {})
+    { return createBinary(Opcode::AShr, a, b, std::move(nm)); }
+    Instruction *createFAdd(Value *a, Value *b, std::string nm = {})
+    { return createBinary(Opcode::FAdd, a, b, std::move(nm)); }
+    Instruction *createFSub(Value *a, Value *b, std::string nm = {})
+    { return createBinary(Opcode::FSub, a, b, std::move(nm)); }
+    Instruction *createFMul(Value *a, Value *b, std::string nm = {})
+    { return createBinary(Opcode::FMul, a, b, std::move(nm)); }
+    Instruction *createFDiv(Value *a, Value *b, std::string nm = {})
+    { return createBinary(Opcode::FDiv, a, b, std::move(nm)); }
+
+    // Comparisons ---------------------------------------------------------
+    Instruction *createICmp(Predicate p, Value *a, Value *b,
+                            std::string nm = {});
+    Instruction *createFCmp(Predicate p, Value *a, Value *b,
+                            std::string nm = {});
+
+    // Casts ----------------------------------------------------------------
+    Instruction *createCast(Opcode op, Value *v, Type to,
+                            std::string nm = {});
+
+    /** Integer-to-integer resize choosing trunc / sext / no-op. */
+    Value *createIntResize(Value *v, Type to, bool is_signed = true);
+
+    // Memory -----------------------------------------------------------------
+    Instruction *createAlloca(Type elem, Value *count, std::string nm = {});
+    Instruction *createLoad(Type elem, Value *ptr, std::string nm = {});
+    Instruction *createStore(Value *val, Value *ptr);
+    Instruction *createGep(Value *ptr, Value *index, Type elem,
+                           std::string nm = {});
+
+    // Control -------------------------------------------------------------
+    Instruction *createGlobalAddr(const GlobalVariable *g,
+                                  std::string nm = {});
+    Instruction *createPhi(Type t, std::string nm = {});
+    Instruction *createSelect(Value *cond, Value *tv, Value *fv,
+                              std::string nm = {});
+    Instruction *createCall(Function *callee,
+                            const std::vector<Value *> &call_args,
+                            std::string nm = {});
+    Instruction *createRet(Value *v = nullptr);
+    Instruction *createBr(BasicBlock *dest);
+    Instruction *createCondBr(Value *cond, BasicBlock *true_bb,
+                              BasicBlock *false_bb);
+
+    // Math intrinsics ---------------------------------------------------
+    Instruction *createUnaryMath(Opcode op, Value *v, std::string nm = {});
+    Instruction *createBinaryMath(Opcode op, Value *a, Value *b,
+                                  std::string nm = {});
+
+    // Hardening checks ----------------------------------------------------
+    Instruction *createCheckEq(Value *orig, Value *dup, int check_id);
+    Instruction *createCheckOne(Value *v, Value *expected, int check_id);
+    Instruction *createCheckTwo(Value *v, Value *e0, Value *e1,
+                                int check_id);
+    Instruction *createCheckRange(Value *v, Value *lo, Value *hi,
+                                  int check_id);
+
+  private:
+    Instruction *insert(std::unique_ptr<Instruction> inst);
+
+    Module &mod;
+    BasicBlock *blk = nullptr;
+    BasicBlock::iterator pos;
+};
+
+} // namespace softcheck
+
+#endif // SOFTCHECK_IR_IRBUILDER_HH

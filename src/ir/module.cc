@@ -1,0 +1,101 @@
+#include "ir/module.hh"
+
+#include "support/error.hh"
+
+namespace softcheck
+{
+
+Function *
+Module::createFunction(const std::string &nm, Type return_type)
+{
+    if (fns.count(nm))
+        scFatal("duplicate function name '", nm, "'");
+    auto fn = std::make_unique<Function>(this, nm, return_type);
+    Function *raw = fn.get();
+    fns.emplace(nm, std::move(fn));
+    fnOrder.push_back(raw);
+    return raw;
+}
+
+Function *
+Module::getFunction(const std::string &nm) const
+{
+    auto it = fns.find(nm);
+    return it == fns.end() ? nullptr : it->second.get();
+}
+
+GlobalVariable *
+Module::createGlobal(const std::string &nm, Type elem,
+                     std::vector<uint64_t> init)
+{
+    if (glbs.count(nm))
+        scFatal("duplicate global name '", nm, "'");
+    scAssert(!elem.isVoid() && !init.empty(), "bad global definition");
+    auto g = std::make_unique<GlobalVariable>(
+        nm, elem, std::move(init),
+        static_cast<unsigned>(glbOrder.size()));
+    GlobalVariable *raw = g.get();
+    glbs.emplace(nm, std::move(g));
+    glbOrder.push_back(raw);
+    return raw;
+}
+
+GlobalVariable *
+Module::getGlobal(const std::string &nm) const
+{
+    auto it = glbs.find(nm);
+    return it == glbs.end() ? nullptr : it->second.get();
+}
+
+ConstantInt *
+Module::getConstInt(Type t, uint64_t value)
+{
+    scAssert(t.isInteger() || t.isPtr(), "getConstInt on ", t.str());
+    const uint64_t canon = truncBits(value, t.bitWidth());
+    auto key = std::make_pair(t.kind(), canon);
+    auto it = intPool.find(key);
+    if (it != intPool.end())
+        return it->second.get();
+    auto c = std::make_unique<ConstantInt>(t, canon);
+    ConstantInt *raw = c.get();
+    intPool.emplace(key, std::move(c));
+    return raw;
+}
+
+ConstantFloat *
+Module::getConstFloat(Type t, double value)
+{
+    scAssert(t.isFloat(), "getConstFloat on ", t.str());
+    if (t.kind() == TypeKind::F32)
+        value = static_cast<double>(static_cast<float>(value));
+    uint64_t bits;
+    std::memcpy(&bits, &value, sizeof bits);
+    auto key = std::make_pair(t.kind(), bits);
+    auto it = floatPool.find(key);
+    if (it != floatPool.end())
+        return it->second.get();
+    auto c = std::make_unique<ConstantFloat>(t, value);
+    ConstantFloat *raw = c.get();
+    floatPool.emplace(key, std::move(c));
+    return raw;
+}
+
+void
+Module::renumberAll()
+{
+    for (Function *fn : fnOrder)
+        fn->renumber();
+}
+
+unsigned
+Module::totalInstructions() const
+{
+    unsigned total = 0;
+    for (Function *fn : fnOrder) {
+        for (const auto &bb : *fn)
+            total += static_cast<unsigned>(bb->size());
+    }
+    return total;
+}
+
+} // namespace softcheck

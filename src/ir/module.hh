@@ -1,0 +1,121 @@
+/**
+ * @file
+ * The top-level IR container. Owns functions and a uniqued constant
+ * pool (so constants can be compared by pointer identity).
+ */
+
+#ifndef SOFTCHECK_IR_MODULE_HH
+#define SOFTCHECK_IR_MODULE_HH
+
+#include <cstring>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ir/function.hh"
+
+namespace softcheck
+{
+
+/**
+ * A module-level constant array (lookup tables such as quantization
+ * matrices or the paper's Fig. 5 crc_table). Element values are stored
+ * canonically (integers truncated to width; floats as bit patterns).
+ */
+class GlobalVariable
+{
+  public:
+    GlobalVariable(std::string nm, Type elem, std::vector<uint64_t> init,
+                   unsigned idx)
+        : nam(std::move(nm)), elemTy(elem), vals(std::move(init)),
+          index_(idx)
+    {}
+
+    const std::string &name() const { return nam; }
+    Type elementType() const { return elemTy; }
+    uint64_t count() const { return vals.size(); }
+    const std::vector<uint64_t> &init() const { return vals; }
+    unsigned index() const { return index_; }
+
+  private:
+    std::string nam;
+    Type elemTy;
+    std::vector<uint64_t> vals;
+    unsigned index_;
+};
+
+class Module
+{
+  public:
+    explicit Module(std::string nm) : nam(std::move(nm)) {}
+
+    Module(const Module &) = delete;
+    Module &operator=(const Module &) = delete;
+
+    const std::string &name() const { return nam; }
+
+    /** Create a function; the name must be unique in the module. */
+    Function *createFunction(const std::string &nm, Type return_type);
+
+    /** Look up a function by name; null if absent. */
+    Function *getFunction(const std::string &nm) const;
+
+    const std::vector<Function *> &functions() const { return fnOrder; }
+
+    /** Uniqued integer constant of type @p t with (truncated) value. */
+    ConstantInt *getConstInt(Type t, uint64_t value);
+    ConstantInt *getConstInt(Type t, int64_t value)
+    {
+        return getConstInt(t, static_cast<uint64_t>(value));
+    }
+    ConstantInt *getConstInt(Type t, int value)
+    {
+        return getConstInt(t, static_cast<uint64_t>(
+                                  static_cast<int64_t>(value)));
+    }
+    ConstantInt *getTrue() { return getConstInt(Type::i1(), uint64_t{1}); }
+    ConstantInt *getFalse() { return getConstInt(Type::i1(), uint64_t{0}); }
+
+    /** Uniqued floating constant. */
+    ConstantFloat *getConstFloat(Type t, double value);
+
+    /** Create a module-level constant array. */
+    GlobalVariable *createGlobal(const std::string &nm, Type elem,
+                                 std::vector<uint64_t> init);
+
+    /** Look up a global by name; null if absent. */
+    GlobalVariable *getGlobal(const std::string &nm) const;
+
+    const std::vector<GlobalVariable *> &globals() const
+    {
+        return glbOrder;
+    }
+
+    /** Renumber every function (see Function::renumber()). */
+    void renumberAll();
+
+    /** Total static instruction count across all functions. */
+    unsigned totalInstructions() const;
+
+  private:
+    std::string nam;
+
+    // Constant pools and globals are declared before the functions so
+    // that destruction (reverse order) tears functions down first —
+    // Function::~Function unlinks instruction operands, which must
+    // still be alive at that point.
+    std::map<std::pair<TypeKind, uint64_t>,
+             std::unique_ptr<ConstantInt>> intPool;
+    std::map<std::pair<TypeKind, uint64_t>,
+             std::unique_ptr<ConstantFloat>> floatPool;
+    std::map<std::string, std::unique_ptr<GlobalVariable>> glbs;
+    std::vector<GlobalVariable *> glbOrder;
+
+    std::map<std::string, std::unique_ptr<Function>> fns;
+    std::vector<Function *> fnOrder;
+};
+
+} // namespace softcheck
+
+#endif // SOFTCHECK_IR_MODULE_HH

@@ -1,0 +1,690 @@
+#include "ir/parser.hh"
+
+#include <bit>
+#include <cctype>
+#include <cstring>
+#include <map>
+#include <sstream>
+#include <vector>
+
+#include "ir/irbuilder.hh"
+#include "ir/verifier.hh"
+#include "support/error.hh"
+#include "support/text.hh"
+
+namespace softcheck
+{
+
+namespace
+{
+
+/** Tokenize one line into words / names / punctuation. */
+std::vector<std::string>
+lineTokens(const std::string &line)
+{
+    std::vector<std::string> toks;
+    std::size_t i = 0;
+    const std::size_t n = line.size();
+    auto is_name_char = [](char c) {
+        return std::isalnum(static_cast<unsigned char>(c)) ||
+               c == '_' || c == '.';
+    };
+    while (i < n) {
+        const char c = line[i];
+        if (c == ';')
+            break; // comment
+        if (std::isspace(static_cast<unsigned char>(c))) {
+            ++i;
+            continue;
+        }
+        if (c == '-' && i + 1 < n && line[i + 1] == '>') {
+            toks.push_back("->");
+            i += 2;
+            continue;
+        }
+        if (std::strchr(",()[]=:{}", c)) {
+            toks.push_back(std::string{c});
+            ++i;
+            continue;
+        }
+        if (c == '%' || c == '@' || c == '!') {
+            std::size_t start = i++;
+            while (i < n && is_name_char(line[i]))
+                ++i;
+            toks.push_back(line.substr(start, i - start));
+            continue;
+        }
+        if (c == '-' || std::isdigit(static_cast<unsigned char>(c))) {
+            // Number (int or float, optional exponent / inf / nan).
+            std::size_t start = i++;
+            while (i < n && (std::isdigit(static_cast<unsigned char>(
+                                 line[i])) ||
+                             line[i] == '.' || line[i] == 'e' ||
+                             line[i] == 'E' || line[i] == '+' ||
+                             ((line[i] == '-') &&
+                              (line[i - 1] == 'e' ||
+                               line[i - 1] == 'E'))))
+                ++i;
+            // "-inf" / "-nan"
+            if (i < n && (line.compare(i, 3, "inf") == 0 ||
+                          line.compare(i, 3, "nan") == 0))
+                i += 3;
+            toks.push_back(line.substr(start, i - start));
+            continue;
+        }
+        if (is_name_char(c)) {
+            std::size_t start = i;
+            while (i < n && is_name_char(line[i]))
+                ++i;
+            toks.push_back(line.substr(start, i - start));
+            continue;
+        }
+        scFatal("IR parse: unexpected character '", std::string{c},
+                "'");
+    }
+    return toks;
+}
+
+bool
+typeFromString(const std::string &s, Type &out)
+{
+    if (s == "i1") { out = Type::i1(); return true; }
+    if (s == "i8") { out = Type::i8(); return true; }
+    if (s == "i16") { out = Type::i16(); return true; }
+    if (s == "i32") { out = Type::i32(); return true; }
+    if (s == "i64") { out = Type::i64(); return true; }
+    if (s == "f32") { out = Type::f32(); return true; }
+    if (s == "f64") { out = Type::f64(); return true; }
+    if (s == "ptr") { out = Type::ptr(); return true; }
+    if (s == "void") { out = Type::voidTy(); return true; }
+    return false;
+}
+
+Opcode
+opcodeFromString(const std::string &s, bool &ok)
+{
+    static const std::map<std::string, Opcode> table = [] {
+        std::map<std::string, Opcode> t;
+        for (int i = 0; i <= static_cast<int>(Opcode::CheckRange); ++i)
+            t[opcodeName(static_cast<Opcode>(i))] =
+                static_cast<Opcode>(i);
+        return t;
+    }();
+    auto it = table.find(s);
+    ok = it != table.end();
+    return ok ? it->second : Opcode::Ret;
+}
+
+Predicate
+predicateFromString(const std::string &s, bool &ok)
+{
+    static const std::map<std::string, Predicate> table = [] {
+        std::map<std::string, Predicate> t;
+        for (int i = static_cast<int>(Predicate::Eq);
+             i <= static_cast<int>(Predicate::OGe); ++i)
+            t[predicateName(static_cast<Predicate>(i))] =
+                static_cast<Predicate>(i);
+        return t;
+    }();
+    auto it = table.find(s);
+    ok = it != table.end();
+    return ok ? it->second : Predicate::None;
+}
+
+class Parser
+{
+  public:
+    Parser(const std::string &text, const std::string &module_name)
+        : mod(std::make_unique<Module>(module_name))
+    {
+        std::istringstream is(text);
+        std::string line;
+        while (std::getline(is, line))
+            lines.push_back(trim(line));
+    }
+
+    std::unique_ptr<Module>
+    run()
+    {
+        scanSignatures();
+        parseBodies();
+        verifyModuleOrDie(*mod);
+        mod->renumberAll();
+        return std::move(mod);
+    }
+
+  private:
+    [[noreturn]] void
+    err(std::size_t line_no, const std::string &msg)
+    {
+        scFatal("IR parse error at line ", line_no + 1, ": ", msg, " | ",
+                lines[line_no]);
+    }
+
+    Type
+    parseType(std::size_t line_no, const std::string &tok)
+    {
+        Type t;
+        if (!typeFromString(tok, t))
+            err(line_no, "expected type, got '" + tok + "'");
+        return t;
+    }
+
+    /** Pass 1: globals and function signatures. */
+    void
+    scanSignatures()
+    {
+        for (std::size_t ln = 0; ln < lines.size(); ++ln) {
+            if (lines[ln].rfind("global ", 0) == 0)
+                parseGlobal(ln);
+            else if (lines[ln].rfind("fn ", 0) == 0)
+                parseSignature(ln);
+        }
+    }
+
+    void
+    parseGlobal(std::size_t ln)
+    {
+        auto toks = lineTokens(lines[ln]);
+        // global @NAME : TYPE [ N ] = [ v, v, ... ]
+        std::size_t p = 1;
+        const std::string name = toks.at(p++).substr(1);
+        if (toks.at(p++) != ":")
+            err(ln, "expected ':'");
+        const Type elem = parseType(ln, toks.at(p++));
+        if (toks.at(p++) != "[")
+            err(ln, "expected '['");
+        const uint64_t count = std::stoull(toks.at(p++));
+        if (toks.at(p++) != "]" || toks.at(p++) != "=" ||
+            toks.at(p++) != "[")
+            err(ln, "malformed global");
+        std::vector<uint64_t> init;
+        while (p < toks.size() && toks[p] != "]") {
+            if (toks[p] == ",") {
+                ++p;
+                continue;
+            }
+            init.push_back(literalBits(ln, elem, toks[p++]));
+        }
+        if (init.size() != count)
+            err(ln, "global initializer count mismatch");
+        mod->createGlobal(name, elem, std::move(init));
+    }
+
+    void
+    parseSignature(std::size_t ln)
+    {
+        auto toks = lineTokens(lines[ln]);
+        // fn @name ( T %a , T %b ) -> T {
+        std::size_t p = 1;
+        const std::string name = toks.at(p++).substr(1);
+        if (toks.at(p++) != "(")
+            err(ln, "expected '('");
+        std::vector<std::pair<Type, std::string>> params;
+        while (p < toks.size() && toks[p] != ")") {
+            if (toks[p] == ",") {
+                ++p;
+                continue;
+            }
+            const Type t = parseType(ln, toks.at(p++));
+            params.emplace_back(t, toks.at(p++).substr(1));
+        }
+        ++p; // ')'
+        Type ret = Type::voidTy();
+        if (p < toks.size() && toks[p] == "->") {
+            ++p;
+            ret = parseType(ln, toks.at(p++));
+        }
+        Function *fn = mod->createFunction(name, ret);
+        for (auto &[t, nm] : params)
+            fn->addArg(t, nm);
+    }
+
+    uint64_t
+    literalBits(std::size_t ln, Type t, const std::string &tok)
+    {
+        try {
+            if (t.isFloat()) {
+                const double d = std::stod(tok);
+                if (t.kind() == TypeKind::F32)
+                    return std::bit_cast<uint32_t>(
+                        static_cast<float>(d));
+                return std::bit_cast<uint64_t>(d);
+            }
+            return truncBits(
+                static_cast<uint64_t>(std::stoll(tok)), t.bitWidth());
+        } catch (const std::exception &) {
+            err(ln, "bad literal '" + tok + "'");
+        }
+    }
+
+    Value *
+    constantFor(std::size_t ln, Type t, const std::string &tok)
+    {
+        try {
+            if (t.isFloat())
+                return mod->getConstFloat(t, std::stod(tok));
+        } catch (const std::exception &) {
+            err(ln, "bad float literal '" + tok + "'");
+        }
+        return mod->getConstInt(t, literalBits(ln, t, tok));
+    }
+
+    // ---- per-function state -------------------------------------------
+
+    struct Fixup
+    {
+        Instruction *inst;
+        std::size_t operandIdx;
+        std::string name;
+        std::size_t line;
+    };
+
+    void
+    parseBodies()
+    {
+        for (std::size_t ln = 0; ln < lines.size(); ++ln) {
+            if (lines[ln].rfind("fn ", 0) != 0)
+                continue;
+            auto sig = lineTokens(lines[ln]);
+            const std::string name = sig.at(1).substr(1);
+            Function *fn = mod->getFunction(name);
+            // Body extends to the matching '}' line.
+            std::size_t end = ln + 1;
+            while (end < lines.size() && lines[end] != "}")
+                ++end;
+            if (end >= lines.size())
+                err(ln, "missing '}'");
+            parseBody(fn, ln + 1, end);
+            ln = end;
+        }
+    }
+
+    void
+    parseBody(Function *fn, std::size_t first, std::size_t end)
+    {
+        values.clear();
+        blocks.clear();
+        fixups.clear();
+        for (std::size_t i = 0; i < fn->numArgs(); ++i)
+            values[fn->arg(i)->name()] = fn->arg(i);
+
+        // Pre-scan labels so forward branch references resolve.
+        for (std::size_t ln = first; ln < end; ++ln) {
+            const std::string &line = lines[ln];
+            if (line.empty())
+                continue;
+            if (line.back() == ':' &&
+                line.find(' ') == std::string::npos) {
+                const std::string label =
+                    line.substr(0, line.size() - 1);
+                blocks[label] = fn->addBlock(label);
+            }
+        }
+        if (fn->numBlocks() == 0)
+            err(first, "function has no blocks");
+
+        BasicBlock *cur = nullptr;
+        for (std::size_t ln = first; ln < end; ++ln) {
+            const std::string &line = lines[ln];
+            if (line.empty())
+                continue;
+            if (line.back() == ':' &&
+                line.find(' ') == std::string::npos) {
+                cur = blocks.at(line.substr(0, line.size() - 1));
+                continue;
+            }
+            if (!cur)
+                err(ln, "instruction before first label");
+            parseInstruction(fn, cur, ln);
+        }
+
+        // Resolve forward references.
+        for (const Fixup &fx : fixups) {
+            auto it = values.find(fx.name);
+            if (it == values.end())
+                err(fx.line, "undefined value '%" + fx.name + "'");
+            fx.inst->setOperand(fx.operandIdx, it->second);
+        }
+    }
+
+    /** Operand: %name (value), or literal of type @p t. Appends to
+     * @p inst (with fixup when the name is not yet defined). */
+    void
+    addOperand(Instruction *inst, std::size_t ln, Type t,
+               const std::string &tok)
+    {
+        if (!tok.empty() && tok[0] == '%') {
+            const std::string name = tok.substr(1);
+            auto it = values.find(name);
+            if (it != values.end()) {
+                if (it->second->type() != t)
+                    err(ln, "operand %" + name + " has type " +
+                                it->second->type().str() +
+                                ", expected " + t.str());
+                inst->addOperand(it->second);
+            } else {
+                // Placeholder of the right type; patched later.
+                inst->addOperand(
+                    t.isFloat()
+                        ? static_cast<Value *>(
+                              mod->getConstFloat(t, 0.0))
+                        : static_cast<Value *>(
+                              mod->getConstInt(t, uint64_t{0})));
+                fixups.push_back(
+                    {inst, inst->numOperands() - 1, name, ln});
+            }
+            return;
+        }
+        inst->addOperand(constantFor(ln, t, tok));
+    }
+
+    BasicBlock *
+    blockRef(std::size_t ln, const std::string &tok)
+    {
+        scAssert(!tok.empty(), "empty block token");
+        const std::string name =
+            tok[0] == '%' ? tok.substr(1) : tok;
+        auto it = blocks.find(name);
+        if (it == blocks.end())
+            err(ln, "unknown block '%" + name + "'");
+        return it->second;
+    }
+
+    void
+    parseInstruction(Function *fn, BasicBlock *bb, std::size_t ln)
+    {
+        auto toks = lineTokens(lines[ln]);
+        std::size_t p = 0;
+
+        std::string result_name;
+        if (toks[p][0] == '%' && p + 1 < toks.size() &&
+            toks[p + 1] == "=") {
+            result_name = toks[p].substr(1);
+            p += 2;
+        }
+
+        bool ok = false;
+        const Opcode op = opcodeFromString(toks.at(p++), ok);
+        if (!ok)
+            err(ln, "unknown opcode '" + toks[p - 1] + "'");
+
+        // Trailing metadata is handled uniformly at the end.
+        auto meta_begin = toks.size();
+        for (std::size_t i = p; i < toks.size(); ++i) {
+            if (!toks[i].empty() && toks[i][0] == '!') {
+                meta_begin = i;
+                break;
+            }
+        }
+        const std::vector<std::string> body(
+            toks.begin() + static_cast<std::ptrdiff_t>(p),
+            toks.begin() + static_cast<std::ptrdiff_t>(meta_begin));
+
+        Instruction *inst = buildInstruction(fn, bb, ln, op, body);
+
+        // Metadata.
+        for (std::size_t i = meta_begin; i < toks.size(); ++i) {
+            if (toks[i] == "!dup") {
+                inst->setDuplicate(true);
+            } else if (toks[i] == "!check_id") {
+                inst->setCheckId(
+                    static_cast<int>(std::stol(toks.at(++i))));
+            } else if (toks[i] == "!prof") {
+                inst->setProfileId(
+                    static_cast<int>(std::stol(toks.at(++i))));
+            } else {
+                err(ln, "unknown metadata '" + toks[i] + "'");
+            }
+        }
+
+        if (!result_name.empty()) {
+            inst->setName(result_name);
+            if (!values.emplace(result_name, inst).second)
+                err(ln, "redefinition of %" + result_name);
+        }
+    }
+
+    /** Construct one instruction from its body tokens (no metadata). */
+    Instruction *
+    buildInstruction(Function *fn, BasicBlock *bb, std::size_t ln,
+                     Opcode op, const std::vector<std::string> &t)
+    {
+        auto want = [&](std::size_t i) -> const std::string & {
+            if (i >= t.size())
+                err(ln, "unexpected end of instruction");
+            return t[i];
+        };
+        auto skip_commas = [&](std::size_t &i) {
+            while (i < t.size() && t[i] == ",")
+                ++i;
+        };
+
+        if (isIntBinary(op) || isFloatBinary(op)) {
+            // op T %a, %b
+            const Type ty = parseType(ln, want(0));
+            auto inst = std::make_unique<Instruction>(op, ty);
+            Instruction *raw = bb->append(std::move(inst));
+            addOperand(raw, ln, ty, want(1));
+            std::size_t i = 2;
+            skip_commas(i);
+            addOperand(raw, ln, ty, want(i));
+            return raw;
+        }
+        if (isCast(op)) {
+            // op T %v to T2
+            const Type src = parseType(ln, want(0));
+            std::size_t i = 2;
+            if (want(i) != "to")
+                err(ln, "expected 'to' in cast");
+            const Type dst = parseType(ln, want(i + 1));
+            auto inst = std::make_unique<Instruction>(op, dst);
+            Instruction *raw = bb->append(std::move(inst));
+            addOperand(raw, ln, src, want(1));
+            return raw;
+        }
+
+        switch (op) {
+          case Opcode::Ret: {
+            auto inst = std::make_unique<Instruction>(op,
+                                                      Type::voidTy());
+            Instruction *raw = bb->append(std::move(inst));
+            if (!t.empty())
+                addOperand(raw, ln, parseType(ln, want(0)), want(1));
+            return raw;
+          }
+          case Opcode::Br: {
+            // br label %bb
+            auto inst = std::make_unique<Instruction>(op,
+                                                      Type::voidTy());
+            Instruction *raw = bb->append(std::move(inst));
+            raw->addBlockOperand(blockRef(ln, want(1)));
+            return raw;
+          }
+          case Opcode::CondBr: {
+            // condbr i1 %c, label %a, label %b
+            auto inst = std::make_unique<Instruction>(op,
+                                                      Type::voidTy());
+            Instruction *raw = bb->append(std::move(inst));
+            addOperand(raw, ln, Type::i1(), want(1));
+            std::size_t i = 2;
+            skip_commas(i);
+            if (want(i) != "label")
+                err(ln, "expected 'label'");
+            raw->addBlockOperand(blockRef(ln, want(i + 1)));
+            i += 2;
+            skip_commas(i);
+            if (want(i) != "label")
+                err(ln, "expected 'label'");
+            raw->addBlockOperand(blockRef(ln, want(i + 1)));
+            return raw;
+          }
+          case Opcode::ICmp:
+          case Opcode::FCmp: {
+            // icmp slt T %a, %b
+            bool ok = false;
+            const Predicate pred = predicateFromString(want(0), ok);
+            if (!ok)
+                err(ln, "bad predicate '" + want(0) + "'");
+            const Type ty = parseType(ln, want(1));
+            auto inst = std::make_unique<Instruction>(op, Type::i1());
+            inst->setPredicate(pred);
+            Instruction *raw = bb->append(std::move(inst));
+            addOperand(raw, ln, ty, want(2));
+            std::size_t i = 3;
+            skip_commas(i);
+            addOperand(raw, ln, ty, want(i));
+            return raw;
+          }
+          case Opcode::Load: {
+            // load T, ptr %p
+            const Type elem = parseType(ln, want(0));
+            auto inst = std::make_unique<Instruction>(op, elem);
+            inst->setElementType(elem);
+            Instruction *raw = bb->append(std::move(inst));
+            std::size_t i = 1;
+            skip_commas(i);
+            if (want(i) != "ptr")
+                err(ln, "expected 'ptr'");
+            addOperand(raw, ln, Type::ptr(), want(i + 1));
+            return raw;
+          }
+          case Opcode::Store: {
+            // store T %v, ptr %p
+            const Type elem = parseType(ln, want(0));
+            auto inst = std::make_unique<Instruction>(op,
+                                                      Type::voidTy());
+            inst->setElementType(elem);
+            Instruction *raw = bb->append(std::move(inst));
+            addOperand(raw, ln, elem, want(1));
+            std::size_t i = 2;
+            skip_commas(i);
+            if (want(i) != "ptr")
+                err(ln, "expected 'ptr'");
+            addOperand(raw, ln, Type::ptr(), want(i + 1));
+            return raw;
+          }
+          case Opcode::Gep: {
+            // gep T, ptr %p, i64 %i
+            const Type elem = parseType(ln, want(0));
+            auto inst = std::make_unique<Instruction>(op, Type::ptr());
+            inst->setElementType(elem);
+            Instruction *raw = bb->append(std::move(inst));
+            std::size_t i = 1;
+            skip_commas(i);
+            addOperand(raw, ln, Type::ptr(), want(i + 1));
+            i += 2;
+            skip_commas(i);
+            addOperand(raw, ln, parseType(ln, want(i)), want(i + 1));
+            return raw;
+          }
+          case Opcode::Alloca: {
+            // alloca T, i64 N
+            const Type elem = parseType(ln, want(0));
+            auto inst = std::make_unique<Instruction>(op, Type::ptr());
+            inst->setElementType(elem);
+            Instruction *raw = bb->append(std::move(inst));
+            std::size_t i = 1;
+            skip_commas(i);
+            addOperand(raw, ln, parseType(ln, want(i)), want(i + 1));
+            return raw;
+          }
+          case Opcode::GlobalAddr: {
+            // globaladdr @NAME
+            const std::string name = want(0).substr(1);
+            const GlobalVariable *g = mod->getGlobal(name);
+            if (!g)
+                err(ln, "unknown global '@" + name + "'");
+            auto inst = std::make_unique<Instruction>(op, Type::ptr());
+            inst->setGlobalRef(g);
+            inst->setElementType(g->elementType());
+            return bb->append(std::move(inst));
+          }
+          case Opcode::Phi: {
+            // phi T [v, %bb], [v, %bb]
+            const Type ty = parseType(ln, want(0));
+            auto inst = std::make_unique<Instruction>(op, ty);
+            Instruction *raw = bb->append(std::move(inst));
+            std::size_t i = 1;
+            while (i < t.size()) {
+                skip_commas(i);
+                if (i >= t.size())
+                    break;
+                if (want(i) != "[")
+                    err(ln, "expected '[' in phi");
+                addOperand(raw, ln, ty, want(i + 1));
+                std::size_t j = i + 2;
+                skip_commas(j);
+                raw->addBlockOperand(blockRef(ln, want(j)));
+                if (want(j + 1) != "]")
+                    err(ln, "expected ']' in phi");
+                i = j + 2;
+            }
+            return raw;
+          }
+          case Opcode::Call: {
+            // call T @f(T %a, T %b)
+            const Type ret = parseType(ln, want(0));
+            const std::string callee_name = want(1).substr(1);
+            Function *callee = mod->getFunction(callee_name);
+            if (!callee)
+                err(ln, "unknown function '@" + callee_name + "'");
+            auto inst = std::make_unique<Instruction>(op, ret);
+            inst->setCallee(callee);
+            Instruction *raw = bb->append(std::move(inst));
+            std::size_t i = 2;
+            if (want(i) != "(")
+                err(ln, "expected '(' in call");
+            ++i;
+            while (i < t.size() && t[i] != ")") {
+                skip_commas(i);
+                if (t[i] == ")")
+                    break;
+                const Type at = parseType(ln, want(i));
+                addOperand(raw, ln, at, want(i + 1));
+                i += 2;
+            }
+            return raw;
+          }
+          default: {
+            // Select, math intrinsics, checks: every operand typed.
+            Type result = Type::voidTy();
+            if (op == Opcode::Select) {
+                // result type = arm type (second operand's type).
+                result = parseType(ln, want(3 + 0)); // after "i1 %c ,"
+            } else if (isMathIntrinsic(op)) {
+                result = parseType(ln, want(0));
+            }
+            auto inst = std::make_unique<Instruction>(op, result);
+            Instruction *raw = bb->append(std::move(inst));
+            std::size_t i = 0;
+            while (i < t.size()) {
+                skip_commas(i);
+                if (i >= t.size())
+                    break;
+                const Type ty = parseType(ln, want(i));
+                addOperand(raw, ln, ty, want(i + 1));
+                i += 2;
+            }
+            (void)fn;
+            return raw;
+          }
+        }
+    }
+
+    std::unique_ptr<Module> mod;
+    std::vector<std::string> lines;
+    std::map<std::string, Value *> values;
+    std::map<std::string, BasicBlock *> blocks;
+    std::vector<Fixup> fixups;
+};
+
+} // namespace
+
+std::unique_ptr<Module>
+parseIR(const std::string &text, const std::string &module_name)
+{
+    return Parser(text, module_name).run();
+}
+
+} // namespace softcheck

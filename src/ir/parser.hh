@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Parser for the textual IR form emitted by printer.hh, completing the
+ * print/parse round trip. Useful for writing IR test cases directly,
+ * persisting hardened modules, and diffing transformations.
+ *
+ * Accepted grammar (one construct per line; ';' starts a comment):
+ *
+ *   global @NAME : TYPE[N] = [v0, v1, ...]
+ *   fn @name(T %a, T %b) -> T {
+ *   label:
+ *       %res = opcode ...        ; operand syntax as printed
+ *       check.range T %v, T lo, T hi !check_id N
+ *       ...metadata: !check_id N, !prof N, !dup
+ *   }
+ */
+
+#ifndef SOFTCHECK_IR_PARSER_HH
+#define SOFTCHECK_IR_PARSER_HH
+
+#include <memory>
+#include <string>
+
+#include "ir/module.hh"
+
+namespace softcheck
+{
+
+/** Parse a textual module; throws FatalError with a line number on
+ * malformed input. The result is verified and renumbered. */
+std::unique_ptr<Module> parseIR(const std::string &text,
+                                const std::string &module_name = "parsed");
+
+} // namespace softcheck
+
+#endif // SOFTCHECK_IR_PARSER_HH

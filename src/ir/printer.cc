@@ -1,0 +1,267 @@
+#include "ir/printer.hh"
+
+#include <cstring>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "support/error.hh"
+
+namespace softcheck
+{
+
+namespace
+{
+
+/** Optional per-function display-name overrides (uniquified names). */
+using NameMap = std::map<const Value *, std::string>;
+const NameMap *gNames = nullptr;
+
+/** Render an operand reference. */
+std::string
+valueRef(const Value &v)
+{
+    if (gNames) {
+        auto it = gNames->find(&v);
+        if (it != gNames->end())
+            return "%" + it->second;
+    }
+    switch (v.kind()) {
+      case Value::Kind::ConstantInt: {
+        const auto &c = static_cast<const ConstantInt &>(v);
+        return std::to_string(c.signedValue());
+      }
+      case Value::Kind::ConstantFloat: {
+        const auto &c = static_cast<const ConstantFloat &>(v);
+        // max_digits10 so the textual form round-trips exactly.
+        std::ostringstream os;
+        os.precision(17);
+        os << c.value();
+        return os.str();
+      }
+      case Value::Kind::Argument:
+        return "%" + v.name();
+      case Value::Kind::Instruction: {
+        const auto &inst = static_cast<const Instruction &>(v);
+        if (!inst.name().empty())
+            return "%" + inst.name();
+        return "%t" + std::to_string(inst.id());
+      }
+    }
+    return "%?";
+}
+
+std::string
+typedRef(const Value &v)
+{
+    return v.type().str() + " " + valueRef(v);
+}
+
+} // namespace
+
+std::string
+instructionToString(const Instruction &inst)
+{
+    std::ostringstream os;
+    const Opcode op = inst.opcode();
+
+    if (inst.hasResult())
+        os << valueRef(inst) << " = ";
+
+    os << opcodeName(op);
+
+    switch (op) {
+      case Opcode::Ret:
+        if (inst.numOperands())
+            os << " " << typedRef(*inst.operand(0));
+        break;
+      case Opcode::Br:
+        os << " label %" << inst.blockOperand(0)->name();
+        break;
+      case Opcode::CondBr:
+        os << " " << typedRef(*inst.operand(0))
+           << ", label %" << inst.blockOperand(0)->name()
+           << ", label %" << inst.blockOperand(1)->name();
+        break;
+      case Opcode::ICmp:
+      case Opcode::FCmp:
+        os << " " << predicateName(inst.predicate()) << " "
+           << typedRef(*inst.operand(0)) << ", "
+           << valueRef(*inst.operand(1));
+        break;
+      case Opcode::Load:
+        os << " " << inst.elementType().str() << ", "
+           << typedRef(*inst.operand(0));
+        break;
+      case Opcode::Store:
+        os << " " << typedRef(*inst.operand(0)) << ", "
+           << typedRef(*inst.operand(1));
+        break;
+      case Opcode::Gep:
+        os << " " << inst.elementType().str() << ", "
+           << typedRef(*inst.operand(0)) << ", "
+           << typedRef(*inst.operand(1));
+        break;
+      case Opcode::Alloca:
+        os << " " << inst.elementType().str() << ", "
+           << typedRef(*inst.operand(0));
+        break;
+      case Opcode::GlobalAddr:
+        os << " @" << (inst.globalRef() ? inst.globalRef()->name()
+                                        : std::string("?"));
+        break;
+      case Opcode::Phi: {
+        os << " " << inst.type().str() << " ";
+        for (std::size_t i = 0; i < inst.numOperands(); ++i) {
+            if (i)
+                os << ", ";
+            os << "[" << valueRef(*inst.operand(i)) << ", %"
+               << inst.incomingBlock(i)->name() << "]";
+        }
+        break;
+      }
+      case Opcode::Call: {
+        os << " " << inst.callee()->returnType().str() << " @"
+           << inst.callee()->name() << "(";
+        for (std::size_t i = 0; i < inst.numOperands(); ++i) {
+            if (i)
+                os << ", ";
+            os << typedRef(*inst.operand(i));
+        }
+        os << ")";
+        break;
+      }
+      case Opcode::Trunc:
+      case Opcode::ZExt:
+      case Opcode::SExt:
+      case Opcode::FPToSI:
+      case Opcode::SIToFP:
+      case Opcode::FPTrunc:
+      case Opcode::FPExt:
+      case Opcode::PtrToInt:
+      case Opcode::IntToPtr:
+        os << " " << typedRef(*inst.operand(0)) << " to "
+           << inst.type().str();
+        break;
+      default: {
+        if (isIntBinary(op) || isFloatBinary(op)) {
+            // add i32 %a, %b  (operands share the result type)
+            os << " " << typedRef(*inst.operand(0)) << ", "
+               << valueRef(*inst.operand(1));
+        } else {
+            // select / math intrinsics / checks: every operand typed,
+            // so the textual form is parseable without inference.
+            for (std::size_t i = 0; i < inst.numOperands(); ++i)
+                os << (i ? ", " : " ") << typedRef(*inst.operand(i));
+        }
+        break;
+      }
+    }
+
+    if (isCheck(op))
+        os << " !check_id " << inst.checkId();
+    if (inst.isDuplicate())
+        os << " !dup";
+    if (inst.profileId() >= 0)
+        os << " !prof " << inst.profileId();
+    return os.str();
+}
+
+void
+printFunction(const Function &fn, std::ostream &os)
+{
+    // Uniquify display names: the front end may give several
+    // instructions the same name (e.g. one "x.v" per load of x), which
+    // would be ambiguous — and unparseable — in text.
+    NameMap names;
+    std::set<std::string> used;
+    for (std::size_t i = 0; i < fn.numArgs(); ++i)
+        used.insert(fn.arg(i)->name());
+    for (const auto &bb : fn) {
+        for (const auto &inst : *bb) {
+            if (inst->name().empty() || !inst->hasResult())
+                continue;
+            std::string nm = inst->name();
+            if (!used.insert(nm).second) {
+                nm += "." + std::to_string(inst->id());
+                used.insert(nm);
+            }
+            if (nm != inst->name())
+                names[inst.get()] = nm;
+        }
+    }
+    gNames = names.empty() ? nullptr : &names;
+
+    os << "fn @" << fn.name() << "(";
+    for (std::size_t i = 0; i < fn.numArgs(); ++i) {
+        if (i)
+            os << ", ";
+        os << fn.arg(i)->type().str() << " %" << fn.arg(i)->name();
+    }
+    os << ") -> " << fn.returnType().str() << " {\n";
+    for (const auto &bb : fn) {
+        os << bb->name() << ":\n";
+        for (const auto &inst : *bb)
+            os << "    " << instructionToString(*inst) << "\n";
+    }
+    os << "}\n";
+    gNames = nullptr;
+}
+
+void
+printModule(const Module &m, std::ostream &os)
+{
+    os << "; module " << m.name() << "\n";
+    for (const GlobalVariable *g : m.globals()) {
+        os << "global @" << g->name() << " : "
+           << g->elementType().str() << "[" << g->count() << "] = [";
+        for (uint64_t i = 0; i < g->count(); ++i) {
+            if (i)
+                os << ", ";
+            if (g->elementType().isFloat()) {
+                std::ostringstream fs;
+                fs.precision(17);
+                const uint64_t raw = g->init()[i];
+                if (g->elementType().kind() == TypeKind::F32) {
+                    float f;
+                    uint32_t bits32 = static_cast<uint32_t>(raw);
+                    std::memcpy(&f, &bits32, sizeof f);
+                    fs << f;
+                } else {
+                    double d;
+                    std::memcpy(&d, &raw, sizeof d);
+                    fs << d;
+                }
+                os << fs.str();
+            } else {
+                os << signExtend(g->init()[i],
+                                 g->elementType().bitWidth());
+            }
+        }
+        os << "]\n";
+    }
+    if (!m.globals().empty())
+        os << "\n";
+    for (const Function *fn : m.functions()) {
+        printFunction(*fn, os);
+        os << "\n";
+    }
+}
+
+std::string
+moduleToString(const Module &m)
+{
+    std::ostringstream os;
+    printModule(m, os);
+    return os.str();
+}
+
+std::string
+functionToString(const Function &fn)
+{
+    std::ostringstream os;
+    printFunction(fn, os);
+    return os.str();
+}
+
+} // namespace softcheck

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Human-readable textual dump of modules, functions, and instructions
+ * in an LLVM-like syntax. Used by tests, examples, and debugging.
+ */
+
+#ifndef SOFTCHECK_IR_PRINTER_HH
+#define SOFTCHECK_IR_PRINTER_HH
+
+#include <ostream>
+#include <string>
+
+#include "ir/module.hh"
+
+namespace softcheck
+{
+
+/** Print a whole module. */
+void printModule(const Module &m, std::ostream &os);
+
+/** Print a single function. */
+void printFunction(const Function &fn, std::ostream &os);
+
+/** One-line rendering of a single instruction (no trailing newline). */
+std::string instructionToString(const Instruction &inst);
+
+/** Convenience: whole module as a string. */
+std::string moduleToString(const Module &m);
+
+/** Convenience: whole function as a string. */
+std::string functionToString(const Function &fn);
+
+} // namespace softcheck
+
+#endif // SOFTCHECK_IR_PRINTER_HH

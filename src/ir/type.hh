@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Lightweight value-semantics type system for the SoftCheck IR.
+ *
+ * The IR is typed like a small subset of LLVM IR: one void type, integer
+ * types i1/i8/i16/i32/i64, floating types f32/f64, and a single opaque
+ * pointer type (pointee element types are carried by the memory
+ * instructions that need them, as in modern LLVM).
+ */
+
+#ifndef SOFTCHECK_IR_TYPE_HH
+#define SOFTCHECK_IR_TYPE_HH
+
+#include <string>
+
+#include "support/error.hh"
+
+namespace softcheck
+{
+
+/** Discriminator for Type. */
+enum class TypeKind : uint8_t
+{
+    Void,
+    I1,
+    I8,
+    I16,
+    I32,
+    I64,
+    F32,
+    F64,
+    Ptr,
+};
+
+/** A trivially copyable IR type. */
+class Type
+{
+  public:
+    constexpr Type() : knd(TypeKind::Void) {}
+    constexpr explicit Type(TypeKind k) : knd(k) {}
+
+    static constexpr Type voidTy() { return Type(TypeKind::Void); }
+    static constexpr Type i1() { return Type(TypeKind::I1); }
+    static constexpr Type i8() { return Type(TypeKind::I8); }
+    static constexpr Type i16() { return Type(TypeKind::I16); }
+    static constexpr Type i32() { return Type(TypeKind::I32); }
+    static constexpr Type i64() { return Type(TypeKind::I64); }
+    static constexpr Type f32() { return Type(TypeKind::F32); }
+    static constexpr Type f64() { return Type(TypeKind::F64); }
+    static constexpr Type ptr() { return Type(TypeKind::Ptr); }
+
+    constexpr TypeKind kind() const { return knd; }
+
+    constexpr bool isVoid() const { return knd == TypeKind::Void; }
+    constexpr bool isPtr() const { return knd == TypeKind::Ptr; }
+
+    constexpr bool
+    isInteger() const
+    {
+        return knd >= TypeKind::I1 && knd <= TypeKind::I64;
+    }
+
+    constexpr bool
+    isFloat() const
+    {
+        return knd == TypeKind::F32 || knd == TypeKind::F64;
+    }
+
+    /** Bit width; pointers are 64-bit, void is 0. */
+    constexpr unsigned
+    bitWidth() const
+    {
+        switch (knd) {
+          case TypeKind::Void: return 0;
+          case TypeKind::I1: return 1;
+          case TypeKind::I8: return 8;
+          case TypeKind::I16: return 16;
+          case TypeKind::I32: return 32;
+          case TypeKind::I64: return 64;
+          case TypeKind::F32: return 32;
+          case TypeKind::F64: return 64;
+          case TypeKind::Ptr: return 64;
+        }
+        return 0;
+    }
+
+    /** Size in bytes when stored to memory. */
+    constexpr unsigned
+    storeSize() const
+    {
+        const unsigned bits = bitWidth();
+        return bits <= 8 ? (bits ? 1 : 0) : bits / 8;
+    }
+
+    /** Textual spelling, e.g. "i32". */
+    std::string
+    str() const
+    {
+        switch (knd) {
+          case TypeKind::Void: return "void";
+          case TypeKind::I1: return "i1";
+          case TypeKind::I8: return "i8";
+          case TypeKind::I16: return "i16";
+          case TypeKind::I32: return "i32";
+          case TypeKind::I64: return "i64";
+          case TypeKind::F32: return "f32";
+          case TypeKind::F64: return "f64";
+          case TypeKind::Ptr: return "ptr";
+        }
+        return "?";
+    }
+
+    constexpr bool operator==(const Type &o) const { return knd == o.knd; }
+    constexpr bool operator!=(const Type &o) const { return knd != o.knd; }
+
+  private:
+    TypeKind knd;
+};
+
+} // namespace softcheck
+
+#endif // SOFTCHECK_IR_TYPE_HH

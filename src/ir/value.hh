@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Base class of everything that can appear as an instruction operand:
+ * function arguments, integer/float constants, and instructions
+ * themselves. Tracks users so passes can walk def-use edges and perform
+ * replace-all-uses-with rewrites.
+ */
+
+#ifndef SOFTCHECK_IR_VALUE_HH
+#define SOFTCHECK_IR_VALUE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ir/type.hh"
+#include "support/bits.hh"
+
+namespace softcheck
+{
+
+class Instruction;
+
+/** Root of the IR value hierarchy. Not copyable; identity matters. */
+class Value
+{
+  public:
+    enum class Kind : uint8_t
+    {
+        Argument,
+        ConstantInt,
+        ConstantFloat,
+        Instruction,
+    };
+
+    Value(Kind k, Type t, std::string nm = {})
+        : knd(k), typ(t), nam(std::move(nm))
+    {}
+
+    Value(const Value &) = delete;
+    Value &operator=(const Value &) = delete;
+    virtual ~Value() = default;
+
+    Kind kind() const { return knd; }
+    Type type() const { return typ; }
+
+    const std::string &name() const { return nam; }
+    void setName(std::string nm) { nam = std::move(nm); }
+
+    bool isConstant() const
+    {
+        return knd == Kind::ConstantInt || knd == Kind::ConstantFloat;
+    }
+
+    /**
+     * Register slot assigned by Function::renumber(); -1 for constants
+     * and void-producing values. Used by the interpreter's frames and by
+     * the fault injector to enumerate live registers.
+     */
+    int slot() const { return slt; }
+    void setSlot(int s) { slt = s; }
+
+    /** Instructions currently using this value (with multiplicity). */
+    const std::vector<Instruction *> &users() const { return usrs; }
+
+    /** Rewrite every use of this value to @p replacement. */
+    void replaceAllUsesWith(Value *replacement);
+
+  protected:
+    friend class Instruction;
+
+    void addUser(Instruction *user) { usrs.push_back(user); }
+    void removeUser(Instruction *user);
+
+  private:
+    Kind knd;
+    Type typ;
+    std::string nam;
+    int slt = -1;
+    std::vector<Instruction *> usrs;
+};
+
+/** A formal parameter of a Function. */
+class Argument : public Value
+{
+  public:
+    Argument(Type t, std::string nm, unsigned idx)
+        : Value(Kind::Argument, t, std::move(nm)), argIdx(idx)
+    {}
+
+    unsigned index() const { return argIdx; }
+
+  private:
+    unsigned argIdx;
+};
+
+/**
+ * An integer constant. The payload is stored zero-extended/truncated to
+ * the type's width; use signedValue() for a sign-extended view.
+ */
+class ConstantInt : public Value
+{
+  public:
+    ConstantInt(Type t, uint64_t v)
+        : Value(Kind::ConstantInt, t), val(truncBits(v, t.bitWidth()))
+    {}
+
+    uint64_t rawValue() const { return val; }
+    int64_t signedValue() const
+    {
+        return signExtend(val, type().bitWidth());
+    }
+
+  private:
+    uint64_t val;
+};
+
+/** A floating-point constant (f32 constants are stored rounded). */
+class ConstantFloat : public Value
+{
+  public:
+    ConstantFloat(Type t, double v)
+        : Value(Kind::ConstantFloat, t),
+          val(t.kind() == TypeKind::F32
+              ? static_cast<double>(static_cast<float>(v)) : v)
+    {}
+
+    double value() const { return val; }
+
+  private:
+    double val;
+};
+
+} // namespace softcheck
+
+#endif // SOFTCHECK_IR_VALUE_HH

@@ -1,0 +1,296 @@
+#include "ir/verifier.hh"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+#include "ir/printer.hh"
+#include "support/error.hh"
+
+namespace softcheck
+{
+
+namespace
+{
+
+class FunctionVerifier
+{
+  public:
+    explicit FunctionVerifier(const Function &f) : fn(f) {}
+
+    std::vector<std::string>
+    run()
+    {
+        collectLocals();
+        checkBlocks();
+        return std::move(problems);
+    }
+
+  private:
+    template <typename... Args>
+    void
+    problem(const Instruction *inst, Args &&...args)
+    {
+        std::ostringstream os;
+        os << "[" << fn.name() << "] ";
+        os << detail::concat(std::forward<Args>(args)...);
+        if (inst)
+            os << " in: " << instructionToString(*inst);
+        problems.push_back(os.str());
+    }
+
+    void
+    collectLocals()
+    {
+        for (std::size_t i = 0; i < fn.numArgs(); ++i)
+            locals.insert(fn.arg(i));
+        for (const auto &bb : fn) {
+            blockSet.insert(bb.get());
+            for (const auto &inst : *bb)
+                locals.insert(inst.get());
+        }
+    }
+
+    bool
+    isLocalOperand(const Value *v) const
+    {
+        return v->isConstant() || locals.count(v);
+    }
+
+    void
+    checkBlocks()
+    {
+        if (!fn.entry()) {
+            problem(nullptr, "function has no blocks");
+            return;
+        }
+        auto preds = fn.predecessors();
+        for (const auto &bb : fn) {
+            if (bb->empty()) {
+                problem(nullptr, "empty block %", bb->name());
+                continue;
+            }
+            if (!bb->terminator())
+                problem(nullptr, "block %", bb->name(),
+                        " lacks a terminator");
+            bool seen_non_phi = false;
+            std::size_t idx = 0;
+            for (const auto &inst : *bb) {
+                const bool is_last = (idx == bb->size() - 1);
+                if (inst->isTerminator() && !is_last)
+                    problem(inst.get(), "terminator mid-block");
+                if (inst->opcode() == Opcode::Phi) {
+                    if (seen_non_phi)
+                        problem(inst.get(), "phi after non-phi");
+                    checkPhi(*inst, preds[bb.get()]);
+                } else {
+                    seen_non_phi = true;
+                }
+                checkInstruction(*inst);
+                ++idx;
+            }
+        }
+    }
+
+    void
+    checkPhi(const Instruction &phi, const std::vector<BasicBlock *> &preds)
+    {
+        if (phi.numOperands() != phi.numBlockOperands()) {
+            problem(&phi, "phi value/block operand count mismatch");
+            return;
+        }
+        std::set<const BasicBlock *> incoming;
+        for (std::size_t i = 0; i < phi.numBlockOperands(); ++i) {
+            incoming.insert(phi.incomingBlock(i));
+            if (phi.operand(i)->type() != phi.type())
+                problem(&phi, "phi incoming type mismatch");
+        }
+        std::set<const BasicBlock *> pred_set(preds.begin(), preds.end());
+        if (incoming != pred_set)
+            problem(&phi, "phi incoming blocks do not match predecessors");
+    }
+
+    void
+    checkOperandCount(const Instruction &inst, std::size_t want)
+    {
+        if (inst.numOperands() != want)
+            problem(&inst, "expected ", want, " operands, got ",
+                    inst.numOperands());
+    }
+
+    void
+    checkInstruction(const Instruction &inst)
+    {
+        for (std::size_t i = 0; i < inst.numOperands(); ++i) {
+            const Value *v = inst.operand(i);
+            if (!isLocalOperand(v))
+                problem(&inst, "operand ", i,
+                        " defined outside this function");
+            if (v->type().isVoid())
+                problem(&inst, "void-typed operand");
+        }
+        for (std::size_t i = 0; i < inst.numBlockOperands(); ++i) {
+            if (!blockSet.count(inst.blockOperand(i)))
+                problem(&inst, "block operand outside this function");
+        }
+
+        const Opcode op = inst.opcode();
+        if (isIntBinary(op) || isFloatBinary(op)) {
+            checkOperandCount(inst, 2);
+            if (inst.numOperands() == 2) {
+                if (inst.operand(0)->type() != inst.operand(1)->type() ||
+                    inst.operand(0)->type() != inst.type())
+                    problem(&inst, "binary type mismatch");
+                if (isIntBinary(op) && !inst.type().isInteger())
+                    problem(&inst, "int binary on non-int");
+                if (isFloatBinary(op) && !inst.type().isFloat())
+                    problem(&inst, "float binary on non-float");
+            }
+            return;
+        }
+        if (isCast(op)) {
+            checkOperandCount(inst, 1);
+            return;
+        }
+
+        switch (op) {
+          case Opcode::Ret:
+            if (fn.returnType().isVoid()) {
+                checkOperandCount(inst, 0);
+            } else {
+                checkOperandCount(inst, 1);
+                if (inst.numOperands() == 1 &&
+                    inst.operand(0)->type() != fn.returnType())
+                    problem(&inst, "return type mismatch");
+            }
+            break;
+          case Opcode::Br:
+            checkOperandCount(inst, 0);
+            if (inst.numBlockOperands() != 1)
+                problem(&inst, "br needs one successor");
+            break;
+          case Opcode::CondBr:
+            checkOperandCount(inst, 1);
+            if (inst.numBlockOperands() != 2)
+                problem(&inst, "condbr needs two successors");
+            if (inst.numOperands() == 1 &&
+                inst.operand(0)->type() != Type::i1())
+                problem(&inst, "condbr condition must be i1");
+            break;
+          case Opcode::ICmp:
+          case Opcode::FCmp:
+            checkOperandCount(inst, 2);
+            if (inst.type() != Type::i1())
+                problem(&inst, "compare must produce i1");
+            if (inst.predicate() == Predicate::None)
+                problem(&inst, "compare lacks predicate");
+            break;
+          case Opcode::Load:
+            checkOperandCount(inst, 1);
+            if (inst.numOperands() == 1 &&
+                !inst.operand(0)->type().isPtr())
+                problem(&inst, "load from non-pointer");
+            if (inst.type() != inst.elementType())
+                problem(&inst, "load result/element type mismatch");
+            break;
+          case Opcode::Store:
+            checkOperandCount(inst, 2);
+            if (inst.numOperands() == 2 &&
+                !inst.operand(1)->type().isPtr())
+                problem(&inst, "store to non-pointer");
+            break;
+          case Opcode::Gep:
+            checkOperandCount(inst, 2);
+            if (inst.elementType().isVoid())
+                problem(&inst, "gep without element type");
+            break;
+          case Opcode::Alloca:
+            checkOperandCount(inst, 1);
+            break;
+          case Opcode::Phi:
+            if (inst.numOperands() == 0)
+                problem(&inst, "phi with no incoming values");
+            break;
+          case Opcode::Select:
+            checkOperandCount(inst, 3);
+            break;
+          case Opcode::Call: {
+            if (!inst.callee()) {
+                problem(&inst, "call without callee");
+                break;
+            }
+            checkOperandCount(inst, inst.callee()->numArgs());
+            if (inst.type() != inst.callee()->returnType())
+                problem(&inst, "call result type mismatch");
+            break;
+          }
+          case Opcode::GlobalAddr:
+            checkOperandCount(inst, 0);
+            if (!inst.globalRef())
+                problem(&inst, "globaladdr without global");
+            if (!inst.type().isPtr())
+                problem(&inst, "globaladdr must produce ptr");
+            break;
+          case Opcode::Sqrt:
+          case Opcode::FAbs:
+          case Opcode::Exp:
+          case Opcode::Log:
+          case Opcode::Sin:
+          case Opcode::Cos:
+            checkOperandCount(inst, 1);
+            break;
+          case Opcode::FMin:
+          case Opcode::FMax:
+            checkOperandCount(inst, 2);
+            break;
+          case Opcode::CheckEq:
+          case Opcode::CheckOne:
+            checkOperandCount(inst, 2);
+            break;
+          case Opcode::CheckTwo:
+          case Opcode::CheckRange:
+            checkOperandCount(inst, 3);
+            break;
+          default:
+            break;
+        }
+
+        if (isCheck(op) && inst.checkId() < 0)
+            problem(&inst, "check without check id");
+    }
+
+    const Function &fn;
+    std::set<const Value *> locals;
+    std::set<const BasicBlock *> blockSet;
+    std::vector<std::string> problems;
+};
+
+} // namespace
+
+std::vector<std::string>
+verifyFunction(const Function &fn)
+{
+    return FunctionVerifier(fn).run();
+}
+
+std::vector<std::string>
+verifyModule(const Module &m)
+{
+    std::vector<std::string> all;
+    for (const Function *fn : m.functions()) {
+        auto probs = verifyFunction(*fn);
+        all.insert(all.end(), probs.begin(), probs.end());
+    }
+    return all;
+}
+
+void
+verifyModuleOrDie(const Module &m)
+{
+    auto probs = verifyModule(m);
+    if (!probs.empty())
+        scFatal("IR verification failed: ", probs.front(), " (and ",
+                probs.size() - 1, " more)");
+}
+
+} // namespace softcheck

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Structural IR verifier. Catches malformed IR early: missing or
+ * misplaced terminators, phi/predecessor mismatches, type errors,
+ * cross-function operand references, and bad operand counts.
+ *
+ * Dominance verification (defs dominate uses) lives in
+ * analysis/dominance_verify.hh to keep the IR library free of analysis
+ * dependencies.
+ */
+
+#ifndef SOFTCHECK_IR_VERIFIER_HH
+#define SOFTCHECK_IR_VERIFIER_HH
+
+#include <string>
+#include <vector>
+
+#include "ir/module.hh"
+
+namespace softcheck
+{
+
+/** Collect all structural problems; empty result means "valid". */
+std::vector<std::string> verifyFunction(const Function &fn);
+
+/** Verify every function in @p m. */
+std::vector<std::string> verifyModule(const Module &m);
+
+/** Verify and scFatal on the first problem (for pipeline use). */
+void verifyModuleOrDie(const Module &m);
+
+} // namespace softcheck
+
+#endif // SOFTCHECK_IR_VERIFIER_HH

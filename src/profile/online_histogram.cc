@@ -1,0 +1,115 @@
+#include "profile/online_histogram.hh"
+
+#include <algorithm>
+#include <limits>
+
+#include "support/error.hh"
+
+namespace softcheck
+{
+
+OnlineHistogram::OnlineHistogram(unsigned num_bins) : budget(num_bins)
+{
+    scAssert(budget >= 2, "histogram needs at least 2 bins");
+    binList.reserve(budget + 1);
+}
+
+void
+OnlineHistogram::insert(double v)
+{
+    if (total == 0) {
+        mn = mx = v;
+    } else {
+        mn = std::min(mn, v);
+        mx = std::max(mx, v);
+    }
+    ++total;
+
+    if (!exactOverflow) {
+        auto it = exact.find(v);
+        if (it != exact.end()) {
+            ++it->second;
+        } else if (exact.size() < kMaxExactValues) {
+            exact.emplace(v, 1);
+        } else {
+            exactOverflow = true;
+            exact.clear();
+        }
+    }
+
+    // Algorithm 1, step 1-3: bump a containing bin if one exists.
+    for (Bin &b : binList) {
+        if (v >= b.lb && v <= b.rb) {
+            ++b.count;
+            return;
+        }
+    }
+
+    // Step 5-6: add singleton bin, keep bins sorted.
+    auto pos = std::upper_bound(
+        binList.begin(), binList.end(), v,
+        [](double x, const Bin &b) { return x < b.lb; });
+    binList.insert(pos, {v, v, 1});
+    if (binList.size() <= budget)
+        return;
+
+    // Step 7-8: merge the adjacent pair with the smallest gap.
+    std::size_t best = 0;
+    double best_gap = std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i + 1 < binList.size(); ++i) {
+        const double gap = binList[i + 1].lb - binList[i].rb;
+        if (gap < best_gap) {
+            best_gap = gap;
+            best = i;
+        }
+    }
+    binList[best].rb = binList[best + 1].rb;
+    binList[best].count += binList[best + 1].count;
+    binList.erase(binList.begin() + static_cast<std::ptrdiff_t>(best + 1));
+}
+
+FrequentRange
+extractFrequentRange(const OnlineHistogram &h, double range_thr)
+{
+    const auto &bins = h.bins();
+    if (bins.empty())
+        return {};
+
+    // Step 1-2: start from the most populated bin.
+    std::size_t seed = 0;
+    for (std::size_t i = 1; i < bins.size(); ++i) {
+        if (bins[i].count > bins[seed].count)
+            seed = i;
+    }
+    FrequentRange ret{bins[seed].lb, bins[seed].rb, bins[seed].count};
+
+    // Step 5-14: greedily absorb the heavier neighbour while the width
+    // stays within the threshold.
+    std::size_t left = seed;   // next candidate: left-1
+    std::size_t right = seed;  // next candidate: right+1
+    for (;;) {
+        const bool has_left = left > 0;
+        const bool has_right = right + 1 < bins.size();
+        if (!has_left && !has_right)
+            break;
+        const uint64_t lcount = has_left ? bins[left - 1].count : 0;
+        const uint64_t rcount = has_right ? bins[right + 1].count : 0;
+
+        if (has_left && (!has_right || lcount >= rcount)) {
+            if (ret.hi - bins[left - 1].lb > range_thr)
+                break;
+            --left;
+            ret.lo = bins[left].lb;
+            ret.mass += bins[left].count;
+        } else {
+            if (bins[right + 1].rb - ret.lo > range_thr)
+                break;
+            ++right;
+            ret.hi = bins[right].rb;
+            ret.mass += bins[right].count;
+        }
+    }
+    return ret;
+}
+
+} // namespace softcheck

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * On-line histogram of the values produced by one instruction —
+ * the paper's Algorithm 1 (adapted from Ben-Haim & Tom-Tov's streaming
+ * histogram). A fixed budget of B bins is maintained; inserting a value
+ * outside all bins adds a singleton bin and then merges the two
+ * adjacent bins with the smallest gap.
+ *
+ * In addition to the binned summary, a small exact-value table (up to
+ * four distinct values) is kept so the check-shape decision can prefer
+ * the paper's single-value and two-value checks (Fig. 6 a/b) when an
+ * instruction is that regular.
+ */
+
+#ifndef SOFTCHECK_PROFILE_ONLINE_HISTOGRAM_HH
+#define SOFTCHECK_PROFILE_ONLINE_HISTOGRAM_HH
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+namespace softcheck
+{
+
+class OnlineHistogram
+{
+  public:
+    struct Bin
+    {
+        double lb;
+        double rb;
+        uint64_t count;
+    };
+
+    /** @param num_bins bin budget B (the paper uses 5). */
+    explicit OnlineHistogram(unsigned num_bins = 5);
+
+    /** Algorithm 1: account one produced value. */
+    void insert(double v);
+
+    const std::vector<Bin> &bins() const { return binList; }
+    uint64_t totalCount() const { return total; }
+
+    double minSeen() const { return mn; }
+    double maxSeen() const { return mx; }
+
+    /** Exact distinct-value table; meaningful only when
+     * !exactOverflowed(). */
+    const std::map<double, uint64_t> &exactValues() const
+    {
+        return exact;
+    }
+    bool exactOverflowed() const { return exactOverflow; }
+
+    unsigned binBudget() const { return budget; }
+
+  private:
+    unsigned budget;
+    std::vector<Bin> binList;  //!< kept sorted by lb, non-overlapping
+    uint64_t total = 0;
+    double mn = 0, mx = 0;
+    std::map<double, uint64_t> exact;
+    bool exactOverflow = false;
+
+    static constexpr unsigned kMaxExactValues = 4;
+};
+
+/**
+ * The paper's Algorithm 2: greedy compact-range extraction. Starting
+ * from the most populated bin, repeatedly absorb the more populated
+ * neighbour while the resulting range width stays within @p range_thr.
+ *
+ * @return (lo, hi, mass) — mass is the sample count covered
+ */
+struct FrequentRange
+{
+    double lo = 0;
+    double hi = 0;
+    uint64_t mass = 0;
+};
+
+FrequentRange extractFrequentRange(const OnlineHistogram &h,
+                                   double range_thr);
+
+} // namespace softcheck
+
+#endif // SOFTCHECK_PROFILE_ONLINE_HISTOGRAM_HH

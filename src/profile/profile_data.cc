@@ -1,0 +1,181 @@
+#include "profile/profile_data.hh"
+
+#include <bit>
+#include <cmath>
+#include <istream>
+#include <ostream>
+
+#include "support/error.hh"
+
+namespace softcheck
+{
+
+const char *
+checkShapeName(CheckShape s)
+{
+    switch (s) {
+      case CheckShape::None: return "none";
+      case CheckShape::One: return "one";
+      case CheckShape::Two: return "two";
+      case CheckShape::Range: return "range";
+    }
+    return "?";
+}
+
+namespace
+{
+
+SiteSummary
+summarize(const OnlineHistogram &h, bool is_float,
+          const CheckPolicy &policy)
+{
+    SiteSummary s;
+    s.samples = h.totalCount();
+    if (s.samples < policy.minSamples)
+        return s;
+
+    // Prefer the exact single-/two-value shapes (Fig. 6 a/b).
+    if (!h.exactOverflowed()) {
+        const auto &exact = h.exactValues();
+        if (exact.size() == 1) {
+            s.shape = CheckShape::One;
+            s.v0 = exact.begin()->first;
+            s.coverage = 1.0;
+            return s;
+        }
+        if (exact.size() == 2) {
+            auto it = exact.begin();
+            s.shape = CheckShape::Two;
+            s.v0 = it->first;
+            s.v1 = std::next(it)->first;
+            s.coverage = 1.0;
+            return s;
+        }
+    }
+
+    // Otherwise try a compact range (Fig. 6c) via Algorithm 2.
+    const double thr = is_float ? policy.floatRangeThreshold
+                                : policy.intRangeThreshold;
+    const FrequentRange fr = extractFrequentRange(h, thr);
+    if (fr.mass == 0)
+        return s;
+    const double coverage =
+        static_cast<double>(fr.mass) / static_cast<double>(s.samples);
+    const double width = fr.hi - fr.lo;
+    if (coverage < policy.coverageThreshold || width > thr)
+        return s;
+
+    double slack = width * policy.rangeSlack;
+    if (!is_float) {
+        slack = std::max(slack, 1.0);
+    } else {
+        // Float accumulators shift with input statistics; widen by a
+        // fraction of the magnitude as well as of the width.
+        const double mag =
+            std::max(std::fabs(fr.lo), std::fabs(fr.hi));
+        slack = std::max(slack, 0.10 * mag);
+    }
+    s.shape = CheckShape::Range;
+    s.v0 = fr.lo - slack;
+    s.v1 = fr.hi + slack;
+    if (!is_float) {
+        s.v0 = std::floor(s.v0);
+        s.v1 = std::ceil(s.v1);
+    }
+    s.coverage = coverage;
+    return s;
+}
+
+} // namespace
+
+ProfileData::ProfileData(const ValueProfiler &prof,
+                         const std::vector<bool> &is_float_site,
+                         const CheckPolicy &policy)
+{
+    scAssert(is_float_site.size() >= prof.numSites(),
+             "float-site flags shorter than site count");
+    sites.resize(prof.numSites());
+    for (unsigned i = 0; i < prof.numSites(); ++i)
+        sites[i] = summarize(prof.site(i), is_float_site[i], policy);
+}
+
+unsigned
+ProfileData::numAmenable() const
+{
+    unsigned n = 0;
+    for (const SiteSummary &s : sites) {
+        if (s.shape != CheckShape::None)
+            ++n;
+    }
+    return n;
+}
+
+namespace
+{
+
+// Doubles are serialized as raw bit patterns: exact round-trip without
+// relying on stream hexfloat support.
+uint64_t
+doubleBits(double v)
+{
+    return std::bit_cast<uint64_t>(v);
+}
+
+double
+bitsDouble(uint64_t v)
+{
+    return std::bit_cast<double>(v);
+}
+
+} // namespace
+
+void
+ProfileData::save(std::ostream &os) const
+{
+    os << sites.size() << "\n";
+    for (const SiteSummary &s : sites) {
+        os << static_cast<int>(s.shape) << " " << s.samples << " "
+           << doubleBits(s.v0) << " " << doubleBits(s.v1) << " "
+           << doubleBits(s.coverage) << "\n";
+    }
+}
+
+ProfileData
+ProfileData::load(std::istream &is)
+{
+    ProfileData pd;
+    std::size_t n = 0;
+    is >> n;
+    pd.sites.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        int shape;
+        uint64_t v0, v1, cov;
+        is >> shape >> pd.sites[i].samples >> v0 >> v1 >> cov;
+        pd.sites[i].shape = static_cast<CheckShape>(shape);
+        pd.sites[i].v0 = bitsDouble(v0);
+        pd.sites[i].v1 = bitsDouble(v1);
+        pd.sites[i].coverage = bitsDouble(cov);
+    }
+    if (!is)
+        scFatal("malformed profile data");
+    return pd;
+}
+
+std::vector<bool>
+floatSiteFlags(const Module &m, unsigned num_sites)
+{
+    std::vector<bool> flags(num_sites, false);
+    for (const Function *fn : m.functions()) {
+        for (const auto &bb : *fn) {
+            for (const auto &inst : *bb) {
+                const int id = inst->profileId();
+                if (id >= 0 && static_cast<unsigned>(id) < num_sites)
+                    flags[static_cast<unsigned>(id)] =
+                        inst->type().isFloat();
+            }
+        }
+    }
+    return flags;
+}
+
+} // namespace softcheck

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Summarized per-site profile used by the hardening passes: for every
+ * profiling site, which of the paper's three check shapes (Fig. 6)
+ * applies, with the constants to embed in the check. Serializable so a
+ * profile can be collected once (per benchmark, per the paper) and
+ * reused.
+ */
+
+#ifndef SOFTCHECK_PROFILE_PROFILE_DATA_HH
+#define SOFTCHECK_PROFILE_PROFILE_DATA_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "profile/value_profiler.hh"
+
+namespace softcheck
+{
+
+/** Which expected-value check (paper Fig. 6) fits an instruction. */
+enum class CheckShape : uint8_t
+{
+    None,  //!< values too spread out; not amenable
+    One,   //!< single frequent value (Fig. 6a)
+    Two,   //!< two frequent values (Fig. 6b)
+    Range, //!< compact range (Fig. 6c)
+};
+
+const char *checkShapeName(CheckShape s);
+
+struct SiteSummary
+{
+    CheckShape shape = CheckShape::None;
+    uint64_t samples = 0;
+    double v0 = 0;       //!< One: the value; Two: first value; Range: lo
+    double v1 = 0;       //!< Two: second value; Range: hi
+    double coverage = 0; //!< fraction of profiled samples inside check
+};
+
+/** Knobs for turning histograms into check decisions. */
+struct CheckPolicy
+{
+    /** Histogram bin budget B for Algorithm 1 (the paper uses 5). */
+    unsigned histogramBins = 5;
+    /** Minimum profiled samples before a site is considered. */
+    uint64_t minSamples = 16;
+    /** Minimum in-check sample fraction for a range check. */
+    double coverageThreshold = 0.99;
+    /** Algorithm 2 range threshold for integer-valued sites. */
+    double intRangeThreshold = 65536.0;
+    /** Algorithm 2 range threshold for float-valued sites. */
+    double floatRangeThreshold = 1.0e6;
+    /** Relative slack added on each side of a range check to lower the
+     * false-positive rate on unseen inputs. */
+    double rangeSlack = 0.25;
+};
+
+class ProfileData
+{
+  public:
+    ProfileData() = default;
+
+    /** Summarize a finished profiling run. @p is_float_site tells which
+     * threshold applies per site (indexed by site id). */
+    ProfileData(const ValueProfiler &prof,
+                const std::vector<bool> &is_float_site,
+                const CheckPolicy &policy = {});
+
+    const SiteSummary &site(unsigned idx) const { return sites[idx]; }
+    unsigned numSites() const
+    {
+        return static_cast<unsigned>(sites.size());
+    }
+
+    /** True if the site's values are regular enough for a check. */
+    bool
+    amenable(unsigned idx) const
+    {
+        return idx < sites.size() &&
+               sites[idx].shape != CheckShape::None;
+    }
+
+    unsigned numAmenable() const;
+
+    // Text (de)serialization: one "site shape samples v0 v1 cov" line
+    // per site.
+    void save(std::ostream &os) const;
+    static ProfileData load(std::istream &is);
+
+  private:
+    std::vector<SiteSummary> sites;
+};
+
+/** Per-site float/int flags for a module with assigned profile ids. */
+std::vector<bool> floatSiteFlags(const Module &m, unsigned num_sites);
+
+} // namespace softcheck
+
+#endif // SOFTCHECK_PROFILE_PROFILE_DATA_HH

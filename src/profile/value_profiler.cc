@@ -1,0 +1,56 @@
+#include "profile/value_profiler.hh"
+
+#include "support/error.hh"
+
+namespace softcheck
+{
+
+bool
+isProfileEligible(const Instruction &inst)
+{
+    if (inst.isDuplicate())
+        return false;
+    const Type t = inst.type();
+    const bool good_type =
+        (t.isInteger() && t.bitWidth() >= 8) || t.isFloat();
+    if (!good_type)
+        return false;
+    const Opcode op = inst.opcode();
+    return isIntBinary(op) || isFloatBinary(op) || isCast(op) ||
+           isMathIntrinsic(op) || op == Opcode::Load ||
+           op == Opcode::Select;
+}
+
+unsigned
+assignProfileSites(Module &m)
+{
+    int next = 0;
+    for (Function *fn : m.functions()) {
+        for (auto &bb : *fn) {
+            for (auto &inst : *bb) {
+                if (isProfileEligible(*inst))
+                    inst->setProfileId(next++);
+                else
+                    inst->setProfileId(-1);
+            }
+        }
+    }
+    return static_cast<unsigned>(next);
+}
+
+ValueProfiler::ValueProfiler(unsigned num_sites, unsigned bins)
+{
+    hists.reserve(num_sites);
+    for (unsigned i = 0; i < num_sites; ++i)
+        hists.emplace_back(bins);
+}
+
+void
+ValueProfiler::record(int site, double value)
+{
+    scAssert(site >= 0 && static_cast<unsigned>(site) < hists.size(),
+             "profile site out of range");
+    hists[static_cast<unsigned>(site)].insert(value);
+}
+
+} // namespace softcheck

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * ProfileSink implementation: one OnlineHistogram per profiling site.
+ * Sites are assigned to eligible instructions by assignProfileSites();
+ * the interpreter feeds produced values through record() during the
+ * train-input run (the paper's one-time off-line profiling phase).
+ */
+
+#ifndef SOFTCHECK_PROFILE_VALUE_PROFILER_HH
+#define SOFTCHECK_PROFILE_VALUE_PROFILER_HH
+
+#include <vector>
+
+#include "interp/interpreter.hh"
+#include "profile/online_histogram.hh"
+
+namespace softcheck
+{
+
+/**
+ * Mark every check-eligible instruction of @p m with a profiling site
+ * id (Instruction::setProfileId). Eligible: value-producing, pure-ish
+ * instructions whose result is an integer of width >= 8 or a float —
+ * arithmetic, loads, selects, casts, and math intrinsics. Pointers,
+ * booleans, phis, calls and duplicated instructions are excluded.
+ *
+ * @return number of sites assigned
+ */
+unsigned assignProfileSites(Module &m);
+
+/** True if @p inst qualifies for a profiling site / value check. */
+bool isProfileEligible(const Instruction &inst);
+
+class ValueProfiler : public ProfileSink
+{
+  public:
+    /** @param num_sites from assignProfileSites() /
+     * ExecModule::numProfileSites(). */
+    explicit ValueProfiler(unsigned num_sites, unsigned bins = 5);
+
+    void record(int site, double value) override;
+
+    const OnlineHistogram &site(unsigned idx) const { return hists[idx]; }
+    unsigned numSites() const
+    {
+        return static_cast<unsigned>(hists.size());
+    }
+
+  private:
+    std::vector<OnlineHistogram> hists;
+};
+
+} // namespace softcheck
+
+#endif // SOFTCHECK_PROFILE_VALUE_PROFILER_HH

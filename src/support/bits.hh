@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Bit-manipulation helpers shared by the interpreter and the fault
+ * injector. Kept header-only; every function is a pure constexpr-able
+ * operation on unsigned 64-bit words.
+ */
+
+#ifndef SOFTCHECK_SUPPORT_BITS_HH
+#define SOFTCHECK_SUPPORT_BITS_HH
+
+#include <cstdint>
+
+namespace softcheck
+{
+
+/** Mask covering the low @p width bits (width in [0, 64]). */
+constexpr uint64_t
+lowBitMask(unsigned width)
+{
+    return width >= 64 ? ~0ULL : ((1ULL << width) - 1);
+}
+
+/** Truncate @p value to @p width bits (zero-extended representation). */
+constexpr uint64_t
+truncBits(uint64_t value, unsigned width)
+{
+    return value & lowBitMask(width);
+}
+
+/** Sign-extend the low @p width bits of @p value to a signed 64-bit. */
+constexpr int64_t
+signExtend(uint64_t value, unsigned width)
+{
+    if (width == 0 || width >= 64)
+        return static_cast<int64_t>(value);
+    const uint64_t sign_bit = 1ULL << (width - 1);
+    const uint64_t v = value & lowBitMask(width);
+    return static_cast<int64_t>((v ^ sign_bit) - sign_bit);
+}
+
+/** Flip bit @p bit (0 = LSB) of @p value. */
+constexpr uint64_t
+flipBit(uint64_t value, unsigned bit)
+{
+    return value ^ (1ULL << (bit & 63));
+}
+
+/** Test bit @p bit of @p value. */
+constexpr bool
+testBit(uint64_t value, unsigned bit)
+{
+    return (value >> (bit & 63)) & 1;
+}
+
+} // namespace softcheck
+
+#endif // SOFTCHECK_SUPPORT_BITS_HH

@@ -1,0 +1,25 @@
+#include "support/error.hh"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace softcheck
+{
+
+void
+fatalImpl(const std::string &msg, const char *file, int line)
+{
+    std::ostringstream os;
+    os << "fatal: " << msg << " (" << file << ":" << line << ")";
+    throw FatalError(os.str());
+}
+
+void
+panicImpl(const std::string &msg, const char *file, int line)
+{
+    std::fprintf(stderr, "panic: %s (%s:%d)\n", msg.c_str(), file, line);
+    std::fflush(stderr);
+    std::abort();
+}
+
+} // namespace softcheck

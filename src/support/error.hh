@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Error-reporting helpers in the spirit of gem5's logging.hh.
+ *
+ * scFatal()  — the condition is the caller's fault (bad input, bad
+ *              configuration); throws FatalError so library users can
+ *              catch and report it.
+ * scPanic()  — the condition is a SoftCheck bug; aborts after printing.
+ * scAssert() — internal invariant check that survives NDEBUG builds.
+ */
+
+#ifndef SOFTCHECK_SUPPORT_ERROR_HH
+#define SOFTCHECK_SUPPORT_ERROR_HH
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace softcheck
+{
+
+/** Exception thrown for user-caused, recoverable errors. */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string &msg)
+        : std::runtime_error(msg)
+    {}
+};
+
+[[noreturn]] void fatalImpl(const std::string &msg, const char *file,
+                            int line);
+[[noreturn]] void panicImpl(const std::string &msg, const char *file,
+                            int line);
+
+namespace detail
+{
+
+/** Stream-concatenate a variadic argument pack into one string. */
+template <typename... Args>
+std::string
+concat(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << std::forward<Args>(args));
+    return os.str();
+}
+
+} // namespace detail
+
+} // namespace softcheck
+
+/** Report a user-caused error; throws softcheck::FatalError. */
+#define scFatal(...) \
+    ::softcheck::fatalImpl(::softcheck::detail::concat(__VA_ARGS__), \
+                           __FILE__, __LINE__)
+
+/** Report an internal bug; prints and aborts. */
+#define scPanic(...) \
+    ::softcheck::panicImpl(::softcheck::detail::concat(__VA_ARGS__), \
+                           __FILE__, __LINE__)
+
+/** Invariant check active in all build types. */
+#define scAssert(cond, ...) \
+    do { \
+        if (!(cond)) { \
+            ::softcheck::panicImpl( \
+                ::softcheck::detail::concat("assertion '", #cond, \
+                                            "' failed: ", ##__VA_ARGS__), \
+                __FILE__, __LINE__); \
+        } \
+    } while (0)
+
+#endif // SOFTCHECK_SUPPORT_ERROR_HH

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for reproducible
+ * experiments. Implements xoshiro256** 1.0 (Blackman & Vigna), seeded
+ * through splitmix64 so that any 64-bit seed gives a well-mixed state.
+ *
+ * All randomness in SoftCheck (fault injection, synthetic inputs) flows
+ * through this class so campaigns are bit-reproducible across runs and
+ * platforms.
+ */
+
+#ifndef SOFTCHECK_SUPPORT_RNG_HH
+#define SOFTCHECK_SUPPORT_RNG_HH
+
+#include <cstdint>
+
+namespace softcheck
+{
+
+/** xoshiro256** deterministic PRNG. */
+class Rng
+{
+  public:
+    /** Construct from a 64-bit seed (expanded via splitmix64). */
+    explicit Rng(uint64_t seed = 0x5eedcafef00dULL);
+
+    /** Next raw 64-bit value. */
+    uint64_t next();
+
+    /** Uniform value in [0, bound). @pre bound > 0. */
+    uint64_t nextBelow(uint64_t bound);
+
+    /** Uniform value in [lo, hi] inclusive. @pre lo <= hi. */
+    int64_t nextRange(int64_t lo, int64_t hi);
+
+    /** Uniform double in [0, 1). */
+    double nextDouble();
+
+    /** Gaussian (mean 0, stddev 1) via Box-Muller. */
+    double nextGaussian();
+
+    /** Fork an independent stream (for per-thread reproducibility). */
+    Rng split();
+
+  private:
+    uint64_t s[4];
+    bool haveSpare = false;
+    double spare = 0.0;
+};
+
+} // namespace softcheck
+
+#endif // SOFTCHECK_SUPPORT_RNG_HH

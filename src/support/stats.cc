@@ -1,0 +1,60 @@
+#include "support/stats.hh"
+
+#include <cmath>
+
+#include "support/error.hh"
+
+namespace softcheck
+{
+
+double
+mean(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (double x : xs)
+        sum += x;
+    return sum / static_cast<double>(xs.size());
+}
+
+double
+sampleStddev(const std::vector<double> &xs)
+{
+    if (xs.size() < 2)
+        return 0.0;
+    const double m = mean(xs);
+    double acc = 0.0;
+    for (double x : xs)
+        acc += (x - m) * (x - m);
+    return std::sqrt(acc / static_cast<double>(xs.size() - 1));
+}
+
+double
+geomean(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double acc = 0.0;
+    for (double x : xs) {
+        scAssert(x > 0.0, "geomean requires positive samples");
+        acc += std::log(x);
+    }
+    return std::exp(acc / static_cast<double>(xs.size()));
+}
+
+double
+marginOfError(std::size_t n, double p, double confidence)
+{
+    scAssert(n > 0, "marginOfError requires at least one trial");
+    double z;
+    if (confidence >= 0.989)
+        z = 2.576;
+    else if (confidence >= 0.949)
+        z = 1.960;
+    else
+        z = 1.645;
+    return z * std::sqrt(p * (1.0 - p) / static_cast<double>(n));
+}
+
+} // namespace softcheck

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Small statistics helpers used when summarizing fault-injection
+ * campaigns and overhead measurements.
+ */
+
+#ifndef SOFTCHECK_SUPPORT_STATS_HH
+#define SOFTCHECK_SUPPORT_STATS_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace softcheck
+{
+
+/** Arithmetic mean; 0 for an empty sample. */
+double mean(const std::vector<double> &xs);
+
+/** Sample standard deviation (n-1 denominator); 0 if n < 2. */
+double sampleStddev(const std::vector<double> &xs);
+
+/** Geometric mean; 0 for an empty sample. @pre all xs positive. */
+double geomean(const std::vector<double> &xs);
+
+/**
+ * Margin of error (half-width of the confidence interval) for an
+ * estimated proportion from a fault-injection campaign, following the
+ * formulation of Leveugle et al., "Statistical fault injection"
+ * (DATE 2009), without finite-population correction:
+ *
+ *     e = z * sqrt(p * (1 - p) / n)
+ *
+ * @param n          number of injection trials
+ * @param p          estimated (or worst-case 0.5) proportion
+ * @param confidence one of 0.90, 0.95, 0.99
+ * @return margin of error as a fraction (multiply by 100 for percent)
+ */
+double marginOfError(std::size_t n, double p = 0.5,
+                     double confidence = 0.95);
+
+} // namespace softcheck
+
+#endif // SOFTCHECK_SUPPORT_STATS_HH

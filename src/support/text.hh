@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Minimal text utilities used by the IR printer, the MiniLang lexer, and
+ * report formatting.
+ */
+
+#ifndef SOFTCHECK_SUPPORT_TEXT_HH
+#define SOFTCHECK_SUPPORT_TEXT_HH
+
+#include <string>
+#include <vector>
+
+namespace softcheck
+{
+
+/** Join @p parts with @p sep. */
+std::string join(const std::vector<std::string> &parts,
+                 const std::string &sep);
+
+/** Split @p text on character @p sep (no empty-tail suppression). */
+std::vector<std::string> splitChar(const std::string &text, char sep);
+
+/** Trim ASCII whitespace from both ends. */
+std::string trim(const std::string &text);
+
+/** printf-style formatting into a std::string. */
+std::string strformat(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Left-pad or right-pad @p text to @p width with spaces. */
+std::string padLeft(const std::string &text, std::size_t width);
+std::string padRight(const std::string &text, std::size_t width);
+
+} // namespace softcheck
+
+#endif // SOFTCHECK_SUPPORT_TEXT_HH

@@ -1,0 +1,534 @@
+#include "workloads/codecs.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/error.hh"
+
+namespace softcheck::codecs
+{
+
+namespace
+{
+
+/** Zigzag scan order: zigzag position -> raster index in the 8x8
+ * block. The same literal table appears in the MiniLang kernels; only
+ * consistency between the two matters. */
+constexpr int kZigzag[64] = {
+    0,  1,  8,  16, 9,  2,  3,  10, 17, 24, 32, 25, 18, 11, 4,  5,
+    12, 19, 26, 33, 40, 48, 41, 34, 27, 20, 13, 6,  7,  14, 21, 28,
+    35, 42, 49, 56, 57, 50, 43, 36, 29, 22, 15, 23, 30, 37, 44, 51,
+    58, 59, 52, 45, 38, 31, 39, 46, 53, 60, 61, 54, 47, 55, 62, 63,
+};
+
+constexpr int kEob = 99;
+
+int32_t
+roundQuant(double v, double step)
+{
+    const double q = v / step;
+    return static_cast<int32_t>(q >= 0 ? q + 0.5 : q - 0.5);
+}
+
+/** 8x8 forward DCT-II on level-shifted pixels. */
+void
+fdct8x8(const double in[64], double out[64])
+{
+    for (int u = 0; u < 8; ++u) {
+        for (int v = 0; v < 8; ++v) {
+            double acc = 0.0;
+            for (int y = 0; y < 8; ++y) {
+                for (int x = 0; x < 8; ++x) {
+                    acc += in[y * 8 + x] *
+                           std::cos((2 * x + 1) * v * M_PI / 16.0) *
+                           std::cos((2 * y + 1) * u * M_PI / 16.0);
+                }
+            }
+            const double cu = u == 0 ? 1.0 / std::sqrt(2.0) : 1.0;
+            const double cv = v == 0 ? 1.0 / std::sqrt(2.0) : 1.0;
+            out[u * 8 + v] = 0.25 * cu * cv * acc;
+        }
+    }
+}
+
+/** 8x8 inverse DCT. */
+void
+idct8x8(const double in[64], double out[64])
+{
+    for (int y = 0; y < 8; ++y) {
+        for (int x = 0; x < 8; ++x) {
+            double acc = 0.0;
+            for (int u = 0; u < 8; ++u) {
+                for (int v = 0; v < 8; ++v) {
+                    const double cu =
+                        u == 0 ? 1.0 / std::sqrt(2.0) : 1.0;
+                    const double cv =
+                        v == 0 ? 1.0 / std::sqrt(2.0) : 1.0;
+                    acc += cu * cv * in[u * 8 + v] *
+                           std::cos((2 * x + 1) * v * M_PI / 16.0) *
+                           std::cos((2 * y + 1) * u * M_PI / 16.0);
+                }
+            }
+            out[y * 8 + x] = 0.25 * acc;
+        }
+    }
+}
+
+} // namespace
+
+std::size_t
+jpegMaxStream(unsigned w, unsigned h)
+{
+    const std::size_t blocks = (w / 8) * (h / 8);
+    return 1 + blocks * (2 * 64 + 2);
+}
+
+std::vector<int32_t>
+jpegEncode(const std::vector<int32_t> &img, unsigned w, unsigned h)
+{
+    scAssert(w % 8 == 0 && h % 8 == 0, "jpeg dims must be multiple of 8");
+    const unsigned bw = w / 8, bh = h / 8;
+    std::vector<int32_t> stream;
+    stream.push_back(static_cast<int32_t>(bw * bh));
+    double px[64], coef[64];
+    for (unsigned by = 0; by < bh; ++by) {
+        for (unsigned bx = 0; bx < bw; ++bx) {
+            for (int y = 0; y < 8; ++y)
+                for (int x = 0; x < 8; ++x)
+                    px[y * 8 + x] =
+                        img[(by * 8 + y) * w + bx * 8 + x] - 128.0;
+            fdct8x8(px, coef);
+            int run = 0;
+            for (int k = 0; k < 64; ++k) {
+                const int32_t q =
+                    roundQuant(coef[kZigzag[k]], 10.0 + k);
+                if (q == 0) {
+                    ++run;
+                } else {
+                    stream.push_back(run);
+                    stream.push_back(q);
+                    run = 0;
+                }
+            }
+            stream.push_back(kEob);
+            stream.push_back(0);
+        }
+    }
+    return stream;
+}
+
+std::vector<int32_t>
+jpegDecode(const std::vector<int32_t> &stream, unsigned w, unsigned h)
+{
+    const unsigned bw = w / 8, bh = h / 8;
+    std::vector<int32_t> img(static_cast<std::size_t>(w) * h, 0);
+    std::size_t pos = 1;
+    double coef[64], px[64];
+    for (unsigned b = 0; b < bw * bh; ++b) {
+        std::fill(std::begin(coef), std::end(coef), 0.0);
+        int k = 0;
+        while (pos + 1 < stream.size()) {
+            const int32_t run = stream[pos];
+            const int32_t val = stream[pos + 1];
+            pos += 2;
+            if (run == kEob)
+                break;
+            // The stream may be arbitrarily corrupted (fault-injection
+            // outputs are decoded for fidelity): bound the scan index.
+            if (run < 0 || run > 63)
+                break;
+            k += run;
+            if (k < 0 || k >= 64)
+                break;
+            coef[kZigzag[k]] = val * (10.0 + k);
+            ++k;
+        }
+        idct8x8(coef, px);
+        const unsigned by = b / bw, bx = b % bw;
+        for (int y = 0; y < 8; ++y) {
+            for (int x = 0; x < 8; ++x) {
+                img[(by * 8 + y) * w + bx * 8 + x] =
+                    static_cast<int32_t>(
+                        std::clamp(px[y * 8 + x] + 128.0, 0.0, 255.0));
+            }
+        }
+    }
+    return img;
+}
+
+// ---- ADPCM ----------------------------------------------------------
+
+namespace
+{
+
+/** Standard IMA-ADPCM step table (89 entries). */
+constexpr int kStepTable[89] = {
+    7,     8,     9,     10,    11,    12,    13,    14,    16,
+    17,    19,    21,    23,    25,    28,    31,    34,    37,
+    41,    45,    50,    55,    60,    66,    73,    80,    88,
+    97,    107,   118,   130,   143,   157,   173,   190,   209,
+    230,   253,   279,   307,   337,   371,   408,   449,   494,
+    544,   598,   658,   724,   796,   876,   963,   1060,  1166,
+    1282,  1411,  1552,  1707,  1878,  2066,  2272,  2499,  2749,
+    3024,  3327,  3660,  4026,  4428,  4871,  5358,  5894,  6484,
+    7132,  7845,  8630,  9493,  10442, 11487, 12635, 13899, 15289,
+    16818, 18500, 20350, 22385, 24623, 27086, 29794, 32767,
+};
+
+constexpr int kIndexTable[16] = {
+    -1, -1, -1, -1, 2, 4, 6, 8, -1, -1, -1, -1, 2, 4, 6, 8,
+};
+
+} // namespace
+
+std::vector<int32_t>
+adpcmEncode(const std::vector<int32_t> &samples)
+{
+    std::vector<int32_t> codes;
+    codes.reserve(samples.size());
+    int pred = 0, index = 0;
+    for (int32_t s : samples) {
+        const int step = kStepTable[index];
+        int diff = s - pred;
+        int code = 0;
+        if (diff < 0) {
+            code = 8;
+            diff = -diff;
+        }
+        if (diff >= step) {
+            code |= 4;
+            diff -= step;
+        }
+        if (diff >= step / 2) {
+            code |= 2;
+            diff -= step / 2;
+        }
+        if (diff >= step / 4)
+            code |= 1;
+
+        int delta = step / 8;
+        if (code & 1)
+            delta += step / 4;
+        if (code & 2)
+            delta += step / 2;
+        if (code & 4)
+            delta += step;
+        pred += (code & 8) ? -delta : delta;
+        pred = std::clamp(pred, -32768, 32767);
+        index = std::clamp(index + kIndexTable[code], 0, 88);
+        codes.push_back(code);
+    }
+    return codes;
+}
+
+std::vector<int32_t>
+adpcmDecode(const std::vector<int32_t> &codes)
+{
+    std::vector<int32_t> samples;
+    samples.reserve(codes.size());
+    int pred = 0, index = 0;
+    for (int32_t code : codes) {
+        const int step = kStepTable[index];
+        int delta = step / 8;
+        if (code & 1)
+            delta += step / 4;
+        if (code & 2)
+            delta += step / 2;
+        if (code & 4)
+            delta += step;
+        pred += (code & 8) ? -delta : delta;
+        pred = std::clamp(pred, -32768, 32767);
+        index = std::clamp(index + kIndexTable[code & 15], 0, 88);
+        samples.push_back(pred);
+    }
+    return samples;
+}
+
+// ---- Subband --------------------------------------------------------
+
+int32_t
+subbandCrc(const int32_t *coeffs, unsigned n)
+{
+    // Table-driven CRC32 (poly 0xEDB88320) over the low byte of each
+    // coefficient, kept in signed-int32 friendly arithmetic (matches
+    // the MiniLang kernel, which computes the same table in-language).
+    static int32_t table[256];
+    static bool init = false;
+    if (!init) {
+        for (int i = 0; i < 256; ++i) {
+            uint32_t c = static_cast<uint32_t>(i);
+            for (int k = 0; k < 8; ++k)
+                c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+            table[i] = static_cast<int32_t>(c);
+        }
+        init = true;
+    }
+    uint32_t crc = 0xFFFFFFFFu;
+    for (unsigned i = 0; i < n; ++i) {
+        const uint32_t byte =
+            static_cast<uint32_t>(coeffs[i]) & 0xFFu;
+        crc = static_cast<uint32_t>(
+                  table[(crc ^ byte) & 0xFFu]) ^
+              (crc >> 8);
+    }
+    return static_cast<int32_t>(crc);
+}
+
+namespace
+{
+
+constexpr unsigned kFrame = 32;
+
+double
+subbandStep(unsigned k)
+{
+    return 4.0 + 3.0 * (k / 4);
+}
+
+void
+dct32(const double in[kFrame], double out[kFrame])
+{
+    for (unsigned k = 0; k < kFrame; ++k) {
+        double acc = 0.0;
+        for (unsigned n = 0; n < kFrame; ++n)
+            acc += in[n] * std::cos((2 * n + 1) * k * M_PI /
+                                    (2.0 * kFrame));
+        out[k] = acc * (k == 0 ? std::sqrt(1.0 / kFrame)
+                               : std::sqrt(2.0 / kFrame));
+    }
+}
+
+void
+idct32(const double in[kFrame], double out[kFrame])
+{
+    for (unsigned n = 0; n < kFrame; ++n) {
+        double acc = 0.0;
+        for (unsigned k = 0; k < kFrame; ++k)
+            acc += in[k] *
+                   (k == 0 ? std::sqrt(1.0 / kFrame)
+                           : std::sqrt(2.0 / kFrame)) *
+                   std::cos((2 * n + 1) * k * M_PI / (2.0 * kFrame));
+        out[n] = acc;
+    }
+}
+
+} // namespace
+
+std::vector<int32_t>
+subbandEncode(const std::vector<int32_t> &samples)
+{
+    scAssert(samples.size() % kFrame == 0,
+             "sample count must be a multiple of 32");
+    std::vector<int32_t> stream;
+    double in[kFrame], coef[kFrame];
+    for (std::size_t f = 0; f < samples.size() / kFrame; ++f) {
+        for (unsigned i = 0; i < kFrame; ++i)
+            in[i] = samples[f * kFrame + i];
+        dct32(in, coef);
+        int32_t q[kFrame];
+        for (unsigned k = 0; k < kFrame; ++k) {
+            q[k] = roundQuant(coef[k], subbandStep(k));
+            stream.push_back(q[k]);
+        }
+        stream.push_back(subbandCrc(q, kFrame));
+    }
+    return stream;
+}
+
+std::vector<int32_t>
+subbandDecode(const std::vector<int32_t> &stream, unsigned num_samples)
+{
+    std::vector<int32_t> samples;
+    samples.reserve(num_samples);
+    double coef[kFrame], out[kFrame];
+    const unsigned frames = num_samples / kFrame;
+    for (unsigned f = 0; f < frames; ++f) {
+        const std::size_t base = static_cast<std::size_t>(f) * 33;
+        for (unsigned k = 0; k < kFrame; ++k)
+            coef[k] = stream[base + k] * subbandStep(k);
+        idct32(coef, out);
+        for (unsigned i = 0; i < kFrame; ++i)
+            samples.push_back(static_cast<int32_t>(std::clamp(
+                out[i], -32768.0, 32767.0)));
+    }
+    return samples;
+}
+
+// ---- Video ----------------------------------------------------------
+
+namespace
+{
+
+constexpr int kIntraStep = 10;
+constexpr int kInterStep = 8;
+constexpr int kSearch = 2;
+
+void
+encodeBlockIntra(const int32_t *frame, unsigned w, unsigned bx,
+                 unsigned by, std::vector<int32_t> &stream)
+{
+    double px[64], coef[64];
+    for (int y = 0; y < 8; ++y)
+        for (int x = 0; x < 8; ++x)
+            px[y * 8 + x] =
+                frame[(by * 8 + y) * w + bx * 8 + x] - 128.0;
+    fdct8x8(px, coef);
+    for (int k = 0; k < 64; ++k)
+        stream.push_back(roundQuant(coef[k], kIntraStep));
+}
+
+void
+decodeBlockIntra(const int32_t *coeffs, int32_t *frame, unsigned w,
+                 unsigned bx, unsigned by)
+{
+    double coef[64], px[64];
+    for (int k = 0; k < 64; ++k)
+        coef[k] = coeffs[k] * double(kIntraStep);
+    idct8x8(coef, px);
+    for (int y = 0; y < 8; ++y)
+        for (int x = 0; x < 8; ++x)
+            frame[(by * 8 + y) * w + bx * 8 + x] =
+                static_cast<int32_t>(
+                    std::clamp(px[y * 8 + x] + 128.0, 0.0, 255.0));
+}
+
+} // namespace
+
+std::vector<int32_t>
+videoEncode(const std::vector<int32_t> &frames, unsigned w, unsigned h,
+            unsigned num_frames)
+{
+    scAssert(w % 8 == 0 && h % 8 == 0, "video dims multiple of 8");
+    const unsigned bw = w / 8, bh = h / 8;
+    const std::size_t fsz = static_cast<std::size_t>(w) * h;
+    std::vector<int32_t> stream;
+    std::vector<int32_t> recon(fsz, 0);
+
+    // Intra frame 0.
+    for (unsigned by = 0; by < bh; ++by)
+        for (unsigned bx = 0; bx < bw; ++bx)
+            encodeBlockIntra(frames.data(), w, bx, by, stream);
+    // Reconstruct frame 0 for use as reference.
+    {
+        std::size_t pos = 0;
+        for (unsigned by = 0; by < bh; ++by)
+            for (unsigned bx = 0; bx < bw; ++bx) {
+                decodeBlockIntra(stream.data() + pos, recon.data(), w,
+                                 bx, by);
+                pos += 64;
+            }
+    }
+
+    std::vector<int32_t> cur_recon(fsz, 0);
+    for (unsigned f = 1; f < num_frames; ++f) {
+        const int32_t *cur = frames.data() + f * fsz;
+        for (unsigned by = 0; by < bh; ++by) {
+            for (unsigned bx = 0; bx < bw; ++bx) {
+                // Motion search +-kSearch against the reconstructed
+                // previous frame.
+                int best_sad = INT32_MAX, best_dx = 0, best_dy = 0;
+                for (int dy = -kSearch; dy <= kSearch; ++dy) {
+                    for (int dx = -kSearch; dx <= kSearch; ++dx) {
+                        const int px0 = int(bx * 8) + dx;
+                        const int py0 = int(by * 8) + dy;
+                        if (px0 < 0 || py0 < 0 || px0 + 8 > int(w) ||
+                            py0 + 8 > int(h))
+                            continue;
+                        int sad = 0;
+                        for (int y = 0; y < 8; ++y)
+                            for (int x = 0; x < 8; ++x)
+                                sad += std::abs(
+                                    cur[(by * 8 + y) * w + bx * 8 + x] -
+                                    recon[(py0 + y) * w + px0 + x]);
+                        if (sad < best_sad) {
+                            best_sad = sad;
+                            best_dx = dx;
+                            best_dy = dy;
+                        }
+                    }
+                }
+                stream.push_back(best_dx);
+                stream.push_back(best_dy);
+                // Residual DCT.
+                double res[64], coef[64];
+                for (int y = 0; y < 8; ++y)
+                    for (int x = 0; x < 8; ++x)
+                        res[y * 8 + x] =
+                            cur[(by * 8 + y) * w + bx * 8 + x] -
+                            recon[(by * 8 + y + best_dy) * w + bx * 8 +
+                                  x + best_dx];
+                fdct8x8(res, coef);
+                int32_t q[64];
+                for (int k = 0; k < 64; ++k) {
+                    q[k] = roundQuant(coef[k], kInterStep);
+                    stream.push_back(q[k]);
+                }
+                // Reconstruct the block (prediction + dequant residual).
+                double rc[64], rp[64];
+                for (int k = 0; k < 64; ++k)
+                    rc[k] = q[k] * double(kInterStep);
+                idct8x8(rc, rp);
+                for (int y = 0; y < 8; ++y)
+                    for (int x = 0; x < 8; ++x)
+                        cur_recon[(by * 8 + y) * w + bx * 8 + x] =
+                            static_cast<int32_t>(std::clamp(
+                                recon[(by * 8 + y + best_dy) * w +
+                                      bx * 8 + x + best_dx] +
+                                    rp[y * 8 + x],
+                                0.0, 255.0));
+            }
+        }
+        recon = cur_recon;
+    }
+    return stream;
+}
+
+std::vector<int32_t>
+videoDecode(const std::vector<int32_t> &stream, unsigned w, unsigned h,
+            unsigned num_frames)
+{
+    const unsigned bw = w / 8, bh = h / 8;
+    const std::size_t fsz = static_cast<std::size_t>(w) * h;
+    std::vector<int32_t> out(fsz * num_frames, 0);
+    std::size_t pos = 0;
+
+    for (unsigned by = 0; by < bh; ++by)
+        for (unsigned bx = 0; bx < bw; ++bx) {
+            decodeBlockIntra(stream.data() + pos, out.data(), w, bx,
+                             by);
+            pos += 64;
+        }
+
+    for (unsigned f = 1; f < num_frames; ++f) {
+        const int32_t *prev = out.data() + (f - 1) * fsz;
+        int32_t *cur = out.data() + f * fsz;
+        for (unsigned by = 0; by < bh; ++by) {
+            for (unsigned bx = 0; bx < bw; ++bx) {
+                const int dx = stream[pos], dy = stream[pos + 1];
+                pos += 2;
+                double coef[64], res[64];
+                for (int k = 0; k < 64; ++k)
+                    coef[k] = stream[pos + k] * double(kInterStep);
+                pos += 64;
+                idct8x8(coef, res);
+                for (int y = 0; y < 8; ++y) {
+                    for (int x = 0; x < 8; ++x) {
+                        const int py = int(by * 8 + y) + dy;
+                        const int px = int(bx * 8 + x) + dx;
+                        const int32_t pred =
+                            (py >= 0 && px >= 0 && py < int(h) &&
+                             px < int(w))
+                                ? prev[py * w + px]
+                                : 128;
+                        cur[(by * 8 + y) * w + bx * 8 + x] =
+                            static_cast<int32_t>(std::clamp(
+                                pred + res[y * 8 + x], 0.0, 255.0));
+                    }
+                }
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace softcheck::codecs

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Golden reference codecs (host C++). Two uses:
+ *  - produce bitstream inputs for the decoder benchmarks (jpegdec,
+ *    g721dec, mp3dec, h264dec), and
+ *  - map encoder-benchmark outputs back to the pixel/sample domain so
+ *    PSNR/segSNR can be computed (jpegenc, g721enc, mp3enc, h264enc).
+ *
+ * Stream formats are shared contracts with the MiniLang kernels; see
+ * the per-function comments. Fidelity never requires bit-exact parity
+ * between C++ and MiniLang arithmetic — only format compatibility —
+ * because faulty and golden outputs are post-processed identically.
+ */
+
+#ifndef SOFTCHECK_WORKLOADS_CODECS_HH
+#define SOFTCHECK_WORKLOADS_CODECS_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace softcheck::codecs
+{
+
+// ---- JPEG-like image codec ----------------------------------------
+// Stream: [nblocks] then per block: (run, value) pairs in zigzag order,
+// terminated by the pair (99, 0). Quant step at zigzag position k is
+// 10 + k. Blocks are 8x8 in raster order; dims must be multiples of 8.
+
+std::vector<int32_t> jpegEncode(const std::vector<int32_t> &img,
+                                unsigned w, unsigned h);
+std::vector<int32_t> jpegDecode(const std::vector<int32_t> &stream,
+                                unsigned w, unsigned h);
+
+/** Worst-case stream length for a w x h image. */
+std::size_t jpegMaxStream(unsigned w, unsigned h);
+
+// ---- IMA-ADPCM audio codec (G.721 stand-in) ------------------------
+// One 4-bit code (stored as one int32) per input sample.
+
+std::vector<int32_t> adpcmEncode(const std::vector<int32_t> &samples);
+std::vector<int32_t> adpcmDecode(const std::vector<int32_t> &codes);
+
+// ---- Subband (MP3 stand-in) audio codec -----------------------------
+// Frames of 32 samples; per frame: 32 quantized DCT coefficients + 1
+// CRC word over the coefficients. Sample count must be a multiple of
+// 32. Stream length = (n/32) * 33.
+
+std::vector<int32_t> subbandEncode(const std::vector<int32_t> &samples);
+std::vector<int32_t> subbandDecode(const std::vector<int32_t> &stream,
+                                   unsigned num_samples);
+
+/** CRC used by the subband codec (table-driven, poly 0xEDB88320). */
+int32_t subbandCrc(const int32_t *coeffs, unsigned n);
+
+// ---- Motion-compensated video codec (H.264 stand-in) ----------------
+// Frames of w x h (multiples of 8); frame 0 intra-coded (64 quantized
+// coefficients per 8x8 block, step 10), frames 1.. inter-coded: per
+// block [mvx, mvy, 64 residual coefficients] (step 8), motion search
+// +-2 against the previously *decoded* frame.
+
+std::vector<int32_t> videoEncode(const std::vector<int32_t> &frames,
+                                 unsigned w, unsigned h,
+                                 unsigned num_frames);
+std::vector<int32_t> videoDecode(const std::vector<int32_t> &stream,
+                                 unsigned w, unsigned h,
+                                 unsigned num_frames);
+
+} // namespace softcheck::codecs
+
+#endif // SOFTCHECK_WORKLOADS_CODECS_HH

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Deterministic synthetic input generators standing in for the paper's
+ * media/ML inputs (which are proprietary or unavailable offline). The
+ * generators produce realistic locality: smooth shaded regions, edges
+ * and periodic texture for images; multi-tone signals with envelopes
+ * for audio; translating patterns for video; Gaussian clusters and
+ * linearly separable classes for the ML kernels. Train and test inputs
+ * use different seeds and sizes, per Table I.
+ */
+
+#ifndef SOFTCHECK_WORKLOADS_INPUTS_HH
+#define SOFTCHECK_WORKLOADS_INPUTS_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace softcheck
+{
+
+/** Grayscale image, row-major, values 0..255. */
+std::vector<int32_t> makeImage(unsigned w, unsigned h, uint64_t seed);
+
+/** Interleaved RGB image (3 * w * h values 0..255). */
+std::vector<int32_t> makeRgbImage(unsigned w, unsigned h, uint64_t seed);
+
+/** 16-bit PCM-like audio samples in [-32768, 32767]. */
+std::vector<int32_t> makeAudio(unsigned n, uint64_t seed);
+
+/** Video: @p frames grayscale frames of w x h with global motion. */
+std::vector<int32_t> makeVideo(unsigned frames, unsigned w, unsigned h,
+                               uint64_t seed);
+
+/** Gaussian clusters: n points x dims features around k centers
+ * (row-major doubles in [0, 100] roughly). */
+std::vector<double> makeClusterData(unsigned n, unsigned dims,
+                                    unsigned k, uint64_t seed);
+
+/** Linearly separable (noisy) labeled data: features row-major; labels
+ * +1/-1 written to @p labels. */
+std::vector<double> makeLabeledData(unsigned n, unsigned dims,
+                                    uint64_t seed,
+                                    std::vector<int32_t> &labels);
+
+} // namespace softcheck
+
+#endif // SOFTCHECK_WORKLOADS_INPUTS_HH

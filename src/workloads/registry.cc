@@ -1,0 +1,61 @@
+#include <bit>
+
+#include "workloads/workloads_internal.hh"
+
+namespace softcheck
+{
+
+std::vector<uint64_t>
+toWords(const std::vector<int32_t> &v)
+{
+    std::vector<uint64_t> out;
+    out.reserve(v.size());
+    for (int32_t x : v)
+        out.push_back(truncBits(static_cast<uint64_t>(
+                                    static_cast<int64_t>(x)),
+                                32));
+    return out;
+}
+
+std::vector<uint64_t>
+toWordsF64(const std::vector<double> &v)
+{
+    std::vector<uint64_t> out;
+    out.reserve(v.size());
+    for (double x : v)
+        out.push_back(std::bit_cast<uint64_t>(x));
+    return out;
+}
+
+std::vector<int32_t>
+fromDoubles(const std::vector<double> &v)
+{
+    std::vector<int32_t> out;
+    out.reserve(v.size());
+    for (double x : v)
+        out.push_back(static_cast<int32_t>(x));
+    return out;
+}
+
+const std::vector<const Workload *> &
+allWorkloads()
+{
+    static const std::vector<Workload> storage = [] {
+        std::vector<Workload> all;
+        appendImageWorkloads(all);
+        appendVisionWorkloads(all);
+        appendAudioWorkloads(all);
+        appendVideoWorkloads(all);
+        appendMlWorkloads(all);
+        return all;
+    }();
+    static const std::vector<const Workload *> ptrs = [] {
+        std::vector<const Workload *> p;
+        for (const Workload &w : storage)
+            p.push_back(&w);
+        return p;
+    }();
+    return ptrs;
+}
+
+} // namespace softcheck

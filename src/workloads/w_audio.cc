@@ -1,0 +1,357 @@
+/**
+ * @file
+ * Audio benchmarks (paper Table I): g721enc/g721dec (IMA-ADPCM codec
+ * standing in for G.721) and mp3enc/mp3dec (32-band DCT subband codec
+ * with per-frame CRC, whose CRC loop mirrors the paper's Fig. 3).
+ */
+
+#include "workloads/codecs.hh"
+#include "workloads/inputs.hh"
+#include "workloads/workloads_internal.hh"
+
+namespace softcheck
+{
+
+namespace
+{
+
+/** Shared ADPCM tables (identical to codecs.cc; consistency is the
+ * format contract between the MiniLang and C++ halves). */
+const char *kAdpcmTables = R"(
+const STEP: i32[89] = [
+    7, 8, 9, 10, 11, 12, 13, 14, 16,
+    17, 19, 21, 23, 25, 28, 31, 34, 37,
+    41, 45, 50, 55, 60, 66, 73, 80, 88,
+    97, 107, 118, 130, 143, 157, 173, 190, 209,
+    230, 253, 279, 307, 337, 371, 408, 449, 494,
+    544, 598, 658, 724, 796, 876, 963, 1060, 1166,
+    1282, 1411, 1552, 1707, 1878, 2066, 2272, 2499, 2749,
+    3024, 3327, 3660, 4026, 4428, 4871, 5358, 5894, 6484,
+    7132, 7845, 8630, 9493, 10442, 11487, 12635, 13899, 15289,
+    16818, 18500, 20350, 22385, 24623, 27086, 29794, 32767];
+const IDX: i32[16] = [
+    -1, -1, -1, -1, 2, 4, 6, 8, -1, -1, -1, -1, 2, 4, 6, 8];
+)";
+
+/** g721enc: main(codes, samples, n) -> final predictor value. */
+const std::string kG721encSrc = std::string(kAdpcmTables) + R"(
+fn main(codes: ptr<i32>, samples: ptr<i32>, n: i32) -> i32 {
+    var pred: i32 = 0;
+    var index: i32 = 0;
+    for (var i: i32 = 0; i < n; i = i + 1) {
+        var step: i32 = STEP[index];
+        var diff: i32 = samples[i] - pred;
+        var code: i32 = 0;
+        if (diff < 0) {
+            code = 8;
+            diff = -diff;
+        }
+        if (diff >= step) {
+            code = code | 4;
+            diff = diff - step;
+        }
+        if (diff >= step / 2) {
+            code = code | 2;
+            diff = diff - step / 2;
+        }
+        if (diff >= step / 4) {
+            code = code | 1;
+        }
+
+        var delta: i32 = step / 8;
+        if ((code & 1) != 0) { delta = delta + step / 4; }
+        if ((code & 2) != 0) { delta = delta + step / 2; }
+        if ((code & 4) != 0) { delta = delta + step; }
+        if ((code & 8) != 0) {
+            pred = pred - delta;
+        } else {
+            pred = pred + delta;
+        }
+        if (pred > 32767) { pred = 32767; }
+        if (pred < -32768) { pred = -32768; }
+        index = index + IDX[code];
+        if (index < 0) { index = 0; }
+        if (index > 88) { index = 88; }
+        codes[i] = code;
+    }
+    return pred;
+}
+)";
+
+/** g721dec: main(samples, codes, n) -> final predictor value. */
+const std::string kG721decSrc = std::string(kAdpcmTables) + R"(
+fn main(samples: ptr<i32>, codes: ptr<i32>, n: i32) -> i32 {
+    var pred: i32 = 0;
+    var index: i32 = 0;
+    for (var i: i32 = 0; i < n; i = i + 1) {
+        var code: i32 = codes[i];
+        var step: i32 = STEP[index];
+        var delta: i32 = step / 8;
+        if ((code & 1) != 0) { delta = delta + step / 4; }
+        if ((code & 2) != 0) { delta = delta + step / 2; }
+        if ((code & 4) != 0) { delta = delta + step; }
+        if ((code & 8) != 0) {
+            pred = pred - delta;
+        } else {
+            pred = pred + delta;
+        }
+        if (pred > 32767) { pred = 32767; }
+        if (pred < -32768) { pred = -32768; }
+        index = index + IDX[code & 15];
+        if (index < 0) { index = 0; }
+        if (index > 88) { index = 88; }
+        samples[i] = pred;
+    }
+    return pred;
+}
+)";
+
+/** Shared CRC-table builder + frame CRC (cf. paper Fig. 3's crc loop). */
+const char *kCrcHelpers = R"(
+const PI: f64 = 3.141592653589793;
+
+fn build_crc_table(tab: ptr<i32>) -> void {
+    for (var i: i32 = 0; i < 256; i = i + 1) {
+        var c: i32 = i;
+        for (var k: i32 = 0; k < 8; k = k + 1) {
+            if ((c & 1) != 0) {
+                c = -306674912 ^ ((c >> 1) & 2147483647);
+            } else {
+                c = (c >> 1) & 2147483647;
+            }
+        }
+        tab[i] = c;
+    }
+}
+
+fn frame_crc(tab: ptr<i32>, q: ptr<i32>, base: i32, n: i32) -> i32 {
+    var crc: i32 = -1;
+    for (var i: i32 = 0; i < n; i = i + 1) {
+        var byte: i32 = q[base + i] & 255;
+        var idx: i32 = (crc ^ byte) & 255;
+        crc = tab[idx] ^ ((crc >> 8) & 16777215);
+    }
+    return crc;
+}
+)";
+
+/**
+ * mp3enc: 32-sample frames, 32-point DCT, per-band quantization and a
+ * CRC word per frame. main(stream, samples, nframes) -> last crc.
+ */
+const std::string kMp3encSrc = std::string(kCrcHelpers) + R"(
+fn quantize(v: f64, step: f64) -> i32 {
+    var q: f64 = v / step;
+    if (q >= 0.0) {
+        return i32(q + 0.5);
+    }
+    return i32(q - 0.5);
+}
+
+fn main(stream: ptr<i32>, samples: ptr<i32>, nframes: i32) -> i32 {
+    var crctab: i32[256];
+    build_crc_table(crctab);
+
+    // DCT-II basis: ct[n*32+k] = cos((2n+1) k pi / 64).
+    var ct: f64[1024];
+    for (var n2: i32 = 0; n2 < 32; n2 = n2 + 1) {
+        for (var k2: i32 = 0; k2 < 32; k2 = k2 + 1) {
+            ct[n2 * 32 + k2] =
+                cos(f64(2 * n2 + 1) * f64(k2) * PI / 64.0);
+        }
+    }
+    var s0: f64 = sqrt(1.0 / 32.0);
+    var s1: f64 = sqrt(2.0 / 32.0);
+
+    var crc: i32 = 0;
+    for (var f: i32 = 0; f < nframes; f = f + 1) {
+        var base: i32 = f * 33;
+        for (var k: i32 = 0; k < 32; k = k + 1) {
+            var acc: f64 = 0.0;
+            for (var n: i32 = 0; n < 32; n = n + 1) {
+                acc = acc + f64(samples[f * 32 + n]) * ct[n * 32 + k];
+            }
+            var scale: f64 = s1;
+            if (k == 0) {
+                scale = s0;
+            }
+            var step: f64 = 4.0 + 3.0 * f64(k / 4);
+            stream[base + k] = quantize(acc * scale, step);
+        }
+        crc = frame_crc(crctab, stream, base, 32);
+        stream[base + 32] = crc;
+    }
+    return crc;
+}
+)";
+
+/**
+ * mp3dec: verifies each frame's CRC (counting mismatches), then
+ * dequantizes and runs the inverse DCT.
+ * main(samples, stream, nframes) -> number of CRC mismatches.
+ */
+const std::string kMp3decSrc = std::string(kCrcHelpers) + R"(
+fn main(samples: ptr<i32>, stream: ptr<i32>, nframes: i32) -> i32 {
+    var crctab: i32[256];
+    build_crc_table(crctab);
+
+    var ct: f64[1024];
+    for (var n2: i32 = 0; n2 < 32; n2 = n2 + 1) {
+        for (var k2: i32 = 0; k2 < 32; k2 = k2 + 1) {
+            ct[n2 * 32 + k2] =
+                cos(f64(2 * n2 + 1) * f64(k2) * PI / 64.0);
+        }
+    }
+    var s0: f64 = sqrt(1.0 / 32.0);
+    var s1: f64 = sqrt(2.0 / 32.0);
+
+    var bad: i32 = 0;
+    for (var f: i32 = 0; f < nframes; f = f + 1) {
+        var base: i32 = f * 33;
+        var crc: i32 = frame_crc(crctab, stream, base, 32);
+        if (crc != stream[base + 32]) {
+            bad = bad + 1;
+        }
+        for (var n: i32 = 0; n < 32; n = n + 1) {
+            var acc: f64 = 0.0;
+            for (var k: i32 = 0; k < 32; k = k + 1) {
+                var scale: f64 = s1;
+                if (k == 0) {
+                    scale = s0;
+                }
+                var step: f64 = 4.0 + 3.0 * f64(k / 4);
+                acc = acc + f64(stream[base + k]) * step * scale
+                          * ct[n * 32 + k];
+            }
+            var v: i32 = i32(acc);
+            if (v > 32767) { v = 32767; }
+            if (v < -32768) { v = -32768; }
+            samples[f * 32 + n] = v;
+        }
+    }
+    return bad;
+}
+)";
+
+WorkloadRunSpec
+g721encInput(bool train)
+{
+    const unsigned n = train ? 2048 : 1536;
+    auto audio = makeAudio(n, train ? 5001 : 6002);
+    WorkloadRunSpec spec;
+    spec.args.push_back(WorkloadArg::outputBuffer(Type::i32(), n));
+    spec.args.push_back(
+        WorkloadArg::buffer(Type::i32(), toWords(audio)));
+    spec.args.push_back(WorkloadArg::scalarI32(n));
+    return spec;
+}
+
+WorkloadRunSpec
+g721decInput(bool train)
+{
+    const unsigned n = train ? 2048 : 1536;
+    auto audio = makeAudio(n, train ? 5003 : 6004);
+    auto codes = codecs::adpcmEncode(audio);
+    WorkloadRunSpec spec;
+    spec.args.push_back(WorkloadArg::outputBuffer(Type::i32(), n));
+    spec.args.push_back(
+        WorkloadArg::buffer(Type::i32(), toWords(codes)));
+    spec.args.push_back(WorkloadArg::scalarI32(n));
+    return spec;
+}
+
+WorkloadRunSpec
+mp3encInput(bool train)
+{
+    const unsigned frames = train ? 48 : 32;
+    auto audio = makeAudio(frames * 32, train ? 5005 : 6006);
+    WorkloadRunSpec spec;
+    spec.args.push_back(WorkloadArg::outputBuffer(
+        Type::i32(), static_cast<uint64_t>(frames) * 33));
+    spec.args.push_back(
+        WorkloadArg::buffer(Type::i32(), toWords(audio)));
+    spec.args.push_back(WorkloadArg::scalarI32(frames));
+    return spec;
+}
+
+WorkloadRunSpec
+mp3decInput(bool train)
+{
+    const unsigned frames = train ? 48 : 32;
+    auto audio = makeAudio(frames * 32, train ? 5007 : 6008);
+    auto stream = codecs::subbandEncode(audio);
+    WorkloadRunSpec spec;
+    spec.args.push_back(WorkloadArg::outputBuffer(
+        Type::i32(), static_cast<uint64_t>(frames) * 32));
+    spec.args.push_back(
+        WorkloadArg::buffer(Type::i32(), toWords(stream)));
+    spec.args.push_back(WorkloadArg::scalarI32(frames));
+    return spec;
+}
+
+} // namespace
+
+void
+appendAudioWorkloads(std::vector<Workload> &out)
+{
+    {
+        Workload w;
+        w.name = "g721enc";
+        w.category = "audio";
+        w.description = "IMA-ADPCM audio encoder (G.721 stand-in)";
+        w.source = kG721encSrc.c_str();
+        w.fidelity = FidelityKind::SegmentalSnr;
+        w.threshold = 80.0;
+        w.makeInput = g721encInput;
+        w.fidelitySignal = [](const WorkloadRunSpec &,
+                              const RawOutput &raw) {
+            auto samples = codecs::adpcmDecode(fromDoubles(raw[0]));
+            return std::vector<double>(samples.begin(), samples.end());
+        };
+        out.push_back(std::move(w));
+    }
+    {
+        Workload w;
+        w.name = "g721dec";
+        w.category = "audio";
+        w.description = "IMA-ADPCM audio decoder (G.721 stand-in)";
+        w.source = kG721decSrc.c_str();
+        w.fidelity = FidelityKind::SegmentalSnr;
+        w.threshold = 80.0;
+        w.makeInput = g721decInput;
+        out.push_back(std::move(w));
+    }
+    {
+        Workload w;
+        w.name = "mp3enc";
+        w.category = "audio";
+        w.description = "32-band subband audio encoder with frame CRC";
+        w.source = kMp3encSrc.c_str();
+        w.fidelity = FidelityKind::Psnr;
+        w.threshold = 30.0;
+        w.makeInput = mp3encInput;
+        w.fidelitySignal = [](const WorkloadRunSpec &spec,
+                              const RawOutput &raw) {
+            const unsigned frames =
+                static_cast<unsigned>(spec.args[2].scalar);
+            auto samples = codecs::subbandDecode(fromDoubles(raw[0]),
+                                                 frames * 32);
+            return std::vector<double>(samples.begin(), samples.end());
+        };
+        out.push_back(std::move(w));
+    }
+    {
+        Workload w;
+        w.name = "mp3dec";
+        w.category = "audio";
+        w.description =
+            "subband audio decoder with CRC verification loop (Fig. 3)";
+        w.source = kMp3decSrc.c_str();
+        w.fidelity = FidelityKind::Psnr;
+        w.threshold = 30.0;
+        w.makeInput = mp3decInput;
+        out.push_back(std::move(w));
+    }
+}
+
+} // namespace softcheck

@@ -1,0 +1,326 @@
+/**
+ * @file
+ * Image-processing benchmarks (paper Table I, mediabench/mibench):
+ * jpegenc, jpegdec, tiff2bw.
+ */
+
+#include "workloads/codecs.hh"
+#include "workloads/inputs.hh"
+#include "workloads/workloads_internal.hh"
+
+namespace softcheck
+{
+
+namespace
+{
+
+/**
+ * jpegenc: 8x8 DCT + zigzag quantization + zero-run-length encoding.
+ * Entry: main(out_stream, img, w, h) -> stream length.
+ */
+const char *kJpegencSrc = R"(
+const ZZ: i32[64] = [
+    0, 1, 8, 16, 9, 2, 3, 10, 17, 24, 32, 25, 18, 11, 4, 5,
+    12, 19, 26, 33, 40, 48, 41, 34, 27, 20, 13, 6, 7, 14, 21, 28,
+    35, 42, 49, 56, 57, 50, 43, 36, 29, 22, 15, 23, 30, 37, 44, 51,
+    58, 59, 52, 45, 38, 31, 39, 46, 53, 60, 61, 54, 47, 55, 62, 63];
+const PI: f64 = 3.141592653589793;
+
+fn quantize(v: f64, step: f64) -> i32 {
+    var q: f64 = v / step;
+    if (q >= 0.0) {
+        return i32(q + 0.5);
+    }
+    return i32(q - 0.5);
+}
+
+fn main(out: ptr<i32>, img: ptr<i32>, w: i32, h: i32) -> i32 {
+    var ct: f64[64];
+    for (var x: i32 = 0; x < 8; x = x + 1) {
+        for (var u: i32 = 0; u < 8; u = u + 1) {
+            ct[x * 8 + u] = cos(f64(2 * x + 1) * f64(u) * PI / 16.0);
+        }
+    }
+    var cs: f64[8];
+    cs[0] = 0.7071067811865476;
+    for (var u: i32 = 1; u < 8; u = u + 1) {
+        cs[u] = 1.0;
+    }
+
+    var bw: i32 = w / 8;
+    var bh: i32 = h / 8;
+    out[0] = bw * bh;
+    var pos: i32 = 1;
+    var px: f64[64];
+    var tmp: f64[64];
+    var coef: f64[64];
+
+    for (var b: i32 = 0; b < bw * bh; b = b + 1) {
+        var by: i32 = b / bw;
+        var bx: i32 = b - by * bw;
+        for (var y: i32 = 0; y < 8; y = y + 1) {
+            for (var x: i32 = 0; x < 8; x = x + 1) {
+                px[y * 8 + x] =
+                    f64(img[(by * 8 + y) * w + bx * 8 + x] - 128);
+            }
+        }
+        // Separable DCT: rows then columns.
+        for (var y: i32 = 0; y < 8; y = y + 1) {
+            for (var v: i32 = 0; v < 8; v = v + 1) {
+                var acc: f64 = 0.0;
+                for (var x: i32 = 0; x < 8; x = x + 1) {
+                    acc = acc + px[y * 8 + x] * ct[x * 8 + v];
+                }
+                tmp[y * 8 + v] = acc * cs[v] * 0.5;
+            }
+        }
+        for (var u: i32 = 0; u < 8; u = u + 1) {
+            for (var v: i32 = 0; v < 8; v = v + 1) {
+                var acc2: f64 = 0.0;
+                for (var y: i32 = 0; y < 8; y = y + 1) {
+                    acc2 = acc2 + tmp[y * 8 + v] * ct[y * 8 + u];
+                }
+                coef[u * 8 + v] = acc2 * cs[u] * 0.5;
+            }
+        }
+        // Zigzag + RLE.
+        var run: i32 = 0;
+        for (var k: i32 = 0; k < 64; k = k + 1) {
+            var q: i32 = quantize(coef[ZZ[k]], 10.0 + f64(k));
+            if (q == 0) {
+                run = run + 1;
+            } else {
+                out[pos] = run;
+                out[pos + 1] = q;
+                pos = pos + 2;
+                run = 0;
+            }
+        }
+        out[pos] = 99;
+        out[pos + 1] = 0;
+        pos = pos + 2;
+    }
+    return pos;
+}
+)";
+
+/**
+ * jpegdec: run-length parse + dequantize + separable IDCT + clamp.
+ * Entry: main(out_img, stream, w, h) -> stream positions consumed.
+ */
+const char *kJpegdecSrc = R"(
+const ZZ: i32[64] = [
+    0, 1, 8, 16, 9, 2, 3, 10, 17, 24, 32, 25, 18, 11, 4, 5,
+    12, 19, 26, 33, 40, 48, 41, 34, 27, 20, 13, 6, 7, 14, 21, 28,
+    35, 42, 49, 56, 57, 50, 43, 36, 29, 22, 15, 23, 30, 37, 44, 51,
+    58, 59, 52, 45, 38, 31, 39, 46, 53, 60, 61, 54, 47, 55, 62, 63];
+const PI: f64 = 3.141592653589793;
+
+fn main(out: ptr<i32>, stream: ptr<i32>, w: i32, h: i32) -> i32 {
+    var ct: f64[64];
+    for (var x: i32 = 0; x < 8; x = x + 1) {
+        for (var u: i32 = 0; u < 8; u = u + 1) {
+            ct[x * 8 + u] = cos(f64(2 * x + 1) * f64(u) * PI / 16.0);
+        }
+    }
+    var cs: f64[8];
+    cs[0] = 0.7071067811865476;
+    for (var u: i32 = 1; u < 8; u = u + 1) {
+        cs[u] = 1.0;
+    }
+
+    var bw: i32 = w / 8;
+    var nblocks: i32 = stream[0];
+    var pos: i32 = 1;
+    var coef: f64[64];
+    var tmp: f64[64];
+
+    for (var b: i32 = 0; b < nblocks; b = b + 1) {
+        for (var i: i32 = 0; i < 64; i = i + 1) {
+            coef[i] = 0.0;
+        }
+        // Run-length decode (the bitstream-parsing loop whose state
+        // variables make corruption catastrophic, cf. paper Fig. 1c).
+        var k: i32 = 0;
+        var done: i32 = 0;
+        while (done == 0) {
+            var run: i32 = stream[pos];
+            var val: i32 = stream[pos + 1];
+            pos = pos + 2;
+            if (run == 99) {
+                done = 1;
+            } else {
+                k = k + run;
+                if (k < 64) {
+                    coef[ZZ[k]] = f64(val) * (10.0 + f64(k));
+                    k = k + 1;
+                } else {
+                    done = 1;
+                }
+            }
+        }
+        // Separable IDCT: columns then rows.
+        for (var y2: i32 = 0; y2 < 8; y2 = y2 + 1) {
+            for (var v: i32 = 0; v < 8; v = v + 1) {
+                var acc: f64 = 0.0;
+                for (var u: i32 = 0; u < 8; u = u + 1) {
+                    acc = acc + cs[u] * coef[u * 8 + v] * ct[y2 * 8 + u];
+                }
+                tmp[y2 * 8 + v] = acc * 0.5;
+            }
+        }
+        var by: i32 = b / bw;
+        var bx: i32 = b - by * bw;
+        for (var y: i32 = 0; y < 8; y = y + 1) {
+            for (var x: i32 = 0; x < 8; x = x + 1) {
+                var acc2: f64 = 0.0;
+                for (var v2: i32 = 0; v2 < 8; v2 = v2 + 1) {
+                    acc2 = acc2 + cs[v2] * tmp[y * 8 + v2] * ct[x * 8 + v2];
+                }
+                var p: i32 = i32(acc2 * 0.5 + 128.5);
+                if (p < 0) {
+                    p = 0;
+                }
+                if (p > 255) {
+                    p = 255;
+                }
+                out[(by * 8 + y) * w + bx * 8 + x] = p;
+            }
+        }
+    }
+    return pos;
+}
+)";
+
+/**
+ * tiff2bw: RGB -> luma with a gamma lookup table.
+ * Entry: main(out_gray, rgb_interleaved, npixels) -> luma checksum.
+ */
+const char *kTiff2bwSrc = R"(
+fn main(out: ptr<i32>, rgb: ptr<i32>, n: i32) -> i32 {
+    var gamma: i32[256];
+    for (var i: i32 = 0; i < 256; i = i + 1) {
+        gamma[i] = (i * i + i * 255) / 510;
+    }
+    var checksum: i32 = 0;
+    for (var p: i32 = 0; p < n; p = p + 1) {
+        var r: i32 = rgb[p * 3];
+        var g: i32 = rgb[p * 3 + 1];
+        var b: i32 = rgb[p * 3 + 2];
+        var y: i32 = (77 * r + 150 * g + 29 * b) >> 8;
+        if (y < 0) {
+            y = 0;
+        }
+        if (y > 255) {
+            y = 255;
+        }
+        out[p] = gamma[y];
+        checksum = (checksum + y) & 16777215;
+    }
+    return checksum;
+}
+)";
+
+constexpr unsigned kEncTrainW = 48, kEncTrainH = 48;
+constexpr unsigned kEncTestW = 32, kEncTestH = 32;
+
+WorkloadRunSpec
+jpegencInput(bool train)
+{
+    const unsigned w = train ? kEncTrainW : kEncTestW;
+    const unsigned h = train ? kEncTrainH : kEncTestH;
+    auto img = makeImage(w, h, train ? 1001 : 2002);
+    WorkloadRunSpec spec;
+    spec.args.push_back(WorkloadArg::outputBuffer(
+        Type::i32(), codecs::jpegMaxStream(w, h)));
+    spec.args.push_back(WorkloadArg::buffer(Type::i32(), toWords(img)));
+    spec.args.push_back(WorkloadArg::scalarI32(w));
+    spec.args.push_back(WorkloadArg::scalarI32(h));
+    return spec;
+}
+
+WorkloadRunSpec
+jpegdecInput(bool train)
+{
+    const unsigned w = train ? kEncTrainW : kEncTestW;
+    const unsigned h = train ? kEncTrainH : kEncTestH;
+    auto img = makeImage(w, h, train ? 1003 : 2004);
+    auto stream = codecs::jpegEncode(img, w, h);
+    stream.resize(codecs::jpegMaxStream(w, h), 0);
+    WorkloadRunSpec spec;
+    spec.args.push_back(WorkloadArg::outputBuffer(
+        Type::i32(), static_cast<uint64_t>(w) * h));
+    spec.args.push_back(
+        WorkloadArg::buffer(Type::i32(), toWords(stream)));
+    spec.args.push_back(WorkloadArg::scalarI32(w));
+    spec.args.push_back(WorkloadArg::scalarI32(h));
+    return spec;
+}
+
+WorkloadRunSpec
+tiff2bwInput(bool train)
+{
+    const unsigned w = train ? 64 : 48;
+    const unsigned h = train ? 48 : 40;
+    auto rgb = makeRgbImage(w, h, train ? 1005 : 2006);
+    WorkloadRunSpec spec;
+    spec.args.push_back(WorkloadArg::outputBuffer(
+        Type::i32(), static_cast<uint64_t>(w) * h));
+    spec.args.push_back(WorkloadArg::buffer(Type::i32(), toWords(rgb)));
+    spec.args.push_back(
+        WorkloadArg::scalarI32(static_cast<int64_t>(w) * h));
+    return spec;
+}
+
+} // namespace
+
+void
+appendImageWorkloads(std::vector<Workload> &out)
+{
+    {
+        Workload w;
+        w.name = "jpegenc";
+        w.category = "image";
+        w.description = "JPEG-like image encoder (DCT + quant + RLE)";
+        w.source = kJpegencSrc;
+        w.fidelity = FidelityKind::Psnr;
+        w.threshold = 30.0;
+        w.makeInput = jpegencInput;
+        w.fidelitySignal = [](const WorkloadRunSpec &spec,
+                              const RawOutput &raw) {
+            const unsigned iw = static_cast<unsigned>(
+                spec.args[2].scalar);
+            const unsigned ih = static_cast<unsigned>(
+                spec.args[3].scalar);
+            auto pixels =
+                codecs::jpegDecode(fromDoubles(raw[0]), iw, ih);
+            std::vector<double> sig(pixels.begin(), pixels.end());
+            return sig;
+        };
+        out.push_back(std::move(w));
+    }
+    {
+        Workload w;
+        w.name = "jpegdec";
+        w.category = "image";
+        w.description = "JPEG-like image decoder (RLE + dequant + IDCT)";
+        w.source = kJpegdecSrc;
+        w.fidelity = FidelityKind::Psnr;
+        w.threshold = 30.0;
+        w.makeInput = jpegdecInput;
+        out.push_back(std::move(w));
+    }
+    {
+        Workload w;
+        w.name = "tiff2bw";
+        w.category = "image";
+        w.description = "RGB to grayscale conversion with gamma table";
+        w.source = kTiff2bwSrc;
+        w.fidelity = FidelityKind::Psnr;
+        w.threshold = 30.0;
+        w.makeInput = tiff2bwInput;
+        out.push_back(std::move(w));
+    }
+}
+
+} // namespace softcheck

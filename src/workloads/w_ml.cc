@@ -1,0 +1,205 @@
+/**
+ * @file
+ * Machine-learning benchmarks (paper Table I): kmeans (Lloyd's
+ * clustering, in-house in the paper) and svm (linear SVM trained with
+ * sub-gradient descent, svmlight stand-in).
+ */
+
+#include "workloads/inputs.hh"
+#include "workloads/workloads_internal.hh"
+
+namespace softcheck
+{
+
+namespace
+{
+
+/**
+ * kmeans: Lloyd's algorithm on n x d doubles, k clusters, 10
+ * iterations; centers seeded from the first k points.
+ * Entry: main(assign, data, n, d, k) -> assignment checksum.
+ */
+const char *kKmeansSrc = R"(
+fn main(assign: ptr<i32>, data: ptr<f64>, n: i32, d: i32,
+        k: i32) -> i32 {
+    var centers: f64[64];
+    var sums: f64[64];
+    var counts: i32[8];
+
+    for (var c: i32 = 0; c < k; c = c + 1) {
+        for (var j: i32 = 0; j < d; j = j + 1) {
+            centers[c * d + j] = data[c * d + j];
+        }
+    }
+
+    var checksum: i32 = 0;
+    for (var iter: i32 = 0; iter < 10; iter = iter + 1) {
+        for (var c2: i32 = 0; c2 < k; c2 = c2 + 1) {
+            counts[c2] = 0;
+            for (var j2: i32 = 0; j2 < d; j2 = j2 + 1) {
+                sums[c2 * d + j2] = 0.0;
+            }
+        }
+        checksum = 0;
+        for (var i: i32 = 0; i < n; i = i + 1) {
+            var best: i32 = 0;
+            var bestd: f64 = 1.0e30;
+            for (var c3: i32 = 0; c3 < k; c3 = c3 + 1) {
+                var dist: f64 = 0.0;
+                for (var j3: i32 = 0; j3 < d; j3 = j3 + 1) {
+                    var diff: f64 = data[i * d + j3]
+                                  - centers[c3 * d + j3];
+                    dist = dist + diff * diff;
+                }
+                if (dist < bestd) {
+                    bestd = dist;
+                    best = c3;
+                }
+            }
+            assign[i] = best;
+            counts[best] = counts[best] + 1;
+            for (var j4: i32 = 0; j4 < d; j4 = j4 + 1) {
+                sums[best * d + j4] = sums[best * d + j4]
+                                    + data[i * d + j4];
+            }
+            checksum = (checksum + best) & 1073741823;
+        }
+        for (var c4: i32 = 0; c4 < k; c4 = c4 + 1) {
+            if (counts[c4] > 0) {
+                for (var j5: i32 = 0; j5 < d; j5 = j5 + 1) {
+                    centers[c4 * d + j5] = sums[c4 * d + j5]
+                                         / f64(counts[c4]);
+                }
+            }
+        }
+    }
+    return checksum;
+}
+)";
+
+/**
+ * svm: linear SVM (Pegasos-style sub-gradient training, 5 epochs),
+ * then classification of the test set.
+ * Entry: main(pred, trainx, trainy, testx, ntrain, ntest, d)
+ *   -> number of positive predictions.
+ */
+const char *kSvmSrc = R"(
+fn main(pred: ptr<i32>, trainx: ptr<f64>, trainy: ptr<i32>,
+        testx: ptr<f64>, ntrain: i32, ntest: i32, d: i32) -> i32 {
+    var w: f64[16];
+    for (var j: i32 = 0; j < d; j = j + 1) {
+        w[j] = 0.0;
+    }
+
+    var lr: f64 = 0.01;
+    var lambda: f64 = 0.001;
+    for (var epoch: i32 = 0; epoch < 5; epoch = epoch + 1) {
+        for (var i: i32 = 0; i < ntrain; i = i + 1) {
+            var dot: f64 = 0.0;
+            for (var j2: i32 = 0; j2 < d; j2 = j2 + 1) {
+                dot = dot + w[j2] * trainx[i * d + j2];
+            }
+            var y: f64 = f64(trainy[i]);
+            var decay: f64 = 1.0 - lr * lambda;
+            if (y * dot < 1.0) {
+                for (var j3: i32 = 0; j3 < d; j3 = j3 + 1) {
+                    w[j3] = w[j3] * decay
+                          + lr * y * trainx[i * d + j3];
+                }
+            } else {
+                for (var j4: i32 = 0; j4 < d; j4 = j4 + 1) {
+                    w[j4] = w[j4] * decay;
+                }
+            }
+        }
+    }
+
+    var positives: i32 = 0;
+    for (var t: i32 = 0; t < ntest; t = t + 1) {
+        var dot2: f64 = 0.0;
+        for (var j5: i32 = 0; j5 < d; j5 = j5 + 1) {
+            dot2 = dot2 + w[j5] * testx[t * d + j5];
+        }
+        if (dot2 >= 0.0) {
+            pred[t] = 1;
+            positives = positives + 1;
+        } else {
+            pred[t] = -1;
+        }
+    }
+    return positives;
+}
+)";
+
+WorkloadRunSpec
+kmeansInput(bool train)
+{
+    const unsigned n = train ? 120 : 90;
+    const unsigned d = 8;
+    const unsigned k = 5;
+    auto data = makeClusterData(n, d, k, train ? 9001 : 9502);
+    WorkloadRunSpec spec;
+    spec.args.push_back(WorkloadArg::outputBuffer(Type::i32(), n));
+    spec.args.push_back(
+        WorkloadArg::buffer(Type::f64(), toWordsF64(data)));
+    spec.args.push_back(WorkloadArg::scalarI32(n));
+    spec.args.push_back(WorkloadArg::scalarI32(d));
+    spec.args.push_back(WorkloadArg::scalarI32(k));
+    return spec;
+}
+
+WorkloadRunSpec
+svmInput(bool train)
+{
+    const unsigned ntrain = train ? 200 : 160;
+    const unsigned ntest = train ? 160 : 120;
+    const unsigned d = 8;
+    std::vector<int32_t> train_labels, test_labels;
+    auto trainx =
+        makeLabeledData(ntrain, d, train ? 9003 : 9504, train_labels);
+    auto testx =
+        makeLabeledData(ntest, d, train ? 9005 : 9506, test_labels);
+    WorkloadRunSpec spec;
+    spec.args.push_back(WorkloadArg::outputBuffer(Type::i32(), ntest));
+    spec.args.push_back(
+        WorkloadArg::buffer(Type::f64(), toWordsF64(trainx)));
+    spec.args.push_back(
+        WorkloadArg::buffer(Type::i32(), toWords(train_labels)));
+    spec.args.push_back(
+        WorkloadArg::buffer(Type::f64(), toWordsF64(testx)));
+    spec.args.push_back(WorkloadArg::scalarI32(ntrain));
+    spec.args.push_back(WorkloadArg::scalarI32(ntest));
+    spec.args.push_back(WorkloadArg::scalarI32(d));
+    return spec;
+}
+
+} // namespace
+
+void
+appendMlWorkloads(std::vector<Workload> &out)
+{
+    {
+        Workload w;
+        w.name = "kmeans";
+        w.category = "ml";
+        w.description = "Lloyd's k-means clustering";
+        w.source = kKmeansSrc;
+        w.fidelity = FidelityKind::ClassErrorDelta;
+        w.threshold = 0.10;
+        w.makeInput = kmeansInput;
+        out.push_back(std::move(w));
+    }
+    {
+        Workload w;
+        w.name = "svm";
+        w.category = "ml";
+        w.description = "linear SVM (sub-gradient training + inference)";
+        w.source = kSvmSrc;
+        w.fidelity = FidelityKind::ClassErrorDelta;
+        w.threshold = 0.10;
+        w.makeInput = svmInput;
+        out.push_back(std::move(w));
+    }
+}
+
+} // namespace softcheck

@@ -1,0 +1,342 @@
+/**
+ * @file
+ * Video benchmarks (paper Table I, mediabench II): h264enc / h264dec —
+ * a block-based motion-compensated codec (intra DCT frame 0, +-2
+ * motion search and residual DCT for P frames).
+ */
+
+#include "workloads/codecs.hh"
+#include "workloads/inputs.hh"
+#include "workloads/workloads_internal.hh"
+
+namespace softcheck
+{
+
+namespace
+{
+
+const char *kDctHelpers = R"(
+const PI: f64 = 3.141592653589793;
+
+fn quantize(v: f64, step: f64) -> i32 {
+    var q: f64 = v / step;
+    if (q >= 0.0) {
+        return i32(q + 0.5);
+    }
+    return i32(q - 0.5);
+}
+)";
+
+/**
+ * h264enc: main(stream, frames, w, h, nf) -> stream length.
+ * Stream: frame 0 intra (64 coeffs / block, step 10); P frames per
+ * block: mvx, mvy, 64 residual coeffs (step 8). Motion search is
+ * against the previous *original* frame (open-loop; fidelity compares
+ * two decodes of the same format, so encoder drift cancels).
+ */
+const std::string kH264encSrc = std::string(kDctHelpers) + R"(
+fn fdct_block(px: ptr<f64>, coef: ptr<f64>, ct: ptr<f64>,
+              cs: ptr<f64>) -> void {
+    var tmp: f64[64];
+    for (var y: i32 = 0; y < 8; y = y + 1) {
+        for (var v: i32 = 0; v < 8; v = v + 1) {
+            var acc: f64 = 0.0;
+            for (var x: i32 = 0; x < 8; x = x + 1) {
+                acc = acc + px[y * 8 + x] * ct[x * 8 + v];
+            }
+            tmp[y * 8 + v] = acc * cs[v] * 0.5;
+        }
+    }
+    for (var u: i32 = 0; u < 8; u = u + 1) {
+        for (var v2: i32 = 0; v2 < 8; v2 = v2 + 1) {
+            var acc2: f64 = 0.0;
+            for (var y2: i32 = 0; y2 < 8; y2 = y2 + 1) {
+                acc2 = acc2 + tmp[y2 * 8 + v2] * ct[y2 * 8 + u];
+            }
+            coef[u * 8 + v2] = acc2 * cs[u] * 0.5;
+        }
+    }
+}
+
+fn main(stream: ptr<i32>, frames: ptr<i32>, w: i32, h: i32,
+        nf: i32) -> i32 {
+    var ct: f64[64];
+    for (var x: i32 = 0; x < 8; x = x + 1) {
+        for (var u: i32 = 0; u < 8; u = u + 1) {
+            ct[x * 8 + u] = cos(f64(2 * x + 1) * f64(u) * PI / 16.0);
+        }
+    }
+    var cs: f64[8];
+    cs[0] = 0.7071067811865476;
+    for (var u2: i32 = 1; u2 < 8; u2 = u2 + 1) {
+        cs[u2] = 1.0;
+    }
+
+    var bw: i32 = w / 8;
+    var bh: i32 = h / 8;
+    var fsz: i32 = w * h;
+    var pos: i32 = 0;
+    var px: f64[64];
+    var coef: f64[64];
+
+    // Intra frame 0.
+    for (var b: i32 = 0; b < bw * bh; b = b + 1) {
+        var by: i32 = b / bw;
+        var bx: i32 = b - by * bw;
+        for (var y: i32 = 0; y < 8; y = y + 1) {
+            for (var x2: i32 = 0; x2 < 8; x2 = x2 + 1) {
+                px[y * 8 + x2] =
+                    f64(frames[(by * 8 + y) * w + bx * 8 + x2] - 128);
+            }
+        }
+        fdct_block(px, coef, ct, cs);
+        for (var k: i32 = 0; k < 64; k = k + 1) {
+            stream[pos + k] = quantize(coef[k], 10.0);
+        }
+        pos = pos + 64;
+    }
+
+    // P frames.
+    for (var f: i32 = 1; f < nf; f = f + 1) {
+        for (var b2: i32 = 0; b2 < bw * bh; b2 = b2 + 1) {
+            var by2: i32 = b2 / bw;
+            var bx2: i32 = b2 - by2 * bw;
+            var bestsad: i32 = 2000000000;
+            var bestdx: i32 = 0;
+            var bestdy: i32 = 0;
+            for (var dy: i32 = -2; dy <= 2; dy = dy + 1) {
+                for (var dx: i32 = -2; dx <= 2; dx = dx + 1) {
+                    var px0: i32 = bx2 * 8 + dx;
+                    var py0: i32 = by2 * 8 + dy;
+                    if (px0 >= 0 && py0 >= 0 && px0 + 8 <= w
+                        && py0 + 8 <= h) {
+                        var sad: i32 = 0;
+                        for (var y3: i32 = 0; y3 < 8; y3 = y3 + 1) {
+                            for (var x3: i32 = 0; x3 < 8; x3 = x3 + 1) {
+                                var d: i32 =
+                                    frames[f * fsz + (by2 * 8 + y3) * w
+                                           + bx2 * 8 + x3]
+                                  - frames[(f - 1) * fsz
+                                           + (py0 + y3) * w + px0 + x3];
+                                if (d < 0) {
+                                    d = -d;
+                                }
+                                sad = sad + d;
+                            }
+                        }
+                        if (sad < bestsad) {
+                            bestsad = sad;
+                            bestdx = dx;
+                            bestdy = dy;
+                        }
+                    }
+                }
+            }
+            stream[pos] = bestdx;
+            stream[pos + 1] = bestdy;
+            pos = pos + 2;
+            for (var y4: i32 = 0; y4 < 8; y4 = y4 + 1) {
+                for (var x4: i32 = 0; x4 < 8; x4 = x4 + 1) {
+                    px[y4 * 8 + x4] =
+                        f64(frames[f * fsz + (by2 * 8 + y4) * w
+                                   + bx2 * 8 + x4]
+                          - frames[(f - 1) * fsz
+                                   + (by2 * 8 + y4 + bestdy) * w
+                                   + bx2 * 8 + x4 + bestdx]);
+                }
+            }
+            fdct_block(px, coef, ct, cs);
+            for (var k2: i32 = 0; k2 < 64; k2 = k2 + 1) {
+                stream[pos + k2] = quantize(coef[k2], 8.0);
+            }
+            pos = pos + 64;
+        }
+    }
+    return pos;
+}
+)";
+
+/**
+ * h264dec: main(out_frames, stream, w, h, nf) -> stream length read.
+ * Mirrors codecs::videoDecode.
+ */
+const std::string kH264decSrc = std::string(kDctHelpers) + R"(
+fn idct_block(coef: ptr<f64>, px: ptr<f64>, ct: ptr<f64>,
+              cs: ptr<f64>) -> void {
+    var tmp: f64[64];
+    for (var y: i32 = 0; y < 8; y = y + 1) {
+        for (var v: i32 = 0; v < 8; v = v + 1) {
+            var acc: f64 = 0.0;
+            for (var u: i32 = 0; u < 8; u = u + 1) {
+                acc = acc + cs[u] * coef[u * 8 + v] * ct[y * 8 + u];
+            }
+            tmp[y * 8 + v] = acc * 0.5;
+        }
+    }
+    for (var y2: i32 = 0; y2 < 8; y2 = y2 + 1) {
+        for (var x: i32 = 0; x < 8; x = x + 1) {
+            var acc2: f64 = 0.0;
+            for (var v2: i32 = 0; v2 < 8; v2 = v2 + 1) {
+                acc2 = acc2 + cs[v2] * tmp[y2 * 8 + v2] * ct[x * 8 + v2];
+            }
+            px[y2 * 8 + x] = acc2 * 0.5;
+        }
+    }
+}
+
+fn main(out: ptr<i32>, stream: ptr<i32>, w: i32, h: i32,
+        nf: i32) -> i32 {
+    var ct: f64[64];
+    for (var x: i32 = 0; x < 8; x = x + 1) {
+        for (var u: i32 = 0; u < 8; u = u + 1) {
+            ct[x * 8 + u] = cos(f64(2 * x + 1) * f64(u) * PI / 16.0);
+        }
+    }
+    var cs: f64[8];
+    cs[0] = 0.7071067811865476;
+    for (var u2: i32 = 1; u2 < 8; u2 = u2 + 1) {
+        cs[u2] = 1.0;
+    }
+
+    var bw: i32 = w / 8;
+    var bh: i32 = h / 8;
+    var fsz: i32 = w * h;
+    var pos: i32 = 0;
+    var coef: f64[64];
+    var px: f64[64];
+
+    // Intra frame 0.
+    for (var b: i32 = 0; b < bw * bh; b = b + 1) {
+        var by: i32 = b / bw;
+        var bx: i32 = b - by * bw;
+        for (var k: i32 = 0; k < 64; k = k + 1) {
+            coef[k] = f64(stream[pos + k]) * 10.0;
+        }
+        pos = pos + 64;
+        idct_block(coef, px, ct, cs);
+        for (var y: i32 = 0; y < 8; y = y + 1) {
+            for (var x2: i32 = 0; x2 < 8; x2 = x2 + 1) {
+                var p: i32 = i32(px[y * 8 + x2] + 128.5);
+                if (p < 0) { p = 0; }
+                if (p > 255) { p = 255; }
+                out[(by * 8 + y) * w + bx * 8 + x2] = p;
+            }
+        }
+    }
+
+    // P frames.
+    for (var f: i32 = 1; f < nf; f = f + 1) {
+        for (var b2: i32 = 0; b2 < bw * bh; b2 = b2 + 1) {
+            var by2: i32 = b2 / bw;
+            var bx2: i32 = b2 - by2 * bw;
+            var dx: i32 = stream[pos];
+            var dy: i32 = stream[pos + 1];
+            pos = pos + 2;
+            for (var k2: i32 = 0; k2 < 64; k2 = k2 + 1) {
+                coef[k2] = f64(stream[pos + k2]) * 8.0;
+            }
+            pos = pos + 64;
+            idct_block(coef, px, ct, cs);
+            for (var y2: i32 = 0; y2 < 8; y2 = y2 + 1) {
+                for (var x3: i32 = 0; x3 < 8; x3 = x3 + 1) {
+                    var py: i32 = by2 * 8 + y2 + dy;
+                    var px2: i32 = bx2 * 8 + x3 + dx;
+                    var pred: i32 = 128;
+                    if (py >= 0 && px2 >= 0 && py < h && px2 < w) {
+                        pred = out[(f - 1) * fsz + py * w + px2];
+                    }
+                    var rv: f64 = px[y2 * 8 + x3];
+                    var p2: i32 = 0;
+                    if (rv >= 0.0) {
+                        p2 = pred + i32(rv + 0.5);
+                    } else {
+                        p2 = pred + i32(rv - 0.5);
+                    }
+                    if (p2 < 0) { p2 = 0; }
+                    if (p2 > 255) { p2 = 255; }
+                    out[f * fsz + (by2 * 8 + y2) * w + bx2 * 8 + x3] = p2;
+                }
+            }
+        }
+    }
+    return pos;
+}
+)";
+
+constexpr unsigned kW = 32, kH = 24;
+
+WorkloadRunSpec
+h264encInput(bool train)
+{
+    const unsigned nf = train ? 4 : 3;
+    auto video = makeVideo(nf, kW, kH, train ? 7001 : 8002);
+    const uint64_t blocks = (kW / 8) * (kH / 8);
+    const uint64_t stream_len =
+        blocks * 64 + (nf - 1) * blocks * 66;
+    WorkloadRunSpec spec;
+    spec.args.push_back(
+        WorkloadArg::outputBuffer(Type::i32(), stream_len));
+    spec.args.push_back(
+        WorkloadArg::buffer(Type::i32(), toWords(video)));
+    spec.args.push_back(WorkloadArg::scalarI32(kW));
+    spec.args.push_back(WorkloadArg::scalarI32(kH));
+    spec.args.push_back(WorkloadArg::scalarI32(nf));
+    return spec;
+}
+
+WorkloadRunSpec
+h264decInput(bool train)
+{
+    const unsigned nf = train ? 4 : 3;
+    auto video = makeVideo(nf, kW, kH, train ? 7003 : 8004);
+    auto stream = codecs::videoEncode(video, kW, kH, nf);
+    WorkloadRunSpec spec;
+    spec.args.push_back(WorkloadArg::outputBuffer(
+        Type::i32(), static_cast<uint64_t>(kW) * kH * nf));
+    spec.args.push_back(
+        WorkloadArg::buffer(Type::i32(), toWords(stream)));
+    spec.args.push_back(WorkloadArg::scalarI32(kW));
+    spec.args.push_back(WorkloadArg::scalarI32(kH));
+    spec.args.push_back(WorkloadArg::scalarI32(nf));
+    return spec;
+}
+
+} // namespace
+
+void
+appendVideoWorkloads(std::vector<Workload> &out)
+{
+    {
+        Workload w;
+        w.name = "h264enc";
+        w.category = "video";
+        w.description =
+            "motion-compensated video encoder (intra + P frames)";
+        w.source = kH264encSrc.c_str();
+        w.fidelity = FidelityKind::Psnr;
+        w.threshold = 30.0;
+        w.makeInput = h264encInput;
+        w.fidelitySignal = [](const WorkloadRunSpec &spec,
+                              const RawOutput &raw) {
+            const unsigned nf =
+                static_cast<unsigned>(spec.args[4].scalar);
+            auto frames = codecs::videoDecode(fromDoubles(raw[0]), kW,
+                                              kH, nf);
+            return std::vector<double>(frames.begin(), frames.end());
+        };
+        out.push_back(std::move(w));
+    }
+    {
+        Workload w;
+        w.name = "h264dec";
+        w.category = "video";
+        w.description = "motion-compensated video decoder";
+        w.source = kH264decSrc.c_str();
+        w.fidelity = FidelityKind::Psnr;
+        w.threshold = 30.0;
+        w.makeInput = h264decInput;
+        out.push_back(std::move(w));
+    }
+}
+
+} // namespace softcheck

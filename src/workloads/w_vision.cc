@@ -1,0 +1,200 @@
+/**
+ * @file
+ * Computer-vision benchmarks (paper Table I, SD-VBS): segm (image
+ * segmentation) and tex_synth (texture synthesis).
+ */
+
+#include "workloads/inputs.hh"
+#include "workloads/workloads_internal.hh"
+
+namespace softcheck
+{
+
+namespace
+{
+
+/**
+ * segm: intensity k-means segmentation followed by one 4-neighbour
+ * majority smoothing pass. Entry: main(labels, img, w, h, k) ->
+ * total intra-cluster distance (scaled).
+ */
+const char *kSegmSrc = R"(
+fn main(labels: ptr<i32>, img: ptr<i32>, w: i32, h: i32, k: i32) -> i32 {
+    var centers: i32[8];
+    var sums: i32[8];
+    var counts: i32[8];
+    var n: i32 = w * h;
+
+    // Spread initial centers over the intensity range.
+    for (var c: i32 = 0; c < k; c = c + 1) {
+        centers[c] = (255 * c + 127) / k;
+    }
+
+    var total: i32 = 0;
+    for (var iter: i32 = 0; iter < 8; iter = iter + 1) {
+        for (var c: i32 = 0; c < k; c = c + 1) {
+            sums[c] = 0;
+            counts[c] = 0;
+        }
+        total = 0;
+        for (var i: i32 = 0; i < n; i = i + 1) {
+            var v: i32 = img[i];
+            var best: i32 = 0;
+            var bestd: i32 = 1000000;
+            for (var c2: i32 = 0; c2 < k; c2 = c2 + 1) {
+                var d: i32 = v - centers[c2];
+                if (d < 0) {
+                    d = -d;
+                }
+                if (d < bestd) {
+                    bestd = d;
+                    best = c2;
+                }
+            }
+            labels[i] = best;
+            sums[best] = sums[best] + v;
+            counts[best] = counts[best] + 1;
+            total = (total + bestd) & 1073741823;
+        }
+        for (var c3: i32 = 0; c3 < k; c3 = c3 + 1) {
+            if (counts[c3] > 0) {
+                centers[c3] = sums[c3] / counts[c3];
+            }
+        }
+    }
+
+    // Majority smoothing over the 4-neighbourhood.
+    for (var y: i32 = 1; y < h - 1; y = y + 1) {
+        for (var x: i32 = 1; x < w - 1; x = x + 1) {
+            var me: i32 = labels[y * w + x];
+            var same: i32 = 0;
+            var up: i32 = labels[(y - 1) * w + x];
+            var down: i32 = labels[(y + 1) * w + x];
+            var left: i32 = labels[y * w + x - 1];
+            var right: i32 = labels[y * w + x + 1];
+            if (up == me) { same = same + 1; }
+            if (down == me) { same = same + 1; }
+            if (left == me) { same = same + 1; }
+            if (right == me) { same = same + 1; }
+            if (same == 0 && up == down) {
+                labels[y * w + x] = up;
+            }
+        }
+    }
+    return total;
+}
+)";
+
+/**
+ * tex_synth: causal-neighbourhood texture synthesis (Efros-Leung
+ * style, deterministic best match). The top rows/left column are
+ * seeded from the sample; remaining pixels copy the sample pixel whose
+ * L-shaped causal neighbourhood matches best (SSD).
+ * Entry: main(out, sample, sw, sh, ow, oh) -> SSD checksum.
+ */
+const char *kTexSynthSrc = R"(
+fn main(out: ptr<i32>, sample: ptr<i32>, sw: i32, sh: i32,
+        ow: i32, oh: i32) -> i32 {
+    // Seed border from the sample (tiled).
+    for (var x0: i32 = 0; x0 < ow; x0 = x0 + 1) {
+        out[x0] = sample[x0 - (x0 / sw) * sw];
+    }
+    for (var y0: i32 = 1; y0 < oh; y0 = y0 + 1) {
+        out[y0 * ow] = sample[(y0 - (y0 / sh) * sh) * sw];
+    }
+
+    var checksum: i32 = 0;
+    for (var y: i32 = 1; y < oh; y = y + 1) {
+        for (var x: i32 = 1; x < ow; x = x + 1) {
+            var bestd: i32 = 2000000000;
+            var bestv: i32 = 0;
+            for (var sy: i32 = 1; sy < sh; sy = sy + 1) {
+                for (var sx: i32 = 1; sx < sw; sx = sx + 1) {
+                    // L-shaped causal neighbourhood: left, up, up-left.
+                    var d1: i32 = out[y * ow + x - 1]
+                                - sample[sy * sw + sx - 1];
+                    var d2: i32 = out[(y - 1) * ow + x]
+                                - sample[(sy - 1) * sw + sx];
+                    var d3: i32 = out[(y - 1) * ow + x - 1]
+                                - sample[(sy - 1) * sw + sx - 1];
+                    var d: i32 = d1 * d1 + d2 * d2 + d3 * d3;
+                    if (d < bestd) {
+                        bestd = d;
+                        bestv = sample[sy * sw + sx];
+                    }
+                }
+            }
+            out[y * ow + x] = bestv;
+            checksum = (checksum + bestd) & 1073741823;
+        }
+    }
+    return checksum;
+}
+)";
+
+WorkloadRunSpec
+segmInput(bool train)
+{
+    const unsigned w = train ? 40 : 32;
+    const unsigned h = train ? 32 : 24;
+    auto img = makeImage(w, h, train ? 3001 : 4002);
+    WorkloadRunSpec spec;
+    spec.args.push_back(WorkloadArg::outputBuffer(
+        Type::i32(), static_cast<uint64_t>(w) * h));
+    spec.args.push_back(WorkloadArg::buffer(Type::i32(), toWords(img)));
+    spec.args.push_back(WorkloadArg::scalarI32(w));
+    spec.args.push_back(WorkloadArg::scalarI32(h));
+    spec.args.push_back(WorkloadArg::scalarI32(4));
+    return spec;
+}
+
+WorkloadRunSpec
+texSynthInput(bool train)
+{
+    const unsigned sw = train ? 12 : 10;
+    const unsigned sh = train ? 12 : 10;
+    const unsigned ow = train ? 14 : 12;
+    const unsigned oh = train ? 14 : 12;
+    auto sample = makeImage(sw, sh, train ? 3003 : 4004);
+    WorkloadRunSpec spec;
+    spec.args.push_back(WorkloadArg::outputBuffer(
+        Type::i32(), static_cast<uint64_t>(ow) * oh));
+    spec.args.push_back(
+        WorkloadArg::buffer(Type::i32(), toWords(sample)));
+    spec.args.push_back(WorkloadArg::scalarI32(sw));
+    spec.args.push_back(WorkloadArg::scalarI32(sh));
+    spec.args.push_back(WorkloadArg::scalarI32(ow));
+    spec.args.push_back(WorkloadArg::scalarI32(oh));
+    return spec;
+}
+
+} // namespace
+
+void
+appendVisionWorkloads(std::vector<Workload> &out)
+{
+    {
+        Workload w;
+        w.name = "segm";
+        w.category = "vision";
+        w.description = "intensity k-means image segmentation";
+        w.source = kSegmSrc;
+        w.fidelity = FidelityKind::Mismatch;
+        w.threshold = 0.10;
+        w.makeInput = segmInput;
+        out.push_back(std::move(w));
+    }
+    {
+        Workload w;
+        w.name = "tex_synth";
+        w.category = "vision";
+        w.description = "causal-neighbourhood texture synthesis";
+        w.source = kTexSynthSrc;
+        w.fidelity = FidelityKind::Mismatch;
+        w.threshold = 0.10;
+        w.makeInput = texSynthInput;
+        out.push_back(std::move(w));
+    }
+}
+
+} // namespace softcheck

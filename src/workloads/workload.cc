@@ -1,0 +1,101 @@
+#include "workloads/workload.hh"
+
+#include <bit>
+
+#include "support/error.hh"
+
+namespace softcheck
+{
+
+PreparedRun
+prepareRun(const WorkloadRunSpec &spec)
+{
+    PreparedRun run;
+    run.mem = std::make_unique<Memory>();
+    run.args.reserve(spec.args.size());
+    run.bufferAddr.reserve(spec.args.size());
+    for (const WorkloadArg &arg : spec.args) {
+        if (arg.kind == WorkloadArg::Kind::Scalar) {
+            run.args.push_back(arg.scalar);
+            run.bufferAddr.push_back(0);
+            continue;
+        }
+        const unsigned esz = arg.elem.storeSize();
+        const uint64_t base = run.mem->alloc(arg.count * esz);
+        for (uint64_t i = 0; i < arg.count; ++i) {
+            const bool ok =
+                run.mem->write(base + i * esz, esz, arg.data[i]);
+            scAssert(ok, "buffer init write failed");
+        }
+        run.args.push_back(base);
+        run.bufferAddr.push_back(base);
+    }
+    return run;
+}
+
+namespace
+{
+
+double
+elementToDouble(Type t, uint64_t raw)
+{
+    switch (t.kind()) {
+      case TypeKind::F64:
+        return std::bit_cast<double>(raw);
+      case TypeKind::F32:
+        return static_cast<double>(
+            std::bit_cast<float>(static_cast<uint32_t>(raw)));
+      default:
+        return static_cast<double>(signExtend(raw, t.bitWidth()));
+    }
+}
+
+} // namespace
+
+RawOutput
+readOutputs(const WorkloadRunSpec &spec, const PreparedRun &run)
+{
+    RawOutput out;
+    for (std::size_t a = 0; a < spec.args.size(); ++a) {
+        const WorkloadArg &arg = spec.args[a];
+        if (arg.kind != WorkloadArg::Kind::Buffer || !arg.isOutput)
+            continue;
+        const unsigned esz = arg.elem.storeSize();
+        std::vector<double> vals;
+        vals.reserve(arg.count);
+        for (uint64_t i = 0; i < arg.count; ++i) {
+            uint64_t raw = 0;
+            const bool ok =
+                run.mem->read(run.bufferAddr[a] + i * esz, esz, raw);
+            scAssert(ok, "output read failed");
+            vals.push_back(elementToDouble(arg.elem, raw));
+        }
+        out.push_back(std::move(vals));
+    }
+    return out;
+}
+
+std::vector<double>
+extractSignal(const Workload &w, const WorkloadRunSpec &spec,
+              const PreparedRun &run)
+{
+    RawOutput raw = readOutputs(spec, run);
+    if (w.fidelitySignal)
+        return w.fidelitySignal(spec, raw);
+    std::vector<double> all;
+    for (auto &buf : raw)
+        all.insert(all.end(), buf.begin(), buf.end());
+    return all;
+}
+
+const Workload &
+getWorkload(const std::string &name)
+{
+    for (const Workload *w : allWorkloads()) {
+        if (w->name == name)
+            return *w;
+    }
+    scFatal("unknown workload '", name, "'");
+}
+
+} // namespace softcheck

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Workload framework: the 13 soft-computing benchmarks of the paper's
+ * Table I, re-implemented as MiniLang kernels with deterministic
+ * synthetic inputs, golden reference codecs (for encoder fidelity), and
+ * per-benchmark fidelity metrics/thresholds.
+ */
+
+#ifndef SOFTCHECK_WORKLOADS_WORKLOAD_HH
+#define SOFTCHECK_WORKLOADS_WORKLOAD_HH
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "fidelity/fidelity.hh"
+#include "interp/interpreter.hh"
+#include "ir/type.hh"
+
+namespace softcheck
+{
+
+/** One entry-function argument: a memory buffer or a scalar. */
+struct WorkloadArg
+{
+    enum class Kind : uint8_t
+    {
+        Buffer,
+        Scalar
+    };
+    Kind kind = Kind::Scalar;
+
+    // Buffer
+    Type elem;                   //!< element type
+    std::vector<uint64_t> data;  //!< canonical initial contents
+    uint64_t count = 0;          //!< element count
+    bool isOutput = false;       //!< read back after the run
+
+    // Scalar
+    uint64_t scalar = 0;
+
+    static WorkloadArg
+    buffer(Type elem_ty, std::vector<uint64_t> init, bool output = false)
+    {
+        WorkloadArg a;
+        a.kind = Kind::Buffer;
+        a.elem = elem_ty;
+        a.count = init.size();
+        a.data = std::move(init);
+        a.isOutput = output;
+        return a;
+    }
+
+    static WorkloadArg
+    outputBuffer(Type elem_ty, uint64_t count)
+    {
+        WorkloadArg a;
+        a.kind = Kind::Buffer;
+        a.elem = elem_ty;
+        a.count = count;
+        a.data.assign(count, 0);
+        a.isOutput = true;
+        return a;
+    }
+
+    static WorkloadArg
+    scalarI32(int64_t v)
+    {
+        WorkloadArg a;
+        a.kind = Kind::Scalar;
+        a.scalar = truncBits(static_cast<uint64_t>(v), 32);
+        return a;
+    }
+};
+
+/** Concrete input instance (train or test). */
+struct WorkloadRunSpec
+{
+    std::vector<WorkloadArg> args;
+};
+
+/**
+ * Raw output of one run: the contents of each output buffer, in
+ * argument order, converted to doubles per the element type.
+ */
+using RawOutput = std::vector<std::vector<double>>;
+
+/** Static description of one benchmark. */
+struct Workload
+{
+    std::string name;       //!< e.g. "jpegdec"
+    std::string category;   //!< image / vision / audio / video / ml
+    std::string description;
+    const char *source = nullptr; //!< MiniLang source text
+    std::string entry = "main";
+
+    FidelityKind fidelity = FidelityKind::Psnr;
+    double threshold = 30.0;
+
+    /** Build the train (profiling) or test (evaluation) input. */
+    std::function<WorkloadRunSpec(bool train)> makeInput;
+
+    /**
+     * Map raw output buffers to the fidelity signal (e.g. decode an
+     * encoder's bitstream with the golden reference codec). Default:
+     * concatenate all output buffers.
+     */
+    std::function<std::vector<double>(const WorkloadRunSpec &,
+                                      const RawOutput &)>
+        fidelitySignal;
+};
+
+/** A run-ready instantiation: memory + entry args. */
+struct PreparedRun
+{
+    std::unique_ptr<Memory> mem;
+    std::vector<uint64_t> args;       //!< raw entry argument values
+    std::vector<uint64_t> bufferAddr; //!< address per buffer arg (0 for
+                                      //!< scalars), in arg order
+};
+
+/** Allocate and fill a Memory for @p spec. */
+PreparedRun prepareRun(const WorkloadRunSpec &spec);
+
+/** Read the output buffers back as doubles. */
+RawOutput readOutputs(const WorkloadRunSpec &spec,
+                      const PreparedRun &run);
+
+/** Fidelity signal for @p w given a finished run. */
+std::vector<double> extractSignal(const Workload &w,
+                                  const WorkloadRunSpec &spec,
+                                  const PreparedRun &run);
+
+/** All 13 registered benchmarks, in the paper's Table I order. */
+const std::vector<const Workload *> &allWorkloads();
+
+/** Look up by name; scFatal if unknown. */
+const Workload &getWorkload(const std::string &name);
+
+} // namespace softcheck
+
+#endif // SOFTCHECK_WORKLOADS_WORKLOAD_HH

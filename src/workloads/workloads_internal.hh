@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Internal registration hooks: each category file appends its
+ * workloads; registry.cc assembles the global list.
+ */
+
+#ifndef SOFTCHECK_WORKLOADS_WORKLOADS_INTERNAL_HH
+#define SOFTCHECK_WORKLOADS_WORKLOADS_INTERNAL_HH
+
+#include "workloads/workload.hh"
+
+namespace softcheck
+{
+
+void appendImageWorkloads(std::vector<Workload> &out);
+void appendVisionWorkloads(std::vector<Workload> &out);
+void appendAudioWorkloads(std::vector<Workload> &out);
+void appendVideoWorkloads(std::vector<Workload> &out);
+void appendMlWorkloads(std::vector<Workload> &out);
+
+/** Convert an int32 vector to canonical buffer words. */
+std::vector<uint64_t> toWords(const std::vector<int32_t> &v);
+
+/** Convert a double vector to canonical f64 buffer words. */
+std::vector<uint64_t> toWordsF64(const std::vector<double> &v);
+
+/** Convert a raw-output double buffer back to int32 values. */
+std::vector<int32_t> fromDoubles(const std::vector<double> &v);
+
+} // namespace softcheck
+
+#endif // SOFTCHECK_WORKLOADS_WORKLOADS_INTERNAL_HH

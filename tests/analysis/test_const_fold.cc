@@ -1,0 +1,204 @@
+#include <gtest/gtest.h>
+
+#include "analysis/const_fold.hh"
+#include "common/test_util.hh"
+#include "ir/parser.hh"
+#include "ir/irbuilder.hh"
+#include "ir/printer.hh"
+
+namespace softcheck
+{
+namespace
+{
+
+/** Build fn @f(i32 %x) -> i32 { ret <builder expression> }. */
+struct FoldFixture
+{
+    Module m{"t"};
+    Function *f;
+    Argument *x;
+    IRBuilder b{m};
+
+    FoldFixture()
+    {
+        f = m.createFunction("f", Type::i32());
+        x = f->addArg(Type::i32(), "x");
+        b.setInsertPoint(f->addBlock("entry"));
+    }
+
+    ConstantInt *ci(int64_t v) { return m.getConstInt(Type::i32(), v); }
+
+    /** Finish with ret @p v, fold, and return the returned value. */
+    Value *
+    foldReturn(Value *v)
+    {
+        b.createRet(v);
+        foldConstants(*f);
+        return f->entry()->back()->operand(0);
+    }
+};
+
+TEST(ConstFold, FoldsConstantArithmetic)
+{
+    FoldFixture fx;
+    Value *sum = fx.b.createAdd(fx.ci(30), fx.ci(12));
+    Value *ret = fx.foldReturn(sum);
+    auto *c = dynamic_cast<ConstantInt *>(ret);
+    ASSERT_NE(c, nullptr);
+    EXPECT_EQ(c->signedValue(), 42);
+    EXPECT_EQ(fx.f->entry()->size(), 1u); // only the ret remains
+}
+
+TEST(ConstFold, FoldsNestedExpressions)
+{
+    FoldFixture fx;
+    Value *v = fx.b.createMul(fx.b.createAdd(fx.ci(2), fx.ci(3)),
+                              fx.b.createSub(fx.ci(10), fx.ci(4)));
+    auto *c = dynamic_cast<ConstantInt *>(fx.foldReturn(v));
+    ASSERT_NE(c, nullptr);
+    EXPECT_EQ(c->signedValue(), 30);
+}
+
+TEST(ConstFold, WrapAroundSemantics)
+{
+    FoldFixture fx;
+    Value *v = fx.b.createAdd(fx.ci(2147483647), fx.ci(1));
+    auto *c = dynamic_cast<ConstantInt *>(fx.foldReturn(v));
+    ASSERT_NE(c, nullptr);
+    EXPECT_EQ(c->signedValue(), -2147483648LL);
+}
+
+TEST(ConstFold, Identities)
+{
+    FoldFixture fx;
+    Value *v = fx.b.createAdd(fx.x, fx.ci(0));       // x + 0 -> x
+    v = fx.b.createMul(v, fx.ci(1));                 // * 1 -> x
+    v = fx.b.createOr(v, fx.ci(0));                  // | 0 -> x
+    v = fx.b.createShl(v, fx.ci(0));                 // << 0 -> x
+    EXPECT_EQ(fx.foldReturn(v), fx.x);
+}
+
+TEST(ConstFold, MulByZero)
+{
+    FoldFixture fx;
+    Value *v = fx.b.createMul(fx.x, fx.ci(0));
+    auto *c = dynamic_cast<ConstantInt *>(fx.foldReturn(v));
+    ASSERT_NE(c, nullptr);
+    EXPECT_EQ(c->signedValue(), 0);
+}
+
+TEST(ConstFold, AndWithAllOnes)
+{
+    FoldFixture fx;
+    Value *v = fx.b.createAnd(fx.x, fx.ci(-1));
+    EXPECT_EQ(fx.foldReturn(v), fx.x);
+}
+
+TEST(ConstFold, PreservesDivideByZeroTrap)
+{
+    FoldFixture fx;
+    Value *v = fx.b.createSDiv(fx.ci(10), fx.ci(0));
+    Value *ret = fx.foldReturn(v);
+    // Not folded: the runtime trap is program behaviour.
+    EXPECT_EQ(dynamic_cast<ConstantInt *>(ret), nullptr);
+}
+
+TEST(ConstFold, FoldsComparesAndSelects)
+{
+    FoldFixture fx;
+    Value *c = fx.b.createICmp(Predicate::Slt, fx.ci(3), fx.ci(5));
+    Value *v = fx.b.createSelect(c, fx.ci(100), fx.ci(200));
+    auto *r = dynamic_cast<ConstantInt *>(fx.foldReturn(v));
+    ASSERT_NE(r, nullptr);
+    EXPECT_EQ(r->signedValue(), 100);
+}
+
+TEST(ConstFold, FoldsFloatMath)
+{
+    Module m("t");
+    Function *f = m.createFunction("f", Type::f64());
+    IRBuilder b(m);
+    b.setInsertPoint(f->addBlock("entry"));
+    Value *v = b.createUnaryMath(
+        Opcode::Sqrt, b.createFMul(m.getConstFloat(Type::f64(), 2.0),
+                                   m.getConstFloat(Type::f64(), 8.0)));
+    b.createRet(v);
+    foldConstants(*f);
+    auto *c = dynamic_cast<ConstantFloat *>(
+        f->entry()->back()->operand(0));
+    ASSERT_NE(c, nullptr);
+    EXPECT_DOUBLE_EQ(c->value(), 4.0);
+}
+
+TEST(ConstFold, FoldsCasts)
+{
+    FoldFixture fx;
+    Value *wide = fx.b.createCast(Opcode::SExt, fx.ci(-5), Type::i64());
+    Value *back = fx.b.createCast(Opcode::Trunc, wide, Type::i32());
+    auto *c = dynamic_cast<ConstantInt *>(fx.foldReturn(back));
+    ASSERT_NE(c, nullptr);
+    EXPECT_EQ(c->signedValue(), -5);
+}
+
+TEST(ConstFold, CompilePipelineAlreadyFolds)
+{
+    // compileMiniLang runs foldConstants, so a second pass finds
+    // nothing and constant sub-expressions are gone from the IR.
+    auto mod = compileMiniLang(R"(
+        fn main(n: i32) -> i32 {
+            var s: i32 = 0;
+            for (var i: i32 = 0; i < n; i = i + 1) {
+                s = s + (i * 4 / 2 + (3 - 3)) * 1;
+            }
+            return s;
+        })", "t");
+    unsigned folded = 0;
+    for (Function *fn : mod->functions())
+        folded += foldConstants(*fn);
+    EXPECT_EQ(folded, 0u);
+}
+
+TEST(ConstFold, SemanticsPreservedOnRealKernel)
+{
+    // Fold hand-written (unfolded) IR and compare execution results.
+    const char *ir = R"(
+fn @main(i32 %n) -> i32 {
+entry:
+    br label %head
+head:
+    %i = phi i32 [0, %entry], [%i2, %head]
+    %s = phi i32 [0, %entry], [%s2, %head]
+    %four = add i32 2, 2
+    %t = mul i32 %i, %four
+    %h = sdiv i32 %t, 2
+    %z = sub i32 3, 3
+    %e = add i32 %h, %z
+    %e1 = mul i32 %e, 1
+    %s2 = add i32 %s, %e1
+    %i2 = add i32 %i, 1
+    %c = icmp slt i32 %i2, %n
+    condbr i1 %c, label %head, label %done
+done:
+    ret i32 %s2
+}
+)";
+    auto m1 = parseIR(ir, "t");
+    auto m2 = parseIR(ir, "t");
+    unsigned folded = 0;
+    for (Function *fn : m2->functions())
+        folded += foldConstants(*fn);
+    EXPECT_GT(folded, 0u);
+    m2->renumberAll();
+
+    for (auto *mp : {m1.get(), m2.get()}) {
+        ExecModule em(*mp);
+        Memory mem;
+        Interpreter interp(em, mem);
+        auto r = interp.run(em.functionIndex("main"), {25}, {});
+        EXPECT_EQ(r.term, Termination::Ok);
+        EXPECT_EQ(static_cast<int64_t>(r.retValue), 600);
+    }
+}
+
+} // namespace
+} // namespace softcheck

@@ -1,0 +1,141 @@
+#include <gtest/gtest.h>
+
+#include "analysis/dominators.hh"
+#include "ir/irbuilder.hh"
+
+namespace softcheck
+{
+namespace
+{
+
+/**
+ * Diamond CFG:  a -> {b, c} -> d
+ */
+struct Diamond
+{
+    Module m{"t"};
+    Function *f;
+    BasicBlock *a, *b, *c, *d;
+
+    Diamond()
+    {
+        f = m.createFunction("f", Type::voidTy());
+        a = f->addBlock("a");
+        b = f->addBlock("b");
+        c = f->addBlock("c");
+        d = f->addBlock("d");
+        IRBuilder ib(m);
+        ib.setInsertPoint(a);
+        ib.createCondBr(m.getTrue(), b, c);
+        ib.setInsertPoint(b);
+        ib.createBr(d);
+        ib.setInsertPoint(c);
+        ib.createBr(d);
+        ib.setInsertPoint(d);
+        ib.createRet();
+    }
+};
+
+TEST(Dominators, DiamondIdoms)
+{
+    Diamond g;
+    DominatorTree dt(*g.f);
+    EXPECT_EQ(dt.idom(g.a), nullptr);
+    EXPECT_EQ(dt.idom(g.b), g.a);
+    EXPECT_EQ(dt.idom(g.c), g.a);
+    EXPECT_EQ(dt.idom(g.d), g.a);
+}
+
+TEST(Dominators, DiamondDominates)
+{
+    Diamond g;
+    DominatorTree dt(*g.f);
+    EXPECT_TRUE(dt.dominates(g.a, g.d));
+    EXPECT_TRUE(dt.dominates(g.a, g.a));
+    EXPECT_FALSE(dt.dominates(g.b, g.d));
+    EXPECT_FALSE(dt.dominates(g.b, g.c));
+    EXPECT_FALSE(dt.dominates(g.d, g.a));
+}
+
+TEST(Dominators, DiamondFrontiers)
+{
+    Diamond g;
+    DominatorTree dt(*g.f);
+    EXPECT_TRUE(dt.frontier(g.b).count(g.d));
+    EXPECT_TRUE(dt.frontier(g.c).count(g.d));
+    EXPECT_TRUE(dt.frontier(g.a).empty());
+    EXPECT_TRUE(dt.frontier(g.d).empty());
+}
+
+TEST(Dominators, LoopFrontierContainsHeader)
+{
+    // a -> h; h -> {body, exit}; body -> h
+    Module m("t");
+    Function *f = m.createFunction("f", Type::voidTy());
+    auto *a = f->addBlock("a");
+    auto *h = f->addBlock("h");
+    auto *body = f->addBlock("body");
+    auto *exit = f->addBlock("exit");
+    IRBuilder ib(m);
+    ib.setInsertPoint(a);
+    ib.createBr(h);
+    ib.setInsertPoint(h);
+    ib.createCondBr(m.getTrue(), body, exit);
+    ib.setInsertPoint(body);
+    ib.createBr(h);
+    ib.setInsertPoint(exit);
+    ib.createRet();
+
+    DominatorTree dt(*f);
+    EXPECT_EQ(dt.idom(h), a);
+    EXPECT_EQ(dt.idom(body), h);
+    EXPECT_EQ(dt.idom(exit), h);
+    // Back edge: body's frontier contains the loop header.
+    EXPECT_TRUE(dt.frontier(body).count(h));
+    EXPECT_TRUE(dt.frontier(h).count(h));
+}
+
+TEST(Dominators, UnreachableBlockExcluded)
+{
+    Module m("t");
+    Function *f = m.createFunction("f", Type::voidTy());
+    auto *a = f->addBlock("a");
+    auto *dead = f->addBlock("dead");
+    IRBuilder ib(m);
+    ib.setInsertPoint(a);
+    ib.createRet();
+    ib.setInsertPoint(dead);
+    ib.createRet();
+    DominatorTree dt(*f);
+    EXPECT_TRUE(dt.reachable(a));
+    EXPECT_FALSE(dt.reachable(dead));
+    EXPECT_FALSE(dt.dominates(a, dead));
+}
+
+TEST(Dominators, InstructionLevelDominance)
+{
+    Module m("t");
+    Function *f = m.createFunction("f", Type::i32());
+    Argument *x = f->addArg(Type::i32(), "x");
+    auto *bb = f->addBlock("entry");
+    IRBuilder ib(m);
+    ib.setInsertPoint(bb);
+    auto *i1 = ib.createAdd(x, x);
+    auto *i2 = ib.createAdd(i1, x);
+    ib.createRet(i2);
+    f->renumber();
+    DominatorTree dt(*f);
+    EXPECT_TRUE(dt.dominates(i1, i2));
+    EXPECT_FALSE(dt.dominates(i2, i1));
+}
+
+TEST(Dominators, ChildrenPartitionReachableBlocks)
+{
+    Diamond g;
+    DominatorTree dt(*g.f);
+    const auto &kids = dt.children(g.a);
+    EXPECT_EQ(kids.size(), 3u);
+}
+
+} // namespace
+} // namespace softcheck

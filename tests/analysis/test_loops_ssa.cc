@@ -1,0 +1,300 @@
+#include <gtest/gtest.h>
+
+#include "analysis/cfg_utils.hh"
+#include "analysis/dominance_verify.hh"
+#include "analysis/loop_info.hh"
+#include "analysis/mem2reg.hh"
+#include "analysis/producer_chain.hh"
+#include "common/test_util.hh"
+#include "frontend/compile.hh"
+
+namespace softcheck
+{
+namespace
+{
+
+std::unique_ptr<Module>
+compile(const char *src)
+{
+    return compileMiniLang(src, "t");
+}
+
+TEST(LoopInfo, SingleLoopDetected)
+{
+    auto mod = compile(R"(
+        fn main(n: i32) -> i32 {
+            var s: i32 = 0;
+            for (var i: i32 = 0; i < n; i = i + 1) {
+                s = s + i;
+            }
+            return s;
+        })");
+    Function *f = mod->getFunction("main");
+    DominatorTree dt(*f);
+    LoopInfo li(*f, dt);
+    ASSERT_EQ(li.loops().size(), 1u);
+    const Loop &loop = *li.loops()[0];
+    EXPECT_TRUE(li.isHeader(loop.header));
+    EXPECT_EQ(loop.depth, 1u);
+    EXPECT_GE(loop.blocks.size(), 3u); // cond, body, step at least
+}
+
+TEST(LoopInfo, NestedLoopsHaveDepths)
+{
+    auto mod = compile(R"(
+        fn main(n: i32) -> i32 {
+            var s: i32 = 0;
+            for (var i: i32 = 0; i < n; i = i + 1) {
+                for (var j: i32 = 0; j < n; j = j + 1) {
+                    s = s + 1;
+                }
+            }
+            return s;
+        })");
+    Function *f = mod->getFunction("main");
+    DominatorTree dt(*f);
+    LoopInfo li(*f, dt);
+    ASSERT_EQ(li.loops().size(), 2u);
+    unsigned inner = 0, outer = 0;
+    for (const auto &l : li.loops()) {
+        if (l->depth == 2)
+            ++inner;
+        if (l->depth == 1)
+            ++outer;
+    }
+    EXPECT_EQ(inner, 1u);
+    EXPECT_EQ(outer, 1u);
+}
+
+TEST(LoopInfo, InnerLoopParentIsOuter)
+{
+    auto mod = compile(R"(
+        fn main(n: i32) -> i32 {
+            var s: i32 = 0;
+            while (s < n) {
+                var j: i32 = 0;
+                while (j < 4) {
+                    j = j + 1;
+                    s = s + 1;
+                }
+            }
+            return s;
+        })");
+    Function *f = mod->getFunction("main");
+    DominatorTree dt(*f);
+    LoopInfo li(*f, dt);
+    ASSERT_EQ(li.loops().size(), 2u);
+    const Loop *inner = nullptr, *outer = nullptr;
+    for (const auto &l : li.loops()) {
+        (l->depth == 2 ? inner : outer) = l.get();
+    }
+    ASSERT_NE(inner, nullptr);
+    ASSERT_NE(outer, nullptr);
+    EXPECT_EQ(inner->parent, outer);
+    EXPECT_TRUE(outer->contains(inner->header));
+}
+
+TEST(Mem2Reg, LoopVariableBecomesHeaderPhi)
+{
+    auto mod = compile(R"(
+        fn main(n: i32) -> i32 {
+            var s: i32 = 0;
+            for (var i: i32 = 0; i < n; i = i + 1) {
+                s = s + i;
+            }
+            return s;
+        })");
+    Function *f = mod->getFunction("main");
+    // compileMiniLang already ran mem2reg: no allocas/loads remain.
+    unsigned allocas = 0, phis_in_headers = 0;
+    DominatorTree dt(*f);
+    LoopInfo li(*f, dt);
+    for (auto &bb : *f) {
+        for (auto &inst : *bb) {
+            if (inst->opcode() == Opcode::Alloca)
+                ++allocas;
+        }
+        if (li.isHeader(bb.get()))
+            phis_in_headers +=
+                static_cast<unsigned>(bb->phis().size());
+    }
+    EXPECT_EQ(allocas, 0u);
+    // s and i both live across iterations.
+    EXPECT_EQ(phis_in_headers, 2u);
+}
+
+TEST(Mem2Reg, ArraysAreNotPromoted)
+{
+    auto mod = compile(R"(
+        fn main(n: i32) -> i32 {
+            var a: i32[4];
+            a[0] = n;
+            return a[0];
+        })");
+    Function *f = mod->getFunction("main");
+    unsigned allocas = 0;
+    for (auto &bb : *f)
+        for (auto &inst : *bb)
+            if (inst->opcode() == Opcode::Alloca)
+                ++allocas;
+    EXPECT_EQ(allocas, 1u);
+}
+
+TEST(Mem2Reg, UninitializedReadYieldsZero)
+{
+    // 'var x: i32;' has an implicit zero initializer in the frontend,
+    // but conditional stores exercise the phi-zero path.
+    const int64_t v = testutil::evalInt(R"(
+        fn main(c: i32) -> i32 {
+            var x: i32 = 0;
+            if (c > 0) {
+                x = 5;
+            }
+            return x;
+        })", "main", {0});
+    EXPECT_EQ(v, 0);
+}
+
+TEST(CfgUtils, RemoveUnreachableAfterReturn)
+{
+    auto mod = compile(R"(
+        fn main(n: i32) -> i32 {
+            return n;
+        })");
+    // Dead blocks were already removed; function must verify.
+    Function *f = mod->getFunction("main");
+    EXPECT_TRUE(verifyDominance(*f).empty());
+}
+
+TEST(CfgUtils, DeadCodeEliminationRemovesPhiCycles)
+{
+    Module m("t");
+    Function *f = m.createFunction("f", Type::voidTy());
+    auto *a = f->addBlock("a");
+    auto *h = f->addBlock("h");
+    auto *exitb = f->addBlock("exit");
+    IRBuilder b(m);
+    b.setInsertPoint(a);
+    b.createBr(h);
+    b.setInsertPoint(h);
+    auto *phi = b.createPhi(Type::i32());
+    auto *inc = b.createAdd(phi, m.getConstInt(Type::i32(), int64_t{1}));
+    phi->addIncoming(m.getConstInt(Type::i32(), int64_t{0}), a);
+    phi->addIncoming(inc, h);
+    b.createCondBr(m.getTrue(), h, exitb);
+    b.setInsertPoint(exitb);
+    b.createRet();
+    // phi <-> inc form a dead cycle (no side-effecting user).
+    const unsigned removed = eliminateDeadCode(*f);
+    EXPECT_EQ(removed, 2u);
+}
+
+TEST(ProducerChain, CollectsTopologically)
+{
+    Module m("t");
+    Function *f = m.createFunction("f", Type::i32());
+    Argument *x = f->addArg(Type::i32(), "x");
+    auto *bb = f->addBlock("entry");
+    IRBuilder b(m);
+    b.setInsertPoint(bb);
+    auto *i1 = b.createAdd(x, x);
+    auto *i2 = b.createMul(i1, x);
+    auto *i3 = b.createSub(i2, i1);
+    b.createRet(i3);
+    auto chain = producerChain(i3);
+    ASSERT_EQ(chain.size(), 3u);
+    // Topological: defs before users.
+    EXPECT_EQ(chain[0], i1);
+    EXPECT_EQ(chain.back(), i3);
+}
+
+TEST(ProducerChain, TerminatesAtLoads)
+{
+    auto mod = compile(R"(
+        fn main(p: ptr<i32>, n: i32) -> i32 {
+            var s: i32 = 0;
+            for (var i: i32 = 0; i < n; i = i + 1) {
+                s = s + p[i] * 2;
+            }
+            return s;
+        })");
+    Function *f = mod->getFunction("main");
+    // Find the "add" feeding the s phi and walk its chain: it must not
+    // include the load.
+    for (auto &bb : *f) {
+        for (auto &inst : *bb) {
+            if (inst->opcode() == Opcode::Load) {
+                EXPECT_EQ(chainDisposition(*inst),
+                          ChainDisposition::Terminate);
+            }
+            if (inst->opcode() == Opcode::Mul) {
+                auto chain = producerChain(inst.get());
+                for (Instruction *c : chain)
+                    EXPECT_NE(c->opcode(), Opcode::Load);
+            }
+        }
+    }
+}
+
+TEST(ProducerChain, StopPredicateCutsChain)
+{
+    Module m("t");
+    Function *f = m.createFunction("f", Type::i32());
+    Argument *x = f->addArg(Type::i32(), "x");
+    auto *bb = f->addBlock("entry");
+    IRBuilder b(m);
+    b.setInsertPoint(bb);
+    auto *i1 = b.createAdd(x, x);
+    auto *i2 = b.createMul(i1, x);
+    b.createRet(i2);
+    ProducerChainOptions opts;
+    opts.stopAt = [&](const Instruction &inst) { return &inst == i1; };
+    auto chain = producerChain(i2, opts);
+    ASSERT_EQ(chain.size(), 1u);
+    EXPECT_EQ(chain[0], i2);
+    auto stops = chainStopPoints(i2, opts);
+    ASSERT_EQ(stops.size(), 1u);
+    EXPECT_EQ(stops[0], i1);
+}
+
+TEST(DominanceVerify, AcceptsCompiledFunctions)
+{
+    auto mod = compile(R"(
+        fn helper(a: i32) -> i32 {
+            return a * 3;
+        }
+        fn main(n: i32) -> i32 {
+            var s: i32 = 0;
+            for (var i: i32 = 0; i < n; i = i + 1) {
+                if (i > 2 && i < 7) {
+                    s = s + helper(i);
+                }
+            }
+            return s;
+        })");
+    for (Function *f : mod->functions())
+        EXPECT_TRUE(verifyDominance(*f).empty());
+}
+
+TEST(DominanceVerify, DetectsViolation)
+{
+    Module m("t");
+    Function *f = m.createFunction("f", Type::i32());
+    auto *a = f->addBlock("a");
+    auto *b1 = f->addBlock("b");
+    auto *c = f->addBlock("c");
+    IRBuilder b(m);
+    b.setInsertPoint(a);
+    b.createCondBr(m.getTrue(), b1, c);
+    b.setInsertPoint(b1);
+    auto *v = b.createAdd(m.getConstInt(Type::i32(), int64_t{1}),
+                          m.getConstInt(Type::i32(), int64_t{2}));
+    b.createBr(c);
+    b.setInsertPoint(c);
+    b.createRet(v); // v does not dominate c (a->c bypasses b)
+    auto probs = verifyDominance(*f);
+    ASSERT_FALSE(probs.empty());
+}
+
+} // namespace
+} // namespace softcheck

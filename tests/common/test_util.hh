@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Shared helpers for the test suite: compile-and-run MiniLang sources,
+ * build tiny IR functions by hand, and express raw values.
+ */
+
+#ifndef SOFTCHECK_TESTS_COMMON_TEST_UTIL_HH
+#define SOFTCHECK_TESTS_COMMON_TEST_UTIL_HH
+
+#include <bit>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "frontend/compile.hh"
+#include "interp/interpreter.hh"
+#include "ir/irbuilder.hh"
+
+namespace softcheck::testutil
+{
+
+inline uint64_t
+f64Bits(double v)
+{
+    return std::bit_cast<uint64_t>(v);
+}
+
+inline double
+bitsF64(uint64_t v)
+{
+    return std::bit_cast<double>(v);
+}
+
+/** Compile a MiniLang source and run @p fn with raw args. */
+inline RunResult
+runSource(const std::string &src, const std::string &fn,
+          const std::vector<uint64_t> &args, Memory &mem,
+          const ExecOptions &opts = {})
+{
+    auto mod = compileMiniLang(src, "test");
+    ExecModule em(*mod);
+    Interpreter interp(em, mem);
+    return interp.run(em.functionIndex(fn), args, opts);
+}
+
+/** Compile + run a no-pointer-arg function; return its i32/i64 result
+ * as signed. */
+inline int64_t
+evalInt(const std::string &src, const std::string &fn,
+        const std::vector<uint64_t> &args = {})
+{
+    Memory mem;
+    RunResult r = runSource(src, fn, args, mem);
+    if (r.term != Termination::Ok)
+        scPanic("evalInt: run did not complete");
+    return static_cast<int64_t>(r.retValue);
+}
+
+/** Wrap a single-expression body into `fn main() -> i32`. */
+inline int64_t
+evalExprI32(const std::string &expr)
+{
+    return static_cast<int32_t>(
+        evalInt("fn main() -> i32 { return " + expr + "; }", "main"));
+}
+
+} // namespace softcheck::testutil
+
+#endif // SOFTCHECK_TESTS_COMMON_TEST_UTIL_HH

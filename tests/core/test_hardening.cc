@@ -1,0 +1,353 @@
+#include <gtest/gtest.h>
+
+#include "analysis/dominance_verify.hh"
+#include "common/test_util.hh"
+#include "core/pipeline.hh"
+#include "ir/printer.hh"
+#include "ir/verifier.hh"
+
+namespace softcheck
+{
+namespace
+{
+
+const char *kCrcKernel = R"(
+const CRC_TAB: i32[8] = [0, 11, 22, 33, 44, 55, 66, 77];
+fn main(data: ptr<i32>, n: i32) -> i32 {
+    var crc: i32 = 7;
+    for (var i: i32 = 0; i < n; i = i + 1) {
+        var d: i32 = data[i];
+        var tv: i32 = CRC_TAB[d & 7];
+        crc = ((crc << 3) ^ tv) & 65535;
+    }
+    return crc;
+})";
+
+/** Profile kCrcKernel on a simple input and return the ProfileData. */
+ProfileData
+profileCrcKernel(Module &mod)
+{
+    const unsigned sites = assignProfileSites(mod);
+    ExecModule em(mod);
+    Memory mem;
+    const uint64_t buf = mem.alloc(4 * 64);
+    for (int i = 0; i < 64; ++i)
+        mem.write(buf + 4 * i, 4, static_cast<uint64_t>(i * 13 % 97));
+    ValueProfiler prof(em.numProfileSites());
+    ExecOptions opts;
+    opts.profiler = &prof;
+    Interpreter interp(em, mem);
+    auto r = interp.run(em.functionIndex("main"), {buf, 64}, opts);
+    EXPECT_EQ(r.term, Termination::Ok);
+    return ProfileData(prof, floatSiteFlags(mod, sites));
+}
+
+TEST(Duplication, CreatesShadowPhisAndEqChecks)
+{
+    auto mod = compileMiniLang(kCrcKernel, "t");
+    HardeningOptions opts;
+    opts.mode = HardeningMode::DupOnly;
+    auto report = hardenModule(*mod, opts);
+
+    EXPECT_EQ(report.stateVars, 2u); // crc, i
+    EXPECT_EQ(report.shadowPhis, 2u);
+    EXPECT_GT(report.duplicatedInstrs, 0u);
+    EXPECT_GT(report.eqChecks, 0u);
+    EXPECT_EQ(report.valueChecks, 0u);
+
+    const std::string text = moduleToString(*mod);
+    EXPECT_NE(text.find("!dup"), std::string::npos);
+    EXPECT_NE(text.find("check.eq"), std::string::npos);
+}
+
+TEST(Duplication, ShadowChainUsesShadowPhi)
+{
+    auto mod = compileMiniLang(kCrcKernel, "t");
+    HardeningOptions opts;
+    opts.mode = HardeningMode::DupOnly;
+    hardenModule(*mod, opts);
+
+    // Find a duplicated instruction whose operand is a shadow phi: the
+    // duplicated chain must read the *shadow* state (crcD in Fig. 4).
+    bool dup_reads_shadow = false;
+    Function *fn = mod->getFunction("main");
+    for (auto &bb : *fn) {
+        for (auto &inst : *bb) {
+            if (!inst->isDuplicate() || inst->opcode() == Opcode::Phi)
+                continue;
+            for (Value *op : inst->operands()) {
+                auto *def = dynamic_cast<Instruction *>(op);
+                if (def && def->opcode() == Opcode::Phi &&
+                    def->isDuplicate())
+                    dup_reads_shadow = true;
+            }
+        }
+    }
+    EXPECT_TRUE(dup_reads_shadow);
+}
+
+TEST(Duplication, ChainsTerminateAtLoads)
+{
+    auto mod = compileMiniLang(kCrcKernel, "t");
+    HardeningOptions opts;
+    opts.mode = HardeningMode::DupOnly;
+    hardenModule(*mod, opts);
+    Function *fn = mod->getFunction("main");
+    for (auto &bb : *fn) {
+        for (auto &inst : *bb) {
+            if (inst->isDuplicate())
+                EXPECT_NE(inst->opcode(), Opcode::Load);
+        }
+    }
+}
+
+TEST(Duplication, HardenedModuleStillVerifies)
+{
+    auto mod = compileMiniLang(kCrcKernel, "t");
+    HardeningOptions opts;
+    opts.mode = HardeningMode::DupOnly;
+    hardenModule(*mod, opts);
+    EXPECT_TRUE(verifyModule(*mod).empty());
+    for (Function *fn : mod->functions())
+        EXPECT_TRUE(verifyDominance(*fn).empty());
+}
+
+TEST(ValueChecks, InsertedOnAmenableSites)
+{
+    auto mod = compileMiniLang(kCrcKernel, "t");
+    ProfileData pd = profileCrcKernel(*mod);
+    ASSERT_GT(pd.numAmenable(), 0u);
+
+    HardeningOptions opts;
+    opts.mode = HardeningMode::DupValChks;
+    auto report = hardenModule(*mod, opts, &pd);
+    EXPECT_GT(report.valueChecks, 0u);
+    EXPECT_TRUE(verifyModule(*mod).empty());
+}
+
+TEST(ValueChecks, Opt1SuppressesShallowChecks)
+{
+    auto mod1 = compileMiniLang(kCrcKernel, "t");
+    ProfileData pd1 = profileCrcKernel(*mod1);
+    HardeningOptions with_opt1;
+    with_opt1.mode = HardeningMode::DupValChks;
+    with_opt1.enableOpt1 = true;
+    auto r1 = hardenModule(*mod1, with_opt1, &pd1);
+
+    auto mod2 = compileMiniLang(kCrcKernel, "t");
+    ProfileData pd2 = profileCrcKernel(*mod2);
+    HardeningOptions no_opt1;
+    no_opt1.mode = HardeningMode::DupValChks;
+    no_opt1.enableOpt1 = false;
+    auto r2 = hardenModule(*mod2, no_opt1, &pd2);
+
+    EXPECT_GT(r1.suppressedByOpt1, 0u);
+    EXPECT_LT(r1.valueChecks, r2.valueChecks);
+}
+
+TEST(ValueChecks, Opt2CutsDuplicationChains)
+{
+    auto mod1 = compileMiniLang(kCrcKernel, "t");
+    ProfileData pd1 = profileCrcKernel(*mod1);
+    HardeningOptions with_opt2;
+    with_opt2.mode = HardeningMode::DupValChks;
+    auto r1 = hardenModule(*mod1, with_opt2, &pd1);
+
+    auto mod2 = compileMiniLang(kCrcKernel, "t");
+    ProfileData pd2 = profileCrcKernel(*mod2);
+    HardeningOptions no_opt2;
+    no_opt2.mode = HardeningMode::DupValChks;
+    no_opt2.enableOpt2 = false;
+    auto r2 = hardenModule(*mod2, no_opt2, &pd2);
+
+    // With Opt 2 the chains are cut at amenable instructions, so fewer
+    // instructions are duplicated.
+    EXPECT_LE(r1.duplicatedInstrs, r2.duplicatedInstrs);
+}
+
+TEST(FullDuplication, DuplicatesMoreThanSelective)
+{
+    auto mod1 = compileMiniLang(kCrcKernel, "t");
+    HardeningOptions sel;
+    sel.mode = HardeningMode::DupOnly;
+    auto r1 = hardenModule(*mod1, sel);
+
+    auto mod2 = compileMiniLang(kCrcKernel, "t");
+    HardeningOptions full;
+    full.mode = HardeningMode::FullDup;
+    auto r2 = hardenModule(*mod2, full);
+
+    EXPECT_GT(r2.duplicatedInstrs, r1.duplicatedInstrs);
+    EXPECT_GT(r2.eqChecks, 0u);
+    EXPECT_TRUE(verifyModule(*mod2).empty());
+}
+
+TEST(FullDuplication, LoadsAndStoresNotDuplicated)
+{
+    auto mod = compileMiniLang(kCrcKernel, "t");
+    HardeningOptions full;
+    full.mode = HardeningMode::FullDup;
+    hardenModule(*mod, full);
+    for (Function *fn : mod->functions()) {
+        for (auto &bb : *fn) {
+            for (auto &inst : *bb) {
+                if (inst->isDuplicate()) {
+                    EXPECT_NE(inst->opcode(), Opcode::Load);
+                    EXPECT_NE(inst->opcode(), Opcode::Store);
+                }
+            }
+        }
+    }
+}
+
+TEST(Pipeline, OriginalModeIsIdentity)
+{
+    auto mod = compileMiniLang(kCrcKernel, "t");
+    const unsigned before = mod->totalInstructions();
+    HardeningOptions opts;
+    opts.mode = HardeningMode::Original;
+    auto report = hardenModule(*mod, opts);
+    EXPECT_EQ(mod->totalInstructions(), before);
+    EXPECT_EQ(report.stats.allChecks(), 0u);
+    EXPECT_EQ(report.stats.duplicatedInstructions, 0u);
+}
+
+TEST(Pipeline, DupValChksRequiresProfile)
+{
+    auto mod = compileMiniLang(kCrcKernel, "t");
+    HardeningOptions opts;
+    opts.mode = HardeningMode::DupValChks;
+    EXPECT_THROW(hardenModule(*mod, opts, nullptr), FatalError);
+}
+
+TEST(Pipeline, CheckIdsAreUniqueAndDense)
+{
+    auto mod = compileMiniLang(kCrcKernel, "t");
+    ProfileData pd = profileCrcKernel(*mod);
+    HardeningOptions opts;
+    opts.mode = HardeningMode::DupValChks;
+    auto report = hardenModule(*mod, opts, &pd);
+    std::set<int> seen;
+    for (Function *fn : mod->functions()) {
+        for (auto &bb : *fn) {
+            for (auto &inst : *bb) {
+                if (isCheck(inst->opcode())) {
+                    EXPECT_GE(inst->checkId(), 0);
+                    EXPECT_LT(inst->checkId(),
+                              static_cast<int>(report.numCheckIds));
+                    EXPECT_TRUE(seen.insert(inst->checkId()).second);
+                }
+            }
+        }
+    }
+    EXPECT_EQ(seen.size(), report.numCheckIds);
+}
+
+/**
+ * Core semantic property: hardening must not change fault-free
+ * behaviour. Checked across all modes on a composite kernel.
+ */
+class HardeningPreservesSemantics
+    : public ::testing::TestWithParam<HardeningMode>
+{};
+
+TEST_P(HardeningPreservesSemantics, FaultFreeOutputUnchanged)
+{
+    const char *src = R"(
+        const TAB: i32[16] = [2, 3, 5, 7, 11, 13, 17, 19,
+                              23, 29, 31, 37, 41, 43, 47, 53];
+        fn mix(a: i32, b: i32) -> i32 {
+            return ((a * 31 + b) ^ (a >> 3)) & 1048575;
+        }
+        fn main(out: ptr<i32>, data: ptr<i32>, n: i32) -> i32 {
+            var h: i32 = 1;
+            var acc: f64 = 0.0;
+            for (var i: i32 = 0; i < n; i = i + 1) {
+                var v: i32 = data[i];
+                h = mix(h, v + TAB[v & 15]);
+                acc = acc + f64(v) * 0.5;
+                out[i] = h & 255;
+            }
+            return h + i32(acc);
+        })";
+
+    auto make_mem = [](Memory &mem, uint64_t &out, uint64_t &in) {
+        out = mem.alloc(4 * 32);
+        in = mem.alloc(4 * 32);
+        for (int i = 0; i < 32; ++i)
+            mem.write(in + 4 * i, 4, static_cast<uint64_t>(i * 7 + 3));
+    };
+
+    // Reference: original semantics.
+    uint64_t ref_ret;
+    std::vector<uint64_t> ref_out(32);
+    {
+        Memory mem;
+        uint64_t out, in;
+        make_mem(mem, out, in);
+        auto mod = compileMiniLang(src, "t");
+        ExecModule em(*mod);
+        Interpreter interp(em, mem);
+        auto r = interp.run(em.functionIndex("main"), {out, in, 32}, {});
+        ASSERT_EQ(r.term, Termination::Ok);
+        ref_ret = r.retValue;
+        for (int i = 0; i < 32; ++i)
+            mem.read(out + 4 * i, 4, ref_out[static_cast<size_t>(i)]);
+    }
+
+    // Hardened run.
+    auto mod = compileMiniLang(src, "t");
+    ProfileData pd;
+    if (GetParam() == HardeningMode::DupValChks) {
+        const unsigned sites = assignProfileSites(*mod);
+        ExecModule em(*mod);
+        Memory mem;
+        uint64_t out, in;
+        make_mem(mem, out, in);
+        ValueProfiler prof(em.numProfileSites());
+        ExecOptions popts;
+        popts.profiler = &prof;
+        Interpreter interp(em, mem);
+        auto r = interp.run(em.functionIndex("main"), {out, in, 32},
+                            popts);
+        ASSERT_EQ(r.term, Termination::Ok);
+        pd = ProfileData(prof, floatSiteFlags(*mod, sites));
+    }
+    HardeningOptions hopts;
+    hopts.mode = GetParam();
+    hardenModule(*mod, hopts,
+                 GetParam() == HardeningMode::DupValChks ? &pd
+                                                         : nullptr);
+
+    Memory mem;
+    uint64_t out, in;
+    make_mem(mem, out, in);
+    ExecModule em(*mod);
+    Interpreter interp(em, mem);
+    auto r = interp.run(em.functionIndex("main"), {out, in, 32}, {});
+    ASSERT_EQ(r.term, Termination::Ok) << hardeningModeName(GetParam());
+    EXPECT_EQ(r.retValue, ref_ret);
+    for (int i = 0; i < 32; ++i) {
+        uint64_t v;
+        mem.read(out + 4 * i, 4, v);
+        EXPECT_EQ(v, ref_out[static_cast<size_t>(i)]) << "index " << i;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllModes, HardeningPreservesSemantics,
+    ::testing::Values(HardeningMode::Original, HardeningMode::DupOnly,
+                      HardeningMode::DupValChks,
+                      HardeningMode::FullDup),
+    [](const auto &info) {
+        switch (info.param) {
+          case HardeningMode::Original: return "Original";
+          case HardeningMode::DupOnly: return "DupOnly";
+          case HardeningMode::DupValChks: return "DupValChks";
+          case HardeningMode::FullDup: return "FullDup";
+        }
+        return "Unknown";
+    });
+
+} // namespace
+} // namespace softcheck

@@ -1,0 +1,155 @@
+#include <gtest/gtest.h>
+
+#include "fault/campaign.hh"
+
+namespace softcheck
+{
+namespace
+{
+
+CampaignConfig
+smallConfig(const std::string &name, HardeningMode mode,
+            unsigned trials = 60)
+{
+    CampaignConfig cfg;
+    cfg.workload = name;
+    cfg.mode = mode;
+    cfg.trials = trials;
+    cfg.seed = 7;
+    cfg.threads = 4;
+    return cfg;
+}
+
+TEST(Campaign, CharacterizeOriginal)
+{
+    auto r = characterizeOnly(smallConfig("tiff2bw",
+                                          HardeningMode::Original));
+    EXPECT_GT(r.goldenDynInstrs, 10'000u);
+    EXPECT_GT(r.goldenCycles, 0u);
+    EXPECT_EQ(r.baselineCycles, r.goldenCycles); // original == baseline
+    EXPECT_NEAR(r.overhead(), 0.0, 1e-12);
+    EXPECT_EQ(r.totalCheckCount, 0u);
+}
+
+TEST(Campaign, OverheadOrderingAcrossModes)
+{
+    const auto orig =
+        characterizeOnly(smallConfig("jpegdec", HardeningMode::Original));
+    const auto dup =
+        characterizeOnly(smallConfig("jpegdec", HardeningMode::DupOnly));
+    const auto dup_chk = characterizeOnly(
+        smallConfig("jpegdec", HardeningMode::DupValChks));
+    const auto full =
+        characterizeOnly(smallConfig("jpegdec", HardeningMode::FullDup));
+
+    EXPECT_NEAR(orig.overhead(), 0.0, 1e-12);
+    EXPECT_GT(dup.overhead(), 0.0);
+    EXPECT_GT(dup_chk.overhead(), dup.overhead());
+    EXPECT_GT(full.overhead(), dup_chk.overhead());
+}
+
+TEST(Campaign, TrialCountsSumToTrials)
+{
+    auto r = runCampaign(smallConfig("svm", HardeningMode::Original));
+    uint64_t total = 0;
+    for (uint64_t c : r.counts)
+        total += c;
+    EXPECT_EQ(total, 60u);
+}
+
+TEST(Campaign, DeterministicForFixedSeed)
+{
+    auto a = runCampaign(smallConfig("g721enc", HardeningMode::DupOnly));
+    auto b = runCampaign(smallConfig("g721enc", HardeningMode::DupOnly));
+    EXPECT_EQ(a.counts, b.counts);
+    EXPECT_EQ(a.goldenCycles, b.goldenCycles);
+    EXPECT_EQ(a.usdcLargeChange, b.usdcLargeChange);
+}
+
+TEST(Campaign, SeedChangesOutcomeMix)
+{
+    auto a = runCampaign(smallConfig("g721enc", HardeningMode::Original));
+    auto cfg = smallConfig("g721enc", HardeningMode::Original);
+    cfg.seed = 999;
+    auto b = runCampaign(cfg);
+    EXPECT_NE(a.counts, b.counts); // overwhelmingly likely
+}
+
+TEST(Campaign, OriginalHasNoSwDetects)
+{
+    auto r = runCampaign(smallConfig("segm", HardeningMode::Original));
+    EXPECT_EQ(r.counts[static_cast<unsigned>(Outcome::SWDetect)], 0u);
+    EXPECT_EQ(r.totalCheckCount, 0u);
+}
+
+TEST(Campaign, HardenedModesProduceSwDetects)
+{
+    auto r = runCampaign(
+        smallConfig("jpegdec", HardeningMode::DupValChks, 100));
+    EXPECT_GT(r.totalCheckCount, 0u);
+    EXPECT_GT(r.counts[static_cast<unsigned>(Outcome::SWDetect)], 0u);
+}
+
+TEST(Campaign, UsdcAttributionConsistent)
+{
+    auto r = runCampaign(
+        smallConfig("g721dec", HardeningMode::Original, 120));
+    EXPECT_EQ(r.usdcLargeChange + r.usdcSmallChange,
+              r.counts[static_cast<unsigned>(Outcome::USDC)]);
+}
+
+TEST(Campaign, PercentagesSumToHundred)
+{
+    auto r = runCampaign(smallConfig("kmeans", HardeningMode::DupOnly));
+    double total = 0;
+    for (unsigned o = 0; o < kNumOutcomes; ++o)
+        total += r.pct(static_cast<Outcome>(o));
+    EXPECT_NEAR(total, 100.0, 1e-9);
+    EXPECT_LE(r.coveragePct(), 100.0 + 1e-9);
+}
+
+TEST(Campaign, MarginOfErrorMatchesPaperAt1000)
+{
+    CampaignResult r;
+    r.counts[0] = 1000;
+    EXPECT_NEAR(r.marginOfError95(), 3.1, 0.05);
+}
+
+TEST(Campaign, CrossValidationSwapRuns)
+{
+    auto cfg = smallConfig("kmeans", HardeningMode::DupValChks, 40);
+    cfg.swapTrainTest = true;
+    auto r = runCampaign(cfg);
+    uint64_t total = 0;
+    for (uint64_t c : r.counts)
+        total += c;
+    EXPECT_EQ(total, 40u);
+    EXPECT_GT(r.goldenDynInstrs, 0u);
+}
+
+TEST(Campaign, FalsePositiveCalibrationDisablesFiringChecks)
+{
+    // With train != test inputs some value checks typically fire
+    // during calibration; they must be disabled and counted.
+    auto r = characterizeOnly(
+        smallConfig("jpegdec", HardeningMode::DupValChks));
+    EXPECT_EQ(r.disabledCheckCount == 0,
+              r.calibrationCheckFails == 0);
+    EXPECT_LE(r.disabledCheckCount, r.totalCheckCount);
+    if (r.calibrationCheckFails > 0) {
+        EXPECT_GT(r.instrsPerFalsePositive(), 1.0);
+    }
+}
+
+TEST(Campaign, ReportStringContainsKeyFields)
+{
+    auto r = runCampaign(smallConfig("svm", HardeningMode::DupOnly, 30));
+    const std::string s = r.str();
+    EXPECT_NE(s.find("svm"), std::string::npos);
+    EXPECT_NE(s.find("Dup only"), std::string::npos);
+    EXPECT_NE(s.find("USDC"), std::string::npos);
+    EXPECT_NE(s.find("overhead"), std::string::npos);
+}
+
+} // namespace
+} // namespace softcheck

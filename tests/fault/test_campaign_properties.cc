@@ -1,0 +1,91 @@
+#include <gtest/gtest.h>
+
+#include "fault/campaign.hh"
+
+namespace softcheck
+{
+namespace
+{
+
+TEST(CampaignProperties, ThreadCountDoesNotChangeResults)
+{
+    // Trial RNGs are indexed by trial number, so the outcome counts
+    // must be identical regardless of parallelism.
+    CampaignConfig cfg;
+    cfg.workload = "tiff2bw";
+    cfg.mode = HardeningMode::DupOnly;
+    cfg.trials = 80;
+    cfg.seed = 555;
+
+    cfg.threads = 1;
+    auto serial = runCampaign(cfg);
+    cfg.threads = 8;
+    auto parallel = runCampaign(cfg);
+    EXPECT_EQ(serial.counts, parallel.counts);
+    EXPECT_EQ(serial.usdcLargeChange, parallel.usdcLargeChange);
+}
+
+TEST(CampaignProperties, GoldenRunsAgreeAcrossModesOnBaseline)
+{
+    // The baseline (unhardened) cycle count is a property of the
+    // benchmark + input, independent of the configuration measured.
+    CampaignConfig cfg;
+    cfg.workload = "g721dec";
+    cfg.trials = 0;
+    cfg.mode = HardeningMode::DupOnly;
+    auto a = runCampaign(cfg);
+    cfg.mode = HardeningMode::FullDup;
+    auto b = runCampaign(cfg);
+    EXPECT_EQ(a.baselineCycles, b.baselineCycles);
+    EXPECT_GT(b.goldenCycles, a.goldenCycles);
+}
+
+TEST(CampaignProperties, TimeoutFactorBoundsRuns)
+{
+    // Even with a hostile timeout factor the campaign terminates and
+    // classifies everything.
+    CampaignConfig cfg;
+    cfg.workload = "svm";
+    cfg.mode = HardeningMode::Original;
+    cfg.trials = 40;
+    cfg.timeoutFactor = 1.5;
+    auto r = runCampaign(cfg);
+    uint64_t total = 0;
+    for (uint64_t c : r.counts)
+        total += c;
+    EXPECT_EQ(total, 40u);
+}
+
+TEST(CampaignProperties, ReportMatchesStaticStats)
+{
+    CampaignConfig cfg;
+    cfg.workload = "jpegdec";
+    cfg.mode = HardeningMode::DupValChks;
+    cfg.trials = 0;
+    auto r = runCampaign(cfg);
+    // Check ids allocated == checks present in the transformed IR.
+    EXPECT_EQ(r.report.numCheckIds, r.report.stats.allChecks());
+    EXPECT_EQ(r.totalCheckCount, r.report.numCheckIds);
+    // Value checks counted by the pass match the static census.
+    EXPECT_EQ(r.report.valueChecks, r.report.stats.valueChecks());
+    EXPECT_EQ(r.report.eqChecks, r.report.stats.checkEq);
+}
+
+TEST(CampaignProperties, OverheadScalesWithCheckDensity)
+{
+    // Disabling Opt 1 inserts strictly more checks and must not reduce
+    // the measured overhead.
+    CampaignConfig cfg;
+    cfg.workload = "tiff2bw";
+    cfg.mode = HardeningMode::DupValChks;
+    cfg.trials = 0;
+    auto with_opt1 = runCampaign(cfg);
+    cfg.enableOpt1 = false;
+    auto without_opt1 = runCampaign(cfg);
+    EXPECT_GE(without_opt1.report.valueChecks,
+              with_opt1.report.valueChecks);
+    EXPECT_GE(without_opt1.overhead(), with_opt1.overhead() - 1e-9);
+}
+
+} // namespace
+} // namespace softcheck

@@ -1,0 +1,88 @@
+#include <gtest/gtest.h>
+
+#include <bit>
+
+#include "fault/campaign.hh"
+
+namespace softcheck
+{
+namespace
+{
+
+FaultOutcome
+intFault(TypeKind ty, int64_t before, int64_t after)
+{
+    FaultOutcome f;
+    f.injected = true;
+    f.slotType = ty;
+    f.before = truncBits(static_cast<uint64_t>(before), typeBits(ty));
+    f.after = truncBits(static_cast<uint64_t>(after), typeBits(ty));
+    return f;
+}
+
+FaultOutcome
+f64Fault(double before, double after)
+{
+    FaultOutcome f;
+    f.injected = true;
+    f.slotType = TypeKind::F64;
+    f.before = std::bit_cast<uint64_t>(before);
+    f.after = std::bit_cast<uint64_t>(after);
+    return f;
+}
+
+TEST(ValueChange, HighBitFlipIsLarge)
+{
+    // 100 -> 100 + 2^30
+    EXPECT_TRUE(isLargeValueChange(
+        intFault(TypeKind::I32, 100, 100 + (1 << 30))));
+}
+
+TEST(ValueChange, LowBitFlipIsSmall)
+{
+    EXPECT_FALSE(isLargeValueChange(intFault(TypeKind::I32, 100, 101)));
+    EXPECT_FALSE(isLargeValueChange(intFault(TypeKind::I32, 100, 108)));
+}
+
+TEST(ValueChange, CollapseTowardZeroIsLarge)
+{
+    EXPECT_TRUE(
+        isLargeValueChange(intFault(TypeKind::I32, 1 << 20, 0)));
+}
+
+TEST(ValueChange, SignBitFlipOnSmallValue)
+{
+    // 5 -> 5 - 2^31: |after| >> |before|.
+    EXPECT_TRUE(isLargeValueChange(
+        intFault(TypeKind::I32, 5, 5 - (int64_t(1) << 31))));
+}
+
+TEST(ValueChange, ZeroToSmallIsSmall)
+{
+    // ref = max(|0|, 1); 4 <= 8*1.
+    EXPECT_FALSE(isLargeValueChange(intFault(TypeKind::I32, 0, 4)));
+    EXPECT_TRUE(isLargeValueChange(intFault(TypeKind::I32, 0, 1000)));
+}
+
+TEST(ValueChange, DoubleExponentFlipIsLarge)
+{
+    EXPECT_TRUE(isLargeValueChange(f64Fault(1.5, 1.5e200)));
+    EXPECT_TRUE(isLargeValueChange(f64Fault(1.5e10, 1.5e-10)));
+}
+
+TEST(ValueChange, DoubleMantissaFlipIsSmall)
+{
+    EXPECT_FALSE(isLargeValueChange(f64Fault(1.5, 1.5000001)));
+    EXPECT_FALSE(isLargeValueChange(f64Fault(-8.0, -9.0)));
+}
+
+TEST(ValueChange, NonFiniteIsLarge)
+{
+    EXPECT_TRUE(isLargeValueChange(
+        f64Fault(1.0, std::numeric_limits<double>::infinity())));
+    EXPECT_TRUE(isLargeValueChange(
+        f64Fault(1.0, std::numeric_limits<double>::quiet_NaN())));
+}
+
+} // namespace
+} // namespace softcheck

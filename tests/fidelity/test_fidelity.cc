@@ -1,0 +1,140 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "fidelity/fidelity.hh"
+#include "support/rng.hh"
+
+namespace softcheck
+{
+namespace
+{
+
+std::vector<double>
+rampSignal(std::size_t n)
+{
+    std::vector<double> s(n);
+    for (std::size_t i = 0; i < n; ++i)
+        s[i] = static_cast<double>(i % 256);
+    return s;
+}
+
+TEST(Psnr, IdenticalIsInfinite)
+{
+    auto s = rampSignal(256);
+    EXPECT_TRUE(std::isinf(psnr(s, s)));
+    EXPECT_GT(psnr(s, s), 0.0);
+}
+
+TEST(Psnr, KnownMse)
+{
+    // Uniform error of 1 on every sample: MSE = 1, PSNR = 20log10(255).
+    auto golden = rampSignal(512);
+    auto test = golden;
+    for (double &v : test)
+        v += 1.0;
+    EXPECT_NEAR(psnr(golden, test), 20.0 * std::log10(255.0), 1e-9);
+}
+
+TEST(Psnr, SmallPerturbationAboveThreshold)
+{
+    auto golden = rampSignal(1024);
+    auto test = golden;
+    Rng rng(1);
+    for (double &v : test)
+        v += (rng.nextDouble() - 0.5) * 4.0;
+    EXPECT_GT(psnr(golden, test), 30.0);
+}
+
+TEST(Psnr, LargeCorruptionBelowThreshold)
+{
+    auto golden = rampSignal(1024);
+    auto test = golden;
+    for (std::size_t i = 0; i < test.size() / 2; ++i)
+        test[i] = 255.0 - test[i];
+    EXPECT_LT(psnr(golden, test), 30.0);
+}
+
+TEST(Psnr, LengthMismatchIsWorst)
+{
+    auto golden = rampSignal(64);
+    auto test = rampSignal(65);
+    EXPECT_TRUE(std::isinf(psnr(golden, test)));
+    EXPECT_LT(psnr(golden, test), 0.0);
+}
+
+TEST(Psnr, NonFiniteCorruptionIsWorst)
+{
+    auto golden = rampSignal(32);
+    auto test = golden;
+    test[5] = std::numeric_limits<double>::infinity();
+    EXPECT_LT(psnr(golden, test), 0.0);
+}
+
+TEST(SegSnr, IdenticalIsMax)
+{
+    auto s = rampSignal(1024);
+    EXPECT_DOUBLE_EQ(segmentalSnr(s, s), 120.0);
+}
+
+TEST(SegSnr, LocalCorruptionOnlyHitsItsFrame)
+{
+    auto golden = rampSignal(1024);
+    auto test = golden;
+    test[3] += 50.0; // one bad sample in frame 0
+    const double seg = segmentalSnr(golden, test, 256);
+    // 3 of 4 frames perfect (120 each); one degraded.
+    EXPECT_GT(seg, 90.0);
+    EXPECT_LT(seg, 120.0);
+}
+
+TEST(SegSnr, PerFrameClamping)
+{
+    std::vector<double> golden(512, 100.0);
+    auto test = golden;
+    for (std::size_t i = 0; i < 256; ++i)
+        test[i] = -1.0e9; // catastrophic first frame clamps to 0 dB
+    const double seg = segmentalSnr(golden, test, 256);
+    EXPECT_NEAR(seg, 60.0, 1e-9); // (0 + 120) / 2
+}
+
+TEST(Mismatch, CountsExactDifferences)
+{
+    std::vector<double> a{1, 2, 3, 4};
+    std::vector<double> b{1, 9, 3, 9};
+    EXPECT_DOUBLE_EQ(mismatchFraction(a, b), 0.5);
+    EXPECT_DOUBLE_EQ(mismatchFraction(a, a), 0.0);
+}
+
+TEST(Mismatch, LengthMismatchIsTotal)
+{
+    std::vector<double> a{1, 2};
+    std::vector<double> b{1};
+    EXPECT_DOUBLE_EQ(mismatchFraction(a, b), 1.0);
+}
+
+TEST(Acceptable, ThresholdDirections)
+{
+    EXPECT_TRUE(fidelityAcceptable(FidelityKind::Psnr, 35.0, 30.0));
+    EXPECT_FALSE(fidelityAcceptable(FidelityKind::Psnr, 25.0, 30.0));
+    EXPECT_TRUE(
+        fidelityAcceptable(FidelityKind::SegmentalSnr, 95.0, 80.0));
+    EXPECT_FALSE(
+        fidelityAcceptable(FidelityKind::SegmentalSnr, 60.0, 80.0));
+    EXPECT_TRUE(fidelityAcceptable(FidelityKind::Mismatch, 0.05, 0.10));
+    EXPECT_FALSE(fidelityAcceptable(FidelityKind::Mismatch, 0.15, 0.10));
+    EXPECT_TRUE(
+        fidelityAcceptable(FidelityKind::ClassErrorDelta, 0.0, 0.10));
+}
+
+TEST(Acceptable, ScoreDispatch)
+{
+    auto g = rampSignal(256);
+    EXPECT_TRUE(std::isinf(fidelityScore(FidelityKind::Psnr, g, g)));
+    EXPECT_DOUBLE_EQ(fidelityScore(FidelityKind::Mismatch, g, g), 0.0);
+    EXPECT_DOUBLE_EQ(
+        fidelityScore(FidelityKind::SegmentalSnr, g, g), 120.0);
+}
+
+} // namespace
+} // namespace softcheck

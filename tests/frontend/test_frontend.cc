@@ -1,0 +1,300 @@
+#include <gtest/gtest.h>
+
+#include "common/test_util.hh"
+#include "frontend/parser.hh"
+#include "ir/printer.hh"
+
+namespace softcheck
+{
+namespace
+{
+
+using testutil::evalExprI32;
+using testutil::evalInt;
+using testutil::runSource;
+
+// ---- parser shape ----------------------------------------------------
+
+TEST(Parser, FunctionSignature)
+{
+    auto prog = parseProgram(
+        "fn f(a: i32, p: ptr<f64>) -> i64 { return i64(a); }");
+    ASSERT_EQ(prog.functions.size(), 1u);
+    const auto &fn = prog.functions[0];
+    EXPECT_EQ(fn.name, "f");
+    ASSERT_EQ(fn.params.size(), 2u);
+    EXPECT_FALSE(fn.params[0].type.isPointer);
+    EXPECT_TRUE(fn.params[1].type.isPointer);
+    EXPECT_EQ(fn.params[1].type.scalar, Type::f64());
+    EXPECT_FALSE(fn.returnsVoid);
+}
+
+TEST(Parser, VoidFunction)
+{
+    auto prog = parseProgram("fn f() -> void { return; }");
+    EXPECT_TRUE(prog.functions[0].returnsVoid);
+    auto prog2 = parseProgram("fn f() { return; }");
+    EXPECT_TRUE(prog2.functions[0].returnsVoid);
+}
+
+TEST(Parser, ConstArray)
+{
+    auto prog = parseProgram("const T: i32[3] = [1, 2, 3];");
+    ASSERT_EQ(prog.consts.size(), 1u);
+    EXPECT_TRUE(prog.consts[0].isArray);
+    EXPECT_EQ(prog.consts[0].arraySize, 3u);
+    EXPECT_EQ(prog.consts[0].values.size(), 3u);
+}
+
+TEST(Parser, RejectsBadSyntax)
+{
+    EXPECT_THROW(parseProgram("fn f( { }"), FatalError);
+    EXPECT_THROW(parseProgram("fn f() -> badtype { }"), FatalError);
+    EXPECT_THROW(parseProgram("garbage"), FatalError);
+    EXPECT_THROW(parseProgram("fn f() { var x i32; }"), FatalError);
+}
+
+// ---- expression semantics ---------------------------------------------
+
+TEST(IrGen, Arithmetic)
+{
+    EXPECT_EQ(evalExprI32("2 + 3 * 4"), 14);
+    EXPECT_EQ(evalExprI32("(2 + 3) * 4"), 20);
+    EXPECT_EQ(evalExprI32("10 / 3"), 3);
+    EXPECT_EQ(evalExprI32("-10 / 3"), -3); // trunc toward zero
+    EXPECT_EQ(evalExprI32("10 % 3"), 1);
+    EXPECT_EQ(evalExprI32("-10 % 3"), -1);
+    EXPECT_EQ(evalExprI32("-(5)"), -5);
+}
+
+TEST(IrGen, BitwiseAndShifts)
+{
+    EXPECT_EQ(evalExprI32("12 & 10"), 8);
+    EXPECT_EQ(evalExprI32("12 | 10"), 14);
+    EXPECT_EQ(evalExprI32("12 ^ 10"), 6);
+    EXPECT_EQ(evalExprI32("1 << 10"), 1024);
+    EXPECT_EQ(evalExprI32("-8 >> 1"), -4); // arithmetic shift
+    EXPECT_EQ(evalExprI32("~0"), -1);
+}
+
+TEST(IrGen, Comparisons)
+{
+    EXPECT_EQ(evalExprI32("i32(3 < 4)"), 1);
+    EXPECT_EQ(evalExprI32("i32(4 <= 3)"), 0);
+    EXPECT_EQ(evalExprI32("i32(-1 < 1)"), 1); // signed compare
+    EXPECT_EQ(evalExprI32("i32(2.5 > 2.0)"), 1);
+}
+
+TEST(IrGen, ShortCircuitAnd)
+{
+    // Division by zero on the right must not execute.
+    const int64_t v = evalInt(R"(
+        fn main(a: i32) -> i32 {
+            if (a != 0 && 10 / a > 2) {
+                return 1;
+            }
+            return 0;
+        })", "main", {0});
+    EXPECT_EQ(v, 0);
+}
+
+TEST(IrGen, ShortCircuitOr)
+{
+    const int64_t v = evalInt(R"(
+        fn main(a: i32) -> i32 {
+            if (a == 0 || 10 / a > 2) {
+                return 1;
+            }
+            return 0;
+        })", "main", {0});
+    EXPECT_EQ(v, 1);
+}
+
+TEST(IrGen, Casts)
+{
+    EXPECT_EQ(evalExprI32("i32(3.9)"), 3);
+    EXPECT_EQ(evalExprI32("i32(-3.9)"), -3);
+    EXPECT_EQ(evalExprI32("i32(i8(200))"), -56); // truncation wraps
+    EXPECT_EQ(evalExprI32("i32(i64(5) + i64(6))"), 11);
+    EXPECT_EQ(evalExprI32("i32(f64(7) * 2.0)"), 14);
+}
+
+TEST(IrGen, ImplicitIntWidening)
+{
+    const int64_t v = evalInt(R"(
+        fn main(a: i32) -> i64 {
+            var big: i64 = 1000000000000;
+            return big + a;
+        })", "main", {5});
+    EXPECT_EQ(v, 1000000000005);
+}
+
+TEST(IrGen, MathBuiltins)
+{
+    Memory mem;
+    auto r = runSource(R"(
+        fn main() -> f64 {
+            return sqrt(16.0) + fabs(-2.0) + fmin(1.0, 2.0)
+                 + fmax(3.0, 4.0);
+        })", "main", {}, mem);
+    EXPECT_EQ(r.term, Termination::Ok);
+    EXPECT_DOUBLE_EQ(testutil::bitsF64(r.retValue), 4.0 + 2.0 + 1.0 + 4.0);
+}
+
+// ---- statements ---------------------------------------------------------
+
+TEST(IrGen, WhileLoopWithBreakContinue)
+{
+    const int64_t v = evalInt(R"(
+        fn main(n: i32) -> i32 {
+            var s: i32 = 0;
+            var i: i32 = 0;
+            while (true) {
+                i = i + 1;
+                if (i > n) {
+                    break;
+                }
+                if (i % 2 == 0) {
+                    continue;
+                }
+                s = s + i;
+            }
+            return s;
+        })", "main", {10});
+    EXPECT_EQ(v, 1 + 3 + 5 + 7 + 9);
+}
+
+TEST(IrGen, NestedLoopsAndArrays)
+{
+    const int64_t v = evalInt(R"(
+        fn main(n: i32) -> i32 {
+            var acc: i32[4];
+            for (var i: i32 = 0; i < 4; i = i + 1) {
+                acc[i] = 0;
+            }
+            for (var i: i32 = 0; i < n; i = i + 1) {
+                acc[i % 4] = acc[i % 4] + i;
+            }
+            var total: i32 = 0;
+            for (var i: i32 = 0; i < 4; i = i + 1) {
+                total = total + acc[i];
+            }
+            return total;
+        })", "main", {10});
+    EXPECT_EQ(v, 45);
+}
+
+TEST(IrGen, FunctionCallsAndRecursionDepth)
+{
+    const int64_t v = evalInt(R"(
+        fn fib(n: i32) -> i32 {
+            if (n < 2) {
+                return n;
+            }
+            return fib(n - 1) + fib(n - 2);
+        }
+        fn main(n: i32) -> i32 {
+            return fib(n);
+        })", "main", {12});
+    EXPECT_EQ(v, 144);
+}
+
+TEST(IrGen, GlobalConstTables)
+{
+    const int64_t v = evalInt(R"(
+        const T: i32[4] = [10, 20, 30, 40];
+        const SCALE: i32 = 3;
+        fn main(i: i32) -> i32 {
+            return T[i] * SCALE;
+        })", "main", {2});
+    EXPECT_EQ(v, 90);
+}
+
+TEST(IrGen, PointerArgsReadWrite)
+{
+    Memory mem;
+    const uint64_t buf = mem.alloc(4 * 8);
+    for (int i = 0; i < 8; ++i)
+        mem.write(buf + 4 * i, 4, static_cast<uint64_t>(i + 1));
+    auto r = runSource(R"(
+        fn main(p: ptr<i32>, n: i32) -> i32 {
+            var s: i32 = 0;
+            for (var i: i32 = 0; i < n; i = i + 1) {
+                s = s + p[i];
+                p[i] = p[i] * 2;
+            }
+            return s;
+        })", "main", {buf, 8}, mem);
+    EXPECT_EQ(static_cast<int64_t>(r.retValue), 36);
+    uint64_t v = 0;
+    mem.read(buf, 4, v);
+    EXPECT_EQ(v, 2u);
+}
+
+TEST(IrGen, ScalarParamsAreMutable)
+{
+    // Fig. 3 style: `for (...; len >= 32; len -= 32)`.
+    const int64_t v = evalInt(R"(
+        fn main(len: i32) -> i32 {
+            var iters: i32 = 0;
+            while (len >= 32) {
+                len = len - 32;
+                iters = iters + 1;
+            }
+            return iters * 100 + len;
+        })", "main", {100});
+    EXPECT_EQ(v, 304);
+}
+
+TEST(IrGen, ImplicitReturnZero)
+{
+    EXPECT_EQ(evalInt("fn main() -> i32 { }", "main"), 0);
+}
+
+// ---- semantic errors ------------------------------------------------------
+
+TEST(IrGen, Errors)
+{
+    EXPECT_THROW(compileMiniLang(
+        "fn main() -> i32 { return x; }", "t"), FatalError);
+    EXPECT_THROW(compileMiniLang(
+        "fn main() -> i32 { var x: i32 = 1.5; return x; }", "t"),
+        FatalError);
+    EXPECT_THROW(compileMiniLang(
+        "fn main() -> i32 { var x: i64 = 1; var y: i32 = x; return y; }",
+        "t"), FatalError);
+    EXPECT_THROW(compileMiniLang(
+        "fn main() -> i32 { break; }", "t"), FatalError);
+    EXPECT_THROW(compileMiniLang(
+        "fn main() -> i32 { if (1) { } return 0; }", "t"), FatalError);
+    EXPECT_THROW(compileMiniLang(
+        "fn main() -> i32 { return f(); }", "t"), FatalError);
+    EXPECT_THROW(compileMiniLang(
+        "fn f() -> i32 { return 0; } fn f() -> i32 { return 1; }", "t"),
+        FatalError);
+    EXPECT_THROW(compileMiniLang(
+        "fn main() -> i32 { var x: i32 = 0; var x: i32 = 1; return x; }",
+        "t"), FatalError);
+}
+
+TEST(IrGen, ProducesVerifiedSSA)
+{
+    auto mod = compileMiniLang(R"(
+        fn main(n: i32) -> i32 {
+            var s: i32 = 0;
+            for (var i: i32 = 0; i < n; i = i + 1) {
+                if (i % 3 == 0) {
+                    s = s + i;
+                } else if (i % 3 == 1) {
+                    s = s - i;
+                }
+            }
+            return s;
+        })", "t");
+    const std::string text = moduleToString(*mod);
+    EXPECT_NE(text.find("phi"), std::string::npos);
+    EXPECT_EQ(text.find("alloca"), std::string::npos);
+}
+
+} // namespace
+} // namespace softcheck

@@ -1,0 +1,169 @@
+#include <gtest/gtest.h>
+
+#include "analysis/dominance_verify.hh"
+#include "common/test_util.hh"
+#include "core/pipeline.hh"
+#include "fault/campaign.hh"
+#include "ir/verifier.hh"
+#include "workloads/workload.hh"
+
+namespace softcheck
+{
+namespace
+{
+
+/**
+ * The library-level correctness property, per benchmark: hardening (any
+ * mode) must not change fault-free outputs, and the transformed IR must
+ * verify structurally and for SSA dominance.
+ */
+class WorkloadHardening
+    : public ::testing::TestWithParam<const Workload *>
+{
+  protected:
+    /** Golden (retValue, signal) of the unmodified program. */
+    std::pair<uint64_t, std::vector<double>>
+    goldenRun(const WorkloadRunSpec &spec)
+    {
+        auto mod = compileMiniLang(wl().source, wl().name);
+        ExecModule em(*mod);
+        auto run = prepareRun(spec);
+        Interpreter interp(em, *run.mem);
+        auto r = interp.run(em.functionIndex(wl().entry), run.args, {});
+        EXPECT_EQ(r.term, Termination::Ok);
+        return {r.retValue, extractSignal(wl(), spec, run)};
+    }
+
+    const Workload &wl() { return *GetParam(); }
+};
+
+TEST_P(WorkloadHardening, DupValChksPreservesOutput)
+{
+    const auto spec = wl().makeInput(false);
+    const auto golden = goldenRun(spec);
+
+    // Profile on the train input.
+    auto mod = compileMiniLang(wl().source, wl().name);
+    const unsigned sites = assignProfileSites(*mod);
+    ProfileData pd;
+    {
+        ExecModule em(*mod);
+        auto train = wl().makeInput(true);
+        auto run = prepareRun(train);
+        ValueProfiler prof(em.numProfileSites());
+        ExecOptions opts;
+        opts.profiler = &prof;
+        Interpreter interp(em, *run.mem);
+        auto r = interp.run(em.functionIndex(wl().entry), run.args,
+                            opts);
+        ASSERT_EQ(r.term, Termination::Ok);
+        pd = ProfileData(prof, floatSiteFlags(*mod, sites));
+    }
+
+    HardeningOptions hopts;
+    hopts.mode = HardeningMode::DupValChks;
+    auto report = hardenModule(*mod, hopts, &pd);
+    EXPECT_GT(report.stateVars, 0u) << wl().name;
+    EXPECT_TRUE(verifyModule(*mod).empty()) << wl().name;
+    for (Function *fn : mod->functions())
+        EXPECT_TRUE(verifyDominance(*fn).empty()) << wl().name;
+
+    // Fault-free hardened run: checks may fire as false positives, so
+    // record instead of halting; output must be identical.
+    ExecModule em(*mod);
+    auto run = prepareRun(spec);
+    std::vector<uint64_t> fails(em.numCheckIds(), 0);
+    ExecOptions opts;
+    opts.checkMode = CheckMode::Record;
+    opts.checkFailCounts = &fails;
+    Interpreter interp(em, *run.mem);
+    auto r = interp.run(em.functionIndex(wl().entry), run.args, opts);
+    ASSERT_EQ(r.term, Termination::Ok) << wl().name;
+    EXPECT_EQ(r.retValue, golden.first) << wl().name;
+    EXPECT_EQ(extractSignal(wl(), spec, run), golden.second)
+        << wl().name;
+}
+
+TEST_P(WorkloadHardening, FullDupPreservesOutput)
+{
+    const auto spec = wl().makeInput(false);
+    const auto golden = goldenRun(spec);
+
+    auto mod = compileMiniLang(wl().source, wl().name);
+    HardeningOptions hopts;
+    hopts.mode = HardeningMode::FullDup;
+    hardenModule(*mod, hopts);
+
+    ExecModule em(*mod);
+    auto run = prepareRun(spec);
+    Interpreter interp(em, *run.mem);
+    auto r = interp.run(em.functionIndex(wl().entry), run.args, {});
+    ASSERT_EQ(r.term, Termination::Ok) << wl().name;
+    EXPECT_EQ(r.retValue, golden.first) << wl().name;
+    EXPECT_EQ(extractSignal(wl(), spec, run), golden.second)
+        << wl().name;
+}
+
+TEST_P(WorkloadHardening, HardeningAddsOverheadNotExplosion)
+{
+    auto orig = characterizeOnly([&] {
+        CampaignConfig cfg;
+        cfg.workload = wl().name;
+        cfg.mode = HardeningMode::DupValChks;
+        return cfg;
+    }());
+    EXPECT_GT(orig.overhead(), 0.0) << wl().name;
+    EXPECT_LT(orig.overhead(), 1.0) << wl().name; // < 100%
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    All13, WorkloadHardening, ::testing::ValuesIn(allWorkloads()),
+    [](const auto &info) { return info.param->name; });
+
+TEST(EndToEnd, DetectionImprovesOnCrcKernel)
+{
+    // Statistical sanity on a kernel dominated by state variables: the
+    // hardened version must convert a visible fraction of outcomes
+    // into SWDetects.
+    CampaignConfig cfg;
+    cfg.workload = "g721dec";
+    cfg.trials = 150;
+    cfg.seed = 31337;
+    cfg.mode = HardeningMode::Original;
+    auto orig = runCampaign(cfg);
+    cfg.mode = HardeningMode::DupValChks;
+    auto hard = runCampaign(cfg);
+
+    EXPECT_EQ(orig.counts[static_cast<unsigned>(Outcome::SWDetect)],
+              0u);
+    EXPECT_GT(hard.counts[static_cast<unsigned>(Outcome::SWDetect)],
+              0u);
+    EXPECT_GE(orig.sdcPct(), hard.sdcPct() - 2.0);
+}
+
+TEST(EndToEnd, CheckIdsStableAcrossRecompilation)
+{
+    // Campaigns recompile the module; profile ids must line up across
+    // compilations of the same source (deterministic assignment).
+    const Workload &w = getWorkload("tiff2bw");
+    auto m1 = compileMiniLang(w.source, w.name);
+    auto m2 = compileMiniLang(w.source, w.name);
+    const unsigned s1 = assignProfileSites(*m1);
+    const unsigned s2 = assignProfileSites(*m2);
+    EXPECT_EQ(s1, s2);
+    auto it1 = m1->functions().begin();
+    auto it2 = m2->functions().begin();
+    for (; it1 != m1->functions().end(); ++it1, ++it2) {
+        auto b1 = (*it1)->begin(), b2 = (*it2)->begin();
+        for (; b1 != (*it1)->end(); ++b1, ++b2) {
+            auto i1 = (*b1)->begin(), i2 = (*b2)->begin();
+            for (; i1 != (*b1)->end(); ++i1, ++i2) {
+                EXPECT_EQ((*i1)->opcode(), (*i2)->opcode());
+                EXPECT_EQ((*i1)->profileId(), (*i2)->profileId());
+            }
+        }
+    }
+}
+
+} // namespace
+} // namespace softcheck

@@ -1,0 +1,102 @@
+#include <gtest/gtest.h>
+
+#include "interp/cost_model.hh"
+
+namespace softcheck
+{
+namespace
+{
+
+TEST(CostModel, BaseCostIsInstrsOverIssueWidth)
+{
+    CostModel cm;
+    for (int i = 0; i < 100; ++i)
+        cm.onInstr(Opcode::Add);
+    EXPECT_EQ(cm.instructions(), 100u);
+    EXPECT_EQ(cm.cycles(), 50u); // issue width 2, no stalls
+}
+
+TEST(CostModel, DivideStalls)
+{
+    CostModel cm;
+    cm.onInstr(Opcode::SDiv);
+    EXPECT_EQ(cm.stallCycles(), CostConfig{}.divExtraCycles);
+    cm.onInstr(Opcode::Sqrt);
+    EXPECT_EQ(cm.stallCycles(),
+              CostConfig{}.divExtraCycles + CostConfig{}.mathExtraCycles);
+}
+
+TEST(CostModel, CacheHitAfterMiss)
+{
+    CostModel cm;
+    cm.onMemAccess(0x1000);
+    EXPECT_EQ(cm.cacheMisses(), 1u);
+    cm.onMemAccess(0x1000);
+    cm.onMemAccess(0x1008); // same 64B line
+    EXPECT_EQ(cm.cacheMisses(), 1u);
+    cm.onMemAccess(0x2000); // different line
+    EXPECT_EQ(cm.cacheMisses(), 2u);
+}
+
+TEST(CostModel, CacheConflictEviction)
+{
+    CostConfig cfg;
+    CostModel cm(cfg);
+    const unsigned sets =
+        cfg.l1dSizeKB * 1024 / (cfg.lineBytes * cfg.l1dAssoc);
+    const uint64_t stride =
+        static_cast<uint64_t>(sets) * cfg.lineBytes;
+    // Three lines mapping to the same set exceed 2-way associativity.
+    cm.onMemAccess(0);
+    cm.onMemAccess(stride);
+    cm.onMemAccess(2 * stride);
+    EXPECT_EQ(cm.cacheMisses(), 3u);
+    cm.onMemAccess(0); // evicted by LRU
+    EXPECT_EQ(cm.cacheMisses(), 4u);
+}
+
+TEST(CostModel, CacheLruKeepsHotLine)
+{
+    CostConfig cfg;
+    CostModel cm(cfg);
+    const unsigned sets =
+        cfg.l1dSizeKB * 1024 / (cfg.lineBytes * cfg.l1dAssoc);
+    const uint64_t stride =
+        static_cast<uint64_t>(sets) * cfg.lineBytes;
+    cm.onMemAccess(0);
+    cm.onMemAccess(stride);
+    cm.onMemAccess(0);          // refresh LRU for line 0
+    cm.onMemAccess(2 * stride); // evicts 'stride', not 0
+    cm.onMemAccess(0);
+    EXPECT_EQ(cm.cacheMisses(), 3u);
+}
+
+TEST(CostModel, BranchPredictorLearnsBias)
+{
+    CostModel cm;
+    const uint64_t site = 7;
+    for (int i = 0; i < 100; ++i)
+        cm.onBranch(site, true);
+    // At most the first couple of mispredicts while the counter warms.
+    EXPECT_LE(cm.branchMispredicts(), 2u);
+}
+
+TEST(CostModel, BranchPredictorAlternatingPattern)
+{
+    CostModel cm;
+    for (int i = 0; i < 100; ++i)
+        cm.onBranch(3, (i & 1) != 0);
+    // Bimodal cannot learn alternation perfectly.
+    EXPECT_GE(cm.branchMispredicts(), 40u);
+}
+
+TEST(CostModel, ConfigStringMentionsParameters)
+{
+    const std::string s = CostConfig{}.str();
+    EXPECT_NE(s.find("32KB"), std::string::npos);
+    EXPECT_NE(s.find("2-way"), std::string::npos);
+    EXPECT_NE(s.find("issue width 2"), std::string::npos);
+}
+
+} // namespace
+} // namespace softcheck

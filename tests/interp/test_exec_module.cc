@@ -1,0 +1,148 @@
+#include <gtest/gtest.h>
+
+#include "common/test_util.hh"
+#include "interp/exec_module.hh"
+#include "profile/value_profiler.hh"
+
+namespace softcheck
+{
+namespace
+{
+
+TEST(ExecModule, PhisBecomeEdgeMoves)
+{
+    auto mod = compileMiniLang(R"(
+        fn main(n: i32) -> i32 {
+            var s: i32 = 0;
+            for (var i: i32 = 0; i < n; i = i + 1) {
+                s = s + i;
+            }
+            return s;
+        })", "t");
+    ExecModule em(*mod);
+    const ExecFunction &fn = em.function(em.functionIndex("main"));
+    // No Phi opcode appears in the executable code stream.
+    for (const ExecInst &inst : fn.code)
+        EXPECT_NE(inst.op, Opcode::Phi);
+    // The loop header block has per-edge phi move batches (entry +
+    // latch edges).
+    bool found_moves = false;
+    for (const ExecBlock &bb : fn.blocks) {
+        if (bb.phiIn.size() >= 2) {
+            found_moves = true;
+            for (const auto &[pred, moves] : bb.phiIn)
+                EXPECT_FALSE(moves.empty());
+        }
+    }
+    EXPECT_TRUE(found_moves);
+}
+
+TEST(ExecModule, SlotTypesCoverAllSlots)
+{
+    auto mod = compileMiniLang(R"(
+        fn main(p: ptr<f64>, n: i32) -> f64 {
+            var acc: f64 = 0.0;
+            for (var i: i32 = 0; i < n; i = i + 1) {
+                acc = acc + p[i];
+            }
+            return acc;
+        })", "t");
+    ExecModule em(*mod);
+    const ExecFunction &fn = em.function(em.functionIndex("main"));
+    ASSERT_EQ(fn.slotTypes.size(), fn.numSlots);
+    EXPECT_EQ(fn.slotTypes[0], TypeKind::Ptr); // arg p
+    EXPECT_EQ(fn.slotTypes[1], TypeKind::I32); // arg n
+    unsigned f64_slots = 0;
+    for (TypeKind k : fn.slotTypes) {
+        EXPECT_NE(k, TypeKind::Void);
+        if (k == TypeKind::F64)
+            ++f64_slots;
+    }
+    EXPECT_GE(f64_slots, 2u); // acc phi + load + fadd at least
+}
+
+TEST(ExecModule, ImmediateOperandsEncoded)
+{
+    auto mod = compileMiniLang(
+        "fn main(a: i32) -> i32 { return a + 41; }", "t");
+    ExecModule em(*mod);
+    const ExecFunction &fn = em.function(0);
+    bool found = false;
+    for (const ExecInst &inst : fn.code) {
+        if (inst.op == Opcode::Add) {
+            EXPECT_GE(inst.a.slot, 0);
+            EXPECT_EQ(inst.b.slot, -1);
+            EXPECT_EQ(inst.b.imm, 41u);
+            found = true;
+        }
+    }
+    EXPECT_TRUE(found);
+}
+
+TEST(ExecModule, CountsChecksAndProfileSites)
+{
+    auto mod = compileMiniLang(R"(
+        fn main(n: i32) -> i32 {
+            var s: i32 = 0;
+            for (var i: i32 = 0; i < n; i = i + 1) {
+                s = s + i * 7;
+            }
+            return s;
+        })", "t");
+    const unsigned sites = assignProfileSites(*mod);
+    ExecModule em(*mod);
+    EXPECT_EQ(em.numProfileSites(), sites);
+    EXPECT_EQ(em.numCheckIds(), 0u);
+}
+
+TEST(ExecModule, FunctionIndexLookup)
+{
+    auto mod = compileMiniLang(R"(
+        fn helper(a: i32) -> i32 { return a; }
+        fn main() -> i32 { return helper(3); }
+    )", "t");
+    ExecModule em(*mod);
+    EXPECT_EQ(em.numFunctions(), 2u);
+    EXPECT_NE(em.functionIndex("helper"), em.functionIndex("main"));
+    EXPECT_THROW(em.functionIndex("nope"), FatalError);
+}
+
+TEST(ExecModule, CallArgsEncoded)
+{
+    auto mod = compileMiniLang(R"(
+        fn f(a: i32, b: i32) -> i32 { return a - b; }
+        fn main(x: i32) -> i32 { return f(x, 5); }
+    )", "t");
+    ExecModule em(*mod);
+    const ExecFunction &fn = em.function(em.functionIndex("main"));
+    bool found = false;
+    for (const ExecInst &inst : fn.code) {
+        if (inst.op == Opcode::Call) {
+            EXPECT_EQ(inst.calleeIdx,
+                      static_cast<int32_t>(em.functionIndex("f")));
+            ASSERT_EQ(inst.callArgs.size(), 2u);
+            EXPECT_GE(inst.callArgs[0].slot, 0);
+            EXPECT_EQ(inst.callArgs[1].slot, -1);
+            EXPECT_EQ(inst.callArgs[1].imm, 5u);
+            found = true;
+        }
+    }
+    EXPECT_TRUE(found);
+}
+
+TEST(ExecModule, GlobalsListedInOrder)
+{
+    auto mod = compileMiniLang(R"(
+        const A: i32[2] = [1, 2];
+        const B: i64[3] = [3, 4, 5];
+        fn main() -> i32 { return A[0] + i32(B[0]); }
+    )", "t");
+    ExecModule em(*mod);
+    ASSERT_EQ(em.globals().size(), 2u);
+    EXPECT_EQ(em.globals()[0]->name(), "A");
+    EXPECT_EQ(em.globals()[1]->name(), "B");
+    EXPECT_EQ(em.globals()[1]->elementType(), Type::i64());
+}
+
+} // namespace
+} // namespace softcheck

@@ -1,0 +1,174 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/test_util.hh"
+
+namespace softcheck
+{
+namespace
+{
+
+using testutil::bitsF64;
+using testutil::f64Bits;
+using testutil::runSource;
+
+double
+evalF64(const std::string &body, std::vector<uint64_t> args = {},
+        const std::string &params = "")
+{
+    Memory mem;
+    auto r = runSource(
+        "fn main(" + params + ") -> f64 { return " + body + "; }",
+        "main", std::move(args), mem);
+    EXPECT_EQ(r.term, Termination::Ok);
+    return bitsF64(r.retValue);
+}
+
+TEST(FloatSemantics, BasicOps)
+{
+    EXPECT_DOUBLE_EQ(evalF64("1.5 + 2.25"), 3.75);
+    EXPECT_DOUBLE_EQ(evalF64("1.0 / 3.0"), 1.0 / 3.0);
+    EXPECT_DOUBLE_EQ(evalF64("2.0 - 5.5"), -3.5);
+}
+
+TEST(FloatSemantics, DivisionByZeroIsInfNotTrap)
+{
+    // IEEE semantics: float division never traps.
+    EXPECT_TRUE(std::isinf(evalF64("1.0 / 0.0")));
+    EXPECT_TRUE(std::isnan(evalF64("0.0 / 0.0")));
+}
+
+TEST(FloatSemantics, NanComparesOrderedFalse)
+{
+    const int64_t v = testutil::evalInt(R"(
+        fn main() -> i32 {
+            var nan: f64 = 0.0 / 0.0;
+            var c: i32 = 0;
+            if (nan < 1.0) { c = c + 1; }
+            if (nan > 1.0) { c = c + 2; }
+            if (nan == nan) { c = c + 4; }
+            if (nan != nan) { c = c + 8; }
+            return c;
+        })", "main");
+    // Ordered predicates are all false on NaN; 'one' (ordered-ne) too.
+    EXPECT_EQ(v, 0);
+}
+
+TEST(FloatSemantics, MathIntrinsicsMatchHost)
+{
+    EXPECT_DOUBLE_EQ(evalF64("exp(1.0)"), std::exp(1.0));
+    EXPECT_DOUBLE_EQ(evalF64("log(10.0)"), std::log(10.0));
+    EXPECT_DOUBLE_EQ(evalF64("sin(0.5)"), std::sin(0.5));
+    EXPECT_DOUBLE_EQ(evalF64("cos(0.5)"), std::cos(0.5));
+    EXPECT_DOUBLE_EQ(evalF64("sqrt(2.0)"), std::sqrt(2.0));
+}
+
+TEST(FloatSemantics, ArgumentPassing)
+{
+    EXPECT_DOUBLE_EQ(
+        evalF64("a * b", {f64Bits(2.5), f64Bits(4.0)},
+                "a: f64, b: f64"),
+        10.0);
+}
+
+TEST(FloatSemantics, IntFloatRoundTrips)
+{
+    const int64_t v = testutil::evalInt(R"(
+        fn main(x: i32) -> i32 {
+            return i32(f64(x) * 2.0 + 0.5);
+        })", "main", {21});
+    EXPECT_EQ(v, 42);
+}
+
+TEST(FloatSemantics, F64MemoryRoundTrip)
+{
+    Memory mem;
+    const uint64_t buf = mem.alloc(8 * 4);
+    mem.write(buf, 8, f64Bits(3.14159));
+    auto r = runSource(R"(
+        fn main(p: ptr<f64>) -> f64 {
+            p[1] = p[0] * 2.0;
+            return p[1];
+        })", "main", {buf}, mem);
+    EXPECT_DOUBLE_EQ(bitsF64(r.retValue), 6.28318);
+    uint64_t stored = 0;
+    mem.read(buf + 8, 8, stored);
+    EXPECT_DOUBLE_EQ(bitsF64(stored), 6.28318);
+}
+
+TEST(FloatSemantics, DoubleAccumulationDeterministic)
+{
+    const char *src = R"(
+        fn main(n: i32) -> f64 {
+            var acc: f64 = 0.0;
+            for (var i: i32 = 0; i < n; i = i + 1) {
+                acc = acc + sin(f64(i) * 0.1) * cos(f64(i) * 0.05);
+            }
+            return acc;
+        })";
+    Memory m1, m2;
+    auto a = runSource(src, "main", {500}, m1);
+    auto b = runSource(src, "main", {500}, m2);
+    EXPECT_EQ(a.retValue, b.retValue); // bit-identical
+}
+
+TEST(CheckSemantics, CheckOneOnFloats)
+{
+    Module m("t");
+    Function *f = m.createFunction("main", Type::voidTy());
+    Argument *x = f->addArg(Type::f64(), "x");
+    IRBuilder b(m);
+    b.setInsertPoint(f->addBlock("entry"));
+    b.createCheckOne(x, m.getConstFloat(Type::f64(), 2.5), 0);
+    b.createRet();
+    ExecModule em(m);
+    Memory mem;
+    Interpreter interp(em, mem);
+    EXPECT_EQ(interp.run(0, {f64Bits(2.5)}, {}).term, Termination::Ok);
+    EXPECT_EQ(interp.run(0, {f64Bits(2.4)}, {}).term,
+              Termination::CheckFailed);
+}
+
+TEST(CheckSemantics, CheckTwoMatchesEitherValue)
+{
+    Module m("t");
+    Function *f = m.createFunction("main", Type::voidTy());
+    Argument *x = f->addArg(Type::i32(), "x");
+    IRBuilder b(m);
+    b.setInsertPoint(f->addBlock("entry"));
+    b.createCheckTwo(x, m.getConstInt(Type::i32(), int64_t{3}),
+                     m.getConstInt(Type::i32(), int64_t{7}), 0);
+    b.createRet();
+    ExecModule em(m);
+    Memory mem;
+    Interpreter interp(em, mem);
+    EXPECT_EQ(interp.run(0, {3}, {}).term, Termination::Ok);
+    EXPECT_EQ(interp.run(0, {7}, {}).term, Termination::Ok);
+    EXPECT_EQ(interp.run(0, {5}, {}).term, Termination::CheckFailed);
+}
+
+TEST(CheckSemantics, FloatRangeCheck)
+{
+    Module m("t");
+    Function *f = m.createFunction("main", Type::voidTy());
+    Argument *x = f->addArg(Type::f64(), "x");
+    IRBuilder b(m);
+    b.setInsertPoint(f->addBlock("entry"));
+    b.createCheckRange(x, m.getConstFloat(Type::f64(), -1.5),
+                       m.getConstFloat(Type::f64(), 1.5), 0);
+    b.createRet();
+    ExecModule em(m);
+    Memory mem;
+    Interpreter interp(em, mem);
+    EXPECT_EQ(interp.run(0, {f64Bits(0.0)}, {}).term, Termination::Ok);
+    EXPECT_EQ(interp.run(0, {f64Bits(1.5)}, {}).term, Termination::Ok);
+    EXPECT_EQ(interp.run(0, {f64Bits(2.0)}, {}).term,
+              Termination::CheckFailed);
+    // NaN is outside every range: the check fires.
+    EXPECT_EQ(interp.run(0, {f64Bits(std::nan(""))}, {}).term,
+              Termination::CheckFailed);
+}
+
+} // namespace
+} // namespace softcheck

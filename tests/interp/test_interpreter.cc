@@ -1,0 +1,309 @@
+#include <gtest/gtest.h>
+
+#include "common/test_util.hh"
+
+namespace softcheck
+{
+namespace
+{
+
+using testutil::bitsF64;
+using testutil::evalInt;
+using testutil::f64Bits;
+using testutil::runSource;
+
+// ---- arithmetic edge semantics (parameterized sweep) ------------------
+
+struct ArithCase
+{
+    const char *expr;
+    int64_t want;
+};
+
+class ArithSemantics : public ::testing::TestWithParam<ArithCase>
+{};
+
+TEST_P(ArithSemantics, Evaluates)
+{
+    const ArithCase &c = GetParam();
+    EXPECT_EQ(testutil::evalExprI32(c.expr), c.want) << c.expr;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    EdgeCases, ArithSemantics,
+    ::testing::Values(
+        // Wrap-around
+        ArithCase{"2147483647 + 1", -2147483648LL},
+        ArithCase{"-2147483647 - 2", 2147483647LL},
+        ArithCase{"65536 * 65536", 0},
+        // Division corner: INT_MIN / -1 is defined (no trap)
+        ArithCase{"(-2147483647 - 1) / -1", -2147483648LL},
+        ArithCase{"(-2147483647 - 1) % -1", 0},
+        // Shift count masking (hardware semantics)
+        ArithCase{"1 << 32", 1},
+        ArithCase{"1 << 33", 2},
+        ArithCase{"(-2147483647 - 1) >> 31", -1},
+        // Mixed-sign division truncates toward zero
+        ArithCase{"7 / -2", -3},
+        ArithCase{"-7 / 2", -3},
+        ArithCase{"7 % -2", 1},
+        ArithCase{"-7 % 2", -1},
+        // Bit ops on negative values
+        ArithCase{"-1 & 255", 255},
+        ArithCase{"-256 | 15", -241},
+        ArithCase{"i32(i8(127) + i8(1))", -128},
+        ArithCase{"i32(i16(32767) + i16(1))", -32768}));
+
+TEST(Interp, FloatArithmetic)
+{
+    Memory mem;
+    auto r = runSource(R"(
+        fn main(a: f64, b: f64) -> f64 {
+            return (a + b) * (a - b) / b;
+        })", "main", {f64Bits(5.0), f64Bits(2.0)}, mem);
+    EXPECT_DOUBLE_EQ(bitsF64(r.retValue), (7.0 * 3.0) / 2.0);
+}
+
+TEST(Interp, FloatToIntSaturates)
+{
+    // evalInt returns the canonical (zero-extended) register value;
+    // reinterpret as i32 for signed expectations.
+    auto eval_i32 = [](const char *src) {
+        return static_cast<int32_t>(evalInt(src, "main"));
+    };
+    EXPECT_EQ(eval_i32("fn main() -> i32 { return i32(1.0e20); }"),
+              2147483647);
+    EXPECT_EQ(eval_i32("fn main() -> i32 { return i32(-1.0e20); }"),
+              std::numeric_limits<int32_t>::min());
+    EXPECT_EQ(eval_i32("fn main() -> i32 { return i32(sqrt(-1.0)); }"),
+              0); // NaN -> 0
+}
+
+// ---- traps -------------------------------------------------------------
+
+TEST(Interp, DivByZeroTraps)
+{
+    Memory mem;
+    auto r = runSource(R"(
+        fn main(a: i32) -> i32 {
+            return 10 / a;
+        })", "main", {0}, mem);
+    EXPECT_EQ(r.term, Termination::Trap);
+    EXPECT_EQ(r.trap, TrapKind::DivByZero);
+}
+
+TEST(Interp, OutOfBoundsLoadTraps)
+{
+    Memory mem;
+    const uint64_t buf = mem.alloc(4 * 4);
+    auto r = runSource(R"(
+        fn main(p: ptr<i32>, i: i32) -> i32 {
+            return p[i];
+        })", "main", {buf, 1000000}, mem);
+    EXPECT_EQ(r.term, Termination::Trap);
+    EXPECT_EQ(r.trap, TrapKind::OutOfBounds);
+}
+
+TEST(Interp, TimeoutOnInfiniteLoop)
+{
+    Memory mem;
+    ExecOptions opts;
+    opts.maxDynInstrs = 10000;
+    auto r = runSource(R"(
+        fn main() -> i32 {
+            var x: i32 = 0;
+            while (true) {
+                x = x + 1;
+            }
+            return x;
+        })", "main", {}, mem, opts);
+    EXPECT_EQ(r.term, Termination::Timeout);
+    EXPECT_GE(r.dynInstrs, 10000u);
+}
+
+TEST(Interp, StackOverflowTraps)
+{
+    Memory mem;
+    auto r = runSource(R"(
+        fn rec(n: i32) -> i32 {
+            return rec(n + 1);
+        }
+        fn main() -> i32 {
+            return rec(0);
+        })", "main", {}, mem);
+    EXPECT_EQ(r.term, Termination::Trap);
+    EXPECT_EQ(r.trap, TrapKind::StackOverflow);
+}
+
+// ---- checks --------------------------------------------------------------
+
+/** Build a module with one range check via the builder. */
+struct CheckedFn
+{
+    Module m{"t"};
+    ExecModule *em = nullptr;
+    std::unique_ptr<ExecModule> em_owner;
+
+    CheckedFn(int64_t lo, int64_t hi)
+    {
+        Function *f = m.createFunction("main", Type::i32());
+        Argument *x = f->addArg(Type::i32(), "x");
+        auto *bb = f->addBlock("entry");
+        IRBuilder b(m);
+        b.setInsertPoint(bb);
+        auto *v = b.createAdd(x, m.getConstInt(Type::i32(), int64_t{1}));
+        b.createCheckRange(v, m.getConstInt(Type::i32(), lo),
+                           m.getConstInt(Type::i32(), hi), 0);
+        b.createRet(v);
+        em_owner = std::make_unique<ExecModule>(m);
+        em = em_owner.get();
+    }
+
+    RunResult
+    run(int64_t x, const ExecOptions &opts = {})
+    {
+        Memory mem;
+        Interpreter interp(*em, mem);
+        return interp.run(0, {static_cast<uint64_t>(x)}, opts);
+    }
+};
+
+TEST(Interp, RangeCheckPassesInside)
+{
+    CheckedFn fn(0, 100);
+    auto r = fn.run(10);
+    EXPECT_EQ(r.term, Termination::Ok);
+    EXPECT_EQ(static_cast<int64_t>(r.retValue), 11);
+}
+
+TEST(Interp, RangeCheckFailsOutside)
+{
+    CheckedFn fn(0, 100);
+    auto r = fn.run(1000);
+    EXPECT_EQ(r.term, Termination::CheckFailed);
+    EXPECT_EQ(r.failedCheckId, 0);
+}
+
+TEST(Interp, RangeCheckIsSigned)
+{
+    CheckedFn fn(-10, 10);
+    EXPECT_EQ(fn.run(-5).term, Termination::Ok);
+    EXPECT_EQ(fn.run(-50).term, Termination::CheckFailed);
+}
+
+TEST(Interp, DisabledCheckIsSkipped)
+{
+    CheckedFn fn(0, 100);
+    std::vector<uint8_t> disabled{1};
+    ExecOptions opts;
+    opts.disabledChecks = &disabled;
+    EXPECT_EQ(fn.run(1000, opts).term, Termination::Ok);
+}
+
+TEST(Interp, RecordModeCountsAndContinues)
+{
+    CheckedFn fn(0, 100);
+    std::vector<uint64_t> counts(1, 0);
+    ExecOptions opts;
+    opts.checkMode = CheckMode::Record;
+    opts.checkFailCounts = &counts;
+    EXPECT_EQ(fn.run(1000, opts).term, Termination::Ok);
+    EXPECT_EQ(counts[0], 1u);
+}
+
+// ---- fault injection -------------------------------------------------------
+
+TEST(Interp, FaultInjectionIsDeterministic)
+{
+    const char *src = R"(
+        fn main(n: i32) -> i32 {
+            var s: i32 = 0;
+            for (var i: i32 = 0; i < n; i = i + 1) {
+                s = s + i * 3;
+            }
+            return s;
+        })";
+    auto run_once = [&](uint64_t seed) {
+        Memory mem;
+        Rng rng(seed);
+        ExecOptions opts;
+        opts.faultAtDynInstr = 100;
+        opts.faultRng = &rng;
+        return runSource(src, "main", {50}, mem, opts);
+    };
+    auto a = run_once(1);
+    auto b = run_once(1);
+    EXPECT_EQ(a.term, b.term);
+    EXPECT_EQ(a.retValue, b.retValue);
+    EXPECT_EQ(a.fault.slot, b.fault.slot);
+    EXPECT_EQ(a.fault.bit, b.fault.bit);
+}
+
+TEST(Interp, FaultRecordsFlip)
+{
+    Memory mem;
+    Rng rng(3);
+    ExecOptions opts;
+    opts.faultAtDynInstr = 50;
+    opts.faultRng = &rng;
+    auto r = runSource(R"(
+        fn main(n: i32) -> i32 {
+            var s: i32 = 0;
+            for (var i: i32 = 0; i < n; i = i + 1) {
+                s = s + i;
+            }
+            return s;
+        })", "main", {100}, mem, opts);
+    EXPECT_TRUE(r.fault.injected);
+    EXPECT_EQ(r.fault.atDynInstr, 50u);
+    EXPECT_NE(r.fault.before, r.fault.after);
+    // Exactly one bit differs.
+    EXPECT_EQ(__builtin_popcountll(r.fault.before ^ r.fault.after), 1);
+}
+
+TEST(Interp, NoFaultPastProgramEnd)
+{
+    Memory mem;
+    Rng rng(3);
+    ExecOptions opts;
+    opts.faultAtDynInstr = 1000000000; // beyond program length
+    opts.faultRng = &rng;
+    auto r = runSource("fn main() -> i32 { return 7; }", "main", {},
+                       mem, opts);
+    EXPECT_EQ(r.term, Termination::Ok);
+    EXPECT_FALSE(r.fault.injected);
+    EXPECT_EQ(static_cast<int64_t>(r.retValue), 7);
+}
+
+// ---- determinism / cycle accounting ------------------------------------
+
+TEST(Interp, CyclesAreDeterministic)
+{
+    const char *src = R"(
+        fn main(n: i32) -> i32 {
+            var s: i32 = 0;
+            for (var i: i32 = 0; i < n; i = i + 1) {
+                s = s + i / 3;
+            }
+            return s;
+        })";
+    Memory m1, m2;
+    auto a = runSource(src, "main", {200}, m1);
+    auto b = runSource(src, "main", {200}, m2);
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.dynInstrs, b.dynInstrs);
+    EXPECT_GT(a.cycles, a.dynInstrs / 2); // div stalls present
+}
+
+TEST(Interp, GlobalTablesMaterialized)
+{
+    const int64_t v = evalInt(R"(
+        const T: i32[3] = [7, 8, 9];
+        fn main() -> i32 {
+            return T[0] + T[1] * T[2];
+        })", "main");
+    EXPECT_EQ(v, 79);
+}
+
+} // namespace
+} // namespace softcheck

@@ -1,0 +1,118 @@
+#include <gtest/gtest.h>
+
+#include "interp/memory.hh"
+
+namespace softcheck
+{
+namespace
+{
+
+TEST(Memory, AllocReadWriteRoundTrip)
+{
+    Memory mem;
+    const uint64_t base = mem.alloc(64);
+    EXPECT_TRUE(mem.write(base, 8, 0x1122334455667788ULL));
+    uint64_t v = 0;
+    EXPECT_TRUE(mem.read(base, 8, v));
+    EXPECT_EQ(v, 0x1122334455667788ULL);
+}
+
+TEST(Memory, SmallAccessesAreZeroExtended)
+{
+    Memory mem;
+    const uint64_t base = mem.alloc(16);
+    EXPECT_TRUE(mem.write(base, 4, 0xDDCCBBAAu));
+    uint64_t v = ~0ULL;
+    EXPECT_TRUE(mem.read(base, 1, v));
+    EXPECT_EQ(v, 0xAAu);
+    EXPECT_TRUE(mem.read(base, 2, v));
+    EXPECT_EQ(v, 0xBBAAu);
+    EXPECT_TRUE(mem.read(base, 4, v));
+    EXPECT_EQ(v, 0xDDCCBBAAu);
+}
+
+TEST(Memory, OutOfBoundsDetected)
+{
+    Memory mem;
+    const uint64_t base = mem.alloc(16);
+    uint64_t v;
+    EXPECT_FALSE(mem.read(base + 16, 1, v));     // one past end
+    EXPECT_FALSE(mem.read(base - 1, 1, v));      // before start
+    EXPECT_FALSE(mem.read(base + 12, 8, v));     // straddles end
+    EXPECT_FALSE(mem.write(base + 16, 4, 0));
+    EXPECT_TRUE(mem.read(base + 15, 1, v));      // last byte OK
+}
+
+TEST(Memory, GuardGapBetweenRegions)
+{
+    Memory mem;
+    const uint64_t a = mem.alloc(8);
+    const uint64_t b = mem.alloc(8);
+    EXPECT_GE(b, a + 8 + 64); // guard gap
+    uint64_t v;
+    EXPECT_FALSE(mem.read(a + 8, 8, v)); // gap is unmapped
+}
+
+TEST(Memory, WildAddressFails)
+{
+    Memory mem;
+    mem.alloc(8);
+    uint64_t v;
+    EXPECT_FALSE(mem.read(0, 8, v));
+    EXPECT_FALSE(mem.read(~0ULL - 4, 8, v));
+}
+
+TEST(Memory, FreeUnmapsRegion)
+{
+    Memory mem;
+    const uint64_t a = mem.alloc(32);
+    const uint64_t b = mem.alloc(32);
+    mem.free(a);
+    uint64_t v;
+    EXPECT_FALSE(mem.read(a, 4, v));
+    EXPECT_TRUE(mem.read(b, 4, v));
+    EXPECT_EQ(mem.numRegions(), 1u);
+}
+
+TEST(Memory, ZeroInitialized)
+{
+    Memory mem;
+    const uint64_t base = mem.alloc(32);
+    uint64_t v = ~0ULL;
+    EXPECT_TRUE(mem.read(base + 8, 8, v));
+    EXPECT_EQ(v, 0u);
+}
+
+TEST(Memory, HostPtrBulkAccess)
+{
+    Memory mem;
+    const uint64_t base = mem.alloc(16);
+    uint8_t *p = mem.hostPtr(base, 16);
+    ASSERT_NE(p, nullptr);
+    p[3] = 0x7F;
+    uint64_t v;
+    EXPECT_TRUE(mem.read(base + 3, 1, v));
+    EXPECT_EQ(v, 0x7Fu);
+    EXPECT_EQ(mem.hostPtr(base, 17), nullptr);
+}
+
+TEST(Memory, ManyRegionsLookup)
+{
+    Memory mem;
+    std::vector<uint64_t> bases;
+    for (int i = 0; i < 50; ++i)
+        bases.push_back(mem.alloc(16 + i));
+    for (int i = 0; i < 50; ++i) {
+        EXPECT_TRUE(mem.write(bases[static_cast<size_t>(i)], 4,
+                              static_cast<uint64_t>(i)));
+    }
+    for (int i = 49; i >= 0; --i) {
+        uint64_t v;
+        EXPECT_TRUE(mem.read(bases[static_cast<size_t>(i)], 4, v));
+        EXPECT_EQ(v, static_cast<uint64_t>(i));
+    }
+    EXPECT_GT(mem.bytesAllocated(), 50u * 16);
+}
+
+} // namespace
+} // namespace softcheck

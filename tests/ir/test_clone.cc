@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include "common/test_util.hh"
+#include "core/pipeline.hh"
+#include "ir/clone.hh"
+#include "ir/printer.hh"
+#include "ir/verifier.hh"
+#include "workloads/workload.hh"
+
+namespace softcheck
+{
+namespace
+{
+
+TEST(CloneModule, TextuallyIdentical)
+{
+    auto mod = compileMiniLang(R"(
+        const T: i32[4] = [9, 8, 7, 6];
+        fn helper(a: i32) -> i32 { return T[a & 3] * 2; }
+        fn main(n: i32) -> i32 {
+            var s: i32 = 0;
+            for (var i: i32 = 0; i < n; i = i + 1) {
+                s = s + helper(i);
+            }
+            return s;
+        })", "t");
+    auto copy = cloneModule(*mod);
+    EXPECT_EQ(moduleToString(*mod), moduleToString(*copy));
+    EXPECT_TRUE(verifyModule(*copy).empty());
+}
+
+TEST(CloneModule, IndependentExecution)
+{
+    auto mod = compileMiniLang(R"(
+        fn main(n: i32) -> i32 {
+            var s: i32 = 0;
+            for (var i: i32 = 0; i < n; i = i + 1) {
+                s = s * 3 + i;
+            }
+            return s;
+        })", "t");
+    auto copy = cloneModule(*mod);
+
+    auto run = [](Module &m) {
+        ExecModule em(m);
+        Memory mem;
+        Interpreter interp(em, mem);
+        return interp.run(em.functionIndex("main"), {12}, {}).retValue;
+    };
+    EXPECT_EQ(run(*mod), run(*copy));
+}
+
+TEST(CloneModule, MutationDoesNotLeakBack)
+{
+    auto mod = compileMiniLang(R"(
+        fn main(n: i32) -> i32 {
+            var s: i32 = 0;
+            for (var i: i32 = 0; i < n; i = i + 1) {
+                s = s + i;
+            }
+            return s;
+        })", "t");
+    const std::string before = moduleToString(*mod);
+
+    // Harden the clone; the original must not change.
+    auto copy = cloneModule(*mod);
+    HardeningOptions opts;
+    opts.mode = HardeningMode::DupOnly;
+    auto report = hardenModule(*copy, opts);
+    EXPECT_GT(report.duplicatedInstrs + report.shadowPhis, 0u);
+
+    mod->renumberAll();
+    EXPECT_EQ(moduleToString(*mod), before);
+    EXPECT_NE(moduleToString(*copy), before);
+}
+
+TEST(CloneModule, PreservesHardeningMetadata)
+{
+    auto mod = compileMiniLang(R"(
+        fn main(n: i32) -> i32 {
+            var s: i32 = 0;
+            for (var i: i32 = 0; i < n; i = i + 1) {
+                s = s + i;
+            }
+            return s;
+        })", "t");
+    assignProfileSites(*mod);
+    HardeningOptions opts;
+    opts.mode = HardeningMode::DupOnly;
+    hardenModule(*mod, opts);
+    auto copy = cloneModule(*mod);
+
+    auto fi = mod->functions().begin();
+    auto ci = copy->functions().begin();
+    for (; fi != mod->functions().end(); ++fi, ++ci) {
+        auto fb = (*fi)->begin();
+        auto cb = (*ci)->begin();
+        for (; fb != (*fi)->end(); ++fb, ++cb) {
+            auto fit = (*fb)->begin();
+            auto cit = (*cb)->begin();
+            for (; fit != (*fb)->end(); ++fit, ++cit) {
+                EXPECT_EQ((*fit)->opcode(), (*cit)->opcode());
+                EXPECT_EQ((*fit)->checkId(), (*cit)->checkId());
+                EXPECT_EQ((*fit)->profileId(), (*cit)->profileId());
+                EXPECT_EQ((*fit)->isDuplicate(), (*cit)->isDuplicate());
+            }
+        }
+    }
+}
+
+TEST(CloneModule, WorksOnAllWorkloads)
+{
+    for (const Workload *w : allWorkloads()) {
+        auto mod = compileMiniLang(w->source, w->name);
+        auto copy = cloneModule(*mod);
+        EXPECT_EQ(moduleToString(*mod), moduleToString(*copy))
+            << w->name;
+    }
+}
+
+} // namespace
+} // namespace softcheck

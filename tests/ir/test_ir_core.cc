@@ -1,0 +1,312 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "ir/irbuilder.hh"
+#include "ir/printer.hh"
+#include "ir/verifier.hh"
+
+namespace softcheck
+{
+namespace
+{
+
+TEST(Module, ConstantUniquing)
+{
+    Module m("t");
+    EXPECT_EQ(m.getConstInt(Type::i32(), int64_t{7}),
+              m.getConstInt(Type::i32(), int64_t{7}));
+    EXPECT_NE(m.getConstInt(Type::i32(), int64_t{7}),
+              m.getConstInt(Type::i64(), int64_t{7}));
+    EXPECT_EQ(m.getConstFloat(Type::f64(), 1.5),
+              m.getConstFloat(Type::f64(), 1.5));
+    EXPECT_NE(m.getConstFloat(Type::f64(), 1.5),
+              m.getConstFloat(Type::f64(), 2.5));
+}
+
+TEST(Module, ConstantsAreCanonical)
+{
+    Module m("t");
+    // 0x1FF truncated to i8 == 0xFF == -1 signed.
+    auto *c = m.getConstInt(Type::i8(), uint64_t{0x1FF});
+    EXPECT_EQ(c->rawValue(), 0xFFu);
+    EXPECT_EQ(c->signedValue(), -1);
+}
+
+TEST(Module, DuplicateFunctionNameRejected)
+{
+    Module m("t");
+    m.createFunction("f", Type::i32());
+    EXPECT_THROW(m.createFunction("f", Type::i32()), FatalError);
+}
+
+TEST(Module, GlobalRoundTrip)
+{
+    Module m("t");
+    auto *g = m.createGlobal("tab", Type::i32(), {1, 2, 3});
+    EXPECT_EQ(m.getGlobal("tab"), g);
+    EXPECT_EQ(g->count(), 3u);
+    EXPECT_EQ(g->index(), 0u);
+    EXPECT_EQ(m.getGlobal("nope"), nullptr);
+    EXPECT_THROW(m.createGlobal("tab", Type::i32(), {1}), FatalError);
+}
+
+/** Build: fn add1(i32 %x) -> i32 { ret x + 1 } */
+Function *
+buildAdd1(Module &m)
+{
+    Function *f = m.createFunction("add1", Type::i32());
+    Argument *x = f->addArg(Type::i32(), "x");
+    BasicBlock *bb = f->addBlock("entry");
+    IRBuilder b(m);
+    b.setInsertPoint(bb);
+    auto *sum = b.createAdd(x, m.getConstInt(Type::i32(), int64_t{1}));
+    b.createRet(sum);
+    return f;
+}
+
+TEST(Function, RenumberAssignsSlots)
+{
+    Module m("t");
+    Function *f = buildAdd1(m);
+    f->renumber();
+    EXPECT_EQ(f->arg(0)->slot(), 0);
+    EXPECT_EQ(f->numSlots(), 2u); // arg + add result
+    EXPECT_EQ(f->numInstructions(), 2u);
+}
+
+TEST(Function, PredecessorsComputed)
+{
+    Module m("t");
+    Function *f = m.createFunction("f", Type::voidTy());
+    auto *a = f->addBlock("a");
+    auto *b1 = f->addBlock("b");
+    auto *c = f->addBlock("c");
+    IRBuilder b(m);
+    b.setInsertPoint(a);
+    b.createCondBr(m.getTrue(), b1, c);
+    b.setInsertPoint(b1);
+    b.createBr(c);
+    b.setInsertPoint(c);
+    b.createRet();
+    auto preds = f->predecessors();
+    EXPECT_EQ(preds.at(a).size(), 0u);
+    EXPECT_EQ(preds.at(b1).size(), 1u);
+    EXPECT_EQ(preds.at(c).size(), 2u);
+}
+
+TEST(Function, ReversePostOrderStartsAtEntry)
+{
+    Module m("t");
+    Function *f = m.createFunction("f", Type::voidTy());
+    auto *a = f->addBlock("a");
+    auto *b1 = f->addBlock("b");
+    auto *c = f->addBlock("c");
+    IRBuilder b(m);
+    b.setInsertPoint(a);
+    b.createBr(b1);
+    b.setInsertPoint(b1);
+    b.createBr(c);
+    b.setInsertPoint(c);
+    b.createRet();
+    auto rpo = f->reversePostOrder();
+    ASSERT_EQ(rpo.size(), 3u);
+    EXPECT_EQ(rpo[0], a);
+    EXPECT_EQ(rpo[1], b1);
+    EXPECT_EQ(rpo[2], c);
+}
+
+TEST(Value, UseListsTrackOperands)
+{
+    Module m("t");
+    Function *f = m.createFunction("f", Type::i32());
+    Argument *x = f->addArg(Type::i32(), "x");
+    BasicBlock *bb = f->addBlock("entry");
+    IRBuilder b(m);
+    b.setInsertPoint(bb);
+    auto *a1 = b.createAdd(x, x);
+    EXPECT_EQ(x->users().size(), 2u); // used twice by a1
+    auto *a2 = b.createAdd(a1, x);
+    EXPECT_EQ(x->users().size(), 3u);
+    EXPECT_EQ(a1->users().size(), 1u);
+    b.createRet(a2);
+}
+
+TEST(Value, ReplaceAllUsesWith)
+{
+    Module m("t");
+    Function *f = m.createFunction("f", Type::i32());
+    Argument *x = f->addArg(Type::i32(), "x");
+    Argument *y = f->addArg(Type::i32(), "y");
+    BasicBlock *bb = f->addBlock("entry");
+    IRBuilder b(m);
+    b.setInsertPoint(bb);
+    auto *a1 = b.createAdd(x, x);
+    b.createRet(a1);
+    x->replaceAllUsesWith(y);
+    EXPECT_TRUE(x->users().empty());
+    EXPECT_EQ(a1->operand(0), y);
+    EXPECT_EQ(a1->operand(1), y);
+}
+
+TEST(Instruction, CloneForDuplication)
+{
+    Module m("t");
+    Function *f = m.createFunction("f", Type::i32());
+    Argument *x = f->addArg(Type::i32(), "x");
+    BasicBlock *bb = f->addBlock("entry");
+    IRBuilder b(m);
+    b.setInsertPoint(bb);
+    auto *a1 = b.createAdd(x, m.getConstInt(Type::i32(), int64_t{3}),
+                           "s");
+    a1->setProfileId(5);
+    a1->setCheckId(2);
+    auto clone = cloneForDuplication(*a1);
+    EXPECT_EQ(clone->opcode(), Opcode::Add);
+    EXPECT_TRUE(clone->isDuplicate());
+    EXPECT_EQ(clone->profileId(), -1);
+    EXPECT_EQ(clone->checkId(), -1);
+    EXPECT_EQ(clone->operand(0), x);
+    EXPECT_EQ(clone->name(), "s.d");
+    clone->dropAllOperands();
+    b.createRet(a1);
+}
+
+TEST(Printer, RendersFunction)
+{
+    Module m("t");
+    buildAdd1(m);
+    m.renumberAll();
+    const std::string text = moduleToString(m);
+    EXPECT_NE(text.find("fn @add1(i32 %x) -> i32"), std::string::npos);
+    EXPECT_NE(text.find("add i32 %x, 1"), std::string::npos);
+    EXPECT_NE(text.find("ret i32"), std::string::npos);
+}
+
+TEST(Printer, RendersChecksWithIds)
+{
+    Module m("t");
+    Function *f = m.createFunction("f", Type::voidTy());
+    Argument *x = f->addArg(Type::i32(), "x");
+    auto *bb = f->addBlock("entry");
+    IRBuilder b(m);
+    b.setInsertPoint(bb);
+    b.createCheckRange(x, m.getConstInt(Type::i32(), int64_t{0}),
+                       m.getConstInt(Type::i32(), int64_t{10}), 3);
+    b.createRet();
+    const std::string text = functionToString(*f);
+    EXPECT_NE(text.find("check.range"), std::string::npos);
+    EXPECT_NE(text.find("!check_id 3"), std::string::npos);
+}
+
+TEST(Verifier, AcceptsValidFunction)
+{
+    Module m("t");
+    buildAdd1(m);
+    EXPECT_TRUE(verifyModule(m).empty());
+}
+
+TEST(Verifier, DetectsMissingTerminator)
+{
+    Module m("t");
+    Function *f = m.createFunction("f", Type::voidTy());
+    auto *bb = f->addBlock("entry");
+    IRBuilder b(m);
+    b.setInsertPoint(bb);
+    b.createAdd(m.getConstInt(Type::i32(), int64_t{1}),
+                m.getConstInt(Type::i32(), int64_t{2}));
+    auto probs = verifyFunction(*f);
+    ASSERT_FALSE(probs.empty());
+    EXPECT_NE(probs.front().find("terminator"), std::string::npos);
+}
+
+TEST(Verifier, DetectsPhiPredMismatch)
+{
+    Module m("t");
+    Function *f = m.createFunction("f", Type::i32());
+    auto *a = f->addBlock("a");
+    auto *b1 = f->addBlock("b");
+    IRBuilder b(m);
+    b.setInsertPoint(a);
+    b.createBr(b1);
+    b.setInsertPoint(b1);
+    auto *phi = b.createPhi(Type::i32());
+    // Incoming from a block that is NOT a predecessor (b1 itself).
+    phi->addIncoming(m.getConstInt(Type::i32(), int64_t{1}), b1);
+    b.createRet(phi);
+    auto probs = verifyFunction(*f);
+    ASSERT_FALSE(probs.empty());
+}
+
+TEST(Verifier, DetectsCrossFunctionOperand)
+{
+    Module m("t");
+    Function *f = m.createFunction("f", Type::i32());
+    Argument *x = f->addArg(Type::i32(), "x");
+    auto *fb = f->addBlock("entry");
+    IRBuilder b(m);
+    b.setInsertPoint(fb);
+    b.createRet(x);
+
+    Function *g = m.createFunction("g", Type::i32());
+    auto *gb = g->addBlock("entry");
+    b.setInsertPoint(gb);
+    b.createRet(x); // x belongs to f
+    auto probs = verifyFunction(*g);
+    ASSERT_FALSE(probs.empty());
+    EXPECT_NE(probs.front().find("outside"), std::string::npos);
+}
+
+TEST(Verifier, DetectsReturnTypeMismatch)
+{
+    Module m("t");
+    Function *f = m.createFunction("f", Type::i64());
+    auto *bb = f->addBlock("entry");
+    IRBuilder b(m);
+    b.setInsertPoint(bb);
+    b.createRet(m.getConstInt(Type::i32(), int64_t{1}));
+    auto probs = verifyFunction(*f);
+    ASSERT_FALSE(probs.empty());
+}
+
+TEST(Builder, TypeChecksRejectBadOperands)
+{
+    Module m("t");
+    Function *f = m.createFunction("f", Type::voidTy());
+    auto *bb = f->addBlock("entry");
+    IRBuilder b(m);
+    b.setInsertPoint(bb);
+    // Builder misuse is a programmer error -> scAssert panics.
+    EXPECT_DEATH_IF_SUPPORTED(
+        (void)b.createAdd(m.getConstInt(Type::i32(), int64_t{1}),
+                          m.getConstInt(Type::i64(), int64_t{1})),
+        "type mismatch");
+    EXPECT_DEATH_IF_SUPPORTED(
+        (void)b.createFAdd(m.getConstInt(Type::i32(), int64_t{1}),
+                           m.getConstInt(Type::i32(), int64_t{1})),
+        "needs float");
+}
+
+TEST(BasicBlock, PhiHelpers)
+{
+    Module m("t");
+    Function *f = m.createFunction("f", Type::i32());
+    auto *a = f->addBlock("a");
+    auto *b1 = f->addBlock("b");
+    IRBuilder b(m);
+    b.setInsertPoint(a);
+    b.createBr(b1);
+    b.setInsertPoint(b1);
+    auto *phi = b.createPhi(Type::i32());
+    phi->addIncoming(m.getConstInt(Type::i32(), int64_t{1}), a);
+    auto *add = b.createAdd(phi, phi);
+    b.createRet(add);
+    EXPECT_EQ(b1->phis().size(), 1u);
+    EXPECT_EQ((*b1->firstNonPhi()).get(), add);
+    EXPECT_EQ(phi->incomingValueFor(a),
+              m.getConstInt(Type::i32(), int64_t{1}));
+    EXPECT_EQ(phi->incomingValueFor(b1), nullptr);
+}
+
+} // namespace
+} // namespace softcheck

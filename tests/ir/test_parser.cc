@@ -1,0 +1,220 @@
+#include <gtest/gtest.h>
+
+#include "common/test_util.hh"
+#include "core/pipeline.hh"
+#include "ir/parser.hh"
+#include "ir/printer.hh"
+#include "profile/value_profiler.hh"
+#include "workloads/workload.hh"
+
+namespace softcheck
+{
+namespace
+{
+
+/** print -> parse -> print must be a fixed point. */
+void
+expectRoundTrip(Module &m)
+{
+    m.renumberAll();
+    const std::string once = moduleToString(m);
+    auto parsed = parseIR(once, m.name());
+    const std::string twice = moduleToString(*parsed);
+    EXPECT_EQ(once, twice);
+}
+
+TEST(IrParser, ParsesSimpleFunction)
+{
+    auto mod = parseIR(R"(
+fn @add1(i32 %x) -> i32 {
+entry:
+    %r = add i32 %x, 1
+    ret i32 %r
+}
+)");
+    Function *f = mod->getFunction("add1");
+    ASSERT_NE(f, nullptr);
+    EXPECT_EQ(f->numArgs(), 1u);
+    EXPECT_EQ(f->returnType(), Type::i32());
+    EXPECT_EQ(f->entry()->size(), 2u);
+}
+
+TEST(IrParser, ExecutesParsedFunction)
+{
+    auto mod = parseIR(R"(
+fn @triple(i32 %x) -> i32 {
+entry:
+    %d = mul i32 %x, 3
+    ret i32 %d
+}
+)");
+    ExecModule em(*mod);
+    Memory mem;
+    Interpreter interp(em, mem);
+    auto r = interp.run(em.functionIndex("triple"), {14}, {});
+    EXPECT_EQ(static_cast<int64_t>(r.retValue), 42);
+}
+
+TEST(IrParser, ForwardReferencesAndPhis)
+{
+    auto mod = parseIR(R"(
+fn @sum(i32 %n) -> i32 {
+entry:
+    br label %head
+head:
+    %i = phi i32 [0, %entry], [%i2, %head]
+    %s = phi i32 [0, %entry], [%s2, %head]
+    %s2 = add i32 %s, %i
+    %i2 = add i32 %i, 1
+    %c = icmp slt i32 %i2, %n
+    condbr i1 %c, label %head, label %done
+done:
+    ret i32 %s2
+}
+)");
+    ExecModule em(*mod);
+    Memory mem;
+    Interpreter interp(em, mem);
+    auto r = interp.run(em.functionIndex("sum"), {10}, {});
+    EXPECT_EQ(static_cast<int64_t>(r.retValue), 45);
+}
+
+TEST(IrParser, GlobalsAndChecksRoundTrip)
+{
+    auto mod = parseIR(R"(
+global @TAB : i32[4] = [5, -6, 7, 8]
+fn @main(i32 %x) -> i32 {
+entry:
+    %g = globaladdr @TAB
+    %i = sext i32 %x to i64
+    %p = gep i32, ptr %g, i64 %i
+    %v = load i32, ptr %p
+    check.range i32 %v, i32 -10, i32 10 !check_id 0
+    ret i32 %v
+}
+)");
+    ASSERT_EQ(mod->globals().size(), 1u);
+    ExecModule em(*mod);
+    Memory mem;
+    Interpreter interp(em, mem);
+    auto r = interp.run(em.functionIndex("main"), {1}, {});
+    // retValue holds the canonical (zero-extended) i32.
+    EXPECT_EQ(static_cast<int32_t>(r.retValue), -6);
+    expectRoundTrip(*mod);
+}
+
+TEST(IrParser, FloatsRoundTripExactly)
+{
+    auto mod = parseIR(R"(
+fn @f(f64 %x) -> f64 {
+entry:
+    %a = fmul f64 %x, 0.70710678118654757
+    %b = sqrt f64 %a
+    %c = fmin f64 %b, f64 %x
+    ret f64 %c
+}
+)");
+    expectRoundTrip(*mod);
+}
+
+TEST(IrParser, SelectAndCalls)
+{
+    auto mod = parseIR(R"(
+fn @abs(i32 %x) -> i32 {
+entry:
+    %neg = sub i32 0, %x
+    %c = icmp slt i32 %x, 0
+    %r = select i1 %c, i32 %neg, i32 %x
+    ret i32 %r
+}
+fn @main(i32 %x) -> i32 {
+entry:
+    %r = call i32 @abs(i32 %x)
+    ret i32 %r
+}
+)");
+    ExecModule em(*mod);
+    Memory mem;
+    Interpreter interp(em, mem);
+    auto r = interp.run(em.functionIndex("main"),
+                        {truncBits(static_cast<uint64_t>(-9), 32)}, {});
+    EXPECT_EQ(static_cast<int64_t>(r.retValue), 9);
+    expectRoundTrip(*mod);
+}
+
+TEST(IrParser, RejectsMalformedInput)
+{
+    EXPECT_THROW(parseIR("fn @f() -> i32 {\nentry:\n    ret i32 %x\n}"),
+                 FatalError); // undefined value
+    EXPECT_THROW(parseIR("fn @f() -> i32 {\nentry:\n    frob i32 1\n}"),
+                 FatalError); // unknown opcode
+    EXPECT_THROW(parseIR("fn @f() -> i32 {"), FatalError); // no '}'
+    EXPECT_THROW(
+        parseIR("fn @f() -> i32 {\nentry:\n    %r = add i32 1, 2\n    "
+                "%r = add i32 1, 2\n    ret i32 %r\n}"),
+        FatalError); // redefinition
+}
+
+TEST(IrParser, TypeMismatchDetected)
+{
+    EXPECT_THROW(parseIR(R"(
+fn @f(i64 %x) -> i32 {
+entry:
+    %r = add i32 %x, 1
+    ret i32 %r
+}
+)"),
+                 FatalError);
+}
+
+/** Round-trip property over every compiled-and-hardened workload. */
+class ParserRoundTrip : public ::testing::TestWithParam<const Workload *>
+{};
+
+TEST_P(ParserRoundTrip, CompiledModule)
+{
+    auto mod = compileMiniLang(GetParam()->source, GetParam()->name);
+    expectRoundTrip(*mod);
+}
+
+TEST_P(ParserRoundTrip, HardenedModule)
+{
+    auto mod = compileMiniLang(GetParam()->source, GetParam()->name);
+    HardeningOptions opts;
+    opts.mode = HardeningMode::DupOnly;
+    hardenModule(*mod, opts);
+    expectRoundTrip(*mod);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    All13, ParserRoundTrip, ::testing::ValuesIn(allWorkloads()),
+    [](const auto &info) { return info.param->name; });
+
+TEST(IrParser, ParsedHardenedModuleExecutesIdentically)
+{
+    const Workload &w = getWorkload("tiff2bw");
+    auto mod = compileMiniLang(w.source, w.name);
+    HardeningOptions opts;
+    opts.mode = HardeningMode::DupOnly;
+    hardenModule(*mod, opts);
+
+    auto reparsed = parseIR(moduleToString(*mod), w.name);
+
+    auto spec = w.makeInput(false);
+    auto run_module = [&](Module &m) {
+        ExecModule em(m);
+        auto run = prepareRun(spec);
+        Interpreter interp(em, *run.mem);
+        auto r = interp.run(em.functionIndex(w.entry), run.args, {});
+        EXPECT_EQ(r.term, Termination::Ok);
+        return std::make_pair(r.retValue,
+                              extractSignal(w, spec, run));
+    };
+    auto a = run_module(*mod);
+    auto b = run_module(*reparsed);
+    EXPECT_EQ(a.first, b.first);
+    EXPECT_EQ(a.second, b.second);
+}
+
+} // namespace
+} // namespace softcheck

@@ -1,0 +1,72 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+
+#include "common/test_util.hh"
+#include "ir/parser.hh"
+#include "ir/printer.hh"
+
+namespace softcheck
+{
+namespace
+{
+
+TEST(PrinterUniquing, DuplicateSourceNamesDisambiguated)
+{
+    // Two reads of w produce two instructions both named "w.v"; the
+    // printed form must still be unambiguous (parseable).
+    auto mod = compileMiniLang(R"(
+        fn main(w: ptr<i32>, n: i32) -> i32 {
+            var s: i32 = 0;
+            for (var i: i32 = 0; i < n; i = i + 1) {
+                s = s + w[i] * w[n - 1 - i];
+            }
+            return s;
+        })", "t");
+    const std::string text = moduleToString(*mod);
+
+    // Every definition (%name =) must be unique within the function.
+    std::set<std::string> defs;
+    std::istringstream is(text);
+    std::string line;
+    while (std::getline(is, line)) {
+        const auto eq = line.find(" = ");
+        if (eq == std::string::npos)
+            continue;
+        const auto pct = line.find('%');
+        if (pct == std::string::npos || pct > eq)
+            continue;
+        const std::string def = line.substr(pct, eq - pct);
+        EXPECT_TRUE(defs.insert(def).second)
+            << "duplicate definition " << def;
+    }
+
+    // And the text must parse and execute identically.
+    auto reparsed = parseIR(text, "t");
+    Memory m1, m2;
+    const uint64_t b1 = m1.alloc(4 * 8), b2 = m2.alloc(4 * 8);
+    for (int i = 0; i < 8; ++i) {
+        m1.write(b1 + 4u * static_cast<unsigned>(i), 4,
+                 static_cast<uint64_t>(i + 1));
+        m2.write(b2 + 4u * static_cast<unsigned>(i), 4,
+                 static_cast<uint64_t>(i + 1));
+    }
+    ExecModule e1(*mod), e2(*reparsed);
+    Interpreter i1(e1, m1), i2(e2, m2);
+    auto r1 = i1.run(e1.functionIndex("main"), {b1, 8}, {});
+    auto r2 = i2.run(e2.functionIndex("main"), {b2, 8}, {});
+    EXPECT_EQ(r1.retValue, r2.retValue);
+}
+
+TEST(PrinterUniquing, StableAcrossRepeatedPrints)
+{
+    auto mod = compileMiniLang(R"(
+        fn main(p: ptr<i32>) -> i32 {
+            return p[0] + p[1] + p[0];
+        })", "t");
+    EXPECT_EQ(moduleToString(*mod), moduleToString(*mod));
+}
+
+} // namespace
+} // namespace softcheck

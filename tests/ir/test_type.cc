@@ -1,0 +1,64 @@
+#include <gtest/gtest.h>
+
+#include "ir/type.hh"
+
+namespace softcheck
+{
+namespace
+{
+
+TEST(Type, Predicates)
+{
+    EXPECT_TRUE(Type::voidTy().isVoid());
+    EXPECT_TRUE(Type::i1().isInteger());
+    EXPECT_TRUE(Type::i64().isInteger());
+    EXPECT_TRUE(Type::f32().isFloat());
+    EXPECT_TRUE(Type::f64().isFloat());
+    EXPECT_TRUE(Type::ptr().isPtr());
+    EXPECT_FALSE(Type::ptr().isInteger());
+    EXPECT_FALSE(Type::f64().isInteger());
+    EXPECT_FALSE(Type::i32().isFloat());
+}
+
+TEST(Type, BitWidths)
+{
+    EXPECT_EQ(Type::voidTy().bitWidth(), 0u);
+    EXPECT_EQ(Type::i1().bitWidth(), 1u);
+    EXPECT_EQ(Type::i8().bitWidth(), 8u);
+    EXPECT_EQ(Type::i16().bitWidth(), 16u);
+    EXPECT_EQ(Type::i32().bitWidth(), 32u);
+    EXPECT_EQ(Type::i64().bitWidth(), 64u);
+    EXPECT_EQ(Type::f32().bitWidth(), 32u);
+    EXPECT_EQ(Type::f64().bitWidth(), 64u);
+    EXPECT_EQ(Type::ptr().bitWidth(), 64u);
+}
+
+TEST(Type, StoreSizes)
+{
+    EXPECT_EQ(Type::i1().storeSize(), 1u);
+    EXPECT_EQ(Type::i8().storeSize(), 1u);
+    EXPECT_EQ(Type::i16().storeSize(), 2u);
+    EXPECT_EQ(Type::i32().storeSize(), 4u);
+    EXPECT_EQ(Type::i64().storeSize(), 8u);
+    EXPECT_EQ(Type::f32().storeSize(), 4u);
+    EXPECT_EQ(Type::f64().storeSize(), 8u);
+    EXPECT_EQ(Type::ptr().storeSize(), 8u);
+}
+
+TEST(Type, Equality)
+{
+    EXPECT_EQ(Type::i32(), Type::i32());
+    EXPECT_NE(Type::i32(), Type::i64());
+    EXPECT_NE(Type::f32(), Type::i32());
+}
+
+TEST(Type, Spelling)
+{
+    EXPECT_EQ(Type::i32().str(), "i32");
+    EXPECT_EQ(Type::f64().str(), "f64");
+    EXPECT_EQ(Type::ptr().str(), "ptr");
+    EXPECT_EQ(Type::voidTy().str(), "void");
+}
+
+} // namespace
+} // namespace softcheck

@@ -1,0 +1,166 @@
+#include <gtest/gtest.h>
+
+#include "profile/online_histogram.hh"
+#include "support/rng.hh"
+
+namespace softcheck
+{
+namespace
+{
+
+TEST(OnlineHistogram, CountsPreserved)
+{
+    OnlineHistogram h(5);
+    for (int i = 0; i < 1000; ++i)
+        h.insert(i % 37);
+    EXPECT_EQ(h.totalCount(), 1000u);
+    uint64_t bin_total = 0;
+    for (const auto &b : h.bins())
+        bin_total += b.count;
+    EXPECT_EQ(bin_total, 1000u);
+}
+
+TEST(OnlineHistogram, NeverExceedsBudget)
+{
+    OnlineHistogram h(5);
+    Rng rng(1);
+    for (int i = 0; i < 500; ++i) {
+        h.insert(static_cast<double>(rng.nextRange(-10000, 10000)));
+        EXPECT_LE(h.bins().size(), 5u);
+    }
+}
+
+TEST(OnlineHistogram, BinsSortedAndDisjoint)
+{
+    OnlineHistogram h(5);
+    Rng rng(2);
+    for (int i = 0; i < 300; ++i)
+        h.insert(rng.nextDouble() * 1000.0);
+    const auto &bins = h.bins();
+    for (std::size_t i = 0; i < bins.size(); ++i) {
+        EXPECT_LE(bins[i].lb, bins[i].rb);
+        if (i + 1 < bins.size())
+            EXPECT_LT(bins[i].rb, bins[i + 1].lb);
+    }
+}
+
+TEST(OnlineHistogram, MinMaxTracked)
+{
+    OnlineHistogram h(5);
+    for (double v : {5.0, -3.0, 12.0, 0.0})
+        h.insert(v);
+    EXPECT_DOUBLE_EQ(h.minSeen(), -3.0);
+    EXPECT_DOUBLE_EQ(h.maxSeen(), 12.0);
+}
+
+TEST(OnlineHistogram, ExactValuesTrackedUpToFour)
+{
+    OnlineHistogram h(5);
+    for (int i = 0; i < 10; ++i)
+        h.insert(1.0);
+    for (int i = 0; i < 5; ++i)
+        h.insert(2.0);
+    EXPECT_FALSE(h.exactOverflowed());
+    ASSERT_EQ(h.exactValues().size(), 2u);
+    EXPECT_EQ(h.exactValues().at(1.0), 10u);
+    EXPECT_EQ(h.exactValues().at(2.0), 5u);
+}
+
+TEST(OnlineHistogram, ExactOverflowAfterTooManyDistinct)
+{
+    OnlineHistogram h(5);
+    for (int i = 0; i < 10; ++i)
+        h.insert(static_cast<double>(i));
+    EXPECT_TRUE(h.exactOverflowed());
+    EXPECT_TRUE(h.exactValues().empty());
+}
+
+TEST(OnlineHistogram, SingleValueStaysSingleton)
+{
+    OnlineHistogram h(5);
+    for (int i = 0; i < 100; ++i)
+        h.insert(42.0);
+    ASSERT_EQ(h.bins().size(), 1u);
+    EXPECT_DOUBLE_EQ(h.bins()[0].lb, 42.0);
+    EXPECT_DOUBLE_EQ(h.bins()[0].rb, 42.0);
+    EXPECT_EQ(h.bins()[0].count, 100u);
+}
+
+TEST(OnlineHistogram, MergesSmallestGap)
+{
+    OnlineHistogram h(2);
+    h.insert(0.0);
+    h.insert(100.0);
+    h.insert(1.0); // closest to 0 -> merged with it
+    const auto &bins = h.bins();
+    ASSERT_EQ(bins.size(), 2u);
+    EXPECT_DOUBLE_EQ(bins[0].lb, 0.0);
+    EXPECT_DOUBLE_EQ(bins[0].rb, 1.0);
+    EXPECT_EQ(bins[0].count, 2u);
+    EXPECT_DOUBLE_EQ(bins[1].lb, 100.0);
+}
+
+// ---- Algorithm 2 ----------------------------------------------------
+
+TEST(FrequentRange, PicksDominantCluster)
+{
+    OnlineHistogram h(5);
+    // Dense cluster at [0, 10], outliers far away.
+    for (int i = 0; i < 900; ++i)
+        h.insert(static_cast<double>(i % 11));
+    for (int i = 0; i < 10; ++i)
+        h.insert(1.0e6 + i * 1e5);
+    const FrequentRange fr = extractFrequentRange(h, 1000.0);
+    EXPECT_LE(fr.lo, 0.0);
+    EXPECT_GE(fr.hi, 10.0);
+    EXPECT_LT(fr.hi, 1.0e5); // outliers excluded
+    EXPECT_GE(fr.mass, 900u);
+}
+
+TEST(FrequentRange, ThresholdLimitsWidth)
+{
+    OnlineHistogram h(5);
+    for (int i = 0; i < 100; ++i) {
+        h.insert(0.0);
+        h.insert(500.0);
+        h.insert(1000.0);
+    }
+    // Threshold below the gap: only the seed bin is returned.
+    const FrequentRange fr = extractFrequentRange(h, 100.0);
+    EXPECT_LE(fr.hi - fr.lo, 100.0);
+}
+
+TEST(FrequentRange, WideThresholdCoversEverything)
+{
+    OnlineHistogram h(5);
+    Rng rng(5);
+    for (int i = 0; i < 400; ++i)
+        h.insert(static_cast<double>(rng.nextRange(0, 1000)));
+    const FrequentRange fr = extractFrequentRange(h, 1.0e9);
+    EXPECT_EQ(fr.mass, h.totalCount());
+}
+
+TEST(FrequentRange, EmptyHistogram)
+{
+    OnlineHistogram h(5);
+    const FrequentRange fr = extractFrequentRange(h, 100.0);
+    EXPECT_EQ(fr.mass, 0u);
+}
+
+TEST(FrequentRange, MassNeverExceedsTotal)
+{
+    Rng rng(6);
+    for (int trial = 0; trial < 20; ++trial) {
+        OnlineHistogram h(5);
+        const int n = 50 + static_cast<int>(rng.nextBelow(200));
+        for (int i = 0; i < n; ++i)
+            h.insert(static_cast<double>(rng.nextRange(-500, 500)));
+        const FrequentRange fr = extractFrequentRange(
+            h, static_cast<double>(rng.nextBelow(2000)));
+        EXPECT_LE(fr.mass, h.totalCount());
+        EXPECT_LE(fr.lo, fr.hi);
+    }
+}
+
+} // namespace
+} // namespace softcheck

@@ -1,0 +1,169 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/test_util.hh"
+#include "profile/profile_data.hh"
+
+namespace softcheck
+{
+namespace
+{
+
+ProfileData
+profileOf(const std::vector<double> &samples, bool is_float = false,
+          CheckPolicy policy = {})
+{
+    ValueProfiler prof(1);
+    for (double v : samples)
+        prof.record(0, v);
+    return ProfileData(prof, std::vector<bool>{is_float}, policy);
+}
+
+TEST(ProfileData, SingleValueYieldsCheckOne)
+{
+    std::vector<double> samples(100, 42.0);
+    auto pd = profileOf(samples);
+    EXPECT_EQ(pd.site(0).shape, CheckShape::One);
+    EXPECT_DOUBLE_EQ(pd.site(0).v0, 42.0);
+    EXPECT_DOUBLE_EQ(pd.site(0).coverage, 1.0);
+}
+
+TEST(ProfileData, TwoValuesYieldCheckTwo)
+{
+    std::vector<double> samples;
+    for (int i = 0; i < 60; ++i)
+        samples.push_back(i % 2 ? 5.0 : -3.0);
+    auto pd = profileOf(samples);
+    EXPECT_EQ(pd.site(0).shape, CheckShape::Two);
+    EXPECT_DOUBLE_EQ(pd.site(0).v0, -3.0);
+    EXPECT_DOUBLE_EQ(pd.site(0).v1, 5.0);
+}
+
+TEST(ProfileData, CompactSpreadYieldsRange)
+{
+    std::vector<double> samples;
+    for (int i = 0; i < 500; ++i)
+        samples.push_back(static_cast<double>(i % 100));
+    auto pd = profileOf(samples);
+    ASSERT_EQ(pd.site(0).shape, CheckShape::Range);
+    EXPECT_LE(pd.site(0).v0, 0.0);  // slack below
+    EXPECT_GE(pd.site(0).v1, 99.0); // slack above
+}
+
+TEST(ProfileData, WideSpreadNotAmenable)
+{
+    std::vector<double> samples;
+    Rng rng(7);
+    for (int i = 0; i < 500; ++i)
+        samples.push_back(static_cast<double>(
+            rng.nextRange(-2'000'000'000LL, 2'000'000'000LL)));
+    auto pd = profileOf(samples);
+    EXPECT_EQ(pd.site(0).shape, CheckShape::None);
+    EXPECT_EQ(pd.numAmenable(), 0u);
+}
+
+TEST(ProfileData, TooFewSamplesNotAmenable)
+{
+    auto pd = profileOf({1.0, 1.0, 1.0}); // below minSamples
+    EXPECT_EQ(pd.site(0).shape, CheckShape::None);
+}
+
+TEST(ProfileData, RangeSlackIsAtLeastOneForInts)
+{
+    std::vector<double> samples;
+    for (int i = 0; i < 100; ++i)
+        samples.push_back(static_cast<double>(50 + i % 3));
+    CheckPolicy policy;
+    policy.rangeSlack = 0.0;
+    auto pd = profileOf(samples, false, policy);
+    if (pd.site(0).shape == CheckShape::Range) {
+        EXPECT_LE(pd.site(0).v0, 49.0);
+        EXPECT_GE(pd.site(0).v1, 53.0);
+    }
+}
+
+TEST(ProfileData, SerializationRoundTrip)
+{
+    std::vector<double> samples;
+    for (int i = 0; i < 200; ++i)
+        samples.push_back(static_cast<double>(i % 50));
+    auto pd = profileOf(samples);
+    std::stringstream ss;
+    pd.save(ss);
+    auto loaded = ProfileData::load(ss);
+    ASSERT_EQ(loaded.numSites(), pd.numSites());
+    EXPECT_EQ(loaded.site(0).shape, pd.site(0).shape);
+    EXPECT_DOUBLE_EQ(loaded.site(0).v0, pd.site(0).v0);
+    EXPECT_DOUBLE_EQ(loaded.site(0).v1, pd.site(0).v1);
+    EXPECT_EQ(loaded.site(0).samples, pd.site(0).samples);
+}
+
+TEST(ProfileSites, AssignedToEligibleInstructionsOnly)
+{
+    auto mod = compileMiniLang(R"(
+        fn main(p: ptr<i32>, n: i32) -> i32 {
+            var s: i32 = 0;
+            for (var i: i32 = 0; i < n; i = i + 1) {
+                s = s + p[i];
+            }
+            return s;
+        })", "t");
+    const unsigned sites = assignProfileSites(*mod);
+    EXPECT_GT(sites, 0u);
+    for (Function *fn : mod->functions()) {
+        for (auto &bb : *fn) {
+            for (auto &inst : *bb) {
+                if (inst->profileId() >= 0) {
+                    EXPECT_TRUE(isProfileEligible(*inst));
+                    EXPECT_NE(inst->opcode(), Opcode::Phi);
+                    EXPECT_NE(inst->type(), Type::i1());
+                }
+            }
+        }
+    }
+}
+
+TEST(ProfileSites, EndToEndProfilingRun)
+{
+    auto mod = compileMiniLang(R"(
+        const T: i32[4] = [10, 11, 12, 13];
+        fn main(n: i32) -> i32 {
+            var s: i32 = 0;
+            for (var i: i32 = 0; i < n; i = i + 1) {
+                s = s + T[i & 3];
+            }
+            return s;
+        })", "t");
+    const unsigned sites = assignProfileSites(*mod);
+    ExecModule em(*mod);
+    ValueProfiler prof(em.numProfileSites());
+    Memory mem;
+    ExecOptions opts;
+    opts.profiler = &prof;
+    Interpreter interp(em, mem);
+    auto r = interp.run(em.functionIndex("main"), {1000}, opts);
+    ASSERT_EQ(r.term, Termination::Ok);
+
+    ProfileData pd(prof, floatSiteFlags(*mod, sites));
+    // The table load site (values 10..13) must be amenable.
+    bool found_load_site = false;
+    for (Function *fn : mod->functions()) {
+        for (auto &bb : *fn) {
+            for (auto &inst : *bb) {
+                if (inst->opcode() == Opcode::Load &&
+                    inst->profileId() >= 0) {
+                    const auto &s = pd.site(
+                        static_cast<unsigned>(inst->profileId()));
+                    EXPECT_NE(s.shape, CheckShape::None);
+                    EXPECT_GE(s.samples, 1000u);
+                    found_load_site = true;
+                }
+            }
+        }
+    }
+    EXPECT_TRUE(found_load_site);
+}
+
+} // namespace
+} // namespace softcheck

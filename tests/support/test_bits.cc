@@ -1,0 +1,84 @@
+#include <gtest/gtest.h>
+
+#include "support/bits.hh"
+
+namespace softcheck
+{
+namespace
+{
+
+TEST(Bits, LowBitMask)
+{
+    EXPECT_EQ(lowBitMask(0), 0u);
+    EXPECT_EQ(lowBitMask(1), 1u);
+    EXPECT_EQ(lowBitMask(8), 0xFFu);
+    EXPECT_EQ(lowBitMask(32), 0xFFFFFFFFu);
+    EXPECT_EQ(lowBitMask(64), ~0ULL);
+}
+
+TEST(Bits, TruncBits)
+{
+    EXPECT_EQ(truncBits(0x1FF, 8), 0xFFu);
+    EXPECT_EQ(truncBits(0x100, 8), 0u);
+    EXPECT_EQ(truncBits(~0ULL, 32), 0xFFFFFFFFu);
+    EXPECT_EQ(truncBits(5, 64), 5u);
+}
+
+TEST(Bits, SignExtendPositive)
+{
+    EXPECT_EQ(signExtend(0x7F, 8), 127);
+    EXPECT_EQ(signExtend(0x7FFFFFFF, 32), 2147483647);
+    EXPECT_EQ(signExtend(0, 8), 0);
+}
+
+TEST(Bits, SignExtendNegative)
+{
+    EXPECT_EQ(signExtend(0xFF, 8), -1);
+    EXPECT_EQ(signExtend(0x80, 8), -128);
+    EXPECT_EQ(signExtend(0xFFFFFFFF, 32), -1);
+    EXPECT_EQ(signExtend(0x8000, 16), -32768);
+}
+
+TEST(Bits, SignExtend64IsIdentity)
+{
+    EXPECT_EQ(signExtend(0x8000000000000000ULL, 64),
+              std::numeric_limits<int64_t>::min());
+    EXPECT_EQ(signExtend(42, 64), 42);
+}
+
+TEST(Bits, FlipBitInvolution)
+{
+    for (unsigned bit = 0; bit < 64; ++bit) {
+        const uint64_t v = 0xDEADBEEFCAFEF00DULL;
+        EXPECT_NE(flipBit(v, bit), v);
+        EXPECT_EQ(flipBit(flipBit(v, bit), bit), v);
+    }
+}
+
+TEST(Bits, TestBit)
+{
+    EXPECT_TRUE(testBit(0b100, 2));
+    EXPECT_FALSE(testBit(0b100, 1));
+    EXPECT_TRUE(testBit(1ULL << 63, 63));
+}
+
+class TruncSignRoundTrip : public ::testing::TestWithParam<unsigned>
+{};
+
+TEST_P(TruncSignRoundTrip, SignExtendOfTruncPreservesLowBits)
+{
+    const unsigned width = GetParam();
+    for (uint64_t v :
+         {0ULL, 1ULL, 0x7FULL, 0x80ULL, 0xFFULL, 0xDEADBEEFULL,
+          0x8000000000000000ULL, ~0ULL}) {
+        const uint64_t t = truncBits(v, width);
+        const int64_t s = signExtend(t, width);
+        EXPECT_EQ(truncBits(static_cast<uint64_t>(s), width), t);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, TruncSignRoundTrip,
+                         ::testing::Values(1u, 8u, 16u, 32u, 64u));
+
+} // namespace
+} // namespace softcheck

@@ -1,0 +1,111 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "support/rng.hh"
+
+namespace softcheck
+{
+namespace
+{
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i) {
+        if (a.next() == b.next())
+            ++same;
+    }
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, NextBelowStaysInBound)
+{
+    Rng rng(7);
+    for (uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL, 1ULL << 40}) {
+        for (int i = 0; i < 200; ++i)
+            EXPECT_LT(rng.nextBelow(bound), bound);
+    }
+}
+
+TEST(Rng, NextBelowOneIsAlwaysZero)
+{
+    Rng rng(9);
+    for (int i = 0; i < 32; ++i)
+        EXPECT_EQ(rng.nextBelow(1), 0u);
+}
+
+TEST(Rng, NextRangeInclusive)
+{
+    Rng rng(11);
+    std::set<int64_t> seen;
+    for (int i = 0; i < 500; ++i) {
+        const int64_t v = rng.nextRange(-3, 3);
+        EXPECT_GE(v, -3);
+        EXPECT_LE(v, 3);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 7u); // all values hit
+}
+
+TEST(Rng, NextDoubleInUnitInterval)
+{
+    Rng rng(13);
+    double sum = 0;
+    for (int i = 0; i < 2000; ++i) {
+        const double v = rng.nextDouble();
+        EXPECT_GE(v, 0.0);
+        EXPECT_LT(v, 1.0);
+        sum += v;
+    }
+    EXPECT_NEAR(sum / 2000.0, 0.5, 0.05);
+}
+
+TEST(Rng, GaussianMeanAndSpread)
+{
+    Rng rng(17);
+    double sum = 0, sq = 0;
+    const int n = 5000;
+    for (int i = 0; i < n; ++i) {
+        const double v = rng.nextGaussian();
+        sum += v;
+        sq += v * v;
+    }
+    EXPECT_NEAR(sum / n, 0.0, 0.1);
+    EXPECT_NEAR(sq / n, 1.0, 0.1);
+}
+
+TEST(Rng, SplitProducesIndependentStream)
+{
+    Rng a(21);
+    Rng b = a.split();
+    int same = 0;
+    for (int i = 0; i < 64; ++i) {
+        if (a.next() == b.next())
+            ++same;
+    }
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformityRoughChiSquare)
+{
+    Rng rng(23);
+    std::map<uint64_t, int> buckets;
+    const int n = 8000;
+    for (int i = 0; i < n; ++i)
+        buckets[rng.nextBelow(8)]++;
+    for (auto &[k, v] : buckets)
+        EXPECT_NEAR(v, n / 8, n / 40); // within 20%
+}
+
+} // namespace
+} // namespace softcheck

@@ -1,0 +1,59 @@
+#include <gtest/gtest.h>
+
+#include "support/stats.hh"
+
+namespace softcheck
+{
+namespace
+{
+
+TEST(Stats, MeanBasics)
+{
+    EXPECT_DOUBLE_EQ(mean({}), 0.0);
+    EXPECT_DOUBLE_EQ(mean({5.0}), 5.0);
+    EXPECT_DOUBLE_EQ(mean({1.0, 2.0, 3.0}), 2.0);
+}
+
+TEST(Stats, SampleStddev)
+{
+    EXPECT_DOUBLE_EQ(sampleStddev({}), 0.0);
+    EXPECT_DOUBLE_EQ(sampleStddev({4.0}), 0.0);
+    EXPECT_NEAR(sampleStddev({2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}),
+                2.138, 1e-3);
+}
+
+TEST(Stats, Geomean)
+{
+    EXPECT_DOUBLE_EQ(geomean({}), 0.0);
+    EXPECT_NEAR(geomean({1.0, 4.0}), 2.0, 1e-12);
+    EXPECT_NEAR(geomean({2.0, 8.0}), 4.0, 1e-12);
+}
+
+TEST(Stats, MarginOfErrorMatchesPaper)
+{
+    // Paper Sec. IV-C: 1000 trials -> ~3.1% at 95% confidence
+    // (worst-case p = 0.5).
+    EXPECT_NEAR(100.0 * marginOfError(1000, 0.5, 0.95), 3.1, 0.05);
+}
+
+TEST(Stats, MarginOfErrorShrinksWithTrials)
+{
+    EXPECT_GT(marginOfError(100), marginOfError(1000));
+    EXPECT_GT(marginOfError(1000), marginOfError(10000));
+}
+
+TEST(Stats, MarginOfErrorConfidenceOrdering)
+{
+    EXPECT_LT(marginOfError(500, 0.5, 0.90),
+              marginOfError(500, 0.5, 0.95));
+    EXPECT_LT(marginOfError(500, 0.5, 0.95),
+              marginOfError(500, 0.5, 0.99));
+}
+
+TEST(Stats, MarginOfErrorSkewedProportion)
+{
+    EXPECT_LT(marginOfError(1000, 0.05), marginOfError(1000, 0.5));
+}
+
+} // namespace
+} // namespace softcheck

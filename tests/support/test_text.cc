@@ -1,0 +1,67 @@
+#include <gtest/gtest.h>
+
+#include "support/error.hh"
+#include "support/text.hh"
+
+namespace softcheck
+{
+namespace
+{
+
+TEST(Text, Join)
+{
+    EXPECT_EQ(join({}, ","), "");
+    EXPECT_EQ(join({"a"}, ","), "a");
+    EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+}
+
+TEST(Text, SplitChar)
+{
+    auto parts = splitChar("a,b,,c", ',');
+    ASSERT_EQ(parts.size(), 4u);
+    EXPECT_EQ(parts[0], "a");
+    EXPECT_EQ(parts[2], "");
+    EXPECT_EQ(parts[3], "c");
+}
+
+TEST(Text, SplitPreservesEmptyTail)
+{
+    auto parts = splitChar("x,", ',');
+    ASSERT_EQ(parts.size(), 2u);
+    EXPECT_EQ(parts[1], "");
+}
+
+TEST(Text, Trim)
+{
+    EXPECT_EQ(trim("  hi  "), "hi");
+    EXPECT_EQ(trim("\t\nx"), "x");
+    EXPECT_EQ(trim("   "), "");
+    EXPECT_EQ(trim("no-op"), "no-op");
+}
+
+TEST(Text, Strformat)
+{
+    EXPECT_EQ(strformat("%d-%s", 42, "x"), "42-x");
+    EXPECT_EQ(strformat("%5.2f", 3.14159), " 3.14");
+}
+
+TEST(Text, Padding)
+{
+    EXPECT_EQ(padLeft("ab", 4), "  ab");
+    EXPECT_EQ(padRight("ab", 4), "ab  ");
+    EXPECT_EQ(padLeft("abcdef", 3), "abcdef");
+}
+
+TEST(Error, FatalThrows)
+{
+    EXPECT_THROW(scFatal("boom ", 42), FatalError);
+    try {
+        scFatal("code ", 7);
+    } catch (const FatalError &e) {
+        EXPECT_NE(std::string(e.what()).find("code 7"),
+                  std::string::npos);
+    }
+}
+
+} // namespace
+} // namespace softcheck

@@ -1,0 +1,146 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "fidelity/fidelity.hh"
+#include "workloads/codecs.hh"
+#include "workloads/inputs.hh"
+
+namespace softcheck
+{
+namespace
+{
+
+TEST(JpegCodec, RoundTripQuality)
+{
+    auto img = makeImage(32, 32, 77);
+    auto stream = codecs::jpegEncode(img, 32, 32);
+    EXPECT_LE(stream.size(), codecs::jpegMaxStream(32, 32));
+    auto decoded = codecs::jpegDecode(stream, 32, 32);
+    ASSERT_EQ(decoded.size(), img.size());
+    std::vector<double> a(img.begin(), img.end());
+    std::vector<double> b(decoded.begin(), decoded.end());
+    EXPECT_GT(psnr(a, b), 30.0); // lossy but good quality
+}
+
+TEST(JpegCodec, StreamStartsWithBlockCount)
+{
+    auto img = makeImage(16, 24, 5);
+    auto stream = codecs::jpegEncode(img, 16, 24);
+    EXPECT_EQ(stream[0], (16 / 8) * (24 / 8));
+}
+
+TEST(AdpcmCodec, RoundTripQuality)
+{
+    auto audio = makeAudio(2048, 99);
+    auto codes = codecs::adpcmEncode(audio);
+    ASSERT_EQ(codes.size(), audio.size());
+    for (int32_t c : codes) {
+        EXPECT_GE(c, 0);
+        EXPECT_LE(c, 15);
+    }
+    auto decoded = codecs::adpcmDecode(codes);
+    std::vector<double> a(audio.begin(), audio.end());
+    std::vector<double> b(decoded.begin(), decoded.end());
+    // ADPCM tracks the waveform: decent segmental SNR.
+    EXPECT_GT(segmentalSnr(a, b), 15.0);
+}
+
+TEST(SubbandCodec, RoundTripQuality)
+{
+    auto audio = makeAudio(1024, 123);
+    auto stream = codecs::subbandEncode(audio);
+    EXPECT_EQ(stream.size(), (1024 / 32) * 33u);
+    auto decoded = codecs::subbandDecode(stream, 1024);
+    std::vector<double> a(audio.begin(), audio.end());
+    std::vector<double> b(decoded.begin(), decoded.end());
+    EXPECT_GT(psnr(a, b, 32768.0), 35.0);
+}
+
+TEST(SubbandCodec, CrcDetectsCorruption)
+{
+    auto audio = makeAudio(64, 7);
+    auto stream = codecs::subbandEncode(audio);
+    const int32_t good = codecs::subbandCrc(stream.data(), 32);
+    EXPECT_EQ(good, stream[32]);
+    auto corrupted = stream;
+    corrupted[5] ^= 0x40;
+    EXPECT_NE(codecs::subbandCrc(corrupted.data(), 32), corrupted[32]);
+}
+
+TEST(VideoCodec, RoundTripQuality)
+{
+    auto video = makeVideo(3, 32, 24, 55);
+    auto stream = codecs::videoEncode(video, 32, 24, 3);
+    auto decoded = codecs::videoDecode(stream, 32, 24, 3);
+    ASSERT_EQ(decoded.size(), video.size());
+    std::vector<double> a(video.begin(), video.end());
+    std::vector<double> b(decoded.begin(), decoded.end());
+    EXPECT_GT(psnr(a, b), 28.0);
+}
+
+TEST(VideoCodec, MotionVectorsBounded)
+{
+    auto video = makeVideo(2, 16, 16, 3);
+    auto stream = codecs::videoEncode(video, 16, 16, 2);
+    const unsigned blocks = 4;
+    // After 4 intra blocks x 64 coeffs, P-frame blocks follow.
+    std::size_t pos = blocks * 64;
+    for (unsigned b = 0; b < blocks; ++b) {
+        EXPECT_LE(std::abs(stream[pos]), 2);
+        EXPECT_LE(std::abs(stream[pos + 1]), 2);
+        pos += 66;
+    }
+}
+
+TEST(Inputs, Deterministic)
+{
+    EXPECT_EQ(makeImage(16, 16, 9), makeImage(16, 16, 9));
+    EXPECT_NE(makeImage(16, 16, 9), makeImage(16, 16, 10));
+    EXPECT_EQ(makeAudio(128, 3), makeAudio(128, 3));
+}
+
+TEST(Inputs, RangesRespected)
+{
+    for (int32_t v : makeImage(32, 32, 4)) {
+        EXPECT_GE(v, 0);
+        EXPECT_LE(v, 255);
+    }
+    for (int32_t v : makeAudio(512, 4)) {
+        EXPECT_GE(v, -32768);
+        EXPECT_LE(v, 32767);
+    }
+}
+
+TEST(Inputs, LabeledDataIsMostlySeparable)
+{
+    std::vector<int32_t> labels;
+    auto data = makeLabeledData(200, 8, 42, labels);
+    ASSERT_EQ(labels.size(), 200u);
+    ASSERT_EQ(data.size(), 200u * 8);
+    int pos = 0;
+    for (int32_t l : labels) {
+        EXPECT_TRUE(l == 1 || l == -1);
+        if (l == 1)
+            ++pos;
+    }
+    // Not degenerate.
+    EXPECT_GT(pos, 40);
+    EXPECT_LT(pos, 160);
+}
+
+TEST(Inputs, ClusterDataHasStructure)
+{
+    auto data = makeClusterData(100, 4, 5, 11);
+    EXPECT_EQ(data.size(), 400u);
+    // Points of the same cluster index (i % k) are close.
+    double intra = 0;
+    for (unsigned d = 0; d < 4; ++d) {
+        const double diff = data[0 * 4 + d] - data[5 * 4 + d];
+        intra += diff * diff;
+    }
+    EXPECT_LT(std::sqrt(intra), 50.0);
+}
+
+} // namespace
+} // namespace softcheck

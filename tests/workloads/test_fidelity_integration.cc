@@ -1,0 +1,108 @@
+#include <gtest/gtest.h>
+
+#include "frontend/compile.hh"
+#include "workloads/workload.hh"
+
+namespace softcheck
+{
+namespace
+{
+
+/**
+ * Fidelity must respond to output corruption in the right direction:
+ * tiny perturbations stay acceptable, gross corruption does not.
+ * Parameterized over all 13 benchmarks.
+ */
+class FidelityDirection
+    : public ::testing::TestWithParam<const Workload *>
+{};
+
+TEST_P(FidelityDirection, GoldenOutputIsAcceptableToItself)
+{
+    const Workload &w = *GetParam();
+    auto mod = compileMiniLang(w.source, w.name);
+    ExecModule em(*mod);
+    auto spec = w.makeInput(false);
+    auto run = prepareRun(spec);
+    Interpreter interp(em, *run.mem);
+    auto r = interp.run(em.functionIndex(w.entry), run.args, {});
+    ASSERT_EQ(r.term, Termination::Ok);
+    auto signal = extractSignal(w, spec, run);
+    const double score = fidelityScore(w.fidelity, signal, signal);
+    EXPECT_TRUE(fidelityAcceptable(w.fidelity, score, w.threshold))
+        << w.name;
+}
+
+TEST_P(FidelityDirection, GrossCorruptionIsUnacceptable)
+{
+    const Workload &w = *GetParam();
+    auto mod = compileMiniLang(w.source, w.name);
+    ExecModule em(*mod);
+    auto spec = w.makeInput(false);
+    auto run = prepareRun(spec);
+    Interpreter interp(em, *run.mem);
+    auto r = interp.run(em.functionIndex(w.entry), run.args, {});
+    ASSERT_EQ(r.term, Termination::Ok);
+    auto golden = extractSignal(w, spec, run);
+
+    // Corrupt the raw output buffers massively, then re-extract.
+    for (std::size_t a = 0; a < spec.args.size(); ++a) {
+        const WorkloadArg &arg = spec.args[a];
+        if (arg.kind != WorkloadArg::Kind::Buffer || !arg.isOutput)
+            continue;
+        const unsigned esz = arg.elem.storeSize();
+        for (uint64_t i = 0; i < arg.count; ++i) {
+            uint64_t v = 0;
+            run.mem->read(run.bufferAddr[a] + i * esz, esz, v);
+            run.mem->write(run.bufferAddr[a] + i * esz, esz,
+                           v ^ lowBitMask(arg.elem.bitWidth()));
+        }
+    }
+    auto corrupted = extractSignal(w, spec, run);
+    const double score = fidelityScore(w.fidelity, golden, corrupted);
+    EXPECT_FALSE(fidelityAcceptable(w.fidelity, score, w.threshold))
+        << w.name << " score=" << score;
+}
+
+TEST_P(FidelityDirection, SinglePixelCorruptionIsAcceptable)
+{
+    const Workload &w = *GetParam();
+    // Only meaningful for element-wise outputs. Encoder outputs are
+    // bitstreams: one flipped code perturbs every later sample through
+    // the decoder's prediction state, which is exactly why the paper
+    // treats encoders' stream-position state as critical.
+    if (w.name.ends_with("enc"))
+        GTEST_SKIP() << "stream output; not element-wise";
+    auto mod = compileMiniLang(w.source, w.name);
+    ExecModule em(*mod);
+    auto spec = w.makeInput(false);
+    auto run = prepareRun(spec);
+    Interpreter interp(em, *run.mem);
+    auto r = interp.run(em.functionIndex(w.entry), run.args, {});
+    ASSERT_EQ(r.term, Termination::Ok);
+    auto golden = extractSignal(w, spec, run);
+
+    // Flip a low bit of ONE output element.
+    for (std::size_t a = 0; a < spec.args.size(); ++a) {
+        const WorkloadArg &arg = spec.args[a];
+        if (arg.kind != WorkloadArg::Kind::Buffer || !arg.isOutput)
+            continue;
+        const unsigned esz = arg.elem.storeSize();
+        const uint64_t idx = arg.count / 2;
+        uint64_t v = 0;
+        run.mem->read(run.bufferAddr[a] + idx * esz, esz, v);
+        run.mem->write(run.bufferAddr[a] + idx * esz, esz, v ^ 1);
+        break;
+    }
+    auto perturbed = extractSignal(w, spec, run);
+    const double score = fidelityScore(w.fidelity, golden, perturbed);
+    EXPECT_TRUE(fidelityAcceptable(w.fidelity, score, w.threshold))
+        << w.name << " score=" << score;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    All13, FidelityDirection, ::testing::ValuesIn(allWorkloads()),
+    [](const auto &info) { return info.param->name; });
+
+} // namespace
+} // namespace softcheck

@@ -1,0 +1,138 @@
+#include <gtest/gtest.h>
+
+#include "frontend/compile.hh"
+#include "workloads/workload.hh"
+
+namespace softcheck
+{
+namespace
+{
+
+TEST(Workloads, ThirteenRegistered)
+{
+    EXPECT_EQ(allWorkloads().size(), 13u);
+}
+
+TEST(Workloads, TableOneCategories)
+{
+    std::map<std::string, int> by_category;
+    for (const Workload *w : allWorkloads())
+        by_category[w->category]++;
+    // Paper Table I: at least two from each of the five categories.
+    EXPECT_GE(by_category["image"], 2);
+    EXPECT_GE(by_category["vision"], 2);
+    EXPECT_GE(by_category["audio"], 2);
+    EXPECT_GE(by_category["video"], 2);
+    EXPECT_GE(by_category["ml"], 2);
+}
+
+TEST(Workloads, LookupByName)
+{
+    EXPECT_EQ(getWorkload("jpegdec").name, "jpegdec");
+    EXPECT_THROW(getWorkload("not-a-benchmark"), FatalError);
+}
+
+TEST(Workloads, TrainAndTestInputsDiffer)
+{
+    for (const Workload *w : allWorkloads()) {
+        auto train = w->makeInput(true);
+        auto test = w->makeInput(false);
+        bool differ = train.args.size() != test.args.size();
+        for (std::size_t i = 0;
+             !differ && i < train.args.size(); ++i) {
+            if (train.args[i].data != test.args[i].data ||
+                train.args[i].scalar != test.args[i].scalar)
+                differ = true;
+        }
+        EXPECT_TRUE(differ) << w->name;
+    }
+}
+
+/**
+ * Per-benchmark end-to-end sanity, parameterized over all 13: compile,
+ * run both inputs, confirm deterministic outputs and fidelity-signal
+ * self-consistency.
+ */
+class WorkloadRuns : public ::testing::TestWithParam<const Workload *>
+{};
+
+TEST_P(WorkloadRuns, CompilesAndRunsBothInputs)
+{
+    const Workload &w = *GetParam();
+    auto mod = compileMiniLang(w.source, w.name);
+    ExecModule em(*mod);
+    for (bool train : {true, false}) {
+        auto spec = w.makeInput(train);
+        auto run = prepareRun(spec);
+        Interpreter interp(em, *run.mem);
+        auto r = interp.run(em.functionIndex(w.entry), run.args, {});
+        ASSERT_EQ(r.term, Termination::Ok)
+            << w.name << (train ? " train" : " test");
+        EXPECT_GT(r.dynInstrs, 1000u) << w.name;
+        EXPECT_LT(r.dynInstrs, 5'000'000u) << w.name;
+        auto signal = extractSignal(w, spec, run);
+        EXPECT_FALSE(signal.empty()) << w.name;
+    }
+}
+
+TEST_P(WorkloadRuns, DeterministicAcrossRuns)
+{
+    const Workload &w = *GetParam();
+    auto mod = compileMiniLang(w.source, w.name);
+    ExecModule em(*mod);
+    auto spec = w.makeInput(false);
+
+    auto once = [&]() {
+        auto run = prepareRun(spec);
+        Interpreter interp(em, *run.mem);
+        auto r = interp.run(em.functionIndex(w.entry), run.args, {});
+        EXPECT_EQ(r.term, Termination::Ok);
+        return std::make_pair(r.retValue, extractSignal(w, spec, run));
+    };
+    auto a = once();
+    auto b = once();
+    EXPECT_EQ(a.first, b.first) << w.name;
+    EXPECT_EQ(a.second, b.second) << w.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    All13, WorkloadRuns, ::testing::ValuesIn(allWorkloads()),
+    [](const auto &info) { return info.param->name; });
+
+TEST(Workloads, Mp3decCrcCleanOnGoldenStream)
+{
+    // The MiniLang CRC must agree with the reference codec's CRC: the
+    // decoder returns the number of CRC mismatches.
+    const Workload &w = getWorkload("mp3dec");
+    auto mod = compileMiniLang(w.source, w.name);
+    ExecModule em(*mod);
+    auto spec = w.makeInput(false);
+    auto run = prepareRun(spec);
+    Interpreter interp(em, *run.mem);
+    auto r = interp.run(em.functionIndex(w.entry), run.args, {});
+    ASSERT_EQ(r.term, Termination::Ok);
+    EXPECT_EQ(r.retValue, 0u);
+}
+
+TEST(Workloads, PreparedBuffersMatchSpec)
+{
+    const Workload &w = getWorkload("tiff2bw");
+    auto spec = w.makeInput(false);
+    auto run = prepareRun(spec);
+    ASSERT_EQ(run.args.size(), spec.args.size());
+    for (std::size_t i = 0; i < spec.args.size(); ++i) {
+        if (spec.args[i].kind == WorkloadArg::Kind::Buffer) {
+            EXPECT_NE(run.bufferAddr[i], 0u);
+            uint64_t v = 0;
+            EXPECT_TRUE(run.mem->read(run.bufferAddr[i],
+                                      spec.args[i].elem.storeSize(),
+                                      v));
+            EXPECT_EQ(v, spec.args[i].data[0]);
+        } else {
+            EXPECT_EQ(run.args[i], spec.args[i].scalar);
+        }
+    }
+}
+
+} // namespace
+} // namespace softcheck
