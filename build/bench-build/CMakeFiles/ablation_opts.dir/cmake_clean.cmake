@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_opts"
+  "../bench/ablation_opts.pdb"
+  "CMakeFiles/ablation_opts.dir/ablation_opts.cc.o"
+  "CMakeFiles/ablation_opts.dir/ablation_opts.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_opts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

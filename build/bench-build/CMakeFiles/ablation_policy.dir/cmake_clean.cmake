@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_policy"
+  "../bench/ablation_policy.pdb"
+  "CMakeFiles/ablation_policy.dir/ablation_policy.cc.o"
+  "CMakeFiles/ablation_policy.dir/ablation_policy.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/cross_validation.cc" "bench-build/CMakeFiles/cross_validation.dir/cross_validation.cc.o" "gcc" "bench-build/CMakeFiles/cross_validation.dir/cross_validation.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fault/CMakeFiles/softcheck_fault.dir/DependInfo.cmake"
+  "/root/repo/build/src/frontend/CMakeFiles/softcheck_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/softcheck_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/softcheck_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/profile/CMakeFiles/softcheck_profile.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/softcheck_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/interp/CMakeFiles/softcheck_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/softcheck_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/fidelity/CMakeFiles/softcheck_fidelity.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/softcheck_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

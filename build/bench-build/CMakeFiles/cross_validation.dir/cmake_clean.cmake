@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/cross_validation"
+  "../bench/cross_validation.pdb"
+  "CMakeFiles/cross_validation.dir/cross_validation.cc.o"
+  "CMakeFiles/cross_validation.dir/cross_validation.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cross_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig02_sdc_breakdown"
+  "../bench/fig02_sdc_breakdown.pdb"
+  "CMakeFiles/fig02_sdc_breakdown.dir/fig02_sdc_breakdown.cc.o"
+  "CMakeFiles/fig02_sdc_breakdown.dir/fig02_sdc_breakdown.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_sdc_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

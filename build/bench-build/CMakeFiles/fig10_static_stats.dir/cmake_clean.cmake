@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig10_static_stats"
+  "../bench/fig10_static_stats.pdb"
+  "CMakeFiles/fig10_static_stats.dir/fig10_static_stats.cc.o"
+  "CMakeFiles/fig10_static_stats.dir/fig10_static_stats.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_static_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

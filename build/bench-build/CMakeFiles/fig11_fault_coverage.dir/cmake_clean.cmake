@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig11_fault_coverage"
+  "../bench/fig11_fault_coverage.pdb"
+  "CMakeFiles/fig11_fault_coverage.dir/fig11_fault_coverage.cc.o"
+  "CMakeFiles/fig11_fault_coverage.dir/fig11_fault_coverage.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_fault_coverage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

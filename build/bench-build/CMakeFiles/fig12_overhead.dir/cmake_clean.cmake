@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig12_overhead"
+  "../bench/fig12_overhead.pdb"
+  "CMakeFiles/fig12_overhead.dir/fig12_overhead.cc.o"
+  "CMakeFiles/fig12_overhead.dir/fig12_overhead.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

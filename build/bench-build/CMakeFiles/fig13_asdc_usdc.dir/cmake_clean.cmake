@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig13_asdc_usdc"
+  "../bench/fig13_asdc_usdc.pdb"
+  "CMakeFiles/fig13_asdc_usdc.dir/fig13_asdc_usdc.cc.o"
+  "CMakeFiles/fig13_asdc_usdc.dir/fig13_asdc_usdc.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_asdc_usdc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fp_rate"
+  "../bench/fp_rate.pdb"
+  "CMakeFiles/fp_rate.dir/fp_rate.cc.o"
+  "CMakeFiles/fp_rate.dir/fp_rate.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fp_rate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/image_pipeline.dir/image_pipeline.cpp.o"
+  "CMakeFiles/image_pipeline.dir/image_pipeline.cpp.o.d"
+  "image_pipeline"
+  "image_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/image_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minilang_explorer.dir/minilang_explorer.cpp.o"
+  "CMakeFiles/minilang_explorer.dir/minilang_explorer.cpp.o.d"
+  "minilang_explorer"
+  "minilang_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minilang_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ml_robustness.dir/ml_robustness.cpp.o"
+  "CMakeFiles/ml_robustness.dir/ml_robustness.cpp.o.d"
+  "ml_robustness"
+  "ml_robustness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ml_robustness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/cfg_utils.cc" "src/analysis/CMakeFiles/softcheck_analysis.dir/cfg_utils.cc.o" "gcc" "src/analysis/CMakeFiles/softcheck_analysis.dir/cfg_utils.cc.o.d"
+  "/root/repo/src/analysis/const_fold.cc" "src/analysis/CMakeFiles/softcheck_analysis.dir/const_fold.cc.o" "gcc" "src/analysis/CMakeFiles/softcheck_analysis.dir/const_fold.cc.o.d"
+  "/root/repo/src/analysis/dominance_verify.cc" "src/analysis/CMakeFiles/softcheck_analysis.dir/dominance_verify.cc.o" "gcc" "src/analysis/CMakeFiles/softcheck_analysis.dir/dominance_verify.cc.o.d"
+  "/root/repo/src/analysis/dominators.cc" "src/analysis/CMakeFiles/softcheck_analysis.dir/dominators.cc.o" "gcc" "src/analysis/CMakeFiles/softcheck_analysis.dir/dominators.cc.o.d"
+  "/root/repo/src/analysis/loop_info.cc" "src/analysis/CMakeFiles/softcheck_analysis.dir/loop_info.cc.o" "gcc" "src/analysis/CMakeFiles/softcheck_analysis.dir/loop_info.cc.o.d"
+  "/root/repo/src/analysis/mem2reg.cc" "src/analysis/CMakeFiles/softcheck_analysis.dir/mem2reg.cc.o" "gcc" "src/analysis/CMakeFiles/softcheck_analysis.dir/mem2reg.cc.o.d"
+  "/root/repo/src/analysis/producer_chain.cc" "src/analysis/CMakeFiles/softcheck_analysis.dir/producer_chain.cc.o" "gcc" "src/analysis/CMakeFiles/softcheck_analysis.dir/producer_chain.cc.o.d"
+  "/root/repo/src/analysis/static_stats.cc" "src/analysis/CMakeFiles/softcheck_analysis.dir/static_stats.cc.o" "gcc" "src/analysis/CMakeFiles/softcheck_analysis.dir/static_stats.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/softcheck_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/softcheck_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/softcheck_analysis.dir/cfg_utils.cc.o"
+  "CMakeFiles/softcheck_analysis.dir/cfg_utils.cc.o.d"
+  "CMakeFiles/softcheck_analysis.dir/const_fold.cc.o"
+  "CMakeFiles/softcheck_analysis.dir/const_fold.cc.o.d"
+  "CMakeFiles/softcheck_analysis.dir/dominance_verify.cc.o"
+  "CMakeFiles/softcheck_analysis.dir/dominance_verify.cc.o.d"
+  "CMakeFiles/softcheck_analysis.dir/dominators.cc.o"
+  "CMakeFiles/softcheck_analysis.dir/dominators.cc.o.d"
+  "CMakeFiles/softcheck_analysis.dir/loop_info.cc.o"
+  "CMakeFiles/softcheck_analysis.dir/loop_info.cc.o.d"
+  "CMakeFiles/softcheck_analysis.dir/mem2reg.cc.o"
+  "CMakeFiles/softcheck_analysis.dir/mem2reg.cc.o.d"
+  "CMakeFiles/softcheck_analysis.dir/producer_chain.cc.o"
+  "CMakeFiles/softcheck_analysis.dir/producer_chain.cc.o.d"
+  "CMakeFiles/softcheck_analysis.dir/static_stats.cc.o"
+  "CMakeFiles/softcheck_analysis.dir/static_stats.cc.o.d"
+  "libsoftcheck_analysis.a"
+  "libsoftcheck_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/softcheck_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

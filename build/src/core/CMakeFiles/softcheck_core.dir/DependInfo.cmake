@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/duplication.cc" "src/core/CMakeFiles/softcheck_core.dir/duplication.cc.o" "gcc" "src/core/CMakeFiles/softcheck_core.dir/duplication.cc.o.d"
+  "/root/repo/src/core/full_duplication.cc" "src/core/CMakeFiles/softcheck_core.dir/full_duplication.cc.o" "gcc" "src/core/CMakeFiles/softcheck_core.dir/full_duplication.cc.o.d"
+  "/root/repo/src/core/pipeline.cc" "src/core/CMakeFiles/softcheck_core.dir/pipeline.cc.o" "gcc" "src/core/CMakeFiles/softcheck_core.dir/pipeline.cc.o.d"
+  "/root/repo/src/core/state_vars.cc" "src/core/CMakeFiles/softcheck_core.dir/state_vars.cc.o" "gcc" "src/core/CMakeFiles/softcheck_core.dir/state_vars.cc.o.d"
+  "/root/repo/src/core/value_checks.cc" "src/core/CMakeFiles/softcheck_core.dir/value_checks.cc.o" "gcc" "src/core/CMakeFiles/softcheck_core.dir/value_checks.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/softcheck_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/profile/CMakeFiles/softcheck_profile.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/softcheck_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/interp/CMakeFiles/softcheck_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/softcheck_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

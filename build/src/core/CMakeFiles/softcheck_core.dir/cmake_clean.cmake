@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/softcheck_core.dir/duplication.cc.o"
+  "CMakeFiles/softcheck_core.dir/duplication.cc.o.d"
+  "CMakeFiles/softcheck_core.dir/full_duplication.cc.o"
+  "CMakeFiles/softcheck_core.dir/full_duplication.cc.o.d"
+  "CMakeFiles/softcheck_core.dir/pipeline.cc.o"
+  "CMakeFiles/softcheck_core.dir/pipeline.cc.o.d"
+  "CMakeFiles/softcheck_core.dir/state_vars.cc.o"
+  "CMakeFiles/softcheck_core.dir/state_vars.cc.o.d"
+  "CMakeFiles/softcheck_core.dir/value_checks.cc.o"
+  "CMakeFiles/softcheck_core.dir/value_checks.cc.o.d"
+  "libsoftcheck_core.a"
+  "libsoftcheck_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/softcheck_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

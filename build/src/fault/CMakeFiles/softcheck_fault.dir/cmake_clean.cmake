@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/softcheck_fault.dir/campaign.cc.o"
+  "CMakeFiles/softcheck_fault.dir/campaign.cc.o.d"
+  "libsoftcheck_fault.a"
+  "libsoftcheck_fault.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/softcheck_fault.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

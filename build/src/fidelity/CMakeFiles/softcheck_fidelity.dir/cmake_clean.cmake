@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/softcheck_fidelity.dir/fidelity.cc.o"
+  "CMakeFiles/softcheck_fidelity.dir/fidelity.cc.o.d"
+  "libsoftcheck_fidelity.a"
+  "libsoftcheck_fidelity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/softcheck_fidelity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

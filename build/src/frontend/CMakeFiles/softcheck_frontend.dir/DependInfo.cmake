@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/frontend/compile.cc" "src/frontend/CMakeFiles/softcheck_frontend.dir/compile.cc.o" "gcc" "src/frontend/CMakeFiles/softcheck_frontend.dir/compile.cc.o.d"
+  "/root/repo/src/frontend/irgen.cc" "src/frontend/CMakeFiles/softcheck_frontend.dir/irgen.cc.o" "gcc" "src/frontend/CMakeFiles/softcheck_frontend.dir/irgen.cc.o.d"
+  "/root/repo/src/frontend/lexer.cc" "src/frontend/CMakeFiles/softcheck_frontend.dir/lexer.cc.o" "gcc" "src/frontend/CMakeFiles/softcheck_frontend.dir/lexer.cc.o.d"
+  "/root/repo/src/frontend/parser.cc" "src/frontend/CMakeFiles/softcheck_frontend.dir/parser.cc.o" "gcc" "src/frontend/CMakeFiles/softcheck_frontend.dir/parser.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/softcheck_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/softcheck_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/softcheck_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/softcheck_frontend.dir/compile.cc.o"
+  "CMakeFiles/softcheck_frontend.dir/compile.cc.o.d"
+  "CMakeFiles/softcheck_frontend.dir/irgen.cc.o"
+  "CMakeFiles/softcheck_frontend.dir/irgen.cc.o.d"
+  "CMakeFiles/softcheck_frontend.dir/lexer.cc.o"
+  "CMakeFiles/softcheck_frontend.dir/lexer.cc.o.d"
+  "CMakeFiles/softcheck_frontend.dir/parser.cc.o"
+  "CMakeFiles/softcheck_frontend.dir/parser.cc.o.d"
+  "libsoftcheck_frontend.a"
+  "libsoftcheck_frontend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/softcheck_frontend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

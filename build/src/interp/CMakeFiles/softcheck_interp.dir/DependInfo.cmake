@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/interp/cost_model.cc" "src/interp/CMakeFiles/softcheck_interp.dir/cost_model.cc.o" "gcc" "src/interp/CMakeFiles/softcheck_interp.dir/cost_model.cc.o.d"
+  "/root/repo/src/interp/exec_module.cc" "src/interp/CMakeFiles/softcheck_interp.dir/exec_module.cc.o" "gcc" "src/interp/CMakeFiles/softcheck_interp.dir/exec_module.cc.o.d"
+  "/root/repo/src/interp/interpreter.cc" "src/interp/CMakeFiles/softcheck_interp.dir/interpreter.cc.o" "gcc" "src/interp/CMakeFiles/softcheck_interp.dir/interpreter.cc.o.d"
+  "/root/repo/src/interp/memory.cc" "src/interp/CMakeFiles/softcheck_interp.dir/memory.cc.o" "gcc" "src/interp/CMakeFiles/softcheck_interp.dir/memory.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/softcheck_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/softcheck_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/softcheck_interp.dir/cost_model.cc.o"
+  "CMakeFiles/softcheck_interp.dir/cost_model.cc.o.d"
+  "CMakeFiles/softcheck_interp.dir/exec_module.cc.o"
+  "CMakeFiles/softcheck_interp.dir/exec_module.cc.o.d"
+  "CMakeFiles/softcheck_interp.dir/interpreter.cc.o"
+  "CMakeFiles/softcheck_interp.dir/interpreter.cc.o.d"
+  "CMakeFiles/softcheck_interp.dir/memory.cc.o"
+  "CMakeFiles/softcheck_interp.dir/memory.cc.o.d"
+  "libsoftcheck_interp.a"
+  "libsoftcheck_interp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/softcheck_interp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ir/basic_block.cc" "src/ir/CMakeFiles/softcheck_ir.dir/basic_block.cc.o" "gcc" "src/ir/CMakeFiles/softcheck_ir.dir/basic_block.cc.o.d"
+  "/root/repo/src/ir/clone.cc" "src/ir/CMakeFiles/softcheck_ir.dir/clone.cc.o" "gcc" "src/ir/CMakeFiles/softcheck_ir.dir/clone.cc.o.d"
+  "/root/repo/src/ir/function.cc" "src/ir/CMakeFiles/softcheck_ir.dir/function.cc.o" "gcc" "src/ir/CMakeFiles/softcheck_ir.dir/function.cc.o.d"
+  "/root/repo/src/ir/instruction.cc" "src/ir/CMakeFiles/softcheck_ir.dir/instruction.cc.o" "gcc" "src/ir/CMakeFiles/softcheck_ir.dir/instruction.cc.o.d"
+  "/root/repo/src/ir/irbuilder.cc" "src/ir/CMakeFiles/softcheck_ir.dir/irbuilder.cc.o" "gcc" "src/ir/CMakeFiles/softcheck_ir.dir/irbuilder.cc.o.d"
+  "/root/repo/src/ir/module.cc" "src/ir/CMakeFiles/softcheck_ir.dir/module.cc.o" "gcc" "src/ir/CMakeFiles/softcheck_ir.dir/module.cc.o.d"
+  "/root/repo/src/ir/parser.cc" "src/ir/CMakeFiles/softcheck_ir.dir/parser.cc.o" "gcc" "src/ir/CMakeFiles/softcheck_ir.dir/parser.cc.o.d"
+  "/root/repo/src/ir/printer.cc" "src/ir/CMakeFiles/softcheck_ir.dir/printer.cc.o" "gcc" "src/ir/CMakeFiles/softcheck_ir.dir/printer.cc.o.d"
+  "/root/repo/src/ir/verifier.cc" "src/ir/CMakeFiles/softcheck_ir.dir/verifier.cc.o" "gcc" "src/ir/CMakeFiles/softcheck_ir.dir/verifier.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/softcheck_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/softcheck_ir.dir/basic_block.cc.o"
+  "CMakeFiles/softcheck_ir.dir/basic_block.cc.o.d"
+  "CMakeFiles/softcheck_ir.dir/clone.cc.o"
+  "CMakeFiles/softcheck_ir.dir/clone.cc.o.d"
+  "CMakeFiles/softcheck_ir.dir/function.cc.o"
+  "CMakeFiles/softcheck_ir.dir/function.cc.o.d"
+  "CMakeFiles/softcheck_ir.dir/instruction.cc.o"
+  "CMakeFiles/softcheck_ir.dir/instruction.cc.o.d"
+  "CMakeFiles/softcheck_ir.dir/irbuilder.cc.o"
+  "CMakeFiles/softcheck_ir.dir/irbuilder.cc.o.d"
+  "CMakeFiles/softcheck_ir.dir/module.cc.o"
+  "CMakeFiles/softcheck_ir.dir/module.cc.o.d"
+  "CMakeFiles/softcheck_ir.dir/parser.cc.o"
+  "CMakeFiles/softcheck_ir.dir/parser.cc.o.d"
+  "CMakeFiles/softcheck_ir.dir/printer.cc.o"
+  "CMakeFiles/softcheck_ir.dir/printer.cc.o.d"
+  "CMakeFiles/softcheck_ir.dir/verifier.cc.o"
+  "CMakeFiles/softcheck_ir.dir/verifier.cc.o.d"
+  "libsoftcheck_ir.a"
+  "libsoftcheck_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/softcheck_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

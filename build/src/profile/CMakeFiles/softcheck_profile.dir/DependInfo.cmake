@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/profile/online_histogram.cc" "src/profile/CMakeFiles/softcheck_profile.dir/online_histogram.cc.o" "gcc" "src/profile/CMakeFiles/softcheck_profile.dir/online_histogram.cc.o.d"
+  "/root/repo/src/profile/profile_data.cc" "src/profile/CMakeFiles/softcheck_profile.dir/profile_data.cc.o" "gcc" "src/profile/CMakeFiles/softcheck_profile.dir/profile_data.cc.o.d"
+  "/root/repo/src/profile/value_profiler.cc" "src/profile/CMakeFiles/softcheck_profile.dir/value_profiler.cc.o" "gcc" "src/profile/CMakeFiles/softcheck_profile.dir/value_profiler.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/interp/CMakeFiles/softcheck_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/softcheck_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/softcheck_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

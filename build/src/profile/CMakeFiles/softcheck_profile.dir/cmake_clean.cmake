@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/softcheck_profile.dir/online_histogram.cc.o"
+  "CMakeFiles/softcheck_profile.dir/online_histogram.cc.o.d"
+  "CMakeFiles/softcheck_profile.dir/profile_data.cc.o"
+  "CMakeFiles/softcheck_profile.dir/profile_data.cc.o.d"
+  "CMakeFiles/softcheck_profile.dir/value_profiler.cc.o"
+  "CMakeFiles/softcheck_profile.dir/value_profiler.cc.o.d"
+  "libsoftcheck_profile.a"
+  "libsoftcheck_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/softcheck_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for softcheck_profile.
+# This may be replaced when dependencies are built.

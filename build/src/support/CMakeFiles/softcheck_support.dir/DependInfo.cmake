@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/support/error.cc" "src/support/CMakeFiles/softcheck_support.dir/error.cc.o" "gcc" "src/support/CMakeFiles/softcheck_support.dir/error.cc.o.d"
+  "/root/repo/src/support/rng.cc" "src/support/CMakeFiles/softcheck_support.dir/rng.cc.o" "gcc" "src/support/CMakeFiles/softcheck_support.dir/rng.cc.o.d"
+  "/root/repo/src/support/stats.cc" "src/support/CMakeFiles/softcheck_support.dir/stats.cc.o" "gcc" "src/support/CMakeFiles/softcheck_support.dir/stats.cc.o.d"
+  "/root/repo/src/support/text.cc" "src/support/CMakeFiles/softcheck_support.dir/text.cc.o" "gcc" "src/support/CMakeFiles/softcheck_support.dir/text.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

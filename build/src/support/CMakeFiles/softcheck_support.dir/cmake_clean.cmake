@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/softcheck_support.dir/error.cc.o"
+  "CMakeFiles/softcheck_support.dir/error.cc.o.d"
+  "CMakeFiles/softcheck_support.dir/rng.cc.o"
+  "CMakeFiles/softcheck_support.dir/rng.cc.o.d"
+  "CMakeFiles/softcheck_support.dir/stats.cc.o"
+  "CMakeFiles/softcheck_support.dir/stats.cc.o.d"
+  "CMakeFiles/softcheck_support.dir/text.cc.o"
+  "CMakeFiles/softcheck_support.dir/text.cc.o.d"
+  "libsoftcheck_support.a"
+  "libsoftcheck_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/softcheck_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/codecs.cc" "src/workloads/CMakeFiles/softcheck_workloads.dir/codecs.cc.o" "gcc" "src/workloads/CMakeFiles/softcheck_workloads.dir/codecs.cc.o.d"
+  "/root/repo/src/workloads/inputs.cc" "src/workloads/CMakeFiles/softcheck_workloads.dir/inputs.cc.o" "gcc" "src/workloads/CMakeFiles/softcheck_workloads.dir/inputs.cc.o.d"
+  "/root/repo/src/workloads/registry.cc" "src/workloads/CMakeFiles/softcheck_workloads.dir/registry.cc.o" "gcc" "src/workloads/CMakeFiles/softcheck_workloads.dir/registry.cc.o.d"
+  "/root/repo/src/workloads/w_audio.cc" "src/workloads/CMakeFiles/softcheck_workloads.dir/w_audio.cc.o" "gcc" "src/workloads/CMakeFiles/softcheck_workloads.dir/w_audio.cc.o.d"
+  "/root/repo/src/workloads/w_image.cc" "src/workloads/CMakeFiles/softcheck_workloads.dir/w_image.cc.o" "gcc" "src/workloads/CMakeFiles/softcheck_workloads.dir/w_image.cc.o.d"
+  "/root/repo/src/workloads/w_ml.cc" "src/workloads/CMakeFiles/softcheck_workloads.dir/w_ml.cc.o" "gcc" "src/workloads/CMakeFiles/softcheck_workloads.dir/w_ml.cc.o.d"
+  "/root/repo/src/workloads/w_video.cc" "src/workloads/CMakeFiles/softcheck_workloads.dir/w_video.cc.o" "gcc" "src/workloads/CMakeFiles/softcheck_workloads.dir/w_video.cc.o.d"
+  "/root/repo/src/workloads/w_vision.cc" "src/workloads/CMakeFiles/softcheck_workloads.dir/w_vision.cc.o" "gcc" "src/workloads/CMakeFiles/softcheck_workloads.dir/w_vision.cc.o.d"
+  "/root/repo/src/workloads/workload.cc" "src/workloads/CMakeFiles/softcheck_workloads.dir/workload.cc.o" "gcc" "src/workloads/CMakeFiles/softcheck_workloads.dir/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fidelity/CMakeFiles/softcheck_fidelity.dir/DependInfo.cmake"
+  "/root/repo/build/src/interp/CMakeFiles/softcheck_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/softcheck_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/softcheck_ir.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

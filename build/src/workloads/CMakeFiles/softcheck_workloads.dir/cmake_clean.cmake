@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/softcheck_workloads.dir/codecs.cc.o"
+  "CMakeFiles/softcheck_workloads.dir/codecs.cc.o.d"
+  "CMakeFiles/softcheck_workloads.dir/inputs.cc.o"
+  "CMakeFiles/softcheck_workloads.dir/inputs.cc.o.d"
+  "CMakeFiles/softcheck_workloads.dir/registry.cc.o"
+  "CMakeFiles/softcheck_workloads.dir/registry.cc.o.d"
+  "CMakeFiles/softcheck_workloads.dir/w_audio.cc.o"
+  "CMakeFiles/softcheck_workloads.dir/w_audio.cc.o.d"
+  "CMakeFiles/softcheck_workloads.dir/w_image.cc.o"
+  "CMakeFiles/softcheck_workloads.dir/w_image.cc.o.d"
+  "CMakeFiles/softcheck_workloads.dir/w_ml.cc.o"
+  "CMakeFiles/softcheck_workloads.dir/w_ml.cc.o.d"
+  "CMakeFiles/softcheck_workloads.dir/w_video.cc.o"
+  "CMakeFiles/softcheck_workloads.dir/w_video.cc.o.d"
+  "CMakeFiles/softcheck_workloads.dir/w_vision.cc.o"
+  "CMakeFiles/softcheck_workloads.dir/w_vision.cc.o.d"
+  "CMakeFiles/softcheck_workloads.dir/workload.cc.o"
+  "CMakeFiles/softcheck_workloads.dir/workload.cc.o.d"
+  "libsoftcheck_workloads.a"
+  "libsoftcheck_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/softcheck_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsoftcheck_workloads.a"
+)

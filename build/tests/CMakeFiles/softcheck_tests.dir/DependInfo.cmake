@@ -1,0 +1,59 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/analysis/test_const_fold.cc" "tests/CMakeFiles/softcheck_tests.dir/analysis/test_const_fold.cc.o" "gcc" "tests/CMakeFiles/softcheck_tests.dir/analysis/test_const_fold.cc.o.d"
+  "/root/repo/tests/analysis/test_dominators.cc" "tests/CMakeFiles/softcheck_tests.dir/analysis/test_dominators.cc.o" "gcc" "tests/CMakeFiles/softcheck_tests.dir/analysis/test_dominators.cc.o.d"
+  "/root/repo/tests/analysis/test_loops_ssa.cc" "tests/CMakeFiles/softcheck_tests.dir/analysis/test_loops_ssa.cc.o" "gcc" "tests/CMakeFiles/softcheck_tests.dir/analysis/test_loops_ssa.cc.o.d"
+  "/root/repo/tests/core/test_hardening.cc" "tests/CMakeFiles/softcheck_tests.dir/core/test_hardening.cc.o" "gcc" "tests/CMakeFiles/softcheck_tests.dir/core/test_hardening.cc.o.d"
+  "/root/repo/tests/core/test_state_vars.cc" "tests/CMakeFiles/softcheck_tests.dir/core/test_state_vars.cc.o" "gcc" "tests/CMakeFiles/softcheck_tests.dir/core/test_state_vars.cc.o.d"
+  "/root/repo/tests/fault/test_campaign.cc" "tests/CMakeFiles/softcheck_tests.dir/fault/test_campaign.cc.o" "gcc" "tests/CMakeFiles/softcheck_tests.dir/fault/test_campaign.cc.o.d"
+  "/root/repo/tests/fault/test_campaign_properties.cc" "tests/CMakeFiles/softcheck_tests.dir/fault/test_campaign_properties.cc.o" "gcc" "tests/CMakeFiles/softcheck_tests.dir/fault/test_campaign_properties.cc.o.d"
+  "/root/repo/tests/fault/test_value_change.cc" "tests/CMakeFiles/softcheck_tests.dir/fault/test_value_change.cc.o" "gcc" "tests/CMakeFiles/softcheck_tests.dir/fault/test_value_change.cc.o.d"
+  "/root/repo/tests/fidelity/test_fidelity.cc" "tests/CMakeFiles/softcheck_tests.dir/fidelity/test_fidelity.cc.o" "gcc" "tests/CMakeFiles/softcheck_tests.dir/fidelity/test_fidelity.cc.o.d"
+  "/root/repo/tests/frontend/test_frontend.cc" "tests/CMakeFiles/softcheck_tests.dir/frontend/test_frontend.cc.o" "gcc" "tests/CMakeFiles/softcheck_tests.dir/frontend/test_frontend.cc.o.d"
+  "/root/repo/tests/frontend/test_lexer.cc" "tests/CMakeFiles/softcheck_tests.dir/frontend/test_lexer.cc.o" "gcc" "tests/CMakeFiles/softcheck_tests.dir/frontend/test_lexer.cc.o.d"
+  "/root/repo/tests/integration/test_end_to_end.cc" "tests/CMakeFiles/softcheck_tests.dir/integration/test_end_to_end.cc.o" "gcc" "tests/CMakeFiles/softcheck_tests.dir/integration/test_end_to_end.cc.o.d"
+  "/root/repo/tests/interp/test_cost_model.cc" "tests/CMakeFiles/softcheck_tests.dir/interp/test_cost_model.cc.o" "gcc" "tests/CMakeFiles/softcheck_tests.dir/interp/test_cost_model.cc.o.d"
+  "/root/repo/tests/interp/test_exec_module.cc" "tests/CMakeFiles/softcheck_tests.dir/interp/test_exec_module.cc.o" "gcc" "tests/CMakeFiles/softcheck_tests.dir/interp/test_exec_module.cc.o.d"
+  "/root/repo/tests/interp/test_float_semantics.cc" "tests/CMakeFiles/softcheck_tests.dir/interp/test_float_semantics.cc.o" "gcc" "tests/CMakeFiles/softcheck_tests.dir/interp/test_float_semantics.cc.o.d"
+  "/root/repo/tests/interp/test_interpreter.cc" "tests/CMakeFiles/softcheck_tests.dir/interp/test_interpreter.cc.o" "gcc" "tests/CMakeFiles/softcheck_tests.dir/interp/test_interpreter.cc.o.d"
+  "/root/repo/tests/interp/test_memory.cc" "tests/CMakeFiles/softcheck_tests.dir/interp/test_memory.cc.o" "gcc" "tests/CMakeFiles/softcheck_tests.dir/interp/test_memory.cc.o.d"
+  "/root/repo/tests/ir/test_clone.cc" "tests/CMakeFiles/softcheck_tests.dir/ir/test_clone.cc.o" "gcc" "tests/CMakeFiles/softcheck_tests.dir/ir/test_clone.cc.o.d"
+  "/root/repo/tests/ir/test_ir_core.cc" "tests/CMakeFiles/softcheck_tests.dir/ir/test_ir_core.cc.o" "gcc" "tests/CMakeFiles/softcheck_tests.dir/ir/test_ir_core.cc.o.d"
+  "/root/repo/tests/ir/test_parser.cc" "tests/CMakeFiles/softcheck_tests.dir/ir/test_parser.cc.o" "gcc" "tests/CMakeFiles/softcheck_tests.dir/ir/test_parser.cc.o.d"
+  "/root/repo/tests/ir/test_printer_uniquing.cc" "tests/CMakeFiles/softcheck_tests.dir/ir/test_printer_uniquing.cc.o" "gcc" "tests/CMakeFiles/softcheck_tests.dir/ir/test_printer_uniquing.cc.o.d"
+  "/root/repo/tests/ir/test_type.cc" "tests/CMakeFiles/softcheck_tests.dir/ir/test_type.cc.o" "gcc" "tests/CMakeFiles/softcheck_tests.dir/ir/test_type.cc.o.d"
+  "/root/repo/tests/profile/test_histogram.cc" "tests/CMakeFiles/softcheck_tests.dir/profile/test_histogram.cc.o" "gcc" "tests/CMakeFiles/softcheck_tests.dir/profile/test_histogram.cc.o.d"
+  "/root/repo/tests/profile/test_profile_data.cc" "tests/CMakeFiles/softcheck_tests.dir/profile/test_profile_data.cc.o" "gcc" "tests/CMakeFiles/softcheck_tests.dir/profile/test_profile_data.cc.o.d"
+  "/root/repo/tests/support/test_bits.cc" "tests/CMakeFiles/softcheck_tests.dir/support/test_bits.cc.o" "gcc" "tests/CMakeFiles/softcheck_tests.dir/support/test_bits.cc.o.d"
+  "/root/repo/tests/support/test_rng.cc" "tests/CMakeFiles/softcheck_tests.dir/support/test_rng.cc.o" "gcc" "tests/CMakeFiles/softcheck_tests.dir/support/test_rng.cc.o.d"
+  "/root/repo/tests/support/test_stats.cc" "tests/CMakeFiles/softcheck_tests.dir/support/test_stats.cc.o" "gcc" "tests/CMakeFiles/softcheck_tests.dir/support/test_stats.cc.o.d"
+  "/root/repo/tests/support/test_text.cc" "tests/CMakeFiles/softcheck_tests.dir/support/test_text.cc.o" "gcc" "tests/CMakeFiles/softcheck_tests.dir/support/test_text.cc.o.d"
+  "/root/repo/tests/workloads/test_codecs.cc" "tests/CMakeFiles/softcheck_tests.dir/workloads/test_codecs.cc.o" "gcc" "tests/CMakeFiles/softcheck_tests.dir/workloads/test_codecs.cc.o.d"
+  "/root/repo/tests/workloads/test_fidelity_integration.cc" "tests/CMakeFiles/softcheck_tests.dir/workloads/test_fidelity_integration.cc.o" "gcc" "tests/CMakeFiles/softcheck_tests.dir/workloads/test_fidelity_integration.cc.o.d"
+  "/root/repo/tests/workloads/test_workloads.cc" "tests/CMakeFiles/softcheck_tests.dir/workloads/test_workloads.cc.o" "gcc" "tests/CMakeFiles/softcheck_tests.dir/workloads/test_workloads.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fault/CMakeFiles/softcheck_fault.dir/DependInfo.cmake"
+  "/root/repo/build/src/frontend/CMakeFiles/softcheck_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/softcheck_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/softcheck_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/profile/CMakeFiles/softcheck_profile.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/softcheck_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/interp/CMakeFiles/softcheck_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/softcheck_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/fidelity/CMakeFiles/softcheck_fidelity.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/softcheck_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
