@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Campaign throughput: trials/sec with checkpointed trial
+ * fast-forwarding (CampaignConfig::checkpoints = K) versus full-replay
+ * trials (K = 0), on the workloads with the longest golden runs —
+ * where redundant prefix re-execution dominates an SFI campaign.
+ *
+ * Writes machine-readable results to BENCH_campaign.json (override the
+ * path with SOFTCHECK_BENCH_JSON) so the perf trajectory is trackable
+ * across PRs. Outcome counts are asserted identical across K as a
+ * determinism sanity check.
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "support/error.hh"
+
+namespace
+{
+
+using namespace softcheck;
+
+double
+secondsSince(std::chrono::steady_clock::time_point t0)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+}
+
+struct Row
+{
+    std::string workload;
+    HardeningMode mode;
+    unsigned k = 0;
+    uint64_t goldenDynInstrs = 0;
+    double trialSeconds = 0;
+    double trialsPerSec = 0;
+    double speedup = 1.0; //!< vs the K=0 row of the same campaign
+};
+
+} // namespace
+
+int
+main()
+{
+    const unsigned trials = benchutil::trialsPerBenchmark(200);
+
+    benchutil::printHeader(
+        "Campaign throughput: checkpointed trial fast-forwarding",
+        strformat("%u trials per campaign; K = snapshots of the "
+                  "fault-free run (0 = replay every trial from "
+                  "instruction 0)",
+                  trials));
+
+    // Rank workloads by golden-run length and bench the three longest:
+    // prefix replay cost scales with goldenDynInstrs, so these dominate
+    // real campaign wall time.
+    struct Candidate
+    {
+        std::string name;
+        uint64_t golden;
+    };
+    std::vector<Candidate> cands;
+    for (const std::string &name : benchutil::benchmarkNames()) {
+        CampaignConfig cfg =
+            benchutil::makeConfig(name, HardeningMode::Original, 0);
+        cands.push_back({name, characterizeOnly(cfg).goldenDynInstrs});
+    }
+    std::sort(cands.begin(), cands.end(),
+              [](const Candidate &a, const Candidate &b) {
+                  return a.golden > b.golden;
+              });
+    cands.resize(std::min<std::size_t>(cands.size(), 3));
+
+    const HardeningMode modes[] = {HardeningMode::Original,
+                                   HardeningMode::DupValChks};
+    const unsigned ks[] = {0, 8, 32};
+
+    std::vector<Row> rows;
+    benchutil::printRule();
+    std::printf("%-10s %-12s %12s %4s %10s %12s %8s\n", "workload",
+                "mode", "goldenInstr", "K", "trial-sec", "trials/sec",
+                "speedup");
+    benchutil::printRule();
+
+    for (const Candidate &cand : cands) {
+        for (const HardeningMode mode : modes) {
+            CampaignConfig cfg =
+                benchutil::makeConfig(cand.name, mode, trials);
+
+            // Fixed campaign overhead (compile, profile, golden run,
+            // calibration) measured separately so trials/sec reflects
+            // the injection phase the checkpoints accelerate.
+            const auto t_char = std::chrono::steady_clock::now();
+            const CampaignResult base = characterizeOnly(cfg);
+            const double char_seconds = secondsSince(t_char);
+
+            double k0_tps = 0;
+            std::array<uint64_t, kNumOutcomes> k0_counts{};
+            for (const unsigned k : ks) {
+                cfg.checkpoints = k;
+                const auto t0 = std::chrono::steady_clock::now();
+                const CampaignResult r = runCampaign(cfg);
+                const double total_seconds = secondsSince(t0);
+                const double trial_seconds =
+                    std::max(total_seconds - char_seconds, 1e-9);
+
+                if (k == 0)
+                    k0_counts = r.counts;
+                else
+                    scAssert(r.counts == k0_counts,
+                             "checkpointed campaign diverged from "
+                             "full-replay outcomes");
+
+                Row row;
+                row.workload = cand.name;
+                row.mode = mode;
+                row.k = k;
+                row.goldenDynInstrs = r.goldenDynInstrs;
+                row.trialSeconds = trial_seconds;
+                row.trialsPerSec = trials / trial_seconds;
+                if (k == 0)
+                    k0_tps = row.trialsPerSec;
+                row.speedup = row.trialsPerSec / k0_tps;
+                rows.push_back(row);
+
+                std::printf("%-10s %-12s %12llu %4u %10.3f %12.1f %7.2fx\n",
+                            row.workload.c_str(),
+                            hardeningModeName(mode),
+                            static_cast<unsigned long long>(
+                                row.goldenDynInstrs),
+                            row.k, row.trialSeconds, row.trialsPerSec,
+                            row.speedup);
+            }
+        }
+    }
+    benchutil::printRule();
+
+    const char *json_path = std::getenv("SOFTCHECK_BENCH_JSON");
+    if (!json_path)
+        json_path = "BENCH_campaign.json";
+    FILE *f = std::fopen(json_path, "w");
+    if (!f) {
+        std::fprintf(stderr, "cannot write %s\n", json_path);
+        return 1;
+    }
+    std::fprintf(f,
+                 "{\n  \"bench\": \"campaign_throughput\",\n"
+                 "  \"trials\": %u,\n  \"results\": [\n",
+                 trials);
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        const Row &r = rows[i];
+        std::fprintf(
+            f,
+            "    {\"workload\": \"%s\", \"mode\": \"%s\", "
+            "\"goldenDynInstrs\": %llu, \"checkpoints\": %u, "
+            "\"trialSeconds\": %.6f, \"trialsPerSec\": %.2f, "
+            "\"speedupVsReplay\": %.3f}%s\n",
+            r.workload.c_str(), hardeningModeName(r.mode),
+            static_cast<unsigned long long>(r.goldenDynInstrs), r.k,
+            r.trialSeconds, r.trialsPerSec, r.speedup,
+            i + 1 < rows.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("wrote %s\n", json_path);
+    return 0;
+}

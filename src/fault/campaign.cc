@@ -158,6 +158,16 @@ buildModule(const Workload &w, HardeningMode mode,
 
 } // namespace
 
+uint64_t
+trialSeed(uint64_t campaignSeed, unsigned trial)
+{
+    // Element 'trial' of the splitmix64 stream started at the campaign
+    // seed: increment by the 64-bit golden ratio, then finalize.
+    return splitmix64(campaignSeed +
+                      (static_cast<uint64_t>(trial) + 1) *
+                          0x9e3779b97f4a7c15ULL);
+}
+
 CampaignResult
 runCampaign(const CampaignConfig &config)
 {
@@ -246,6 +256,39 @@ runCampaign(const CampaignConfig &config)
         config.timeoutFactor * static_cast<double>(
                                    result.goldenDynInstrs));
 
+    // Shared trial options; per-trial fields are filled per worker.
+    ExecOptions trial_opts;
+    trial_opts.cost = config.cost;
+    trial_opts.checkMode = CheckMode::Halt;
+    trial_opts.disabledChecks = &disabled;
+    trial_opts.maxDynInstrs = max_dyn;
+
+    // Checkpoint the fault-free run under trial semantics: the prefix
+    // of every trial is deterministic and identical to this run, so a
+    // trial can resume from the nearest snapshot at or before its
+    // injection point instead of replaying from instruction 0. The
+    // same snapshots drive golden-convergence pruning of the suffix.
+    std::vector<Snapshot> snapshots;
+    RunResult golden_run;
+    uint64_t snapshot_stride = 0;
+    if (config.checkpoints > 0) {
+        snapshot_stride = result.goldenDynInstrs / config.checkpoints;
+        if (snapshot_stride > 0) {
+            auto run = prepareRun(test_spec);
+            ExecOptions opts = trial_opts;
+            opts.checkpointEvery = snapshot_stride;
+            opts.checkpointSink = &snapshots;
+            Interpreter interp(*hardened.em, *run.mem);
+            golden_run =
+                interp.run(hardened.entryIdx, run.args, opts);
+            scAssert(golden_run.ok(),
+                     "checkpoint recording run failed for ", w.name);
+            trial_opts.goldenSnapshots = &snapshots;
+            trial_opts.goldenEvery = snapshot_stride;
+            trial_opts.goldenResult = &golden_run;
+        }
+    }
+
     unsigned num_threads = config.threads;
     if (num_threads == 0)
         num_threads = std::max(1u, std::thread::hardware_concurrency());
@@ -256,64 +299,85 @@ runCampaign(const CampaignConfig &config)
     std::atomic<unsigned> next_trial{0};
 
     auto worker = [&]() {
+        // One PreparedRun per worker, reused across trials: the memory
+        // is rewound from the pristine image (or a checkpoint) instead
+        // of being reallocated, and the buffer addresses stay valid
+        // because the allocation sequence is deterministic.
+        auto run = prepareRun(test_spec);
+        const Memory pristine = *run.mem;
+        Interpreter interp(*hardened.em, *run.mem);
+        ExecState st;
         for (;;) {
             const unsigned t = next_trial.fetch_add(1);
             if (t >= config.trials)
                 return;
             // Trial-indexed RNG: deterministic regardless of thread
             // scheduling.
-            Rng rng(config.seed * 0x9e3779b97f4a7c15ULL + t * 2654435761ULL + 1);
+            Rng rng(trialSeed(config.seed, t));
             const uint64_t fault_at =
                 rng.nextBelow(result.goldenDynInstrs);
 
-            auto run = prepareRun(test_spec);
-            ExecOptions opts;
-            opts.cost = config.cost;
-            opts.checkMode = CheckMode::Halt;
-            opts.disabledChecks = &disabled;
-            opts.maxDynInstrs = max_dyn;
+            ExecOptions opts = trial_opts;
             opts.faultAtDynInstr = fault_at;
             opts.faultRng = &rng;
-            Interpreter interp(*hardened.em, *run.mem);
-            auto r = interp.run(hardened.entryIdx, run.args, opts);
+
+            if (snapshot_stride > 0 && fault_at >= snapshot_stride) {
+                // Fast-forward: snapshots[i] sits at (i+1)*stride.
+                std::size_t idx = static_cast<std::size_t>(
+                                      fault_at / snapshot_stride) -
+                                  1;
+                idx = std::min(idx, snapshots.size() - 1);
+                snapshots[idx].restore(st, *run.mem);
+            } else {
+                run.mem->restoreFrom(pristine);
+                interp.begin(st, hardened.entryIdx, run.args,
+                             config.cost);
+            }
+            auto r = interp.resume(st, opts);
 
             Outcome outcome;
             bool large = false;
-            switch (r.term) {
-              case Termination::CheckFailed:
-                outcome = Outcome::SWDetect;
-                break;
-              case Termination::Trap:
-                outcome = (r.endCycle - r.fault.atCycle <=
-                           config.hwDetectWindowCycles)
-                              ? Outcome::HWDetect
-                              : Outcome::Failure;
-                break;
-              case Termination::Timeout:
-                outcome = Outcome::Failure;
-                break;
-              case Termination::Ok: {
-                auto signal = extractSignal(w, test_spec, run);
-                const bool exact =
-                    signal == golden_signal && r.retValue == golden_ret;
-                if (exact) {
-                    outcome = Outcome::Masked;
-                } else {
-                    const double score = fidelityScore(
-                        w.fidelity, golden_signal, signal);
-                    if (fidelityAcceptable(w.fidelity, score,
-                                           w.threshold)) {
-                        outcome = Outcome::ASDC;
+            if (r.prunedToGolden) {
+                // Full state re-converged with the fault-free run, so
+                // the output is bit-exact by determinism.
+                outcome = Outcome::Masked;
+            } else {
+                switch (r.term) {
+                  case Termination::CheckFailed:
+                    outcome = Outcome::SWDetect;
+                    break;
+                  case Termination::Trap:
+                    outcome = (r.endCycle - r.fault.atCycle <=
+                               config.hwDetectWindowCycles)
+                                  ? Outcome::HWDetect
+                                  : Outcome::Failure;
+                    break;
+                  case Termination::Timeout:
+                    outcome = Outcome::Failure;
+                    break;
+                  case Termination::Ok: {
+                    auto signal = extractSignal(w, test_spec, run);
+                    const bool exact = signal == golden_signal &&
+                                       r.retValue == golden_ret;
+                    if (exact) {
+                        outcome = Outcome::Masked;
                     } else {
-                        outcome = Outcome::USDC;
-                        large = r.fault.injected &&
-                                isLargeValueChange(r.fault);
+                        const double score = fidelityScore(
+                            w.fidelity, golden_signal, signal);
+                        if (fidelityAcceptable(w.fidelity, score,
+                                               w.threshold)) {
+                            outcome = Outcome::ASDC;
+                        } else {
+                            outcome = Outcome::USDC;
+                            large = r.fault.injected &&
+                                    isLargeValueChange(r.fault);
+                        }
                     }
+                    break;
+                  }
+                  default:
+                    scPanic("unhandled termination");
                 }
-                break;
-              }
-              default:
-                scPanic("unhandled termination");
             }
             counts[static_cast<unsigned>(outcome)].fetch_add(1);
             if (outcome == Outcome::USDC) {

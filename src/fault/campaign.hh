@@ -60,6 +60,18 @@ struct CampaignConfig
     CostConfig cost;             //!< Table II parameters
     double timeoutFactor = 20.0; //!< infinite-loop budget multiplier
     uint64_t hwDetectWindowCycles = 1000; //!< paper Sec. IV-C
+
+    /**
+     * Trial fast-forwarding: record about this many evenly spaced
+     * snapshots of the fault-free run, and start each trial from the
+     * nearest snapshot at or before its injection point instead of
+     * replaying the (deterministic) prefix from dynamic instruction 0.
+     * Mean prefix work per trial drops from goldenDynInstrs/2 to about
+     * goldenDynInstrs/(2K); the same snapshots also let post-fault
+     * execution stop early once it re-converges with the golden run.
+     * Results are bit-identical to full replay. 0 disables.
+     */
+    unsigned checkpoints = 32;
 };
 
 struct CampaignResult
@@ -104,6 +116,14 @@ struct CampaignResult
  * checks target.
  */
 bool isLargeValueChange(const FaultOutcome &fault);
+
+/**
+ * Seed of trial @p trial's private RNG stream: a splitmix64-mixed
+ * function of the campaign seed, so adjacent trials get decorrelated
+ * streams (a linear seed schedule leaks correlated fault sites into
+ * adjacent trials through the xoshiro initializer).
+ */
+uint64_t trialSeed(uint64_t campaignSeed, unsigned trial);
 
 /** Run one campaign. Deterministic for a fixed config. */
 CampaignResult runCampaign(const CampaignConfig &config);

@@ -126,6 +126,17 @@ class CostModel
 
     const CostConfig &config() const { return conf; }
 
+    /** Full dynamic-state equality (counters, cache tags, predictor
+     * state); both models must share a configuration. Used by the
+     * campaign engine's golden-convergence pruning. */
+    bool
+    sameState(const CostModel &o) const
+    {
+        return instrs == o.instrs && stalls == o.stalls &&
+               misses == o.misses && mispredicts == o.mispredicts &&
+               tags == o.tags && counters == o.counters;
+    }
+
   private:
     CostConfig conf;
     uint64_t instrs = 0;

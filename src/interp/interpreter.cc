@@ -72,46 +72,88 @@ profileValue(TypeKind k, uint64_t raw)
     }
 }
 
+void
+pushFrame(std::vector<ExecFrame> &stack, const ExecFunction &fn,
+          int32_t ret_dst)
+{
+    ExecFrame fr;
+    fr.fn = &fn;
+    fr.regs.assign(fn.numSlots, 0);
+    fr.retDst = ret_dst;
+    fr.curBlock = 0;
+    fr.ip = fn.blocks.empty() ? 0 : fn.blocks[0].first;
+    stack.push_back(std::move(fr));
+}
+
+/** Frame equality for golden-convergence pruning; the recent-write ring
+ * is excluded (it only feeds fault-site selection, which is over by the
+ * time convergence is tested). */
+bool
+framesConverged(const ExecFrame &a, const ExecFrame &b)
+{
+    return a.fn == b.fn && a.ip == b.ip && a.curBlock == b.curBlock &&
+           a.retDst == b.retDst && a.regs == b.regs &&
+           a.allocaBases == b.allocaBases;
+}
+
 } // namespace
+
+Snapshot
+Snapshot::save(const ExecState &st, const Memory &m)
+{
+    Snapshot s;
+    s.state = st;
+    s.mem = m;
+    return s;
+}
+
+void
+Snapshot::restore(ExecState &st, Memory &m) const
+{
+    st = state;
+    m.restoreFrom(mem);
+}
+
+bool
+Snapshot::convergedWith(const ExecState &st, const Memory &m) const
+{
+    if (st.dynCount != state.dynCount ||
+        st.stack.size() != state.stack.size() ||
+        st.globalBases != state.globalBases ||
+        !st.cost.sameState(state.cost))
+        return false;
+    for (std::size_t i = 0; i < st.stack.size(); ++i)
+        if (!framesConverged(st.stack[i], state.stack[i]))
+            return false;
+    return m.contentsEqual(mem);
+}
 
 Interpreter::Interpreter(const ExecModule &exec_module, Memory &memory)
     : em(exec_module), mem(memory)
 {}
 
-RunResult
-Interpreter::run(std::size_t fn_index, const std::vector<uint64_t> &args,
-                 const ExecOptions &opts)
+void
+Interpreter::begin(ExecState &st, std::size_t fn_index,
+                   const std::vector<uint64_t> &args,
+                   const CostConfig &cost_cfg)
 {
-    CostModel cost(opts.cost);
+    st.stack.clear();
+    st.globalBases.clear();
+    st.dynCount = 0;
+    st.cost = CostModel(cost_cfg);
 
-    std::vector<Frame> stack;
-    stack.reserve(16);
-
-    auto push_frame = [&](const ExecFunction &fn, int32_t ret_dst) {
-        Frame fr;
-        fr.fn = &fn;
-        fr.regs.assign(fn.numSlots, 0);
-        fr.retDst = ret_dst;
-        fr.curBlock = 0;
-        fr.ip = fn.blocks.empty() ? 0 : fn.blocks[0].first;
-        stack.push_back(std::move(fr));
-    };
-
-    {
-        const ExecFunction &entry = em.function(fn_index);
-        scAssert(args.size() == entry.numArgs,
-                 "argument count mismatch for entry function");
-        push_frame(entry, -1);
-        Frame &fr = stack.back();
-        for (std::size_t i = 0; i < args.size(); ++i) {
-            fr.regs[i] = args[i];
-            fr.noteWrite(static_cast<int32_t>(i));
-        }
+    const ExecFunction &entry = em.function(fn_index);
+    scAssert(args.size() == entry.numArgs,
+             "argument count mismatch for entry function");
+    pushFrame(st.stack, entry, -1);
+    ExecFrame &fr = st.stack.back();
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        fr.regs[i] = args[i];
+        fr.noteWrite(static_cast<int32_t>(i));
     }
 
     // Materialize module globals (constant tables) for this run.
-    std::vector<uint64_t> global_bases;
-    global_bases.reserve(em.globals().size());
+    st.globalBases.reserve(em.globals().size());
     for (const GlobalVariable *g : em.globals()) {
         const unsigned esz = g->elementType().storeSize();
         const uint64_t base = mem.alloc(g->count() * esz, g->name());
@@ -119,13 +161,49 @@ Interpreter::run(std::size_t fn_index, const std::vector<uint64_t> &args,
             const bool ok = mem.write(base + i * esz, esz, g->init()[i]);
             scAssert(ok, "global init write failed");
         }
-        global_bases.push_back(base);
+        st.globalBases.push_back(base);
     }
+}
 
-    uint64_t dyn_count = 0;
+RunResult
+Interpreter::run(std::size_t fn_index, const std::vector<uint64_t> &args,
+                 const ExecOptions &opts)
+{
+    ExecState st;
+    begin(st, fn_index, args, opts.cost);
+    return resume(st, opts);
+}
+
+RunResult
+Interpreter::resume(ExecState &st, const ExecOptions &opts)
+{
+    std::vector<ExecFrame> &stack = st.stack;
+    CostModel &cost = st.cost;
+    uint64_t &dyn_count = st.dynCount;
+    const std::vector<uint64_t> &global_bases = st.globalBases;
+
     uint64_t fault_at =
         opts.faultAtDynInstr ? *opts.faultAtDynInstr : ~0ULL;
     FaultOutcome fault;
+
+    // Next dynamic instruction at which to record a checkpoint.
+    uint64_t next_checkpoint = ~0ULL;
+    if (opts.checkpointEvery) {
+        scAssert(opts.checkpointSink, "checkpointEvery without a sink");
+        next_checkpoint =
+            (dyn_count / opts.checkpointEvery + 1) * opts.checkpointEvery;
+    }
+
+    // Next boundary at which to test golden convergence; armed only
+    // once the fault has been injected (before that the run *is* the
+    // golden prefix).
+    uint64_t next_golden_cmp = ~0ULL;
+    auto arm_golden_cmp = [&]() {
+        if (!opts.goldenSnapshots || !opts.goldenEvery)
+            return;
+        next_golden_cmp =
+            (dyn_count / opts.goldenEvery + 1) * opts.goldenEvery;
+    };
 
     auto finish = [&](Termination t, TrapKind trap, int check_id,
                       uint64_t ret) {
@@ -146,13 +224,16 @@ Interpreter::run(std::size_t fn_index, const std::vector<uint64_t> &args,
     std::vector<uint64_t> phi_tmp;
 
     for (;;) {
-        Frame &fr = stack.back();
-        const ExecInst &inst = fr.fn->code[fr.ip];
+        if (dyn_count >= next_checkpoint) {
+            opts.checkpointSink->push_back(Snapshot::save(st, mem));
+            next_checkpoint += opts.checkpointEvery;
+        }
 
         if (dyn_count >= fault_at) {
             // Inject a single bit flip into a random live register of
             // the active frame (the paper's register-file fault model).
             fault_at = ~0ULL;
+            ExecFrame &fr = stack.back();
             if (fr.recentCount > 0 && opts.faultRng) {
                 Rng &rng = *opts.faultRng;
                 const int32_t slot = fr.recent[static_cast<size_t>(
@@ -173,7 +254,32 @@ Interpreter::run(std::size_t fn_index, const std::vector<uint64_t> &args,
                 fault.atCycle = cost.cycles();
                 fr.regs[static_cast<size_t>(slot)] = fault.after;
             }
+            arm_golden_cmp();
         }
+
+        if (dyn_count >= next_golden_cmp) {
+            const std::size_t idx =
+                static_cast<std::size_t>(dyn_count / opts.goldenEvery) -
+                1;
+            if (idx >= opts.goldenSnapshots->size()) {
+                next_golden_cmp = ~0ULL; // ran past the golden run
+            } else {
+                const Snapshot &gold = (*opts.goldenSnapshots)[idx];
+                if (gold.dynInstr() == dyn_count &&
+                    gold.convergedWith(st, mem)) {
+                    scAssert(opts.goldenResult,
+                             "goldenSnapshots without goldenResult");
+                    RunResult r = *opts.goldenResult;
+                    r.prunedToGolden = true;
+                    r.fault = fault;
+                    return r;
+                }
+                next_golden_cmp += opts.goldenEvery;
+            }
+        }
+
+        ExecFrame &fr = stack.back();
+        const ExecInst &inst = fr.fn->code[fr.ip];
 
         if (dyn_count >= opts.maxDynInstrs)
             return finish(Termination::Timeout, TrapKind::None, -1, 0);
@@ -494,8 +600,8 @@ Interpreter::run(std::size_t fn_index, const std::vector<uint64_t> &args,
             for (const OpRef &arg : inst.callArgs)
                 phi_tmp.push_back(read_op(arg));
             ++fr.ip; // return continuation
-            push_frame(callee, inst.dst);
-            Frame &nf = stack.back();
+            pushFrame(stack, callee, inst.dst);
+            ExecFrame &nf = stack.back();
             for (std::size_t i = 0; i < phi_tmp.size(); ++i) {
                 nf.regs[i] = phi_tmp[i];
                 nf.noteWrite(static_cast<int32_t>(i));
@@ -512,7 +618,7 @@ Interpreter::run(std::size_t fn_index, const std::vector<uint64_t> &args,
             if (stack.empty())
                 return finish(Termination::Ok, TrapKind::None, -1, v);
             if (ret_dst >= 0) {
-                Frame &caller = stack.back();
+                ExecFrame &caller = stack.back();
                 caller.regs[static_cast<size_t>(ret_dst)] = v;
                 caller.noteWrite(ret_dst);
             }

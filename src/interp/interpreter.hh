@@ -4,8 +4,11 @@
  * simulation substrate. Executes an ExecModule against a Memory with
  * - a deterministic cost model (CostModel, Table II parameters),
  * - value-profiling hooks (ProfileSink),
- * - single-bit-flip fault injection into live virtual registers, and
- * - runtime-check semantics for the hardening passes' check intrinsics.
+ * - single-bit-flip fault injection into live virtual registers,
+ * - runtime-check semantics for the hardening passes' check intrinsics,
+ * - and snapshotable execution state (ExecState/Snapshot) so SFI
+ *   campaigns can fast-forward trials from checkpoints instead of
+ *   replaying the fault-free prefix from dynamic instruction 0.
  */
 
 #ifndef SOFTCHECK_INTERP_INTERPRETER_HH
@@ -82,9 +85,92 @@ struct RunResult
     uint64_t endCycle = 0;      //!< cycle count at termination
     uint64_t cacheMisses = 0;
     uint64_t branchMispredicts = 0;
+    /** True when the run was cut short because its entire execution
+     * state re-converged with the fault-free golden run at a snapshot
+     * boundary (see ExecOptions::goldenSnapshots). All other fields are
+     * the golden run's final values, which determinism guarantees the
+     * full replay would have reproduced bit-for-bit. */
+    bool prunedToGolden = false;
     FaultOutcome fault;
 
     bool ok() const { return term == Termination::Ok; }
+};
+
+/** One call frame of interpreter state. */
+struct ExecFrame
+{
+    const ExecFunction *fn = nullptr;
+    std::vector<uint64_t> regs;
+    /**
+     * Ring of recently written register slots (with repetition).
+     * Fault injection draws its target from here: a random recent
+     * destination approximates picking a live physical register,
+     * and repetition weights hot registers the way an in-flight
+     * window does.
+     */
+    static constexpr unsigned kRecentRing = 64;
+    std::array<int32_t, kRecentRing> recent{};
+    uint32_t recentCount = 0;
+    uint32_t recentPos = 0;
+    std::vector<uint64_t> allocaBases;
+    uint32_t ip = 0;
+    uint32_t curBlock = 0;
+    int32_t retDst = -1;
+
+    void
+    noteWrite(int32_t slot)
+    {
+        recent[recentPos] = slot;
+        recentPos = (recentPos + 1) % kRecentRing;
+        if (recentCount < kRecentRing)
+            ++recentCount;
+    }
+};
+
+/**
+ * Everything Interpreter::resume mutates except the bound Memory: the
+ * call stack (register files, recent-write rings, alloca bases),
+ * materialized global bases, the dynamic-instruction count, and the
+ * full cost-model state (cycles, cache tags, branch counters).
+ * Copyable; a copy plus a Memory copy is a complete checkpoint.
+ */
+struct ExecState
+{
+    std::vector<ExecFrame> stack;
+    std::vector<uint64_t> globalBases;
+    uint64_t dynCount = 0;
+    CostModel cost;
+};
+
+/**
+ * A resumable point of a deterministic run: execution state plus the
+ * bound Memory's contents at that dynamic instruction.
+ */
+struct Snapshot
+{
+    ExecState state;
+    Memory mem;
+
+    uint64_t dynInstr() const { return state.dynCount; }
+
+    /** Capture @p st and @p m (deep copies). */
+    static Snapshot save(const ExecState &st, const Memory &m);
+
+    /** Restore this snapshot into @p st and @p m, reusing their
+     * existing buffers where possible. */
+    void restore(ExecState &st, Memory &m) const;
+
+    /**
+     * True when a trial's state matches this (golden) snapshot in every
+     * observable that can influence the rest of the run or its final
+     * classification: frames (function, ip, block, registers, alloca
+     * bases, return slot), global bases, dynamic-instruction count,
+     * complete cost-model state, and memory contents. The recent-write
+     * rings are deliberately excluded — they only feed fault-site
+     * selection, and convergence is only tested after the trial's
+     * single fault has already been injected.
+     */
+    bool convergedWith(const ExecState &st, const Memory &m) const;
 };
 
 /** Per-run execution options. */
@@ -120,6 +206,28 @@ struct ExecOptions
 
     /** Maximum call depth before StackOverflow. */
     unsigned maxCallDepth = 256;
+
+    /** Record a Snapshot into @p checkpointSink every @p
+     * checkpointEvery dynamic instructions (0 = off). Snapshots are
+     * taken at the top of the dispatch loop, before the instruction at
+     * that dynamic index executes. */
+    uint64_t checkpointEvery = 0;
+    std::vector<Snapshot> *checkpointSink = nullptr;
+
+    /**
+     * Golden-convergence pruning: snapshots of the fault-free run at
+     * every multiple of @p goldenEvery (element i at dynamic
+     * instruction (i+1)*goldenEvery). After the fault is injected, the
+     * run is compared against the matching snapshot at each boundary;
+     * on full state convergence it terminates early with
+     * @p goldenResult (plus this trial's FaultOutcome) and
+     * RunResult::prunedToGolden set. All three fields must be set
+     * together; determinism makes the early result bit-identical to a
+     * full replay.
+     */
+    const std::vector<Snapshot> *goldenSnapshots = nullptr;
+    uint64_t goldenEvery = 0;
+    const RunResult *goldenResult = nullptr;
 };
 
 class Interpreter
@@ -129,43 +237,29 @@ class Interpreter
 
     /**
      * Run @p fn_index with the given raw argument values (one per
-     * formal; floats as bit patterns).
+     * formal; floats as bit patterns). Equivalent to begin() + resume().
      */
     RunResult run(std::size_t fn_index,
                   const std::vector<uint64_t> &args,
                   const ExecOptions &opts);
 
+    /**
+     * Reset @p st to the entry state for @p fn_index: pushes the entry
+     * frame, copies the arguments, and materializes module globals into
+     * the bound Memory (which must not already hold them).
+     */
+    void begin(ExecState &st, std::size_t fn_index,
+               const std::vector<uint64_t> &args,
+               const CostConfig &cost_cfg);
+
+    /**
+     * Execute from @p st (fresh from begin() or restored from a
+     * Snapshot) until termination. @p st is mutated in place and holds
+     * the final state afterwards.
+     */
+    RunResult resume(ExecState &st, const ExecOptions &opts);
+
   private:
-    struct Frame
-    {
-        const ExecFunction *fn;
-        std::vector<uint64_t> regs;
-        /**
-         * Ring of recently written register slots (with repetition).
-         * Fault injection draws its target from here: a random recent
-         * destination approximates picking a live physical register,
-         * and repetition weights hot registers the way an in-flight
-         * window does.
-         */
-        static constexpr unsigned kRecentRing = 64;
-        std::array<int32_t, kRecentRing> recent;
-        uint32_t recentCount = 0;
-        uint32_t recentPos = 0;
-        std::vector<uint64_t> allocaBases;
-        uint32_t ip = 0;
-        uint32_t curBlock = 0;
-        int32_t retDst = -1;
-
-        void
-        noteWrite(int32_t slot)
-        {
-            recent[recentPos] = slot;
-            recentPos = (recentPos + 1) % kRecentRing;
-            if (recentCount < kRecentRing)
-                ++recentCount;
-        }
-    };
-
     const ExecModule &em;
     Memory &mem;
 };

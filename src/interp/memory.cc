@@ -108,6 +108,32 @@ Memory::hostPtr(uint64_t addr, uint64_t size) const
     return r.data.data() + (addr - r.base);
 }
 
+void
+Memory::restoreFrom(const Memory &snapshot)
+{
+    // Element-wise vector copy assignment reuses each region's data
+    // buffer when its capacity suffices, so steady-state restores are
+    // pure memcpy.
+    regions = snapshot.regions;
+    nextBase = snapshot.nextBase;
+    lastHit = -1;
+}
+
+bool
+Memory::contentsEqual(const Memory &other) const
+{
+    if (nextBase != other.nextBase ||
+        regions.size() != other.regions.size())
+        return false;
+    for (std::size_t i = 0; i < regions.size(); ++i) {
+        const Region &a = regions[i];
+        const Region &b = other.regions[i];
+        if (a.base != b.base || a.size != b.size || a.data != b.data)
+            return false;
+    }
+    return true;
+}
+
 uint64_t
 Memory::bytesAllocated() const
 {

@@ -52,6 +52,17 @@ class Memory
     std::size_t numRegions() const { return regions.size(); }
     uint64_t bytesAllocated() const;
 
+    /**
+     * Make this memory identical to @p snapshot, reusing the existing
+     * region buffers where sizes allow — the cheap per-trial reset path
+     * for campaign workers (no allocation churn after the first trial).
+     */
+    void restoreFrom(const Memory &snapshot);
+
+    /** True when both memories hold the same live regions (base, size,
+     * contents) and allocation cursor; region names are ignored. */
+    bool contentsEqual(const Memory &other) const;
+
   private:
     struct Region
     {

@@ -7,17 +7,23 @@
 namespace softcheck
 {
 
+uint64_t
+splitmix64(uint64_t x)
+{
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
 namespace
 {
 
+/** One step of the splitmix64 stream (advance + finalize). */
 uint64_t
-splitmix64(uint64_t &x)
+splitmix64Next(uint64_t &x)
 {
     x += 0x9e3779b97f4a7c15ULL;
-    uint64_t z = x;
-    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
-    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
-    return z ^ (z >> 31);
+    return splitmix64(x);
 }
 
 uint64_t
@@ -32,7 +38,7 @@ Rng::Rng(uint64_t seed)
 {
     uint64_t sm = seed;
     for (auto &word : s)
-        word = splitmix64(sm);
+        word = splitmix64Next(sm);
 }
 
 uint64_t

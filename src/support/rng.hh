@@ -17,6 +17,14 @@
 namespace softcheck
 {
 
+/**
+ * splitmix64 finalizer (Steele/Lea/Flood): a bijective avalanche mix of
+ * a 64-bit value. Use it to derive decorrelated per-index seeds from a
+ * base seed — structured inputs (seed + small index) come out looking
+ * uniform, unlike linear-congruential mixing.
+ */
+uint64_t splitmix64(uint64_t x);
+
 /** xoshiro256** deterministic PRNG. */
 class Rng
 {

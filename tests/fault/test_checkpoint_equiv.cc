@@ -1,0 +1,103 @@
+#include <gtest/gtest.h>
+
+#include "fault/campaign.hh"
+
+namespace softcheck
+{
+namespace
+{
+
+/**
+ * The correctness bar for trial fast-forwarding: campaign results must
+ * be bit-identical whether trials replay from dynamic instruction 0
+ * (checkpoints = 0) or resume from snapshots (any K), at any thread
+ * count. Covers 2 workloads x all hardening modes.
+ */
+
+struct EquivCase
+{
+    const char *workload;
+    HardeningMode mode;
+};
+
+class CheckpointEquiv : public ::testing::TestWithParam<EquivCase>
+{};
+
+CampaignConfig
+baseConfig(const EquivCase &c)
+{
+    CampaignConfig cfg;
+    cfg.workload = c.workload;
+    cfg.mode = c.mode;
+    cfg.trials = 48;
+    cfg.seed = 0xAB;
+    cfg.threads = 2;
+    return cfg;
+}
+
+void
+expectSameCampaign(const CampaignResult &a, const CampaignResult &b)
+{
+    EXPECT_EQ(a.counts, b.counts);
+    EXPECT_EQ(a.usdcLargeChange, b.usdcLargeChange);
+    EXPECT_EQ(a.usdcSmallChange, b.usdcSmallChange);
+    EXPECT_EQ(a.goldenDynInstrs, b.goldenDynInstrs);
+    EXPECT_EQ(a.goldenCycles, b.goldenCycles);
+    EXPECT_EQ(a.calibrationCheckFails, b.calibrationCheckFails);
+    EXPECT_EQ(a.disabledCheckCount, b.disabledCheckCount);
+}
+
+TEST_P(CheckpointEquiv, OutcomesIdenticalAcrossK)
+{
+    CampaignConfig cfg = baseConfig(GetParam());
+    cfg.checkpoints = 0;
+    const auto scratch = runCampaign(cfg);
+
+    uint64_t total = 0;
+    for (uint64_t c : scratch.counts)
+        total += c;
+    ASSERT_EQ(total, cfg.trials);
+
+    for (const unsigned k : {4u, 32u}) {
+        cfg.checkpoints = k;
+        const auto ck = runCampaign(cfg);
+        SCOPED_TRACE(testing::Message() << "K=" << k);
+        expectSameCampaign(scratch, ck);
+    }
+}
+
+TEST_P(CheckpointEquiv, OutcomesIdenticalAcrossThreads)
+{
+    CampaignConfig cfg = baseConfig(GetParam());
+    cfg.checkpoints = 32;
+    cfg.threads = 1;
+    const auto serial = runCampaign(cfg);
+    cfg.threads = 4;
+    const auto parallel = runCampaign(cfg);
+    expectSameCampaign(serial, parallel);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    TwoWorkloadsAllModes, CheckpointEquiv,
+    ::testing::Values(
+        EquivCase{"tiff2bw", HardeningMode::Original},
+        EquivCase{"tiff2bw", HardeningMode::DupOnly},
+        EquivCase{"tiff2bw", HardeningMode::DupValChks},
+        EquivCase{"tiff2bw", HardeningMode::FullDup},
+        EquivCase{"g721enc", HardeningMode::Original},
+        EquivCase{"g721enc", HardeningMode::DupOnly},
+        EquivCase{"g721enc", HardeningMode::DupValChks},
+        EquivCase{"g721enc", HardeningMode::FullDup}),
+    [](const auto &info) {
+        const char *mode = "";
+        switch (info.param.mode) {
+          case HardeningMode::Original: mode = "Original"; break;
+          case HardeningMode::DupOnly: mode = "DupOnly"; break;
+          case HardeningMode::DupValChks: mode = "DupValChks"; break;
+          case HardeningMode::FullDup: mode = "FullDup"; break;
+        }
+        return std::string(info.param.workload) + "_" + mode;
+    });
+
+} // namespace
+} // namespace softcheck

@@ -1,0 +1,71 @@
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <set>
+
+#include "fault/campaign.hh"
+#include "support/rng.hh"
+
+namespace softcheck
+{
+namespace
+{
+
+/**
+ * Trial RNG streams are derived with a splitmix64 finalizer; adjacent
+ * trial indices must not produce correlated streams (the old linear
+ * schedule seed*k1 + t*k2 + 1 leaked adjacent-trial structure into the
+ * drawn fault sites).
+ */
+
+TEST(TrialSeeds, MixedSeedsAreDistinctAndWellSpread)
+{
+    std::set<uint64_t> seen;
+    for (unsigned t = 0; t < 4096; ++t)
+        seen.insert(trialSeed(0x5eed, t));
+    EXPECT_EQ(seen.size(), 4096u);
+
+    // Adjacent mixed seeds should differ in roughly half their bits,
+    // not just the low ones.
+    unsigned min_flips = 64;
+    for (unsigned t = 0; t + 1 < 256; ++t) {
+        const int flips = std::popcount(trialSeed(0x5eed, t) ^
+                                        trialSeed(0x5eed, t + 1));
+        min_flips = std::min<unsigned>(min_flips,
+                                       static_cast<unsigned>(flips));
+    }
+    EXPECT_GE(min_flips, 10u);
+}
+
+TEST(TrialSeeds, AdjacentTrialsDrawDistinctFaultSites)
+{
+    // First draw of each trial's stream is its fault_at position; for
+    // a million-instruction run, adjacent trials (and in fact all 512
+    // sampled trials) must land on distinct sites.
+    const uint64_t golden = 1'000'000;
+    std::set<uint64_t> sites;
+    uint64_t prev = ~0ULL;
+    for (unsigned t = 0; t < 512; ++t) {
+        Rng rng(trialSeed(0xC0FFEE, t));
+        const uint64_t fault_at = rng.nextBelow(golden);
+        EXPECT_NE(fault_at, prev) << "trial " << t;
+        sites.insert(fault_at);
+        prev = fault_at;
+    }
+    EXPECT_GE(sites.size(), 510u);
+}
+
+TEST(TrialSeeds, DifferentCampaignSeedsDecorrelate)
+{
+    unsigned equal = 0;
+    for (unsigned t = 0; t < 256; ++t) {
+        Rng a(trialSeed(1, t));
+        Rng b(trialSeed(2, t));
+        if (a.nextBelow(1'000'000) == b.nextBelow(1'000'000))
+            ++equal;
+    }
+    EXPECT_LE(equal, 2u);
+}
+
+} // namespace
+} // namespace softcheck

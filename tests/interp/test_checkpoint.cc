@@ -1,0 +1,257 @@
+#include <gtest/gtest.h>
+
+#include "common/test_util.hh"
+
+namespace softcheck
+{
+namespace
+{
+
+/**
+ * Kernel with everything a snapshot must capture: nested loops with
+ * data-dependent branches (branch-predictor state), loads/stores over a
+ * caller buffer (cache + Memory state), local arrays (allocas), a
+ * helper call (multi-frame stacks), and f64 math (long-latency stalls).
+ */
+const char *kKernelSrc = R"(
+fn mix(a: i32, b: i32) -> i32 {
+    var acc: i32 = a * 31 + b;
+    if (acc < 0) {
+        acc = -acc;
+    }
+    return acc % 8191;
+}
+
+fn main(out: ptr<i32>, n: i32) -> i32 {
+    var tmp: i32[64];
+    var acc: i32 = 1;
+    var f: f64 = 1.0;
+    for (var i: i32 = 0; i < n; i = i + 1) {
+        tmp[i % 64] = mix(acc, i);
+        acc = acc + tmp[i % 64];
+        if (acc % 3 == 0) {
+            f = f + sqrt(f64(i) + 1.0);
+        }
+        out[i % 32] = acc + i32(f);
+    }
+    var sum: i32 = 0;
+    for (var i: i32 = 0; i < 32; i = i + 1) {
+        sum = sum + out[i];
+    }
+    return sum;
+}
+)";
+
+struct Prep
+{
+    Memory mem;
+    uint64_t outBase = 0;
+    std::vector<uint64_t> args;
+};
+
+Prep
+prep()
+{
+    Prep p;
+    p.outBase = p.mem.alloc(32 * 4, "out");
+    p.args = {p.outBase, 200};
+    return p;
+}
+
+struct Compiled
+{
+    std::unique_ptr<Module> mod;
+    std::unique_ptr<ExecModule> em;
+    std::size_t entry = 0;
+};
+
+Compiled
+compiled()
+{
+    Compiled c;
+    c.mod = compileMiniLang(kKernelSrc, "ckpt_test");
+    c.em = std::make_unique<ExecModule>(*c.mod);
+    c.entry = c.em->functionIndex("main");
+    return c;
+}
+
+void
+expectSameResult(const RunResult &a, const RunResult &b)
+{
+    EXPECT_EQ(a.term, b.term);
+    EXPECT_EQ(a.trap, b.trap);
+    EXPECT_EQ(a.failedCheckId, b.failedCheckId);
+    EXPECT_EQ(a.retValue, b.retValue);
+    EXPECT_EQ(a.dynInstrs, b.dynInstrs);
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.endCycle, b.endCycle);
+    EXPECT_EQ(a.cacheMisses, b.cacheMisses);
+    EXPECT_EQ(a.branchMispredicts, b.branchMispredicts);
+    EXPECT_EQ(a.fault.injected, b.fault.injected);
+    EXPECT_EQ(a.fault.slot, b.fault.slot);
+    EXPECT_EQ(a.fault.slotType, b.fault.slotType);
+    EXPECT_EQ(a.fault.bit, b.fault.bit);
+    EXPECT_EQ(a.fault.before, b.fault.before);
+    EXPECT_EQ(a.fault.after, b.fault.after);
+    EXPECT_EQ(a.fault.atDynInstr, b.fault.atDynInstr);
+    EXPECT_EQ(a.fault.atCycle, b.fault.atCycle);
+}
+
+TEST(Checkpoint, RunEqualsBeginPlusResume)
+{
+    auto c = compiled();
+    auto p1 = prep();
+    Interpreter i1(*c.em, p1.mem);
+    const RunResult a = i1.run(c.entry, p1.args, {});
+
+    auto p2 = prep();
+    Interpreter i2(*c.em, p2.mem);
+    ExecState st;
+    i2.begin(st, c.entry, p2.args, CostConfig{});
+    const RunResult b = i2.resume(st, {});
+
+    expectSameResult(a, b);
+    EXPECT_TRUE(p1.mem.contentsEqual(p2.mem));
+}
+
+TEST(Checkpoint, SnapshotsSitOnStrideBoundaries)
+{
+    auto c = compiled();
+    auto p = prep();
+    std::vector<Snapshot> snaps;
+    ExecOptions opts;
+    opts.checkpointEvery = 1000;
+    opts.checkpointSink = &snaps;
+    Interpreter interp(*c.em, p.mem);
+    const RunResult r = interp.run(c.entry, p.args, opts);
+    ASSERT_TRUE(r.ok());
+    ASSERT_GT(r.dynInstrs, 3000u);
+    ASSERT_EQ(snaps.size(), (r.dynInstrs - 1) / 1000);
+    for (std::size_t i = 0; i < snaps.size(); ++i)
+        EXPECT_EQ(snaps[i].dynInstr(), (i + 1) * 1000u);
+}
+
+/** A trial resumed from the nearest snapshot must be bit-identical to
+ * the same trial replayed from dynamic instruction 0. */
+TEST(Checkpoint, ResumedTrialBitwiseEqualsFullReplay)
+{
+    auto c = compiled();
+
+    // Record snapshots on a fault-free run.
+    auto gp = prep();
+    std::vector<Snapshot> snaps;
+    const uint64_t stride = 1000;
+    ExecOptions rec;
+    rec.checkpointEvery = stride;
+    rec.checkpointSink = &snaps;
+    Interpreter grec(*c.em, gp.mem);
+    const RunResult golden = grec.run(c.entry, gp.args, rec);
+    ASSERT_TRUE(golden.ok());
+    ASSERT_GE(snaps.size(), 3u);
+
+    const uint64_t fault_points[] = {1,
+                                     stride - 1,
+                                     stride,
+                                     stride + 7,
+                                     2 * stride + 123,
+                                     3 * stride,
+                                     golden.dynInstrs - 2};
+    for (const uint64_t fault_at : fault_points) {
+        for (const uint64_t seed : {1ULL, 42ULL, 0xdeadULL}) {
+            ExecOptions opts;
+            opts.faultAtDynInstr = fault_at;
+
+            // Full replay.
+            auto pa = prep();
+            Rng ra(seed);
+            opts.faultRng = &ra;
+            Interpreter ia(*c.em, pa.mem);
+            const RunResult a = ia.run(c.entry, pa.args, opts);
+
+            // Fast-forward from the nearest snapshot at or before.
+            auto pb = prep();
+            Rng rb(seed);
+            opts.faultRng = &rb;
+            Interpreter ib(*c.em, pb.mem);
+            ExecState st;
+            if (fault_at >= stride) {
+                std::size_t idx = static_cast<std::size_t>(
+                                      fault_at / stride) -
+                                  1;
+                idx = std::min(idx, snaps.size() - 1);
+                snaps[idx].restore(st, pb.mem);
+            } else {
+                ib.begin(st, c.entry, pb.args, opts.cost);
+            }
+            const RunResult b = ib.resume(st, opts);
+
+            SCOPED_TRACE(testing::Message()
+                         << "fault_at=" << fault_at << " seed=" << seed);
+            expectSameResult(a, b);
+            EXPECT_TRUE(a.fault.injected);
+            if (a.term == Termination::Ok)
+                EXPECT_TRUE(pa.mem.contentsEqual(pb.mem));
+        }
+    }
+}
+
+/** Golden-convergence pruning: when it fires, the early result must
+ * match the full replay's result bit for bit (except the flag). */
+TEST(Checkpoint, PrunedResultMatchesFullReplay)
+{
+    auto c = compiled();
+
+    auto gp = prep();
+    std::vector<Snapshot> snaps;
+    const uint64_t stride = 500;
+    ExecOptions rec;
+    rec.checkpointEvery = stride;
+    rec.checkpointSink = &snaps;
+    Interpreter grec(*c.em, gp.mem);
+    const RunResult golden = grec.run(c.entry, gp.args, rec);
+    ASSERT_TRUE(golden.ok());
+
+    unsigned pruned = 0, total = 0;
+    for (uint64_t seed = 0; seed < 40; ++seed) {
+        Rng pick(seed * 977 + 3);
+        const uint64_t fault_at = pick.nextBelow(golden.dynInstrs);
+
+        ExecOptions opts;
+        opts.faultAtDynInstr = fault_at;
+
+        auto pa = prep();
+        Rng ra(seed);
+        opts.faultRng = &ra;
+        Interpreter ia(*c.em, pa.mem);
+        const RunResult a = ia.run(c.entry, pa.args, opts);
+
+        ExecOptions popts = opts;
+        popts.goldenSnapshots = &snaps;
+        popts.goldenEvery = stride;
+        popts.goldenResult = &golden;
+        auto pb = prep();
+        Rng rb(seed);
+        popts.faultRng = &rb;
+        Interpreter ib(*c.em, pb.mem);
+        const RunResult b = ib.run(c.entry, pb.args, popts);
+
+        SCOPED_TRACE(testing::Message()
+                     << "fault_at=" << fault_at << " seed=" << seed);
+        expectSameResult(a, b);
+        ++total;
+        if (b.prunedToGolden) {
+            ++pruned;
+            // Pruning may only ever declare a truly masked trial.
+            EXPECT_EQ(a.term, Termination::Ok);
+            EXPECT_EQ(a.retValue, golden.retValue);
+            EXPECT_EQ(a.cycles, golden.cycles);
+        }
+    }
+    // The kernel overwrites most corrupted state quickly, so a healthy
+    // fraction of trials must actually exercise the pruning path.
+    EXPECT_GT(pruned, 5u);
+    EXPECT_EQ(total, 40u);
+}
+
+} // namespace
+} // namespace softcheck

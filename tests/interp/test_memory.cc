@@ -114,5 +114,42 @@ TEST(Memory, ManyRegionsLookup)
     EXPECT_GT(mem.bytesAllocated(), 50u * 16);
 }
 
+TEST(Memory, RestoreFromRewindsToSnapshot)
+{
+    Memory mem;
+    const uint64_t a = mem.alloc(32, "a");
+    EXPECT_TRUE(mem.write(a, 8, 0x1111));
+    const Memory snapshot = mem;
+
+    // Diverge: mutate, allocate, free.
+    EXPECT_TRUE(mem.write(a, 8, 0x2222));
+    const uint64_t b = mem.alloc(64, "b");
+    EXPECT_TRUE(mem.write(b, 4, 7));
+    EXPECT_FALSE(mem.contentsEqual(snapshot));
+
+    mem.restoreFrom(snapshot);
+    EXPECT_TRUE(mem.contentsEqual(snapshot));
+    EXPECT_EQ(mem.numRegions(), 1u);
+    uint64_t v = 0;
+    EXPECT_TRUE(mem.read(a, 8, v));
+    EXPECT_EQ(v, 0x1111u);
+    // The allocation cursor rewinds too: the next alloc reproduces the
+    // same deterministic address sequence.
+    EXPECT_EQ(mem.alloc(64), b);
+}
+
+TEST(Memory, ContentsEqualComparesDataNotNames)
+{
+    Memory x, y;
+    const uint64_t bx = x.alloc(16, "left");
+    const uint64_t by = y.alloc(16, "right");
+    ASSERT_EQ(bx, by);
+    EXPECT_TRUE(x.contentsEqual(y));
+    EXPECT_TRUE(x.write(bx, 4, 99));
+    EXPECT_FALSE(x.contentsEqual(y));
+    EXPECT_TRUE(y.write(by, 4, 99));
+    EXPECT_TRUE(x.contentsEqual(y));
+}
+
 } // namespace
 } // namespace softcheck
