@@ -4,6 +4,18 @@
  * fast-forwarding (CampaignConfig::checkpoints = K) versus full-replay
  * trials (K = 0), on the workloads with the longest golden runs —
  * where redundant prefix re-execution dominates an SFI campaign.
+ * Since snapshots share Memory pages copy-on-write, each row also
+ * reports the snapshots' resident bytes next to what K deep copies
+ * would have held.
+ *
+ * Flags (for perf bisection without recompiling):
+ *   --workload NAME[,NAME...]  bench these workloads (default: the 3
+ *                              with the longest golden runs)
+ *   --trials N                 injection trials per campaign
+ *                              (default: SOFTCHECK_TRIALS or 200)
+ *   --checkpoints K[,K...]     K values (default: 0,8,32,128,256; the
+ *                              first is the speedup baseline)
+ *   --threads N                worker threads (default: 0 = hardware)
  *
  * Writes machine-readable results to BENCH_campaign.json (override the
  * path with SOFTCHECK_BENCH_JSON) so the perf trajectory is trackable
@@ -14,6 +26,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstring>
 
 #include "bench_util.hh"
 #include "support/error.hh"
@@ -39,58 +52,142 @@ struct Row
     uint64_t goldenDynInstrs = 0;
     double trialSeconds = 0;
     double trialsPerSec = 0;
-    double speedup = 1.0; //!< vs the K=0 row of the same campaign
+    double speedup = 1.0; //!< vs the first-K row of the same campaign
+    uint64_t snapshotBytes = 0;         //!< COW-resident page bytes
+    uint64_t snapshotBytesFullCopy = 0; //!< K deep copies (pre-COW)
 };
+
+struct BenchOptions
+{
+    std::vector<std::string> workloads; //!< empty = 3 longest
+    unsigned trials = 0;                //!< 0 = env/default
+    std::vector<unsigned> ks = {0, 8, 32, 128, 256};
+    unsigned threads = 0;
+};
+
+std::vector<std::string>
+splitList(const char *arg)
+{
+    std::vector<std::string> out;
+    std::string cur;
+    for (const char *p = arg;; ++p) {
+        if (*p == ',' || *p == '\0') {
+            if (!cur.empty())
+                out.push_back(cur);
+            cur.clear();
+            if (*p == '\0')
+                break;
+        } else {
+            cur += *p;
+        }
+    }
+    return out;
+}
+
+[[noreturn]] void
+usage(const char *argv0)
+{
+    std::fprintf(stderr,
+                 "usage: %s [--workload NAME[,NAME...]] [--trials N] "
+                 "[--checkpoints K[,K...]] [--threads N]\n",
+                 argv0);
+    std::exit(2);
+}
+
+BenchOptions
+parseArgs(int argc, char **argv)
+{
+    BenchOptions opt;
+    for (int i = 1; i < argc; ++i) {
+        auto value = [&]() -> const char * {
+            if (i + 1 >= argc)
+                usage(argv[0]);
+            return argv[++i];
+        };
+        if (!std::strcmp(argv[i], "--workload")) {
+            for (std::string &w : splitList(value()))
+                opt.workloads.push_back(std::move(w));
+        } else if (!std::strcmp(argv[i], "--trials")) {
+            opt.trials =
+                static_cast<unsigned>(std::strtoul(value(), nullptr, 10));
+            if (opt.trials == 0)
+                usage(argv[0]);
+        } else if (!std::strcmp(argv[i], "--checkpoints")) {
+            opt.ks.clear();
+            for (const std::string &k : splitList(value()))
+                opt.ks.push_back(static_cast<unsigned>(
+                    std::strtoul(k.c_str(), nullptr, 10)));
+            if (opt.ks.empty())
+                usage(argv[0]);
+        } else if (!std::strcmp(argv[i], "--threads")) {
+            opt.threads =
+                static_cast<unsigned>(std::strtoul(value(), nullptr, 10));
+        } else {
+            usage(argv[0]);
+        }
+    }
+    return opt;
+}
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
-    const unsigned trials = benchutil::trialsPerBenchmark(200);
+    const BenchOptions opt = parseArgs(argc, argv);
+    const unsigned trials =
+        opt.trials ? opt.trials : benchutil::trialsPerBenchmark(200);
 
     benchutil::printHeader(
-        "Campaign throughput: checkpointed trial fast-forwarding",
+        "Campaign throughput: checkpointed trial fast-forwarding "
+        "with COW snapshots",
         strformat("%u trials per campaign; K = snapshots of the "
                   "fault-free run (0 = replay every trial from "
-                  "instruction 0)",
+                  "instruction 0); snapKB = resident snapshot bytes "
+                  "(COW pages vs full copies)",
                   trials));
 
-    // Rank workloads by golden-run length and bench the three longest:
-    // prefix replay cost scales with goldenDynInstrs, so these dominate
-    // real campaign wall time.
-    struct Candidate
-    {
-        std::string name;
-        uint64_t golden;
-    };
-    std::vector<Candidate> cands;
-    for (const std::string &name : benchutil::benchmarkNames()) {
-        CampaignConfig cfg =
-            benchutil::makeConfig(name, HardeningMode::Original, 0);
-        cands.push_back({name, characterizeOnly(cfg).goldenDynInstrs});
+    // Default workload set: ranked by golden-run length, the three
+    // longest — prefix replay cost scales with goldenDynInstrs, so
+    // these dominate real campaign wall time.
+    std::vector<std::string> workloads = opt.workloads;
+    if (workloads.empty()) {
+        struct Candidate
+        {
+            std::string name;
+            uint64_t golden;
+        };
+        std::vector<Candidate> cands;
+        for (const std::string &name : benchutil::benchmarkNames()) {
+            CampaignConfig cfg =
+                benchutil::makeConfig(name, HardeningMode::Original, 0);
+            cands.push_back(
+                {name, characterizeOnly(cfg).goldenDynInstrs});
+        }
+        std::sort(cands.begin(), cands.end(),
+                  [](const Candidate &a, const Candidate &b) {
+                      return a.golden > b.golden;
+                  });
+        cands.resize(std::min<std::size_t>(cands.size(), 3));
+        for (const Candidate &c : cands)
+            workloads.push_back(c.name);
     }
-    std::sort(cands.begin(), cands.end(),
-              [](const Candidate &a, const Candidate &b) {
-                  return a.golden > b.golden;
-              });
-    cands.resize(std::min<std::size_t>(cands.size(), 3));
 
     const HardeningMode modes[] = {HardeningMode::Original,
                                    HardeningMode::DupValChks};
-    const unsigned ks[] = {0, 8, 32};
 
     std::vector<Row> rows;
     benchutil::printRule();
-    std::printf("%-10s %-12s %12s %4s %10s %12s %8s\n", "workload",
-                "mode", "goldenInstr", "K", "trial-sec", "trials/sec",
-                "speedup");
+    std::printf("%-10s %-12s %12s %4s %10s %12s %8s %9s %9s\n",
+                "workload", "mode", "goldenInstr", "K", "trial-sec",
+                "trials/sec", "speedup", "snapKB", "fullKB");
     benchutil::printRule();
 
-    for (const Candidate &cand : cands) {
+    for (const std::string &workload : workloads) {
         for (const HardeningMode mode : modes) {
             CampaignConfig cfg =
-                benchutil::makeConfig(cand.name, mode, trials);
+                benchutil::makeConfig(workload, mode, trials);
+            cfg.threads = opt.threads;
 
             // Fixed campaign overhead (compile, profile, golden run,
             // calibration) measured separately so trials/sec reflects
@@ -99,9 +196,10 @@ main()
             const CampaignResult base = characterizeOnly(cfg);
             const double char_seconds = secondsSince(t_char);
 
-            double k0_tps = 0;
-            std::array<uint64_t, kNumOutcomes> k0_counts{};
-            for (const unsigned k : ks) {
+            double base_tps = 0;
+            bool have_base_counts = false;
+            std::array<uint64_t, kNumOutcomes> base_counts{};
+            for (const unsigned k : opt.ks) {
                 cfg.checkpoints = k;
                 const auto t0 = std::chrono::steady_clock::now();
                 const CampaignResult r = runCampaign(cfg);
@@ -109,32 +207,40 @@ main()
                 const double trial_seconds =
                     std::max(total_seconds - char_seconds, 1e-9);
 
-                if (k == 0)
-                    k0_counts = r.counts;
-                else
-                    scAssert(r.counts == k0_counts,
+                if (!have_base_counts) {
+                    base_counts = r.counts;
+                    have_base_counts = true;
+                } else {
+                    scAssert(r.counts == base_counts,
                              "checkpointed campaign diverged from "
-                             "full-replay outcomes");
+                             "baseline outcomes");
+                }
 
                 Row row;
-                row.workload = cand.name;
+                row.workload = workload;
                 row.mode = mode;
                 row.k = k;
                 row.goldenDynInstrs = r.goldenDynInstrs;
                 row.trialSeconds = trial_seconds;
                 row.trialsPerSec = trials / trial_seconds;
-                if (k == 0)
-                    k0_tps = row.trialsPerSec;
-                row.speedup = row.trialsPerSec / k0_tps;
+                if (base_tps == 0)
+                    base_tps = row.trialsPerSec;
+                row.speedup = row.trialsPerSec / base_tps;
+                row.snapshotBytes = r.snapshotBytes;
+                row.snapshotBytesFullCopy = r.snapshotBytesFullCopy;
                 rows.push_back(row);
 
-                std::printf("%-10s %-12s %12llu %4u %10.3f %12.1f %7.2fx\n",
-                            row.workload.c_str(),
-                            hardeningModeName(mode),
-                            static_cast<unsigned long long>(
-                                row.goldenDynInstrs),
-                            row.k, row.trialSeconds, row.trialsPerSec,
-                            row.speedup);
+                std::printf(
+                    "%-10s %-12s %12llu %4u %10.3f %12.1f %7.2fx "
+                    "%9.1f %9.1f\n",
+                    row.workload.c_str(), hardeningModeName(mode),
+                    static_cast<unsigned long long>(
+                        row.goldenDynInstrs),
+                    row.k, row.trialSeconds, row.trialsPerSec,
+                    row.speedup,
+                    static_cast<double>(row.snapshotBytes) / 1024.0,
+                    static_cast<double>(row.snapshotBytesFullCopy) /
+                        1024.0);
             }
         }
     }
@@ -159,10 +265,13 @@ main()
             "    {\"workload\": \"%s\", \"mode\": \"%s\", "
             "\"goldenDynInstrs\": %llu, \"checkpoints\": %u, "
             "\"trialSeconds\": %.6f, \"trialsPerSec\": %.2f, "
-            "\"speedupVsReplay\": %.3f}%s\n",
+            "\"speedupVsReplay\": %.3f, \"snapshotBytes\": %llu, "
+            "\"snapshotBytesFullCopy\": %llu}%s\n",
             r.workload.c_str(), hardeningModeName(r.mode),
             static_cast<unsigned long long>(r.goldenDynInstrs), r.k,
             r.trialSeconds, r.trialsPerSec, r.speedup,
+            static_cast<unsigned long long>(r.snapshotBytes),
+            static_cast<unsigned long long>(r.snapshotBytesFullCopy),
             i + 1 < rows.size() ? "," : "");
     }
     std::fprintf(f, "  ]\n}\n");

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 #include <thread>
+#include <unordered_set>
 
 #include "frontend/compile.hh"
 #include "support/error.hh"
@@ -286,6 +287,16 @@ runCampaign(const CampaignConfig &config)
             trial_opts.goldenSnapshots = &snapshots;
             trial_opts.goldenEvery = snapshot_stride;
             trial_opts.goldenResult = &golden_run;
+
+            // Footprint accounting: COW-resident bytes (distinct pages
+            // across all snapshots) vs. what K deep copies would hold.
+            result.snapshotCount =
+                static_cast<unsigned>(snapshots.size());
+            std::unordered_set<const void *> seen;
+            for (const Snapshot &s : snapshots) {
+                result.snapshotBytes += s.residentPageBytes(seen);
+                result.snapshotBytesFullCopy += s.mem.bytesAllocated();
+            }
         }
     }
 

@@ -85,6 +85,19 @@ struct CampaignResult
     uint64_t usdcLargeChange = 0;
     uint64_t usdcSmallChange = 0;
 
+    /**
+     * Snapshot footprint of the checkpointed engine (0 when
+     * checkpoints == 0 or the stride degenerates): how many snapshots
+     * were recorded, the resident bytes of their COW-shared memory
+     * pages (each distinct page counted once across all K), and what
+     * K independent deep copies of the Memory would have held — the
+     * pre-COW cost, kept for the shrink-factor trend in
+     * BENCH_campaign.json.
+     */
+    unsigned snapshotCount = 0;
+    uint64_t snapshotBytes = 0;
+    uint64_t snapshotBytesFullCopy = 0;
+
     // Fault-free characterization.
     uint64_t goldenDynInstrs = 0;
     uint64_t goldenCycles = 0;

@@ -250,7 +250,10 @@ class IRGen
         if (auto *ci = dynamic_cast<ConstantInt *>(v);
             ci && to.isInteger()) {
             const int64_t sv = ci->signedValue();
-            const int64_t lo = -(int64_t(1) << (to.bitWidth() - 1));
+            const int64_t lo =
+                to.bitWidth() >= 64
+                    ? std::numeric_limits<int64_t>::min()
+                    : -(int64_t(1) << (to.bitWidth() - 1));
             const int64_t hi =
                 to.bitWidth() >= 64
                     ? std::numeric_limits<int64_t>::max()

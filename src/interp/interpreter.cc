@@ -103,6 +103,10 @@ Snapshot::save(const ExecState &st, const Memory &m)
 {
     Snapshot s;
     s.state = st;
+    // Memory copy-assignment shares pages copy-on-write: @p m keeps
+    // executing, cloning a page the first time it writes one, while
+    // the snapshot's view stays frozen. Successive snapshots of one
+    // run therefore share every page the run didn't touch in between.
     s.mem = m;
     return s;
 }

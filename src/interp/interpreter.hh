@@ -145,6 +145,11 @@ struct ExecState
 /**
  * A resumable point of a deterministic run: execution state plus the
  * bound Memory's contents at that dynamic instruction.
+ *
+ * Saving shares the Memory's pages copy-on-write (see memory.hh), so a
+ * snapshot's incremental footprint is only the pages dirtied since the
+ * previous share point — K can grow into the hundreds without the
+ * campaign becoming memory-bound.
  */
 struct Snapshot
 {
@@ -153,19 +158,37 @@ struct Snapshot
 
     uint64_t dynInstr() const { return state.dynCount; }
 
-    /** Capture @p st and @p m (deep copies). */
+    /** Capture @p st and @p m. The ExecState is a deep copy; the
+     * Memory shares pages copy-on-write (O(pages), no byte copies). */
     static Snapshot save(const ExecState &st, const Memory &m);
 
     /** Restore this snapshot into @p st and @p m, reusing their
-     * existing buffers where possible. */
+     * existing buffers where possible; the Memory side re-shares this
+     * snapshot's pages, touching only references that diverged
+     * (O(pages dirtied since the fork)). */
     void restore(ExecState &st, Memory &m) const;
+
+    /**
+     * Account this snapshot's memory pages against @p seen and return
+     * the bytes contributed by pages no earlier-accounted snapshot
+     * already holds — the true resident cost of keeping it.
+     */
+    uint64_t
+    residentPageBytes(std::unordered_set<const void *> &seen) const
+    {
+        return mem.accountPages(seen);
+    }
 
     /**
      * True when a trial's state matches this (golden) snapshot in every
      * observable that can influence the rest of the run or its final
      * classification: frames (function, ip, block, registers, alloca
      * bases, return slot), global bases, dynamic-instruction count,
-     * complete cost-model state, and memory contents. The recent-write
+     * complete cost-model state, and memory contents. Pages the trial
+     * still shares with the golden run compare by identity, so the
+     * memory part costs O(pages dirtied since the trial forked), not
+     * O(footprint) — cheap enough to test at every boundary even with
+     * hundreds of checkpoints. The recent-write
      * rings are deliberately excluded — they only feed fault-site
      * selection, and convergence is only tested after the trial's
      * single fault has already been injected.

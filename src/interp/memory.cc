@@ -1,6 +1,7 @@
 #include "interp/memory.hh"
 
 #include <algorithm>
+#include <bit>
 #include <cstring>
 
 #include "support/error.hh"
@@ -12,7 +13,82 @@ namespace
 {
 constexpr uint64_t kAlign = 64;
 constexpr uint64_t kGuardGap = 64;
+constexpr uint64_t kPageMask = Memory::kPageSize - 1;
+static_assert((Memory::kPageSize & kPageMask) == 0,
+              "page size must be a power of two");
+
+std::size_t
+pagesFor(uint64_t size)
+{
+    return static_cast<std::size_t>(
+        (size + Memory::kPageSize - 1) / Memory::kPageSize);
+}
+
+std::size_t
+dirtyWordsFor(std::size_t pages)
+{
+    return (pages + 63) / 64;
+}
 } // namespace
+
+const Memory::PageRef &
+Memory::zeroPage()
+{
+    // Created as a non-const Page like every clone, but never written:
+    // its dirty bit is never set in any region.
+    static const PageRef zp = std::make_shared<Page>(Page{});
+    return zp;
+}
+
+Memory::Memory(const Memory &other)
+    : regions(other.regions), nextBase(other.nextBase)
+{
+    // Pages are now shared: force copy-on-write on both sides.
+    other.markAllShared();
+    markAllShared();
+}
+
+Memory &
+Memory::operator=(const Memory &other)
+{
+    if (this == &other)
+        return *this;
+    regions = other.regions;
+    nextBase = other.nextBase;
+    other.markAllShared();
+    markAllShared();
+    lastHit.store(-1, std::memory_order_relaxed);
+    return *this;
+}
+
+Memory::Memory(Memory &&other) noexcept
+    : regions(std::move(other.regions)), nextBase(other.nextBase)
+{
+    // Ownership moves wholesale, so dirty (privately owned) pages stay
+    // privately owned by the destination; no bitmap reset needed.
+    other.regions.clear();
+    other.lastHit.store(-1, std::memory_order_relaxed);
+}
+
+Memory &
+Memory::operator=(Memory &&other) noexcept
+{
+    if (this == &other)
+        return *this;
+    regions = std::move(other.regions);
+    nextBase = other.nextBase;
+    other.regions.clear();
+    other.lastHit.store(-1, std::memory_order_relaxed);
+    lastHit.store(-1, std::memory_order_relaxed);
+    return *this;
+}
+
+void
+Memory::markAllShared() const
+{
+    for (const Region &r : regions)
+        std::fill(r.dirty.begin(), r.dirty.end(), 0);
+}
 
 uint64_t
 Memory::alloc(uint64_t size, std::string nm)
@@ -20,9 +96,16 @@ Memory::alloc(uint64_t size, std::string nm)
     scAssert(size > 0, "zero-sized allocation");
     const uint64_t base = nextBase;
     nextBase = (base + size + kGuardGap + kAlign - 1) & ~(kAlign - 1);
-    regions.push_back(
-        {base, size, std::move(nm), std::vector<uint8_t>(size, 0)});
-    lastHit = static_cast<int>(regions.size()) - 1;
+    Region r;
+    r.base = base;
+    r.size = size;
+    r.name = std::move(nm);
+    const std::size_t np = pagesFor(size);
+    r.pages.assign(np, zeroPage());
+    r.dirty.assign(dirtyWordsFor(np), 0);
+    regions.push_back(std::move(r));
+    lastHit.store(static_cast<int>(regions.size()) - 1,
+                  std::memory_order_relaxed);
     return base;
 }
 
@@ -33,7 +116,7 @@ Memory::free(uint64_t base)
         if (regions[i].base == base) {
             regions.erase(regions.begin() +
                           static_cast<std::ptrdiff_t>(i));
-            lastHit = -1;
+            lastHit.store(-1, std::memory_order_relaxed);
             return;
         }
     }
@@ -47,10 +130,11 @@ Memory::findRegion(uint64_t addr, uint64_t size) const
         return addr >= r.base && addr + size <= r.base + r.size &&
                addr + size >= addr;
     };
-    if (lastHit >= 0 &&
-        static_cast<std::size_t>(lastHit) < regions.size() &&
-        fits(regions[static_cast<std::size_t>(lastHit)]))
-        return lastHit;
+    const int cached = lastHit.load(std::memory_order_relaxed);
+    if (cached >= 0 &&
+        static_cast<std::size_t>(cached) < regions.size() &&
+        fits(regions[static_cast<std::size_t>(cached)]))
+        return cached;
     // Regions are appended with increasing bases; free() keeps order.
     auto it = std::upper_bound(
         regions.begin(), regions.end(), addr,
@@ -60,8 +144,23 @@ Memory::findRegion(uint64_t addr, uint64_t size) const
     --it;
     if (!fits(*it))
         return -1;
-    lastHit = static_cast<int>(it - regions.begin());
-    return lastHit;
+    const int found = static_cast<int>(it - regions.begin());
+    lastHit.store(found, std::memory_order_relaxed);
+    return found;
+}
+
+uint8_t *
+Memory::writablePage(Region &r, std::size_t pg)
+{
+    uint64_t &word = r.dirty[pg >> 6];
+    const uint64_t bit = 1ULL << (pg & 63);
+    if (!(word & bit)) {
+        r.pages[pg] = std::make_shared<Page>(*r.pages[pg]);
+        word |= bit;
+    }
+    // Safe: a dirty page was created non-const by the clone above and
+    // is uniquely owned by this Memory (class invariant).
+    return const_cast<Page &>(*r.pages[pg]).bytes.data();
 }
 
 bool
@@ -71,8 +170,19 @@ Memory::read(uint64_t addr, unsigned size, uint64_t &out) const
     if (idx < 0)
         return false;
     const Region &r = regions[static_cast<std::size_t>(idx)];
+    uint64_t off = addr - r.base;
     uint64_t v = 0;
-    std::memcpy(&v, r.data.data() + (addr - r.base), size);
+    auto *dst = reinterpret_cast<uint8_t *>(&v);
+    while (size > 0) {
+        const std::size_t pg = static_cast<std::size_t>(off / kPageSize);
+        const uint64_t in = off & kPageMask;
+        const unsigned n = static_cast<unsigned>(
+            std::min<uint64_t>(size, kPageSize - in));
+        std::memcpy(dst, r.pages[pg]->bytes.data() + in, n);
+        dst += n;
+        off += n;
+        size -= n;
+    }
     out = v;
     return true;
 }
@@ -84,7 +194,18 @@ Memory::write(uint64_t addr, unsigned size, uint64_t value)
     if (idx < 0)
         return false;
     Region &r = regions[static_cast<std::size_t>(idx)];
-    std::memcpy(r.data.data() + (addr - r.base), &value, size);
+    uint64_t off = addr - r.base;
+    const auto *src = reinterpret_cast<const uint8_t *>(&value);
+    while (size > 0) {
+        const std::size_t pg = static_cast<std::size_t>(off / kPageSize);
+        const uint64_t in = off & kPageMask;
+        const unsigned n = static_cast<unsigned>(
+            std::min<uint64_t>(size, kPageSize - in));
+        std::memcpy(writablePage(r, pg) + in, src, n);
+        src += n;
+        off += n;
+        size -= n;
+    }
     return true;
 }
 
@@ -92,31 +213,57 @@ uint8_t *
 Memory::hostPtr(uint64_t addr, uint64_t size)
 {
     const int idx = findRegion(addr, size);
-    if (idx < 0)
+    if (idx < 0 || size == 0)
         return nullptr;
     Region &r = regions[static_cast<std::size_t>(idx)];
-    return r.data.data() + (addr - r.base);
+    const uint64_t off = addr - r.base;
+    if ((off & kPageMask) + size > kPageSize)
+        return nullptr; // straddles a page boundary
+    return writablePage(r, static_cast<std::size_t>(off / kPageSize)) +
+           (off & kPageMask);
 }
 
 const uint8_t *
 Memory::hostPtr(uint64_t addr, uint64_t size) const
 {
     const int idx = findRegion(addr, size);
-    if (idx < 0)
+    if (idx < 0 || size == 0)
         return nullptr;
     const Region &r = regions[static_cast<std::size_t>(idx)];
-    return r.data.data() + (addr - r.base);
+    const uint64_t off = addr - r.base;
+    if ((off & kPageMask) + size > kPageSize)
+        return nullptr;
+    return r.pages[static_cast<std::size_t>(off / kPageSize)]
+               ->bytes.data() +
+           (off & kPageMask);
 }
 
 void
 Memory::restoreFrom(const Memory &snapshot)
 {
-    // Element-wise vector copy assignment reuses each region's data
-    // buffer when its capacity suffices, so steady-state restores are
-    // pure memcpy.
-    regions = snapshot.regions;
     nextBase = snapshot.nextBase;
-    lastHit = -1;
+    lastHit.store(-1, std::memory_order_relaxed);
+    const std::size_t n = snapshot.regions.size();
+    regions.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        Region &d = regions[i];
+        const Region &s = snapshot.regions[i];
+        if (d.base == s.base && d.size == s.size &&
+            d.pages.size() == s.pages.size()) {
+            // Matching layout (the steady-state trial reset): adopt
+            // only page references that diverged, then discard this
+            // side's dirt. No page bytes are copied.
+            for (std::size_t p = 0; p < s.pages.size(); ++p)
+                if (d.pages[p] != s.pages[p])
+                    d.pages[p] = s.pages[p];
+            std::fill(d.dirty.begin(), d.dirty.end(), 0);
+            if (d.name != s.name)
+                d.name = s.name;
+        } else {
+            d = s; // shares all pages
+            std::fill(d.dirty.begin(), d.dirty.end(), 0);
+        }
+    }
 }
 
 bool
@@ -128,8 +275,18 @@ Memory::contentsEqual(const Memory &other) const
     for (std::size_t i = 0; i < regions.size(); ++i) {
         const Region &a = regions[i];
         const Region &b = other.regions[i];
-        if (a.base != b.base || a.size != b.size || a.data != b.data)
+        if (a.base != b.base || a.size != b.size)
             return false;
+        // Page counts match because the sizes do. Padding past 'size'
+        // in the last page is zero on both sides (never writable), so
+        // whole-page compares are exact.
+        for (std::size_t p = 0; p < a.pages.size(); ++p) {
+            if (a.pages[p] == b.pages[p])
+                continue; // shared block: equal by identity
+            if (std::memcmp(a.pages[p]->bytes.data(),
+                            b.pages[p]->bytes.data(), kPageSize) != 0)
+                return false;
+        }
     }
     return true;
 }
@@ -141,6 +298,36 @@ Memory::bytesAllocated() const
     for (const Region &r : regions)
         total += r.size;
     return total;
+}
+
+uint64_t
+Memory::pageCount() const
+{
+    uint64_t total = 0;
+    for (const Region &r : regions)
+        total += r.pages.size();
+    return total;
+}
+
+uint64_t
+Memory::dirtyPageCount() const
+{
+    uint64_t total = 0;
+    for (const Region &r : regions)
+        for (const uint64_t w : r.dirty)
+            total += static_cast<uint64_t>(std::popcount(w));
+    return total;
+}
+
+uint64_t
+Memory::accountPages(std::unordered_set<const void *> &seen) const
+{
+    uint64_t added = 0;
+    for (const Region &r : regions)
+        for (const PageRef &p : r.pages)
+            if (seen.insert(p.get()).second)
+                added += kPageSize;
+    return added;
 }
 
 } // namespace softcheck

@@ -1,18 +1,41 @@
 /**
  * @file
- * Bounds-checked flat memory for the IR interpreter.
+ * Bounds-checked paged memory for the IR interpreter.
  *
  * Every allocation receives its own region with guard gaps between
  * regions, so any out-of-bounds access — the symptom class the paper's
  * HWDetect category relies on (page faults / out-of-bound accesses) —
  * is detected exactly.
+ *
+ * Region data lives in fixed-size pages held by shared immutable
+ * blocks (std::shared_ptr<const Page>) with a per-region dirty bitmap.
+ * Copying a Memory (Snapshot::save, pristine trial images) shares the
+ * pages instead of duplicating the bytes; the first write to a shared
+ * page clones it (copy-on-first-touch) and sets its dirty bit. The
+ * invariant that makes in-place writes safe without reference-count
+ * inspection:
+ *
+ *   dirty bit set  ==>  this Memory holds the only reference to that
+ *                       page (it was cloned into this Memory after the
+ *                       last share point and never shared since).
+ *
+ * Every operation that shares pages (copy construction/assignment,
+ * restoreFrom) clears the dirty bits on both sides, so a snapshot's
+ * pages are immutable from then on and can be read concurrently by any
+ * number of trial worker threads. Consequently Snapshot save/restore
+ * and golden-convergence comparison cost O(pages that diverged), not
+ * O(memory footprint).
  */
 
 #ifndef SOFTCHECK_INTERP_MEMORY_HH
 #define SOFTCHECK_INTERP_MEMORY_HH
 
+#include <array>
+#include <atomic>
 #include <cstdint>
+#include <memory>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
 namespace softcheck
@@ -21,11 +44,27 @@ namespace softcheck
 class Memory
 {
   public:
+    /** Bytes per page. Granularity of copy-on-write, dirty tracking,
+     * and incremental comparison. */
+    static constexpr uint64_t kPageSize = 256;
+
     Memory() = default;
+
+    /**
+     * Copies share the source's pages; both sides drop to the clean
+     * (copy-on-write) state, so the first write to any page on either
+     * side clones it. Not safe to copy the same source concurrently
+     * from multiple threads (the share point rewrites its bitmap).
+     */
+    Memory(const Memory &other);
+    Memory &operator=(const Memory &other);
+    Memory(Memory &&other) noexcept;
+    Memory &operator=(Memory &&other) noexcept;
 
     /**
      * Allocate @p size bytes (zero-initialized); returns the base
      * address. Regions are 64-byte aligned with a guard gap after each.
+     * Fresh pages all alias the shared zero page until first write.
      */
     uint64_t alloc(uint64_t size, std::string nm = {});
 
@@ -34,17 +73,21 @@ class Memory
 
     /**
      * Read @p size bytes (1/2/4/8) at @p addr into @p out
-     * (zero-extended).
+     * (zero-extended). Page-straddling spans are handled.
      * @return false when any touched byte is outside a live region
      */
     bool read(uint64_t addr, unsigned size, uint64_t &out) const;
 
-    /** Write the low @p size bytes of @p value at @p addr. */
+    /** Write the low @p size bytes of @p value at @p addr, cloning any
+     * shared page first (copy-on-first-touch). */
     bool write(uint64_t addr, unsigned size, uint64_t value);
 
     /**
      * Host pointer to @p size bytes at @p addr for bulk harness I/O;
-     * null when out of bounds or straddling regions.
+     * null when out of bounds, straddling regions, or straddling a
+     * page boundary (pages are not contiguous in host memory). The
+     * non-const overload privatizes the page, since the caller may
+     * write through the pointer.
      */
     uint8_t *hostPtr(uint64_t addr, uint64_t size);
     const uint8_t *hostPtr(uint64_t addr, uint64_t size) const;
@@ -52,32 +95,80 @@ class Memory
     std::size_t numRegions() const { return regions.size(); }
     uint64_t bytesAllocated() const;
 
+    /** Total pages referenced across all live regions. */
+    uint64_t pageCount() const;
+
+    /** Pages privately owned by this Memory (dirtied since the last
+     * share point) — the incremental cost the next snapshot pays. */
+    uint64_t dirtyPageCount() const;
+
     /**
-     * Make this memory identical to @p snapshot, reusing the existing
-     * region buffers where sizes allow — the cheap per-trial reset path
-     * for campaign workers (no allocation churn after the first trial).
+     * Account this Memory's pages against @p seen (by block address)
+     * and return the bytes added by pages not seen before. Summing over
+     * a set of snapshots yields their true resident footprint, with
+     * shared pages (and the zero page) counted once.
+     */
+    uint64_t accountPages(std::unordered_set<const void *> &seen) const;
+
+    /**
+     * Make this memory identical to @p snapshot by sharing its pages —
+     * only page references that differ are touched, so a trial reset
+     * costs O(pages dirtied since the fork), not O(footprint).
+     * @p snapshot must be in the clean shared state (true for any
+     * Memory produced by copy construction/assignment, i.e. every
+     * Snapshot and pristine image), which also makes concurrent
+     * restores from one shared snapshot thread-safe.
      */
     void restoreFrom(const Memory &snapshot);
 
-    /** True when both memories hold the same live regions (base, size,
-     * contents) and allocation cursor; region names are ignored. */
+    /**
+     * True when both memories hold the same live regions (base, size,
+     * contents) and allocation cursor; region names are ignored.
+     * Pages shared between the two sides compare by pointer identity,
+     * so the byte-level work is O(pages where either side diverged) —
+     * this is what makes per-boundary golden-convergence checks cheap.
+     */
     bool contentsEqual(const Memory &other) const;
 
   private:
+    struct Page
+    {
+        std::array<uint8_t, kPageSize> bytes;
+    };
+    using PageRef = std::shared_ptr<const Page>;
+
     struct Region
     {
-        uint64_t base;
-        uint64_t size;
+        uint64_t base = 0;
+        uint64_t size = 0;
         std::string name;
-        std::vector<uint8_t> data;
+        std::vector<PageRef> pages; //!< ceil(size/kPageSize), the last
+                                    //!< page zero-padded past size
+        /** One bit per page; see the class-level ownership invariant.
+         * Mutable: clearing it (sharing pages) never changes observable
+         * contents, and share points on const sources need it. */
+        mutable std::vector<uint64_t> dirty;
     };
+
+    /** The all-zeroes page every fresh allocation aliases. */
+    static const PageRef &zeroPage();
+
+    /** Pointer to page @p pg of @p r, cloned first unless already
+     * privately owned (dirty). */
+    uint8_t *writablePage(Region &r, std::size_t pg);
+
+    /** Drop every region to the clean shared state (clear bitmaps). */
+    void markAllShared() const;
 
     /** Index of the region containing [addr, addr+size); -1 if none. */
     int findRegion(uint64_t addr, uint64_t size) const;
 
     std::vector<Region> regions;   //!< sorted by base
     uint64_t nextBase = 0x10000;
-    mutable int lastHit = -1;      //!< lookup cache (high locality)
+    /** Lookup cache (high locality). Atomic so concurrent const reads
+     * of a shared Memory (e.g. golden snapshots read by trial worker
+     * threads) stay race-free. */
+    mutable std::atomic<int> lastHit{-1};
 };
 
 } // namespace softcheck

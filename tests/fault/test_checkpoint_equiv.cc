@@ -58,12 +58,26 @@ TEST_P(CheckpointEquiv, OutcomesIdenticalAcrossK)
         total += c;
     ASSERT_EQ(total, cfg.trials);
 
-    for (const unsigned k : {4u, 32u}) {
+    for (const unsigned k : {4u, 8u, 32u, 256u}) {
         cfg.checkpoints = k;
         const auto ck = runCampaign(cfg);
         SCOPED_TRACE(testing::Message() << "K=" << k);
         expectSameCampaign(scratch, ck);
     }
+}
+
+/** COW snapshots must stay cheaper than the deep copies they replaced,
+ * and more checkpoints must not change a single outcome. */
+TEST_P(CheckpointEquiv, CowSnapshotFootprintShrinks)
+{
+    CampaignConfig cfg = baseConfig(GetParam());
+    cfg.checkpoints = 32;
+    const auto r = runCampaign(cfg);
+    ASSERT_GT(r.snapshotCount, 0u);
+    ASSERT_GT(r.snapshotBytes, 0u);
+    // Shared pages are counted once across the K snapshots, so the
+    // resident footprint must undercut K independent deep copies.
+    EXPECT_LT(r.snapshotBytes, r.snapshotBytesFullCopy);
 }
 
 TEST_P(CheckpointEquiv, OutcomesIdenticalAcrossThreads)

@@ -138,6 +138,152 @@ TEST(Memory, RestoreFromRewindsToSnapshot)
     EXPECT_EQ(mem.alloc(64), b);
 }
 
+TEST(Memory, FreeThenReallocKeepsOrderingAndLookup)
+{
+    Memory mem;
+    const uint64_t a = mem.alloc(32, "a");
+    const uint64_t b = mem.alloc(32, "b");
+    const uint64_t c = mem.alloc(32, "c");
+    mem.free(b);
+    // The allocation cursor never rewinds: a re-alloc lands above every
+    // freed base, keeping the region vector sorted for binary search.
+    const uint64_t d = mem.alloc(48, "d");
+    EXPECT_GT(d, c);
+    EXPECT_EQ(mem.numRegions(), 3u);
+    EXPECT_TRUE(mem.write(a, 4, 1));
+    EXPECT_TRUE(mem.write(c, 4, 3));
+    EXPECT_TRUE(mem.write(d, 4, 4));
+    uint64_t v;
+    EXPECT_FALSE(mem.read(b, 4, v)); // freed gap stays unmapped
+    EXPECT_TRUE(mem.read(a, 4, v));
+    EXPECT_EQ(v, 1u);
+    EXPECT_TRUE(mem.read(d, 4, v));
+    EXPECT_EQ(v, 4u);
+}
+
+TEST(Memory, OutOfBoundsAtExactRegionBoundaries)
+{
+    Memory mem;
+    const uint64_t base = mem.alloc(64);
+    uint64_t v;
+    // Last in-bounds span of every access width.
+    for (const unsigned sz : {1u, 2u, 4u, 8u})
+        EXPECT_TRUE(mem.read(base + 64 - sz, sz, v)) << sz;
+    // One byte past the boundary, for every width.
+    for (const unsigned sz : {1u, 2u, 4u, 8u})
+        EXPECT_FALSE(mem.read(base + 64 - sz + 1, sz, v)) << sz;
+    // First byte of the guard gap, and last byte before the region.
+    EXPECT_FALSE(mem.write(base + 64, 1, 0));
+    EXPECT_FALSE(mem.write(base - 1, 1, 0));
+    EXPECT_TRUE(mem.write(base, 1, 0xFF));
+}
+
+TEST(Memory, HostPtrNullOnStraddlingSpans)
+{
+    Memory mem;
+    const uint64_t a = mem.alloc(Memory::kPageSize * 2);
+    const uint64_t b = mem.alloc(16);
+    // Region-straddling: runs off the end of 'a' into the guard gap.
+    EXPECT_EQ(mem.hostPtr(a + Memory::kPageSize * 2 - 4, 8), nullptr);
+    // Page-straddling: in bounds, but pages are not contiguous in host
+    // memory, so no single pointer can cover the span.
+    EXPECT_EQ(mem.hostPtr(a + Memory::kPageSize - 4, 8), nullptr);
+    // Within one page: fine, in both regions.
+    EXPECT_NE(mem.hostPtr(a + Memory::kPageSize - 8, 8), nullptr);
+    EXPECT_NE(mem.hostPtr(b, 16), nullptr);
+    const Memory &cmem = mem;
+    EXPECT_EQ(cmem.hostPtr(a + Memory::kPageSize - 4, 8), nullptr);
+    EXPECT_NE(cmem.hostPtr(a + Memory::kPageSize, 8), nullptr);
+}
+
+TEST(Memory, PageStraddlingReadWriteRoundTrip)
+{
+    Memory mem;
+    const uint64_t base = mem.alloc(Memory::kPageSize * 3);
+    // 8-byte value split 4/4 across the first page boundary.
+    const uint64_t addr = base + Memory::kPageSize - 4;
+    EXPECT_TRUE(mem.write(addr, 8, 0x1122334455667788ULL));
+    uint64_t v = 0;
+    EXPECT_TRUE(mem.read(addr, 8, v));
+    EXPECT_EQ(v, 0x1122334455667788ULL);
+    // The halves landed at the right offsets in each page.
+    EXPECT_TRUE(mem.read(addr, 4, v));
+    EXPECT_EQ(v, 0x55667788u);
+    EXPECT_TRUE(mem.read(base + Memory::kPageSize, 4, v));
+    EXPECT_EQ(v, 0x11223344u);
+    // 2-byte write split 1/1 across the second boundary.
+    EXPECT_TRUE(mem.write(base + Memory::kPageSize * 2 - 1, 2, 0xBEEF));
+    EXPECT_TRUE(mem.read(base + Memory::kPageSize * 2 - 1, 2, v));
+    EXPECT_EQ(v, 0xBEEFu);
+}
+
+TEST(Memory, CowWriteAfterSnapshotDoesNotMutateSnapshot)
+{
+    Memory mem;
+    const uint64_t base = mem.alloc(Memory::kPageSize * 2);
+    EXPECT_TRUE(mem.write(base, 8, 0x1111));
+    const Memory snapshot = mem; // shares pages copy-on-write
+
+    EXPECT_TRUE(mem.write(base, 8, 0x2222));
+    uint64_t v = 0;
+    EXPECT_TRUE(snapshot.read(base, 8, v));
+    EXPECT_EQ(v, 0x1111u) << "write-through mutated the snapshot";
+    EXPECT_TRUE(mem.read(base, 8, v));
+    EXPECT_EQ(v, 0x2222u);
+
+    // And through the non-const hostPtr path, in the second page.
+    const Memory snap2 = mem;
+    uint8_t *p = mem.hostPtr(base + Memory::kPageSize, 4);
+    ASSERT_NE(p, nullptr);
+    p[0] = 0x7F;
+    EXPECT_TRUE(snap2.read(base + Memory::kPageSize, 1, v));
+    EXPECT_EQ(v, 0u);
+}
+
+TEST(Memory, CowRestoreDiscardsTrialDirt)
+{
+    Memory mem;
+    const uint64_t base = mem.alloc(Memory::kPageSize * 4);
+    EXPECT_TRUE(mem.write(base + 8, 8, 0xAAAA));
+    const Memory snapshot = mem;
+    EXPECT_EQ(mem.dirtyPageCount(), 0u); // sharing cleaned both sides
+
+    // Dirty a few pages, then rewind.
+    EXPECT_TRUE(mem.write(base, 8, 0xBBBB));
+    EXPECT_TRUE(mem.write(base + Memory::kPageSize * 3, 8, 0xCCCC));
+    EXPECT_EQ(mem.dirtyPageCount(), 2u);
+    EXPECT_FALSE(mem.contentsEqual(snapshot));
+
+    mem.restoreFrom(snapshot);
+    EXPECT_EQ(mem.dirtyPageCount(), 0u);
+    EXPECT_TRUE(mem.contentsEqual(snapshot));
+    uint64_t v = 0;
+    EXPECT_TRUE(mem.read(base, 8, v));
+    EXPECT_EQ(v, 0u);
+    EXPECT_TRUE(mem.read(base + 8, 8, v));
+    EXPECT_EQ(v, 0xAAAAu);
+}
+
+TEST(Memory, SnapshotsShareUntouchedPages)
+{
+    Memory mem;
+    const uint64_t base = mem.alloc(Memory::kPageSize * 8);
+    for (unsigned p = 0; p < 8; ++p)
+        EXPECT_TRUE(
+            mem.write(base + p * Memory::kPageSize, 8, p + 1));
+
+    const Memory snap_a = mem;
+    EXPECT_TRUE(mem.write(base, 8, 99)); // dirty exactly one page
+    const Memory snap_b = mem;
+
+    std::unordered_set<const void *> seen;
+    const uint64_t first = snap_a.accountPages(seen);
+    EXPECT_EQ(first, 8 * Memory::kPageSize);
+    // The second snapshot only adds its one diverged page.
+    const uint64_t second = snap_b.accountPages(seen);
+    EXPECT_EQ(second, Memory::kPageSize);
+}
+
 TEST(Memory, ContentsEqualComparesDataNotNames)
 {
     Memory x, y;
