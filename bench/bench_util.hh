@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "fault/campaign.hh"
+#include "fault/suite.hh"
 #include "support/stats.hh"
 #include "support/text.hh"
 #include "workloads/workload.hh"
@@ -47,14 +48,64 @@ makeConfig(const std::string &workload, HardeningMode mode,
     return cfg;
 }
 
-/** All benchmark names in Table I order. */
+/**
+ * Benchmark names in Table I order. SOFTCHECK_WORKLOADS (a
+ * comma-separated list) restricts the set — used by CI smoke runs to
+ * keep the figure benches to a couple of workloads.
+ */
 inline std::vector<std::string>
 benchmarkNames()
 {
     std::vector<std::string> names;
+    if (const char *env = std::getenv("SOFTCHECK_WORKLOADS")) {
+        std::string cur;
+        for (const char *p = env;; ++p) {
+            if (*p == ',' || *p == '\0') {
+                if (!cur.empty())
+                    names.push_back(getWorkload(cur).name);
+                cur.clear();
+                if (*p == '\0')
+                    break;
+            } else if (*p != ' ') {
+                cur += *p;
+            }
+        }
+        if (!names.empty())
+            return names;
+    }
     for (const Workload *w : allWorkloads())
         names.push_back(w->name);
     return names;
+}
+
+/** Suite over @p workloads x @p modes with the benches' common knobs. */
+inline SuiteConfig
+makeSuite(std::vector<std::string> workloads,
+          std::vector<HardeningMode> modes, unsigned trials)
+{
+    SuiteConfig s;
+    s.workloads = std::move(workloads);
+    s.modes = std::move(modes);
+    s.base = makeConfig("", HardeningMode::Original, trials);
+    return s;
+}
+
+/** One-line per-phase wall-clock summary of a finished suite. */
+inline void
+printSuiteTiming(const SuiteResult &s)
+{
+    uint64_t trials = 0;
+    for (const CampaignResult &c : s.cells)
+        trials += c.totalTrials();
+    std::printf(
+        "\nsuite wall %.2fs (compile %.2fs, profile %.2fs, baseline "
+        "%.2fs, golden %.2fs, trials %.2fs; %.0f trials/sec)\n",
+        s.wallSeconds, s.phase.compileSeconds, s.phase.profileSeconds,
+        s.phase.baselineSeconds, s.phase.goldenSeconds,
+        s.phase.trialsSeconds,
+        s.phase.trialsSeconds > 0
+            ? static_cast<double>(trials) / s.phase.trialsSeconds
+            : 0.0);
 }
 
 inline void

@@ -17,6 +17,17 @@
  *                              first is the speedup baseline)
  *   --threads N                worker threads (default: 0 = hardware)
  *
+ * A second section sweeps a workload x hardening-mode x seed grid
+ * through runCampaignSuite and through a per-config runCampaign loop,
+ * recording the end-to-end suite speedup and where the wall-clock goes
+ * per phase (compile / profile / baseline / golden / trials). The
+ * suite characterizes each (workload, mode) cell once and fans the
+ * seed variants out of it. The pre-suite flow additionally ran the
+ * instrumented golden pass twice per campaign (calibration +
+ * checkpoint recording); its cost is reconstructed exactly as the
+ * single-loop wall plus one extra goldenSeconds per cell and reported
+ * as the legacy reference.
+ *
  * Writes machine-readable results to BENCH_campaign.json (override the
  * path with SOFTCHECK_BENCH_JSON) so the perf trajectory is trackable
  * across PRs. Outcome counts are asserted identical across K as a
@@ -55,6 +66,7 @@ struct Row
     double speedup = 1.0; //!< vs the first-K row of the same campaign
     uint64_t snapshotBytes = 0;         //!< COW-resident page bytes
     uint64_t snapshotBytesFullCopy = 0; //!< K deep copies (pre-COW)
+    CampaignPhaseTimes phase;           //!< per-phase wall clock
 };
 
 struct BenchOptions
@@ -189,23 +201,17 @@ main(int argc, char **argv)
                 benchutil::makeConfig(workload, mode, trials);
             cfg.threads = opt.threads;
 
-            // Fixed campaign overhead (compile, profile, golden run,
-            // calibration) measured separately so trials/sec reflects
-            // the injection phase the checkpoints accelerate.
-            const auto t_char = std::chrono::steady_clock::now();
-            const CampaignResult base = characterizeOnly(cfg);
-            const double char_seconds = secondsSince(t_char);
-
             double base_tps = 0;
             bool have_base_counts = false;
             std::array<uint64_t, kNumOutcomes> base_counts{};
             for (const unsigned k : opt.ks) {
                 cfg.checkpoints = k;
-                const auto t0 = std::chrono::steady_clock::now();
                 const CampaignResult r = runCampaign(cfg);
-                const double total_seconds = secondsSince(t0);
+                // Campaigns now time their phases directly, so the
+                // injection phase the checkpoints accelerate no longer
+                // has to be separated out by a subtraction trick.
                 const double trial_seconds =
-                    std::max(total_seconds - char_seconds, 1e-9);
+                    std::max(r.phase.trialsSeconds, 1e-9);
 
                 if (!have_base_counts) {
                     base_counts = r.counts;
@@ -228,6 +234,7 @@ main(int argc, char **argv)
                 row.speedup = row.trialsPerSec / base_tps;
                 row.snapshotBytes = r.snapshotBytes;
                 row.snapshotBytesFullCopy = r.snapshotBytesFullCopy;
+                row.phase = r.phase;
                 rows.push_back(row);
 
                 std::printf(
@@ -245,6 +252,105 @@ main(int argc, char **argv)
         }
     }
     benchutil::printRule();
+
+    // ---- suite sweep: workload x mode grid, shared fault-free work ----
+    std::vector<std::string> sweep_workloads = workloads;
+    {
+        // At least 4 workloads so the per-workload sharing shows up in
+        // an end-to-end sweep (pad from the Table I list).
+        for (const std::string &name : benchutil::benchmarkNames()) {
+            if (sweep_workloads.size() >= 4)
+                break;
+            if (std::find(sweep_workloads.begin(),
+                          sweep_workloads.end(),
+                          name) == sweep_workloads.end())
+                sweep_workloads.push_back(name);
+        }
+    }
+    const std::vector<HardeningMode> sweep_modes = {
+        HardeningMode::Original, HardeningMode::DupOnly,
+        HardeningMode::DupValChks, HardeningMode::FullDup};
+
+    SuiteConfig sweep;
+    sweep.workloads = sweep_workloads;
+    sweep.modes = sweep_modes;
+    sweep.base = benchutil::makeConfig("", HardeningMode::Original,
+                                       trials);
+    sweep.base.threads = opt.threads;
+    // A grid scout: many configurations screened with a modest trial
+    // count each (the paper's per-point deep campaigns come after the
+    // scout picks the interesting cells). Fast-forward aggressively —
+    // the snapshots are recorded once per (workload, mode) and serve
+    // every seed.
+    const unsigned sweep_trials = std::max(10u, trials / 8);
+    sweep.base.trials = sweep_trials;
+    sweep.base.checkpoints = 256;
+    sweep.seeds = {sweep.base.seed, sweep.base.seed + 1,
+                   sweep.base.seed + 2};
+
+    benchutil::printHeader(
+        "Suite sweep: shared fault-free work across a workload x mode "
+        "x seed grid",
+        strformat("%zu workloads x %zu modes x %zu seeds, %u trials "
+                  "per cell",
+                  sweep_workloads.size(), sweep_modes.size(),
+                  sweep.seeds.size(), sweep_trials));
+
+    const auto t_suite = std::chrono::steady_clock::now();
+    const SuiteResult suite = runCampaignSuite(sweep);
+    const double suite_seconds = secondsSince(t_suite);
+
+    // The same grid as independent campaigns (today's fixed
+    // runCampaign, which already merges calibration and checkpoint
+    // recording into one golden pass).
+    double single_golden_seconds = 0;
+    const auto t_single = std::chrono::steady_clock::now();
+    for (std::size_t wi = 0; wi < sweep_workloads.size(); ++wi) {
+        for (std::size_t mi = 0; mi < sweep_modes.size(); ++mi) {
+            for (std::size_t si = 0; si < sweep.seeds.size(); ++si) {
+                CampaignConfig cfg = sweep.base;
+                cfg.workload = sweep_workloads[wi];
+                cfg.mode = sweep_modes[mi];
+                cfg.seed = sweep.seeds[si];
+                const CampaignResult r = runCampaign(cfg);
+                scAssert(r.counts == suite.cell(wi, mi, si).counts,
+                         "suite cell diverged from standalone campaign");
+                single_golden_seconds += r.phase.goldenSeconds;
+            }
+        }
+    }
+    const double single_seconds = secondsSince(t_single);
+    // The pre-suite engine also ran the instrumented golden pass twice
+    // per campaign; reconstruct that flow's cost exactly: the single
+    // loop plus one extra golden pass per cell.
+    const double legacy_seconds =
+        single_seconds + single_golden_seconds;
+
+    std::printf("  %-34s %8.3f s\n", "suite (shared artifacts)",
+                suite_seconds);
+    std::printf("  %-34s %8.3f s  (%.2fx)\n",
+                "per-config runCampaign loop", single_seconds,
+                single_seconds / suite_seconds);
+    std::printf("  %-34s %8.3f s  (%.2fx)\n",
+                "pre-suite flow (2x golden runs)", legacy_seconds,
+                legacy_seconds / suite_seconds);
+    std::printf("  suite phases: compile %.3f, profile %.3f, baseline "
+                "%.3f, golden %.3f, trials %.3f s\n",
+                suite.phase.compileSeconds, suite.phase.profileSeconds,
+                suite.phase.baselineSeconds, suite.phase.goldenSeconds,
+                suite.phase.trialsSeconds);
+    for (const SuiteWorkloadStats &ws : suite.workloadStats) {
+        std::printf("  %-10s snapshot bytes: suite-shared %.1f KB vs "
+                    "per-cell sum %.1f KB (%.2fx)\n",
+                    ws.workload.c_str(),
+                    static_cast<double>(ws.suiteSnapshotBytes) / 1024.0,
+                    static_cast<double>(ws.cellSnapshotBytesSum) /
+                        1024.0,
+                    ws.suiteSnapshotBytes
+                        ? static_cast<double>(ws.cellSnapshotBytesSum) /
+                              static_cast<double>(ws.suiteSnapshotBytes)
+                        : 0.0);
+    }
 
     const char *json_path = std::getenv("SOFTCHECK_BENCH_JSON");
     if (!json_path)
@@ -266,15 +372,58 @@ main(int argc, char **argv)
             "\"goldenDynInstrs\": %llu, \"checkpoints\": %u, "
             "\"trialSeconds\": %.6f, \"trialsPerSec\": %.2f, "
             "\"speedupVsReplay\": %.3f, \"snapshotBytes\": %llu, "
-            "\"snapshotBytesFullCopy\": %llu}%s\n",
+            "\"snapshotBytesFullCopy\": %llu, "
+            "\"compileSeconds\": %.6f, \"profileSeconds\": %.6f, "
+            "\"baselineSeconds\": %.6f, \"goldenSeconds\": %.6f}%s\n",
             r.workload.c_str(), hardeningModeName(r.mode),
             static_cast<unsigned long long>(r.goldenDynInstrs), r.k,
             r.trialSeconds, r.trialsPerSec, r.speedup,
             static_cast<unsigned long long>(r.snapshotBytes),
             static_cast<unsigned long long>(r.snapshotBytesFullCopy),
+            r.phase.compileSeconds, r.phase.profileSeconds,
+            r.phase.baselineSeconds, r.phase.goldenSeconds,
             i + 1 < rows.size() ? "," : "");
     }
-    std::fprintf(f, "  ]\n}\n");
+    std::fprintf(f, "  ],\n");
+
+    uint64_t sweep_total_trials = 0;
+    for (const CampaignResult &c : suite.cells)
+        sweep_total_trials += c.totalTrials();
+    std::fprintf(
+        f,
+        "  \"suite\": {\n"
+        "    \"workloads\": %zu, \"modes\": %zu, \"seeds\": %zu, "
+        "\"trialsPerCell\": %u,\n"
+        "    \"suiteWallSeconds\": %.6f, \"singleWallSeconds\": %.6f, "
+        "\"legacySingleSeconds\": %.6f,\n"
+        "    \"speedupVsSingle\": %.3f, \"speedupVsLegacy\": %.3f,\n"
+        "    \"compileSeconds\": %.6f, \"profileSeconds\": %.6f, "
+        "\"baselineSeconds\": %.6f, \"goldenSeconds\": %.6f, "
+        "\"trialsSeconds\": %.6f, \"trialsPerSec\": %.2f,\n"
+        "    \"perWorkloadSnapshots\": [\n",
+        sweep_workloads.size(), sweep_modes.size(),
+        suite.seeds.size(), sweep_trials,
+        suite_seconds, single_seconds, legacy_seconds,
+        single_seconds / suite_seconds, legacy_seconds / suite_seconds,
+        suite.phase.compileSeconds, suite.phase.profileSeconds,
+        suite.phase.baselineSeconds, suite.phase.goldenSeconds,
+        suite.phase.trialsSeconds,
+        suite.phase.trialsSeconds > 0
+            ? static_cast<double>(sweep_total_trials) /
+                  suite.phase.trialsSeconds
+            : 0.0);
+    for (std::size_t i = 0; i < suite.workloadStats.size(); ++i) {
+        const SuiteWorkloadStats &ws = suite.workloadStats[i];
+        std::fprintf(
+            f,
+            "      {\"workload\": \"%s\", \"suiteSnapshotBytes\": "
+            "%llu, \"cellSnapshotBytesSum\": %llu}%s\n",
+            ws.workload.c_str(),
+            static_cast<unsigned long long>(ws.suiteSnapshotBytes),
+            static_cast<unsigned long long>(ws.cellSnapshotBytesSum),
+            i + 1 < suite.workloadStats.size() ? "," : "");
+    }
+    std::fprintf(f, "    ]\n  }\n}\n");
     std::fclose(f);
     std::printf("wrote %s\n", json_path);
     return 0;

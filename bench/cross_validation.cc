@@ -21,17 +21,22 @@ main()
     printHeader("2-fold cross-validation (Dup + val chks)",
                 strformat("%u trials per fold", trials));
 
-    for (const std::string &name : {std::string("jpegdec"),
-                                    std::string("kmeans")}) {
-        auto cfg_a = makeConfig(name, HardeningMode::DupValChks,
-                                trials);
-        auto cfg_b = cfg_a;
-        cfg_b.swapTrainTest = true;
+    // The folds differ in a suite-wide knob (swapTrainTest), so each
+    // fold is one suite over both workloads.
+    auto fold_a = makeSuite({"jpegdec", "kmeans"},
+                            {HardeningMode::DupValChks}, trials);
+    auto fold_b = fold_a;
+    fold_b.base.swapTrainTest = true;
 
-        auto a = runCampaign(cfg_a);
-        auto b = runCampaign(cfg_b);
+    const auto suite_a = runCampaignSuite(fold_a);
+    const auto suite_b = runCampaignSuite(fold_b);
 
-        std::printf("\n%s\n", name.c_str());
+    for (std::size_t wi = 0; wi < suite_a.config.workloads.size();
+         ++wi) {
+        const CampaignResult &a = suite_a.cell(wi, 0);
+        const CampaignResult &b = suite_b.cell(wi, 0);
+
+        std::printf("\n%s\n", suite_a.config.workloads[wi].c_str());
         std::printf("  %-22s %8s %8s %8s\n", "outcome",
                     "fold A%", "fold B%", "|delta|");
         double max_delta = 0.0;
@@ -47,7 +52,8 @@ main()
                     std::fabs(100.0 * (a.overhead() - b.overhead())));
         std::printf("  max outcome delta %.2f points "
                     "(moe +-%.1f; paper: <=0.5 points)\n",
-                    max_delta, a.marginOfError95());
+                    max_delta, a.marginOfError95WorstCase());
     }
+    printSuiteTiming(suite_a);
     return 0;
 }

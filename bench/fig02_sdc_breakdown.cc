@@ -27,10 +27,13 @@ main()
                 "ASDC/SDC%");
     printRule();
 
+    const auto suite = runCampaignSuite(
+        makeSuite(benchmarkNames(), {HardeningMode::Original}, trials));
+
     std::vector<double> sdc, asdc_share, usdc_large_share;
-    for (const std::string &name : benchmarkNames()) {
-        auto r = runCampaign(
-            makeConfig(name, HardeningMode::Original, trials));
+    for (std::size_t wi = 0; wi < suite.config.workloads.size(); ++wi) {
+        const std::string &name = suite.config.workloads[wi];
+        const CampaignResult &r = suite.cell(wi, 0);
         const double total = static_cast<double>(trials);
         const double asdc = r.pct(Outcome::ASDC);
         const double usdc = r.pct(Outcome::USDC);
@@ -58,5 +61,6 @@ main()
                     mean(usdc_large_share));
     std::printf("margin of error (95%%): +-%.1f points\n",
                 100.0 * marginOfError(trials));
+    printSuiteTiming(suite);
     return 0;
 }

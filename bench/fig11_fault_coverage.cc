@@ -51,11 +51,12 @@ main()
         coverage(modes.size()), masked(modes.size()),
         swdet(modes.size()), hwdet(modes.size()), fail(modes.size());
 
-    for (const std::string &name : benchmarkNames()) {
-        std::printf("%s\n", name.c_str());
+    const auto suite =
+        runCampaignSuite(makeSuite(benchmarkNames(), modes, trials));
+    for (std::size_t wi = 0; wi < suite.config.workloads.size(); ++wi) {
+        std::printf("%s\n", suite.config.workloads[wi].c_str());
         for (std::size_t mi = 0; mi < modes.size(); ++mi) {
-            auto r =
-                runCampaign(makeConfig(name, modes[mi], trials));
+            const CampaignResult &r = suite.cell(wi, mi);
             printRow(hardeningModeName(modes[mi]), r);
             usdc[mi].push_back(r.pct(Outcome::USDC));
             coverage[mi].push_back(r.coveragePct());
@@ -86,5 +87,6 @@ main()
     std::printf("\nresult shape: USDC(Original) >= USDC(Dup only) >= "
                 "USDC(Dup+val chks): %s\n",
                 usdc_improves ? "HOLDS" : "VIOLATED");
+    printSuiteTiming(suite);
     return 0;
 }

@@ -26,16 +26,20 @@ main()
                 "base cycles", "Dup only", "Dup+val chks", "full dup");
     printRule();
 
+    // Fault-free characterization only: trials = 0.
+    const auto suite = runCampaignSuite(makeSuite(
+        benchmarkNames(),
+        {HardeningMode::DupOnly, HardeningMode::DupValChks,
+         HardeningMode::FullDup},
+        0));
+
     std::vector<double> dup, dup_chk, full;
-    for (const std::string &name : benchmarkNames()) {
-        const auto r_dup = characterizeOnly(
-            makeConfig(name, HardeningMode::DupOnly, 0));
-        const auto r_chk = characterizeOnly(
-            makeConfig(name, HardeningMode::DupValChks, 0));
-        const auto r_full = characterizeOnly(
-            makeConfig(name, HardeningMode::FullDup, 0));
+    for (std::size_t wi = 0; wi < suite.config.workloads.size(); ++wi) {
+        const CampaignResult &r_dup = suite.cell(wi, 0);
+        const CampaignResult &r_chk = suite.cell(wi, 1);
+        const CampaignResult &r_full = suite.cell(wi, 2);
         std::printf("%-10s %12llu %11.1f%% %11.1f%% %11.1f%%\n",
-                    name.c_str(),
+                    suite.config.workloads[wi].c_str(),
                     static_cast<unsigned long long>(
                         r_dup.baselineCycles),
                     100.0 * r_dup.overhead(), 100.0 * r_chk.overhead(),
@@ -54,5 +58,6 @@ main()
                 (mean(dup) < mean(dup_chk) && mean(dup_chk) < mean(full))
                     ? "HOLDS"
                     : "VIOLATED");
+    printSuiteTiming(suite);
     return 0;
 }

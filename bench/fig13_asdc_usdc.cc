@@ -29,11 +29,14 @@ main()
                 "USDC%", "SDC%", "ASDC%", "USDC%");
     printRule(90);
 
+    const auto suite =
+        runCampaignSuite(makeSuite(benchmarkNames(), modes, trials));
+
     std::vector<std::vector<double>> sdc(3), asdc(3), usdc(3);
-    for (const std::string &name : benchmarkNames()) {
-        std::printf("%-10s |", name.c_str());
+    for (std::size_t wi = 0; wi < suite.config.workloads.size(); ++wi) {
+        std::printf("%-10s |", suite.config.workloads[wi].c_str());
         for (std::size_t mi = 0; mi < modes.size(); ++mi) {
-            auto r = runCampaign(makeConfig(name, modes[mi], trials));
+            const CampaignResult &r = suite.cell(wi, mi);
             const double a = r.pct(Outcome::ASDC);
             const double u = r.pct(Outcome::USDC);
             std::printf(" %6.2f %6.2f %6.2f %s", a + u, a, u,
@@ -60,5 +63,6 @@ main()
     std::printf("\nresult shape: SDC and USDC shrink with hardening: "
                 "%s\n",
                 shape ? "HOLDS" : "VIOLATED");
+    printSuiteTiming(suite);
     return 0;
 }

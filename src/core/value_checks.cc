@@ -1,5 +1,6 @@
 #include "core/value_checks.hh"
 
+#include <algorithm>
 #include <cmath>
 #include <map>
 #include <vector>
@@ -14,13 +15,38 @@ namespace softcheck
 namespace
 {
 
-/** Constant for a check bound, in the instruction's own type. */
+/**
+ * Constant for a check bound, in the instruction's own type.
+ *
+ * Integer profile values are sign-extended doubles (profileValue), so
+ * a w-bit site's domain is [-2^(w-1), 2^(w-1)-1]; a bound from a
+ * loaded/merged profile can lie outside it — beyond even long long,
+ * where llround is undefined. Clamp into the domain first: operand
+ * values themselves cannot leave it, so a clamped bound checks the
+ * same predicate.
+ */
 Value *
 boundConstant(Module &m, Type t, double v)
 {
     if (t.isFloat())
         return m.getConstFloat(t, v);
-    return m.getConstInt(t, static_cast<uint64_t>(std::llround(v)));
+    const int w = static_cast<int>(t.bitWidth());
+    const uint64_t min_raw = uint64_t{1} << (w - 1);
+    const uint64_t max_raw = min_raw - 1;
+    const double lo = -std::ldexp(1.0, w - 1); // domain min, exact
+    const double hi = std::ldexp(1.0, w - 1);  // one past domain max
+    if (!(v > lo)) // v <= lo, or NaN
+        return m.getConstInt(t, min_raw);
+    if (v >= hi)
+        return m.getConstInt(t, max_raw);
+    // |v| < 2^63 here, so llround is defined; for w < 64 rounding can
+    // still step just past the domain edge.
+    long long r = std::llround(v);
+    if (w < 64) {
+        const long long smax = static_cast<long long>(max_raw);
+        r = std::clamp(r, -smax - 1, smax);
+    }
+    return m.getConstInt(t, static_cast<uint64_t>(r));
 }
 
 class CheckInserter

@@ -6,8 +6,11 @@
 #include <thread>
 #include <unordered_set>
 
+#include "fault/campaign_internal.hh"
 #include "frontend/compile.hh"
+#include "profile/value_profiler.hh"
 #include "support/error.hh"
+#include "support/rng.hh"
 #include "support/stats.hh"
 #include "support/text.hh"
 
@@ -26,6 +29,24 @@ outcomeName(Outcome o)
       case Outcome::Failure: return "Failure";
     }
     return "?";
+}
+
+double
+CampaignPhaseTimes::totalSeconds() const
+{
+    return compileSeconds + profileSeconds + baselineSeconds +
+           goldenSeconds + trialsSeconds;
+}
+
+CampaignPhaseTimes &
+CampaignPhaseTimes::operator+=(const CampaignPhaseTimes &o)
+{
+    compileSeconds += o.compileSeconds;
+    profileSeconds += o.profileSeconds;
+    baselineSeconds += o.baselineSeconds;
+    goldenSeconds += o.goldenSeconds;
+    trialsSeconds += o.trialsSeconds;
+    return *this;
 }
 
 double
@@ -48,11 +69,26 @@ CampaignResult::instrsPerFalsePositive() const
 }
 
 double
-CampaignResult::pct(Outcome o) const
+CampaignResult::trialsPerSec() const
+{
+    if (phase.trialsSeconds <= 0.0)
+        return 0.0;
+    return static_cast<double>(totalTrials()) / phase.trialsSeconds;
+}
+
+uint64_t
+CampaignResult::totalTrials() const
 {
     uint64_t total = 0;
     for (uint64_t c : counts)
         total += c;
+    return total;
+}
+
+double
+CampaignResult::pct(Outcome o) const
+{
+    const uint64_t total = totalTrials();
     if (total == 0)
         return 0.0;
     return 100.0 * static_cast<double>(
@@ -68,11 +104,18 @@ CampaignResult::coveragePct() const
 }
 
 double
-CampaignResult::marginOfError95() const
+CampaignResult::marginOfError95(Outcome o) const
 {
-    uint64_t total = 0;
-    for (uint64_t c : counts)
-        total += c;
+    const uint64_t total = totalTrials();
+    if (total == 0)
+        return 0.0;
+    return 100.0 * marginOfError(total, pct(o) / 100.0, 0.95);
+}
+
+double
+CampaignResult::marginOfError95WorstCase() const
+{
+    const uint64_t total = totalTrials();
     if (total == 0)
         return 0.0;
     return 100.0 * marginOfError(total, 0.5, 0.95);
@@ -84,9 +127,7 @@ CampaignResult::str() const
     std::string s = strformat(
         "%-10s %-16s trials=%llu overhead=%5.1f%% | ",
         config.workload.c_str(), hardeningModeName(config.mode),
-        static_cast<unsigned long long>(
-            counts[0] + counts[1] + counts[2] + counts[3] + counts[4] +
-            counts[5]),
+        static_cast<unsigned long long>(totalTrials()),
         100.0 * overhead());
     for (unsigned o = 0; o < kNumOutcomes; ++o) {
         s += strformat("%s=%4.1f%% ",
@@ -94,7 +135,7 @@ CampaignResult::str() const
                        pct(static_cast<Outcome>(o)));
     }
     s += strformat("| cov=%5.1f%% moe=%.1f%%", coveragePct(),
-                   marginOfError95());
+                   marginOfError95WorstCase());
     return s;
 }
 
@@ -125,15 +166,8 @@ isLargeValueChange(const FaultOutcome &f)
     return after > 8.0 * ref || after * 8.0 < before;
 }
 
-namespace
+namespace campaign_detail
 {
-
-struct PreparedModule
-{
-    std::unique_ptr<Module> mod;
-    std::unique_ptr<ExecModule> em;
-    std::size_t entryIdx = 0;
-};
 
 PreparedModule
 buildModule(const Workload &w, HardeningMode mode,
@@ -157,102 +191,188 @@ buildModule(const Workload &w, HardeningMode mode,
     return pm;
 }
 
-} // namespace
-
-uint64_t
-trialSeed(uint64_t campaignSeed, unsigned trial)
+ProfileData
+collectProfile(const Workload &w, const CampaignConfig &cfg,
+               bool train_role)
 {
-    // Element 'trial' of the splitmix64 stream started at the campaign
-    // seed: increment by the 64-bit golden ratio, then finalize.
-    return splitmix64(campaignSeed +
-                      (static_cast<uint64_t>(trial) + 1) *
-                          0x9e3779b97f4a7c15ULL);
+    auto mod = compileMiniLang(w.source, w.name);
+    const unsigned sites = assignProfileSites(*mod);
+    ExecModule em(*mod);
+    auto spec = w.makeInput(train_role);
+    auto run = prepareRun(spec);
+    ValueProfiler profiler(em.numProfileSites(),
+                           cfg.policy.histogramBins);
+    ExecOptions opts;
+    opts.cost = cfg.cost;
+    opts.profiler = &profiler;
+    Interpreter interp(em, *run.mem);
+    auto r = interp.run(em.functionIndex(w.entry), run.args, opts);
+    scAssert(r.ok(), "profiling run failed for ", w.name);
+    return ProfileData(profiler, floatSiteFlags(*mod, sites),
+                       cfg.policy);
 }
 
-CampaignResult
-runCampaign(const CampaignConfig &config)
+BaselineStats
+runBaseline(const Workload &w, const PreparedModule &baseline,
+            const WorkloadRunSpec &test_spec, const CampaignConfig &cfg)
+{
+    auto run = prepareRun(test_spec);
+    ExecOptions opts;
+    opts.cost = cfg.cost;
+    Interpreter interp(*baseline.em, *run.mem);
+    auto r = interp.run(baseline.entryIdx, run.args, opts);
+    scAssert(r.ok(), "baseline run failed for ", w.name);
+    return BaselineStats{r.cycles, r.dynInstrs};
+}
+
+CellCharacterization
+characterizeCell(const CampaignConfig &config,
+                 const SharedArtifacts *shared,
+                 SnapshotAccounting *suite_pages)
 {
     const Workload &w = getWorkload(config.workload);
-    CampaignResult result;
+    CellCharacterization cell;
+    CampaignResult &result = cell.proto;
     result.config = config;
 
     const bool train_role = !config.swapTrainTest;
 
     // ---- 1+2. compile + value-profile on the train input ------------
-    ProfileData profile;
+    ProfileData local_profile;
+    const ProfileData *profile = nullptr;
     if (config.mode == HardeningMode::DupValChks) {
-        auto mod = compileMiniLang(w.source, w.name);
-        const unsigned sites = assignProfileSites(*mod);
-        ExecModule em(*mod);
-        auto spec = w.makeInput(train_role);
-        auto run = prepareRun(spec);
-        ValueProfiler profiler(em.numProfileSites(),
-                               config.policy.histogramBins);
-        ExecOptions opts;
-        opts.cost = config.cost;
-        opts.profiler = &profiler;
-        Interpreter interp(em, *run.mem);
-        auto r = interp.run(em.functionIndex(w.entry), run.args, opts);
-        scAssert(r.ok(), "profiling run failed for ", w.name);
-        profile = ProfileData(profiler, floatSiteFlags(*mod, sites),
-                              config.policy);
+        if (shared && shared->profile) {
+            profile = shared->profile;
+        } else {
+            const Stopwatch sw;
+            local_profile = collectProfile(w, config, train_role);
+            result.phase.profileSeconds = sw.seconds();
+            profile = &local_profile;
+        }
     }
 
     // ---- 3. harden ----------------------------------------------------
-    PreparedModule hardened =
-        buildModule(w, config.mode, config,
-                    config.mode == HardeningMode::DupValChks ? &profile
-                                                             : nullptr,
-                    &result.report);
-
-    // ---- baseline cycles (unhardened) on the test input ----------------
-    PreparedModule baseline =
-        buildModule(w, HardeningMode::Original, config, nullptr,
-                    nullptr);
-    const auto test_spec = w.makeInput(!train_role);
-    {
-        auto run = prepareRun(test_spec);
-        ExecOptions opts;
-        opts.cost = config.cost;
-        Interpreter interp(*baseline.em, *run.mem);
-        auto r = interp.run(baseline.entryIdx, run.args, opts);
-        scAssert(r.ok(), "baseline run failed for ", w.name);
-        result.baselineCycles = r.cycles;
+    if (shared && config.mode == HardeningMode::Original) {
+        // The unhardened baseline module *is* the Original program.
+        cell.sharedModule = shared->baselineModule;
+        result.report = *shared->baselineReport;
+    } else {
+        const Stopwatch sw;
+        cell.localModule =
+            buildModule(w, config.mode, config, profile, &result.report);
+        result.phase.compileSeconds = sw.seconds();
     }
+    const PreparedModule &hardened = cell.module();
 
-    // ---- 4. fault-free golden run + false-positive calibration ---------
+    // ---- baseline characterization (unhardened) on the test input ----
+    PreparedRun local_pristine;
+    const PreparedRun *pristine = nullptr;
+    BaselineStats bl;
+    if (shared) {
+        cell.sharedSpec = shared->testSpec;
+        pristine = shared->pristine;
+        bl = shared->baseline;
+    } else {
+        cell.localSpec = w.makeInput(!train_role);
+        local_pristine = prepareRun(cell.localSpec);
+        pristine = &local_pristine;
+        const Stopwatch swc;
+        PreparedModule baseline = buildModule(
+            w, HardeningMode::Original, config, nullptr, nullptr);
+        result.phase.compileSeconds += swc.seconds();
+        const Stopwatch swb;
+        bl = runBaseline(w, baseline, cell.testSpec(), config);
+        result.phase.baselineSeconds = swb.seconds();
+    }
+    result.baselineCycles = bl.cycles;
+
+    // ---- 4. merged fault-free golden run ------------------------------
+    // One instrumented pass produces the false-positive calibration
+    // counts, the golden signal/return value, AND the trial
+    // fast-forward checkpoints (it used to take two bit-identical runs).
+    // Snapshot placement needs a stride before this run's own length is
+    // known, so the stride derives from the unhardened run's length;
+    // hardening only lengthens the stream, so the requested K is a
+    // floor on the snapshot count, never a miss. Check semantics do not
+    // differ between recording (calibration) and halting with the
+    // firing checks disabled (trials), so the recorded states are valid
+    // trial-resume points.
     const unsigned num_checks = hardened.em->numCheckIds();
     result.totalCheckCount = num_checks;
-    std::vector<uint8_t> disabled(num_checks, 0);
-    std::vector<double> golden_signal;
-    uint64_t golden_ret = 0;
+    cell.disabled.assign(num_checks, 0);
     {
-        auto run = prepareRun(test_spec);
+        const Stopwatch sw;
+        PreparedRun run = clonePreparedRun(*pristine);
         std::vector<uint64_t> fail_counts(num_checks, 0);
         ExecOptions opts;
         opts.cost = config.cost;
         opts.checkMode = CheckMode::Record;
         opts.checkFailCounts = &fail_counts;
+        if (config.trials > 0 && config.checkpoints > 0) {
+            cell.snapshotStride = bl.dynInstrs / config.checkpoints;
+            if (cell.snapshotStride > 0) {
+                opts.checkpointEvery = cell.snapshotStride;
+                opts.checkpointSink = &cell.snapshots;
+            }
+        }
         Interpreter interp(*hardened.em, *run.mem);
-        auto r = interp.run(hardened.entryIdx, run.args, opts);
-        scAssert(r.ok(), "golden run failed for ", w.name);
-        result.goldenDynInstrs = r.dynInstrs;
-        result.goldenCycles = r.cycles;
-        golden_ret = r.retValue;
-        golden_signal = extractSignal(w, test_spec, run);
+        cell.goldenRun = interp.run(hardened.entryIdx, run.args, opts);
+        scAssert(cell.goldenRun.ok(), "golden run failed for ", w.name);
+        result.goldenDynInstrs = cell.goldenRun.dynInstrs;
+        result.goldenCycles = cell.goldenRun.cycles;
+        cell.goldenSignal = extractSignal(w, cell.testSpec(), run);
         for (unsigned c = 0; c < num_checks; ++c) {
             result.calibrationCheckFails += fail_counts[c];
             if (fail_counts[c] > 0) {
-                disabled[c] = 1;
+                cell.disabled[c] = 1;
                 ++result.disabledCheckCount;
             }
         }
-    }
+        if (cell.snapshots.empty())
+            cell.snapshotStride = 0;
 
+        // Footprint accounting: COW-resident bytes (distinct pages
+        // across all snapshots) vs. what K deep copies would hold.
+        result.snapshotCount =
+            static_cast<unsigned>(cell.snapshots.size());
+        std::unordered_set<const void *> seen;
+        for (const Snapshot &s : cell.snapshots) {
+            result.snapshotBytes += s.residentPageBytes(seen);
+            result.snapshotBytesFullCopy += s.mem.bytesAllocated();
+        }
+        // Suite-wide accounting: pages already contributed by another
+        // cell of this workload (via the shared pristine image) are
+        // counted once for the whole suite.
+        if (suite_pages) {
+            for (const Snapshot &s : cell.snapshots)
+                suite_pages->bytes +=
+                    s.residentPageBytes(suite_pages->seen);
+        }
+        result.phase.goldenSeconds = sw.seconds();
+    }
+    return cell;
+}
+
+CampaignResult
+runTrialPhase(const CellCharacterization &cell,
+              const CampaignConfig &config)
+{
+    CampaignResult result = cell.proto;
+    result.config = config;
     if (config.trials == 0)
         return result;
 
+    const Workload &w = getWorkload(config.workload);
+    const PreparedModule &hardened = cell.module();
+    const WorkloadRunSpec &test_spec = cell.testSpec();
+    const std::vector<Snapshot> &snapshots = cell.snapshots;
+    const uint64_t snapshot_stride = cell.snapshotStride;
+    const std::vector<double> &golden_signal = cell.goldenSignal;
+    const RunResult &golden_run = cell.goldenRun;
+    const uint64_t golden_ret = golden_run.retValue;
+
     // ---- 5. injection trials --------------------------------------------
+    const Stopwatch trials_sw;
     const uint64_t max_dyn = static_cast<uint64_t>(
         config.timeoutFactor * static_cast<double>(
                                    result.goldenDynInstrs));
@@ -261,43 +381,12 @@ runCampaign(const CampaignConfig &config)
     ExecOptions trial_opts;
     trial_opts.cost = config.cost;
     trial_opts.checkMode = CheckMode::Halt;
-    trial_opts.disabledChecks = &disabled;
+    trial_opts.disabledChecks = &cell.disabled;
     trial_opts.maxDynInstrs = max_dyn;
-
-    // Checkpoint the fault-free run under trial semantics: the prefix
-    // of every trial is deterministic and identical to this run, so a
-    // trial can resume from the nearest snapshot at or before its
-    // injection point instead of replaying from instruction 0. The
-    // same snapshots drive golden-convergence pruning of the suffix.
-    std::vector<Snapshot> snapshots;
-    RunResult golden_run;
-    uint64_t snapshot_stride = 0;
-    if (config.checkpoints > 0) {
-        snapshot_stride = result.goldenDynInstrs / config.checkpoints;
-        if (snapshot_stride > 0) {
-            auto run = prepareRun(test_spec);
-            ExecOptions opts = trial_opts;
-            opts.checkpointEvery = snapshot_stride;
-            opts.checkpointSink = &snapshots;
-            Interpreter interp(*hardened.em, *run.mem);
-            golden_run =
-                interp.run(hardened.entryIdx, run.args, opts);
-            scAssert(golden_run.ok(),
-                     "checkpoint recording run failed for ", w.name);
-            trial_opts.goldenSnapshots = &snapshots;
-            trial_opts.goldenEvery = snapshot_stride;
-            trial_opts.goldenResult = &golden_run;
-
-            // Footprint accounting: COW-resident bytes (distinct pages
-            // across all snapshots) vs. what K deep copies would hold.
-            result.snapshotCount =
-                static_cast<unsigned>(snapshots.size());
-            std::unordered_set<const void *> seen;
-            for (const Snapshot &s : snapshots) {
-                result.snapshotBytes += s.residentPageBytes(seen);
-                result.snapshotBytesFullCopy += s.mem.bytesAllocated();
-            }
-        }
+    if (snapshot_stride > 0) {
+        trial_opts.goldenSnapshots = &snapshots;
+        trial_opts.goldenEvery = snapshot_stride;
+        trial_opts.goldenResult = &golden_run;
     }
 
     unsigned num_threads = config.threads;
@@ -315,7 +404,7 @@ runCampaign(const CampaignConfig &config)
         // of being reallocated, and the buffer addresses stay valid
         // because the allocation sequence is deterministic.
         auto run = prepareRun(test_spec);
-        const Memory pristine = *run.mem;
+        const Memory worker_pristine = *run.mem;
         Interpreter interp(*hardened.em, *run.mem);
         ExecState st;
         for (;;) {
@@ -340,7 +429,7 @@ runCampaign(const CampaignConfig &config)
                 idx = std::min(idx, snapshots.size() - 1);
                 snapshots[idx].restore(st, *run.mem);
             } else {
-                run.mem->restoreFrom(pristine);
+                run.mem->restoreFrom(worker_pristine);
                 interp.begin(st, hardened.entryIdx, run.args,
                              config.cost);
             }
@@ -411,7 +500,28 @@ runCampaign(const CampaignConfig &config)
         result.counts[o] = counts[o].load();
     result.usdcLargeChange = usdc_large.load();
     result.usdcSmallChange = usdc_small.load();
+    result.phase.trialsSeconds = trials_sw.seconds();
     return result;
+}
+
+} // namespace campaign_detail
+
+uint64_t
+trialSeed(uint64_t campaignSeed, unsigned trial)
+{
+    // Element 'trial' of the splitmix64 stream started at the campaign
+    // seed: increment by the 64-bit golden ratio, then finalize.
+    return splitmix64(campaignSeed +
+                      (static_cast<uint64_t>(trial) + 1) *
+                          0x9e3779b97f4a7c15ULL);
+}
+
+CampaignResult
+runCampaign(const CampaignConfig &config)
+{
+    const auto cell =
+        campaign_detail::characterizeCell(config, nullptr, nullptr);
+    return campaign_detail::runTrialPhase(cell, config);
 }
 
 CampaignResult

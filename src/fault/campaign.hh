@@ -7,10 +7,11 @@
  *   1. compile the MiniLang kernel to SSA IR,
  *   2. value-profile it on the *train* input (paper Sec. III-C1),
  *   3. apply the selected hardening mode,
- *   4. run fault-free on the *test* input: golden output, golden
- *      dynamic-instruction/cycle counts, and false-positive
- *      calibration (checks that fire without faults are disabled —
- *      the paper's recover-once-then-ignore rule),
+ *   4. run fault-free on the *test* input — ONE instrumented pass
+ *      that yields the golden output, golden dynamic-instruction/cycle
+ *      counts, false-positive calibration (checks that fire without
+ *      faults are disabled — the paper's recover-once-then-ignore
+ *      rule), and the trial fast-forward checkpoints,
  *   5. inject one random single-bit register flip per trial at a
  *      uniformly random dynamic instruction, and classify the outcome.
  *
@@ -74,6 +75,25 @@ struct CampaignConfig
     unsigned checkpoints = 32;
 };
 
+/**
+ * Wall-clock seconds per campaign phase. The fault-free phases
+ * (compile, profile, baseline, golden) are the fixed cost a campaign
+ * pays before the first injection; the suite engine (see suite.hh)
+ * exists to amortize them across configurations, so they are measured
+ * separately to show where sweep time actually goes.
+ */
+struct CampaignPhaseTimes
+{
+    double compileSeconds = 0;  //!< MiniLang compile + harden + ExecModule
+    double profileSeconds = 0;  //!< value-profiling run (train input)
+    double baselineSeconds = 0; //!< unhardened characterization run
+    double goldenSeconds = 0;   //!< merged calibration+checkpoint golden run
+    double trialsSeconds = 0;   //!< injection trials
+
+    double totalSeconds() const;
+    CampaignPhaseTimes &operator+=(const CampaignPhaseTimes &o);
+};
+
 struct CampaignResult
 {
     CampaignConfig config;
@@ -111,13 +131,30 @@ struct CampaignResult
     /** Fault-free instructions per false positive (inf if none). */
     double instrsPerFalsePositive() const;
 
+    /**
+     * Wall-clock spent per phase of this campaign. Phases served from
+     * a suite's shared artifacts (see suite.hh) cost the cell nothing
+     * and report 0 here; the suite result carries the shared times.
+     */
+    CampaignPhaseTimes phase;
+    /** Injection throughput: trials / phase.trialsSeconds (0 if the
+     * trial phase did not run). */
+    double trialsPerSec() const;
+
+    /** Sum of all outcome counts (= trials actually classified). */
+    uint64_t totalTrials() const;
+
     // Derived percentages (of all trials).
     double pct(Outcome o) const;
     double sdcPct() const { return pct(Outcome::ASDC) + pct(Outcome::USDC); }
     /** Coverage per the paper: Masked+ASDC+SWDetect+HWDetect. */
     double coveragePct() const;
-    /** 95% margin of error for an outcome proportion. */
-    double marginOfError95() const;
+    /** 95% margin of error at the observed proportion of outcome
+     * @p o (e = z*sqrt(p(1-p)/n) with p = pct(o)/100). */
+    double marginOfError95(Outcome o) const;
+    /** Worst-case (p = 0.5) 95% margin of error — the conservative
+     * a-priori bound the bench headers quote. */
+    double marginOfError95WorstCase() const;
 
     std::string str() const;
 };

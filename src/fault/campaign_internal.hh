@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Internals shared between the single-campaign runner (campaign.cc)
+ * and the suite engine (suite.cc): the per-phase building blocks of a
+ * campaign, the bundle of per-workload artifacts a suite precomputes
+ * once and serves to every cell, and the suite-level snapshot-page
+ * accounting.
+ *
+ * The contract that makes suite cells bit-identical to standalone
+ * runCampaign calls: every SharedArtifacts member is a deterministic
+ * function of (workload, CampaignConfig knobs) alone, so a cell served
+ * shared artifacts computes exactly what it would have computed itself.
+ */
+
+#ifndef SOFTCHECK_FAULT_CAMPAIGN_INTERNAL_HH
+#define SOFTCHECK_FAULT_CAMPAIGN_INTERNAL_HH
+
+#include <chrono>
+#include <memory>
+#include <unordered_set>
+#include <vector>
+
+#include "fault/campaign.hh"
+#include "interp/interpreter.hh"
+#include "ir/module.hh"
+#include "profile/profile_data.hh"
+#include "workloads/workload.hh"
+
+namespace softcheck::campaign_detail
+{
+
+class Stopwatch
+{
+  public:
+    Stopwatch() : t0(std::chrono::steady_clock::now()) {}
+
+    double
+    seconds() const
+    {
+        return std::chrono::duration<double>(
+                   std::chrono::steady_clock::now() - t0)
+            .count();
+    }
+
+  private:
+    std::chrono::steady_clock::time_point t0;
+};
+
+struct PreparedModule
+{
+    std::unique_ptr<Module> mod;
+    std::unique_ptr<ExecModule> em;
+    std::size_t entryIdx = 0;
+};
+
+/** Compile @p w, apply @p mode, and build the ExecModule. */
+PreparedModule buildModule(const Workload &w, HardeningMode mode,
+                           const CampaignConfig &cfg,
+                           const ProfileData *profile,
+                           HardeningReport *report_out);
+
+/** Value-profile @p w on its train (or swapped) input. */
+ProfileData collectProfile(const Workload &w, const CampaignConfig &cfg,
+                           bool train_role);
+
+/** Fault-free characterization of the unhardened program. */
+struct BaselineStats
+{
+    uint64_t cycles = 0;
+    uint64_t dynInstrs = 0;
+};
+
+BaselineStats runBaseline(const Workload &w,
+                          const PreparedModule &baseline,
+                          const WorkloadRunSpec &test_spec,
+                          const CampaignConfig &cfg);
+
+/**
+ * Per-workload artifacts a suite computes once and shares across the
+ * workload's cells (one per hardening mode). All pointers are non-owning
+ * and must outlive the cells. When null/absent the cell computes the
+ * artifact itself (the standalone runCampaign path).
+ */
+struct SharedArtifacts
+{
+    /** Value profile (only DupValChks cells consume it). */
+    const ProfileData *profile = nullptr;
+    /** Unhardened module — doubles as the Original cell's program. */
+    const PreparedModule *baselineModule = nullptr;
+    const HardeningReport *baselineReport = nullptr;
+    /** Test input spec + its prepared pristine image. Cells fork the
+     * image copy-on-write, so pages no cell dirties (the input
+     * buffers) are shared by every cell's golden page chain. */
+    const WorkloadRunSpec *testSpec = nullptr;
+    const PreparedRun *pristine = nullptr;
+    BaselineStats baseline;
+};
+
+/**
+ * Suite-wide snapshot accounting: pages are deduped across every cell
+ * of one workload (by block address), and each cell's snapshots are
+ * kept alive here so addresses in @p seen stay valid — freeing them
+ * mid-suite would let the allocator reuse an address and corrupt the
+ * dedup.
+ */
+struct SnapshotAccounting
+{
+    std::unordered_set<const void *> seen;
+    uint64_t bytes = 0;
+    std::vector<std::vector<Snapshot>> keepAlive;
+};
+
+/**
+ * Everything the trial phase needs from the fault-free half of a
+ * campaign: the hardened program, the false-positive calibration, the
+ * golden signal/run, and the checkpoint snapshots — plus a result
+ * prototype with all characterization fields (and their phase times)
+ * filled in. Fault-free state is independent of the injection seed, so
+ * one characterization can serve any number of trial-phase variants.
+ */
+struct CellCharacterization
+{
+    /** Characterization fields + phase times filled; counts empty. */
+    CampaignResult proto;
+
+    PreparedModule localModule; //!< empty when served by a suite
+    const PreparedModule *sharedModule = nullptr;
+    WorkloadRunSpec localSpec; //!< unused when served by a suite
+    const WorkloadRunSpec *sharedSpec = nullptr;
+
+    std::vector<uint8_t> disabled;    //!< calibration-disabled checks
+    std::vector<double> goldenSignal;
+    std::vector<Snapshot> snapshots;
+    RunResult goldenRun;
+    uint64_t snapshotStride = 0; //!< 0 = no fast-forwarding
+
+    const PreparedModule &
+    module() const
+    {
+        return sharedModule ? *sharedModule : localModule;
+    }
+
+    const WorkloadRunSpec &
+    testSpec() const
+    {
+        return sharedSpec ? *sharedSpec : localSpec;
+    }
+};
+
+/**
+ * Fault-free half of a campaign: compile (unless shared), profile
+ * (unless shared), baseline (unless shared), and the merged
+ * calibration+checkpoint golden run. When @p suite_pages is given the
+ * snapshots are additionally accounted against the suite-wide deduped
+ * page set (the caller parks them in keepAlive when done).
+ */
+CellCharacterization characterizeCell(const CampaignConfig &config,
+                                      const SharedArtifacts *shared,
+                                      SnapshotAccounting *suite_pages);
+
+/**
+ * Injection half: run @p config's trials against a finished
+ * characterization. The returned result carries the
+ * characterization's fields and phase times plus this phase's
+ * trialsSeconds; only config.seed/trials/threads influence it, so one
+ * characterization may serve many variant calls.
+ */
+CampaignResult runTrialPhase(const CellCharacterization &cell,
+                             const CampaignConfig &config);
+
+} // namespace softcheck::campaign_detail
+
+#endif // SOFTCHECK_FAULT_CAMPAIGN_INTERNAL_HH

@@ -1,0 +1,100 @@
+#include "fault/suite.hh"
+
+#include <algorithm>
+
+#include "fault/campaign_internal.hh"
+#include "support/error.hh"
+
+namespace softcheck
+{
+
+using namespace campaign_detail;
+
+SuiteResult
+runCampaignSuite(const SuiteConfig &config)
+{
+    scAssert(!config.workloads.empty(), "suite needs workloads");
+    scAssert(!config.modes.empty(), "suite needs modes");
+    const Stopwatch wall;
+
+    SuiteResult result;
+    result.config = config;
+    result.seeds = config.seeds;
+    if (result.seeds.empty())
+        result.seeds = {config.base.seed};
+    result.cells.reserve(config.workloads.size() *
+                         config.modes.size() * result.seeds.size());
+
+    const bool wants_profile =
+        std::find(config.modes.begin(), config.modes.end(),
+                  HardeningMode::DupValChks) != config.modes.end();
+    const bool train_role = !config.base.swapTrainTest;
+
+    for (const std::string &name : config.workloads) {
+        const Workload &w = getWorkload(name);
+        CampaignConfig proto = config.base;
+        proto.workload = name;
+
+        // Per-workload shared artifacts, computed once and served to
+        // every mode's cell. Each is a deterministic function of
+        // (workload, knobs), so the cells match standalone runs bit
+        // for bit.
+        SharedArtifacts sa;
+
+        const Stopwatch sw_compile;
+        HardeningReport baseline_report;
+        const PreparedModule baseline_module =
+            buildModule(w, HardeningMode::Original, proto, nullptr,
+                        &baseline_report);
+        result.phase.compileSeconds += sw_compile.seconds();
+        sa.baselineModule = &baseline_module;
+        sa.baselineReport = &baseline_report;
+
+        ProfileData profile;
+        if (wants_profile) {
+            const Stopwatch sw;
+            profile = collectProfile(w, proto, train_role);
+            result.phase.profileSeconds += sw.seconds();
+            sa.profile = &profile;
+        }
+
+        const WorkloadRunSpec test_spec = w.makeInput(!train_role);
+        const PreparedRun pristine = prepareRun(test_spec);
+        sa.testSpec = &test_spec;
+        sa.pristine = &pristine;
+
+        const Stopwatch sw_baseline;
+        sa.baseline = runBaseline(w, baseline_module, test_spec, proto);
+        result.phase.baselineSeconds += sw_baseline.seconds();
+
+        SnapshotAccounting pages;
+        SuiteWorkloadStats stats;
+        stats.workload = name;
+        for (HardeningMode mode : config.modes) {
+            CampaignConfig cfg = proto;
+            cfg.mode = mode;
+            // One characterization per (workload, mode); the seed only
+            // steers injections, so every seed variant fans out of it.
+            CellCharacterization cell =
+                characterizeCell(cfg, &sa, &pages);
+            result.phase += cell.proto.phase; // trialsSeconds is 0 here
+            stats.cellSnapshotBytesSum += cell.proto.snapshotBytes;
+            for (uint64_t seed : result.seeds) {
+                cfg.seed = seed;
+                CampaignResult r = runTrialPhase(cell, cfg);
+                result.phase.trialsSeconds += r.phase.trialsSeconds;
+                result.cells.push_back(std::move(r));
+            }
+            // Park the snapshots so the block addresses in the dedup
+            // set can't be recycled by a later cell's allocations.
+            pages.keepAlive.push_back(std::move(cell.snapshots));
+        }
+        stats.suiteSnapshotBytes = pages.bytes;
+        result.workloadStats.push_back(std::move(stats));
+    }
+
+    result.wallSeconds = wall.seconds();
+    return result;
+}
+
+} // namespace softcheck

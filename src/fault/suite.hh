@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Campaign suites: run a workload × hardening-mode grid as one unit,
+ * deduping the fault-free work the cells share.
+ *
+ * A figure bench sweeps many (workload, mode) cells with identical
+ * knobs, and standalone runCampaign calls repeat per-workload work in
+ * every cell: the MiniLang compile of the unhardened program, the value
+ * profile of the train input, and the baseline characterization run are
+ * functions of the workload alone. The suite computes each once per
+ * workload and serves it to the cells, which stay bit-identical to
+ * standalone runCampaign (see tests/fault/test_campaign_suite.cc).
+ *
+ * Cells of one workload also fork their golden runs copy-on-write from
+ * one shared pristine memory image, so the snapshot chains of all the
+ * workload's cells share the pages none of them dirties (input
+ * buffers, untouched globals) — suite-wide snapshot resident bytes
+ * stop scaling with the number of modes.
+ *
+ * The third grid axis is the injection seed: the fault-free half of a
+ * campaign (compile, profile, baseline, merged golden run, snapshots)
+ * does not depend on the seed, so a suite characterizes each
+ * (workload, mode) cell once and fans every requested seed variant out
+ * of that single characterization — only the trial phase repeats.
+ */
+
+#ifndef SOFTCHECK_FAULT_SUITE_HH
+#define SOFTCHECK_FAULT_SUITE_HH
+
+#include <string>
+#include <vector>
+
+#include "fault/campaign.hh"
+
+namespace softcheck
+{
+
+/** A workload × hardening-mode × seed grid sharing one knob set. */
+struct SuiteConfig
+{
+    std::vector<std::string> workloads;
+    std::vector<HardeningMode> modes;
+    /**
+     * Injection-seed variants per (workload, mode) cell. All variants
+     * share that cell's characterization — compile, profile, baseline,
+     * golden run, and snapshots run once no matter how many seeds.
+     * Empty means the single seed base.seed.
+     */
+    std::vector<uint64_t> seeds;
+    /**
+     * Knobs applied to every cell (trials, threads, policy, cost,
+     * checkpoints, ...). The workload, mode, and seed fields are
+     * overwritten per cell.
+     */
+    CampaignConfig base;
+};
+
+/** Per-workload suite-level snapshot footprint. */
+struct SuiteWorkloadStats
+{
+    std::string workload;
+    /**
+     * Resident bytes of all the workload's snapshot pages with dedup
+     * across *every* cell: a page shared between two modes' golden
+     * chains (via the common pristine image) counts once.
+     */
+    uint64_t suiteSnapshotBytes = 0;
+    /** Sum of the cells' independently-deduped snapshotBytes — what
+     * the same sweep holds without cross-cell sharing. */
+    uint64_t cellSnapshotBytesSum = 0;
+};
+
+struct SuiteResult
+{
+    SuiteConfig config;
+    /** The resolved seed list: config.seeds, or {base.seed} if empty. */
+    std::vector<uint64_t> seeds;
+    /** Cell results, workload-major then mode then seed:
+     * cells[(wi * modes.size() + mi) * seeds.size() + si].
+     * Each is bit-identical to runCampaign on the same config. */
+    std::vector<CampaignResult> cells;
+    std::vector<SuiteWorkloadStats> workloadStats;
+
+    /**
+     * Aggregate wall-clock per phase: the per-workload shared phases
+     * (compile, profile, baseline) counted once each, plus every
+     * cell's own phases.
+     */
+    CampaignPhaseTimes phase;
+    /** End-to-end wall-clock of runCampaignSuite. */
+    double wallSeconds = 0;
+
+    const CampaignResult &
+    cell(std::size_t wi, std::size_t mi, std::size_t si = 0) const
+    {
+        return cells[(wi * config.modes.size() + mi) * seeds.size() +
+                     si];
+    }
+};
+
+/**
+ * Run the grid. Deterministic for a fixed config; each cell's counts,
+ * characterization, and calibration fields are bit-identical to a
+ * standalone runCampaign with the same per-cell config.
+ */
+SuiteResult runCampaignSuite(const SuiteConfig &config);
+
+} // namespace softcheck
+
+#endif // SOFTCHECK_FAULT_SUITE_HH

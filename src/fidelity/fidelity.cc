@@ -56,6 +56,11 @@ segmentalSnr(const std::vector<double> &golden,
             const double d = golden[i] - test[i];
             noise += d * d;
         }
+        // All-silent frames (no signal, no corruption — e.g. padding)
+        // carry no information; counting them at the 120 dB cap would
+        // inflate the average.
+        if (sig == 0.0 && noise == 0.0)
+            continue;
         double snr_db;
         if (noise == 0.0)
             snr_db = 120.0;
@@ -67,6 +72,8 @@ segmentalSnr(const std::vector<double> &golden,
         total += snr_db;
         ++frames;
     }
+    if (frames == 0)
+        return -std::numeric_limits<double>::infinity();
     return total / static_cast<double>(frames);
 }
 

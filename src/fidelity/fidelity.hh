@@ -37,7 +37,10 @@ double psnr(const std::vector<double> &golden,
 /**
  * Segmental SNR: SNR computed per frame of @p frame_len samples and
  * averaged (each frame's SNR clamped into [0, 120] dB, standard
- * practice so silent frames do not dominate).
+ * practice so silent frames do not dominate). All-silent frames
+ * (zero signal and zero noise, e.g. padding) carry no information and
+ * are excluded from the average; if every frame is silent the
+ * no-frames sentinel (-inf) is returned.
  */
 double segmentalSnr(const std::vector<double> &golden,
                     const std::vector<double> &test,

@@ -33,6 +33,16 @@ prepareRun(const WorkloadRunSpec &spec)
     return run;
 }
 
+PreparedRun
+clonePreparedRun(const PreparedRun &src)
+{
+    PreparedRun run;
+    run.mem = std::make_unique<Memory>(*src.mem);
+    run.args = src.args;
+    run.bufferAddr = src.bufferAddr;
+    return run;
+}
+
 namespace
 {
 

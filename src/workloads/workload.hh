@@ -123,6 +123,15 @@ struct PreparedRun
 /** Allocate and fill a Memory for @p spec. */
 PreparedRun prepareRun(const WorkloadRunSpec &spec);
 
+/**
+ * Fork @p src copy-on-write: the clone shares every memory page with
+ * the source until one side writes it, so runs forked from one pristine
+ * image share the pages none of them dirties (e.g. input buffers).
+ * NOT safe to call concurrently on the same @p src (the COW fork
+ * rewrites the source's dirty bitmaps).
+ */
+PreparedRun clonePreparedRun(const PreparedRun &src);
+
 /** Read the output buffers back as doubles. */
 RawOutput readOutputs(const WorkloadRunSpec &spec,
                       const PreparedRun &run);

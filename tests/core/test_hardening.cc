@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <bit>
+#include <sstream>
+
 #include "analysis/dominance_verify.hh"
 #include "common/test_util.hh"
 #include "core/pipeline.hh"
@@ -123,6 +126,73 @@ TEST(ValueChecks, InsertedOnAmenableSites)
     auto report = hardenModule(*mod, opts, &pd);
     EXPECT_GT(report.valueChecks, 0u);
     EXPECT_TRUE(verifyModule(*mod).empty());
+}
+
+TEST(ValueChecks, HugeProfileBoundsAreClampedNotWrapped)
+{
+    // A loaded profile can carry bounds outside the long long range
+    // (here a frequent range reaching toward UINT64_MAX on i64 sites);
+    // llround on such a bound is undefined and on x86 collapses to
+    // LLONG_MIN, turning an always-true range check into an
+    // always-firing one. The bound must clamp to the i64 domain edge
+    // instead, leaving fault-free behaviour unchanged.
+    const char *src = R"(
+fn main(data: ptr<i64>, n: i32) -> i64 {
+    var acc: i64 = 1;
+    for (var i: i32 = 0; i < n; i = i + 1) {
+        acc = acc + data[i] * 3;
+    }
+    return acc;
+})";
+
+    auto run_kernel = [&](Module &m) {
+        ExecModule em(m);
+        Memory mem;
+        const uint64_t buf = mem.alloc(8 * 16);
+        for (int i = 0; i < 16; ++i)
+            mem.write(buf + 8 * i, 8,
+                      static_cast<uint64_t>(i * 977 + 5));
+        Interpreter interp(em, mem);
+        return interp.run(em.functionIndex("main"), {buf, 16}, {});
+    };
+
+    uint64_t ref_ret;
+    {
+        auto ref = compileMiniLang(src, "t");
+        auto r = run_kernel(*ref);
+        ASSERT_EQ(r.term, Termination::Ok);
+        ref_ret = r.retValue;
+    }
+
+    auto mod = compileMiniLang(src, "t");
+    const unsigned sites = assignProfileSites(*mod);
+    ASSERT_GT(sites, 0u);
+
+    // Craft a profile via the text format (shape samples v0 v1 cov,
+    // doubles as bit patterns): every site gets a range [1, 1.6e19].
+    // The hi bound exceeds LLONG_MAX (~9.2e18) but the span stays
+    // under 2^64-1 so i64 checks are not suppressed as whole-domain.
+    std::ostringstream os;
+    os << sites << "\n";
+    for (unsigned i = 0; i < sites; ++i)
+        os << 3 << " " << 1000 << " "
+           << std::bit_cast<uint64_t>(1.0) << " "
+           << std::bit_cast<uint64_t>(1.6e19) << " "
+           << std::bit_cast<uint64_t>(1.0) << "\n";
+    std::istringstream is(os.str());
+    ProfileData pd = ProfileData::load(is);
+
+    HardeningOptions opts;
+    opts.mode = HardeningMode::DupValChks;
+    auto report = hardenModule(*mod, opts, &pd);
+    EXPECT_GT(report.valueChecks, 0u);
+    EXPECT_TRUE(verifyModule(*mod).empty());
+
+    // All runtime values sit inside the clamped range, so no check
+    // may fire and the output must match the unhardened run.
+    auto r = run_kernel(*mod);
+    ASSERT_EQ(r.term, Termination::Ok);
+    EXPECT_EQ(r.retValue, ref_ret);
 }
 
 TEST(ValueChecks, Opt1SuppressesShallowChecks)

@@ -112,7 +112,23 @@ TEST(Campaign, MarginOfErrorMatchesPaperAt1000)
 {
     CampaignResult r;
     r.counts[0] = 1000;
-    EXPECT_NEAR(r.marginOfError95(), 3.1, 0.05);
+    EXPECT_NEAR(r.marginOfError95WorstCase(), 3.1, 0.05);
+    // The per-outcome margin evaluates at the observed proportion: a
+    // unanimous outcome has zero sampling error, and a 50/50 split
+    // recovers the worst-case bound.
+    EXPECT_NEAR(r.marginOfError95(Outcome::Masked), 0.0, 1e-12);
+    r.counts[0] = 500;
+    r.counts[static_cast<unsigned>(Outcome::USDC)] = 500;
+    EXPECT_NEAR(r.marginOfError95(Outcome::Masked),
+                r.marginOfError95WorstCase(), 1e-12);
+    // An 80/20 split is strictly tighter than worst case, and
+    // complementary outcomes share one margin (p vs 1-p symmetry).
+    r.counts[0] = 800;
+    r.counts[static_cast<unsigned>(Outcome::USDC)] = 200;
+    EXPECT_LT(r.marginOfError95(Outcome::USDC),
+              r.marginOfError95WorstCase());
+    EXPECT_NEAR(r.marginOfError95(Outcome::USDC),
+                r.marginOfError95(Outcome::Masked), 1e-12);
 }
 
 TEST(Campaign, CrossValidationSwapRuns)

@@ -1,0 +1,165 @@
+#include <gtest/gtest.h>
+
+#include "fault/suite.hh"
+
+namespace softcheck
+{
+namespace
+{
+
+/**
+ * The correctness bar for the suite engine: every cell of
+ * runCampaignSuite must be bit-identical to a standalone runCampaign
+ * with the same per-cell config — sharing the compile, profile,
+ * baseline, and pristine memory image across cells must be invisible
+ * in the results.
+ */
+
+SuiteConfig
+smallSuite(unsigned threads)
+{
+    SuiteConfig s;
+    s.workloads = {"tiff2bw", "g721enc"};
+    s.modes = {HardeningMode::Original, HardeningMode::DupOnly,
+               HardeningMode::DupValChks};
+    s.base.trials = 48;
+    s.base.seed = 0xAB;
+    s.base.threads = threads;
+    return s;
+}
+
+void
+expectSameCell(const CampaignResult &suite_cell,
+               const CampaignResult &single)
+{
+    EXPECT_EQ(suite_cell.counts, single.counts);
+    EXPECT_EQ(suite_cell.usdcLargeChange, single.usdcLargeChange);
+    EXPECT_EQ(suite_cell.usdcSmallChange, single.usdcSmallChange);
+    EXPECT_EQ(suite_cell.goldenDynInstrs, single.goldenDynInstrs);
+    EXPECT_EQ(suite_cell.goldenCycles, single.goldenCycles);
+    EXPECT_EQ(suite_cell.baselineCycles, single.baselineCycles);
+    EXPECT_EQ(suite_cell.calibrationCheckFails,
+              single.calibrationCheckFails);
+    EXPECT_EQ(suite_cell.disabledCheckCount, single.disabledCheckCount);
+    EXPECT_EQ(suite_cell.totalCheckCount, single.totalCheckCount);
+    EXPECT_EQ(suite_cell.snapshotCount, single.snapshotCount);
+    EXPECT_EQ(suite_cell.snapshotBytes, single.snapshotBytes);
+    EXPECT_EQ(suite_cell.report.valueChecks, single.report.valueChecks);
+    EXPECT_EQ(suite_cell.report.eqChecks, single.report.eqChecks);
+}
+
+class SuiteEquiv : public ::testing::TestWithParam<unsigned>
+{};
+
+TEST_P(SuiteEquiv, CellsMatchStandaloneRuns)
+{
+    const SuiteConfig sc = smallSuite(GetParam());
+    const SuiteResult suite = runCampaignSuite(sc);
+    ASSERT_EQ(suite.cells.size(),
+              sc.workloads.size() * sc.modes.size());
+
+    for (std::size_t wi = 0; wi < sc.workloads.size(); ++wi) {
+        for (std::size_t mi = 0; mi < sc.modes.size(); ++mi) {
+            CampaignConfig cfg = sc.base;
+            cfg.workload = sc.workloads[wi];
+            cfg.mode = sc.modes[mi];
+            SCOPED_TRACE(testing::Message()
+                         << cfg.workload << " mode "
+                         << hardeningModeName(cfg.mode) << " threads "
+                         << GetParam());
+            const CampaignResult single = runCampaign(cfg);
+            expectSameCell(suite.cell(wi, mi), single);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AcrossThreadCounts, SuiteEquiv,
+                         ::testing::Values(1u, 2u, 4u),
+                         [](const auto &info) {
+                             return "Threads" +
+                                    std::to_string(info.param);
+                         });
+
+TEST(Suite, SeedVariantsMatchStandaloneRuns)
+{
+    // Seed variants fan out of one shared characterization per
+    // (workload, mode); each must still be bit-identical to a fully
+    // standalone runCampaign with that seed.
+    SuiteConfig sc = smallSuite(2);
+    sc.seeds = {0xAB, 0x5eed};
+    const SuiteResult suite = runCampaignSuite(sc);
+    ASSERT_EQ(suite.seeds, sc.seeds);
+    ASSERT_EQ(suite.cells.size(), sc.workloads.size() *
+                                      sc.modes.size() *
+                                      sc.seeds.size());
+
+    for (std::size_t wi = 0; wi < sc.workloads.size(); ++wi) {
+        for (std::size_t mi = 0; mi < sc.modes.size(); ++mi) {
+            for (std::size_t si = 0; si < sc.seeds.size(); ++si) {
+                CampaignConfig cfg = sc.base;
+                cfg.workload = sc.workloads[wi];
+                cfg.mode = sc.modes[mi];
+                cfg.seed = sc.seeds[si];
+                SCOPED_TRACE(testing::Message()
+                             << cfg.workload << " mode "
+                             << hardeningModeName(cfg.mode) << " seed "
+                             << cfg.seed);
+                const CampaignResult &cell = suite.cell(wi, mi, si);
+                EXPECT_EQ(cell.config.seed, cfg.seed);
+                expectSameCell(cell, runCampaign(cfg));
+            }
+        }
+    }
+}
+
+TEST(Suite, SharedPagesShrinkSuiteFootprint)
+{
+    SuiteConfig sc = smallSuite(2);
+    const SuiteResult suite = runCampaignSuite(sc);
+    ASSERT_EQ(suite.workloadStats.size(), sc.workloads.size());
+    for (const SuiteWorkloadStats &ws : suite.workloadStats) {
+        SCOPED_TRACE(ws.workload);
+        ASSERT_GT(ws.cellSnapshotBytesSum, 0u);
+        // Cells fork from one pristine image, so pages no cell dirties
+        // are shared and the suite-deduped footprint undercuts the sum
+        // of the cells' individual footprints.
+        EXPECT_LT(ws.suiteSnapshotBytes, ws.cellSnapshotBytesSum);
+    }
+}
+
+TEST(Suite, PhaseTimesCoverEveryPhase)
+{
+    SuiteConfig sc = smallSuite(2);
+    const SuiteResult suite = runCampaignSuite(sc);
+    // The suite has DupValChks cells, so every phase must have run.
+    EXPECT_GT(suite.phase.compileSeconds, 0.0);
+    EXPECT_GT(suite.phase.profileSeconds, 0.0);
+    EXPECT_GT(suite.phase.baselineSeconds, 0.0);
+    EXPECT_GT(suite.phase.goldenSeconds, 0.0);
+    EXPECT_GT(suite.phase.trialsSeconds, 0.0);
+    EXPECT_GE(suite.wallSeconds, suite.phase.totalSeconds() * 0.5);
+    // Shared phases are counted in the suite aggregate, not in cells.
+    for (const CampaignResult &c : suite.cells) {
+        EXPECT_EQ(c.phase.profileSeconds, 0.0);
+        EXPECT_EQ(c.phase.baselineSeconds, 0.0);
+        EXPECT_GT(c.phase.goldenSeconds, 0.0);
+        EXPECT_GT(c.phase.trialsSeconds, 0.0);
+        EXPECT_GT(c.trialsPerSec(), 0.0);
+    }
+}
+
+TEST(Suite, TrialsZeroCharacterizesOnly)
+{
+    SuiteConfig sc = smallSuite(2);
+    sc.base.trials = 0;
+    const SuiteResult suite = runCampaignSuite(sc);
+    for (const CampaignResult &c : suite.cells) {
+        EXPECT_EQ(c.totalTrials(), 0u);
+        EXPECT_GT(c.goldenCycles, 0u);
+        EXPECT_GT(c.baselineCycles, 0u);
+        EXPECT_EQ(c.snapshotCount, 0u);
+    }
+}
+
+} // namespace
+} // namespace softcheck

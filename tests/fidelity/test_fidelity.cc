@@ -98,6 +98,42 @@ TEST(SegSnr, PerFrameClamping)
     EXPECT_NEAR(seg, 60.0, 1e-9); // (0 + 120) / 2
 }
 
+TEST(SegSnr, SilentPaddingFramesDoNotInflateAverage)
+{
+    // Two real frames plus two all-silent padding frames. The silent
+    // frames used to score the 120 dB cap and drag a heavily corrupted
+    // signal's average up; they must simply not count.
+    std::vector<double> golden(1024, 0.0);
+    for (std::size_t i = 0; i < 512; ++i)
+        golden[i] = 100.0;
+    auto test = golden;
+    for (std::size_t i = 0; i < 256; ++i)
+        test[i] = -1.0e9; // first frame clamps to 0 dB
+    const double seg = segmentalSnr(golden, test, 256);
+    EXPECT_NEAR(seg, 60.0, 1e-9); // (0 + 120) / 2, not (0+120+240)/4
+}
+
+TEST(SegSnr, CorruptedSilentFrameStillCounts)
+{
+    // A frame with zero golden signal but nonzero noise is real
+    // corruption (0 dB), not padding.
+    std::vector<double> golden(512, 0.0);
+    for (std::size_t i = 256; i < 512; ++i)
+        golden[i] = 100.0;
+    auto test = golden;
+    test[0] = 50.0; // corruption inside the silent frame
+    const double seg = segmentalSnr(golden, test, 256);
+    EXPECT_NEAR(seg, 60.0, 1e-9); // (0 + 120) / 2
+}
+
+TEST(SegSnr, AllSilentIsNoFramesSentinel)
+{
+    std::vector<double> golden(512, 0.0);
+    const double seg = segmentalSnr(golden, golden, 256);
+    EXPECT_TRUE(std::isinf(seg));
+    EXPECT_LT(seg, 0.0);
+}
+
 TEST(Mismatch, CountsExactDifferences)
 {
     std::vector<double> a{1, 2, 3, 4};
