@@ -59,5 +59,38 @@ main()
                     ? "HOLDS"
                     : "VIOLATED");
     printSuiteTiming(suite);
+
+    printHeader("Vacuous-check elimination (Dup + val chks)",
+                "checks whose pass set provably contains everything a "
+                "corrupted operand can produce are elided: same "
+                "instruction stream and cycles (campaigns stay "
+                "bit-identical), fewer comparisons evaluated");
+    std::printf("%-10s %8s %8s %12s %12s %8s\n", "benchmark", "checks",
+                "vacuous", "evals", "evals-elided", "saved");
+    printRule();
+    for (std::size_t wi = 0; wi < suite.config.workloads.size(); ++wi) {
+        const CampaignResult &before = suite.cell(wi, 1);
+        if (before.report.vacuousChecks == 0)
+            continue;
+        auto cfg = makeConfig(suite.config.workloads[wi],
+                              HardeningMode::DupValChks, 0);
+        cfg.elideVacuousChecks = true;
+        const auto after = characterizeOnly(cfg);
+        const uint64_t saved =
+            before.goldenCheckEvals - after.goldenCheckEvals;
+        std::printf("%-10s %8u %8u %12llu %12llu %7.1f%%\n",
+                    suite.config.workloads[wi].c_str(),
+                    before.totalCheckCount, after.report.elidedChecks,
+                    static_cast<unsigned long long>(
+                        before.goldenCheckEvals),
+                    static_cast<unsigned long long>(
+                        after.goldenCheckEvals),
+                    before.goldenCheckEvals
+                        ? 100.0 * static_cast<double>(saved) /
+                              static_cast<double>(
+                                  before.goldenCheckEvals)
+                        : 0.0);
+    }
+    printRule();
     return 0;
 }

@@ -18,19 +18,25 @@ int
 main()
 {
     printHeader("False positives: fault-free value-check failures "
-                "(Dup + val chks, test input)");
-    std::printf("%-10s %10s %10s %12s %14s %18s\n", "benchmark",
-                "checks", "disabled", "fp fires", "instructions",
-                "instrs per FP");
+                "(Dup + val chks, test input)",
+                "fp-risk = checks whose *static* value range escapes "
+                "the profiled bound (range analysis): an unseen input "
+                "could fire them fault-free. observed = checks that "
+                "actually fired on this test input.");
+    std::printf("%-10s %10s %10s %10s %10s %12s %14s %18s\n",
+                "benchmark", "checks", "fp-risk", "vacuous", "disabled",
+                "fp fires", "instructions", "instrs per FP");
     printRule();
 
     uint64_t total_fp = 0, total_instrs = 0, total_recoveries = 0;
+    unsigned total_risk = 0, observed_risky = 0;
     for (const std::string &name : benchmarkNames()) {
         auto r = characterizeOnly(
             makeConfig(name, HardeningMode::DupValChks, 0));
         const double per_fp = r.instrsPerFalsePositive();
-        std::printf("%-10s %10u %10u %12llu %14llu %18s\n",
+        std::printf("%-10s %10u %10u %10u %10u %12llu %14llu %18s\n",
                     name.c_str(), r.totalCheckCount,
+                    r.report.fpRiskChecks, r.report.vacuousChecks,
                     r.disabledCheckCount,
                     static_cast<unsigned long long>(
                         r.calibrationCheckFails),
@@ -41,8 +47,14 @@ main()
         total_fp += r.calibrationCheckFails;
         total_instrs += r.goldenDynInstrs;
         total_recoveries += r.disabledCheckCount;
+        total_risk += r.report.fpRiskChecks;
+        observed_risky += r.disabledCheckCount;
     }
     printRule();
+    std::printf("static fp-risk checks: %u; checks observed firing on "
+                "this test input: %u (the static set over-approximates "
+                "— a risky range needs a reaching input to fire)\n",
+                total_risk, observed_risky);
     if (total_fp > 0) {
         std::printf("aggregate raw check failures: 1 per %.0f "
                     "instructions (paper: 1 per 235K)\n",

@@ -1,0 +1,584 @@
+#include "analysis/protection_audit.hh"
+
+#include <algorithm>
+#include <map>
+#include <optional>
+
+#include "analysis/dominators.hh"
+#include "analysis/loop_info.hh"
+#include "analysis/producer_chain.hh"
+#include "support/text.hh"
+
+namespace softcheck
+{
+
+double
+ProtectionCounts::dupFraction() const
+{
+    return originalInstructions
+               ? static_cast<double>(duplicated) / originalInstructions
+               : 0.0;
+}
+
+double
+ProtectionCounts::checkFraction() const
+{
+    return originalInstructions ? static_cast<double>(checkProtected) /
+                                      originalInstructions
+                                : 0.0;
+}
+
+double
+ProtectionCounts::unprotectedFraction() const
+{
+    return originalInstructions ? static_cast<double>(unprotected) /
+                                      originalInstructions
+                                : 0.0;
+}
+
+void
+ProtectionCounts::merge(const ProtectionCounts &o)
+{
+    originalInstructions += o.originalInstructions;
+    duplicated += o.duplicated;
+    checkProtected += o.checkProtected;
+    bothProtected += o.bothProtected;
+    unprotected += o.unprotected;
+    duplicateInstructions += o.duplicateInstructions;
+    checkInstructions += o.checkInstructions;
+}
+
+std::string
+ProtectionCounts::str() const
+{
+    return strformat("orig=%u dup=%.1f%% chk=%.1f%% unprot=%.1f%%",
+                     originalInstructions, 100.0 * dupFraction(),
+                     100.0 * checkFraction(),
+                     100.0 * unprotectedFraction());
+}
+
+const char *
+auditViolationKindName(AuditViolationKind k)
+{
+    switch (k) {
+      case AuditViolationKind::OrphanDuplicate:
+        return "orphan-duplicate";
+      case AuditViolationKind::NonIsomorphicDuplicate:
+        return "non-isomorphic-duplicate";
+      case AuditViolationKind::MisWiredShadowPhi:
+        return "mis-wired-shadow-phi";
+      case AuditViolationKind::MissingCutSiteCheck:
+        return "missing-cut-site-check";
+      case AuditViolationKind::NonDominatingCheckOperand:
+        return "non-dominating-check-operand";
+      case AuditViolationKind::NonConstantBound:
+        return "non-constant-bound";
+      case AuditViolationKind::MalformedCheckEq:
+        return "malformed-checkeq";
+      case AuditViolationKind::DuplicateCheckId:
+        return "duplicate-check-id";
+    }
+    return "?";
+}
+
+unsigned
+AuditResult::vacuousChecks() const
+{
+    return static_cast<unsigned>(
+        std::count_if(checks.begin(), checks.end(),
+                      [](const CheckReport &c) { return c.vacuous; }));
+}
+
+unsigned
+AuditResult::fpRiskChecks() const
+{
+    return static_cast<unsigned>(
+        std::count_if(checks.begin(), checks.end(),
+                      [](const CheckReport &c) { return c.fpRisk; }));
+}
+
+namespace
+{
+
+bool
+isValueCheck(Opcode op)
+{
+    return op == Opcode::CheckOne || op == Opcode::CheckTwo ||
+           op == Opcode::CheckRange;
+}
+
+class Auditor
+{
+  public:
+    Auditor(Function &fn, const RangeAnalysis &ranges,
+            const AuditOptions &opts,
+            std::map<int, const Instruction *> &check_ids,
+            AuditResult &out)
+        : fn(fn), ranges(ranges), opts(opts), checkIds(check_ids),
+          out(out)
+    {}
+
+    void
+    run()
+    {
+        fn.renumber();
+        dt.emplace(fn);
+        li.emplace(fn, *dt);
+        pairDuplicates();
+        verifyIsomorphism();
+        verifyChecks();
+        verifyCutSites();
+        classifyInstructions();
+        classifyChecks();
+    }
+
+  private:
+    void
+    report(AuditViolationKind kind, const Instruction *inst,
+           std::string msg)
+    {
+        out.violations.push_back({kind, inst, std::move(msg)});
+    }
+
+    /**
+     * Re-derive the original -> duplicate pairing. Both duplication
+     * passes insert a clone immediately after its original; later
+     * check insertion can interleave check instructions only, so the
+     * original of a duplicate is the nearest preceding non-check
+     * instruction of the same block.
+     */
+    void
+    pairDuplicates()
+    {
+        for (auto &bb : fn) {
+            Instruction *prev = nullptr;
+            for (auto &inst : *bb) {
+                if (isCheck(inst->opcode()))
+                    continue;
+                if (inst->isDuplicate())
+                    pairOne(prev, inst.get());
+                prev = inst.get();
+            }
+        }
+    }
+
+    void
+    pairOne(Instruction *orig, Instruction *dup)
+    {
+        if (!orig || orig->isDuplicate()) {
+            report(AuditViolationKind::OrphanDuplicate, dup,
+                   strformat("duplicate %s has no original before it",
+                             opcodeName(dup->opcode())));
+            return;
+        }
+        const bool matches =
+            orig->opcode() == dup->opcode() &&
+            orig->type() == dup->type() &&
+            orig->predicate() == dup->predicate() &&
+            orig->elementType() == dup->elementType() &&
+            orig->callee() == dup->callee() &&
+            orig->numOperands() == dup->numOperands() &&
+            orig->numBlockOperands() == dup->numBlockOperands();
+        if (!matches) {
+            report(AuditViolationKind::NonIsomorphicDuplicate, dup,
+                   strformat("duplicate %s does not mirror the "
+                             "preceding %s",
+                             opcodeName(dup->opcode()),
+                             opcodeName(orig->opcode())));
+            return;
+        }
+        if (!dupOf.emplace(orig, dup).second)
+            report(AuditViolationKind::NonIsomorphicDuplicate, dup,
+                   strformat("second duplicate for one %s original",
+                             opcodeName(orig->opcode())));
+    }
+
+    /** The update edges of a header phi are those arriving from inside
+     * its loop; init edges legitimately reuse the original values. */
+    bool
+    isInitEdge(const Instruction *phi, std::size_t i) const
+    {
+        if (!li->isHeader(phi->parent()))
+            return false;
+        const Loop *loop = li->loopFor(phi->parent());
+        return loop && !loop->contains(phi->incomingBlock(i));
+    }
+
+    void
+    verifyIsomorphism()
+    {
+        for (auto &[orig, dup] : dupOf) {
+            if (orig->opcode() == Opcode::Phi)
+                verifyShadowPhi(orig, dup);
+            else
+                verifyDupOperands(orig, dup);
+        }
+    }
+
+    /** Expected duplicate-side value for @p ov, or null when any of
+     * {ov, its duplicate} is acceptable (init edges, cut sites). */
+    const Value *
+    mappedOperand(const Value *ov) const
+    {
+        auto *inst = dynamic_cast<const Instruction *>(ov);
+        if (!inst)
+            return nullptr;
+        auto it = dupOf.find(const_cast<Instruction *>(inst));
+        return it == dupOf.end() ? nullptr : it->second;
+    }
+
+    void
+    verifyShadowPhi(Instruction *orig, Instruction *dup)
+    {
+        for (std::size_t i = 0; i < orig->numOperands(); ++i) {
+            if (orig->incomingBlock(i) != dup->incomingBlock(i)) {
+                report(AuditViolationKind::MisWiredShadowPhi, dup,
+                       strformat("shadow phi edge %zu comes from a "
+                                 "different block than the original",
+                                 i));
+                continue;
+            }
+            const Value *ov = orig->incomingValue(i);
+            const Value *dv = dup->incomingValue(i);
+            const Value *mapped = mappedOperand(ov);
+            if (isInitEdge(orig, i)) {
+                // Selective duplication reuses the original init
+                // value; full duplication maps it. Both are fine.
+                if (dv != ov && dv != mapped)
+                    report(AuditViolationKind::MisWiredShadowPhi, dup,
+                           strformat("shadow phi init edge %zu is "
+                                     "neither the original value nor "
+                                     "its duplicate",
+                                     i));
+                continue;
+            }
+            if (mapped) {
+                if (dv != mapped)
+                    report(AuditViolationKind::MisWiredShadowPhi, dup,
+                           strformat("shadow phi update edge %zu does "
+                                     "not use the duplicate of the "
+                                     "original incoming value",
+                                     i));
+                continue;
+            }
+            if (dv != ov) {
+                report(AuditViolationKind::MisWiredShadowPhi, dup,
+                       strformat("shadow phi update edge %zu does not "
+                                 "mirror the original incoming value",
+                                 i));
+                continue;
+            }
+            noteChainCut(ov, dup);
+        }
+    }
+
+    void
+    verifyDupOperands(Instruction *orig, Instruction *dup)
+    {
+        for (std::size_t i = 0; i < orig->numOperands(); ++i) {
+            const Value *ov = orig->operand(i);
+            const Value *dv = dup->operand(i);
+            const Value *mapped = mappedOperand(ov);
+            if (mapped) {
+                if (dv != mapped)
+                    report(
+                        AuditViolationKind::NonIsomorphicDuplicate, dup,
+                        strformat("duplicate operand %zu bypasses the "
+                                  "duplicate of its original operand",
+                                  i));
+                continue;
+            }
+            if (dv != ov) {
+                report(AuditViolationKind::NonIsomorphicDuplicate, dup,
+                       strformat("duplicate operand %zu matches "
+                                 "neither the original operand nor a "
+                                 "duplicate",
+                                 i));
+                continue;
+            }
+            noteChainCut(ov, dup);
+        }
+    }
+
+    /**
+     * A duplicate consumed an *original* chainable value: the chain was
+     * cut there (Optimization 2, or a pre-existing memoized cut), so a
+     * value check must cover the cut site.
+     */
+    void
+    noteChainCut(const Value *ov, const Instruction *)
+    {
+        auto *inst = dynamic_cast<const Instruction *>(ov);
+        if (!inst || inst->isDuplicate())
+            return;
+        if (chainDisposition(*inst) != ChainDisposition::Include)
+            return; // loads/phis/calls legitimately terminate chains
+        cutSites.insert(inst);
+    }
+
+    void
+    verifyChecks()
+    {
+        for (auto &bb : fn) {
+            if (!dt->reachable(bb.get()))
+                continue;
+            for (auto &inst : *bb) {
+                if (!isCheck(inst->opcode()))
+                    continue;
+                Instruction *chk = inst.get();
+                auto [it, fresh] =
+                    checkIds.emplace(chk->checkId(), chk);
+                if (!fresh)
+                    report(AuditViolationKind::DuplicateCheckId, chk,
+                           strformat("check id %d already used",
+                                     chk->checkId()));
+                for (std::size_t i = 0; i < chk->numOperands(); ++i) {
+                    auto *def = dynamic_cast<Instruction *>(
+                        chk->operand(i));
+                    if (def && !dt->dominates(def, chk))
+                        report(
+                            AuditViolationKind::
+                                NonDominatingCheckOperand,
+                            chk,
+                            strformat("check operand %zu does not "
+                                      "dominate the check",
+                                      i));
+                }
+                if (chk->opcode() == Opcode::CheckEq)
+                    verifyCheckEq(chk);
+                else
+                    verifyValueCheck(chk);
+            }
+        }
+    }
+
+    void
+    verifyCheckEq(Instruction *chk)
+    {
+        auto *dup = dynamic_cast<Instruction *>(chk->operand(1));
+        if (!dup || !dup->isDuplicate()) {
+            report(AuditViolationKind::MalformedCheckEq, chk,
+                   "CheckEq second operand is not a duplicate");
+            return;
+        }
+        const Value *mapped = mappedOperand(chk->operand(0));
+        if (mapped && mapped != dup)
+            report(AuditViolationKind::MalformedCheckEq, chk,
+                   "CheckEq does not compare an original against its "
+                   "own duplicate");
+        checkedValues.insert(chk->operand(0));
+    }
+
+    void
+    verifyValueCheck(Instruction *chk)
+    {
+        checkedValues.insert(chk->operand(0));
+        if (auto *target =
+                dynamic_cast<const Instruction *>(chk->operand(0)))
+            valueCheckTargets.insert(target);
+        for (std::size_t i = 1; i < chk->numOperands(); ++i) {
+            const Value *b = chk->operand(i);
+            if (!dynamic_cast<const ConstantInt *>(b) &&
+                !dynamic_cast<const ConstantFloat *>(b))
+                report(AuditViolationKind::NonConstantBound, chk,
+                       strformat("check bound operand %zu is not a "
+                                 "constant",
+                                 i));
+        }
+    }
+
+    void
+    verifyCutSites()
+    {
+        for (const Instruction *site : cutSites) {
+            if (valueCheckTargets.count(site) ||
+                opts.allowUncheckedCuts.count(site))
+                continue;
+            report(AuditViolationKind::MissingCutSiteCheck, site,
+                   strformat("chain cut at %s has no replacement "
+                             "value check",
+                             opcodeName(site->opcode())));
+        }
+    }
+
+    void
+    classifyInstructions()
+    {
+        ProtectionCounts &c = out.counts;
+        for (auto &bb : fn) {
+            for (auto &inst : *bb) {
+                if (isCheck(inst->opcode())) {
+                    ++c.checkInstructions;
+                    continue;
+                }
+                if (inst->isDuplicate()) {
+                    ++c.duplicateInstructions;
+                    continue;
+                }
+                ++c.originalInstructions;
+                const bool dup = dupOf.count(inst.get()) != 0;
+                const bool chk = checkedValues.count(inst.get()) != 0;
+                if (dup)
+                    ++c.duplicated;
+                if (chk)
+                    ++c.checkProtected;
+                if (dup && chk)
+                    ++c.bothProtected;
+                if (!dup && !chk)
+                    ++c.unprotected;
+            }
+        }
+    }
+
+    static int64_t
+    constInt(const Value *v, bool &ok)
+    {
+        if (auto *c = dynamic_cast<const ConstantInt *>(v))
+            return c->signedValue();
+        ok = false;
+        return 0;
+    }
+
+    static double
+    constFloat(const Value *v, bool &ok)
+    {
+        if (auto *c = dynamic_cast<const ConstantFloat *>(v))
+            return c->value();
+        ok = false;
+        return 0;
+    }
+
+    /** Does the check's pass set contain all of @p r? */
+    static bool
+    passSetCovers(const Instruction *chk, const IntRange &r)
+    {
+        bool ok = true;
+        switch (chk->opcode()) {
+          case Opcode::CheckOne: {
+            const int64_t c = constInt(chk->operand(1), ok);
+            return ok && r.isPoint() && r.lo == c;
+          }
+          case Opcode::CheckTwo: {
+            const int64_t c0 = constInt(chk->operand(1), ok);
+            const int64_t c1 = constInt(chk->operand(2), ok);
+            if (!ok)
+                return false;
+            if (r.isPoint())
+                return r.lo == c0 || r.lo == c1;
+            const int64_t lo = std::min(c0, c1);
+            const int64_t hi = std::max(c0, c1);
+            return hi - lo == 1 && r.lo >= lo && r.hi <= hi;
+          }
+          case Opcode::CheckRange: {
+            const int64_t c0 = constInt(chk->operand(1), ok);
+            const int64_t c1 = constInt(chk->operand(2), ok);
+            return ok && r.lo >= std::min(c0, c1) &&
+                   r.hi <= std::max(c0, c1);
+          }
+          default:
+            return false;
+        }
+    }
+
+    /** Float pass set vs. the coarse float range (NaN always fires a
+     * range check, so maybe-NaN is never covered). */
+    static bool
+    floatPassSetCovers(const Instruction *chk, const FloatRange &r)
+    {
+        if (r.bottom || r.maybeNaN)
+            return false;
+        bool ok = true;
+        switch (chk->opcode()) {
+          case Opcode::CheckOne: {
+            const double c = constFloat(chk->operand(1), ok);
+            return ok && r.lo == r.hi && r.lo == c;
+          }
+          case Opcode::CheckTwo: {
+            const double c0 = constFloat(chk->operand(1), ok);
+            const double c1 = constFloat(chk->operand(2), ok);
+            return ok && r.lo == r.hi && (r.lo == c0 || r.lo == c1);
+          }
+          case Opcode::CheckRange: {
+            const double c0 = constFloat(chk->operand(1), ok);
+            const double c1 = constFloat(chk->operand(2), ok);
+            return ok && r.lo >= std::min(c0, c1) &&
+                   r.hi <= std::max(c0, c1);
+          }
+          default:
+            return false;
+        }
+    }
+
+    void
+    classifyChecks()
+    {
+        for (auto &bb : fn) {
+            for (auto &inst : *bb) {
+                if (!isValueCheck(inst->opcode()))
+                    continue;
+                const Instruction *chk = inst.get();
+                CheckReport rep;
+                rep.check = chk;
+                rep.checkId = chk->checkId();
+                const Value *v = chk->operand(0);
+                const auto *target =
+                    dynamic_cast<const Instruction *>(v);
+                if (v->type().isInteger() && target) {
+                    rep.isInt = true;
+                    rep.arbitraryRange =
+                        intTransferArbitraryOperands(*target);
+                    rep.flowRange = ranges.intRange(v);
+                    rep.vacuous =
+                        passSetCovers(chk, rep.arbitraryRange);
+                    rep.fpRisk = !rep.flowRange.isBottom() &&
+                                 !passSetCovers(chk, rep.flowRange);
+                } else {
+                    // Float (or malformed) site: arithmetic can always
+                    // produce a NaN under corruption, so never vacuous.
+                    rep.vacuous = false;
+                    rep.fpRisk =
+                        !floatPassSetCovers(chk, ranges.floatRange(v));
+                }
+                out.checks.push_back(rep);
+            }
+        }
+    }
+
+    Function &fn;
+    const RangeAnalysis &ranges;
+    const AuditOptions &opts;
+    std::map<int, const Instruction *> &checkIds;
+    AuditResult &out;
+    std::optional<DominatorTree> dt;
+    std::optional<LoopInfo> li;
+    std::map<Instruction *, Instruction *> dupOf;
+    std::set<const Value *> checkedValues;
+    std::set<const Instruction *> valueCheckTargets;
+    std::set<const Instruction *> cutSites;
+};
+
+} // namespace
+
+AuditResult
+auditProtection(Function &fn, const RangeAnalysis &ranges,
+                const AuditOptions &opts)
+{
+    AuditResult out;
+    std::map<int, const Instruction *> ids;
+    Auditor(fn, ranges, opts, ids, out).run();
+    return out;
+}
+
+AuditResult
+auditModule(Module &m, const AuditOptions &opts)
+{
+    AuditResult out;
+    std::map<int, const Instruction *> ids;
+    for (Function *fn : m.functions()) {
+        RangeAnalysis ranges(*fn);
+        Auditor(*fn, ranges, opts, ids, out).run();
+    }
+    return out;
+}
+
+} // namespace softcheck

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Protection audit: a verifier-style pass over a *hardened* function.
+ *
+ * The hardening passes leave a structural contract in the IR — every
+ * duplicate sits right behind its original (modulo interleaved checks),
+ * mirrors its opcode/type and maps operands through the duplicate web,
+ * shadow phis mirror the original phi edge-for-edge, Optimization-2 cut
+ * sites carry the value check that replaced the severed chain, and
+ * check ids are unique. The audit re-derives the original↔duplicate
+ * pairing from the IR alone, verifies that contract, classifies every
+ * original instruction as duplicated / check-protected / unprotected
+ * (the paper's static coverage picture), and — given value ranges —
+ * classifies each value check as vacuous (its pass set contains every
+ * value the checked instruction can produce from arbitrarily corrupted
+ * register operands, so it can never fire) or at false-positive risk
+ * (the static value range escapes the profiled bound, so an unseen
+ * input could fire it fault-free).
+ */
+
+#ifndef SOFTCHECK_ANALYSIS_PROTECTION_AUDIT_HH
+#define SOFTCHECK_ANALYSIS_PROTECTION_AUDIT_HH
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analysis/range_analysis.hh"
+#include "ir/module.hh"
+
+namespace softcheck
+{
+
+/** Per-category static protection coverage over original (non-check,
+ * non-duplicate) instructions. */
+struct ProtectionCounts
+{
+    unsigned originalInstructions = 0;
+    unsigned duplicated = 0;     //!< recomputed by a paired duplicate
+    unsigned checkProtected = 0; //!< CheckEq-compared or value-checked
+    unsigned bothProtected = 0;
+    unsigned unprotected = 0;
+    unsigned duplicateInstructions = 0;
+    unsigned checkInstructions = 0;
+
+    double dupFraction() const;
+    double checkFraction() const;
+    double unprotectedFraction() const;
+
+    void merge(const ProtectionCounts &o);
+    std::string str() const;
+};
+
+enum class AuditViolationKind
+{
+    /** Duplicate with no matching original right before it. */
+    OrphanDuplicate,
+    /** Duplicate whose operands don't mirror the original's through
+     * the duplicate map. */
+    NonIsomorphicDuplicate,
+    /** Shadow phi whose incoming edges don't mirror the original. */
+    MisWiredShadowPhi,
+    /** Chain cut site feeding a duplicate without its value check. */
+    MissingCutSiteCheck,
+    /** Check operand defined by an instruction that does not dominate
+     * the check. */
+    NonDominatingCheckOperand,
+    /** CheckOne/Two/Range bound operand that is not a constant. */
+    NonConstantBound,
+    /** CheckEq not comparing an original against its duplicate. */
+    MalformedCheckEq,
+    DuplicateCheckId,
+};
+
+const char *auditViolationKindName(AuditViolationKind k);
+
+struct AuditViolation
+{
+    AuditViolationKind kind;
+    const Instruction *inst = nullptr;
+    std::string message;
+};
+
+/** Static classification of one expected-value check. */
+struct CheckReport
+{
+    const Instruction *check = nullptr;
+    int checkId = -1;
+    bool isInt = false;
+    /** Pass set contains every value producible from corrupted
+     * register operands: the check can never fire. */
+    bool vacuous = false;
+    /** Static range of the checked value escapes the pass set: an
+     * input outside the profile could fire the check fault-free. */
+    bool fpRisk = false;
+    IntRange flowRange;      //!< flow-sensitive range (int sites)
+    IntRange arbitraryRange; //!< one-step arbitrary-operand range
+};
+
+struct AuditOptions
+{
+    /**
+     * Cut sites whose replacement check was deliberately suppressed
+     * (a full-domain range check can never fire); excluded from
+     * MissingCutSiteCheck reporting.
+     */
+    std::set<const Instruction *> allowUncheckedCuts;
+};
+
+struct AuditResult
+{
+    ProtectionCounts counts;
+    std::vector<AuditViolation> violations;
+    std::vector<CheckReport> checks; //!< CheckOne/Two/Range only
+
+    unsigned vacuousChecks() const;
+    unsigned fpRiskChecks() const;
+};
+
+/**
+ * Audit one function. Renumbers @p fn (for the dominance queries) and
+ * reads @p ranges for check classification; @p ranges must have been
+ * built over the same, already-hardened body.
+ */
+AuditResult auditProtection(Function &fn, const RangeAnalysis &ranges,
+                            const AuditOptions &opts = {});
+
+/**
+ * Audit every function, merging counts/violations/checks and checking
+ * check-id uniqueness module-wide. Builds a RangeAnalysis per function.
+ */
+AuditResult auditModule(Module &m, const AuditOptions &opts = {});
+
+} // namespace softcheck
+
+#endif // SOFTCHECK_ANALYSIS_PROTECTION_AUDIT_HH

@@ -1,0 +1,946 @@
+#include "analysis/range_analysis.hh"
+
+#include "support/bits.hh"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <functional>
+#include <limits>
+#include <optional>
+#include <set>
+#include <sstream>
+#include <vector>
+
+#include "analysis/loop_info.hh"
+#include "support/bits.hh"
+
+namespace softcheck
+{
+
+// ---------------------------------------------------------------------
+// IntRange
+// ---------------------------------------------------------------------
+
+int64_t
+IntRange::domainMin(unsigned width)
+{
+    if (width == 0 || width >= 64)
+        return std::numeric_limits<int64_t>::min();
+    return -(int64_t{1} << (width - 1));
+}
+
+int64_t
+IntRange::domainMax(unsigned width)
+{
+    if (width == 0 || width >= 64)
+        return std::numeric_limits<int64_t>::max();
+    return (int64_t{1} << (width - 1)) - 1;
+}
+
+IntRange
+IntRange::full(unsigned width)
+{
+    return {domainMin(width), domainMax(width)};
+}
+
+bool
+IntRange::isFull(unsigned width) const
+{
+    return lo <= domainMin(width) && hi >= domainMax(width) &&
+           !isBottom();
+}
+
+IntRange
+IntRange::join(const IntRange &o) const
+{
+    if (isBottom())
+        return o;
+    if (o.isBottom())
+        return *this;
+    return {std::min(lo, o.lo), std::max(hi, o.hi)};
+}
+
+IntRange
+IntRange::meet(const IntRange &o) const
+{
+    if (isBottom() || o.isBottom())
+        return bottom();
+    const IntRange r{std::max(lo, o.lo), std::min(hi, o.hi)};
+    return r.lo > r.hi ? bottom() : r;
+}
+
+std::string
+IntRange::str() const
+{
+    if (isBottom())
+        return "bottom";
+    std::ostringstream os;
+    os << "[" << lo << ", " << hi << "]";
+    return os.str();
+}
+
+// ---------------------------------------------------------------------
+// FloatRange
+// ---------------------------------------------------------------------
+
+FloatRange
+FloatRange::top()
+{
+    return {-std::numeric_limits<double>::infinity(),
+            std::numeric_limits<double>::infinity(), true, false};
+}
+
+FloatRange
+FloatRange::point(double v)
+{
+    if (std::isnan(v))
+        return top();
+    return {v, v, false, false};
+}
+
+FloatRange
+FloatRange::join(const FloatRange &o) const
+{
+    if (bottom)
+        return o;
+    if (o.bottom)
+        return *this;
+    return {std::min(lo, o.lo), std::max(hi, o.hi),
+            maybeNaN || o.maybeNaN, false};
+}
+
+std::string
+FloatRange::str() const
+{
+    if (bottom)
+        return "bottom";
+    std::ostringstream os;
+    os << "[" << lo << ", " << hi << "]" << (maybeNaN ? " nan?" : "");
+    return os.str();
+}
+
+namespace
+{
+
+using I128 = __int128;
+
+/** Smallest all-ones mask covering @p v (v >= 0). */
+int64_t
+onesCover(int64_t v)
+{
+    const uint64_t u = static_cast<uint64_t>(v);
+    if (u == 0)
+        return 0;
+    return static_cast<int64_t>(std::bit_ceil(u + 1) - 1);
+}
+
+IntRange
+makeOrFull(I128 lo, I128 hi, unsigned w)
+{
+    if (lo < IntRange::domainMin(w) || hi > IntRange::domainMax(w))
+        return IntRange::full(w);
+    return {static_cast<int64_t>(lo), static_cast<int64_t>(hi)};
+}
+
+IntRange
+fromCandidates(std::initializer_list<I128> cands, unsigned w)
+{
+    I128 lo = *cands.begin(), hi = *cands.begin();
+    for (I128 c : cands) {
+        lo = std::min(lo, c);
+        hi = std::max(hi, c);
+    }
+    return makeOrFull(lo, hi, w);
+}
+
+using IntLookup = std::function<IntRange(const Value *)>;
+using FloatLookup = std::function<FloatRange(const Value *)>;
+
+std::optional<bool>
+decideICmp(Predicate p, const IntRange &a, const IntRange &b)
+{
+    switch (p) {
+      case Predicate::Eq:
+        if (a.isPoint() && b.isPoint() && a.lo == b.lo)
+            return true;
+        if (a.meet(b).isBottom())
+            return false;
+        return std::nullopt;
+      case Predicate::Ne: {
+        auto eq = decideICmp(Predicate::Eq, a, b);
+        if (eq)
+            return !*eq;
+        return std::nullopt;
+      }
+      case Predicate::Slt:
+        if (a.hi < b.lo)
+            return true;
+        if (a.lo >= b.hi)
+            return false;
+        return std::nullopt;
+      case Predicate::Sle:
+        if (a.hi <= b.lo)
+            return true;
+        if (a.lo > b.hi)
+            return false;
+        return std::nullopt;
+      case Predicate::Sgt:
+        return decideICmp(Predicate::Slt, b, a);
+      case Predicate::Sge:
+        return decideICmp(Predicate::Sle, b, a);
+      // Unsigned orderings agree with signed ones when both sides are
+      // known non-negative; otherwise stay undecided.
+      case Predicate::Ult:
+      case Predicate::Ule:
+      case Predicate::Ugt:
+      case Predicate::Uge:
+        if (a.lo >= 0 && b.lo >= 0) {
+            Predicate s = p == Predicate::Ult   ? Predicate::Slt
+                          : p == Predicate::Ule ? Predicate::Sle
+                          : p == Predicate::Ugt ? Predicate::Sgt
+                                                : Predicate::Sge;
+            return decideICmp(s, a, b);
+        }
+        return std::nullopt;
+      default:
+        return std::nullopt;
+    }
+}
+
+/** i1 ranges in the interpreter's sign-extended view: true = -1. */
+IntRange
+boolRange(std::optional<bool> d)
+{
+    if (!d)
+        return {-1, 0};
+    return IntRange::point(*d ? -1 : 0);
+}
+
+/**
+ * Transfer for non-phi integer-valued instructions. @p get_int is
+ * consulted for integer operands; a bottom operand makes the result
+ * bottom (the operand has produced no value yet / is unreachable).
+ */
+IntRange
+evalIntTransfer(const Instruction &inst, const IntLookup &get_int)
+{
+    const Opcode op = inst.opcode();
+    const Type ty = inst.type();
+    const unsigned w = ty.bitWidth();
+
+    if (isIntBinary(op)) {
+        const IntRange a = get_int(inst.operand(0));
+        const IntRange b = get_int(inst.operand(1));
+        if (a.isBottom() || b.isBottom())
+            return IntRange::bottom();
+        switch (op) {
+          case Opcode::Add:
+            return makeOrFull(I128(a.lo) + b.lo, I128(a.hi) + b.hi, w);
+          case Opcode::Sub:
+            return makeOrFull(I128(a.lo) - b.hi, I128(a.hi) - b.lo, w);
+          case Opcode::Mul:
+            return fromCandidates({I128(a.lo) * b.lo, I128(a.lo) * b.hi,
+                                   I128(a.hi) * b.lo, I128(a.hi) * b.hi},
+                                  w);
+          case Opcode::SDiv:
+            if (b.contains(0))
+                return IntRange::full(w); // trap or anything
+            if (a.contains(IntRange::domainMin(w)) && b.contains(-1))
+                return IntRange::full(w); // wraps
+            return fromCandidates({I128(a.lo) / b.lo, I128(a.lo) / b.hi,
+                                   I128(a.hi) / b.lo, I128(a.hi) / b.hi},
+                                  w);
+          case Opcode::SRem: {
+            if (b.contains(0))
+                return IntRange::full(w);
+            const I128 m =
+                std::max(b.lo < 0 ? -I128(b.lo) : I128(b.lo),
+                         b.hi < 0 ? -I128(b.hi) : I128(b.hi));
+            I128 lo = a.lo >= 0 ? 0 : -(m - 1);
+            I128 hi = a.hi <= 0 ? 0 : m - 1;
+            if (a.lo >= 0)
+                hi = std::min(hi, I128(a.hi));
+            if (a.hi <= 0)
+                lo = std::max(lo, I128(a.lo));
+            return makeOrFull(lo, hi, w);
+          }
+          case Opcode::UDiv:
+            if (a.lo >= 0 && b.lo > 0)
+                return {a.lo / b.hi, a.hi / b.lo};
+            return IntRange::full(w);
+          case Opcode::URem: {
+            // With a positive divisor the result is in [0, b.hi - 1]
+            // whatever the (raw, unsigned) dividend is.
+            if (b.lo <= 0)
+                return IntRange::full(w);
+            int64_t hi = b.hi - 1;
+            if (a.lo >= 0)
+                hi = std::min(hi, a.hi);
+            return {0, hi};
+          }
+          case Opcode::And:
+            if (a.lo >= 0 && b.lo >= 0)
+                return {0, std::min(a.hi, b.hi)};
+            if (a.lo >= 0)
+                return {0, a.hi};
+            if (b.lo >= 0)
+                return {0, b.hi};
+            return IntRange::full(w);
+          case Opcode::Or:
+            if (a.lo >= 0 && b.lo >= 0)
+                return {std::max(a.lo, b.lo),
+                        onesCover(std::max(a.hi, b.hi))};
+            return IntRange::full(w);
+          case Opcode::Xor:
+            if (a.lo >= 0 && b.lo >= 0)
+                return {0, onesCover(std::max(a.hi, b.hi))};
+            return IntRange::full(w);
+          case Opcode::Shl:
+          case Opcode::LShr:
+          case Opcode::AShr: {
+            // Shift amounts are masked by width-1 at runtime.
+            int64_t smin = b.lo, smax = b.hi;
+            if (smin < 0 || smax > static_cast<int64_t>(w) - 1) {
+                smin = 0;
+                smax = static_cast<int64_t>(w) - 1;
+            }
+            if (op == Opcode::Shl)
+                return fromCandidates({I128(a.lo) << smin,
+                                       I128(a.lo) << smax,
+                                       I128(a.hi) << smin,
+                                       I128(a.hi) << smax},
+                                      w);
+            if (op == Opcode::AShr)
+                return fromCandidates(
+                    {I128(a.lo >> smin), I128(a.lo >> smax),
+                     I128(a.hi >> smin), I128(a.hi >> smax)},
+                    w);
+            // LShr on a known-non-negative value behaves like AShr;
+            // otherwise the raw value is huge but one shifted bit of
+            // headroom bounds the result.
+            if (a.lo >= 0)
+                return {a.lo >> smax, a.hi >> smin};
+            if (smin >= 1)
+                return {0, static_cast<int64_t>(lowBitMask(w) >> smin)};
+            return IntRange::full(w);
+          }
+          default:
+            return IntRange::full(w);
+        }
+    }
+
+    switch (op) {
+      case Opcode::ICmp: {
+        const Type opty = inst.operand(0)->type();
+        if (!opty.isInteger())
+            return {-1, 0};
+        const IntRange a = get_int(inst.operand(0));
+        const IntRange b = get_int(inst.operand(1));
+        if (a.isBottom() || b.isBottom())
+            return IntRange::bottom();
+        return boolRange(decideICmp(inst.predicate(), a, b));
+      }
+      case Opcode::FCmp:
+        return {-1, 0};
+      case Opcode::Trunc: {
+        const IntRange a = get_int(inst.operand(0));
+        if (a.isBottom())
+            return IntRange::bottom();
+        if (IntRange::full(w).containsRange(a))
+            return a; // low bits preserve the signed value
+        if (a.isPoint())
+            return IntRange::point(
+                signExtend(static_cast<uint64_t>(a.lo), w));
+        return IntRange::full(w);
+      }
+      case Opcode::SExt: {
+        const IntRange a = get_int(inst.operand(0));
+        return a; // same signed value, wider domain
+      }
+      case Opcode::ZExt: {
+        const unsigned sw = inst.operand(0)->type().bitWidth();
+        const IntRange a = get_int(inst.operand(0));
+        if (a.isBottom())
+            return IntRange::bottom();
+        if (sw >= 64)
+            return IntRange::full(w);
+        if (a.lo >= 0)
+            return a;
+        const int64_t bias = int64_t{1} << sw;
+        if (a.hi < 0)
+            return {a.lo + bias, a.hi + bias};
+        return {0, bias - 1};
+      }
+      case Opcode::Select: {
+        const IntRange c = get_int(inst.operand(0));
+        if (c.isBottom())
+            return IntRange::bottom();
+        const IntRange t = get_int(inst.operand(1));
+        const IntRange f = get_int(inst.operand(2));
+        if (c.isPoint())
+            return (c.lo & 1) ? t : f;
+        return t.join(f);
+      }
+      default:
+        // Loads, calls, float-to-int casts, ptr casts, phis (handled
+        // by the solver), ...: no integer transfer.
+        return IntRange::full(w);
+    }
+}
+
+/** Transfer for non-phi float-valued instructions. */
+FloatRange
+evalFloatTransfer(const Instruction &inst, const FloatLookup &get_float,
+                  const IntLookup &get_int)
+{
+    const Opcode op = inst.opcode();
+    const double inf = std::numeric_limits<double>::infinity();
+
+    auto finite = [](const FloatRange &r) {
+        return std::isfinite(r.lo) && std::isfinite(r.hi);
+    };
+
+    if (isFloatBinary(op)) {
+        const FloatRange a = get_float(inst.operand(0));
+        const FloatRange b = get_float(inst.operand(1));
+        if (a.bottom || b.bottom)
+            return {};
+        if (!finite(a) || !finite(b))
+            return FloatRange::top();
+        double c0, c1, c2, c3;
+        switch (op) {
+          case Opcode::FAdd:
+            c0 = a.lo + b.lo; c1 = a.lo + b.hi;
+            c2 = a.hi + b.lo; c3 = a.hi + b.hi;
+            break;
+          case Opcode::FSub:
+            c0 = a.lo - b.lo; c1 = a.lo - b.hi;
+            c2 = a.hi - b.lo; c3 = a.hi - b.hi;
+            break;
+          case Opcode::FMul:
+            c0 = a.lo * b.lo; c1 = a.lo * b.hi;
+            c2 = a.hi * b.lo; c3 = a.hi * b.hi;
+            break;
+          case Opcode::FDiv:
+            if (b.lo <= 0 && b.hi >= 0)
+                return FloatRange::top(); // divisor may be zero
+            c0 = a.lo / b.lo; c1 = a.lo / b.hi;
+            c2 = a.hi / b.lo; c3 = a.hi / b.hi;
+            break;
+          default:
+            return FloatRange::top();
+        }
+        if (std::isnan(c0) || std::isnan(c1) || std::isnan(c2) ||
+            std::isnan(c3))
+            return FloatRange::top();
+        return {std::min({c0, c1, c2, c3}), std::max({c0, c1, c2, c3}),
+                a.maybeNaN || b.maybeNaN, false};
+    }
+
+    switch (op) {
+      case Opcode::SIToFP: {
+        const IntRange a = get_int(inst.operand(0));
+        if (a.isBottom())
+            return {};
+        return {static_cast<double>(a.lo), static_cast<double>(a.hi),
+                false, false};
+      }
+      case Opcode::FPExt: {
+        return get_float(inst.operand(0));
+      }
+      case Opcode::FPTrunc: {
+        const FloatRange a = get_float(inst.operand(0));
+        if (a.bottom)
+            return {};
+        // Rounding to f32 is monotone, so rounded endpoints bound
+        // every rounded interior point.
+        return {static_cast<double>(static_cast<float>(a.lo)),
+                static_cast<double>(static_cast<float>(a.hi)),
+                a.maybeNaN, false};
+      }
+      case Opcode::FAbs: {
+        const FloatRange a = get_float(inst.operand(0));
+        if (a.bottom)
+            return {};
+        const double alo = std::fabs(a.lo), ahi = std::fabs(a.hi);
+        const bool spans = a.lo <= 0 && a.hi >= 0;
+        return {spans ? 0 : std::min(alo, ahi), std::max(alo, ahi),
+                a.maybeNaN, false};
+      }
+      case Opcode::Sqrt: {
+        const FloatRange a = get_float(inst.operand(0));
+        if (a.bottom)
+            return {};
+        if (a.lo < 0 || a.maybeNaN)
+            return FloatRange::top();
+        return {std::sqrt(a.lo), std::sqrt(a.hi), false, false};
+      }
+      case Opcode::Exp: {
+        const FloatRange a = get_float(inst.operand(0));
+        if (a.bottom)
+            return {};
+        return {std::exp(a.lo), std::exp(a.hi), a.maybeNaN, false};
+      }
+      case Opcode::Log: {
+        const FloatRange a = get_float(inst.operand(0));
+        if (a.bottom)
+            return {};
+        if (a.lo <= 0 || a.maybeNaN)
+            return FloatRange::top();
+        return {std::log(a.lo), std::log(a.hi), false, false};
+      }
+      case Opcode::Sin:
+      case Opcode::Cos: {
+        const FloatRange a = get_float(inst.operand(0));
+        if (a.bottom)
+            return {};
+        return {-1.0, 1.0,
+                a.maybeNaN || a.lo == -inf || a.hi == inf, false};
+      }
+      case Opcode::FMin:
+      case Opcode::FMax: {
+        const FloatRange a = get_float(inst.operand(0));
+        const FloatRange b = get_float(inst.operand(1));
+        if (a.bottom || b.bottom)
+            return {};
+        if (op == Opcode::FMin)
+            return {std::min(a.lo, b.lo), std::min(a.hi, b.hi),
+                    a.maybeNaN || b.maybeNaN, false};
+        return {std::max(a.lo, b.lo), std::max(a.hi, b.hi),
+                a.maybeNaN || b.maybeNaN, false};
+      }
+      case Opcode::Select: {
+        const FloatRange t = get_float(inst.operand(1));
+        const FloatRange f = get_float(inst.operand(2));
+        return t.join(f);
+      }
+      default:
+        // Loads, calls, FPToSI sources, phis: no float transfer.
+        return FloatRange::top();
+    }
+}
+
+} // namespace
+
+IntRange
+intTransferArbitraryOperands(const Instruction &inst)
+{
+    if (!inst.type().isInteger())
+        return IntRange::full(64);
+    IntLookup arbitrary = [](const Value *v) -> IntRange {
+        if (auto *c = dynamic_cast<const ConstantInt *>(v))
+            return IntRange::point(c->signedValue());
+        return IntRange::full(v->type().bitWidth());
+    };
+    return evalIntTransfer(inst, arbitrary);
+}
+
+// ---------------------------------------------------------------------
+// Fixpoint solver
+// ---------------------------------------------------------------------
+
+class RangeSolver
+{
+  public:
+    RangeSolver(const Function &fn, RangeAnalysis &ra)
+        : fn(fn), ra(ra), dt(fn), li(fn, dt)
+    {}
+
+    void
+    run()
+    {
+        buildOrder();
+        buildRefinements();
+        fixpoint();
+        narrow();
+        narrow();
+    }
+
+  private:
+    static constexpr unsigned kPhiWidenThreshold = 4;
+    static constexpr unsigned kAnyWidenThreshold = 64;
+
+    void
+    buildOrder()
+    {
+        for (BasicBlock *bb : dt.rpo()) {
+            for (auto &inst : *bb) {
+                if (!inst->hasResult())
+                    continue;
+                instIndex[inst.get()] = order.size();
+                order.push_back(inst.get());
+                if (inst->type().isInteger())
+                    ra.intRanges[inst.get()] = IntRange::bottom();
+                else if (inst->type().isFloat())
+                    ra.floatRanges[inst.get()] = FloatRange{};
+            }
+        }
+    }
+
+    /** Negation of an integer predicate. */
+    static Predicate
+    negate(Predicate p)
+    {
+        switch (p) {
+          case Predicate::Eq: return Predicate::Ne;
+          case Predicate::Ne: return Predicate::Eq;
+          case Predicate::Slt: return Predicate::Sge;
+          case Predicate::Sle: return Predicate::Sgt;
+          case Predicate::Sgt: return Predicate::Sle;
+          case Predicate::Sge: return Predicate::Slt;
+          case Predicate::Ult: return Predicate::Uge;
+          case Predicate::Ule: return Predicate::Ugt;
+          case Predicate::Ugt: return Predicate::Ule;
+          case Predicate::Uge: return Predicate::Ult;
+          default: return Predicate::None;
+        }
+    }
+
+    /** Mirror of a predicate under operand swap (c <op> v form). */
+    static Predicate
+    swapped(Predicate p)
+    {
+        switch (p) {
+          case Predicate::Slt: return Predicate::Sgt;
+          case Predicate::Sle: return Predicate::Sge;
+          case Predicate::Sgt: return Predicate::Slt;
+          case Predicate::Sge: return Predicate::Sle;
+          case Predicate::Ult: return Predicate::Ugt;
+          case Predicate::Ule: return Predicate::Uge;
+          case Predicate::Ugt: return Predicate::Ult;
+          case Predicate::Uge: return Predicate::Ule;
+          default: return p; // Eq/Ne symmetric
+        }
+    }
+
+    /** Interval implied by `v <pred> c` on a width-w value, if any. */
+    static std::optional<IntRange>
+    refineAgainst(Predicate p, int64_t c, unsigned w)
+    {
+        const int64_t dmin = IntRange::domainMin(w);
+        const int64_t dmax = IntRange::domainMax(w);
+        switch (p) {
+          case Predicate::Eq:
+            return IntRange::point(c);
+          case Predicate::Slt:
+            return c == dmin ? std::nullopt
+                             : std::optional(IntRange{dmin, c - 1});
+          case Predicate::Sle:
+            return IntRange{dmin, c};
+          case Predicate::Sgt:
+            return c == dmax ? std::nullopt
+                             : std::optional(IntRange{c + 1, dmax});
+          case Predicate::Sge:
+            return IntRange{c, dmax};
+          // Unsigned orderings against a constant describe a wrapped
+          // interval in the signed view; keep the cases that stay
+          // contiguous.
+          case Predicate::Ult:
+            return c > 0 ? std::optional(IntRange{0, c - 1})
+                         : std::nullopt;
+          case Predicate::Ule:
+            return c >= 0 ? std::optional(IntRange{0, c})
+                          : std::nullopt;
+          case Predicate::Ugt:
+            return c < -1 ? std::optional(IntRange{c + 1, -1})
+                          : std::nullopt;
+          case Predicate::Uge:
+            return c < 0 ? std::optional(IntRange{c, -1})
+                         : std::nullopt;
+          default:
+            return std::nullopt; // Ne: not an interval
+        }
+    }
+
+    void
+    buildRefinements()
+    {
+        // Per-block own constraints from the incoming guarded edge.
+        std::map<const BasicBlock *,
+                 std::map<const Value *, IntRange>>
+            own;
+        auto preds = fn.predecessors();
+        for (BasicBlock *bb : dt.rpo()) {
+            Instruction *term = bb->terminator();
+            if (!term || term->opcode() != Opcode::CondBr)
+                continue;
+            auto *cmp = dynamic_cast<Instruction *>(term->operand(0));
+            if (!cmp || cmp->opcode() != Opcode::ICmp)
+                continue;
+            if (!cmp->operand(0)->type().isInteger())
+                continue;
+            const Value *var = nullptr;
+            Predicate p = cmp->predicate();
+            int64_t c = 0;
+            if (auto *rc =
+                    dynamic_cast<ConstantInt *>(cmp->operand(1))) {
+                var = cmp->operand(0);
+                c = rc->signedValue();
+            } else if (auto *lc = dynamic_cast<ConstantInt *>(
+                           cmp->operand(0))) {
+                var = cmp->operand(1);
+                c = lc->signedValue();
+                p = swapped(p);
+            } else {
+                continue;
+            }
+            if (dynamic_cast<const ConstantInt *>(var))
+                continue;
+            const unsigned w = var->type().bitWidth();
+            BasicBlock *tsucc = term->blockOperand(0);
+            BasicBlock *fsucc = term->blockOperand(1);
+            if (tsucc == fsucc)
+                continue;
+            for (int edge = 0; edge < 2; ++edge) {
+                BasicBlock *succ = edge == 0 ? tsucc : fsucc;
+                auto pit = preds.find(succ);
+                if (pit == preds.end() || pit->second.size() != 1)
+                    continue;
+                const Predicate ep = edge == 0 ? p : negate(p);
+                auto r = refineAgainst(ep, c, w);
+                if (!r)
+                    continue;
+                auto [it, fresh] = own[succ].emplace(var, *r);
+                if (!fresh)
+                    it->second = it->second.meet(*r);
+            }
+        }
+        // Accumulate down the dominator tree: a constraint guarding
+        // block D holds in every block D dominates.
+        std::vector<BasicBlock *> stack{fn.entry()};
+        while (!stack.empty()) {
+            BasicBlock *bb = stack.back();
+            stack.pop_back();
+            auto merged = bb == fn.entry()
+                              ? std::map<const Value *, IntRange>{}
+                              : ra.refinedAt[dt.idom(bb)];
+            auto oit = own.find(bb);
+            if (oit != own.end()) {
+                for (auto &[v, r] : oit->second) {
+                    auto [it, fresh] = merged.emplace(v, r);
+                    if (!fresh)
+                        it->second = it->second.meet(r);
+                }
+            }
+            ra.refinedAt[bb] = std::move(merged);
+            for (BasicBlock *kid : dt.children(bb))
+                stack.push_back(kid);
+        }
+    }
+
+    IntRange
+    lookupInt(const Value *v, const BasicBlock *ctx) const
+    {
+        if (auto *c = dynamic_cast<const ConstantInt *>(v))
+            return IntRange::point(c->signedValue());
+        const unsigned w = v->type().bitWidth();
+        IntRange r = IntRange::full(w);
+        if (auto *inst = dynamic_cast<const Instruction *>(v)) {
+            auto it = ra.intRanges.find(inst);
+            r = it != ra.intRanges.end() ? it->second
+                                         : IntRange::full(w);
+        }
+        auto bit = ra.refinedAt.find(ctx);
+        if (bit != ra.refinedAt.end()) {
+            auto vit = bit->second.find(v);
+            if (vit != bit->second.end())
+                r = r.meet(vit->second);
+        }
+        return r;
+    }
+
+    FloatRange
+    lookupFloat(const Value *v) const
+    {
+        if (auto *c = dynamic_cast<const ConstantFloat *>(v))
+            return FloatRange::point(c->value());
+        if (auto *inst = dynamic_cast<const Instruction *>(v)) {
+            auto it = ra.floatRanges.find(inst);
+            if (it != ra.floatRanges.end())
+                return it->second;
+        }
+        return FloatRange::top();
+    }
+
+    IntRange
+    evalInt(const Instruction *inst) const
+    {
+        const BasicBlock *ctx = inst->parent();
+        if (inst->opcode() == Opcode::Phi) {
+            IntRange r = IntRange::bottom();
+            for (std::size_t i = 0; i < inst->numOperands(); ++i) {
+                const BasicBlock *in = inst->incomingBlock(i);
+                if (!dt.reachable(in))
+                    continue;
+                r = r.join(lookupInt(inst->incomingValue(i), in));
+            }
+            return r;
+        }
+        IntLookup get = [&](const Value *v) {
+            return lookupInt(v, ctx);
+        };
+        return evalIntTransfer(*inst, get);
+    }
+
+    FloatRange
+    evalFloat(const Instruction *inst) const
+    {
+        const BasicBlock *ctx = inst->parent();
+        if (inst->opcode() == Opcode::Phi) {
+            FloatRange r;
+            for (std::size_t i = 0; i < inst->numOperands(); ++i) {
+                if (!dt.reachable(inst->incomingBlock(i)))
+                    continue;
+                r = r.join(lookupFloat(inst->incomingValue(i)));
+            }
+            return r;
+        }
+        FloatLookup getf = [&](const Value *v) {
+            return lookupFloat(v);
+        };
+        IntLookup geti = [&](const Value *v) {
+            return lookupInt(v, ctx);
+        };
+        return evalFloatTransfer(*inst, getf, geti);
+    }
+
+    bool
+    isLoopHeaderPhi(const Instruction *inst) const
+    {
+        return inst->opcode() == Opcode::Phi &&
+               li.isHeader(inst->parent());
+    }
+
+    void
+    pushUsers(const Instruction *inst, std::set<std::size_t> &wl)
+    {
+        for (Instruction *user : inst->users()) {
+            auto it = instIndex.find(user);
+            if (it != instIndex.end())
+                wl.insert(it->second);
+        }
+    }
+
+    void
+    fixpoint()
+    {
+        std::set<std::size_t> wl;
+        for (std::size_t i = 0; i < order.size(); ++i)
+            wl.insert(i);
+        std::map<const Instruction *, unsigned> updates;
+        while (!wl.empty()) {
+            const std::size_t idx = *wl.begin();
+            wl.erase(wl.begin());
+            const Instruction *inst = order[idx];
+            ++ra.iters;
+            if (inst->type().isInteger()) {
+                IntRange &cur = ra.intRanges[inst];
+                IntRange next = cur.join(evalInt(inst));
+                if (next == cur)
+                    continue;
+                const unsigned n = ++updates[inst];
+                if ((isLoopHeaderPhi(inst) &&
+                     n >= kPhiWidenThreshold) ||
+                    n >= kAnyWidenThreshold) {
+                    const unsigned w = inst->type().bitWidth();
+                    if (next.lo < cur.lo)
+                        next.lo = IntRange::domainMin(w);
+                    if (next.hi > cur.hi)
+                        next.hi = IntRange::domainMax(w);
+                }
+                cur = next;
+                pushUsers(inst, wl);
+            } else {
+                FloatRange &cur = ra.floatRanges[inst];
+                FloatRange next = cur.join(evalFloat(inst));
+                if (!cur.bottom && next.lo == cur.lo &&
+                    next.hi == cur.hi && next.maybeNaN == cur.maybeNaN)
+                    continue;
+                const unsigned n = ++updates[inst];
+                if ((isLoopHeaderPhi(inst) &&
+                     n >= kPhiWidenThreshold) ||
+                    n >= kAnyWidenThreshold)
+                    next = FloatRange::top();
+                cur = next;
+                pushUsers(inst, wl);
+            }
+        }
+    }
+
+    /** One exact descending sweep, recovering precision post-widening. */
+    void
+    narrow()
+    {
+        for (const Instruction *inst : order) {
+            if (inst->type().isInteger()) {
+                IntRange &cur = ra.intRanges[inst];
+                const IntRange next = evalInt(inst);
+                if (cur.containsRange(next))
+                    cur = next;
+            } else {
+                FloatRange &cur = ra.floatRanges[inst];
+                const FloatRange next = evalFloat(inst);
+                if (!next.bottom && !cur.bottom &&
+                    next.lo >= cur.lo && next.hi <= cur.hi &&
+                    (!next.maybeNaN || cur.maybeNaN))
+                    cur = next;
+            }
+        }
+    }
+
+    const Function &fn;
+    RangeAnalysis &ra;
+    DominatorTree dt;
+    LoopInfo li;
+    std::vector<const Instruction *> order;
+    std::map<const Instruction *, std::size_t> instIndex;
+};
+
+// ---------------------------------------------------------------------
+// RangeAnalysis
+// ---------------------------------------------------------------------
+
+RangeAnalysis::RangeAnalysis(const Function &fn) : fn(fn)
+{
+    if (!fn.entry())
+        return;
+    RangeSolver(fn, *this).run();
+}
+
+IntRange
+RangeAnalysis::intRange(const Value *v) const
+{
+    if (auto *c = dynamic_cast<const ConstantInt *>(v))
+        return IntRange::point(c->signedValue());
+    auto it = intRanges.find(v);
+    if (it != intRanges.end())
+        return it->second;
+    return IntRange::full(v->type().bitWidth());
+}
+
+IntRange
+RangeAnalysis::intRangeAt(const Value *v, const BasicBlock *at) const
+{
+    IntRange r = intRange(v);
+    auto bit = refinedAt.find(at);
+    if (bit != refinedAt.end()) {
+        auto vit = bit->second.find(v);
+        if (vit != bit->second.end())
+            r = r.meet(vit->second);
+    }
+    return r;
+}
+
+FloatRange
+RangeAnalysis::floatRange(const Value *v) const
+{
+    if (auto *c = dynamic_cast<const ConstantFloat *>(v))
+        return FloatRange::point(c->value());
+    auto it = floatRanges.find(v);
+    if (it != floatRanges.end())
+        return it->second;
+    return FloatRange::top();
+}
+
+} // namespace softcheck

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Flow-sensitive interval value-range analysis over the SSA IR.
+ *
+ * Abstract interpretation with one signed interval per SSA value,
+ * expressed in the value's own type domain (an i8 lives in [-128, 127];
+ * i1 in [-1, 0] because the interpreter sign-extends raw bits). The
+ * fixed point runs an RPO-ordered worklist from bottom, with widening
+ * at loop-header phis (via LoopInfo) so counting loops terminate, and
+ * two exact narrowing sweeps afterwards to recover precision lost to
+ * widening. Branch conditions refine ranges: an edge guarded by
+ * `icmp slt %x, C` narrows %x in every block dominated by the guarded
+ * successor (when that successor has the branch block as its only
+ * predecessor).
+ *
+ * Transfer functions share arithmetic semantics with const_fold and the
+ * interpreter: w-bit wraparound (a transfer that may overflow the type
+ * domain widens to the full domain rather than clamping), shift amounts
+ * masked by width-1, SDiv/SRem INT_MIN corner cases. Floats get a
+ * deliberately coarse companion lattice (bounds plus a maybe-NaN bit)
+ * used for reporting only — a NaN can always slip through arithmetic,
+ * so float checks are never provably vacuous.
+ */
+
+#ifndef SOFTCHECK_ANALYSIS_RANGE_ANALYSIS_HH
+#define SOFTCHECK_ANALYSIS_RANGE_ANALYSIS_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "ir/function.hh"
+
+namespace softcheck
+{
+
+/**
+ * A signed interval over the value's type domain, or bottom (no value
+ * observed; unreachable code stays bottom). Bounds are sign-extended
+ * 64-bit views of the w-bit value, matching ConstantInt::signedValue()
+ * and the interpreter's CheckRange comparison.
+ */
+struct IntRange
+{
+    int64_t lo = INT64_MAX; //!< lo > hi encodes bottom
+    int64_t hi = INT64_MIN;
+
+    static IntRange bottom() { return {}; }
+    static IntRange point(int64_t v) { return {v, v}; }
+    static int64_t domainMin(unsigned width);
+    static int64_t domainMax(unsigned width);
+    /** The full signed domain of a @p width -bit integer. */
+    static IntRange full(unsigned width);
+
+    bool isBottom() const { return lo > hi; }
+    bool isPoint() const { return lo == hi; }
+    bool isFull(unsigned width) const;
+    bool contains(int64_t v) const { return lo <= v && v <= hi; }
+    bool containsRange(const IntRange &o) const
+    {
+        return o.isBottom() || (lo <= o.lo && o.hi <= hi);
+    }
+
+    /** Least upper bound (interval hull). */
+    IntRange join(const IntRange &o) const;
+    /** Intersection; bottom when disjoint. */
+    IntRange meet(const IntRange &o) const;
+
+    bool operator==(const IntRange &o) const
+    {
+        return lo == o.lo && hi == o.hi;
+    }
+    bool operator!=(const IntRange &o) const { return !(*this == o); }
+
+    std::string str() const;
+};
+
+/** Coarse float companion: bounds (possibly infinite) + maybe-NaN. */
+struct FloatRange
+{
+    double lo = 0;
+    double hi = 0;
+    bool maybeNaN = false;
+    bool bottom = true;
+
+    static FloatRange top();
+    static FloatRange point(double v);
+
+    FloatRange join(const FloatRange &o) const;
+
+    std::string str() const;
+};
+
+/**
+ * One-step transfer of @p inst assuming every register operand holds an
+ * arbitrary bit pattern of its type (full domain) while constant
+ * operands keep their exact immediate values. This is the range a
+ * corrupted execution can produce: the fault model flips register
+ * slots, never instruction-encoded immediates, so a check whose pass
+ * set contains this range cannot fire no matter how upstream registers
+ * are corrupted. Returns the full result domain for opcodes with no
+ * integer transfer (loads, calls, phis).
+ */
+IntRange intTransferArbitraryOperands(const Instruction &inst);
+
+class RangeAnalysis
+{
+  public:
+    /** Build and run to fixpoint; snapshots the current CFG. */
+    explicit RangeAnalysis(const Function &fn);
+
+    /**
+     * Range of @p v at its definition (flow-sensitive in the sense
+     * that the fixpoint already used edge refinements where operands
+     * are consumed). Full domain for untracked values and for
+     * instructions in unreachable code.
+     */
+    IntRange intRange(const Value *v) const;
+
+    /**
+     * Range of @p v valid inside @p at: intRange(v) refined by every
+     * branch constraint whose guarded block dominates @p at.
+     */
+    IntRange intRangeAt(const Value *v, const BasicBlock *at) const;
+
+    FloatRange floatRange(const Value *v) const;
+
+    /** Number of fixpoint iterations (testing/diagnostics). */
+    unsigned iterations() const { return iters; }
+
+  private:
+    friend class RangeSolver;
+
+    const Function &fn;
+    std::map<const Value *, IntRange> intRanges;
+    std::map<const Value *, FloatRange> floatRanges;
+    /** Per-block accumulated refinements (own + inherited via idom). */
+    std::map<const BasicBlock *, std::map<const Value *, IntRange>>
+        refinedAt;
+    unsigned iters = 0;
+};
+
+} // namespace softcheck
+
+#endif // SOFTCHECK_ANALYSIS_RANGE_ANALYSIS_HH

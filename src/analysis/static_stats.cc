@@ -25,25 +25,36 @@ StaticStats::valueCheckFraction() const
 std::string
 StaticStats::str() const
 {
-    return strformat(
+    std::string s = strformat(
         "instrs=%u phis=%u dup=%u (%.1f%%) vchks=%u (%.1f%%) "
         "[one=%u two=%u range=%u] eqchks=%u loads=%u stores=%u",
         totalInstructions, phiNodes, duplicatedInstructions,
         100.0 * dupFraction(), valueChecks(),
         100.0 * valueCheckFraction(), checkOne, checkTwo, checkRange,
         checkEq, loads, stores);
+    if (elidedChecks)
+        s += strformat(" elided=%u", elidedChecks);
+    if (hasProtection)
+        s += strformat(" | coverage: %s", protection.str().c_str());
+    return s;
 }
 
 StaticStats
-collectStaticStats(const Module &m)
+collectStaticStats(const Module &m, const ProtectionCounts *protection)
 {
     StaticStats st;
+    if (protection) {
+        st.protection = *protection;
+        st.hasProtection = true;
+    }
     for (const Function *fn : m.functions()) {
         for (const auto &bb : *fn) {
             for (const auto &inst : *bb) {
                 ++st.totalInstructions;
                 if (inst->isDuplicate())
                     ++st.duplicatedInstructions;
+                if (inst->isElided())
+                    ++st.elidedChecks;
                 switch (inst->opcode()) {
                   case Opcode::Phi: ++st.phiNodes; break;
                   case Opcode::CheckEq: ++st.checkEq; break;

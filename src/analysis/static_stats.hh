@@ -10,6 +10,7 @@
 
 #include <string>
 
+#include "analysis/protection_audit.hh"
 #include "ir/module.hh"
 
 namespace softcheck
@@ -26,6 +27,12 @@ struct StaticStats
     unsigned checkRange = 0;
     unsigned loads = 0;
     unsigned stores = 0;
+    unsigned elidedChecks = 0; //!< vacuous checks marked elided
+
+    /** Per-category protection coverage from the audit; zero counts
+     * when no audit ran (hasProtection false). */
+    ProtectionCounts protection;
+    bool hasProtection = false;
 
     unsigned valueChecks() const { return checkOne + checkTwo + checkRange; }
     unsigned allChecks() const { return valueChecks() + checkEq; }
@@ -37,8 +44,13 @@ struct StaticStats
     std::string str() const;
 };
 
-/** Gather statistics over every function of @p m. */
-StaticStats collectStaticStats(const Module &m);
+/**
+ * Gather statistics over every function of @p m. When @p protection is
+ * non-null its per-category coverage is embedded in the stats (and
+ * printed by str()).
+ */
+StaticStats collectStaticStats(const Module &m,
+                               const ProtectionCounts *protection = nullptr);
 
 } // namespace softcheck
 

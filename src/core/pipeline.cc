@@ -1,6 +1,8 @@
 #include "core/pipeline.hh"
 
 #include "analysis/dominance_verify.hh"
+#include "analysis/protection_audit.hh"
+#include "analysis/range_analysis.hh"
 #include "core/full_duplication.hh"
 #include "ir/verifier.hh"
 #include "support/error.hh"
@@ -27,11 +29,40 @@ HardeningReport::str() const
     return strformat(
         "%s: state_vars=%u shadow_phis=%u dup=%u eq_chks=%u "
         "val_chks=%u [one=%u two=%u range=%u] opt1_suppressed=%u "
-        "opt2_stops=%u | %s",
+        "opt2_stops=%u vacuous=%u elided=%u fp_risk=%u | %s | %s",
         hardeningModeName(mode), stateVars, shadowPhis,
         duplicatedInstrs, eqChecks, valueChecks, checkOne, checkTwo,
-        checkRange, suppressedByOpt1, opt2Stops, stats.str().c_str());
+        checkRange, suppressedByOpt1, opt2Stops, vacuousChecks,
+        elidedChecks, fpRiskChecks, protection.str().c_str(),
+        stats.str().c_str());
 }
+
+namespace
+{
+
+/**
+ * Debug-build safety net: structurally verify the function and its SSA
+ * dominance right after a hardening stage touched it, failing loudly
+ * with the stage name. Compiled out of Release builds, where the
+ * end-of-pipeline verification still runs.
+ */
+void
+debugVerifyStage([[maybe_unused]] Function &fn,
+                 [[maybe_unused]] const char *stage)
+{
+#ifndef NDEBUG
+    auto probs = verifyFunction(fn);
+    if (!probs.empty())
+        scFatal("IR verification failed after ", stage, " of ",
+                fn.name(), ": ", probs.front());
+    probs = verifyDominance(fn);
+    if (!probs.empty())
+        scFatal("dominance verification failed after ", stage, " of ",
+                fn.name(), ": ", probs.front());
+#endif
+}
+
+} // namespace
 
 HardeningReport
 hardenModule(Module &m, const HardeningOptions &opts,
@@ -40,6 +71,7 @@ hardenModule(Module &m, const HardeningOptions &opts,
     HardeningReport report;
     report.mode = opts.mode;
     int next_check_id = 0;
+    AuditOptions audit_opts;
 
     switch (opts.mode) {
       case HardeningMode::Original:
@@ -54,6 +86,7 @@ hardenModule(Module &m, const HardeningOptions &opts,
             report.shadowPhis += r.shadowPhis;
             report.duplicatedInstrs += r.duplicatedInstrs;
             report.eqChecks += r.eqChecks;
+            debugVerifyStage(*fn, "duplication");
         }
         break;
       }
@@ -72,6 +105,7 @@ hardenModule(Module &m, const HardeningOptions &opts,
             report.eqChecks += dr.eqChecks;
             report.opt2Stops +=
                 static_cast<unsigned>(dr.opt2CheckSites.size());
+            debugVerifyStage(*fn, "duplication");
 
             ValueCheckOptions vopts;
             vopts.enableOpt1 = opts.enableOpt1;
@@ -83,6 +117,11 @@ hardenModule(Module &m, const HardeningOptions &opts,
             report.checkTwo += vr.checkTwo;
             report.checkRange += vr.checkRange;
             report.suppressedByOpt1 += vr.suppressedByOpt1;
+            report.suppressedUseless += vr.suppressedUseless;
+            audit_opts.allowUncheckedCuts.insert(
+                vr.uselessSuppressedSites.begin(),
+                vr.uselessSuppressedSites.end());
+            debugVerifyStage(*fn, "value checks");
         }
         break;
       }
@@ -93,6 +132,7 @@ hardenModule(Module &m, const HardeningOptions &opts,
             report.shadowPhis += r.shadowPhis;
             report.duplicatedInstrs += r.duplicatedInstrs;
             report.eqChecks += r.eqChecks;
+            debugVerifyStage(*fn, "full duplication");
         }
         break;
       }
@@ -108,7 +148,38 @@ hardenModule(Module &m, const HardeningOptions &opts,
                     probs.front());
     }
     m.renumberAll();
-    report.stats = collectStaticStats(m);
+
+    // Static protection audit: verify the structural contract the
+    // hardening passes guarantee, classify coverage, and classify each
+    // value check against the static value ranges. Optionally elide
+    // checks proven vacuous — the interpreter keeps fetching (and
+    // costing) them, so campaigns stay bit-identical, but the
+    // comparisons disappear from the dynamic check count.
+    for (Function *fn : m.functions()) {
+        RangeAnalysis ranges(*fn);
+        AuditResult ar = auditProtection(*fn, ranges, audit_opts);
+        if (!ar.violations.empty())
+            scFatal("protection audit failed for ", fn->name(), ": [",
+                    auditViolationKindName(ar.violations.front().kind),
+                    "] ", ar.violations.front().message);
+        report.protection.merge(ar.counts);
+        for (const CheckReport &cr : ar.checks) {
+            if (cr.vacuous) {
+                ++report.vacuousChecks;
+                if (opts.elideVacuousChecks) {
+                    const_cast<Instruction *>(cr.check)
+                        ->setElided(true);
+                    ++report.elidedChecks;
+                }
+            }
+            if (cr.fpRisk)
+                ++report.fpRiskChecks;
+        }
+    }
+    m.renumberAll(); // the audit renumbers per function; restore
+
+    report.uncheckedCutSites = std::move(audit_opts.allowUncheckedCuts);
+    report.stats = collectStaticStats(m, &report.protection);
     return report;
 }
 

@@ -19,6 +19,7 @@
 
 #include <string>
 
+#include "analysis/protection_audit.hh"
 #include "analysis/static_stats.hh"
 #include "core/duplication.hh"
 #include "core/value_checks.hh"
@@ -42,6 +43,14 @@ struct HardeningOptions
     HardeningMode mode = HardeningMode::DupValChks;
     bool enableOpt1 = true; //!< deepest-point value checks (Fig. 8)
     bool enableOpt2 = true; //!< cut duplication at amenable values (Fig. 9)
+    /**
+     * Elide checks the protection audit proves vacuous (the pass set
+     * covers everything corrupted operands can produce). Elided checks
+     * stay in the instruction stream with their full fetch/cycle cost,
+     * so campaign outcomes are bit-identical; only the comparison is
+     * skipped.
+     */
+    bool elideVacuousChecks = false;
 };
 
 struct HardeningReport
@@ -57,8 +66,18 @@ struct HardeningReport
     unsigned checkRange = 0;
     unsigned suppressedByOpt1 = 0;
     unsigned opt2Stops = 0;
-    unsigned numCheckIds = 0; //!< total check ids allocated
-    StaticStats stats;        //!< post-transform static statistics
+    /** Range checks skipped at insertion (full type-domain bound). */
+    unsigned suppressedUseless = 0;
+    unsigned numCheckIds = 0;   //!< total check ids allocated
+    unsigned vacuousChecks = 0; //!< checks the audit proved can't fire
+    unsigned elidedChecks = 0;  //!< vacuous checks actually elided
+    unsigned fpRiskChecks = 0;  //!< static range escapes the pass set
+    ProtectionCounts protection; //!< audit coverage classification
+    StaticStats stats;           //!< post-transform static statistics
+    /** Opt-2 cut sites whose replacement check was suppressed as
+     * useless (full-domain bound). Feed to
+     * AuditOptions::allowUncheckedCuts when re-auditing the module. */
+    std::set<const Instruction *> uncheckedCutSites;
 
     std::string str() const;
 };

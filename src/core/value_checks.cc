@@ -136,6 +136,7 @@ class CheckInserter
             s.v1 - s.v0 >= std::ldexp(1.0, static_cast<int>(
                                                t.bitWidth())) - 1.0) {
             ++result.suppressedUseless;
+            result.uselessSuppressedSites.insert(inst);
             return;
         }
         builder.setInsertAfter(inst);

@@ -39,6 +39,9 @@ struct ValueCheckResult
     unsigned suppressedByOpt1 = 0;
     /** Range checks skipped because they span the whole type domain. */
     unsigned suppressedUseless = 0;
+    /** The sites those suppressed checks would have guarded. A forced
+     * (Opt-2) site in this set is a legitimately unchecked chain cut. */
+    std::set<const Instruction *> uselessSuppressedSites;
 };
 
 /**

@@ -183,6 +183,7 @@ buildModule(const Workload &w, HardeningMode mode,
     hopts.mode = mode;
     hopts.enableOpt1 = cfg.enableOpt1;
     hopts.enableOpt2 = cfg.enableOpt2;
+    hopts.elideVacuousChecks = cfg.elideVacuousChecks;
     HardeningReport report = hardenModule(*pm.mod, hopts, profile);
     if (report_out)
         *report_out = report;
@@ -320,6 +321,7 @@ characterizeCell(const CampaignConfig &config,
         scAssert(cell.goldenRun.ok(), "golden run failed for ", w.name);
         result.goldenDynInstrs = cell.goldenRun.dynInstrs;
         result.goldenCycles = cell.goldenRun.cycles;
+        result.goldenCheckEvals = cell.goldenRun.checkEvals;
         cell.goldenSignal = extractSignal(w, cell.testSpec(), run);
         for (unsigned c = 0; c < num_checks; ++c) {
             result.calibrationCheckFails += fail_counts[c];

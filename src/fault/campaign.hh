@@ -57,6 +57,10 @@ struct CampaignConfig
     bool swapTrainTest = false;  //!< 2-fold cross-validation
     bool enableOpt1 = true;
     bool enableOpt2 = true;
+    /** Elide audit-proven vacuous checks (see HardeningOptions);
+     * campaign outcomes are bit-identical, only goldenCheckEvals
+     * drops. */
+    bool elideVacuousChecks = false;
     CheckPolicy policy;          //!< profile summarization knobs
     CostConfig cost;             //!< Table II parameters
     double timeoutFactor = 20.0; //!< infinite-loop budget multiplier
@@ -121,6 +125,10 @@ struct CampaignResult
     // Fault-free characterization.
     uint64_t goldenDynInstrs = 0;
     uint64_t goldenCycles = 0;
+    /** Check comparisons evaluated during the golden run; drops when
+     * vacuous checks are elided, while goldenDynInstrs/goldenCycles
+     * (and every trial outcome) stay identical. */
+    uint64_t goldenCheckEvals = 0;
     uint64_t baselineCycles = 0; //!< unhardened program, same input
     double overhead() const;     //!< goldenCycles/baselineCycles - 1
 

@@ -98,6 +98,7 @@ ExecModule::buildFunction(Module &m, const Function &fn, ExecFunction &out)
             ei.dst = inst->slot();
             ei.checkId = inst->checkId();
             ei.profileId = inst->profileId();
+            ei.elided = inst->isElided();
             ei.srcInst = inst;
 
             if (ei.checkId >= 0)

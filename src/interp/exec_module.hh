@@ -47,6 +47,7 @@ struct ExecInst
     uint32_t branchSite = 0;          //!< global static id for predictor
     int32_t checkId = -1;
     int32_t profileId = -1;
+    bool elided = false;              //!< vacuous check: fetch, skip compare
     int32_t calleeIdx = -1;           //!< ExecModule function index
     std::vector<OpRef> callArgs;
     const Instruction *srcInst = nullptr;

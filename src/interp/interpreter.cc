@@ -189,6 +189,7 @@ Interpreter::resume(ExecState &st, const ExecOptions &opts)
     uint64_t fault_at =
         opts.faultAtDynInstr ? *opts.faultAtDynInstr : ~0ULL;
     FaultOutcome fault;
+    uint64_t check_evals = 0;
 
     // Next dynamic instruction at which to record a checkpoint.
     uint64_t next_checkpoint = ~0ULL;
@@ -221,6 +222,7 @@ Interpreter::resume(ExecState &st, const ExecOptions &opts)
         r.endCycle = cost.cycles();
         r.cacheMisses = cost.cacheMisses();
         r.branchMispredicts = cost.branchMispredicts();
+        r.checkEvals = check_evals;
         r.fault = fault;
         return r;
     };
@@ -673,6 +675,11 @@ Interpreter::resume(ExecState &st, const ExecOptions &opts)
 
           // ---- hardening checks ------------------------------------------
           case Opcode::CheckEq: {
+            if (inst.elided) {
+                ++fr.ip;
+                break;
+            }
+            ++check_evals;
             if (!check_passed(read_op(inst.a) == read_op(inst.b)))
                 return finish(Termination::CheckFailed, TrapKind::None,
                               inst.checkId, 0);
@@ -680,6 +687,11 @@ Interpreter::resume(ExecState &st, const ExecOptions &opts)
             break;
           }
           case Opcode::CheckOne: {
+            if (inst.elided) {
+                ++fr.ip;
+                break;
+            }
+            ++check_evals;
             if (!check_passed(read_op(inst.a) == read_op(inst.b)))
                 return finish(Termination::CheckFailed, TrapKind::None,
                               inst.checkId, 0);
@@ -687,6 +699,11 @@ Interpreter::resume(ExecState &st, const ExecOptions &opts)
             break;
           }
           case Opcode::CheckTwo: {
+            if (inst.elided) {
+                ++fr.ip;
+                break;
+            }
+            ++check_evals;
             const uint64_t v = read_op(inst.a);
             if (!check_passed(v == read_op(inst.b) ||
                               v == read_op(inst.c)))
@@ -696,6 +713,11 @@ Interpreter::resume(ExecState &st, const ExecOptions &opts)
             break;
           }
           case Opcode::CheckRange: {
+            if (inst.elided) {
+                ++fr.ip;
+                break;
+            }
+            ++check_evals;
             bool ok;
             if (inst.ty == TypeKind::F64) {
                 const double v = asF64(read_op(inst.a));

@@ -85,6 +85,10 @@ struct RunResult
     uint64_t endCycle = 0;      //!< cycle count at termination
     uint64_t cacheMisses = 0;
     uint64_t branchMispredicts = 0;
+    /** Check comparisons actually evaluated during this resume();
+     * elided (vacuous) checks are fetched and costed but not counted
+     * here. A run() from the entry covers the whole execution. */
+    uint64_t checkEvals = 0;
     /** True when the run was cut short because its entire execution
      * state re-converged with the fault-free golden run at a snapshot
      * boundary (see ExecOptions::goldenSnapshots). All other fields are

@@ -211,6 +211,15 @@ class Instruction : public Value
     bool isDuplicate() const { return dup; }
     void setDuplicate(bool d) { dup = d; }
 
+    /**
+     * True for a check proven vacuous and elided by the pipeline: the
+     * interpreter still fetches it (same dynamic instruction stream
+     * and cycle cost, so fault-injection campaigns stay bit-identical)
+     * but skips the comparison.
+     */
+    bool isElided() const { return elided; }
+    void setElided(bool e) { elided = e; }
+
     bool isTerminator() const { return softcheck::isTerminator(op); }
     bool hasResult() const { return !type().isVoid(); }
 
@@ -227,6 +236,7 @@ class Instruction : public Value
     int chkId = -1;
     int profId = -1;
     bool dup = false;
+    bool elided = false;
 };
 
 } // namespace softcheck

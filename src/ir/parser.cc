@@ -427,6 +427,8 @@ class Parser
         for (std::size_t i = meta_begin; i < toks.size(); ++i) {
             if (toks[i] == "!dup") {
                 inst->setDuplicate(true);
+            } else if (toks[i] == "!elided") {
+                inst->setElided(true);
             } else if (toks[i] == "!check_id") {
                 inst->setCheckId(
                     static_cast<int>(std::stol(toks.at(++i))));

@@ -164,6 +164,8 @@ instructionToString(const Instruction &inst)
         os << " !dup";
     if (inst.profileId() >= 0)
         os << " !prof " << inst.profileId();
+    if (inst.isElided())
+        os << " !elided";
     return os.str();
 }
 

@@ -1,6 +1,7 @@
 #include "ir/verifier.hh"
 
 #include <algorithm>
+#include <map>
 #include <set>
 #include <sstream>
 
@@ -90,6 +91,36 @@ class FunctionVerifier
                 ++idx;
             }
         }
+        checkPredSuccConsistency(preds);
+    }
+
+    /** Every successor edge must appear in the predecessor map and
+     * every predecessor edge in the successor list. */
+    void
+    checkPredSuccConsistency(
+        const std::map<const BasicBlock *, std::vector<BasicBlock *>>
+            &preds)
+    {
+        for (const auto &bb : fn) {
+            for (BasicBlock *succ : bb->successors()) {
+                if (!blockSet.count(succ))
+                    continue; // reported as a bad block operand
+                const auto &plist = preds.at(succ);
+                if (std::find(plist.begin(), plist.end(), bb.get()) ==
+                    plist.end())
+                    problem(bb->terminator(), "successor %",
+                            succ->name(), " does not list %",
+                            bb->name(), " as a predecessor");
+            }
+            for (BasicBlock *p : preds.at(bb.get())) {
+                auto succs = p->successors();
+                if (std::find(succs.begin(), succs.end(), bb.get()) ==
+                    succs.end())
+                    problem(p->terminator(), "predecessor %",
+                            p->name(), " does not list %", bb->name(),
+                            " as a successor");
+            }
+        }
     }
 
     void
@@ -99,15 +130,27 @@ class FunctionVerifier
             problem(&phi, "phi value/block operand count mismatch");
             return;
         }
+        // Exactly one incoming per CFG predecessor: no duplicates, no
+        // extras, none missing.
         std::set<const BasicBlock *> incoming;
+        const std::set<const BasicBlock *> pred_set(preds.begin(),
+                                                    preds.end());
         for (std::size_t i = 0; i < phi.numBlockOperands(); ++i) {
-            incoming.insert(phi.incomingBlock(i));
+            const BasicBlock *in = phi.incomingBlock(i);
+            if (!incoming.insert(in).second)
+                problem(&phi, "phi has two incomings for block %",
+                        in->name());
+            if (!pred_set.count(in))
+                problem(&phi, "phi incoming from non-predecessor %",
+                        in->name());
             if (phi.operand(i)->type() != phi.type())
                 problem(&phi, "phi incoming type mismatch");
         }
-        std::set<const BasicBlock *> pred_set(preds.begin(), preds.end());
-        if (incoming != pred_set)
-            problem(&phi, "phi incoming blocks do not match predecessors");
+        for (const BasicBlock *p : pred_set) {
+            if (!incoming.count(p))
+                problem(&phi, "phi missing incoming for predecessor %",
+                        p->name());
+        }
     }
 
     void

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * CFG-utility tests: unreachable-block elimination (including phi
+ * pruning) and mark-and-sweep dead code elimination (dead chains, dead
+ * phi cycles, side-effect barriers).
+ */
+
+#include <gtest/gtest.h>
+
+#include "analysis/cfg_utils.hh"
+#include "common/test_util.hh"
+#include "ir/irbuilder.hh"
+#include "ir/verifier.hh"
+
+using namespace softcheck;
+
+namespace
+{
+
+TEST(CfgUtils, RemovesUnreachableBlockAndPrunesPhis)
+{
+    Module m("t");
+    Function *f = m.createFunction("f", Type::i32());
+    IRBuilder b(m);
+    BasicBlock *entry = f->addBlock("entry");
+    BasicBlock *dead = f->addBlock("dead");
+    BasicBlock *join = f->addBlock("join");
+
+    b.setInsertPoint(entry);
+    b.createBr(join);
+
+    b.setInsertPoint(dead); // no predecessors
+    b.createBr(join);
+
+    b.setInsertPoint(join);
+    auto *phi = b.createPhi(Type::i32(), "p");
+    phi->addIncoming(b.constI32(1), entry);
+    phi->addIncoming(b.constI32(2), dead);
+    b.createRet(phi);
+    f->renumber();
+
+    EXPECT_EQ(removeUnreachableBlocks(*f), 1u);
+    EXPECT_EQ(phi->numOperands(), 1u)
+        << "phi incoming from the dead block must be pruned";
+    EXPECT_EQ(phi->incomingBlock(0), entry);
+    EXPECT_TRUE(verifyFunction(*f).empty());
+}
+
+TEST(CfgUtils, ReachableGraphUntouched)
+{
+    Module m("t");
+    Function *f = m.createFunction("f", Type::i32());
+    Argument *x = f->addArg(Type::i32(), "x");
+    IRBuilder b(m);
+    BasicBlock *entry = f->addBlock("entry");
+    BasicBlock *a = f->addBlock("a");
+    BasicBlock *c = f->addBlock("b");
+    b.setInsertPoint(entry);
+    auto *cmp = b.createICmp(Predicate::Slt, x, b.constI32(0), "c");
+    b.createCondBr(cmp, a, c);
+    b.setInsertPoint(a);
+    b.createRet(b.constI32(0));
+    b.setInsertPoint(c);
+    b.createRet(b.constI32(1));
+    EXPECT_EQ(removeUnreachableBlocks(*f), 0u);
+    EXPECT_EQ(f->numBlocks(), 3u);
+}
+
+TEST(CfgUtils, DceRemovesDeadChainKeepsLive)
+{
+    Module m("t");
+    Function *f = m.createFunction("f", Type::i32());
+    Argument *x = f->addArg(Type::i32(), "x");
+    IRBuilder b(m);
+    BasicBlock *entry = f->addBlock("entry");
+    b.setInsertPoint(entry);
+    auto *live = b.createAdd(x, b.constI32(1), "live");
+    auto *d1 = b.createMul(x, b.constI32(3), "d1");
+    b.createSub(d1, b.constI32(2), "d2"); // dead chain d1 -> d2
+    b.createRet(live);
+
+    EXPECT_EQ(eliminateDeadCode(*f), 2u);
+    EXPECT_EQ(entry->size(), 2u); // live add + ret
+    EXPECT_TRUE(verifyFunction(*f).empty());
+}
+
+TEST(CfgUtils, DceCollectsDeadPhiCycle)
+{
+    // Two phis using only each other: plain use-count DCE never frees
+    // them; mark-and-sweep must.
+    Module m("t");
+    Function *f = m.createFunction("f", Type::i32());
+    IRBuilder b(m);
+    BasicBlock *entry = f->addBlock("entry");
+    BasicBlock *head = f->addBlock("head");
+    BasicBlock *exit = f->addBlock("exit");
+
+    b.setInsertPoint(entry);
+    b.createBr(head);
+
+    b.setInsertPoint(head);
+    auto *p = b.createPhi(Type::i32(), "p");
+    auto *q = b.createPhi(Type::i32(), "q");
+    auto *live = b.createPhi(Type::i32(), "live");
+    auto *inc = b.createAdd(live, b.constI32(1), "inc");
+    auto *cmp = b.createICmp(Predicate::Slt, inc, b.constI32(8), "c");
+    b.createCondBr(cmp, head, exit);
+    p->addIncoming(b.constI32(0), entry);
+    p->addIncoming(q, head);
+    q->addIncoming(b.constI32(1), entry);
+    q->addIncoming(p, head);
+    live->addIncoming(b.constI32(0), entry);
+    live->addIncoming(inc, head);
+
+    b.setInsertPoint(exit);
+    b.createRet(live);
+    f->renumber();
+
+    EXPECT_EQ(eliminateDeadCode(*f), 2u); // p and q
+    EXPECT_EQ(head->phis().size(), 1u) << "only the live phi survives";
+    EXPECT_TRUE(verifyFunction(*f).empty());
+}
+
+TEST(CfgUtils, DceKeepsSideEffectsAndTheirInputs)
+{
+    Module m("t");
+    Function *f = m.createFunction("f", Type::i32());
+    Argument *ptr = f->addArg(Type::ptr(), "p");
+    Argument *x = f->addArg(Type::i32(), "x");
+    IRBuilder b(m);
+    BasicBlock *entry = f->addBlock("entry");
+    b.setInsertPoint(entry);
+    auto *v = b.createMul(x, x, "v"); // only used by the store
+    b.createStore(v, ptr);
+    b.createCheckRange(x, b.constI32(0), b.constI32(100), 0);
+    b.createRet(b.constI32(0));
+
+    EXPECT_EQ(eliminateDeadCode(*f), 0u)
+        << "stores/checks and their operands are live";
+    EXPECT_EQ(entry->size(), 4u);
+}
+
+} // namespace

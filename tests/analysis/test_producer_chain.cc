@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Producer-chain tests: chain membership and topological order,
+ * termination at loads/phis/calls, the stopAt predicate (Optimization 2
+ * hook), and chainStopPoints.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "analysis/producer_chain.hh"
+#include "common/test_util.hh"
+#include "ir/irbuilder.hh"
+
+using namespace softcheck;
+
+namespace
+{
+
+bool
+contains(const std::vector<Instruction *> &v, const Instruction *x)
+{
+    return std::find(v.begin(), v.end(), x) != v.end();
+}
+
+/** a*b + (load p) — a chain that includes mul/add but stops at the
+ * load. */
+struct ChainFixture : ::testing::Test
+{
+    Module m{"t"};
+    Function *f = nullptr;
+    Instruction *ld = nullptr, *mul = nullptr, *add = nullptr;
+
+    void
+    SetUp() override
+    {
+        f = m.createFunction("f", Type::i32());
+        Argument *a = f->addArg(Type::i32(), "a");
+        Argument *b = f->addArg(Type::i32(), "b");
+        Argument *p = f->addArg(Type::ptr(), "p");
+        IRBuilder ib(m);
+        ib.setInsertPoint(f->addBlock("entry"));
+        ld = ib.createLoad(Type::i32(), p, "ld");
+        mul = ib.createMul(a, b, "mul");
+        add = ib.createAdd(mul, ld, "add");
+        ib.createRet(add);
+        f->renumber();
+    }
+};
+
+TEST_F(ChainFixture, IncludesPureOpsStopsAtLoad)
+{
+    EXPECT_EQ(chainDisposition(*mul), ChainDisposition::Include);
+    EXPECT_EQ(chainDisposition(*ld), ChainDisposition::Terminate);
+
+    auto chain = producerChain(add);
+    EXPECT_TRUE(contains(chain, add));
+    EXPECT_TRUE(contains(chain, mul));
+    EXPECT_FALSE(contains(chain, ld));
+}
+
+TEST_F(ChainFixture, TopologicalOrder)
+{
+    auto chain = producerChain(add);
+    const auto mul_pos =
+        std::find(chain.begin(), chain.end(), mul) - chain.begin();
+    const auto add_pos =
+        std::find(chain.begin(), chain.end(), add) - chain.begin();
+    EXPECT_LT(mul_pos, add_pos) << "producers must precede consumers";
+}
+
+TEST_F(ChainFixture, StopAtPredicateCutsChain)
+{
+    ProducerChainOptions opts;
+    opts.stopAt = [this](const Instruction &i) { return &i == mul; };
+    auto chain = producerChain(add, opts);
+    EXPECT_TRUE(contains(chain, add));
+    EXPECT_FALSE(contains(chain, mul))
+        << "stop values must not be in the chain";
+
+    auto stops = chainStopPoints(add, opts);
+    ASSERT_EQ(stops.size(), 1u);
+    EXPECT_EQ(stops[0], mul);
+}
+
+TEST_F(ChainFixture, StopAtAppliesToRootToo)
+{
+    // The predicate is consulted before anything else, including for
+    // the root: callers that must keep the root (duplication roots)
+    // exclude it in their predicate.
+    ProducerChainOptions opts;
+    opts.stopAt = [](const Instruction &) { return true; };
+    EXPECT_TRUE(producerChain(add, opts).empty());
+    auto stops = chainStopPoints(add, opts);
+    ASSERT_EQ(stops.size(), 1u);
+    EXPECT_EQ(stops[0], add);
+}
+
+TEST_F(ChainFixture, StopAtBeatsTerminateDisposition)
+{
+    // A load would terminate anyway, but when the predicate claims it
+    // first it is recorded as a stop point (an Opt-2 check site).
+    ProducerChainOptions opts;
+    opts.stopAt = [this](const Instruction &i) { return &i == ld; };
+    auto stops = chainStopPoints(add, opts);
+    ASSERT_EQ(stops.size(), 1u);
+    EXPECT_EQ(stops[0], ld);
+}
+
+TEST(ProducerChain, UnchainableRootYieldsEmptyChain)
+{
+    Module m("t");
+    Function *f = m.createFunction("f", Type::i32());
+    Argument *p = f->addArg(Type::ptr(), "p");
+    IRBuilder ib(m);
+    ib.setInsertPoint(f->addBlock("entry"));
+    auto *ld = ib.createLoad(Type::i32(), p, "ld");
+    ib.createRet(ld);
+    f->renumber();
+
+    EXPECT_TRUE(producerChain(ld).empty());
+}
+
+TEST(ProducerChain, PhiTerminatesButOperandsChainThrough)
+{
+    // phi -> add: the add chains, recursion stops at the phi without
+    // including it.
+    Module m("t");
+    Function *f = m.createFunction("f", Type::i32());
+    IRBuilder ib(m);
+    BasicBlock *entry = f->addBlock("entry");
+    BasicBlock *head = f->addBlock("head");
+    BasicBlock *exit = f->addBlock("exit");
+    ib.setInsertPoint(entry);
+    ib.createBr(head);
+    ib.setInsertPoint(head);
+    auto *phi = ib.createPhi(Type::i32(), "i");
+    auto *inc = ib.createAdd(phi, ib.constI32(1), "inc");
+    auto *cmp =
+        ib.createICmp(Predicate::Slt, inc, ib.constI32(10), "c");
+    ib.createCondBr(cmp, head, exit);
+    phi->addIncoming(ib.constI32(0), entry);
+    phi->addIncoming(inc, head);
+    ib.setInsertPoint(exit);
+    ib.createRet(inc);
+    f->renumber();
+
+    EXPECT_EQ(chainDisposition(*phi), ChainDisposition::Terminate);
+    auto chain = producerChain(inc);
+    EXPECT_TRUE(contains(chain, inc));
+    EXPECT_FALSE(contains(chain, phi));
+}
+
+TEST(ProducerChain, SharedSubexpressionAppearsOnce)
+{
+    Module m("t");
+    Function *f = m.createFunction("f", Type::i32());
+    Argument *a = f->addArg(Type::i32(), "a");
+    IRBuilder ib(m);
+    ib.setInsertPoint(f->addBlock("entry"));
+    auto *sq = ib.createMul(a, a, "sq");
+    auto *sum = ib.createAdd(sq, sq, "sum");
+    ib.createRet(sum);
+    f->renumber();
+
+    auto chain = producerChain(sum);
+    EXPECT_EQ(std::count(chain.begin(), chain.end(), sq), 1);
+}
+
+} // namespace

@@ -1,0 +1,318 @@
+/**
+ * @file
+ * Protection-audit tests: clean bills of health for genuinely hardened
+ * modules, seeded-violation detection (mis-wired shadow phi, dropped
+ * Opt-2 replacement check, non-dominating check operand, non-isomorphic
+ * duplicate, duplicate check id), and the range-based vacuous /
+ * false-positive-risk check classification.
+ */
+
+#include <gtest/gtest.h>
+
+#include "analysis/producer_chain.hh"
+#include "analysis/protection_audit.hh"
+#include "common/test_util.hh"
+#include "core/pipeline.hh"
+#include "fault/campaign_internal.hh"
+#include "ir/irbuilder.hh"
+#include "profile/value_profiler.hh"
+#include "workloads/workload.hh"
+
+using namespace softcheck;
+using campaign_detail::collectProfile;
+
+namespace
+{
+
+bool
+hasViolation(const AuditResult &r, AuditViolationKind k)
+{
+    for (const AuditViolation &v : r.violations)
+        if (v.kind == k)
+            return true;
+    return false;
+}
+
+/** Compile + harden one workload (profile collected when needed). */
+std::unique_ptr<Module>
+hardened(const std::string &name, HardeningMode mode,
+         HardeningReport *report_out = nullptr)
+{
+    const Workload &w = getWorkload(name);
+    auto mod = compileMiniLang(w.source, w.name);
+    assignProfileSites(*mod);
+    ProfileData profile;
+    const ProfileData *pp = nullptr;
+    if (mode == HardeningMode::DupValChks) {
+        CampaignConfig cfg;
+        cfg.workload = name;
+        profile = collectProfile(w, cfg, true);
+        pp = &profile;
+    }
+    HardeningOptions hopts;
+    hopts.mode = mode;
+    HardeningReport rep = hardenModule(*mod, hopts, pp);
+    if (report_out)
+        *report_out = rep;
+    return mod;
+}
+
+TEST(ProtectionAudit, HardenedWorkloadsAuditClean)
+{
+    for (HardeningMode mode :
+         {HardeningMode::DupOnly, HardeningMode::DupValChks,
+          HardeningMode::FullDup}) {
+        HardeningReport rep;
+        auto mod = hardened("tiff2bw", mode, &rep);
+        AuditOptions opts;
+        opts.allowUncheckedCuts = rep.uncheckedCutSites;
+        AuditResult r = auditModule(*mod, opts);
+        EXPECT_TRUE(r.violations.empty())
+            << hardeningModeName(mode) << ": "
+            << r.violations.front().message;
+        if (mode != HardeningMode::Original)
+            EXPECT_GT(r.counts.duplicated, 0u);
+    }
+}
+
+TEST(ProtectionAudit, CountsPartitionOriginals)
+{
+    HardeningReport rep;
+    auto mod = hardened("g721enc", HardeningMode::DupValChks, &rep);
+    AuditOptions opts;
+    opts.allowUncheckedCuts = rep.uncheckedCutSites;
+    AuditResult r = auditModule(*mod, opts);
+    const ProtectionCounts &c = r.counts;
+    // duplicated/checkProtected overlap in bothProtected; the three
+    // disjoint buckets must cover every original instruction.
+    EXPECT_EQ(c.duplicated + c.checkProtected - c.bothProtected +
+                  c.unprotected,
+              c.originalInstructions);
+}
+
+TEST(ProtectionAudit, DetectsMisWiredShadowPhi)
+{
+    auto mod = hardened("tiff2bw", HardeningMode::DupOnly);
+    // Find a shadow phi with an update edge whose incoming is a
+    // duplicate, and rewire that edge to the original value.
+    bool seeded = false;
+    for (Function *fn : mod->functions()) {
+        for (const auto &bb : *fn) {
+            for (const auto &inst : *bb) {
+                if (inst->opcode() != Opcode::Phi ||
+                    !inst->isDuplicate() || seeded)
+                    continue;
+                for (std::size_t i = 0; i < inst->numOperands(); ++i) {
+                    auto *iv = dynamic_cast<Instruction *>(
+                        inst->incomingValue(i));
+                    if (!iv || !iv->isDuplicate() ||
+                        iv->opcode() == Opcode::Phi)
+                        continue;
+                    // The duplicate sits right behind its original.
+                    Instruction *orig = nullptr;
+                    for (const auto &cand : *iv->parent()) {
+                        if (cand.get() == iv)
+                            break;
+                        if (!cand->isDuplicate() &&
+                            !isCheck(cand->opcode()))
+                            orig = cand.get();
+                    }
+                    if (!orig || orig->opcode() != iv->opcode())
+                        continue;
+                    inst->setOperand(i, orig);
+                    seeded = true;
+                    break;
+                }
+            }
+        }
+    }
+    ASSERT_TRUE(seeded) << "no shadow-phi update edge found to corrupt";
+    AuditResult r = auditModule(*mod);
+    EXPECT_TRUE(hasViolation(r, AuditViolationKind::MisWiredShadowPhi));
+}
+
+TEST(ProtectionAudit, DetectsDroppedOpt2Check)
+{
+    // Opt-2 cut sites carry a forced replacement check: an
+    // un-duplicated chainable instruction feeding a duplicate, whose
+    // value check is what Opt 2 relies on. Scan the workloads for one
+    // and drop its check.
+    bool exercised = false;
+    for (const Workload *w : allWorkloads()) {
+        HardeningReport rep;
+        auto mod = hardened(w->name, HardeningMode::DupValChks, &rep);
+        if (rep.opt2Stops == 0)
+            continue;
+        AuditOptions opts;
+        opts.allowUncheckedCuts = rep.uncheckedCutSites;
+        ASSERT_TRUE(auditModule(*mod, opts).violations.empty());
+
+        Instruction *check_to_drop = nullptr;
+        for (Function *fn : mod->functions()) {
+            for (const auto &bb : *fn) {
+                for (const auto &inst : *bb) {
+                    const Opcode op = inst->opcode();
+                    if (op != Opcode::CheckOne &&
+                        op != Opcode::CheckTwo &&
+                        op != Opcode::CheckRange)
+                        continue;
+                    auto *target =
+                        dynamic_cast<Instruction *>(inst->operand(0));
+                    if (!target || target->isDuplicate() ||
+                        chainDisposition(*target) !=
+                            ChainDisposition::Include)
+                        continue;
+                    for (const Instruction *u : target->users()) {
+                        if (u->isDuplicate()) {
+                            check_to_drop = inst.get();
+                            break;
+                        }
+                    }
+                    if (check_to_drop)
+                        break;
+                }
+                if (check_to_drop)
+                    break;
+            }
+            if (check_to_drop)
+                break;
+        }
+        if (!check_to_drop)
+            continue;
+        check_to_drop->dropAllOperands();
+        check_to_drop->parent()->erase(check_to_drop);
+        AuditResult r = auditModule(*mod, opts);
+        EXPECT_TRUE(
+            hasViolation(r, AuditViolationKind::MissingCutSiteCheck))
+            << w->name;
+        exercised = true;
+        break;
+    }
+    ASSERT_TRUE(exercised)
+        << "no workload exposed a value-checked Opt-2 cut site";
+}
+
+TEST(ProtectionAudit, DetectsNonDominatingCheckOperand)
+{
+    Module m("t");
+    Function *f = m.createFunction("f", Type::i32());
+    Argument *x = f->addArg(Type::i32(), "x");
+    IRBuilder b(m);
+    BasicBlock *entry = f->addBlock("entry");
+    BasicBlock *a = f->addBlock("a");
+    BasicBlock *bb = f->addBlock("b");
+    BasicBlock *join = f->addBlock("join");
+
+    b.setInsertPoint(entry);
+    auto *cmp = b.createICmp(Predicate::Slt, x, b.constI32(0), "c");
+    b.createCondBr(cmp, a, bb);
+
+    b.setInsertPoint(a);
+    auto *v = b.createAnd(x, b.constI32(7), "v");
+    b.createBr(join);
+
+    b.setInsertPoint(bb);
+    b.createBr(join);
+
+    b.setInsertPoint(join);
+    // %v does not dominate the join block.
+    b.createCheckRange(v, b.constI32(0), b.constI32(7), 0);
+    b.createRet(b.constI32(0));
+    f->renumber();
+
+    RangeAnalysis ra(*f);
+    AuditResult r = auditProtection(*f, ra);
+    EXPECT_TRUE(
+        hasViolation(r, AuditViolationKind::NonDominatingCheckOperand));
+}
+
+TEST(ProtectionAudit, DetectsNonIsomorphicDuplicate)
+{
+    Module m("t");
+    Function *f = m.createFunction("f", Type::i32());
+    Argument *x = f->addArg(Type::i32(), "x");
+    IRBuilder b(m);
+    b.setInsertPoint(f->addBlock("entry"));
+    auto *orig = b.createAdd(x, b.constI32(1), "o");
+    auto *dup = b.createSub(x, b.constI32(1), "d"); // wrong opcode
+    dup->setDuplicate(true);
+    b.createRet(orig);
+    f->renumber();
+
+    RangeAnalysis ra(*f);
+    AuditResult r = auditProtection(*f, ra);
+    EXPECT_TRUE(
+        hasViolation(r, AuditViolationKind::NonIsomorphicDuplicate));
+}
+
+TEST(ProtectionAudit, DetectsDuplicateCheckId)
+{
+    Module m("t");
+    Function *f = m.createFunction("f", Type::i32());
+    Argument *x = f->addArg(Type::i32(), "x");
+    IRBuilder b(m);
+    b.setInsertPoint(f->addBlock("entry"));
+    auto *v = b.createAnd(x, b.constI32(3), "v");
+    b.createCheckRange(v, b.constI32(0), b.constI32(3), 7);
+    b.createCheckOne(v, b.constI32(0), 7); // id 7 reused
+    b.createRet(v);
+    f->renumber();
+
+    RangeAnalysis ra(*f);
+    AuditResult r = auditProtection(*f, ra);
+    EXPECT_TRUE(hasViolation(r, AuditViolationKind::DuplicateCheckId));
+}
+
+TEST(ProtectionAudit, ClassifiesVacuousAndFpRiskChecks)
+{
+    Module m("t");
+    Function *f = m.createFunction("f", Type::i32());
+    Argument *x = f->addArg(Type::i32(), "x");
+    IRBuilder b(m);
+    b.setInsertPoint(f->addBlock("entry"));
+    // and %x, 15 can only ever produce [0, 15] — even from a corrupted
+    // %x — so a [0, 15] range check is vacuous.
+    auto *v = b.createAnd(x, b.constI32(15), "v");
+    b.createCheckRange(v, b.constI32(0), b.constI32(15), 0);
+    // A tighter bound is a real check; since the static range of %v
+    // ([0, 15]) escapes [0, 7], it is also at false-positive risk.
+    b.createCheckRange(v, b.constI32(0), b.constI32(7), 1);
+    b.createRet(v);
+    f->renumber();
+
+    RangeAnalysis ra(*f);
+    AuditResult r = auditProtection(*f, ra);
+    ASSERT_TRUE(r.violations.empty()) << r.violations.front().message;
+    ASSERT_EQ(r.checks.size(), 2u);
+    const CheckReport &vac = r.checks[0].checkId == 0 ? r.checks[0]
+                                                      : r.checks[1];
+    const CheckReport &real = r.checks[0].checkId == 1 ? r.checks[0]
+                                                       : r.checks[1];
+    EXPECT_TRUE(vac.vacuous);
+    EXPECT_FALSE(vac.fpRisk);
+    EXPECT_FALSE(real.vacuous);
+    EXPECT_TRUE(real.fpRisk);
+    EXPECT_EQ(r.vacuousChecks(), 1u);
+    EXPECT_EQ(r.fpRiskChecks(), 1u);
+}
+
+TEST(ProtectionAudit, FloatChecksAreNeverVacuous)
+{
+    Module m("t");
+    Function *f = m.createFunction("f", Type::f64());
+    Argument *x = f->addArg(Type::f64(), "x");
+    IRBuilder b(m);
+    b.setInsertPoint(f->addBlock("entry"));
+    auto *v = b.createFMul(x, b.constF64(0.5), "v");
+    b.createCheckRange(v, b.constF64(-1e300), b.constF64(1e300), 0);
+    b.createRet(v);
+    f->renumber();
+
+    RangeAnalysis ra(*f);
+    AuditResult r = auditProtection(*f, ra);
+    ASSERT_EQ(r.checks.size(), 1u);
+    EXPECT_FALSE(r.checks[0].isInt);
+    EXPECT_FALSE(r.checks[0].vacuous); // NaN can always slip through
+}
+
+} // namespace

@@ -1,0 +1,239 @@
+/**
+ * @file
+ * Interval value-range analysis tests: constant propagation through
+ * arithmetic transfers, loop widening/narrowing, branch-condition
+ * refinement, the arbitrary-operand transfer used for vacuous-check
+ * detection, and soundness spot checks against interpreter-observed
+ * values on real workload kernels.
+ */
+
+#include <gtest/gtest.h>
+
+#include "analysis/range_analysis.hh"
+#include "common/test_util.hh"
+#include "interp/exec_module.hh"
+#include "ir/irbuilder.hh"
+#include "profile/value_profiler.hh"
+#include "workloads/workload.hh"
+
+using namespace softcheck;
+
+namespace
+{
+
+TEST(IntRange, LatticeBasics)
+{
+    EXPECT_TRUE(IntRange::bottom().isBottom());
+    EXPECT_TRUE(IntRange::point(7).isPoint());
+    EXPECT_EQ(IntRange::full(8).lo, -128);
+    EXPECT_EQ(IntRange::full(8).hi, 127);
+    EXPECT_EQ(IntRange::full(1).lo, -1); // i1 true is sign-extended
+    EXPECT_EQ(IntRange::full(1).hi, 0);
+
+    const IntRange a{0, 10}, b{5, 20};
+    EXPECT_EQ(a.join(b), (IntRange{0, 20}));
+    EXPECT_EQ(a.meet(b), (IntRange{5, 10}));
+    EXPECT_TRUE((IntRange{0, 3}.meet(IntRange{5, 9})).isBottom());
+    EXPECT_TRUE(a.join(IntRange::bottom()) == a);
+    EXPECT_TRUE(a.containsRange(IntRange::bottom()));
+}
+
+TEST(RangeAnalysis, ConstantArithmeticFolds)
+{
+    Module m("t");
+    Function *f = m.createFunction("f", Type::i32());
+    IRBuilder b(m);
+    BasicBlock *bb = f->addBlock("entry");
+    b.setInsertPoint(bb);
+    auto *add = b.createAdd(b.constI32(3), b.constI32(4), "s");
+    auto *mul = b.createMul(add, b.constI32(10), "m");
+    auto *sub = b.createSub(mul, b.constI32(70), "z");
+    b.createRet(sub);
+    f->renumber();
+
+    RangeAnalysis ra(*f);
+    EXPECT_EQ(ra.intRange(add), IntRange::point(7));
+    EXPECT_EQ(ra.intRange(mul), IntRange::point(70));
+    EXPECT_EQ(ra.intRange(sub), IntRange::point(0));
+}
+
+TEST(RangeAnalysis, ArgumentsAreFullDomain)
+{
+    Module m("t");
+    Function *f = m.createFunction("f", Type::i32());
+    Argument *x = f->addArg(Type::i32(), "x");
+    IRBuilder b(m);
+    b.setInsertPoint(f->addBlock("entry"));
+    auto *masked = b.createAnd(x, b.constI32(0xff), "lo");
+    b.createRet(masked);
+    f->renumber();
+
+    RangeAnalysis ra(*f);
+    EXPECT_TRUE(ra.intRange(x).isFull(32));
+    // and with a non-negative mask bounds the result.
+    EXPECT_TRUE((IntRange{0, 255}).containsRange(ra.intRange(masked)));
+}
+
+TEST(RangeAnalysis, LoopWideningTerminatesAndNarrows)
+{
+    // for (i = 0; i < 10; ++i);  return i;
+    Module m("t");
+    Function *f = m.createFunction("f", Type::i32());
+    IRBuilder b(m);
+    BasicBlock *entry = f->addBlock("entry");
+    BasicBlock *head = f->addBlock("head");
+    BasicBlock *body = f->addBlock("body");
+    BasicBlock *exit = f->addBlock("exit");
+
+    b.setInsertPoint(entry);
+    b.createBr(head);
+
+    b.setInsertPoint(head);
+    auto *i = b.createPhi(Type::i32(), "i");
+    auto *cmp = b.createICmp(Predicate::Slt, i, b.constI32(10), "c");
+    b.createCondBr(cmp, body, exit);
+
+    b.setInsertPoint(body);
+    auto *next = b.createAdd(i, b.constI32(1), "inc");
+    b.createBr(head);
+
+    i->addIncoming(b.constI32(0), entry);
+    i->addIncoming(next, body);
+
+    b.setInsertPoint(exit);
+    b.createRet(i);
+    f->renumber();
+
+    RangeAnalysis ra(*f);
+    // Termination alone is part of the test; precision: narrowing must
+    // recover the loop bounds from the widened header phi.
+    EXPECT_TRUE((IntRange{0, 10}).containsRange(ra.intRange(i)));
+    EXPECT_TRUE(ra.intRange(i).contains(0));
+    EXPECT_TRUE(ra.intRange(i).contains(10));
+    // In the body the branch guard caps i at 9.
+    const IntRange in_body = ra.intRangeAt(i, body);
+    EXPECT_TRUE((IntRange{0, 9}).containsRange(in_body));
+    EXPECT_TRUE((IntRange{1, 10}).containsRange(ra.intRange(next)));
+}
+
+TEST(RangeAnalysis, BranchRefinementNarrowsBothEdges)
+{
+    Module m("t");
+    Function *f = m.createFunction("f", Type::i32());
+    Argument *x = f->addArg(Type::i32(), "x");
+    IRBuilder b(m);
+    BasicBlock *entry = f->addBlock("entry");
+    BasicBlock *neg = f->addBlock("neg");
+    BasicBlock *nonneg = f->addBlock("nonneg");
+    b.setInsertPoint(entry);
+    auto *cmp = b.createICmp(Predicate::Slt, x, b.constI32(0), "c");
+    b.createCondBr(cmp, neg, nonneg);
+    b.setInsertPoint(neg);
+    b.createRet(b.constI32(-1));
+    b.setInsertPoint(nonneg);
+    b.createRet(b.constI32(1));
+    f->renumber();
+
+    RangeAnalysis ra(*f);
+    EXPECT_TRUE(ra.intRange(x).isFull(32));
+    EXPECT_EQ(ra.intRangeAt(x, neg).hi, -1);
+    EXPECT_EQ(ra.intRangeAt(x, nonneg).lo, 0);
+}
+
+TEST(RangeAnalysis, ArbitraryOperandTransferKeepsImmediates)
+{
+    Module m("t");
+    Function *f = m.createFunction("f", Type::i32());
+    Argument *x = f->addArg(Type::i32(), "x");
+    IRBuilder b(m);
+    b.setInsertPoint(f->addBlock("entry"));
+    auto *masked = b.createAnd(x, b.constI32(15), "m");
+    auto *rem = b.createURem(x, b.constI32(8), "r");
+    auto *wide = b.createAdd(x, b.constI32(1), "w");
+    b.createRet(masked);
+    f->renumber();
+
+    // A corrupted register still can't escape an immediate mask...
+    EXPECT_TRUE((IntRange{0, 15})
+                    .containsRange(intTransferArbitraryOperands(*masked)));
+    EXPECT_TRUE((IntRange{0, 7})
+                    .containsRange(intTransferArbitraryOperands(*rem)));
+    // ...but addition wraps, so the result spans the whole domain.
+    EXPECT_TRUE(intTransferArbitraryOperands(*wide).isFull(32));
+    (void)rem;
+}
+
+TEST(RangeAnalysis, TruncAndExtTransfers)
+{
+    Module m("t");
+    Function *f = m.createFunction("f", Type::i32());
+    IRBuilder b(m);
+    b.setInsertPoint(f->addBlock("entry"));
+    auto *c = b.constI32(300);
+    auto *t8 = b.createCast(Opcode::Trunc, c, Type::i8(), "t");
+    auto *z = b.createCast(Opcode::ZExt, t8, Type::i32(), "z");
+    auto *s = b.createCast(Opcode::SExt, t8, Type::i32(), "s");
+    b.createRet(z);
+    f->renumber();
+
+    RangeAnalysis ra(*f);
+    // 300 & 0xff = 44 (fits in i8 as +44).
+    EXPECT_EQ(ra.intRange(t8), IntRange::point(44));
+    EXPECT_EQ(ra.intRange(z), IntRange::point(44));
+    EXPECT_EQ(ra.intRange(s), IntRange::point(44));
+}
+
+/**
+ * Soundness spot check on real kernels: every value the interpreter
+ * actually produced at a profiling site must lie within the static
+ * range computed for that instruction.
+ */
+class RangeSoundness : public ::testing::TestWithParam<const char *>
+{};
+
+TEST_P(RangeSoundness, ObservedValuesWithinStaticRange)
+{
+    const Workload &w = getWorkload(GetParam());
+    auto mod = compileMiniLang(w.source, w.name);
+    assignProfileSites(*mod);
+    ExecModule em(*mod);
+    auto run = prepareRun(w.makeInput(true));
+    ValueProfiler profiler(em.numProfileSites(), 5);
+    ExecOptions opts;
+    opts.profiler = &profiler;
+    Interpreter interp(em, *run.mem);
+    auto r = interp.run(em.functionIndex(w.entry), run.args, opts);
+    ASSERT_TRUE(r.ok());
+
+    unsigned sites_checked = 0;
+    for (Function *fn : mod->functions()) {
+        RangeAnalysis ra(*fn);
+        for (const auto &bb : *fn) {
+            for (const auto &inst : *bb) {
+                if (inst->profileId() < 0 || !inst->type().isInteger())
+                    continue;
+                const OnlineHistogram &h = profiler.site(
+                    static_cast<unsigned>(inst->profileId()));
+                if (h.totalCount() == 0)
+                    continue; // site never executed
+                const IntRange range = ra.intRange(inst.get());
+                EXPECT_TRUE(range.contains(
+                    static_cast<int64_t>(h.minSeen())))
+                    << w.name << " %" << inst->name() << " observed "
+                    << h.minSeen() << " outside " << range.str();
+                EXPECT_TRUE(range.contains(
+                    static_cast<int64_t>(h.maxSeen())))
+                    << w.name << " %" << inst->name() << " observed "
+                    << h.maxSeen() << " outside " << range.str();
+                ++sites_checked;
+            }
+        }
+    }
+    EXPECT_GT(sites_checked, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Workloads, RangeSoundness,
+                         ::testing::Values("tiff2bw", "g721enc",
+                                           "kmeans", "jpegdec"));
+
+} // namespace

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Vacuous-check elimination acceptance test: eliding checks the range
+ * analysis proves can never fire must leave every campaign outcome
+ * bit-identical — same trial classifications, same golden dynamic
+ * instruction count and cycles, same fault-site index space — while
+ * strictly reducing the number of check comparisons actually evaluated.
+ *
+ * The elision keeps the check instructions in place (fetched and
+ * costed) and only skips the comparison, so the two suites below differ
+ * in nothing but goldenCheckEvals.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/test_util.hh"
+#include "fault/suite.hh"
+
+using namespace softcheck;
+
+namespace
+{
+
+TEST(VacuousElision, SuiteOutcomesBitIdenticalWithFewerCheckEvals)
+{
+    SuiteConfig cfg;
+    // The four workloads whose hardened modules carry a provably
+    // vacuous check (masked table indices), plus one with none as a
+    // control.
+    cfg.workloads = {"g721enc", "g721dec", "mp3enc", "mp3dec",
+                     "tiff2bw"};
+    cfg.modes = {HardeningMode::DupValChks};
+    cfg.base.trials = 40;
+    cfg.base.threads = 1;
+
+    SuiteConfig elided_cfg = cfg;
+    elided_cfg.base.elideVacuousChecks = true;
+
+    const SuiteResult plain = runCampaignSuite(cfg);
+    const SuiteResult elided = runCampaignSuite(elided_cfg);
+    ASSERT_EQ(plain.cells.size(), elided.cells.size());
+
+    unsigned workloads_with_vacuous = 0;
+    for (std::size_t wi = 0; wi < cfg.workloads.size(); ++wi) {
+        const CampaignResult &a = plain.cell(wi, 0);
+        const CampaignResult &b = elided.cell(wi, 0);
+        SCOPED_TRACE(cfg.workloads[wi]);
+
+        // Bit-identical campaign outcomes.
+        EXPECT_EQ(a.counts, b.counts);
+        EXPECT_EQ(a.usdcLargeChange, b.usdcLargeChange);
+        EXPECT_EQ(a.usdcSmallChange, b.usdcSmallChange);
+        EXPECT_EQ(a.goldenDynInstrs, b.goldenDynInstrs);
+        EXPECT_EQ(a.goldenCycles, b.goldenCycles);
+        EXPECT_EQ(a.baselineCycles, b.baselineCycles);
+        EXPECT_EQ(a.calibrationCheckFails, b.calibrationCheckFails);
+        EXPECT_EQ(a.totalCheckCount, b.totalCheckCount);
+
+        // Same static check population; elision is metadata only.
+        EXPECT_EQ(a.report.checkOne + a.report.checkTwo +
+                      a.report.checkRange,
+                  b.report.checkOne + b.report.checkTwo +
+                      b.report.checkRange);
+        EXPECT_EQ(a.report.vacuousChecks, b.report.vacuousChecks);
+        EXPECT_EQ(a.report.elidedChecks, 0u);
+        EXPECT_EQ(b.report.elidedChecks, b.report.vacuousChecks);
+
+        if (b.report.elidedChecks > 0) {
+            ++workloads_with_vacuous;
+            EXPECT_LT(b.goldenCheckEvals, a.goldenCheckEvals)
+                << "elided checks must reduce dynamic comparisons";
+        } else {
+            EXPECT_EQ(b.goldenCheckEvals, a.goldenCheckEvals);
+        }
+    }
+    // The acceptance bar: a real dynamic reduction on >= 3 workloads.
+    EXPECT_GE(workloads_with_vacuous, 3u);
+}
+
+} // namespace

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * IR verifier tests for the CFG-consistency rules: a phi must carry
+ * exactly one incoming per CFG predecessor (count and uniqueness, not
+ * just set equality), and pred/succ edge lists must agree.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/test_util.hh"
+#include "ir/irbuilder.hh"
+#include "ir/parser.hh"
+#include "ir/printer.hh"
+#include "ir/verifier.hh"
+
+using namespace softcheck;
+
+namespace
+{
+
+bool
+mentions(const std::vector<std::string> &probs, const char *needle)
+{
+    for (const std::string &p : probs)
+        if (p.find(needle) != std::string::npos)
+            return true;
+    return false;
+}
+
+/** entry --cond--> {a, b} --> join, with a phi at the join. */
+struct DiamondFixture : ::testing::Test
+{
+    Module m{"t"};
+    Function *f = nullptr;
+    BasicBlock *entry = nullptr, *a = nullptr, *b = nullptr,
+               *join = nullptr;
+    Instruction *phi = nullptr;
+
+    void
+    SetUp() override
+    {
+        f = m.createFunction("f", Type::i32());
+        Argument *x = f->addArg(Type::i32(), "x");
+        IRBuilder ib(m);
+        entry = f->addBlock("entry");
+        a = f->addBlock("a");
+        b = f->addBlock("b");
+        join = f->addBlock("join");
+        ib.setInsertPoint(entry);
+        auto *cmp =
+            ib.createICmp(Predicate::Slt, x, ib.constI32(0), "c");
+        ib.createCondBr(cmp, a, b);
+        ib.setInsertPoint(a);
+        ib.createBr(join);
+        ib.setInsertPoint(b);
+        ib.createBr(join);
+        ib.setInsertPoint(join);
+        phi = ib.createPhi(Type::i32(), "p");
+        phi->addIncoming(ib.constI32(1), a);
+        phi->addIncoming(ib.constI32(2), b);
+        ib.createRet(phi);
+        f->renumber();
+    }
+};
+
+TEST_F(DiamondFixture, CleanDiamondVerifies)
+{
+    EXPECT_TRUE(verifyFunction(*f).empty());
+}
+
+TEST_F(DiamondFixture, PhiMissingIncomingIsFlagged)
+{
+    phi->removeIncoming(1); // drop the edge from b
+    auto probs = verifyFunction(*f);
+    EXPECT_TRUE(mentions(probs, "missing incoming"))
+        << "problems: " << (probs.empty() ? "(none)" : probs.front());
+}
+
+TEST_F(DiamondFixture, PhiDuplicateIncomingIsFlagged)
+{
+    // Replace the edge from b with a second edge from a: the incoming
+    // *set* still matches the predecessor set, which the old
+    // set-equality check could not distinguish.
+    phi->removeIncoming(1);
+    phi->addIncoming(m.getConstInt(Type::i32(), 3), a);
+    auto probs = verifyFunction(*f);
+    EXPECT_TRUE(mentions(probs, "two incomings"));
+    EXPECT_TRUE(mentions(probs, "missing incoming"));
+}
+
+TEST_F(DiamondFixture, PhiIncomingFromNonPredecessorIsFlagged)
+{
+    phi->addIncoming(m.getConstInt(Type::i32(), 9), entry);
+    auto probs = verifyFunction(*f);
+    EXPECT_TRUE(mentions(probs, "non-predecessor"));
+}
+
+TEST_F(DiamondFixture, ElidedFlagRoundTripsThroughText)
+{
+    // Mark a check elided, print, reparse: the flag must survive.
+    IRBuilder ib(m);
+    ib.setInsertBefore(join->terminator());
+    auto *chk =
+        ib.createCheckRange(phi, ib.constI32(0), ib.constI32(10), 0);
+    chk->setElided(true);
+    f->renumber();
+    ASSERT_TRUE(verifyFunction(*f).empty());
+
+    const std::string text = moduleToString(m);
+    EXPECT_NE(text.find("!elided"), std::string::npos);
+    auto reparsed = parseIR(text, "reparsed");
+    bool found = false;
+    for (Function *fn : reparsed->functions())
+        for (const auto &bb2 : *fn)
+            for (const auto &inst : *bb2)
+                if (inst->opcode() == Opcode::CheckRange) {
+                    EXPECT_TRUE(inst->isElided());
+                    found = true;
+                }
+    EXPECT_TRUE(found);
+}
+
+} // namespace

@@ -1,0 +1,343 @@
+/**
+ * @file
+ * softcheck-lint — static linter for SoftCheck-hardened programs.
+ *
+ * Compiles a MiniLang kernel (a registered benchmark or a source file)
+ * or parses a textual IR module, optionally applies a hardening mode,
+ * and then runs the full static tool stack over the result:
+ *
+ *   1. structural IR verification (ir/verifier),
+ *   2. SSA dominance verification (analysis/dominance_verify),
+ *   3. the protection audit (analysis/protection_audit): duplicate
+ *      isomorphism, shadow-phi wiring, cut-site checks, check-operand
+ *      dominance, check-id uniqueness — plus the range-based check
+ *      classification (vacuous / false-positive risk),
+ *   4. optionally (--ranges) a per-value static range report.
+ *
+ * Exits 0 when every linted configuration is clean, 1 when any
+ * violation was found, 2 on usage or compilation errors.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/dominance_verify.hh"
+#include "analysis/protection_audit.hh"
+#include "analysis/range_analysis.hh"
+#include "fault/campaign_internal.hh"
+#include "frontend/compile.hh"
+#include "ir/parser.hh"
+#include "ir/printer.hh"
+#include "ir/verifier.hh"
+#include "support/error.hh"
+#include "support/text.hh"
+#include "workloads/workload.hh"
+
+using namespace softcheck;
+
+namespace
+{
+
+struct LintOptions
+{
+    std::vector<HardeningMode> modes;
+    bool allWorkloads = false;
+    bool elideVacuous = false;
+    bool printRanges = false;
+    bool verbose = false;
+    bool enableOpt1 = true;
+    bool enableOpt2 = true;
+    std::string workload;
+    std::string file;
+};
+
+int
+usage(const char *argv0)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s [options] (--workload NAME | --all | FILE)\n"
+        "\n"
+        "Lint a benchmark kernel, a MiniLang source file (.ml), or a\n"
+        "textual IR module (any other extension; linted as-is).\n"
+        "\n"
+        "options:\n"
+        "  --mode M         original | duponly | dupvalchks | fulldup\n"
+        "                   | all (default: all)\n"
+        "  --no-opt1        disable deepest-point value checks\n"
+        "  --no-opt2        disable duplicate-chain cutting\n"
+        "  --elide-vacuous  elide audit-proven vacuous checks\n"
+        "  --ranges         print the static value-range report\n"
+        "  -v, --verbose    per-check classification detail\n",
+        argv0);
+    return 2;
+}
+
+bool
+parseMode(const std::string &s, std::vector<HardeningMode> &out)
+{
+    if (s == "original" || s == "baseline") {
+        out = {HardeningMode::Original};
+    } else if (s == "duponly" || s == "dup") {
+        out = {HardeningMode::DupOnly};
+    } else if (s == "dupvalchks" || s == "softcheck") {
+        out = {HardeningMode::DupValChks};
+    } else if (s == "fulldup") {
+        out = {HardeningMode::FullDup};
+    } else if (s == "all") {
+        out = {HardeningMode::Original, HardeningMode::DupOnly,
+               HardeningMode::DupValChks, HardeningMode::FullDup};
+    } else {
+        return false;
+    }
+    return true;
+}
+
+/** One configuration's lint outcome. */
+struct LintOutcome
+{
+    unsigned problems = 0; //!< verifier + dominance + audit violations
+    AuditResult audit;
+    HardeningReport report;
+};
+
+void
+printRangeReport(const Function &fn, const RangeAnalysis &ra)
+{
+    std::printf("  ranges of @%s:\n", fn.name().c_str());
+    for (const auto &bb : fn) {
+        for (const auto &inst : *bb) {
+            if (!inst->hasResult())
+                continue;
+            std::string r = inst->type().isInteger()
+                                ? ra.intRange(inst.get()).str()
+                                : inst->type().isFloat()
+                                      ? ra.floatRange(inst.get()).str()
+                                      : std::string("ptr");
+            std::printf("    %%%-18s %s\n",
+                        inst->name().empty()
+                            ? strformat("t%u", inst->id()).c_str()
+                            : inst->name().c_str(),
+                        r.c_str());
+        }
+    }
+}
+
+/** Run the static tool stack over an already-hardened module. */
+LintOutcome
+lintModule(Module &m, const AuditOptions &audit_opts,
+           const LintOptions &opts, const char *what)
+{
+    LintOutcome out;
+
+    for (const std::string &p : verifyModule(m)) {
+        std::printf("  VERIFIER %s\n", p.c_str());
+        ++out.problems;
+    }
+    for (Function *fn : m.functions()) {
+        for (const std::string &p : verifyDominance(*fn)) {
+            std::printf("  DOMINANCE [%s] %s\n", fn->name().c_str(),
+                        p.c_str());
+            ++out.problems;
+        }
+    }
+
+    out.audit = auditModule(m, audit_opts);
+    for (const AuditViolation &v : out.audit.violations) {
+        std::printf("  AUDIT [%s] %s\n",
+                    auditViolationKindName(v.kind), v.message.c_str());
+        ++out.problems;
+    }
+
+    if (opts.verbose) {
+        for (const CheckReport &cr : out.audit.checks) {
+            if (!cr.vacuous && !cr.fpRisk)
+                continue;
+            std::printf("  check #%d:%s%s flow=%s arbitrary=%s\n",
+                        cr.checkId, cr.vacuous ? " vacuous" : "",
+                        cr.fpRisk ? " fp-risk" : "",
+                        cr.flowRange.str().c_str(),
+                        cr.arbitraryRange.str().c_str());
+        }
+    }
+    if (opts.printRanges) {
+        for (Function *fn : m.functions()) {
+            RangeAnalysis ra(*fn);
+            printRangeReport(*fn, ra);
+        }
+    }
+
+    const ProtectionCounts &pc = out.audit.counts;
+    std::printf("%-32s %-5s %s checks=%zu vacuous=%u fp_risk=%u\n",
+                what, out.problems ? "FAIL" : "ok", pc.str().c_str(),
+                out.audit.checks.size(), out.audit.vacuousChecks(),
+                out.audit.fpRiskChecks());
+    return out;
+}
+
+/** Lint one registered benchmark under one hardening mode. */
+unsigned
+lintWorkload(const std::string &name, HardeningMode mode,
+             const LintOptions &opts)
+{
+    const Workload &w = getWorkload(name);
+    auto mod = compileMiniLang(w.source, w.name);
+    assignProfileSites(*mod);
+
+    ProfileData profile;
+    const ProfileData *pp = nullptr;
+    if (mode == HardeningMode::DupValChks) {
+        CampaignConfig cfg;
+        cfg.workload = name;
+        profile = campaign_detail::collectProfile(w, cfg, true);
+        pp = &profile;
+    }
+
+    HardeningOptions hopts;
+    hopts.mode = mode;
+    hopts.enableOpt1 = opts.enableOpt1;
+    hopts.enableOpt2 = opts.enableOpt2;
+    hopts.elideVacuousChecks = opts.elideVacuous;
+    HardeningReport report = hardenModule(*mod, hopts, pp);
+
+    AuditOptions aopts;
+    aopts.allowUncheckedCuts = report.uncheckedCutSites;
+    std::string what =
+        strformat("%s[%s]", name.c_str(), hardeningModeName(mode));
+    LintOutcome out = lintModule(*mod, aopts, opts, what.c_str());
+    if (opts.verbose)
+        std::printf("  %s\n", report.str().c_str());
+    return out.problems;
+}
+
+unsigned
+lintFile(const std::string &path, HardeningMode mode,
+         const LintOptions &opts)
+{
+    std::ifstream in(path);
+    if (!in) {
+        std::fprintf(stderr, "softcheck-lint: cannot open %s\n",
+                     path.c_str());
+        return 1;
+    }
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    const std::string text = ss.str();
+
+    const bool minilang = path.size() > 3 &&
+                          path.compare(path.size() - 3, 3, ".ml") == 0;
+    std::unique_ptr<Module> mod;
+    AuditOptions aopts;
+    if (minilang) {
+        mod = compileMiniLang(text, path);
+        if (mode == HardeningMode::DupValChks)
+            scFatal("mode dupvalchks needs a value profile; lint a "
+                    "registered benchmark (--workload) instead");
+        HardeningOptions hopts;
+        hopts.mode = mode;
+        hopts.enableOpt1 = opts.enableOpt1;
+        hopts.enableOpt2 = opts.enableOpt2;
+        hopts.elideVacuousChecks = opts.elideVacuous;
+        HardeningReport report = hardenModule(*mod, hopts, nullptr);
+        aopts.allowUncheckedCuts = report.uncheckedCutSites;
+    } else {
+        // Textual IR: lint exactly what is on disk (it may already be
+        // hardened; parseIR verifies and renumbers).
+        mod = parseIR(text, path);
+    }
+    return lintModule(*mod, aopts, opts, path.c_str()).problems;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    LintOptions opts;
+    parseMode("all", opts.modes);
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--mode") {
+            if (++i >= argc || !parseMode(argv[i], opts.modes))
+                return usage(argv[0]);
+        } else if (arg == "--workload") {
+            if (++i >= argc)
+                return usage(argv[0]);
+            opts.workload = argv[i];
+        } else if (arg == "--all") {
+            opts.allWorkloads = true;
+        } else if (arg == "--no-opt1") {
+            opts.enableOpt1 = false;
+        } else if (arg == "--no-opt2") {
+            opts.enableOpt2 = false;
+        } else if (arg == "--elide-vacuous") {
+            opts.elideVacuous = true;
+        } else if (arg == "--ranges") {
+            opts.printRanges = true;
+        } else if (arg == "-v" || arg == "--verbose") {
+            opts.verbose = true;
+        } else if (!arg.empty() && arg[0] == '-') {
+            return usage(argv[0]);
+        } else if (opts.file.empty()) {
+            opts.file = arg;
+        } else {
+            return usage(argv[0]);
+        }
+    }
+
+    std::vector<std::string> workloads;
+    if (opts.allWorkloads) {
+        for (const Workload *w : allWorkloads())
+            workloads.push_back(w->name);
+    } else if (!opts.workload.empty()) {
+        workloads.push_back(opts.workload);
+    } else if (opts.file.empty()) {
+        return usage(argv[0]);
+    }
+
+    unsigned problems = 0;
+    try {
+        if (!opts.file.empty()) {
+            const bool minilang =
+                opts.file.size() > 3 &&
+                opts.file.compare(opts.file.size() - 3, 3, ".ml") == 0;
+            if (!minilang) {
+                // Textual IR is linted as-is; modes don't apply.
+                problems +=
+                    lintFile(opts.file, HardeningMode::Original, opts);
+            } else {
+                for (HardeningMode mode : opts.modes) {
+                    if (mode == HardeningMode::DupValChks &&
+                        opts.modes.size() > 1) {
+                        std::fprintf(
+                            stderr,
+                            "softcheck-lint: skipping dupvalchks for "
+                            "%s (needs a value profile)\n",
+                            opts.file.c_str());
+                        continue;
+                    }
+                    problems += lintFile(opts.file, mode, opts);
+                }
+            }
+        } else {
+            for (const std::string &name : workloads)
+                for (HardeningMode mode : opts.modes)
+                    problems += lintWorkload(name, mode, opts);
+        }
+    } catch (const FatalError &e) {
+        std::fprintf(stderr, "softcheck-lint: %s\n", e.what());
+        return 2;
+    }
+
+    if (problems) {
+        std::fprintf(stderr, "softcheck-lint: %u violation%s\n",
+                     problems, problems == 1 ? "" : "s");
+        return 1;
+    }
+    return 0;
+}
