@@ -16,6 +16,8 @@
  *   --checkpoints K[,K...]     K values (default: 0,8,32,128,256; the
  *                              first is the speedup baseline)
  *   --threads N                worker threads (default: 0 = hardware)
+ *   --suite-threads N[,N...]   scheduler widths for the suite-scaling
+ *                              section (default: 1,2,4,8)
  *
  * A second section sweeps a workload x hardening-mode x seed grid
  * through runCampaignSuite and through a per-config runCampaign loop,
@@ -28,6 +30,13 @@
  * single-loop wall plus one extra goldenSeconds per cell and reported
  * as the legacy reference.
  *
+ * A third section sweeps the suite's work-stealing scheduler width
+ * (--suite-threads) over the same grid, asserting bit-identical cell
+ * outcomes at every width and recording wall seconds, task CPU
+ * seconds, and the speedup versus the one-thread schedule — the
+ * whole-suite scaling headline. hostHardwareThreads is recorded next
+ * to it so a flat curve on a small machine reads as what it is.
+ *
  * Writes machine-readable results to BENCH_campaign.json (override the
  * path with SOFTCHECK_BENCH_JSON) so the perf trajectory is trackable
  * across PRs. Outcome counts are asserted identical across K as a
@@ -38,6 +47,7 @@
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <thread>
 
 #include "bench_util.hh"
 #include "support/error.hh"
@@ -75,6 +85,7 @@ struct BenchOptions
     unsigned trials = 0;                //!< 0 = env/default
     std::vector<unsigned> ks = {0, 8, 32, 128, 256};
     unsigned threads = 0;
+    std::vector<unsigned> suiteThreads = {1, 2, 4, 8};
 };
 
 std::vector<std::string>
@@ -101,7 +112,8 @@ usage(const char *argv0)
 {
     std::fprintf(stderr,
                  "usage: %s [--workload NAME[,NAME...]] [--trials N] "
-                 "[--checkpoints K[,K...]] [--threads N]\n",
+                 "[--checkpoints K[,K...]] [--threads N] "
+                 "[--suite-threads N[,N...]]\n",
                  argv0);
     std::exit(2);
 }
@@ -134,6 +146,16 @@ parseArgs(int argc, char **argv)
         } else if (!std::strcmp(argv[i], "--threads")) {
             opt.threads =
                 static_cast<unsigned>(std::strtoul(value(), nullptr, 10));
+        } else if (!std::strcmp(argv[i], "--suite-threads")) {
+            opt.suiteThreads.clear();
+            for (const std::string &t : splitList(value()))
+                opt.suiteThreads.push_back(static_cast<unsigned>(
+                    std::strtoul(t.c_str(), nullptr, 10)));
+            if (opt.suiteThreads.empty() ||
+                std::find(opt.suiteThreads.begin(),
+                          opt.suiteThreads.end(),
+                          0u) != opt.suiteThreads.end())
+                usage(argv[0]);
         } else {
             usage(argv[0]);
         }
@@ -352,6 +374,51 @@ main(int argc, char **argv)
                         : 0.0);
     }
 
+    // ---- suite scaling: scheduler width sweep over the same grid ------
+    const unsigned host_threads =
+        std::max(1u, std::thread::hardware_concurrency());
+    benchutil::printHeader(
+        "Suite scaling: work-stealing scheduler width on the same "
+        "grid",
+        strformat("wall seconds end to end; cpu = summed task "
+                  "seconds; host has %u hardware thread%s",
+                  host_threads, host_threads == 1 ? "" : "s"));
+
+    struct ScaleRow
+    {
+        unsigned threads = 0;
+        double wallSeconds = 0;
+        double cpuSeconds = 0;
+        double speedupVs1 = 1.0;
+    };
+    std::vector<ScaleRow> scale_rows;
+    std::printf("  %8s %10s %10s %9s %9s\n", "threads", "wall-sec",
+                "cpu-sec", "speedup", "cpu/wall");
+    double scale_base_wall = 0;
+    for (const unsigned t : opt.suiteThreads) {
+        SuiteConfig cfg = sweep;
+        cfg.base.threads = t;
+        const SuiteResult r = runCampaignSuite(cfg);
+        scAssert(r.cells.size() == suite.cells.size(),
+                 "scaling sweep grid size changed");
+        for (std::size_t i = 0; i < r.cells.size(); ++i)
+            scAssert(r.cells[i].counts == suite.cells[i].counts,
+                     "suite outcomes diverged across scheduler widths");
+        ScaleRow row;
+        row.threads = t;
+        row.wallSeconds = r.wallSeconds;
+        row.cpuSeconds = r.cpuSeconds;
+        if (scale_base_wall == 0)
+            scale_base_wall = r.wallSeconds;
+        row.speedupVs1 = scale_base_wall / r.wallSeconds;
+        scale_rows.push_back(row);
+        std::printf("  %8u %10.3f %10.3f %8.2fx %9.2f\n", row.threads,
+                    row.wallSeconds, row.cpuSeconds, row.speedupVs1,
+                    row.wallSeconds > 0
+                        ? row.cpuSeconds / row.wallSeconds
+                        : 0.0);
+    }
+
     const char *json_path = std::getenv("SOFTCHECK_BENCH_JSON");
     if (!json_path)
         json_path = "BENCH_campaign.json";
@@ -394,7 +461,8 @@ main(int argc, char **argv)
         "  \"suite\": {\n"
         "    \"workloads\": %zu, \"modes\": %zu, \"seeds\": %zu, "
         "\"trialsPerCell\": %u,\n"
-        "    \"suiteWallSeconds\": %.6f, \"singleWallSeconds\": %.6f, "
+        "    \"suiteWallSeconds\": %.6f, \"suiteCpuSeconds\": %.6f, "
+        "\"singleWallSeconds\": %.6f, "
         "\"legacySingleSeconds\": %.6f,\n"
         "    \"speedupVsSingle\": %.3f, \"speedupVsLegacy\": %.3f,\n"
         "    \"compileSeconds\": %.6f, \"profileSeconds\": %.6f, "
@@ -403,7 +471,7 @@ main(int argc, char **argv)
         "    \"perWorkloadSnapshots\": [\n",
         sweep_workloads.size(), sweep_modes.size(),
         suite.seeds.size(), sweep_trials,
-        suite_seconds, single_seconds, legacy_seconds,
+        suite_seconds, suite.cpuSeconds, single_seconds, legacy_seconds,
         single_seconds / suite_seconds, legacy_seconds / suite_seconds,
         suite.phase.compileSeconds, suite.phase.profileSeconds,
         suite.phase.baselineSeconds, suite.phase.goldenSeconds,
@@ -422,6 +490,25 @@ main(int argc, char **argv)
             static_cast<unsigned long long>(ws.suiteSnapshotBytes),
             static_cast<unsigned long long>(ws.cellSnapshotBytesSum),
             i + 1 < suite.workloadStats.size() ? "," : "");
+    }
+    std::fprintf(f, "    ]\n  },\n");
+
+    std::fprintf(f,
+                 "  \"suiteScaling\": {\n"
+                 "    \"hostHardwareThreads\": %u,\n"
+                 "    \"grid\": \"%zux%zux%zu\", \"trialsPerCell\": "
+                 "%u,\n"
+                 "    \"rows\": [\n",
+                 host_threads, sweep_workloads.size(),
+                 sweep_modes.size(), suite.seeds.size(), sweep_trials);
+    for (std::size_t i = 0; i < scale_rows.size(); ++i) {
+        const ScaleRow &r = scale_rows[i];
+        std::fprintf(f,
+                     "      {\"threads\": %u, \"wallSeconds\": %.6f, "
+                     "\"cpuSeconds\": %.6f, \"speedupVs1\": %.3f}%s\n",
+                     r.threads, r.wallSeconds, r.cpuSeconds,
+                     r.speedupVs1,
+                     i + 1 < scale_rows.size() ? "," : "");
     }
     std::fprintf(f, "    ]\n  }\n}\n");
     std::fclose(f);

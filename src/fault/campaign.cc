@@ -303,7 +303,17 @@ characterizeCell(const CampaignConfig &config,
     cell.disabled.assign(num_checks, 0);
     {
         const Stopwatch sw;
-        PreparedRun run = clonePreparedRun(*pristine);
+        PreparedRun run;
+        if (shared) {
+            // COW-forking rewrites the source image's dirty bitmaps at
+            // the share point; cells of one workload characterize
+            // concurrently on the suite pool, so forks of the shared
+            // pristine image are serialized.
+            std::lock_guard lock(shared->pristineMu);
+            run = clonePreparedRun(*pristine);
+        } else {
+            run = clonePreparedRun(*pristine);
+        }
         std::vector<uint64_t> fail_counts(num_checks, 0);
         ExecOptions opts;
         opts.cost = config.cost;
@@ -344,8 +354,10 @@ characterizeCell(const CampaignConfig &config,
         }
         // Suite-wide accounting: pages already contributed by another
         // cell of this workload (via the shared pristine image) are
-        // counted once for the whole suite.
+        // counted once for the whole suite. Cells account concurrently;
+        // the union total is order-independent.
         if (suite_pages) {
+            std::lock_guard lock(suite_pages->mu);
             for (const Snapshot &s : cell.snapshots)
                 suite_pages->bytes +=
                     s.residentPageBytes(suite_pages->seen);
@@ -355,15 +367,23 @@ characterizeCell(const CampaignConfig &config,
     return cell;
 }
 
-CampaignResult
-runTrialPhase(const CellCharacterization &cell,
-              const CampaignConfig &config)
+unsigned
+trialBatchSize(unsigned trials, unsigned pool_threads)
 {
-    CampaignResult result = cell.proto;
-    result.config = config;
-    if (config.trials == 0)
-        return result;
+    // ~4 batches per worker: enough slack that whichever worker drains
+    // first steals the stragglers, without dissolving a small campaign
+    // into per-trial tasks (a trial is one interpreter run; a batch
+    // should dominate its scheduling cost).
+    const unsigned batches = std::max(1u, pool_threads * 4);
+    return std::max(1u, (trials + batches - 1) / batches);
+}
 
+void
+runTrialBatch(const CellCharacterization &cell,
+              const CampaignConfig &config, unsigned first,
+              unsigned last, TrialWorkerCache &cache, TrialAccum &accum)
+{
+    const Stopwatch batch_sw;
     const Workload &w = getWorkload(config.workload);
     const PreparedModule &hardened = cell.module();
     const WorkloadRunSpec &test_spec = cell.testSpec();
@@ -372,14 +392,11 @@ runTrialPhase(const CellCharacterization &cell,
     const std::vector<double> &golden_signal = cell.goldenSignal;
     const RunResult &golden_run = cell.goldenRun;
     const uint64_t golden_ret = golden_run.retValue;
-
-    // ---- 5. injection trials --------------------------------------------
-    const Stopwatch trials_sw;
+    const uint64_t golden_dyn = cell.proto.goldenDynInstrs;
     const uint64_t max_dyn = static_cast<uint64_t>(
-        config.timeoutFactor * static_cast<double>(
-                                   result.goldenDynInstrs));
+        config.timeoutFactor * static_cast<double>(golden_dyn));
 
-    // Shared trial options; per-trial fields are filled per worker.
+    // Shared trial options; per-trial fields are filled below.
     ExecOptions trial_opts;
     trial_opts.cost = config.cost;
     trial_opts.checkMode = CheckMode::Halt;
@@ -391,117 +408,154 @@ runTrialPhase(const CellCharacterization &cell,
         trial_opts.goldenResult = &golden_run;
     }
 
-    unsigned num_threads = config.threads;
-    if (num_threads == 0)
-        num_threads = std::max(1u, std::thread::hardware_concurrency());
-    num_threads = std::min(num_threads, config.trials);
+    // A reusable worker state (prepared memory image + interpreter),
+    // rewound from the pristine image or a checkpoint per trial instead
+    // of reallocated — buffer addresses stay valid because the
+    // allocation sequence is deterministic. Recycled through the cache
+    // so concurrent batches each hold their own.
+    std::unique_ptr<TrialWorkerState> ws;
+    {
+        std::lock_guard lock(cache.mu);
+        if (!cache.idle.empty()) {
+            ws = std::move(cache.idle.back());
+            cache.idle.pop_back();
+        }
+    }
+    if (!ws)
+        ws = std::make_unique<TrialWorkerState>(cell);
 
-    std::array<std::atomic<uint64_t>, kNumOutcomes> counts{};
-    std::atomic<uint64_t> usdc_large{0}, usdc_small{0};
-    std::atomic<unsigned> next_trial{0};
+    for (unsigned t = first; t < last; ++t) {
+        // Trial-indexed RNG: deterministic regardless of batching or
+        // thread scheduling.
+        Rng rng(trialSeed(config.seed, t));
+        const uint64_t fault_at = rng.nextBelow(golden_dyn);
 
-    auto worker = [&]() {
-        // One PreparedRun per worker, reused across trials: the memory
-        // is rewound from the pristine image (or a checkpoint) instead
-        // of being reallocated, and the buffer addresses stay valid
-        // because the allocation sequence is deterministic.
-        auto run = prepareRun(test_spec);
-        const Memory worker_pristine = *run.mem;
-        Interpreter interp(*hardened.em, *run.mem);
-        ExecState st;
-        for (;;) {
-            const unsigned t = next_trial.fetch_add(1);
-            if (t >= config.trials)
-                return;
-            // Trial-indexed RNG: deterministic regardless of thread
-            // scheduling.
-            Rng rng(trialSeed(config.seed, t));
-            const uint64_t fault_at =
-                rng.nextBelow(result.goldenDynInstrs);
+        ExecOptions opts = trial_opts;
+        opts.faultAtDynInstr = fault_at;
+        opts.faultRng = &rng;
 
-            ExecOptions opts = trial_opts;
-            opts.faultAtDynInstr = fault_at;
-            opts.faultRng = &rng;
-
-            if (snapshot_stride > 0 && fault_at >= snapshot_stride) {
-                // Fast-forward: snapshots[i] sits at (i+1)*stride.
-                std::size_t idx = static_cast<std::size_t>(
-                                      fault_at / snapshot_stride) -
-                                  1;
-                idx = std::min(idx, snapshots.size() - 1);
-                snapshots[idx].restore(st, *run.mem);
-            } else {
-                run.mem->restoreFrom(worker_pristine);
-                interp.begin(st, hardened.entryIdx, run.args,
+        if (snapshot_stride > 0 && fault_at >= snapshot_stride) {
+            // Fast-forward: snapshots[i] sits at (i+1)*stride.
+            std::size_t idx = static_cast<std::size_t>(
+                                  fault_at / snapshot_stride) -
+                              1;
+            idx = std::min(idx, snapshots.size() - 1);
+            snapshots[idx].restore(ws->st, *ws->run.mem);
+        } else {
+            ws->run.mem->restoreFrom(ws->pristine);
+            ws->interp.begin(ws->st, hardened.entryIdx, ws->run.args,
                              config.cost);
-            }
-            auto r = interp.resume(st, opts);
+        }
+        auto r = ws->interp.resume(ws->st, opts);
 
-            Outcome outcome;
-            bool large = false;
-            if (r.prunedToGolden) {
-                // Full state re-converged with the fault-free run, so
-                // the output is bit-exact by determinism.
-                outcome = Outcome::Masked;
-            } else {
-                switch (r.term) {
-                  case Termination::CheckFailed:
-                    outcome = Outcome::SWDetect;
-                    break;
-                  case Termination::Trap:
-                    outcome = (r.endCycle - r.fault.atCycle <=
-                               config.hwDetectWindowCycles)
-                                  ? Outcome::HWDetect
-                                  : Outcome::Failure;
-                    break;
-                  case Termination::Timeout:
-                    outcome = Outcome::Failure;
-                    break;
-                  case Termination::Ok: {
-                    auto signal = extractSignal(w, test_spec, run);
-                    const bool exact = signal == golden_signal &&
-                                       r.retValue == golden_ret;
-                    if (exact) {
-                        outcome = Outcome::Masked;
+        Outcome outcome;
+        bool large = false;
+        if (r.prunedToGolden) {
+            // Full state re-converged with the fault-free run, so
+            // the output is bit-exact by determinism.
+            outcome = Outcome::Masked;
+        } else {
+            switch (r.term) {
+              case Termination::CheckFailed:
+                outcome = Outcome::SWDetect;
+                break;
+              case Termination::Trap:
+                outcome = (r.endCycle - r.fault.atCycle <=
+                           config.hwDetectWindowCycles)
+                              ? Outcome::HWDetect
+                              : Outcome::Failure;
+                break;
+              case Termination::Timeout:
+                outcome = Outcome::Failure;
+                break;
+              case Termination::Ok: {
+                auto signal = extractSignal(w, test_spec, ws->run);
+                const bool exact = signal == golden_signal &&
+                                   r.retValue == golden_ret;
+                if (exact) {
+                    outcome = Outcome::Masked;
+                } else {
+                    const double score = fidelityScore(
+                        w.fidelity, golden_signal, signal);
+                    if (fidelityAcceptable(w.fidelity, score,
+                                           w.threshold)) {
+                        outcome = Outcome::ASDC;
                     } else {
-                        const double score = fidelityScore(
-                            w.fidelity, golden_signal, signal);
-                        if (fidelityAcceptable(w.fidelity, score,
-                                               w.threshold)) {
-                            outcome = Outcome::ASDC;
-                        } else {
-                            outcome = Outcome::USDC;
-                            large = r.fault.injected &&
-                                    isLargeValueChange(r.fault);
-                        }
+                        outcome = Outcome::USDC;
+                        large = r.fault.injected &&
+                                isLargeValueChange(r.fault);
                     }
-                    break;
-                  }
-                  default:
-                    scPanic("unhandled termination");
                 }
-            }
-            counts[static_cast<unsigned>(outcome)].fetch_add(1);
-            if (outcome == Outcome::USDC) {
-                if (large)
-                    usdc_large.fetch_add(1);
-                else
-                    usdc_small.fetch_add(1);
+                break;
+              }
+              default:
+                scPanic("unhandled termination");
             }
         }
-    };
+        accum.counts[static_cast<unsigned>(outcome)].fetch_add(1);
+        if (outcome == Outcome::USDC) {
+            if (large)
+                accum.usdcLarge.fetch_add(1);
+            else
+                accum.usdcSmall.fetch_add(1);
+        }
+    }
 
-    std::vector<std::thread> pool;
-    pool.reserve(num_threads);
-    for (unsigned i = 0; i < num_threads; ++i)
-        pool.emplace_back(worker);
-    for (auto &th : pool)
-        th.join();
+    {
+        std::lock_guard lock(cache.mu);
+        cache.idle.push_back(std::move(ws));
+    }
+    accum.batchNanos.fetch_add(
+        static_cast<uint64_t>(batch_sw.seconds() * 1e9));
+}
 
+CampaignResult
+finalizeTrialResult(const CellCharacterization &cell,
+                    const CampaignConfig &config, const TrialAccum &accum)
+{
+    CampaignResult result = cell.proto;
+    result.config = config;
     for (unsigned o = 0; o < kNumOutcomes; ++o)
-        result.counts[o] = counts[o].load();
-    result.usdcLargeChange = usdc_large.load();
-    result.usdcSmallChange = usdc_small.load();
+        result.counts[o] = accum.counts[o].load();
+    result.usdcLargeChange = accum.usdcLarge.load();
+    result.usdcSmallChange = accum.usdcSmall.load();
+    result.phase.trialsSeconds =
+        static_cast<double>(accum.batchNanos.load()) * 1e-9;
+    return result;
+}
+
+CampaignResult
+runTrialPhase(const CellCharacterization &cell,
+              const CampaignConfig &config, TaskPool &pool)
+{
+    if (config.trials == 0) {
+        CampaignResult result = cell.proto;
+        result.config = config;
+        return result;
+    }
+
+    // ---- 5. injection trials --------------------------------------------
+    const Stopwatch trials_sw;
+    TrialWorkerCache cache;
+    TrialAccum accum;
+    const unsigned batch =
+        trialBatchSize(config.trials, pool.threadCount());
+    std::vector<TaskPool::TaskId> ids;
+    for (unsigned first = 0; first < config.trials; first += batch) {
+        const unsigned last = std::min(first + batch, config.trials);
+        ids.push_back(pool.submit([&cell, &config, first, last, &cache,
+                                   &accum] {
+            runTrialBatch(cell, config, first, last, cache, accum);
+        }));
+    }
+    for (const TaskPool::TaskId id : ids)
+        pool.wait(id);
+
+    CampaignResult result = finalizeTrialResult(cell, config, accum);
+    // This entry point blocks until its own batches drain, so the
+    // phase's wall clock (what trialsPerSec has always meant) is
+    // well-defined; the suite engine, whose cells overlap, keeps the
+    // summed per-batch CPU seconds instead.
     result.phase.trialsSeconds = trials_sw.seconds();
     return result;
 }
@@ -523,7 +577,17 @@ runCampaign(const CampaignConfig &config)
 {
     const auto cell =
         campaign_detail::characterizeCell(config, nullptr, nullptr);
-    return campaign_detail::runTrialPhase(cell, config);
+    if (config.trials == 0) {
+        CampaignResult result = cell.proto;
+        result.config = config;
+        return result;
+    }
+    unsigned threads = config.threads;
+    if (threads == 0)
+        threads = std::max(1u, std::thread::hardware_concurrency());
+    threads = std::min(threads, config.trials);
+    TaskPool pool(threads);
+    return campaign_detail::runTrialPhase(cell, config, pool);
 }
 
 CampaignResult

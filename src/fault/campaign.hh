@@ -85,6 +85,13 @@ struct CampaignConfig
  * pays before the first injection; the suite engine (see suite.hh)
  * exists to amortize them across configurations, so they are measured
  * separately to show where sweep time actually goes.
+ *
+ * Each component is the time spent inside the tasks of that phase. For
+ * a standalone runCampaign the phases run back to back, so the values
+ * are also wall clock; inside a suite, phases of different cells
+ * overlap on the shared scheduler, so these are CPU seconds (a cell's
+ * trialsSeconds is its batches' summed execution time) and only the
+ * suite-level wallSeconds/cpuSeconds pair describes elapsed time.
  */
 struct CampaignPhaseTimes
 {

@@ -15,8 +15,10 @@
 #ifndef SOFTCHECK_FAULT_CAMPAIGN_INTERNAL_HH
 #define SOFTCHECK_FAULT_CAMPAIGN_INTERNAL_HH
 
+#include <atomic>
 #include <chrono>
 #include <memory>
+#include <mutex>
 #include <unordered_set>
 #include <vector>
 
@@ -24,6 +26,7 @@
 #include "interp/interpreter.hh"
 #include "ir/module.hh"
 #include "profile/profile_data.hh"
+#include "support/task_pool.hh"
 #include "workloads/workload.hh"
 
 namespace softcheck::campaign_detail
@@ -94,20 +97,30 @@ struct SharedArtifacts
     const WorkloadRunSpec *testSpec = nullptr;
     const PreparedRun *pristine = nullptr;
     BaselineStats baseline;
+    /**
+     * Serializes COW forks of @p pristine: cloning rewrites the
+     * source's dirty bitmaps at the share point (see memory.hh), so
+     * two cells of one workload characterizing concurrently on the
+     * suite's task pool must not fork the shared image at once.
+     */
+    mutable std::mutex pristineMu;
 };
 
 /**
  * Suite-wide snapshot accounting: pages are deduped across every cell
- * of one workload (by block address), and each cell's snapshots are
- * kept alive here so addresses in @p seen stay valid — freeing them
- * mid-suite would let the allocator reuse an address and corrupt the
- * dedup.
+ * of one workload (by block address). The caller must keep every
+ * accounted cell's snapshots alive for the lifetime of @p seen —
+ * freeing them mid-suite would let the allocator reuse an address and
+ * corrupt the dedup (the suite owns its CellCharacterizations until
+ * the whole grid has finished, which also keeps the snapshots trial
+ * tasks resume from valid). The deduped byte total is a set-union
+ * size, so it is independent of the order concurrent cells account in.
  */
 struct SnapshotAccounting
 {
+    std::mutex mu; //!< guards seen + bytes across concurrent cells
     std::unordered_set<const void *> seen;
     uint64_t bytes = 0;
-    std::vector<std::vector<Snapshot>> keepAlive;
 };
 
 /**
@@ -159,14 +172,91 @@ CellCharacterization characterizeCell(const CampaignConfig &config,
                                       SnapshotAccounting *suite_pages);
 
 /**
+ * Reusable per-executing-thread trial state: a prepared memory image,
+ * its pristine copy to rewind from, and an interpreter bound to it.
+ * Building one costs a prepareRun, so batches recycle them through a
+ * TrialWorkerCache instead of paying it per batch.
+ */
+struct TrialWorkerState
+{
+    PreparedRun run;
+    Memory pristine;
+    Interpreter interp;
+    ExecState st;
+
+    explicit TrialWorkerState(const CellCharacterization &cell)
+        : run(prepareRun(cell.testSpec())), pristine(*run.mem),
+          interp(*cell.module().em, *run.mem)
+    {
+    }
+};
+
+/**
+ * Stack of idle TrialWorkerStates for one cell's trial phase. A batch
+ * task pops one (building it only when none is idle) and pushes it
+ * back when done, so at most min(pool threads, batches) states ever
+ * exist per cell — the same one-per-worker cost the dedicated-thread
+ * engine paid, but shared with every other cell on the pool.
+ */
+struct TrialWorkerCache
+{
+    std::mutex mu;
+    std::vector<std::unique_ptr<TrialWorkerState>> idle;
+};
+
+/**
+ * Scheduling-independent accumulators for one cell's trial phase.
+ * Trials contribute commutative sums only, so any batch partition on
+ * any number of threads yields bit-identical totals.
+ */
+struct TrialAccum
+{
+    std::array<std::atomic<uint64_t>, kNumOutcomes> counts{};
+    std::atomic<uint64_t> usdcLarge{0};
+    std::atomic<uint64_t> usdcSmall{0};
+    /** Summed per-batch wall nanoseconds — the CPU seconds actually
+     * spent injecting, meaningful even when batches of many cells
+     * overlap on the pool. */
+    std::atomic<uint64_t> batchNanos{0};
+};
+
+/**
+ * Run trials [@p first, @p last) of @p config against @p cell,
+ * accumulating outcomes into @p accum. Stealable unit of the suite
+ * DAG; trial-indexed RNG makes the result independent of how trials
+ * are batched or which thread runs them.
+ */
+void runTrialBatch(const CellCharacterization &cell,
+                   const CampaignConfig &config, unsigned first,
+                   unsigned last, TrialWorkerCache &cache,
+                   TrialAccum &accum);
+
+/**
+ * Assemble the CampaignResult for a finished trial phase: the
+ * characterization's fields plus @p accum's totals, with
+ * phase.trialsSeconds = the summed per-batch CPU seconds.
+ */
+CampaignResult finalizeTrialResult(const CellCharacterization &cell,
+                                   const CampaignConfig &config,
+                                   const TrialAccum &accum);
+
+/** Trials per stealable batch: ~4 batches per pool worker, floored so
+ * tiny campaigns do not dissolve into per-trial tasks. */
+unsigned trialBatchSize(unsigned trials, unsigned pool_threads);
+
+/**
  * Injection half: run @p config's trials against a finished
- * characterization. The returned result carries the
- * characterization's fields and phase times plus this phase's
- * trialsSeconds; only config.seed/trials/threads influence it, so one
- * characterization may serve many variant calls.
+ * characterization, as stealable batches on @p pool. The returned
+ * result carries the characterization's fields and phase times plus
+ * this phase's trialsSeconds (wall clock of the phase, since this
+ * entry point blocks until its batches drain); only
+ * config.seed/trials influence the counts, so one characterization
+ * may serve many variant calls. Must not be called from inside a pool
+ * task — the suite engine submits batch tasks itself instead.
  */
 CampaignResult runTrialPhase(const CellCharacterization &cell,
-                             const CampaignConfig &config);
+                             const CampaignConfig &config,
+                             TaskPool &pool);
 
 } // namespace softcheck::campaign_detail
 

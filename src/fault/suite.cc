@@ -1,14 +1,56 @@
 #include "fault/suite.hh"
 
 #include <algorithm>
+#include <deque>
+#include <thread>
 
 #include "fault/campaign_internal.hh"
 #include "support/error.hh"
+#include "support/task_pool.hh"
 
 namespace softcheck
 {
 
 using namespace campaign_detail;
+
+namespace
+{
+
+/**
+ * Per-(workload, mode) node state of the suite DAG. Lives in a deque
+ * built completely before the first task is submitted, so tasks share
+ * it by stable reference.
+ */
+struct CellCtx
+{
+    CampaignConfig cfg; //!< workload + mode set, seed = base seed
+    std::vector<CampaignConfig> seedCfgs; //!< one per seed variant
+    CellCharacterization cell;
+    TrialWorkerCache cache;
+    /** One accumulator per seed (deque: atomics are immovable). */
+    std::deque<TrialAccum> accums;
+};
+
+/** Per-workload node state: the shared-artifact storage plus the
+ * timers of the phases every cell of the workload shares. */
+struct WorkloadCtx
+{
+    const Workload *w = nullptr;
+    CampaignConfig proto;
+    SharedArtifacts sa;
+    PreparedModule baselineModule;
+    HardeningReport baselineReport;
+    ProfileData profile;
+    WorkloadRunSpec testSpec;
+    PreparedRun pristine;
+    SnapshotAccounting pages;
+    double compileSeconds = 0;
+    double profileSeconds = 0;
+    double baselineSeconds = 0;
+    std::deque<CellCtx> cells; //!< one per mode
+};
+
+} // namespace
 
 SuiteResult
 runCampaignSuite(const SuiteConfig &config)
@@ -22,77 +64,177 @@ runCampaignSuite(const SuiteConfig &config)
     result.seeds = config.seeds;
     if (result.seeds.empty())
         result.seeds = {config.base.seed};
-    result.cells.reserve(config.workloads.size() *
-                         config.modes.size() * result.seeds.size());
+    const std::size_t n_workloads = config.workloads.size();
+    const std::size_t n_modes = config.modes.size();
+    const std::size_t n_seeds = result.seeds.size();
+    // Cells are written into their grid slot by per-cell finalize
+    // tasks, so the workload-major order is deterministic no matter
+    // how the scheduler interleaves them.
+    result.cells.resize(n_workloads * n_modes * n_seeds);
 
     const bool wants_profile =
         std::find(config.modes.begin(), config.modes.end(),
                   HardeningMode::DupValChks) != config.modes.end();
     const bool train_role = !config.base.swapTrainTest;
 
-    for (const std::string &name : config.workloads) {
-        const Workload &w = getWorkload(name);
-        CampaignConfig proto = config.base;
-        proto.workload = name;
+    unsigned pool_threads = config.base.threads;
+    if (pool_threads == 0)
+        pool_threads =
+            std::max(1u, std::thread::hardware_concurrency());
+    TaskPool pool(pool_threads);
 
-        // Per-workload shared artifacts, computed once and served to
-        // every mode's cell. Each is a deterministic function of
-        // (workload, knobs), so the cells match standalone runs bit
-        // for bit.
-        SharedArtifacts sa;
-
-        const Stopwatch sw_compile;
-        HardeningReport baseline_report;
-        const PreparedModule baseline_module =
-            buildModule(w, HardeningMode::Original, proto, nullptr,
-                        &baseline_report);
-        result.phase.compileSeconds += sw_compile.seconds();
-        sa.baselineModule = &baseline_module;
-        sa.baselineReport = &baseline_report;
-
-        ProfileData profile;
-        if (wants_profile) {
-            const Stopwatch sw;
-            profile = collectProfile(w, proto, train_role);
-            result.phase.profileSeconds += sw.seconds();
-            sa.profile = &profile;
-        }
-
-        const WorkloadRunSpec test_spec = w.makeInput(!train_role);
-        const PreparedRun pristine = prepareRun(test_spec);
-        sa.testSpec = &test_spec;
-        sa.pristine = &pristine;
-
-        const Stopwatch sw_baseline;
-        sa.baseline = runBaseline(w, baseline_module, test_spec, proto);
-        result.phase.baselineSeconds += sw_baseline.seconds();
-
-        SnapshotAccounting pages;
-        SuiteWorkloadStats stats;
-        stats.workload = name;
-        for (HardeningMode mode : config.modes) {
-            CampaignConfig cfg = proto;
-            cfg.mode = mode;
-            // One characterization per (workload, mode); the seed only
-            // steers injections, so every seed variant fans out of it.
-            CellCharacterization cell =
-                characterizeCell(cfg, &sa, &pages);
-            result.phase += cell.proto.phase; // trialsSeconds is 0 here
-            stats.cellSnapshotBytesSum += cell.proto.snapshotBytes;
-            for (uint64_t seed : result.seeds) {
-                cfg.seed = seed;
-                CampaignResult r = runTrialPhase(cell, cfg);
-                result.phase.trialsSeconds += r.phase.trialsSeconds;
-                result.cells.push_back(std::move(r));
+    // ---- build all node state up front --------------------------------
+    // Also the keep-alive root: characterizations (and their snapshot
+    // chains, which the per-workload page-dedup set indexes by block
+    // address) stay owned here until the whole grid has drained.
+    std::deque<WorkloadCtx> work;
+    for (std::size_t wi = 0; wi < n_workloads; ++wi) {
+        work.emplace_back();
+        WorkloadCtx &wc = work.back();
+        wc.w = &getWorkload(config.workloads[wi]);
+        wc.proto = config.base;
+        wc.proto.workload = config.workloads[wi];
+        for (std::size_t mi = 0; mi < n_modes; ++mi) {
+            wc.cells.emplace_back();
+            CellCtx &cc = wc.cells.back();
+            cc.cfg = wc.proto;
+            cc.cfg.mode = config.modes[mi];
+            for (const uint64_t seed : result.seeds) {
+                cc.seedCfgs.push_back(cc.cfg);
+                cc.seedCfgs.back().seed = seed;
+                cc.accums.emplace_back();
             }
-            // Park the snapshots so the block addresses in the dedup
-            // set can't be recycled by a later cell's allocations.
-            pages.keepAlive.push_back(std::move(cell.snapshots));
         }
-        stats.suiteSnapshotBytes = pages.bytes;
+    }
+
+    // ---- submit the DAG -----------------------------------------------
+    // Per workload: compile / profile / input-prep have no deps and run
+    // concurrently (also across workloads); baseline needs the module
+    // and the input; each mode's characterization needs the baseline
+    // (and the profile for value-check cells); each seed's trial
+    // batches need only their own cell's characterization. Shared
+    // phases publish into wc.sa before their task completes, and the
+    // pool's completion edge orders those writes before every
+    // dependent's reads.
+    for (std::size_t wi = 0; wi < n_workloads; ++wi) {
+        WorkloadCtx &wc = work[wi];
+
+        const auto t_compile = pool.submit([&wc] {
+            const Stopwatch sw;
+            wc.baselineModule =
+                buildModule(*wc.w, HardeningMode::Original, wc.proto,
+                            nullptr, &wc.baselineReport);
+            wc.sa.baselineModule = &wc.baselineModule;
+            wc.sa.baselineReport = &wc.baselineReport;
+            wc.compileSeconds = sw.seconds();
+        });
+
+        TaskPool::TaskId t_profile = 0;
+        if (wants_profile) {
+            t_profile = pool.submit([&wc, train_role] {
+                const Stopwatch sw;
+                wc.profile = collectProfile(*wc.w, wc.proto, train_role);
+                wc.sa.profile = &wc.profile;
+                wc.profileSeconds = sw.seconds();
+            });
+        }
+
+        const auto t_prepare = pool.submit([&wc, train_role] {
+            wc.testSpec = wc.w->makeInput(!train_role);
+            wc.pristine = prepareRun(wc.testSpec);
+            wc.sa.testSpec = &wc.testSpec;
+            wc.sa.pristine = &wc.pristine;
+        });
+
+        const auto t_baseline = pool.submit(
+            [&wc] {
+                const Stopwatch sw;
+                wc.sa.baseline = runBaseline(*wc.w, wc.baselineModule,
+                                             wc.testSpec, wc.proto);
+                wc.baselineSeconds = sw.seconds();
+            },
+            {t_compile, t_prepare});
+
+        for (std::size_t mi = 0; mi < n_modes; ++mi) {
+            CellCtx &cc = wc.cells[mi];
+            std::vector<TaskPool::TaskId> char_deps = {t_baseline};
+            if (cc.cfg.mode == HardeningMode::DupValChks)
+                char_deps.push_back(t_profile);
+            const auto t_char = pool.submit(
+                [&wc, &cc] {
+                    // One characterization per (workload, mode); the
+                    // seed only steers injections, so every seed
+                    // variant fans out of it.
+                    cc.cell = characterizeCell(cc.cfg, &wc.sa, &wc.pages);
+                },
+                char_deps);
+
+            for (std::size_t si = 0; si < n_seeds; ++si) {
+                CampaignResult *slot =
+                    &result.cells[(wi * n_modes + mi) * n_seeds + si];
+                const CampaignConfig &scfg = cc.seedCfgs[si];
+
+                if (config.base.trials == 0) {
+                    pool.submit(
+                        [&cc, &scfg, slot] {
+                            *slot = cc.cell.proto;
+                            slot->config = scfg;
+                        },
+                        {t_char});
+                    continue;
+                }
+
+                TrialAccum &accum = cc.accums[si];
+                const unsigned batch = trialBatchSize(
+                    config.base.trials, pool.threadCount());
+                std::vector<TaskPool::TaskId> batch_ids;
+                for (unsigned first = 0; first < config.base.trials;
+                     first += batch) {
+                    const unsigned last =
+                        std::min(first + batch, config.base.trials);
+                    batch_ids.push_back(pool.submit(
+                        [&cc, &scfg, first, last, &accum] {
+                            runTrialBatch(cc.cell, scfg, first, last,
+                                          cc.cache, accum);
+                        },
+                        {t_char}));
+                }
+                pool.submit(
+                    [&cc, &scfg, &accum, slot] {
+                        *slot = finalizeTrialResult(cc.cell, scfg, accum);
+                    },
+                    batch_ids);
+            }
+        }
+    }
+
+    pool.waitAll();
+
+    // ---- deterministic aggregation ------------------------------------
+    // Sequential, in grid order, from per-task slots no two tasks
+    // shared: the floating-point sums come out identical at any thread
+    // count.
+    for (std::size_t wi = 0; wi < n_workloads; ++wi) {
+        WorkloadCtx &wc = work[wi];
+        result.phase.compileSeconds += wc.compileSeconds;
+        result.phase.profileSeconds += wc.profileSeconds;
+        result.phase.baselineSeconds += wc.baselineSeconds;
+        SuiteWorkloadStats stats;
+        stats.workload = config.workloads[wi];
+        for (std::size_t mi = 0; mi < n_modes; ++mi) {
+            CellCtx &cc = wc.cells[mi];
+            result.phase += cc.cell.proto.phase; // trialsSeconds is 0
+            stats.cellSnapshotBytesSum += cc.cell.proto.snapshotBytes;
+            for (std::size_t si = 0; si < n_seeds; ++si)
+                result.phase.trialsSeconds +=
+                    result.cells[(wi * n_modes + mi) * n_seeds + si]
+                        .phase.trialsSeconds;
+        }
+        stats.suiteSnapshotBytes = wc.pages.bytes;
         result.workloadStats.push_back(std::move(stats));
     }
 
+    result.cpuSeconds = result.phase.totalSeconds();
     result.wallSeconds = wall.seconds();
     return result;
 }

@@ -22,6 +22,17 @@
  * does not depend on the seed, so a suite characterizes each
  * (workload, mode) cell once and fans every requested seed variant out
  * of that single characterization — only the trial phase repeats.
+ *
+ * The whole grid executes as a dependency DAG on one persistent
+ * work-stealing scheduler (support/task_pool.hh): per-workload
+ * compile / profile / input-prep / baseline tasks feed per-(workload,
+ * mode) characterizations, which fan out to per-seed trial phases
+ * whose trials are split into stealable batches. A slow cell's golden
+ * run therefore overlaps other cells' trials instead of idling every
+ * other core, and the machine stays saturated end to end. Trial-indexed
+ * RNG plus commutative outcome accumulation keep every cell
+ * bit-identical to the sequential engine at any thread count (asserted
+ * by tests/fault/test_campaign_suite.cc).
  */
 
 #ifndef SOFTCHECK_FAULT_SUITE_HH
@@ -50,7 +61,9 @@ struct SuiteConfig
     /**
      * Knobs applied to every cell (trials, threads, policy, cost,
      * checkpoints, ...). The workload, mode, and seed fields are
-     * overwritten per cell.
+     * overwritten per cell. base.threads sizes the suite-wide
+     * scheduler (0 = hardware concurrency) that every phase of every
+     * cell runs on; results are bit-identical at any thread count.
      */
     CampaignConfig base;
 };
@@ -82,13 +95,23 @@ struct SuiteResult
     std::vector<SuiteWorkloadStats> workloadStats;
 
     /**
-     * Aggregate wall-clock per phase: the per-workload shared phases
+     * Aggregate CPU seconds per phase: the per-workload shared phases
      * (compile, profile, baseline) counted once each, plus every
-     * cell's own phases.
+     * cell's own phases, each measured inside its task. Phases of
+     * different cells overlap on the scheduler, so these no longer sum
+     * to elapsed time — compare cpuSeconds against wallSeconds for
+     * that.
      */
     CampaignPhaseTimes phase;
     /** End-to-end wall-clock of runCampaignSuite. */
     double wallSeconds = 0;
+    /**
+     * Total CPU seconds spent in suite tasks (= phase.totalSeconds()).
+     * The wallSeconds/cpuSeconds pair is the honest account of
+     * overlap: cpuSeconds/wallSeconds ≈ how many cores the DAG kept
+     * busy end to end.
+     */
+    double cpuSeconds = 0;
 
     const CampaignResult &
     cell(std::size_t wi, std::size_t mi, std::size_t si = 0) const

@@ -1,0 +1,198 @@
+#include "support/task_pool.hh"
+
+#include "support/error.hh"
+
+namespace softcheck
+{
+
+namespace
+{
+
+/** Identity of the executing pool worker, for placement and for the
+ * no-wait-from-worker assertion. */
+thread_local const TaskPool *tlPool = nullptr;
+thread_local unsigned tlWorker = 0;
+
+} // namespace
+
+TaskPool::TaskPool(unsigned threads)
+{
+    if (threads == 0)
+        threads = std::max(1u, std::thread::hardware_concurrency());
+    workers.resize(threads);
+    for (unsigned i = 0; i < threads; ++i)
+        workers[i].thread = std::thread([this, i] { workerLoop(i); });
+}
+
+TaskPool::~TaskPool()
+{
+    {
+        std::unique_lock lock(mu);
+        doneCv.wait(lock, [this] { return pendingCount == 0; });
+        stopping = true;
+    }
+    workCv.notify_all();
+    for (Worker &w : workers)
+        w.thread.join();
+}
+
+TaskPool::TaskId
+TaskPool::submit(std::function<void()> fn,
+                 const std::vector<TaskId> &deps)
+{
+    std::unique_lock lock(mu);
+    const TaskId id = tasks.size();
+    tasks.emplace_back();
+    Task &t = tasks.back();
+    t.fn = std::move(fn);
+    ++pendingCount;
+
+    std::exception_ptr dep_error;
+    for (const TaskId dep : deps) {
+        scAssert(dep < id, "task dependency on unknown/self task id");
+        Task &d = tasks[dep];
+        if (!d.done) {
+            d.dependents.push_back(id);
+            ++t.pendingDeps;
+        } else if (d.error && !dep_error) {
+            dep_error = d.error;
+        }
+    }
+    if (t.pendingDeps == 0) {
+        if (dep_error) {
+            // Every dependency already ran and one failed: the task is
+            // skipped, completing immediately with that error.
+            finish(id, dep_error, lock);
+        } else {
+            unsigned target;
+            if (tlPool == this) {
+                target = tlWorker;
+            } else {
+                target = nextWorker;
+                nextWorker = (nextWorker + 1) % threadCount();
+            }
+            workers[target].ready.push_back(id);
+            workCv.notify_one();
+        }
+    }
+    return id;
+}
+
+bool
+TaskPool::popReady(unsigned self, TaskId &out)
+{
+    // Own deque first, oldest task first — a single worker therefore
+    // executes ready tasks in submission order, which keeps the
+    // one-thread suite schedule equal to the old sequential one.
+    if (!workers[self].ready.empty()) {
+        out = workers[self].ready.front();
+        workers[self].ready.pop_front();
+        return true;
+    }
+    // Steal from the back of a sibling's deque.
+    for (unsigned k = 1; k < threadCount(); ++k) {
+        Worker &victim = workers[(self + k) % threadCount()];
+        if (!victim.ready.empty()) {
+            out = victim.ready.back();
+            victim.ready.pop_back();
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+TaskPool::runTask(TaskId id, std::unique_lock<std::mutex> &lock)
+{
+    std::function<void()> fn = std::move(tasks[id].fn);
+    tasks[id].fn = nullptr;
+    lock.unlock();
+    std::exception_ptr error;
+    try {
+        fn();
+    } catch (...) {
+        error = std::current_exception();
+    }
+    lock.lock();
+    finish(id, error, lock);
+}
+
+void
+TaskPool::finish(TaskId id, std::exception_ptr error,
+                 std::unique_lock<std::mutex> &lock)
+{
+    Task &t = tasks[id];
+    t.done = true;
+    t.error = error;
+    --pendingCount;
+    for (const TaskId dep_id : t.dependents) {
+        Task &d = tasks[dep_id];
+        if (error && !d.skipError)
+            d.skipError = error;
+        if (--d.pendingDeps == 0) {
+            if (d.skipError) {
+                // A dependency failed: skip the task, cascading the
+                // error through its own dependents.
+                finish(dep_id, d.skipError, lock);
+            } else {
+                unsigned target = tlPool == this ? tlWorker
+                                                 : (id % threadCount());
+                workers[target].ready.push_back(dep_id);
+                workCv.notify_one();
+            }
+        }
+    }
+    doneCv.notify_all();
+}
+
+void
+TaskPool::workerLoop(unsigned self)
+{
+    tlPool = this;
+    tlWorker = self;
+    std::unique_lock lock(mu);
+    for (;;) {
+        TaskId id;
+        if (popReady(self, id)) {
+            runTask(id, lock);
+            continue;
+        }
+        if (stopping)
+            return;
+        workCv.wait(lock);
+    }
+}
+
+void
+TaskPool::assertNotWorker() const
+{
+    scAssert(tlPool != this,
+             "TaskPool::wait called from inside a pool task; express "
+             "the ordering as a dependency instead");
+}
+
+void
+TaskPool::wait(TaskId id)
+{
+    assertNotWorker();
+    std::unique_lock lock(mu);
+    scAssert(id < tasks.size(), "wait on unknown task id");
+    doneCv.wait(lock, [&] { return tasks[id].done; });
+    if (tasks[id].error)
+        std::rethrow_exception(tasks[id].error);
+}
+
+void
+TaskPool::waitAll()
+{
+    assertNotWorker();
+    std::unique_lock lock(mu);
+    doneCv.wait(lock, [this] { return pendingCount == 0; });
+    // Rethrow the lowest-id failure so the surfaced error does not
+    // depend on which worker lost the race.
+    for (const Task &t : tasks)
+        if (t.error)
+            std::rethrow_exception(t.error);
+}
+
+} // namespace softcheck

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Persistent work-stealing task pool with dependency-DAG scheduling.
+ *
+ * The campaign suite engine (fault/suite.cc) runs a workload × mode ×
+ * seed grid whose phases form a DAG: per-workload compile / profile /
+ * baseline feed per-(workload, mode) characterizations, which fan out
+ * to per-seed trial phases split into stealable batches. Before this
+ * pool existed, every cell's trial phase spun up and tore down its own
+ * std::vector<std::thread>, and the fault-free phases of one cell left
+ * every other core idle. A single pool owning the whole grid lets a
+ * slow cell's golden run overlap another cell's trials.
+ *
+ * Design: each worker owns a deque of ready tasks; it pops from the
+ * front of its own deque (FIFO, so a single worker executes tasks in
+ * submission order) and steals from the back of its siblings' when its
+ * own runs dry. All scheduler state — the task table, dependency
+ * counts, and the ready deques — is guarded by one mutex: the tasks
+ * this pool exists for are coarse (a MiniLang compile, a golden run, a
+ * batch of dozens of interpreter trials, each ≥ milliseconds), so
+ * scheduling cost is noise and a lock-free deque would buy nothing but
+ * audit burden. Completion publishes under the same mutex, which gives
+ * submit-side writes → dependent-task reads the happens-before edge the
+ * suite's shared artifacts rely on.
+ *
+ * Failure model: a task that throws records the exception; wait() on it
+ * (or on any transitive dependent, which is skipped rather than run)
+ * rethrows it, and waitAll() rethrows the failed task with the lowest
+ * id so the surfaced error is deterministic under any scheduling.
+ */
+
+#ifndef SOFTCHECK_SUPPORT_TASK_POOL_HH
+#define SOFTCHECK_SUPPORT_TASK_POOL_HH
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace softcheck
+{
+
+class TaskPool
+{
+  public:
+    using TaskId = std::uint64_t;
+
+    /** Spawn @p threads workers (0 = hardware concurrency, min 1). */
+    explicit TaskPool(unsigned threads = 0);
+
+    /** Waits for every submitted task, then joins the workers.
+     * Exceptions still pending at destruction are dropped — call
+     * waitAll() first if you care (you do). */
+    ~TaskPool();
+
+    TaskPool(const TaskPool &) = delete;
+    TaskPool &operator=(const TaskPool &) = delete;
+
+    unsigned threadCount() const
+    {
+        return static_cast<unsigned>(workers.size());
+    }
+
+    /**
+     * Submit @p fn, runnable once every task in @p deps has completed.
+     * Unknown dep ids are a fatal error. Tasks submitted from a worker
+     * thread land on that worker's own deque (depth-first locality);
+     * external submissions round-robin across workers and rebalance by
+     * stealing.
+     */
+    TaskId submit(std::function<void()> fn,
+                  const std::vector<TaskId> &deps = {});
+
+    /**
+     * Block until @p id has completed; rethrows its exception (or the
+     * exception of the failed dependency it was skipped for). Must not
+     * be called from inside a pool task — a worker blocking on another
+     * task could deadlock the scheduler; express ordering as a
+     * dependency instead.
+     */
+    void wait(TaskId id);
+
+    /**
+     * Block until every task submitted so far has completed; rethrows
+     * the exception of the lowest-id failed task, if any. Same
+     * no-worker-thread restriction as wait().
+     */
+    void waitAll();
+
+  private:
+    struct Task
+    {
+        std::function<void()> fn;
+        unsigned pendingDeps = 0;
+        std::vector<TaskId> dependents;
+        std::exception_ptr error;
+        /** Error of a failed dependency; set before this task is
+         * released, making it complete as skipped with that error. */
+        std::exception_ptr skipError;
+        bool done = false;
+    };
+
+    struct Worker
+    {
+        std::deque<TaskId> ready;
+        std::thread thread;
+    };
+
+    void workerLoop(unsigned self);
+    void runTask(TaskId id, std::unique_lock<std::mutex> &lock);
+    /** Mark @p id done under the lock, release dependents, wake
+     * waiters. */
+    void finish(TaskId id, std::exception_ptr error,
+                std::unique_lock<std::mutex> &lock);
+    bool popReady(unsigned self, TaskId &out);
+    void assertNotWorker() const;
+
+    mutable std::mutex mu;
+    std::condition_variable workCv; //!< workers: a deque gained a task
+    std::condition_variable doneCv; //!< waiters: a task completed
+    std::deque<Task> tasks;         //!< indexed by TaskId
+    std::uint64_t pendingCount = 0; //!< submitted and not yet done
+    unsigned nextWorker = 0;        //!< round-robin external placement
+    bool stopping = false;
+    std::vector<Worker> workers;
+};
+
+} // namespace softcheck
+
+#endif // SOFTCHECK_SUPPORT_TASK_POOL_HH

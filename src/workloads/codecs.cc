@@ -1,6 +1,7 @@
 #include "workloads/codecs.hh"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
 
 #include "support/error.hh"
@@ -252,17 +253,18 @@ subbandCrc(const int32_t *coeffs, unsigned n)
     // Table-driven CRC32 (poly 0xEDB88320) over the low byte of each
     // coefficient, kept in signed-int32 friendly arithmetic (matches
     // the MiniLang kernel, which computes the same table in-language).
-    static int32_t table[256];
-    static bool init = false;
-    if (!init) {
+    // Magic-static init: trial workers on the campaign scheduler call
+    // this concurrently, so the table must be published exactly once.
+    static const std::array<int32_t, 256> table = [] {
+        std::array<int32_t, 256> t{};
         for (int i = 0; i < 256; ++i) {
             uint32_t c = static_cast<uint32_t>(i);
             for (int k = 0; k < 8; ++k)
                 c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
-            table[i] = static_cast<int32_t>(c);
+            t[i] = static_cast<int32_t>(c);
         }
-        init = true;
-    }
+        return t;
+    }();
     uint32_t crc = 0xFFFFFFFFu;
     for (unsigned i = 0; i < n; ++i) {
         const uint32_t byte =

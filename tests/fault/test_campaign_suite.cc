@@ -74,11 +74,52 @@ TEST_P(SuiteEquiv, CellsMatchStandaloneRuns)
 }
 
 INSTANTIATE_TEST_SUITE_P(AcrossThreadCounts, SuiteEquiv,
-                         ::testing::Values(1u, 2u, 4u),
+                         ::testing::Values(1u, 2u, 4u, 8u),
                          [](const auto &info) {
                              return "Threads" +
                                     std::to_string(info.param);
                          });
+
+TEST(Suite, BitIdenticalAcrossSchedulerThreadCounts)
+{
+    // The overlapped scheduler must be invisible in the results: a
+    // multi-seed grid run at 2/4/8 pool threads has to reproduce the
+    // one-thread (sequential-schedule) suite bit for bit, including
+    // the snapshot-page accounting, which dedups across concurrently
+    // characterized cells.
+    SuiteConfig sc = smallSuite(1);
+    sc.seeds = {0xAB, 0x5eed, 0xF00D};
+    const SuiteResult ref = runCampaignSuite(sc);
+
+    for (const unsigned threads : {2u, 4u, 8u}) {
+        SuiteConfig par = sc;
+        par.base.threads = threads;
+        const SuiteResult got = runCampaignSuite(par);
+        ASSERT_EQ(got.cells.size(), ref.cells.size());
+        for (std::size_t i = 0; i < ref.cells.size(); ++i) {
+            SCOPED_TRACE(testing::Message()
+                         << "threads " << threads << " cell " << i
+                         << " (" << ref.cells[i].config.workload
+                         << ", "
+                         << hardeningModeName(ref.cells[i].config.mode)
+                         << ", seed " << ref.cells[i].config.seed
+                         << ")");
+            EXPECT_EQ(got.cells[i].config.seed,
+                      ref.cells[i].config.seed);
+            expectSameCell(got.cells[i], ref.cells[i]);
+            EXPECT_EQ(got.cells[i].snapshotBytesFullCopy,
+                      ref.cells[i].snapshotBytesFullCopy);
+        }
+        ASSERT_EQ(got.workloadStats.size(), ref.workloadStats.size());
+        for (std::size_t w = 0; w < ref.workloadStats.size(); ++w) {
+            SCOPED_TRACE(ref.workloadStats[w].workload);
+            EXPECT_EQ(got.workloadStats[w].suiteSnapshotBytes,
+                      ref.workloadStats[w].suiteSnapshotBytes);
+            EXPECT_EQ(got.workloadStats[w].cellSnapshotBytesSum,
+                      ref.workloadStats[w].cellSnapshotBytesSum);
+        }
+    }
+}
 
 TEST(Suite, SeedVariantsMatchStandaloneRuns)
 {
@@ -137,7 +178,13 @@ TEST(Suite, PhaseTimesCoverEveryPhase)
     EXPECT_GT(suite.phase.baselineSeconds, 0.0);
     EXPECT_GT(suite.phase.goldenSeconds, 0.0);
     EXPECT_GT(suite.phase.trialsSeconds, 0.0);
-    EXPECT_GE(suite.wallSeconds, suite.phase.totalSeconds() * 0.5);
+    // Phase times are CPU seconds of overlapped tasks: they bound the
+    // elapsed time from below only through the parallelism available,
+    // and cpuSeconds is their explicit total.
+    EXPECT_GT(suite.wallSeconds, 0.0);
+    EXPECT_DOUBLE_EQ(suite.cpuSeconds, suite.phase.totalSeconds());
+    EXPECT_GE(suite.wallSeconds * sc.base.threads,
+              suite.cpuSeconds * 0.5);
     // Shared phases are counted in the suite aggregate, not in cells.
     for (const CampaignResult &c : suite.cells) {
         EXPECT_EQ(c.phase.profileSeconds, 0.0);

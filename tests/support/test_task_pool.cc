@@ -1,0 +1,200 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "support/task_pool.hh"
+
+namespace softcheck
+{
+namespace
+{
+
+TEST(TaskPool, RunsEverySubmittedTask)
+{
+    TaskPool pool(4);
+    std::atomic<unsigned> ran{0};
+    std::vector<TaskPool::TaskId> ids;
+    for (unsigned i = 0; i < 500; ++i)
+        ids.push_back(pool.submit([&ran] { ran.fetch_add(1); }));
+    pool.waitAll();
+    EXPECT_EQ(ran.load(), 500u);
+    for (const TaskPool::TaskId id : ids)
+        pool.wait(id); // already done; must not block or throw
+}
+
+TEST(TaskPool, ZeroThreadsDefaultsToAtLeastOneWorker)
+{
+    TaskPool pool(0);
+    EXPECT_GE(pool.threadCount(), 1u);
+    bool ran = false;
+    pool.wait(pool.submit([&ran] { ran = true; }));
+    EXPECT_TRUE(ran);
+}
+
+TEST(TaskPool, SingleWorkerRunsIndependentTasksInSubmissionOrder)
+{
+    // One worker pops its own deque front-first, so the one-thread
+    // schedule is the deterministic sequential reference the suite's
+    // bit-identity tests compare against.
+    TaskPool pool(1);
+    std::vector<int> order;
+    for (int i = 0; i < 32; ++i)
+        pool.submit([&order, i] { order.push_back(i); });
+    pool.waitAll();
+    std::vector<int> expect(32);
+    std::iota(expect.begin(), expect.end(), 0);
+    EXPECT_EQ(order, expect);
+}
+
+TEST(TaskPool, DagDependenciesAreRespected)
+{
+    // Diamond: a -> {b, c} -> d, plus a long dependency chain. Record
+    // completion stamps and assert every edge ordered, at a thread
+    // count large enough to surface misordering.
+    TaskPool pool(4);
+    std::atomic<unsigned> clock{0};
+    std::array<unsigned, 4> stamp{};
+    const auto a = pool.submit(
+        [&] { stamp[0] = clock.fetch_add(1); });
+    const auto b = pool.submit(
+        [&] { stamp[1] = clock.fetch_add(1); }, {a});
+    const auto c = pool.submit(
+        [&] { stamp[2] = clock.fetch_add(1); }, {a});
+    const auto d = pool.submit(
+        [&] { stamp[3] = clock.fetch_add(1); }, {b, c});
+    pool.wait(d);
+    EXPECT_LT(stamp[0], stamp[1]);
+    EXPECT_LT(stamp[0], stamp[2]);
+    EXPECT_LT(stamp[1], stamp[3]);
+    EXPECT_LT(stamp[2], stamp[3]);
+
+    std::vector<unsigned> chain_order;
+    TaskPool::TaskId prev = 0;
+    for (unsigned i = 0; i < 64; ++i) {
+        std::vector<TaskPool::TaskId> deps;
+        if (i > 0)
+            deps.push_back(prev);
+        prev = pool.submit([&chain_order, i] { chain_order.push_back(i); },
+                           deps);
+    }
+    pool.wait(prev);
+    ASSERT_EQ(chain_order.size(), 64u);
+    for (unsigned i = 0; i < 64; ++i)
+        EXPECT_EQ(chain_order[i], i);
+}
+
+TEST(TaskPool, DependencyOnAlreadyFinishedTaskRunsImmediately)
+{
+    TaskPool pool(2);
+    const auto a = pool.submit([] {});
+    pool.wait(a);
+    bool ran = false;
+    pool.wait(pool.submit([&ran] { ran = true; }, {a}));
+    EXPECT_TRUE(ran);
+}
+
+TEST(TaskPool, IdleWorkersStealFromABlockedWorkersDeque)
+{
+    // Pin worker 0 with a blocker that refuses to return until every
+    // short task has run. External submissions round-robin across both
+    // deques, so the shorts placed on worker 0's deque can only run if
+    // worker 1 steals them — without stealing this test deadlocks (and
+    // times out) instead of passing.
+    TaskPool pool(2);
+    std::mutex mu;
+    std::condition_variable cv;
+    unsigned short_done = 0;
+    constexpr unsigned kShorts = 16;
+
+    pool.submit([&] {
+        std::unique_lock lock(mu);
+        cv.wait(lock, [&] { return short_done == kShorts; });
+    });
+    for (unsigned i = 0; i < kShorts; ++i) {
+        pool.submit([&] {
+            std::lock_guard lock(mu);
+            ++short_done;
+            cv.notify_all();
+        });
+    }
+    pool.waitAll();
+    EXPECT_EQ(short_done, kShorts);
+}
+
+TEST(TaskPool, WaitRethrowsTaskException)
+{
+    TaskPool pool(2);
+    const auto id = pool.submit(
+        [] { throw std::runtime_error("boom"); });
+    EXPECT_THROW(pool.wait(id), std::runtime_error);
+}
+
+TEST(TaskPool, FailedDependencySkipsDependentsAndCascades)
+{
+    TaskPool pool(2);
+    std::atomic<bool> dependent_ran{false};
+    const auto bad = pool.submit(
+        [] { throw std::runtime_error("root failure"); });
+    const auto skipped = pool.submit(
+        [&dependent_ran] { dependent_ran = true; }, {bad});
+    const auto transitive = pool.submit(
+        [&dependent_ran] { dependent_ran = true; }, {skipped});
+
+    // Both dependents complete (wait returns) but are skipped, and
+    // rethrow the root failure.
+    EXPECT_THROW(pool.wait(skipped), std::runtime_error);
+    EXPECT_THROW(pool.wait(transitive), std::runtime_error);
+    EXPECT_FALSE(dependent_ran.load());
+
+    // An unrelated task still runs normally.
+    bool ok_ran = false;
+    pool.wait(pool.submit([&ok_ran] { ok_ran = true; }));
+    EXPECT_TRUE(ok_ran);
+}
+
+TEST(TaskPool, WaitAllRethrowsLowestIdFailure)
+{
+    // Two independent failures: whichever worker loses the race,
+    // waitAll must surface the one submitted first.
+    for (int round = 0; round < 10; ++round) {
+        TaskPool pool_round(4);
+        pool_round.submit([] {});
+        pool_round.submit([] { throw std::runtime_error("first"); });
+        pool_round.submit([] { throw std::logic_error("second"); });
+        try {
+            pool_round.waitAll();
+            FAIL() << "waitAll did not rethrow";
+        } catch (const std::runtime_error &e) {
+            EXPECT_STREQ(e.what(), "first");
+        } catch (const std::logic_error &) {
+            FAIL() << "waitAll surfaced the higher-id failure";
+        }
+    }
+}
+
+TEST(TaskPool, TasksSubmittedFromWorkersRunToCompletion)
+{
+    // Fan-out from inside tasks: each level-1 task submits level-2
+    // tasks onto its own worker's deque; all must drain before the
+    // destructor joins.
+    TaskPool pool(3);
+    std::atomic<unsigned> ran{0};
+    for (unsigned i = 0; i < 8; ++i) {
+        pool.submit([&pool, &ran] {
+            for (unsigned j = 0; j < 4; ++j)
+                pool.submit([&ran] { ran.fetch_add(1); });
+        });
+    }
+    // A parent's pending count only drops after it has submitted its
+    // children, so one waitAll covers the whole nested fan-out.
+    pool.waitAll();
+    EXPECT_EQ(ran.load(), 32u);
+}
+
+} // namespace
+} // namespace softcheck
