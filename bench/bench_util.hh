@@ -36,6 +36,26 @@ trialsPerBenchmark(unsigned dflt = 250)
     return dflt;
 }
 
+/** Execution tier for bench campaigns. Override with SOFTCHECK_TIER
+ * ("interp" or "threaded") — used by CI to drive the figure benches
+ * through the threaded tier without recompiling; results are
+ * bit-identical either way. */
+inline ExecTier
+benchTier(ExecTier dflt = ExecTier::Interp)
+{
+    if (const char *env = std::getenv("SOFTCHECK_TIER")) {
+        const std::string v(env);
+        if (v == "threaded")
+            return ExecTier::Threaded;
+        if (v == "interp")
+            return ExecTier::Interp;
+        std::fprintf(stderr, "SOFTCHECK_TIER: unknown tier '%s'\n",
+                     env);
+        std::exit(2);
+    }
+    return dflt;
+}
+
 inline CampaignConfig
 makeConfig(const std::string &workload, HardeningMode mode,
            unsigned trials)
@@ -45,6 +65,7 @@ makeConfig(const std::string &workload, HardeningMode mode,
     cfg.mode = mode;
     cfg.trials = trials;
     cfg.seed = 0xC0FFEE;
+    cfg.tier = benchTier();
     return cfg;
 }
 

@@ -18,6 +18,13 @@
  *   --threads N                worker threads (default: 0 = hardware)
  *   --suite-threads N[,N...]   scheduler widths for the suite-scaling
  *                              section (default: 1,2,4,8)
+ *   --tier interp|threaded|both  execution tier(s) for the K sweep
+ *                              (default: both). With both, each
+ *                              (workload, mode, K) point runs on each
+ *                              tier, outcomes are asserted identical,
+ *                              and a tier-speedup summary (threaded
+ *                              trials/sec over interp trials/sec at
+ *                              the same K) is printed and recorded.
  *
  * A second section sweeps a workload x hardening-mode x seed grid
  * through runCampaignSuite and through a per-config runCampaign loop,
@@ -45,6 +52,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <thread>
@@ -69,6 +77,7 @@ struct Row
 {
     std::string workload;
     HardeningMode mode;
+    ExecTier tier = ExecTier::Interp;
     unsigned k = 0;
     uint64_t goldenDynInstrs = 0;
     double trialSeconds = 0;
@@ -86,6 +95,10 @@ struct BenchOptions
     std::vector<unsigned> ks = {0, 8, 32, 128, 256};
     unsigned threads = 0;
     std::vector<unsigned> suiteThreads = {1, 2, 4, 8};
+    /** Tiers for the K sweep, in run order. The last one also drives
+     * the suite sections. */
+    std::vector<ExecTier> tiers = {ExecTier::Interp,
+                                   ExecTier::Threaded};
 };
 
 std::vector<std::string>
@@ -113,7 +126,8 @@ usage(const char *argv0)
     std::fprintf(stderr,
                  "usage: %s [--workload NAME[,NAME...]] [--trials N] "
                  "[--checkpoints K[,K...]] [--threads N] "
-                 "[--suite-threads N[,N...]]\n",
+                 "[--suite-threads N[,N...]] "
+                 "[--tier interp|threaded|both]\n",
                  argv0);
     std::exit(2);
 }
@@ -146,6 +160,16 @@ parseArgs(int argc, char **argv)
         } else if (!std::strcmp(argv[i], "--threads")) {
             opt.threads =
                 static_cast<unsigned>(std::strtoul(value(), nullptr, 10));
+        } else if (!std::strcmp(argv[i], "--tier")) {
+            const char *t = value();
+            if (!std::strcmp(t, "interp"))
+                opt.tiers = {ExecTier::Interp};
+            else if (!std::strcmp(t, "threaded"))
+                opt.tiers = {ExecTier::Threaded};
+            else if (!std::strcmp(t, "both"))
+                opt.tiers = {ExecTier::Interp, ExecTier::Threaded};
+            else
+                usage(argv[0]);
         } else if (!std::strcmp(argv[i], "--suite-threads")) {
             opt.suiteThreads.clear();
             for (const std::string &t : splitList(value()))
@@ -212,9 +236,10 @@ main(int argc, char **argv)
 
     std::vector<Row> rows;
     benchutil::printRule();
-    std::printf("%-10s %-12s %12s %4s %10s %12s %8s %9s %9s\n",
-                "workload", "mode", "goldenInstr", "K", "trial-sec",
-                "trials/sec", "speedup", "snapKB", "fullKB");
+    std::printf("%-10s %-12s %-8s %12s %4s %10s %12s %8s %9s %9s\n",
+                "workload", "mode", "tier", "goldenInstr", "K",
+                "trial-sec", "trials/sec", "speedup", "snapKB",
+                "fullKB");
     benchutil::printRule();
 
     for (const std::string &workload : workloads) {
@@ -223,57 +248,104 @@ main(int argc, char **argv)
                 benchutil::makeConfig(workload, mode, trials);
             cfg.threads = opt.threads;
 
-            double base_tps = 0;
+            // Outcomes must be identical across every K *and* every
+            // tier of this campaign — one reference set serves both
+            // determinism checks.
             bool have_base_counts = false;
             std::array<uint64_t, kNumOutcomes> base_counts{};
-            for (const unsigned k : opt.ks) {
-                cfg.checkpoints = k;
-                const CampaignResult r = runCampaign(cfg);
-                // Campaigns now time their phases directly, so the
-                // injection phase the checkpoints accelerate no longer
-                // has to be separated out by a subtraction trick.
-                const double trial_seconds =
-                    std::max(r.phase.trialsSeconds, 1e-9);
+            for (const ExecTier tier : opt.tiers) {
+                cfg.tier = tier;
+                double base_tps = 0;
+                for (const unsigned k : opt.ks) {
+                    cfg.checkpoints = k;
+                    const CampaignResult r = runCampaign(cfg);
+                    // Campaigns now time their phases directly, so the
+                    // injection phase the checkpoints accelerate no
+                    // longer has to be separated out by a subtraction
+                    // trick.
+                    const double trial_seconds =
+                        std::max(r.phase.trialsSeconds, 1e-9);
 
-                if (!have_base_counts) {
-                    base_counts = r.counts;
-                    have_base_counts = true;
-                } else {
-                    scAssert(r.counts == base_counts,
-                             "checkpointed campaign diverged from "
-                             "baseline outcomes");
+                    if (!have_base_counts) {
+                        base_counts = r.counts;
+                        have_base_counts = true;
+                    } else {
+                        scAssert(r.counts == base_counts,
+                                 "campaign outcomes diverged across "
+                                 "checkpoints/tier variants");
+                    }
+
+                    Row row;
+                    row.workload = workload;
+                    row.mode = mode;
+                    row.tier = tier;
+                    row.k = k;
+                    row.goldenDynInstrs = r.goldenDynInstrs;
+                    row.trialSeconds = trial_seconds;
+                    row.trialsPerSec = trials / trial_seconds;
+                    if (base_tps == 0)
+                        base_tps = row.trialsPerSec;
+                    row.speedup = row.trialsPerSec / base_tps;
+                    row.snapshotBytes = r.snapshotBytes;
+                    row.snapshotBytesFullCopy = r.snapshotBytesFullCopy;
+                    row.phase = r.phase;
+                    rows.push_back(row);
+
+                    std::printf(
+                        "%-10s %-12s %-8s %12llu %4u %10.3f %12.1f "
+                        "%7.2fx %9.1f %9.1f\n",
+                        row.workload.c_str(), hardeningModeName(mode),
+                        execTierName(tier),
+                        static_cast<unsigned long long>(
+                            row.goldenDynInstrs),
+                        row.k, row.trialSeconds, row.trialsPerSec,
+                        row.speedup,
+                        static_cast<double>(row.snapshotBytes) / 1024.0,
+                        static_cast<double>(row.snapshotBytesFullCopy) /
+                            1024.0);
                 }
-
-                Row row;
-                row.workload = workload;
-                row.mode = mode;
-                row.k = k;
-                row.goldenDynInstrs = r.goldenDynInstrs;
-                row.trialSeconds = trial_seconds;
-                row.trialsPerSec = trials / trial_seconds;
-                if (base_tps == 0)
-                    base_tps = row.trialsPerSec;
-                row.speedup = row.trialsPerSec / base_tps;
-                row.snapshotBytes = r.snapshotBytes;
-                row.snapshotBytesFullCopy = r.snapshotBytesFullCopy;
-                row.phase = r.phase;
-                rows.push_back(row);
-
-                std::printf(
-                    "%-10s %-12s %12llu %4u %10.3f %12.1f %7.2fx "
-                    "%9.1f %9.1f\n",
-                    row.workload.c_str(), hardeningModeName(mode),
-                    static_cast<unsigned long long>(
-                        row.goldenDynInstrs),
-                    row.k, row.trialSeconds, row.trialsPerSec,
-                    row.speedup,
-                    static_cast<double>(row.snapshotBytes) / 1024.0,
-                    static_cast<double>(row.snapshotBytesFullCopy) /
-                        1024.0);
             }
         }
     }
     benchutil::printRule();
+
+    // ---- tier speedup: threaded vs interp at the same (w, mode, K) ----
+    struct TierCmp
+    {
+        std::string workload;
+        HardeningMode mode;
+        unsigned k = 0;
+        double interpTps = 0;
+        double threadedTps = 0;
+        double speedup = 0;
+    };
+    std::vector<TierCmp> tier_cmps;
+    if (opt.tiers.size() > 1) {
+        for (const Row &a : rows) {
+            if (a.tier != ExecTier::Interp)
+                continue;
+            for (const Row &b : rows) {
+                if (b.tier == ExecTier::Threaded &&
+                    b.workload == a.workload && b.mode == a.mode &&
+                    b.k == a.k) {
+                    tier_cmps.push_back({a.workload, a.mode, a.k,
+                                         a.trialsPerSec, b.trialsPerSec,
+                                         b.trialsPerSec /
+                                             a.trialsPerSec});
+                }
+            }
+        }
+        benchutil::printHeader(
+            "Tier speedup: threaded trials/sec over interp trials/sec "
+            "at the same K");
+        std::printf("  %-10s %-12s %4s %12s %12s %8s\n", "workload",
+                    "mode", "K", "interp t/s", "threaded t/s",
+                    "speedup");
+        for (const TierCmp &c : tier_cmps)
+            std::printf("  %-10s %-12s %4u %12.1f %12.1f %7.2fx\n",
+                        c.workload.c_str(), hardeningModeName(c.mode),
+                        c.k, c.interpTps, c.threadedTps, c.speedup);
+    }
 
     // ---- suite sweep: workload x mode grid, shared fault-free work ----
     std::vector<std::string> sweep_workloads = workloads;
@@ -299,6 +371,10 @@ main(int argc, char **argv)
     sweep.base = benchutil::makeConfig("", HardeningMode::Original,
                                        trials);
     sweep.base.threads = opt.threads;
+    // The suite sections run on the last requested tier (threaded when
+    // enabled — it is the campaign engine's production configuration);
+    // outcome identity across tiers is already asserted above.
+    sweep.base.tier = opt.tiers.back();
     // A grid scout: many configurations screened with a modest trial
     // count each (the paper's per-point deep campaigns come after the
     // scout picks the interesting cells). Fast-forward aggressively —
@@ -436,6 +512,7 @@ main(int argc, char **argv)
         std::fprintf(
             f,
             "    {\"workload\": \"%s\", \"mode\": \"%s\", "
+            "\"tier\": \"%s\", "
             "\"goldenDynInstrs\": %llu, \"checkpoints\": %u, "
             "\"trialSeconds\": %.6f, \"trialsPerSec\": %.2f, "
             "\"speedupVsReplay\": %.3f, \"snapshotBytes\": %llu, "
@@ -443,6 +520,7 @@ main(int argc, char **argv)
             "\"compileSeconds\": %.6f, \"profileSeconds\": %.6f, "
             "\"baselineSeconds\": %.6f, \"goldenSeconds\": %.6f}%s\n",
             r.workload.c_str(), hardeningModeName(r.mode),
+            execTierName(r.tier),
             static_cast<unsigned long long>(r.goldenDynInstrs), r.k,
             r.trialSeconds, r.trialsPerSec, r.speedup,
             static_cast<unsigned long long>(r.snapshotBytes),
@@ -453,6 +531,29 @@ main(int argc, char **argv)
     }
     std::fprintf(f, "  ],\n");
 
+    if (!tier_cmps.empty()) {
+        double geo = 0;
+        for (const TierCmp &c : tier_cmps)
+            geo += std::log(c.speedup);
+        geo = std::exp(geo / static_cast<double>(tier_cmps.size()));
+        std::fprintf(f, "  \"tierSpeedup\": {\n"
+                        "    \"geomean\": %.3f,\n"
+                        "    \"rows\": [\n",
+                     geo);
+        for (std::size_t i = 0; i < tier_cmps.size(); ++i) {
+            const TierCmp &c = tier_cmps[i];
+            std::fprintf(
+                f,
+                "      {\"workload\": \"%s\", \"mode\": \"%s\", "
+                "\"checkpoints\": %u, \"interpTrialsPerSec\": %.2f, "
+                "\"threadedTrialsPerSec\": %.2f, \"speedup\": %.3f}%s\n",
+                c.workload.c_str(), hardeningModeName(c.mode), c.k,
+                c.interpTps, c.threadedTps, c.speedup,
+                i + 1 < tier_cmps.size() ? "," : "");
+        }
+        std::fprintf(f, "    ]\n  },\n");
+    }
+
     uint64_t sweep_total_trials = 0;
     for (const CampaignResult &c : suite.cells)
         sweep_total_trials += c.totalTrials();
@@ -460,7 +561,7 @@ main(int argc, char **argv)
         f,
         "  \"suite\": {\n"
         "    \"workloads\": %zu, \"modes\": %zu, \"seeds\": %zu, "
-        "\"trialsPerCell\": %u,\n"
+        "\"trialsPerCell\": %u, \"tier\": \"%s\",\n"
         "    \"suiteWallSeconds\": %.6f, \"suiteCpuSeconds\": %.6f, "
         "\"singleWallSeconds\": %.6f, "
         "\"legacySingleSeconds\": %.6f,\n"
@@ -471,6 +572,7 @@ main(int argc, char **argv)
         "    \"perWorkloadSnapshots\": [\n",
         sweep_workloads.size(), sweep_modes.size(),
         suite.seeds.size(), sweep_trials,
+        execTierName(sweep.base.tier),
         suite_seconds, suite.cpuSeconds, single_seconds, legacy_seconds,
         single_seconds / suite_seconds, legacy_seconds / suite_seconds,
         suite.phase.compileSeconds, suite.phase.profileSeconds,

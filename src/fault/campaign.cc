@@ -188,9 +188,30 @@ buildModule(const Workload &w, HardeningMode mode,
     if (report_out)
         *report_out = report;
     pm.em = std::make_unique<ExecModule>(*pm.mod);
+    if (cfg.tier == ExecTier::Threaded)
+        pm.tm = std::make_unique<ThreadedModule>(*pm.em);
     pm.entryIdx = pm.em->functionIndex(w.entry);
     return pm;
 }
+
+namespace
+{
+
+/** Run @p pm's entry on the tier @p opts requests (interpreter when no
+ * translation was built, e.g. a profiling or interpreter-tier config). */
+RunResult
+runOnTier(const PreparedModule &pm, Memory &mem,
+          const std::vector<uint64_t> &args, const ExecOptions &opts)
+{
+    if (opts.tier == ExecTier::Threaded && pm.tm) {
+        ThreadedExec texec(*pm.tm, mem);
+        return texec.run(pm.entryIdx, args, opts);
+    }
+    Interpreter interp(*pm.em, mem);
+    return interp.run(pm.entryIdx, args, opts);
+}
+
+} // namespace
 
 ProfileData
 collectProfile(const Workload &w, const CampaignConfig &cfg,
@@ -220,8 +241,8 @@ runBaseline(const Workload &w, const PreparedModule &baseline,
     auto run = prepareRun(test_spec);
     ExecOptions opts;
     opts.cost = cfg.cost;
-    Interpreter interp(*baseline.em, *run.mem);
-    auto r = interp.run(baseline.entryIdx, run.args, opts);
+    opts.tier = cfg.tier;
+    auto r = runOnTier(baseline, *run.mem, run.args, opts);
     scAssert(r.ok(), "baseline run failed for ", w.name);
     return BaselineStats{r.cycles, r.dynInstrs};
 }
@@ -326,8 +347,8 @@ characterizeCell(const CampaignConfig &config,
                 opts.checkpointSink = &cell.snapshots;
             }
         }
-        Interpreter interp(*hardened.em, *run.mem);
-        cell.goldenRun = interp.run(hardened.entryIdx, run.args, opts);
+        opts.tier = config.tier;
+        cell.goldenRun = runOnTier(hardened, *run.mem, run.args, opts);
         scAssert(cell.goldenRun.ok(), "golden run failed for ", w.name);
         result.goldenDynInstrs = cell.goldenRun.dynInstrs;
         result.goldenCycles = cell.goldenRun.cycles;
@@ -399,6 +420,7 @@ runTrialBatch(const CellCharacterization &cell,
     // Shared trial options; per-trial fields are filled below.
     ExecOptions trial_opts;
     trial_opts.cost = config.cost;
+    trial_opts.tier = config.tier;
     trial_opts.checkMode = CheckMode::Halt;
     trial_opts.disabledChecks = &cell.disabled;
     trial_opts.maxDynInstrs = max_dyn;
@@ -446,7 +468,7 @@ runTrialBatch(const CellCharacterization &cell,
             ws->interp.begin(ws->st, hardened.entryIdx, ws->run.args,
                              config.cost);
         }
-        auto r = ws->interp.resume(ws->st, opts);
+        auto r = ws->resume(opts);
 
         Outcome outcome;
         bool large = false;

@@ -67,6 +67,15 @@ struct CampaignConfig
     uint64_t hwDetectWindowCycles = 1000; //!< paper Sec. IV-C
 
     /**
+     * Execution tier for the fault-free characterization runs and the
+     * injection trials. The threaded tier is bit-identical to the
+     * interpreter (same outcomes, counts, and cost-model state — see
+     * tests/fault/test_tier_campaign.cc), just faster; profiling always
+     * runs on the interpreter, which has the value-profiling hooks.
+     */
+    ExecTier tier = ExecTier::Interp;
+
+    /**
      * Trial fast-forwarding: record about this many evenly spaced
      * snapshots of the fault-free run, and start each trial from the
      * nearest snapshot at or before its injection point instead of

@@ -24,6 +24,7 @@
 
 #include "fault/campaign.hh"
 #include "interp/interpreter.hh"
+#include "interp/threaded_exec.hh"
 #include "ir/module.hh"
 #include "profile/profile_data.hh"
 #include "support/task_pool.hh"
@@ -53,6 +54,10 @@ struct PreparedModule
 {
     std::unique_ptr<Module> mod;
     std::unique_ptr<ExecModule> em;
+    /** Direct-threaded translation; built only when the campaign runs
+     * on ExecTier::Threaded, and shared read-only by every engine
+     * bound to this module (the translation is stateless). */
+    std::unique_ptr<ThreadedModule> tm;
     std::size_t entryIdx = 0;
 };
 
@@ -182,12 +187,27 @@ struct TrialWorkerState
     PreparedRun run;
     Memory pristine;
     Interpreter interp;
+    std::unique_ptr<ThreadedExec> texec; //!< when the module carries a
+                                         //!< threaded translation
     ExecState st;
 
     explicit TrialWorkerState(const CellCharacterization &cell)
         : run(prepareRun(cell.testSpec())), pristine(*run.mem),
           interp(*cell.module().em, *run.mem)
     {
+        if (cell.module().tm)
+            texec = std::make_unique<ThreadedExec>(*cell.module().tm,
+                                                   *run.mem);
+    }
+
+    /** Resume on the tier @p opts requests (falling back to the
+     * interpreter when no translation was built). */
+    RunResult
+    resume(const ExecOptions &opts)
+    {
+        if (opts.tier == ExecTier::Threaded && texec)
+            return texec->resume(st, opts);
+        return interp.resume(st, opts);
     }
 };
 

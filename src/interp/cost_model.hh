@@ -69,6 +69,18 @@ class CostModel
         }
     }
 
+    /**
+     * Batched base charge: equivalent to @p n onInstr() calls for
+     * opcodes with no div/math stall. The threaded tier counts
+     * instructions in a register inside its unchecked inner loop and
+     * settles here at event horizons; its div/math handlers charge
+     * their stalls separately via addStalls().
+     */
+    void addInstrs(uint64_t n) { instrs += n; }
+
+    /** Charge @p n extra stall cycles (threaded-tier div/math). */
+    void addStalls(uint64_t n) { stalls += n; }
+
     /** Simulate an L1-D access (loads and stores). */
     void
     onMemAccess(uint64_t addr)

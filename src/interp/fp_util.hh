@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Floating-point bit-pattern helpers shared by the two execution tiers
+ * (interpreter.cc and threaded_exec.cc). Registers hold canonical
+ * uint64_t bit patterns: f64 occupies all 64 bits, f32 the low 32.
+ * Both tiers must produce bit-identical results, so they must share
+ * these definitions rather than re-derive them.
+ */
+
+#ifndef SOFTCHECK_INTERP_FP_UTIL_HH
+#define SOFTCHECK_INTERP_FP_UTIL_HH
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+#include "interp/exec_module.hh"
+#include "support/bits.hh"
+
+namespace softcheck::fp_util
+{
+
+inline double
+asF64(uint64_t bits)
+{
+    return std::bit_cast<double>(bits);
+}
+
+inline uint64_t
+fromF64(double v)
+{
+    return std::bit_cast<uint64_t>(v);
+}
+
+inline float
+asF32(uint64_t bits)
+{
+    return std::bit_cast<float>(static_cast<uint32_t>(bits));
+}
+
+inline uint64_t
+fromF32(float v)
+{
+    return std::bit_cast<uint32_t>(v);
+}
+
+/** Saturating float -> signed int conversion (deterministic; NaN -> 0),
+ * matching llvm.fptosi.sat semantics. */
+inline int64_t
+fpToSiSat(double v, unsigned width)
+{
+    if (std::isnan(v))
+        return 0;
+    const double lo = -std::ldexp(1.0, static_cast<int>(width) - 1);
+    const double hi = std::ldexp(1.0, static_cast<int>(width) - 1) - 1.0;
+    if (v <= lo)
+        return static_cast<int64_t>(
+            std::numeric_limits<int64_t>::min() >> (64 - width));
+    if (v >= hi) {
+        const uint64_t max =
+            (width >= 64) ? std::numeric_limits<int64_t>::max()
+                          : ((1ULL << (width - 1)) - 1);
+        return static_cast<int64_t>(max);
+    }
+    return static_cast<int64_t>(v);
+}
+
+/** Convert a canonical register value to double for profiling. */
+inline double
+profileValue(TypeKind k, uint64_t raw)
+{
+    switch (k) {
+      case TypeKind::F64:
+        return asF64(raw);
+      case TypeKind::F32:
+        return static_cast<double>(asF32(raw));
+      default:
+        return static_cast<double>(signExtend(raw, typeBits(k)));
+    }
+}
+
+} // namespace softcheck::fp_util
+
+#endif // SOFTCHECK_INTERP_FP_UTIL_HH

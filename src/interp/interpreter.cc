@@ -1,89 +1,19 @@
 #include "interp/interpreter.hh"
 
-#include <bit>
 #include <cmath>
 #include <limits>
 
+#include "interp/fp_util.hh"
 #include "support/bits.hh"
 #include "support/error.hh"
 
 namespace softcheck
 {
 
+using namespace fp_util;
+
 namespace
 {
-
-double
-asF64(uint64_t bits)
-{
-    return std::bit_cast<double>(bits);
-}
-
-uint64_t
-fromF64(double v)
-{
-    return std::bit_cast<uint64_t>(v);
-}
-
-float
-asF32(uint64_t bits)
-{
-    return std::bit_cast<float>(static_cast<uint32_t>(bits));
-}
-
-uint64_t
-fromF32(float v)
-{
-    return std::bit_cast<uint32_t>(v);
-}
-
-/** Saturating float -> signed int conversion (deterministic; NaN -> 0),
- * matching llvm.fptosi.sat semantics. */
-int64_t
-fpToSiSat(double v, unsigned width)
-{
-    if (std::isnan(v))
-        return 0;
-    const double lo = -std::ldexp(1.0, static_cast<int>(width) - 1);
-    const double hi = std::ldexp(1.0, static_cast<int>(width) - 1) - 1.0;
-    if (v <= lo)
-        return static_cast<int64_t>(
-            std::numeric_limits<int64_t>::min() >> (64 - width));
-    if (v >= hi) {
-        const uint64_t max =
-            (width >= 64) ? std::numeric_limits<int64_t>::max()
-                          : ((1ULL << (width - 1)) - 1);
-        return static_cast<int64_t>(max);
-    }
-    return static_cast<int64_t>(v);
-}
-
-/** Convert a canonical register value to double for profiling. */
-double
-profileValue(TypeKind k, uint64_t raw)
-{
-    switch (k) {
-      case TypeKind::F64:
-        return asF64(raw);
-      case TypeKind::F32:
-        return static_cast<double>(asF32(raw));
-      default:
-        return static_cast<double>(signExtend(raw, typeBits(k)));
-    }
-}
-
-void
-pushFrame(std::vector<ExecFrame> &stack, const ExecFunction &fn,
-          int32_t ret_dst)
-{
-    ExecFrame fr;
-    fr.fn = &fn;
-    fr.regs.assign(fn.numSlots, 0);
-    fr.retDst = ret_dst;
-    fr.curBlock = 0;
-    fr.ip = fn.blocks.empty() ? 0 : fn.blocks[0].first;
-    stack.push_back(std::move(fr));
-}
 
 /** Frame equality for golden-convergence pruning; the recent-write ring
  * is excluded (it only feeds fault-site selection, which is over by the
@@ -97,6 +27,75 @@ framesConverged(const ExecFrame &a, const ExecFrame &b)
 }
 
 } // namespace
+
+const char *
+execTierName(ExecTier t)
+{
+    return t == ExecTier::Threaded ? "threaded" : "interp";
+}
+
+void
+pushExecFrame(std::vector<ExecFrame> &stack, FrameArena &arena,
+              const ExecFunction &fn, int32_t ret_dst)
+{
+    if (arena.spare.empty()) {
+        stack.emplace_back();
+    } else {
+        stack.push_back(std::move(arena.spare.back()));
+        arena.spare.pop_back();
+    }
+    ExecFrame &fr = stack.back();
+    fr.fn = &fn;
+    // assign() reuses a recycled frame's register storage in place.
+    fr.regs.assign(fn.numSlots, 0);
+    fr.allocaBases.clear();
+    fr.recentCount = 0;
+    fr.recentPos = 0;
+    fr.retDst = ret_dst;
+    fr.curBlock = 0;
+    fr.ip = fn.blocks.empty() ? 0 : fn.blocks[0].first;
+}
+
+void
+popExecFrame(std::vector<ExecFrame> &stack, FrameArena &arena)
+{
+    arena.spare.push_back(std::move(stack.back()));
+    stack.pop_back();
+}
+
+void
+beginExec(const ExecModule &em, Memory &mem, ExecState &st,
+          std::size_t fn_index, const std::vector<uint64_t> &args,
+          const CostConfig &cost_cfg, FrameArena &arena)
+{
+    while (!st.stack.empty())
+        popExecFrame(st.stack, arena);
+    st.globalBases.clear();
+    st.dynCount = 0;
+    st.cost = CostModel(cost_cfg);
+
+    const ExecFunction &entry = em.function(fn_index);
+    scAssert(args.size() == entry.numArgs,
+             "argument count mismatch for entry function");
+    pushExecFrame(st.stack, arena, entry, -1);
+    ExecFrame &fr = st.stack.back();
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        fr.regs[i] = args[i];
+        fr.noteWrite(static_cast<int32_t>(i));
+    }
+
+    // Materialize module globals (constant tables) for this run.
+    st.globalBases.reserve(em.globals().size());
+    for (const GlobalVariable *g : em.globals()) {
+        const unsigned esz = g->elementType().storeSize();
+        const uint64_t base = mem.alloc(g->count() * esz, g->name());
+        for (uint64_t i = 0; i < g->count(); ++i) {
+            const bool ok = mem.write(base + i * esz, esz, g->init()[i]);
+            scAssert(ok, "global init write failed");
+        }
+        st.globalBases.push_back(base);
+    }
+}
 
 Snapshot
 Snapshot::save(const ExecState &st, const Memory &m)
@@ -141,32 +140,7 @@ Interpreter::begin(ExecState &st, std::size_t fn_index,
                    const std::vector<uint64_t> &args,
                    const CostConfig &cost_cfg)
 {
-    st.stack.clear();
-    st.globalBases.clear();
-    st.dynCount = 0;
-    st.cost = CostModel(cost_cfg);
-
-    const ExecFunction &entry = em.function(fn_index);
-    scAssert(args.size() == entry.numArgs,
-             "argument count mismatch for entry function");
-    pushFrame(st.stack, entry, -1);
-    ExecFrame &fr = st.stack.back();
-    for (std::size_t i = 0; i < args.size(); ++i) {
-        fr.regs[i] = args[i];
-        fr.noteWrite(static_cast<int32_t>(i));
-    }
-
-    // Materialize module globals (constant tables) for this run.
-    st.globalBases.reserve(em.globals().size());
-    for (const GlobalVariable *g : em.globals()) {
-        const unsigned esz = g->elementType().storeSize();
-        const uint64_t base = mem.alloc(g->count() * esz, g->name());
-        for (uint64_t i = 0; i < g->count(); ++i) {
-            const bool ok = mem.write(base + i * esz, esz, g->init()[i]);
-            scAssert(ok, "global init write failed");
-        }
-        st.globalBases.push_back(base);
-    }
+    beginExec(em, mem, st, fn_index, args, cost_cfg, arena);
 }
 
 RunResult
@@ -291,6 +265,8 @@ Interpreter::resume(ExecState &st, const ExecOptions &opts)
             return finish(Termination::Timeout, TrapKind::None, -1, 0);
         ++dyn_count;
         cost.onInstr(inst.op);
+        if (opts.dynMix)
+            opts.dynMix->note(fr.fn, fr.ip, inst.op);
 
         auto read_op = [&fr](const OpRef &r) {
             return r.slot >= 0 ? fr.regs[static_cast<size_t>(r.slot)]
@@ -606,7 +582,7 @@ Interpreter::resume(ExecState &st, const ExecOptions &opts)
             for (const OpRef &arg : inst.callArgs)
                 phi_tmp.push_back(read_op(arg));
             ++fr.ip; // return continuation
-            pushFrame(stack, callee, inst.dst);
+            pushExecFrame(stack, arena, callee, inst.dst);
             ExecFrame &nf = stack.back();
             for (std::size_t i = 0; i < phi_tmp.size(); ++i) {
                 nf.regs[i] = phi_tmp[i];
@@ -620,7 +596,7 @@ Interpreter::resume(ExecState &st, const ExecOptions &opts)
             for (uint64_t base : fr.allocaBases)
                 mem.free(base);
             const int32_t ret_dst = fr.retDst;
-            stack.pop_back();
+            popExecFrame(stack, arena);
             if (stack.empty())
                 return finish(Termination::Ok, TrapKind::None, -1, v);
             if (ret_dst >= 0) {

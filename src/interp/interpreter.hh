@@ -124,12 +124,36 @@ struct ExecFrame
     void
     noteWrite(int32_t slot)
     {
+        static_assert((kRecentRing & (kRecentRing - 1)) == 0,
+                      "ring index reduction relies on a power of two");
         recent[recentPos] = slot;
-        recentPos = (recentPos + 1) % kRecentRing;
+        recentPos = (recentPos + 1) & (kRecentRing - 1);
         if (recentCount < kRecentRing)
             ++recentCount;
     }
 };
+
+/**
+ * Pool of retired ExecFrames. Pushing a frame through an arena reuses a
+ * retired frame's register and alloca storage instead of allocating
+ * fresh vectors per call. Deliberately not part of ExecState: snapshots
+ * must not deep-copy a recycling pool, and the pool's contents never
+ * influence execution (every recycled field is reset on push; ring
+ * entries beyond recentCount are never read).
+ */
+struct FrameArena
+{
+    std::vector<ExecFrame> spare;
+};
+
+/** Push a frame for @p fn onto @p stack, recycling storage from
+ * @p arena. Registers are zeroed, the recent-write ring is emptied, and
+ * ip/curBlock point at the function entry. */
+void pushExecFrame(std::vector<ExecFrame> &stack, FrameArena &arena,
+                   const ExecFunction &fn, int32_t ret_dst);
+
+/** Pop the top frame of @p stack into @p arena for reuse. */
+void popExecFrame(std::vector<ExecFrame> &stack, FrameArena &arena);
 
 /**
  * Everything Interpreter::resume mutates except the bound Memory: the
@@ -200,6 +224,55 @@ struct Snapshot
     bool convergedWith(const ExecState &st, const Memory &m) const;
 };
 
+/**
+ * Which execution engine runs dynamic instructions. The interpreter is
+ * the reference tier; the direct-threaded tier (threaded_exec.hh) is a
+ * bit-identical fast path for campaign trials. Profiling runs always
+ * use the interpreter (the threaded tier has no profiling hooks).
+ */
+enum class ExecTier : uint8_t
+{
+    Interp,   //!< reference switch-dispatch interpreter
+    Threaded, //!< direct-threaded decoded-stream tier
+};
+
+const char *execTierName(ExecTier t);
+
+/**
+ * Dynamic opcode-mix histogram (ExecOptions::dynMix, interpreter only):
+ * per-opcode dynamic counts plus counts of adjacent same-function
+ * fetch pairs (instruction at ip followed by ip+1 — the only shape a
+ * superinstruction can fuse). Feeds `softcheck-lint --dyn-opcode-mix`,
+ * which justifies and tunes the threaded tier's fusion set.
+ */
+struct DynMixSink
+{
+    std::array<uint64_t, kNumIrOpcodes> opcodeCounts{};
+    /** pairCounts[prev * kNumIrOpcodes + cur], fallthrough pairs only. */
+    std::vector<uint64_t> pairCounts =
+        std::vector<uint64_t>(std::size_t{kNumIrOpcodes} * kNumIrOpcodes,
+                              0);
+    uint64_t total = 0;
+
+    void
+    note(const void *fn, uint32_t ip, Opcode op)
+    {
+        ++total;
+        ++opcodeCounts[static_cast<unsigned>(op)];
+        if (fn == prevFn && ip == prevIp + 1)
+            ++pairCounts[static_cast<unsigned>(prevOp) * kNumIrOpcodes +
+                         static_cast<unsigned>(op)];
+        prevFn = fn;
+        prevIp = ip;
+        prevOp = op;
+    }
+
+  private:
+    const void *prevFn = nullptr;
+    uint32_t prevIp = ~0u - 1;
+    Opcode prevOp = Opcode::Ret;
+};
+
 /** Per-run execution options. */
 struct ExecOptions
 {
@@ -255,6 +328,17 @@ struct ExecOptions
     const std::vector<Snapshot> *goldenSnapshots = nullptr;
     uint64_t goldenEvery = 0;
     const RunResult *goldenResult = nullptr;
+
+    /**
+     * Requested execution tier. Engines don't dispatch on this
+     * themselves — tier-aware callers (the campaign engine, benches)
+     * pick the engine and pass the options through; both tiers honor
+     * every other field identically.
+     */
+    ExecTier tier = ExecTier::Interp;
+
+    /** Dynamic opcode-mix sink (interpreter only); null = off. */
+    DynMixSink *dynMix = nullptr;
 };
 
 class Interpreter
@@ -289,7 +373,18 @@ class Interpreter
   private:
     const ExecModule &em;
     Memory &mem;
+    FrameArena arena;
 };
+
+/**
+ * Shared begin() used by both execution tiers: reset @p st to the entry
+ * state of @p fn_index (entry frame pushed through @p arena, arguments
+ * copied with recent-write notes) and materialize module globals into
+ * @p mem (which must not already hold them).
+ */
+void beginExec(const ExecModule &em, Memory &mem, ExecState &st,
+               std::size_t fn_index, const std::vector<uint64_t> &args,
+               const CostConfig &cost_cfg, FrameArena &arena);
 
 } // namespace softcheck
 

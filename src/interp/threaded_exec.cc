@@ -1,0 +1,1291 @@
+/**
+ * @file
+ * Implementation of the direct-threaded tier (see threaded_exec.hh).
+ *
+ * Bit-identity with the interpreter is the invariant every line here
+ * serves. The load-bearing details:
+ *
+ *  - A trapping or check-failing instruction is still counted (the
+ *    interpreter increments dynCount and charges onInstr before
+ *    executing), and ip is left pointing at it.
+ *  - Every register write — including phi moves, call argument copies
+ *    and return-value writes — goes through ExecFrame::noteWrite, so
+ *    the recent-write ring matches the interpreter's at fault time.
+ *  - Div/math stalls are charged before the div-by-zero test, like
+ *    CostModel::onInstr running before the handler body.
+ *  - cycles() is only observed at event boundaries, where the batched
+ *    addInstrs() settlement has already run, so the deferred base
+ *    charge is unobservable.
+ *  - Fused handlers only run when the horizon is at least two
+ *    instructions away (`remaining >= 2`); otherwise TInst::alt runs
+ *    the unfused first half, the boundary event fires between the two
+ *    halves exactly as the interpreter would interleave it, and the
+ *    fully-decoded second TInst serves as the landing pad.
+ */
+
+#include "interp/threaded_exec.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+
+#include "interp/fp_util.hh"
+#include "support/bits.hh"
+#include "support/error.hh"
+
+/* Computed-goto dispatch needs GNU address-of-label; define
+ * SOFTCHECK_CGOTO=0 on the command line to force the portable
+ * switch fallback (CI builds it to keep both paths honest). */
+#ifndef SOFTCHECK_CGOTO
+#if defined(__GNUC__) || defined(__clang__)
+#define SOFTCHECK_CGOTO 1
+#else
+#define SOFTCHECK_CGOTO 0
+#endif
+#endif
+
+namespace softcheck
+{
+
+using namespace fp_util;
+
+// ---------------------------------------------------------------------
+// Translation
+// ---------------------------------------------------------------------
+
+namespace
+{
+
+constexpr uint8_t
+hid(THandler h)
+{
+    return static_cast<uint8_t>(h);
+}
+
+THandler
+icmpHandler(Predicate p)
+{
+    switch (p) {
+      case Predicate::Eq: return THandler::ICmpEq;
+      case Predicate::Ne: return THandler::ICmpNe;
+      case Predicate::Slt: return THandler::ICmpSlt;
+      case Predicate::Sle: return THandler::ICmpSle;
+      case Predicate::Sgt: return THandler::ICmpSgt;
+      case Predicate::Sge: return THandler::ICmpSge;
+      case Predicate::Ult: return THandler::ICmpUlt;
+      case Predicate::Ule: return THandler::ICmpUle;
+      case Predicate::Ugt: return THandler::ICmpUgt;
+      case Predicate::Uge: return THandler::ICmpUge;
+      default: scPanic("bad icmp predicate");
+    }
+}
+
+THandler
+cmpBrHandler(Predicate p)
+{
+    switch (p) {
+      case Predicate::Eq: return THandler::CmpBrEq;
+      case Predicate::Ne: return THandler::CmpBrNe;
+      case Predicate::Slt: return THandler::CmpBrSlt;
+      case Predicate::Sle: return THandler::CmpBrSle;
+      case Predicate::Sgt: return THandler::CmpBrSgt;
+      case Predicate::Sge: return THandler::CmpBrSge;
+      case Predicate::Ult: return THandler::CmpBrUlt;
+      case Predicate::Ule: return THandler::CmpBrUle;
+      case Predicate::Ugt: return THandler::CmpBrUgt;
+      case Predicate::Uge: return THandler::CmpBrUge;
+      default: scPanic("bad icmp predicate");
+    }
+}
+
+THandler
+fcmpHandler(Predicate p, bool f64)
+{
+    switch (p) {
+      case Predicate::OEq:
+        return f64 ? THandler::FCmpDOEq : THandler::FCmpSOEq;
+      case Predicate::ONe:
+        return f64 ? THandler::FCmpDONe : THandler::FCmpSONe;
+      case Predicate::OLt:
+        return f64 ? THandler::FCmpDOLt : THandler::FCmpSOLt;
+      case Predicate::OLe:
+        return f64 ? THandler::FCmpDOLe : THandler::FCmpSOLe;
+      case Predicate::OGt:
+        return f64 ? THandler::FCmpDOGt : THandler::FCmpSOGt;
+      case Predicate::OGe:
+        return f64 ? THandler::FCmpDOGe : THandler::FCmpSOGe;
+      default: scPanic("bad fcmp predicate");
+    }
+}
+
+} // namespace
+
+ThreadedModule::ThreadedModule(const ExecModule &exec_module)
+    : src(&exec_module)
+{
+    fns.resize(exec_module.numFunctions());
+    for (std::size_t i = 0; i < exec_module.numFunctions(); ++i)
+        translate(exec_module.function(i), fns[i]);
+}
+
+void
+ThreadedModule::translate(const ExecFunction &fn, ThreadedFunction &out)
+{
+    out.src = &fn;
+    const std::size_t n = fn.code.size();
+    out.code.resize(n);
+
+    // Block index of each instruction. Blocks are emitted contiguously
+    // in layout order, so block b spans [blocks[b].first, next first).
+    std::vector<uint32_t> block_of(n, 0);
+    for (std::size_t b = 0; b < fn.blocks.size(); ++b) {
+        const std::size_t first = fn.blocks[b].first;
+        const std::size_t end =
+            b + 1 < fn.blocks.size() ? fn.blocks[b + 1].first : n;
+        scAssert(first <= end && end <= n, "non-contiguous block layout");
+        for (std::size_t i = first; i < end; ++i)
+            block_of[i] = static_cast<uint32_t>(b);
+    }
+
+    std::map<uint64_t, int32_t> const_idx;
+    auto operand = [&](const OpRef &r) -> int32_t {
+        if (r.slot >= 0)
+            return r.slot;
+        auto [it, inserted] = const_idx.try_emplace(
+            r.imm, static_cast<int32_t>(out.consts.size()));
+        if (inserted)
+            out.consts.push_back(r.imm);
+        return ~it->second;
+    };
+
+    auto add_edge = [&](uint32_t from_block, uint32_t target) {
+        TEdge e;
+        e.targetBlock = target;
+        e.targetIp = fn.blocks[target].first;
+        e.movesBegin = static_cast<uint32_t>(out.phiMoves.size());
+        for (const auto &[pred, moves] : fn.blocks[target].phiIn) {
+            if (pred != from_block)
+                continue;
+            for (const PhiMove &mv : moves)
+                out.phiMoves.push_back({mv.dst, operand(mv.src)});
+            break;
+        }
+        e.movesEnd = static_cast<uint32_t>(out.phiMoves.size());
+        maxMoves = std::max<std::size_t>(maxMoves,
+                                         e.movesEnd - e.movesBegin);
+        out.edges.push_back(e);
+        return static_cast<uint32_t>(out.edges.size() - 1);
+    };
+
+    for (std::size_t i = 0; i < n; ++i) {
+        const ExecInst &inst = fn.code[i];
+        TInst &t = out.code[i];
+        t.pred = inst.pred;
+        t.ty = inst.ty;
+        t.srcOp = inst.op;
+        t.width = static_cast<uint8_t>(typeBits(inst.ty));
+        t.elemSize = inst.elemSize;
+        t.dst = inst.dst;
+        t.a = operand(inst.a);
+        t.b = operand(inst.b);
+        t.c = operand(inst.c);
+        t.branchSite = inst.branchSite;
+        t.checkId = inst.checkId;
+        t.calleeIdx = inst.calleeIdx;
+
+        const bool f64 = inst.ty == TypeKind::F64;
+        THandler h;
+        switch (inst.op) {
+          case Opcode::Add: h = THandler::Add; break;
+          case Opcode::Sub: h = THandler::Sub; break;
+          case Opcode::Mul: h = THandler::Mul; break;
+          case Opcode::SDiv: h = THandler::SDiv; break;
+          case Opcode::SRem: h = THandler::SRem; break;
+          case Opcode::UDiv: h = THandler::UDiv; break;
+          case Opcode::URem: h = THandler::URem; break;
+          case Opcode::And: h = THandler::And; break;
+          case Opcode::Or: h = THandler::Or; break;
+          case Opcode::Xor: h = THandler::Xor; break;
+          case Opcode::Shl: h = THandler::Shl; break;
+          case Opcode::LShr: h = THandler::LShr; break;
+          case Opcode::AShr: h = THandler::AShr; break;
+          case Opcode::FAdd:
+            h = f64 ? THandler::FAddD : THandler::FAddS;
+            break;
+          case Opcode::FSub:
+            h = f64 ? THandler::FSubD : THandler::FSubS;
+            break;
+          case Opcode::FMul:
+            h = f64 ? THandler::FMulD : THandler::FMulS;
+            break;
+          case Opcode::FDiv:
+            h = f64 ? THandler::FDivD : THandler::FDivS;
+            break;
+          case Opcode::ICmp: h = icmpHandler(inst.pred); break;
+          case Opcode::FCmp: h = fcmpHandler(inst.pred, f64); break;
+          case Opcode::Trunc:
+          case Opcode::PtrToInt:
+            h = THandler::Trunc;
+            break;
+          case Opcode::ZExt:
+          case Opcode::IntToPtr:
+            h = THandler::Move;
+            break;
+          case Opcode::SExt:
+            t.srcBits = static_cast<uint8_t>(
+                typeBits(static_cast<TypeKind>(inst.elemSize)));
+            h = THandler::SExt;
+            break;
+          case Opcode::FPToSI:
+            h = static_cast<TypeKind>(inst.elemSize) == TypeKind::F64
+                    ? THandler::FPToSiD
+                    : THandler::FPToSiS;
+            break;
+          case Opcode::SIToFP:
+            t.srcBits = static_cast<uint8_t>(
+                typeBits(static_cast<TypeKind>(inst.elemSize)));
+            h = f64 ? THandler::SIToFPD : THandler::SIToFPS;
+            break;
+          case Opcode::FPTrunc: h = THandler::FPTrunc; break;
+          case Opcode::FPExt: h = THandler::FPExt; break;
+          case Opcode::Load: h = THandler::Load; break;
+          case Opcode::Store: h = THandler::Store; break;
+          case Opcode::Gep: h = THandler::Gep; break;
+          case Opcode::Alloca: h = THandler::Alloca; break;
+          case Opcode::GlobalAddr:
+            t.e0 = static_cast<uint32_t>(inst.a.imm);
+            h = THandler::GlobalAddr;
+            break;
+          case Opcode::Br:
+            t.e0 = add_edge(block_of[i], inst.t0);
+            h = THandler::Br;
+            break;
+          case Opcode::CondBr:
+            t.e0 = add_edge(block_of[i], inst.t0);
+            t.e1 = add_edge(block_of[i], inst.t1);
+            h = THandler::CondBr;
+            break;
+          case Opcode::Select: h = THandler::Select; break;
+          case Opcode::Call: {
+            t.argsBegin = static_cast<uint32_t>(out.callArgs.size());
+            for (const OpRef &arg : inst.callArgs)
+                out.callArgs.push_back(operand(arg));
+            t.e0 = static_cast<uint32_t>(inst.callArgs.size());
+            maxArgs = std::max<std::size_t>(maxArgs,
+                                            inst.callArgs.size());
+            h = THandler::Call;
+            break;
+          }
+          case Opcode::Ret:
+            t.e0 = fn.retTy != TypeKind::Void ? 1 : 0;
+            h = THandler::Ret;
+            break;
+          case Opcode::Sqrt:
+          case Opcode::FAbs:
+          case Opcode::Exp:
+          case Opcode::Log:
+          case Opcode::Sin:
+          case Opcode::Cos:
+            h = f64 ? THandler::MathD : THandler::MathS;
+            break;
+          case Opcode::FMin:
+            h = f64 ? THandler::FMinD : THandler::FMinS;
+            break;
+          case Opcode::FMax:
+            h = f64 ? THandler::FMaxD : THandler::FMaxS;
+            break;
+          case Opcode::CheckEq:
+          case Opcode::CheckOne:
+            h = inst.elided ? THandler::CheckElided
+                            : THandler::CheckEq2;
+            break;
+          case Opcode::CheckTwo:
+            h = inst.elided ? THandler::CheckElided : THandler::CheckTwo;
+            break;
+          case Opcode::CheckRange:
+            h = inst.elided          ? THandler::CheckElided
+                : f64                ? THandler::CheckRangeD
+                : inst.ty == TypeKind::F32 ? THandler::CheckRangeS
+                                           : THandler::CheckRangeI;
+            break;
+          case Opcode::Phi:
+            scPanic("phi reached translation (must be edge-applied)");
+          default:
+            scPanic("unhandled opcode in threaded translation");
+        }
+        t.h = hid(h);
+        t.alt = t.h;
+    }
+
+    // Superinstruction fusion. The second TInst of a pair stays fully
+    // decoded: it is the landing pad when an event horizon splits the
+    // pair (alt runs the unfused first half) and the fused handler
+    // reads the second half's fields from it.
+    for (std::size_t i = 0; i + 1 < n; ++i) {
+        const ExecInst &ei = fn.code[i];
+        const ExecInst &ej = fn.code[i + 1];
+        if (block_of[i] != block_of[i + 1] || ei.dst < 0)
+            continue;
+        TInst &t = out.code[i];
+        if (ei.op == Opcode::ICmp && ej.op == Opcode::CondBr &&
+            ej.a.slot == ei.dst) {
+            t.h = hid(cmpBrHandler(ei.pred));
+        } else if (ei.op == Opcode::Gep && ej.op == Opcode::Load &&
+                   ej.a.slot == ei.dst) {
+            t.h = hid(THandler::GepLoad);
+        } else if (ei.op == Opcode::Gep && ej.op == Opcode::Store &&
+                   ej.b.slot == ei.dst) {
+            t.h = hid(THandler::GepStore);
+        } else {
+            continue;
+        }
+        t.fused = 1;
+        ++fused;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Execution
+// ---------------------------------------------------------------------
+
+ThreadedExec::ThreadedExec(const ThreadedModule &tmod, Memory &memory)
+    : tm(tmod), em(tmod.execModule()), mem(memory)
+{
+    phiTmp.resize(std::max<std::size_t>(tm.maxPhiMoves(), 1));
+    callTmp.resize(std::max<std::size_t>(tm.maxCallArgs(), 1));
+}
+
+void
+ThreadedExec::begin(ExecState &st, std::size_t fn_index,
+                    const std::vector<uint64_t> &args,
+                    const CostConfig &cost_cfg)
+{
+    beginExec(em, mem, st, fn_index, args, cost_cfg, arena);
+}
+
+RunResult
+ThreadedExec::run(std::size_t fn_index,
+                  const std::vector<uint64_t> &args,
+                  const ExecOptions &opts)
+{
+    ExecState st;
+    begin(st, fn_index, args, opts.cost);
+    return resume(st, opts);
+}
+
+// Operand read: register slot (>= 0) or constant pool (~index).
+#define RD(x) ((x) >= 0 ? regs[(x)] : consts[~(x)])
+
+// Result write: always pairs the register store with the ring note.
+#define WR(v)                                                           \
+    do {                                                                \
+        regs[t->dst] = (v);                                             \
+        fr->noteWrite(t->dst);                                          \
+    } while (0)
+
+#define SYNC_FRAME()                                                    \
+    do {                                                                \
+        fr->ip = ip;                                                    \
+        fr->curBlock = cur_block;                                       \
+    } while (0)
+
+// Settle the batched instruction count into ExecState/CostModel.
+#define SETTLE_COUNTS()                                                 \
+    do {                                                                \
+        st.dynCount += budget - remaining;                              \
+        cost.addInstrs(budget - remaining);                             \
+    } while (0)
+
+#define TRAP_EXIT(kind)                                                 \
+    do {                                                                \
+        SYNC_FRAME();                                                   \
+        SETTLE_COUNTS();                                                \
+        return finish(Termination::Trap, (kind), -1, 0);                \
+    } while (0)
+
+#define CHECK_FAIL_EXIT(id)                                             \
+    do {                                                                \
+        if (!check_fail_allowed(id)) {                                  \
+            SYNC_FRAME();                                               \
+            SETTLE_COUNTS();                                            \
+            return finish(Termination::CheckFailed, TrapKind::None,     \
+                          (id), 0);                                     \
+        }                                                               \
+    } while (0)
+
+// Refresh the cached per-frame pointers after a push/pop/begin.
+#define LOAD_FRAME_CONTEXT()                                            \
+    do {                                                                \
+        fr = &stack.back();                                             \
+        tf = tf_base + static_cast<std::size_t>(fr->fn - fn_base);      \
+        code = tf->code.data();                                         \
+        consts = tf->consts.data();                                     \
+        regs = fr->regs.data();                                         \
+        ip = fr->ip;                                                    \
+        cur_block = fr->curBlock;                                       \
+    } while (0)
+
+// Take a pre-resolved edge: parallel phi-move copy, then jump.
+#define APPLY_EDGE(eidx)                                                \
+    do {                                                                \
+        const TEdge &e_ = tf->edges[(eidx)];                            \
+        if (e_.movesBegin != e_.movesEnd) {                             \
+            const TPhiMove *mv_ = tf->phiMoves.data();                  \
+            for (uint32_t k_ = e_.movesBegin; k_ < e_.movesEnd; ++k_)   \
+                phi_buf[k_ - e_.movesBegin] = RD(mv_[k_].src);          \
+            for (uint32_t k_ = e_.movesBegin; k_ < e_.movesEnd; ++k_) { \
+                regs[mv_[k_].dst] = phi_buf[k_ - e_.movesBegin];        \
+                fr->noteWrite(mv_[k_].dst);                             \
+            }                                                           \
+        }                                                               \
+        cur_block = e_.targetBlock;                                     \
+        ip = e_.targetIp;                                               \
+    } while (0)
+
+#if SOFTCHECK_CGOTO
+#define DISPATCH()                                                      \
+    do {                                                                \
+        if (remaining == 0)                                             \
+            goto L_horizon;                                             \
+        t = code + ip;                                                  \
+        goto *kLabels[remaining >= 2 ? t->h : t->alt];                  \
+    } while (0)
+#define HCASE(n) L_##n:
+#define NEXT() DISPATCH()
+#else
+#define HCASE(n) case THandler::n:
+#define NEXT() break
+#endif
+
+#define SC_ICMP_BODY(EXPR)                                              \
+    {                                                                   \
+        --remaining;                                                    \
+        const uint64_t ua = RD(t->a);                                   \
+        const uint64_t ub = RD(t->b);                                   \
+        const int64_t sa = signExtend(ua, t->width);                    \
+        const int64_t sb = signExtend(ub, t->width);                    \
+        (void)ua; (void)ub; (void)sa; (void)sb;                         \
+        WR((EXPR) ? 1 : 0);                                             \
+        ++ip;                                                           \
+    }
+
+#define SC_FCMPD_BODY(EXPR)                                             \
+    {                                                                   \
+        --remaining;                                                    \
+        const double a = asF64(RD(t->a));                               \
+        const double b = asF64(RD(t->b));                               \
+        WR((EXPR) ? 1 : 0);                                             \
+        ++ip;                                                           \
+    }
+
+#define SC_FCMPS_BODY(EXPR)                                             \
+    {                                                                   \
+        --remaining;                                                    \
+        const float a = asF32(RD(t->a));                                \
+        const float b = asF32(RD(t->b));                                \
+        WR((EXPR) ? 1 : 0);                                             \
+        ++ip;                                                           \
+    }
+
+// Fused ICmp+CondBr: compare, write the compare result (its register
+// stays architecturally live), then branch on it using the second
+// half's predictor site and edges.
+#define SC_CMPBR_BODY(EXPR)                                             \
+    {                                                                   \
+        remaining -= 2;                                                 \
+        const uint64_t ua = RD(t->a);                                   \
+        const uint64_t ub = RD(t->b);                                   \
+        const int64_t sa = signExtend(ua, t->width);                    \
+        const int64_t sb = signExtend(ub, t->width);                    \
+        (void)ua; (void)ub; (void)sa; (void)sb;                         \
+        const bool r = (EXPR);                                          \
+        WR(r ? 1 : 0);                                                  \
+        const TInst *u = t + 1;                                         \
+        cost.onBranch(u->branchSite, r);                                \
+        APPLY_EDGE(r ? u->e0 : u->e1);                                  \
+    }
+
+RunResult
+ThreadedExec::resume(ExecState &st, const ExecOptions &opts)
+{
+    scAssert(!opts.profiler,
+             "profiling runs must use the interpreter tier");
+
+    std::vector<ExecFrame> &stack = st.stack;
+    CostModel &cost = st.cost;
+
+    uint64_t fault_at =
+        opts.faultAtDynInstr ? *opts.faultAtDynInstr : ~0ULL;
+    FaultOutcome fault;
+    uint64_t check_evals = 0;
+
+    uint64_t next_checkpoint = ~0ULL;
+    if (opts.checkpointEvery) {
+        scAssert(opts.checkpointSink, "checkpointEvery without a sink");
+        next_checkpoint = (st.dynCount / opts.checkpointEvery + 1) *
+                          opts.checkpointEvery;
+    }
+
+    uint64_t next_golden_cmp = ~0ULL;
+    auto arm_golden_cmp = [&]() {
+        if (!opts.goldenSnapshots || !opts.goldenEvery)
+            return;
+        next_golden_cmp =
+            (st.dynCount / opts.goldenEvery + 1) * opts.goldenEvery;
+    };
+
+    auto finish = [&](Termination term, TrapKind trap, int check_id,
+                      uint64_t ret) {
+        RunResult r;
+        r.term = term;
+        r.trap = trap;
+        r.failedCheckId = check_id;
+        r.retValue = ret;
+        r.dynInstrs = st.dynCount;
+        r.cycles = cost.cycles();
+        r.endCycle = cost.cycles();
+        r.cacheMisses = cost.cacheMisses();
+        r.branchMispredicts = cost.branchMispredicts();
+        r.checkEvals = check_evals;
+        r.fault = fault;
+        return r;
+    };
+
+    // Mirrors the interpreter's check_passed failure path.
+    auto check_fail_allowed = [&](int32_t id) {
+        if (opts.disabledChecks && id >= 0 &&
+            static_cast<std::size_t>(id) < opts.disabledChecks->size() &&
+            (*opts.disabledChecks)[static_cast<std::size_t>(id)])
+            return true;
+        if (opts.checkMode == CheckMode::Record) {
+            if (opts.checkFailCounts)
+                (*opts.checkFailCounts)[static_cast<std::size_t>(id)]++;
+            return true;
+        }
+        return false;
+    };
+
+    const uint64_t div_stall = cost.config().divExtraCycles;
+    const uint64_t math_stall = cost.config().mathExtraCycles;
+
+    const ExecFunction *fn_base = &em.function(0);
+    const ThreadedFunction *tf_base = &tm.function(0);
+    const uint64_t *globals = st.globalBases.data();
+    uint64_t *phi_buf = phiTmp.data();
+    uint64_t *call_buf = callTmp.data();
+
+    // Inner-loop state, hoisted so no dispatch jump crosses an
+    // initialization.
+    ExecFrame *fr = nullptr;
+    const ThreadedFunction *tf = nullptr;
+    const TInst *code = nullptr;
+    const TInst *t = nullptr;
+    const uint64_t *consts = nullptr;
+    uint64_t *regs = nullptr;
+    uint32_t ip = 0;
+    uint32_t cur_block = 0;
+    uint64_t budget = 0;
+    uint64_t remaining = 0;
+
+    for (;;) {
+        // --- event boundary: same order as the interpreter loop top ---
+        if (st.dynCount >= next_checkpoint) {
+            opts.checkpointSink->push_back(Snapshot::save(st, mem));
+            next_checkpoint += opts.checkpointEvery;
+        }
+
+        if (st.dynCount >= fault_at) {
+            fault_at = ~0ULL;
+            ExecFrame &ff = stack.back();
+            if (ff.recentCount > 0 && opts.faultRng) {
+                Rng &rng = *opts.faultRng;
+                const int32_t slot = ff.recent[static_cast<std::size_t>(
+                    rng.nextBelow(ff.recentCount))];
+                const TypeKind ty =
+                    ff.fn->slotTypes[static_cast<std::size_t>(slot)];
+                const unsigned width = typeBits(ty) ? typeBits(ty) : 64;
+                const unsigned bit =
+                    static_cast<unsigned>(rng.nextBelow(width));
+                fault.injected = true;
+                fault.slot = slot;
+                fault.slotType = ty;
+                fault.bit = bit;
+                fault.before = ff.regs[static_cast<std::size_t>(slot)];
+                fault.after =
+                    flipBit(fault.before, bit) & lowBitMask(width);
+                fault.atDynInstr = st.dynCount;
+                fault.atCycle = cost.cycles();
+                ff.regs[static_cast<std::size_t>(slot)] = fault.after;
+            }
+            arm_golden_cmp();
+        }
+
+        if (st.dynCount >= next_golden_cmp) {
+            const std::size_t idx =
+                static_cast<std::size_t>(st.dynCount /
+                                         opts.goldenEvery) -
+                1;
+            if (idx >= opts.goldenSnapshots->size()) {
+                next_golden_cmp = ~0ULL; // ran past the golden run
+            } else {
+                const Snapshot &gold = (*opts.goldenSnapshots)[idx];
+                if (gold.dynInstr() == st.dynCount &&
+                    gold.convergedWith(st, mem)) {
+                    scAssert(opts.goldenResult,
+                             "goldenSnapshots without goldenResult");
+                    RunResult r = *opts.goldenResult;
+                    r.prunedToGolden = true;
+                    r.fault = fault;
+                    return r;
+                }
+                next_golden_cmp += opts.goldenEvery;
+            }
+        }
+
+        if (st.dynCount >= opts.maxDynInstrs)
+            return finish(Termination::Timeout, TrapKind::None, -1, 0);
+
+        // --- event horizon: run unchecked exactly to the next event ---
+        uint64_t horizon = opts.maxDynInstrs;
+        if (next_checkpoint < horizon)
+            horizon = next_checkpoint;
+        if (fault_at < horizon)
+            horizon = fault_at;
+        if (next_golden_cmp < horizon)
+            horizon = next_golden_cmp;
+        budget = horizon - st.dynCount;
+        remaining = budget;
+
+        LOAD_FRAME_CONTEXT();
+
+#if SOFTCHECK_CGOTO
+        static const void *kLabels[] = {
+#define SOFTCHECK_THANDLER_LABEL(n) &&L_##n,
+            SOFTCHECK_THANDLERS(SOFTCHECK_THANDLER_LABEL)
+#undef SOFTCHECK_THANDLER_LABEL
+        };
+        DISPATCH();
+#else
+        for (;;) {
+            if (remaining == 0)
+                goto L_horizon;
+            t = code + ip;
+            switch (static_cast<THandler>(remaining >= 2 ? t->h
+                                                         : t->alt)) {
+#endif
+
+        // ---- integer arithmetic ------------------------------------
+        HCASE(Add)
+        {
+            --remaining;
+            WR(truncBits(RD(t->a) + RD(t->b), t->width));
+            ++ip;
+        }
+        NEXT();
+        HCASE(Sub)
+        {
+            --remaining;
+            WR(truncBits(RD(t->a) - RD(t->b), t->width));
+            ++ip;
+        }
+        NEXT();
+        HCASE(Mul)
+        {
+            --remaining;
+            WR(truncBits(RD(t->a) * RD(t->b), t->width));
+            ++ip;
+        }
+        NEXT();
+        HCASE(SDiv)
+        {
+            --remaining;
+            cost.addStalls(div_stall);
+            const int64_t a = signExtend(RD(t->a), t->width);
+            const int64_t b = signExtend(RD(t->b), t->width);
+            if (b == 0)
+                TRAP_EXIT(TrapKind::DivByZero);
+            const int64_t res =
+                (a == std::numeric_limits<int64_t>::min() && b == -1)
+                    ? a
+                    : a / b;
+            WR(truncBits(static_cast<uint64_t>(res), t->width));
+            ++ip;
+        }
+        NEXT();
+        HCASE(SRem)
+        {
+            --remaining;
+            cost.addStalls(div_stall);
+            const int64_t a = signExtend(RD(t->a), t->width);
+            const int64_t b = signExtend(RD(t->b), t->width);
+            if (b == 0)
+                TRAP_EXIT(TrapKind::DivByZero);
+            const int64_t res =
+                (a == std::numeric_limits<int64_t>::min() && b == -1)
+                    ? 0
+                    : a % b;
+            WR(truncBits(static_cast<uint64_t>(res), t->width));
+            ++ip;
+        }
+        NEXT();
+        HCASE(UDiv)
+        {
+            --remaining;
+            cost.addStalls(div_stall);
+            const uint64_t a = RD(t->a);
+            const uint64_t b = RD(t->b);
+            if (b == 0)
+                TRAP_EXIT(TrapKind::DivByZero);
+            WR(truncBits(a / b, t->width));
+            ++ip;
+        }
+        NEXT();
+        HCASE(URem)
+        {
+            --remaining;
+            cost.addStalls(div_stall);
+            const uint64_t a = RD(t->a);
+            const uint64_t b = RD(t->b);
+            if (b == 0)
+                TRAP_EXIT(TrapKind::DivByZero);
+            WR(truncBits(a % b, t->width));
+            ++ip;
+        }
+        NEXT();
+        HCASE(And)
+        {
+            --remaining;
+            WR(RD(t->a) & RD(t->b));
+            ++ip;
+        }
+        NEXT();
+        HCASE(Or)
+        {
+            --remaining;
+            WR(RD(t->a) | RD(t->b));
+            ++ip;
+        }
+        NEXT();
+        HCASE(Xor)
+        {
+            --remaining;
+            WR(RD(t->a) ^ RD(t->b));
+            ++ip;
+        }
+        NEXT();
+        HCASE(Shl)
+        {
+            --remaining;
+            const unsigned sh =
+                static_cast<unsigned>(RD(t->b)) & (t->width - 1);
+            WR(truncBits(RD(t->a) << sh, t->width));
+            ++ip;
+        }
+        NEXT();
+        HCASE(LShr)
+        {
+            --remaining;
+            const unsigned sh =
+                static_cast<unsigned>(RD(t->b)) & (t->width - 1);
+            WR(RD(t->a) >> sh);
+            ++ip;
+        }
+        NEXT();
+        HCASE(AShr)
+        {
+            --remaining;
+            const unsigned sh =
+                static_cast<unsigned>(RD(t->b)) & (t->width - 1);
+            const int64_t a = signExtend(RD(t->a), t->width);
+            WR(truncBits(static_cast<uint64_t>(a >> sh), t->width));
+            ++ip;
+        }
+        NEXT();
+
+        // ---- floating-point arithmetic -----------------------------
+        HCASE(FAddD)
+        {
+            --remaining;
+            WR(fromF64(asF64(RD(t->a)) + asF64(RD(t->b))));
+            ++ip;
+        }
+        NEXT();
+        HCASE(FSubD)
+        {
+            --remaining;
+            WR(fromF64(asF64(RD(t->a)) - asF64(RD(t->b))));
+            ++ip;
+        }
+        NEXT();
+        HCASE(FMulD)
+        {
+            --remaining;
+            WR(fromF64(asF64(RD(t->a)) * asF64(RD(t->b))));
+            ++ip;
+        }
+        NEXT();
+        HCASE(FDivD)
+        {
+            --remaining;
+            cost.addStalls(div_stall);
+            WR(fromF64(asF64(RD(t->a)) / asF64(RD(t->b))));
+            ++ip;
+        }
+        NEXT();
+        HCASE(FAddS)
+        {
+            --remaining;
+            WR(fromF32(asF32(RD(t->a)) + asF32(RD(t->b))));
+            ++ip;
+        }
+        NEXT();
+        HCASE(FSubS)
+        {
+            --remaining;
+            WR(fromF32(asF32(RD(t->a)) - asF32(RD(t->b))));
+            ++ip;
+        }
+        NEXT();
+        HCASE(FMulS)
+        {
+            --remaining;
+            WR(fromF32(asF32(RD(t->a)) * asF32(RD(t->b))));
+            ++ip;
+        }
+        NEXT();
+        HCASE(FDivS)
+        {
+            --remaining;
+            cost.addStalls(div_stall);
+            WR(fromF32(asF32(RD(t->a)) / asF32(RD(t->b))));
+            ++ip;
+        }
+        NEXT();
+
+        // ---- comparisons -------------------------------------------
+        HCASE(ICmpEq) SC_ICMP_BODY(ua == ub) NEXT();
+        HCASE(ICmpNe) SC_ICMP_BODY(ua != ub) NEXT();
+        HCASE(ICmpSlt) SC_ICMP_BODY(sa < sb) NEXT();
+        HCASE(ICmpSle) SC_ICMP_BODY(sa <= sb) NEXT();
+        HCASE(ICmpSgt) SC_ICMP_BODY(sa > sb) NEXT();
+        HCASE(ICmpSge) SC_ICMP_BODY(sa >= sb) NEXT();
+        HCASE(ICmpUlt) SC_ICMP_BODY(ua < ub) NEXT();
+        HCASE(ICmpUle) SC_ICMP_BODY(ua <= ub) NEXT();
+        HCASE(ICmpUgt) SC_ICMP_BODY(ua > ub) NEXT();
+        HCASE(ICmpUge) SC_ICMP_BODY(ua >= ub) NEXT();
+
+        // Ordered inequality: false when either operand is NaN (plain
+        // C++ != is the *unordered* inequality).
+        HCASE(FCmpDOEq) SC_FCMPD_BODY(a == b) NEXT();
+        HCASE(FCmpDONe) SC_FCMPD_BODY(a == a && b == b && a != b) NEXT();
+        HCASE(FCmpDOLt) SC_FCMPD_BODY(a < b) NEXT();
+        HCASE(FCmpDOLe) SC_FCMPD_BODY(a <= b) NEXT();
+        HCASE(FCmpDOGt) SC_FCMPD_BODY(a > b) NEXT();
+        HCASE(FCmpDOGe) SC_FCMPD_BODY(a >= b) NEXT();
+        HCASE(FCmpSOEq) SC_FCMPS_BODY(a == b) NEXT();
+        HCASE(FCmpSONe) SC_FCMPS_BODY(a == a && b == b && a != b) NEXT();
+        HCASE(FCmpSOLt) SC_FCMPS_BODY(a < b) NEXT();
+        HCASE(FCmpSOLe) SC_FCMPS_BODY(a <= b) NEXT();
+        HCASE(FCmpSOGt) SC_FCMPS_BODY(a > b) NEXT();
+        HCASE(FCmpSOGe) SC_FCMPS_BODY(a >= b) NEXT();
+
+        // ---- casts -------------------------------------------------
+        HCASE(Trunc)
+        {
+            --remaining;
+            WR(truncBits(RD(t->a), t->width));
+            ++ip;
+        }
+        NEXT();
+        HCASE(Move)
+        {
+            --remaining;
+            WR(RD(t->a));
+            ++ip;
+        }
+        NEXT();
+        HCASE(SExt)
+        {
+            --remaining;
+            const int64_t v = signExtend(RD(t->a), t->srcBits);
+            WR(truncBits(static_cast<uint64_t>(v), t->width));
+            ++ip;
+        }
+        NEXT();
+        HCASE(FPToSiD)
+        {
+            --remaining;
+            WR(truncBits(static_cast<uint64_t>(
+                             fpToSiSat(asF64(RD(t->a)), t->width)),
+                         t->width));
+            ++ip;
+        }
+        NEXT();
+        HCASE(FPToSiS)
+        {
+            --remaining;
+            WR(truncBits(static_cast<uint64_t>(
+                             fpToSiSat(asF32(RD(t->a)), t->width)),
+                         t->width));
+            ++ip;
+        }
+        NEXT();
+        HCASE(SIToFPD)
+        {
+            --remaining;
+            WR(fromF64(static_cast<double>(
+                signExtend(RD(t->a), t->srcBits))));
+            ++ip;
+        }
+        NEXT();
+        HCASE(SIToFPS)
+        {
+            --remaining;
+            WR(fromF32(static_cast<float>(
+                signExtend(RD(t->a), t->srcBits))));
+            ++ip;
+        }
+        NEXT();
+        HCASE(FPTrunc)
+        {
+            --remaining;
+            WR(fromF32(static_cast<float>(asF64(RD(t->a)))));
+            ++ip;
+        }
+        NEXT();
+        HCASE(FPExt)
+        {
+            --remaining;
+            WR(fromF64(static_cast<double>(asF32(RD(t->a)))));
+            ++ip;
+        }
+        NEXT();
+
+        // ---- memory ------------------------------------------------
+        HCASE(Load)
+        {
+            --remaining;
+            const uint64_t addr = RD(t->a);
+            cost.onMemAccess(addr);
+            uint64_t v = 0;
+            if (!mem.read(addr, t->elemSize, v))
+                TRAP_EXIT(TrapKind::OutOfBounds);
+            WR(v);
+            ++ip;
+        }
+        NEXT();
+        HCASE(Store)
+        {
+            --remaining;
+            const uint64_t v = RD(t->a);
+            const uint64_t addr = RD(t->b);
+            cost.onMemAccess(addr);
+            if (!mem.write(addr, t->elemSize, v))
+                TRAP_EXIT(TrapKind::OutOfBounds);
+            ++ip;
+        }
+        NEXT();
+        HCASE(Gep)
+        {
+            --remaining;
+            const uint64_t base = RD(t->a);
+            const int64_t idx = static_cast<int64_t>(RD(t->b));
+            WR(base + static_cast<uint64_t>(idx) * t->elemSize);
+            ++ip;
+        }
+        NEXT();
+        HCASE(Alloca)
+        {
+            --remaining;
+            const uint64_t count = RD(t->a);
+            const uint64_t bytes = count * t->elemSize;
+            if (bytes == 0 || bytes > (1ULL << 30))
+                TRAP_EXIT(TrapKind::OutOfBounds);
+            const uint64_t base = mem.alloc(bytes);
+            fr->allocaBases.push_back(base);
+            WR(base);
+            ++ip;
+        }
+        NEXT();
+        HCASE(GlobalAddr)
+        {
+            --remaining;
+            WR(globals[t->e0]);
+            ++ip;
+        }
+        NEXT();
+
+        // ---- control -----------------------------------------------
+        HCASE(Br)
+        {
+            --remaining;
+            APPLY_EDGE(t->e0);
+        }
+        NEXT();
+        HCASE(CondBr)
+        {
+            --remaining;
+            const bool taken = (RD(t->a) & 1) != 0;
+            cost.onBranch(t->branchSite, taken);
+            APPLY_EDGE(taken ? t->e0 : t->e1);
+        }
+        NEXT();
+        HCASE(Select)
+        {
+            --remaining;
+            WR((RD(t->a) & 1) ? RD(t->b) : RD(t->c));
+            ++ip;
+        }
+        NEXT();
+        HCASE(Call)
+        {
+            --remaining;
+            if (stack.size() >= opts.maxCallDepth)
+                TRAP_EXIT(TrapKind::StackOverflow);
+            const uint32_t argc = t->e0;
+            const int32_t *ap = tf->callArgs.data() + t->argsBegin;
+            for (uint32_t k = 0; k < argc; ++k)
+                call_buf[k] = RD(ap[k]);
+            const int32_t call_dst = t->dst;
+            const std::size_t callee =
+                static_cast<std::size_t>(t->calleeIdx);
+            fr->ip = ip + 1; // return continuation
+            fr->curBlock = cur_block;
+            pushExecFrame(stack, arena, em.function(callee), call_dst);
+            LOAD_FRAME_CONTEXT();
+            for (uint32_t k = 0; k < argc; ++k) {
+                regs[k] = call_buf[k];
+                fr->noteWrite(static_cast<int32_t>(k));
+            }
+        }
+        NEXT();
+        HCASE(Ret)
+        {
+            --remaining;
+            const uint64_t v = t->e0 ? RD(t->a) : 0;
+            for (uint64_t base : fr->allocaBases)
+                mem.free(base);
+            const int32_t ret_dst = fr->retDst;
+            popExecFrame(stack, arena);
+            if (stack.empty()) {
+                SETTLE_COUNTS();
+                return finish(Termination::Ok, TrapKind::None, -1, v);
+            }
+            LOAD_FRAME_CONTEXT();
+            if (ret_dst >= 0) {
+                regs[ret_dst] = v;
+                fr->noteWrite(ret_dst);
+            }
+        }
+        NEXT();
+
+        // ---- math intrinsics ---------------------------------------
+        HCASE(MathD)
+        {
+            --remaining;
+            if (t->srcOp != Opcode::FAbs)
+                cost.addStalls(math_stall);
+            const double v = asF64(RD(t->a));
+            double r;
+            switch (t->srcOp) {
+              case Opcode::Sqrt: r = std::sqrt(v); break;
+              case Opcode::FAbs: r = std::fabs(v); break;
+              case Opcode::Exp: r = std::exp(v); break;
+              case Opcode::Log: r = std::log(v); break;
+              case Opcode::Sin: r = std::sin(v); break;
+              default: r = std::cos(v); break;
+            }
+            WR(fromF64(r));
+            ++ip;
+        }
+        NEXT();
+        HCASE(MathS)
+        {
+            --remaining;
+            if (t->srcOp != Opcode::FAbs)
+                cost.addStalls(math_stall);
+            // Math in double on the promoted f32, then narrow — the
+            // interpreter's apply() takes double.
+            const double v = asF32(RD(t->a));
+            double r;
+            switch (t->srcOp) {
+              case Opcode::Sqrt: r = std::sqrt(v); break;
+              case Opcode::FAbs: r = std::fabs(v); break;
+              case Opcode::Exp: r = std::exp(v); break;
+              case Opcode::Log: r = std::log(v); break;
+              case Opcode::Sin: r = std::sin(v); break;
+              default: r = std::cos(v); break;
+            }
+            WR(fromF32(static_cast<float>(r)));
+            ++ip;
+        }
+        NEXT();
+        HCASE(FMinD)
+        {
+            --remaining;
+            WR(fromF64(std::fmin(asF64(RD(t->a)), asF64(RD(t->b)))));
+            ++ip;
+        }
+        NEXT();
+        HCASE(FMaxD)
+        {
+            --remaining;
+            WR(fromF64(std::fmax(asF64(RD(t->a)), asF64(RD(t->b)))));
+            ++ip;
+        }
+        NEXT();
+        HCASE(FMinS)
+        {
+            --remaining;
+            WR(fromF32(std::fminf(asF32(RD(t->a)), asF32(RD(t->b)))));
+            ++ip;
+        }
+        NEXT();
+        HCASE(FMaxS)
+        {
+            --remaining;
+            WR(fromF32(std::fmaxf(asF32(RD(t->a)), asF32(RD(t->b)))));
+            ++ip;
+        }
+        NEXT();
+
+        // ---- hardening checks --------------------------------------
+        HCASE(CheckElided)
+        {
+            --remaining;
+            ++ip;
+        }
+        NEXT();
+        HCASE(CheckEq2)
+        {
+            --remaining;
+            ++check_evals;
+            if (RD(t->a) != RD(t->b))
+                CHECK_FAIL_EXIT(t->checkId);
+            ++ip;
+        }
+        NEXT();
+        HCASE(CheckTwo)
+        {
+            --remaining;
+            ++check_evals;
+            const uint64_t v = RD(t->a);
+            if (v != RD(t->b) && v != RD(t->c))
+                CHECK_FAIL_EXIT(t->checkId);
+            ++ip;
+        }
+        NEXT();
+        HCASE(CheckRangeD)
+        {
+            --remaining;
+            ++check_evals;
+            const double v = asF64(RD(t->a));
+            if (!(v >= asF64(RD(t->b)) && v <= asF64(RD(t->c))))
+                CHECK_FAIL_EXIT(t->checkId);
+            ++ip;
+        }
+        NEXT();
+        HCASE(CheckRangeS)
+        {
+            --remaining;
+            ++check_evals;
+            const float v = asF32(RD(t->a));
+            if (!(v >= asF32(RD(t->b)) && v <= asF32(RD(t->c))))
+                CHECK_FAIL_EXIT(t->checkId);
+            ++ip;
+        }
+        NEXT();
+        HCASE(CheckRangeI)
+        {
+            --remaining;
+            ++check_evals;
+            const int64_t v = signExtend(RD(t->a), t->width);
+            if (!(v >= signExtend(RD(t->b), t->width) &&
+                  v <= signExtend(RD(t->c), t->width)))
+                CHECK_FAIL_EXIT(t->checkId);
+            ++ip;
+        }
+        NEXT();
+
+        // ---- superinstructions -------------------------------------
+        HCASE(CmpBrEq) SC_CMPBR_BODY(ua == ub) NEXT();
+        HCASE(CmpBrNe) SC_CMPBR_BODY(ua != ub) NEXT();
+        HCASE(CmpBrSlt) SC_CMPBR_BODY(sa < sb) NEXT();
+        HCASE(CmpBrSle) SC_CMPBR_BODY(sa <= sb) NEXT();
+        HCASE(CmpBrSgt) SC_CMPBR_BODY(sa > sb) NEXT();
+        HCASE(CmpBrSge) SC_CMPBR_BODY(sa >= sb) NEXT();
+        HCASE(CmpBrUlt) SC_CMPBR_BODY(ua < ub) NEXT();
+        HCASE(CmpBrUle) SC_CMPBR_BODY(ua <= ub) NEXT();
+        HCASE(CmpBrUgt) SC_CMPBR_BODY(ua > ub) NEXT();
+        HCASE(CmpBrUge) SC_CMPBR_BODY(ua >= ub) NEXT();
+
+        HCASE(GepLoad)
+        {
+            remaining -= 2;
+            const TInst *u = t + 1;
+            const uint64_t addr =
+                RD(t->a) +
+                static_cast<uint64_t>(static_cast<int64_t>(RD(t->b))) *
+                    t->elemSize;
+            WR(addr);
+            cost.onMemAccess(addr);
+            uint64_t v = 0;
+            if (!mem.read(addr, u->elemSize, v)) {
+                ++ip; // the load half is the trapping instruction
+                TRAP_EXIT(TrapKind::OutOfBounds);
+            }
+            regs[u->dst] = v;
+            fr->noteWrite(u->dst);
+            ip += 2;
+        }
+        NEXT();
+        HCASE(GepStore)
+        {
+            remaining -= 2;
+            const TInst *u = t + 1;
+            const uint64_t addr =
+                RD(t->a) +
+                static_cast<uint64_t>(static_cast<int64_t>(RD(t->b))) *
+                    t->elemSize;
+            WR(addr);
+            const uint64_t v = RD(u->a);
+            cost.onMemAccess(addr);
+            if (!mem.write(addr, u->elemSize, v)) {
+                ++ip; // the store half is the trapping instruction
+                TRAP_EXIT(TrapKind::OutOfBounds);
+            }
+            ip += 2;
+        }
+        NEXT();
+
+#if !SOFTCHECK_CGOTO
+            }
+        }
+#endif
+
+    L_horizon:
+        SYNC_FRAME();
+        SETTLE_COUNTS();
+    }
+}
+
+#undef RD
+#undef WR
+#undef SYNC_FRAME
+#undef SETTLE_COUNTS
+#undef TRAP_EXIT
+#undef CHECK_FAIL_EXIT
+#undef LOAD_FRAME_CONTEXT
+#undef APPLY_EDGE
+#undef HCASE
+#undef NEXT
+#if SOFTCHECK_CGOTO
+#undef DISPATCH
+#endif
+#undef SC_ICMP_BODY
+#undef SC_FCMPD_BODY
+#undef SC_FCMPS_BODY
+#undef SC_CMPBR_BODY
+
+} // namespace softcheck

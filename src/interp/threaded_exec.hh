@@ -1,0 +1,217 @@
+/**
+ * @file
+ * Tier-2 direct-threaded execution engine.
+ *
+ * The interpreter (interpreter.cc) re-decodes every ExecInst on every
+ * dynamic execution and tests every event condition (checkpoint, fault
+ * injection, golden compare, timeout) per instruction. This tier
+ * removes both costs while staying bit-identical:
+ *
+ *  - **Translation**: each ExecFunction is translated once into a
+ *    ThreadedFunction — a TInst stream index-aligned 1:1 with
+ *    ExecFunction::code (so frame ip values mean the same thing in
+ *    both tiers and snapshots transfer unchanged). A TInst carries a
+ *    pre-selected handler id, pre-resolved operands (register slot or
+ *    per-function constant-pool index), pre-resolved branch edges with
+ *    flattened phi-move spans, and flattened call argument lists.
+ *
+ *  - **Dispatch**: computed-goto direct threading where the compiler
+ *    supports GNU address-of-label (`SOFTCHECK_CGOTO`), with a
+ *    portable switch-in-loop fallback sharing the same handler bodies.
+ *
+ *  - **Superinstructions**: adjacent pairs that dominate the dynamic
+ *    mix (see `softcheck-lint --dyn-opcode-mix`) fuse into one
+ *    handler: ICmp+CondBr, Gep+Load, Gep+Store. The second TInst of a
+ *    fused pair stays fully decoded — it is both the landing pad when
+ *    an event horizon splits the pair (TInst::alt runs the unfused
+ *    first half) and the source of the second half's fields.
+ *
+ *  - **Event-horizon batching**: the resume loop computes the next
+ *    event's dynamic-instruction index (checkpoint, fault injection,
+ *    golden compare, timeout) and runs an unchecked inner loop exactly
+ *    to that horizon, counting instructions in a register and settling
+ *    into ExecState::dynCount / CostModel at the boundary. Events
+ *    therefore fire at exactly the same dynamic instructions as the
+ *    interpreter, and ExecState / Snapshot / Memory are shared
+ *    unchanged between tiers.
+ *
+ * The interpreter remains the reference tier and the only tier with
+ * value-profiling hooks; ThreadedExec rejects options with a profiler.
+ */
+
+#ifndef SOFTCHECK_INTERP_THREADED_EXEC_HH
+#define SOFTCHECK_INTERP_THREADED_EXEC_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "interp/interpreter.hh"
+
+namespace softcheck
+{
+
+/**
+ * Handler selectors for the decoded stream. X-macro so the enum, the
+ * computed-goto label table, and the switch fallback stay in lockstep.
+ * Predicate-specialized compare handlers avoid a per-execution
+ * predicate switch; D/S suffixes split f64/f32 so handlers do no
+ * per-execution type test.
+ */
+// clang-format off
+#define SOFTCHECK_THANDLERS(X) \
+    X(Add) X(Sub) X(Mul) X(SDiv) X(SRem) X(UDiv) X(URem) \
+    X(And) X(Or) X(Xor) X(Shl) X(LShr) X(AShr) \
+    X(FAddD) X(FSubD) X(FMulD) X(FDivD) \
+    X(FAddS) X(FSubS) X(FMulS) X(FDivS) \
+    X(ICmpEq) X(ICmpNe) X(ICmpSlt) X(ICmpSle) X(ICmpSgt) X(ICmpSge) \
+    X(ICmpUlt) X(ICmpUle) X(ICmpUgt) X(ICmpUge) \
+    X(FCmpDOEq) X(FCmpDONe) X(FCmpDOLt) X(FCmpDOLe) X(FCmpDOGt) \
+    X(FCmpDOGe) \
+    X(FCmpSOEq) X(FCmpSONe) X(FCmpSOLt) X(FCmpSOLe) X(FCmpSOGt) \
+    X(FCmpSOGe) \
+    X(Trunc) X(Move) X(SExt) X(FPToSiD) X(FPToSiS) \
+    X(SIToFPD) X(SIToFPS) X(FPTrunc) X(FPExt) \
+    X(Load) X(Store) X(Gep) X(Alloca) X(GlobalAddr) \
+    X(Br) X(CondBr) X(Select) X(Call) X(Ret) \
+    X(MathD) X(MathS) X(FMinD) X(FMaxD) X(FMinS) X(FMaxS) \
+    X(CheckElided) X(CheckEq2) X(CheckTwo) \
+    X(CheckRangeD) X(CheckRangeS) X(CheckRangeI) \
+    X(CmpBrEq) X(CmpBrNe) X(CmpBrSlt) X(CmpBrSle) X(CmpBrSgt) \
+    X(CmpBrSge) X(CmpBrUlt) X(CmpBrUle) X(CmpBrUgt) X(CmpBrUge) \
+    X(GepLoad) X(GepStore)
+// clang-format on
+
+enum class THandler : uint8_t
+{
+#define SOFTCHECK_THANDLER_ENUM(n) n,
+    SOFTCHECK_THANDLERS(SOFTCHECK_THANDLER_ENUM)
+#undef SOFTCHECK_THANDLER_ENUM
+};
+
+/** One pre-resolved branch edge: target + its flattened phi moves
+ * (span into ThreadedFunction::phiMoves). */
+struct TEdge
+{
+    uint32_t targetBlock = 0;
+    uint32_t targetIp = 0;
+    uint32_t movesBegin = 0;
+    uint32_t movesEnd = 0;
+};
+
+/** One phi-induced move; src uses TInst operand encoding. */
+struct TPhiMove
+{
+    int32_t dst = 0;
+    int32_t src = 0;
+};
+
+/**
+ * Decoded instruction. Operands a/b/c (and TPhiMove::src,
+ * ThreadedFunction::callArgs entries): value >= 0 is a register slot,
+ * value < 0 is ~index into ThreadedFunction::consts.
+ */
+struct TInst
+{
+    uint8_t h = 0;       //!< THandler, possibly a fused pair handler
+    uint8_t alt = 0;     //!< unfused handler, run when the event
+                         //!< horizon leaves budget for only this instr
+    uint8_t width = 0;   //!< result bit width
+    uint8_t srcBits = 0; //!< cast source bit width
+    Predicate pred = Predicate::None;
+    TypeKind ty = TypeKind::Void;
+    Opcode srcOp = Opcode::Ret; //!< original opcode (math sub-op, stats)
+    uint8_t fused = 0;          //!< h consumes code[i + 1] too
+    uint32_t elemSize = 0;
+    int32_t dst = -1;
+    int32_t a = 0, b = 0, c = 0;
+    uint32_t e0 = 0, e1 = 0; //!< edge indices (Br/CondBr); global index
+                             //!< (GlobalAddr); argc (Call); has-value
+                             //!< flag (Ret)
+    uint32_t branchSite = 0;
+    int32_t checkId = -1;
+    int32_t calleeIdx = -1;
+    uint32_t argsBegin = 0; //!< span start in ThreadedFunction::callArgs
+};
+
+/** Translated form of one ExecFunction; code is index-aligned 1:1 with
+ * src->code so ExecFrame::ip is tier-independent. */
+struct ThreadedFunction
+{
+    const ExecFunction *src = nullptr;
+    std::vector<TInst> code;
+    std::vector<TEdge> edges;
+    std::vector<TPhiMove> phiMoves;
+    std::vector<uint64_t> consts;  //!< deduped operand constant pool
+    std::vector<int32_t> callArgs; //!< flattened Call argument lists
+};
+
+/**
+ * Translation of a whole ExecModule. Immutable after construction and
+ * stateless at run time, so one ThreadedModule serves any number of
+ * concurrent ThreadedExec engines (the campaign engine builds one per
+ * PreparedModule and shares it across trial workers).
+ */
+class ThreadedModule
+{
+  public:
+    explicit ThreadedModule(const ExecModule &em);
+
+    const ThreadedFunction &
+    function(std::size_t idx) const
+    {
+        return fns[idx];
+    }
+
+    const ExecModule &execModule() const { return *src; }
+
+    /** Static superinstruction sites fused during translation. */
+    uint64_t fusedPairs() const { return fused; }
+
+    /** Largest phi-move span / call argument list in the module
+     * (sizing for the executor's scratch buffers). */
+    std::size_t maxPhiMoves() const { return maxMoves; }
+    std::size_t maxCallArgs() const { return maxArgs; }
+
+  private:
+    void translate(const ExecFunction &fn, ThreadedFunction &out);
+
+    const ExecModule *src;
+    std::vector<ThreadedFunction> fns;
+    uint64_t fused = 0;
+    std::size_t maxMoves = 0;
+    std::size_t maxArgs = 0;
+};
+
+/**
+ * The executor. Same run/begin/resume surface as Interpreter and
+ * honors every ExecOptions field except profiler (asserted null) —
+ * campaign code dispatches on ExecOptions::tier and treats the two
+ * engines interchangeably.
+ */
+class ThreadedExec
+{
+  public:
+    ThreadedExec(const ThreadedModule &tmod, Memory &memory);
+
+    RunResult run(std::size_t fn_index,
+                  const std::vector<uint64_t> &args,
+                  const ExecOptions &opts);
+
+    void begin(ExecState &st, std::size_t fn_index,
+               const std::vector<uint64_t> &args,
+               const CostConfig &cost_cfg);
+
+    RunResult resume(ExecState &st, const ExecOptions &opts);
+
+  private:
+    const ThreadedModule &tm;
+    const ExecModule &em;
+    Memory &mem;
+    FrameArena arena;
+    std::vector<uint64_t> phiTmp;
+    std::vector<uint64_t> callTmp;
+};
+
+} // namespace softcheck
+
+#endif // SOFTCHECK_INTERP_THREADED_EXEC_HH

@@ -87,6 +87,10 @@ enum class Opcode : uint8_t
     CheckRange,
 };
 
+/** Number of opcodes (for dense per-opcode tables/histograms). */
+constexpr unsigned kNumIrOpcodes =
+    static_cast<unsigned>(Opcode::CheckRange) + 1;
+
 /** Comparison predicate used by ICmp / FCmp. */
 enum class Predicate : uint8_t
 {

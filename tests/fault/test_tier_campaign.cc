@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Campaign-level tier equivalence: a fault-injection campaign run on
+ * the direct-threaded tier must be bit-identical to the same campaign
+ * on the reference interpreter — outcome counts, USDC attribution,
+ * golden/baseline characterization, calibration, and snapshot
+ * accounting — across the full workload × mode grid and multiple
+ * seeds. This is the suite-wide acceptance bar for the threaded tier:
+ * anything it gets wrong (a skipped event, a divergent cost charge, a
+ * different fault draw) shows up here as a changed grid.
+ */
+
+#include <gtest/gtest.h>
+
+#include "fault/suite.hh"
+
+namespace softcheck
+{
+namespace
+{
+
+void
+expectSameCell(const CampaignResult &a, const CampaignResult &b)
+{
+    EXPECT_EQ(a.counts, b.counts);
+    EXPECT_EQ(a.usdcLargeChange, b.usdcLargeChange);
+    EXPECT_EQ(a.usdcSmallChange, b.usdcSmallChange);
+    EXPECT_EQ(a.goldenDynInstrs, b.goldenDynInstrs);
+    EXPECT_EQ(a.goldenCycles, b.goldenCycles);
+    EXPECT_EQ(a.goldenCheckEvals, b.goldenCheckEvals);
+    EXPECT_EQ(a.baselineCycles, b.baselineCycles);
+    EXPECT_EQ(a.calibrationCheckFails, b.calibrationCheckFails);
+    EXPECT_EQ(a.disabledCheckCount, b.disabledCheckCount);
+    EXPECT_EQ(a.totalCheckCount, b.totalCheckCount);
+    EXPECT_EQ(a.snapshotCount, b.snapshotCount);
+    EXPECT_EQ(a.snapshotBytes, b.snapshotBytes);
+    EXPECT_EQ(a.snapshotBytesFullCopy, b.snapshotBytesFullCopy);
+    EXPECT_EQ(a.report.eqChecks, b.report.eqChecks);
+    EXPECT_EQ(a.report.valueChecks, b.report.valueChecks);
+}
+
+/** Every workload, every hardening mode, two seeds: the threaded-tier
+ * suite must reproduce the interpreter-tier suite bit for bit. */
+TEST(TierCampaign, SuiteGridBitIdenticalAcrossTiers)
+{
+    SuiteConfig sc;
+    for (const Workload *w : allWorkloads())
+        sc.workloads.push_back(w->name);
+    sc.modes = {HardeningMode::Original, HardeningMode::DupOnly,
+                HardeningMode::DupValChks, HardeningMode::FullDup};
+    sc.seeds = {0x5eed, 0xBEEF};
+    sc.base.trials = 12;
+
+    sc.base.tier = ExecTier::Interp;
+    const SuiteResult ref = runCampaignSuite(sc);
+
+    sc.base.tier = ExecTier::Threaded;
+    const SuiteResult got = runCampaignSuite(sc);
+
+    ASSERT_EQ(got.cells.size(), ref.cells.size());
+    for (std::size_t i = 0; i < ref.cells.size(); ++i) {
+        SCOPED_TRACE(testing::Message()
+                     << "cell " << i << " ("
+                     << ref.cells[i].config.workload << ", "
+                     << hardeningModeName(ref.cells[i].config.mode)
+                     << ", seed " << ref.cells[i].config.seed << ")");
+        EXPECT_EQ(got.cells[i].config.workload,
+                  ref.cells[i].config.workload);
+        EXPECT_EQ(got.cells[i].config.seed, ref.cells[i].config.seed);
+        expectSameCell(got.cells[i], ref.cells[i]);
+    }
+    ASSERT_EQ(got.workloadStats.size(), ref.workloadStats.size());
+    for (std::size_t w = 0; w < ref.workloadStats.size(); ++w) {
+        SCOPED_TRACE(ref.workloadStats[w].workload);
+        EXPECT_EQ(got.workloadStats[w].suiteSnapshotBytes,
+                  ref.workloadStats[w].suiteSnapshotBytes);
+        EXPECT_EQ(got.workloadStats[w].cellSnapshotBytesSum,
+                  ref.workloadStats[w].cellSnapshotBytesSum);
+    }
+}
+
+/** Standalone campaigns with enough trials to populate the whole
+ * outcome taxonomy; checked with and without fast-forward snapshots
+ * (checkpoints=0 forces every trial through the full-replay path). */
+TEST(TierCampaign, StandaloneCampaignMatchesAcrossTiers)
+{
+    for (const unsigned checkpoints : {32u, 0u}) {
+        CampaignConfig cfg;
+        cfg.workload = "g721enc";
+        cfg.mode = HardeningMode::DupValChks;
+        cfg.trials = 150;
+        cfg.checkpoints = checkpoints;
+        SCOPED_TRACE(testing::Message()
+                     << "checkpoints=" << checkpoints);
+
+        cfg.tier = ExecTier::Interp;
+        const CampaignResult a = runCampaign(cfg);
+        cfg.tier = ExecTier::Threaded;
+        const CampaignResult b = runCampaign(cfg);
+
+        expectSameCell(a, b);
+        EXPECT_EQ(a.totalTrials(), 150u);
+    }
+}
+
+} // namespace
+} // namespace softcheck

@@ -1,0 +1,500 @@
+/**
+ * @file
+ * Differential tests proving the direct-threaded tier (threaded_exec)
+ * is bit-identical to the reference interpreter: same termination,
+ * same register files and recent-write rings, same memory contents,
+ * and the same complete cost-model state — under plain runs, fault
+ * injection, checkpoint recording, golden-convergence pruning, and
+ * tight timeouts, across hardening modes, on fixed kernels and on
+ * randomly generated MiniLang programs.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/test_util.hh"
+#include "core/pipeline.hh"
+#include "interp/threaded_exec.hh"
+#include "support/rng.hh"
+
+namespace softcheck
+{
+namespace
+{
+
+/** Same kernel as test_checkpoint.cc: nested loops, data-dependent
+ * branches, caller buffer, local arrays, a helper call, f64 math. */
+const char *kMixKernel = R"(
+fn mix(a: i32, b: i32) -> i32 {
+    var acc: i32 = a * 31 + b;
+    if (acc < 0) {
+        acc = -acc;
+    }
+    return acc % 8191;
+}
+
+fn main(out: ptr<i32>, n: i32) -> i32 {
+    var tmp: i32[64];
+    var acc: i32 = 1;
+    var f: f64 = 1.0;
+    for (var i: i32 = 0; i < n; i = i + 1) {
+        tmp[i % 64] = mix(acc, i);
+        acc = acc + tmp[i % 64];
+        if (acc % 3 == 0) {
+            f = f + sqrt(f64(i) + 1.0);
+        }
+        out[i % 32] = acc + i32(f);
+    }
+    var sum: i32 = 0;
+    for (var i: i32 = 0; i < 32; i = i + 1) {
+        sum = sum + out[i];
+    }
+    return sum;
+}
+)";
+
+/** Exercises the handlers kMixKernel misses: f32 arithmetic and
+ * comparisons, narrow integer widths, shifts/bitwise ops, unsigned
+ * division, select-shaped conditionals, fmin/fmax, and the full
+ * transcendental set. */
+const char *kWideKernel = R"(
+fn main(out: ptr<i32>, n: i32) -> i32 {
+    var s: f32 = 1.5;
+    var acc: i64 = 7;
+    var small: i16 = 3;
+    for (var i: i32 = 0; i < n; i = i + 1) {
+        s = s * f32(1.0009765625) + f32(i % 5);
+        if (s > f32(1000.0)) {
+            s = s - f32(999.5);
+        }
+        small = i16(i + small * 3);
+        var x: i32 = ((i << 3) ^ (i >> 1)) | (i & 85);
+        acc = acc + i64(x) * 3 + i64(small);
+        if (i % 7 == 0) {
+            var d: f64 = fmin(exp(f64(i % 11) * 0.25),
+                              fmax(log(f64(i) + 2.0), 1.0));
+            d = d + sin(f64(i) * 0.125) * cos(f64(i) * 0.0625);
+            acc = acc + i64(d * 16.0);
+        }
+        out[i % 16] = i32(acc % 100003) + i32(s);
+    }
+    var sum: i32 = 0;
+    var m: i32 = n;
+    while (m > 0) {
+        m = m - 1;
+        sum = sum + out[m % 16] / (m + 1);
+    }
+    return sum;
+}
+)";
+
+struct TestModule
+{
+    std::unique_ptr<Module> mod;
+    std::unique_ptr<ExecModule> em;
+    std::unique_ptr<ThreadedModule> tm;
+    std::size_t entry = 0;
+};
+
+TestModule
+build(const char *src, HardeningMode mode)
+{
+    TestModule t;
+    t.mod = compileMiniLang(src, "tier_equiv");
+    if (mode != HardeningMode::Original) {
+        HardeningOptions h;
+        h.mode = mode;
+        hardenModule(*t.mod, h);
+    }
+    t.em = std::make_unique<ExecModule>(*t.mod);
+    t.tm = std::make_unique<ThreadedModule>(*t.em);
+    t.entry = t.em->functionIndex("main");
+    return t;
+}
+
+struct Prep
+{
+    Memory mem;
+    std::vector<uint64_t> args;
+};
+
+Prep
+prep(int n)
+{
+    Prep p;
+    const uint64_t out = p.mem.alloc(64 * 4, "out");
+    p.args = {out, static_cast<uint64_t>(n)};
+    return p;
+}
+
+void
+expectSameResult(const RunResult &a, const RunResult &b)
+{
+    EXPECT_EQ(a.term, b.term);
+    EXPECT_EQ(a.trap, b.trap);
+    EXPECT_EQ(a.failedCheckId, b.failedCheckId);
+    EXPECT_EQ(a.retValue, b.retValue);
+    EXPECT_EQ(a.dynInstrs, b.dynInstrs);
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.endCycle, b.endCycle);
+    EXPECT_EQ(a.cacheMisses, b.cacheMisses);
+    EXPECT_EQ(a.branchMispredicts, b.branchMispredicts);
+    EXPECT_EQ(a.checkEvals, b.checkEvals);
+    EXPECT_EQ(a.prunedToGolden, b.prunedToGolden);
+    EXPECT_EQ(a.fault.injected, b.fault.injected);
+    EXPECT_EQ(a.fault.slot, b.fault.slot);
+    EXPECT_EQ(a.fault.slotType, b.fault.slotType);
+    EXPECT_EQ(a.fault.bit, b.fault.bit);
+    EXPECT_EQ(a.fault.before, b.fault.before);
+    EXPECT_EQ(a.fault.after, b.fault.after);
+    EXPECT_EQ(a.fault.atDynInstr, b.fault.atDynInstr);
+    EXPECT_EQ(a.fault.atCycle, b.fault.atCycle);
+}
+
+/** Full final-state equality, including the recent-write rings (their
+ * valid prefix) — the rings feed fault-site selection, so a divergence
+ * there would skew fault campaigns even with equal RunResults. */
+void
+expectSameState(const ExecState &a, const ExecState &b)
+{
+    EXPECT_EQ(a.dynCount, b.dynCount);
+    EXPECT_TRUE(a.cost.sameState(b.cost));
+    EXPECT_EQ(a.globalBases, b.globalBases);
+    ASSERT_EQ(a.stack.size(), b.stack.size());
+    for (std::size_t i = 0; i < a.stack.size(); ++i) {
+        const ExecFrame &fa = a.stack[i];
+        const ExecFrame &fb = b.stack[i];
+        EXPECT_EQ(fa.fn, fb.fn);
+        EXPECT_EQ(fa.regs, fb.regs);
+        EXPECT_EQ(fa.allocaBases, fb.allocaBases);
+        EXPECT_EQ(fa.ip, fb.ip);
+        EXPECT_EQ(fa.curBlock, fb.curBlock);
+        EXPECT_EQ(fa.retDst, fb.retDst);
+        ASSERT_EQ(fa.recentCount, fb.recentCount);
+        EXPECT_EQ(fa.recentPos, fb.recentPos);
+        for (uint32_t r = 0; r < fa.recentCount; ++r)
+            EXPECT_EQ(fa.recent[r], fb.recent[r]) << "ring slot " << r;
+    }
+}
+
+/** Run @p t on both tiers with identical options (per-tier Rng clones
+ * when injecting) and demand bit-identical everything. Returns the
+ * interpreter-tier result. */
+RunResult
+runBoth(const TestModule &t, int n, ExecOptions opts,
+        std::optional<uint64_t> fault_seed = std::nullopt)
+{
+    Prep pa = prep(n);
+    Rng ra(fault_seed.value_or(0));
+    if (fault_seed)
+        opts.faultRng = &ra;
+    Interpreter interp(*t.em, pa.mem);
+    ExecState sa;
+    interp.begin(sa, t.entry, pa.args, opts.cost);
+    const RunResult a = interp.resume(sa, opts);
+
+    Prep pb = prep(n);
+    Rng rb(fault_seed.value_or(0));
+    if (fault_seed)
+        opts.faultRng = &rb;
+    ThreadedExec texec(*t.tm, pb.mem);
+    ExecState sb;
+    texec.begin(sb, t.entry, pb.args, opts.cost);
+    const RunResult b = texec.resume(sb, opts);
+
+    expectSameResult(a, b);
+    expectSameState(sa, sb);
+    EXPECT_TRUE(pa.mem.contentsEqual(pb.mem));
+    return a;
+}
+
+const HardeningMode kModes[] = {HardeningMode::Original,
+                                HardeningMode::DupOnly,
+                                HardeningMode::FullDup};
+
+TEST(TierEquiv, TranslationFusesPairs)
+{
+    auto t = build(kMixKernel, HardeningMode::Original);
+    EXPECT_GT(t.tm->fusedPairs(), 0u);
+}
+
+TEST(TierEquiv, PlainRunsMatchAcrossModes)
+{
+    for (const char *src : {kMixKernel, kWideKernel}) {
+        for (HardeningMode mode : kModes) {
+            SCOPED_TRACE(testing::Message()
+                         << "mode=" << hardeningModeName(mode)
+                         << " src=" << (src == kMixKernel ? "mix" : "wide"));
+            auto t = build(src, mode);
+            const RunResult r = runBoth(t, 300, {});
+            EXPECT_EQ(r.term, Termination::Ok);
+        }
+    }
+}
+
+TEST(TierEquiv, TimeoutsCutAtTheSameInstruction)
+{
+    auto t = build(kMixKernel, HardeningMode::DupOnly);
+    const RunResult full = runBoth(t, 200, {});
+    ASSERT_TRUE(full.ok());
+    // Timeouts landing mid-run, right before the end, and on the very
+    // first instruction; odd values also land inside fused pairs.
+    const uint64_t limits[] = {1,    2,    97,
+                               1000, 1001, full.dynInstrs - 1,
+                               full.dynInstrs};
+    for (uint64_t lim : limits) {
+        SCOPED_TRACE(testing::Message() << "maxDynInstrs=" << lim);
+        ExecOptions opts;
+        opts.maxDynInstrs = lim;
+        const RunResult r = runBoth(t, 200, opts);
+        if (lim < full.dynInstrs) {
+            EXPECT_EQ(r.term, Termination::Timeout);
+            EXPECT_EQ(r.dynInstrs, lim);
+        } else {
+            EXPECT_EQ(r.term, Termination::Ok);
+        }
+    }
+}
+
+TEST(TierEquiv, FaultInjectionDrawsTheSameFlip)
+{
+    for (HardeningMode mode : kModes) {
+        auto t = build(kMixKernel, mode);
+        const RunResult full = runBoth(t, 150, {});
+        ASSERT_TRUE(full.ok());
+        Rng pick(0xfa017ULL);
+        for (int i = 0; i < 12; ++i) {
+            const uint64_t at = pick.nextBelow(full.dynInstrs);
+            SCOPED_TRACE(testing::Message()
+                         << "mode=" << hardeningModeName(mode)
+                         << " fault_at=" << at << " seed=" << i);
+            ExecOptions opts;
+            opts.faultAtDynInstr = at;
+            const RunResult r = runBoth(t, 150, opts, 1000 + i);
+            EXPECT_TRUE(r.fault.injected);
+        }
+    }
+}
+
+TEST(TierEquiv, CheckpointsCaptureIdenticalSnapshots)
+{
+    auto t = build(kWideKernel, HardeningMode::FullDup);
+    const uint64_t stride = 700;
+
+    Prep pa = prep(250);
+    std::vector<Snapshot> sna;
+    ExecOptions oa;
+    oa.checkpointEvery = stride;
+    oa.checkpointSink = &sna;
+    Interpreter interp(*t.em, pa.mem);
+    const RunResult a = interp.run(t.entry, pa.args, oa);
+
+    Prep pb = prep(250);
+    std::vector<Snapshot> snb;
+    ExecOptions ob;
+    ob.checkpointEvery = stride;
+    ob.checkpointSink = &snb;
+    ThreadedExec texec(*t.tm, pb.mem);
+    const RunResult b = texec.run(t.entry, pb.args, ob);
+
+    expectSameResult(a, b);
+    ASSERT_TRUE(a.ok());
+    ASSERT_EQ(sna.size(), snb.size());
+    ASSERT_GE(sna.size(), 3u);
+    for (std::size_t i = 0; i < sna.size(); ++i) {
+        SCOPED_TRACE(testing::Message() << "snapshot " << i);
+        EXPECT_EQ(sna[i].dynInstr(), (i + 1) * stride);
+        expectSameState(sna[i].state, snb[i].state);
+        EXPECT_TRUE(sna[i].mem.contentsEqual(snb[i].mem));
+    }
+}
+
+/** Threaded trials fast-forwarded from interpreter-recorded snapshots
+ * (the campaign engine's exact pattern) must match interpreter trials,
+ * including which trials prune to golden. */
+TEST(TierEquiv, GoldenPruningAgreesFromSharedSnapshots)
+{
+    auto t = build(kMixKernel, HardeningMode::DupOnly);
+    const uint64_t stride = 500;
+
+    Prep gp = prep(200);
+    std::vector<Snapshot> snaps;
+    ExecOptions rec;
+    rec.checkpointEvery = stride;
+    rec.checkpointSink = &snaps;
+    Interpreter grec(*t.em, gp.mem);
+    const RunResult golden = grec.run(t.entry, gp.args, rec);
+    ASSERT_TRUE(golden.ok());
+    ASSERT_GE(snaps.size(), 2u);
+
+    unsigned pruned = 0;
+    for (uint64_t seed = 0; seed < 24; ++seed) {
+        Rng pick(seed * 977 + 3);
+        const uint64_t fault_at = pick.nextBelow(golden.dynInstrs);
+        SCOPED_TRACE(testing::Message()
+                     << "fault_at=" << fault_at << " seed=" << seed);
+
+        ExecOptions opts;
+        opts.faultAtDynInstr = fault_at;
+        opts.goldenSnapshots = &snaps;
+        opts.goldenEvery = stride;
+        opts.goldenResult = &golden;
+
+        const auto resume_from_nearest =
+            [&](ExecState &st, Memory &m, auto &engine, Rng &rng) {
+                ExecOptions o = opts;
+                o.faultRng = &rng;
+                if (fault_at >= stride) {
+                    std::size_t idx =
+                        static_cast<std::size_t>(fault_at / stride) - 1;
+                    idx = std::min(idx, snaps.size() - 1);
+                    snaps[idx].restore(st, m);
+                } else {
+                    engine.begin(st, t.entry, gp.args, o.cost);
+                }
+                return engine.resume(st, o);
+            };
+
+        Prep pa = prep(200);
+        Rng ra(seed);
+        Interpreter interp(*t.em, pa.mem);
+        ExecState sa;
+        const RunResult a = resume_from_nearest(sa, pa.mem, interp, ra);
+
+        Prep pb = prep(200);
+        Rng rb(seed);
+        ThreadedExec texec(*t.tm, pb.mem);
+        ExecState sb;
+        const RunResult b = resume_from_nearest(sb, pb.mem, texec, rb);
+
+        expectSameResult(a, b);
+        if (!a.prunedToGolden) {
+            expectSameState(sa, sb);
+            EXPECT_TRUE(pa.mem.contentsEqual(pb.mem));
+        }
+        pruned += a.prunedToGolden ? 1u : 0u;
+    }
+    EXPECT_GT(pruned, 0u);
+}
+
+/**
+ * Random-program differential fuzzing. Programs are generated from a
+ * loop-nest template with randomized operators, constants, types, and
+ * control flow, so each one exercises a different handler mix and
+ * different fusion sites. Division/remainder right-hand sides are
+ * biased to sometimes be zero so trap paths get compared too.
+ */
+std::string
+randomProgram(Rng &rng)
+{
+    static const char *const int_ops[] = {"+", "-", "*", "&", "|",
+                                          "^", "%", "/"};
+    static const char *const f64_fns[] = {"sqrt", "fabs", "exp",
+                                          "log",  "sin",  "cos"};
+    std::ostringstream os;
+
+    const int helper_c = static_cast<int>(rng.nextRange(900, 1100));
+    os << "fn helper(a: i32, b: i32) -> i32 {\n"
+       << "    var r: i32 = a " << int_ops[rng.nextBelow(6)] << " b;\n"
+       << "    if (r < 0) { r = -r; }\n"
+       << "    return r % " << helper_c << ";\n"
+       << "}\n";
+
+    os << "fn main(out: ptr<i32>, n: i32) -> i32 {\n"
+       << "    var buf: i32[" << rng.nextRange(8, 32) << "];\n"
+       << "    var acc: i32 = " << rng.nextRange(1, 64) << ";\n"
+       << "    var wide: i64 = " << rng.nextRange(0, 9) << ";\n"
+       << "    var f: f64 = " << rng.nextRange(1, 4) << ".5;\n"
+       << "    var g: f32 = 0.25;\n";
+    os << "    for (var i: i32 = 0; i < n; i = i + 1) {\n";
+
+    const unsigned stmts = 3 + static_cast<unsigned>(rng.nextBelow(5));
+    for (unsigned s = 0; s < stmts; ++s) {
+        switch (rng.nextBelow(7)) {
+          case 0:
+            os << "        acc = acc " << int_ops[rng.nextBelow(8)]
+               << " (i + " << rng.nextRange(1, 97) << ");\n";
+            break;
+          case 1:
+            os << "        buf[i % " << rng.nextRange(2, 8)
+               << "] = helper(acc, i " << int_ops[rng.nextBelow(6)]
+               << " " << rng.nextRange(1, 31) << ");\n";
+            break;
+          case 2:
+            os << "        acc = acc + buf[(i + "
+               << rng.nextRange(0, 7) << ") % "
+               << rng.nextRange(2, 8) << "];\n";
+            break;
+          case 3:
+            os << "        if (acc % " << rng.nextRange(2, 9) << " == "
+               << rng.nextRange(0, 1) << ") {\n"
+               << "            f = f + " << f64_fns[rng.nextBelow(6)]
+               << "(f64(i % " << rng.nextRange(3, 19)
+               << ") + 1.5);\n"
+               << "        } else {\n"
+               << "            g = g * f32(1.03125) + f32(i % 3);\n"
+               << "        }\n";
+            break;
+          case 4:
+            os << "        wide = wide + i64(acc "
+               << int_ops[rng.nextBelow(6)] << " "
+               << rng.nextRange(1, 255) << ") + i64(g);\n";
+            break;
+          case 5:
+            os << "        acc = (acc << " << rng.nextRange(1, 3)
+               << ") ^ (acc >> " << rng.nextRange(1, 5) << ");\n";
+            break;
+          default:
+            // Denominator reaches zero on some iterations for some
+            // generated constants — deliberate: traps must match too.
+            os << "        acc = acc " << (rng.nextBelow(2) ? "/" : "%")
+               << " ((i % " << rng.nextRange(2, 5) << ") + "
+               << rng.nextRange(0, 1) << ");\n";
+            break;
+        }
+    }
+    os << "        out[i % 8] = acc + i32(f) + i32(wide % 1000);\n"
+       << "    }\n"
+       << "    var sum: i32 = 0;\n"
+       << "    for (var i: i32 = 0; i < 8; i = i + 1) {\n"
+       << "        sum = sum + out[i];\n"
+       << "    }\n"
+       << "    return sum + i32(f) + i32(g) + i32(wide % 65536);\n"
+       << "}\n";
+    return os.str();
+}
+
+TEST(TierEquiv, RandomProgramsMatchOnBothTiers)
+{
+    Rng gen(0x7e57f22eULL);
+    for (int p = 0; p < 30; ++p) {
+        const std::string src = randomProgram(gen);
+        const HardeningMode mode =
+            kModes[gen.nextBelow(std::size(kModes))];
+        SCOPED_TRACE(testing::Message()
+                     << "program " << p << " mode="
+                     << hardeningModeName(mode) << "\n"
+                     << src);
+        auto t = build(src.c_str(), mode);
+        const int n = static_cast<int>(gen.nextRange(40, 160));
+
+        // Plain run (may trap; both tiers must trap identically).
+        const RunResult r = runBoth(t, n, {});
+
+        // One injected-fault run and one tight-timeout run per program.
+        if (r.ok() && r.dynInstrs > 4) {
+            Rng pick(gen.next());
+            ExecOptions fopts;
+            fopts.faultAtDynInstr = pick.nextBelow(r.dynInstrs);
+            runBoth(t, n, fopts, gen.next());
+
+            ExecOptions topts;
+            topts.maxDynInstrs = 1 + pick.nextBelow(r.dynInstrs - 1);
+            runBoth(t, n, topts);
+        }
+    }
+}
+
+} // namespace
+} // namespace softcheck

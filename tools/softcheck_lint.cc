@@ -18,6 +18,7 @@
  * violation was found, 2 on usage or compilation errors.
  */
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -48,6 +49,7 @@ struct LintOptions
     bool allWorkloads = false;
     bool elideVacuous = false;
     bool printRanges = false;
+    bool dynOpcodeMix = false;
     bool verbose = false;
     bool enableOpt1 = true;
     bool enableOpt2 = true;
@@ -72,6 +74,9 @@ usage(const char *argv0)
         "  --no-opt2        disable duplicate-chain cutting\n"
         "  --elide-vacuous  elide audit-proven vacuous checks\n"
         "  --ranges         print the static value-range report\n"
+        "  --dyn-opcode-mix run the test input and print the dynamic\n"
+        "                   opcode / fallthrough-pair histogram\n"
+        "                   (registered benchmarks only)\n"
         "  -v, --verbose    per-check classification detail\n",
         argv0);
     return 2;
@@ -179,6 +184,134 @@ lintModule(Module &m, const AuditOptions &audit_opts,
     return out;
 }
 
+/**
+ * Fallthrough pairs the threaded tier fuses into superinstructions
+ * (see interp/threaded_exec.hh). Marked '*' in the pair histogram so
+ * the dynamic coverage of the fusion set is visible at a glance.
+ */
+bool
+isFusablePair(Opcode prev, Opcode cur)
+{
+    return (prev == Opcode::ICmp && cur == Opcode::CondBr) ||
+           (prev == Opcode::Gep &&
+            (cur == Opcode::Load || cur == Opcode::Store));
+}
+
+/**
+ * Run one benchmark's test input under one hardening mode with the
+ * interpreter's DynMixSink attached, and print the dynamic opcode and
+ * fallthrough-pair histograms. This is the measurement that motivates
+ * the threaded tier's superinstruction set: a pair worth fusing is one
+ * that is both frequent and adjacent in the instruction stream.
+ */
+unsigned
+dynMixWorkload(const std::string &name, HardeningMode mode,
+               const LintOptions &opts)
+{
+    const Workload &w = getWorkload(name);
+    auto mod = compileMiniLang(w.source, w.name);
+    assignProfileSites(*mod);
+
+    ProfileData profile;
+    const ProfileData *pp = nullptr;
+    if (mode == HardeningMode::DupValChks) {
+        CampaignConfig cfg;
+        cfg.workload = name;
+        profile = campaign_detail::collectProfile(w, cfg, true);
+        pp = &profile;
+    }
+
+    HardeningOptions hopts;
+    hopts.mode = mode;
+    hopts.enableOpt1 = opts.enableOpt1;
+    hopts.enableOpt2 = opts.enableOpt2;
+    hopts.elideVacuousChecks = opts.elideVacuous;
+    hardenModule(*mod, hopts, pp);
+
+    ExecModule em(*mod);
+    auto spec = w.makeInput(false);
+    auto run = prepareRun(spec);
+
+    DynMixSink sink;
+    std::vector<uint64_t> fail_counts(em.numCheckIds(), 0);
+    ExecOptions eopts;
+    eopts.checkMode = CheckMode::Record;
+    eopts.checkFailCounts = &fail_counts;
+    eopts.dynMix = &sink;
+    Interpreter interp(em, *run.mem);
+    auto r = interp.run(em.functionIndex(w.entry), run.args, eopts);
+    if (!r.ok()) {
+        std::printf("%s[%s]  dyn-mix run FAILED (term=%u)\n",
+                    name.c_str(), hardeningModeName(mode),
+                    static_cast<unsigned>(r.term));
+        return 1;
+    }
+
+    std::printf("%s[%s]  %llu dyn instrs\n", name.c_str(),
+                hardeningModeName(mode),
+                static_cast<unsigned long long>(sink.total));
+
+    std::vector<unsigned> ops;
+    for (unsigned op = 0; op < kNumIrOpcodes; ++op)
+        if (sink.opcodeCounts[op] > 0)
+            ops.push_back(op);
+    std::sort(ops.begin(), ops.end(), [&](unsigned a, unsigned b) {
+        return sink.opcodeCounts[a] > sink.opcodeCounts[b];
+    });
+    const unsigned top = opts.verbose ? static_cast<unsigned>(ops.size())
+                                      : std::min<unsigned>(8, ops.size());
+    for (unsigned i = 0; i < top; ++i) {
+        const unsigned op = ops[i];
+        std::printf("  %-10s %12llu  %5.1f%%\n",
+                    opcodeName(static_cast<Opcode>(op)),
+                    static_cast<unsigned long long>(
+                        sink.opcodeCounts[op]),
+                    100.0 * static_cast<double>(sink.opcodeCounts[op]) /
+                        static_cast<double>(sink.total));
+    }
+
+    std::vector<std::pair<unsigned, unsigned>> pairs;
+    for (unsigned p = 0; p < kNumIrOpcodes; ++p)
+        for (unsigned c = 0; c < kNumIrOpcodes; ++c)
+            if (sink.pairCounts[std::size_t{p} * kNumIrOpcodes + c] > 0)
+                pairs.emplace_back(p, c);
+    std::sort(pairs.begin(), pairs.end(), [&](auto a, auto b) {
+        return sink.pairCounts[std::size_t{a.first} * kNumIrOpcodes +
+                               a.second] >
+               sink.pairCounts[std::size_t{b.first} * kNumIrOpcodes +
+                               b.second];
+    });
+    uint64_t fusable = 0;
+    for (const auto &[p, c] : pairs)
+        if (isFusablePair(static_cast<Opcode>(p),
+                          static_cast<Opcode>(c)))
+            fusable +=
+                sink.pairCounts[std::size_t{p} * kNumIrOpcodes + c];
+    const unsigned ptop =
+        opts.verbose ? static_cast<unsigned>(pairs.size())
+                     : std::min<unsigned>(6, pairs.size());
+    for (unsigned i = 0; i < ptop; ++i) {
+        const auto [p, c] = pairs[i];
+        const uint64_t n =
+            sink.pairCounts[std::size_t{p} * kNumIrOpcodes + c];
+        std::printf("  %s%-8s -> %-8s %10llu  %5.1f%%\n",
+                    isFusablePair(static_cast<Opcode>(p),
+                                  static_cast<Opcode>(c))
+                        ? "*"
+                        : " ",
+                    opcodeName(static_cast<Opcode>(p)),
+                    opcodeName(static_cast<Opcode>(c)),
+                    static_cast<unsigned long long>(n),
+                    100.0 * static_cast<double>(n) /
+                        static_cast<double>(sink.total));
+    }
+    std::printf("  fusable pairs cover %.1f%% of dyn instrs "
+                "(2 instrs/pair)\n",
+                200.0 * static_cast<double>(fusable) /
+                    static_cast<double>(sink.total));
+    return 0;
+}
+
 /** Lint one registered benchmark under one hardening mode. */
 unsigned
 lintWorkload(const std::string &name, HardeningMode mode,
@@ -279,6 +412,8 @@ main(int argc, char **argv)
             opts.elideVacuous = true;
         } else if (arg == "--ranges") {
             opts.printRanges = true;
+        } else if (arg == "--dyn-opcode-mix") {
+            opts.dynOpcodeMix = true;
         } else if (arg == "-v" || arg == "--verbose") {
             opts.verbose = true;
         } else if (!arg.empty() && arg[0] == '-') {
@@ -298,6 +433,12 @@ main(int argc, char **argv)
         workloads.push_back(opts.workload);
     } else if (opts.file.empty()) {
         return usage(argv[0]);
+    }
+
+    if (opts.dynOpcodeMix && !opts.file.empty()) {
+        std::fprintf(stderr, "softcheck-lint: --dyn-opcode-mix needs a "
+                             "registered benchmark (--workload/--all)\n");
+        return 2;
     }
 
     unsigned problems = 0;
@@ -324,6 +465,10 @@ main(int argc, char **argv)
                     problems += lintFile(opts.file, mode, opts);
                 }
             }
+        } else if (opts.dynOpcodeMix) {
+            for (const std::string &name : workloads)
+                for (HardeningMode mode : opts.modes)
+                    problems += dynMixWorkload(name, mode, opts);
         } else {
             for (const std::string &name : workloads)
                 for (HardeningMode mode : opts.modes)
