@@ -37,9 +37,9 @@ trialsPerBenchmark(unsigned dflt = 250)
 }
 
 /** Execution tier for bench campaigns. Override with SOFTCHECK_TIER
- * ("interp" or "threaded") — used by CI to drive the figure benches
- * through the threaded tier without recompiling; results are
- * bit-identical either way. */
+ * ("interp", "threaded", or "lockstep") — used by CI to drive the
+ * figure benches through the faster tiers without recompiling;
+ * results are bit-identical either way. */
 inline ExecTier
 benchTier(ExecTier dflt = ExecTier::Interp)
 {
@@ -47,11 +47,27 @@ benchTier(ExecTier dflt = ExecTier::Interp)
         const std::string v(env);
         if (v == "threaded")
             return ExecTier::Threaded;
+        if (v == "lockstep")
+            return ExecTier::Lockstep;
         if (v == "interp")
             return ExecTier::Interp;
         std::fprintf(stderr, "SOFTCHECK_TIER: unknown tier '%s'\n",
                      env);
         std::exit(2);
+    }
+    return dflt;
+}
+
+/** Lane-group width for lockstep-tier bench campaigns. Override with
+ * SOFTCHECK_LANES; CI's lanes=1 build pins the degenerate width that
+ * must match the scalar threaded tier exactly. */
+inline unsigned
+benchLanes(unsigned dflt = 8)
+{
+    if (const char *env = std::getenv("SOFTCHECK_LANES")) {
+        const long v = std::strtol(env, nullptr, 10);
+        if (v > 0)
+            return static_cast<unsigned>(v);
     }
     return dflt;
 }
@@ -66,6 +82,7 @@ makeConfig(const std::string &workload, HardeningMode mode,
     cfg.trials = trials;
     cfg.seed = 0xC0FFEE;
     cfg.tier = benchTier();
+    cfg.lanes = benchLanes();
     return cfg;
 }
 

@@ -18,13 +18,32 @@
  *   --threads N                worker threads (default: 0 = hardware)
  *   --suite-threads N[,N...]   scheduler widths for the suite-scaling
  *                              section (default: 1,2,4,8)
- *   --tier interp|threaded|both  execution tier(s) for the K sweep
- *                              (default: both). With both, each
- *                              (workload, mode, K) point runs on each
- *                              tier, outcomes are asserted identical,
- *                              and a tier-speedup summary (threaded
- *                              trials/sec over interp trials/sec at
- *                              the same K) is printed and recorded.
+ *   --tier interp|threaded|lockstep|both|all  execution tier(s) for
+ *                              the K sweep (default: all; "both" =
+ *                              interp+threaded). Each (workload, mode,
+ *                              K) point runs on each tier, outcomes
+ *                              are asserted identical, and speedup
+ *                              summaries (threaded over interp, and
+ *                              lockstep over threaded, at the same K)
+ *                              are printed and recorded.
+ *   --lanes L[,L...]           lane-group widths for the lockstep
+ *                              lane-width sweep (default: 1,4,8,16).
+ *                              The K sweep itself runs lockstep at the
+ *                              default width (SOFTCHECK_LANES or 8).
+ *
+ * The lockstep rows carry laneOccupancy: the mean fraction of the
+ * configured lane slots a group fetch actually served (forked trial
+ * lanes plus pending trials riding the shared stem). Lockstep lane
+ * groups and checkpoints are two answers to the same redundancy —
+ * shared-prefix re-execution — so they trade against each other: at
+ * K = 0 every trial leans on the stem and the tier wins outright; as
+ * checkpoints densify, private rewinds get cheaper than a shared
+ * replay and the tier's profitability guard hands trials back to the
+ * scalar path (occupancy 0, parity throughput). The headline
+ * lockstepSpeedup geomean is therefore taken at the smallest K in the
+ * sweep — the tier's design point, and the budget a memory-constrained
+ * campaign actually runs at — while the JSON records every per-K row,
+ * fade-out included, plus geomeanAllBudgets for the blended view.
  *
  * A second section sweeps a workload x hardening-mode x seed grid
  * through runCampaignSuite and through a per-config runCampaign loop,
@@ -79,6 +98,8 @@ struct Row
     HardeningMode mode;
     ExecTier tier = ExecTier::Interp;
     unsigned k = 0;
+    unsigned lanes = 0;        //!< lockstep group width (0 = scalar tier)
+    double laneOccupancy = 0;  //!< mean served-lane fraction (lockstep)
     uint64_t goldenDynInstrs = 0;
     double trialSeconds = 0;
     double trialsPerSec = 0;
@@ -95,10 +116,11 @@ struct BenchOptions
     std::vector<unsigned> ks = {0, 8, 32, 128, 256};
     unsigned threads = 0;
     std::vector<unsigned> suiteThreads = {1, 2, 4, 8};
+    std::vector<unsigned> lanes = {1, 4, 8, 16};
     /** Tiers for the K sweep, in run order. The last one also drives
      * the suite sections. */
-    std::vector<ExecTier> tiers = {ExecTier::Interp,
-                                   ExecTier::Threaded};
+    std::vector<ExecTier> tiers = {ExecTier::Interp, ExecTier::Threaded,
+                                   ExecTier::Lockstep};
 };
 
 std::vector<std::string>
@@ -127,7 +149,8 @@ usage(const char *argv0)
                  "usage: %s [--workload NAME[,NAME...]] [--trials N] "
                  "[--checkpoints K[,K...]] [--threads N] "
                  "[--suite-threads N[,N...]] "
-                 "[--tier interp|threaded|both]\n",
+                 "[--tier interp|threaded|lockstep|both|all] "
+                 "[--lanes L[,L...]]\n",
                  argv0);
     std::exit(2);
 }
@@ -166,9 +189,23 @@ parseArgs(int argc, char **argv)
                 opt.tiers = {ExecTier::Interp};
             else if (!std::strcmp(t, "threaded"))
                 opt.tiers = {ExecTier::Threaded};
+            else if (!std::strcmp(t, "lockstep"))
+                opt.tiers = {ExecTier::Lockstep};
             else if (!std::strcmp(t, "both"))
                 opt.tiers = {ExecTier::Interp, ExecTier::Threaded};
+            else if (!std::strcmp(t, "all"))
+                opt.tiers = {ExecTier::Interp, ExecTier::Threaded,
+                             ExecTier::Lockstep};
             else
+                usage(argv[0]);
+        } else if (!std::strcmp(argv[i], "--lanes")) {
+            opt.lanes.clear();
+            for (const std::string &l : splitList(value()))
+                opt.lanes.push_back(static_cast<unsigned>(
+                    std::strtoul(l.c_str(), nullptr, 10)));
+            if (opt.lanes.empty() ||
+                std::find(opt.lanes.begin(), opt.lanes.end(), 0u) !=
+                    opt.lanes.end())
                 usage(argv[0]);
         } else if (!std::strcmp(argv[i], "--suite-threads")) {
             opt.suiteThreads.clear();
@@ -236,9 +273,10 @@ main(int argc, char **argv)
 
     std::vector<Row> rows;
     benchutil::printRule();
-    std::printf("%-10s %-12s %-8s %12s %4s %10s %12s %8s %9s %9s\n",
-                "workload", "mode", "tier", "goldenInstr", "K",
-                "trial-sec", "trials/sec", "speedup", "snapKB",
+    std::printf("%-10s %-12s %-8s %12s %4s %5s %5s %10s %12s %8s %9s "
+                "%9s\n",
+                "workload", "mode", "tier", "goldenInstr", "K", "lanes",
+                "occ", "trial-sec", "trials/sec", "speedup", "snapKB",
                 "fullKB");
     benchutil::printRule();
 
@@ -280,6 +318,9 @@ main(int argc, char **argv)
                     row.mode = mode;
                     row.tier = tier;
                     row.k = k;
+                    row.lanes = tier == ExecTier::Lockstep ? cfg.lanes
+                                                           : 0;
+                    row.laneOccupancy = r.laneOccupancy;
                     row.goldenDynInstrs = r.goldenDynInstrs;
                     row.trialSeconds = trial_seconds;
                     row.trialsPerSec = trials / trial_seconds;
@@ -291,15 +332,23 @@ main(int argc, char **argv)
                     row.phase = r.phase;
                     rows.push_back(row);
 
+                    char lanes_buf[16] = "-";
+                    char occ_buf[16] = "-";
+                    if (row.lanes) {
+                        std::snprintf(lanes_buf, sizeof lanes_buf, "%u",
+                                      row.lanes);
+                        std::snprintf(occ_buf, sizeof occ_buf, "%.2f",
+                                      row.laneOccupancy);
+                    }
                     std::printf(
-                        "%-10s %-12s %-8s %12llu %4u %10.3f %12.1f "
-                        "%7.2fx %9.1f %9.1f\n",
+                        "%-10s %-12s %-8s %12llu %4u %5s %5s %10.3f "
+                        "%12.1f %7.2fx %9.1f %9.1f\n",
                         row.workload.c_str(), hardeningModeName(mode),
                         execTierName(tier),
                         static_cast<unsigned long long>(
                             row.goldenDynInstrs),
-                        row.k, row.trialSeconds, row.trialsPerSec,
-                        row.speedup,
+                        row.k, lanes_buf, occ_buf, row.trialSeconds,
+                        row.trialsPerSec, row.speedup,
                         static_cast<double>(row.snapshotBytes) / 1024.0,
                         static_cast<double>(row.snapshotBytesFullCopy) /
                             1024.0);
@@ -345,6 +394,115 @@ main(int argc, char **argv)
             std::printf("  %-10s %-12s %4u %12.1f %12.1f %7.2fx\n",
                         c.workload.c_str(), hardeningModeName(c.mode),
                         c.k, c.interpTps, c.threadedTps, c.speedup);
+    }
+
+    // ---- lockstep speedup: lane groups vs scalar threaded, same K ----
+    struct LockstepCmp
+    {
+        std::string workload;
+        HardeningMode mode;
+        unsigned k = 0;
+        unsigned lanes = 0;
+        double threadedTps = 0;
+        double lockstepTps = 0;
+        double laneOccupancy = 0;
+        double speedup = 0;
+    };
+    std::vector<LockstepCmp> lockstep_cmps;
+    for (const Row &a : rows) {
+        if (a.tier != ExecTier::Threaded)
+            continue;
+        for (const Row &b : rows) {
+            if (b.tier == ExecTier::Lockstep && b.workload == a.workload &&
+                b.mode == a.mode && b.k == a.k) {
+                lockstep_cmps.push_back(
+                    {a.workload, a.mode, a.k, b.lanes, a.trialsPerSec,
+                     b.trialsPerSec, b.laneOccupancy,
+                     b.trialsPerSec / a.trialsPerSec});
+            }
+        }
+    }
+    if (!lockstep_cmps.empty()) {
+        benchutil::printHeader(
+            "Lockstep speedup: lane-group trials/sec over scalar "
+            "threaded trials/sec at the same K",
+            "the tier targets low checkpoint budgets, where trials "
+            "share one long stem replay; with dense checkpoints its "
+            "guard delegates to the scalar tier (occ 0) at parity");
+        std::printf("  %-10s %-12s %4s %5s %5s %12s %12s %8s\n",
+                    "workload", "mode", "K", "lanes", "occ",
+                    "threaded t/s", "lockstep t/s", "speedup");
+        for (const LockstepCmp &c : lockstep_cmps)
+            std::printf(
+                "  %-10s %-12s %4u %5u %5.2f %12.1f %12.1f %7.2fx\n",
+                c.workload.c_str(), hardeningModeName(c.mode), c.k,
+                c.lanes, c.laneOccupancy, c.threadedTps, c.lockstepTps,
+                c.speedup);
+    }
+
+    // ---- lane-width sweep: lockstep grouping at varying widths -------
+    std::vector<Row> lane_rows;
+    const bool have_lockstep =
+        std::find(opt.tiers.begin(), opt.tiers.end(),
+                  ExecTier::Lockstep) != opt.tiers.end();
+    if (have_lockstep) {
+        // The tier's design point — the smallest checkpoint budget in
+        // the sweep, where every trial leans on the shared stem and
+        // width actually changes how much of it is amortized.
+        const unsigned lane_k =
+            *std::min_element(opt.ks.begin(), opt.ks.end());
+        benchutil::printHeader(
+            "Lane-width sweep: lockstep trials/sec by group width",
+            strformat("K = %u checkpoints; occ = mean fraction of the "
+                      "configured lane slots a group fetch served",
+                      lane_k));
+        std::printf("  %-10s %-12s %5s %5s %12s %8s\n", "workload",
+                    "mode", "lanes", "occ", "trials/sec", "speedup");
+        for (const std::string &workload : workloads) {
+            for (const HardeningMode mode : modes) {
+                CampaignConfig cfg =
+                    benchutil::makeConfig(workload, mode, trials);
+                cfg.threads = opt.threads;
+                cfg.tier = ExecTier::Lockstep;
+                cfg.checkpoints = lane_k;
+                double base_tps = 0;
+                bool have_counts = false;
+                std::array<uint64_t, kNumOutcomes> counts{};
+                for (const unsigned lanes : opt.lanes) {
+                    cfg.lanes = lanes;
+                    const CampaignResult r = runCampaign(cfg);
+                    if (!have_counts) {
+                        counts = r.counts;
+                        have_counts = true;
+                    } else {
+                        scAssert(r.counts == counts,
+                                 "campaign outcomes diverged across "
+                                 "lane widths");
+                    }
+                    const double trial_seconds =
+                        std::max(r.phase.trialsSeconds, 1e-9);
+                    Row row;
+                    row.workload = workload;
+                    row.mode = mode;
+                    row.tier = ExecTier::Lockstep;
+                    row.k = lane_k;
+                    row.lanes = lanes;
+                    row.laneOccupancy = r.laneOccupancy;
+                    row.goldenDynInstrs = r.goldenDynInstrs;
+                    row.trialSeconds = trial_seconds;
+                    row.trialsPerSec = trials / trial_seconds;
+                    if (base_tps == 0)
+                        base_tps = row.trialsPerSec;
+                    row.speedup = row.trialsPerSec / base_tps;
+                    lane_rows.push_back(row);
+                    std::printf(
+                        "  %-10s %-12s %5u %5.2f %12.1f %7.2fx\n",
+                        workload.c_str(), hardeningModeName(mode),
+                        lanes, row.laneOccupancy, row.trialsPerSec,
+                        row.speedup);
+                }
+            }
+        }
     }
 
     // ---- suite sweep: workload x mode grid, shared fault-free work ----
@@ -514,6 +672,7 @@ main(int argc, char **argv)
             "    {\"workload\": \"%s\", \"mode\": \"%s\", "
             "\"tier\": \"%s\", "
             "\"goldenDynInstrs\": %llu, \"checkpoints\": %u, "
+            "\"lanes\": %u, \"laneOccupancy\": %.4f, "
             "\"trialSeconds\": %.6f, \"trialsPerSec\": %.2f, "
             "\"speedupVsReplay\": %.3f, \"snapshotBytes\": %llu, "
             "\"snapshotBytesFullCopy\": %llu, "
@@ -522,6 +681,7 @@ main(int argc, char **argv)
             r.workload.c_str(), hardeningModeName(r.mode),
             execTierName(r.tier),
             static_cast<unsigned long long>(r.goldenDynInstrs), r.k,
+            r.lanes, r.laneOccupancy,
             r.trialSeconds, r.trialsPerSec, r.speedup,
             static_cast<unsigned long long>(r.snapshotBytes),
             static_cast<unsigned long long>(r.snapshotBytesFullCopy),
@@ -552,6 +712,69 @@ main(int argc, char **argv)
                 i + 1 < tier_cmps.size() ? "," : "");
         }
         std::fprintf(f, "    ]\n  },\n");
+    }
+
+    if (!lockstep_cmps.empty()) {
+        // The headline geomean is taken at the tier's design point —
+        // the smallest checkpoint budget in the sweep, where trials
+        // have no dense snapshots to rewind to and the shared stem
+        // replay is the only amortization available. Rows at every
+        // budget are recorded below, including the dense-checkpoint
+        // ones where the tier's guard delegates to the scalar path;
+        // geomeanAllBudgets aggregates all of them.
+        unsigned min_k = lockstep_cmps.front().k;
+        for (const LockstepCmp &c : lockstep_cmps)
+            min_k = std::min(min_k, c.k);
+        double geo = 0, geo_all = 0;
+        unsigned n_lo = 0;
+        for (const LockstepCmp &c : lockstep_cmps) {
+            geo_all += std::log(c.speedup);
+            if (c.k == min_k) {
+                geo += std::log(c.speedup);
+                ++n_lo;
+            }
+        }
+        geo = std::exp(geo / static_cast<double>(n_lo));
+        geo_all =
+            std::exp(geo_all / static_cast<double>(lockstep_cmps.size()));
+        std::fprintf(f, "  \"lockstepSpeedup\": {\n"
+                        "    \"geomean\": %.3f,\n"
+                        "    \"geomeanCheckpoints\": %u,\n"
+                        "    \"geomeanAllBudgets\": %.3f,\n"
+                        "    \"lanes\": %u,\n"
+                        "    \"rows\": [\n",
+                     geo, min_k, geo_all, lockstep_cmps.front().lanes);
+        for (std::size_t i = 0; i < lockstep_cmps.size(); ++i) {
+            const LockstepCmp &c = lockstep_cmps[i];
+            std::fprintf(
+                f,
+                "      {\"workload\": \"%s\", \"mode\": \"%s\", "
+                "\"checkpoints\": %u, \"lanes\": %u, "
+                "\"laneOccupancy\": %.4f, "
+                "\"threadedTrialsPerSec\": %.2f, "
+                "\"lockstepTrialsPerSec\": %.2f, \"speedup\": %.3f}%s\n",
+                c.workload.c_str(), hardeningModeName(c.mode), c.k,
+                c.lanes, c.laneOccupancy, c.threadedTps, c.lockstepTps,
+                c.speedup, i + 1 < lockstep_cmps.size() ? "," : "");
+        }
+        std::fprintf(f, "    ]\n  },\n");
+    }
+
+    if (!lane_rows.empty()) {
+        std::fprintf(f, "  \"laneSweep\": [\n");
+        for (std::size_t i = 0; i < lane_rows.size(); ++i) {
+            const Row &r = lane_rows[i];
+            std::fprintf(
+                f,
+                "    {\"workload\": \"%s\", \"mode\": \"%s\", "
+                "\"checkpoints\": %u, \"lanes\": %u, "
+                "\"laneOccupancy\": %.4f, \"trialsPerSec\": %.2f, "
+                "\"speedupVsFirstWidth\": %.3f}%s\n",
+                r.workload.c_str(), hardeningModeName(r.mode), r.k,
+                r.lanes, r.laneOccupancy, r.trialsPerSec, r.speedup,
+                i + 1 < lane_rows.size() ? "," : "");
+        }
+        std::fprintf(f, "  ],\n");
     }
 
     uint64_t sweep_total_trials = 0;

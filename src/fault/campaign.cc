@@ -1,5 +1,6 @@
 #include "fault/campaign.hh"
 
+#include <algorithm>
 #include <atomic>
 #include <cmath>
 #include <limits>
@@ -188,7 +189,7 @@ buildModule(const Workload &w, HardeningMode mode,
     if (report_out)
         *report_out = report;
     pm.em = std::make_unique<ExecModule>(*pm.mod);
-    if (cfg.tier == ExecTier::Threaded)
+    if (cfg.tier != ExecTier::Interp)
         pm.tm = std::make_unique<ThreadedModule>(*pm.em);
     pm.entryIdx = pm.em->functionIndex(w.entry);
     return pm;
@@ -198,12 +199,14 @@ namespace
 {
 
 /** Run @p pm's entry on the tier @p opts requests (interpreter when no
- * translation was built, e.g. a profiling or interpreter-tier config). */
+ * translation was built, e.g. a profiling or interpreter-tier config).
+ * Lockstep-tier campaigns run their fault-free characterization on the
+ * threaded engine — lane groups only exist during the trial phase. */
 RunResult
 runOnTier(const PreparedModule &pm, Memory &mem,
           const std::vector<uint64_t> &args, const ExecOptions &opts)
 {
-    if (opts.tier == ExecTier::Threaded && pm.tm) {
+    if (opts.tier != ExecTier::Interp && pm.tm) {
         ThreadedExec texec(*pm.tm, mem);
         return texec.run(pm.entryIdx, args, opts);
     }
@@ -389,13 +392,17 @@ characterizeCell(const CampaignConfig &config,
 }
 
 unsigned
-trialBatchSize(unsigned trials, unsigned pool_threads)
+trialBatchSize(unsigned trials, unsigned pool_threads, ExecTier tier)
 {
     // ~4 batches per worker: enough slack that whichever worker drains
     // first steals the stragglers, without dissolving a small campaign
     // into per-trial tasks (a trial is one interpreter run; a batch
-    // should dominate its scheduling cost).
-    const unsigned batches = std::max(1u, pool_threads * 4);
+    // should dominate its scheduling cost). The lockstep tier pays one
+    // unamortized golden replay per batch (the stem chain breaks at
+    // batch boundaries), so it trades some stealing slack for longer
+    // chains.
+    const unsigned per_worker = tier == ExecTier::Lockstep ? 2 : 4;
+    const unsigned batches = std::max(1u, pool_threads * per_worker);
     return std::max(1u, (trials + batches - 1) / batches);
 }
 
@@ -446,30 +453,9 @@ runTrialBatch(const CellCharacterization &cell,
     if (!ws)
         ws = std::make_unique<TrialWorkerState>(cell);
 
-    for (unsigned t = first; t < last; ++t) {
-        // Trial-indexed RNG: deterministic regardless of batching or
-        // thread scheduling.
-        Rng rng(trialSeed(config.seed, t));
-        const uint64_t fault_at = rng.nextBelow(golden_dyn);
-
-        ExecOptions opts = trial_opts;
-        opts.faultAtDynInstr = fault_at;
-        opts.faultRng = &rng;
-
-        if (snapshot_stride > 0 && fault_at >= snapshot_stride) {
-            // Fast-forward: snapshots[i] sits at (i+1)*stride.
-            std::size_t idx = static_cast<std::size_t>(
-                                  fault_at / snapshot_stride) -
-                              1;
-            idx = std::min(idx, snapshots.size() - 1);
-            snapshots[idx].restore(ws->st, *ws->run.mem);
-        } else {
-            ws->run.mem->restoreFrom(ws->pristine);
-            ws->interp.begin(ws->st, hardened.entryIdx, ws->run.args,
-                             config.cost);
-        }
-        auto r = ws->resume(opts);
-
+    // Classify one finished trial. For Termination::Ok the worker's
+    // run memory must already hold that trial's final image.
+    auto classify = [&](const RunResult &r) {
         Outcome outcome;
         bool large = false;
         if (r.prunedToGolden) {
@@ -521,6 +507,201 @@ runTrialBatch(const CellCharacterization &cell,
             else
                 accum.usdcSmall.fetch_add(1);
         }
+    };
+
+    // Rewind the worker to trial start: the snapshot at @p key, or the
+    // pristine image when key < 0.
+    auto rewind = [&](std::ptrdiff_t key) {
+        if (key >= 0) {
+            snapshots[static_cast<std::size_t>(key)].restore(
+                ws->st, *ws->run.mem);
+        } else {
+            ws->run.mem->restoreFrom(ws->pristine);
+            ws->interp.begin(ws->st, hardened.entryIdx, ws->run.args,
+                             config.cost);
+        }
+    };
+
+    // Run trial @p t alone on the scalar tier (the pre-lockstep path).
+    auto run_scalar_trial = [&](unsigned t) {
+        // Trial-indexed RNG: deterministic regardless of batching or
+        // thread scheduling.
+        Rng rng(trialSeed(config.seed, t));
+        const uint64_t fault_at = rng.nextBelow(golden_dyn);
+
+        ExecOptions opts = trial_opts;
+        opts.faultAtDynInstr = fault_at;
+        opts.faultRng = &rng;
+
+        // Fast-forward: snapshots[i] sits at (i+1)*stride.
+        std::ptrdiff_t key = -1;
+        if (snapshot_stride > 0 && fault_at >= snapshot_stride) {
+            std::size_t idx = static_cast<std::size_t>(
+                                  fault_at / snapshot_stride) -
+                              1;
+            idx = std::min(idx, snapshots.size() - 1);
+            key = static_cast<std::ptrdiff_t>(idx);
+        }
+        rewind(key);
+        classify(ws->resume(opts));
+    };
+
+    if (config.tier == ExecTier::Lockstep && config.lanes >= 2 &&
+        ws->lockstep) {
+        // ---- lockstep lane groups ------------------------------------
+        // Trials with adjacent injection points form lane groups of up
+        // to config.lanes; the group engine replays the shared prefix
+        // once on a stem lane and advances the faulted lanes in
+        // lockstep, peeling divergent lanes back to the scalar threaded
+        // tier. The group rewinds to the EARLIEST member's snapshot:
+        // execution is deterministic, so the stem passing dynCount ==
+        // faultAt carries exactly the state any later member's own
+        // snapshot replay would have reached — grouping does not need a
+        // shared snapshot key, only a shared stem. (dynCount, the
+        // golden-compare cadence, and the timeout bound are all
+        // absolute, so starting earlier changes no event.) Later
+        // members trade their shorter private replay for a slice of one
+        // shared stem — a win whenever the group is wider than the
+        // span-over-stride ratio. Grouping only affects speed: every
+        // per-trial result is bit-identical to the scalar path by the
+        // lockstep tier's construction (enforced by
+        // tests/interp/test_lockstep_equiv.cc), so outcome totals stay
+        // independent of batching, like everything else here.
+        struct PlannedTrial
+        {
+            unsigned trial;
+            uint64_t faultAt;
+            Rng rng;              //!< past its fault-site draw
+            std::ptrdiff_t key;   //!< snapshot index, -1 = pristine
+        };
+        std::vector<PlannedTrial> plan;
+        plan.reserve(last - first);
+        for (unsigned t = first; t < last; ++t) {
+            Rng rng(trialSeed(config.seed, t));
+            const uint64_t fault_at = rng.nextBelow(golden_dyn);
+            std::ptrdiff_t key = -1;
+            if (snapshot_stride > 0 && fault_at >= snapshot_stride) {
+                std::size_t idx = static_cast<std::size_t>(
+                                      fault_at / snapshot_stride) -
+                                  1;
+                idx = std::min(idx, snapshots.size() - 1);
+                key = static_cast<std::ptrdiff_t>(idx);
+            }
+            plan.push_back(PlannedTrial{t, fault_at, rng, key});
+        }
+        // Order the whole batch by injection point (the engine's fork
+        // order) and chunk it into full-width groups of neighbours.
+        // Snapshot keys are monotone in faultAt, so the first member of
+        // each chunk is also its earliest rewind point.
+        std::sort(plan.begin(), plan.end(),
+                  [](const PlannedTrial &a, const PlannedTrial &b) {
+                      return a.faultAt != b.faultAt ? a.faultAt < b.faultAt
+                                                    : a.trial < b.trial;
+                  });
+        const uint64_t fetches0 = ws->lockstep->fetches();
+        const uint64_t served0 = ws->lockstep->laneInstrsServed();
+
+        // Groups chain: runGroup exports the stem at the last fork, and
+        // the next group (whose members inject later — the plan is
+        // sorted) resumes it instead of rewinding, so one golden replay
+        // covers the whole batch. The chain only survives while the
+        // bound run memory stays the stem's, so everything that would
+        // clobber it — peel resumes, signal extraction, trials that run
+        // better scalar — is deferred until the chain ends.
+        std::vector<LaneTrial> finished;
+        finished.reserve(plan.size());
+        std::vector<unsigned> scalar_trials;
+        std::vector<LaneTrial> group;
+        bool chained = false; // ws->st + bound memory hold a stem export
+        auto snap_dyn = [&](const PlannedTrial &p) {
+            // snapshots[i] sits at dynamic instruction (i+1)*stride
+            return p.key < 0 ? 0
+                             : (static_cast<uint64_t>(p.key) + 1) *
+                                   snapshot_stride;
+        };
+        std::size_t i = 0;
+        while (i < plan.size()) {
+            const std::size_t j =
+                std::min(i + config.lanes, plan.size());
+            const bool use_chain = chained &&
+                                   ws->st.dynCount <= plan[i].faultAt &&
+                                   ws->st.dynCount >= snap_dyn(plan[i]);
+            const uint64_t start_dyn =
+                use_chain ? ws->st.dynCount : snap_dyn(plan[i]);
+            // Profitability: the stem must replay [start_dyn, f_hi]
+            // once to replace the members' private snapshot replays.
+            // With dense checkpoints those replays are already short
+            // and the group would trade them for a longer shared one
+            // (plus per-lane SoA overhead on every post-fork suffix),
+            // so only engage where the group clearly wins the replay
+            // work — at least a 3x reduction; everywhere else the
+            // scalar tier runs at parity, so the tier never trades a
+            // loss for occupancy. (A suffix-aware cost model was
+            // tried and mispredicts: a lane's marginal suffix cost
+            // depends on how many lanes share the fetch, which is not
+            // known until the group runs.)
+            uint64_t scalar_replay = 0;
+            for (std::size_t k = i; k < j; ++k)
+                scalar_replay += plan[k].faultAt - snap_dyn(plan[k]);
+            const uint64_t stem_replay =
+                plan[j - 1].faultAt - start_dyn;
+            if (j - i == 1 || scalar_replay < 3 * stem_replay) {
+                for (std::size_t k = i; k < j; ++k)
+                    scalar_trials.push_back(plan[k].trial);
+                i = j;
+                continue;
+            }
+            if (!use_chain)
+                rewind(plan[i].key);
+            group.clear();
+            group.resize(j - i);
+            for (std::size_t k = i; k < j; ++k) {
+                group[k - i].faultAt = plan[k].faultAt;
+                group[k - i].rng = plan[k].rng;
+            }
+            chained = ws->lockstep->runGroup(ws->st, group, trial_opts,
+                                             &ws->st);
+            for (LaneTrial &tr : group)
+                finished.push_back(std::move(tr));
+            i = j;
+        }
+
+        // The chain is over; the bound memory is free to clobber.
+        for (LaneTrial &tr : finished) {
+            if (tr.status == LaneStatus::Peeled) {
+                // Finish on the scalar threaded tier from the peel
+                // point. Re-arming faultAtDynInstr (already past)
+                // makes the engine disarm it immediately and start
+                // the golden-compare cadence, without re-injecting
+                // (no fault RNG) — the lane's flip already happened
+                // inside the group.
+                *ws->run.mem = tr.mem;
+                ws->st = std::move(tr.state);
+                ExecOptions opts = trial_opts;
+                opts.faultAtDynInstr = tr.faultAt;
+                RunResult r = ws->resume(opts);
+                if (!r.prunedToGolden)
+                    r.checkEvals += tr.checkEvalsAtPeel;
+                r.fault = tr.fault;
+                classify(r);
+            } else {
+                scAssert(tr.status == LaneStatus::Done,
+                         "unresolved lane trial");
+                if (tr.result.term == Termination::Ok &&
+                    !tr.result.prunedToGolden)
+                    *ws->run.mem = tr.mem; // for extractSignal
+                classify(tr.result);
+            }
+        }
+        for (const unsigned t : scalar_trials)
+            run_scalar_trial(t);
+        accum.laneSteps.fetch_add(ws->lockstep->laneInstrsServed() -
+                                  served0);
+        accum.laneSlots.fetch_add(
+            (ws->lockstep->fetches() - fetches0) * config.lanes);
+    } else {
+        for (unsigned t = first; t < last; ++t)
+            run_scalar_trial(t);
     }
 
     {
@@ -543,6 +724,11 @@ finalizeTrialResult(const CellCharacterization &cell,
     result.usdcSmallChange = accum.usdcSmall.load();
     result.phase.trialsSeconds =
         static_cast<double>(accum.batchNanos.load()) * 1e-9;
+    const uint64_t lane_slots = accum.laneSlots.load();
+    if (lane_slots > 0)
+        result.laneOccupancy =
+            static_cast<double>(accum.laneSteps.load()) /
+            static_cast<double>(lane_slots);
     return result;
 }
 
@@ -561,7 +747,7 @@ runTrialPhase(const CellCharacterization &cell,
     TrialWorkerCache cache;
     TrialAccum accum;
     const unsigned batch =
-        trialBatchSize(config.trials, pool.threadCount());
+        trialBatchSize(config.trials, pool.threadCount(), config.tier);
     std::vector<TaskPool::TaskId> ids;
     for (unsigned first = 0; first < config.trials; first += batch) {
         const unsigned last = std::min(first + batch, config.trials);

@@ -76,6 +76,15 @@ struct CampaignConfig
     ExecTier tier = ExecTier::Interp;
 
     /**
+     * Lane-group width for tier == ExecTier::Lockstep: trials sharing a
+     * fast-forward checkpoint are advanced together through the decoded
+     * stream, up to this many per group. 1 degenerates to the scalar
+     * threaded tier (and must match it bit-for-bit — see
+     * tests/interp/test_lockstep_equiv.cc). Ignored by other tiers.
+     */
+    unsigned lanes = 8;
+
+    /**
      * Trial fast-forwarding: record about this many evenly spaced
      * snapshots of the fault-free run, and start each trial from the
      * nearest snapshot at or before its injection point instead of
@@ -164,6 +173,18 @@ struct CampaignResult
     /** Injection throughput: trials / phase.trialsSeconds (0 if the
      * trial phase did not run). */
     double trialsPerSec() const;
+
+    /**
+     * Lockstep tier only (0 elsewhere): mean fraction of the configured
+     * lane width doing useful trial work per group instruction fetched.
+     * A trial counts as served while its forked lane is active *or*
+     * while it is still pending behind the stem lane replaying the
+     * shared post-checkpoint prefix (the stem serves every pending
+     * trial at once). Instructions a peeled lane executes on the scalar
+     * tier are not counted here — peel-off rate bounds the win
+     * separately (see EXPERIMENTS.md "Lockstep lanes").
+     */
+    double laneOccupancy = 0;
 
     /** Sum of all outcome counts (= trials actually classified). */
     uint64_t totalTrials() const;

@@ -24,6 +24,7 @@
 
 #include "fault/campaign.hh"
 #include "interp/interpreter.hh"
+#include "interp/lockstep_exec.hh"
 #include "interp/threaded_exec.hh"
 #include "ir/module.hh"
 #include "profile/profile_data.hh"
@@ -189,23 +190,32 @@ struct TrialWorkerState
     Interpreter interp;
     std::unique_ptr<ThreadedExec> texec; //!< when the module carries a
                                          //!< threaded translation
+    /** Lane-group engine over the same translation and memory image;
+     * used by lockstep-tier batches, which peel divergent lanes back
+     * onto texec via resume(). */
+    std::unique_ptr<LockstepExec> lockstep;
     ExecState st;
 
     explicit TrialWorkerState(const CellCharacterization &cell)
         : run(prepareRun(cell.testSpec())), pristine(*run.mem),
           interp(*cell.module().em, *run.mem)
     {
-        if (cell.module().tm)
+        if (cell.module().tm) {
             texec = std::make_unique<ThreadedExec>(*cell.module().tm,
                                                    *run.mem);
+            lockstep = std::make_unique<LockstepExec>(
+                *cell.module().tm, *run.mem);
+        }
     }
 
     /** Resume on the tier @p opts requests (falling back to the
-     * interpreter when no translation was built). */
+     * interpreter when no translation was built). The lockstep tier
+     * resumes scalar work — peeled lanes, singleton groups — on the
+     * threaded engine, which is bit-identical. */
     RunResult
     resume(const ExecOptions &opts)
     {
-        if (opts.tier == ExecTier::Threaded && texec)
+        if (opts.tier != ExecTier::Interp && texec)
             return texec->resume(st, opts);
         return interp.resume(st, opts);
     }
@@ -238,6 +248,11 @@ struct TrialAccum
      * spent injecting, meaningful even when batches of many cells
      * overlap on the pool. */
     std::atomic<uint64_t> batchNanos{0};
+    /** Lockstep occupancy inputs (see CampaignResult::laneOccupancy):
+     * trial-lane instructions served by group fetches, and the lane
+     * slots those fetches offered (fetches x configured width). */
+    std::atomic<uint64_t> laneSteps{0};
+    std::atomic<uint64_t> laneSlots{0};
 };
 
 /**
@@ -261,8 +276,12 @@ CampaignResult finalizeTrialResult(const CellCharacterization &cell,
                                    const TrialAccum &accum);
 
 /** Trials per stealable batch: ~4 batches per pool worker, floored so
- * tiny campaigns do not dissolve into per-trial tasks. */
-unsigned trialBatchSize(unsigned trials, unsigned pool_threads);
+ * tiny campaigns do not dissolve into per-trial tasks. Lockstep-tier
+ * batches chain lane groups through one shared stem replay, so they
+ * get ~2 larger batches per worker instead — halving the batch count
+ * halves the number of golden replays the tier cannot amortize. */
+unsigned trialBatchSize(unsigned trials, unsigned pool_threads,
+                        ExecTier tier = ExecTier::Interp);
 
 /**
  * Injection half: run @p config's trials against a finished

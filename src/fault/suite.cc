@@ -186,7 +186,8 @@ runCampaignSuite(const SuiteConfig &config)
 
                 TrialAccum &accum = cc.accums[si];
                 const unsigned batch = trialBatchSize(
-                    config.base.trials, pool.threadCount());
+                    config.base.trials, pool.threadCount(),
+                    scfg.tier);
                 std::vector<TaskPool::TaskId> batch_ids;
                 for (unsigned first = 0; first < config.base.trials;
                      first += batch) {

@@ -81,19 +81,37 @@ class CostModel
     /** Charge @p n extra stall cycles (threaded-tier div/math). */
     void addStalls(uint64_t n) { stalls += n; }
 
-    /** Simulate an L1-D access (loads and stores). */
-    void
-    onMemAccess(uint64_t addr)
+    /**
+     * Pure index/tag computation for an L1-D access. Depends only on
+     * the configuration, never on mutable state, so one probe computed
+     * on any model applies to every model sharing that configuration —
+     * the lockstep tier computes it once per instruction and feeds it
+     * to each lane's updateMemAccess().
+     */
+    struct MemAccessProbe
+    {
+        uint64_t line = 0;
+        uint64_t set = 0;
+    };
+
+    MemAccessProbe
+    probeMemAccess(uint64_t addr) const
     {
         const uint64_t line = addr / conf.lineBytes;
-        const uint64_t set = line & (numSets - 1);
-        uint64_t *ways = &tags[set * conf.l1dAssoc];
+        return {line, line & (numSets - 1)};
+    }
+
+    /** Resolve hit/miss and rotate the LRU stack for a probed access. */
+    void
+    updateMemAccess(const MemAccessProbe &p)
+    {
+        uint64_t *ways = &tags[p.set * conf.l1dAssoc];
         for (unsigned w = 0; w < conf.l1dAssoc; ++w) {
-            if (ways[w] == line + 1) {
+            if (ways[w] == p.line + 1) {
                 // Move to MRU position (way 0).
                 for (unsigned v = w; v > 0; --v)
                     ways[v] = ways[v - 1];
-                ways[0] = line + 1;
+                ways[0] = p.line + 1;
                 return;
             }
         }
@@ -101,15 +119,30 @@ class CostModel
         stalls += conf.l1dMissPenalty;
         for (unsigned v = conf.l1dAssoc - 1; v > 0; --v)
             ways[v] = ways[v - 1];
-        ways[0] = line + 1;
+        ways[0] = p.line + 1;
     }
 
-    /** Predict + update the bimodal predictor for a conditional branch
-     * identified by @p site (a stable static id). */
-    void
-    onBranch(uint64_t site, bool taken)
+    /** Simulate an L1-D access (loads and stores). */
+    void onMemAccess(uint64_t addr) { updateMemAccess(probeMemAccess(addr)); }
+
+    /** Pure predictor-table index for a conditional branch site;
+     * shareable across models exactly like MemAccessProbe. */
+    struct BranchProbe
     {
-        uint8_t &ctr = counters[site & (conf.predictorEntries - 1)];
+        uint64_t index = 0;
+    };
+
+    BranchProbe
+    probeBranch(uint64_t site) const
+    {
+        return {site & (conf.predictorEntries - 1)};
+    }
+
+    /** Predict, charge a mispredict if wrong, and update the counter. */
+    void
+    updateBranch(const BranchProbe &p, bool taken)
+    {
+        uint8_t &ctr = counters[p.index];
         const bool predict_taken = ctr >= 2;
         if (predict_taken != taken) {
             ++mispredicts;
@@ -122,6 +155,14 @@ class CostModel
             if (ctr > 0)
                 --ctr;
         }
+    }
+
+    /** Predict + update the bimodal predictor for a conditional branch
+     * identified by @p site (a stable static id). */
+    void
+    onBranch(uint64_t site, bool taken)
+    {
+        updateBranch(probeBranch(site), taken);
     }
 
     uint64_t instructions() const { return instrs; }

@@ -31,7 +31,11 @@ framesConverged(const ExecFrame &a, const ExecFrame &b)
 const char *
 execTierName(ExecTier t)
 {
-    return t == ExecTier::Threaded ? "threaded" : "interp";
+    switch (t) {
+      case ExecTier::Threaded: return "threaded";
+      case ExecTier::Lockstep: return "lockstep";
+      default: return "interp";
+    }
 }
 
 void

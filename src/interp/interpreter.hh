@@ -234,6 +234,8 @@ enum class ExecTier : uint8_t
 {
     Interp,   //!< reference switch-dispatch interpreter
     Threaded, //!< direct-threaded decoded-stream tier
+    Lockstep, //!< SoA lane groups over the decoded stream
+              //!< (lockstep_exec.hh); scalar tiers finish peeled lanes
 };
 
 const char *execTierName(ExecTier t);

@@ -1,0 +1,1199 @@
+/**
+ * @file
+ * Implementation of the lockstep-batched tier (see lockstep_exec.hh).
+ *
+ * Bit-identity with the scalar tiers is the invariant every line here
+ * serves; the handler bodies transcribe threaded_exec.cc one lane loop
+ * at a time. The load-bearing details beyond the scalar tier's:
+ *
+ *  - The group always dispatches TInst::alt (the unfused handler).
+ *    Superinstruction fusion changes neither counts nor cost-model
+ *    state, and dispatch is already amortized across lanes, so the
+ *    unfused stream is bit-identical and divergence handling only has
+ *    to reason about one instruction at a time.
+ *  - A trapping or check-failing instruction is still counted for
+ *    every lane (the batched instruction count settles before any lane
+ *    retires), and div/math stalls are charged to every lane before
+ *    the per-lane zero test, exactly like the scalar tiers.
+ *  - The recent-write ring is maintained once per group: lockstep
+ *    lanes execute the same destination sequence by construction, and
+ *    every fork happens at the group's shared loop top, so the ring a
+ *    fork samples is bit-identical to the scalar trial's. After its
+ *    fork a lane's ring is never consumed again (scalar resumes of
+ *    peeled lanes run with faultRng == nullptr), so divergent phi
+ *    moves applied to a peeling lane's column are deliberately not
+ *    noted in its transposed-out ring.
+ *  - Event order at a shared loop top follows the interpreter: golden
+ *    compares (only lanes forked at an earlier instruction can have
+ *    one armed) before fault forks (a lane forking here arms its
+ *    first compare strictly later, like scalar injection), then the
+ *    timeout check.
+ *  - cycles() is only observed at settled points: lane forks, golden
+ *    compares, and retirements all settle the batched count first.
+ */
+
+#include "interp/lockstep_exec.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "interp/fp_util.hh"
+#include "support/bits.hh"
+#include "support/error.hh"
+
+namespace softcheck
+{
+
+using namespace fp_util;
+
+LockstepExec::LockstepExec(const ThreadedModule &tmod, Memory &memory)
+    : tm(tmod), em(tmod.execModule()), mem(memory),
+      stemExec(tmod, memory)
+{
+    phiTmp.resize(std::max<std::size_t>(tm.maxPhiMoves(), 1));
+}
+
+namespace
+{
+/** Minimum stem-only stretch (dynamic instructions) worth the two
+ * transposes of a scalar handoff. Any threshold is correct — both
+ * engines are bit-identical — so this only trades transpose cost
+ * against width-1 lockstep overhead. */
+constexpr uint64_t kStemHandoffMin = 256;
+} // namespace
+
+// Per-lane operand read/write against the cached top frame. `lc` is
+// the loop variable of the surrounding lane loop.
+#define LRD(x)                                                          \
+    ((x) >= 0 ? fr->regs[static_cast<std::size_t>(x) * ncols + lc.col]  \
+              : consts[~(x)])
+#define LWRS(slot, v)                                                   \
+    (fr->regs[static_cast<std::size_t>(slot) * ncols + lc.col] = (v))
+#define LWR(v) LWRS(t->dst, v)
+
+#define LANES for (LaneCtx &lc : act)
+
+// Simple handlers: one value per lane, one shared ring note.
+#define LS_SIMPLE(EXPR)                                                 \
+    {                                                                   \
+        LANES LWR(EXPR);                                                \
+        note(t->dst);                                                   \
+        ++ip;                                                           \
+    }                                                                   \
+    break;
+
+#define LS_ICMP(EXPR)                                                   \
+    {                                                                   \
+        LANES {                                                         \
+            const uint64_t ua = LRD(t->a);                              \
+            const uint64_t ub = LRD(t->b);                              \
+            const int64_t sa = signExtend(ua, t->width);                \
+            const int64_t sb = signExtend(ub, t->width);                \
+            (void)ua; (void)ub; (void)sa; (void)sb;                     \
+            LWR((EXPR) ? 1 : 0);                                        \
+        }                                                               \
+        note(t->dst);                                                   \
+        ++ip;                                                           \
+    }                                                                   \
+    break;
+
+#define LS_FCMPD(EXPR)                                                  \
+    {                                                                   \
+        LANES {                                                         \
+            const double a = asF64(LRD(t->a));                          \
+            const double b = asF64(LRD(t->b));                          \
+            LWR((EXPR) ? 1 : 0);                                        \
+        }                                                               \
+        note(t->dst);                                                   \
+        ++ip;                                                           \
+    }                                                                   \
+    break;
+
+#define LS_FCMPS(EXPR)                                                  \
+    {                                                                   \
+        LANES {                                                         \
+            const float a = asF32(LRD(t->a));                           \
+            const float b = asF32(LRD(t->b));                           \
+            LWR((EXPR) ? 1 : 0);                                        \
+        }                                                               \
+        note(t->dst);                                                   \
+        ++ip;                                                           \
+    }                                                                   \
+    break;
+
+// Signed/unsigned divide and remainder: stall every lane first (the
+// scalar tiers charge before the zero test), then resolve per lane.
+#define LS_DIVREM(PREP, OKEXPR, RESEXPR)                                \
+    {                                                                   \
+        LANES lc.cost.addStalls(div_stall);                             \
+        bool any_trap = false;                                          \
+        unsigned i = 0;                                                 \
+        LANES {                                                         \
+            PREP;                                                       \
+            laneOk[i] = (OKEXPR) ? 1 : 0;                               \
+            if (laneOk[i])                                              \
+                laneVal[i] = (RESEXPR);                                 \
+            else                                                        \
+                any_trap = true;                                        \
+            ++i;                                                        \
+        }                                                               \
+        if (any_trap) {                                                 \
+            sync();                                                     \
+            settle();                                                   \
+        }                                                               \
+        i = 0;                                                          \
+        LANES {                                                         \
+            if (laneOk[i])                                              \
+                LWR(laneVal[i]);                                        \
+            else                                                        \
+                finish_lane(lc, Termination::Trap,                      \
+                            TrapKind::DivByZero, -1, 0);                \
+            ++i;                                                        \
+        }                                                               \
+        if (any_trap)                                                   \
+            sweep();                                                    \
+        if (!act.empty())                                               \
+            note(t->dst);                                               \
+        ++ip;                                                           \
+    }                                                                   \
+    break;
+
+// Value checks: evaluate per lane, retire failing lanes unless the
+// check is disabled.
+#define LS_CHECK(PREP, PASSEXPR)                                        \
+    {                                                                   \
+        bool any_fail = false;                                          \
+        unsigned i = 0;                                                 \
+        LANES {                                                         \
+            ++lc.checkEvals;                                            \
+            PREP;                                                       \
+            laneOk[i] = (PASSEXPR) ? 1 : 0;                             \
+            any_fail |= !laneOk[i];                                     \
+            ++i;                                                        \
+        }                                                               \
+        if (any_fail && !check_disabled(t->checkId)) {                  \
+            sync();                                                     \
+            settle();                                                   \
+            i = 0;                                                      \
+            LANES {                                                     \
+                if (!laneOk[i])                                         \
+                    finish_lane(lc, Termination::CheckFailed,           \
+                                TrapKind::None, t->checkId, 0);         \
+                ++i;                                                    \
+            }                                                           \
+            sweep();                                                    \
+        }                                                               \
+        ++ip;                                                           \
+    }                                                                   \
+    break;
+
+bool
+LockstepExec::runGroup(ExecState &st, std::vector<LaneTrial> &trials,
+                       const ExecOptions &opts, ExecState *stemOut)
+{
+    bool stem_exported = false;
+    scAssert(!opts.profiler, "lockstep groups cannot profile");
+    scAssert(!opts.dynMix, "lockstep groups cannot record a dyn mix");
+    scAssert(!opts.checkpointEvery,
+             "lockstep groups cannot record checkpoints");
+    scAssert(opts.checkMode == CheckMode::Halt,
+             "lockstep groups require CheckMode::Halt");
+    scAssert(!opts.faultAtDynInstr && !opts.faultRng,
+             "lockstep injection is per lane, not via ExecOptions");
+    scAssert(!trials.empty(), "empty lane group");
+
+    const unsigned ntr = static_cast<unsigned>(trials.size());
+    const unsigned ncols = ntr + 1;
+    const unsigned stem_col = ntr;
+    for (unsigned i = 1; i < ntr; ++i)
+        scAssert(trials[i - 1].faultAt <= trials[i].faultAt,
+                 "lane trials must be sorted by faultAt");
+    unsigned fork_next = 0;
+
+    const ExecFunction *fn_base = &em.function(0);
+    const ThreadedFunction *tf_base = &tm.function(0);
+    const uint64_t div_stall = opts.cost.divExtraCycles;
+    const uint64_t math_stall = opts.cost.mathExtraCycles;
+
+    uint64_t dyn_count = 0;
+    std::vector<uint64_t> global_bases;
+
+    // Transpose a scalar state into the SoA skeleton's stem column
+    // (group entry, and re-entry after a scalar-stem handoff). When
+    // the skeleton already has the same frame sequence at this group
+    // width — every handoff re-entry, since a scalar stretch cannot
+    // change which engine decoded it — only the shared shape and the
+    // stem column are refreshed; stale trial columns are dead (their
+    // lanes retired) and every fork rewrites its column in full.
+    auto transpose_in = [&](const ExecState &s) {
+        bool same_shape = sk.size() == s.stack.size();
+        for (std::size_t j = 0; same_shape && j < sk.size(); ++j)
+            same_shape =
+                sk[j].fn == s.stack[j].fn &&
+                sk[j].regs.size() ==
+                    static_cast<std::size_t>(s.stack[j].fn->numSlots) *
+                        ncols;
+        if (same_shape) {
+            for (std::size_t j = 0; j < sk.size(); ++j) {
+                SkFrame &f = sk[j];
+                const ExecFrame &fe = s.stack[j];
+                f.ip = fe.ip;
+                f.curBlock = fe.curBlock;
+                f.retDst = fe.retDst;
+                for (std::size_t s2 = 0; s2 < fe.regs.size(); ++s2)
+                    f.regs[s2 * ncols + stem_col] = fe.regs[s2];
+                f.recent = fe.recent;
+                f.recentCount = fe.recentCount;
+                f.recentPos = fe.recentPos;
+                f.allocaBases[stem_col] = fe.allocaBases;
+            }
+        } else {
+            while (!sk.empty()) {
+                skSpare.push_back(std::move(sk.back()));
+                sk.pop_back();
+            }
+            for (const ExecFrame &fe : s.stack) {
+                if (skSpare.empty()) {
+                    sk.emplace_back();
+                } else {
+                    sk.push_back(std::move(skSpare.back()));
+                    skSpare.pop_back();
+                }
+                SkFrame &f = sk.back();
+                f.fn = fe.fn;
+                f.tf =
+                    tf_base + static_cast<std::size_t>(fe.fn - fn_base);
+                f.ip = fe.ip;
+                f.curBlock = fe.curBlock;
+                f.retDst = fe.retDst;
+                f.regs.assign(
+                    static_cast<std::size_t>(fe.fn->numSlots) * ncols,
+                    0);
+                for (std::size_t s2 = 0; s2 < fe.regs.size(); ++s2)
+                    f.regs[s2 * ncols + stem_col] = fe.regs[s2];
+                f.recent = fe.recent;
+                f.recentCount = fe.recentCount;
+                f.recentPos = fe.recentPos;
+                f.allocaBases.resize(ncols);
+                for (auto &v : f.allocaBases)
+                    v.clear();
+                f.allocaBases[stem_col] = fe.allocaBases;
+            }
+        }
+        scAssert(!sk.empty(), "lane group needs a live call stack");
+        dyn_count = s.dynCount;
+        global_bases = s.globalBases;
+    };
+    transpose_in(st);
+
+    act.clear();
+    {
+        LaneCtx stem;
+        stem.col = stem_col;
+        stem.trial = -1;
+        stem.mem = &mem;
+        stem.cost = std::move(st.cost); // st is consumed by contract
+        act.push_back(std::move(stem));
+    }
+    bool stem_alive = true;
+
+    callTmp.resize(std::max<std::size_t>(tm.maxCallArgs(), 1) * ncols);
+    laneVal.resize(ncols);
+    laneOk.resize(ncols);
+
+    // --- cached top-frame context ---
+    SkFrame *fr = nullptr;
+    const TInst *code = nullptr;
+    const uint64_t *consts = nullptr;
+    uint32_t ip = 0;
+    uint32_t cur_block = 0;
+    uint64_t unsettled = 0;
+
+    auto load_ctx = [&] {
+        fr = &sk.back();
+        code = fr->tf->code.data();
+        consts = fr->tf->consts.data();
+        ip = fr->ip;
+        cur_block = fr->curBlock;
+    };
+    auto sync = [&] {
+        fr->ip = ip;
+        fr->curBlock = cur_block;
+    };
+    auto settle = [&] {
+        if (!unsettled)
+            return;
+        for (LaneCtx &lc : act)
+            lc.cost.addInstrs(unsettled);
+        unsettled = 0;
+    };
+    auto note = [&](int32_t slot) {
+        fr->recent[fr->recentPos] = slot;
+        fr->recentPos = (fr->recentPos + 1) & (ExecFrame::kRecentRing - 1);
+        if (fr->recentCount < ExecFrame::kRecentRing)
+            ++fr->recentCount;
+    };
+    auto check_disabled = [&](int32_t id) {
+        return opts.disabledChecks && id >= 0 &&
+               static_cast<std::size_t>(id) < opts.disabledChecks->size() &&
+               (*opts.disabledChecks)[static_cast<std::size_t>(id)];
+    };
+    auto sweep = [&] {
+        act.erase(std::remove_if(act.begin(), act.end(),
+                                 [](const LaneCtx &l) { return l.dead; }),
+                  act.end());
+    };
+
+    // Retire one lane with a final scalar-identical result. The batched
+    // count must be settled first.
+    auto finish_lane = [&](LaneCtx &lc, Termination term, TrapKind trap,
+                           int check_id, uint64_t ret) {
+        scAssert(lc.trial >= 0, "the stem lane cannot retire");
+        RunResult r;
+        r.term = term;
+        r.trap = trap;
+        r.failedCheckId = check_id;
+        r.retValue = ret;
+        r.dynInstrs = dyn_count;
+        r.cycles = lc.cost.cycles();
+        r.endCycle = r.cycles;
+        r.cacheMisses = lc.cost.cacheMisses();
+        r.branchMispredicts = lc.cost.branchMispredicts();
+        r.checkEvals = lc.checkEvals;
+        r.fault = lc.fault;
+        LaneTrial &tr = trials[static_cast<std::size_t>(lc.trial)];
+        tr.result = r;
+        tr.fault = lc.fault;
+        tr.status = LaneStatus::Done;
+        lc.dead = true;
+    };
+
+    // Transpose one column out as a scalar resume point at
+    // (pip, pblock). Requires sync() + settle() first. Consumes the
+    // column's CostModel (the column is dead, or — for a stem handoff
+    // — about to be refreshed from the scalar run) so the tag and
+    // predictor arrays move instead of copying. Frames already in
+    // @p out are reused in place when they line up, which makes the
+    // steady-state handoff transpose allocation-free.
+    auto transpose_out = [&](unsigned col, CostModel &cm,
+                             ExecState &out, uint32_t pip,
+                             uint32_t pblock) {
+        out.dynCount = dyn_count;
+        out.cost = std::move(cm);
+        out.globalBases = global_bases;
+        if (out.stack.size() > sk.size())
+            out.stack.resize(sk.size());
+        out.stack.reserve(sk.size());
+        while (out.stack.size() < sk.size())
+            out.stack.emplace_back();
+        for (std::size_t j = 0; j < sk.size(); ++j) {
+            const SkFrame &f = sk[j];
+            ExecFrame &fe = out.stack[j];
+            fe.fn = f.fn;
+            const std::size_t nslots = f.fn->numSlots;
+            fe.regs.resize(nslots);
+            for (std::size_t s = 0; s < nslots; ++s)
+                fe.regs[s] = f.regs[s * ncols + col];
+            fe.allocaBases = f.allocaBases[col];
+            fe.recent = f.recent;
+            fe.recentCount = f.recentCount;
+            fe.recentPos = f.recentPos;
+            fe.retDst = f.retDst;
+            const bool top = j + 1 == sk.size();
+            fe.ip = top ? pip : f.ip;
+            fe.curBlock = top ? pblock : f.curBlock;
+        }
+    };
+
+    auto peel_lane = [&](LaneCtx &lc, uint32_t pip, uint32_t pblock) {
+        scAssert(lc.trial >= 0, "the stem lane cannot peel");
+        LaneTrial &tr = trials[static_cast<std::size_t>(lc.trial)];
+        transpose_out(lc.col, lc.cost, tr.state, pip, pblock);
+        tr.checkEvalsAtPeel = lc.checkEvals;
+        tr.fault = lc.fault;
+        tr.status = LaneStatus::Peeled;
+        lc.dead = true;
+    };
+
+    // Parallel phi-move copy for one column, no ring notes (used only
+    // when that column is about to peel; its ring is dead post-fault).
+    auto apply_edge_col = [&](const TEdge &e, unsigned col) {
+        if (e.movesBegin == e.movesEnd)
+            return;
+        const TPhiMove *mv = fr->tf->phiMoves.data();
+        const uint32_t nmv = e.movesEnd - e.movesBegin;
+        for (uint32_t k = 0; k < nmv; ++k) {
+            const int32_t s = mv[e.movesBegin + k].src;
+            phiTmp[k] =
+                s >= 0 ? fr->regs[static_cast<std::size_t>(s) * ncols + col]
+                       : consts[~s];
+        }
+        for (uint32_t k = 0; k < nmv; ++k)
+            fr->regs[static_cast<std::size_t>(mv[e.movesBegin + k].dst) *
+                         ncols +
+                     col] = phiTmp[k];
+    };
+
+    // The group takes an edge: per-lane parallel phi copies, shared
+    // ring notes in move order, then the jump.
+    auto apply_edge_group = [&](uint32_t eidx) {
+        const TEdge &e = fr->tf->edges[eidx];
+        if (e.movesBegin != e.movesEnd) {
+            const TPhiMove *mv = fr->tf->phiMoves.data();
+            const uint32_t nmv = e.movesEnd - e.movesBegin;
+            for (LaneCtx &lc : act) {
+                for (uint32_t k = 0; k < nmv; ++k) {
+                    const int32_t s = mv[e.movesBegin + k].src;
+                    phiTmp[k] = s >= 0 ? fr->regs[static_cast<std::size_t>(
+                                                      s) *
+                                                      ncols +
+                                                  lc.col]
+                                       : consts[~s];
+                }
+                for (uint32_t k = 0; k < nmv; ++k)
+                    LWRS(mv[e.movesBegin + k].dst, phiTmp[k]);
+            }
+            for (uint32_t k = 0; k < nmv; ++k)
+                note(mv[e.movesBegin + k].dst);
+        }
+        cur_block = e.targetBlock;
+        ip = e.targetIp;
+    };
+
+    uint64_t next_golden_cmp = ~0ULL;
+    auto arm_golden_cmp = [&] {
+        if (!opts.goldenSnapshots || !opts.goldenEvery)
+            return;
+        next_golden_cmp =
+            (dyn_count / opts.goldenEvery + 1) * opts.goldenEvery;
+    };
+
+    // Snapshot::convergedWith against one column of the skeleton.
+    auto lane_converged = [&](const Snapshot &gold, const LaneCtx &lc) {
+        const ExecState &gs = gold.state;
+        if (gs.dynCount != dyn_count || gs.stack.size() != sk.size() ||
+            gs.globalBases != global_bases ||
+            !lc.cost.sameState(gs.cost))
+            return false;
+        for (std::size_t j = 0; j < sk.size(); ++j) {
+            const ExecFrame &gf = gs.stack[j];
+            const SkFrame &f = sk[j];
+            if (gf.fn != f.fn || gf.ip != f.ip ||
+                gf.curBlock != f.curBlock || gf.retDst != f.retDst ||
+                gf.allocaBases != f.allocaBases[lc.col])
+                return false;
+            for (std::size_t s = 0; s < gf.regs.size(); ++s)
+                if (gf.regs[s] != f.regs[s * ncols + lc.col])
+                    return false;
+        }
+        return lc.mem->contentsEqual(gold.mem);
+    };
+
+    load_ctx();
+
+    for (;;) {
+        // --- shared loop top: settle, then events in scalar order ---
+        sync();
+        settle();
+
+        // Golden compares. Only lanes forked strictly earlier can have
+        // one armed at this dynamic instruction (a lane forking *here*
+        // arms its first compare strictly later), so running compares
+        // before forks matches the interpreter's fault-then-compare
+        // order lane by lane.
+        if (dyn_count >= next_golden_cmp) {
+            const std::size_t idx =
+                static_cast<std::size_t>(dyn_count / opts.goldenEvery) -
+                1;
+            if (idx >= opts.goldenSnapshots->size()) {
+                next_golden_cmp = ~0ULL; // ran past the golden run
+            } else {
+                const Snapshot &gold = (*opts.goldenSnapshots)[idx];
+                bool any = false;
+                for (LaneCtx &lc : act) {
+                    if (lc.trial < 0)
+                        continue;
+                    if (gold.dynInstr() == dyn_count &&
+                        lane_converged(gold, lc)) {
+                        scAssert(opts.goldenResult,
+                                 "goldenSnapshots without goldenResult");
+                        RunResult r = *opts.goldenResult;
+                        r.prunedToGolden = true;
+                        r.fault = lc.fault;
+                        LaneTrial &tr =
+                            trials[static_cast<std::size_t>(lc.trial)];
+                        tr.result = r;
+                        tr.fault = lc.fault;
+                        tr.status = LaneStatus::Done;
+                        lc.dead = true;
+                        any = true;
+                    }
+                }
+                if (any)
+                    sweep();
+                next_golden_cmp += opts.goldenEvery;
+            }
+        }
+
+        // Fault forks: trial lanes leave the stem at their injection
+        // point. Mirrors the interpreter's injection block bit for bit
+        // (ring draw, slot-width draw, masked flip, post-settle cycle
+        // stamp), then arms the lane's golden compares — which lands
+        // on the shared next_golden_cmp without moving it, since every
+        // armed lane shares the same "next multiple" value.
+        while (fork_next < ntr &&
+               trials[fork_next].faultAt <= dyn_count) {
+            scAssert(stem_alive, "pending fork without a stem lane");
+            const unsigned ti = fork_next++;
+            LaneTrial &tr = trials[ti];
+            LaneCtx lane;
+            lane.col = ti;
+            lane.trial = static_cast<int>(ti);
+            tr.mem = mem; // COW fork of the stem memory
+            lane.mem = &tr.mem;
+            lane.cost = act.front().cost;
+            lane.checkEvals = act.front().checkEvals;
+            for (SkFrame &f : sk) {
+                const std::size_t nslots = f.fn->numSlots;
+                for (std::size_t s = 0; s < nslots; ++s)
+                    f.regs[s * ncols + ti] = f.regs[s * ncols + stem_col];
+                f.allocaBases[ti] = f.allocaBases[stem_col];
+            }
+            SkFrame &ff = sk.back();
+            if (ff.recentCount > 0) {
+                Rng &rng = tr.rng;
+                const int32_t slot =
+                    ff.recent[static_cast<std::size_t>(
+                        rng.nextBelow(ff.recentCount))];
+                const TypeKind ty =
+                    ff.fn->slotTypes[static_cast<std::size_t>(slot)];
+                const unsigned width = typeBits(ty) ? typeBits(ty) : 64;
+                const unsigned bit =
+                    static_cast<unsigned>(rng.nextBelow(width));
+                lane.fault.injected = true;
+                lane.fault.slot = slot;
+                lane.fault.slotType = ty;
+                lane.fault.bit = bit;
+                lane.fault.before =
+                    ff.regs[static_cast<std::size_t>(slot) * ncols + ti];
+                lane.fault.after =
+                    flipBit(lane.fault.before, bit) & lowBitMask(width);
+                lane.fault.atDynInstr = dyn_count;
+                lane.fault.atCycle = lane.cost.cycles();
+                ff.regs[static_cast<std::size_t>(slot) * ncols + ti] =
+                    lane.fault.after;
+            }
+            act.push_back(std::move(lane));
+            arm_golden_cmp();
+        }
+        if (fork_next == ntr && stem_alive) {
+            scAssert(act.front().trial < 0, "leader is not the stem");
+            // The stem's job is done; export it as a resume point
+            // before retiring it. The bound Memory is the stem's and
+            // nothing touches it once the last lane has forked off, so
+            // (stemOut, bound Memory) is a complete scalar state at
+            // the last injection point — the caller can chain the next
+            // sorted group from here instead of rewinding.
+            if (stemOut) {
+                transpose_out(stem_col, act.front().cost, *stemOut, ip,
+                              cur_block);
+                stem_exported = true;
+            }
+            act.erase(act.begin());
+            stem_alive = false;
+        }
+
+        // Timeout retires every live lane; trials still pending behind
+        // the stem never reached their injection point, so they time
+        // out with the stem's (shared-prefix) state and no fault —
+        // exactly what their scalar replay would record.
+        if (dyn_count >= opts.maxDynInstrs) {
+            for (LaneCtx &lc : act)
+                if (lc.trial >= 0)
+                    finish_lane(lc, Termination::Timeout, TrapKind::None,
+                                -1, 0);
+            if (fork_next < ntr) {
+                scAssert(stem_alive, "pending trials without a stem");
+                const LaneCtx &stem = act.front();
+                while (fork_next < ntr) {
+                    LaneTrial &tr = trials[fork_next++];
+                    RunResult r;
+                    r.term = Termination::Timeout;
+                    r.dynInstrs = dyn_count;
+                    r.cycles = stem.cost.cycles();
+                    r.endCycle = r.cycles;
+                    r.cacheMisses = stem.cost.cacheMisses();
+                    r.branchMispredicts = stem.cost.branchMispredicts();
+                    r.checkEvals = stem.checkEvals;
+                    tr.result = r;
+                    tr.status = LaneStatus::Done;
+                }
+            }
+            act.clear();
+            return stem_exported;
+        }
+
+        // Group termination / last-lane peel.
+        const unsigned live =
+            static_cast<unsigned>(act.size()) - (stem_alive ? 1u : 0u);
+        if (live == 0 && fork_next == ntr) {
+            act.clear();
+            return stem_exported;
+        }
+        if (!stem_alive && live == 1) {
+            // Width-1 lockstep is pure overhead; hand the survivor to
+            // the scalar tier from this settled boundary.
+            peel_lane(act.front(), ip, cur_block);
+            act.clear();
+            return stem_exported;
+        }
+
+        // Scalar-stem handoff: with no forked lanes live the group is
+        // one lane of straight prefix replay, and width-1 lockstep
+        // (switch dispatch, unfused stream, strided SoA operands)
+        // costs about twice the scalar tier. Transpose the stem out,
+        // run it on the fused computed-goto engine up to the next fork
+        // (tier equivalence makes the resulting state bit-identical,
+        // including the recent-write ring the fork will sample), and
+        // re-enter lockstep there. With the fault event disarmed the
+        // scalar stretch can only stop on its instruction bound, so
+        // anything else is a broken invariant. The stretch still
+        // serves every pending trial and counts toward occupancy like
+        // any other stem fetch.
+        if (stem_alive && live == 0 && fork_next < ntr) {
+            const uint64_t until =
+                std::min(trials[fork_next].faultAt, opts.maxDynInstrs);
+            if (until - dyn_count >= kStemHandoffMin) {
+                LaneCtx &stem = act.front();
+                transpose_out(stem_col, stem.cost, stemScratch, ip,
+                              cur_block);
+                ExecOptions sopts = opts;
+                sopts.maxDynInstrs = until;
+                const RunResult r = stemExec.resume(stemScratch, sopts);
+                scAssert(r.term == Termination::Timeout &&
+                             stemScratch.dynCount == until,
+                         "stem handoff must stop at the next event");
+                const uint64_t window = until - dyn_count;
+                fetchCount += window;
+                servedLanes += window * (ntr - fork_next);
+                stem.cost = std::move(stemScratch.cost);
+                stem.checkEvals += r.checkEvals;
+                transpose_in(stemScratch);
+                load_ctx();
+                next_golden_cmp = ~0ULL; // no forked lanes are live
+                continue;
+            }
+        }
+
+        // --- event horizon for the whole group ---
+        uint64_t next_event = opts.maxDynInstrs;
+        if (fork_next < ntr && trials[fork_next].faultAt < next_event)
+            next_event = trials[fork_next].faultAt;
+        if (next_golden_cmp < next_event)
+            next_event = next_golden_cmp;
+
+        bool to_boundary = false;
+        while (!to_boundary && dyn_count < next_event) {
+            const TInst *t = code + ip;
+            ++dyn_count;
+            ++unsettled;
+            ++fetchCount;
+            servedLanes += (act.size() - (stem_alive ? 1u : 0u)) +
+                           (ntr - fork_next);
+
+            switch (static_cast<THandler>(t->alt)) {
+              // ---- integer arithmetic --------------------------------
+              case THandler::Add:
+                LS_SIMPLE(truncBits(LRD(t->a) + LRD(t->b), t->width))
+              case THandler::Sub:
+                LS_SIMPLE(truncBits(LRD(t->a) - LRD(t->b), t->width))
+              case THandler::Mul:
+                LS_SIMPLE(truncBits(LRD(t->a) * LRD(t->b), t->width))
+              case THandler::SDiv:
+                LS_DIVREM(const int64_t a = signExtend(LRD(t->a), t->width);
+                          const int64_t b = signExtend(LRD(t->b), t->width),
+                          b != 0,
+                          truncBits(static_cast<uint64_t>(
+                                        (a == std::numeric_limits<
+                                                  int64_t>::min() &&
+                                         b == -1)
+                                            ? a
+                                            : a / b),
+                                    t->width))
+              case THandler::SRem:
+                LS_DIVREM(const int64_t a = signExtend(LRD(t->a), t->width);
+                          const int64_t b = signExtend(LRD(t->b), t->width),
+                          b != 0,
+                          truncBits(static_cast<uint64_t>(
+                                        (a == std::numeric_limits<
+                                                  int64_t>::min() &&
+                                         b == -1)
+                                            ? 0
+                                            : a % b),
+                                    t->width))
+              case THandler::UDiv:
+                LS_DIVREM(const uint64_t a = LRD(t->a);
+                          const uint64_t b = LRD(t->b),
+                          b != 0, truncBits(a / b, t->width))
+              case THandler::URem:
+                LS_DIVREM(const uint64_t a = LRD(t->a);
+                          const uint64_t b = LRD(t->b),
+                          b != 0, truncBits(a % b, t->width))
+              case THandler::And:
+                LS_SIMPLE(LRD(t->a) & LRD(t->b))
+              case THandler::Or:
+                LS_SIMPLE(LRD(t->a) | LRD(t->b))
+              case THandler::Xor:
+                LS_SIMPLE(LRD(t->a) ^ LRD(t->b))
+              case THandler::Shl: {
+                LANES {
+                    const unsigned sh = static_cast<unsigned>(LRD(t->b)) &
+                                        (t->width - 1);
+                    LWR(truncBits(LRD(t->a) << sh, t->width));
+                }
+                note(t->dst);
+                ++ip;
+              } break;
+              case THandler::LShr: {
+                LANES {
+                    const unsigned sh = static_cast<unsigned>(LRD(t->b)) &
+                                        (t->width - 1);
+                    LWR(LRD(t->a) >> sh);
+                }
+                note(t->dst);
+                ++ip;
+              } break;
+              case THandler::AShr: {
+                LANES {
+                    const unsigned sh = static_cast<unsigned>(LRD(t->b)) &
+                                        (t->width - 1);
+                    const int64_t a = signExtend(LRD(t->a), t->width);
+                    LWR(truncBits(static_cast<uint64_t>(a >> sh),
+                                  t->width));
+                }
+                note(t->dst);
+                ++ip;
+              } break;
+
+              // ---- floating-point arithmetic -------------------------
+              case THandler::FAddD:
+                LS_SIMPLE(fromF64(asF64(LRD(t->a)) + asF64(LRD(t->b))))
+              case THandler::FSubD:
+                LS_SIMPLE(fromF64(asF64(LRD(t->a)) - asF64(LRD(t->b))))
+              case THandler::FMulD:
+                LS_SIMPLE(fromF64(asF64(LRD(t->a)) * asF64(LRD(t->b))))
+              case THandler::FDivD: {
+                LANES lc.cost.addStalls(div_stall);
+                LANES LWR(fromF64(asF64(LRD(t->a)) / asF64(LRD(t->b))));
+                note(t->dst);
+                ++ip;
+              } break;
+              case THandler::FAddS:
+                LS_SIMPLE(fromF32(asF32(LRD(t->a)) + asF32(LRD(t->b))))
+              case THandler::FSubS:
+                LS_SIMPLE(fromF32(asF32(LRD(t->a)) - asF32(LRD(t->b))))
+              case THandler::FMulS:
+                LS_SIMPLE(fromF32(asF32(LRD(t->a)) * asF32(LRD(t->b))))
+              case THandler::FDivS: {
+                LANES lc.cost.addStalls(div_stall);
+                LANES LWR(fromF32(asF32(LRD(t->a)) / asF32(LRD(t->b))));
+                note(t->dst);
+                ++ip;
+              } break;
+
+              // ---- comparisons ---------------------------------------
+              case THandler::ICmpEq: LS_ICMP(ua == ub)
+              case THandler::ICmpNe: LS_ICMP(ua != ub)
+              case THandler::ICmpSlt: LS_ICMP(sa < sb)
+              case THandler::ICmpSle: LS_ICMP(sa <= sb)
+              case THandler::ICmpSgt: LS_ICMP(sa > sb)
+              case THandler::ICmpSge: LS_ICMP(sa >= sb)
+              case THandler::ICmpUlt: LS_ICMP(ua < ub)
+              case THandler::ICmpUle: LS_ICMP(ua <= ub)
+              case THandler::ICmpUgt: LS_ICMP(ua > ub)
+              case THandler::ICmpUge: LS_ICMP(ua >= ub)
+              case THandler::FCmpDOEq: LS_FCMPD(a == b)
+              case THandler::FCmpDONe:
+                LS_FCMPD(a == a && b == b && a != b)
+              case THandler::FCmpDOLt: LS_FCMPD(a < b)
+              case THandler::FCmpDOLe: LS_FCMPD(a <= b)
+              case THandler::FCmpDOGt: LS_FCMPD(a > b)
+              case THandler::FCmpDOGe: LS_FCMPD(a >= b)
+              case THandler::FCmpSOEq: LS_FCMPS(a == b)
+              case THandler::FCmpSONe:
+                LS_FCMPS(a == a && b == b && a != b)
+              case THandler::FCmpSOLt: LS_FCMPS(a < b)
+              case THandler::FCmpSOLe: LS_FCMPS(a <= b)
+              case THandler::FCmpSOGt: LS_FCMPS(a > b)
+              case THandler::FCmpSOGe: LS_FCMPS(a >= b)
+
+              // ---- casts ---------------------------------------------
+              case THandler::Trunc:
+                LS_SIMPLE(truncBits(LRD(t->a), t->width))
+              case THandler::Move:
+                LS_SIMPLE(LRD(t->a))
+              case THandler::SExt:
+                LS_SIMPLE(truncBits(
+                    static_cast<uint64_t>(signExtend(LRD(t->a),
+                                                     t->srcBits)),
+                    t->width))
+              case THandler::FPToSiD:
+                LS_SIMPLE(truncBits(static_cast<uint64_t>(fpToSiSat(
+                                        asF64(LRD(t->a)), t->width)),
+                                    t->width))
+              case THandler::FPToSiS:
+                LS_SIMPLE(truncBits(static_cast<uint64_t>(fpToSiSat(
+                                        asF32(LRD(t->a)), t->width)),
+                                    t->width))
+              case THandler::SIToFPD:
+                LS_SIMPLE(fromF64(static_cast<double>(
+                    signExtend(LRD(t->a), t->srcBits))))
+              case THandler::SIToFPS:
+                LS_SIMPLE(fromF32(static_cast<float>(
+                    signExtend(LRD(t->a), t->srcBits))))
+              case THandler::FPTrunc:
+                LS_SIMPLE(fromF32(static_cast<float>(asF64(LRD(t->a)))))
+              case THandler::FPExt:
+                LS_SIMPLE(fromF64(static_cast<double>(asF32(LRD(t->a)))))
+
+              // ---- memory --------------------------------------------
+              case THandler::Load: {
+                bool any_trap = false;
+                bool have_probe = false;
+                uint64_t prev_addr = 0;
+                CostModel::MemAccessProbe pr{};
+                unsigned i = 0;
+                LANES {
+                    const uint64_t addr = LRD(t->a);
+                    if (!have_probe || addr != prev_addr) {
+                        pr = lc.cost.probeMemAccess(addr);
+                        prev_addr = addr;
+                        have_probe = true;
+                    }
+                    lc.cost.updateMemAccess(pr);
+                    uint64_t v = 0;
+                    laneOk[i] = lc.mem->read(addr, t->elemSize, v) ? 1 : 0;
+                    laneVal[i] = v;
+                    any_trap |= !laneOk[i];
+                    ++i;
+                }
+                if (any_trap) {
+                    sync();
+                    settle();
+                }
+                i = 0;
+                LANES {
+                    if (laneOk[i])
+                        LWR(laneVal[i]);
+                    else
+                        finish_lane(lc, Termination::Trap,
+                                    TrapKind::OutOfBounds, -1, 0);
+                    ++i;
+                }
+                if (any_trap)
+                    sweep();
+                if (!act.empty())
+                    note(t->dst);
+                ++ip;
+              } break;
+              case THandler::Store: {
+                bool any_trap = false;
+                bool have_probe = false;
+                uint64_t prev_addr = 0;
+                CostModel::MemAccessProbe pr{};
+                unsigned i = 0;
+                LANES {
+                    const uint64_t v = LRD(t->a);
+                    const uint64_t addr = LRD(t->b);
+                    if (!have_probe || addr != prev_addr) {
+                        pr = lc.cost.probeMemAccess(addr);
+                        prev_addr = addr;
+                        have_probe = true;
+                    }
+                    lc.cost.updateMemAccess(pr);
+                    laneOk[i] =
+                        lc.mem->write(addr, t->elemSize, v) ? 1 : 0;
+                    any_trap |= !laneOk[i];
+                    ++i;
+                }
+                if (any_trap) {
+                    sync();
+                    settle();
+                    i = 0;
+                    LANES {
+                        if (!laneOk[i])
+                            finish_lane(lc, Termination::Trap,
+                                        TrapKind::OutOfBounds, -1, 0);
+                        ++i;
+                    }
+                    sweep();
+                }
+                ++ip;
+              } break;
+              case THandler::Gep:
+                LS_SIMPLE(LRD(t->a) +
+                          static_cast<uint64_t>(
+                              static_cast<int64_t>(LRD(t->b))) *
+                              t->elemSize)
+              case THandler::Alloca: {
+                bool any_trap = false;
+                unsigned i = 0;
+                LANES {
+                    const uint64_t bytes = LRD(t->a) * t->elemSize;
+                    laneVal[i] = bytes;
+                    laneOk[i] =
+                        (bytes != 0 && bytes <= (1ULL << 30)) ? 1 : 0;
+                    any_trap |= !laneOk[i];
+                    ++i;
+                }
+                if (any_trap) {
+                    sync();
+                    settle();
+                }
+                i = 0;
+                LANES {
+                    if (laneOk[i]) {
+                        const uint64_t base = lc.mem->alloc(laneVal[i]);
+                        fr->allocaBases[lc.col].push_back(base);
+                        LWR(base);
+                    } else {
+                        finish_lane(lc, Termination::Trap,
+                                    TrapKind::OutOfBounds, -1, 0);
+                    }
+                    ++i;
+                }
+                if (any_trap)
+                    sweep();
+                if (!act.empty())
+                    note(t->dst);
+                ++ip;
+              } break;
+              case THandler::GlobalAddr:
+                LS_SIMPLE(global_bases[t->e0])
+
+              // ---- control -------------------------------------------
+              case THandler::Br:
+                apply_edge_group(t->e0);
+                break;
+              case THandler::CondBr: {
+                const CostModel::BranchProbe bp =
+                    act.front().cost.probeBranch(t->branchSite);
+                unsigned i = 0;
+                LANES {
+                    laneOk[i] = (LRD(t->a) & 1) != 0 ? 1 : 0;
+                    lc.cost.updateBranch(bp, laneOk[i] != 0);
+                    ++i;
+                }
+                const uint8_t lead = laneOk[0];
+                bool any_div = false;
+                for (unsigned k = 1; k < act.size(); ++k)
+                    any_div |= laneOk[k] != lead;
+                if (any_div) {
+                    sync();
+                    settle();
+                    unsigned k = 0;
+                    for (LaneCtx &lc : act) {
+                        if (laneOk[k] != lead) {
+                            // The lane leaves on its own edge; its ring
+                            // copy predates these phi moves, which is
+                            // fine — it is never sampled again.
+                            const TEdge &e =
+                                fr->tf->edges[laneOk[k] ? t->e0 : t->e1];
+                            apply_edge_col(e, lc.col);
+                            peel_lane(lc, e.targetIp, e.targetBlock);
+                        }
+                        ++k;
+                    }
+                    sweep();
+                }
+                apply_edge_group(lead ? t->e0 : t->e1);
+              } break;
+              case THandler::Select:
+                LS_SIMPLE((LRD(t->a) & 1) ? LRD(t->b) : LRD(t->c))
+              case THandler::Call: {
+                if (sk.size() >= opts.maxCallDepth) {
+                    sync();
+                    settle();
+                    scAssert(!stem_alive,
+                             "stem lane overflowed the call stack");
+                    for (LaneCtx &lc : act)
+                        finish_lane(lc, Termination::Trap,
+                                    TrapKind::StackOverflow, -1, 0);
+                    act.clear();
+                    return stem_exported;
+                }
+                const uint32_t argc = t->e0;
+                const int32_t *ap =
+                    fr->tf->callArgs.data() + t->argsBegin;
+                uint64_t *cb = callTmp.data();
+                LANES {
+                    for (uint32_t k = 0; k < argc; ++k)
+                        cb[k * ncols + lc.col] = LRD(ap[k]);
+                }
+                const int32_t call_dst = t->dst;
+                const ExecFunction &callee =
+                    em.function(static_cast<std::size_t>(t->calleeIdx));
+                fr->ip = ip + 1; // return continuation
+                fr->curBlock = cur_block;
+                if (skSpare.empty()) {
+                    sk.emplace_back();
+                } else {
+                    sk.push_back(std::move(skSpare.back()));
+                    skSpare.pop_back();
+                }
+                SkFrame &nf = sk.back();
+                nf.fn = &callee;
+                nf.tf = tf_base +
+                        static_cast<std::size_t>(nf.fn - fn_base);
+                nf.regs.assign(
+                    static_cast<std::size_t>(callee.numSlots) * ncols,
+                    0);
+                nf.allocaBases.resize(ncols);
+                for (auto &v : nf.allocaBases)
+                    v.clear();
+                nf.recentCount = 0;
+                nf.recentPos = 0;
+                nf.retDst = call_dst;
+                nf.curBlock = 0;
+                nf.ip =
+                    callee.blocks.empty() ? 0 : callee.blocks[0].first;
+                load_ctx();
+                for (uint32_t k = 0; k < argc; ++k) {
+                    LANES LWRS(static_cast<int32_t>(k),
+                               cb[k * ncols + lc.col]);
+                    note(static_cast<int32_t>(k));
+                }
+              } break;
+              case THandler::Ret: {
+                unsigned i = 0;
+                LANES {
+                    laneVal[i] = t->e0 ? LRD(t->a) : 0;
+                    ++i;
+                }
+                LANES {
+                    for (uint64_t base : fr->allocaBases[lc.col])
+                        lc.mem->free(base);
+                }
+                if (sk.size() == 1) {
+                    sync();
+                    settle();
+                    scAssert(!stem_alive && fork_next == ntr,
+                             "stem reached the entry return with "
+                             "pending trials");
+                    i = 0;
+                    for (LaneCtx &lc : act)
+                        finish_lane(lc, Termination::Ok, TrapKind::None,
+                                    -1, laneVal[i++]);
+                    act.clear();
+                    return stem_exported;
+                }
+                const int32_t ret_dst = fr->retDst;
+                skSpare.push_back(std::move(sk.back()));
+                sk.pop_back();
+                load_ctx();
+                if (ret_dst >= 0) {
+                    i = 0;
+                    LANES LWRS(ret_dst, laneVal[i++]);
+                    note(ret_dst);
+                }
+              } break;
+
+              // ---- math intrinsics -----------------------------------
+              case THandler::MathD: {
+                if (t->srcOp != Opcode::FAbs)
+                    LANES lc.cost.addStalls(math_stall);
+                LANES {
+                    const double v = asF64(LRD(t->a));
+                    double r;
+                    switch (t->srcOp) {
+                      case Opcode::Sqrt: r = std::sqrt(v); break;
+                      case Opcode::FAbs: r = std::fabs(v); break;
+                      case Opcode::Exp: r = std::exp(v); break;
+                      case Opcode::Log: r = std::log(v); break;
+                      case Opcode::Sin: r = std::sin(v); break;
+                      default: r = std::cos(v); break;
+                    }
+                    LWR(fromF64(r));
+                }
+                note(t->dst);
+                ++ip;
+              } break;
+              case THandler::MathS: {
+                if (t->srcOp != Opcode::FAbs)
+                    LANES lc.cost.addStalls(math_stall);
+                LANES {
+                    // Math in double on the promoted f32, then narrow —
+                    // shared with the scalar tiers' semantics.
+                    const double v = asF32(LRD(t->a));
+                    double r;
+                    switch (t->srcOp) {
+                      case Opcode::Sqrt: r = std::sqrt(v); break;
+                      case Opcode::FAbs: r = std::fabs(v); break;
+                      case Opcode::Exp: r = std::exp(v); break;
+                      case Opcode::Log: r = std::log(v); break;
+                      case Opcode::Sin: r = std::sin(v); break;
+                      default: r = std::cos(v); break;
+                    }
+                    LWR(fromF32(static_cast<float>(r)));
+                }
+                note(t->dst);
+                ++ip;
+              } break;
+              case THandler::FMinD:
+                LS_SIMPLE(fromF64(
+                    std::fmin(asF64(LRD(t->a)), asF64(LRD(t->b)))))
+              case THandler::FMaxD:
+                LS_SIMPLE(fromF64(
+                    std::fmax(asF64(LRD(t->a)), asF64(LRD(t->b)))))
+              case THandler::FMinS:
+                LS_SIMPLE(fromF32(
+                    std::fminf(asF32(LRD(t->a)), asF32(LRD(t->b)))))
+              case THandler::FMaxS:
+                LS_SIMPLE(fromF32(
+                    std::fmaxf(asF32(LRD(t->a)), asF32(LRD(t->b)))))
+
+              // ---- hardening checks ----------------------------------
+              case THandler::CheckElided:
+                ++ip;
+                break;
+              case THandler::CheckEq2:
+                LS_CHECK(, LRD(t->a) == LRD(t->b))
+              case THandler::CheckTwo:
+                LS_CHECK(const uint64_t v = LRD(t->a),
+                         v == LRD(t->b) || v == LRD(t->c))
+              case THandler::CheckRangeD:
+                LS_CHECK(const double v = asF64(LRD(t->a)),
+                         v >= asF64(LRD(t->b)) && v <= asF64(LRD(t->c)))
+              case THandler::CheckRangeS:
+                LS_CHECK(const float v = asF32(LRD(t->a)),
+                         v >= asF32(LRD(t->b)) && v <= asF32(LRD(t->c)))
+              case THandler::CheckRangeI:
+                LS_CHECK(const int64_t v = signExtend(LRD(t->a), t->width),
+                         v >= signExtend(LRD(t->b), t->width) &&
+                             v <= signExtend(LRD(t->c), t->width))
+
+              default:
+                scPanic("fused handler reached lockstep dispatch");
+            }
+
+            // A handler retired or peeled lanes: re-evaluate the group
+            // shape at the shared loop top.
+            if (act.empty() || (!stem_alive && act.size() <= 1))
+                to_boundary = true;
+        }
+    }
+}
+
+#undef LRD
+#undef LWRS
+#undef LWR
+#undef LANES
+#undef LS_SIMPLE
+#undef LS_ICMP
+#undef LS_FCMPD
+#undef LS_FCMPS
+#undef LS_DIVREM
+#undef LS_CHECK
+
+} // namespace softcheck

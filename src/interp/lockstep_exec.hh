@@ -1,0 +1,205 @@
+/**
+ * @file
+ * Tier-3 lockstep-batched execution engine.
+ *
+ * The threaded tier (threaded_exec.hh) removed dispatch overhead; what
+ * dominates a fault-injection trial now is the bit-exact
+ * microarchitectural bookkeeping — L1-D tag LRU per memory access,
+ * bimodal predictor per branch, recent-write ring per register write.
+ * This tier amortizes the *fetch and decode of that bookkeeping*
+ * across N trials: a lane group advances N faulted trials together
+ * through one decoded ThreadedModule stream with structure-of-arrays
+ * register files (`regs[slot * numCols + lane]`), per-lane CostModel
+ * state side by side (the pure set/site index computation — see
+ * CostModel::probeMemAccess/probeBranch — is shared, hit/miss and
+ * predictor resolution stay per lane), and an active-lane set.
+ *
+ * Group life cycle:
+ *
+ *  - All lanes start identical at a shared checkpoint. A *stem* lane
+ *    runs directly on the bound Memory and replays the shared
+ *    fault-free prefix once for everybody; each trial lane forks off
+ *    the stem at its injection point (column copy + COW memory fork +
+ *    fault flip), at which point it starts paying per-lane cost. The
+ *    stem is retired after the last fork. Whenever the stem is the
+ *    only live column (before the first fork, and between fork
+ *    clusters once every forked lane has retired), the group hands the
+ *    stem to an embedded scalar ThreadedExec up to the next fork —
+ *    width-1 lockstep would pay the SoA machinery for no sharing, and
+ *    tier equivalence makes the scalar stretch bit-identical.
+ *  - The group follows its leader's control path (the stem while it
+ *    lives, else the lowest-index surviving lane). A lane whose
+ *    conditional branch departs the leader's direction is *peeled*:
+ *    its column is transposed back into a scalar ExecState + Memory
+ *    and the caller finishes it on the scalar threaded tier. Lockstep
+ *    is a pure fast path — peeling preserves bit-identity by
+ *    construction.
+ *  - Per-lane terminations (trap, check failure, golden-convergence
+ *    pruning, entry return, timeout) retire just that lane; when one
+ *    trial lane remains with no stem, it too is peeled (scalar
+ *    execution is strictly cheaper than width-1 lockstep).
+ *
+ * Event boundaries (fault forks, golden compares, timeout) fire at
+ * exactly the same dynamic instructions as the scalar tiers, in the
+ * interpreter's loop-top order; the recent-write ring is maintained
+ * once per group (lockstep lanes write the same destination sequence
+ * by construction) and each lane's single fault has already been
+ * injected by the time it can diverge, so a peeled lane's ring is
+ * never consumed again.
+ */
+
+#ifndef SOFTCHECK_INTERP_LOCKSTEP_EXEC_HH
+#define SOFTCHECK_INTERP_LOCKSTEP_EXEC_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "interp/threaded_exec.hh"
+
+namespace softcheck
+{
+
+/** Where a lane trial stands after LockstepExec::runGroup returns. */
+enum class LaneStatus : uint8_t
+{
+    Pending, //!< not yet resolved (only observable mid-run)
+    Done,    //!< result is final and bit-identical to a scalar trial
+    Peeled,  //!< left the group; finish by resuming state/mem on a
+             //!< scalar tier with faultAt re-armed and no fault RNG
+};
+
+/**
+ * One trial of a lane group. The caller fills faultAt and rng (the
+ * trial's private stream, already past its fault-site draw); the
+ * engine fills the rest.
+ */
+struct LaneTrial
+{
+    // --- inputs ---
+    uint64_t faultAt = 0; //!< inject before this dynamic instruction
+    Rng rng{0};           //!< draws the slot and bit at injection
+
+    // --- outputs ---
+    LaneStatus status = LaneStatus::Pending;
+    /** Done: the final scalar-identical result. */
+    RunResult result;
+    /** The injected fault (also in result.fault when Done). A peeled
+     * lane's scalar result must adopt this fault verbatim. */
+    FaultOutcome fault;
+    /** Check comparisons evaluated up to the peel point; add to the
+     * scalar resume's checkEvals unless it pruned to golden. */
+    uint64_t checkEvalsAtPeel = 0;
+    /** Peeled: scalar resume point (state + the lane's memory). The
+     * memory is also valid for Done lanes that forked (signal
+     * extraction after Termination::Ok); lanes resolved before their
+     * fork (group timeout) never owned one. */
+    ExecState state;
+    Memory mem;
+};
+
+/**
+ * The lane-group executor. Stateless between runGroup calls except for
+ * recycled scratch storage and the cumulative occupancy counters, so
+ * one engine per trial worker serves any number of groups.
+ */
+class LockstepExec
+{
+  public:
+    /** Binds the decoded module and the stem memory (the campaign
+     * worker's trial Memory, holding the restored checkpoint). */
+    LockstepExec(const ThreadedModule &tmod, Memory &memory);
+
+    /**
+     * Advance every trial in @p trials from the shared state @p st /
+     * bound Memory (a restored checkpoint at or before the earliest
+     * faultAt, or a fresh begin()). Trials must be sorted by
+     * (faultAt, index); @p st and the bound Memory are consumed.
+     *
+     * @p opts must carry trial-shape options only: no profiler, no
+     * checkpointing, no dyn-mix sink, CheckMode::Halt, and no
+     * faultAtDynInstr/faultRng (injection is per lane).
+     *
+     * When @p stemOut is non-null and the stem survives to the last
+     * fork, the stem is exported there (the bound Memory is then the
+     * stem's memory, untouched from that point on — forked lanes run
+     * on their own COW forks) and runGroup returns true. Together they
+     * form an exact fault-free resume point at the last injection
+     * point: a caller working through faultAt-sorted groups can chain
+     * the next group from it instead of rewinding to a checkpoint,
+     * amortizing one golden replay over the whole sequence — provided
+     * it defers anything that writes the bound Memory (peel resumes,
+     * signal extraction) until the chain ends. @p stemOut may alias
+     * @p st. Returns false (and leaves @p stemOut unspecified) when
+     * the group times out before its last fork.
+     */
+    bool runGroup(ExecState &st, std::vector<LaneTrial> &trials,
+                  const ExecOptions &opts, ExecState *stemOut = nullptr);
+
+    /** Group instructions dispatched across all runGroup calls. */
+    uint64_t fetches() const { return fetchCount; }
+
+    /**
+     * Trial-lanes' worth of useful work across all fetches: per group
+     * instruction, the forked lanes still active plus the trials still
+     * pending behind the stem (the stem's one execution serves all of
+     * them). laneInstrsServed() / (fetches() * configured width) is
+     * the honest lane occupancy.
+     */
+    uint64_t laneInstrsServed() const { return servedLanes; }
+
+  private:
+    /** One stack frame of the group: shared shape (fn/ip/block/ring),
+     * SoA registers and per-column alloca bases. */
+    struct SkFrame
+    {
+        const ExecFunction *fn = nullptr;
+        const ThreadedFunction *tf = nullptr;
+        uint32_t ip = 0;
+        uint32_t curBlock = 0;
+        int32_t retDst = -1;
+        std::vector<uint64_t> regs; //!< numSlots x numCols, SoA
+        std::array<int32_t, ExecFrame::kRecentRing> recent{};
+        uint32_t recentCount = 0;
+        uint32_t recentPos = 0;
+        /** Per-column alloca bases (faulted lanes can diverge in
+         * allocation history before they diverge in control flow). */
+        std::vector<std::vector<uint64_t>> allocaBases;
+    };
+
+    /** One live column: the stem (trial == -1, memory == the bound
+     * Memory) or a forked trial lane (its LaneTrial's memory). */
+    struct LaneCtx
+    {
+        unsigned col = 0;
+        int trial = -1;
+        Memory *mem = nullptr;
+        uint64_t checkEvals = 0;
+        bool dead = false;
+        CostModel cost;
+        FaultOutcome fault;
+    };
+
+    const ThreadedModule &tm;
+    const ExecModule &em;
+    Memory &mem;
+    /** Scalar engine over the same translation and memory, for
+     * stem-only stretches (see the class comment). */
+    ThreadedExec stemExec;
+    ExecState stemScratch; //!< stem transpose target for the handoff
+
+    std::vector<SkFrame> sk;      //!< group call stack
+    std::vector<SkFrame> skSpare; //!< retired frames for reuse
+    std::vector<LaneCtx> act;     //!< active columns, leader first
+    std::vector<uint64_t> phiTmp;
+    std::vector<uint64_t> callTmp;
+    std::vector<uint64_t> laneVal;
+    std::vector<uint8_t> laneOk;
+
+    uint64_t fetchCount = 0;
+    uint64_t servedLanes = 0;
+};
+
+} // namespace softcheck
+
+#endif // SOFTCHECK_INTERP_LOCKSTEP_EXEC_HH

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Regression tests for the CostModel probe/update split the lockstep
+ * tier relies on: probeMemAccess/probeBranch must be pure functions of
+ * the configuration (so one probe computed on ANY model with the same
+ * config can be fed to every lane's update), and probe+update must be
+ * bit-identical to the fused onMemAccess/onBranch path.
+ */
+
+#include <gtest/gtest.h>
+
+#include "interp/cost_model.hh"
+#include "support/rng.hh"
+
+namespace softcheck
+{
+namespace
+{
+
+TEST(CostProbe, ProbePlusUpdateEqualsFusedMemAccess)
+{
+    const CostConfig cfg;
+    CostModel fused(cfg);
+    CostModel split(cfg);
+    // The probe is computed on a third model that never updates —
+    // proving it depends on configuration only, not on mutable state.
+    const CostModel oracle(cfg);
+
+    Rng rng(0x90970be5ULL);
+    for (int i = 0; i < 20000; ++i) {
+        // Mix of hot lines (reuse) and cold strides (misses).
+        const uint64_t addr = (i % 3 == 0)
+                                  ? rng.nextBelow(4096)
+                                  : rng.nextBelow(1ULL << 22);
+        fused.onMemAccess(addr);
+        split.updateMemAccess(oracle.probeMemAccess(addr));
+        ASSERT_TRUE(fused.sameState(split)) << "diverged at access " << i;
+    }
+    EXPECT_GT(fused.cacheMisses(), 0u);
+}
+
+TEST(CostProbe, ProbePlusUpdateEqualsFusedBranch)
+{
+    const CostConfig cfg;
+    CostModel fused(cfg);
+    CostModel split(cfg);
+    const CostModel oracle(cfg);
+
+    Rng rng(0x6b7a9c11ULL);
+    for (int i = 0; i < 20000; ++i) {
+        const uint64_t site = rng.nextBelow(6000); // aliases entries
+        const bool taken = (rng.next() & 3) != 0;  // biased, like loops
+        fused.onBranch(site, taken);
+        split.updateBranch(oracle.probeBranch(site), taken);
+        ASSERT_TRUE(fused.sameState(split)) << "diverged at branch " << i;
+    }
+    EXPECT_GT(fused.branchMispredicts(), 0u);
+}
+
+TEST(CostProbe, InterleavedStreamsStayIdentical)
+{
+    // The lockstep shape: one shared probe, several models updating —
+    // each lane's model must match its own fused-path twin.
+    const CostConfig cfg;
+    constexpr unsigned kLanes = 4;
+    std::vector<CostModel> fused(kLanes, CostModel(cfg));
+    std::vector<CostModel> split(kLanes, CostModel(cfg));
+
+    Rng rng(0xca5cadeULL);
+    for (int i = 0; i < 5000; ++i) {
+        if (rng.next() & 1) {
+            const uint64_t addr = rng.nextBelow(1ULL << 20);
+            const auto p = split[0].probeMemAccess(addr);
+            for (unsigned l = 0; l < kLanes; ++l) {
+                fused[l].onMemAccess(addr);
+                split[l].updateMemAccess(p);
+            }
+        } else {
+            const uint64_t site = rng.nextBelow(5000);
+            const auto p = split[0].probeBranch(site);
+            for (unsigned l = 0; l < kLanes; ++l) {
+                // Lanes disagree on direction, like diverging trials.
+                const bool taken = ((rng.next() >> l) & 1) != 0;
+                fused[l].onBranch(site, taken);
+                split[l].updateBranch(p, taken);
+            }
+        }
+    }
+    for (unsigned l = 0; l < kLanes; ++l) {
+        SCOPED_TRACE(testing::Message() << "lane " << l);
+        EXPECT_TRUE(fused[l].sameState(split[l]));
+    }
+}
+
+} // namespace
+} // namespace softcheck

@@ -1,0 +1,537 @@
+/**
+ * @file
+ * Differential tests proving the lockstep-batched tier (lockstep_exec)
+ * is bit-identical to the scalar tiers: every lane of a group — forked,
+ * peeled mid-flight, pruned to golden, trapped, check-failed, or timed
+ * out — must reproduce the exact RunResult, fault record, RNG draws,
+ * and final memory of the same trial run alone on the threaded engine,
+ * and a whole lockstep campaign must reproduce the threaded campaign's
+ * grid bit for bit at every lane width.
+ *
+ * Engine-level tests start both paths from the pristine image so the
+ * resume-relative fields (checkEvals) line up; the campaign-level tests
+ * cover the snapshot-keyed group formation end to end.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/test_util.hh"
+#include "core/pipeline.hh"
+#include "fault/suite.hh"
+#include "interp/lockstep_exec.hh"
+#include "support/rng.hh"
+
+namespace softcheck
+{
+namespace
+{
+
+/** Same kernel family as test_tier_equiv.cc: nested loops,
+ * data-dependent branches, a helper call, local arrays, f64 math —
+ * enough control-flow texture that injected faults peel lanes at many
+ * different points. */
+const char *kMixKernel = R"(
+fn mix(a: i32, b: i32) -> i32 {
+    var acc: i32 = a * 31 + b;
+    if (acc < 0) {
+        acc = -acc;
+    }
+    return acc % 8191;
+}
+
+fn main(out: ptr<i32>, n: i32) -> i32 {
+    var tmp: i32[64];
+    var acc: i32 = 1;
+    var f: f64 = 1.0;
+    for (var i: i32 = 0; i < n; i = i + 1) {
+        tmp[i % 64] = mix(acc, i);
+        acc = acc + tmp[i % 64];
+        if (acc % 3 == 0) {
+            f = f + sqrt(f64(i) + 1.0);
+        }
+        out[i % 32] = acc + i32(f);
+    }
+    var sum: i32 = 0;
+    for (var i: i32 = 0; i < 32; i = i + 1) {
+        sum = sum + out[i];
+    }
+    return sum;
+}
+)";
+
+struct TestModule
+{
+    std::unique_ptr<Module> mod;
+    std::unique_ptr<ExecModule> em;
+    std::unique_ptr<ThreadedModule> tm;
+    std::size_t entry = 0;
+};
+
+TestModule
+build(const char *src, HardeningMode mode)
+{
+    TestModule t;
+    t.mod = compileMiniLang(src, "lockstep_equiv");
+    if (mode != HardeningMode::Original) {
+        HardeningOptions h;
+        h.mode = mode;
+        hardenModule(*t.mod, h);
+    }
+    t.em = std::make_unique<ExecModule>(*t.mod);
+    t.tm = std::make_unique<ThreadedModule>(*t.em);
+    t.entry = t.em->functionIndex("main");
+    return t;
+}
+
+std::vector<uint64_t>
+prepArgs(Memory &mem, int n)
+{
+    const uint64_t out = mem.alloc(64 * 4, "out");
+    return {out, static_cast<uint64_t>(n)};
+}
+
+void
+expectSameResult(const RunResult &a, const RunResult &b)
+{
+    EXPECT_EQ(a.term, b.term);
+    EXPECT_EQ(a.trap, b.trap);
+    EXPECT_EQ(a.failedCheckId, b.failedCheckId);
+    EXPECT_EQ(a.retValue, b.retValue);
+    EXPECT_EQ(a.dynInstrs, b.dynInstrs);
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.endCycle, b.endCycle);
+    EXPECT_EQ(a.cacheMisses, b.cacheMisses);
+    EXPECT_EQ(a.branchMispredicts, b.branchMispredicts);
+    EXPECT_EQ(a.checkEvals, b.checkEvals);
+    EXPECT_EQ(a.prunedToGolden, b.prunedToGolden);
+    EXPECT_EQ(a.fault.injected, b.fault.injected);
+    EXPECT_EQ(a.fault.slot, b.fault.slot);
+    EXPECT_EQ(a.fault.slotType, b.fault.slotType);
+    EXPECT_EQ(a.fault.bit, b.fault.bit);
+    EXPECT_EQ(a.fault.before, b.fault.before);
+    EXPECT_EQ(a.fault.after, b.fault.after);
+    EXPECT_EQ(a.fault.atDynInstr, b.fault.atDynInstr);
+    EXPECT_EQ(a.fault.atCycle, b.fault.atCycle);
+}
+
+/** One trial = (injection point, RNG seed for the slot/bit draws). */
+struct TrialSpec
+{
+    uint64_t faultAt = 0;
+    uint64_t seed = 0;
+};
+
+/** The reference: the trial alone on the threaded tier, from the
+ * pristine image. */
+RunResult
+scalarTrial(const TestModule &t, int n, const TrialSpec &ts,
+            ExecOptions opts, Memory &mem)
+{
+    const auto args = prepArgs(mem, n);
+    Rng rng(ts.seed);
+    opts.faultAtDynInstr = ts.faultAt;
+    opts.faultRng = &rng;
+    ThreadedExec tex(*t.tm, mem);
+    ExecState st;
+    tex.begin(st, t.entry, args, opts.cost);
+    return tex.resume(st, opts);
+}
+
+/**
+ * The whole point: run @p specs as ONE lane group (finishing peeled
+ * lanes on the threaded engine exactly the way the campaign does) and
+ * demand each lane be bit-identical to its scalar trial. Returns how
+ * many lanes peeled, so callers can assert a scenario actually
+ * exercised the peel path.
+ */
+unsigned
+runGroupAgainstScalar(const TestModule &t, int n,
+                      std::vector<TrialSpec> specs,
+                      const ExecOptions &base)
+{
+    std::sort(specs.begin(), specs.end(),
+              [](const TrialSpec &a, const TrialSpec &b) {
+                  return a.faultAt < b.faultAt;
+              });
+
+    Memory gm;
+    const auto args = prepArgs(gm, n);
+    ThreadedExec tex(*t.tm, gm);
+    LockstepExec lex(*t.tm, gm);
+    ExecState st;
+    tex.begin(st, t.entry, args, base.cost);
+
+    std::vector<LaneTrial> lanes(specs.size());
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        lanes[i].faultAt = specs[i].faultAt;
+        lanes[i].rng = Rng(specs[i].seed);
+    }
+    lex.runGroup(st, lanes, base);
+    EXPECT_GT(lex.fetches(), 0u);
+
+    unsigned peeled = 0;
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        SCOPED_TRACE(testing::Message()
+                     << "lane " << i << " faultAt=" << specs[i].faultAt
+                     << " seed=" << specs[i].seed);
+        LaneTrial &tr = lanes[i];
+        RunResult got;
+        const Memory *got_mem = nullptr;
+        if (tr.status == LaneStatus::Peeled) {
+            ++peeled;
+            gm = tr.mem;
+            st = std::move(tr.state);
+            ExecOptions o = base;
+            o.faultAtDynInstr = tr.faultAt; // disarms at once, arms
+                                            // golden cadence; no RNG so
+                                            // no re-injection
+            got = tex.resume(st, o);
+            if (!got.prunedToGolden)
+                got.checkEvals += tr.checkEvalsAtPeel;
+            got.fault = tr.fault;
+            got_mem = &gm;
+        } else {
+            EXPECT_EQ(tr.status, LaneStatus::Done);
+            got = tr.result;
+            got_mem = &tr.mem;
+        }
+
+        Memory sm;
+        const RunResult ref = scalarTrial(t, n, specs[i], base, sm);
+        expectSameResult(ref, got);
+        if (got.term == Termination::Ok && !got.prunedToGolden) {
+            EXPECT_TRUE(sm.contentsEqual(*got_mem));
+        }
+    }
+    return peeled;
+}
+
+const HardeningMode kModes[] = {HardeningMode::Original,
+                                HardeningMode::DupOnly,
+                                HardeningMode::FullDup};
+
+TEST(LockstepEquiv, GroupsMatchScalarTrialsAcrossModes)
+{
+    for (HardeningMode mode : kModes) {
+        SCOPED_TRACE(hardeningModeName(mode));
+        auto t = build(kMixKernel, mode);
+        Memory pm;
+        const RunResult full = scalarTrial(t, 200, {~0ULL, 0}, {}, pm);
+        ASSERT_TRUE(full.ok());
+
+        Rng pick(0x10c257e9ULL);
+        for (int round = 0; round < 4; ++round) {
+            std::vector<TrialSpec> specs;
+            for (unsigned i = 0; i < 8; ++i)
+                specs.push_back({pick.nextBelow(full.dynInstrs),
+                                 pick.next()});
+            SCOPED_TRACE(testing::Message() << "round " << round);
+            runGroupAgainstScalar(t, 200, specs, {});
+        }
+    }
+}
+
+/** Faults at dynamic instruction 0 force forks before the stem has
+ * executed anything, and identical injection points put several lanes
+ * in one fork batch; flips in the branch-feeding slots force early
+ * divergence. Every lane must still match its scalar trial. */
+TEST(LockstepEquiv, ForcedEarlyForksAndPeels)
+{
+    auto t = build(kMixKernel, HardeningMode::DupOnly);
+    Memory pm;
+    const RunResult full = scalarTrial(t, 120, {~0ULL, 0}, {}, pm);
+    ASSERT_TRUE(full.ok());
+
+    // All lanes at instruction 0 with distinct seeds.
+    std::vector<TrialSpec> at_zero;
+    for (unsigned i = 0; i < 6; ++i)
+        at_zero.push_back({0, 0xabc0 + i});
+    runGroupAgainstScalar(t, 120, at_zero, {});
+
+    // Duplicate injection points mid-run: lanes fork in one batch.
+    std::vector<TrialSpec> dup = {{0, 1},
+                                  {0, 2},
+                                  {full.dynInstrs / 2, 3},
+                                  {full.dynInstrs / 2, 4},
+                                  {full.dynInstrs - 2, 5},
+                                  {full.dynInstrs - 2, 6}};
+    runGroupAgainstScalar(t, 120, dup, {});
+
+    // Enough seeds at one early point that (across the sweep) some
+    // group loses every lane to divergence before the run ends.
+    unsigned peeled = 0;
+    for (uint64_t s = 0; s < 10; ++s) {
+        std::vector<TrialSpec> g = {{40, s * 4 + 0},
+                                    {40, s * 4 + 1},
+                                    {41, s * 4 + 2},
+                                    {42, s * 4 + 3}};
+        peeled += runGroupAgainstScalar(t, 120, g, {});
+    }
+    EXPECT_GT(peeled, 0u) << "no lane ever peeled; the divergence path "
+                             "was not exercised";
+}
+
+/** Golden-convergence pruning inside a group: lanes that re-converge
+ * with the fault-free run must prune at the same compare point and
+ * adopt the golden result, exactly like a scalar trial. */
+TEST(LockstepEquiv, GoldenPruningAgreesInsideGroups)
+{
+    auto t = build(kMixKernel, HardeningMode::DupOnly);
+    const uint64_t stride = 500;
+
+    Memory gp;
+    const auto gargs = prepArgs(gp, 200);
+    std::vector<Snapshot> snaps;
+    ExecOptions rec;
+    rec.checkpointEvery = stride;
+    rec.checkpointSink = &snaps;
+    Interpreter grec(*t.em, gp);
+    const RunResult golden = grec.run(t.entry, gargs, rec);
+    ASSERT_TRUE(golden.ok());
+    ASSERT_GE(snaps.size(), 2u);
+
+    ExecOptions base;
+    base.goldenSnapshots = &snaps;
+    base.goldenEvery = stride;
+    base.goldenResult = &golden;
+
+    Rng pick(0x90d1e4ULL);
+    for (int round = 0; round < 6; ++round) {
+        std::vector<TrialSpec> specs;
+        for (unsigned i = 0; i < 6; ++i)
+            specs.push_back({pick.nextBelow(golden.dynInstrs),
+                             pick.next()});
+        SCOPED_TRACE(testing::Message() << "round " << round);
+        runGroupAgainstScalar(t, 200, specs, base);
+    }
+}
+
+/** A group instruction budget must cut every lane — forked or still
+ * pending behind the stem — at the same instruction as scalar runs. */
+TEST(LockstepEquiv, TimeoutCutsGroupAtTheSameInstruction)
+{
+    auto t = build(kMixKernel, HardeningMode::Original);
+    Memory pm;
+    const RunResult full = scalarTrial(t, 150, {~0ULL, 0}, {}, pm);
+    ASSERT_TRUE(full.ok());
+
+    for (const uint64_t lim :
+         {full.dynInstrs / 7, full.dynInstrs / 2, full.dynInstrs - 1}) {
+        SCOPED_TRACE(testing::Message() << "maxDynInstrs=" << lim);
+        ExecOptions base;
+        base.maxDynInstrs = lim;
+        // Faults straddling the limit: some lanes fork and then time
+        // out, some never fork (still pending behind the stem).
+        std::vector<TrialSpec> specs = {{lim / 4, 11},
+                                        {lim / 2, 12},
+                                        {lim - 1, 13},
+                                        {lim + lim / 2, 14},
+                                        {full.dynInstrs - 1, 15}};
+        for (TrialSpec &s : specs)
+            s.faultAt = std::min(s.faultAt, full.dynInstrs - 1);
+        runGroupAgainstScalar(t, 150, specs, base);
+    }
+}
+
+/** Random-program differential fuzzing, same generator family as
+ * test_tier_equiv.cc: every generated handler mix (including div/rem
+ * trap paths) must survive lockstep grouping bit for bit. */
+std::string
+randomProgram(Rng &rng)
+{
+    static const char *const int_ops[] = {"+", "-", "*", "&", "|",
+                                          "^", "%", "/"};
+    static const char *const f64_fns[] = {"sqrt", "fabs", "exp",
+                                          "log",  "sin",  "cos"};
+    std::ostringstream os;
+
+    const int helper_c = static_cast<int>(rng.nextRange(900, 1100));
+    os << "fn helper(a: i32, b: i32) -> i32 {\n"
+       << "    var r: i32 = a " << int_ops[rng.nextBelow(6)] << " b;\n"
+       << "    if (r < 0) { r = -r; }\n"
+       << "    return r % " << helper_c << ";\n"
+       << "}\n";
+
+    os << "fn main(out: ptr<i32>, n: i32) -> i32 {\n"
+       << "    var buf: i32[" << rng.nextRange(8, 32) << "];\n"
+       << "    var acc: i32 = " << rng.nextRange(1, 64) << ";\n"
+       << "    var wide: i64 = " << rng.nextRange(0, 9) << ";\n"
+       << "    var f: f64 = " << rng.nextRange(1, 4) << ".5;\n"
+       << "    var g: f32 = 0.25;\n";
+    os << "    for (var i: i32 = 0; i < n; i = i + 1) {\n";
+
+    const unsigned stmts = 3 + static_cast<unsigned>(rng.nextBelow(5));
+    for (unsigned s = 0; s < stmts; ++s) {
+        switch (rng.nextBelow(7)) {
+          case 0:
+            os << "        acc = acc " << int_ops[rng.nextBelow(8)]
+               << " (i + " << rng.nextRange(1, 97) << ");\n";
+            break;
+          case 1:
+            os << "        buf[i % " << rng.nextRange(2, 8)
+               << "] = helper(acc, i " << int_ops[rng.nextBelow(6)]
+               << " " << rng.nextRange(1, 31) << ");\n";
+            break;
+          case 2:
+            os << "        acc = acc + buf[(i + "
+               << rng.nextRange(0, 7) << ") % "
+               << rng.nextRange(2, 8) << "];\n";
+            break;
+          case 3:
+            os << "        if (acc % " << rng.nextRange(2, 9) << " == "
+               << rng.nextRange(0, 1) << ") {\n"
+               << "            f = f + " << f64_fns[rng.nextBelow(6)]
+               << "(f64(i % " << rng.nextRange(3, 19)
+               << ") + 1.5);\n"
+               << "        } else {\n"
+               << "            g = g * f32(1.03125) + f32(i % 3);\n"
+               << "        }\n";
+            break;
+          case 4:
+            os << "        wide = wide + i64(acc "
+               << int_ops[rng.nextBelow(6)] << " "
+               << rng.nextRange(1, 255) << ") + i64(g);\n";
+            break;
+          case 5:
+            os << "        acc = (acc << " << rng.nextRange(1, 3)
+               << ") ^ (acc >> " << rng.nextRange(1, 5) << ");\n";
+            break;
+          default:
+            // Denominator reaches zero on some iterations for some
+            // generated constants — deliberate: traps must match too.
+            os << "        acc = acc " << (rng.nextBelow(2) ? "/" : "%")
+               << " ((i % " << rng.nextRange(2, 5) << ") + "
+               << rng.nextRange(0, 1) << ");\n";
+            break;
+        }
+    }
+    os << "        out[i % 8] = acc + i32(f) + i32(wide % 1000);\n"
+       << "    }\n"
+       << "    var sum: i32 = 0;\n"
+       << "    for (var i: i32 = 0; i < 8; i = i + 1) {\n"
+       << "        sum = sum + out[i];\n"
+       << "    }\n"
+       << "    return sum + i32(f) + i32(g) + i32(wide % 65536);\n"
+       << "}\n";
+    return os.str();
+}
+
+TEST(LockstepEquiv, RandomProgramsMatchInGroups)
+{
+    Rng gen(0x10c257e0f2eULL);
+    for (int p = 0; p < 15; ++p) {
+        const std::string src = randomProgram(gen);
+        const HardeningMode mode =
+            kModes[gen.nextBelow(std::size(kModes))];
+        SCOPED_TRACE(testing::Message()
+                     << "program " << p << " mode="
+                     << hardeningModeName(mode) << "\n"
+                     << src);
+        auto t = build(src.c_str(), mode);
+        const int n = static_cast<int>(gen.nextRange(40, 120));
+
+        Memory pm;
+        const RunResult full = scalarTrial(t, n, {~0ULL, 0}, {}, pm);
+        if (!full.ok() || full.dynInstrs < 8)
+            continue; // the fault-free program traps; nothing to group
+
+        std::vector<TrialSpec> specs;
+        for (unsigned i = 0; i < 6; ++i)
+            specs.push_back({gen.nextBelow(full.dynInstrs), gen.next()});
+        runGroupAgainstScalar(t, n, specs, {});
+    }
+}
+
+// ---------------------------------------------------------------------
+// Campaign level: the lockstep tier as the campaign engine runs it,
+// including snapshot-keyed group formation and lane occupancy.
+// ---------------------------------------------------------------------
+
+void
+expectSameCell(const CampaignResult &a, const CampaignResult &b)
+{
+    EXPECT_EQ(a.counts, b.counts);
+    EXPECT_EQ(a.usdcLargeChange, b.usdcLargeChange);
+    EXPECT_EQ(a.usdcSmallChange, b.usdcSmallChange);
+    EXPECT_EQ(a.goldenDynInstrs, b.goldenDynInstrs);
+    EXPECT_EQ(a.goldenCycles, b.goldenCycles);
+    EXPECT_EQ(a.goldenCheckEvals, b.goldenCheckEvals);
+    EXPECT_EQ(a.baselineCycles, b.baselineCycles);
+    EXPECT_EQ(a.calibrationCheckFails, b.calibrationCheckFails);
+    EXPECT_EQ(a.disabledCheckCount, b.disabledCheckCount);
+    EXPECT_EQ(a.totalCheckCount, b.totalCheckCount);
+    EXPECT_EQ(a.snapshotCount, b.snapshotCount);
+    EXPECT_EQ(a.snapshotBytes, b.snapshotBytes);
+    EXPECT_EQ(a.snapshotBytesFullCopy, b.snapshotBytesFullCopy);
+}
+
+/** Every workload, every hardening mode: the default-width lockstep
+ * suite must reproduce the threaded-tier suite bit for bit (which the
+ * tier-campaign test in tests/fault pins to the interpreter). */
+TEST(LockstepEquiv, SuiteGridBitIdenticalToThreaded)
+{
+    SuiteConfig sc;
+    for (const Workload *w : allWorkloads())
+        sc.workloads.push_back(w->name);
+    sc.modes = {HardeningMode::Original, HardeningMode::DupOnly,
+                HardeningMode::DupValChks, HardeningMode::FullDup};
+    sc.seeds = {0x5eed};
+    sc.base.trials = 12;
+
+    sc.base.tier = ExecTier::Threaded;
+    const SuiteResult ref = runCampaignSuite(sc);
+
+    sc.base.tier = ExecTier::Lockstep;
+    const SuiteResult got = runCampaignSuite(sc);
+
+    ASSERT_EQ(got.cells.size(), ref.cells.size());
+    for (std::size_t i = 0; i < ref.cells.size(); ++i) {
+        SCOPED_TRACE(testing::Message()
+                     << "cell " << i << " ("
+                     << ref.cells[i].config.workload << ", "
+                     << hardeningModeName(ref.cells[i].config.mode)
+                     << ")");
+        expectSameCell(got.cells[i], ref.cells[i]);
+    }
+}
+
+/** Lane widths 1/4/16, with and without fast-forward snapshots
+ * (checkpoints=0 routes every trial through one pristine-keyed
+ * bucket, so groups exercise the begin() path too). */
+TEST(LockstepEquiv, LaneWidthsAllMatchThreaded)
+{
+    for (const unsigned checkpoints : {32u, 0u}) {
+        CampaignConfig cfg;
+        cfg.workload = "g721enc";
+        cfg.mode = HardeningMode::DupValChks;
+        cfg.trials = 150;
+        cfg.checkpoints = checkpoints;
+        SCOPED_TRACE(testing::Message()
+                     << "checkpoints=" << checkpoints);
+
+        cfg.tier = ExecTier::Threaded;
+        const CampaignResult ref = runCampaign(cfg);
+        ASSERT_EQ(ref.totalTrials(), 150u);
+
+        for (const unsigned lanes : {1u, 4u, 16u}) {
+            SCOPED_TRACE(testing::Message() << "lanes=" << lanes);
+            cfg.tier = ExecTier::Lockstep;
+            cfg.lanes = lanes;
+            const CampaignResult got = runCampaign(cfg);
+            expectSameCell(ref, got);
+            if (lanes > 1 && checkpoints == 0) {
+                // With snapshots the profitability guard may route
+                // every group back to the scalar tier (that is its
+                // job); without them grouping always wins, so lane
+                // groups must actually have run.
+                EXPECT_GT(got.laneOccupancy, 0.0);
+            }
+            EXPECT_LE(got.laneOccupancy, 1.0);
+        }
+    }
+}
+
+} // namespace
+} // namespace softcheck

@@ -75,7 +75,9 @@ usage(const char *argv0)
         "  --elide-vacuous  elide audit-proven vacuous checks\n"
         "  --ranges         print the static value-range report\n"
         "  --dyn-opcode-mix run the test input and print the dynamic\n"
-        "                   opcode / fallthrough-pair histogram\n"
+        "                   opcode / fallthrough-pair histogram plus\n"
+        "                   the lockstep-eligible fraction (straight-\n"
+        "                   line runs between conditional branches)\n"
         "                   (registered benchmarks only)\n"
         "  -v, --verbose    per-check classification detail\n",
         argv0);
@@ -309,6 +311,29 @@ dynMixWorkload(const std::string &name, HardeningMode mode,
                 "(2 instrs/pair)\n",
                 200.0 * static_cast<double>(fusable) /
                     static_cast<double>(sink.total));
+
+    // Lockstep-tier eligibility. A lane group stays in lockstep while
+    // every lane takes the same control path; each dynamic conditional
+    // branch is a potential peel point (data-dependent direction), so
+    // the mean straight-line run between them is the expected lockstep
+    // window between peel opportunities, and everything that is not a
+    // conditional branch is eligible to be batched. Unconditional
+    // branches, calls and returns keep shared control and do not end a
+    // window.
+    const uint64_t condbr =
+        sink.opcodeCounts[static_cast<unsigned>(Opcode::CondBr)];
+    const double eligible =
+        100.0 * static_cast<double>(sink.total - condbr) /
+        static_cast<double>(sink.total);
+    std::printf("  lockstep: CondBr %.1f%% of dyn instrs -> mean "
+                "straight-line run %.1f instrs, eligible fraction "
+                "%.1f%%\n",
+                100.0 * static_cast<double>(condbr) /
+                    static_cast<double>(sink.total),
+                condbr > 0 ? static_cast<double>(sink.total) /
+                                 static_cast<double>(condbr)
+                           : static_cast<double>(sink.total),
+                eligible);
     return 0;
 }
 
