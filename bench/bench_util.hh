@@ -72,6 +72,22 @@ benchLanes(unsigned dflt = 8)
     return dflt;
 }
 
+/** Checkpoint placement for bench campaigns. Override with
+ * SOFTCHECK_PLACEMENT=uniform|adaptive; CI's placement-equivalence
+ * job pins each in turn and diffs the outcome counts. */
+inline CheckpointPlacement
+benchPlacement(CheckpointPlacement dflt = CheckpointPlacement::Adaptive)
+{
+    if (const char *env = std::getenv("SOFTCHECK_PLACEMENT")) {
+        const std::string v(env);
+        if (v == "uniform")
+            return CheckpointPlacement::Uniform;
+        if (v == "adaptive")
+            return CheckpointPlacement::Adaptive;
+    }
+    return dflt;
+}
+
 inline CampaignConfig
 makeConfig(const std::string &workload, HardeningMode mode,
            unsigned trials)
@@ -83,6 +99,7 @@ makeConfig(const std::string &workload, HardeningMode mode,
     cfg.seed = 0xC0FFEE;
     cfg.tier = benchTier();
     cfg.lanes = benchLanes();
+    cfg.placement = benchPlacement();
     return cfg;
 }
 

@@ -30,6 +30,11 @@
  *                              lane-width sweep (default: 1,4,8,16).
  *                              The K sweep itself runs lockstep at the
  *                              default width (SOFTCHECK_LANES or 8).
+ *   --placement uniform|adaptive  snapshot placement for the K sweep
+ *                              and suite sections (default: adaptive).
+ *                              A separate section always benches both
+ *                              at equal K and reports the expected and
+ *                              measured fast-forward cost per trial.
  *
  * The lockstep rows carry laneOccupancy: the mean fraction of the
  * configured lane slots a group fetch actually served (forked trial
@@ -106,6 +111,9 @@ struct Row
     double speedup = 1.0; //!< vs the first-K row of the same campaign
     uint64_t snapshotBytes = 0;         //!< COW-resident page bytes
     uint64_t snapshotBytesFullCopy = 0; //!< K deep copies (pre-COW)
+    CheckpointPlacement placement = CheckpointPlacement::Adaptive;
+    double expectedFF = 0; //!< model E[ff instr-equivalents]/trial
+    double measuredFF = 0; //!< measured ff instr-equivalents/trial
     CampaignPhaseTimes phase;           //!< per-phase wall clock
 };
 
@@ -121,6 +129,9 @@ struct BenchOptions
      * the suite sections. */
     std::vector<ExecTier> tiers = {ExecTier::Interp, ExecTier::Threaded,
                                    ExecTier::Lockstep};
+    /** Placement for the K sweep and suite sections; the dedicated
+     * comparison section benches both regardless. */
+    CheckpointPlacement placement = CheckpointPlacement::Adaptive;
 };
 
 std::vector<std::string>
@@ -150,7 +161,7 @@ usage(const char *argv0)
                  "[--checkpoints K[,K...]] [--threads N] "
                  "[--suite-threads N[,N...]] "
                  "[--tier interp|threaded|lockstep|both|all] "
-                 "[--lanes L[,L...]]\n",
+                 "[--lanes L[,L...]] [--placement uniform|adaptive]\n",
                  argv0);
     std::exit(2);
 }
@@ -196,6 +207,14 @@ parseArgs(int argc, char **argv)
             else if (!std::strcmp(t, "all"))
                 opt.tiers = {ExecTier::Interp, ExecTier::Threaded,
                              ExecTier::Lockstep};
+            else
+                usage(argv[0]);
+        } else if (!std::strcmp(argv[i], "--placement")) {
+            const char *p = value();
+            if (!std::strcmp(p, "uniform"))
+                opt.placement = CheckpointPlacement::Uniform;
+            else if (!std::strcmp(p, "adaptive"))
+                opt.placement = CheckpointPlacement::Adaptive;
             else
                 usage(argv[0]);
         } else if (!std::strcmp(argv[i], "--lanes")) {
@@ -273,11 +292,11 @@ main(int argc, char **argv)
 
     std::vector<Row> rows;
     benchutil::printRule();
-    std::printf("%-10s %-12s %-8s %12s %4s %5s %5s %10s %12s %8s %9s "
-                "%9s\n",
+    std::printf("%-10s %-12s %-8s %12s %4s %5s %5s %6s %10s %12s %8s "
+                "%9s %9s %10s %10s\n",
                 "workload", "mode", "tier", "goldenInstr", "K", "lanes",
-                "occ", "trial-sec", "trials/sec", "speedup", "snapKB",
-                "fullKB");
+                "occ", "plc", "trial-sec", "trials/sec", "speedup",
+                "snapKB", "fullKB", "expFF/tr", "measFF/tr");
     benchutil::printRule();
 
     for (const std::string &workload : workloads) {
@@ -285,6 +304,7 @@ main(int argc, char **argv)
             CampaignConfig cfg =
                 benchutil::makeConfig(workload, mode, trials);
             cfg.threads = opt.threads;
+            cfg.placement = opt.placement;
 
             // Outcomes must be identical across every K *and* every
             // tier of this campaign — one reference set serves both
@@ -329,6 +349,9 @@ main(int argc, char **argv)
                     row.speedup = row.trialsPerSec / base_tps;
                     row.snapshotBytes = r.snapshotBytes;
                     row.snapshotBytesFullCopy = r.snapshotBytesFullCopy;
+                    row.placement = cfg.placement;
+                    row.expectedFF = r.expectedFastForwardInstrs;
+                    row.measuredFF = r.measuredFFInstrsPerTrial();
                     row.phase = r.phase;
                     rows.push_back(row);
 
@@ -341,17 +364,20 @@ main(int argc, char **argv)
                                       row.laneOccupancy);
                     }
                     std::printf(
-                        "%-10s %-12s %-8s %12llu %4u %5s %5s %10.3f "
-                        "%12.1f %7.2fx %9.1f %9.1f\n",
+                        "%-10s %-12s %-8s %12llu %4u %5s %5s %6s %10.3f "
+                        "%12.1f %7.2fx %9.1f %9.1f %10.0f %10.0f\n",
                         row.workload.c_str(), hardeningModeName(mode),
                         execTierName(tier),
                         static_cast<unsigned long long>(
                             row.goldenDynInstrs),
-                        row.k, lanes_buf, occ_buf, row.trialSeconds,
+                        row.k, lanes_buf, occ_buf,
+                        row.k ? placementName(row.placement) : "-",
+                        row.trialSeconds,
                         row.trialsPerSec, row.speedup,
                         static_cast<double>(row.snapshotBytes) / 1024.0,
                         static_cast<double>(row.snapshotBytesFullCopy) /
-                            1024.0);
+                            1024.0,
+                        row.expectedFF, row.measuredFF);
                 }
             }
         }
@@ -505,6 +531,118 @@ main(int argc, char **argv)
         }
     }
 
+    // ---- placement comparison: adaptive vs uniform at equal K --------
+    struct PlacementCmp
+    {
+        std::string workload;
+        HardeningMode mode;
+        unsigned k = 0;           //!< requested K (same for both)
+        unsigned trials = 0;      //!< head-to-head trial count
+        unsigned uniformCount = 0;  //!< kept snapshots, uniform
+        unsigned adaptiveCount = 0; //!< kept snapshots, adaptive
+        double uniformExpFF = 0;
+        double adaptiveExpFF = 0;
+        double uniformMeasFF = 0;
+        double adaptiveMeasFF = 0;
+        /** 1 - adaptive/uniform of the measured per-trial cost. */
+        double measuredReduction = 0;
+    };
+    std::vector<PlacementCmp> placement_cmps;
+    {
+        // Equal-K head-to-head: both placements choose from the same
+        // candidate grid, outcomes are asserted identical, and the
+        // expected and measured per-trial fast-forward cost (replay
+        // instructions + restoreInstrsPerPage x restore pages) decide
+        // the winner. Measured costs are deterministic for a fixed
+        // (config, schedule): same seeds => same injection points for
+        // both placements. The placement effect is on the order of a
+        // percent, so resolving it in a sampled mean needs tens of
+        // thousands of trials; the section therefore benches the
+        // workloads with the *shortest* golden runs — where that many
+        // fast-forwarded trials cost a second or two — instead of the
+        // long-run throughput subset. The K-sweep rows above still
+        // record expected/measured cost for every benched row.
+        unsigned cmp_k = 0;
+        for (const unsigned k : opt.ks)
+            if (k == 32 || (k > 0 && cmp_k == 0))
+                cmp_k = k;
+        if (cmp_k == 0)
+            cmp_k = 32;
+        const ExecTier cmp_tier = opt.tiers.back();
+        std::vector<std::string> cmp_workloads = workloads;
+        if (opt.workloads.empty()) {
+            struct Candidate
+            {
+                std::string name;
+                uint64_t golden;
+            };
+            std::vector<Candidate> cands;
+            for (const std::string &name : benchutil::benchmarkNames()) {
+                CampaignConfig cfg = benchutil::makeConfig(
+                    name, HardeningMode::Original, 0);
+                cands.push_back(
+                    {name, characterizeOnly(cfg).goldenDynInstrs});
+            }
+            std::sort(cands.begin(), cands.end(),
+                      [](const Candidate &a, const Candidate &b) {
+                          return a.golden < b.golden;
+                      });
+            cands.resize(std::min<std::size_t>(cands.size(), 4));
+            cmp_workloads.clear();
+            for (const Candidate &c : cands)
+                cmp_workloads.push_back(c.name);
+        }
+        benchutil::printHeader(
+            "Checkpoint placement: adaptive vs uniform at equal K",
+            strformat("K = %u, %s tier; FF/trial = expected (model) "
+                      "and measured fast-forward instruction-"
+                      "equivalents per trial; outcomes asserted "
+                      "identical",
+                      cmp_k, execTierName(cmp_tier)));
+        std::printf("  %-10s %-12s %9s %9s %9s %9s %9s %9s %7s\n",
+                    "workload", "mode", "unifK", "adptK", "unifExp",
+                    "adptExp", "unifMeas", "adptMeas", "reduc");
+        const unsigned cmp_trials = std::max(20 * trials, 20000u);
+        for (const std::string &workload : cmp_workloads) {
+            for (const HardeningMode mode : modes) {
+                CampaignConfig cfg =
+                    benchutil::makeConfig(workload, mode, cmp_trials);
+                cfg.threads = opt.threads;
+                cfg.tier = cmp_tier;
+                cfg.checkpoints = cmp_k;
+                cfg.placement = CheckpointPlacement::Uniform;
+                const CampaignResult u = runCampaign(cfg);
+                cfg.placement = CheckpointPlacement::Adaptive;
+                const CampaignResult a = runCampaign(cfg);
+                scAssert(u.counts == a.counts,
+                         "campaign outcomes diverged across placements");
+                PlacementCmp c;
+                c.workload = workload;
+                c.mode = mode;
+                c.k = cmp_k;
+                c.trials = cmp_trials;
+                c.uniformCount = u.snapshotCount;
+                c.adaptiveCount = a.snapshotCount;
+                c.uniformExpFF = u.expectedFastForwardInstrs;
+                c.adaptiveExpFF = a.expectedFastForwardInstrs;
+                c.uniformMeasFF = u.measuredFFInstrsPerTrial();
+                c.adaptiveMeasFF = a.measuredFFInstrsPerTrial();
+                c.measuredReduction =
+                    c.uniformMeasFF > 0
+                        ? 1.0 - c.adaptiveMeasFF / c.uniformMeasFF
+                        : 0.0;
+                placement_cmps.push_back(c);
+                std::printf("  %-10s %-12s %9u %9u %9.0f %9.0f %9.0f "
+                            "%9.0f %6.1f%%\n",
+                            workload.c_str(), hardeningModeName(mode),
+                            c.uniformCount, c.adaptiveCount,
+                            c.uniformExpFF, c.adaptiveExpFF,
+                            c.uniformMeasFF, c.adaptiveMeasFF,
+                            100.0 * c.measuredReduction);
+            }
+        }
+    }
+
     // ---- suite sweep: workload x mode grid, shared fault-free work ----
     std::vector<std::string> sweep_workloads = workloads;
     {
@@ -533,6 +671,7 @@ main(int argc, char **argv)
     // enabled — it is the campaign engine's production configuration);
     // outcome identity across tiers is already asserted above.
     sweep.base.tier = opt.tiers.back();
+    sweep.base.placement = opt.placement;
     // A grid scout: many configurations screened with a modest trial
     // count each (the paper's per-point deep campaigns come after the
     // scout picks the interesting cells). Fast-forward aggressively —
@@ -676,6 +815,9 @@ main(int argc, char **argv)
             "\"trialSeconds\": %.6f, \"trialsPerSec\": %.2f, "
             "\"speedupVsReplay\": %.3f, \"snapshotBytes\": %llu, "
             "\"snapshotBytesFullCopy\": %llu, "
+            "\"placement\": \"%s\", "
+            "\"expectedFFInstrsPerTrial\": %.2f, "
+            "\"measuredFFInstrsPerTrial\": %.2f, "
             "\"compileSeconds\": %.6f, \"profileSeconds\": %.6f, "
             "\"baselineSeconds\": %.6f, \"goldenSeconds\": %.6f}%s\n",
             r.workload.c_str(), hardeningModeName(r.mode),
@@ -685,6 +827,8 @@ main(int argc, char **argv)
             r.trialSeconds, r.trialsPerSec, r.speedup,
             static_cast<unsigned long long>(r.snapshotBytes),
             static_cast<unsigned long long>(r.snapshotBytesFullCopy),
+            r.k ? placementName(r.placement) : "none",
+            r.expectedFF, r.measuredFF,
             r.phase.compileSeconds, r.phase.profileSeconds,
             r.phase.baselineSeconds, r.phase.goldenSeconds,
             i + 1 < rows.size() ? "," : "");
@@ -775,6 +919,57 @@ main(int argc, char **argv)
                 i + 1 < lane_rows.size() ? "," : "");
         }
         std::fprintf(f, "  ],\n");
+    }
+
+    if (!placement_cmps.empty()) {
+        // A workload "improves" when adaptive's measured per-trial
+        // cost, summed over the benched modes, undercuts uniform's.
+        std::vector<std::string> improved;
+        {
+            std::vector<std::string> names;
+            for (const PlacementCmp &c : placement_cmps)
+                if (std::find(names.begin(), names.end(), c.workload) ==
+                    names.end())
+                    names.push_back(c.workload);
+            for (const std::string &w : names) {
+                double unif = 0, adpt = 0;
+                for (const PlacementCmp &c : placement_cmps) {
+                    if (c.workload != w)
+                        continue;
+                    unif += c.uniformMeasFF;
+                    adpt += c.adaptiveMeasFF;
+                }
+                if (adpt < unif)
+                    improved.push_back(w);
+            }
+        }
+        std::fprintf(f,
+                     "  \"placementComparison\": {\n"
+                     "    \"checkpoints\": %u,\n"
+                     "    \"trials\": %u,\n"
+                     "    \"workloadsImproved\": %zu,\n"
+                     "    \"rows\": [\n",
+                     placement_cmps.front().k,
+                     placement_cmps.front().trials, improved.size());
+        for (std::size_t i = 0; i < placement_cmps.size(); ++i) {
+            const PlacementCmp &c = placement_cmps[i];
+            std::fprintf(
+                f,
+                "      {\"workload\": \"%s\", \"mode\": \"%s\", "
+                "\"checkpoints\": %u, \"uniformSnapshots\": %u, "
+                "\"adaptiveSnapshots\": %u, "
+                "\"uniformExpectedFF\": %.2f, "
+                "\"adaptiveExpectedFF\": %.2f, "
+                "\"uniformMeasuredFF\": %.2f, "
+                "\"adaptiveMeasuredFF\": %.2f, "
+                "\"measuredReduction\": %.4f}%s\n",
+                c.workload.c_str(), hardeningModeName(c.mode), c.k,
+                c.uniformCount, c.adaptiveCount, c.uniformExpFF,
+                c.adaptiveExpFF, c.uniformMeasFF, c.adaptiveMeasFF,
+                c.measuredReduction,
+                i + 1 < placement_cmps.size() ? "," : "");
+        }
+        std::fprintf(f, "    ]\n  },\n");
     }
 
     uint64_t sweep_total_trials = 0;

@@ -70,6 +70,18 @@ CampaignResult::instrsPerFalsePositive() const
 }
 
 double
+CampaignResult::measuredFFInstrsPerTrial() const
+{
+    const uint64_t total = totalTrials();
+    if (total == 0)
+        return 0.0;
+    return (static_cast<double>(ffReplayInstrs) +
+            config.restoreInstrsPerPage *
+                static_cast<double>(ffRestorePages)) /
+           static_cast<double>(total);
+}
+
+double
 CampaignResult::trialsPerSec() const
 {
     if (phase.trialsSeconds <= 0.0)
@@ -314,14 +326,17 @@ characterizeCell(const CampaignConfig &config,
     // ---- 4. merged fault-free golden run ------------------------------
     // One instrumented pass produces the false-positive calibration
     // counts, the golden signal/return value, AND the trial
-    // fast-forward checkpoints (it used to take two bit-identical runs).
-    // Snapshot placement needs a stride before this run's own length is
-    // known, so the stride derives from the unhardened run's length;
-    // hardening only lengthens the stream, so the requested K is a
-    // floor on the snapshot count, never a miss. Check semantics do not
-    // differ between recording (calibration) and halting with the
-    // firing checks disabled (trials), so the recorded states are valid
-    // trial-resume points.
+    // fast-forward checkpoint candidates (it used to take two
+    // bit-identical runs). The candidate stride derives from the
+    // unhardened run's length (this run's own length is not known
+    // yet), but recording is open-ended, so the grid covers the
+    // hardened run's full — strictly longer — stream; placement then
+    // keeps the K best candidates against the run's true length, so
+    // neither the oversized un-checkpointed tail nor the zero-stride
+    // degenerate of the old uniform math can occur. Check semantics do
+    // not differ between recording (calibration) and halting with the
+    // firing checks disabled (trials), so the recorded states are
+    // valid trial-resume points.
     const unsigned num_checks = hardened.em->numCheckIds();
     result.totalCheckCount = num_checks;
     cell.disabled.assign(num_checks, 0);
@@ -344,11 +359,19 @@ characterizeCell(const CampaignConfig &config,
         opts.checkMode = CheckMode::Record;
         opts.checkFailCounts = &fail_counts;
         if (config.trials > 0 && config.checkpoints > 0) {
-            cell.snapshotStride = bl.dynInstrs / config.checkpoints;
-            if (cell.snapshotStride > 0) {
-                opts.checkpointEvery = cell.snapshotStride;
-                opts.checkpointSink = &cell.snapshots;
-            }
+            // Candidate grid: oversample the requested K (bounded) so
+            // placement has room to trade gap length against restore
+            // cost; stride >= 1 keeps fast-forwarding alive even when
+            // K exceeds the run length.
+            constexpr uint64_t kMaxCandidates = 1024;
+            constexpr uint64_t kOversample = 4;
+            const uint64_t want =
+                std::min(kMaxCandidates,
+                         static_cast<uint64_t>(config.checkpoints) *
+                             kOversample);
+            opts.checkpointEvery =
+                std::max<uint64_t>(1, bl.dynInstrs / want);
+            opts.checkpointSink = &cell.snapshots;
         }
         opts.tier = config.tier;
         cell.goldenRun = runOnTier(hardened, *run.mem, run.args, opts);
@@ -364,18 +387,82 @@ characterizeCell(const CampaignConfig &config,
                 ++result.disabledCheckCount;
             }
         }
-        if (cell.snapshots.empty())
-            cell.snapshotStride = 0;
+        // ---- checkpoint placement over the candidate grid ----------
+        // Profile each candidate's incremental dirty-page footprint
+        // (sequential seen-set accounting: the pages the region ending
+        // at that candidate dirtied, ~ what a restore from it must
+        // re-adopt), choose the schedule that minimizes the model's
+        // expected fast-forward cost, and drop the rest — COW frees
+        // every page only unchosen candidates held.
+        PlacementRequest preq;
+        preq.runLength = result.goldenDynInstrs;
+        preq.maxCheckpoints = config.checkpoints;
+        preq.restoreInstrsPerPage = config.restoreInstrsPerPage;
+        preq.pageBytes = Memory::kPageSize;
+        preq.placement = config.placement;
+        std::vector<PlacementCandidate> cands;
+        cands.reserve(cell.snapshots.size());
+        {
+            std::unordered_set<const void *> cand_seen;
+            for (const Snapshot &s : cell.snapshots)
+                cands.push_back(PlacementCandidate{
+                    s.dynInstr(), s.residentPageBytes(cand_seen)});
+        }
+        PlacementResult placed = placeCheckpoints(cands, preq);
+        {
+            std::vector<Snapshot> kept;
+            kept.reserve(placed.chosen.size());
+            for (const uint32_t ci : placed.chosen)
+                kept.push_back(std::move(cell.snapshots[ci]));
+            cell.snapshots = std::move(kept);
+        }
 
-        // Footprint accounting: COW-resident bytes (distinct pages
-        // across all snapshots) vs. what K deep copies would hold.
+        // Snapshot-byte budget: trim the schedule — least expected
+        // cost increase first — until the kept set's true resident
+        // bytes fit. Resident bytes are recomputed per step because a
+        // dropped snapshot's pages can survive in later snapshots that
+        // still share them.
+        auto kept_resident_bytes = [&cell]() {
+            std::unordered_set<const void *> kept_seen;
+            uint64_t bytes = 0;
+            for (const Snapshot &s : cell.snapshots)
+                bytes += s.residentPageBytes(kept_seen);
+            return bytes;
+        };
+        if (config.snapshotBudgetBytes > 0) {
+            while (!cell.snapshots.empty() &&
+                   kept_resident_bytes() > config.snapshotBudgetBytes) {
+                const std::size_t p =
+                    cheapestRemoval(cands, placed.chosen, preq);
+                placed.chosen.erase(
+                    placed.chosen.begin() +
+                    static_cast<std::ptrdiff_t>(p));
+                cell.snapshots.erase(
+                    cell.snapshots.begin() +
+                    static_cast<std::ptrdiff_t>(p));
+            }
+            placed.expectedFFInstrs =
+                placementCost(cands, placed.chosen, preq);
+        }
+        result.expectedFastForwardInstrs = placed.expectedFFInstrs;
+
+        // Footprint accounting over the kept schedule: COW-resident
+        // bytes (distinct pages across all kept snapshots) vs. what K
+        // deep copies would hold. The measured metric's restore-cost
+        // table takes the candidate-grid newBytes the placement model
+        // priced, so measured and expected costs share one unit.
         result.snapshotCount =
             static_cast<unsigned>(cell.snapshots.size());
         std::unordered_set<const void *> seen;
-        for (const Snapshot &s : cell.snapshots) {
+        for (std::size_t i = 0; i < cell.snapshots.size(); ++i) {
+            const Snapshot &s = cell.snapshots[i];
+            cell.snapDyn.push_back(s.dynInstr());
+            cell.snapNewBytes.push_back(
+                cands[placed.chosen[i]].newBytes);
             result.snapshotBytes += s.residentPageBytes(seen);
             result.snapshotBytesFullCopy += s.mem.bytesAllocated();
         }
+        result.snapshotDynInstrs = cell.snapDyn;
         // Suite-wide accounting: pages already contributed by another
         // cell of this workload (via the shared pristine image) are
         // counted once for the whole suite. Cells account concurrently;
@@ -416,7 +503,7 @@ runTrialBatch(const CellCharacterization &cell,
     const PreparedModule &hardened = cell.module();
     const WorkloadRunSpec &test_spec = cell.testSpec();
     const std::vector<Snapshot> &snapshots = cell.snapshots;
-    const uint64_t snapshot_stride = cell.snapshotStride;
+    const std::vector<uint64_t> &snap_dyn = cell.snapDyn;
     const std::vector<double> &golden_signal = cell.goldenSignal;
     const RunResult &golden_run = cell.goldenRun;
     const uint64_t golden_ret = golden_run.retValue;
@@ -431,9 +518,8 @@ runTrialBatch(const CellCharacterization &cell,
     trial_opts.checkMode = CheckMode::Halt;
     trial_opts.disabledChecks = &cell.disabled;
     trial_opts.maxDynInstrs = max_dyn;
-    if (snapshot_stride > 0) {
+    if (!snapshots.empty()) {
         trial_opts.goldenSnapshots = &snapshots;
-        trial_opts.goldenEvery = snapshot_stride;
         trial_opts.goldenResult = &golden_run;
     }
 
@@ -522,27 +608,53 @@ runTrialBatch(const CellCharacterization &cell,
         }
     };
 
-    // Run trial @p t alone on the scalar tier (the pre-lockstep path).
-    auto run_scalar_trial = [&](unsigned t) {
-        // Trial-indexed RNG: deterministic regardless of batching or
-        // thread scheduling.
+    // One planned trial: its injection point, its RNG stream (already
+    // past the fault-site draw), and the snapshot it resumes from.
+    struct PlannedTrial
+    {
+        unsigned trial;
+        uint64_t faultAt;
+        Rng rng;
+        std::ptrdiff_t key; //!< snapshot index, -1 = pristine
+    };
+
+    // Batch-local measured fast-forward sums, published to the shared
+    // accumulator once at the end (commutative, so batching-blind).
+    uint64_t ff_replay = 0;
+    uint64_t ff_restore_pages = 0;
+
+    // Plan trial @p t: draw its injection point from the trial-indexed
+    // RNG (deterministic regardless of batching or thread scheduling)
+    // and look up its resume snapshot — the last one at or before the
+    // injection point, so a fault exactly on a snapshot boundary
+    // resumes there with zero replay and injects immediately (the
+    // engines order injection after the checkpoint capture point at
+    // the same index). The measured fast-forward metric accumulates
+    // here, exactly once per trial, whichever path later runs it.
+    auto plan_one = [&](unsigned t) {
         Rng rng(trialSeed(config.seed, t));
         const uint64_t fault_at = rng.nextBelow(golden_dyn);
+        const std::ptrdiff_t key =
+            static_cast<std::ptrdiff_t>(
+                firstSnapshotAfter(snapshots, fault_at)) -
+            1;
+        ff_replay += fault_at - (key < 0 ? 0 : snap_dyn[static_cast<
+                                      std::size_t>(key)]);
+        if (key >= 0)
+            ff_restore_pages +=
+                cell.snapNewBytes[static_cast<std::size_t>(key)] /
+                Memory::kPageSize;
+        return PlannedTrial{t, fault_at, rng, key};
+    };
 
+    // Run a planned trial alone on the scalar tier (the pre-lockstep
+    // path).
+    auto run_scalar_trial = [&](const PlannedTrial &p) {
+        Rng rng = p.rng;
         ExecOptions opts = trial_opts;
-        opts.faultAtDynInstr = fault_at;
+        opts.faultAtDynInstr = p.faultAt;
         opts.faultRng = &rng;
-
-        // Fast-forward: snapshots[i] sits at (i+1)*stride.
-        std::ptrdiff_t key = -1;
-        if (snapshot_stride > 0 && fault_at >= snapshot_stride) {
-            std::size_t idx = static_cast<std::size_t>(
-                                  fault_at / snapshot_stride) -
-                              1;
-            idx = std::min(idx, snapshots.size() - 1);
-            key = static_cast<std::ptrdiff_t>(idx);
-        }
-        rewind(key);
+        rewind(p.key);
         classify(ws->resume(opts));
     };
 
@@ -567,28 +679,10 @@ runTrialBatch(const CellCharacterization &cell,
         // lockstep tier's construction (enforced by
         // tests/interp/test_lockstep_equiv.cc), so outcome totals stay
         // independent of batching, like everything else here.
-        struct PlannedTrial
-        {
-            unsigned trial;
-            uint64_t faultAt;
-            Rng rng;              //!< past its fault-site draw
-            std::ptrdiff_t key;   //!< snapshot index, -1 = pristine
-        };
         std::vector<PlannedTrial> plan;
         plan.reserve(last - first);
-        for (unsigned t = first; t < last; ++t) {
-            Rng rng(trialSeed(config.seed, t));
-            const uint64_t fault_at = rng.nextBelow(golden_dyn);
-            std::ptrdiff_t key = -1;
-            if (snapshot_stride > 0 && fault_at >= snapshot_stride) {
-                std::size_t idx = static_cast<std::size_t>(
-                                      fault_at / snapshot_stride) -
-                                  1;
-                idx = std::min(idx, snapshots.size() - 1);
-                key = static_cast<std::ptrdiff_t>(idx);
-            }
-            plan.push_back(PlannedTrial{t, fault_at, rng, key});
-        }
+        for (unsigned t = first; t < last; ++t)
+            plan.push_back(plan_one(t));
         // Order the whole batch by injection point (the engine's fork
         // order) and chunk it into full-width groups of neighbours.
         // Snapshot keys are monotone in faultAt, so the first member of
@@ -610,14 +704,14 @@ runTrialBatch(const CellCharacterization &cell,
         // better scalar — is deferred until the chain ends.
         std::vector<LaneTrial> finished;
         finished.reserve(plan.size());
-        std::vector<unsigned> scalar_trials;
+        std::vector<PlannedTrial> scalar_trials;
         std::vector<LaneTrial> group;
         bool chained = false; // ws->st + bound memory hold a stem export
-        auto snap_dyn = [&](const PlannedTrial &p) {
-            // snapshots[i] sits at dynamic instruction (i+1)*stride
-            return p.key < 0 ? 0
-                             : (static_cast<uint64_t>(p.key) + 1) *
-                                   snapshot_stride;
+        auto resume_dyn = [&](const PlannedTrial &p) {
+            // The planned resume snapshot's own dynamic instruction.
+            return p.key < 0
+                       ? 0
+                       : snap_dyn[static_cast<std::size_t>(p.key)];
         };
         std::size_t i = 0;
         while (i < plan.size()) {
@@ -625,9 +719,9 @@ runTrialBatch(const CellCharacterization &cell,
                 std::min(i + config.lanes, plan.size());
             const bool use_chain = chained &&
                                    ws->st.dynCount <= plan[i].faultAt &&
-                                   ws->st.dynCount >= snap_dyn(plan[i]);
+                                   ws->st.dynCount >= resume_dyn(plan[i]);
             const uint64_t start_dyn =
-                use_chain ? ws->st.dynCount : snap_dyn(plan[i]);
+                use_chain ? ws->st.dynCount : resume_dyn(plan[i]);
             // Profitability: the stem must replay [start_dyn, f_hi]
             // once to replace the members' private snapshot replays.
             // With dense checkpoints those replays are already short
@@ -642,12 +736,12 @@ runTrialBatch(const CellCharacterization &cell,
             // known until the group runs.)
             uint64_t scalar_replay = 0;
             for (std::size_t k = i; k < j; ++k)
-                scalar_replay += plan[k].faultAt - snap_dyn(plan[k]);
+                scalar_replay += plan[k].faultAt - resume_dyn(plan[k]);
             const uint64_t stem_replay =
                 plan[j - 1].faultAt - start_dyn;
             if (j - i == 1 || scalar_replay < 3 * stem_replay) {
                 for (std::size_t k = i; k < j; ++k)
-                    scalar_trials.push_back(plan[k].trial);
+                    scalar_trials.push_back(plan[k]);
                 i = j;
                 continue;
             }
@@ -693,21 +787,23 @@ runTrialBatch(const CellCharacterization &cell,
                 classify(tr.result);
             }
         }
-        for (const unsigned t : scalar_trials)
-            run_scalar_trial(t);
+        for (const PlannedTrial &p : scalar_trials)
+            run_scalar_trial(p);
         accum.laneSteps.fetch_add(ws->lockstep->laneInstrsServed() -
                                   served0);
         accum.laneSlots.fetch_add(
             (ws->lockstep->fetches() - fetches0) * config.lanes);
     } else {
         for (unsigned t = first; t < last; ++t)
-            run_scalar_trial(t);
+            run_scalar_trial(plan_one(t));
     }
 
     {
         std::lock_guard lock(cache.mu);
         cache.idle.push_back(std::move(ws));
     }
+    accum.ffReplay.fetch_add(ff_replay);
+    accum.ffRestorePages.fetch_add(ff_restore_pages);
     accum.batchNanos.fetch_add(
         static_cast<uint64_t>(batch_sw.seconds() * 1e9));
 }
@@ -722,6 +818,8 @@ finalizeTrialResult(const CellCharacterization &cell,
         result.counts[o] = accum.counts[o].load();
     result.usdcLargeChange = accum.usdcLarge.load();
     result.usdcSmallChange = accum.usdcSmall.load();
+    result.ffReplayInstrs = accum.ffReplay.load();
+    result.ffRestorePages = accum.ffRestorePages.load();
     result.phase.trialsSeconds =
         static_cast<double>(accum.batchNanos.load()) * 1e-9;
     const uint64_t lane_slots = accum.laneSlots.load();

@@ -27,8 +27,10 @@
 
 #include <array>
 #include <string>
+#include <vector>
 
 #include "core/pipeline.hh"
+#include "fault/placement.hh"
 #include "workloads/workload.hh"
 
 namespace softcheck
@@ -85,16 +87,48 @@ struct CampaignConfig
     unsigned lanes = 8;
 
     /**
-     * Trial fast-forwarding: record about this many evenly spaced
-     * snapshots of the fault-free run, and start each trial from the
-     * nearest snapshot at or before its injection point instead of
-     * replaying the (deterministic) prefix from dynamic instruction 0.
-     * Mean prefix work per trial drops from goldenDynInstrs/2 to about
-     * goldenDynInstrs/(2K); the same snapshots also let post-fault
-     * execution stop early once it re-converges with the golden run.
-     * Results are bit-identical to full replay. 0 disables.
+     * Trial fast-forwarding: keep up to this many snapshots of the
+     * fault-free golden run, and start each trial from the nearest
+     * snapshot at or before its injection point instead of replaying
+     * the (deterministic) prefix from dynamic instruction 0. The
+     * golden run records candidate snapshots on a fine periodic grid
+     * (open-ended, so it covers the hardened run's full length, which
+     * exceeds the unhardened estimate the old stride derived from) and
+     * `placement` decides which to keep; K is clamped to the number of
+     * candidates, so a tiny workload gets at least one resume point
+     * instead of silently losing fast-forwarding to a zero stride.
+     * The kept snapshots also let post-fault execution stop early once
+     * it re-converges with the golden run. Results are bit-identical
+     * to full replay and to every placement. 0 disables.
      */
     unsigned checkpoints = 32;
+
+    /**
+     * How the kept snapshots are placed on the candidate grid: evenly
+     * spaced, or cost-aware (minimize expected replay instructions
+     * plus a restore term under the injection distribution — see
+     * placement.hh). Outcome counts are placement-independent.
+     */
+    CheckpointPlacement placement = CheckpointPlacement::Adaptive;
+
+    /**
+     * Snapshot-byte budget (0 = unlimited): after placement, trim the
+     * schedule — cheapest expected-cost increase first — until the
+     * kept snapshots' COW-resident bytes fit. Lets a suite give every
+     * (workload, mode) the same budget while their effective K varies
+     * with the 7-19x COW footprint spread.
+     */
+    uint64_t snapshotBudgetBytes = 0;
+
+    /**
+     * Restore-cost weight of the placement objective and of the
+     * measured fast-forward metric: instruction-equivalents charged
+     * per page a snapshot restore re-adopts (its schedule-static
+     * incremental dirty pages). Copying one 256-byte page is ~32 word
+     * moves plus adoption bookkeeping, so ~64 simple instructions is
+     * the honest order of magnitude. 0 = optimize pure replay.
+     */
+    double restoreInstrsPerPage = 64.0;
 };
 
 /**
@@ -146,6 +180,30 @@ struct CampaignResult
     unsigned snapshotCount = 0;
     uint64_t snapshotBytes = 0;
     uint64_t snapshotBytesFullCopy = 0;
+    /** Dynamic-instruction indices of the kept snapshots — the
+     * placement schedule, ascending. snapshotCount entries. */
+    std::vector<uint64_t> snapshotDynInstrs;
+
+    /**
+     * Placement model's expected fast-forward cost per trial for the
+     * kept schedule, in instruction-equivalents (replay + restore
+     * term; goldenDynInstrs/2 when fast-forwarding is off). Filled by
+     * characterization, before any trial runs.
+     */
+    double expectedFastForwardInstrs = 0;
+    /**
+     * Measured fast-forward cost inputs, summed over the trials that
+     * ran: replay instructions from each trial's schedule resume point
+     * to its injection point, and the schedule-static restore pages of
+     * that resume point. Deterministic for a fixed (config, schedule)
+     * — independent of batching, tier, and thread count.
+     */
+    uint64_t ffReplayInstrs = 0;
+    uint64_t ffRestorePages = 0;
+    /** Measured mean fast-forward cost per trial in the model's
+     * instruction-equivalent unit: (ffReplayInstrs +
+     * restoreInstrsPerPage * ffRestorePages) / trials. */
+    double measuredFFInstrsPerTrial() const;
 
     // Fault-free characterization.
     uint64_t goldenDynInstrs = 0;

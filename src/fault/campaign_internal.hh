@@ -149,9 +149,25 @@ struct CellCharacterization
 
     std::vector<uint8_t> disabled;    //!< calibration-disabled checks
     std::vector<double> goldenSignal;
+    /** Kept checkpoint snapshots, sorted by strictly increasing
+     * dynInstr() — the placement-chosen schedule (empty = no
+     * fast-forwarding). Trials resume from the last snapshot at or
+     * before their injection point (firstSnapshotAfter - 1). */
     std::vector<Snapshot> snapshots;
+    /** snapDyn[i] == snapshots[i].dynInstr(), cached so the trial
+     * planner's binary searches and the lockstep grouping heuristic
+     * don't touch the snapshots themselves. */
+    std::vector<uint64_t> snapDyn;
+    /** Per kept snapshot: the candidate-grid incremental dirty bytes
+     * (PlacementCandidate::newBytes of the chosen candidate) — the
+     * schedule-static restore-cost proxy behind the measured
+     * fast-forward metric, and the exact quantity the placement model
+     * priced, so measured and expected costs share one unit. Using
+     * static costs — not the pages a given worker actually re-adopts,
+     * which depend on batch order — keeps the metric bit-identical
+     * across thread counts and tiers. */
+    std::vector<uint64_t> snapNewBytes;
     RunResult goldenRun;
-    uint64_t snapshotStride = 0; //!< 0 = no fast-forwarding
 
     const PreparedModule &
     module() const
@@ -253,6 +269,14 @@ struct TrialAccum
      * slots those fetches offered (fetches x configured width). */
     std::atomic<uint64_t> laneSteps{0};
     std::atomic<uint64_t> laneSlots{0};
+    /** Measured fast-forward cost inputs, accumulated once per trial
+     * when it is planned (see CampaignResult::ffReplayInstrs): replay
+     * instructions from the schedule's resume point to the injection
+     * point, and the resume snapshot's schedule-static restore pages.
+     * Both are functions of (trial RNG, schedule) only, so the sums
+     * are bit-identical across batching, tiers, and thread counts. */
+    std::atomic<uint64_t> ffReplay{0};
+    std::atomic<uint64_t> ffRestorePages{0};
 };
 
 /**

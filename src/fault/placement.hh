@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Checkpoint-placement optimization for SFI campaigns (the ICCAD'23
+ * "Checkpoint Placement for Systematic Fault-Injection Campaigns"
+ * formulation, adapted to SoftCheck's COW snapshots).
+ *
+ * The golden run records *candidate* snapshots on a fine periodic
+ * grid; this unit then picks which K to keep so that the expected
+ * per-trial fast-forward cost — replay instructions from the chosen
+ * resume point to the injection point, plus a restore term
+ * proportional to the pages a resume must re-adopt — is minimized
+ * under the campaign's injection-point distribution. Uniform placement
+ * (K evenly spaced points on the same grid) goes through the same
+ * machinery so the two strategies differ only in the optimization,
+ * never in the recording path.
+ *
+ * The injection distribution is pluggable (InjectionModel) so that
+ * fault-space pruning can later skew mass away from already-classified
+ * regions without touching the optimizer.
+ */
+
+#ifndef SOFTCHECK_FAULT_PLACEMENT_HH
+#define SOFTCHECK_FAULT_PLACEMENT_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace softcheck
+{
+
+/** How a campaign chooses its checkpoint schedule. */
+enum class CheckpointPlacement : uint8_t
+{
+    Uniform,  //!< K evenly spaced points on the candidate grid
+    Adaptive, //!< DP/greedy cost-aware placement (this unit)
+};
+
+const char *placementName(CheckpointPlacement p);
+
+/**
+ * One candidate resume point of the golden run: its dynamic
+ * instruction index and the bytes of memory pages it holds that no
+ * earlier candidate already holds (sequential seen-set accounting —
+ * the incremental dirty footprint of the region ending here, which is
+ * the model's proxy for how much a restore from here must re-adopt).
+ */
+struct PlacementCandidate
+{
+    uint64_t dynInstr = 0;
+    uint64_t newBytes = 0;
+};
+
+/**
+ * Injection-point distribution over dynamic instructions [0, L). The
+ * optimizer only needs segment masses and truncated first moments, so
+ * a skewed distribution (fault-space pruning) plugs in here without
+ * changing the placement code.
+ */
+class InjectionModel
+{
+  public:
+    virtual ~InjectionModel() = default;
+    /** P[lo <= X < hi]. */
+    virtual double mass(uint64_t lo, uint64_t hi) const = 0;
+    /** E[(X - from) * 1{lo <= X < hi}] — expected replay instructions
+     * for injections in [lo, hi) resumed from @p from (<= lo). */
+    virtual double replayInstrs(uint64_t from, uint64_t lo,
+                                uint64_t hi) const = 0;
+};
+
+/** Uniform over [0, L) — today's campaign trial draw. */
+class UniformInjection : public InjectionModel
+{
+  public:
+    explicit UniformInjection(uint64_t run_length);
+    double mass(uint64_t lo, uint64_t hi) const override;
+    double replayInstrs(uint64_t from, uint64_t lo,
+                        uint64_t hi) const override;
+
+  private:
+    double len;
+};
+
+struct PlacementRequest
+{
+    /** Golden-run length L in dynamic instructions (> 0). */
+    uint64_t runLength = 0;
+    /** Keep at most this many candidates (effective K =
+     * min(maxCheckpoints, #candidates)). */
+    unsigned maxCheckpoints = 0;
+    /** Restore-cost weight: instruction-equivalents per restored page
+     * (converts a snapshot's newBytes/pageBytes into the same unit as
+     * replay instructions). 0 reduces the objective to pure replay. */
+    double restoreInstrsPerPage = 64.0;
+    /** Page granularity of PlacementCandidate::newBytes. */
+    uint64_t pageBytes = 256;
+    /** Injection distribution; null = uniform over [0, runLength). */
+    const InjectionModel *model = nullptr;
+    CheckpointPlacement placement = CheckpointPlacement::Adaptive;
+};
+
+struct PlacementResult
+{
+    /** Ascending indices into the candidate vector. */
+    std::vector<uint32_t> chosen;
+    /** Model E[fast-forward cost per trial] of the chosen schedule, in
+     * instruction-equivalents (replay + restore term). */
+    double expectedFFInstrs = 0;
+};
+
+/**
+ * Model cost of an arbitrary schedule @p chosen (ascending candidate
+ * indices; may be empty = pristine-only). Exposed for tests and for
+ * the byte-budget trimming loop.
+ */
+double placementCost(const std::vector<PlacementCandidate> &candidates,
+                     const std::vector<uint32_t> &chosen,
+                     const PlacementRequest &req);
+
+/**
+ * Position in @p chosen (not a candidate index) whose removal raises
+ * placementCost the least. @pre !chosen.empty(). Used to trim a
+ * schedule down to a snapshot-byte budget.
+ */
+std::size_t
+cheapestRemoval(const std::vector<PlacementCandidate> &candidates,
+                const std::vector<uint32_t> &chosen,
+                const PlacementRequest &req);
+
+/**
+ * Choose up to req.maxCheckpoints candidates. Uniform placement picks
+ * the candidates nearest the K evenly spaced points
+ * i * L / (K+1), i = 1..K (deduplicated); adaptive placement solves
+ * the expected-cost minimization exactly by DP when the instance is
+ * small and by greedy insertion otherwise. Candidates must be sorted
+ * by strictly increasing dynInstr, all < req.runLength.
+ */
+PlacementResult
+placeCheckpoints(const std::vector<PlacementCandidate> &candidates,
+                 const PlacementRequest &req);
+
+} // namespace softcheck
+
+#endif // SOFTCHECK_FAULT_PLACEMENT_HH

@@ -169,9 +169,29 @@ Interpreter::resume(ExecState &st, const ExecOptions &opts)
     FaultOutcome fault;
     uint64_t check_evals = 0;
 
-    // Next dynamic instruction at which to record a checkpoint.
+    // Next dynamic instruction at which to record a checkpoint: the
+    // next entry of the explicit schedule, or the next multiple of the
+    // periodic stride.
     uint64_t next_checkpoint = ~0ULL;
-    if (opts.checkpointEvery) {
+    std::size_t sched_idx = 0;
+    if (opts.checkpointSchedule) {
+        scAssert(opts.checkpointSink,
+                 "checkpoint schedule without a sink");
+        scAssert(!opts.checkpointEvery,
+                 "checkpointEvery and checkpointSchedule are exclusive");
+        const std::vector<uint64_t> &sched = *opts.checkpointSchedule;
+        std::size_t lo = 0, hi = sched.size();
+        while (lo < hi) {
+            const std::size_t mid = lo + (hi - lo) / 2;
+            if (sched[mid] > dyn_count)
+                hi = mid;
+            else
+                lo = mid + 1;
+        }
+        sched_idx = lo;
+        if (sched_idx < sched.size())
+            next_checkpoint = sched[sched_idx];
+    } else if (opts.checkpointEvery) {
         scAssert(opts.checkpointSink, "checkpointEvery without a sink");
         next_checkpoint =
             (dyn_count / opts.checkpointEvery + 1) * opts.checkpointEvery;
@@ -179,13 +199,18 @@ Interpreter::resume(ExecState &st, const ExecOptions &opts)
 
     // Next boundary at which to test golden convergence; armed only
     // once the fault has been injected (before that the run *is* the
-    // golden prefix).
+    // golden prefix). Compare points are the golden snapshots' own
+    // dynamic-instruction indices.
     uint64_t next_golden_cmp = ~0ULL;
+    std::size_t golden_idx = 0;
     auto arm_golden_cmp = [&]() {
-        if (!opts.goldenSnapshots || !opts.goldenEvery)
+        if (!opts.goldenSnapshots || opts.goldenSnapshots->empty())
             return;
+        golden_idx = firstSnapshotAfter(*opts.goldenSnapshots, dyn_count);
         next_golden_cmp =
-            (dyn_count / opts.goldenEvery + 1) * opts.goldenEvery;
+            golden_idx < opts.goldenSnapshots->size()
+                ? (*opts.goldenSnapshots)[golden_idx].dynInstr()
+                : ~0ULL;
     };
 
     auto finish = [&](Termination t, TrapKind trap, int check_id,
@@ -210,7 +235,15 @@ Interpreter::resume(ExecState &st, const ExecOptions &opts)
     for (;;) {
         if (dyn_count >= next_checkpoint) {
             opts.checkpointSink->push_back(Snapshot::save(st, mem));
-            next_checkpoint += opts.checkpointEvery;
+            if (opts.checkpointSchedule) {
+                ++sched_idx;
+                next_checkpoint =
+                    sched_idx < opts.checkpointSchedule->size()
+                        ? (*opts.checkpointSchedule)[sched_idx]
+                        : ~0ULL;
+            } else {
+                next_checkpoint += opts.checkpointEvery;
+            }
         }
 
         if (dyn_count >= fault_at) {
@@ -242,24 +275,22 @@ Interpreter::resume(ExecState &st, const ExecOptions &opts)
         }
 
         if (dyn_count >= next_golden_cmp) {
-            const std::size_t idx =
-                static_cast<std::size_t>(dyn_count / opts.goldenEvery) -
-                1;
-            if (idx >= opts.goldenSnapshots->size()) {
-                next_golden_cmp = ~0ULL; // ran past the golden run
-            } else {
-                const Snapshot &gold = (*opts.goldenSnapshots)[idx];
-                if (gold.dynInstr() == dyn_count &&
-                    gold.convergedWith(st, mem)) {
-                    scAssert(opts.goldenResult,
-                             "goldenSnapshots without goldenResult");
-                    RunResult r = *opts.goldenResult;
-                    r.prunedToGolden = true;
-                    r.fault = fault;
-                    return r;
-                }
-                next_golden_cmp += opts.goldenEvery;
+            // Reached exactly: arming picked the first snapshot past
+            // the arm point, and dyn_count advances one at a time.
+            const Snapshot &gold = (*opts.goldenSnapshots)[golden_idx];
+            if (gold.convergedWith(st, mem)) {
+                scAssert(opts.goldenResult,
+                         "goldenSnapshots without goldenResult");
+                RunResult r = *opts.goldenResult;
+                r.prunedToGolden = true;
+                r.fault = fault;
+                return r;
             }
+            ++golden_idx;
+            next_golden_cmp =
+                golden_idx < opts.goldenSnapshots->size()
+                    ? (*opts.goldenSnapshots)[golden_idx].dynInstr()
+                    : ~0ULL;
         }
 
         ExecFrame &fr = stack.back();

@@ -225,6 +225,27 @@ struct Snapshot
 };
 
 /**
+ * Index of the first snapshot of @p snaps (sorted by strictly
+ * increasing dynInstr()) past dynamic instruction @p dyn — snaps.size()
+ * when none is. The shared schedule lookup of every engine's
+ * golden-compare arming and of trial fast-forwarding: the snapshot a
+ * trial resumes from is the one *before* this index.
+ */
+inline std::size_t
+firstSnapshotAfter(const std::vector<Snapshot> &snaps, uint64_t dyn)
+{
+    std::size_t lo = 0, hi = snaps.size();
+    while (lo < hi) {
+        const std::size_t mid = lo + (hi - lo) / 2;
+        if (snaps[mid].dynInstr() > dyn)
+            hi = mid;
+        else
+            lo = mid + 1;
+    }
+    return lo;
+}
+
+/**
  * Which execution engine runs dynamic instructions. The interpreter is
  * the reference tier; the direct-threaded tier (threaded_exec.hh) is a
  * bit-identical fast path for campaign trials. Profiling runs always
@@ -310,25 +331,35 @@ struct ExecOptions
     unsigned maxCallDepth = 256;
 
     /** Record a Snapshot into @p checkpointSink every @p
-     * checkpointEvery dynamic instructions (0 = off). Snapshots are
-     * taken at the top of the dispatch loop, before the instruction at
-     * that dynamic index executes. */
+     * checkpointEvery dynamic instructions (0 = off). Recording is
+     * open-ended — it follows the run however long it gets, which is
+     * what lets a campaign profile candidate points past the baseline
+     * length estimate. Snapshots are taken at the top of the dispatch
+     * loop, before the instruction at that dynamic index executes.
+     * Mutually exclusive with @p checkpointSchedule. */
     uint64_t checkpointEvery = 0;
+
+    /** Record a Snapshot at exactly these dynamic instructions
+     * (sorted, strictly increasing; entries at or before the resumed
+     * state's dynCount are skipped). Same loop-top capture point as
+     * checkpointEvery; null = off. */
+    const std::vector<uint64_t> *checkpointSchedule = nullptr;
     std::vector<Snapshot> *checkpointSink = nullptr;
 
     /**
-     * Golden-convergence pruning: snapshots of the fault-free run at
-     * every multiple of @p goldenEvery (element i at dynamic
-     * instruction (i+1)*goldenEvery). After the fault is injected, the
-     * run is compared against the matching snapshot at each boundary;
-     * on full state convergence it terminates early with
-     * @p goldenResult (plus this trial's FaultOutcome) and
-     * RunResult::prunedToGolden set. All three fields must be set
-     * together; determinism makes the early result bit-identical to a
-     * full replay.
+     * Golden-convergence pruning: snapshots of the fault-free run,
+     * sorted by strictly increasing dynInstr() — the schedule of
+     * compare points is the snapshots' own dynamic-instruction
+     * indices, so any placement (uniform stride or cost-aware) works
+     * unchanged. After the fault is injected, the run is compared
+     * against each snapshot past the injection point as it reaches
+     * that boundary; on full state convergence it terminates early
+     * with @p goldenResult (plus this trial's FaultOutcome) and
+     * RunResult::prunedToGolden set. Both fields must be set together;
+     * determinism makes the early result bit-identical to a full
+     * replay.
      */
     const std::vector<Snapshot> *goldenSnapshots = nullptr;
-    uint64_t goldenEvery = 0;
     const RunResult *goldenResult = nullptr;
 
     /**

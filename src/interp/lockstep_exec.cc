@@ -195,7 +195,7 @@ LockstepExec::runGroup(ExecState &st, std::vector<LaneTrial> &trials,
     bool stem_exported = false;
     scAssert(!opts.profiler, "lockstep groups cannot profile");
     scAssert(!opts.dynMix, "lockstep groups cannot record a dyn mix");
-    scAssert(!opts.checkpointEvery,
+    scAssert(!opts.checkpointEvery && !opts.checkpointSchedule,
              "lockstep groups cannot record checkpoints");
     scAssert(opts.checkMode == CheckMode::Halt,
              "lockstep groups require CheckMode::Halt");
@@ -461,12 +461,20 @@ LockstepExec::runGroup(ExecState &st, std::vector<LaneTrial> &trials,
         ip = e.targetIp;
     };
 
+    // Golden compare points are the snapshots' own dynInstr values;
+    // arming finds the first one strictly past the fork point, which
+    // is the same index for every lane armed at or before the current
+    // dynamic instruction (so the shared next_golden_cmp stays valid).
     uint64_t next_golden_cmp = ~0ULL;
+    std::size_t golden_idx = 0;
     auto arm_golden_cmp = [&] {
-        if (!opts.goldenSnapshots || !opts.goldenEvery)
+        if (!opts.goldenSnapshots || opts.goldenSnapshots->empty())
             return;
+        golden_idx = firstSnapshotAfter(*opts.goldenSnapshots, dyn_count);
         next_golden_cmp =
-            (dyn_count / opts.goldenEvery + 1) * opts.goldenEvery;
+            golden_idx < opts.goldenSnapshots->size()
+                ? (*opts.goldenSnapshots)[golden_idx].dynInstr()
+                : ~0ULL;
     };
 
     // Snapshot::convergedWith against one column of the skeleton.
@@ -503,37 +511,35 @@ LockstepExec::runGroup(ExecState &st, std::vector<LaneTrial> &trials,
         // before forks matches the interpreter's fault-then-compare
         // order lane by lane.
         if (dyn_count >= next_golden_cmp) {
-            const std::size_t idx =
-                static_cast<std::size_t>(dyn_count / opts.goldenEvery) -
-                1;
-            if (idx >= opts.goldenSnapshots->size()) {
-                next_golden_cmp = ~0ULL; // ran past the golden run
-            } else {
-                const Snapshot &gold = (*opts.goldenSnapshots)[idx];
-                bool any = false;
-                for (LaneCtx &lc : act) {
-                    if (lc.trial < 0)
-                        continue;
-                    if (gold.dynInstr() == dyn_count &&
-                        lane_converged(gold, lc)) {
-                        scAssert(opts.goldenResult,
-                                 "goldenSnapshots without goldenResult");
-                        RunResult r = *opts.goldenResult;
-                        r.prunedToGolden = true;
-                        r.fault = lc.fault;
-                        LaneTrial &tr =
-                            trials[static_cast<std::size_t>(lc.trial)];
-                        tr.result = r;
-                        tr.fault = lc.fault;
-                        tr.status = LaneStatus::Done;
-                        lc.dead = true;
-                        any = true;
-                    }
+            // Reached exactly: the group event horizon stops on this
+            // boundary, and arming picked a strictly later snapshot.
+            const Snapshot &gold = (*opts.goldenSnapshots)[golden_idx];
+            bool any = false;
+            for (LaneCtx &lc : act) {
+                if (lc.trial < 0)
+                    continue;
+                if (lane_converged(gold, lc)) {
+                    scAssert(opts.goldenResult,
+                             "goldenSnapshots without goldenResult");
+                    RunResult r = *opts.goldenResult;
+                    r.prunedToGolden = true;
+                    r.fault = lc.fault;
+                    LaneTrial &tr =
+                        trials[static_cast<std::size_t>(lc.trial)];
+                    tr.result = r;
+                    tr.fault = lc.fault;
+                    tr.status = LaneStatus::Done;
+                    lc.dead = true;
+                    any = true;
                 }
-                if (any)
-                    sweep();
-                next_golden_cmp += opts.goldenEvery;
             }
+            if (any)
+                sweep();
+            ++golden_idx;
+            next_golden_cmp =
+                golden_idx < opts.goldenSnapshots->size()
+                    ? (*opts.goldenSnapshots)[golden_idx].dynInstr()
+                    : ~0ULL;
         }
 
         // Fault forks: trial lanes leave the stem at their injection

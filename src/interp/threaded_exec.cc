@@ -520,19 +520,45 @@ ThreadedExec::resume(ExecState &st, const ExecOptions &opts)
     FaultOutcome fault;
     uint64_t check_evals = 0;
 
+    // Same event-arming as the interpreter loop top: explicit schedule
+    // or periodic stride for checkpoints, snapshot-indexed boundaries
+    // for golden compares.
     uint64_t next_checkpoint = ~0ULL;
-    if (opts.checkpointEvery) {
+    std::size_t sched_idx = 0;
+    if (opts.checkpointSchedule) {
+        scAssert(opts.checkpointSink,
+                 "checkpoint schedule without a sink");
+        scAssert(!opts.checkpointEvery,
+                 "checkpointEvery and checkpointSchedule are exclusive");
+        const std::vector<uint64_t> &sched = *opts.checkpointSchedule;
+        std::size_t lo = 0, hi = sched.size();
+        while (lo < hi) {
+            const std::size_t mid = lo + (hi - lo) / 2;
+            if (sched[mid] > st.dynCount)
+                hi = mid;
+            else
+                lo = mid + 1;
+        }
+        sched_idx = lo;
+        if (sched_idx < sched.size())
+            next_checkpoint = sched[sched_idx];
+    } else if (opts.checkpointEvery) {
         scAssert(opts.checkpointSink, "checkpointEvery without a sink");
         next_checkpoint = (st.dynCount / opts.checkpointEvery + 1) *
                           opts.checkpointEvery;
     }
 
     uint64_t next_golden_cmp = ~0ULL;
+    std::size_t golden_idx = 0;
     auto arm_golden_cmp = [&]() {
-        if (!opts.goldenSnapshots || !opts.goldenEvery)
+        if (!opts.goldenSnapshots || opts.goldenSnapshots->empty())
             return;
+        golden_idx =
+            firstSnapshotAfter(*opts.goldenSnapshots, st.dynCount);
         next_golden_cmp =
-            (st.dynCount / opts.goldenEvery + 1) * opts.goldenEvery;
+            golden_idx < opts.goldenSnapshots->size()
+                ? (*opts.goldenSnapshots)[golden_idx].dynInstr()
+                : ~0ULL;
     };
 
     auto finish = [&](Termination term, TrapKind trap, int check_id,
@@ -592,7 +618,15 @@ ThreadedExec::resume(ExecState &st, const ExecOptions &opts)
         // --- event boundary: same order as the interpreter loop top ---
         if (st.dynCount >= next_checkpoint) {
             opts.checkpointSink->push_back(Snapshot::save(st, mem));
-            next_checkpoint += opts.checkpointEvery;
+            if (opts.checkpointSchedule) {
+                ++sched_idx;
+                next_checkpoint =
+                    sched_idx < opts.checkpointSchedule->size()
+                        ? (*opts.checkpointSchedule)[sched_idx]
+                        : ~0ULL;
+            } else {
+                next_checkpoint += opts.checkpointEvery;
+            }
         }
 
         if (st.dynCount >= fault_at) {
@@ -622,25 +656,23 @@ ThreadedExec::resume(ExecState &st, const ExecOptions &opts)
         }
 
         if (st.dynCount >= next_golden_cmp) {
-            const std::size_t idx =
-                static_cast<std::size_t>(st.dynCount /
-                                         opts.goldenEvery) -
-                1;
-            if (idx >= opts.goldenSnapshots->size()) {
-                next_golden_cmp = ~0ULL; // ran past the golden run
-            } else {
-                const Snapshot &gold = (*opts.goldenSnapshots)[idx];
-                if (gold.dynInstr() == st.dynCount &&
-                    gold.convergedWith(st, mem)) {
-                    scAssert(opts.goldenResult,
-                             "goldenSnapshots without goldenResult");
-                    RunResult r = *opts.goldenResult;
-                    r.prunedToGolden = true;
-                    r.fault = fault;
-                    return r;
-                }
-                next_golden_cmp += opts.goldenEvery;
+            // Reached exactly: the event horizon stops the inner loop
+            // on this boundary, and arming picked a strictly later
+            // snapshot.
+            const Snapshot &gold = (*opts.goldenSnapshots)[golden_idx];
+            if (gold.convergedWith(st, mem)) {
+                scAssert(opts.goldenResult,
+                         "goldenSnapshots without goldenResult");
+                RunResult r = *opts.goldenResult;
+                r.prunedToGolden = true;
+                r.fault = fault;
+                return r;
             }
+            ++golden_idx;
+            next_golden_cmp =
+                golden_idx < opts.goldenSnapshots->size()
+                    ? (*opts.goldenSnapshots)[golden_idx].dynInstr()
+                    : ~0ULL;
         }
 
         if (st.dynCount >= opts.maxDynInstrs)

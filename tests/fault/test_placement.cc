@@ -1,0 +1,444 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "fault/campaign.hh"
+#include "fault/placement.hh"
+#include "fault/suite.hh"
+
+namespace softcheck
+{
+namespace
+{
+
+/**
+ * Checkpoint placement, two layers deep:
+ *  - unit tests of the optimizer (DP optimality vs. brute force,
+ *    greedy sanity, uniform spacing, budget trimming, degenerate
+ *    instances), and
+ *  - campaign/suite regression tests for the uniform-stride bugs the
+ *    placement rework fixed: schedules derived from the unhardened
+ *    baseline length (hardened tail uncovered / snapshot overshoot)
+ *    and zero strides silently disabling fast-forwarding — plus the
+ *    bar that outcome counts are placement-invariant everywhere.
+ */
+
+// ---------------------------------------------------------------------
+// Optimizer unit tests
+// ---------------------------------------------------------------------
+
+std::vector<PlacementCandidate>
+skewedCandidates()
+{
+    // Dirty-page cost concentrated in the middle of the run.
+    return {
+        {5, 256},   {12, 512},  {20, 256},  {33, 4096},
+        {41, 8192}, {57, 2048}, {70, 256},  {88, 512},
+    };
+}
+
+PlacementRequest
+smallRequest(unsigned k, CheckpointPlacement p)
+{
+    PlacementRequest req;
+    req.runLength = 100;
+    req.maxCheckpoints = k;
+    req.restoreInstrsPerPage = 4.0;
+    req.pageBytes = 256;
+    req.placement = p;
+    return req;
+}
+
+/** Min placementCost over all schedules of size <= k (exhaustive). */
+double
+bruteForceBest(const std::vector<PlacementCandidate> &cands, unsigned k,
+               const PlacementRequest &req)
+{
+    const std::size_t m = cands.size();
+    double best = placementCost(cands, {}, req);
+    for (uint32_t mask = 1; mask < (1u << m); ++mask) {
+        std::vector<uint32_t> chosen;
+        for (uint32_t i = 0; i < m; ++i)
+            if (mask & (1u << i))
+                chosen.push_back(i);
+        if (chosen.size() > k)
+            continue;
+        best = std::min(best, placementCost(cands, chosen, req));
+    }
+    return best;
+}
+
+TEST(Placement, DpMatchesBruteForce)
+{
+    const auto cands = skewedCandidates();
+    for (const unsigned k : {1u, 2u, 3u, 4u, 8u}) {
+        const auto req = smallRequest(k, CheckpointPlacement::Adaptive);
+        const PlacementResult r = placeCheckpoints(cands, req);
+        SCOPED_TRACE(testing::Message() << "k=" << k);
+        EXPECT_LE(r.chosen.size(), k);
+        // Reported cost is the cost of the reported schedule...
+        EXPECT_NEAR(r.expectedFFInstrs,
+                    placementCost(cands, r.chosen, req), 1e-9);
+        // ...and that schedule is exactly optimal.
+        EXPECT_NEAR(r.expectedFFInstrs, bruteForceBest(cands, k, req),
+                    1e-9);
+    }
+}
+
+TEST(Placement, AdaptiveNoWorseThanUniform)
+{
+    const auto cands = skewedCandidates();
+    for (const unsigned k : {1u, 2u, 4u}) {
+        const auto ar = placeCheckpoints(
+            cands, smallRequest(k, CheckpointPlacement::Adaptive));
+        const auto ur = placeCheckpoints(
+            cands, smallRequest(k, CheckpointPlacement::Uniform));
+        SCOPED_TRACE(testing::Message() << "k=" << k);
+        EXPECT_LE(ar.expectedFFInstrs, ur.expectedFFInstrs + 1e-9);
+    }
+}
+
+TEST(Placement, UniformPicksEvenlySpacedCandidates)
+{
+    // Dense grid: candidate every 10 instructions, L = 1000, K = 4
+    // -> the nearest candidates to 200/400/600/800 are those exactly.
+    std::vector<PlacementCandidate> cands;
+    for (uint64_t i = 1; i <= 99; ++i)
+        cands.push_back({i * 10, 256});
+    PlacementRequest req;
+    req.runLength = 1000;
+    req.maxCheckpoints = 4;
+    req.placement = CheckpointPlacement::Uniform;
+    const PlacementResult r = placeCheckpoints(cands, req);
+    ASSERT_EQ(r.chosen.size(), 4u);
+    EXPECT_EQ(cands[r.chosen[0]].dynInstr, 200u);
+    EXPECT_EQ(cands[r.chosen[1]].dynInstr, 400u);
+    EXPECT_EQ(cands[r.chosen[2]].dynInstr, 600u);
+    EXPECT_EQ(cands[r.chosen[3]].dynInstr, 800u);
+}
+
+TEST(Placement, DegenerateInstances)
+{
+    PlacementRequest req;
+    req.runLength = 100;
+    req.maxCheckpoints = 4;
+
+    // No candidates: pristine-only schedule, E[cost] = E[X] = L/2.
+    const PlacementResult none = placeCheckpoints({}, req);
+    EXPECT_TRUE(none.chosen.empty());
+    EXPECT_NEAR(none.expectedFFInstrs, 50.0, 1e-9);
+
+    // K = 0: same.
+    req.maxCheckpoints = 0;
+    const PlacementResult k0 =
+        placeCheckpoints(skewedCandidates(), req);
+    EXPECT_TRUE(k0.chosen.empty());
+    EXPECT_NEAR(k0.expectedFFInstrs, 50.0, 1e-9);
+
+    // K >= M: never worse than keeping nothing. Uniform maps targets
+    // to nearest candidates (a candidate nearest no target is simply
+    // not picked), so its schedule is non-empty but can be < M.
+    req.maxCheckpoints = 100;
+    const PlacementResult all =
+        placeCheckpoints(skewedCandidates(), req);
+    EXPECT_LE(all.expectedFFInstrs, 50.0 + 1e-9);
+    req.placement = CheckpointPlacement::Uniform;
+    const PlacementResult uall =
+        placeCheckpoints(skewedCandidates(), req);
+    EXPECT_FALSE(uall.chosen.empty());
+    EXPECT_LE(uall.chosen.size(), skewedCandidates().size());
+}
+
+TEST(Placement, ExpensiveSnapshotNotWorthKeeping)
+{
+    // One candidate at midpoint whose restore cost dwarfs the replay
+    // it saves: adaptive keeps nothing, uniform keeps it anyway.
+    const std::vector<PlacementCandidate> cands = {{50, 1u << 20}};
+    auto req = smallRequest(1, CheckpointPlacement::Adaptive);
+    const PlacementResult a = placeCheckpoints(cands, req);
+    EXPECT_TRUE(a.chosen.empty());
+    req.placement = CheckpointPlacement::Uniform;
+    const PlacementResult u = placeCheckpoints(cands, req);
+    ASSERT_EQ(u.chosen.size(), 1u);
+    EXPECT_LT(a.expectedFFInstrs, u.expectedFFInstrs);
+}
+
+TEST(Placement, GreedyLargeInstanceSane)
+{
+    // K * M^2 > 64e6 forces the greedy path; it must stay feasible,
+    // sorted, and no worse than uniform on the same instance.
+    std::vector<PlacementCandidate> cands;
+    const std::size_t m = 1024;
+    for (std::size_t i = 0; i < m; ++i)
+        cands.push_back(
+            {static_cast<uint64_t>(i * 7 + 1), 256 * ((i * 37) % 5)});
+    PlacementRequest req;
+    req.runLength = m * 7 + 10;
+    req.maxCheckpoints = 128;
+    req.placement = CheckpointPlacement::Adaptive;
+    const PlacementResult g = placeCheckpoints(cands, req);
+    EXPECT_LE(g.chosen.size(), 128u);
+    EXPECT_FALSE(g.chosen.empty());
+    EXPECT_TRUE(std::is_sorted(g.chosen.begin(), g.chosen.end()));
+    EXPECT_TRUE(std::adjacent_find(g.chosen.begin(), g.chosen.end()) ==
+                g.chosen.end());
+    EXPECT_NEAR(g.expectedFFInstrs, placementCost(cands, g.chosen, req),
+                1e-6);
+    req.placement = CheckpointPlacement::Uniform;
+    const PlacementResult u = placeCheckpoints(cands, req);
+    EXPECT_LE(g.expectedFFInstrs, u.expectedFFInstrs + 1e-6);
+}
+
+TEST(Placement, CheapestRemovalIsCheapest)
+{
+    const auto cands = skewedCandidates();
+    const auto req = smallRequest(4, CheckpointPlacement::Adaptive);
+    const std::vector<uint32_t> chosen = {1, 3, 5, 7};
+    const std::size_t p = cheapestRemoval(cands, chosen, req);
+    ASSERT_LT(p, chosen.size());
+    std::vector<uint32_t> after = chosen;
+    after.erase(after.begin() + static_cast<std::ptrdiff_t>(p));
+    const double got = placementCost(cands, after, req);
+    for (std::size_t i = 0; i < chosen.size(); ++i) {
+        std::vector<uint32_t> alt = chosen;
+        alt.erase(alt.begin() + static_cast<std::ptrdiff_t>(i));
+        EXPECT_LE(got, placementCost(cands, alt, req) + 1e-9);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Campaign-level regression tests
+// ---------------------------------------------------------------------
+
+CampaignConfig
+smallCampaign(const char *workload, HardeningMode mode)
+{
+    CampaignConfig cfg;
+    cfg.workload = workload;
+    cfg.mode = mode;
+    cfg.trials = 48;
+    cfg.seed = 0xAB;
+    cfg.threads = 2;
+    return cfg;
+}
+
+void
+expectSameOutcomes(const CampaignResult &a, const CampaignResult &b)
+{
+    EXPECT_EQ(a.counts, b.counts);
+    EXPECT_EQ(a.usdcLargeChange, b.usdcLargeChange);
+    EXPECT_EQ(a.usdcSmallChange, b.usdcSmallChange);
+    EXPECT_EQ(a.goldenDynInstrs, b.goldenDynInstrs);
+    EXPECT_EQ(a.goldenCycles, b.goldenCycles);
+}
+
+uint64_t
+maxScheduleGap(const CampaignResult &r)
+{
+    uint64_t prev = 0, gap = 0;
+    for (const uint64_t s : r.snapshotDynInstrs) {
+        gap = std::max(gap, s - prev);
+        prev = s;
+    }
+    return std::max(gap, r.goldenDynInstrs - prev);
+}
+
+/**
+ * Regression for the hardened-run stride bug: the old schedule derived
+ * its stride from the *unhardened* baseline's dynamic length, so a
+ * FullDup golden run (~1.7x longer) either overshot the requested K or
+ * left its tail sparsely covered, depending on where recording
+ * stopped. Placement now works on the golden run's own length: the
+ * kept schedule must respect K and cover the whole hardened run with
+ * bounded gaps (the final, tail gap included).
+ */
+TEST(PlacementCampaign, HardenedRunGapsBoundedAndKRespected)
+{
+    CampaignConfig cfg =
+        smallCampaign("tiff2bw", HardeningMode::FullDup);
+    cfg.checkpoints = 16;
+    cfg.placement = CheckpointPlacement::Uniform;
+    const CampaignResult r = runCampaign(cfg);
+    ASSERT_GE(r.snapshotCount, 15u);
+    ASSERT_LE(r.snapshotCount, 16u);
+    ASSERT_EQ(r.snapshotDynInstrs.size(), r.snapshotCount);
+    EXPECT_TRUE(std::is_sorted(r.snapshotDynInstrs.begin(),
+                               r.snapshotDynInstrs.end()));
+    // Even spacing on the candidate grid: every gap — including the
+    // one from the last snapshot to the hardened run's end — stays
+    // within 2x the ideal stride (slack for grid quantization).
+    const uint64_t ideal =
+        r.goldenDynInstrs / (cfg.checkpoints + 1) + 1;
+    EXPECT_LE(maxScheduleGap(r), 2 * ideal);
+
+    // Adaptive placement on the same cell may trade gap length for
+    // restore cost but must not be worse under its own objective.
+    cfg.placement = CheckpointPlacement::Adaptive;
+    const CampaignResult a = runCampaign(cfg);
+    EXPECT_LE(a.snapshotCount, 16u);
+    EXPECT_LE(a.expectedFastForwardInstrs,
+              r.expectedFastForwardInstrs + 1e-6);
+    expectSameOutcomes(r, a);
+}
+
+/**
+ * Regression for the zero-stride bug: checkpoints > the run length
+ * used to floor the stride to 0, which silently disabled
+ * fast-forwarding (and convergence pruning with it). K is now clamped
+ * to the candidate grid, so even an absurd K keeps at least one
+ * resume point — with outcomes identical to scratch replay.
+ */
+TEST(PlacementCampaign, TinyWorkloadHugeKKeepsFastForwarding)
+{
+    CampaignConfig cfg =
+        smallCampaign("tiff2bw", HardeningMode::Original);
+    cfg.checkpoints = 0;
+    const CampaignResult scratch = runCampaign(cfg);
+
+    for (const unsigned k : {256u, 1000000u}) {
+        cfg.checkpoints = k;
+        const CampaignResult r = runCampaign(cfg);
+        SCOPED_TRACE(testing::Message() << "K=" << k);
+        EXPECT_GE(r.snapshotCount, 1u); // never silently disabled
+        // Bounded by the ~1024-point candidate grid; the stride floors,
+        // so the count can overshoot the nominal cap by the rounding.
+        EXPECT_LE(r.snapshotCount, 2048u);
+        EXPECT_GT(r.expectedFastForwardInstrs, 0.0);
+        EXPECT_GT(r.measuredFFInstrsPerTrial(), 0.0);
+        expectSameOutcomes(scratch, r);
+    }
+}
+
+TEST(PlacementCampaign, SnapshotBudgetRespected)
+{
+    CampaignConfig cfg =
+        smallCampaign("g721enc", HardeningMode::DupValChks);
+    cfg.checkpoints = 32;
+    const CampaignResult full = runCampaign(cfg);
+    ASSERT_GT(full.snapshotCount, 1u);
+    ASSERT_GT(full.snapshotBytes, 0u);
+
+    cfg.snapshotBudgetBytes = full.snapshotBytes / 2;
+    const CampaignResult trimmed = runCampaign(cfg);
+    EXPECT_LE(trimmed.snapshotBytes, cfg.snapshotBudgetBytes);
+    EXPECT_LT(trimmed.snapshotCount, full.snapshotCount);
+    // Trimming raises the expected cost, never the outcomes.
+    EXPECT_GE(trimmed.expectedFastForwardInstrs,
+              full.expectedFastForwardInstrs - 1e-6);
+    expectSameOutcomes(full, trimmed);
+}
+
+/**
+ * The placement-invariance bar (campaign level): outcome counts and
+ * the measured fast-forward accounting must be bit-identical across
+ * execution tiers and thread counts for a fixed placement, and the
+ * outcomes must further match scratch replay and the other placement.
+ */
+struct PlacementEquivCase
+{
+    const char *workload;
+    HardeningMode mode;
+};
+
+class PlacementEquiv
+    : public ::testing::TestWithParam<PlacementEquivCase>
+{};
+
+TEST_P(PlacementEquiv, OutcomesInvariantAcrossPlacementsAndTiers)
+{
+    CampaignConfig cfg =
+        smallCampaign(GetParam().workload, GetParam().mode);
+    cfg.checkpoints = 0;
+    const CampaignResult scratch = runCampaign(cfg);
+
+    for (const CheckpointPlacement p :
+         {CheckpointPlacement::Uniform, CheckpointPlacement::Adaptive}) {
+        cfg.checkpoints = 32;
+        cfg.placement = p;
+
+        cfg.tier = ExecTier::Interp;
+        const CampaignResult interp = runCampaign(cfg);
+        SCOPED_TRACE(placementName(p));
+        expectSameOutcomes(scratch, interp);
+
+        // Same placement, other tiers/threads: outcomes AND measured
+        // fast-forward sums must reproduce bit for bit.
+        for (const ExecTier tier :
+             {ExecTier::Threaded, ExecTier::Lockstep}) {
+            cfg.tier = tier;
+            const CampaignResult r = runCampaign(cfg);
+            expectSameOutcomes(interp, r);
+            EXPECT_EQ(interp.ffReplayInstrs, r.ffReplayInstrs);
+            EXPECT_EQ(interp.ffRestorePages, r.ffRestorePages);
+            EXPECT_EQ(interp.snapshotDynInstrs, r.snapshotDynInstrs);
+        }
+        cfg.tier = ExecTier::Interp;
+        cfg.threads = 4;
+        const CampaignResult par = runCampaign(cfg);
+        expectSameOutcomes(interp, par);
+        EXPECT_EQ(interp.ffReplayInstrs, par.ffReplayInstrs);
+        EXPECT_EQ(interp.ffRestorePages, par.ffRestorePages);
+        cfg.threads = 2;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SmokeSubset, PlacementEquiv,
+    ::testing::Values(
+        PlacementEquivCase{"tiff2bw", HardeningMode::DupValChks},
+        PlacementEquivCase{"g721enc", HardeningMode::FullDup},
+        PlacementEquivCase{"segm", HardeningMode::DupOnly}),
+    [](const auto &info) {
+        const char *mode = "";
+        switch (info.param.mode) {
+          case HardeningMode::Original: mode = "Original"; break;
+          case HardeningMode::DupOnly: mode = "DupOnly"; break;
+          case HardeningMode::DupValChks: mode = "DupValChks"; break;
+          case HardeningMode::FullDup: mode = "FullDup"; break;
+        }
+        return std::string(info.param.workload) + "_" + mode;
+    });
+
+/** Suite level: adaptive vs. uniform vs. no checkpoints, at several
+ * pool thread counts, must agree cell by cell on every outcome. */
+TEST(PlacementSuite, CellsInvariantAcrossPlacementsAndThreads)
+{
+    SuiteConfig sc;
+    sc.workloads = {"tiff2bw", "g721enc"};
+    sc.modes = {HardeningMode::Original, HardeningMode::DupOnly,
+                HardeningMode::DupValChks};
+    sc.base.trials = 48;
+    sc.base.seed = 0xAB;
+    sc.base.threads = 1;
+    sc.base.checkpoints = 0;
+    const SuiteResult scratch = runCampaignSuite(sc);
+
+    for (const unsigned threads : {1u, 2u, 4u}) {
+        for (const CheckpointPlacement p :
+             {CheckpointPlacement::Uniform,
+              CheckpointPlacement::Adaptive}) {
+            SuiteConfig v = sc;
+            v.base.threads = threads;
+            v.base.checkpoints = 32;
+            v.base.placement = p;
+            const SuiteResult got = runCampaignSuite(v);
+            ASSERT_EQ(got.cells.size(), scratch.cells.size());
+            for (std::size_t i = 0; i < got.cells.size(); ++i) {
+                SCOPED_TRACE(testing::Message()
+                             << placementName(p) << " threads "
+                             << threads << " cell " << i << " ("
+                             << scratch.cells[i].config.workload
+                             << ", "
+                             << hardeningModeName(
+                                    scratch.cells[i].config.mode)
+                             << ")");
+                expectSameOutcomes(scratch.cells[i], got.cells[i]);
+            }
+        }
+    }
+}
+
+} // namespace
+} // namespace softcheck

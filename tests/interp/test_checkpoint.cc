@@ -131,6 +131,87 @@ TEST(Checkpoint, SnapshotsSitOnStrideBoundaries)
         EXPECT_EQ(snaps[i].dynInstr(), (i + 1) * 1000u);
 }
 
+/** An explicit checkpoint schedule records at exactly its points, and
+ * the snapshots are bit-identical to the matching candidates of a
+ * periodic recording pass (what the campaign's placement thinning
+ * relies on). */
+TEST(Checkpoint, ScheduleRecordsExactlyAtItsPoints)
+{
+    auto c = compiled();
+
+    auto pp = prep();
+    std::vector<Snapshot> periodic;
+    ExecOptions rec;
+    rec.checkpointEvery = 250;
+    rec.checkpointSink = &periodic;
+    Interpreter pi(*c.em, pp.mem);
+    const RunResult golden = pi.run(c.entry, pp.args, rec);
+    ASSERT_TRUE(golden.ok());
+    ASSERT_GE(periodic.size(), 8u);
+
+    // An irregular subset of the periodic grid plus off-grid points.
+    const std::vector<uint64_t> schedule = {250, 750, 1111, 1500, 2003};
+    auto ps = prep();
+    std::vector<Snapshot> scheduled;
+    ExecOptions srec;
+    srec.checkpointSchedule = &schedule;
+    srec.checkpointSink = &scheduled;
+    Interpreter si(*c.em, ps.mem);
+    const RunResult r = si.run(c.entry, ps.args, srec);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r.dynInstrs, golden.dynInstrs);
+    ASSERT_EQ(scheduled.size(), schedule.size());
+    for (std::size_t i = 0; i < schedule.size(); ++i)
+        EXPECT_EQ(scheduled[i].dynInstr(), schedule[i]);
+
+    // Grid-aligned schedule points must capture the exact state the
+    // periodic pass captured there.
+    for (std::size_t i = 0; i < schedule.size(); ++i) {
+        if (schedule[i] % 250 != 0)
+            continue;
+        const Snapshot &p = periodic[schedule[i] / 250 - 1];
+        EXPECT_TRUE(
+            scheduled[i].convergedWith(p.state, p.mem))
+            << "schedule point " << schedule[i];
+    }
+}
+
+/** Past-the-end schedule entries (beyond the run length) are simply
+ * never reached, and entries at or before a resumed state's dynCount
+ * are skipped — no snapshot is recorded retroactively. */
+TEST(Checkpoint, ScheduleSkipsPastAndStaleEntries)
+{
+    auto c = compiled();
+
+    auto gp = prep();
+    std::vector<Snapshot> snaps;
+    ExecOptions rec;
+    rec.checkpointEvery = 1000;
+    rec.checkpointSink = &snaps;
+    Interpreter grec(*c.em, gp.mem);
+    const RunResult golden = grec.run(c.entry, gp.args, rec);
+    ASSERT_TRUE(golden.ok());
+    ASSERT_GE(snaps.size(), 2u);
+
+    // Resume from snapshot 1 (dyn 2000) with a schedule whose first
+    // two entries are stale and whose last is past the run end.
+    const std::vector<uint64_t> schedule = {
+        500, 2000, 2500, golden.dynInstrs + 1000};
+    auto p = prep();
+    std::vector<Snapshot> rec2;
+    ExecOptions sopts;
+    sopts.checkpointSchedule = &schedule;
+    sopts.checkpointSink = &rec2;
+    Interpreter interp(*c.em, p.mem);
+    ExecState st;
+    snaps[1].restore(st, p.mem);
+    const RunResult r = interp.resume(st, sopts);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r.dynInstrs, golden.dynInstrs);
+    ASSERT_EQ(rec2.size(), 1u);
+    EXPECT_EQ(rec2[0].dynInstr(), 2500u);
+}
+
 /** A trial resumed from the nearest snapshot must be bit-identical to
  * the same trial replayed from dynamic instruction 0. */
 TEST(Checkpoint, ResumedTrialBitwiseEqualsFullReplay)
@@ -189,8 +270,9 @@ TEST(Checkpoint, ResumedTrialBitwiseEqualsFullReplay)
                          << "fault_at=" << fault_at << " seed=" << seed);
             expectSameResult(a, b);
             EXPECT_TRUE(a.fault.injected);
-            if (a.term == Termination::Ok)
+            if (a.term == Termination::Ok) {
                 EXPECT_TRUE(pa.mem.contentsEqual(pb.mem));
+            }
         }
     }
 }
@@ -227,7 +309,6 @@ TEST(Checkpoint, PrunedResultMatchesFullReplay)
 
         ExecOptions popts = opts;
         popts.goldenSnapshots = &snaps;
-        popts.goldenEvery = stride;
         popts.goldenResult = &golden;
         auto pb = prep();
         Rng rb(seed);

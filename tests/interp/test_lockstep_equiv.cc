@@ -294,7 +294,6 @@ TEST(LockstepEquiv, GoldenPruningAgreesInsideGroups)
 
     ExecOptions base;
     base.goldenSnapshots = &snaps;
-    base.goldenEvery = stride;
     base.goldenResult = &golden;
 
     Rng pick(0x90d1e4ULL);

@@ -338,7 +338,6 @@ TEST(TierEquiv, GoldenPruningAgreesFromSharedSnapshots)
         ExecOptions opts;
         opts.faultAtDynInstr = fault_at;
         opts.goldenSnapshots = &snaps;
-        opts.goldenEvery = stride;
         opts.goldenResult = &golden;
 
         const auto resume_from_nearest =
