@@ -72,6 +72,27 @@ benchLanes(unsigned dflt = 8)
     return dflt;
 }
 
+/** Sampling plan for bench campaigns. Override with
+ * SOFTCHECK_SAMPLING=blind|stratified; CI's stratified-equivalence
+ * job pins each in turn and diffs the figure outputs — outcome counts
+ * are bit-identical by construction, stratified just adds the static
+ * resolutions and shrinks the error bars. */
+inline SamplingPlan
+benchSampling(SamplingPlan dflt = SamplingPlan::Blind)
+{
+    if (const char *env = std::getenv("SOFTCHECK_SAMPLING")) {
+        const std::string v(env);
+        if (v == "blind")
+            return SamplingPlan::Blind;
+        if (v == "stratified")
+            return SamplingPlan::Stratified;
+        std::fprintf(stderr, "SOFTCHECK_SAMPLING: unknown plan '%s'\n",
+                     env);
+        std::exit(2);
+    }
+    return dflt;
+}
+
 /** Checkpoint placement for bench campaigns. Override with
  * SOFTCHECK_PLACEMENT=uniform|adaptive; CI's placement-equivalence
  * job pins each in turn and diffs the outcome counts. */
@@ -100,6 +121,7 @@ makeConfig(const std::string &workload, HardeningMode mode,
     cfg.tier = benchTier();
     cfg.lanes = benchLanes();
     cfg.placement = benchPlacement();
+    cfg.sampling = benchSampling();
     return cfg;
 }
 

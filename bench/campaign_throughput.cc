@@ -35,6 +35,15 @@
  *                              A separate section always benches both
  *                              at equal K and reports the expected and
  *                              measured fast-forward cost per trial.
+ *   --sampling blind|stratified  sampling plan for the K sweep and
+ *                              suite sections (default: blind, or
+ *                              SOFTCHECK_SAMPLING). A separate
+ *                              fault-space pruning section always
+ *                              benches both head to head per workload,
+ *                              asserts bit-identical outcome counts,
+ *                              and reports the statically resolved
+ *                              fraction plus the error-bar shrink at
+ *                              equal trial budget.
  *
  * The lockstep rows carry laneOccupancy: the mean fraction of the
  * configured lane slots a group fetch actually served (forked trial
@@ -132,6 +141,9 @@ struct BenchOptions
     /** Placement for the K sweep and suite sections; the dedicated
      * comparison section benches both regardless. */
     CheckpointPlacement placement = CheckpointPlacement::Adaptive;
+    /** Sampling plan for the K sweep and suite sections; the
+     * fault-space pruning section benches both regardless. */
+    SamplingPlan sampling = benchutil::benchSampling();
 };
 
 std::vector<std::string>
@@ -161,7 +173,8 @@ usage(const char *argv0)
                  "[--checkpoints K[,K...]] [--threads N] "
                  "[--suite-threads N[,N...]] "
                  "[--tier interp|threaded|lockstep|both|all] "
-                 "[--lanes L[,L...]] [--placement uniform|adaptive]\n",
+                 "[--lanes L[,L...]] [--placement uniform|adaptive] "
+                 "[--sampling blind|stratified]\n",
                  argv0);
     std::exit(2);
 }
@@ -215,6 +228,14 @@ parseArgs(int argc, char **argv)
                 opt.placement = CheckpointPlacement::Uniform;
             else if (!std::strcmp(p, "adaptive"))
                 opt.placement = CheckpointPlacement::Adaptive;
+            else
+                usage(argv[0]);
+        } else if (!std::strcmp(argv[i], "--sampling")) {
+            const char *s = value();
+            if (!std::strcmp(s, "blind"))
+                opt.sampling = SamplingPlan::Blind;
+            else if (!std::strcmp(s, "stratified"))
+                opt.sampling = SamplingPlan::Stratified;
             else
                 usage(argv[0]);
         } else if (!std::strcmp(argv[i], "--lanes")) {
@@ -305,6 +326,7 @@ main(int argc, char **argv)
                 benchutil::makeConfig(workload, mode, trials);
             cfg.threads = opt.threads;
             cfg.placement = opt.placement;
+            cfg.sampling = opt.sampling;
 
             // Outcomes must be identical across every K *and* every
             // tier of this campaign — one reference set serves both
@@ -643,6 +665,86 @@ main(int argc, char **argv)
         }
     }
 
+    // ---- fault-space pruning: stratified vs blind at equal budget ----
+    struct PruneRow
+    {
+        std::string workload;
+        HardeningMode mode = HardeningMode::Original;
+        uint64_t goldenDynInstrs = 0;
+        double staticMaskedWeight = 0; //!< exact W of the zero-variance stratum
+        uint64_t staticallyResolved = 0; //!< trials never executed (static)
+        uint64_t classMembers = 0;       //!< trials covered by a class rep
+        uint64_t faultClasses = 0;
+        double resolvedFraction = 0; //!< (resolved + members) / trials
+        double effectiveSampleSize = 0;
+        double blindMoE = 0; //!< worst-case 95% margin, percentage points
+        double stratMoE = 0;
+    };
+    std::vector<PruneRow> prune_rows;
+    {
+        // Every Table I workload, blind vs stratified at the same seed
+        // and budget. The static resolutions are exactness-preserving,
+        // so the outcome counts must be bit-identical — asserted — and
+        // the whole payoff is the per-workload pruned fraction plus
+        // the worst-case error bar at equal budget.
+        benchutil::printHeader(
+            "Fault-space pruning: stratified vs blind sampling at "
+            "equal trial budget",
+            strformat("%u trials per campaign; resolved = trials "
+                      "statically proven Masked, members = trials "
+                      "covered by an equivalence-class representative; "
+                      "MoE = worst-case 95%% margin (percentage "
+                      "points); outcome counts asserted identical",
+                      trials));
+        std::printf("  %-10s %-12s %12s %7s %9s %8s %8s %7s %8s %9s "
+                    "%9s\n",
+                    "workload", "mode", "goldenInstr", "W", "resolved",
+                    "members", "classes", "frac", "ESS", "blindMoE",
+                    "stratMoE");
+        for (const std::string &name : benchutil::benchmarkNames()) {
+            CampaignConfig cfg = benchutil::makeConfig(
+                name, HardeningMode::Original, trials);
+            cfg.threads = opt.threads;
+            cfg.checkpoints = 32;
+            cfg.sampling = SamplingPlan::Blind;
+            const CampaignResult blind = runCampaign(cfg);
+            cfg.sampling = SamplingPlan::Stratified;
+            const CampaignResult strat = runCampaign(cfg);
+            scAssert(blind.counts == strat.counts,
+                     "stratified campaign diverged from blind");
+            PruneRow r;
+            r.workload = name;
+            r.mode = cfg.mode;
+            r.goldenDynInstrs = strat.goldenDynInstrs;
+            r.staticMaskedWeight = strat.staticMaskedWeight;
+            r.staticallyResolved = strat.trialsStaticallyResolved;
+            r.classMembers = strat.trialsClassMembers;
+            r.faultClasses = strat.faultClasses;
+            r.resolvedFraction = strat.staticallyResolvedFraction();
+            // JSON has no infinity: a fully-resolved campaign (no
+            // active trials) records -1 instead.
+            r.effectiveSampleSize =
+                std::isfinite(strat.effectiveSampleSize())
+                    ? strat.effectiveSampleSize()
+                    : -1.0;
+            r.blindMoE = blind.marginOfError95WorstCase();
+            r.stratMoE = strat.marginOfError95WorstCase();
+            prune_rows.push_back(r);
+            std::printf("  %-10s %-12s %12llu %7.4f %9llu %8llu %8llu "
+                        "%6.1f%% %8.0f %8.2fpp %8.2fpp\n",
+                        name.c_str(), hardeningModeName(r.mode),
+                        static_cast<unsigned long long>(
+                            r.goldenDynInstrs),
+                        r.staticMaskedWeight,
+                        static_cast<unsigned long long>(
+                            r.staticallyResolved),
+                        static_cast<unsigned long long>(r.classMembers),
+                        static_cast<unsigned long long>(r.faultClasses),
+                        100.0 * r.resolvedFraction,
+                        r.effectiveSampleSize, r.blindMoE, r.stratMoE);
+        }
+    }
+
     // ---- suite sweep: workload x mode grid, shared fault-free work ----
     std::vector<std::string> sweep_workloads = workloads;
     {
@@ -672,6 +774,7 @@ main(int argc, char **argv)
     // outcome identity across tiers is already asserted above.
     sweep.base.tier = opt.tiers.back();
     sweep.base.placement = opt.placement;
+    sweep.base.sampling = opt.sampling;
     // A grid scout: many configurations screened with a modest trial
     // count each (the paper's per-point deep campaigns come after the
     // scout picks the interesting cells). Fast-forward aggressively —
@@ -968,6 +1071,43 @@ main(int argc, char **argv)
                 c.adaptiveExpFF, c.uniformMeasFF, c.adaptiveMeasFF,
                 c.measuredReduction,
                 i + 1 < placement_cmps.size() ? "," : "");
+        }
+        std::fprintf(f, "    ]\n  },\n");
+    }
+
+    if (!prune_rows.empty()) {
+        std::size_t over20 = 0;
+        for (const PruneRow &r : prune_rows)
+            if (r.resolvedFraction >= 0.20)
+                ++over20;
+        std::fprintf(f,
+                     "  \"faultSpacePruning\": {\n"
+                     "    \"trials\": %u,\n"
+                     "    \"workloadsOver20pctResolved\": %zu,\n"
+                     "    \"rows\": [\n",
+                     trials, over20);
+        for (std::size_t i = 0; i < prune_rows.size(); ++i) {
+            const PruneRow &r = prune_rows[i];
+            std::fprintf(
+                f,
+                "      {\"workload\": \"%s\", \"mode\": \"%s\", "
+                "\"goldenDynInstrs\": %llu, "
+                "\"staticMaskedWeight\": %.6f, "
+                "\"trialsStaticallyResolved\": %llu, "
+                "\"trialsClassMembers\": %llu, "
+                "\"faultClasses\": %llu, "
+                "\"staticallyResolvedFraction\": %.4f, "
+                "\"effectiveSampleSize\": %.1f, "
+                "\"blindMoE95Worst\": %.4f, "
+                "\"stratifiedMoE95Worst\": %.4f}%s\n",
+                r.workload.c_str(), hardeningModeName(r.mode),
+                static_cast<unsigned long long>(r.goldenDynInstrs),
+                r.staticMaskedWeight,
+                static_cast<unsigned long long>(r.staticallyResolved),
+                static_cast<unsigned long long>(r.classMembers),
+                static_cast<unsigned long long>(r.faultClasses),
+                r.resolvedFraction, r.effectiveSampleSize, r.blindMoE,
+                r.stratMoE, i + 1 < prune_rows.size() ? "," : "");
         }
         std::fprintf(f, "    ]\n  },\n");
     }

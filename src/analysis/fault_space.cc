@@ -1,0 +1,508 @@
+#include "analysis/fault_space.hh"
+
+#include <algorithm>
+#include <bit>
+#include <unordered_map>
+
+#include "ir/basic_block.hh"
+#include "support/bits.hh"
+
+namespace softcheck
+{
+
+// ---------------------------------------------------------------------
+// FaultSpaceSummary
+// ---------------------------------------------------------------------
+
+void
+FaultSpaceSummary::merge(const FaultSpaceSummary &o)
+{
+    totalSites += o.totalSites;
+    deadSites += o.deadSites;
+    maskedSites += o.maskedSites;
+    activeSites += o.activeSites;
+    classCount += o.classCount;
+    largestClass = std::max(largestClass, o.largestClass);
+    for (std::size_t i = 0; i < classSizeHist.size(); ++i)
+        classSizeHist[i] += o.classSizeHist[i];
+}
+
+double
+FaultSpaceSummary::deadPct() const
+{
+    return totalSites ? 100.0 * static_cast<double>(deadSites) /
+                            static_cast<double>(totalSites)
+                      : 0.0;
+}
+
+double
+FaultSpaceSummary::maskedPct() const
+{
+    return totalSites ? 100.0 * static_cast<double>(maskedSites) /
+                            static_cast<double>(totalSites)
+                      : 0.0;
+}
+
+// ---------------------------------------------------------------------
+// Check flip-invariance
+// ---------------------------------------------------------------------
+
+namespace
+{
+
+const ConstantInt *
+constOperand(const Instruction &inst, unsigned pos)
+{
+    return dynamic_cast<const ConstantInt *>(inst.operand(pos));
+}
+
+/**
+ * Hull of the values the operand can hold fault-free or with @p bit
+ * flipped. Uses the definition range (not at-use refinements): a
+ * refinement derived from a branch on the flipped value itself would
+ * be circular.
+ */
+IntRange
+flipHull(const Value *v, unsigned bit, const RangeAnalysis &ra)
+{
+    const unsigned w = v->type().bitWidth();
+    const IntRange r = ra.intRange(v);
+    return r.join(flippedRange(r, w, bit));
+}
+
+/**
+ * Does @p pred evaluate to one constant over every (a, b) in A x B?
+ * Returns 1/0 for a provably constant verdict, -1 for unknown.
+ * Unsigned predicates are only decided when both ranges are
+ * non-negative (where unsigned and signed order agree).
+ */
+int
+predConstOver(Predicate pred, const IntRange &A, const IntRange &B)
+{
+    if (A.isBottom() || B.isBottom())
+        return 1; // vacuous: no value pair exists
+
+    // Unsigned predicates agree with signed order only when both
+    // ranges are non-negative; otherwise stay undecided.
+    switch (pred) {
+    case Predicate::Ult:
+    case Predicate::Ule:
+    case Predicate::Ugt:
+    case Predicate::Uge:
+        if (A.lo < 0 || B.lo < 0)
+            return -1;
+        pred = static_cast<Predicate>(
+            static_cast<uint8_t>(pred) -
+            (static_cast<uint8_t>(Predicate::Ult) -
+             static_cast<uint8_t>(Predicate::Slt)));
+        break;
+    default:
+        break;
+    }
+
+    switch (pred) {
+    case Predicate::Eq:
+        if (A.isPoint() && B.isPoint())
+            return A.lo == B.lo;
+        if (A.meet(B).isBottom())
+            return 0;
+        return -1;
+    case Predicate::Ne:
+        if (A.isPoint() && B.isPoint())
+            return A.lo != B.lo;
+        if (A.meet(B).isBottom())
+            return 1;
+        return -1;
+    case Predicate::Slt:
+        if (A.hi < B.lo)
+            return 1;
+        if (A.lo >= B.hi)
+            return 0;
+        return -1;
+    case Predicate::Sle:
+        if (A.hi <= B.lo)
+            return 1;
+        if (A.lo > B.hi)
+            return 0;
+        return -1;
+    case Predicate::Sgt:
+        if (A.lo > B.hi)
+            return 1;
+        if (A.hi <= B.lo)
+            return 0;
+        return -1;
+    case Predicate::Sge:
+        if (A.lo >= B.hi)
+            return 1;
+        if (A.hi < B.lo)
+            return 0;
+        return -1;
+    default:
+        return -1;
+    }
+}
+
+} // namespace
+
+bool
+checkFlipInvariant(const Instruction &check, unsigned pos,
+                   unsigned bit, const RangeAnalysis &ra)
+{
+    const Value *v = check.operand(pos);
+    if (!v || v->slot() < 0 || !v->type().isInteger())
+        return false;
+    const IntRange hull = flipHull(v, bit, ra);
+
+    switch (check.opcode()) {
+    case Opcode::CheckOne: {
+        // Passes iff value == expected. A flip is unobservable only
+        // when the check can never pass: a never-passing check fires
+        // fault-free too, so calibration disables it for trials.
+        if (pos != 0)
+            return false;
+        const ConstantInt *c = constOperand(check, 1);
+        return c && !hull.contains(c->signedValue());
+    }
+    case Opcode::CheckTwo: {
+        if (pos != 0)
+            return false;
+        const ConstantInt *c1 = constOperand(check, 1);
+        const ConstantInt *c2 = constOperand(check, 2);
+        return c1 && c2 && !hull.contains(c1->signedValue()) &&
+               !hull.contains(c2->signedValue());
+    }
+    case Opcode::CheckRange: {
+        if (pos != 0 || !v->type().isInteger())
+            return false;
+        const ConstantInt *lo = constOperand(check, 1);
+        const ConstantInt *hi = constOperand(check, 2);
+        if (!lo || !hi)
+            return false;
+        const IntRange pass{lo->signedValue(), hi->signedValue()};
+        // Always-passes: neither the fault-free nor the flipped value
+        // can fire the check. Never-passes: calibration-disabled.
+        return pass.containsRange(hull) || hull.meet(pass).isBottom();
+    }
+    case Opcode::CheckEq:
+    default:
+        // CheckEq compares two registers; a flip of either side
+        // always changes the verdict. Non-check opcodes: not ours.
+        return false;
+    }
+}
+
+bool
+checkOperandFaultSpaceMasked(const Instruction &check,
+                             const RangeAnalysis &ra)
+{
+    bool any_register = false;
+    for (unsigned p = 0; p < check.numOperands(); ++p) {
+        const Value *v = check.operand(p);
+        if (!v || v->slot() < 0)
+            continue;
+        any_register = true;
+        const unsigned w = v->type().bitWidth();
+        for (unsigned b = 0; b < (w ? w : 64); ++b)
+            if (!checkFlipInvariant(check, p, b, ra))
+                return false;
+    }
+    return any_register;
+}
+
+// ---------------------------------------------------------------------
+// FunctionFaultSpace: masked-bit greatest fixpoint
+// ---------------------------------------------------------------------
+
+namespace
+{
+
+unsigned
+widthOf(const Value *v)
+{
+    const unsigned w = v->type().bitWidth();
+    return w == 0 || w > 64 ? 64 : w;
+}
+
+} // namespace
+
+FunctionFaultSpace::FunctionFaultSpace(const Function &f)
+    : fn(f), ra(f), live(f)
+{
+    const unsigned slots = fn.numSlots();
+    slotDef.assign(slots, nullptr);
+    widths.assign(slots, 64);
+    masked.assign(slots, 0);
+    frac64.assign(slots, 0);
+
+    for (unsigned i = 0; i < fn.numArgs(); ++i) {
+        const Value *a = fn.arg(i);
+        if (a->slot() >= 0)
+            slotDef[a->slot()] = a;
+    }
+    for (const auto &bb : fn)
+        for (const auto &inst : *bb)
+            if (inst->slot() >= 0)
+                slotDef[inst->slot()] = inst.get();
+
+    // Greatest fixpoint: every bit starts masked and is killed as soon
+    // as one use can observe it. Cyclic chains (loop phis) correctly
+    // keep bits masked only if every use around the cycle does.
+    for (unsigned s = 0; s < slots; ++s) {
+        if (slotDef[s])
+            widths[s] = widthOf(slotDef[s]);
+        masked[s] = lowBitMask(widths[s]);
+    }
+
+    // Can a flip of bit b in operand position p of U stay unobservable?
+    // For value-propagating opcodes the perturbation is confined to a
+    // computable result bit, which must itself currently be masked.
+    auto use_keeps_masked = [&](const Value *v, unsigned b,
+                                const Instruction *u, unsigned p) {
+        const unsigned vw = widthOf(v);
+        const unsigned uw =
+            u->slot() >= 0 ? widthOf(u) : 0;
+        auto masked_res = [&](unsigned rb) {
+            return u->slot() >= 0 && rb < uw &&
+                   ((masked[u->slot()] >> rb) & 1);
+        };
+        auto masked_res_span = [&](unsigned lo_b, unsigned hi_b) {
+            for (unsigned rb = lo_b; rb <= hi_b; ++rb)
+                if (!masked_res(rb))
+                    return false;
+            return true;
+        };
+        // A value feeding two operand positions of the same
+        // instruction flips in both at once; the per-position rules
+        // assume a single perturbed operand, so stay conservative.
+        for (unsigned q = 0; q < u->numOperands(); ++q)
+            if (q != p && u->operand(q) == v)
+                return false;
+
+        if (isCheck(u->opcode()))
+            return u->isElided() || checkFlipInvariant(*u, p, b, ra);
+
+        const ConstantInt *other =
+            u->numOperands() == 2
+                ? dynamic_cast<const ConstantInt *>(u->operand(1 - p))
+                : nullptr;
+        switch (u->opcode()) {
+        case Opcode::And:
+            if (other && !testBit(other->rawValue(), b))
+                return true; // bit anded away
+            return masked_res(b);
+        case Opcode::Or:
+            if (other && testBit(other->rawValue(), b))
+                return true; // bit ored to one regardless
+            return masked_res(b);
+        case Opcode::Xor:
+            return masked_res(b);
+        case Opcode::Shl: {
+            if (p != 0)
+                return false;
+            const ConstantInt *amt = constOperand(*u, 1);
+            if (!amt)
+                return false;
+            const unsigned c = amt->rawValue() & (uw - 1);
+            return b + c >= uw || masked_res(b + c);
+        }
+        case Opcode::LShr: {
+            if (p != 0)
+                return false;
+            const ConstantInt *amt = constOperand(*u, 1);
+            if (!amt)
+                return false;
+            const unsigned c = amt->rawValue() & (uw - 1);
+            return b < c || masked_res(b - c);
+        }
+        case Opcode::AShr: {
+            if (p != 0)
+                return false;
+            const ConstantInt *amt = constOperand(*u, 1);
+            if (!amt)
+                return false;
+            const unsigned c = amt->rawValue() & (uw - 1);
+            if (b == vw - 1) // sign bit smears over the top c+1 bits
+                return masked_res_span(vw - 1 - c, vw - 1);
+            return b < c || masked_res(b - c);
+        }
+        case Opcode::Trunc:
+            return b >= uw || masked_res(b);
+        case Opcode::ZExt:
+            return masked_res(b);
+        case Opcode::SExt:
+            if (b == vw - 1) // sign bit replicates into the top bits
+                return masked_res_span(vw - 1, uw - 1);
+            return masked_res(b);
+        case Opcode::PtrToInt:
+        case Opcode::IntToPtr:
+            return vw == uw && masked_res(b);
+        case Opcode::Phi:
+            return masked_res(b);
+        case Opcode::Select:
+            return p != 0 && masked_res(b);
+        case Opcode::ICmp: {
+            // Invariant if the predicate is provably constant over
+            // (hull of fault-free + flipped values) x (other range).
+            const Value *o = u->operand(1 - p);
+            IntRange oR;
+            if (auto *c = dynamic_cast<const ConstantInt *>(o))
+                oR = IntRange::point(c->signedValue());
+            else
+                oR = ra.intRange(o);
+            const IntRange h = flipHull(v, b, ra);
+            const int verdict =
+                p == 0 ? predConstOver(u->predicate(), h, oR)
+                       : predConstOver(u->predicate(), oR, h);
+            return verdict >= 0;
+        }
+        default:
+            // Branches, memory, calls, returns, arithmetic, float
+            // ops: the flip escapes or spreads beyond one bit.
+            return false;
+        }
+    };
+
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (const auto &bb : fn) {
+            for (const auto &inst : *bb) {
+                const Instruction *u = inst.get();
+                for (unsigned p = 0; p < u->numOperands(); ++p) {
+                    const Value *v = u->operand(p);
+                    if (!v || v->slot() < 0)
+                        continue;
+                    const unsigned s =
+                        static_cast<unsigned>(v->slot());
+                    uint64_t still = masked[s];
+                    while (still) {
+                        const unsigned b =
+                            std::countr_zero(still);
+                        still &= still - 1;
+                        if (!use_keeps_masked(v, b, u, p)) {
+                            masked[s] &= ~(1ULL << b);
+                            changed = true;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    for (unsigned s = 0; s < slots; ++s)
+        frac64[s] = static_cast<uint8_t>(
+            std::popcount(masked[s]) * (64 / widths[s]));
+}
+
+// ---------------------------------------------------------------------
+// Static site census
+// ---------------------------------------------------------------------
+
+FaultSpaceSummary
+FunctionFaultSpace::summarize() const
+{
+    FaultSpaceSummary sum;
+    const unsigned slots = fn.numSlots();
+
+    for (const auto &bb : fn) {
+        // Non-phi instructions of the block, in execution order; phi
+        // moves apply on edges, so injection points are non-phi only.
+        std::vector<const Instruction *> body;
+        for (const auto &inst : *bb)
+            if (inst->opcode() != Opcode::Phi)
+                body.push_back(inst.get());
+        const unsigned n = static_cast<unsigned>(body.size());
+        if (n == 0)
+            continue;
+
+        // Read positions per slot (runtime reads: elided checks skip
+        // their operands; successor phi sources load at the
+        // terminator, during take_edge).
+        std::unordered_map<unsigned, std::vector<unsigned>> reads;
+        for (unsigned i = 0; i < n; ++i) {
+            if (isCheck(body[i]->opcode()) && body[i]->isElided())
+                continue;
+            for (const Value *op : body[i]->operands())
+                if (op && op->slot() >= 0) {
+                    auto &v = reads[op->slot()];
+                    if (v.empty() || v.back() != i)
+                        v.push_back(i);
+                }
+        }
+        for (const BasicBlock *sb : bb->successors())
+            for (const Instruction *phi : sb->phis()) {
+                const Value *src = phi->incomingValueFor(bb.get());
+                if (src && src->slot() >= 0) {
+                    auto &v = reads[src->slot()];
+                    if (v.empty() || v.back() != n - 1)
+                        v.push_back(n - 1);
+                }
+            }
+
+        for (unsigned s = 0; s < slots; ++s) {
+            const unsigned w = widths[s];
+            const unsigned masked_bits = std::popcount(masked[s]);
+            const unsigned active_bits = w - masked_bits;
+
+            auto it = reads.find(s);
+            const std::vector<unsigned> empty_reads;
+            const auto &rs =
+                it == reads.end() ? empty_reads : it->second;
+            std::size_t ri = rs.size();
+
+            // Walk injection points backward; sites between two reads
+            // of s (or after the last read) share their first
+            // subsequent read and form one class per active bit.
+            uint64_t run = 0;
+            auto flush = [&]() {
+                if (run == 0 || active_bits == 0)
+                    return;
+                sum.classCount += active_bits;
+                sum.largestClass = std::max(sum.largestClass, run);
+                const unsigned bucket = std::min<unsigned>(
+                    std::bit_width(run) - 1,
+                    static_cast<unsigned>(sum.classSizeHist.size()) -
+                        1);
+                sum.classSizeHist[bucket] += active_bits;
+                run = 0;
+            };
+            for (unsigned i = n; i-- > 0;) {
+                if (ri > 0 && rs[ri - 1] == i) {
+                    flush(); // i starts a new first-read group
+                    --ri;
+                }
+                sum.totalSites += w;
+                if (!live.liveBefore(body[i], s)) {
+                    sum.deadSites += w;
+                    continue;
+                }
+                sum.maskedSites += masked_bits;
+                sum.activeSites += active_bits;
+                ++run;
+            }
+            flush();
+        }
+    }
+    return sum;
+}
+
+// ---------------------------------------------------------------------
+// ModuleFaultSpace
+// ---------------------------------------------------------------------
+
+ModuleFaultSpace::ModuleFaultSpace(const Module &m)
+{
+    for (const Function *fn : m.functions())
+        fns.emplace(fn, std::make_unique<FunctionFaultSpace>(*fn));
+}
+
+FaultSpaceSummary
+ModuleFaultSpace::summarize() const
+{
+    FaultSpaceSummary sum;
+    for (const auto &[fn, fs] : fns)
+        sum.merge(fs->summarize());
+    return sum;
+}
+
+} // namespace softcheck

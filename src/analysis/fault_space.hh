@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Static fault-space partitioner.
+ *
+ * The fault model flips one bit of one live-in-the-ring register slot
+ * at one dynamic instruction, so the static fault space of a function
+ * is the set of (instruction point, register slot, bit) triples. This
+ * pass classifies every triple into a three-level lattice:
+ *
+ *   dead ⊑ masked ⊑ active
+ *
+ *  - *dead*: the slot is not live at the injection point
+ *    (LivenessAnalysis) — the flipped value is overwritten or the
+ *    frame exits before any read, so the trial is Masked by
+ *    construction.
+ *  - *masked*: the slot is live but the flipped bit provably cannot
+ *    alter any check verdict, branch, memory access, call, or output
+ *    along the producer chain. Computed as a greatest fixpoint over
+ *    per-use propagation rules: a bit starts masked and is killed as
+ *    soon as one use can observe it (see fault_space.cc for the rule
+ *    table; range analysis powers the comparison-invariance rules via
+ *    flippedRange()).
+ *  - *active*: everything else. Active sites in the same block whose
+ *    first subsequent read of the slot is the same instruction are
+ *    equivalent — the flipped value is dormant in the register file
+ *    until that read, so one representative trial covers the class.
+ *
+ * Masked-bit claims are exactness-preserving, not just sound: a trial
+ * whose flipped bit is masked runs to completion with bit-identical
+ * control flow, memory traffic, output signal and cycle count, so its
+ * outcome is Masked exactly as a blind campaign would compute it.
+ */
+
+#ifndef SOFTCHECK_ANALYSIS_FAULT_SPACE_HH
+#define SOFTCHECK_ANALYSIS_FAULT_SPACE_HH
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "analysis/liveness.hh"
+#include "analysis/range_analysis.hh"
+#include "ir/module.hh"
+
+namespace softcheck
+{
+
+/** Static site census over (instruction, slot, bit) triples. */
+struct FaultSpaceSummary
+{
+    uint64_t totalSites = 0;
+    uint64_t deadSites = 0;   //!< slot not live at the injection point
+    uint64_t maskedSites = 0; //!< live slot, provably unobservable bit
+    uint64_t activeSites = 0;
+    uint64_t classCount = 0;   //!< equivalence classes of active sites
+    uint64_t largestClass = 0; //!< sites in the biggest class
+    /** classSizeHist[k] = classes with size in [2^k, 2^(k+1)). */
+    std::array<uint64_t, 16> classSizeHist{};
+
+    void merge(const FaultSpaceSummary &o);
+    double deadPct() const;
+    double maskedPct() const;
+};
+
+/**
+ * Per-function fault-space classification: liveness + masked-bit sets
+ * per slot. @p fn must already be renumbered (ExecModule construction
+ * does this).
+ */
+class FunctionFaultSpace
+{
+  public:
+    explicit FunctionFaultSpace(const Function &fn);
+
+    const Function &function() const { return fn; }
+    const LivenessAnalysis &liveness() const { return live; }
+    const RangeAnalysis &ranges() const { return ra; }
+
+    /** Bits of @p slot no single-bit fault can make observable. */
+    uint64_t maskedBits(unsigned slot) const { return masked[slot]; }
+    bool bitMasked(unsigned slot, unsigned bit) const
+    {
+        return (masked[slot] >> bit) & 1;
+    }
+
+    unsigned slotWidth(unsigned slot) const { return widths[slot]; }
+
+    /**
+     * 64ths of the slot's bit space that are masked: the probability
+     * that the injector's uniform bit draw inside this slot lands on
+     * a masked bit is maskedSixtyFourths(slot) / 64. Exact because
+     * every slot width divides 64.
+     */
+    unsigned maskedSixtyFourths(unsigned slot) const
+    {
+        return frac64[slot];
+    }
+
+    FaultSpaceSummary summarize() const;
+
+  private:
+    const Function &fn;
+    RangeAnalysis ra;
+    LivenessAnalysis live;
+    std::vector<const Value *> slotDef; //!< defining value per slot
+    std::vector<uint64_t> masked;
+    std::vector<uint8_t> widths;
+    std::vector<uint8_t> frac64;
+};
+
+/** Fault-space classification for every function of a module. */
+class ModuleFaultSpace
+{
+  public:
+    explicit ModuleFaultSpace(const Module &m);
+
+    const FunctionFaultSpace *of(const Function *fn) const
+    {
+        auto it = fns.find(fn);
+        return it == fns.end() ? nullptr : it->second.get();
+    }
+
+    FaultSpaceSummary summarize() const;
+
+  private:
+    std::map<const Function *, std::unique_ptr<FunctionFaultSpace>>
+        fns;
+};
+
+/**
+ * Can flipping @p bit of the register operand at position @p pos
+ * provably never change @p check 's verdict (or only change it
+ * unobservably — a never-passing check fires fault-free too and is
+ * calibration-disabled)? Used by the masking fixpoint and by
+ * protection_audit's operand-fault-space flag.
+ */
+bool checkFlipInvariant(const Instruction &check, unsigned pos,
+                        unsigned bit, const RangeAnalysis &ra);
+
+/**
+ * True when every bit of every register operand of @p check satisfies
+ * checkFlipInvariant — the check's entire operand fault-space is
+ * statically masked, a strictly stronger property than the per-check
+ * "vacuous" flag (which reasons about arbitrary corruption of the
+ * checked instruction's operands, not single-bit flips of the checked
+ * value itself).
+ */
+bool checkOperandFaultSpaceMasked(const Instruction &check,
+                                  const RangeAnalysis &ra);
+
+} // namespace softcheck
+
+#endif // SOFTCHECK_ANALYSIS_FAULT_SPACE_HH

@@ -1,0 +1,127 @@
+#include "analysis/liveness.hh"
+
+#include <algorithm>
+#include <map>
+
+#include "ir/basic_block.hh"
+
+namespace softcheck
+{
+
+namespace
+{
+
+struct BitSet
+{
+    std::vector<uint64_t> w;
+
+    explicit BitSet(unsigned words) : w(words, 0) {}
+
+    void set(unsigned i) { w[i / 64] |= 1ULL << (i % 64); }
+    void reset(unsigned i) { w[i / 64] &= ~(1ULL << (i % 64)); }
+
+    BitSet &operator|=(const BitSet &o)
+    {
+        for (std::size_t i = 0; i < w.size(); ++i)
+            w[i] |= o.w[i];
+        return *this;
+    }
+
+    bool operator==(const BitSet &o) const { return w == o.w; }
+};
+
+/** Register-slot uses of @p inst: operands with a slot number. */
+template <typename Fn>
+void
+forEachUse(const Instruction *inst, Fn &&fn)
+{
+    for (const Value *op : inst->operands())
+        if (op && op->slot() >= 0)
+            fn(static_cast<unsigned>(op->slot()));
+}
+
+} // namespace
+
+LivenessAnalysis::LivenessAnalysis(const Function &fn)
+{
+    slots = fn.numSlots();
+    words = (slots + 63) / 64;
+    rows.assign(static_cast<std::size_t>(fn.numInstructions()) * words,
+                0);
+
+    const std::vector<BasicBlock *> rpo = fn.reversePostOrder();
+    std::map<const BasicBlock *, unsigned> index;
+    for (unsigned i = 0; i < rpo.size(); ++i)
+        index[rpo[i]] = i;
+
+    // liveIn[B] = live set at B's first non-phi instruction (phi moves
+    // already applied); liveOut[B] = live set at B's terminator exit.
+    std::vector<BitSet> liveIn(rpo.size(), BitSet(words));
+
+    // Live set flowing across edge B -> S: S's phi defs are dead-on-
+    // arrival replaced by the sources S selects from B.
+    auto edge_live = [&](const BasicBlock *sb, const BasicBlock *from) {
+        BitSet live = liveIn[index.at(sb)];
+        for (const Instruction *phi : sb->phis()) {
+            if (phi->slot() >= 0)
+                live.reset(static_cast<unsigned>(phi->slot()));
+        }
+        for (const Instruction *phi : sb->phis()) {
+            const Value *src = phi->incomingValueFor(from);
+            if (src && src->slot() >= 0)
+                live.set(static_cast<unsigned>(src->slot()));
+        }
+        return live;
+    };
+
+    auto live_out = [&](const BasicBlock *bb) {
+        BitSet out(words);
+        for (const BasicBlock *sb : bb->successors())
+            out |= edge_live(sb, bb);
+        return out;
+    };
+
+    // Backward transfer from liveOut to liveIn over the block's
+    // non-phi instructions (phis are handled on edges above).
+    auto block_transfer = [&](const BasicBlock *bb, BitSet live,
+                              bool record) {
+        for (auto it = bb->end(); it != bb->begin();) {
+            const Instruction *inst = (--it)->get();
+            if (inst->opcode() == Opcode::Phi)
+                break;
+            if (inst->slot() >= 0)
+                live.reset(static_cast<unsigned>(inst->slot()));
+            forEachUse(inst, [&](unsigned s) { live.set(s); });
+            if (record)
+                std::copy(live.w.begin(), live.w.end(),
+                          rows.begin() +
+                              static_cast<std::size_t>(inst->id()) *
+                                  words);
+        }
+        return live;
+    };
+
+    // Fixpoint: process blocks in post-order (reverse RPO) so most
+    // successors are up to date before their predecessors.
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        ++iters;
+        for (auto it = rpo.rbegin(); it != rpo.rend(); ++it) {
+            const BasicBlock *bb = *it;
+            BitSet in =
+                block_transfer(bb, live_out(bb), /*record=*/false);
+            if (!(in == liveIn[index.at(bb)])) {
+                liveIn[index.at(bb)] = std::move(in);
+                changed = true;
+            }
+        }
+    }
+
+    // Materialise per-instruction live-before rows. Phi rows stay
+    // all-zero; injection points are always non-phi boundaries.
+    for (const BasicBlock *bb : rpo)
+        block_transfer(bb, live_out(bb), /*record=*/true);
+}
+
+} // namespace softcheck

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Flow-sensitive liveness analysis over the SSA IR, at register-slot
+ * granularity and per-instruction resolution.
+ *
+ * Backward dataflow to a fixpoint over the CFG, then one sweep that
+ * materialises the live-before set of every instruction as a bitset
+ * over the function's register slots (Function::renumber() slot
+ * numbering — the same slots the interpreter's ExecFrame::regs holds
+ * and the fault injector flips).
+ *
+ * Conventions match the interpreter's event order exactly:
+ *  - Phi moves are applied on the edge (take_edge), before the first
+ *    non-phi instruction of the successor executes. Phi sources are
+ *    therefore live at the predecessor's terminator, and phi
+ *    destinations are defined before the successor's first non-phi
+ *    instruction. Injection always happens at a non-phi instruction
+ *    boundary, so only non-phi live-before sets are meaningful.
+ *  - A Call defines its destination slot at the call site from the
+ *    caller's timeline: no caller instruction executes between the
+ *    call and the return-value write, and the callee cannot read
+ *    caller slots. Call argument reads are caller-side uses.
+ *  - Elided checks still count their operands as uses (the static
+ *    claim stays conservative: fewer dead slots, never a wrong one).
+ */
+
+#ifndef SOFTCHECK_ANALYSIS_LIVENESS_HH
+#define SOFTCHECK_ANALYSIS_LIVENESS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "ir/function.hh"
+
+namespace softcheck
+{
+
+class LivenessAnalysis
+{
+  public:
+    /**
+     * Build and run to fixpoint. @p fn must already be renumbered
+     * (Function::renumber() — ExecModule construction does this);
+     * instruction ids and slot numbers are read, never reassigned.
+     */
+    explicit LivenessAnalysis(const Function &fn);
+
+    /**
+     * Is @p slot live immediately before @p inst executes — i.e. can
+     * its current value still be read before being overwritten or the
+     * frame exiting? False means a fault injected into the slot at
+     * this program point is Masked by construction.
+     */
+    bool liveBefore(const Instruction *inst, unsigned slot) const
+    {
+        return liveBeforeId(inst->id(), slot);
+    }
+
+    bool liveBeforeId(unsigned instId, unsigned slot) const
+    {
+        return (rows[static_cast<std::size_t>(instId) * words +
+                     slot / 64] >>
+                (slot % 64)) &
+               1;
+    }
+
+    unsigned numSlots() const { return slots; }
+
+    /** Fixpoint iterations over the CFG (testing/diagnostics). */
+    unsigned iterations() const { return iters; }
+
+  private:
+    unsigned slots = 0;
+    unsigned words = 0;
+    unsigned iters = 0;
+    /** numInstructions x words live-before bitsets, indexed by id. */
+    std::vector<uint64_t> rows;
+};
+
+} // namespace softcheck
+
+#endif // SOFTCHECK_ANALYSIS_LIVENESS_HH

@@ -5,6 +5,7 @@
 #include <optional>
 
 #include "analysis/dominators.hh"
+#include "analysis/fault_space.hh"
 #include "analysis/loop_info.hh"
 #include "analysis/producer_chain.hh"
 #include "support/text.hh"
@@ -95,6 +96,24 @@ AuditResult::fpRiskChecks() const
     return static_cast<unsigned>(
         std::count_if(checks.begin(), checks.end(),
                       [](const CheckReport &c) { return c.fpRisk; }));
+}
+
+unsigned
+AuditResult::operandMaskedChecks() const
+{
+    return static_cast<unsigned>(std::count_if(
+        checks.begin(), checks.end(), [](const CheckReport &c) {
+            return c.operandFaultSpaceMasked;
+        }));
+}
+
+unsigned
+AuditResult::vacuousAndOperandMasked() const
+{
+    return static_cast<unsigned>(std::count_if(
+        checks.begin(), checks.end(), [](const CheckReport &c) {
+            return c.vacuous && c.operandFaultSpaceMasked;
+        }));
 }
 
 namespace
@@ -520,6 +539,8 @@ class Auditor
                 CheckReport rep;
                 rep.check = chk;
                 rep.checkId = chk->checkId();
+                rep.operandFaultSpaceMasked =
+                    checkOperandFaultSpaceMasked(*chk, ranges);
                 const Value *v = chk->operand(0);
                 const auto *target =
                     dynamic_cast<const Instruction *>(v);

@@ -93,6 +93,12 @@ struct CheckReport
     /** Static range of the checked value escapes the pass set: an
      * input outside the profile could fire the check fault-free. */
     bool fpRisk = false;
+    /** Every bit of every register operand is flip-invariant for this
+     * check (checkOperandFaultSpaceMasked): no single-bit fault in its
+     * operands can ever change its verdict, so the check burns cycles
+     * without adding single-event-upset coverage. Strictly stronger
+     * than @ref vacuous, which reasons about arbitrary corruption. */
+    bool operandFaultSpaceMasked = false;
     IntRange flowRange;      //!< flow-sensitive range (int sites)
     IntRange arbitraryRange; //!< one-step arbitrary-operand range
 };
@@ -115,6 +121,10 @@ struct AuditResult
 
     unsigned vacuousChecks() const;
     unsigned fpRiskChecks() const;
+    unsigned operandMaskedChecks() const;
+    /** Checks that are both vacuous and operand-fault-space masked —
+     * the overlap of the two "this check is useless" analyses. */
+    unsigned vacuousAndOperandMasked() const;
 };
 
 /**

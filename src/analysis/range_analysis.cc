@@ -120,6 +120,112 @@ FloatRange::str() const
     return os.str();
 }
 
+// ---------------------------------------------------------------------
+// Bit-level queries
+// ---------------------------------------------------------------------
+
+namespace
+{
+
+/**
+ * Known bits of a same-sign interval. The unsigned w-bit patterns of a
+ * same-sign signed interval form one contiguous unsigned interval
+ * [ulo, uhi], so every bit above the highest differing endpoint bit is
+ * fixed at its common value.
+ */
+void
+knownBitsSameSign(int64_t lo, int64_t hi, unsigned w, uint64_t &kz,
+                  uint64_t &ko)
+{
+    const uint64_t ulo = truncBits(static_cast<uint64_t>(lo), w);
+    const uint64_t uhi = truncBits(static_cast<uint64_t>(hi), w);
+    const unsigned varying = std::bit_width(ulo ^ uhi);
+    const uint64_t fixed = lowBitMask(w) & ~lowBitMask(varying);
+    ko = fixed & ulo;
+    kz = fixed & ~ulo;
+}
+
+void
+knownBitsOf(const IntRange &r, unsigned width, uint64_t &kz, uint64_t &ko)
+{
+    const unsigned w = (width == 0 || width > 64) ? 64 : width;
+    if (r.isBottom()) {
+        kz = ko = lowBitMask(w); // vacuous: no value contradicts either
+        return;
+    }
+    if (r.lo < 0 && r.hi >= 0) {
+        // Mixed sign: intersect the knowledge of the two sign halves.
+        uint64_t kz_n, ko_n, kz_p, ko_p;
+        knownBitsSameSign(r.lo, -1, w, kz_n, ko_n);
+        knownBitsSameSign(0, r.hi, w, kz_p, ko_p);
+        kz = kz_n & kz_p;
+        ko = ko_n & ko_p;
+        return;
+    }
+    knownBitsSameSign(r.lo, r.hi, w, kz, ko);
+}
+
+} // namespace
+
+uint64_t
+knownZeroBits(const IntRange &r, unsigned width)
+{
+    uint64_t kz, ko;
+    knownBitsOf(r, width, kz, ko);
+    return kz;
+}
+
+uint64_t
+knownOneBits(const IntRange &r, unsigned width)
+{
+    uint64_t kz, ko;
+    knownBitsOf(r, width, kz, ko);
+    return ko;
+}
+
+IntRange
+flippedRange(const IntRange &r, unsigned width, unsigned bit)
+{
+    if (r.isBottom())
+        return r;
+    const unsigned w = (width == 0 || width > 64) ? 64 : width;
+    using I128 = __int128;
+    const I128 step = I128{1} << bit;
+    const I128 dmin = IntRange::domainMin(w);
+    const I128 dmax = IntRange::domainMax(w);
+
+    if (bit + 1 < w) {
+        // Non-sign bit: each flipped value is v +/- 2^bit with the sign
+        // bit (and domain membership) preserved.
+        const uint64_t kz = knownZeroBits(r, w);
+        const uint64_t ko = knownOneBits(r, w);
+        if (testBit(kz, bit))
+            return {static_cast<int64_t>(r.lo + (int64_t{1} << bit)),
+                    static_cast<int64_t>(r.hi + (int64_t{1} << bit))};
+        if (testBit(ko, bit))
+            return {r.lo - (int64_t{1} << bit),
+                    r.hi - (int64_t{1} << bit)};
+        const I128 lo = std::max<I128>(I128{r.lo} - step, dmin);
+        const I128 hi = std::min<I128>(I128{r.hi} + step, dmax);
+        return {static_cast<int64_t>(lo), static_cast<int64_t>(hi)};
+    }
+
+    // Sign bit: flipping it maps v >= 0 to v - 2^(w-1) and v < 0 to
+    // v + 2^(w-1); join the two shifted sign subsets.
+    const I128 half = I128{1} << (w - 1);
+    IntRange out = IntRange::bottom();
+    const IntRange neg =
+        r.meet({IntRange::domainMin(w), -1});
+    const IntRange pos = r.meet({0, IntRange::domainMax(w)});
+    if (!neg.isBottom())
+        out = out.join({static_cast<int64_t>(neg.lo + half),
+                        static_cast<int64_t>(neg.hi + half)});
+    if (!pos.isBottom())
+        out = out.join({static_cast<int64_t>(pos.lo - half),
+                        static_cast<int64_t>(pos.hi - half)});
+    return out;
+}
+
 namespace
 {
 

@@ -103,6 +103,31 @@ struct FloatRange
  */
 IntRange intTransferArbitraryOperands(const Instruction &inst);
 
+/**
+ * Bits of every value in @p r that are provably zero (knownZeroBits)
+ * or provably one (knownOneBits) when the value is viewed as the raw
+ * @p width -bit register pattern the interpreter stores. A same-sign
+ * interval fixes every bit above the highest bit at which the two
+ * (truncated, unsigned) endpoints differ; a mixed-sign interval is
+ * split at zero and the two halves' known bits intersected. A bottom
+ * range returns all bits as known — vacuously true of the empty set
+ * of values; callers on reachable code never see bottom.
+ */
+uint64_t knownZeroBits(const IntRange &r, unsigned width);
+uint64_t knownOneBits(const IntRange &r, unsigned width);
+
+/**
+ * Interval hull of { v XOR (1 << bit) : v in r } in the same signed
+ * @p width -bit domain as @p r. When @p bit is known-zero or known-one
+ * across r the flip is a uniform +/-2^bit shift and the hull is exact;
+ * a flipped sign bit splits r at zero and joins the per-sign shifts.
+ * This is the set of values a single-bit fault in a register holding
+ * r can produce — the fault-space partitioner meets it against check
+ * pass sets to decide whether the bit can change a verdict. Bottom in,
+ * bottom out. Requires bit < width (width 0 means 64).
+ */
+IntRange flippedRange(const IntRange &r, unsigned width, unsigned bit);
+
 class RangeAnalysis
 {
   public:

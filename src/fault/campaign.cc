@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <cmath>
+#include <cstdlib>
 #include <limits>
 #include <thread>
 #include <unordered_set>
@@ -28,6 +29,16 @@ outcomeName(Outcome o)
       case Outcome::SWDetect: return "SWDetect";
       case Outcome::HWDetect: return "HWDetect";
       case Outcome::Failure: return "Failure";
+    }
+    return "?";
+}
+
+const char *
+samplingPlanName(SamplingPlan p)
+{
+    switch (p) {
+      case SamplingPlan::Blind: return "blind";
+      case SamplingPlan::Stratified: return "stratified";
     }
     return "?";
 }
@@ -119,10 +130,24 @@ CampaignResult::coveragePct() const
 double
 CampaignResult::marginOfError95(Outcome o) const
 {
+    // Stratified estimator; blind campaigns have W = 0 and no
+    // weight-resolved trials, which reduces it to the classic
+    // z*sqrt(p(1-p)/n) at the observed proportion. The W stratum is
+    // exact (Masked, zero variance), so only the n_a actively sampled
+    // trials contribute, scaled by the active stratum's weight (1-W).
     const uint64_t total = totalTrials();
     if (total == 0)
         return 0.0;
-    return 100.0 * marginOfError(total, pct(o) / 100.0, 0.95);
+    const uint64_t n_a = total - trialsWeightResolved;
+    if (n_a == 0)
+        return 0.0; // every trial resolved exactly
+    uint64_t active = counts[static_cast<unsigned>(o)];
+    if (o == Outcome::Masked)
+        active -= trialsWeightResolved;
+    const double q =
+        static_cast<double>(active) / static_cast<double>(n_a);
+    return 100.0 * (1.0 - staticMaskedWeight) *
+           marginOfError(n_a, q, 0.95);
 }
 
 double
@@ -131,7 +156,35 @@ CampaignResult::marginOfError95WorstCase() const
     const uint64_t total = totalTrials();
     if (total == 0)
         return 0.0;
-    return 100.0 * marginOfError(total, 0.5, 0.95);
+    const uint64_t n_a = total - trialsWeightResolved;
+    if (n_a == 0)
+        return 0.0;
+    return 100.0 * (1.0 - staticMaskedWeight) *
+           marginOfError(n_a, 0.5, 0.95);
+}
+
+double
+CampaignResult::staticallyResolvedFraction() const
+{
+    const uint64_t total = totalTrials();
+    if (total == 0)
+        return 0.0;
+    return static_cast<double>(trialsStaticallyResolved +
+                               trialsClassMembers) /
+           static_cast<double>(total);
+}
+
+double
+CampaignResult::effectiveSampleSize() const
+{
+    const uint64_t total = totalTrials();
+    if (total == 0)
+        return 0.0;
+    const uint64_t n_a = total - trialsWeightResolved;
+    const double active_w = 1.0 - staticMaskedWeight;
+    if (n_a == 0 || active_w <= 0.0)
+        return std::numeric_limits<double>::infinity();
+    return static_cast<double>(n_a) / (active_w * active_w);
 }
 
 std::string
@@ -300,6 +353,18 @@ characterizeCell(const CampaignConfig &config,
         result.phase.compileSeconds = sw.seconds();
     }
     const PreparedModule &hardened = cell.module();
+
+    // Static fault-space classification for the stratified planner
+    // (liveness + masked-bit fixpoint over the hardened module). Pure
+    // analysis of the module, so it is seed-independent and read-only
+    // safe even when the module is suite-shared.
+    if (config.sampling == SamplingPlan::Stratified &&
+        config.trials > 0) {
+        const Stopwatch sw;
+        cell.faultSpace =
+            std::make_unique<ModuleFaultSpace>(*hardened.mod);
+        result.phase.compileSeconds += sw.seconds();
+    }
 
     // ---- baseline characterization (unhardened) on the test input ----
     PreparedRun local_pristine;
@@ -496,9 +561,25 @@ trialBatchSize(unsigned trials, unsigned pool_threads, ExecTier tier)
 void
 runTrialBatch(const CellCharacterization &cell,
               const CampaignConfig &config, unsigned first,
-              unsigned last, TrialWorkerCache &cache, TrialAccum &accum)
+              unsigned last, TrialWorkerCache &cache, TrialAccum &accum,
+              const StratifiedPlan *plan,
+              std::vector<ClassOutcome> *class_out)
 {
     const Stopwatch batch_sw;
+    // Dynamic cross-validation hook for the static analysis: execute
+    // the statically resolved trials anyway (outside all accounting)
+    // and assert each classifies Masked. RingEmpty trials are skipped
+    // — the engine injects nothing there, so there is nothing to
+    // cross-check.
+    const bool validate =
+        plan && std::getenv("SOFTCHECK_VALIDATE_STATIC_MASKED");
+    // Does trial @p t execute in this batch?
+    auto runs = [&](unsigned t) {
+        if (!plan)
+            return true;
+        const TrialKind k = plan->trials[t].kind;
+        return k == TrialKind::Execute || k == TrialKind::ClassRep;
+    };
     const Workload &w = getWorkload(config.workload);
     const PreparedModule &hardened = cell.module();
     const WorkloadRunSpec &test_spec = cell.testSpec();
@@ -541,7 +622,12 @@ runTrialBatch(const CellCharacterization &cell,
 
     // Classify one finished trial. For Termination::Ok the worker's
     // run memory must already hold that trial's final image.
-    auto classify = [&](const RunResult &r) {
+    struct Classified
+    {
+        Outcome outcome;
+        bool large;
+    };
+    auto compute_outcome = [&](const RunResult &r) -> Classified {
         Outcome outcome;
         bool large = false;
         if (r.prunedToGolden) {
@@ -586,12 +672,29 @@ runTrialBatch(const CellCharacterization &cell,
                 scPanic("unhandled termination");
             }
         }
-        accum.counts[static_cast<unsigned>(outcome)].fetch_add(1);
-        if (outcome == Outcome::USDC) {
-            if (large)
+        return Classified{outcome, large};
+    };
+
+    // Record trial @p t's result: accumulate, and publish to its
+    // class slot when it is a representative (its batch is the only
+    // writer; members read after the trial phase's pool join).
+    auto record = [&](unsigned t, const RunResult &r) {
+        const Classified c = compute_outcome(r);
+        accum.counts[static_cast<unsigned>(c.outcome)].fetch_add(1);
+        if (c.outcome == Outcome::USDC) {
+            if (c.large)
                 accum.usdcLarge.fetch_add(1);
             else
                 accum.usdcSmall.fetch_add(1);
+        }
+        if (plan && plan->trials[t].kind == TrialKind::ClassRep) {
+            ClassOutcome &co = (*class_out)[plan->trials[t].classId];
+            co.outcome = c.outcome;
+            co.large = c.large;
+            co.term = r.term;
+            co.pruned = r.prunedToGolden;
+            co.endCycle = r.endCycle;
+            co.ready = true;
         }
     };
 
@@ -630,20 +733,25 @@ runTrialBatch(const CellCharacterization &cell,
     // resumes there with zero replay and injects immediately (the
     // engines order injection after the checkpoint capture point at
     // the same index). The measured fast-forward metric accumulates
-    // here, exactly once per trial, whichever path later runs it.
-    auto plan_one = [&](unsigned t) {
+    // here, exactly once per trial, whichever path later runs it —
+    // but only for trials that run (@p account): statically resolved
+    // trials pay no fast-forward, and validation reruns must not
+    // perturb the sums.
+    auto plan_one = [&](unsigned t, bool account) {
         Rng rng(trialSeed(config.seed, t));
         const uint64_t fault_at = rng.nextBelow(golden_dyn);
         const std::ptrdiff_t key =
             static_cast<std::ptrdiff_t>(
                 firstSnapshotAfter(snapshots, fault_at)) -
             1;
-        ff_replay += fault_at - (key < 0 ? 0 : snap_dyn[static_cast<
-                                      std::size_t>(key)]);
-        if (key >= 0)
-            ff_restore_pages +=
-                cell.snapNewBytes[static_cast<std::size_t>(key)] /
-                Memory::kPageSize;
+        if (account) {
+            ff_replay += fault_at - (key < 0 ? 0 : snap_dyn[static_cast<
+                                          std::size_t>(key)]);
+            if (key >= 0)
+                ff_restore_pages +=
+                    cell.snapNewBytes[static_cast<std::size_t>(key)] /
+                    Memory::kPageSize;
+        }
         return PlannedTrial{t, fault_at, rng, key};
     };
 
@@ -655,8 +763,33 @@ runTrialBatch(const CellCharacterization &cell,
         opts.faultAtDynInstr = p.faultAt;
         opts.faultRng = &rng;
         rewind(p.key);
-        classify(ws->resume(opts));
+        record(p.trial, ws->resume(opts));
     };
+
+    // Execute a statically resolved trial for cross-validation only:
+    // no accumulator contributions, just the Masked assertion.
+    auto validate_resolved = [&](unsigned t) {
+        const PlannedTrial p = plan_one(t, false);
+        Rng rng = p.rng;
+        ExecOptions opts = trial_opts;
+        opts.faultAtDynInstr = p.faultAt;
+        opts.faultRng = &rng;
+        rewind(p.key);
+        const RunResult r = ws->resume(opts);
+        const Classified c = compute_outcome(r);
+        scAssert(c.outcome == Outcome::Masked,
+                 "statically resolved trial classified ",
+                 outcomeName(c.outcome), ", not Masked (",
+                 staticResolutionName(plan->trials[t].why), ")");
+    };
+    // Validate before any lockstep chain starts — the reruns share
+    // the worker state.
+    if (validate) {
+        for (unsigned t = first; t < last; ++t)
+            if (plan->trials[t].kind == TrialKind::Resolved &&
+                plan->trials[t].why != StaticResolution::RingEmpty)
+                validate_resolved(t);
+    }
 
     if (config.tier == ExecTier::Lockstep && config.lanes >= 2 &&
         ws->lockstep) {
@@ -679,15 +812,16 @@ runTrialBatch(const CellCharacterization &cell,
         // lockstep tier's construction (enforced by
         // tests/interp/test_lockstep_equiv.cc), so outcome totals stay
         // independent of batching, like everything else here.
-        std::vector<PlannedTrial> plan;
-        plan.reserve(last - first);
+        std::vector<PlannedTrial> planned;
+        planned.reserve(last - first);
         for (unsigned t = first; t < last; ++t)
-            plan.push_back(plan_one(t));
+            if (runs(t))
+                planned.push_back(plan_one(t, true));
         // Order the whole batch by injection point (the engine's fork
         // order) and chunk it into full-width groups of neighbours.
         // Snapshot keys are monotone in faultAt, so the first member of
         // each chunk is also its earliest rewind point.
-        std::sort(plan.begin(), plan.end(),
+        std::sort(planned.begin(), planned.end(),
                   [](const PlannedTrial &a, const PlannedTrial &b) {
                       return a.faultAt != b.faultAt ? a.faultAt < b.faultAt
                                                     : a.trial < b.trial;
@@ -703,7 +837,12 @@ runTrialBatch(const CellCharacterization &cell,
         // clobber it — peel resumes, signal extraction, trials that run
         // better scalar — is deferred until the chain ends.
         std::vector<LaneTrial> finished;
-        finished.reserve(plan.size());
+        finished.reserve(planned.size());
+        /** finished[i] came from trial finished_ids[i] (the LaneTrial
+         * itself does not carry the trial index, and class-outcome
+         * publishing needs it back). */
+        std::vector<unsigned> finished_ids;
+        finished_ids.reserve(planned.size());
         std::vector<PlannedTrial> scalar_trials;
         std::vector<LaneTrial> group;
         bool chained = false; // ws->st + bound memory hold a stem export
@@ -714,14 +853,14 @@ runTrialBatch(const CellCharacterization &cell,
                        : snap_dyn[static_cast<std::size_t>(p.key)];
         };
         std::size_t i = 0;
-        while (i < plan.size()) {
+        while (i < planned.size()) {
             const std::size_t j =
-                std::min(i + config.lanes, plan.size());
-            const bool use_chain = chained &&
-                                   ws->st.dynCount <= plan[i].faultAt &&
-                                   ws->st.dynCount >= resume_dyn(plan[i]);
+                std::min(i + config.lanes, planned.size());
+            const bool use_chain =
+                chained && ws->st.dynCount <= planned[i].faultAt &&
+                ws->st.dynCount >= resume_dyn(planned[i]);
             const uint64_t start_dyn =
-                use_chain ? ws->st.dynCount : resume_dyn(plan[i]);
+                use_chain ? ws->st.dynCount : resume_dyn(planned[i]);
             // Profitability: the stem must replay [start_dyn, f_hi]
             // once to replace the members' private snapshot replays.
             // With dense checkpoints those replays are already short
@@ -736,32 +875,37 @@ runTrialBatch(const CellCharacterization &cell,
             // known until the group runs.)
             uint64_t scalar_replay = 0;
             for (std::size_t k = i; k < j; ++k)
-                scalar_replay += plan[k].faultAt - resume_dyn(plan[k]);
+                scalar_replay +=
+                    planned[k].faultAt - resume_dyn(planned[k]);
             const uint64_t stem_replay =
-                plan[j - 1].faultAt - start_dyn;
+                planned[j - 1].faultAt - start_dyn;
             if (j - i == 1 || scalar_replay < 3 * stem_replay) {
                 for (std::size_t k = i; k < j; ++k)
-                    scalar_trials.push_back(plan[k]);
+                    scalar_trials.push_back(planned[k]);
                 i = j;
                 continue;
             }
             if (!use_chain)
-                rewind(plan[i].key);
+                rewind(planned[i].key);
             group.clear();
             group.resize(j - i);
             for (std::size_t k = i; k < j; ++k) {
-                group[k - i].faultAt = plan[k].faultAt;
-                group[k - i].rng = plan[k].rng;
+                group[k - i].faultAt = planned[k].faultAt;
+                group[k - i].rng = planned[k].rng;
             }
             chained = ws->lockstep->runGroup(ws->st, group, trial_opts,
                                              &ws->st);
-            for (LaneTrial &tr : group)
-                finished.push_back(std::move(tr));
+            for (std::size_t k = 0; k < group.size(); ++k) {
+                finished.push_back(std::move(group[k]));
+                finished_ids.push_back(planned[i + k].trial);
+            }
             i = j;
         }
 
         // The chain is over; the bound memory is free to clobber.
-        for (LaneTrial &tr : finished) {
+        for (std::size_t fi = 0; fi < finished.size(); ++fi) {
+            LaneTrial &tr = finished[fi];
+            const unsigned t = finished_ids[fi];
             if (tr.status == LaneStatus::Peeled) {
                 // Finish on the scalar threaded tier from the peel
                 // point. Re-arming faultAtDynInstr (already past)
@@ -777,14 +921,14 @@ runTrialBatch(const CellCharacterization &cell,
                 if (!r.prunedToGolden)
                     r.checkEvals += tr.checkEvalsAtPeel;
                 r.fault = tr.fault;
-                classify(r);
+                record(t, r);
             } else {
                 scAssert(tr.status == LaneStatus::Done,
                          "unresolved lane trial");
                 if (tr.result.term == Termination::Ok &&
                     !tr.result.prunedToGolden)
                     *ws->run.mem = tr.mem; // for extractSignal
-                classify(tr.result);
+                record(t, tr.result);
             }
         }
         for (const PlannedTrial &p : scalar_trials)
@@ -795,7 +939,8 @@ runTrialBatch(const CellCharacterization &cell,
             (ws->lockstep->fetches() - fetches0) * config.lanes);
     } else {
         for (unsigned t = first; t < last; ++t)
-            run_scalar_trial(plan_one(t));
+            if (runs(t))
+                run_scalar_trial(plan_one(t, true));
     }
 
     {
@@ -810,7 +955,9 @@ runTrialBatch(const CellCharacterization &cell,
 
 CampaignResult
 finalizeTrialResult(const CellCharacterization &cell,
-                    const CampaignConfig &config, const TrialAccum &accum)
+                    const CampaignConfig &config, const TrialAccum &accum,
+                    const StratifiedPlan *plan,
+                    const std::vector<ClassOutcome> *class_out)
 {
     CampaignResult result = cell.proto;
     result.config = config;
@@ -818,6 +965,44 @@ finalizeTrialResult(const CellCharacterization &cell,
         result.counts[o] = accum.counts[o].load();
     result.usdcLargeChange = accum.usdcLarge.load();
     result.usdcSmallChange = accum.usdcSmall.load();
+    if (plan) {
+        // Statically resolved trials are exact Masked outcomes —
+        // every resolution rule is exactness-preserving (see
+        // sampling_plan.hh), so the totals match a blind campaign
+        // bit-for-bit.
+        result.counts[static_cast<unsigned>(Outcome::Masked)] +=
+            plan->staticResolvedTrials;
+        // Class members copy their representative's outcome. The one
+        // observable a class does NOT share is the injection cycle,
+        // so a Trap representative's HWDetect/Failure window split is
+        // re-decided against each member's own atCycle.
+        for (std::size_t t = 0; t < plan->trials.size(); ++t) {
+            const PlannedTrialInfo &pi = plan->trials[t];
+            if (pi.kind != TrialKind::ClassMember)
+                continue;
+            const ClassOutcome &co = (*class_out)[pi.classId];
+            scAssert(co.ready,
+                     "class representative never published its outcome");
+            Outcome o = co.outcome;
+            if (co.term == Termination::Trap && !co.pruned)
+                o = co.endCycle - pi.atCycle <=
+                            config.hwDetectWindowCycles
+                        ? Outcome::HWDetect
+                        : Outcome::Failure;
+            ++result.counts[static_cast<unsigned>(o)];
+            if (o == Outcome::USDC) {
+                if (co.large)
+                    ++result.usdcLargeChange;
+                else
+                    ++result.usdcSmallChange;
+            }
+        }
+        result.staticMaskedWeight = plan->staticMaskedWeight;
+        result.trialsWeightResolved = plan->weightResolvedTrials;
+        result.trialsStaticallyResolved = plan->staticResolvedTrials;
+        result.trialsClassMembers = plan->memberTrials;
+        result.faultClasses = plan->classes.size();
+    }
     result.ffReplayInstrs = accum.ffReplay.load();
     result.ffRestorePages = accum.ffRestorePages.load();
     result.phase.trialsSeconds =
@@ -842,6 +1027,21 @@ runTrialPhase(const CellCharacterization &cell,
 
     // ---- 5. injection trials --------------------------------------------
     const Stopwatch trials_sw;
+    // Stratified sampling: resolve the whole trial budget against one
+    // observed golden replay before any batch runs. The pool join
+    // below orders every representative's class-outcome write before
+    // finalize's member reads.
+    StratifiedPlan plan;
+    std::vector<ClassOutcome> class_out;
+    const bool stratified =
+        config.sampling == SamplingPlan::Stratified;
+    if (stratified) {
+        plan = buildStratifiedPlan(cell, config);
+        class_out.resize(plan.classes.size());
+    }
+    const StratifiedPlan *plan_p = stratified ? &plan : nullptr;
+    std::vector<ClassOutcome> *co_p =
+        stratified ? &class_out : nullptr;
     TrialWorkerCache cache;
     TrialAccum accum;
     const unsigned batch =
@@ -850,14 +1050,16 @@ runTrialPhase(const CellCharacterization &cell,
     for (unsigned first = 0; first < config.trials; first += batch) {
         const unsigned last = std::min(first + batch, config.trials);
         ids.push_back(pool.submit([&cell, &config, first, last, &cache,
-                                   &accum] {
-            runTrialBatch(cell, config, first, last, cache, accum);
+                                   &accum, plan_p, co_p] {
+            runTrialBatch(cell, config, first, last, cache, accum,
+                          plan_p, co_p);
         }));
     }
     for (const TaskPool::TaskId id : ids)
         pool.wait(id);
 
-    CampaignResult result = finalizeTrialResult(cell, config, accum);
+    CampaignResult result =
+        finalizeTrialResult(cell, config, accum, plan_p, co_p);
     // This entry point blocks until its own batches drain, so the
     // phase's wall clock (what trialsPerSec has always meant) is
     // well-defined; the suite engine, whose cells overlap, keeps the

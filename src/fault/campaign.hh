@@ -49,6 +49,22 @@ constexpr unsigned kNumOutcomes = 6;
 
 const char *outcomeName(Outcome o);
 
+/**
+ * How a campaign spends its trial budget (CampaignConfig::sampling).
+ * Outcome counts are bit-identical between the two modes at the same
+ * seed — every static resolution the stratified planner makes is
+ * exactness-preserving (see fault/sampling_plan.hh) — but the
+ * stratified mode skips executing the resolved trials and reports a
+ * tighter margin of error for the same budget.
+ */
+enum class SamplingPlan : uint8_t
+{
+    Blind,      //!< execute every trial (the paper's protocol)
+    Stratified, //!< statically resolve dead/masked sites + class reps
+};
+
+const char *samplingPlanName(SamplingPlan p);
+
 struct CampaignConfig
 {
     std::string workload;        //!< benchmark name
@@ -67,6 +83,17 @@ struct CampaignConfig
     CostConfig cost;             //!< Table II parameters
     double timeoutFactor = 20.0; //!< infinite-loop budget multiplier
     uint64_t hwDetectWindowCycles = 1000; //!< paper Sec. IV-C
+
+    /**
+     * Trial-budget strategy. Stratified campaigns build a static
+     * fault-space analysis of the hardened module plus one observed
+     * golden replay per seed, resolve every trial whose flip provably
+     * cannot escape (dead slot, masked bit, empty ring, or
+     * overwritten-before-read) without running it, and execute one
+     * representative per equivalence class of the rest. Outcome
+     * counts stay bit-identical to Blind at the same seed.
+     */
+    SamplingPlan sampling = SamplingPlan::Blind;
 
     /**
      * Execution tier for the fault-free characterization runs and the
@@ -244,6 +271,33 @@ struct CampaignResult
      */
     double laneOccupancy = 0;
 
+    // Stratified sampling accounting (all 0 under SamplingPlan::Blind,
+    // which makes every stratified formula reduce to the blind one).
+    /** W: exact probability a blind draw at this seed's injection
+     * distribution lands in the zero-variance stratum (empty ring or
+     * statically masked bit). */
+    double staticMaskedWeight = 0;
+    /** Trials resolved in the W stratum (RingEmpty/MaskedBit). */
+    uint64_t trialsWeightResolved = 0;
+    /** All statically resolved trials (W stratum + dead-register +
+     * overwritten-before-read); each contributes an exact Masked. */
+    uint64_t trialsStaticallyResolved = 0;
+    /** Trials that copied a class representative's outcome. */
+    uint64_t trialsClassMembers = 0;
+    /** Equivalence classes formed (size >= 2). */
+    uint64_t faultClasses = 0;
+    /** Fraction of the trial budget that skipped execution:
+     * (statically resolved + class members) / total. */
+    double staticallyResolvedFraction() const;
+    /**
+     * Blind-equivalent sample size of the stratified estimate:
+     * n_active / (1 - W)^2 — the number of blind trials whose
+     * worst-case margin of error the stratified campaign matches
+     * (infinity when every trial fell in the W stratum). Equals
+     * totalTrials() for blind campaigns.
+     */
+    double effectiveSampleSize() const;
+
     /** Sum of all outcome counts (= trials actually classified). */
     uint64_t totalTrials() const;
 
@@ -252,11 +306,20 @@ struct CampaignResult
     double sdcPct() const { return pct(Outcome::ASDC) + pct(Outcome::USDC); }
     /** Coverage per the paper: Masked+ASDC+SWDetect+HWDetect. */
     double coveragePct() const;
-    /** 95% margin of error at the observed proportion of outcome
-     * @p o (e = z*sqrt(p(1-p)/n) with p = pct(o)/100). */
+    /**
+     * 95% margin of error of the proportion of outcome @p o. For
+     * blind campaigns this is the classic e = z*sqrt(p(1-p)/n) at the
+     * observed p. For stratified campaigns the W stratum (weight
+     * staticMaskedWeight) is exact — Masked with zero variance — so
+     * only the active remainder samples: with q the outcome's
+     * proportion among the n_a non-W-resolved trials,
+     * e = z*(1-W)*sqrt(q(1-q)/n_a). W = 0 reduces to the blind
+     * formula, so one expression serves both modes.
+     */
     double marginOfError95(Outcome o) const;
-    /** Worst-case (p = 0.5) 95% margin of error — the conservative
-     * a-priori bound the bench headers quote. */
+    /** Worst-case (q = 0.5) 95% margin of error — the conservative
+     * a-priori bound the bench headers quote; shrinks by (1-W) *
+     * sqrt(n/n_a) under stratified sampling. */
     double marginOfError95WorstCase() const;
 
     std::string str() const;

@@ -22,7 +22,9 @@
 #include <unordered_set>
 #include <vector>
 
+#include "analysis/fault_space.hh"
 #include "fault/campaign.hh"
+#include "fault/sampling_plan.hh"
 #include "interp/interpreter.hh"
 #include "interp/lockstep_exec.hh"
 #include "interp/threaded_exec.hh"
@@ -168,6 +170,12 @@ struct CellCharacterization
      * across thread counts and tiers. */
     std::vector<uint64_t> snapNewBytes;
     RunResult goldenRun;
+    /** Static fault-space classification of the hardened module;
+     * built only when config.sampling == SamplingPlan::Stratified and
+     * trials > 0 (the stratified planner needs it). Seed-independent,
+     * so it serves every trial-phase variant like the rest of the
+     * characterization. */
+    std::unique_ptr<ModuleFaultSpace> faultSpace;
 
     const PreparedModule &
     module() const
@@ -284,20 +292,38 @@ struct TrialAccum
  * accumulating outcomes into @p accum. Stealable unit of the suite
  * DAG; trial-indexed RNG makes the result independent of how trials
  * are batched or which thread runs them.
+ *
+ * @p plan / @p class_out are null for blind campaigns. With a plan,
+ * Resolved and ClassMember trials skip execution (their outcomes are
+ * added at finalize), ClassRep trials publish their result into
+ * @p class_out (sized plan->classes.size()), and the
+ * SOFTCHECK_VALIDATE_STATIC_MASKED env hook additionally executes
+ * each non-RingEmpty Resolved trial and asserts it classifies Masked
+ * — without contributing to @p accum, so totals stay plan-exact.
  */
 void runTrialBatch(const CellCharacterization &cell,
                    const CampaignConfig &config, unsigned first,
                    unsigned last, TrialWorkerCache &cache,
-                   TrialAccum &accum);
+                   TrialAccum &accum,
+                   const StratifiedPlan *plan = nullptr,
+                   std::vector<ClassOutcome> *class_out = nullptr);
 
 /**
  * Assemble the CampaignResult for a finished trial phase: the
  * characterization's fields plus @p accum's totals, with
- * phase.trialsSeconds = the summed per-batch CPU seconds.
+ * phase.trialsSeconds = the summed per-batch CPU seconds. For a
+ * stratified phase (@p plan non-null) the statically resolved trials
+ * are added as exact Masked outcomes, class members resolve against
+ * @p class_out (every batch must have drained — the pool join orders
+ * the representatives' writes before these reads), and the stratified
+ * accounting fields are filled.
  */
 CampaignResult finalizeTrialResult(const CellCharacterization &cell,
                                    const CampaignConfig &config,
-                                   const TrialAccum &accum);
+                                   const TrialAccum &accum,
+                                   const StratifiedPlan *plan = nullptr,
+                                   const std::vector<ClassOutcome>
+                                       *class_out = nullptr);
 
 /** Trials per stealable batch: ~4 batches per pool worker, floored so
  * tiny campaigns do not dissolve into per-trial tasks. Lockstep-tier

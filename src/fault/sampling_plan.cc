@@ -1,0 +1,328 @@
+#include "fault/sampling_plan.hh"
+
+#include <algorithm>
+#include <map>
+#include <tuple>
+
+#include "fault/campaign_internal.hh"
+#include "support/error.hh"
+
+namespace softcheck::campaign_detail
+{
+
+const char *
+staticResolutionName(StaticResolution r)
+{
+    switch (r) {
+      case StaticResolution::None: return "None";
+      case StaticResolution::RingEmpty: return "RingEmpty";
+      case StaticResolution::MaskedBit: return "MaskedBit";
+      case StaticResolution::DeadReg: return "DeadReg";
+      case StaticResolution::DynDead: return "DynDead";
+    }
+    return "?";
+}
+
+namespace
+{
+
+/** One trial's injection draw, in replay order. */
+struct TrialDraw
+{
+    uint64_t faultAt;
+    unsigned trial;
+    Rng rng; //!< stream state just past the injection-point draw
+};
+
+/** A dormant flip awaiting its first read: trial + flipped bit. */
+struct SlotWatch
+{
+    unsigned trial;
+    unsigned bit;
+};
+
+/**
+ * Resolver-side mirror of one interpreter call frame. The observer
+ * has no frame push/pop events; it resynchronises this stack against
+ * st.stack inside every hook. S is the sum of maskedSixtyFourths over
+ * the frame's recent-write ring entries (with repetition), maintained
+ * incrementally so the per-loop-top W term is O(1).
+ */
+struct MirrorFrame
+{
+    const ExecFunction *fn = nullptr;
+    const FunctionFaultSpace *fs = nullptr;
+    uint64_t S = 0;
+    std::map<int32_t, std::vector<SlotWatch>> watches;
+};
+
+/**
+ * FaultSiteObserver that resolves all trial draws against one golden
+ * replay. See sampling_plan.hh for the resolution taxonomy and the
+ * exactness argument.
+ */
+class PlanResolver final : public FaultSiteObserver
+{
+  public:
+    PlanResolver(const ModuleFaultSpace &mfs,
+                 std::vector<TrialDraw> draws, StratifiedPlan &plan)
+        : mfs(mfs), draws(std::move(draws)), plan(plan)
+    {
+    }
+
+    void
+    atLoopTop(const ExecState &st) override
+    {
+        sync(st);
+        MirrorFrame &mf = frames.back();
+        const ExecFrame &fr = st.stack.back();
+        // W term for this injection point: the probability that a
+        // blind draw here resolves in the zero-variance stratum. An
+        // empty ring means the engine injects nothing (certainty);
+        // otherwise the slot draw is uniform over ring entries and
+        // the bit draw uniform over the slot's width, so the masked
+        // probability is S / (64 * ring size) — exact, since every
+        // slot width divides 64.
+        wSum += fr.recentCount == 0
+                    ? 1.0
+                    : static_cast<double>(mf.S) /
+                          (64.0 * static_cast<double>(fr.recentCount));
+        while (next < draws.size() &&
+               draws[next].faultAt == st.dynCount) {
+            resolveDraw(st, mf, fr, draws[next]);
+            ++next;
+        }
+    }
+
+    void
+    onRead(const ExecState &st, int32_t slot) override
+    {
+        sync(st);
+        MirrorFrame &mf = frames.back();
+        const auto it = mf.watches.find(slot);
+        if (it == mf.watches.end())
+            return;
+        // First read of the dormant flip: the reading instruction's
+        // dynamic index (st.dynCount is already past it) keys the
+        // equivalence class. One dynamic instruction executes in
+        // exactly one frame, so (read index, slot, bit) is unique per
+        // frame instance and needs no frame id in the key.
+        const uint64_t read_dyn = st.dynCount - 1;
+        for (const SlotWatch &w : it->second)
+            classTrials[std::tuple(read_dyn, slot, w.bit)].push_back(
+                w.trial);
+        mf.watches.erase(it);
+    }
+
+    void
+    onWrite(const ExecState &st, int32_t slot) override
+    {
+        sync(st);
+        MirrorFrame &mf = frames.back();
+        const ExecFrame &fr = st.stack.back();
+        const auto it = mf.watches.find(slot);
+        if (it != mf.watches.end()) {
+            // Overwritten before any read: the flip never escapes the
+            // register file.
+            for (const SlotWatch &w : it->second)
+                resolveMasked(w.trial, StaticResolution::DynDead);
+            mf.watches.erase(it);
+        }
+        // Ring S update against the pre-noteWrite ring state (the
+        // hook fires before the engine's noteWrite): the new entry
+        // joins, and on a saturated ring the entry at recentPos is
+        // evicted.
+        if (mf.fs) {
+            if (fr.recentCount == ExecFrame::kRecentRing)
+                mf.S -= mf.fs->maskedSixtyFourths(static_cast<unsigned>(
+                    fr.recent[fr.recentPos]));
+            mf.S += mf.fs->maskedSixtyFourths(
+                static_cast<unsigned>(slot));
+        }
+    }
+
+    /** Run ended: pending watches never see a read. */
+    void
+    finishRun()
+    {
+        for (MirrorFrame &mf : frames)
+            for (const auto &[slot, ws] : mf.watches)
+                for (const SlotWatch &w : ws)
+                    resolveMasked(w.trial, StaticResolution::DynDead);
+        frames.clear();
+        scAssert(next == draws.size(),
+                 "stratified replay ended before all injection draws");
+    }
+
+    /**
+     * Form the equivalence classes: unresolved trials sharing a
+     * (first read, slot, bit) key. Singletons stay Execute.
+     */
+    void
+    formClasses()
+    {
+        for (const auto &[key, trials] : classTrials) {
+            if (trials.size() < 2)
+                continue;
+            const auto id =
+                static_cast<uint32_t>(plan.classes.size());
+            const unsigned rep =
+                *std::min_element(trials.begin(), trials.end());
+            plan.classes.push_back(FaultClass{
+                rep, static_cast<uint32_t>(trials.size())});
+            for (const unsigned t : trials) {
+                plan.trials[t].classId = id;
+                plan.trials[t].kind = t == rep ? TrialKind::ClassRep
+                                               : TrialKind::ClassMember;
+                if (t != rep)
+                    ++plan.memberTrials;
+            }
+        }
+    }
+
+    double weightSum() const { return wSum; }
+
+  private:
+    void
+    sync(const ExecState &st)
+    {
+        while (frames.size() > st.stack.size()) {
+            // Frame exited with watches pending: the flipped slots die
+            // with it, unread.
+            for (const auto &[slot, ws] : frames.back().watches)
+                for (const SlotWatch &w : ws)
+                    resolveMasked(w.trial, StaticResolution::DynDead);
+            frames.pop_back();
+        }
+        while (frames.size() < st.stack.size()) {
+            const ExecFrame &fr = st.stack[frames.size()];
+            MirrorFrame mf;
+            mf.fn = fr.fn;
+            mf.fs = fr.fn->src ? mfs.of(fr.fn->src) : nullptr;
+            // Ring scan covers writes the observer did not see as
+            // hooks (the entry frame's beginExec argument notes, and
+            // call-argument notes before this push was detected).
+            if (mf.fs)
+                for (uint32_t i = 0; i < fr.recentCount; ++i)
+                    mf.S += mf.fs->maskedSixtyFourths(
+                        static_cast<unsigned>(fr.recent[i]));
+            frames.push_back(std::move(mf));
+        }
+    }
+
+    void
+    resolveMasked(unsigned trial, StaticResolution why)
+    {
+        PlannedTrialInfo &pi = plan.trials[trial];
+        pi.kind = TrialKind::Resolved;
+        pi.why = why;
+        ++plan.staticResolvedTrials;
+        if (why == StaticResolution::RingEmpty ||
+            why == StaticResolution::MaskedBit)
+            ++plan.weightResolvedTrials;
+    }
+
+    void
+    resolveDraw(const ExecState &st, MirrorFrame &mf,
+                const ExecFrame &fr, const TrialDraw &d)
+    {
+        plan.trials[d.trial].atCycle = st.cost.cycles();
+        if (fr.recentCount == 0) {
+            // The engine skips injection on an empty ring (without
+            // consuming RNG): the trial IS the golden run.
+            resolveMasked(d.trial, StaticResolution::RingEmpty);
+            return;
+        }
+        // Mirror the engine's site draw exactly (interpreter.cc
+        // injection block): ring slot, then bit within the slot's
+        // width.
+        Rng rng = d.rng;
+        const int32_t slot = fr.recent[static_cast<std::size_t>(
+            rng.nextBelow(fr.recentCount))];
+        const TypeKind ty =
+            fr.fn->slotTypes[static_cast<std::size_t>(slot)];
+        const unsigned width = typeBits(ty) ? typeBits(ty) : 64;
+        const auto bit =
+            static_cast<unsigned>(rng.nextBelow(width));
+        if (mf.fs &&
+            mf.fs->bitMasked(static_cast<unsigned>(slot), bit)) {
+            resolveMasked(d.trial, StaticResolution::MaskedBit);
+            return;
+        }
+        const ExecInst &inst = fr.fn->code[fr.ip];
+        if (mf.fs && inst.srcInst &&
+            !mf.fs->liveness().liveBefore(
+                inst.srcInst, static_cast<unsigned>(slot))) {
+            resolveMasked(d.trial, StaticResolution::DeadReg);
+            return;
+        }
+        mf.watches[slot].push_back(SlotWatch{d.trial, bit});
+    }
+
+    const ModuleFaultSpace &mfs;
+    std::vector<TrialDraw> draws;
+    StratifiedPlan &plan;
+    std::vector<MirrorFrame> frames;
+    std::size_t next = 0;
+    double wSum = 0;
+    /** (first-read dyn index, slot, bit) -> unresolved member trials,
+     * in ascending trial order (draws are processed sorted). */
+    std::map<std::tuple<uint64_t, int32_t, unsigned>,
+             std::vector<unsigned>>
+        classTrials;
+};
+
+} // namespace
+
+StratifiedPlan
+buildStratifiedPlan(const CellCharacterization &cell,
+                    const CampaignConfig &config)
+{
+    StratifiedPlan plan;
+    plan.trials.assign(config.trials, PlannedTrialInfo{});
+    const uint64_t golden_dyn = cell.proto.goldenDynInstrs;
+    if (config.trials == 0 || golden_dyn == 0)
+        return plan;
+    scAssert(cell.faultSpace,
+             "stratified plan needs the cell's fault-space analysis");
+
+    // Every trial's injection point, from the same trial-indexed RNG
+    // streams the batches use — the plan is batching/tier/thread
+    // independent because the streams and the golden run are.
+    std::vector<TrialDraw> draws;
+    draws.reserve(config.trials);
+    for (unsigned t = 0; t < config.trials; ++t) {
+        Rng rng(trialSeed(config.seed, t));
+        const uint64_t fault_at = rng.nextBelow(golden_dyn);
+        draws.push_back(TrialDraw{fault_at, t, rng});
+    }
+    std::sort(draws.begin(), draws.end(),
+              [](const TrialDraw &a, const TrialDraw &b) {
+                  return a.faultAt != b.faultAt ? a.faultAt < b.faultAt
+                                                : a.trial < b.trial;
+              });
+
+    // One observed golden replay resolves every draw. Always on the
+    // interpreter (the only tier with observer hooks); Halt semantics
+    // with the calibration-disabled set reproduce the golden stream
+    // exactly — the surviving checks never fire fault-free.
+    PlanResolver resolver(*cell.faultSpace, std::move(draws), plan);
+    auto run = prepareRun(cell.testSpec());
+    ExecOptions opts;
+    opts.cost = config.cost;
+    opts.checkMode = CheckMode::Halt;
+    opts.disabledChecks = &cell.disabled;
+    opts.siteObserver = &resolver;
+    Interpreter interp(*cell.module().em, *run.mem);
+    const RunResult r =
+        interp.run(cell.module().entryIdx, run.args, opts);
+    scAssert(r.ok() && r.dynInstrs == golden_dyn,
+             "stratified planning replay diverged from the golden run");
+    resolver.finishRun();
+    resolver.formClasses();
+    plan.staticMaskedWeight =
+        resolver.weightSum() / static_cast<double>(golden_dyn);
+    return plan;
+}
+
+} // namespace softcheck::campaign_detail

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Stratified sampling plans: static resolution of campaign trials.
+ *
+ * A blind campaign executes every trial. The stratified planner
+ * replays the golden run ONCE under the interpreter's
+ * FaultSiteObserver hooks and resolves each trial's injection draw
+ * against the static fault-space analysis (analysis/fault_space.hh)
+ * before any trial executes:
+ *
+ *  - *RingEmpty*: the recent-write ring is empty at the injection
+ *    point, so the engine would not inject — the run is the golden run.
+ *  - *MaskedBit*: the drawn (slot, bit) is statically masked — the
+ *    flip provably never alters control flow, memory traffic, output
+ *    or cycle count, so the outcome is Masked bit-exactly.
+ *  - *DeadReg*: the drawn slot is not live before the injection-point
+ *    instruction (liveness.hh) — overwritten or frame-dead before any
+ *    read.
+ *  - *DynDead*: the replay observed the flipped slot being overwritten
+ *    (or its frame exiting, or the run ending) before any read.
+ *
+ * Unresolved trials whose dormant flips are first read by the same
+ * dynamic instruction, from the same slot, at the same bit, form an
+ * equivalence class: until that read the trial state differs from
+ * golden only in the dormant bit, and from the read on all members
+ * evolve identically. One representative executes; members copy its
+ * outcome (re-deciding only the Trap-window HWDetect/Failure split,
+ * which depends on the member's own injection cycle).
+ *
+ * Every resolution is exactness-preserving, not merely sound: a
+ * stratified campaign's outcome counts are bit-identical to the blind
+ * campaign's at the same seed (asserted by
+ * tests/fault/test_sampling_plan.cc and bench --sampling). The
+ * statically-resolved weight additionally shrinks the reported margin
+ * of error: the RingEmpty/MaskedBit stratum has zero sampling
+ * variance, so only the active remainder contributes (see
+ * CampaignResult::marginOfError95).
+ */
+
+#ifndef SOFTCHECK_FAULT_SAMPLING_PLAN_HH
+#define SOFTCHECK_FAULT_SAMPLING_PLAN_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "fault/campaign.hh"
+#include "interp/interpreter.hh"
+
+namespace softcheck::campaign_detail
+{
+
+struct CellCharacterization;
+
+/** How a planned trial is carried out. */
+enum class TrialKind : uint8_t
+{
+    Execute,     //!< run normally (unresolved, singleton class)
+    Resolved,    //!< statically resolved: outcome is Masked, no run
+    ClassRep,    //!< runs and publishes its class's outcome
+    ClassMember, //!< copies its class representative's outcome
+};
+
+/** Why a Resolved trial needs no execution. */
+enum class StaticResolution : uint8_t
+{
+    None,
+    RingEmpty, //!< empty recent-write ring: nothing to inject
+    MaskedBit, //!< statically masked (slot, bit) — fault_space.hh
+    DeadReg,   //!< slot not live at the injection point — liveness.hh
+    DynDead,   //!< replay saw overwrite/frame-exit/run-end before read
+};
+
+const char *staticResolutionName(StaticResolution r);
+
+struct PlannedTrialInfo
+{
+    TrialKind kind = TrialKind::Execute;
+    StaticResolution why = StaticResolution::None;
+    uint32_t classId = ~0u; //!< valid for ClassRep/ClassMember
+    /** Cycle count at the trial's injection point (the golden replay's
+     * cost-model state at loop top, = FaultOutcome::atCycle). Lets a
+     * ClassMember re-decide the Trap detection window with its own
+     * injection time. */
+    uint64_t atCycle = 0;
+};
+
+/** One equivalence class of unresolved trials (size >= 2). */
+struct FaultClass
+{
+    uint32_t repTrial = 0; //!< lowest member trial index; executes
+    uint32_t size = 0;     //!< members including the representative
+};
+
+/**
+ * Outcome slot a ClassRep publishes for its ClassMembers. Plain fields,
+ * no atomics: each class's representative runs in exactly one batch,
+ * and members only read after the trial phase's pool join, which
+ * orders the write before every read.
+ */
+struct ClassOutcome
+{
+    Outcome outcome = Outcome::Masked;
+    bool large = false; //!< isLargeValueChange (USDC attribution)
+    Termination term = Termination::Ok;
+    bool pruned = false;
+    uint64_t endCycle = 0;
+    bool ready = false; //!< set by the representative's batch
+};
+
+/**
+ * Per-(cell, seed) trial plan. config.trials entries; classes indexes
+ * PlannedTrialInfo::classId.
+ */
+struct StratifiedPlan
+{
+    std::vector<PlannedTrialInfo> trials;
+    std::vector<FaultClass> classes;
+
+    /**
+     * Exact probability that a fresh blind trial at this seed's
+     * injection distribution resolves in the zero-variance stratum
+     * (RingEmpty or MaskedBit): averaged over all injection points d,
+     * P(empty ring at d) + P(masked (slot, bit) draw at d). This is
+     * W in the stratified estimator — see
+     * CampaignResult::marginOfError95.
+     */
+    double staticMaskedWeight = 0;
+
+    /** Trials resolved RingEmpty/MaskedBit (the W stratum). */
+    uint64_t weightResolvedTrials = 0;
+    /** All Resolved trials (W stratum + DeadReg + DynDead). */
+    uint64_t staticResolvedTrials = 0;
+    /** ClassMember trials (covered by a representative's run). */
+    uint64_t memberTrials = 0;
+
+    /** Trials that skip execution entirely. */
+    uint64_t
+    skippedTrials() const
+    {
+        return staticResolvedTrials + memberTrials;
+    }
+};
+
+/**
+ * Build the stratified plan for @p cell at @p config's (seed, trials):
+ * draw every trial's injection point from its trial-indexed RNG, then
+ * resolve all draws in one observed interpreter replay of the golden
+ * run. Deterministic for a fixed (characterization, seed, trials) —
+ * independent of config.tier and thread count, because the trial RNG
+ * streams and the golden run are. Requires cell.faultSpace (built by
+ * characterizeCell when config.sampling == SamplingPlan::Stratified).
+ */
+StratifiedPlan buildStratifiedPlan(const CellCharacterization &cell,
+                                   const CampaignConfig &config);
+
+} // namespace softcheck::campaign_detail
+
+#endif // SOFTCHECK_FAULT_SAMPLING_PLAN_HH

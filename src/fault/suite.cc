@@ -29,6 +29,11 @@ struct CellCtx
     TrialWorkerCache cache;
     /** One accumulator per seed (deque: atomics are immovable). */
     std::deque<TrialAccum> accums;
+    /** Per-seed stratified plans + class-outcome tables (filled by a
+     * dedicated plan task between characterization and the batches;
+     * unused under blind sampling). */
+    std::deque<StratifiedPlan> plans;
+    std::deque<std::vector<ClassOutcome>> classOuts;
 };
 
 /** Per-workload node state: the shared-artifact storage plus the
@@ -103,6 +108,8 @@ runCampaignSuite(const SuiteConfig &config)
                 cc.seedCfgs.push_back(cc.cfg);
                 cc.seedCfgs.back().seed = seed;
                 cc.accums.emplace_back();
+                cc.plans.emplace_back();
+                cc.classOuts.emplace_back();
             }
         }
     }
@@ -185,6 +192,28 @@ runCampaignSuite(const SuiteConfig &config)
                 }
 
                 TrialAccum &accum = cc.accums[si];
+                // Stratified sampling inserts a per-(cell, seed) plan
+                // task between characterization and the batches: one
+                // observed golden replay resolves the seed's whole
+                // trial budget. The batch tasks' dependency edge (and
+                // the finalize task's, via the batches) orders the
+                // plan and every representative's class-outcome write
+                // before their readers.
+                const bool stratified =
+                    scfg.sampling == SamplingPlan::Stratified;
+                StratifiedPlan *plan =
+                    stratified ? &cc.plans[si] : nullptr;
+                std::vector<ClassOutcome> *co =
+                    stratified ? &cc.classOuts[si] : nullptr;
+                std::vector<TaskPool::TaskId> batch_deps = {t_char};
+                if (stratified) {
+                    batch_deps = {pool.submit(
+                        [&cc, &scfg, plan, co] {
+                            *plan = buildStratifiedPlan(cc.cell, scfg);
+                            co->resize(plan->classes.size());
+                        },
+                        {t_char})};
+                }
                 const unsigned batch = trialBatchSize(
                     config.base.trials, pool.threadCount(),
                     scfg.tier);
@@ -194,15 +223,16 @@ runCampaignSuite(const SuiteConfig &config)
                     const unsigned last =
                         std::min(first + batch, config.base.trials);
                     batch_ids.push_back(pool.submit(
-                        [&cc, &scfg, first, last, &accum] {
+                        [&cc, &scfg, first, last, &accum, plan, co] {
                             runTrialBatch(cc.cell, scfg, first, last,
-                                          cc.cache, accum);
+                                          cc.cache, accum, plan, co);
                         },
-                        {t_char}));
+                        batch_deps));
                 }
                 pool.submit(
-                    [&cc, &scfg, &accum, slot] {
-                        *slot = finalizeTrialResult(cc.cell, scfg, accum);
+                    [&cc, &scfg, &accum, slot, plan, co] {
+                        *slot = finalizeTrialResult(cc.cell, scfg,
+                                                    accum, plan, co);
                     },
                     batch_ids);
             }

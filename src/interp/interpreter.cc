@@ -246,6 +246,13 @@ Interpreter::resume(ExecState &st, const ExecOptions &opts)
             }
         }
 
+        // Observer loop-top event at the exact injection/checkpoint
+        // boundary: dyn_count instructions have retired, the one at
+        // stack.back().ip is about to execute as dynamic index
+        // dyn_count.
+        if (opts.siteObserver)
+            opts.siteObserver->atLoopTop(st);
+
         if (dyn_count >= fault_at) {
             // Inject a single bit flip into a random live register of
             // the active frame (the paper's register-file fault model).
@@ -303,13 +310,18 @@ Interpreter::resume(ExecState &st, const ExecOptions &opts)
         if (opts.dynMix)
             opts.dynMix->note(fr.fn, fr.ip, inst.op);
 
-        auto read_op = [&fr](const OpRef &r) {
-            return r.slot >= 0 ? fr.regs[static_cast<size_t>(r.slot)]
-                               : r.imm;
+        auto read_op = [&](const OpRef &r) {
+            if (r.slot < 0)
+                return r.imm;
+            if (opts.siteObserver)
+                opts.siteObserver->onRead(st, r.slot);
+            return fr.regs[static_cast<size_t>(r.slot)];
         };
 
         auto write_dst = [&](uint64_t v) {
             const auto d = static_cast<size_t>(inst.dst);
+            if (opts.siteObserver)
+                opts.siteObserver->onWrite(st, inst.dst);
             fr.regs[d] = v;
             fr.noteWrite(inst.dst);
             if (inst.profileId >= 0 && opts.profiler)
@@ -327,6 +339,8 @@ Interpreter::resume(ExecState &st, const ExecOptions &opts)
                 for (const PhiMove &mv : moves)
                     phi_tmp.push_back(read_op(mv.src));
                 for (std::size_t i = 0; i < moves.size(); ++i) {
+                    if (opts.siteObserver)
+                        opts.siteObserver->onWrite(st, moves[i].dst);
                     fr.regs[static_cast<size_t>(moves[i].dst)] =
                         phi_tmp[i];
                     fr.noteWrite(moves[i].dst);
@@ -620,6 +634,9 @@ Interpreter::resume(ExecState &st, const ExecOptions &opts)
             pushExecFrame(stack, arena, callee, inst.dst);
             ExecFrame &nf = stack.back();
             for (std::size_t i = 0; i < phi_tmp.size(); ++i) {
+                if (opts.siteObserver)
+                    opts.siteObserver->onWrite(
+                        st, static_cast<int32_t>(i));
                 nf.regs[i] = phi_tmp[i];
                 nf.noteWrite(static_cast<int32_t>(i));
             }
@@ -636,6 +653,8 @@ Interpreter::resume(ExecState &st, const ExecOptions &opts)
                 return finish(Termination::Ok, TrapKind::None, -1, v);
             if (ret_dst >= 0) {
                 ExecFrame &caller = stack.back();
+                if (opts.siteObserver)
+                    opts.siteObserver->onWrite(st, ret_dst);
                 caller.regs[static_cast<size_t>(ret_dst)] = v;
                 caller.noteWrite(ret_dst);
             }

@@ -296,6 +296,28 @@ struct DynMixSink
     Opcode prevOp = Opcode::Ret;
 };
 
+/**
+ * Observer of the interpreter's fault-site-relevant events
+ * (ExecOptions::siteObserver, interpreter only). The stratified
+ * campaign planner replays the golden run once under this hook set to
+ * resolve injection draws without executing trials: atLoopTop fires at
+ * the top of the dispatch loop with st.dynCount = the dynamic index of
+ * the instruction about to execute (the exact point faults inject and
+ * checkpoints capture); onRead/onWrite fire for every register-slot
+ * access of the executing instruction, before the frame's
+ * recent-write ring advances (st.dynCount is then already past the
+ * instruction). Frame pushes/pops are not separate events — observers
+ * resynchronise against st.stack inside each hook.
+ */
+class FaultSiteObserver
+{
+  public:
+    virtual ~FaultSiteObserver() = default;
+    virtual void atLoopTop(const ExecState &st) = 0;
+    virtual void onRead(const ExecState &st, int32_t slot) = 0;
+    virtual void onWrite(const ExecState &st, int32_t slot) = 0;
+};
+
 /** Per-run execution options. */
 struct ExecOptions
 {
@@ -372,6 +394,9 @@ struct ExecOptions
 
     /** Dynamic opcode-mix sink (interpreter only); null = off. */
     DynMixSink *dynMix = nullptr;
+
+    /** Fault-site event observer (interpreter only); null = off. */
+    FaultSiteObserver *siteObserver = nullptr;
 };
 
 class Interpreter

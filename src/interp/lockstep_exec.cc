@@ -195,6 +195,8 @@ LockstepExec::runGroup(ExecState &st, std::vector<LaneTrial> &trials,
     bool stem_exported = false;
     scAssert(!opts.profiler, "lockstep groups cannot profile");
     scAssert(!opts.dynMix, "lockstep groups cannot record a dyn mix");
+    scAssert(!opts.siteObserver,
+             "lockstep groups cannot observe fault sites");
     scAssert(!opts.checkpointEvery && !opts.checkpointSchedule,
              "lockstep groups cannot record checkpoints");
     scAssert(opts.checkMode == CheckMode::Halt,

@@ -511,6 +511,8 @@ ThreadedExec::resume(ExecState &st, const ExecOptions &opts)
 {
     scAssert(!opts.profiler,
              "profiling runs must use the interpreter tier");
+    scAssert(!opts.siteObserver,
+             "fault-site observation runs must use the interpreter tier");
 
     std::vector<ExecFrame> &stack = st.stack;
     CostModel &cost = st.cost;

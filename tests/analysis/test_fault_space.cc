@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Fault-space partitioner tests: the dead/masked/active site census,
+ * the per-slot masked-bit fractions the campaign weight term uses,
+ * the operand-fault-space-masked check classification, and a sanity
+ * sweep over real hardened workload kernels.
+ */
+
+#include <gtest/gtest.h>
+
+#include <climits>
+
+#include "analysis/fault_space.hh"
+#include "analysis/protection_audit.hh"
+#include "core/pipeline.hh"
+#include "frontend/compile.hh"
+#include "ir/irbuilder.hh"
+#include "workloads/workload.hh"
+
+using namespace softcheck;
+
+namespace
+{
+
+TEST(FaultSpace, SummaryPartitionsEverySite)
+{
+    Module m("t");
+    Function *f = m.createFunction("f", Type::i32());
+    Argument *x = f->addArg(Type::i32(), "x");
+    IRBuilder b(m);
+    b.setInsertPoint(f->addBlock("entry"));
+    auto *a = b.createAdd(x, b.constI32(1), "a");
+    auto *unused = b.createMul(x, b.constI32(3), "u");
+    b.createRet(a);
+    (void)unused;
+    f->renumber();
+
+    FunctionFaultSpace fs(*f);
+    const FaultSpaceSummary s = fs.summarize();
+    EXPECT_GT(s.totalSites, 0u);
+    EXPECT_EQ(s.totalSites,
+              s.deadSites + s.maskedSites + s.activeSites);
+    EXPECT_GE(s.deadPct(), 0.0);
+    EXPECT_LE(s.deadPct() + s.maskedPct(), 100.0);
+    // `unused` is never read: all its sites are dead, so the function
+    // has dead sites even in straight-line code.
+    EXPECT_GT(s.deadSites, 0u);
+}
+
+TEST(FaultSpace, MaskedFractionMatchesMaskedBits)
+{
+    Module m("t");
+    Function *f = m.createFunction("f", Type::i32());
+    Argument *x = f->addArg(Type::i32(), "x");
+    IRBuilder b(m);
+    b.setInsertPoint(f->addBlock("entry"));
+    auto *a = b.createAnd(x, b.constI32(0xFF), "a");
+    b.createRet(a);
+    f->renumber();
+
+    FunctionFaultSpace fs(*f);
+    for (unsigned slot = 0; slot < f->numSlots(); ++slot) {
+        const unsigned width = fs.slotWidth(slot);
+        ASSERT_GT(width, 0u);
+        ASSERT_EQ(64 % width, 0u); // the exactness precondition
+        const unsigned pop = static_cast<unsigned>(
+            __builtin_popcountll(fs.maskedBits(slot)));
+        EXPECT_EQ(fs.maskedSixtyFourths(slot), pop * (64 / width));
+        // bitMasked agrees with the mask word bit for bit.
+        for (unsigned bit = 0; bit < width; ++bit)
+            EXPECT_EQ(fs.bitMasked(slot, bit),
+                      ((fs.maskedBits(slot) >> bit) & 1) != 0);
+        // No masked claims outside the slot's width.
+        EXPECT_EQ(fs.maskedBits(slot) &
+                      ~(width == 64 ? ~0ULL : (1ULL << width) - 1),
+                  0u);
+    }
+}
+
+TEST(FaultSpace, OperandFaultSpaceMaskedClassification)
+{
+    Module m("t");
+    Function *f = m.createFunction("f", Type::i32());
+    Argument *x = f->addArg(Type::i32(), "x");
+    IRBuilder b(m);
+    b.setInsertPoint(f->addBlock("entry"));
+    auto *v = b.createAdd(x, b.constI32(1), "v");
+    // Full-domain pass set: no flip of any operand bit can ever make
+    // the check fire — its whole operand fault-space is masked.
+    auto *full = b.createCheckRange(v, b.constI32(INT32_MIN),
+                                    b.constI32(INT32_MAX), 0);
+    // Tight pass set over an unconstrained value: plenty of flips
+    // cross the boundary.
+    auto *tight =
+        b.createCheckRange(v, b.constI32(0), b.constI32(15), 1);
+    b.createRet(v);
+    f->renumber();
+
+    RangeAnalysis ra(*f);
+    EXPECT_TRUE(checkOperandFaultSpaceMasked(*full, ra));
+    EXPECT_FALSE(checkOperandFaultSpaceMasked(*tight, ra));
+}
+
+TEST(FaultSpace, AuditSurfacesOperandMaskedChecks)
+{
+    Module m("t");
+    Function *f = m.createFunction("f", Type::i32());
+    Argument *x = f->addArg(Type::i32(), "x");
+    IRBuilder b(m);
+    b.setInsertPoint(f->addBlock("entry"));
+    auto *v = b.createAdd(x, b.constI32(1), "v");
+    b.createCheckRange(v, b.constI32(INT32_MIN), b.constI32(INT32_MAX),
+                       0);
+    b.createCheckRange(v, b.constI32(0), b.constI32(15), 1);
+    b.createRet(v);
+    f->renumber();
+
+    RangeAnalysis ra(*f);
+    const AuditResult r = auditProtection(*f, ra);
+    ASSERT_EQ(r.checks.size(), 2u);
+    EXPECT_EQ(r.operandMaskedChecks(), 1u);
+    // The full-domain check is also vacuous (its pass set contains
+    // every corrupted result), so the two analyses overlap there.
+    EXPECT_EQ(r.vacuousAndOperandMasked(),
+              std::min(r.vacuousChecks(), r.operandMaskedChecks()));
+    for (const CheckReport &cr : r.checks)
+        EXPECT_EQ(cr.operandFaultSpaceMasked, cr.checkId == 0);
+}
+
+/** The dead/masked/active partition must hold on every hardened
+ * module too, and real kernels must show a nonempty dead stratum
+ * (the pruning the stratified campaigns exploit). */
+TEST(FaultSpace, RealWorkloadCensusIsConsistent)
+{
+    for (const char *name : {"tiff2bw", "g721enc"}) {
+        SCOPED_TRACE(name);
+        const Workload &w = getWorkload(name);
+        auto mod = compileMiniLang(w.source, w.name);
+        HardeningOptions hopts;
+        hopts.mode = HardeningMode::FullDup;
+        hardenModule(*mod, hopts, nullptr);
+        for (Function *fn : mod->functions())
+            fn->renumber();
+
+        const ModuleFaultSpace mfs(*mod);
+        const FaultSpaceSummary s = mfs.summarize();
+        EXPECT_EQ(s.totalSites,
+                  s.deadSites + s.maskedSites + s.activeSites);
+        EXPECT_GT(s.deadSites, 0u);
+        // Class census: every class has >= 1 site, the largest class
+        // is no bigger than the active stratum.
+        EXPECT_LE(s.largestClass, s.activeSites);
+        uint64_t hist_total = 0;
+        for (const uint64_t n : s.classSizeHist)
+            hist_total += n;
+        EXPECT_EQ(hist_total, s.classCount);
+    }
+}
+
+} // namespace

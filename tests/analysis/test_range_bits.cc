@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Bit-level range-analysis query tests: known-zero/known-one bits at
+ * interval boundaries, signed-wrap and sign-bit edges, the flipped-
+ * value hull the fault-space partitioner meets against check pass
+ * sets, and the interplay with widening/narrowing at loop headers.
+ * Exactness is asserted where the algorithm is exact; everywhere else
+ * soundness is brute-forced by enumerating the interval.
+ */
+
+#include <gtest/gtest.h>
+
+#include <climits>
+#include <cstdint>
+
+#include "analysis/range_analysis.hh"
+#include "ir/irbuilder.hh"
+
+using namespace softcheck;
+
+namespace
+{
+
+TEST(KnownBits, PointIsFullyKnown)
+{
+    const IntRange r = IntRange::point(0x5A);
+    EXPECT_EQ(knownOneBits(r, 8), 0x5Au);
+    EXPECT_EQ(knownZeroBits(r, 8), 0xA5u);
+    // The raw pattern view truncates to the width.
+    EXPECT_EQ(knownOneBits(IntRange::point(-1), 8), 0xFFu);
+    EXPECT_EQ(knownZeroBits(IntRange::point(-1), 8), 0u);
+    EXPECT_EQ(knownOneBits(IntRange::point(-1), 64), ~0ULL);
+}
+
+TEST(KnownBits, IntervalBoundariesFixHighBits)
+{
+    // [8, 15]: the endpoints 0b01000 and 0b01111 agree above bit 3,
+    // so bit 3 is known one and bits 4..7 known zero; the low three
+    // bits sweep freely.
+    const IntRange r{8, 15};
+    EXPECT_EQ(knownOneBits(r, 8), 0x08u);
+    EXPECT_EQ(knownZeroBits(r, 8), 0xF0u);
+}
+
+TEST(KnownBits, SignedDomainEdges)
+{
+    // The most negative value: a lone sign bit.
+    EXPECT_EQ(knownOneBits(IntRange::point(-128), 8), 0x80u);
+    EXPECT_EQ(knownZeroBits(IntRange::point(-128), 8), 0x7Fu);
+    // The full domain wraps through the sign boundary: nothing known.
+    EXPECT_EQ(knownOneBits(IntRange::full(8), 8), 0u);
+    EXPECT_EQ(knownZeroBits(IntRange::full(8), 8), 0u);
+    // Mixed sign intersects the two halves' knowledge: {-1, 0} holds
+    // the patterns 0xFF and 0x00, which agree on no bit.
+    EXPECT_EQ(knownOneBits(IntRange{-1, 0}, 8), 0u);
+    EXPECT_EQ(knownZeroBits(IntRange{-1, 0}, 8), 0u);
+}
+
+TEST(KnownBits, BottomIsVacuouslyKnown)
+{
+    EXPECT_EQ(knownZeroBits(IntRange::bottom(), 8), 0xFFu);
+    EXPECT_EQ(knownOneBits(IntRange::bottom(), 8), 0xFFu);
+}
+
+TEST(FlippedRange, KnownBitShiftIsExact)
+{
+    // [8, 15] with bit 3 known one: the flip is a uniform -8.
+    EXPECT_EQ(flippedRange(IntRange{8, 15}, 8, 3), (IntRange{0, 7}));
+    // Bit 4 known zero: uniform +16.
+    EXPECT_EQ(flippedRange(IntRange{8, 15}, 8, 4), (IntRange{24, 31}));
+}
+
+TEST(FlippedRange, SignBitSplitsAtZero)
+{
+    // Non-negative values drop by 2^(w-1)...
+    EXPECT_EQ(flippedRange(IntRange{0, 5}, 8, 7),
+              (IntRange{-128, -123}));
+    // ...negative values rise; a mixed-sign interval joins both
+    // shifted halves, spanning nearly the whole domain.
+    EXPECT_EQ(flippedRange(IntRange{-2, 1}, 8, 7),
+              (IntRange{-128, 127}));
+}
+
+TEST(FlippedRange, WidthZeroMeans64AndBottomPropagates)
+{
+    EXPECT_EQ(flippedRange(IntRange::point(0), 0, 63),
+              IntRange::point(INT64_MIN));
+    EXPECT_TRUE(flippedRange(IntRange::bottom(), 8, 0).isBottom());
+}
+
+/** Enumerate an i8 interval: every value's raw pattern must respect
+ * the claimed known bits, and every single-bit flip must land inside
+ * the claimed hull (in the signed i8 domain the interpreter uses). */
+void
+bruteForceWidth8(int64_t lo, int64_t hi)
+{
+    SCOPED_TRACE(testing::Message() << "[" << lo << ", " << hi << "]");
+    const IntRange r{lo, hi};
+    const uint64_t kz = knownZeroBits(r, 8);
+    const uint64_t ko = knownOneBits(r, 8);
+    for (int64_t v = lo; v <= hi; ++v) {
+        const uint64_t pat = static_cast<uint64_t>(v) & 0xFF;
+        EXPECT_EQ(pat & kz, 0u) << "v=" << v;
+        EXPECT_EQ(pat & ko, ko) << "v=" << v;
+    }
+    for (unsigned bit = 0; bit < 8; ++bit) {
+        const IntRange f = flippedRange(r, 8, bit);
+        EXPECT_GE(f.lo, -128);
+        EXPECT_LE(f.hi, 127);
+        for (int64_t v = lo; v <= hi; ++v) {
+            const auto flipped = static_cast<int8_t>(
+                (static_cast<uint64_t>(v) ^ (1ULL << bit)) & 0xFF);
+            EXPECT_TRUE(f.contains(flipped))
+                << "v=" << v << " bit=" << bit << " hull=" << f.str();
+        }
+    }
+}
+
+TEST(FlippedRange, BruteForceSoundnessWidth8)
+{
+    bruteForceWidth8(8, 15);
+    bruteForceWidth8(-128, -1);
+    bruteForceWidth8(-3, 5);
+    bruteForceWidth8(0, 0);
+    bruteForceWidth8(5, 6);
+    bruteForceWidth8(100, 127);
+    bruteForceWidth8(-128, 127);
+}
+
+/** Widening at the loop header must not destroy bit-level knowledge:
+ * after narrowing recovers the counting-loop bounds, the phi's known
+ * bits and sign-bit flip hull are those of the narrowed interval. */
+TEST(KnownBits, LoopHeaderWideningThenNarrowing)
+{
+    // for (i = 0; i < 10; ++i);  return i;
+    Module m("t");
+    Function *f = m.createFunction("f", Type::i32());
+    IRBuilder b(m);
+    BasicBlock *entry = f->addBlock("entry");
+    BasicBlock *head = f->addBlock("head");
+    BasicBlock *body = f->addBlock("body");
+    BasicBlock *exit = f->addBlock("exit");
+
+    b.setInsertPoint(entry);
+    b.createBr(head);
+
+    b.setInsertPoint(head);
+    auto *i = b.createPhi(Type::i32(), "i");
+    auto *cmp = b.createICmp(Predicate::Slt, i, b.constI32(10), "c");
+    b.createCondBr(cmp, body, exit);
+
+    b.setInsertPoint(body);
+    auto *next = b.createAdd(i, b.constI32(1), "inc");
+    b.createBr(head);
+
+    i->addIncoming(b.constI32(0), entry);
+    i->addIncoming(next, body);
+
+    b.setInsertPoint(exit);
+    b.createRet(i);
+    f->renumber();
+
+    RangeAnalysis ra(*f);
+    const IntRange r = ra.intRange(i);
+    ASSERT_EQ(r, (IntRange{0, 10}));
+    // [0, 10]: bits 4..31 (including the sign bit) are known zero,
+    // bit 3 still swings between 8..10 and 0..7.
+    EXPECT_EQ(knownZeroBits(r, 32), 0xFFFFFFF0u);
+    EXPECT_EQ(knownOneBits(r, 32), 0u);
+    // Sign-bit flip of a known-non-negative counter: a uniform drop
+    // into the negative half.
+    EXPECT_EQ(flippedRange(r, 32, 31),
+              (IntRange{INT32_MIN, INT32_MIN + 10}));
+}
+
+} // namespace

@@ -1,0 +1,281 @@
+/**
+ * @file
+ * Stratified-sampling equivalence and plan-invariant tests.
+ *
+ * The stratified planner's claims are stronger than statistical
+ * agreement: every static resolution is exactness-preserving, so a
+ * stratified campaign's outcome counts must be BIT-IDENTICAL to the
+ * blind campaign's at the same seed — checked here across workloads,
+ * hardening modes, seeds, execution tiers and thread counts. The
+ * margin of error must simultaneously shrink (that is the point of
+ * the stratification), and the SOFTCHECK_VALIDATE_STATIC_MASKED hook
+ * must be able to re-execute the statically resolved trials and see
+ * Masked dynamically.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "fault/campaign_internal.hh"
+#include "fault/suite.hh"
+#include "support/task_pool.hh"
+
+namespace softcheck
+{
+namespace
+{
+
+void
+expectSameCounts(const CampaignResult &blind,
+                 const CampaignResult &strat)
+{
+    EXPECT_EQ(blind.counts, strat.counts);
+    EXPECT_EQ(blind.usdcLargeChange, strat.usdcLargeChange);
+    EXPECT_EQ(blind.usdcSmallChange, strat.usdcSmallChange);
+    EXPECT_EQ(blind.goldenDynInstrs, strat.goldenDynInstrs);
+    EXPECT_EQ(blind.goldenCycles, strat.goldenCycles);
+    EXPECT_EQ(blind.calibrationCheckFails,
+              strat.calibrationCheckFails);
+}
+
+void
+expectStratifiedAccountingSane(const CampaignResult &r)
+{
+    EXPECT_GE(r.staticMaskedWeight, 0.0);
+    EXPECT_LE(r.staticMaskedWeight, 1.0);
+    EXPECT_GE(r.trialsStaticallyResolved, r.trialsWeightResolved);
+    EXPECT_LE(r.trialsStaticallyResolved + r.trialsClassMembers,
+              r.totalTrials());
+    EXPECT_GE(r.staticallyResolvedFraction(), 0.0);
+    EXPECT_LE(r.staticallyResolvedFraction(), 1.0);
+    EXPECT_GE(r.effectiveSampleSize(),
+              static_cast<double>(r.totalTrials() -
+                                  r.trialsWeightResolved));
+    for (unsigned o = 0; o < kNumOutcomes; ++o) {
+        const auto oc = static_cast<Outcome>(o);
+        EXPECT_GE(r.marginOfError95(oc), 0.0);
+    }
+}
+
+/** Four workloads x all four hardening modes x two seeds: stratified
+ * counts are bit-identical to blind, the accounting is sane, and the
+ * worst-case margin of error never exceeds the blind one. */
+TEST(SamplingPlan, SuiteGridBitIdenticalToBlind)
+{
+    SuiteConfig sc;
+    sc.workloads = {"tiff2bw", "g721enc", "kmeans", "svm"};
+    sc.modes = {HardeningMode::Original, HardeningMode::DupOnly,
+                HardeningMode::DupValChks, HardeningMode::FullDup};
+    sc.seeds = {0x5eed, 0xBEEF};
+    sc.base.trials = 60;
+
+    sc.base.sampling = SamplingPlan::Blind;
+    const SuiteResult blind = runCampaignSuite(sc);
+
+    sc.base.sampling = SamplingPlan::Stratified;
+    const SuiteResult strat = runCampaignSuite(sc);
+
+    ASSERT_EQ(strat.cells.size(), blind.cells.size());
+    uint64_t total_skipped = 0;
+    for (std::size_t i = 0; i < blind.cells.size(); ++i) {
+        SCOPED_TRACE(testing::Message()
+                     << "cell " << i << " ("
+                     << blind.cells[i].config.workload << ", "
+                     << hardeningModeName(blind.cells[i].config.mode)
+                     << ", seed " << blind.cells[i].config.seed
+                     << ")");
+        expectSameCounts(blind.cells[i], strat.cells[i]);
+        expectStratifiedAccountingSane(strat.cells[i]);
+        // Blind campaigns carry no stratified accounting.
+        EXPECT_EQ(blind.cells[i].staticMaskedWeight, 0.0);
+        EXPECT_EQ(blind.cells[i].trialsStaticallyResolved, 0u);
+        // The worst-case margin ratio (stratified / blind) is
+        // (1-W)*sqrt(n/n_a), which is <= 1 iff n_a >= n*(1-W)^2, i.e.
+        // the realized W-stratum count X_w <= n*(2W - W^2). At the
+        // expected X_w ~ W*n the ratio is sqrt(1-W) < 1; only when
+        // X_w lands far ABOVE roughly twice its expectation can the
+        // shrunken active sample outweigh the (1-W) scaling — honest
+        // variance reporting, not a bug, so only assert shrinkage
+        // inside the guaranteed region.
+        const CampaignResult &s = strat.cells[i];
+        const double W = s.staticMaskedWeight;
+        const double n = static_cast<double>(s.totalTrials());
+        if (static_cast<double>(s.trialsWeightResolved) <=
+            n * (2.0 * W - W * W))
+            EXPECT_LE(s.marginOfError95WorstCase(),
+                      blind.cells[i].marginOfError95WorstCase() +
+                          1e-12);
+        total_skipped += strat.cells[i].trialsStaticallyResolved +
+                         strat.cells[i].trialsClassMembers;
+    }
+    // The grid as a whole must actually prune something, or the mode
+    // is pointless.
+    EXPECT_GT(total_skipped, 0u);
+}
+
+/** One stratified campaign across every execution tier and thread
+ * count: counts AND stratified accounting are bit-identical (the plan
+ * is built on the interpreter from trial-indexed RNG streams, so
+ * neither tier nor scheduling can perturb it). */
+TEST(SamplingPlan, BitIdenticalAcrossTiersAndThreads)
+{
+    CampaignConfig cfg;
+    cfg.workload = "g721enc";
+    cfg.mode = HardeningMode::DupValChks;
+    cfg.trials = 120;
+    cfg.sampling = SamplingPlan::Stratified;
+    cfg.tier = ExecTier::Interp;
+    cfg.threads = 1;
+    const CampaignResult ref = runCampaign(cfg);
+    expectStratifiedAccountingSane(ref);
+
+    for (const ExecTier tier :
+         {ExecTier::Interp, ExecTier::Threaded, ExecTier::Lockstep}) {
+        for (const unsigned threads : {1u, 2u, 4u}) {
+            SCOPED_TRACE(testing::Message()
+                         << execTierName(tier) << " x " << threads
+                         << " threads");
+            cfg.tier = tier;
+            cfg.threads = threads;
+            const CampaignResult got = runCampaign(cfg);
+            EXPECT_EQ(got.counts, ref.counts);
+            EXPECT_EQ(got.usdcLargeChange, ref.usdcLargeChange);
+            EXPECT_EQ(got.usdcSmallChange, ref.usdcSmallChange);
+            EXPECT_EQ(got.staticMaskedWeight, ref.staticMaskedWeight);
+            EXPECT_EQ(got.trialsWeightResolved,
+                      ref.trialsWeightResolved);
+            EXPECT_EQ(got.trialsStaticallyResolved,
+                      ref.trialsStaticallyResolved);
+            EXPECT_EQ(got.trialsClassMembers, ref.trialsClassMembers);
+            EXPECT_EQ(got.faultClasses, ref.faultClasses);
+        }
+    }
+}
+
+/** SOFTCHECK_VALIDATE_STATIC_MASKED: every non-RingEmpty statically
+ * resolved trial is re-executed and scAssert'd to classify Masked;
+ * the validation reruns must not perturb any accounting. */
+TEST(SamplingPlan, DynamicValidationOfStaticResolutions)
+{
+    CampaignConfig cfg;
+    cfg.workload = "tiff2bw";
+    cfg.mode = HardeningMode::FullDup;
+    cfg.trials = 80;
+    cfg.sampling = SamplingPlan::Stratified;
+    const CampaignResult plain = runCampaign(cfg);
+
+    ASSERT_EQ(setenv("SOFTCHECK_VALIDATE_STATIC_MASKED", "1", 1), 0);
+    const CampaignResult validated = runCampaign(cfg);
+    ASSERT_EQ(unsetenv("SOFTCHECK_VALIDATE_STATIC_MASKED"), 0);
+
+    EXPECT_EQ(validated.counts, plain.counts);
+    EXPECT_EQ(validated.usdcLargeChange, plain.usdcLargeChange);
+    EXPECT_EQ(validated.usdcSmallChange, plain.usdcSmallChange);
+    EXPECT_EQ(validated.ffReplayInstrs, plain.ffReplayInstrs);
+    EXPECT_EQ(validated.trialsStaticallyResolved,
+              plain.trialsStaticallyResolved);
+}
+
+/** Structural invariants of the plan itself, via the internal API. */
+TEST(SamplingPlan, PlanInvariants)
+{
+    using namespace campaign_detail;
+    CampaignConfig cfg;
+    cfg.workload = "g721enc";
+    cfg.mode = HardeningMode::DupOnly;
+    cfg.trials = 200;
+    cfg.sampling = SamplingPlan::Stratified;
+    const CellCharacterization cell =
+        characterizeCell(cfg, nullptr, nullptr);
+    ASSERT_NE(cell.faultSpace, nullptr);
+    const StratifiedPlan plan = buildStratifiedPlan(cell, cfg);
+
+    ASSERT_EQ(plan.trials.size(), cfg.trials);
+    EXPECT_GE(plan.staticMaskedWeight, 0.0);
+    EXPECT_LE(plan.staticMaskedWeight, 1.0);
+
+    uint64_t resolved = 0, weight_resolved = 0, members = 0;
+    std::vector<uint32_t> class_sizes(plan.classes.size(), 0);
+    std::vector<uint32_t> class_min(plan.classes.size(), ~0u);
+    for (std::size_t t = 0; t < plan.trials.size(); ++t) {
+        const PlannedTrialInfo &pi = plan.trials[t];
+        switch (pi.kind) {
+          case TrialKind::Execute:
+            EXPECT_EQ(pi.why, StaticResolution::None);
+            EXPECT_EQ(pi.classId, ~0u);
+            break;
+          case TrialKind::Resolved:
+            EXPECT_NE(pi.why, StaticResolution::None);
+            ++resolved;
+            if (pi.why == StaticResolution::RingEmpty ||
+                pi.why == StaticResolution::MaskedBit)
+                ++weight_resolved;
+            break;
+          case TrialKind::ClassRep:
+          case TrialKind::ClassMember: {
+            ASSERT_LT(pi.classId, plan.classes.size());
+            ++class_sizes[pi.classId];
+            class_min[pi.classId] = std::min(
+                class_min[pi.classId], static_cast<uint32_t>(t));
+            if (pi.kind == TrialKind::ClassMember)
+                ++members;
+            break;
+          }
+        }
+    }
+    EXPECT_EQ(resolved, plan.staticResolvedTrials);
+    EXPECT_EQ(weight_resolved, plan.weightResolvedTrials);
+    EXPECT_EQ(members, plan.memberTrials);
+    for (std::size_t c = 0; c < plan.classes.size(); ++c) {
+        SCOPED_TRACE(testing::Message() << "class " << c);
+        EXPECT_GE(plan.classes[c].size, 2u);
+        EXPECT_EQ(plan.classes[c].size, class_sizes[c]);
+        // The representative is the lowest member trial, and it is
+        // marked ClassRep.
+        EXPECT_EQ(plan.classes[c].repTrial, class_min[c]);
+        EXPECT_EQ(plan.trials[plan.classes[c].repTrial].kind,
+                  TrialKind::ClassRep);
+    }
+
+    // The plan is a pure function of (characterization, seed):
+    // rebuilding it gives the same plan.
+    const StratifiedPlan again = buildStratifiedPlan(cell, cfg);
+    EXPECT_EQ(again.staticMaskedWeight, plan.staticMaskedWeight);
+    EXPECT_EQ(again.staticResolvedTrials, plan.staticResolvedTrials);
+    EXPECT_EQ(again.memberTrials, plan.memberTrials);
+    EXPECT_EQ(again.classes.size(), plan.classes.size());
+}
+
+/** Equivalence classes need two unresolved trials to collide on a
+ * (first read, slot, bit) key, which at the default budgets over a
+ * ~74k-instruction stream essentially never happens — so pin the
+ * class machinery at a budget where collisions are guaranteed by
+ * construction on the smallest workload. Plan building only replays
+ * the golden run once, so this stays cheap even at 16000 trials. */
+TEST(SamplingPlan, ClassesFormAtHighBudget)
+{
+    using namespace campaign_detail;
+    CampaignConfig cfg;
+    cfg.workload = "tiff2bw";
+    cfg.mode = HardeningMode::Original;
+    cfg.trials = 16000;
+    cfg.sampling = SamplingPlan::Stratified;
+    const CellCharacterization cell =
+        characterizeCell(cfg, nullptr, nullptr);
+    const StratifiedPlan plan = buildStratifiedPlan(cell, cfg);
+
+    ASSERT_GE(plan.classes.size(), 1u);
+    EXPECT_GE(plan.memberTrials, plan.classes.size());
+    for (const FaultClass &c : plan.classes) {
+        ASSERT_LT(c.repTrial, plan.trials.size());
+        EXPECT_EQ(plan.trials[c.repTrial].kind, TrialKind::ClassRep);
+        // A representative still executes at its own trial index, so
+        // it must not also be statically resolved.
+        EXPECT_EQ(plan.trials[c.repTrial].why, StaticResolution::None);
+        EXPECT_GE(c.size, 2u);
+    }
+}
+
+} // namespace
+} // namespace softcheck

@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "analysis/dominance_verify.hh"
+#include "analysis/fault_space.hh"
 #include "analysis/protection_audit.hh"
 #include "analysis/range_analysis.hh"
 #include "fault/campaign_internal.hh"
@@ -49,6 +50,7 @@ struct LintOptions
     bool allWorkloads = false;
     bool elideVacuous = false;
     bool printRanges = false;
+    bool faultSpace = false;
     bool dynOpcodeMix = false;
     bool verbose = false;
     bool enableOpt1 = true;
@@ -74,6 +76,11 @@ usage(const char *argv0)
         "  --no-opt2        disable duplicate-chain cutting\n"
         "  --elide-vacuous  elide audit-proven vacuous checks\n"
         "  --ranges         print the static value-range report\n"
+        "  --fault-space    print the static fault-space partition\n"
+        "                   (site census: %% dead / %% masked, active\n"
+        "                   equivalence classes and their size\n"
+        "                   histogram) plus the overlap between\n"
+        "                   operand-masked and vacuous checks\n"
         "  --dyn-opcode-mix run the test input and print the dynamic\n"
         "                   opcode / fallthrough-pair histogram plus\n"
         "                   the lockstep-eligible fraction (straight-\n"
@@ -134,6 +141,47 @@ printRangeReport(const Function &fn, const RangeAnalysis &ra)
     }
 }
 
+/**
+ * Static fault-space partition of the (possibly hardened) module: the
+ * (instruction, slot, bit) site census over the dead/masked/active
+ * lattice, the active-site equivalence classes, and the overlap
+ * between the two "useless check" analyses (range-based vacuity vs.
+ * bit-level operand masking — independent arguments, so agreement is
+ * worth surfacing).
+ */
+void
+printFaultSpaceReport(const Module &m, const AuditResult &audit)
+{
+    const ModuleFaultSpace mfs(m);
+    const FaultSpaceSummary s = mfs.summarize();
+    std::printf("  fault-space: sites=%llu dead=%.1f%% masked=%.1f%% "
+                "active=%llu classes=%llu largest=%llu\n",
+                static_cast<unsigned long long>(s.totalSites),
+                s.deadPct(), s.maskedPct(),
+                static_cast<unsigned long long>(s.activeSites),
+                static_cast<unsigned long long>(s.classCount),
+                static_cast<unsigned long long>(s.largestClass));
+    if (s.classCount) {
+        std::printf("  class sizes:");
+        for (std::size_t k = 0; k < s.classSizeHist.size(); ++k) {
+            if (!s.classSizeHist[k])
+                continue;
+            std::printf(" [%llu,%llu)=%llu",
+                        static_cast<unsigned long long>(1ULL << k),
+                        static_cast<unsigned long long>(2ULL << k),
+                        static_cast<unsigned long long>(
+                            s.classSizeHist[k]));
+        }
+        std::printf("\n");
+    }
+    if (!audit.checks.empty())
+        std::printf("  op-masked checks: %u of %zu (vacuous overlap "
+                    "%u of %u vacuous)\n",
+                    audit.operandMaskedChecks(), audit.checks.size(),
+                    audit.vacuousAndOperandMasked(),
+                    audit.vacuousChecks());
+}
+
 /** Run the static tool stack over an already-hardened module. */
 LintOutcome
 lintModule(Module &m, const AuditOptions &audit_opts,
@@ -162,11 +210,13 @@ lintModule(Module &m, const AuditOptions &audit_opts,
 
     if (opts.verbose) {
         for (const CheckReport &cr : out.audit.checks) {
-            if (!cr.vacuous && !cr.fpRisk)
+            if (!cr.vacuous && !cr.fpRisk &&
+                !cr.operandFaultSpaceMasked)
                 continue;
-            std::printf("  check #%d:%s%s flow=%s arbitrary=%s\n",
+            std::printf("  check #%d:%s%s%s flow=%s arbitrary=%s\n",
                         cr.checkId, cr.vacuous ? " vacuous" : "",
                         cr.fpRisk ? " fp-risk" : "",
+                        cr.operandFaultSpaceMasked ? " op-masked" : "",
                         cr.flowRange.str().c_str(),
                         cr.arbitraryRange.str().c_str());
         }
@@ -177,12 +227,16 @@ lintModule(Module &m, const AuditOptions &audit_opts,
             printRangeReport(*fn, ra);
         }
     }
+    if (opts.faultSpace)
+        printFaultSpaceReport(m, out.audit);
 
     const ProtectionCounts &pc = out.audit.counts;
-    std::printf("%-32s %-5s %s checks=%zu vacuous=%u fp_risk=%u\n",
+    std::printf("%-32s %-5s %s checks=%zu vacuous=%u fp_risk=%u "
+                "op_masked=%u\n",
                 what, out.problems ? "FAIL" : "ok", pc.str().c_str(),
                 out.audit.checks.size(), out.audit.vacuousChecks(),
-                out.audit.fpRiskChecks());
+                out.audit.fpRiskChecks(),
+                out.audit.operandMaskedChecks());
     return out;
 }
 
@@ -437,6 +491,8 @@ main(int argc, char **argv)
             opts.elideVacuous = true;
         } else if (arg == "--ranges") {
             opts.printRanges = true;
+        } else if (arg == "--fault-space") {
+            opts.faultSpace = true;
         } else if (arg == "--dyn-opcode-mix") {
             opts.dynOpcodeMix = true;
         } else if (arg == "-v" || arg == "--verbose") {
