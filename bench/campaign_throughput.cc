@@ -35,6 +35,9 @@
  *                              A separate section always benches both
  *                              at equal K and reports the expected and
  *                              measured fast-forward cost per trial.
+ *   --shards S[,S...]          worker-process counts for the trial-
+ *                              sharding section (default: 0,2,4;
+ *                              0 = the in-process baseline row)
  *   --sampling blind|stratified  sampling plan for the K sweep and
  *                              suite sections (default: blind, or
  *                              SOFTCHECK_SAMPLING). A separate
@@ -77,6 +80,15 @@
  * whole-suite scaling headline. hostHardwareThreads is recorded next
  * to it so a flat curve on a small machine reads as what it is.
  *
+ * Two service-layer sections close the run: a trial-sharding sweep
+ * (fork-and-merge worker processes over one serialized bundle,
+ * outcome counts asserted bit-identical to in-process at every shard
+ * count — on a 1-core container the rows honestly show dispatch
+ * overhead rather than a parallel win), and an artifact-cache section
+ * that runs the suite grid cold then warm against a scratch cache
+ * directory, asserting the warm pass serves every cell with zero
+ * fault-free phase seconds.
+ *
  * Writes machine-readable results to BENCH_campaign.json (override the
  * path with SOFTCHECK_BENCH_JSON) so the perf trajectory is trackable
  * across PRs. Outcome counts are asserted identical across K as a
@@ -88,9 +100,12 @@
 #include <cmath>
 #include <cstdio>
 #include <cstring>
-#include <thread>
+#include <filesystem>
+
+#include <stdlib.h>
 
 #include "bench_util.hh"
+#include "support/concurrency.hh"
 #include "support/error.hh"
 
 namespace
@@ -138,6 +153,9 @@ struct BenchOptions
      * the suite sections. */
     std::vector<ExecTier> tiers = {ExecTier::Interp, ExecTier::Threaded,
                                    ExecTier::Lockstep};
+    /** Worker-process counts for the trial-sharding section (0 = the
+     * in-process trial phase, the baseline row). */
+    std::vector<unsigned> shardCounts = {0, 2, 4};
     /** Placement for the K sweep and suite sections; the dedicated
      * comparison section benches both regardless. */
     CheckpointPlacement placement = CheckpointPlacement::Adaptive;
@@ -174,7 +192,8 @@ usage(const char *argv0)
                  "[--suite-threads N[,N...]] "
                  "[--tier interp|threaded|lockstep|both|all] "
                  "[--lanes L[,L...]] [--placement uniform|adaptive] "
-                 "[--sampling blind|stratified]\n",
+                 "[--sampling blind|stratified] "
+                 "[--shards S[,S...]]\n",
                  argv0);
     std::exit(2);
 }
@@ -246,6 +265,13 @@ parseArgs(int argc, char **argv)
             if (opt.lanes.empty() ||
                 std::find(opt.lanes.begin(), opt.lanes.end(), 0u) !=
                     opt.lanes.end())
+                usage(argv[0]);
+        } else if (!std::strcmp(argv[i], "--shards")) {
+            opt.shardCounts.clear();
+            for (const std::string &s : splitList(value()))
+                opt.shardCounts.push_back(static_cast<unsigned>(
+                    std::strtoul(s.c_str(), nullptr, 10)));
+            if (opt.shardCounts.empty())
                 usage(argv[0]);
         } else if (!std::strcmp(argv[i], "--suite-threads")) {
             opt.suiteThreads.clear();
@@ -851,8 +877,7 @@ main(int argc, char **argv)
     }
 
     // ---- suite scaling: scheduler width sweep over the same grid ------
-    const unsigned host_threads =
-        std::max(1u, std::thread::hardware_concurrency());
+    const unsigned host_threads = hardwareThreads();
     benchutil::printHeader(
         "Suite scaling: work-stealing scheduler width on the same "
         "grid",
@@ -893,6 +918,128 @@ main(int argc, char **argv)
                     row.wallSeconds > 0
                         ? row.cpuSeconds / row.wallSeconds
                         : 0.0);
+    }
+
+    // ---- multi-process trial sharding ---------------------------------
+    struct ShardRow
+    {
+        unsigned shards = 0; //!< 0 = in-process trial phase
+        double trialSeconds = 0;
+        double trialsPerSec = 0;
+        double speedupVsInProcess = 1.0;
+    };
+    std::vector<ShardRow> shard_rows;
+    {
+        CampaignConfig cfg = benchutil::makeConfig(
+            workloads.front(), HardeningMode::DupValChks, trials);
+        cfg.threads = opt.threads;
+        cfg.tier = opt.tiers.back();
+        cfg.checkpoints = 32;
+        benchutil::printHeader(
+            "Multi-process trial sharding: fork-and-merge workers "
+            "over one serialized bundle",
+            strformat("%u trials, %s/dupvalchks; shards=0 is the "
+                      "in-process phase; workers deserialize the "
+                      "bundle, so shard rows pay serialization + fork "
+                      "overhead — on this %u-thread host a parallel "
+                      "win needs spare cores, a 1-core container "
+                      "shows the overhead honestly",
+                      trials, workloads.front().c_str(),
+                      host_threads));
+        std::printf("  %8s %10s %12s %9s\n", "shards", "trial-sec",
+                    "trials/sec", "speedup");
+        CampaignResult shard_base;
+        for (const unsigned s : opt.shardCounts) {
+            CampaignConfig scfg = cfg;
+            scfg.shards = s;
+            const CampaignResult r = runCampaign(scfg);
+            if (shard_rows.empty())
+                shard_base = r;
+            scAssert(r.counts == shard_base.counts &&
+                         r.usdcLargeChange == shard_base.usdcLargeChange,
+                     "sharded outcomes diverged from the first row");
+            ShardRow row;
+            row.shards = s;
+            row.trialSeconds = r.phase.trialsSeconds;
+            row.trialsPerSec = r.trialsPerSec();
+            row.speedupVsInProcess =
+                shard_rows.empty()
+                    ? 1.0
+                    : shard_rows.front().trialSeconds / row.trialSeconds;
+            shard_rows.push_back(row);
+            std::printf("  %8u %10.3f %12.1f %8.2fx\n", row.shards,
+                        row.trialSeconds, row.trialsPerSec,
+                        row.speedupVsInProcess);
+        }
+    }
+
+    // ---- artifact cache: cold vs warm ---------------------------------
+    struct CacheRun
+    {
+        double wallSeconds = 0;
+        double compileSeconds = 0;
+        double profileSeconds = 0;
+        double baselineSeconds = 0;
+        double goldenSeconds = 0;
+        double cacheLoadSeconds = 0;
+        unsigned servedCells = 0;
+    };
+    CacheRun cache_cold, cache_warm;
+    {
+        std::string cache_dir = (std::filesystem::temp_directory_path() /
+                                 "softcheck-bench-cache-XXXXXX")
+                                    .string();
+        scAssert(::mkdtemp(cache_dir.data()) != nullptr,
+                 "cannot create bench cache directory");
+        SuiteConfig ccfg = sweep;
+        ccfg.base.artifactCacheDir = cache_dir;
+        benchutil::printHeader(
+            "Artifact cache: the same suite grid cold vs. warm",
+            strformat("%zu workloads x %zu modes x %zu seeds, %u "
+                      "trials per cell; warm requests skip compile / "
+                      "profile / baseline / golden and pay only the "
+                      "bundle load + trial phase",
+                      sweep_workloads.size(), sweep_modes.size(),
+                      sweep.seeds.size(), sweep_trials));
+        auto run_once = [&](const char *label) {
+            const auto t0 = std::chrono::steady_clock::now();
+            const SuiteResult r = runCampaignSuite(ccfg);
+            CacheRun c;
+            c.wallSeconds = secondsSince(t0);
+            c.compileSeconds = r.phase.compileSeconds;
+            c.profileSeconds = r.phase.profileSeconds;
+            c.baselineSeconds = r.phase.baselineSeconds;
+            c.goldenSeconds = r.phase.goldenSeconds;
+            c.cacheLoadSeconds = r.phase.cacheLoadSeconds;
+            for (std::size_t i = 0; i < r.cells.size(); ++i) {
+                scAssert(r.cells[i].counts == suite.cells[i].counts,
+                         "cached suite diverged from uncached");
+                if (r.cells[i].servedFromCache)
+                    ++c.servedCells;
+            }
+            std::printf("  %-6s wall %7.3f s  fault-free phases "
+                        "%7.3f s  cacheLoad %6.3f s  cells from "
+                        "cache %u/%zu\n",
+                        label, c.wallSeconds,
+                        c.compileSeconds + c.profileSeconds +
+                            c.baselineSeconds + c.goldenSeconds,
+                        c.cacheLoadSeconds, c.servedCells,
+                        r.cells.size());
+            return c;
+        };
+        cache_cold = run_once("cold");
+        cache_warm = run_once("warm");
+        scAssert(cache_cold.servedCells == 0,
+                 "cold run unexpectedly hit the cache");
+        scAssert(cache_warm.servedCells == sweep_workloads.size() *
+                                               sweep_modes.size() *
+                                               sweep.seeds.size(),
+                 "warm run missed the cache");
+        scAssert(cache_warm.compileSeconds == 0 &&
+                     cache_warm.goldenSeconds == 0,
+                 "warm run recomputed a cached phase");
+        std::error_code ec;
+        std::filesystem::remove_all(cache_dir, ec);
     }
 
     const char *json_path = std::getenv("SOFTCHECK_BENCH_JSON");
@@ -1170,7 +1317,50 @@ main(int argc, char **argv)
                      r.speedupVs1,
                      i + 1 < scale_rows.size() ? "," : "");
     }
-    std::fprintf(f, "    ]\n  }\n}\n");
+    std::fprintf(f, "    ]\n  },\n");
+
+    // Shard rows are bit-identical by assertion above; on a 1-core
+    // host the sweep measures pure dispatch overhead, which is the
+    // honest number for this container (see hostHardwareThreads).
+    std::fprintf(f,
+                 "  \"shardSweep\": {\n"
+                 "    \"workload\": \"%s\", \"trials\": %u, "
+                 "\"hostHardwareThreads\": %u,\n"
+                 "    \"rows\": [\n",
+                 workloads.front().c_str(), trials, host_threads);
+    for (std::size_t i = 0; i < shard_rows.size(); ++i) {
+        const ShardRow &r = shard_rows[i];
+        std::fprintf(f,
+                     "      {\"shards\": %u, \"trialSeconds\": %.6f, "
+                     "\"trialsPerSec\": %.2f, "
+                     "\"speedupVsInProcess\": %.3f}%s\n",
+                     r.shards, r.trialSeconds, r.trialsPerSec,
+                     r.speedupVsInProcess,
+                     i + 1 < shard_rows.size() ? "," : "");
+    }
+    std::fprintf(f, "    ]\n  },\n");
+
+    std::fprintf(
+        f,
+        "  \"artifactCache\": {\n"
+        "    \"grid\": \"%zux%zux%zu\", \"trialsPerCell\": %u,\n"
+        "    \"cold\": {\"wallSeconds\": %.6f, \"faultFreeSeconds\": "
+        "%.6f, \"cacheLoadSeconds\": %.6f, \"servedCells\": %u},\n"
+        "    \"warm\": {\"wallSeconds\": %.6f, \"faultFreeSeconds\": "
+        "%.6f, \"cacheLoadSeconds\": %.6f, \"servedCells\": %u},\n"
+        "    \"warmSpeedup\": %.3f\n  }\n}\n",
+        sweep_workloads.size(), sweep_modes.size(), suite.seeds.size(),
+        sweep_trials, cache_cold.wallSeconds,
+        cache_cold.compileSeconds + cache_cold.profileSeconds +
+            cache_cold.baselineSeconds + cache_cold.goldenSeconds,
+        cache_cold.cacheLoadSeconds, cache_cold.servedCells,
+        cache_warm.wallSeconds,
+        cache_warm.compileSeconds + cache_warm.profileSeconds +
+            cache_warm.baselineSeconds + cache_warm.goldenSeconds,
+        cache_warm.cacheLoadSeconds, cache_warm.servedCells,
+        cache_warm.wallSeconds > 0
+            ? cache_cold.wallSeconds / cache_warm.wallSeconds
+            : 0.0);
     std::fclose(f);
     std::printf("wrote %s\n", json_path);
     return 0;

@@ -5,7 +5,6 @@
 #include <cmath>
 #include <cstdlib>
 #include <limits>
-#include <thread>
 #include <unordered_set>
 
 #include "fault/campaign_internal.hh"
@@ -47,7 +46,7 @@ double
 CampaignPhaseTimes::totalSeconds() const
 {
     return compileSeconds + profileSeconds + baselineSeconds +
-           goldenSeconds + trialsSeconds;
+           goldenSeconds + trialsSeconds + cacheLoadSeconds;
 }
 
 CampaignPhaseTimes &
@@ -58,6 +57,7 @@ CampaignPhaseTimes::operator+=(const CampaignPhaseTimes &o)
     baselineSeconds += o.baselineSeconds;
     goldenSeconds += o.goldenSeconds;
     trialsSeconds += o.trialsSeconds;
+    cacheLoadSeconds += o.cacheLoadSeconds;
     return *this;
 }
 
@@ -1080,30 +1080,8 @@ trialSeed(uint64_t campaignSeed, unsigned trial)
                           0x9e3779b97f4a7c15ULL);
 }
 
-CampaignResult
-runCampaign(const CampaignConfig &config)
-{
-    const auto cell =
-        campaign_detail::characterizeCell(config, nullptr, nullptr);
-    if (config.trials == 0) {
-        CampaignResult result = cell.proto;
-        result.config = config;
-        return result;
-    }
-    unsigned threads = config.threads;
-    if (threads == 0)
-        threads = std::max(1u, std::thread::hardware_concurrency());
-    threads = std::min(threads, config.trials);
-    TaskPool pool(threads);
-    return campaign_detail::runTrialPhase(cell, config, pool);
-}
-
-CampaignResult
-characterizeOnly(const CampaignConfig &config)
-{
-    CampaignConfig cfg = config;
-    cfg.trials = 0;
-    return runCampaign(cfg);
-}
+// runCampaign / characterizeOnly live in src/service/campaign_entry.cc:
+// the public entry points own the artifact-cache and shard dispatch,
+// which layer above this file's characterization/trial building blocks.
 
 } // namespace softcheck

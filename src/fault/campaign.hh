@@ -156,6 +156,36 @@ struct CampaignConfig
      * the honest order of magnitude. 0 = optimize pure replay.
      */
     double restoreInstrsPerPage = 64.0;
+
+    /**
+     * Trial-phase worker processes (0 or 1 = run trials in-process).
+     * The characterization is serialized to a bundle file; each worker
+     * forks, deserializes it into a fresh address space, runs a
+     * contiguous trial-index range, and pipes its commutative
+     * accumulator deltas back to the parent. Trial-indexed RNG makes
+     * the shard boundaries invisible, so outcome counts are
+     * bit-identical to in-process runs at any shard count; a worker
+     * that dies (crash, OOM kill) is detected at reap time and its
+     * whole range is re-dispatched. Not combinable with
+     * SamplingPlan::Stratified (the plan's class representatives are
+     * cross-trial state). See src/service/shard.hh.
+     */
+    unsigned shards = 0;
+
+    /**
+     * Artifact-cache directory ("" = caching off). Characterizations
+     * — hardened module, calibration, golden run, snapshot chain —
+     * are stored under a content-hash key of everything they depend on
+     * (workload source + hardening knobs + checkpoint knobs; see
+     * src/service/artifact_cache.hh), so a repeated campaign or suite
+     * request skips straight to the trial phase: compile / profile /
+     * baseline / golden phase times are ~0 and only
+     * CampaignPhaseTimes::cacheLoadSeconds is paid. Trial-phase knobs
+     * (seed, trials count, tier, threads, sampling) are deliberately
+     * not part of the key — characterizations are seed-independent and
+     * tier-bit-identical, so variants share one entry.
+     */
+    std::string artifactCacheDir;
 };
 
 /**
@@ -179,6 +209,10 @@ struct CampaignPhaseTimes
     double baselineSeconds = 0; //!< unhardened characterization run
     double goldenSeconds = 0;   //!< merged calibration+checkpoint golden run
     double trialsSeconds = 0;   //!< injection trials
+    /** Artifact-cache bundle load (deserialize + module re-parse) when
+     * the characterization was served from the cache; the four
+     * fault-free phase times above are 0 in that case. */
+    double cacheLoadSeconds = 0;
 
     double totalSeconds() const;
     CampaignPhaseTimes &operator+=(const CampaignPhaseTimes &o);
@@ -255,6 +289,10 @@ struct CampaignResult
      * and report 0 here; the suite result carries the shared times.
      */
     CampaignPhaseTimes phase;
+    /** True when the characterization was loaded from the artifact
+     * cache instead of computed (phase.cacheLoadSeconds carries the
+     * load cost; every result field is bit-identical either way). */
+    bool servedFromCache = false;
     /** Injection throughput: trials / phase.trialsSeconds (0 if the
      * trial phase did not run). */
     double trialsPerSec() const;

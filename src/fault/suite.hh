@@ -128,6 +128,17 @@ struct SuiteResult
  */
 SuiteResult runCampaignSuite(const SuiteConfig &config);
 
+class TaskPool;
+
+/**
+ * Run the grid on a caller-owned scheduler. The suite submits its DAG
+ * to @p pool and waits on exactly its own tasks, so several suites can
+ * share one pool concurrently — the campaign daemon's job queue runs
+ * every client request through one warm scheduler this way. Results
+ * are bit-identical to the owning-pool overload.
+ */
+SuiteResult runCampaignSuite(const SuiteConfig &config, TaskPool &pool);
+
 } // namespace softcheck
 
 #endif // SOFTCHECK_FAULT_SUITE_HH

@@ -1,5 +1,6 @@
 #include "interp/cost_model.hh"
 
+#include "support/byte_io.hh"
 #include "support/error.hh"
 #include "support/text.hh"
 
@@ -27,6 +28,58 @@ CostModel::CostModel(const CostConfig &cfg) : conf(cfg)
              "predictor entries must be a power of 2");
     tags.assign(static_cast<std::size_t>(numSets) * conf.l1dAssoc, 0);
     counters.assign(conf.predictorEntries, 1); // weakly not-taken
+}
+
+void
+CostModel::serialize(ByteWriter &w) const
+{
+    w.u32(conf.issueWidth);
+    w.u32(conf.l1dSizeKB);
+    w.u32(conf.l1dAssoc);
+    w.u32(conf.lineBytes);
+    w.u32(conf.l1dMissPenalty);
+    w.u32(conf.branchMispredictPenalty);
+    w.u32(conf.divExtraCycles);
+    w.u32(conf.mathExtraCycles);
+    w.u32(conf.predictorEntries);
+    w.u64(instrs);
+    w.u64(stalls);
+    w.u64(misses);
+    w.u64(mispredicts);
+    w.vecU64(tags);
+    w.vecU8(counters);
+}
+
+CostModel
+CostModel::deserialize(ByteReader &r)
+{
+    CostConfig cfg;
+    cfg.issueWidth = r.u32();
+    cfg.l1dSizeKB = r.u32();
+    cfg.l1dAssoc = r.u32();
+    cfg.lineBytes = r.u32();
+    cfg.l1dMissPenalty = r.u32();
+    cfg.branchMispredictPenalty = r.u32();
+    cfg.divExtraCycles = r.u32();
+    cfg.mathExtraCycles = r.u32();
+    cfg.predictorEntries = r.u32();
+    if (cfg.issueWidth == 0 || cfg.lineBytes == 0 || cfg.l1dAssoc == 0)
+        scFatal("cost-model config with zero field");
+    CostModel m(cfg); // recomputes + revalidates numSets
+    m.instrs = r.u64();
+    m.stalls = r.u64();
+    m.misses = r.u64();
+    m.mispredicts = r.u64();
+    m.tags = r.vecU64();
+    m.counters = r.vecU8();
+    // Reader-side checks throw (scFatal) so corrupt bundles degrade
+    // to a cache miss instead of aborting.
+    if (m.tags.size() !=
+        static_cast<std::size_t>(m.numSets) * cfg.l1dAssoc)
+        scFatal("cost-model tag array size mismatch");
+    if (m.counters.size() != cfg.predictorEntries)
+        scFatal("cost-model predictor size mismatch");
+    return m;
 }
 
 } // namespace softcheck

@@ -23,6 +23,9 @@
 namespace softcheck
 {
 
+class ByteReader;
+class ByteWriter;
+
 /** Parameters mirroring the paper's Table II where applicable. */
 struct CostConfig
 {
@@ -189,6 +192,13 @@ class CostModel
                misses == o.misses && mispredicts == o.mispredicts &&
                tags == o.tags && counters == o.counters;
     }
+
+    /** Append configuration + full dynamic state (counters, cache
+     * tags, predictor counters) to @p w; deserialize() restores a
+     * model for which sameState(original) holds. Part of the campaign
+     * service's Snapshot serialization (see src/service). */
+    void serialize(ByteWriter &w) const;
+    static CostModel deserialize(ByteReader &r);
 
   private:
     CostConfig conf;

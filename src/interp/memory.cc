@@ -4,6 +4,7 @@
 #include <bit>
 #include <cstring>
 
+#include "support/byte_io.hh"
 #include "support/error.hh"
 
 namespace softcheck
@@ -317,6 +318,84 @@ Memory::dirtyPageCount() const
         for (const uint64_t w : r.dirty)
             total += static_cast<uint64_t>(std::popcount(w));
     return total;
+}
+
+namespace
+{
+/** Page token with this bit set introduces a new block: its id is the
+ * low bits and kPageSize raw bytes follow. */
+constexpr uint32_t kNewPageFlag = 0x80000000u;
+} // namespace
+
+void
+Memory::serialize(ByteWriter &w, PagePoolWriter &pool) const
+{
+    // The zero page is process-global, never written through, and
+    // reconstructible on any reader — always id 0, never raw bytes.
+    pool.ids.emplace(zeroPage().get(), 0);
+    w.u64(nextBase);
+    w.u32(static_cast<uint32_t>(regions.size()));
+    for (const Region &r : regions) {
+        w.u64(r.base);
+        w.u64(r.size);
+        w.str(r.name);
+        for (const PageRef &p : r.pages) {
+            const auto it = pool.ids.find(p.get());
+            if (it != pool.ids.end()) {
+                w.u32(it->second);
+                continue;
+            }
+            const auto id = static_cast<uint32_t>(pool.ids.size());
+            scAssert(id < kNewPageFlag, "page pool id overflow");
+            pool.ids.emplace(p.get(), id);
+            w.u32(id | kNewPageFlag);
+            w.bytes(p->bytes.data(), kPageSize);
+        }
+    }
+}
+
+Memory
+Memory::deserialize(ByteReader &r, PagePoolReader &pool)
+{
+    if (pool.pages.empty())
+        pool.pages.push_back(zeroPage());
+    Memory m;
+    m.nextBase = r.u64();
+    const uint32_t nregions = r.u32();
+    m.regions.reserve(nregions);
+    for (uint32_t i = 0; i < nregions; ++i) {
+        Region reg;
+        reg.base = r.u64();
+        reg.size = r.u64();
+        reg.name = r.str();
+        const std::size_t np = pagesFor(reg.size);
+        reg.pages.reserve(np);
+        for (std::size_t p = 0; p < np; ++p) {
+            const uint32_t token = r.u32();
+            if (token & kNewPageFlag) {
+                // Reader-side format checks are scFatal, not scAssert:
+                // a corrupt bundle is the input's fault and callers
+                // (the artifact cache) catch FatalError and fall back
+                // to recomputing.
+                if ((token & ~kNewPageFlag) != pool.pages.size())
+                    scFatal("page pool ids must arrive in order");
+                auto page = std::make_shared<Page>();
+                r.bytes(page->bytes.data(), kPageSize);
+                pool.pages.push_back(std::move(page));
+                reg.pages.push_back(pool.pages.back());
+            } else {
+                if (token >= pool.pages.size())
+                    scFatal("page pool id out of range");
+                reg.pages.push_back(pool.pages[token]);
+            }
+        }
+        // Clean shared state: every page is (potentially) shared with
+        // the pool and with other memories of the bundle, so the first
+        // write clones — the same contract as a freshly saved snapshot.
+        reg.dirty.assign(dirtyWordsFor(np), 0);
+        m.regions.push_back(std::move(reg));
+    }
+    return m;
 }
 
 uint64_t

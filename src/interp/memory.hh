@@ -35,11 +35,15 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
 namespace softcheck
 {
+
+class ByteReader;
+class ByteWriter;
 
 class Memory
 {
@@ -169,6 +173,41 @@ class Memory
      * of a shared Memory (e.g. golden snapshots read by trial worker
      * threads) stay race-free. */
     mutable std::atomic<int> lastHit{-1};
+
+  public:
+    /**
+     * Serialization page pool, the cross-Memory dedup that preserves
+     * COW sharing on disk: one pool spans every Memory of a bundle
+     * (e.g. a whole golden snapshot chain), page *blocks* are written
+     * once under a small id, and later memories sharing the block emit
+     * only the id. The reader-side pool hands the same shared block to
+     * every reference, so identity sharing — what makes restoreFrom
+     * and contentsEqual O(diverged pages) — survives the round trip,
+     * and the serialized chain costs its COW-resident bytes, not K
+     * full copies.
+     */
+    class PagePoolWriter
+    {
+        friend class Memory;
+        /** Block address -> id. Id 0 is the global zero page; ids > 0
+         * number first-seen blocks in stream order. */
+        std::unordered_map<const void *, uint32_t> ids;
+    };
+
+    class PagePoolReader
+    {
+        friend class Memory;
+        std::vector<PageRef> pages; //!< [0] = zero page, then by id
+    };
+
+    /** Append this memory to @p w, deduplicating page blocks through
+     * @p pool. Dirty state is not serialized: a deserialized Memory is
+     * in the clean shared state, exactly like a fresh snapshot. */
+    void serialize(ByteWriter &w, PagePoolWriter &pool) const;
+
+    /** Inverse of serialize(); @p pool must be the same instance (in
+     * the same order) used across the bundle being read. */
+    static Memory deserialize(ByteReader &r, PagePoolReader &pool);
 };
 
 } // namespace softcheck

@@ -1,0 +1,360 @@
+#include "service/artifact_cache.hh"
+
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+
+#include <unistd.h>
+
+#include "ir/parser.hh"
+#include "ir/printer.hh"
+#include "service/serialize.hh"
+#include "support/error.hh"
+#include "support/text.hh"
+
+namespace softcheck::service
+{
+
+using campaign_detail::CellCharacterization;
+using campaign_detail::SharedArtifacts;
+using campaign_detail::SnapshotAccounting;
+using campaign_detail::Stopwatch;
+using campaign_detail::characterizeCell;
+
+namespace
+{
+
+constexpr uint64_t kBundleMagic = 0x534343454C4C3176ull;   // "SCCELL1v"
+constexpr uint64_t kBundleTrailer = 0x454E44434C4C3176ull; // "ENDCLL1v"
+/** Second FNV-1a basis: with the default basis it forms the 128-bit
+ * filename hash and the whole-bundle content checksum. */
+constexpr uint64_t kFnvBasis2 = 0x6c62272e07bb0142ull;
+
+/** Canonical bit-exact text for a double (hexfloat-equivalent). */
+std::string
+bitsOf(double v)
+{
+    uint64_t b = 0;
+    static_assert(sizeof(b) == sizeof(v));
+    std::memcpy(&b, &v, sizeof(b));
+    return strformat("%016llx", static_cast<unsigned long long>(b));
+}
+
+} // namespace
+
+std::string
+cellCacheKey(const CampaignConfig &c)
+{
+    const Workload &w = getWorkload(c.workload);
+    std::string k = "softcheck-cell-v1\n";
+    k += "workload=" + w.name + "\n";
+    k += strformat("source_fnv=%016llx\n",
+                   static_cast<unsigned long long>(fnv1a64(w.source)));
+    k += "entry=" + w.entry + "\n";
+    k += strformat("mode=%d\n", static_cast<int>(c.mode));
+    k += strformat("opt1=%d opt2=%d elide=%d swap=%d\n", c.enableOpt1,
+                   c.enableOpt2, c.elideVacuousChecks, c.swapTrainTest);
+    k += strformat("policy=%u,%llu,%s,%s,%s,%s\n", c.policy.histogramBins,
+                   static_cast<unsigned long long>(c.policy.minSamples),
+                   bitsOf(c.policy.coverageThreshold).c_str(),
+                   bitsOf(c.policy.intRangeThreshold).c_str(),
+                   bitsOf(c.policy.floatRangeThreshold).c_str(),
+                   bitsOf(c.policy.rangeSlack).c_str());
+    k += strformat("cost=%u,%u,%u,%u,%u,%u,%u,%u,%u\n",
+                   c.cost.issueWidth, c.cost.l1dSizeKB, c.cost.l1dAssoc,
+                   c.cost.lineBytes, c.cost.l1dMissPenalty,
+                   c.cost.branchMispredictPenalty, c.cost.divExtraCycles,
+                   c.cost.mathExtraCycles, c.cost.predictorEntries);
+    // The snapshot chain is recorded only when a trial phase will run,
+    // and its schedule depends on every checkpoint knob; trial count
+    // and seed do not touch the characterization beyond that.
+    k += strformat("checkpoints=%u placement=%d budget=%llu restore=%s "
+                   "trials=%d\n",
+                   c.checkpoints, static_cast<int>(c.placement),
+                   static_cast<unsigned long long>(c.snapshotBudgetBytes),
+                   bitsOf(c.restoreInstrsPerPage).c_str(), c.trials > 0);
+    return k;
+}
+
+std::string
+cellCachePath(const CampaignConfig &c)
+{
+    scAssert(!c.artifactCacheDir.empty(),
+             "cellCachePath without a cache directory");
+    const std::string key = cellCacheKey(c);
+    // Two independent 64-bit FNV streams (distinct bases) make a
+    // 128-bit name; the stored key string still backstops collisions.
+    const uint64_t lo = fnv1a64(key);
+    const uint64_t hi = fnv1a64(key, kFnvBasis2);
+    return c.artifactCacheDir +
+           strformat("/%016llx%016llx.cell",
+                     static_cast<unsigned long long>(hi),
+                     static_cast<unsigned long long>(lo));
+}
+
+std::string
+serializeCell(const CellCharacterization &cell, const CampaignConfig &c)
+{
+    const CampaignResult &p = cell.proto;
+    ByteWriter w;
+    w.u64(kBundleMagic);
+    w.str(cellCacheKey(c));
+    w.str(moduleToString(*cell.module().mod));
+    writeHardeningReport(w, p.report);
+    w.u64(p.baselineCycles);
+    w.u64(p.goldenDynInstrs);
+    w.u64(p.goldenCycles);
+    w.u64(p.goldenCheckEvals);
+    w.u64(p.calibrationCheckFails);
+    w.u32(p.disabledCheckCount);
+    w.u32(p.totalCheckCount);
+    w.u32(p.snapshotCount);
+    w.u64(p.snapshotBytes);
+    w.u64(p.snapshotBytesFullCopy);
+    w.vecU64(p.snapshotDynInstrs);
+    w.f64(p.expectedFastForwardInstrs);
+    w.vecU8(cell.disabled);
+    w.vecF64(cell.goldenSignal);
+    writeRunResult(w, cell.goldenRun);
+    w.vecU64(cell.snapDyn);
+    w.vecU64(cell.snapNewBytes);
+    w.u32(static_cast<uint32_t>(cell.snapshots.size()));
+    Memory::PagePoolWriter pool;
+    for (const Snapshot &s : cell.snapshots)
+        writeSnapshot(w, s, *cell.module().em, pool);
+    w.u64(kBundleTrailer);
+    // Whole-payload content checksum (both FNV streams): structural
+    // validation alone cannot catch a flipped bit inside a memory page
+    // or register value, which would deserialize cleanly and silently
+    // change trial outcomes. The digest makes any corruption a
+    // detectable miss.
+    const std::string payload = std::move(w).take();
+    ByteWriter d;
+    d.u64(fnv1a64(payload));
+    d.u64(fnv1a64(payload, kFnvBasis2));
+    return payload + d.data();
+}
+
+CellCharacterization
+deserializeCell(std::string_view bytes, const CampaignConfig &config,
+                const std::string &expected_key)
+{
+    if (bytes.size() < 16)
+        scFatal("bundle too small");
+    const std::string_view payload = bytes.substr(0, bytes.size() - 16);
+    ByteReader digest(bytes.substr(bytes.size() - 16));
+    if (digest.u64() != fnv1a64(payload) ||
+        digest.u64() != fnv1a64(payload, kFnvBasis2))
+        scFatal("bundle checksum mismatch");
+
+    ByteReader r(payload);
+    if (r.u64() != kBundleMagic)
+        scFatal("not a characterization bundle");
+    const std::string key = r.str();
+    if (!expected_key.empty() && key != expected_key)
+        scFatal("bundle key mismatch (hash collision or stale file)");
+    const std::string ir = r.str();
+
+    const Workload &w = getWorkload(config.workload);
+    CellCharacterization cell;
+    cell.proto.config = config;
+
+    // Rebuild the executable program from the printed IR. ExecModule
+    // construction is deterministic, so slot numbering, branch sites,
+    // and check/profile ids match the serializing process and the
+    // snapshots below resume correctly.
+    cell.localModule.mod = parseIR(ir, w.name);
+    cell.localModule.em = std::make_unique<ExecModule>(*cell.localModule.mod);
+    if (config.tier != ExecTier::Interp)
+        cell.localModule.tm =
+            std::make_unique<ThreadedModule>(*cell.localModule.em);
+    cell.localModule.entryIdx =
+        cell.localModule.em->functionIndex(w.entry);
+
+    CampaignResult &p = cell.proto;
+    p.report = readHardeningReport(r);
+    p.baselineCycles = r.u64();
+    p.goldenDynInstrs = r.u64();
+    p.goldenCycles = r.u64();
+    p.goldenCheckEvals = r.u64();
+    p.calibrationCheckFails = r.u64();
+    p.disabledCheckCount = r.u32();
+    p.totalCheckCount = r.u32();
+    p.snapshotCount = r.u32();
+    p.snapshotBytes = r.u64();
+    p.snapshotBytesFullCopy = r.u64();
+    p.snapshotDynInstrs = r.vecU64();
+    p.expectedFastForwardInstrs = r.f64();
+    cell.disabled = r.vecU8();
+    cell.goldenSignal = r.vecF64();
+    cell.goldenRun = readRunResult(r);
+    cell.snapDyn = r.vecU64();
+    cell.snapNewBytes = r.vecU64();
+
+    const uint32_t nsnap = r.u32();
+    if (nsnap != p.snapshotCount || cell.snapDyn.size() != nsnap ||
+        cell.snapNewBytes.size() != nsnap)
+        scFatal("bundle snapshot count mismatch");
+    Memory::PagePoolReader pool;
+    cell.snapshots.reserve(nsnap);
+    for (uint32_t i = 0; i < nsnap; ++i)
+        cell.snapshots.push_back(
+            readSnapshot(r, *cell.localModule.em, pool));
+    if (r.u64() != kBundleTrailer || !r.atEnd())
+        scFatal("bundle trailer mismatch");
+
+    // Per-process state the bundle deliberately omits: the test input
+    // spec (closures) and the stratified planner's fault space (pure
+    // module analysis, cheap next to the golden run it replaces).
+    cell.localSpec = w.makeInput(config.swapTrainTest);
+    if (config.sampling == SamplingPlan::Stratified && config.trials > 0)
+        cell.faultSpace =
+            std::make_unique<ModuleFaultSpace>(*cell.localModule.mod);
+    return cell;
+}
+
+std::string
+readFileBytes(const std::string &path)
+{
+    std::ifstream f(path, std::ios::binary);
+    if (!f)
+        scFatal("cannot read ", path);
+    std::string bytes((std::istreambuf_iterator<char>(f)),
+                      std::istreambuf_iterator<char>());
+    return bytes;
+}
+
+namespace
+{
+
+/** Atomic write: temp file in the target directory + rename. */
+void
+atomicWrite(const std::string &path, const std::string &bytes)
+{
+    static std::atomic<unsigned> counter{0};
+    const std::string tmp =
+        path + strformat(".tmp.%d.%u", static_cast<int>(::getpid()),
+                         counter.fetch_add(1));
+    {
+        std::ofstream f(tmp, std::ios::binary | std::ios::trunc);
+        if (!f)
+            scFatal("cannot write ", tmp);
+        f.write(bytes.data(),
+                static_cast<std::streamsize>(bytes.size()));
+        if (!f)
+            scFatal("short write to ", tmp);
+    }
+    std::error_code ec;
+    std::filesystem::rename(tmp, path, ec);
+    if (ec) {
+        std::filesystem::remove(tmp, ec);
+        scFatal("cannot rename bundle into place: ", path);
+    }
+}
+
+} // namespace
+
+bool
+loadCachedCell(const CampaignConfig &config, CellCharacterization &out)
+{
+    const std::string path = cellCachePath(config);
+    std::ifstream f(path, std::ios::binary);
+    if (!f)
+        return false;
+    std::string bytes((std::istreambuf_iterator<char>(f)),
+                      std::istreambuf_iterator<char>());
+    try {
+        out = deserializeCell(bytes, config, cellCacheKey(config));
+    } catch (const FatalError &) {
+        return false; // corrupt or colliding bundle = miss
+    }
+    out.proto.servedFromCache = true;
+    out.proto.phase = {};
+    return true;
+}
+
+std::string
+storeCachedCell(const CampaignConfig &config,
+                const CellCharacterization &cell)
+{
+    std::error_code ec;
+    std::filesystem::create_directories(config.artifactCacheDir, ec);
+    if (ec)
+        scFatal("cannot create cache directory ",
+                config.artifactCacheDir);
+    const std::string path = cellCachePath(config);
+    atomicWrite(path, serializeCell(cell, config));
+    return path;
+}
+
+bool
+probeCachedCell(const CampaignConfig &config)
+{
+    if (config.artifactCacheDir.empty())
+        return false;
+    std::error_code ec;
+    return std::filesystem::exists(cellCachePath(config), ec);
+}
+
+std::string
+writeTempBundle(const std::string &bytes)
+{
+    const char *tmpdir = std::getenv("TMPDIR");
+    static std::atomic<unsigned> counter{0};
+    const std::string path =
+        std::string(tmpdir && *tmpdir ? tmpdir : "/tmp") +
+        strformat("/softcheck-bundle-%d-%u.cell",
+                  static_cast<int>(::getpid()), counter.fetch_add(1));
+    atomicWrite(path, bytes);
+    return path;
+}
+
+void
+ObtainedCell::cleanup()
+{
+    if (bundleIsTemp && !bundlePath.empty()) {
+        std::error_code ec;
+        std::filesystem::remove(bundlePath, ec);
+        bundlePath.clear();
+        bundleIsTemp = false;
+    }
+}
+
+ObtainedCell
+obtainCharacterization(const CampaignConfig &config,
+                       const SharedArtifacts *shared,
+                       SnapshotAccounting *suite_pages, bool need_bundle)
+{
+    ObtainedCell oc;
+    const bool cache_on = !config.artifactCacheDir.empty();
+    if (cache_on) {
+        const Stopwatch sw;
+        if (loadCachedCell(config, oc.cell)) {
+            oc.cacheHit = true;
+            oc.cell.proto.phase.cacheLoadSeconds = sw.seconds();
+            if (suite_pages) {
+                std::lock_guard lock(suite_pages->mu);
+                for (const Snapshot &s : oc.cell.snapshots)
+                    suite_pages->bytes +=
+                        s.residentPageBytes(suite_pages->seen);
+            }
+            if (need_bundle)
+                oc.bundlePath = cellCachePath(config);
+            return oc;
+        }
+    }
+    oc.cell = characterizeCell(config, shared, suite_pages);
+    if (cache_on) {
+        storeCachedCell(config, oc.cell);
+        if (need_bundle)
+            oc.bundlePath = cellCachePath(config);
+    } else if (need_bundle) {
+        oc.bundlePath = writeTempBundle(serializeCell(oc.cell, config));
+        oc.bundleIsTemp = true;
+    }
+    return oc;
+}
+
+} // namespace softcheck::service

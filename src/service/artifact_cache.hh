@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Content-hash keyed artifact cache for campaign characterizations.
+ *
+ * A characterization — hardened module, false-positive calibration,
+ * golden run, checkpoint snapshot chain — is a deterministic function
+ * of (workload source, hardening knobs, cost model, checkpoint knobs).
+ * This cache serializes finished CellCharacterizations into bundle
+ * files named by a 128-bit FNV-1a hash of a canonical key string over
+ * exactly those inputs, so a repeated campaign or suite request skips
+ * the compile / profile / baseline / golden phases entirely and goes
+ * straight to injection trials.
+ *
+ * Deliberately NOT part of the key (and why reuse stays bit-identical):
+ *  - seed, trials count (beyond trials > 0), sampling: the
+ *    characterization is seed-independent; the stratified planner's
+ *    ModuleFaultSpace is a pure module analysis rebuilt on load.
+ *  - tier, lanes, threads: the execution tiers are bit-identical by
+ *    construction (tests/fault/test_tier_campaign.cc), and the
+ *    threaded translation is rebuilt on load for the requesting tier.
+ *  - timeoutFactor, hwDetectWindowCycles: trial-phase knobs.
+ *
+ * Collisions: the full key string is stored inside the bundle and
+ * verified on load — a 128-bit filename collision degrades to a cache
+ * miss, never to a wrong characterization.
+ *
+ * Stores are atomic (temp file + rename into place), so concurrent
+ * writers of the same key — two daemon jobs, a suite and a standalone
+ * campaign — race benignly: both produce identical bytes and the
+ * loser's rename simply replaces them.
+ */
+
+#ifndef SOFTCHECK_SERVICE_ARTIFACT_CACHE_HH
+#define SOFTCHECK_SERVICE_ARTIFACT_CACHE_HH
+
+#include <string>
+
+#include "fault/campaign_internal.hh"
+
+namespace softcheck::service
+{
+
+/** Canonical, human-readable cache key text for @p config's
+ * characterization (see file comment for what is included). */
+std::string cellCacheKey(const CampaignConfig &config);
+
+/** Full path of @p config's bundle file inside
+ * config.artifactCacheDir (which must be non-empty). */
+std::string cellCachePath(const CampaignConfig &config);
+
+/**
+ * Serialize @p cell into a self-contained bundle: key text, printed
+ * IR of the hardened module, hardening report, characterization
+ * scalars, calibration, golden run, and the snapshot chain through one
+ * shared page pool (COW sharing survives the round trip — see
+ * serialize.hh), closed by a whole-payload content checksum so any
+ * flipped bit in a stored bundle is a detectable miss, never a
+ * silently different characterization.
+ */
+std::string serializeCell(const campaign_detail::CellCharacterization &cell,
+                          const CampaignConfig &config);
+
+/**
+ * Rebuild a CellCharacterization from @p bytes: reparse the IR,
+ * rebuild ExecModule / threaded translation / fault space for
+ * @p config's tier and sampling plan, and deserialize the rest.
+ * scFatal (FatalError) on corrupt or truncated bundles; when
+ * @p expected_key is non-empty, also on key mismatch.
+ */
+campaign_detail::CellCharacterization
+deserializeCell(std::string_view bytes, const CampaignConfig &config,
+                const std::string &expected_key);
+
+/** Load @p config's characterization from the cache. Returns false on
+ * miss, corrupt bundle, or key (hash-collision) mismatch — never
+ * throws for those; the caller falls back to characterizing. On hit,
+ * @p out has servedFromCache set and phase times zeroed except
+ * cacheLoadSeconds. */
+bool loadCachedCell(const CampaignConfig &config,
+                    campaign_detail::CellCharacterization &out);
+
+/** Serialize @p cell and store it atomically under @p config's key.
+ * Returns the bundle path. Creates the cache directory as needed;
+ * scFatal on I/O failure. */
+std::string
+storeCachedCell(const CampaignConfig &config,
+                const campaign_detail::CellCharacterization &cell);
+
+/** Cheap existence probe (no deserialization; a later load may still
+ * miss on corruption). Used by the suite to decide its task graph. */
+bool probeCachedCell(const CampaignConfig &config);
+
+/** Write @p bytes to a fresh temp file (for shard bundles when no
+ * cache directory is configured). Returns the path; caller unlinks. */
+std::string writeTempBundle(const std::string &bytes);
+
+/** Read a whole file; scFatal when unreadable. */
+std::string readFileBytes(const std::string &path);
+
+/**
+ * One characterization, however it was obtained, plus where its
+ * serialized bundle lives when the caller asked for one (shard workers
+ * deserialize the bundle file — the same bytes a cache hit would read
+ * — so sharding exercises the serialization path end to end).
+ */
+struct ObtainedCell
+{
+    campaign_detail::CellCharacterization cell;
+    bool cacheHit = false;
+    std::string bundlePath; //!< "" when not needed
+    bool bundleIsTemp = false;
+
+    /** Unlink a temp bundle (no-op otherwise). */
+    void cleanup();
+};
+
+/**
+ * The one entry point both runCampaign and the suite use: load from
+ * the cache when configured (falling back to characterizing on any
+ * miss), characterize otherwise (forwarding @p shared /
+ * @p suite_pages exactly like characterizeCell), store fresh results
+ * back, and materialize a bundle file when @p need_bundle (shards).
+ * Cache-hit snapshots are accounted against @p suite_pages like
+ * computed ones.
+ */
+ObtainedCell
+obtainCharacterization(const CampaignConfig &config,
+                       const campaign_detail::SharedArtifacts *shared,
+                       campaign_detail::SnapshotAccounting *suite_pages,
+                       bool need_bundle);
+
+} // namespace softcheck::service
+
+#endif // SOFTCHECK_SERVICE_ARTIFACT_CACHE_HH

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * The public campaign entry points — runCampaign / characterizeOnly
+ * (declared in fault/campaign.hh) — live in the service library: the
+ * entry points own the artifact-cache lookup and the shard dispatch,
+ * which layer *above* the characterization / trial building blocks in
+ * fault/campaign.cc.
+ */
+
+#include "fault/campaign.hh"
+
+#include <algorithm>
+
+#include "fault/campaign_internal.hh"
+#include "service/artifact_cache.hh"
+#include "service/shard.hh"
+#include "support/concurrency.hh"
+#include "support/task_pool.hh"
+
+namespace softcheck
+{
+
+namespace service
+{
+
+void
+validateServiceConfig(const CampaignConfig &config)
+{
+    if (config.shards >= 2 &&
+        config.sampling == SamplingPlan::Stratified)
+        scFatal("shards and stratified sampling cannot combine: the "
+                "plan's class representatives are cross-trial state");
+}
+
+} // namespace service
+
+CampaignResult
+runCampaign(const CampaignConfig &config)
+{
+    service::validateServiceConfig(config);
+    const bool shard = config.trials > 0 && config.shards >= 2;
+    service::ObtainedCell oc = service::obtainCharacterization(
+        config, nullptr, nullptr, shard);
+
+    if (config.trials == 0) {
+        CampaignResult result = oc.cell.proto;
+        result.config = config;
+        oc.cleanup();
+        return result;
+    }
+
+    if (shard) {
+        const campaign_detail::Stopwatch sw;
+        campaign_detail::TrialAccum accum;
+        service::runShardedTrials(oc.bundlePath, config, accum);
+        oc.cleanup();
+        CampaignResult result =
+            campaign_detail::finalizeTrialResult(oc.cell, config, accum);
+        // Like the in-process path: a standalone campaign's trial
+        // phase is wall clock (finalize filled in the workers' summed
+        // CPU nanoseconds, which the suite engine keeps instead).
+        result.phase.trialsSeconds = sw.seconds();
+        return result;
+    }
+
+    unsigned threads = config.threads;
+    if (threads == 0)
+        threads = hardwareThreads();
+    threads = std::min(threads, config.trials);
+    TaskPool pool(threads);
+    return campaign_detail::runTrialPhase(oc.cell, config, pool);
+}
+
+CampaignResult
+characterizeOnly(const CampaignConfig &config)
+{
+    CampaignConfig cfg = config;
+    cfg.trials = 0;
+    return runCampaign(cfg);
+}
+
+} // namespace softcheck

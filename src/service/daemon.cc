@@ -1,0 +1,414 @@
+#include "service/daemon.hh"
+
+#include <cstring>
+#include <sstream>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "support/concurrency.hh"
+#include "support/error.hh"
+#include "support/task_pool.hh"
+#include "support/text.hh"
+
+namespace softcheck::service
+{
+
+namespace
+{
+
+/** MSG_NOSIGNAL on every send: a client that hung up must surface as
+ * an error return, not a process-wide SIGPIPE. */
+void
+sendAll(int fd, std::string_view bytes)
+{
+    std::size_t off = 0;
+    while (off < bytes.size()) {
+        const ssize_t n = ::send(fd, bytes.data() + off,
+                                 bytes.size() - off, MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return; // client gone; nothing to clean up
+        }
+        off += static_cast<std::size_t>(n);
+    }
+}
+
+/** Read up to the first newline (or EOF); caps runaway requests. */
+std::string
+recvLine(int fd)
+{
+    std::string line;
+    char c;
+    while (line.size() < 1 << 20) {
+        const ssize_t n = ::recv(fd, &c, 1, 0);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            break;
+        }
+        if (n == 0 || c == '\n')
+            break;
+        line.push_back(c);
+    }
+    return line;
+}
+
+std::vector<std::string>
+splitOn(const std::string &s, char sep)
+{
+    std::vector<std::string> out;
+    std::string cur;
+    for (const char c : s) {
+        if (c == sep) {
+            if (!cur.empty())
+                out.push_back(cur);
+            cur.clear();
+        } else {
+            cur.push_back(c);
+        }
+    }
+    if (!cur.empty())
+        out.push_back(cur);
+    return out;
+}
+
+HardeningMode
+parseMode(const std::string &tok)
+{
+    if (tok == "original")
+        return HardeningMode::Original;
+    if (tok == "duponly")
+        return HardeningMode::DupOnly;
+    if (tok == "dupvalchks")
+        return HardeningMode::DupValChks;
+    if (tok == "fulldup")
+        return HardeningMode::FullDup;
+    scFatal("unknown hardening mode '", tok, "'");
+}
+
+uint64_t
+parseU64(const std::string &tok)
+{
+    try {
+        return std::stoull(tok);
+    } catch (const std::exception &) {
+        scFatal("expected a number, got '", tok, "'");
+    }
+}
+
+} // namespace
+
+SuiteRequest
+parseSuiteRequest(const std::string &line)
+{
+    SuiteRequest req;
+    std::istringstream is(line);
+    std::string tok;
+    is >> tok; // "SUITE"
+    while (is >> tok) {
+        const auto eq = tok.find('=');
+        if (eq == std::string::npos)
+            scFatal("malformed SUITE token '", tok, "'");
+        const std::string key = tok.substr(0, eq);
+        const std::string val = tok.substr(eq + 1);
+        if (key == "workloads") {
+            req.suite.workloads = splitOn(val, ',');
+        } else if (key == "modes") {
+            for (const std::string &m : splitOn(val, ','))
+                req.suite.modes.push_back(parseMode(m));
+        } else if (key == "seeds") {
+            for (const std::string &s : splitOn(val, ','))
+                req.suite.seeds.push_back(parseU64(s));
+        } else if (key == "trials") {
+            req.suite.base.trials =
+                static_cast<unsigned>(parseU64(val));
+        } else if (key == "seed") {
+            req.suite.base.seed = parseU64(val);
+        } else if (key == "tier") {
+            if (val == "interp")
+                req.suite.base.tier = ExecTier::Interp;
+            else if (val == "threaded")
+                req.suite.base.tier = ExecTier::Threaded;
+            else if (val == "lockstep")
+                req.suite.base.tier = ExecTier::Lockstep;
+            else
+                scFatal("unknown tier '", val, "'");
+        } else if (key == "lanes") {
+            req.suite.base.lanes = static_cast<unsigned>(parseU64(val));
+        } else if (key == "checkpoints") {
+            req.suite.base.checkpoints =
+                static_cast<unsigned>(parseU64(val));
+        } else if (key == "placement") {
+            if (val == "uniform")
+                req.suite.base.placement = CheckpointPlacement::Uniform;
+            else if (val == "adaptive")
+                req.suite.base.placement =
+                    CheckpointPlacement::Adaptive;
+            else
+                scFatal("unknown placement '", val, "'");
+        } else if (key == "budget") {
+            req.suite.base.snapshotBudgetBytes = parseU64(val);
+        } else if (key == "shards") {
+            req.suite.base.shards = static_cast<unsigned>(parseU64(val));
+        } else if (key == "swap") {
+            req.suite.base.swapTrainTest = parseU64(val) != 0;
+        } else if (key == "elide") {
+            req.suite.base.elideVacuousChecks = parseU64(val) != 0;
+        } else if (key == "sampling") {
+            if (val == "blind")
+                req.suite.base.sampling = SamplingPlan::Blind;
+            else if (val == "stratified")
+                req.suite.base.sampling = SamplingPlan::Stratified;
+            else
+                scFatal("unknown sampling plan '", val, "'");
+        } else if (key == "cache") {
+            if (val == "on")
+                req.useCache = true;
+            else if (val == "off")
+                req.useCache = false;
+            else
+                scFatal("cache must be on or off");
+        } else {
+            scFatal("unknown SUITE key '", key, "'");
+        }
+    }
+    if (req.suite.workloads.empty())
+        scFatal("SUITE needs workloads=");
+    if (req.suite.modes.empty())
+        scFatal("SUITE needs modes=");
+    return req;
+}
+
+std::string
+formatSuiteResponse(const SuiteResult &r)
+{
+    std::string out;
+    const std::size_t n_modes = r.config.modes.size();
+    const std::size_t n_seeds = r.seeds.size();
+    for (std::size_t wi = 0; wi < r.config.workloads.size(); ++wi) {
+        for (std::size_t mi = 0; mi < n_modes; ++mi) {
+            for (std::size_t si = 0; si < n_seeds; ++si) {
+                const CampaignResult &c =
+                    r.cells[(wi * n_modes + mi) * n_seeds + si];
+                // Deterministic fields only: byte-diffing CELL lines
+                // across runs (cold vs. warm cache, shard counts,
+                // daemons) is the protocol-level bit-identity check.
+                out += strformat(
+                    "CELL workload=%s mode=%d seed=%llu counts=",
+                    r.config.workloads[wi].c_str(),
+                    static_cast<int>(r.config.modes[mi]),
+                    static_cast<unsigned long long>(r.seeds[si]));
+                for (unsigned o = 0; o < kNumOutcomes; ++o)
+                    out += strformat(
+                        "%s%llu", o ? "," : "",
+                        static_cast<unsigned long long>(c.counts[o]));
+                out += strformat(
+                    " usdc=%llu/%llu snapshots=%u snapshotBytes=%llu "
+                    "ffReplay=%llu ffRestorePages=%llu "
+                    "goldenDynInstrs=%llu goldenCycles=%llu "
+                    "checkEvals=%llu disabled=%u\n",
+                    static_cast<unsigned long long>(c.usdcLargeChange),
+                    static_cast<unsigned long long>(c.usdcSmallChange),
+                    c.snapshotCount,
+                    static_cast<unsigned long long>(c.snapshotBytes),
+                    static_cast<unsigned long long>(c.ffReplayInstrs),
+                    static_cast<unsigned long long>(c.ffRestorePages),
+                    static_cast<unsigned long long>(c.goldenDynInstrs),
+                    static_cast<unsigned long long>(c.goldenCycles),
+                    static_cast<unsigned long long>(c.goldenCheckEvals),
+                    c.disabledCheckCount);
+            }
+        }
+    }
+    unsigned cached = 0;
+    for (const CampaignResult &c : r.cells)
+        if (c.servedFromCache)
+            ++cached;
+    out += strformat(
+        "PHASE compile=%.6f profile=%.6f baseline=%.6f golden=%.6f "
+        "trials=%.6f cacheLoad=%.6f\n",
+        r.phase.compileSeconds, r.phase.profileSeconds,
+        r.phase.baselineSeconds, r.phase.goldenSeconds,
+        r.phase.trialsSeconds, r.phase.cacheLoadSeconds);
+    out += strformat("CACHE servedCells=%u totalCells=%zu\n", cached,
+                     r.cells.size());
+    out += strformat("DONE cells=%zu wall=%.3f\n", r.cells.size(),
+                     r.wallSeconds);
+    return out;
+}
+
+CampaignDaemon::CampaignDaemon(DaemonConfig c) : cfg(std::move(c))
+{
+    unsigned threads = cfg.threads;
+    if (threads == 0)
+        threads = hardwareThreads();
+    pool = std::make_unique<TaskPool>(threads);
+}
+
+CampaignDaemon::~CampaignDaemon()
+{
+    if (listenFd >= 0) {
+        ::close(listenFd);
+        ::unlink(cfg.socketPath.c_str());
+    }
+}
+
+void
+CampaignDaemon::bind()
+{
+    scAssert(listenFd < 0, "daemon already bound");
+    scAssert(!cfg.socketPath.empty(), "daemon needs a socket path");
+    listenFd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (listenFd < 0)
+        scFatal("cannot create unix socket");
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (cfg.socketPath.size() >= sizeof(addr.sun_path))
+        scFatal("socket path too long: ", cfg.socketPath);
+    std::strncpy(addr.sun_path, cfg.socketPath.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    ::unlink(cfg.socketPath.c_str()); // stale socket from a dead daemon
+    if (::bind(listenFd, reinterpret_cast<sockaddr *>(&addr),
+               sizeof(addr)) != 0)
+        scFatal("cannot bind ", cfg.socketPath);
+    if (::listen(listenFd, 64) != 0)
+        scFatal("cannot listen on ", cfg.socketPath);
+}
+
+void
+CampaignDaemon::serve()
+{
+    scAssert(listenFd >= 0, "serve() before bind()");
+    while (!stopping.load()) {
+        pollfd pfd{listenFd, POLLIN, 0};
+        const int pr = ::poll(&pfd, 1, 200);
+        if (pr <= 0)
+            continue; // timeout or EINTR: re-check the stop flag
+        const int fd = ::accept(listenFd, nullptr, nullptr);
+        if (fd < 0)
+            continue;
+        std::lock_guard lock(handlersMu);
+        handlers.emplace_back([this, fd] { handleClient(fd); });
+    }
+    std::lock_guard lock(handlersMu);
+    for (std::thread &t : handlers)
+        t.join();
+    handlers.clear();
+}
+
+void
+CampaignDaemon::requestStop()
+{
+    stopping.store(true);
+}
+
+void
+CampaignDaemon::handleClient(int fd)
+{
+    const std::string line = recvLine(fd);
+    std::string response;
+    try {
+        response = handleRequest(line);
+    } catch (const std::exception &e) {
+        response = strformat("ERR %s\n", e.what());
+    }
+    sendAll(fd, response);
+    ::close(fd);
+}
+
+std::string
+CampaignDaemon::handleRequest(const std::string &line)
+{
+    if (line == "PING")
+        return "PONG\n";
+    if (line == "SHUTDOWN") {
+        requestStop();
+        return "BYE\n";
+    }
+    if (line == "STATS") {
+        std::lock_guard lock(jobMu);
+        return strformat("STATS jobs=%llu active=%u\n",
+                         static_cast<unsigned long long>(jobsServed),
+                         activeJobs);
+    }
+    if (line.rfind("SUITE", 0) == 0) {
+        SuiteRequest req = parseSuiteRequest(line);
+        if (req.useCache)
+            req.suite.base.artifactCacheDir = cfg.cacheDir;
+        // Admission: at most maxJobs suites in flight. Tasks of
+        // admitted jobs interleave on the one shared pool — that is
+        // the point — but unbounded admission would stack every
+        // client's characterization memory at once.
+        {
+            std::unique_lock lock(jobMu);
+            jobCv.wait(lock, [this] {
+                return activeJobs < std::max(1u, cfg.maxJobs);
+            });
+            ++activeJobs;
+        }
+        SuiteResult result;
+        std::string response;
+        try {
+            result = runCampaignSuite(req.suite, *pool);
+            response = formatSuiteResponse(result);
+        } catch (...) {
+            std::lock_guard lock(jobMu);
+            --activeJobs;
+            jobCv.notify_all();
+            throw;
+        }
+        {
+            std::lock_guard lock(jobMu);
+            --activeJobs;
+            ++jobsServed;
+            jobCv.notify_all();
+        }
+        return response;
+    }
+    scFatal("unknown request '", line, "'");
+}
+
+std::string
+daemonRequest(const std::string &socket_path,
+              const std::string &request_line)
+{
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0)
+        scFatal("cannot create unix socket");
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (socket_path.size() >= sizeof(addr.sun_path)) {
+        ::close(fd);
+        scFatal("socket path too long: ", socket_path);
+    }
+    std::strncpy(addr.sun_path, socket_path.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof(addr)) != 0) {
+        ::close(fd);
+        scFatal("cannot connect to daemon at ", socket_path);
+    }
+    sendAll(fd, request_line + "\n");
+    ::shutdown(fd, SHUT_WR);
+    std::string response;
+    char buf[4096];
+    for (;;) {
+        const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            break;
+        }
+        if (n == 0)
+            break;
+        response.append(buf, static_cast<std::size_t>(n));
+    }
+    ::close(fd);
+    return response;
+}
+
+} // namespace softcheck::service

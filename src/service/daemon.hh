@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Campaign-as-a-service: a persistent daemon that serves fault
+ * campaign suites over a unix-domain socket, plus the thin client
+ * helpers the CLI (tools/softcheck-serve) and the tests use.
+ *
+ * Why a daemon: the expensive half of a campaign — compile, profile,
+ * baseline, golden run, snapshots — is deterministic and cacheable,
+ * and the scheduler that overlaps cells is warm after the first
+ * request. One resident process with one artifact cache and one
+ * TaskPool lets N concurrent clients (figure benches, CI jobs, a
+ * developer's shell) share both: a cell any client ever characterized
+ * is a cache hit for every later request, and concurrent requests
+ * interleave on the same scheduler instead of oversubscribing cores
+ * with N private pools.
+ *
+ * Protocol (line-framed, one request per connection; the response is
+ * everything until the server closes the socket):
+ *
+ *   PING                         -> "PONG"
+ *   STATS                        -> "STATS jobs=<served> active=<n>"
+ *   SHUTDOWN                     -> "BYE" (daemon exits after reply)
+ *   SUITE key=value ...          -> per-cell "CELL ..." lines (grid
+ *                                   order), one "PHASE ..." line, one
+ *                                   "CACHE ..." line, final "DONE ..."
+ *
+ * SUITE keys: workloads= / modes= / seeds= (comma lists; modes from
+ * {original,duponly,dupvalchks,fulldup}), trials=, seed=, tier=
+ * ({interp,threaded,lockstep}), lanes=, checkpoints=, placement=
+ * ({uniform,adaptive}), budget=, shards=, swap=, elide=, sampling=
+ * ({blind,stratified}), cache= ({on,off}, default on).
+ *
+ * CELL lines carry only deterministic fields (outcome counts, USDC
+ * split, snapshot schedule stats, golden counters) — never timings or
+ * cache flags — so byte-diffing the CELL lines of two runs is the
+ * cold-vs-warm bit-identity check CI performs.
+ */
+
+#ifndef SOFTCHECK_SERVICE_DAEMON_HH
+#define SOFTCHECK_SERVICE_DAEMON_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "fault/suite.hh"
+
+namespace softcheck::service
+{
+
+struct DaemonConfig
+{
+    std::string socketPath;
+    /** Artifact cache served to every job ("" = caching off). */
+    std::string cacheDir;
+    /** Shared scheduler width (0 = hardware concurrency). */
+    unsigned threads = 0;
+    /** Suite jobs admitted concurrently; further requests queue. */
+    unsigned maxJobs = 2;
+};
+
+class CampaignDaemon
+{
+  public:
+    explicit CampaignDaemon(DaemonConfig cfg);
+    ~CampaignDaemon();
+
+    /** Create, bind, and listen on the socket (unlinking any stale
+     * one). After bind() returns, clients may connect. scFatal on
+     * failure. */
+    void bind();
+
+    /** Accept-and-serve until a SHUTDOWN request or requestStop().
+     * Joins every handler thread before returning. */
+    void serve();
+
+    /** Ask a serve() running on another thread to wind down. */
+    void requestStop();
+
+  private:
+    void handleClient(int fd);
+    std::string handleRequest(const std::string &line);
+
+    DaemonConfig cfg;
+    int listenFd = -1;
+    std::atomic<bool> stopping{false};
+    std::unique_ptr<TaskPool> pool;
+    std::mutex jobMu;
+    std::condition_variable jobCv;
+    unsigned activeJobs = 0;
+    uint64_t jobsServed = 0;
+    std::mutex handlersMu;
+    std::vector<std::thread> handlers;
+};
+
+/** One-shot client: connect to @p socket_path, send @p request_line,
+ * and return the full response (until the server closes). scFatal
+ * when the daemon is unreachable. */
+std::string daemonRequest(const std::string &socket_path,
+                          const std::string &request_line);
+
+/** Parsed SUITE request. */
+struct SuiteRequest
+{
+    SuiteConfig suite;
+    bool useCache = true;
+};
+
+/** Parse the key=value tokens after "SUITE". scFatal on bad input. */
+SuiteRequest parseSuiteRequest(const std::string &line);
+
+/** Render a finished suite as protocol lines (see file comment). */
+std::string formatSuiteResponse(const SuiteResult &result);
+
+} // namespace softcheck::service
+
+#endif // SOFTCHECK_SERVICE_DAEMON_HH

@@ -1,0 +1,271 @@
+#include "service/serialize.hh"
+
+#include "support/error.hh"
+
+namespace softcheck::service
+{
+
+uint32_t
+execFunctionIndex(const ExecModule &em, const ExecFunction *fn)
+{
+    for (std::size_t i = 0; i < em.numFunctions(); ++i)
+        if (&em.function(i) == fn)
+            return static_cast<uint32_t>(i);
+    scPanic("ExecFrame function not part of the module");
+}
+
+namespace
+{
+
+void
+writeFrame(ByteWriter &w, const ExecFrame &f, const ExecModule &em)
+{
+    w.u32(execFunctionIndex(em, f.fn));
+    w.vecU64(f.regs);
+    for (const int32_t slot : f.recent)
+        w.i32(slot);
+    w.u32(f.recentCount);
+    w.u32(f.recentPos);
+    w.vecU64(f.allocaBases);
+    w.u32(f.ip);
+    w.u32(f.curBlock);
+    w.i32(f.retDst);
+}
+
+ExecFrame
+readFrame(ByteReader &r, const ExecModule &em)
+{
+    ExecFrame f;
+    const uint32_t fn_idx = r.u32();
+    if (fn_idx >= em.numFunctions())
+        scFatal("frame function index out of range");
+    f.fn = &em.function(fn_idx);
+    f.regs = r.vecU64();
+    for (int32_t &slot : f.recent)
+        slot = r.i32();
+    f.recentCount = r.u32();
+    f.recentPos = r.u32();
+    f.allocaBases = r.vecU64();
+    f.ip = r.u32();
+    f.curBlock = r.u32();
+    f.retDst = r.i32();
+    return f;
+}
+
+} // namespace
+
+void
+writeExecState(ByteWriter &w, const ExecState &st, const ExecModule &em)
+{
+    w.u32(static_cast<uint32_t>(st.stack.size()));
+    for (const ExecFrame &f : st.stack)
+        writeFrame(w, f, em);
+    w.vecU64(st.globalBases);
+    w.u64(st.dynCount);
+    st.cost.serialize(w);
+}
+
+ExecState
+readExecState(ByteReader &r, const ExecModule &em)
+{
+    ExecState st;
+    const uint32_t nframes = r.u32();
+    st.stack.reserve(nframes);
+    for (uint32_t i = 0; i < nframes; ++i)
+        st.stack.push_back(readFrame(r, em));
+    st.globalBases = r.vecU64();
+    st.dynCount = r.u64();
+    st.cost = CostModel::deserialize(r);
+    return st;
+}
+
+void
+writeSnapshot(ByteWriter &w, const Snapshot &s, const ExecModule &em,
+              Memory::PagePoolWriter &pool)
+{
+    writeExecState(w, s.state, em);
+    s.mem.serialize(w, pool);
+}
+
+Snapshot
+readSnapshot(ByteReader &r, const ExecModule &em,
+             Memory::PagePoolReader &pool)
+{
+    Snapshot s;
+    s.state = readExecState(r, em);
+    s.mem = Memory::deserialize(r, pool);
+    return s;
+}
+
+void
+writeRunResult(ByteWriter &w, const RunResult &res)
+{
+    w.u8(static_cast<uint8_t>(res.term));
+    w.u8(static_cast<uint8_t>(res.trap));
+    w.i32(res.failedCheckId);
+    w.u64(res.retValue);
+    w.u64(res.dynInstrs);
+    w.u64(res.cycles);
+    w.u64(res.endCycle);
+    w.u64(res.cacheMisses);
+    w.u64(res.branchMispredicts);
+    w.u64(res.checkEvals);
+    w.u8(res.prunedToGolden ? 1 : 0);
+    w.u8(res.fault.injected ? 1 : 0);
+    w.i32(res.fault.slot);
+    w.u8(static_cast<uint8_t>(res.fault.slotType));
+    w.u32(res.fault.bit);
+    w.u64(res.fault.before);
+    w.u64(res.fault.after);
+    w.u64(res.fault.atDynInstr);
+    w.u64(res.fault.atCycle);
+}
+
+RunResult
+readRunResult(ByteReader &r)
+{
+    RunResult res;
+    res.term = static_cast<Termination>(r.u8());
+    res.trap = static_cast<TrapKind>(r.u8());
+    res.failedCheckId = r.i32();
+    res.retValue = r.u64();
+    res.dynInstrs = r.u64();
+    res.cycles = r.u64();
+    res.endCycle = r.u64();
+    res.cacheMisses = r.u64();
+    res.branchMispredicts = r.u64();
+    res.checkEvals = r.u64();
+    res.prunedToGolden = r.u8() != 0;
+    res.fault.injected = r.u8() != 0;
+    res.fault.slot = r.i32();
+    res.fault.slotType = static_cast<TypeKind>(r.u8());
+    res.fault.bit = r.u32();
+    res.fault.before = r.u64();
+    res.fault.after = r.u64();
+    res.fault.atDynInstr = r.u64();
+    res.fault.atCycle = r.u64();
+    return res;
+}
+
+namespace
+{
+
+void
+writeProtection(ByteWriter &w, const ProtectionCounts &p)
+{
+    w.u32(p.originalInstructions);
+    w.u32(p.duplicated);
+    w.u32(p.checkProtected);
+    w.u32(p.bothProtected);
+    w.u32(p.unprotected);
+    w.u32(p.duplicateInstructions);
+    w.u32(p.checkInstructions);
+}
+
+ProtectionCounts
+readProtection(ByteReader &r)
+{
+    ProtectionCounts p;
+    p.originalInstructions = r.u32();
+    p.duplicated = r.u32();
+    p.checkProtected = r.u32();
+    p.bothProtected = r.u32();
+    p.unprotected = r.u32();
+    p.duplicateInstructions = r.u32();
+    p.checkInstructions = r.u32();
+    return p;
+}
+
+} // namespace
+
+void
+writeHardeningReport(ByteWriter &w, const HardeningReport &rep)
+{
+    w.u8(static_cast<uint8_t>(rep.mode));
+    w.u32(rep.stateVars);
+    w.u32(rep.shadowPhis);
+    w.u32(rep.duplicatedInstrs);
+    w.u32(rep.eqChecks);
+    w.u32(rep.valueChecks);
+    w.u32(rep.checkOne);
+    w.u32(rep.checkTwo);
+    w.u32(rep.checkRange);
+    w.u32(rep.suppressedByOpt1);
+    w.u32(rep.opt2Stops);
+    w.u32(rep.suppressedUseless);
+    w.u32(rep.numCheckIds);
+    w.u32(rep.vacuousChecks);
+    w.u32(rep.elidedChecks);
+    w.u32(rep.fpRiskChecks);
+    writeProtection(w, rep.protection);
+    w.u32(rep.stats.totalInstructions);
+    w.u32(rep.stats.phiNodes);
+    w.u32(rep.stats.duplicatedInstructions);
+    w.u32(rep.stats.checkEq);
+    w.u32(rep.stats.checkOne);
+    w.u32(rep.stats.checkTwo);
+    w.u32(rep.stats.checkRange);
+    w.u32(rep.stats.loads);
+    w.u32(rep.stats.stores);
+    w.u32(rep.stats.elidedChecks);
+    writeProtection(w, rep.stats.protection);
+    w.u8(rep.stats.hasProtection ? 1 : 0);
+}
+
+HardeningReport
+readHardeningReport(ByteReader &r)
+{
+    HardeningReport rep;
+    rep.mode = static_cast<HardeningMode>(r.u8());
+    rep.stateVars = r.u32();
+    rep.shadowPhis = r.u32();
+    rep.duplicatedInstrs = r.u32();
+    rep.eqChecks = r.u32();
+    rep.valueChecks = r.u32();
+    rep.checkOne = r.u32();
+    rep.checkTwo = r.u32();
+    rep.checkRange = r.u32();
+    rep.suppressedByOpt1 = r.u32();
+    rep.opt2Stops = r.u32();
+    rep.suppressedUseless = r.u32();
+    rep.numCheckIds = r.u32();
+    rep.vacuousChecks = r.u32();
+    rep.elidedChecks = r.u32();
+    rep.fpRiskChecks = r.u32();
+    rep.protection = readProtection(r);
+    rep.stats.totalInstructions = r.u32();
+    rep.stats.phiNodes = r.u32();
+    rep.stats.duplicatedInstructions = r.u32();
+    rep.stats.checkEq = r.u32();
+    rep.stats.checkOne = r.u32();
+    rep.stats.checkTwo = r.u32();
+    rep.stats.checkRange = r.u32();
+    rep.stats.loads = r.u32();
+    rep.stats.stores = r.u32();
+    rep.stats.elidedChecks = r.u32();
+    rep.stats.protection = readProtection(r);
+    rep.stats.hasProtection = r.u8() != 0;
+    return rep;
+}
+
+void
+writePreparedRun(ByteWriter &w, const PreparedRun &pr,
+                 Memory::PagePoolWriter &pool)
+{
+    scAssert(pr.mem, "PreparedRun without a Memory");
+    pr.mem->serialize(w, pool);
+    w.vecU64(pr.args);
+    w.vecU64(pr.bufferAddr);
+}
+
+PreparedRun
+readPreparedRun(ByteReader &r, Memory::PagePoolReader &pool)
+{
+    PreparedRun pr;
+    pr.mem = std::make_unique<Memory>(Memory::deserialize(r, pool));
+    pr.args = r.vecU64();
+    pr.bufferAddr = r.vecU64();
+    return pr;
+}
+
+} // namespace softcheck::service

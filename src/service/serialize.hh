@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Byte-stream serializers for execution state: ExecState, Snapshot,
+ * PreparedRun, RunResult, and HardeningReport. The foundation both
+ * halves of the campaign service stand on — the artifact cache
+ * persists characterizations (golden run + snapshot chain) across
+ * processes and requests, and trial sharding ships the same bundle
+ * into fresh worker address spaces.
+ *
+ * Two non-obvious contracts:
+ *
+ * - Function pointers inside ExecFrames travel as ExecModule function
+ *   indices. The reader resolves them against *its* ExecModule, so a
+ *   shard worker that re-built the module from printed IR gets frames
+ *   pointing into its own translation. ExecModule construction is a
+ *   deterministic function of the (printed/reparsed) module, so slot
+ *   numbering, branch-site ids, and check ids all line up.
+ *
+ * - Memories serialize through a shared page pool (Memory::serialize),
+ *   so a snapshot chain's COW page sharing survives the round trip:
+ *   the serialized chain costs its resident bytes, not K full copies,
+ *   and deserialized snapshots still compare/restore by page identity.
+ *
+ * The recent-write rings are serialized in full: they feed fault-site
+ * selection, so a trial resumed from a deserialized snapshot must draw
+ * the same injection target as an in-process trial.
+ */
+
+#ifndef SOFTCHECK_SERVICE_SERIALIZE_HH
+#define SOFTCHECK_SERVICE_SERIALIZE_HH
+
+#include "core/pipeline.hh"
+#include "interp/interpreter.hh"
+#include "support/byte_io.hh"
+#include "workloads/workload.hh"
+
+namespace softcheck::service
+{
+
+/** Index of @p fn within @p em; scAssert when @p fn is not one of
+ * em's functions. */
+uint32_t execFunctionIndex(const ExecModule &em, const ExecFunction *fn);
+
+void writeExecState(ByteWriter &w, const ExecState &st,
+                    const ExecModule &em);
+ExecState readExecState(ByteReader &r, const ExecModule &em);
+
+void writeSnapshot(ByteWriter &w, const Snapshot &s, const ExecModule &em,
+                   Memory::PagePoolWriter &pool);
+Snapshot readSnapshot(ByteReader &r, const ExecModule &em,
+                      Memory::PagePoolReader &pool);
+
+void writeRunResult(ByteWriter &w, const RunResult &res);
+RunResult readRunResult(ByteReader &r);
+
+/** uncheckedCutSites (live Instruction pointers, only consumed by
+ * re-audit tooling) is deliberately dropped; everything else round
+ * trips. */
+void writeHardeningReport(ByteWriter &w, const HardeningReport &rep);
+HardeningReport readHardeningReport(ByteReader &r);
+
+void writePreparedRun(ByteWriter &w, const PreparedRun &pr,
+                      Memory::PagePoolWriter &pool);
+PreparedRun readPreparedRun(ByteReader &r, Memory::PagePoolReader &pool);
+
+} // namespace softcheck::service
+
+#endif // SOFTCHECK_SERVICE_SERIALIZE_HH

@@ -1,0 +1,245 @@
+#include "service/shard.hh"
+
+#include <cerrno>
+#include <cstdlib>
+#include <mutex>
+#include <vector>
+
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "service/artifact_cache.hh"
+#include "support/byte_io.hh"
+#include "support/error.hh"
+
+namespace softcheck::service
+{
+
+using campaign_detail::CellCharacterization;
+using campaign_detail::TrialAccum;
+using campaign_detail::TrialWorkerCache;
+
+namespace
+{
+
+constexpr uint64_t kBlobMagic = 0x5343534852443176ull; // "SCSHRD1v"
+
+/**
+ * Serializes pipe-creation + fork + parent-side write-end close into
+ * one critical section. Several cells of a suite can shard at once on
+ * different pool threads; without the lock, a worker forked for shard
+ * A between B's pipe() and B's close(write end) would inherit B's
+ * write end and keep B's pipe from reaching EOF until A's worker
+ * exits. With the parent's write-end copy closed before the lock is
+ * released, no later fork can ever inherit it.
+ */
+std::mutex g_forkMu;
+
+/** Serialize @p accum's totals (all plain sums) into a result blob. */
+std::string
+packDelta(const TrialAccum &a)
+{
+    ByteWriter w;
+    w.u64(kBlobMagic);
+    for (const auto &c : a.counts)
+        w.u64(c.load());
+    w.u64(a.usdcLarge.load());
+    w.u64(a.usdcSmall.load());
+    w.u64(a.batchNanos.load());
+    w.u64(a.laneSteps.load());
+    w.u64(a.laneSlots.load());
+    w.u64(a.ffReplay.load());
+    w.u64(a.ffRestorePages.load());
+    w.u64(kBlobMagic);
+    return std::move(w).take();
+}
+
+/** Merge a worker's blob into @p accum; false on malformed bytes. */
+bool
+mergeDelta(const std::string &blob, TrialAccum &accum)
+{
+    try {
+        ByteReader r(blob);
+        if (r.u64() != kBlobMagic)
+            return false;
+        std::array<uint64_t, kNumOutcomes> counts;
+        for (auto &c : counts)
+            c = r.u64();
+        const uint64_t usdc_large = r.u64();
+        const uint64_t usdc_small = r.u64();
+        const uint64_t batch_nanos = r.u64();
+        const uint64_t lane_steps = r.u64();
+        const uint64_t lane_slots = r.u64();
+        const uint64_t ff_replay = r.u64();
+        const uint64_t ff_restore = r.u64();
+        if (r.u64() != kBlobMagic || !r.atEnd())
+            return false;
+        for (unsigned i = 0; i < kNumOutcomes; ++i)
+            accum.counts[i].fetch_add(counts[i]);
+        accum.usdcLarge.fetch_add(usdc_large);
+        accum.usdcSmall.fetch_add(usdc_small);
+        accum.batchNanos.fetch_add(batch_nanos);
+        accum.laneSteps.fetch_add(lane_steps);
+        accum.laneSlots.fetch_add(lane_slots);
+        accum.ffReplay.fetch_add(ff_replay);
+        accum.ffRestorePages.fetch_add(ff_restore);
+        return true;
+    } catch (const FatalError &) {
+        return false;
+    }
+}
+
+void
+writeAll(int fd, const std::string &bytes)
+{
+    std::size_t off = 0;
+    while (off < bytes.size()) {
+        const ssize_t n =
+            ::write(fd, bytes.data() + off, bytes.size() - off);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            ::_exit(3); // parent vanished; nothing useful left to do
+        }
+        off += static_cast<std::size_t>(n);
+    }
+}
+
+std::string
+readAll(int fd)
+{
+    std::string out;
+    char buf[4096];
+    for (;;) {
+        const ssize_t n = ::read(fd, buf, sizeof buf);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return out;
+        }
+        if (n == 0)
+            return out;
+        out.append(buf, static_cast<std::size_t>(n));
+    }
+}
+
+/**
+ * Worker body, executed in the forked child. Deserializes the bundle
+ * into this fresh address space, runs trials [first, last)
+ * single-threaded (parallelism comes from the shard count), and pipes
+ * the delta back. Never returns.
+ */
+[[noreturn]] void
+runWorker(int wfd, const std::string &bundle_path,
+          const CampaignConfig &config, unsigned first, unsigned last,
+          bool kill_mid)
+{
+    try {
+        const CellCharacterization cell =
+            deserializeCell(readFileBytes(bundle_path), config, "");
+        TrialWorkerCache cache;
+        TrialAccum accum;
+        if (kill_mid) {
+            // Crash-injection hook: do real work on half the range so
+            // the parent must discard a *partial* accumulator, then
+            // die the way an OOM-killed worker would.
+            const unsigned mid = first + (last - first) / 2;
+            campaign_detail::runTrialBatch(cell, config, first, mid,
+                                           cache, accum);
+            ::raise(SIGKILL);
+        }
+        campaign_detail::runTrialBatch(cell, config, first, last, cache,
+                                       accum);
+        writeAll(wfd, packDelta(accum));
+        ::_exit(0);
+    } catch (const std::exception &) {
+        ::_exit(2); // parent re-dispatches the range
+    }
+}
+
+} // namespace
+
+void
+runShardedTrials(const std::string &bundle_path,
+                 const CampaignConfig &config, TrialAccum &accum)
+{
+    scAssert(config.sampling != SamplingPlan::Stratified,
+             "sharding cannot split a stratified plan");
+    const unsigned shards = std::max(1u, config.shards);
+    const unsigned trials = config.trials;
+
+    unsigned kill_shard = ~0u;
+    if (const char *env = std::getenv(kKillShardEnv))
+        kill_shard = static_cast<unsigned>(std::atoi(env));
+
+    struct Range
+    {
+        unsigned first, last, attempts;
+        bool killMid;
+    };
+    std::vector<Range> todo;
+    for (unsigned s = 0; s < shards; ++s) {
+        const unsigned first =
+            static_cast<unsigned>(uint64_t(trials) * s / shards);
+        const unsigned last =
+            static_cast<unsigned>(uint64_t(trials) * (s + 1) / shards);
+        if (first < last)
+            todo.push_back({first, last, 0, s == kill_shard});
+    }
+
+    struct Live
+    {
+        Range range;
+        pid_t pid;
+        int rfd;
+    };
+    std::vector<Live> live;
+
+    auto spawn = [&](const Range &range) {
+        int fds[2];
+        std::lock_guard lock(g_forkMu);
+        if (::pipe(fds) != 0)
+            scFatal("pipe failed for shard worker");
+        const pid_t pid = ::fork();
+        if (pid < 0)
+            scFatal("fork failed for shard worker");
+        if (pid == 0) {
+            ::close(fds[0]);
+            runWorker(fds[1], bundle_path, config, range.first,
+                      range.last, range.killMid);
+        }
+        ::close(fds[1]);
+        live.push_back({range, pid, fds[0]});
+    };
+
+    for (const Range &range : todo)
+        spawn(range);
+
+    // Reap in dispatch order. Pipe capacity far exceeds a delta blob,
+    // so workers never block writing and the order costs nothing.
+    for (std::size_t i = 0; i < live.size(); ++i) {
+        const Live lw = live[i];
+        const std::string blob = readAll(lw.rfd);
+        ::close(lw.rfd);
+        int status = 0;
+        pid_t r;
+        do {
+            r = ::waitpid(lw.pid, &status, 0);
+        } while (r < 0 && errno == EINTR);
+        const bool exited_ok =
+            r == lw.pid && WIFEXITED(status) && WEXITSTATUS(status) == 0;
+        if (exited_ok && mergeDelta(blob, accum))
+            continue;
+        // Abnormal exit or malformed blob: discard and re-dispatch the
+        // whole range (the crash hook only fires on attempt 0).
+        Range retry = lw.range;
+        retry.killMid = false;
+        if (++retry.attempts >= kMaxShardAttempts)
+            scFatal("shard range [", retry.first, ",", retry.last,
+                    ") failed ", retry.attempts, " times");
+        spawn(retry);
+    }
+}
+
+} // namespace softcheck::service

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Multi-process trial sharding: fork worker processes that each run a
+ * contiguous range of a campaign's trial indices against a
+ * deserialized characterization bundle, and merge their commutative
+ * accumulator deltas in the parent.
+ *
+ * Bit-identity: trial outcomes are a function of trialSeed(seed, i)
+ * and the characterization alone, and the accumulator is commutative
+ * sums, so any shard count produces byte-identical outcome totals to
+ * the in-process trial phase. Workers deserialize the bundle *file*
+ * (not the parent's in-memory cell), so every sharded campaign also
+ * exercises the serialization path end to end.
+ *
+ * Fault tolerance: a worker that exits abnormally (crash, signal,
+ * OOM kill) or writes a malformed result blob is detected at reap
+ * time and its whole range is re-dispatched in a fresh worker, up to
+ * kMaxAttempts per range; partial work from the dead worker is
+ * discarded, so the merged totals stay exact.
+ *
+ * Not combinable with SamplingPlan::Stratified: the stratified
+ * planner's class representatives are cross-trial state that cannot
+ * be split along trial-index ranges (the entry points scFatal on the
+ * combination).
+ */
+
+#ifndef SOFTCHECK_SERVICE_SHARD_HH
+#define SOFTCHECK_SERVICE_SHARD_HH
+
+#include <string>
+
+#include "fault/campaign_internal.hh"
+
+namespace softcheck::service
+{
+
+/**
+ * Crash-recovery test hook: when this env var holds a shard index,
+ * that shard's *first* dispatch runs half its range and then SIGKILLs
+ * itself; the re-dispatched worker runs normally. Lets tests assert
+ * bit-identical recovery without reaching into the implementation.
+ */
+constexpr const char *kKillShardEnv = "SOFTCHECK_TEST_KILL_SHARD";
+
+/** Abnormal-exit re-dispatches per shard range before giving up. */
+constexpr unsigned kMaxShardAttempts = 4;
+
+/**
+ * Split @p config's trials [0, trials) into config.shards contiguous
+ * ranges, fork one worker per range (bundle file @p bundle_path),
+ * and merge every worker's delta into @p accum. Blocks until all
+ * ranges have completed; scFatal when a range keeps failing.
+ */
+void runShardedTrials(const std::string &bundle_path,
+                      const CampaignConfig &config,
+                      campaign_detail::TrialAccum &accum);
+
+/** scFatal on unsupported knob combinations (shards + stratified). */
+void validateServiceConfig(const CampaignConfig &config);
+
+} // namespace softcheck::service
+
+#endif // SOFTCHECK_SERVICE_SHARD_HH

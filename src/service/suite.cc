@@ -1,10 +1,21 @@
+/**
+ * @file
+ * Suite engine implementation (interface in fault/suite.hh). Lives in
+ * the service library because the suite is where the artifact cache
+ * and the shard dispatcher meet the DAG: cached cells skip their
+ * workload's fault-free tasks entirely, and sharded trial phases
+ * replace the per-seed batch fan-out with one fork-and-merge task.
+ */
+
 #include "fault/suite.hh"
 
 #include <algorithm>
 #include <deque>
-#include <thread>
 
 #include "fault/campaign_internal.hh"
+#include "service/artifact_cache.hh"
+#include "service/shard.hh"
+#include "support/concurrency.hh"
 #include "support/error.hh"
 #include "support/task_pool.hh"
 
@@ -25,7 +36,12 @@ struct CellCtx
 {
     CampaignConfig cfg; //!< workload + mode set, seed = base seed
     std::vector<CampaignConfig> seedCfgs; //!< one per seed variant
-    CellCharacterization cell;
+    /** Characterization + (when sharding) its bundle file. */
+    service::ObtainedCell oc;
+    /** Cache probe result — decides the DAG shape: probe-hit cells
+     * load with no workload-level dependencies. The load itself still
+     * falls back to characterizing standalone if the file went away. */
+    bool probedCached = false;
     TrialWorkerCache cache;
     /** One accumulator per seed (deque: atomics are immovable). */
     std::deque<TrialAccum> accums;
@@ -60,8 +76,19 @@ struct WorkloadCtx
 SuiteResult
 runCampaignSuite(const SuiteConfig &config)
 {
+    unsigned pool_threads = config.base.threads;
+    if (pool_threads == 0)
+        pool_threads = hardwareThreads();
+    TaskPool pool(pool_threads);
+    return runCampaignSuite(config, pool);
+}
+
+SuiteResult
+runCampaignSuite(const SuiteConfig &config, TaskPool &pool)
+{
     scAssert(!config.workloads.empty(), "suite needs workloads");
     scAssert(!config.modes.empty(), "suite needs modes");
+    service::validateServiceConfig(config.base);
     const Stopwatch wall;
 
     SuiteResult result;
@@ -77,16 +104,22 @@ runCampaignSuite(const SuiteConfig &config)
     // how the scheduler interleaves them.
     result.cells.resize(n_workloads * n_modes * n_seeds);
 
-    const bool wants_profile =
-        std::find(config.modes.begin(), config.modes.end(),
-                  HardeningMode::DupValChks) != config.modes.end();
     const bool train_role = !config.base.swapTrainTest;
+    const bool shard =
+        config.base.trials > 0 && config.base.shards >= 2;
 
-    unsigned pool_threads = config.base.threads;
-    if (pool_threads == 0)
-        pool_threads =
-            std::max(1u, std::thread::hardware_concurrency());
-    TaskPool pool(pool_threads);
+    // Every task this suite submits, so the drain below can wait on
+    // exactly its own work: the pool may be shared with other
+    // concurrently running suites (the daemon's job queue), which
+    // makes waitAll() someone else's business.
+    std::vector<TaskPool::TaskId> own_tasks;
+    auto submit = [&](std::function<void()> fn,
+                      const std::vector<TaskPool::TaskId> &deps =
+                          std::vector<TaskPool::TaskId>{}) {
+        const auto id = pool.submit(std::move(fn), deps);
+        own_tasks.push_back(id);
+        return id;
+    };
 
     // ---- build all node state up front --------------------------------
     // Also the keep-alive root: characterizations (and their snapshot
@@ -104,6 +137,12 @@ runCampaignSuite(const SuiteConfig &config)
             CellCtx &cc = wc.cells.back();
             cc.cfg = wc.proto;
             cc.cfg.mode = config.modes[mi];
+            // Cheap existence probe, before any task runs: probe-hit
+            // cells need none of the workload's shared fault-free
+            // artifacts, and a workload whose every cell hits skips
+            // compile/profile/prepare/baseline entirely — that is the
+            // warm-cache payoff.
+            cc.probedCached = service::probeCachedCell(cc.cfg);
             for (const uint64_t seed : result.seeds) {
                 cc.seedCfgs.push_back(cc.cfg);
                 cc.seedCfgs.back().seed = seed;
@@ -126,53 +165,76 @@ runCampaignSuite(const SuiteConfig &config)
     for (std::size_t wi = 0; wi < n_workloads; ++wi) {
         WorkloadCtx &wc = work[wi];
 
-        const auto t_compile = pool.submit([&wc] {
-            const Stopwatch sw;
-            wc.baselineModule =
-                buildModule(*wc.w, HardeningMode::Original, wc.proto,
-                            nullptr, &wc.baselineReport);
-            wc.sa.baselineModule = &wc.baselineModule;
-            wc.sa.baselineReport = &wc.baselineReport;
-            wc.compileSeconds = sw.seconds();
-        });
-
-        TaskPool::TaskId t_profile = 0;
-        if (wants_profile) {
-            t_profile = pool.submit([&wc, train_role] {
-                const Stopwatch sw;
-                wc.profile = collectProfile(*wc.w, wc.proto, train_role);
-                wc.sa.profile = &wc.profile;
-                wc.profileSeconds = sw.seconds();
+        const bool any_miss = std::any_of(
+            wc.cells.begin(), wc.cells.end(),
+            [](const CellCtx &cc) { return !cc.probedCached; });
+        const bool wants_profile = std::any_of(
+            wc.cells.begin(), wc.cells.end(), [](const CellCtx &cc) {
+                return !cc.probedCached &&
+                       cc.cfg.mode == HardeningMode::DupValChks;
             });
-        }
 
-        const auto t_prepare = pool.submit([&wc, train_role] {
-            wc.testSpec = wc.w->makeInput(!train_role);
-            wc.pristine = prepareRun(wc.testSpec);
-            wc.sa.testSpec = &wc.testSpec;
-            wc.sa.pristine = &wc.pristine;
-        });
-
-        const auto t_baseline = pool.submit(
-            [&wc] {
+        TaskPool::TaskId t_compile = 0;
+        TaskPool::TaskId t_profile = 0;
+        TaskPool::TaskId t_baseline = 0;
+        if (any_miss) {
+            t_compile = submit([&wc] {
                 const Stopwatch sw;
-                wc.sa.baseline = runBaseline(*wc.w, wc.baselineModule,
-                                             wc.testSpec, wc.proto);
-                wc.baselineSeconds = sw.seconds();
-            },
-            {t_compile, t_prepare});
+                wc.baselineModule =
+                    buildModule(*wc.w, HardeningMode::Original, wc.proto,
+                                nullptr, &wc.baselineReport);
+                wc.sa.baselineModule = &wc.baselineModule;
+                wc.sa.baselineReport = &wc.baselineReport;
+                wc.compileSeconds = sw.seconds();
+            });
+
+            if (wants_profile) {
+                t_profile = submit([&wc, train_role] {
+                    const Stopwatch sw;
+                    wc.profile =
+                        collectProfile(*wc.w, wc.proto, train_role);
+                    wc.sa.profile = &wc.profile;
+                    wc.profileSeconds = sw.seconds();
+                });
+            }
+
+            const auto t_prepare = submit([&wc, train_role] {
+                wc.testSpec = wc.w->makeInput(!train_role);
+                wc.pristine = prepareRun(wc.testSpec);
+                wc.sa.testSpec = &wc.testSpec;
+                wc.sa.pristine = &wc.pristine;
+            });
+
+            t_baseline = submit(
+                [&wc] {
+                    const Stopwatch sw;
+                    wc.sa.baseline = runBaseline(
+                        *wc.w, wc.baselineModule, wc.testSpec, wc.proto);
+                    wc.baselineSeconds = sw.seconds();
+                },
+                {t_compile, t_prepare});
+        }
 
         for (std::size_t mi = 0; mi < n_modes; ++mi) {
             CellCtx &cc = wc.cells[mi];
-            std::vector<TaskPool::TaskId> char_deps = {t_baseline};
-            if (cc.cfg.mode == HardeningMode::DupValChks)
-                char_deps.push_back(t_profile);
-            const auto t_char = pool.submit(
-                [&wc, &cc] {
+            std::vector<TaskPool::TaskId> char_deps;
+            if (!cc.probedCached) {
+                char_deps.push_back(t_baseline);
+                if (cc.cfg.mode == HardeningMode::DupValChks)
+                    char_deps.push_back(t_profile);
+            }
+            const SharedArtifacts *sa =
+                cc.probedCached ? nullptr : &wc.sa;
+            const auto t_char = submit(
+                [&wc, &cc, sa, shard] {
                     // One characterization per (workload, mode); the
                     // seed only steers injections, so every seed
-                    // variant fans out of it.
-                    cc.cell = characterizeCell(cc.cfg, &wc.sa, &wc.pages);
+                    // variant fans out of it. Cache hits load here
+                    // (and account their snapshots into the suite's
+                    // deduped page set exactly like computed ones);
+                    // misses characterize and store.
+                    cc.oc = service::obtainCharacterization(
+                        cc.cfg, sa, &wc.pages, shard);
                 },
                 char_deps);
 
@@ -182,9 +244,9 @@ runCampaignSuite(const SuiteConfig &config)
                 const CampaignConfig &scfg = cc.seedCfgs[si];
 
                 if (config.base.trials == 0) {
-                    pool.submit(
+                    submit(
                         [&cc, &scfg, slot] {
-                            *slot = cc.cell.proto;
+                            *slot = cc.oc.cell.proto;
                             slot->config = scfg;
                         },
                         {t_char});
@@ -192,6 +254,26 @@ runCampaignSuite(const SuiteConfig &config)
                 }
 
                 TrialAccum &accum = cc.accums[si];
+
+                if (shard) {
+                    // One fork-and-merge task per seed: the shard
+                    // dispatcher blocks this task until every worker
+                    // range (including re-dispatched ones) has merged,
+                    // so it subsumes the batch fan-out and its
+                    // finalize edge. trialsSeconds stays the workers'
+                    // summed CPU nanoseconds — same meaning as the
+                    // in-process suite path.
+                    submit(
+                        [&cc, &scfg, &accum, slot] {
+                            service::runShardedTrials(cc.oc.bundlePath,
+                                                      scfg, accum);
+                            *slot = finalizeTrialResult(cc.oc.cell,
+                                                        scfg, accum);
+                        },
+                        {t_char});
+                    continue;
+                }
+
                 // Stratified sampling inserts a per-(cell, seed) plan
                 // task between characterization and the batches: one
                 // observed golden replay resolves the seed's whole
@@ -207,31 +289,30 @@ runCampaignSuite(const SuiteConfig &config)
                     stratified ? &cc.classOuts[si] : nullptr;
                 std::vector<TaskPool::TaskId> batch_deps = {t_char};
                 if (stratified) {
-                    batch_deps = {pool.submit(
+                    batch_deps = {submit(
                         [&cc, &scfg, plan, co] {
-                            *plan = buildStratifiedPlan(cc.cell, scfg);
+                            *plan = buildStratifiedPlan(cc.oc.cell, scfg);
                             co->resize(plan->classes.size());
                         },
                         {t_char})};
                 }
                 const unsigned batch = trialBatchSize(
-                    config.base.trials, pool.threadCount(),
-                    scfg.tier);
+                    config.base.trials, pool.threadCount(), scfg.tier);
                 std::vector<TaskPool::TaskId> batch_ids;
                 for (unsigned first = 0; first < config.base.trials;
                      first += batch) {
                     const unsigned last =
                         std::min(first + batch, config.base.trials);
-                    batch_ids.push_back(pool.submit(
+                    batch_ids.push_back(submit(
                         [&cc, &scfg, first, last, &accum, plan, co] {
-                            runTrialBatch(cc.cell, scfg, first, last,
+                            runTrialBatch(cc.oc.cell, scfg, first, last,
                                           cc.cache, accum, plan, co);
                         },
                         batch_deps));
                 }
-                pool.submit(
+                submit(
                     [&cc, &scfg, &accum, slot, plan, co] {
-                        *slot = finalizeTrialResult(cc.cell, scfg,
+                        *slot = finalizeTrialResult(cc.oc.cell, scfg,
                                                     accum, plan, co);
                     },
                     batch_ids);
@@ -239,7 +320,11 @@ runCampaignSuite(const SuiteConfig &config)
         }
     }
 
-    pool.waitAll();
+    // Drain exactly this suite's tasks. wait() rethrows a failed
+    // task's exception; waiting in submission order still visits every
+    // id (completed ids return immediately).
+    for (const auto id : own_tasks)
+        pool.wait(id);
 
     // ---- deterministic aggregation ------------------------------------
     // Sequential, in grid order, from per-task slots no two tasks
@@ -254,13 +339,21 @@ runCampaignSuite(const SuiteConfig &config)
         stats.workload = config.workloads[wi];
         for (std::size_t mi = 0; mi < n_modes; ++mi) {
             CellCtx &cc = wc.cells[mi];
-            result.phase += cc.cell.proto.phase; // trialsSeconds is 0
-            stats.cellSnapshotBytesSum += cc.cell.proto.snapshotBytes;
+            result.phase += cc.oc.cell.proto.phase; // trialsSeconds is 0
+            stats.cellSnapshotBytesSum +=
+                cc.oc.cell.proto.snapshotBytes;
             for (std::size_t si = 0; si < n_seeds; ++si)
                 result.phase.trialsSeconds +=
                     result.cells[(wi * n_modes + mi) * n_seeds + si]
                         .phase.trialsSeconds;
+            cc.oc.cleanup(); // shard bundles in temp files
         }
+        // Suite-wide snapshot residency. NB a warm suite's total can
+        // exceed the cold run's: each cell's bundle deserializes into
+        // its own page pool, so cross-cell sharing via the common
+        // pristine image is not reconstructed across bundles (each
+        // cell's own chain keeps its internal COW sharing, and
+        // per-cell snapshotBytes stays bit-identical).
         stats.suiteSnapshotBytes = wc.pages.bytes;
         result.workloadStats.push_back(std::move(stats));
     }

@@ -1,0 +1,253 @@
+/**
+ * @file
+ * Little-endian byte-stream serialization, the wire/disk format layer
+ * under the campaign service (src/service): artifact-cache bundles,
+ * shard-worker result blobs, and the Snapshot/Memory/CostModel
+ * serializers all build on these two classes.
+ *
+ * The format is explicitly little-endian and fixed-width, so a bundle
+ * written by one process is readable by any other build on the same
+ * platform family; it makes no attempt at cross-architecture
+ * portability (the cache directory is per-machine state, like a
+ * compiler's object cache).
+ *
+ * ByteReader is bounds-checked: reading past the end or a length
+ * prefix that exceeds the remaining bytes throws FatalError rather
+ * than returning garbage, so a truncated or corrupt cache file is a
+ * recoverable "miss", never undefined behavior.
+ */
+
+#ifndef SOFTCHECK_SUPPORT_BYTE_IO_HH
+#define SOFTCHECK_SUPPORT_BYTE_IO_HH
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "support/error.hh"
+
+namespace softcheck
+{
+
+/** Append-only little-endian encoder over a growable byte buffer. */
+class ByteWriter
+{
+  public:
+    void
+    u8(uint8_t v)
+    {
+        buf.push_back(static_cast<char>(v));
+    }
+
+    void
+    u32(uint32_t v)
+    {
+        for (unsigned i = 0; i < 4; ++i)
+            buf.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+    }
+
+    void
+    u64(uint64_t v)
+    {
+        for (unsigned i = 0; i < 8; ++i)
+            buf.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+    }
+
+    void i32(int32_t v) { u32(static_cast<uint32_t>(v)); }
+
+    /** Doubles travel as their IEEE-754 bit pattern — exact, no
+     * text round-trip loss. */
+    void
+    f64(double v)
+    {
+        uint64_t bits;
+        std::memcpy(&bits, &v, sizeof bits);
+        u64(bits);
+    }
+
+    void
+    bytes(const void *p, std::size_t n)
+    {
+        buf.append(static_cast<const char *>(p), n);
+    }
+
+    /** Length-prefixed string. */
+    void
+    str(std::string_view s)
+    {
+        u64(s.size());
+        buf.append(s.data(), s.size());
+    }
+
+    void
+    vecU8(const std::vector<uint8_t> &v)
+    {
+        u64(v.size());
+        if (!v.empty())
+            bytes(v.data(), v.size());
+    }
+
+    void
+    vecU64(const std::vector<uint64_t> &v)
+    {
+        u64(v.size());
+        for (const uint64_t x : v)
+            u64(x);
+    }
+
+    void
+    vecF64(const std::vector<double> &v)
+    {
+        u64(v.size());
+        for (const double x : v)
+            f64(x);
+    }
+
+    const std::string &data() const { return buf; }
+    std::size_t size() const { return buf.size(); }
+    /** Move the buffer out (the writer is spent afterwards). */
+    std::string take() && { return std::move(buf); }
+
+  private:
+    std::string buf;
+};
+
+/** Bounds-checked decoder over a byte range (not owned). */
+class ByteReader
+{
+  public:
+    explicit ByteReader(std::string_view data)
+        : p(reinterpret_cast<const uint8_t *>(data.data())),
+          end(p + data.size())
+    {}
+
+    uint8_t
+    u8()
+    {
+        need(1);
+        return *p++;
+    }
+
+    uint32_t
+    u32()
+    {
+        need(4);
+        uint32_t v = 0;
+        for (unsigned i = 0; i < 4; ++i)
+            v |= static_cast<uint32_t>(p[i]) << (8 * i);
+        p += 4;
+        return v;
+    }
+
+    uint64_t
+    u64()
+    {
+        need(8);
+        uint64_t v = 0;
+        for (unsigned i = 0; i < 8; ++i)
+            v |= static_cast<uint64_t>(p[i]) << (8 * i);
+        p += 8;
+        return v;
+    }
+
+    int32_t i32() { return static_cast<int32_t>(u32()); }
+
+    double
+    f64()
+    {
+        const uint64_t bits = u64();
+        double v;
+        std::memcpy(&v, &bits, sizeof v);
+        return v;
+    }
+
+    void
+    bytes(void *out, std::size_t n)
+    {
+        need(n);
+        std::memcpy(out, p, n);
+        p += n;
+    }
+
+    std::string
+    str()
+    {
+        const uint64_t n = u64();
+        need(n);
+        std::string s(reinterpret_cast<const char *>(p),
+                      static_cast<std::size_t>(n));
+        p += n;
+        return s;
+    }
+
+    std::vector<uint8_t>
+    vecU8()
+    {
+        const uint64_t n = u64();
+        need(n);
+        std::vector<uint8_t> v(p, p + n);
+        p += n;
+        return v;
+    }
+
+    std::vector<uint64_t>
+    vecU64()
+    {
+        const uint64_t n = u64();
+        need(n * 8);
+        std::vector<uint64_t> v;
+        v.reserve(static_cast<std::size_t>(n));
+        for (uint64_t i = 0; i < n; ++i)
+            v.push_back(u64());
+        return v;
+    }
+
+    std::vector<double>
+    vecF64()
+    {
+        const uint64_t n = u64();
+        need(n * 8);
+        std::vector<double> v;
+        v.reserve(static_cast<std::size_t>(n));
+        for (uint64_t i = 0; i < n; ++i)
+            v.push_back(f64());
+        return v;
+    }
+
+    std::size_t remaining() const
+    {
+        return static_cast<std::size_t>(end - p);
+    }
+    bool atEnd() const { return p == end; }
+
+  private:
+    void
+    need(uint64_t n) const
+    {
+        if (n > static_cast<uint64_t>(end - p))
+            scFatal("byte stream truncated: need ", n, " bytes, have ",
+                    end - p);
+    }
+
+    const uint8_t *p;
+    const uint8_t *end;
+};
+
+/** FNV-1a 64-bit hash, the content-hash primitive of the artifact
+ * cache's keys (two independent bases give a 128-bit key). */
+inline uint64_t
+fnv1a64(std::string_view s, uint64_t basis = 0xcbf29ce484222325ULL)
+{
+    uint64_t h = basis;
+    for (const char c : s) {
+        h ^= static_cast<uint8_t>(c);
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}
+
+} // namespace softcheck
+
+#endif // SOFTCHECK_SUPPORT_BYTE_IO_HH

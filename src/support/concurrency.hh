@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Shared concurrency helpers.
+ */
+
+#ifndef SOFTCHECK_SUPPORT_CONCURRENCY_HH
+#define SOFTCHECK_SUPPORT_CONCURRENCY_HH
+
+#include <algorithm>
+#include <thread>
+
+namespace softcheck
+{
+
+/**
+ * Usable hardware thread count, never 0:
+ * std::thread::hardware_concurrency() is allowed to return 0 when the
+ * platform cannot tell, and every "0 = auto" knob in the codebase wants
+ * a floor of one worker. The single definition of that fallback.
+ */
+inline unsigned
+hardwareThreads()
+{
+    return std::max(1u, std::thread::hardware_concurrency());
+}
+
+} // namespace softcheck
+
+#endif // SOFTCHECK_SUPPORT_CONCURRENCY_HH

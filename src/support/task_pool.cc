@@ -1,5 +1,6 @@
 #include "support/task_pool.hh"
 
+#include "support/concurrency.hh"
 #include "support/error.hh"
 
 namespace softcheck
@@ -18,7 +19,7 @@ thread_local unsigned tlWorker = 0;
 TaskPool::TaskPool(unsigned threads)
 {
     if (threads == 0)
-        threads = std::max(1u, std::thread::hardware_concurrency());
+        threads = hardwareThreads();
     workers.resize(threads);
     for (unsigned i = 0; i < threads; ++i)
         workers[i].thread = std::thread([this, i] { workerLoop(i); });

@@ -1,0 +1,273 @@
+/**
+ * @file
+ * Artifact-cache tests: a characterization served from a warm cache
+ * must be bit-identical to a computed one in every result field, the
+ * cache key must track exactly the knobs the characterization depends
+ * on (and ignore the trial-phase knobs it doesn't), and corruption of
+ * any kind must degrade to a miss — never to a wrong result or a
+ * crash.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+
+#include "fault/campaign_internal.hh"
+#include "service/artifact_cache.hh"
+
+namespace softcheck
+{
+namespace
+{
+
+using campaign_detail::characterizeCell;
+using campaign_detail::CellCharacterization;
+
+/** Fresh private cache directory, removed on destruction. */
+struct TempCacheDir
+{
+    std::string path;
+
+    TempCacheDir()
+    {
+        std::string tmpl = (std::filesystem::temp_directory_path() /
+                            "softcheck-cache-XXXXXX")
+                               .string();
+        char *p = ::mkdtemp(tmpl.data());
+        if (p == nullptr)
+            throw std::runtime_error("mkdtemp failed");
+        path = p;
+    }
+
+    ~TempCacheDir()
+    {
+        std::error_code ec;
+        std::filesystem::remove_all(path, ec);
+    }
+};
+
+CampaignConfig
+smallConfig(const std::string &cache_dir)
+{
+    CampaignConfig cfg;
+    cfg.workload = "tiff2bw";
+    cfg.mode = HardeningMode::DupValChks;
+    cfg.trials = 40;
+    cfg.seed = 0xC0FFEE;
+    cfg.threads = 1;
+    cfg.checkpoints = 8;
+    cfg.artifactCacheDir = cache_dir;
+    return cfg;
+}
+
+void
+expectSameResult(const CampaignResult &a, const CampaignResult &b)
+{
+    EXPECT_EQ(a.counts, b.counts);
+    EXPECT_EQ(a.usdcLargeChange, b.usdcLargeChange);
+    EXPECT_EQ(a.usdcSmallChange, b.usdcSmallChange);
+    EXPECT_EQ(a.goldenDynInstrs, b.goldenDynInstrs);
+    EXPECT_EQ(a.goldenCycles, b.goldenCycles);
+    EXPECT_EQ(a.goldenCheckEvals, b.goldenCheckEvals);
+    EXPECT_EQ(a.baselineCycles, b.baselineCycles);
+    EXPECT_EQ(a.calibrationCheckFails, b.calibrationCheckFails);
+    EXPECT_EQ(a.disabledCheckCount, b.disabledCheckCount);
+    EXPECT_EQ(a.totalCheckCount, b.totalCheckCount);
+    EXPECT_EQ(a.snapshotCount, b.snapshotCount);
+    EXPECT_EQ(a.snapshotBytes, b.snapshotBytes);
+    EXPECT_EQ(a.snapshotBytesFullCopy, b.snapshotBytesFullCopy);
+    EXPECT_EQ(a.snapshotDynInstrs, b.snapshotDynInstrs);
+    EXPECT_EQ(a.ffReplayInstrs, b.ffReplayInstrs);
+    EXPECT_EQ(a.ffRestorePages, b.ffRestorePages);
+    EXPECT_EQ(a.report.valueChecks, b.report.valueChecks);
+    EXPECT_EQ(a.report.eqChecks, b.report.eqChecks);
+    EXPECT_EQ(a.report.duplicatedInstrs, b.report.duplicatedInstrs);
+}
+
+TEST(ArtifactCache, ColdThenWarmIsBitIdentical)
+{
+    TempCacheDir dir;
+    const CampaignConfig cfg = smallConfig(dir.path);
+
+    CampaignConfig plain = cfg;
+    plain.artifactCacheDir.clear();
+    const CampaignResult uncached = runCampaign(plain);
+
+    const CampaignResult cold = runCampaign(cfg);
+    EXPECT_FALSE(cold.servedFromCache);
+    EXPECT_GT(cold.phase.goldenSeconds, 0.0);
+    EXPECT_TRUE(std::filesystem::exists(service::cellCachePath(cfg)));
+
+    const CampaignResult warm = runCampaign(cfg);
+    EXPECT_TRUE(warm.servedFromCache);
+    // The whole point: the fault-free phases cost nothing warm.
+    EXPECT_EQ(warm.phase.compileSeconds, 0.0);
+    EXPECT_EQ(warm.phase.profileSeconds, 0.0);
+    EXPECT_EQ(warm.phase.baselineSeconds, 0.0);
+    EXPECT_EQ(warm.phase.goldenSeconds, 0.0);
+    EXPECT_GT(warm.phase.cacheLoadSeconds, 0.0);
+
+    expectSameResult(uncached, cold);
+    expectSameResult(cold, warm);
+}
+
+TEST(ArtifactCache, WarmServesEveryTrialPhaseVariant)
+{
+    // seed / trials / tier are trial-phase knobs, deliberately outside
+    // the key: the variant run must hit the same bundle.
+    TempCacheDir dir;
+    const CampaignConfig cfg = smallConfig(dir.path);
+    const CampaignResult cold = runCampaign(cfg);
+    EXPECT_FALSE(cold.servedFromCache);
+
+    CampaignConfig variant = cfg;
+    variant.seed = cfg.seed + 1;
+    variant.trials = cfg.trials / 2;
+    variant.tier = ExecTier::Threaded;
+    EXPECT_EQ(service::cellCacheKey(cfg), service::cellCacheKey(variant));
+    const CampaignResult warm = runCampaign(variant);
+    EXPECT_TRUE(warm.servedFromCache);
+    // Same characterization, different trial phase.
+    EXPECT_EQ(cold.goldenDynInstrs, warm.goldenDynInstrs);
+    EXPECT_EQ(cold.snapshotBytes, warm.snapshotBytes);
+    EXPECT_EQ(warm.totalTrials(), variant.trials);
+}
+
+TEST(ArtifactCache, KeyTracksCharacterizationKnobs)
+{
+    const CampaignConfig base = smallConfig("/nonexistent");
+    const std::string k = service::cellCacheKey(base);
+
+    auto differs = [&](auto mutate) {
+        CampaignConfig c = base;
+        mutate(c);
+        return service::cellCacheKey(c) != k;
+    };
+    EXPECT_TRUE(differs([](CampaignConfig &c) { c.workload = "g721enc"; }));
+    EXPECT_TRUE(
+        differs([](CampaignConfig &c) { c.mode = HardeningMode::DupOnly; }));
+    EXPECT_TRUE(differs([](CampaignConfig &c) { c.checkpoints = 4; }));
+    EXPECT_TRUE(differs(
+        [](CampaignConfig &c) { c.placement = CheckpointPlacement::Uniform; }));
+    EXPECT_TRUE(differs([](CampaignConfig &c) { c.swapTrainTest = true; }));
+    EXPECT_TRUE(differs([](CampaignConfig &c) { c.enableOpt1 = false; }));
+    EXPECT_TRUE(
+        differs([](CampaignConfig &c) { c.elideVacuousChecks = true; }));
+    EXPECT_TRUE(differs([](CampaignConfig &c) { c.cost.issueWidth = 4; }));
+    EXPECT_TRUE(
+        differs([](CampaignConfig &c) { c.snapshotBudgetBytes = 4096; }));
+    EXPECT_TRUE(
+        differs([](CampaignConfig &c) { c.restoreInstrsPerPage = 0; }));
+
+    auto same = [&](auto mutate) {
+        CampaignConfig c = base;
+        mutate(c);
+        return service::cellCacheKey(c) == k;
+    };
+    EXPECT_TRUE(same([](CampaignConfig &c) { c.seed = 999; }));
+    EXPECT_TRUE(same([](CampaignConfig &c) { c.trials = 7; }));
+    EXPECT_TRUE(same([](CampaignConfig &c) { c.threads = 9; }));
+    EXPECT_TRUE(same([](CampaignConfig &c) { c.tier = ExecTier::Lockstep; }));
+    EXPECT_TRUE(same([](CampaignConfig &c) { c.lanes = 2; }));
+    EXPECT_TRUE(same([](CampaignConfig &c) { c.timeoutFactor = 5.0; }));
+    EXPECT_TRUE(same(
+        [](CampaignConfig &c) { c.sampling = SamplingPlan::Stratified; }));
+}
+
+TEST(ArtifactCache, SerializeCellRoundTrip)
+{
+    CampaignConfig cfg = smallConfig("");
+    const CellCharacterization cell =
+        characterizeCell(cfg, nullptr, nullptr);
+    const std::string bytes = service::serializeCell(cell, cfg);
+    // Sanity: the serialized snapshot chain must not balloon to the
+    // full-copy footprint COW sharing avoids in memory.
+    EXPECT_LT(bytes.size(),
+              cell.proto.snapshotBytesFullCopy +
+                  cell.proto.snapshotBytes);
+
+    const CellCharacterization back = service::deserializeCell(
+        bytes, cfg, service::cellCacheKey(cfg));
+    expectSameResult(cell.proto, back.proto);
+    EXPECT_EQ(cell.disabled, back.disabled);
+    EXPECT_EQ(cell.goldenSignal, back.goldenSignal);
+    EXPECT_EQ(cell.snapDyn, back.snapDyn);
+    EXPECT_EQ(cell.snapNewBytes, back.snapNewBytes);
+    ASSERT_EQ(cell.snapshots.size(), back.snapshots.size());
+    for (std::size_t i = 0; i < cell.snapshots.size(); ++i) {
+        EXPECT_EQ(cell.snapshots[i].dynInstr(),
+                  back.snapshots[i].dynInstr());
+        EXPECT_TRUE(cell.snapshots[i].mem.contentsEqual(
+            back.snapshots[i].mem));
+        EXPECT_TRUE(cell.snapshots[i].state.cost.sameState(
+            back.snapshots[i].state.cost));
+    }
+    EXPECT_EQ(cell.goldenRun.cycles, back.goldenRun.cycles);
+    EXPECT_EQ(cell.goldenRun.dynInstrs, back.goldenRun.dynInstrs);
+
+    // Key mismatch (a filename collision) must be a FatalError, which
+    // loadCachedCell turns into a miss.
+    EXPECT_THROW(service::deserializeCell(bytes, cfg, "some other key"),
+                 FatalError);
+}
+
+TEST(ArtifactCache, CorruptBundleDegradesToMiss)
+{
+    TempCacheDir dir;
+    const CampaignConfig cfg = smallConfig(dir.path);
+    const CampaignResult cold = runCampaign(cfg);
+    EXPECT_FALSE(cold.servedFromCache);
+    const std::string path = service::cellCachePath(cfg);
+    ASSERT_TRUE(std::filesystem::exists(path));
+    const std::string good = service::readFileBytes(path);
+
+    auto rewrite = [&](const std::string &bytes) {
+        std::ofstream f(path, std::ios::binary | std::ios::trunc);
+        f.write(bytes.data(),
+                static_cast<std::streamsize>(bytes.size()));
+    };
+
+    // Truncation, garbage, and a flipped byte mid-stream: all must
+    // fall back to characterizing (and then repair the cache entry).
+    for (const std::string &bad :
+         {good.substr(0, good.size() / 2), std::string("not a bundle"),
+          [&] {
+              std::string b = good;
+              b[b.size() / 3] ^= 0x5a;
+              return b;
+          }()}) {
+        rewrite(bad);
+        const CampaignResult r = runCampaign(cfg);
+        EXPECT_FALSE(r.servedFromCache);
+        expectSameResult(cold, r);
+    }
+
+    // The fallback stored a fresh bundle; the next run hits again.
+    const CampaignResult warm = runCampaign(cfg);
+    EXPECT_TRUE(warm.servedFromCache);
+    expectSameResult(cold, warm);
+}
+
+TEST(ArtifactCache, ProbeMatchesStoreAndLoad)
+{
+    TempCacheDir dir;
+    const CampaignConfig cfg = smallConfig(dir.path);
+    EXPECT_FALSE(service::probeCachedCell(cfg));
+
+    const CellCharacterization cell =
+        characterizeCell(cfg, nullptr, nullptr);
+    const std::string path = service::storeCachedCell(cfg, cell);
+    EXPECT_EQ(path, service::cellCachePath(cfg));
+    EXPECT_TRUE(service::probeCachedCell(cfg));
+
+    CellCharacterization loaded;
+    ASSERT_TRUE(service::loadCachedCell(cfg, loaded));
+    EXPECT_TRUE(loaded.proto.servedFromCache);
+    expectSameResult(cell.proto, loaded.proto);
+}
+
+} // namespace
+} // namespace softcheck

@@ -1,0 +1,205 @@
+/**
+ * @file
+ * In-process daemon tests: bind a CampaignDaemon on a private socket,
+ * serve it from a background thread, and drive it with the same
+ * daemonRequest client the CLI uses. The protocol-level claims: SUITE
+ * responses carry the exact CELL lines a direct runCampaignSuite
+ * produces, a repeated request is served from the warm cache with
+ * byte-identical CELL lines and zero fault-free phase time, and
+ * malformed requests come back as ERR instead of killing the daemon.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <sstream>
+#include <thread>
+
+#include "service/daemon.hh"
+#include "support/error.hh"
+
+namespace softcheck
+{
+namespace
+{
+
+/** A bound, serving daemon on a private socket + cache dir; stops and
+ * cleans up on destruction. */
+struct LiveDaemon
+{
+    std::string dir;
+    service::DaemonConfig cfg;
+    service::CampaignDaemon daemon;
+    std::thread server;
+
+    LiveDaemon() : dir(makeDir()), cfg(makeCfg(dir)), daemon(cfg)
+    {
+        daemon.bind();
+        server = std::thread([this] { daemon.serve(); });
+    }
+
+    ~LiveDaemon()
+    {
+        daemon.requestStop();
+        server.join();
+        std::error_code ec;
+        std::filesystem::remove_all(dir, ec);
+    }
+
+    std::string
+    request(const std::string &line)
+    {
+        return service::daemonRequest(cfg.socketPath, line);
+    }
+
+    static std::string
+    makeDir()
+    {
+        std::string tmpl = (std::filesystem::temp_directory_path() /
+                            "softcheck-daemon-XXXXXX")
+                               .string();
+        char *p = ::mkdtemp(tmpl.data());
+        if (p == nullptr)
+            throw std::runtime_error("mkdtemp failed");
+        return p;
+    }
+
+    static service::DaemonConfig
+    makeCfg(const std::string &dir)
+    {
+        service::DaemonConfig c;
+        c.socketPath = dir + "/d.sock";
+        c.cacheDir = dir + "/cache";
+        c.threads = 2;
+        return c;
+    }
+};
+
+/** The deterministic lines of a response (the bit-identity subject). */
+std::vector<std::string>
+cellLines(const std::string &response)
+{
+    std::vector<std::string> out;
+    std::istringstream is(response);
+    std::string line;
+    while (std::getline(is, line))
+        if (line.rfind("CELL ", 0) == 0)
+            out.push_back(line);
+    return out;
+}
+
+const char kSmallRequest[] =
+    "SUITE workloads=tiff2bw,g721enc modes=original,dupvalchks "
+    "trials=40 seed=171 checkpoints=8";
+
+TEST(ServiceDaemon, PingStatsShutdown)
+{
+    LiveDaemon d;
+    EXPECT_EQ(d.request("PING"), "PONG\n");
+    EXPECT_EQ(d.request("STATS"), "STATS jobs=0 active=0\n");
+    EXPECT_EQ(d.request("SHUTDOWN"), "BYE\n");
+    // serve() exits on its own after SHUTDOWN; the destructor's
+    // requestStop is then a no-op.
+}
+
+TEST(ServiceDaemon, MalformedRequestsReturnErr)
+{
+    LiveDaemon d;
+    EXPECT_EQ(d.request("BOGUS").rfind("ERR ", 0), 0u);
+    EXPECT_EQ(d.request("SUITE modes=original").rfind("ERR ", 0), 0u);
+    EXPECT_EQ(
+        d.request("SUITE workloads=tiff2bw modes=nosuchmode")
+            .rfind("ERR ", 0),
+        0u);
+    EXPECT_EQ(d.request("SUITE workloads=tiff2bw modes=original "
+                        "shards=2 sampling=stratified")
+                  .rfind("ERR ", 0),
+              0u);
+    // The daemon survives all of the above.
+    EXPECT_EQ(d.request("PING"), "PONG\n");
+}
+
+TEST(ServiceDaemon, SuiteMatchesDirectRun)
+{
+    LiveDaemon d;
+    const std::string response = d.request(kSmallRequest);
+    ASSERT_EQ(response.rfind("ERR", 0), std::string::npos) << response;
+
+    const service::SuiteRequest req =
+        service::parseSuiteRequest(kSmallRequest);
+    const SuiteResult direct = runCampaignSuite(req.suite);
+    const std::vector<std::string> expect =
+        cellLines(service::formatSuiteResponse(direct));
+    EXPECT_EQ(cellLines(response), expect);
+    EXPECT_NE(response.find("DONE cells=4"), std::string::npos);
+}
+
+TEST(ServiceDaemon, SecondRequestServedFromWarmCache)
+{
+    LiveDaemon d;
+    const std::string cold = d.request(kSmallRequest);
+    ASSERT_EQ(cold.rfind("ERR", 0), std::string::npos) << cold;
+    EXPECT_NE(cold.find("CACHE servedCells=0 totalCells=4"),
+              std::string::npos)
+        << cold;
+
+    const std::string warm = d.request(kSmallRequest);
+    // Every cell hits, the fault-free phases cost exactly nothing, and
+    // the deterministic CELL lines are byte-identical — the same
+    // assertion the CI service-smoke job makes against the real binary.
+    EXPECT_NE(warm.find("CACHE servedCells=4 totalCells=4"),
+              std::string::npos)
+        << warm;
+    EXPECT_NE(warm.find("compile=0.000000 profile=0.000000 "
+                        "baseline=0.000000 golden=0.000000"),
+              std::string::npos)
+        << warm;
+    EXPECT_EQ(cellLines(cold), cellLines(warm));
+
+    // cache=off must bypass the warm cache entirely.
+    const std::string bypass =
+        d.request(std::string(kSmallRequest) + " cache=off");
+    EXPECT_NE(bypass.find("CACHE servedCells=0 totalCells=4"),
+              std::string::npos)
+        << bypass;
+    EXPECT_EQ(cellLines(cold), cellLines(bypass));
+}
+
+TEST(ServiceDaemon, ParseRejectsAndAccepts)
+{
+    using service::parseSuiteRequest;
+    const service::SuiteRequest req = parseSuiteRequest(
+        "SUITE workloads=a,b modes=original,fulldup seeds=1,2,3 "
+        "trials=9 seed=4 tier=lockstep lanes=4 checkpoints=16 "
+        "placement=uniform budget=1024 shards=2 swap=1 elide=1 "
+        "sampling=blind cache=off");
+    EXPECT_EQ(req.suite.workloads,
+              (std::vector<std::string>{"a", "b"}));
+    ASSERT_EQ(req.suite.modes.size(), 2u);
+    EXPECT_EQ(req.suite.modes[1], HardeningMode::FullDup);
+    EXPECT_EQ(req.suite.seeds, (std::vector<uint64_t>{1, 2, 3}));
+    EXPECT_EQ(req.suite.base.trials, 9u);
+    EXPECT_EQ(req.suite.base.seed, 4u);
+    EXPECT_EQ(req.suite.base.tier, ExecTier::Lockstep);
+    EXPECT_EQ(req.suite.base.lanes, 4u);
+    EXPECT_EQ(req.suite.base.checkpoints, 16u);
+    EXPECT_EQ(req.suite.base.placement, CheckpointPlacement::Uniform);
+    EXPECT_EQ(req.suite.base.snapshotBudgetBytes, 1024u);
+    EXPECT_EQ(req.suite.base.shards, 2u);
+    EXPECT_TRUE(req.suite.base.swapTrainTest);
+    EXPECT_TRUE(req.suite.base.elideVacuousChecks);
+    EXPECT_FALSE(req.useCache);
+
+    EXPECT_THROW(parseSuiteRequest("SUITE modes=original"), FatalError);
+    EXPECT_THROW(parseSuiteRequest("SUITE workloads=a"), FatalError);
+    EXPECT_THROW(parseSuiteRequest("SUITE workloads=a modes=original "
+                                   "junk"),
+                 FatalError);
+    EXPECT_THROW(parseSuiteRequest("SUITE workloads=a modes=original "
+                                   "tier=quantum"),
+                 FatalError);
+}
+
+} // namespace
+} // namespace softcheck

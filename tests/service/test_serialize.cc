@@ -1,0 +1,326 @@
+/**
+ * @file
+ * Round-trip tests for the campaign service's serializers
+ * (src/service/serialize.hh and the Memory/CostModel serialization
+ * they build on). The load-bearing claims:
+ *
+ *  - Every serialized object deserializes to an equal one (contents,
+ *    cost-model state, golden-run fields).
+ *  - A COW snapshot chain serialized through one page pool costs its
+ *    resident bytes, not K full copies, and the page *sharing* itself
+ *    survives the round trip — deserialized snapshots still dedup by
+ *    page identity, so restoreFrom/contentsEqual stay O(diverged).
+ *  - Corrupt or truncated streams throw FatalError (never UB), which
+ *    is what lets the artifact cache treat them as misses.
+ */
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "fault/campaign_internal.hh"
+#include "interp/cost_model.hh"
+#include "service/serialize.hh"
+#include "support/byte_io.hh"
+
+namespace softcheck
+{
+namespace
+{
+
+using campaign_detail::characterizeCell;
+using campaign_detail::CellCharacterization;
+
+Memory
+patternedMemory()
+{
+    Memory m;
+    const uint64_t a = m.alloc(1000, "a");
+    const uint64_t b = m.alloc(64, "b");
+    const uint64_t c = m.alloc(3 * Memory::kPageSize, "c");
+    for (uint64_t i = 0; i < 1000; i += 8)
+        m.write(a + i, 8, 0x1111111111111111ull * (i / 8 + 1));
+    m.write(b + 4, 4, 0xdeadbeef);
+    m.write(c + 2 * Memory::kPageSize, 2, 0x7777);
+    return m;
+}
+
+std::string
+serializeOneMemory(const Memory &m)
+{
+    ByteWriter w;
+    Memory::PagePoolWriter pool;
+    m.serialize(w, pool);
+    return std::move(w).take();
+}
+
+TEST(SerializeMemory, RoundTripPreservesContents)
+{
+    const Memory m = patternedMemory();
+    const std::string bytes = serializeOneMemory(m);
+
+    ByteReader r(bytes);
+    Memory::PagePoolReader pool;
+    const Memory back = Memory::deserialize(r, pool);
+    EXPECT_TRUE(r.atEnd());
+    EXPECT_TRUE(m.contentsEqual(back));
+    EXPECT_TRUE(back.contentsEqual(m));
+    EXPECT_EQ(m.bytesAllocated(), back.bytesAllocated());
+    EXPECT_EQ(m.numRegions(), back.numRegions());
+}
+
+TEST(SerializeMemory, DeserializedMemoryIsCleanShared)
+{
+    // A deserialized Memory must behave like a fresh snapshot: writing
+    // to it clones pages instead of mutating blocks another
+    // deserialized Memory from the same pool shares.
+    Memory m = patternedMemory();
+    ByteWriter w;
+    Memory::PagePoolWriter wpool;
+    m.serialize(w, wpool);
+    m.serialize(w, wpool); // same pages again: pure id references
+
+    const std::string bytes = std::move(w).take();
+    ByteReader r(bytes);
+    Memory::PagePoolReader rpool;
+    Memory first = Memory::deserialize(r, rpool);
+    Memory second = Memory::deserialize(r, rpool);
+    EXPECT_TRUE(r.atEnd());
+    EXPECT_EQ(first.dirtyPageCount(), 0u);
+
+    // They share blocks (dedup sees no new bytes for the second)...
+    std::unordered_set<const void *> seen;
+    const uint64_t firstBytes = first.accountPages(seen);
+    EXPECT_GT(firstBytes, 0u);
+    EXPECT_EQ(second.accountPages(seen), 0u);
+
+    // ...and a write to one is invisible to the other.
+    uint64_t before = 0, after = 0;
+    ASSERT_TRUE(second.read(0x10000, 8, before));
+    ASSERT_TRUE(first.write(0x10000, 8, before ^ 0xffull));
+    ASSERT_TRUE(second.read(0x10000, 8, after));
+    EXPECT_EQ(before, after);
+}
+
+TEST(SerializeMemory, CowChainCostsResidentBytesNotFullCopies)
+{
+    // Build a snapshot-like chain: copies of one Memory with a few
+    // pages dirtied between captures, exactly the shape of a golden
+    // checkpoint chain.
+    Memory live = patternedMemory();
+    std::vector<Memory> chain;
+    for (unsigned k = 0; k < 6; ++k) {
+        chain.emplace_back(live); // COW share point
+        // Dirty one page before the next capture.
+        live.write(0x10000 + k * Memory::kPageSize, 8, 0xABCD00 + k);
+    }
+
+    // One shared pool across the chain vs. each Memory standalone.
+    ByteWriter shared_w;
+    Memory::PagePoolWriter shared_pool;
+    for (const Memory &m : chain)
+        m.serialize(shared_w, shared_pool);
+    uint64_t standalone = 0;
+    for (const Memory &m : chain)
+        standalone += serializeOneMemory(m).size();
+
+    // The satellite claim: serialized chain bytes < K full copies.
+    EXPECT_LT(shared_w.size(), standalone);
+
+    // Sharing survives the round trip: the deserialized chain's
+    // deduped resident bytes equal the original chain's.
+    std::unordered_set<const void *> orig_seen;
+    uint64_t orig_resident = 0;
+    for (const Memory &m : chain)
+        orig_resident += m.accountPages(orig_seen);
+
+    const std::string bytes = std::move(shared_w).take();
+    ByteReader r(bytes);
+    Memory::PagePoolReader rpool;
+    std::vector<Memory> back;
+    for (unsigned k = 0; k < chain.size(); ++k)
+        back.push_back(Memory::deserialize(r, rpool));
+    EXPECT_TRUE(r.atEnd());
+
+    std::unordered_set<const void *> back_seen;
+    uint64_t back_resident = 0;
+    for (const Memory &m : back)
+        back_resident += m.accountPages(back_seen);
+    EXPECT_EQ(orig_resident, back_resident);
+    for (unsigned k = 0; k < chain.size(); ++k)
+        EXPECT_TRUE(chain[k].contentsEqual(back[k])) << "snapshot " << k;
+}
+
+TEST(SerializeMemory, TruncatedStreamThrowsFatalError)
+{
+    const std::string bytes = serializeOneMemory(patternedMemory());
+    for (const std::size_t cut :
+         {std::size_t{0}, std::size_t{5}, bytes.size() / 2,
+          bytes.size() - 1}) {
+        ByteReader r(std::string_view(bytes).substr(0, cut));
+        Memory::PagePoolReader pool;
+        EXPECT_THROW(Memory::deserialize(r, pool), FatalError)
+            << "cut at " << cut;
+    }
+}
+
+TEST(SerializeCost, RoundTripRestoresFullState)
+{
+    CostConfig cfg;
+    cfg.issueWidth = 3;
+    cfg.predictorEntries = 64;
+    CostModel m(cfg);
+    for (uint64_t i = 0; i < 500; ++i) {
+        m.onInstr(i % 7 == 0 ? Opcode::SDiv : Opcode::Add);
+        m.onMemAccess(0x40000 + (i * 72) % 16384);
+        m.onBranch(i % 13, i % 3 == 0);
+    }
+    ByteWriter w;
+    m.serialize(w);
+    const std::string bytes = std::move(w).take();
+
+    ByteReader r(bytes);
+    const CostModel back = CostModel::deserialize(r);
+    EXPECT_TRUE(r.atEnd());
+    EXPECT_TRUE(m.sameState(back));
+    EXPECT_EQ(m.cycles(), back.cycles());
+    EXPECT_EQ(m.cacheMisses(), back.cacheMisses());
+    EXPECT_EQ(m.branchMispredicts(), back.branchMispredicts());
+}
+
+TEST(SerializeCost, CorruptConfigThrowsNotAborts)
+{
+    // A zeroed stream decodes to an all-zero CostConfig, which must be
+    // rejected with FatalError before the constructor divides by a
+    // zero field (corrupt cache bundles take this path).
+    const std::string zeros(256, '\0');
+    ByteReader r(zeros);
+    EXPECT_THROW(CostModel::deserialize(r), FatalError);
+}
+
+TEST(SerializeRunResult, RoundTripAllFields)
+{
+    RunResult res;
+    res.term = Termination::Trap;
+    res.trap = TrapKind::OutOfBounds;
+    res.failedCheckId = 17;
+    res.retValue = 0x1122334455667788ull;
+    res.dynInstrs = 123456;
+    res.cycles = 789012;
+    res.endCycle = 789500;
+    res.cacheMisses = 42;
+    res.branchMispredicts = 7;
+    res.checkEvals = 99;
+    res.prunedToGolden = true;
+    res.fault.injected = true;
+    res.fault.slot = 5;
+    res.fault.slotType = TypeKind::F64;
+    res.fault.bit = 52;
+    res.fault.before = 0xAA;
+    res.fault.after = 0xBB;
+    res.fault.atDynInstr = 1000;
+    res.fault.atCycle = 2000;
+
+    ByteWriter w;
+    service::writeRunResult(w, res);
+    const std::string bytes = std::move(w).take();
+    ByteReader r(bytes);
+    const RunResult back = service::readRunResult(r);
+    EXPECT_TRUE(r.atEnd());
+
+    EXPECT_EQ(res.term, back.term);
+    EXPECT_EQ(res.trap, back.trap);
+    EXPECT_EQ(res.failedCheckId, back.failedCheckId);
+    EXPECT_EQ(res.retValue, back.retValue);
+    EXPECT_EQ(res.dynInstrs, back.dynInstrs);
+    EXPECT_EQ(res.cycles, back.cycles);
+    EXPECT_EQ(res.endCycle, back.endCycle);
+    EXPECT_EQ(res.cacheMisses, back.cacheMisses);
+    EXPECT_EQ(res.branchMispredicts, back.branchMispredicts);
+    EXPECT_EQ(res.checkEvals, back.checkEvals);
+    EXPECT_EQ(res.prunedToGolden, back.prunedToGolden);
+    EXPECT_EQ(res.fault.injected, back.fault.injected);
+    EXPECT_EQ(res.fault.slot, back.fault.slot);
+    EXPECT_EQ(res.fault.slotType, back.fault.slotType);
+    EXPECT_EQ(res.fault.bit, back.fault.bit);
+    EXPECT_EQ(res.fault.before, back.fault.before);
+    EXPECT_EQ(res.fault.after, back.fault.after);
+    EXPECT_EQ(res.fault.atDynInstr, back.fault.atDynInstr);
+    EXPECT_EQ(res.fault.atCycle, back.fault.atCycle);
+}
+
+TEST(SerializePreparedRun, RoundTrip)
+{
+    const Workload &w = getWorkload("tiff2bw");
+    const WorkloadRunSpec spec = w.makeInput(false);
+    const PreparedRun pr = prepareRun(spec);
+
+    ByteWriter bw;
+    Memory::PagePoolWriter wpool;
+    service::writePreparedRun(bw, pr, wpool);
+    const std::string bytes = std::move(bw).take();
+
+    ByteReader r(bytes);
+    Memory::PagePoolReader rpool;
+    const PreparedRun back = service::readPreparedRun(r, rpool);
+    EXPECT_TRUE(r.atEnd());
+    EXPECT_EQ(pr.args, back.args);
+    EXPECT_EQ(pr.bufferAddr, back.bufferAddr);
+    ASSERT_NE(back.mem, nullptr);
+    EXPECT_TRUE(pr.mem->contentsEqual(*back.mem));
+}
+
+/**
+ * Snapshots + golden run + hardening report of a real
+ * characterization: the exact payload the artifact cache and shard
+ * bundles carry.
+ */
+TEST(SerializeSnapshot, CharacterizationChainRoundTrips)
+{
+    CampaignConfig cfg;
+    cfg.workload = "g721enc";
+    cfg.mode = HardeningMode::DupValChks;
+    cfg.trials = 1; // characterization only
+    cfg.checkpoints = 8;
+    const CellCharacterization cell =
+        characterizeCell(cfg, nullptr, nullptr);
+    ASSERT_GT(cell.snapshots.size(), 0u);
+    const ExecModule &em = *cell.module().em;
+
+    ByteWriter w;
+    Memory::PagePoolWriter wpool;
+    for (const Snapshot &s : cell.snapshots)
+        service::writeSnapshot(w, s, em, wpool);
+    service::writeHardeningReport(w, cell.proto.report);
+    const std::string bytes = std::move(w).take();
+
+    ByteReader r(bytes);
+    Memory::PagePoolReader rpool;
+    for (const Snapshot &s : cell.snapshots) {
+        const Snapshot back = service::readSnapshot(r, em, rpool);
+        EXPECT_EQ(s.dynInstr(), back.dynInstr());
+        EXPECT_EQ(s.state.stack.size(), back.state.stack.size());
+        EXPECT_EQ(s.state.globalBases, back.state.globalBases);
+        EXPECT_TRUE(s.state.cost.sameState(back.state.cost));
+        EXPECT_TRUE(s.mem.contentsEqual(back.mem));
+        for (std::size_t f = 0; f < s.state.stack.size(); ++f) {
+            EXPECT_EQ(s.state.stack[f].fn, back.state.stack[f].fn);
+            EXPECT_EQ(s.state.stack[f].regs, back.state.stack[f].regs);
+            EXPECT_EQ(s.state.stack[f].recent,
+                      back.state.stack[f].recent);
+            EXPECT_EQ(s.state.stack[f].recentCount,
+                      back.state.stack[f].recentCount);
+            EXPECT_EQ(s.state.stack[f].recentPos,
+                      back.state.stack[f].recentPos);
+            EXPECT_EQ(s.state.stack[f].ip, back.state.stack[f].ip);
+        }
+    }
+    const HardeningReport rep = service::readHardeningReport(r);
+    EXPECT_TRUE(r.atEnd());
+    EXPECT_EQ(cell.proto.report.mode, rep.mode);
+    EXPECT_EQ(cell.proto.report.valueChecks, rep.valueChecks);
+    EXPECT_EQ(cell.proto.report.eqChecks, rep.eqChecks);
+}
+
+} // namespace
+} // namespace softcheck

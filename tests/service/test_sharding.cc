@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Multi-process trial sharding tests. The sharding claim is stronger
+ * than statistical agreement: trial-indexed RNG plus commutative
+ * accumulation make the merged totals BIT-IDENTICAL to the in-process
+ * trial phase at any shard count, on every execution tier — and a
+ * worker that dies mid-range (SIGKILL, the crash-recovery satellite)
+ * must be re-dispatched without perturbing a single count.
+ *
+ * These tests fork real worker processes, so their names deliberately
+ * avoid the TSan CI filter (TaskPool|Suite): fork-from-threads under
+ * TSan is out of scope there.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "fault/suite.hh"
+#include "service/shard.hh"
+#include "support/error.hh"
+
+namespace softcheck
+{
+namespace
+{
+
+CampaignConfig
+shardConfig(ExecTier tier)
+{
+    CampaignConfig cfg;
+    cfg.workload = "tiff2bw";
+    cfg.mode = HardeningMode::DupValChks;
+    cfg.trials = 60;
+    cfg.seed = 0x5eed5;
+    cfg.threads = 1;
+    cfg.checkpoints = 8;
+    cfg.tier = tier;
+    return cfg;
+}
+
+void
+expectSameTrials(const CampaignResult &a, const CampaignResult &b)
+{
+    EXPECT_EQ(a.counts, b.counts);
+    EXPECT_EQ(a.usdcLargeChange, b.usdcLargeChange);
+    EXPECT_EQ(a.usdcSmallChange, b.usdcSmallChange);
+    EXPECT_EQ(a.ffReplayInstrs, b.ffReplayInstrs);
+    EXPECT_EQ(a.ffRestorePages, b.ffRestorePages);
+    EXPECT_EQ(a.goldenDynInstrs, b.goldenDynInstrs);
+    EXPECT_EQ(a.goldenCycles, b.goldenCycles);
+    EXPECT_EQ(a.snapshotBytes, b.snapshotBytes);
+    EXPECT_EQ(a.totalTrials(), b.totalTrials());
+}
+
+class ShardEquiv : public ::testing::TestWithParam<ExecTier>
+{};
+
+TEST_P(ShardEquiv, AnyShardCountMatchesInProcess)
+{
+    const CampaignConfig base = shardConfig(GetParam());
+    const CampaignResult in_process = runCampaign(base);
+    ASSERT_EQ(in_process.totalTrials(), base.trials);
+
+    for (const unsigned shards : {1u, 2u, 4u}) {
+        CampaignConfig cfg = base;
+        cfg.shards = shards;
+        const CampaignResult sharded = runCampaign(cfg);
+        SCOPED_TRACE(testing::Message() << "shards=" << shards);
+        expectSameTrials(in_process, sharded);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTiers, ShardEquiv,
+                         ::testing::Values(ExecTier::Interp,
+                                           ExecTier::Threaded,
+                                           ExecTier::Lockstep),
+                         [](const auto &info) {
+                             switch (info.param) {
+                               case ExecTier::Interp:
+                                 return "Interp";
+                               case ExecTier::Threaded:
+                                 return "Threaded";
+                               default:
+                                 return "Lockstep";
+                             }
+                         });
+
+TEST(ShardRecovery, KilledWorkerIsRedispatchedBitIdentical)
+{
+    // The env hook makes shard 1's first worker SIGKILL itself halfway
+    // through its range; the parent must detect the abnormal exit,
+    // discard the partial work, and re-dispatch — with totals
+    // bit-identical to the undisturbed runs.
+    const CampaignConfig base = shardConfig(ExecTier::Interp);
+    const CampaignResult in_process = runCampaign(base);
+
+    ASSERT_EQ(::setenv(service::kKillShardEnv, "1", 1), 0);
+    CampaignConfig cfg = base;
+    cfg.shards = 3;
+    const CampaignResult recovered = runCampaign(cfg);
+    ::unsetenv(service::kKillShardEnv);
+
+    expectSameTrials(in_process, recovered);
+}
+
+TEST(ShardConfig, StratifiedSamplingIsRejected)
+{
+    CampaignConfig cfg = shardConfig(ExecTier::Interp);
+    cfg.shards = 2;
+    cfg.sampling = SamplingPlan::Stratified;
+    EXPECT_THROW(runCampaign(cfg), FatalError);
+    EXPECT_THROW(service::validateServiceConfig(cfg), FatalError);
+
+    // Either knob alone is fine.
+    cfg.shards = 0;
+    EXPECT_NO_THROW(service::validateServiceConfig(cfg));
+    cfg.shards = 2;
+    cfg.sampling = SamplingPlan::Blind;
+    EXPECT_NO_THROW(service::validateServiceConfig(cfg));
+}
+
+TEST(ShardGrid, ShardedCellsMatchUnsharded)
+{
+    // The suite engine runs each sharded cell's trial phase as one
+    // fork-and-merge task; every cell must still match the unsharded
+    // grid bit for bit.
+    SuiteConfig sc;
+    sc.workloads = {"tiff2bw", "g721enc"};
+    sc.modes = {HardeningMode::Original, HardeningMode::DupValChks};
+    sc.base.trials = 40;
+    sc.base.seed = 0xAB;
+    sc.base.threads = 2;
+    sc.base.checkpoints = 8;
+    const SuiteResult plain = runCampaignSuite(sc);
+
+    SuiteConfig sharded_cfg = sc;
+    sharded_cfg.base.shards = 2;
+    const SuiteResult sharded = runCampaignSuite(sharded_cfg);
+
+    ASSERT_EQ(plain.cells.size(), sharded.cells.size());
+    for (std::size_t i = 0; i < plain.cells.size(); ++i) {
+        SCOPED_TRACE(testing::Message() << "cell " << i);
+        expectSameTrials(plain.cells[i], sharded.cells[i]);
+    }
+}
+
+} // namespace
+} // namespace softcheck

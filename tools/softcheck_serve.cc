@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Thin CLI for the campaign daemon (src/service/daemon.hh).
+ *
+ *   softcheck-serve serve --socket PATH [--cache DIR] [--threads N]
+ *                         [--max-jobs N]
+ *       Run the daemon in the foreground until a SHUTDOWN request.
+ *
+ *   softcheck-serve submit --socket PATH key=value ...
+ *       Send one SUITE request (tokens are forwarded verbatim; see
+ *       daemon.hh for the key set) and print the response.
+ *
+ *   softcheck-serve ping|stats|shutdown --socket PATH
+ *
+ * Exit status: 0 on success, 1 on usage errors, daemon-side ERR
+ * responses, or an unreachable daemon.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "service/daemon.hh"
+#include "support/error.hh"
+
+using namespace softcheck;
+
+namespace
+{
+
+void
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: softcheck-serve serve --socket PATH [--cache DIR]\n"
+        "                             [--threads N] [--max-jobs N]\n"
+        "       softcheck-serve submit --socket PATH key=value ...\n"
+        "       softcheck-serve ping|stats|shutdown --socket PATH\n");
+}
+
+int
+runServe(const std::vector<std::string> &args)
+{
+    service::DaemonConfig cfg;
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        const std::string &a = args[i];
+        auto next = [&]() -> const std::string & {
+            if (++i >= args.size())
+                scFatal(a, " needs a value");
+            return args[i];
+        };
+        if (a == "--socket")
+            cfg.socketPath = next();
+        else if (a == "--cache")
+            cfg.cacheDir = next();
+        else if (a == "--threads")
+            cfg.threads = static_cast<unsigned>(std::stoul(next()));
+        else if (a == "--max-jobs")
+            cfg.maxJobs = static_cast<unsigned>(std::stoul(next()));
+        else
+            scFatal("unknown option ", a);
+    }
+    if (cfg.socketPath.empty())
+        scFatal("serve needs --socket");
+    service::CampaignDaemon daemon(cfg);
+    daemon.bind();
+    std::printf("softcheck-serve: listening on %s%s%s\n",
+                cfg.socketPath.c_str(),
+                cfg.cacheDir.empty() ? "" : ", cache ",
+                cfg.cacheDir.c_str());
+    std::fflush(stdout);
+    daemon.serve();
+    std::printf("softcheck-serve: shut down\n");
+    return 0;
+}
+
+int
+runRequest(const std::string &verb, const std::vector<std::string> &args)
+{
+    std::string socket_path;
+    std::vector<std::string> extra;
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        if (args[i] == "--socket") {
+            if (++i >= args.size())
+                scFatal("--socket needs a value");
+            socket_path = args[i];
+        } else {
+            extra.push_back(args[i]);
+        }
+    }
+    if (socket_path.empty())
+        scFatal(verb, " needs --socket");
+
+    std::string request;
+    if (verb == "submit") {
+        request = "SUITE";
+        for (const std::string &t : extra)
+            request += " " + t;
+    } else if (verb == "ping") {
+        request = "PING";
+    } else if (verb == "stats") {
+        request = "STATS";
+    } else if (verb == "shutdown") {
+        request = "SHUTDOWN";
+    } else {
+        scFatal("unknown subcommand ", verb);
+    }
+
+    const std::string response =
+        service::daemonRequest(socket_path, request);
+    std::fputs(response.c_str(), stdout);
+    if (response.empty() || response.rfind("ERR", 0) == 0)
+        return 1;
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2) {
+        usage();
+        return 1;
+    }
+    const std::string verb = argv[1];
+    std::vector<std::string> args(argv + 2, argv + argc);
+    try {
+        if (verb == "serve")
+            return runServe(args);
+        return runRequest(verb, args);
+    } catch (const FatalError &e) {
+        std::fprintf(stderr, "softcheck-serve: %s\n", e.what());
+        return 1;
+    }
+}
